@@ -1,0 +1,102 @@
+// Shared utilities for the per-table / per-figure benchmark harnesses.
+//
+// Environment knobs (printed in every header):
+//   XGR_VOCAB        vocabulary size (default 32000; the paper uses the 128k
+//                    Llama-3.1 vocabulary — set XGR_VOCAB=128000 to match;
+//                    smaller vocabularies preserve every ordering, only the
+//                    absolute baseline costs shrink proportionally)
+//   XGR_BENCH_STEPS  max decode steps measured per configuration
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/constrained_decoder.h"
+#include "support/timer.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/token_trie.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::benchutil {
+
+inline std::int32_t EnvInt(const char* name, std::int32_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+inline std::int32_t VocabSize() { return EnvInt("XGR_VOCAB", 32000); }
+inline std::int32_t MaxSteps() { return EnvInt("XGR_BENCH_STEPS", 48); }
+
+// One synthetic tokenizer per size, cached for the process.
+inline std::shared_ptr<const tokenizer::TokenizerInfo> GetTokenizer(
+    std::int32_t size = VocabSize()) {
+  static std::map<std::int32_t, std::shared_ptr<const tokenizer::TokenizerInfo>> cache;
+  auto it = cache.find(size);
+  if (it != cache.end()) return it->second;
+  auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({.size = size, .seed = 2024}));
+  cache.emplace(size, info);
+  return info;
+}
+
+inline const tokenizer::TokenTrie& GetTrie(
+    const std::shared_ptr<const tokenizer::TokenizerInfo>& info) {
+  static std::map<const tokenizer::TokenizerInfo*, std::unique_ptr<tokenizer::TokenTrie>>
+      cache;
+  auto it = cache.find(info.get());
+  if (it == cache.end()) {
+    it = cache.emplace(info.get(), std::make_unique<tokenizer::TokenTrie>(*info)).first;
+  }
+  return *it->second;
+}
+
+// Measures mean per-token mask-generation latency (µs) by driving `decoder`
+// along the token paths of `documents` (greedy tokenization), timing only
+// FillNextTokenBitmask. Returns the mean over at most `max_steps` steps.
+inline double MeasureMaskGenUs(
+    baselines::ConstrainedDecoder* decoder,
+    const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
+    const std::vector<std::string>& documents, std::int32_t max_steps) {
+  const tokenizer::TokenTrie& trie = GetTrie(info);
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  StatAccumulator stat;
+  for (const std::string& doc : documents) {
+    if (static_cast<std::int32_t>(stat.Count()) >= max_steps) break;
+    decoder->Reset();
+    for (std::int32_t token : tokenizer::GreedyTokenize(trie, doc)) {
+      if (static_cast<std::int32_t>(stat.Count()) >= max_steps) break;
+      Timer timer;
+      decoder->FillNextTokenBitmask(&mask);
+      stat.Add(timer.ElapsedMicros());
+      if (!decoder->AcceptToken(token)) break;  // defensive
+    }
+  }
+  return stat.Mean();
+}
+
+// --- Table printing ---------------------------------------------------------
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("vocab=%d  max_steps=%d  (paper hardware: see EXPERIMENTS.md)\n",
+              VocabSize(), MaxSteps());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 22) {
+  for (const std::string& cell : cells) std::printf("%-*s", width, cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double value, int digits = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace xgr::benchutil

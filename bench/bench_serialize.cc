@@ -1,0 +1,63 @@
+// Deployment-path benchmark (Appendix C): loading a serialized engine
+// artifact versus rebuilding the compiled grammar + token-mask cache from
+// source. On weak clients (browser/WASM, phones) the build cost dominates
+// TTFT; shipping the artifact moves it offline.
+#include <string>
+
+#include "bench/bench_common.h"
+#include "cache/adaptive_cache.h"
+#include "grammar/grammar.h"
+#include "grammar/json_schema.h"
+#include "pda/compiled_grammar.h"
+#include "serialize/serialize.h"
+#include "support/timer.h"
+
+namespace {
+using namespace xgr;             // NOLINT
+using namespace xgr::benchutil;  // NOLINT
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Serialized engine artifacts: build-from-source vs load (ms)\n"
+      "(deployment path for the Appendix C browser/mobile targets)");
+  auto info = GetTokenizer();
+
+  struct Task {
+    const char* name;
+    grammar::Grammar grammar;
+  };
+  std::vector<Task> tasks;
+  tasks.push_back({"JSON (CFG)", grammar::BuiltinJsonGrammar()});
+  tasks.push_back({"JSON Schema", grammar::JsonSchemaTextToGrammar(R"({
+      "type":"object",
+      "properties":{"name":{"type":"string"},"age":{"type":"integer"},
+                    "tags":{"type":"array","items":{"type":"string"}}},
+      "required":["name"],"additionalProperties":false})")});
+  tasks.push_back({"XML", grammar::BuiltinXmlGrammar()});
+  tasks.push_back({"SQL", grammar::BuiltinSqlGrammar()});
+
+  PrintRow({"grammar", "build (ms)", "serialize (ms)", "artifact (KB)",
+            "load (ms)", "speedup"},
+           16);
+  for (Task& task : tasks) {
+    Timer build_timer;
+    auto pda = pda::CompiledGrammar::Compile(task.grammar);
+    auto cache = cache::AdaptiveTokenMaskCache::Build(pda, info);
+    double build_ms = build_timer.ElapsedMicros() / 1000.0;
+
+    Timer save_timer;
+    std::string artifact = serialize::SerializeEngineArtifact(*cache);
+    double save_ms = save_timer.ElapsedMicros() / 1000.0;
+
+    Timer load_timer;
+    auto loaded = serialize::DeserializeEngineArtifact(artifact, info);
+    double load_ms = load_timer.ElapsedMicros() / 1000.0;
+
+    PrintRow({task.name, Fmt(build_ms, 2), Fmt(save_ms, 2),
+              Fmt(static_cast<double>(artifact.size()) / 1024.0, 1),
+              Fmt(load_ms, 2), Fmt(build_ms / load_ms, 1) + "x"},
+             16);
+  }
+  return 0;
+}

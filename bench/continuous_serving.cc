@@ -1,0 +1,82 @@
+// Continuous-batching serving benchmark (complements Figure 10's static
+// batches with the online, iteration-level-scheduling setting of Orca that
+// the paper's §5 serving discussion references). A staggered stream of
+// JSON-Schema requests flows through a bounded-capacity engine; the grammar
+// backend is the only variable. Slow per-step mask generation inflates every
+// co-scheduled request's latency, so the gap compounds with load.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "bench/bench_common.h"
+#include "datasets/workloads.h"
+#include "engine/serving_engine.h"
+
+namespace {
+using namespace xgr;             // NOLINT
+using namespace xgr::benchutil;  // NOLINT
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Continuous batching: staggered request stream, capacity 8\n"
+      "(online-serving complement to Figure 10; JSON-Schema task)");
+  auto info = GetTokenizer();
+  engine::MockLlm llm(info, {.derail_probability = 0.05, .seed = 11});
+  auto tasks = datasets::GenerateSchemaTasks(16, 47);
+
+  struct Config {
+    const char* name;
+    baselines::EngineKind kind;
+    bool constrained;
+  };
+  const Config configs[] = {
+      {"unconstrained", baselines::EngineKind::kXGrammar, false},
+      {"SGLang (w/ XGrammar)", baselines::EngineKind::kXGrammar, true},
+      {"vLLM (w/ Outlines-CFG)", baselines::EngineKind::kOutlinesCfg, true},
+      {"llama.cpp", baselines::EngineKind::kLlamaCpp, true},
+  };
+
+  PrintRow({"engine", "makespan (ms)", "tok/s", "mean TTFT (ms)",
+            "mean compl. (ms)"},
+           22);
+  for (const Config& config : configs) {
+    // One factory per task (schemas differ); decoders are per-request.
+    std::vector<std::unique_ptr<baselines::DecoderFactory>> factories;
+    std::vector<engine::ContinuousRequest> stream;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      engine::ContinuousRequest request;
+      if (config.constrained) {
+        factories.push_back(std::make_unique<baselines::DecoderFactory>(
+            config.kind, info));
+        factories.back()->PrepareSchema(tasks[i].schema);
+        request.request.decoder = factories.back()->NewDecoder();
+      }
+      request.request.target_text = tasks[i].canonical_answer.Dump();
+      request.request.seed = i + 1;
+      request.arrival_step = static_cast<std::int64_t>(i) * 2;  // staggered
+      stream.push_back(std::move(request));
+    }
+
+    engine::EngineOptions options;
+    options.schedule = config.constrained ? engine::GrammarSchedule::kOverlap
+                                          : engine::GrammarSchedule::kNone;
+    options.max_new_tokens = MaxSteps();
+    engine::ServingEngine eng(options, llm);
+    engine::ContinuousResult result = eng.RunContinuous(stream, 8);
+
+    double ttft_sum = 0.0;
+    double completion_sum = 0.0;
+    for (const auto& r : result.requests) {
+      ttft_sum += r.ttft_ms;
+      completion_sum += r.completion_ms;
+    }
+    auto n = static_cast<double>(result.requests.size());
+    PrintRow({config.name, Fmt(result.makespan_ms, 1),
+              Fmt(result.ThroughputTokensPerSec(), 0), Fmt(ttft_sum / n, 2),
+              Fmt(completion_sum / n, 1)},
+             22);
+  }
+  return 0;
+}

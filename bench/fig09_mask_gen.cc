@@ -1,0 +1,115 @@
+// Figure 9: per-token mask generation latency (µs/token) across four tasks
+// (JSON Schema, CFG JSON, CFG XML, CFG Python-DSL) and four engines.
+//
+// Paper reference values (Llama-3.1-8B vocab, Ryzen 9 7950X):
+//   JSON Schema : XGrammar 36, Outlines 125, llama.cpp 7069, lmfe 6147
+//   CFG JSON    : XGrammar 36, Outlines-CFG 4711, llama.cpp 9353, lmfe n/a
+//   CFG XML     : XGrammar 52, Outlines-CFG 382126, llama.cpp 18231, lmfe n/a
+//   CFG Python  : XGrammar 191, Outlines-CFG 427285, llama.cpp 42577, lmfe n/a
+// Expected shape: XGrammar lowest by 1-2+ orders of magnitude; regex engines
+// fast only on JSON Schema; the CFG columns blow up for all baselines.
+#include "baselines/factory.h"
+#include "bench/bench_common.h"
+#include "datasets/workloads.h"
+#include "grammar/grammar.h"
+
+namespace {
+
+using namespace xgr;           // NOLINT
+using namespace xgr::benchutil;  // NOLINT
+using baselines::DecoderFactory;
+using baselines::EngineKind;
+
+struct TaskSpec {
+  std::string name;
+  bool schema_task;                    // true: JSON-Schema; false: raw grammar
+  json::Value schema;                  // schema_task only
+  grammar::Grammar cfg;                // !schema_task only
+  std::vector<std::string> documents;  // drive path
+};
+
+double RunEngine(EngineKind kind, const TaskSpec& task,
+                 const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
+                 std::int32_t max_steps) {
+  DecoderFactory factory(kind, info);
+  if (task.schema_task) {
+    factory.PrepareSchema(task.schema);
+  } else {
+    factory.PrepareGrammar(task.cfg);
+  }
+  auto decoder = factory.NewDecoder();
+  return MeasureMaskGenUs(decoder.get(), info, task.documents, max_steps);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Figure 9: per-token mask generation latency (us/token)\n"
+      "paper: JSON-Schema 36/125/7069/6147; CFG-JSON 36/4711/9353/-;\n"
+      "       CFG-XML 52/382126/18231/-; CFG-Python 191/427285/42577/-");
+  auto info = GetTokenizer();
+  std::int32_t steps = MaxSteps();
+
+  std::vector<TaskSpec> tasks;
+  {
+    TaskSpec t;
+    t.name = "JSON Schema";
+    t.schema_task = true;
+    auto schema_tasks = datasets::GenerateSchemaTasks(1, 97);
+    t.schema = schema_tasks[0].schema;
+    t.documents = {schema_tasks[0].canonical_answer.Dump()};
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.name = "CFG (Unconstrained JSON)";
+    t.schema_task = false;
+    t.cfg = grammar::BuiltinJsonGrammar();
+    t.documents = datasets::GenerateJsonDocuments(4, 1234);
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.name = "CFG (XML)";
+    t.schema_task = false;
+    t.cfg = grammar::BuiltinXmlGrammar();
+    t.documents = datasets::GenerateXmlDocuments(4, 555);
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.name = "CFG (Python DSL)";
+    t.schema_task = false;
+    t.cfg = grammar::BuiltinPythonDslGrammar();
+    t.documents = datasets::GeneratePythonPrograms(4, 777);
+    tasks.push_back(std::move(t));
+  }
+
+  PrintRow({"task", "XGrammar", "Outlines", "llama.cpp", "lm-format-enf"}, 26);
+  for (const TaskSpec& task : tasks) {
+    std::vector<std::string> row{task.name};
+    // XGrammar.
+    row.push_back(Fmt(RunEngine(EngineKind::kXGrammar, task, info, steps), 1));
+    // Outlines: regex path for schemas, CFG scan otherwise. The CFG scan is
+    // extremely slow; cap its measured steps.
+    if (task.schema_task) {
+      row.push_back(Fmt(RunEngine(EngineKind::kOutlines, task, info, steps), 1));
+    } else {
+      row.push_back(
+          Fmt(RunEngine(EngineKind::kOutlinesCfg, task, info, std::min(steps, 8)), 1));
+    }
+    // llama.cpp-grammar: full-vocab trie scan; cap steps.
+    row.push_back(
+        Fmt(RunEngine(EngineKind::kLlamaCpp, task, info, std::min(steps, 12)), 1));
+    // lm-format-enforcer: regex only.
+    if (task.schema_task) {
+      row.push_back(
+          Fmt(RunEngine(EngineKind::kLmFormatEnforcer, task, info, std::min(steps, 12)), 1));
+    } else {
+      row.push_back("n/a (no CFG)");
+    }
+    PrintRow(row, 26);
+  }
+  return 0;
+}

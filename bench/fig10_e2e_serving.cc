@@ -1,0 +1,128 @@
+// Figure 10: end-to-end serving TPOT (ms/token) vs batch size on Llama-3.1-8B,
+// JSON Schema and CFG (unconstrained JSON) tasks.
+//
+// Paper reference (H100, batch 1/16/32):
+//   JSON Schema: llama.cpp 187/790/1432, vLLM+Outlines 11/93/164,
+//                SGLang+XGrammar 7/10/12, XGrammar engine 6/9/12
+//   CFG (JSON):  llama.cpp 185/736/1252, vLLM+Outlines 137/2311/timeout,
+//                SGLang+XGrammar 7/10/13, XGrammar engine 6/9/12
+// Expected shape: baselines degrade sharply with batch size (serial CPU
+// grammar work multiplies), XGrammar stays at the unconstrained step time.
+#include "baselines/factory.h"
+#include "bench/bench_common.h"
+#include "datasets/workloads.h"
+#include "engine/serving_engine.h"
+#include "grammar/grammar.h"
+
+namespace {
+
+using namespace xgr;             // NOLINT
+using namespace xgr::benchutil;  // NOLINT
+using baselines::DecoderFactory;
+using baselines::EngineKind;
+using engine::EngineOptions;
+using engine::EngineRequest;
+using engine::GrammarSchedule;
+
+struct EngineConfig {
+  std::string label;
+  EngineKind kind;
+  GrammarSchedule schedule;
+  std::int32_t max_batch;  // skip larger batches (paper: API timeout marks)
+};
+
+double RunConfig(const EngineConfig& config, bool schema_task,
+                 const json::Value& schema, const grammar::Grammar& cfg,
+                 const std::string& target,
+                 const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
+                 const engine::MockLlm& llm, std::int32_t batch,
+                 std::int32_t max_tokens) {
+  DecoderFactory factory(config.kind, info);
+  if (schema_task) {
+    factory.PrepareSchema(schema);
+  } else {
+    factory.PrepareGrammar(cfg);
+  }
+  EngineOptions options;
+  options.profile = engine::ModelProfile::Llama31_8B_H100();
+  options.schedule = config.schedule;
+  options.max_new_tokens = max_tokens;
+  engine::ServingEngine eng(options, llm);
+  std::vector<EngineRequest> requests(static_cast<std::size_t>(batch));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].decoder = factory.NewDecoder();
+    requests[i].target_text = target;
+    requests[i].seed = i + 1;
+  }
+  return eng.RunBatch(requests).TpotMs();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Figure 10: end-to-end TPOT (ms/token) vs batch size, Llama-3.1-8B\n"
+      "paper JSON-Schema: llama.cpp 187/790/1432; vLLM+Outlines 11/93/164;\n"
+      "                   SGLang+XGrammar 7/10/12; XGrammar engine 6/9/12\n"
+      "paper CFG-JSON:    llama.cpp 185/736/1252; vLLM+Outlines 137/2311/x;\n"
+      "                   SGLang+XGrammar 7/10/13; XGrammar engine 6/9/12");
+  auto info = GetTokenizer();
+  engine::MockLlm llm(info, {.derail_probability = 0.05, .seed = 3});
+  std::int32_t max_tokens = std::min<std::int32_t>(MaxSteps(), 16);
+  const std::vector<std::int32_t> batches{1, 16, 32};
+
+  auto schema_tasks = datasets::GenerateSchemaTasks(1, 41);
+  grammar::Grammar json_cfg = grammar::BuiltinJsonGrammar();
+  std::string cfg_target = datasets::GenerateJsonDocuments(1, 99, 3)[0];
+
+  for (bool schema_task : {true, false}) {
+    std::printf("\n--- %s ---\n",
+                schema_task ? "JSON Schema" : "Context-free Grammar (JSON)");
+    std::vector<EngineConfig> configs;
+    configs.push_back({"llama.cpp", EngineKind::kLlamaCpp, GrammarSchedule::kSerial, 32});
+    configs.push_back({"vLLM (w/ Outlines)",
+                       schema_task ? EngineKind::kOutlines : EngineKind::kOutlinesCfg,
+                       GrammarSchedule::kSerial, schema_task ? 32 : 16});
+    configs.push_back(
+        {"SGLang (w/ XGrammar)", EngineKind::kXGrammar, GrammarSchedule::kOverlap, 32});
+    configs.push_back(
+        {"XGrammar Engine", EngineKind::kXGrammar, GrammarSchedule::kOverlap, 32});
+
+    PrintRow({"engine", "batch=1", "batch=16", "batch=32"}, 24);
+    PrintRow({"(no grammar)", "", "", ""}, 24);
+    {
+      std::vector<std::string> row{"  unconstrained"};
+      for (std::int32_t batch : batches) {
+        EngineOptions options;
+        options.profile = engine::ModelProfile::Llama31_8B_H100();
+        options.schedule = GrammarSchedule::kNone;
+        options.max_new_tokens = max_tokens;
+        engine::ServingEngine eng(options, llm);
+        std::vector<EngineRequest> requests(static_cast<std::size_t>(batch));
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          requests[i].target_text =
+              schema_task ? schema_tasks[0].canonical_answer.Dump() : cfg_target;
+          requests[i].seed = i + 1;
+        }
+        row.push_back(Fmt(eng.RunBatch(requests).TpotMs(), 1));
+      }
+      PrintRow(row, 24);
+    }
+    for (const EngineConfig& config : configs) {
+      std::vector<std::string> row{config.label};
+      for (std::int32_t batch : batches) {
+        if (batch > config.max_batch) {
+          row.push_back("timeout");  // mirrors the paper's missing bar
+          continue;
+        }
+        double tpot = RunConfig(
+            config, schema_task, schema_tasks[0].schema, json_cfg,
+            schema_task ? schema_tasks[0].canonical_answer.Dump() : cfg_target,
+            info, llm, batch, max_tokens);
+        row.push_back(Fmt(tpot, 1));
+      }
+      PrintRow(row, 24);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Google-benchmark microbenchmarks for the engine's hot primitives:
+// persistent-stack interning and closure, byte stepping, mask generation
+// (cached vs brute force), Algorithm-1 mask merging, and bitset operations.
+#include <benchmark/benchmark.h>
+
+#include "baselines/xgrammar_decoder.h"
+#include "cache/mask_generator.h"
+#include "datasets/workloads.h"
+#include "grammar/grammar.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "support/dynamic_bitset.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/token_trie.h"
+
+namespace {
+
+using namespace xgr;  // NOLINT
+
+std::shared_ptr<const tokenizer::TokenizerInfo> BenchTokenizer() {
+  static auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({.size = 16000, .seed = 2024}));
+  return info;
+}
+
+std::shared_ptr<const pda::CompiledGrammar> BenchPda() {
+  static auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  return pda;
+}
+
+std::shared_ptr<const cache::AdaptiveTokenMaskCache> BenchCache() {
+  static auto cache = cache::AdaptiveTokenMaskCache::Build(BenchPda(), BenchTokenizer());
+  return cache;
+}
+
+const std::string& BenchDocument() {
+  static std::string doc = datasets::GenerateJsonDocuments(1, 5, 3)[0];
+  return doc;
+}
+
+void BM_PersistentStackIntern(benchmark::State& state) {
+  matcher::PersistentStackPool pool;
+  std::int32_t parent = matcher::PersistentStackPool::kNoParent;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    std::int32_t id = pool.Intern(parent, static_cast<std::int32_t>(i % 64));
+    benchmark::DoNotOptimize(id);
+    if (++i % 64 == 0) parent = matcher::PersistentStackPool::kNoParent;
+    if (i % 8 == 0) parent = id;
+  }
+}
+BENCHMARK(BM_PersistentStackIntern);
+
+void BM_MatcherAcceptByte(benchmark::State& state) {
+  auto pda = BenchPda();
+  const std::string& doc = BenchDocument();
+  for (auto _ : state) {
+    matcher::GrammarMatcher matcher(pda);
+    for (char c : doc) {
+      bool ok = matcher.AcceptByte(static_cast<std::uint8_t>(c));
+      benchmark::DoNotOptimize(ok);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(doc.size()));
+}
+BENCHMARK(BM_MatcherAcceptByte);
+
+void BM_MatcherRollback(benchmark::State& state) {
+  auto pda = BenchPda();
+  const std::string& doc = BenchDocument();
+  matcher::GrammarMatcher matcher(pda);
+  for (char c : doc) matcher.AcceptByte(static_cast<std::uint8_t>(c));
+  std::int32_t depth = matcher.NumConsumedBytes();
+  for (auto _ : state) {
+    matcher.RollbackToDepth(depth - 4);
+    for (std::int32_t i = depth - 4; i < depth; ++i) {
+      matcher.AcceptByte(static_cast<std::uint8_t>(doc[static_cast<std::size_t>(i)]));
+    }
+  }
+}
+BENCHMARK(BM_MatcherRollback);
+
+void BM_MatcherFork(benchmark::State& state) {
+  // §3.3 branch cost: forking mid-document vs. rebuilding a matcher and
+  // replaying the prefix (BM_MatcherForkVsReplay). The gap is what makes
+  // per-branch grammar state viable for tree decoding.
+  auto pda = BenchPda();
+  const std::string& doc = BenchDocument();
+  matcher::GrammarMatcher matcher(pda);
+  for (std::size_t i = 0; i < doc.size() / 2; ++i) {
+    matcher.AcceptByte(static_cast<std::uint8_t>(doc[i]));
+  }
+  for (auto _ : state) {
+    matcher::GrammarMatcher fork = matcher.Fork();
+    benchmark::DoNotOptimize(fork.NumConsumedBytes());
+  }
+}
+BENCHMARK(BM_MatcherFork);
+
+void BM_MatcherForkVsReplay(benchmark::State& state) {
+  auto pda = BenchPda();
+  const std::string& doc = BenchDocument();
+  for (auto _ : state) {
+    matcher::GrammarMatcher fresh(pda);
+    for (std::size_t i = 0; i < doc.size() / 2; ++i) {
+      fresh.AcceptByte(static_cast<std::uint8_t>(doc[i]));
+    }
+    benchmark::DoNotOptimize(fresh.NumConsumedBytes());
+  }
+}
+BENCHMARK(BM_MatcherForkVsReplay);
+
+void BM_JumpForwardProbe(benchmark::State& state) {
+  // Appendix B: the forced-continuation probe runs every decode step when
+  // jump-forward decoding is enabled.
+  auto pda = BenchPda();
+  matcher::GrammarMatcher matcher(pda);
+  matcher.AcceptString("{\"key\":");
+  for (auto _ : state) {
+    std::string forced = matcher.FindJumpForwardString();
+    benchmark::DoNotOptimize(forced);
+  }
+}
+BENCHMARK(BM_JumpForwardProbe);
+
+void BM_CachedMaskGeneration(benchmark::State& state) {
+  auto info = BenchTokenizer();
+  baselines::XGrammarDecoder decoder(BenchCache());
+  // Park the matcher mid-document (inside an object, after a key).
+  decoder.Matcher().AcceptString("{\"key\":");
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  for (auto _ : state) {
+    decoder.FillNextTokenBitmask(&mask);
+    benchmark::DoNotOptimize(mask);
+  }
+}
+BENCHMARK(BM_CachedMaskGeneration);
+
+void BM_CachedMaskGenerationInString(benchmark::State& state) {
+  auto info = BenchTokenizer();
+  baselines::XGrammarDecoder decoder(BenchCache());
+  decoder.Matcher().AcceptString("{\"key\":\"par");
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  for (auto _ : state) {
+    decoder.FillNextTokenBitmask(&mask);
+    benchmark::DoNotOptimize(mask);
+  }
+}
+BENCHMARK(BM_CachedMaskGenerationInString);
+
+void BM_BruteForceMaskGeneration(benchmark::State& state) {
+  auto info = BenchTokenizer();
+  auto pda = BenchPda();
+  matcher::GrammarMatcher matcher(pda);
+  matcher.AcceptString("{\"key\":");
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  for (auto _ : state) {
+    cache::FillBitmaskBruteForce(&matcher, *info, &mask);
+    benchmark::DoNotOptimize(mask);
+  }
+}
+BENCHMARK(BM_BruteForceMaskGeneration);
+
+void BM_BitsetIntersect(benchmark::State& state) {
+  DynamicBitset a(128000, true);
+  DynamicBitset b(128000);
+  for (std::size_t i = 0; i < b.Size(); i += 3) b.Set(i);
+  for (auto _ : state) {
+    a |= b;
+    a &= b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_BitsetIntersect);
+
+void BM_GreedyTokenize(benchmark::State& state) {
+  auto info = BenchTokenizer();
+  tokenizer::TokenTrie trie(*info);
+  const std::string& doc = BenchDocument();
+  for (auto _ : state) {
+    auto ids = tokenizer::GreedyTokenize(trie, doc);
+    benchmark::DoNotOptimize(ids);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(doc.size()));
+}
+BENCHMARK(BM_GreedyTokenize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

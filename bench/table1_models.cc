@@ -1,0 +1,67 @@
+// Table 1: end-to-end TPOT (ms) across models on the JSON Schema task,
+// SGLang+Outlines vs SGLang+XGrammar.
+//
+// Paper reference: Llama-3.1-8B 44.2 -> 6.8; DeepSeek-V2-Lite-16B-MOE
+// 15.8 -> 4.8. Expected shape: XGrammar beats Outlines on both models and
+// lands at the model's unconstrained step time. (The absolute Outlines gap
+// is smaller here: our reimplementation of its strategy is compiled C++,
+// while the measured system pays Python-interpreter overhead per step —
+// see EXPERIMENTS.md.)
+#include "baselines/factory.h"
+#include "bench/bench_common.h"
+#include "datasets/workloads.h"
+#include "engine/serving_engine.h"
+
+namespace {
+
+using namespace xgr;             // NOLINT
+using namespace xgr::benchutil;  // NOLINT
+using baselines::DecoderFactory;
+using baselines::EngineKind;
+using engine::EngineOptions;
+using engine::EngineRequest;
+using engine::GrammarSchedule;
+
+double Run(const engine::ModelProfile& profile, EngineKind kind,
+           GrammarSchedule schedule,
+           const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
+           const engine::MockLlm& llm, const datasets::SchemaTask& task,
+           std::int32_t max_tokens) {
+  DecoderFactory factory(kind, info);
+  factory.PrepareSchema(task.schema);
+  EngineOptions options;
+  options.profile = profile;
+  options.schedule = schedule;
+  options.max_new_tokens = max_tokens;
+  engine::ServingEngine eng(options, llm);
+  EngineRequest request;
+  request.decoder = factory.NewDecoder();
+  request.target_text = task.canonical_answer.Dump();
+  return eng.RunBatch({request}).TpotMs();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Table 1: end-to-end TPOT (ms) per model, JSON Schema task\n"
+      "paper: Llama-3.1-8B  SGLang+Outlines 44.2 -> SGLang+XGrammar 6.8\n"
+      "       DeepSeek-V2-Lite 16B MOE      15.8 ->                 4.8");
+  auto info = GetTokenizer();
+  engine::MockLlm llm(info, {.derail_probability = 0.05, .seed = 17});
+  auto tasks = datasets::GenerateSchemaTasks(1, 23);
+  std::int32_t max_tokens = std::min<std::int32_t>(MaxSteps(), 24);
+
+  PrintRow({"model", "SGLang+Outlines", "SGLang+XGrammar"}, 36);
+  for (const engine::ModelProfile& profile :
+       {engine::ModelProfile::Llama31_8B_H100(),
+        engine::ModelProfile::DeepSeekV2Lite_H100()}) {
+    std::vector<std::string> row{profile.name};
+    row.push_back(Fmt(Run(profile, EngineKind::kOutlines, GrammarSchedule::kSerial,
+                          info, llm, tasks[0], max_tokens), 1));
+    row.push_back(Fmt(Run(profile, EngineKind::kXGrammar, GrammarSchedule::kOverlap,
+                          info, llm, tasks[0], max_tokens), 1));
+    PrintRow(row, 36);
+  }
+  return 0;
+}

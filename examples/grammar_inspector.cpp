@@ -1,0 +1,85 @@
+// Developer tool: compile a grammar from any source and inspect the result —
+// automaton and cache statistics, memory, and interactive acceptance checks.
+//
+//   $ ./build/examples/grammar_inspector ebnf   'root ::= "a" | "b" root'
+//   $ ./build/examples/grammar_inspector regex  '-?[0-9]+([.][0-9]+)?'
+//   $ ./build/examples/grammar_inspector schema '{"type":"integer"}'
+//   $ ./build/examples/grammar_inspector json           # builtin grammars
+//   $ ./build/examples/grammar_inspector sql
+//
+// A probe string per input line on stdin is matched against the grammar;
+// "<prefix>..." marks inputs that are a live prefix but not yet complete.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "cache/adaptive_cache.h"
+#include "grammar/grammar.h"
+#include "grammar/json_schema.h"
+#include "grammar/regex_to_grammar.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "support/logging.h"
+#include "tokenizer/synthetic_vocab.h"
+
+namespace {
+
+xgr::grammar::Grammar FromArgs(int argc, char** argv) {
+  using namespace xgr::grammar;  // NOLINT
+  const std::string kind = argc > 1 ? argv[1] : "json";
+  if (kind == "json") return BuiltinJsonGrammar();
+  if (kind == "xml") return BuiltinXmlGrammar();
+  if (kind == "python") return BuiltinPythonDslGrammar();
+  if (kind == "sql") return BuiltinSqlGrammar();
+  XGR_CHECK(argc > 2) << "usage: grammar_inspector <ebnf|regex|schema|json|"
+                         "xml|python|sql> [source]";
+  const std::string source = argv[2];
+  if (kind == "ebnf") return ParseEbnfOrThrow(source);
+  if (kind == "regex") return RegexToGrammar(source);
+  if (kind == "schema") return JsonSchemaTextToGrammar(source);
+  XGR_CHECK(false) << "unknown grammar kind '" << kind << "'";
+  XGR_UNREACHABLE();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xgr;  // NOLINT
+  try {
+    grammar::Grammar g = FromArgs(argc, argv);
+    std::printf("=== grammar (normalized) ===\n%s\n", g.ToString().c_str());
+
+    auto pda = pda::CompiledGrammar::Compile(g);
+    std::printf("=== compiled automaton ===\n%s\n", pda->StatsString().c_str());
+
+    auto info = std::make_shared<tokenizer::TokenizerInfo>(
+        tokenizer::BuildSyntheticVocab({.size = 16000, .seed = 3}));
+    auto cache = cache::AdaptiveTokenMaskCache::Build(pda, info);
+    std::printf("=== token mask cache (vocab %d) ===\n%s\n", info->VocabSize(),
+                cache->StatsString().c_str());
+
+    if (isatty(0) == 0 || argc > 3) {
+      // Probe strings from stdin (non-interactive when piped).
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        matcher::GrammarMatcher m(pda);
+        bool prefix_ok = m.AcceptString(line);
+        bool complete = prefix_ok && m.CanTerminate();
+        std::string forced = prefix_ok ? m.FindJumpForwardString() : "";
+        std::printf("%-40s %s%s\n", line.c_str(),
+                    complete  ? "match"
+                    : prefix_ok ? "prefix..."
+                                : "no match",
+                    forced.empty() ? "" : ("  (forced next: '" + forced + "')").c_str());
+      }
+    }
+    return 0;
+  } catch (const CheckError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,73 @@
+// Quickstart: compile a grammar, build the token mask cache, and constrain a
+// generation step by step.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks through the full public API surface:
+//   1. parse an EBNF grammar (or convert a JSON Schema),
+//   2. compile it to a byte-level pushdown automaton,
+//   3. build the adaptive token mask cache for a tokenizer,
+//   4. run a GrammarMatcher + MaskGenerator loop: inspect masks, feed tokens,
+//      roll back, and probe jump-forward strings.
+#include <cstdio>
+
+#include "cache/mask_generator.h"
+#include "grammar/grammar.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "support/string_utils.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/token_trie.h"
+
+int main() {
+  using namespace xgr;  // NOLINT
+
+  // 1. A grammar: a tiny command language.
+  grammar::Grammar g = grammar::ParseEbnfOrThrow(R"EBNF(
+    root ::= command (" " command)*
+    command ::= "move(" direction "," steps ")" | "turn(" direction ")" | "stop()"
+    direction ::= "north" | "south" | "east" | "west"
+    steps ::= [1-9] [0-9]*
+  )EBNF");
+  std::printf("Grammar (%d rules):\n%s\n", g.NumRules(), g.ToString().c_str());
+
+  // 2. Compile: normalization, rule inlining, node merging, context expansion.
+  auto pda = pda::CompiledGrammar::Compile(g);
+  std::printf("Compiled PDA: %s\n\n", pda->StatsString().c_str());
+
+  // 3. A tokenizer (here: a synthetic 16k-entry byte-level BPE-like vocab)
+  //    and the adaptive token mask cache (parallel preprocessing).
+  auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({.size = 16000, .seed = 1}));
+  auto cache = cache::AdaptiveTokenMaskCache::Build(pda, info);
+  std::printf("Mask cache: %s\n\n", cache->StatsString().c_str());
+
+  // 4. Constrained decoding loop.
+  matcher::GrammarMatcher matcher(pda);
+  cache::MaskGenerator generator(cache);
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+
+  tokenizer::TokenTrie trie(*info);
+  const std::string text = "move(north,42) turn(east) stop()";
+  std::printf("Feeding: %s\n", text.c_str());
+  for (std::int32_t token : tokenizer::GreedyTokenize(trie, text)) {
+    generator.FillNextTokenBitmask(&matcher, &mask);
+    bool allowed = mask.Test(static_cast<std::size_t>(token));
+    std::printf("  mask allows %6zu tokens | next token %5d '%s' %s\n",
+                mask.Count(), token, EscapeBytes(info->TokenBytes(token)).c_str(),
+                allowed ? "(allowed)" : "(REJECTED?)");
+    if (!matcher.AcceptString(info->TokenBytes(token))) {
+      std::printf("  token rejected by matcher — stopping\n");
+      return 1;
+    }
+    matcher.PushTokenCheckpoint();
+  }
+  std::printf("Grammar can terminate here: %s\n",
+              matcher.CanTerminate() ? "yes (EOS legal)" : "no");
+
+  // Rollback: undo the last 2 tokens (persistent stack, O(1) restore).
+  matcher.RollbackTokens(2);
+  std::printf("After rolling back 2 tokens, jump-forward probe: \"%s\"\n",
+              EscapeBytes(matcher.FindJumpForwardString()).c_str());
+  return 0;
+}

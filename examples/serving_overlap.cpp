@@ -1,0 +1,64 @@
+// Serving co-design demo (§3.5): the same batch served three ways —
+// unconstrained, grammar-serial, and grammar-overlapped — showing that
+// overlapping mask generation with the (simulated) GPU forward pass makes
+// structured generation effectively free, while serializing it does not.
+//
+//   $ ./build/examples/serving_overlap
+#include <cstdio>
+
+#include "baselines/factory.h"
+#include "datasets/workloads.h"
+#include "engine/serving_engine.h"
+#include "tokenizer/synthetic_vocab.h"
+
+int main() {
+  using namespace xgr;  // NOLINT
+
+  auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({.size = 16000, .seed = 8}));
+  engine::MockLlm llm(info, {.derail_probability = 0.05, .seed = 21});
+  auto tasks = datasets::GenerateSchemaTasks(1, 77);
+  const int batch = 8;
+
+  struct Mode {
+    const char* label;
+    engine::GrammarSchedule schedule;
+    baselines::EngineKind kind;
+  };
+  const Mode modes[] = {
+      {"unconstrained", engine::GrammarSchedule::kNone, baselines::EngineKind::kXGrammar},
+      {"grammar, serial (vLLM-style)", engine::GrammarSchedule::kSerial,
+       baselines::EngineKind::kLlamaCpp},
+      {"grammar, overlapped (XGrammar)", engine::GrammarSchedule::kOverlap,
+       baselines::EngineKind::kXGrammar},
+  };
+
+  std::printf("Serving one batch of %d requests, Llama-3.1-8B (H100) profile\n\n",
+              batch);
+  std::printf("%-34s %10s %12s %10s\n", "mode", "TPOT(ms)", "decode(ms)", "steps");
+  for (const Mode& mode : modes) {
+    engine::EngineOptions options;
+    options.profile = engine::ModelProfile::Llama31_8B_H100();
+    options.schedule = mode.schedule;
+    options.max_new_tokens = 24;
+    engine::ServingEngine eng(options, llm);
+
+    baselines::DecoderFactory factory(mode.kind, info);
+    factory.PrepareSchema(tasks[0].schema);
+    std::vector<engine::EngineRequest> requests(batch);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (mode.schedule != engine::GrammarSchedule::kNone) {
+        requests[i].decoder = factory.NewDecoder();
+      }
+      requests[i].target_text = tasks[0].canonical_answer.Dump();
+      requests[i].seed = i + 1;
+    }
+    auto result = eng.RunBatch(requests);
+    std::printf("%-34s %10.2f %12.1f %10lld\n", mode.label, result.TpotMs(),
+                result.decode_wall_ms, static_cast<long long>(result.decode_steps));
+  }
+  std::printf(
+      "\nThe overlapped engine hides mask generation behind the forward pass\n"
+      "(Figure 8); the serial baseline pays it on the critical path.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Text-to-SQL assistant: constrain generation to the builtin SQL grammar
+// (the paper's introduction names SQL as a core structured-generation
+// target alongside JSON and DSLs).
+//
+//   $ ./build/examples/sql_assistant
+//
+// The mock model is asked to translate a request into SQL. Unconstrained it
+// drifts into prose ("Sure, here is the query you asked for...") that no
+// database will execute; under the SQL grammar every output parses. The
+// example also shows jump-forward decoding filling in forced keywords.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/factory.h"
+#include "engine/serving_engine.h"
+#include "grammar/grammar.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "tokenizer/synthetic_vocab.h"
+
+int main() {
+  using namespace xgr;  // NOLINT
+
+  auto sql_pda = pda::CompiledGrammar::Compile(grammar::BuiltinSqlGrammar());
+  auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({.size = 16000, .seed = 3}));
+
+  auto executes = [&](const std::string& statement) {
+    matcher::GrammarMatcher m(sql_pda);
+    return m.AcceptString(statement) && m.CanTerminate();
+  };
+
+  // The queries the model intends to produce for three user requests.
+  const char* intended[3] = {
+      "SELECT name, email FROM users WHERE active = TRUE ORDER BY name ASC",
+      "SELECT city, COUNT(*) AS n FROM users GROUP BY city HAVING COUNT(*) > 10",
+      "UPDATE orders SET status = 'shipped' WHERE id = 1042",
+  };
+
+  engine::MockLlm llm(info, {.derail_probability = 0.12, .seed = 7});
+  baselines::DecoderFactory factory(baselines::EngineKind::kXGrammar, info);
+  factory.PrepareGrammar(grammar::BuiltinSqlGrammar());
+
+  for (bool constrained : {false, true}) {
+    std::printf("=== %s ===\n",
+                constrained ? "with XGrammar (SQL grammar)" : "unconstrained");
+    int executable = 0;
+    for (int i = 0; i < 3; ++i) {
+      engine::EngineOptions options;
+      options.schedule = constrained ? engine::GrammarSchedule::kOverlap
+                                     : engine::GrammarSchedule::kNone;
+      options.time_scale = 0.0;
+      options.max_new_tokens = 96;
+      engine::ServingEngine eng(options, llm);
+      engine::EngineRequest request;
+      if (constrained) request.decoder = factory.NewDecoder();
+      request.target_text = intended[i];
+      request.seed = static_cast<std::uint64_t>(i) * 977 + 13;
+      auto result = eng.RunBatch({request});
+      const std::string& out = result.requests[0].output_text;
+      bool ok = executes(out);
+      executable += ok ? 1 : 0;
+      std::printf("  query %d: %-64s -> %s\n", i, out.substr(0, 64).c_str(),
+                  ok ? "executes" : "SYNTAX ERROR");
+    }
+    std::printf("  executable: %d/3\n\n", executable);
+  }
+
+  // Jump-forward: after forced prefixes the grammar dictates whole keywords;
+  // the engine can append them without spending decode steps (Appendix B).
+  std::printf("=== jump-forward probes ===\n");
+  for (const char* prefix : {"DELETE ", "INSERT ", "SELECT * FROM t ORDER "}) {
+    matcher::GrammarMatcher m(sql_pda);
+    if (!m.AcceptString(prefix)) continue;
+    std::printf("  after %-24s -> forced continuation %s\n",
+                ("'" + std::string(prefix) + "'").c_str(),
+                ("'" + m.FindJumpForwardString() + "'").c_str());
+  }
+  return 0;
+}

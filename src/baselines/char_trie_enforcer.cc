@@ -1,0 +1,53 @@
+#include "baselines/char_trie_enforcer.h"
+
+#include "regex/regex.h"
+#include "support/timer.h"
+
+namespace xgr::baselines {
+
+CharTrieDecoder::CharTrieDecoder(
+    const std::string& regex,
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer)
+    : tokenizer_(std::move(tokenizer)),
+      trie_(std::make_shared<tokenizer::TokenTrie>(*tokenizer_)) {
+  Timer timer;
+  dfa_ = regex::CompileRegexToDfa(regex);
+  state_ = dfa_.Start();
+  preprocess_seconds_ = timer.ElapsedSeconds();
+}
+
+void CharTrieDecoder::WalkTrie(std::int32_t trie_node, std::int32_t dfa_state,
+                               DynamicBitset* mask) {
+  const tokenizer::TokenTrie::Node& node = trie_->GetNode(trie_node);
+  for (std::int32_t token_id : node.token_ids) {
+    mask->Set(static_cast<std::size_t>(token_id));
+  }
+  for (const auto& [byte, child] : node.children) {
+    std::int32_t next = dfa_.Next(dfa_state, byte);
+    if (next == fsa::Dfa::kDead || !dfa_.CanReachAccept(next)) continue;
+    WalkTrie(child, next, mask);
+  }
+}
+
+void CharTrieDecoder::FillNextTokenBitmask(DynamicBitset* mask) {
+  mask->ResetAll();
+  WalkTrie(trie_->Root(), state_, mask);
+  if (CanTerminate() && tokenizer_->EosId() >= 0) {
+    mask->Set(static_cast<std::size_t>(tokenizer_->EosId()));
+  }
+}
+
+bool CharTrieDecoder::AcceptToken(std::int32_t token_id) {
+  if (token_id == tokenizer_->EosId()) return CanTerminate();
+  if (tokenizer_->IsSpecial(token_id)) return false;
+  std::int32_t state = state_;
+  for (char c : tokenizer_->TokenBytes(token_id)) {
+    state = dfa_.Next(state, static_cast<std::uint8_t>(c));
+    if (state == fsa::Dfa::kDead) return false;
+  }
+  if (!dfa_.CanReachAccept(state)) return false;
+  state_ = state;
+  return true;
+}
+
+}  // namespace xgr::baselines

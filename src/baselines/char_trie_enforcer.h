@@ -1,0 +1,42 @@
+// lm-format-enforcer baseline strategy (Gat 2024), regex-only.
+//
+// No token-level precomputation at all: at every decoding step the vocabulary
+// trie is walked character-by-character against the regex DFA from the
+// current state, collecting the allowed tokens. This gives zero preprocessing
+// cost but the full trie-walk cost on every step — the slowest-per-token
+// regex engine in Figure 9, and (per the paper) no CFG support.
+#pragma once
+
+#include <memory>
+
+#include "baselines/constrained_decoder.h"
+#include "fsa/dfa.h"
+#include "tokenizer/token_trie.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::baselines {
+
+class CharTrieDecoder : public ConstrainedDecoder {
+ public:
+  CharTrieDecoder(const std::string& regex,
+                  std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer);
+
+  const std::string& Name() const override { return name_; }
+  void FillNextTokenBitmask(DynamicBitset* mask) override;
+  bool AcceptToken(std::int32_t token_id) override;
+  bool CanTerminate() override { return dfa_.IsAccepting(state_); }
+  void Reset() override { state_ = dfa_.Start(); }
+  double PreprocessSeconds() const override { return preprocess_seconds_; }
+
+ private:
+  void WalkTrie(std::int32_t trie_node, std::int32_t dfa_state, DynamicBitset* mask);
+
+  std::string name_ = "lm-format-enforcer";
+  fsa::Dfa dfa_;
+  std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer_;
+  std::shared_ptr<const tokenizer::TokenTrie> trie_;
+  std::int32_t state_ = 0;
+  double preprocess_seconds_ = 0.0;
+};
+
+}  // namespace xgr::baselines

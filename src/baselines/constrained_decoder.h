@@ -1,0 +1,53 @@
+// Common interface over constrained-decoding engines.
+//
+// The serving engine and the benchmark harnesses drive every engine —
+// XGrammar and the three baseline strategies of Figure 9 — through this
+// interface, so end-to-end comparisons (Figure 10, Table 1) exercise
+// identical code paths apart from the grammar backend.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "support/dynamic_bitset.h"
+
+namespace xgr::baselines {
+
+class ConstrainedDecoder {
+ public:
+  virtual ~ConstrainedDecoder() = default;
+
+  virtual const std::string& Name() const = 0;
+
+  // Computes the allowed-token bitmask for the current state (bit = 1 means
+  // the token may be sampled). `mask` must be sized to the vocabulary.
+  virtual void FillNextTokenBitmask(DynamicBitset* mask) = 0;
+
+  // Advances the state by one sampled token. Returns false (state unchanged)
+  // if the token is not a legal continuation.
+  virtual bool AcceptToken(std::int32_t token_id) = 0;
+
+  // True when EOS is currently legal (the structure is complete).
+  virtual bool CanTerminate() = 0;
+
+  // Restores the state to the beginning of the generation.
+  virtual void Reset() = 0;
+
+  // Rolls back the last `count` accepted tokens. Optional; engines without
+  // rollback (all baselines) return false.
+  virtual bool RollbackTokens(std::int32_t count) {
+    (void)count;
+    return false;
+  }
+
+  // Longest forced continuation from the current state ("" when unsupported
+  // or not unique). Used by jump-forward decoding.
+  virtual std::string FindJumpForwardString() { return ""; }
+
+  // One-time preprocessing cost already paid by this decoder (grammar
+  // compilation, mask cache, DFA token indexing, ...), for TTFT accounting.
+  virtual double PreprocessSeconds() const { return 0.0; }
+};
+
+}  // namespace xgr::baselines

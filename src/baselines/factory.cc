@@ -1,0 +1,96 @@
+#include "baselines/factory.h"
+
+#include "baselines/char_trie_enforcer.h"
+#include "baselines/lexer_parser.h"
+#include "baselines/pda_baseline.h"
+#include "baselines/regex_fsm.h"
+#include "baselines/schema_to_regex.h"
+#include "baselines/xgrammar_decoder.h"
+#include "grammar/json_schema.h"
+#include "support/logging.h"
+#include "support/timer.h"
+
+namespace xgr::baselines {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kXGrammar: return "XGrammar";
+    case EngineKind::kOutlines: return "Outlines";
+    case EngineKind::kOutlinesCfg: return "Outlines-CFG";
+    case EngineKind::kLlamaCpp: return "llama.cpp-grammar";
+    case EngineKind::kLmFormatEnforcer: return "lm-format-enforcer";
+  }
+  XGR_UNREACHABLE();
+}
+
+DecoderFactory::DecoderFactory(
+    EngineKind kind, std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer)
+    : kind_(kind), tokenizer_(std::move(tokenizer)) {}
+
+void DecoderFactory::PrepareSchema(const json::Value& schema) {
+  Timer timer;
+  switch (kind_) {
+    case EngineKind::kXGrammar:
+    case EngineKind::kLlamaCpp:
+    case EngineKind::kOutlinesCfg: {
+      grammar::Grammar g = grammar::JsonSchemaToGrammar(schema);
+      PrepareGrammar(g);
+      return;
+    }
+    case EngineKind::kOutlines: {
+      regex_ = JsonSchemaToRegex(schema);
+      regex_index_ = std::make_shared<RegexTokenIndex>(regex_, tokenizer_);
+      break;
+    }
+    case EngineKind::kLmFormatEnforcer: {
+      regex_ = JsonSchemaToRegex(schema);
+      break;
+    }
+  }
+  preprocess_seconds_ = timer.ElapsedSeconds();
+}
+
+void DecoderFactory::PrepareGrammar(const grammar::Grammar& grammar) {
+  Timer timer;
+  switch (kind_) {
+    case EngineKind::kXGrammar:
+      pda_ = pda::CompiledGrammar::Compile(grammar);
+      cache_ = cache::AdaptiveTokenMaskCache::Build(pda_, tokenizer_);
+      break;
+    case EngineKind::kLlamaCpp:
+    case EngineKind::kOutlinesCfg:
+      // Baselines interpret the automaton without XGrammar's §3.4
+      // optimizations (their engines have no equivalent passes).
+      pda_ = pda::CompiledGrammar::Compile(grammar,
+                                           pda::CompileOptions::AllDisabled());
+      break;
+    case EngineKind::kOutlines:
+    case EngineKind::kLmFormatEnforcer:
+      XGR_CHECK(false) << EngineKindName(kind_)
+                       << " cannot execute context-free grammars (regex only)";
+  }
+  preprocess_seconds_ = timer.ElapsedSeconds();
+}
+
+std::shared_ptr<ConstrainedDecoder> DecoderFactory::NewDecoder() {
+  switch (kind_) {
+    case EngineKind::kXGrammar:
+      XGR_CHECK(cache_ != nullptr) << "PrepareSchema/PrepareGrammar first";
+      return std::make_shared<XGrammarDecoder>(cache_, preprocess_seconds_);
+    case EngineKind::kLlamaCpp:
+      XGR_CHECK(pda_ != nullptr) << "PrepareSchema/PrepareGrammar first";
+      return std::make_shared<PdaBaselineDecoder>(pda_, tokenizer_);
+    case EngineKind::kOutlinesCfg:
+      XGR_CHECK(pda_ != nullptr) << "PrepareSchema/PrepareGrammar first";
+      return std::make_shared<LexerParserDecoder>(pda_, tokenizer_);
+    case EngineKind::kOutlines:
+      XGR_CHECK(regex_index_ != nullptr) << "PrepareSchema first";
+      return std::make_shared<RegexFsmDecoder>(regex_index_);
+    case EngineKind::kLmFormatEnforcer:
+      XGR_CHECK(!regex_.empty()) << "PrepareSchema first";
+      return std::make_shared<CharTrieDecoder>(regex_, tokenizer_);
+  }
+  XGR_UNREACHABLE();
+}
+
+}  // namespace xgr::baselines

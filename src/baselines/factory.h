@@ -1,0 +1,63 @@
+// Decoder factory: builds per-request decoders for any engine kind, sharing
+// the heavy per-task artifacts (compiled grammar, mask cache, DFA token
+// index, token trie) across a batch — mirroring how the real serving
+// integrations share compiled grammars between requests.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/constrained_decoder.h"
+#include "cache/adaptive_cache.h"
+#include "grammar/grammar.h"
+#include "json/json.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::baselines {
+
+enum class EngineKind : std::uint8_t {
+  kXGrammar,          // this paper
+  kOutlines,          // regex DFA + token index (JSON Schema only)
+  kOutlinesCfg,       // Outlines' CFG path: per-step vocabulary scan
+  kLlamaCpp,          // PDA + full-vocab trie scan per step
+  kLmFormatEnforcer,  // char-trie walk per step (JSON Schema only)
+};
+
+const char* EngineKindName(EngineKind kind);
+
+class DecoderFactory {
+ public:
+  DecoderFactory(EngineKind kind,
+                 std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer);
+
+  // Prepares the heavy artifacts for a task. Exactly one of these must be
+  // called before NewDecoder(). Schema tasks work with every engine; raw
+  // grammar (CFG) tasks throw for the regex-only engines.
+  void PrepareSchema(const json::Value& schema);
+  void PrepareGrammar(const grammar::Grammar& grammar);
+
+  // Cheap per-request decoder over the shared artifacts.
+  std::shared_ptr<ConstrainedDecoder> NewDecoder();
+
+  // One-time preprocessing wall time paid in Prepare*().
+  double PreprocessSeconds() const { return preprocess_seconds_; }
+
+  EngineKind Kind() const { return kind_; }
+  // The mask cache (XGrammar only; nullptr otherwise) for stats reporting.
+  std::shared_ptr<const cache::AdaptiveTokenMaskCache> MaskCache() const {
+    return cache_;
+  }
+
+ private:
+  EngineKind kind_;
+  std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer_;
+  // XGrammar / llama.cpp / Outlines-CFG artifacts.
+  std::shared_ptr<const pda::CompiledGrammar> pda_;
+  std::shared_ptr<const cache::AdaptiveTokenMaskCache> cache_;
+  // Regex-engine artifacts.
+  std::shared_ptr<class RegexTokenIndex> regex_index_;
+  std::string regex_;
+  double preprocess_seconds_ = 0.0;
+};
+
+}  // namespace xgr::baselines

@@ -1,0 +1,43 @@
+#include "baselines/lexer_parser.h"
+
+namespace xgr::baselines {
+
+LexerParserDecoder::LexerParserDecoder(
+    std::shared_ptr<const pda::CompiledGrammar> pda,
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer)
+    : pda_(std::move(pda)), tokenizer_(std::move(tokenizer)), matcher_(pda_) {}
+
+void LexerParserDecoder::FillNextTokenBitmask(DynamicBitset* mask) {
+  mask->ResetAll();
+  // Outlines' CFG path clones the interactive parser configuration for every
+  // candidate continuation: we charge that by seeding a fresh scratch matcher
+  // (full parser-state copy) per live stack per candidate, instead of the
+  // in-place advance + O(1) rollback the persistent stack would allow.
+  const std::vector<std::int32_t>& stacks = matcher_.CurrentStacks();
+  for (std::int32_t id = 0; id < tokenizer_->VocabSize(); ++id) {
+    if (tokenizer_->IsSpecial(id)) continue;
+    const std::string& bytes = tokenizer_->TokenBytes(id);
+    bool accepted = false;
+    for (std::int32_t stack_id : stacks) {
+      matcher::GrammarMatcher scratch(pda_, matcher_.Pool(), stack_id);
+      if (scratch.AcceptString(bytes)) {
+        accepted = true;
+        break;
+      }
+    }
+    if (accepted) mask->Set(static_cast<std::size_t>(id));
+  }
+  if (matcher_.CanTerminate() && tokenizer_->EosId() >= 0) {
+    mask->Set(static_cast<std::size_t>(tokenizer_->EosId()));
+  }
+}
+
+bool LexerParserDecoder::AcceptToken(std::int32_t token_id) {
+  if (token_id == tokenizer_->EosId()) return matcher_.CanTerminate();
+  if (tokenizer_->IsSpecial(token_id)) return false;
+  return matcher_.AcceptString(tokenizer_->TokenBytes(token_id));
+}
+
+void LexerParserDecoder::Reset() { matcher_ = matcher::GrammarMatcher(pda_); }
+
+}  // namespace xgr::baselines

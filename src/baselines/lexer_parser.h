@@ -1,0 +1,39 @@
+// Outlines-style CFG path: character-level grammar interpretation over the
+// whole vocabulary at every step.
+//
+// For grammars beyond regular expressions, Outlines falls back to a
+// lexer+parser that must re-check candidate continuations character by
+// character each step; there is no token-level cache and no prefix sharing
+// across steps. We reproduce that cost profile: every step saves the parser
+// state, then linearly scans all tokens, feeding each token's bytes through
+// the PDA and rolling back — the CFG columns of Figure 9 where this strategy
+// is orders of magnitude slower than XGrammar.
+#pragma once
+
+#include <memory>
+
+#include "baselines/constrained_decoder.h"
+#include "matcher/grammar_matcher.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::baselines {
+
+class LexerParserDecoder : public ConstrainedDecoder {
+ public:
+  LexerParserDecoder(std::shared_ptr<const pda::CompiledGrammar> pda,
+                     std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer);
+
+  const std::string& Name() const override { return name_; }
+  void FillNextTokenBitmask(DynamicBitset* mask) override;
+  bool AcceptToken(std::int32_t token_id) override;
+  bool CanTerminate() override { return matcher_.CanTerminate(); }
+  void Reset() override;
+
+ private:
+  std::string name_ = "Outlines-CFG";
+  std::shared_ptr<const pda::CompiledGrammar> pda_;
+  std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer_;
+  matcher::GrammarMatcher matcher_;
+};
+
+}  // namespace xgr::baselines

@@ -1,0 +1,36 @@
+#include "baselines/pda_baseline.h"
+
+namespace xgr::baselines {
+
+PdaBaselineDecoder::PdaBaselineDecoder(
+    std::shared_ptr<const pda::CompiledGrammar> pda,
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer)
+    : pda_(std::move(pda)), tokenizer_(std::move(tokenizer)), matcher_(pda_) {}
+
+void PdaBaselineDecoder::FillNextTokenBitmask(DynamicBitset* mask) {
+  mask->ResetAll();
+  std::int32_t entry_depth = matcher_.NumConsumedBytes();
+  // Candidate-by-candidate interpretation, no prefix sharing (the llama.cpp
+  // strategy). AcceptString early-exits at the first invalid byte and rolls
+  // back internally on failure.
+  for (std::int32_t id = 0; id < tokenizer_->VocabSize(); ++id) {
+    if (tokenizer_->IsSpecial(id)) continue;
+    if (matcher_.AcceptString(tokenizer_->TokenBytes(id))) {
+      mask->Set(static_cast<std::size_t>(id));
+      matcher_.RollbackToDepth(entry_depth);
+    }
+  }
+  if (matcher_.CanTerminate() && tokenizer_->EosId() >= 0) {
+    mask->Set(static_cast<std::size_t>(tokenizer_->EosId()));
+  }
+}
+
+bool PdaBaselineDecoder::AcceptToken(std::int32_t token_id) {
+  if (token_id == tokenizer_->EosId()) return matcher_.CanTerminate();
+  if (tokenizer_->IsSpecial(token_id)) return false;
+  return matcher_.AcceptString(tokenizer_->TokenBytes(token_id));
+}
+
+void PdaBaselineDecoder::Reset() { matcher_ = matcher::GrammarMatcher(pda_); }
+
+}  // namespace xgr::baselines

@@ -1,0 +1,37 @@
+// llama.cpp-grammar baseline strategy (Gerganov 2023).
+//
+// Keeps PDA stacks for the partial output, but builds every token mask by
+// checking the whole vocabulary against the automaton at runtime — every
+// candidate token's bytes are interpreted individually (llama.cpp's
+// llama_grammar_reject_candidates has no prefix sharing across candidates),
+// with early exit on the first invalid byte. Cost per step is O(vocabulary
+// bytes), the overhead Figure 9/10 and Table 3 quantify.
+#pragma once
+
+#include <memory>
+
+#include "baselines/constrained_decoder.h"
+#include "matcher/grammar_matcher.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::baselines {
+
+class PdaBaselineDecoder : public ConstrainedDecoder {
+ public:
+  PdaBaselineDecoder(std::shared_ptr<const pda::CompiledGrammar> pda,
+                     std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer);
+
+  const std::string& Name() const override { return name_; }
+  void FillNextTokenBitmask(DynamicBitset* mask) override;
+  bool AcceptToken(std::int32_t token_id) override;
+  bool CanTerminate() override { return matcher_.CanTerminate(); }
+  void Reset() override;
+
+ private:
+  std::string name_ = "llama.cpp-grammar";
+  std::shared_ptr<const pda::CompiledGrammar> pda_;
+  std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer_;
+  matcher::GrammarMatcher matcher_;
+};
+
+}  // namespace xgr::baselines

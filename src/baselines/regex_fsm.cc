@@ -1,0 +1,121 @@
+#include "baselines/regex_fsm.h"
+
+#include <algorithm>
+
+#include "regex/regex.h"
+#include "support/logging.h"
+#include "support/timer.h"
+
+namespace xgr::baselines {
+
+RegexTokenIndex::RegexTokenIndex(
+    const std::string& regex,
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+    bool precompute_all_states)
+    : tokenizer_(std::move(tokenizer)),
+      trie_(std::make_shared<tokenizer::TokenTrie>(*tokenizer_)) {
+  Timer timer;
+  dfa_ = regex::CompileRegexToDfa(regex);
+  if (precompute_all_states) {
+    for (std::int32_t s = 0; s < dfa_.NumStates(); ++s) IndexState(s);
+  } else {
+    IndexState(dfa_.Start());
+  }
+  preprocess_seconds_ = timer.ElapsedSeconds();
+}
+
+void RegexTokenIndex::WalkTrie(std::int32_t trie_node, std::int32_t dfa_state,
+                               StateEntry* entry) {
+  const tokenizer::TokenTrie::Node& node = trie_->GetNode(trie_node);
+  for (std::int32_t token_id : node.token_ids) {
+    entry->allowed_tokens.push_back(token_id);
+    entry->token_end_states.push_back(dfa_state);
+  }
+  for (const auto& [byte, child] : node.children) {
+    std::int32_t next = dfa_.Next(dfa_state, byte);
+    // Prune token paths that land in states from which no match can complete.
+    if (next == fsa::Dfa::kDead || !dfa_.CanReachAccept(next)) continue;
+    WalkTrie(child, next, entry);
+  }
+}
+
+const RegexTokenIndex::StateEntry& RegexTokenIndex::IndexState(
+    std::int32_t dfa_state) {
+  auto it = state_index_.find(dfa_state);
+  if (it != state_index_.end()) return it->second;
+  StateEntry entry;
+  WalkTrie(trie_->Root(), dfa_state, &entry);
+  // Sort token lists by id for mask application and binary search.
+  std::vector<std::size_t> order(entry.allowed_tokens.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return entry.allowed_tokens[a] < entry.allowed_tokens[b];
+  });
+  StateEntry sorted;
+  sorted.allowed_tokens.reserve(order.size());
+  sorted.token_end_states.reserve(order.size());
+  for (std::size_t i : order) {
+    sorted.allowed_tokens.push_back(entry.allowed_tokens[i]);
+    sorted.token_end_states.push_back(entry.token_end_states[i]);
+  }
+  return state_index_.emplace(dfa_state, std::move(sorted)).first->second;
+}
+
+RegexFsmDecoder::RegexFsmDecoder(
+    const std::string& regex,
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+    bool precompute_all_states)
+    : RegexFsmDecoder(std::make_shared<RegexTokenIndex>(regex, std::move(tokenizer),
+                                                        precompute_all_states)) {}
+
+RegexFsmDecoder::RegexFsmDecoder(std::shared_ptr<RegexTokenIndex> index)
+    : index_(std::move(index)), state_(index_->Dfa().Start()) {}
+
+void RegexFsmDecoder::FillNextTokenBitmask(DynamicBitset* mask) {
+  mask->ResetAll();
+  const RegexTokenIndex::StateEntry& entry = index_->IndexState(state_);
+  for (std::int32_t token_id : entry.allowed_tokens) {
+    mask->Set(static_cast<std::size_t>(token_id));
+  }
+  if (CanTerminate() && index_->Tokenizer().EosId() >= 0) {
+    mask->Set(static_cast<std::size_t>(index_->Tokenizer().EosId()));
+  }
+}
+
+bool RegexFsmDecoder::AcceptToken(std::int32_t token_id) {
+  if (token_id == index_->Tokenizer().EosId()) return CanTerminate();
+  if (index_->Tokenizer().IsSpecial(token_id)) return false;
+  const RegexTokenIndex::StateEntry& entry = index_->IndexState(state_);
+  auto it = std::lower_bound(entry.allowed_tokens.begin(),
+                             entry.allowed_tokens.end(), token_id);
+  if (it == entry.allowed_tokens.end() || *it != token_id) return false;
+  state_ = entry.token_end_states[static_cast<std::size_t>(
+      it - entry.allowed_tokens.begin())];
+  return true;
+}
+
+bool RegexFsmDecoder::CanTerminate() { return index_->Dfa().IsAccepting(state_); }
+
+std::string RegexFsmDecoder::FindJumpForwardString() {
+  std::string result;
+  const fsa::Dfa& dfa = index_->Dfa();
+  std::int32_t state = state_;
+  while (result.size() < 256) {
+    if (dfa.IsAccepting(state)) break;  // termination is an alternative
+    int unique_byte = -1;
+    int live = 0;
+    for (int b = 0; b < 256 && live <= 1; ++b) {
+      std::int32_t next = dfa.Next(state, static_cast<std::uint8_t>(b));
+      if (next != fsa::Dfa::kDead && dfa.CanReachAccept(next)) {
+        ++live;
+        unique_byte = b;
+      }
+    }
+    if (live != 1) break;
+    result.push_back(static_cast<char>(unique_byte));
+    state = dfa.Next(state, static_cast<std::uint8_t>(unique_byte));
+  }
+  return result;
+}
+
+}  // namespace xgr::baselines

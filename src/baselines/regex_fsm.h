@@ -1,0 +1,81 @@
+// Outlines baseline strategy (Willard & Louf 2023) for regex-expressible
+// tasks (JSON Schema).
+//
+// The schema is converted to one large regex, compiled to a byte DFA, and a
+// token-indexed transition table is computed per DFA state: the list of
+// allowed tokens and their end states. Runtime mask generation is then a
+// table lookup. The table is built by walking the vocabulary trie against
+// the DFA; states are indexed lazily and memoized, which is the expensive
+// preprocessing Figure 10 attributes to this strategy (vLLM+Outlines TTFT).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/constrained_decoder.h"
+#include "fsa/dfa.h"
+#include "tokenizer/token_trie.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::baselines {
+
+// The heavy shared artifact: regex DFA + token-indexed transitions. Shared
+// across all requests of a batch (as vLLM+Outlines shares its FSM index).
+// Lazy state indexing is NOT thread-safe; the Outlines engine configuration
+// computes masks serially, matching the real system.
+class RegexTokenIndex {
+ public:
+  RegexTokenIndex(const std::string& regex,
+                  std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+                  bool precompute_all_states = false);
+
+  struct StateEntry {
+    std::vector<std::int32_t> allowed_tokens;    // sorted by id
+    std::vector<std::int32_t> token_end_states;  // parallel to allowed
+  };
+  const StateEntry& IndexState(std::int32_t dfa_state);
+
+  const fsa::Dfa& Dfa() const { return dfa_; }
+  const tokenizer::TokenizerInfo& Tokenizer() const { return *tokenizer_; }
+  double PreprocessSeconds() const { return preprocess_seconds_; }
+  std::int32_t NumIndexedStates() const {
+    return static_cast<std::int32_t>(state_index_.size());
+  }
+
+ private:
+  void WalkTrie(std::int32_t trie_node, std::int32_t dfa_state, StateEntry* entry);
+
+  fsa::Dfa dfa_;
+  std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer_;
+  std::shared_ptr<const tokenizer::TokenTrie> trie_;
+  std::unordered_map<std::int32_t, StateEntry> state_index_;
+  double preprocess_seconds_ = 0.0;
+};
+
+class RegexFsmDecoder : public ConstrainedDecoder {
+ public:
+  // Convenience: builds a private index from the pattern.
+  RegexFsmDecoder(const std::string& regex,
+                  std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+                  bool precompute_all_states = false);
+  // Production shape: share one index across the batch.
+  explicit RegexFsmDecoder(std::shared_ptr<RegexTokenIndex> index);
+
+  const std::string& Name() const override { return name_; }
+  void FillNextTokenBitmask(DynamicBitset* mask) override;
+  bool AcceptToken(std::int32_t token_id) override;
+  bool CanTerminate() override;
+  void Reset() override { state_ = index_->Dfa().Start(); }
+  // Unique forced continuation via the DFA (SGLang implements jump-forward
+  // for Outlines the same way, Yin et al. 2024).
+  std::string FindJumpForwardString() override;
+  double PreprocessSeconds() const override { return index_->PreprocessSeconds(); }
+
+ private:
+  std::string name_ = "Outlines";
+  std::shared_ptr<RegexTokenIndex> index_;
+  std::int32_t state_ = 0;
+};
+
+}  // namespace xgr::baselines

@@ -1,0 +1,187 @@
+#include "baselines/schema_to_regex.h"
+
+#include "support/logging.h"
+
+namespace xgr::baselines {
+
+namespace {
+
+const char* kStringRegex = R"("(?:[^"\\\x00-\x1F]|\\["\\/bfnrt]|\\u[0-9a-fA-F]{4})*")";
+const char* kIntegerRegex = R"(-?(?:0|[1-9][0-9]*))";
+const char* kNumberRegex = R"(-?(?:0|[1-9][0-9]*)(?:\.[0-9]+)?(?:[eE][-+]?[0-9]+)?)";
+
+class RegexConverter {
+ public:
+  explicit RegexConverter(const json::Value& root) : root_(root) {}
+
+  std::string Convert(const json::Value& schema, int ref_depth) {
+    if (schema.IsBool()) {
+      XGR_CHECK(schema.AsBool()) << "schema 'false' matches nothing";
+      return ScalarFallback();
+    }
+    XGR_CHECK(schema.IsObject()) << "schema must be object or boolean";
+    if (const json::Value* ref = schema.Find("$ref")) {
+      XGR_CHECK(ref_depth < 8)
+          << "recursive $ref is not expressible as a regular expression";
+      return Convert(Resolve(ref->AsString()), ref_depth + 1);
+    }
+    if (const json::Value* enumeration = schema.Find("enum")) {
+      std::string out = "(?:";
+      bool first = true;
+      for (const json::Value& v : enumeration->AsArray()) {
+        if (!first) out += "|";
+        first = false;
+        out += EscapeRegexLiteral(v.Dump());
+      }
+      return out + ")";
+    }
+    if (const json::Value* constant = schema.Find("const")) {
+      return EscapeRegexLiteral(constant->Dump());
+    }
+    for (const char* key : {"anyOf", "oneOf"}) {
+      if (const json::Value* list = schema.Find(key)) {
+        std::string out = "(?:";
+        bool first = true;
+        for (const json::Value& sub : list->AsArray()) {
+          if (!first) out += "|";
+          first = false;
+          out += Convert(sub, ref_depth);
+        }
+        return out + ")";
+      }
+    }
+    const json::Value* type = schema.Find("type");
+    if (type == nullptr) return ScalarFallback();
+    const std::string& t = type->AsString();
+    if (t == "string") return kStringRegex;
+    if (t == "integer") return kIntegerRegex;
+    if (t == "number") return kNumberRegex;
+    if (t == "boolean") return "(?:true|false)";
+    if (t == "null") return "null";
+    if (t == "array") return ConvertArray(schema, ref_depth);
+    if (t == "object") return ConvertObject(schema, ref_depth);
+    XGR_CHECK(false) << "unsupported schema type for regex conversion: " << t;
+    XGR_UNREACHABLE();
+  }
+
+ private:
+  const json::Value& Resolve(const std::string& ref) {
+    XGR_CHECK(ref.rfind("#/", 0) == 0) << "only local $ref supported";
+    const json::Value* node = &root_;
+    std::size_t start = 2;
+    while (start <= ref.size()) {
+      std::size_t slash = ref.find('/', start);
+      std::string part = ref.substr(start, slash == std::string::npos
+                                               ? std::string::npos
+                                               : slash - start);
+      const json::Value* next = node->Find(part);
+      XGR_CHECK(next != nullptr) << "$ref path not found: " << ref;
+      node = next;
+      if (slash == std::string::npos) break;
+      start = slash + 1;
+    }
+    return *node;
+  }
+
+  // Untyped values: scalar approximation (regex engines cannot express
+  // arbitrarily nested JSON).
+  std::string ScalarFallback() {
+    return std::string("(?:") + kStringRegex + "|" + kNumberRegex +
+           "|true|false|null)";
+  }
+
+  std::string ConvertArray(const json::Value& schema, int ref_depth) {
+    const json::Value* items = schema.Find("items");
+    std::string item = items != nullptr ? Convert(*items, ref_depth) : ScalarFallback();
+    std::int64_t min_items = 0;
+    std::int64_t max_items = -1;
+    if (const json::Value* v = schema.Find("minItems")) min_items = v->AsInteger();
+    if (const json::Value* v = schema.Find("maxItems")) max_items = v->AsInteger();
+    std::string rest = "(?:," + item + ")";
+    std::string bounds;
+    if (max_items == -1) {
+      bounds = min_items <= 1 ? "*" : "{" + std::to_string(min_items - 1) + ",}";
+    } else {
+      bounds = "{" + std::to_string(std::max<std::int64_t>(0, min_items - 1)) + "," +
+               std::to_string(max_items - 1) + "}";
+    }
+    std::string non_empty = "\\[" + item + rest + bounds + "\\]";
+    if (min_items == 0) return "(?:\\[\\]|" + non_empty + ")";
+    return non_empty;
+  }
+
+  std::string ConvertObject(const json::Value& schema, int ref_depth) {
+    const json::Value* props = schema.Find("properties");
+    const json::Value* required = schema.Find("required");
+    auto is_required = [&](const std::string& key) {
+      if (required == nullptr) return false;
+      for (const json::Value& r : required->AsArray()) {
+        if (r.IsString() && r.AsString() == key) return true;
+      }
+      return false;
+    };
+    struct Prop {
+      std::string literal;  // "key":
+      std::string value;
+      bool required;
+    };
+    std::vector<Prop> properties;
+    if (props != nullptr) {
+      for (const auto& [key, sub] : props->AsObject()) {
+        properties.push_back(Prop{
+            EscapeRegexLiteral(json::Value(key).Dump() + ":"),
+            Convert(sub, ref_depth), is_required(key)});
+      }
+    }
+    if (properties.empty()) return "\\{\\}";
+    // part(i): no member emitted yet; tail(i): members need a leading comma.
+    // Built back-to-front, mirroring the grammar converter.
+    std::size_t n = properties.size();
+    std::vector<std::string> tail(n + 1);
+    std::vector<std::string> part(n + 1);
+    tail[n] = "";
+    part[n] = "";
+    // Note: optional properties duplicate the continuation inside the
+    // alternation, so the regex grows exponentially in the number of optional
+    // members — a real cost of the regex encoding (schemas here keep objects
+    // small). The grammar-based encoding in src/grammar is linear.
+    for (std::size_t i = n; i-- > 0;) {
+      std::string member = properties[i].literal + properties[i].value;
+      if (properties[i].required) {
+        tail[i] = "," + member + tail[i + 1];
+        part[i] = member + tail[i + 1];
+      } else {
+        tail[i] = "(?:," + member + tail[i + 1] + "|" + tail[i + 1] + ")";
+        part[i] = "(?:" + member + tail[i + 1] + "|" + part[i + 1] + ")";
+      }
+    }
+    return "\\{" + part[0] + "\\}";
+  }
+
+  const json::Value& root_;
+};
+
+}  // namespace
+
+std::string EscapeRegexLiteral(const std::string& literal) {
+  std::string out;
+  out.reserve(literal.size());
+  for (char c : literal) {
+    switch (c) {
+      case '\\': case '^': case '$': case '.': case '|': case '?': case '*':
+      case '+': case '(': case ')': case '[': case ']': case '{': case '}':
+        out.push_back('\\');
+        out.push_back(c);
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string JsonSchemaToRegex(const json::Value& schema) {
+  return RegexConverter(schema).Convert(schema, 0);
+}
+
+}  // namespace xgr::baselines

@@ -1,0 +1,22 @@
+// JSON-Schema → regular expression (the Outlines / lm-format-enforcer route).
+//
+// Regex-based engines cannot express recursive structure, so this converter
+// supports the non-recursive schema subset (fixed objects, bounded arrays,
+// enums, scalars). Untyped positions fall back to a scalar-only
+// approximation, and recursion via $ref throws — matching the real
+// limitation the paper calls out for regex-based methods.
+#pragma once
+
+#include <string>
+
+#include "json/json.h"
+
+namespace xgr::baselines {
+
+// Throws xgr::CheckError for schemas outside the regex-expressible subset.
+std::string JsonSchemaToRegex(const json::Value& schema);
+
+// Escapes regex metacharacters in a literal string.
+std::string EscapeRegexLiteral(const std::string& literal);
+
+}  // namespace xgr::baselines

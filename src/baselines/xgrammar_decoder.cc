@@ -1,0 +1,36 @@
+#include "baselines/xgrammar_decoder.h"
+
+namespace xgr::baselines {
+
+XGrammarDecoder::XGrammarDecoder(
+    std::shared_ptr<const cache::AdaptiveTokenMaskCache> cache,
+    double preprocess_seconds)
+    : cache_(std::move(cache)),
+      generator_(cache_),
+      matcher_(cache_->PdaShared()),
+      preprocess_seconds_(preprocess_seconds) {}
+
+void XGrammarDecoder::FillNextTokenBitmask(DynamicBitset* mask) {
+  generator_.FillNextTokenBitmask(&matcher_, mask);
+}
+
+bool XGrammarDecoder::AcceptToken(std::int32_t token_id) {
+  const tokenizer::TokenizerInfo& tokenizer = cache_->Tokenizer();
+  if (token_id == tokenizer.EosId()) return matcher_.CanTerminate();
+  if (tokenizer.IsSpecial(token_id)) return false;
+  if (!matcher_.AcceptString(tokenizer.TokenBytes(token_id))) return false;
+  matcher_.PushTokenCheckpoint();
+  return true;
+}
+
+bool XGrammarDecoder::RollbackTokens(std::int32_t count) {
+  if (count > matcher_.NumTokenCheckpoints()) return false;
+  matcher_.RollbackTokens(count);
+  return true;
+}
+
+void XGrammarDecoder::Reset() {
+  matcher_ = matcher::GrammarMatcher(cache_->PdaShared());
+}
+
+}  // namespace xgr::baselines

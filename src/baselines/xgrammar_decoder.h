@@ -1,0 +1,59 @@
+// The paper's system behind the ConstrainedDecoder interface: compiled PDA +
+// adaptive token mask cache + persistent-stack matcher.
+#pragma once
+
+#include <memory>
+
+#include "baselines/constrained_decoder.h"
+#include "cache/mask_generator.h"
+#include "matcher/grammar_matcher.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::baselines {
+
+class XGrammarDecoder : public ConstrainedDecoder {
+ public:
+  // `cache` carries the compiled grammar and tokenizer. `preprocess_seconds`
+  // lets callers account the one-time build cost for TTFT experiments.
+  explicit XGrammarDecoder(std::shared_ptr<const cache::AdaptiveTokenMaskCache> cache,
+                           double preprocess_seconds = 0.0);
+
+  const std::string& Name() const override { return name_; }
+  void FillNextTokenBitmask(DynamicBitset* mask) override;
+  bool AcceptToken(std::int32_t token_id) override;
+  bool CanTerminate() override { return matcher_.CanTerminate(); }
+  void Reset() override;
+  bool RollbackTokens(std::int32_t count) override;
+  std::string FindJumpForwardString() override {
+    return matcher_.FindJumpForwardString();
+  }
+  double PreprocessSeconds() const override { return preprocess_seconds_; }
+
+  matcher::GrammarMatcher& Matcher() { return matcher_; }
+  const cache::MaskGenerator& Generator() const { return generator_; }
+
+  // Cheap per-branch decoder (§3.3 tree decoding): the fork continues from
+  // this decoder's current position, sharing the persistent stack pool.
+  // Token rollback inside the fork is bounded by the fork point. Same-thread
+  // use only (see GrammarMatcher::Fork).
+  std::shared_ptr<XGrammarDecoder> Fork() const {
+    return std::shared_ptr<XGrammarDecoder>(
+        new XGrammarDecoder(cache_, matcher_.Fork(), preprocess_seconds_));
+  }
+
+ private:
+  XGrammarDecoder(std::shared_ptr<const cache::AdaptiveTokenMaskCache> cache,
+                  matcher::GrammarMatcher matcher, double preprocess_seconds)
+      : cache_(std::move(cache)),
+        generator_(cache_),
+        matcher_(std::move(matcher)),
+        preprocess_seconds_(preprocess_seconds) {}
+
+  std::string name_ = "XGrammar";
+  std::shared_ptr<const cache::AdaptiveTokenMaskCache> cache_;
+  cache::MaskGenerator generator_;
+  matcher::GrammarMatcher matcher_;
+  double preprocess_seconds_;
+};
+
+}  // namespace xgr::baselines

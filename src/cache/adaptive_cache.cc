@@ -1,0 +1,239 @@
+#include "cache/adaptive_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/thread_pool.h"
+#include "support/timer.h"
+
+namespace xgr::cache {
+
+const char* StorageKindName(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kAcceptHeavy: return "accept-heavy";
+    case StorageKind::kRejectHeavy: return "reject-heavy";
+    case StorageKind::kBitset: return "bitset";
+  }
+  XGR_UNREACHABLE();
+}
+
+namespace {
+
+// Can `remaining` still match under the rule's expanded-suffix automaton
+// (walked from `ctx_start` in the grammar's global context automaton)?
+// Plausible when the bytes are a prefix of the suffix language, or reach an
+// accepting state (= a position beyond which a child rule begins and the
+// expansion cannot see; the rest is checked by parents at runtime).
+// nullptr = context expansion disabled = everything plausible.
+bool ContextPlausible(const fsa::Fsa* ctx_fsa, std::int32_t ctx_start,
+                      std::string_view remaining) {
+  if (ctx_fsa == nullptr) return true;
+  fsa::NfaRunner runner(*ctx_fsa);
+  runner.SetStates({ctx_start});
+  if (runner.InAcceptingState()) return true;
+  for (char c : remaining) {
+    if (!runner.Advance(static_cast<std::uint8_t>(c))) return false;
+    if (runner.InAcceptingState()) return true;
+  }
+  return true;
+}
+
+// Classifies the token currently being walked by `matcher` (already advanced
+// as far as possible). `consumed_all` tells whether every byte was accepted.
+//
+// Escapes at depth 0 (a pop before any byte of the token is consumed) are
+// deliberately ignored: at runtime, mask generation unions over the *closed*
+// stack set, which already contains the popped variant of any stack whose top
+// is an accepting node — that stack's own cache entry classifies such tokens.
+// Only mid-token pops (depth >= 1) make a token context-dependent here.
+TokenClass ClassifyFromWalk(const matcher::GrammarMatcher& matcher,
+                            const fsa::Fsa* ctx_fsa, std::int32_t ctx_start,
+                            std::string_view token, bool consumed_all) {
+  if (consumed_all) return TokenClass::kAccepted;
+  // Paths that popped below the starting frame may still be viable in some
+  // parent context: the token is context-dependent unless the expanded
+  // suffix refutes every such escape.
+  for (std::int32_t d = 1; d <= matcher.NumConsumedBytes(); ++d) {
+    if (!matcher.EscapedAtDepth(d)) continue;
+    if (ContextPlausible(ctx_fsa, ctx_start,
+                         token.substr(static_cast<std::size_t>(d)))) {
+      return TokenClass::kContextDependent;
+    }
+  }
+  return TokenClass::kRejected;
+}
+
+struct NodeBuildResult {
+  std::int64_t ci_accepted = 0;
+  std::int64_t ci_rejected = 0;
+  std::int64_t context_dependent = 0;
+  std::int64_t bytes_checked = 0;
+  std::int64_t bytes_total = 0;
+};
+
+}  // namespace
+
+TokenClass ClassifyTokenAtNode(std::shared_ptr<const pda::CompiledGrammar> pda,
+                               std::int32_t node, const std::string& token_bytes) {
+  const fsa::Fsa* ctx_fsa = pda->ContextAutomaton();
+  std::int32_t ctx_start =
+      ctx_fsa != nullptr ? pda->ContextStart(pda->NodeRule(node)) : -1;
+  matcher::GrammarMatcher matcher =
+      matcher::GrammarMatcher::ForCacheSimulation(pda, node);
+  bool consumed_all = true;
+  for (char c : token_bytes) {
+    if (!matcher.AcceptByte(static_cast<std::uint8_t>(c))) {
+      consumed_all = false;
+      break;
+    }
+  }
+  return ClassifyFromWalk(matcher, ctx_fsa, ctx_start, token_bytes, consumed_all);
+}
+
+std::shared_ptr<const AdaptiveTokenMaskCache> AdaptiveTokenMaskCache::Build(
+    std::shared_ptr<const pda::CompiledGrammar> pda,
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+    const AdaptiveCacheOptions& options) {
+  Timer timer;
+  auto cache = std::shared_ptr<AdaptiveTokenMaskCache>(new AdaptiveTokenMaskCache());
+  cache->pda_ = pda;
+  cache->tokenizer_ = tokenizer;
+  std::int32_t num_nodes = pda->NumNodes();
+  std::int32_t vocab_size = tokenizer->VocabSize();
+  cache->entries_.resize(static_cast<std::size_t>(num_nodes));
+  std::vector<NodeBuildResult> results(static_cast<std::size_t>(num_nodes));
+
+  const std::vector<std::int32_t>& sorted = tokenizer->SortedTokenIds();
+  const std::vector<std::int32_t>& prefixes = tokenizer->SortedCommonPrefixLengths();
+
+  auto build_node = [&](std::size_t node_index) {
+    auto node = static_cast<std::int32_t>(node_index);
+    const fsa::Fsa* ctx_fsa = pda->ContextAutomaton();
+    std::int32_t ctx_start =
+        ctx_fsa != nullptr ? pda->ContextStart(pda->NodeRule(node)) : -1;
+    matcher::GrammarMatcher matcher =
+        matcher::GrammarMatcher::ForCacheSimulation(pda, node);
+    NodeBuildResult& result = results[node_index];
+    std::vector<std::int32_t> accepted;
+    std::vector<std::int32_t> rejected;
+    std::vector<std::int32_t> ctx_dependent;  // lexicographic encounter order
+
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      std::int32_t token_id = sorted[i];
+      const std::string& token = tokenizer->TokenBytes(token_id);
+      // §3.3: roll back to the common prefix with the previous token (or to
+      // wherever the previous walk died, whichever is shorter).
+      std::int32_t target = std::min(prefixes[i], matcher.NumConsumedBytes());
+      matcher.RollbackToDepth(target);
+      bool consumed_all = true;
+      for (std::size_t j = static_cast<std::size_t>(target); j < token.size(); ++j) {
+        ++result.bytes_checked;
+        if (!matcher.AcceptByte(static_cast<std::uint8_t>(token[j]))) {
+          consumed_all = false;
+          break;
+        }
+      }
+      result.bytes_total += static_cast<std::int64_t>(token.size());
+      switch (ClassifyFromWalk(matcher, ctx_fsa, ctx_start, token, consumed_all)) {
+        case TokenClass::kAccepted:
+          accepted.push_back(token_id);
+          ++result.ci_accepted;
+          break;
+        case TokenClass::kRejected:
+          rejected.push_back(token_id);
+          ++result.ci_rejected;
+          break;
+        case TokenClass::kContextDependent:
+          ctx_dependent.push_back(token_id);
+          ++result.context_dependent;
+          break;
+      }
+    }
+
+    // Adaptive storage selection (Figure 5) by exact byte cost.
+    NodeMaskEntry& entry = cache->entries_[node_index];
+    entry.context_dependent = std::move(ctx_dependent);
+    std::size_t cost_accept_heavy =
+        (rejected.size() + entry.context_dependent.size()) * sizeof(std::int32_t);
+    std::size_t cost_reject_heavy =
+        (accepted.size() + entry.context_dependent.size()) * sizeof(std::int32_t);
+    std::size_t cost_bitset = static_cast<std::size_t>(vocab_size) / 8 +
+                              entry.context_dependent.size() * sizeof(std::int32_t);
+    if (!options.adaptive_storage) {
+      entry.kind = StorageKind::kBitset;
+    } else if (cost_accept_heavy <= cost_reject_heavy &&
+               cost_accept_heavy <= cost_bitset) {
+      entry.kind = StorageKind::kAcceptHeavy;
+    } else if (cost_reject_heavy <= cost_bitset) {
+      entry.kind = StorageKind::kRejectHeavy;
+    } else {
+      entry.kind = StorageKind::kBitset;
+    }
+    switch (entry.kind) {
+      case StorageKind::kAcceptHeavy:
+        entry.stored = std::move(rejected);
+        std::sort(entry.stored.begin(), entry.stored.end());
+        break;
+      case StorageKind::kRejectHeavy:
+        entry.stored = std::move(accepted);
+        std::sort(entry.stored.begin(), entry.stored.end());
+        break;
+      case StorageKind::kBitset:
+        entry.accepted_bits = DynamicBitset(static_cast<std::size_t>(vocab_size));
+        for (std::int32_t id : accepted) entry.accepted_bits.Set(static_cast<std::size_t>(id));
+        break;
+    }
+  };
+
+  if (options.num_threads == 1) {
+    for (std::size_t n = 0; n < static_cast<std::size_t>(num_nodes); ++n) build_node(n);
+  } else if (options.num_threads > 1) {
+    ThreadPool pool(static_cast<std::size_t>(options.num_threads));
+    pool.ParallelFor(static_cast<std::size_t>(num_nodes), build_node);
+  } else {
+    ThreadPool::Global().ParallelFor(static_cast<std::size_t>(num_nodes), build_node);
+  }
+
+  CacheBuildStats& stats = cache->stats_;
+  stats.nodes = num_nodes;
+  for (std::size_t n = 0; n < static_cast<std::size_t>(num_nodes); ++n) {
+    const NodeBuildResult& r = results[n];
+    stats.tokens_classified += r.ci_accepted + r.ci_rejected + r.context_dependent;
+    stats.ci_accepted += r.ci_accepted;
+    stats.ci_rejected += r.ci_rejected;
+    stats.context_dependent += r.context_dependent;
+    stats.max_ctx_dependent_per_node =
+        std::max(stats.max_ctx_dependent_per_node, r.context_dependent);
+    stats.bytes_checked += r.bytes_checked;
+    stats.bytes_total += r.bytes_total;
+    stats.memory_bytes += cache->entries_[n].MemoryBytes();
+    ++stats.storage_kind_counts[static_cast<int>(cache->entries_[n].kind)];
+  }
+  stats.full_bitset_bytes = static_cast<std::size_t>(num_nodes) *
+                            (static_cast<std::size_t>(vocab_size) / 8);
+  stats.build_seconds = timer.ElapsedSeconds();
+  return cache;
+}
+
+std::string AdaptiveTokenMaskCache::StatsString() const {
+  std::ostringstream out;
+  const CacheBuildStats& s = stats_;
+  out << "nodes=" << s.nodes << " vocab=" << tokenizer_->VocabSize()
+      << " ci_accepted=" << s.ci_accepted << " ci_rejected=" << s.ci_rejected
+      << " ctx_dependent=" << s.context_dependent
+      << " max_ctx_dep_per_node=" << s.max_ctx_dependent_per_node
+      << " bytes_checked_ratio="
+      << (s.bytes_total > 0
+              ? static_cast<double>(s.bytes_checked) / static_cast<double>(s.bytes_total)
+              : 0.0)
+      << " memory_bytes=" << s.memory_bytes
+      << " full_bitset_bytes=" << s.full_bitset_bytes
+      << " storage(accept/reject/bitset)=" << s.storage_kind_counts[0] << "/"
+      << s.storage_kind_counts[1] << "/" << s.storage_kind_counts[2]
+      << " build_seconds=" << s.build_seconds;
+  return out.str();
+}
+
+}  // namespace xgr::cache

@@ -1,0 +1,127 @@
+// Adaptive token mask cache (§3.1 of the paper).
+//
+// For every PDA node (= possible stack top) the builder classifies every
+// vocabulary token by simulating it from a single-frame stack whose parent is
+// unknown:
+//   * context-independent accepted — some expansion path consumes the whole
+//     token without ever popping below the starting frame;
+//   * context-independent rejected — every path dies locally, and every path
+//     that popped below the start is refuted by the rule's expanded-suffix
+//     automaton (§3.2 context expansion);
+//   * context-dependent — some path popped below the start with bytes left
+//     over that the expanded suffix cannot refute; resolved at runtime with
+//     the full stack.
+// Entries use the adaptive storage format (accept-heavy / reject-heavy /
+// bitset, Figure 5) chosen by exact byte cost. The builder walks the
+// vocabulary in lexicographic order, rolling the persistent stack back to the
+// common prefix between consecutive tokens (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "support/dynamic_bitset.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::serialize_detail {
+struct CacheAccess;  // binary (de)serialization, src/serialize
+}  // namespace xgr::serialize_detail
+
+namespace xgr::cache {
+
+enum class StorageKind : std::uint8_t {
+  kAcceptHeavy,  // stores rejected CI tokens (wildcard-ish nodes)
+  kRejectHeavy,  // stores accepted CI tokens (few legal continuations)
+  kBitset,       // balanced: bitset of accepted CI tokens
+};
+
+const char* StorageKindName(StorageKind kind);
+
+struct NodeMaskEntry {
+  StorageKind kind = StorageKind::kRejectHeavy;
+  // kAcceptHeavy: rejected CI token ids; kRejectHeavy: accepted CI token ids.
+  // Sorted by id. Unused for kBitset.
+  std::vector<std::int32_t> stored;
+  // kBitset only: bit = 1 for accepted CI tokens.
+  DynamicBitset accepted_bits;
+  // Context-dependent token ids in lexicographic byte order (the order the
+  // runtime checker walks them, maximizing prefix sharing).
+  std::vector<std::int32_t> context_dependent;
+
+  std::size_t MemoryBytes() const {
+    return stored.size() * sizeof(std::int32_t) +
+           context_dependent.size() * sizeof(std::int32_t) +
+           accepted_bits.MemoryBytes();
+  }
+};
+
+struct CacheBuildStats {
+  std::int64_t nodes = 0;
+  std::int64_t tokens_classified = 0;
+  std::int64_t ci_accepted = 0;
+  std::int64_t ci_rejected = 0;
+  std::int64_t context_dependent = 0;
+  // Max over nodes of |context_dependent| — the per-step runtime burden the
+  // paper quotes (1134 -> 120 for Llama-3.1 + JSON).
+  std::int64_t max_ctx_dependent_per_node = 0;
+  // Rollback effectiveness (§3.3): bytes actually pushed vs sum of token
+  // lengths over all (node, token) pairs.
+  std::int64_t bytes_checked = 0;
+  std::int64_t bytes_total = 0;
+  // Memory: adaptive vs all-bitset strawman (the paper's 160 MB -> 0.46 MB).
+  std::size_t memory_bytes = 0;
+  std::size_t full_bitset_bytes = 0;
+  double build_seconds = 0.0;
+  std::int64_t storage_kind_counts[3] = {0, 0, 0};
+};
+
+struct AdaptiveCacheOptions {
+  // false => every entry stored as a bitset (memory ablation).
+  bool adaptive_storage = true;
+  // Threads for the per-node parallel build; 0 = global pool.
+  int num_threads = 0;
+};
+
+class AdaptiveTokenMaskCache {
+ public:
+  static std::shared_ptr<const AdaptiveTokenMaskCache> Build(
+      std::shared_ptr<const pda::CompiledGrammar> pda,
+      std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+      const AdaptiveCacheOptions& options = {});
+
+  const NodeMaskEntry& Entry(std::int32_t node) const {
+    return entries_[static_cast<std::size_t>(node)];
+  }
+  const CacheBuildStats& Stats() const { return stats_; }
+  std::size_t MemoryBytes() const { return stats_.memory_bytes; }
+  const pda::CompiledGrammar& Pda() const { return *pda_; }
+  std::shared_ptr<const pda::CompiledGrammar> PdaShared() const { return pda_; }
+  const tokenizer::TokenizerInfo& Tokenizer() const { return *tokenizer_; }
+
+  std::string StatsString() const;
+
+ private:
+  friend struct xgr::serialize_detail::CacheAccess;
+
+  AdaptiveTokenMaskCache() = default;
+
+  std::shared_ptr<const pda::CompiledGrammar> pda_;
+  std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer_;
+  std::vector<NodeMaskEntry> entries_;
+  CacheBuildStats stats_;
+};
+
+// Classification outcome for one (node, token); exposed for tests.
+enum class TokenClass : std::uint8_t { kAccepted, kRejected, kContextDependent };
+
+// Reference classifier: simulates one token from one node (no rollback
+// sharing). The cache builder is an optimized equivalent; property tests
+// compare the two.
+TokenClass ClassifyTokenAtNode(std::shared_ptr<const pda::CompiledGrammar> pda,
+                               std::int32_t node, const std::string& token_bytes);
+
+}  // namespace xgr::cache

@@ -1,0 +1,89 @@
+#include "cache/grammar_compiler.h"
+
+#include <utility>
+
+#include "grammar/json_schema.h"
+#include "grammar/regex_to_grammar.h"
+#include "support/timer.h"
+
+namespace xgr::cache {
+
+std::shared_ptr<const AdaptiveTokenMaskCache> GrammarCompiler::CompileKeyed(
+    const std::string& key, const std::function<grammar::Grammar()>& build) {
+  std::shared_future<std::shared_ptr<const AdaptiveTokenMaskCache>> future;
+  std::promise<std::shared_ptr<const AdaptiveTokenMaskCache>> promise;
+  bool is_owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      ++stats_.hits;
+      future = it->second;
+    } else {
+      ++stats_.misses;
+      is_owner = true;
+      future = promise.get_future().share();
+      memo_.emplace(key, future);
+    }
+  }
+  if (!is_owner) {
+    // A failed owner publishes nullptr; surface that as the owner's error
+    // class so every waiter sees a consistent failure.
+    auto artifact = future.get();
+    XGR_CHECK(artifact != nullptr) << "grammar compilation failed: " << key;
+    return artifact;
+  }
+  Timer timer;
+  std::shared_ptr<const AdaptiveTokenMaskCache> artifact;
+  try {
+    auto pda = pda::CompiledGrammar::Compile(build(), options_);
+    artifact = AdaptiveTokenMaskCache::Build(pda, tokenizer_, cache_options_);
+  } catch (...) {
+    promise.set_value(nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    memo_.erase(key);  // let a later call retry (and report its own error)
+    throw;
+  }
+  promise.set_value(artifact);
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.compile_seconds += timer.ElapsedMicros() / 1e6;
+  return artifact;
+}
+
+std::shared_ptr<const AdaptiveTokenMaskCache> GrammarCompiler::CompileEbnf(
+    const std::string& ebnf_text, const std::string& root_rule) {
+  return CompileKeyed("ebnf:" + root_rule + ":" + ebnf_text, [&] {
+    return grammar::ParseEbnfOrThrow(ebnf_text, root_rule);
+  });
+}
+
+std::shared_ptr<const AdaptiveTokenMaskCache> GrammarCompiler::CompileJsonSchema(
+    const std::string& schema_text) {
+  return CompileKeyed("schema:" + schema_text, [&] {
+    return grammar::JsonSchemaTextToGrammar(schema_text);
+  });
+}
+
+std::shared_ptr<const AdaptiveTokenMaskCache> GrammarCompiler::CompileRegex(
+    const std::string& pattern) {
+  return CompileKeyed("regex:" + pattern,
+                      [&] { return grammar::RegexToGrammar(pattern); });
+}
+
+std::shared_ptr<const AdaptiveTokenMaskCache>
+GrammarCompiler::CompileBuiltinJson() {
+  return CompileKeyed("builtin:json",
+                      [] { return grammar::BuiltinJsonGrammar(); });
+}
+
+GrammarCompilerStats GrammarCompiler::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void GrammarCompiler::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  memo_.clear();
+}
+
+}  // namespace xgr::cache

@@ -1,0 +1,77 @@
+// GrammarCompiler: the memoizing front door the serving integrations use.
+//
+// Serving engines receive the same schemas and grammars over and over (every
+// request against a popular tool re-sends its schema), while compilation +
+// mask-cache construction is the expensive preprocessing step. The reference
+// implementation wraps both behind a compiler object with an internal cache
+// keyed by the grammar source; this is that component. Thread-safe: requests
+// arriving on different engine threads share in-flight compilations instead
+// of duplicating them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cache/adaptive_cache.h"
+#include "grammar/grammar.h"
+#include "pda/compiled_grammar.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::cache {
+
+struct GrammarCompilerStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  double compile_seconds = 0.0;  // cumulative, misses only
+};
+
+class GrammarCompiler {
+ public:
+  GrammarCompiler(std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+                  pda::CompileOptions options = {},
+                  AdaptiveCacheOptions cache_options = {})
+      : tokenizer_(std::move(tokenizer)),
+        options_(options),
+        cache_options_(cache_options) {}
+
+  // Each returns the fully preprocessed engine artifact (compiled PDA +
+  // adaptive token-mask cache), memoized on the source text. Concurrent
+  // calls with the same source block on one compilation.
+  std::shared_ptr<const AdaptiveTokenMaskCache> CompileEbnf(
+      const std::string& ebnf_text, const std::string& root_rule = "root");
+  std::shared_ptr<const AdaptiveTokenMaskCache> CompileJsonSchema(
+      const std::string& schema_text);
+  std::shared_ptr<const AdaptiveTokenMaskCache> CompileRegex(
+      const std::string& pattern);
+  std::shared_ptr<const AdaptiveTokenMaskCache> CompileBuiltinJson();
+
+  GrammarCompilerStats Stats() const;
+
+  // Drops every memoized artifact (e.g. on tokenizer swap in tests).
+  void Clear();
+
+ private:
+  std::shared_ptr<const AdaptiveTokenMaskCache> CompileKeyed(
+      const std::string& key, const std::function<grammar::Grammar()>& build);
+
+  std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer_;
+  pda::CompileOptions options_;
+  AdaptiveCacheOptions cache_options_;
+
+  mutable std::mutex mutex_;
+  // One shared future per key: the first thread installs it and compiles
+  // outside the lock; concurrent same-key callers wait on the future instead
+  // of duplicating the work. Guarded by mutex_ (map only, not compilation).
+  std::unordered_map<
+      std::string,
+      std::shared_future<std::shared_ptr<const AdaptiveTokenMaskCache>>>
+      memo_;
+  GrammarCompilerStats stats_;
+};
+
+}  // namespace xgr::cache

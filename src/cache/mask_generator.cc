@@ -1,0 +1,210 @@
+#include "cache/mask_generator.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "support/logging.h"
+#include "support/string_utils.h"
+
+namespace xgr::cache {
+
+namespace {
+
+// Sorted-vector set helpers (Algorithm 1 runs on small token-id lists).
+std::vector<std::int32_t> IntersectSorted(const std::vector<std::int32_t>& a,
+                                          const std::vector<std::int32_t>& b) {
+  std::vector<std::int32_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::int32_t> UnionSorted(const std::vector<std::int32_t>& a,
+                                      const std::vector<std::int32_t>& b) {
+  std::vector<std::int32_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::int32_t> DifferenceSorted(const std::vector<std::int32_t>& a,
+                                           const std::vector<std::int32_t>& b) {
+  std::vector<std::int32_t> out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+void ApplySpecialTokens(const tokenizer::TokenizerInfo& tokenizer, bool can_terminate,
+                        DynamicBitset* mask) {
+  for (std::int32_t id : tokenizer.Vocab().special_ids) {
+    mask->Reset(static_cast<std::size_t>(id));
+  }
+  if (can_terminate && tokenizer.EosId() >= 0) {
+    mask->Set(static_cast<std::size_t>(tokenizer.EosId()));
+  }
+}
+
+}  // namespace
+
+std::vector<std::int32_t> MaskGenerator::CheckContextDependent(
+    matcher::GrammarMatcher* matcher, std::int32_t stack_id,
+    const NodeMaskEntry& entry) {
+  std::vector<std::int32_t> accepted;
+  if (entry.context_dependent.empty()) return accepted;
+  const tokenizer::TokenizerInfo& tokenizer = cache_->Tokenizer();
+  // Scratch matcher seeded with the full runtime stack: pops now resolve
+  // against real parent frames.
+  matcher::GrammarMatcher scratch(cache_->PdaShared(), matcher->Pool(), stack_id);
+  std::string_view previous;
+  for (std::int32_t token_id : entry.context_dependent) {  // lexicographic
+    const std::string& token = tokenizer.TokenBytes(token_id);
+    auto common = static_cast<std::int32_t>(CommonPrefixLength(previous, token));
+    scratch.RollbackToDepth(std::min(common, scratch.NumConsumedBytes()));
+    bool ok = true;
+    for (std::size_t j = static_cast<std::size_t>(scratch.NumConsumedBytes());
+         j < token.size(); ++j) {
+      if (!scratch.AcceptByte(static_cast<std::uint8_t>(token[j]))) {
+        ok = false;
+        break;
+      }
+    }
+    ++stats_.runtime_tokens_checked;
+    if (ok) accepted.push_back(token_id);
+    previous = token;
+  }
+  std::sort(accepted.begin(), accepted.end());
+  return accepted;
+}
+
+void MaskGenerator::FillNextTokenBitmask(matcher::GrammarMatcher* matcher,
+                                         DynamicBitset* mask) {
+  const tokenizer::TokenizerInfo& tokenizer = cache_->Tokenizer();
+  XGR_CHECK(mask->Size() == static_cast<std::size_t>(tokenizer.VocabSize()))
+      << "mask size must equal vocabulary size";
+  ++stats_.masks_generated;
+  // Union over the canonical stacks plus the closure's pop-produced stacks:
+  // each cache entry's classification already folds in every rule *push*
+  // below its node, so push expansions of the closure need no entries of
+  // their own; only stacks reached by *pops* (returning to parent frames,
+  // possibly after pushing a nullable rule) contribute the tokens that a
+  // pre-pop entry deliberately leaves unclassified (see ClassifyFromWalk on
+  // depth-0 escapes). This keeps per-step work proportional to the true
+  // ambiguity of the grammar rather than its rule-nesting depth.
+  const std::vector<std::int32_t> stacks = matcher->MaskStacks();
+  stats_.stacks_processed += static_cast<std::int64_t>(stacks.size());
+
+  if (stacks.empty()) {
+    // Dead or fully-terminated state: nothing but (possibly) EOS.
+    mask->ResetAll();
+    ApplySpecialTokens(tokenizer, matcher->CanTerminate(), mask);
+    return;
+  }
+
+  if (stacks.size() == 1) {
+    // Fast path: write the cache entry straight into the output mask.
+    std::int32_t top = matcher->Pool().TopNode(stacks[0]);
+    const NodeMaskEntry& entry = cache_->Entry(top);
+    std::vector<std::int32_t> ctx_accepted =
+        CheckContextDependent(matcher, stacks[0], entry);
+    switch (entry.kind) {
+      case StorageKind::kAcceptHeavy:
+        mask->SetAll();
+        for (std::int32_t id : entry.stored) mask->Reset(static_cast<std::size_t>(id));
+        for (std::int32_t id : entry.context_dependent) {
+          mask->Reset(static_cast<std::size_t>(id));
+        }
+        for (std::int32_t id : ctx_accepted) mask->Set(static_cast<std::size_t>(id));
+        break;
+      case StorageKind::kRejectHeavy:
+        mask->ResetAll();
+        for (std::int32_t id : entry.stored) mask->Set(static_cast<std::size_t>(id));
+        for (std::int32_t id : ctx_accepted) mask->Set(static_cast<std::size_t>(id));
+        break;
+      case StorageKind::kBitset: {
+        XGR_CHECK(entry.accepted_bits.Size() == mask->Size());
+        std::copy(entry.accepted_bits.Data(),
+                  entry.accepted_bits.Data() + entry.accepted_bits.WordCount(),
+                  mask->MutableData());
+        for (std::int32_t id : ctx_accepted) mask->Set(static_cast<std::size_t>(id));
+        break;
+      }
+    }
+    ApplySpecialTokens(tokenizer, matcher->CanTerminate(), mask);
+    return;
+  }
+
+  // Algorithm 1: merge per-stack masks on small sorted lists.
+  ++stats_.merges;
+  std::optional<std::vector<std::int32_t>> partial_rej;  // nullopt = V
+  std::vector<std::int32_t> partial_acc;
+  for (std::int32_t stack_id : stacks) {
+    std::int32_t top = matcher->Pool().TopNode(stack_id);
+    const NodeMaskEntry& entry = cache_->Entry(top);
+    std::vector<std::int32_t> ctx_accepted =
+        CheckContextDependent(matcher, stack_id, entry);
+    if (entry.kind == StorageKind::kAcceptHeavy) {
+      // Rejected list = stored (CI-rejected) + context-dependent that failed.
+      std::vector<std::int32_t> ctx_sorted = entry.context_dependent;
+      std::sort(ctx_sorted.begin(), ctx_sorted.end());
+      std::vector<std::int32_t> rejected =
+          UnionSorted(entry.stored, DifferenceSorted(ctx_sorted, ctx_accepted));
+      partial_rej = partial_rej.has_value() ? IntersectSorted(*partial_rej, rejected)
+                                            : std::move(rejected);
+    } else {
+      // Reject-heavy and bitset entries contribute accepted lists.
+      std::vector<std::int32_t> accepted =
+          entry.kind == StorageKind::kBitset ? entry.accepted_bits.ToIndexList()
+                                             : entry.stored;
+      partial_acc = UnionSorted(partial_acc, UnionSorted(accepted, ctx_accepted));
+    }
+  }
+  if (!partial_rej.has_value()) {
+    // All stacks reject-heavy: accepted = PartialAcc.
+    mask->ResetAll();
+    for (std::int32_t id : partial_acc) mask->Set(static_cast<std::size_t>(id));
+  } else {
+    // Rejected = PartialRej \ PartialAcc.
+    mask->SetAll();
+    for (std::int32_t id : DifferenceSorted(*partial_rej, partial_acc)) {
+      mask->Reset(static_cast<std::size_t>(id));
+    }
+  }
+  ApplySpecialTokens(tokenizer, matcher->CanTerminate(), mask);
+}
+
+void FillBitmaskBruteForce(matcher::GrammarMatcher* matcher,
+                           const tokenizer::TokenizerInfo& tokenizer,
+                           DynamicBitset* mask) {
+  XGR_CHECK(mask->Size() == static_cast<std::size_t>(tokenizer.VocabSize()));
+  mask->ResetAll();
+  const std::vector<std::int32_t>& sorted = tokenizer.SortedTokenIds();
+  const std::vector<std::int32_t>& prefixes = tokenizer.SortedCommonPrefixLengths();
+  std::int32_t entry_depth = matcher->NumConsumedBytes();
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const std::string& token = tokenizer.TokenBytes(sorted[i]);
+    std::int32_t target =
+        entry_depth + std::min(prefixes[i], matcher->NumConsumedBytes() - entry_depth);
+    matcher->RollbackToDepth(target);
+    bool ok = true;
+    for (std::size_t j = static_cast<std::size_t>(matcher->NumConsumedBytes() - entry_depth);
+         j < token.size(); ++j) {
+      if (!matcher->AcceptByte(static_cast<std::uint8_t>(token[j]))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) mask->Set(static_cast<std::size_t>(sorted[i]));
+  }
+  matcher->RollbackToDepth(entry_depth);
+  for (std::int32_t id : tokenizer.Vocab().special_ids) {
+    mask->Reset(static_cast<std::size_t>(id));
+  }
+  if (matcher->CanTerminate() && tokenizer.EosId() >= 0) {
+    mask->Set(static_cast<std::size_t>(tokenizer.EosId()));
+  }
+}
+
+}  // namespace xgr::cache

@@ -1,0 +1,56 @@
+// Runtime token-mask generation.
+//
+// Combines the adaptive token mask cache (context-independent tokens, fetched
+// by stack-top node) with on-the-fly PDA execution of the few
+// context-dependent tokens, merging per-stack masks with Algorithm 1 when the
+// grammar is ambiguous and several parallel stacks are alive.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/adaptive_cache.h"
+#include "matcher/grammar_matcher.h"
+#include "support/dynamic_bitset.h"
+
+namespace xgr::cache {
+
+struct MaskGenStats {
+  std::int64_t masks_generated = 0;
+  std::int64_t runtime_tokens_checked = 0;  // context-dependent executions
+  std::int64_t stacks_processed = 0;
+  std::int64_t merges = 0;  // multi-stack Algorithm-1 invocations
+};
+
+class MaskGenerator {
+ public:
+  explicit MaskGenerator(std::shared_ptr<const AdaptiveTokenMaskCache> cache)
+      : cache_(std::move(cache)) {}
+
+  // Fills `mask` (size = vocab; bit = 1 means the token may be sampled) for
+  // the matcher's current state. Special tokens are disabled; EOS is enabled
+  // exactly when the grammar can terminate.
+  void FillNextTokenBitmask(matcher::GrammarMatcher* matcher, DynamicBitset* mask);
+
+  const MaskGenStats& Stats() const { return stats_; }
+  const AdaptiveTokenMaskCache& Cache() const { return *cache_; }
+
+ private:
+  // Runs the context-dependent tokens of `entry` against the full stack
+  // `stack_id`; returns accepted ids sorted by id.
+  std::vector<std::int32_t> CheckContextDependent(matcher::GrammarMatcher* matcher,
+                                                  std::int32_t stack_id,
+                                                  const NodeMaskEntry& entry);
+
+  std::shared_ptr<const AdaptiveTokenMaskCache> cache_;
+  MaskGenStats stats_;
+};
+
+// Mask generation without any cache: walks the entire vocabulary through the
+// PDA from the current state (sorted order + prefix rollback). This is the
+// "PDA baseline" configuration of the Table 3 ablation.
+void FillBitmaskBruteForce(matcher::GrammarMatcher* matcher,
+                           const tokenizer::TokenizerInfo& tokenizer,
+                           DynamicBitset* mask);
+
+}  // namespace xgr::cache

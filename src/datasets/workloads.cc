@@ -1,0 +1,303 @@
+#include "datasets/workloads.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace xgr::datasets {
+
+namespace {
+
+const char* const kFieldNames[] = {
+    "name",    "age",     "email",   "city",     "country", "status",
+    "id",      "score",   "active",  "tags",     "address", "phone",
+    "company", "role",    "team",    "priority", "label",   "kind",
+    "title",   "summary", "owner",   "price",    "count",   "rating",
+    "origin",  "target",  "weight",  "height",   "enabled", "visible"};
+
+const char* const kWords[] = {
+    "alpha", "bravo",  "delta",  "echo",   "falcon", "gamma", "harbor",
+    "index", "jolt",   "kite",   "lumen",  "mango",  "nexus", "orbit",
+    "pixel", "quartz", "raven",  "sierra", "tango",  "umbra", "vertex",
+    "willow", "xenon", "yonder", "zephyr", "amber",  "birch", "cedar"};
+
+const char* const kEnumSets[][4] = {
+    {"low", "medium", "high", "critical"},
+    {"red", "green", "blue", "yellow"},
+    {"draft", "review", "published", "archived"},
+    {"north", "south", "east", "west"},
+};
+
+std::string RandomWord(Rng& rng) {
+  return kWords[rng.NextBounded(std::size(kWords))];
+}
+
+std::string RandomFieldName(Rng& rng, std::vector<std::string>* used) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::string name = kFieldNames[rng.NextBounded(std::size(kFieldNames))];
+    if (std::find(used->begin(), used->end(), name) == used->end()) {
+      used->push_back(name);
+      return name;
+    }
+  }
+  std::string name = "field" + std::to_string(used->size());
+  used->push_back(name);
+  return name;
+}
+
+// Numbers that render cleanly under %.17g (dyadic fractions).
+double CleanNumber(Rng& rng) {
+  return static_cast<double>(rng.NextInRange(-400, 400)) * 0.25;
+}
+
+// --- JSON-Schema tasks -------------------------------------------------------
+
+// Returns a (schema, canonical instance) pair for one field.
+struct FieldSpec {
+  json::Value schema;
+  json::Value instance;
+};
+
+FieldSpec MakeField(Rng& rng, int depth);
+
+FieldSpec MakeObjectField(Rng& rng, int depth) {
+  json::Object schema_props;
+  json::Object instance;
+  json::Array required;
+  std::vector<std::string> used;
+  int num_fields = static_cast<int>(rng.NextInRange(2, depth > 0 ? 5 : 3));
+  for (int i = 0; i < num_fields; ++i) {
+    std::string field = RandomFieldName(rng, &used);
+    FieldSpec spec = MakeField(rng, depth - 1);
+    bool is_required = rng.NextBool(0.7);
+    if (is_required) required.push_back(json::Value(field));
+    // Optional fields are present in the canonical answer half the time.
+    if (is_required || rng.NextBool(0.5)) {
+      instance.emplace(field, spec.instance);
+    }
+    schema_props.emplace(field, spec.schema);
+  }
+  json::Object schema{{"type", json::Value("object")},
+                      {"properties", json::Value(std::move(schema_props))},
+                      {"additionalProperties", json::Value(false)}};
+  if (!required.empty()) schema.emplace("required", json::Value(std::move(required)));
+  return {json::Value(std::move(schema)), json::Value(std::move(instance))};
+}
+
+FieldSpec MakeField(Rng& rng, int depth) {
+  double roll = rng.NextDouble();
+  if (roll < 0.3) {  // string
+    return {json::Value(json::Object{{"type", json::Value("string")}}),
+            json::Value(RandomWord(rng) + " " + RandomWord(rng))};
+  }
+  if (roll < 0.5) {  // integer
+    return {json::Value(json::Object{{"type", json::Value("integer")}}),
+            json::Value(rng.NextInRange(-1000, 100000))};
+  }
+  if (roll < 0.6) {  // number
+    return {json::Value(json::Object{{"type", json::Value("number")}}),
+            json::Value(CleanNumber(rng))};
+  }
+  if (roll < 0.7) {  // boolean
+    return {json::Value(json::Object{{"type", json::Value("boolean")}}),
+            json::Value(rng.NextBool(0.5))};
+  }
+  if (roll < 0.8) {  // enum
+    const auto& options = kEnumSets[rng.NextBounded(std::size(kEnumSets))];
+    json::Array values;
+    for (const char* option : options) values.push_back(json::Value(option));
+    std::string pick = options[rng.NextBounded(4)];
+    return {json::Value(json::Object{{"enum", json::Value(std::move(values))}}),
+            json::Value(pick)};
+  }
+  if (roll < 0.92 || depth <= 0) {  // array of scalars
+    bool of_strings = rng.NextBool(0.5);
+    json::Object item_schema{
+        {"type", json::Value(of_strings ? "string" : "integer")}};
+    json::Array items;
+    int n = static_cast<int>(rng.NextInRange(1, 4));
+    for (int i = 0; i < n; ++i) {
+      if (of_strings) {
+        items.push_back(json::Value(RandomWord(rng)));
+      } else {
+        items.push_back(json::Value(rng.NextInRange(0, 999)));
+      }
+    }
+    json::Object schema{{"type", json::Value("array")},
+                        {"items", json::Value(std::move(item_schema))}};
+    return {json::Value(std::move(schema)), json::Value(std::move(items))};
+  }
+  return MakeObjectField(rng, depth);  // nested object
+}
+
+// --- XML ----------------------------------------------------------------------
+
+const char* const kXmlTags[] = {"config", "item",  "user",  "entry", "record",
+                                "node",   "field", "value", "meta",  "group"};
+const char* const kXmlAttrs[] = {"id", "name", "type", "lang", "version", "ref"};
+
+void GenerateXmlElement(Rng& rng, int depth, std::string* out) {
+  const char* tag = kXmlTags[rng.NextBounded(std::size(kXmlTags))];
+  *out += "<";
+  *out += tag;
+  int num_attrs = static_cast<int>(rng.NextInRange(0, 2));
+  for (int i = 0; i < num_attrs; ++i) {
+    *out += " ";
+    *out += kXmlAttrs[rng.NextBounded(std::size(kXmlAttrs))];
+    *out += "=\"";
+    *out += RandomWord(rng);
+    *out += "\"";
+  }
+  if (depth <= 0 || rng.NextBool(0.2)) {
+    *out += "/>";
+    return;
+  }
+  *out += ">";
+  int num_children = static_cast<int>(rng.NextInRange(1, 3));
+  for (int i = 0; i < num_children; ++i) {
+    double roll = rng.NextDouble();
+    if (roll < 0.45) {
+      *out += RandomWord(rng);  // chardata
+      if (rng.NextBool(0.2)) *out += "&amp;";
+    } else if (roll < 0.55) {
+      *out += "<!-- ";
+      *out += RandomWord(rng);
+      *out += " -->";
+    } else {
+      GenerateXmlElement(rng, depth - 1, out);
+    }
+  }
+  *out += "</";
+  *out += tag;
+  *out += ">";
+}
+
+// --- Python DSL -----------------------------------------------------------------
+
+std::string PyExpression(Rng& rng, int depth);
+
+std::string PyAtom(Rng& rng, int depth) {
+  double roll = rng.NextDouble();
+  if (roll < 0.35) return RandomWord(rng);
+  if (roll < 0.55) return std::to_string(rng.NextInRange(0, 9999));
+  if (roll < 0.65) {
+    return std::to_string(rng.NextInRange(0, 99)) + "." +
+           std::to_string(rng.NextInRange(0, 99));
+  }
+  if (roll < 0.75) return "\"" + RandomWord(rng) + "\"";
+  if (roll < 0.82) return rng.NextBool(0.5) ? "True" : "False";
+  if (roll < 0.9 && depth > 0) {
+    return "[" + PyExpression(rng, depth - 1) + ", " + PyExpression(rng, depth - 1) + "]";
+  }
+  if (depth > 0) return "(" + PyExpression(rng, depth - 1) + ")";
+  return RandomWord(rng);
+}
+
+std::string PyExpression(Rng& rng, int depth) {
+  std::string expr = PyAtom(rng, depth);
+  if (depth > 0 && rng.NextBool(0.4)) {
+    const char* ops[] = {" + ", " - ", " * ", " == ", " < ", " > "};
+    expr += ops[rng.NextBounded(std::size(ops))];
+    expr += PyAtom(rng, depth - 1);
+  }
+  if (rng.NextBool(0.2)) {
+    expr += "(" + PyAtom(rng, 0) + ")";  // call trailer
+  }
+  return expr;
+}
+
+std::string PySimpleStatement(Rng& rng) {
+  double roll = rng.NextDouble();
+  if (roll < 0.5) {
+    return RandomWord(rng) + " = " + PyExpression(rng, 2);
+  }
+  if (roll < 0.65) return "return " + PyExpression(rng, 1);
+  if (roll < 0.75) return "pass";
+  return PyExpression(rng, 2);
+}
+
+void PyStatement(Rng& rng, int depth, std::string* out) {
+  double roll = rng.NextDouble();
+  if (depth > 0 && roll < 0.2) {
+    *out += "if " + PyExpression(rng, 1) + ": " + PySimpleStatement(rng) + "\n";
+    if (rng.NextBool(0.5)) {
+      *out += "else: " + PySimpleStatement(rng) + "\n";
+    }
+  } else if (depth > 0 && roll < 0.3) {
+    *out += "while " + PyExpression(rng, 1) + ": " + PySimpleStatement(rng) + "\n";
+  } else if (depth > 0 && roll < 0.4) {
+    *out += "for " + RandomWord(rng) + " in " + PyAtom(rng, 1) + ": " +
+            PySimpleStatement(rng) + "\n";
+  } else {
+    *out += PySimpleStatement(rng) + "\n";
+  }
+}
+
+}  // namespace
+
+std::vector<SchemaTask> GenerateSchemaTasks(int count, std::uint64_t seed) {
+  std::vector<SchemaTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Rng rng(seed + static_cast<std::uint64_t>(i) * 0x9E3779B9u);
+    SchemaTask task;
+    task.name = "schema_task_" + std::to_string(i);
+    FieldSpec spec = MakeObjectField(rng, 2);
+    task.schema = spec.schema;
+    task.canonical_answer = spec.instance;
+    task.prompt =
+        "You are a function-calling assistant. Produce a JSON object that "
+        "matches the following schema exactly, with no prose around it.\n"
+        "Schema: " + task.schema.Dump() + "\nAnswer:";
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+json::Value GenerateJsonValue(std::uint64_t seed, int max_depth) {
+  Rng rng(seed);
+  FieldSpec spec = MakeObjectField(rng, max_depth);
+  return spec.instance;
+}
+
+std::vector<std::string> GenerateJsonDocuments(int count, std::uint64_t seed,
+                                               int max_depth) {
+  std::vector<std::string> docs;
+  docs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    docs.push_back(
+        GenerateJsonValue(seed + static_cast<std::uint64_t>(i) * 77u, max_depth)
+            .Dump());
+  }
+  return docs;
+}
+
+std::vector<std::string> GenerateXmlDocuments(int count, std::uint64_t seed,
+                                              int max_depth) {
+  std::vector<std::string> docs;
+  docs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Rng rng(seed + static_cast<std::uint64_t>(i) * 131u);
+    std::string doc;
+    GenerateXmlElement(rng, max_depth, &doc);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+std::vector<std::string> GeneratePythonPrograms(int count, std::uint64_t seed,
+                                                int max_statements) {
+  std::vector<std::string> programs;
+  programs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Rng rng(seed + static_cast<std::uint64_t>(i) * 53u);
+    std::string program;
+    int statements = static_cast<int>(rng.NextInRange(2, max_statements));
+    for (int s = 0; s < statements; ++s) PyStatement(rng, 1, &program);
+    programs.push_back(std::move(program));
+  }
+  return programs;
+}
+
+}  // namespace xgr::datasets

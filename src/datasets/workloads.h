@@ -1,0 +1,46 @@
+// Synthetic workload generators (DESIGN.md §1 substitutions).
+//
+// The paper evaluates on the NousResearch json-mode-eval dataset (JSON-Schema
+// function-calling tasks) plus synthetic XML and Python-DSL corpora. Offline,
+// we generate matched workloads deterministically:
+//   * SchemaTask — a schema in the json-mode-eval style (nested objects,
+//     enums, arrays, optional properties), a natural-language prompt, and a
+//     canonical conforming answer used as the mock LLM's target;
+//   * unconstrained JSON documents, XML documents and Python-DSL programs
+//     that conform to the corresponding builtin grammars.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace xgr::datasets {
+
+struct SchemaTask {
+  std::string name;
+  json::Value schema;
+  std::string prompt;
+  // A schema-conforming instance, rendered compactly; used as the scripted
+  // model's intended completion and as ground truth in accuracy experiments.
+  json::Value canonical_answer;
+};
+
+std::vector<SchemaTask> GenerateSchemaTasks(int count, std::uint64_t seed);
+
+// Random JSON value of bounded depth + its compact rendering; conforms to
+// BuiltinJsonGrammar.
+json::Value GenerateJsonValue(std::uint64_t seed, int max_depth);
+std::vector<std::string> GenerateJsonDocuments(int count, std::uint64_t seed,
+                                               int max_depth = 4);
+
+// XML documents conforming to BuiltinXmlGrammar.
+std::vector<std::string> GenerateXmlDocuments(int count, std::uint64_t seed,
+                                              int max_depth = 3);
+
+// Python-DSL programs conforming to BuiltinPythonDslGrammar.
+std::vector<std::string> GeneratePythonPrograms(int count, std::uint64_t seed,
+                                                int max_statements = 6);
+
+}  // namespace xgr::datasets

@@ -1,0 +1,102 @@
+#include "engine/mock_llm.h"
+
+#include <cctype>
+
+#include "support/logging.h"
+
+namespace xgr::engine {
+
+namespace {
+constexpr float kTargetBoost = 16.0f;
+constexpr float kDerailBoost = 20.0f;  // beats the target when unmasked
+}  // namespace
+
+MockLlm::MockLlm(std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+                 Options options)
+    : tokenizer_(std::move(tokenizer)),
+      trie_(std::make_shared<tokenizer::TokenTrie>(*tokenizer_)),
+      options_(options) {
+  // Distractors: word-like tokens with a leading space — the "Sure, here is
+  // the JSON..." failure mode. Deterministic scan, capped.
+  Rng rng(options_.seed);
+  for (std::int32_t id = 0; id < tokenizer_->VocabSize() &&
+                            distractors_.size() < 64;
+       ++id) {
+    if (tokenizer_->IsSpecial(id)) continue;
+    const std::string& bytes = tokenizer_->TokenBytes(id);
+    if (bytes.size() >= 4 && bytes[0] == ' ' &&
+        std::isalpha(static_cast<unsigned char>(bytes[1]))) {
+      if (rng.NextBool(0.25)) distractors_.push_back(id);
+    }
+  }
+  if (distractors_.empty()) distractors_.push_back(0);
+  // Closing tokens (single-byte lookups through the trie).
+  for (const char* closer :
+       {"\"", "'", "}", "]", ")", ">", "<", "/", "=", ";", ":", "\n"}) {
+    std::size_t length = 0;
+    std::int32_t id = trie_->LongestMatch(std::string_view(closer).substr(0, 1), 0, &length);
+    if (id >= 0) closers_.push_back(id);
+  }
+}
+
+MockLlm::RequestScript MockLlm::MakeScript(const std::string& target,
+                                           std::uint64_t request_seed) const {
+  RequestScript script;
+  script.target = target;
+  script.rng = Rng(request_seed);
+  return script;
+}
+
+SparseLogits MockLlm::ComputeLogits(RequestScript* script) const {
+  SparseLogits logits;
+  if (!script->diverged) {
+    if (script->matched_bytes >= script->target.size()) {
+      logits.boosted.emplace_back(tokenizer_->EosId(), kTargetBoost);
+      return logits;
+    }
+    std::size_t length = 0;
+    std::int32_t next = trie_->LongestMatch(script->target, script->matched_bytes, &length);
+    XGR_CHECK(next >= 0) << "target text not tokenizable";
+    logits.boosted.emplace_back(next, kTargetBoost);
+    if (options_.derail_probability > 0.0 &&
+        script->rng.NextBool(options_.derail_probability)) {
+      std::int32_t distractor =
+          distractors_[script->rng.NextBounded(distractors_.size())];
+      logits.boosted.emplace_back(distractor, kDerailBoost);
+    }
+    return logits;
+  }
+  // Derailed: ramble for a few prose tokens, then stop. Structural closers
+  // get lower boosts: an unmasked model ignores them (invalid output), while
+  // a masked model falls back to them once prose is blocked, closing the
+  // structure and reaching a valid EOS.
+  if (script->prose_emitted < options_.derail_length) {
+    std::int32_t distractor =
+        distractors_[script->rng.NextBounded(distractors_.size())];
+    logits.boosted.emplace_back(distractor, kTargetBoost);
+  } else {
+    logits.boosted.emplace_back(tokenizer_->EosId(), kTargetBoost);
+  }
+  // Randomized per-step boosts: which closer the model "prefers" varies, so a
+  // masked model escapes free-text positions instead of appending the same
+  // always-legal character forever.
+  for (std::int32_t closer : closers_) {
+    logits.boosted.emplace_back(
+        closer, 9.0f + 4.0f * static_cast<float>(script->rng.NextDouble()));
+  }
+  return logits;
+}
+
+void MockLlm::OnTokenSampled(RequestScript* script, std::int32_t token_id) const {
+  if (token_id == tokenizer_->EosId()) return;
+  const std::string& bytes = tokenizer_->TokenBytes(token_id);
+  if (!script->diverged &&
+      script->target.compare(script->matched_bytes, bytes.size(), bytes) == 0) {
+    script->matched_bytes += bytes.size();
+    return;
+  }
+  script->diverged = true;
+  ++script->prose_emitted;
+}
+
+}  // namespace xgr::engine

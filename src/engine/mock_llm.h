@@ -1,0 +1,71 @@
+// Scripted mock LLM (DESIGN.md §1 substitution for the real model).
+//
+// Each request carries a target completion (a grammar-conforming document
+// from the dataset generators). The mock model boosts the next target token
+// at every step; with a configurable per-step probability it instead boosts a
+// "derail" distractor (a prose-like token), imitating the failure mode the
+// paper describes — "the model often includes additional explanations
+// alongside the intended code output". Under constrained decoding the
+// distractor is masked away and generation stays on target; unconstrained it
+// derails, rambles for a few tokens, and ends — producing the syntactically
+// invalid outputs Table 4 counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/dynamic_bitset.h"
+#include "support/rng.h"
+#include "tokenizer/token_trie.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::engine {
+
+// Sparse logits: every token has logit 0 except the boosted ones. All the
+// mask/sampling code paths behave exactly as with dense logits.
+struct SparseLogits {
+  std::vector<std::pair<std::int32_t, float>> boosted;
+};
+
+class MockLlm {
+ public:
+  struct Options {
+    double derail_probability = 0.0;  // per decode step
+    std::int32_t derail_length = 6;   // prose tokens emitted after derailing
+    std::uint64_t seed = 1;
+  };
+
+  MockLlm(std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+          Options options);
+
+  // Per-request generation state.
+  struct RequestScript {
+    std::string target;            // intended completion text
+    std::size_t matched_bytes = 0; // prefix of target already emitted
+    bool diverged = false;
+    std::int32_t prose_emitted = 0;
+    Rng rng{1};
+  };
+
+  RequestScript MakeScript(const std::string& target, std::uint64_t request_seed) const;
+
+  // Logits for the next step of `script`.
+  SparseLogits ComputeLogits(RequestScript* script) const;
+
+  // Informs the script that `token_id` was sampled; updates alignment.
+  void OnTokenSampled(RequestScript* script, std::int32_t token_id) const;
+
+  const tokenizer::TokenizerInfo& Tokenizer() const { return *tokenizer_; }
+  const tokenizer::TokenTrie& Trie() const { return *trie_; }
+
+ private:
+  std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer_;
+  std::shared_ptr<const tokenizer::TokenTrie> trie_;
+  Options options_;
+  std::vector<std::int32_t> distractors_;  // prose-like token ids
+  std::vector<std::int32_t> closers_;      // '"', '}', ']', ... for recovery
+};
+
+}  // namespace xgr::engine

@@ -1,0 +1,43 @@
+#include "engine/sampler.h"
+
+#include "support/logging.h"
+
+namespace xgr::engine {
+
+std::int32_t SampleMasked(const SparseLogits& logits, const DynamicBitset& mask,
+                          Rng* rng) {
+  std::int32_t best = -1;
+  float best_logit = 0.0f;
+  for (const auto& [token, logit] : logits.boosted) {
+    if (token < 0 || !mask.Test(static_cast<std::size_t>(token))) continue;
+    if (best == -1 || logit > best_logit) {
+      best = token;
+      best_logit = logit;
+    }
+  }
+  if (best != -1) return best;
+  // All boosted tokens are masked: fall back to a pseudo-random allowed token
+  // (every unboosted allowed token ties at logit 0).
+  std::size_t start = rng->NextBounded(mask.Size());
+  std::int64_t pick = mask.FindNext(start);
+  if (pick < 0) pick = mask.FindNext(0);
+  XGR_CHECK(pick >= 0) << "mask allows no token at all";
+  return static_cast<std::int32_t>(pick);
+}
+
+std::int32_t SampleUnmasked(const SparseLogits& logits, std::int32_t vocab_size,
+                            Rng* rng) {
+  std::int32_t best = -1;
+  float best_logit = 0.0f;
+  for (const auto& [token, logit] : logits.boosted) {
+    if (token < 0) continue;
+    if (best == -1 || logit > best_logit) {
+      best = token;
+      best_logit = logit;
+    }
+  }
+  if (best != -1) return best;
+  return static_cast<std::int32_t>(rng->NextBounded(static_cast<std::uint64_t>(vocab_size)));
+}
+
+}  // namespace xgr::engine

@@ -1,0 +1,26 @@
+// Masked greedy sampling over sparse logits.
+//
+// Mirrors Figure 2: invalid tokens get -inf (here: are skipped), the argmax
+// of the surviving logits is selected. With sparse logits every non-boosted
+// token has logit 0, so the fallback among equally-scored allowed tokens is a
+// seeded pseudo-random pick — a stand-in for the long tail of a real
+// distribution.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/mock_llm.h"
+#include "support/dynamic_bitset.h"
+#include "support/rng.h"
+
+namespace xgr::engine {
+
+// Greedy sample with a mask. `mask` bit = 1 means allowed.
+std::int32_t SampleMasked(const SparseLogits& logits, const DynamicBitset& mask,
+                          Rng* rng);
+
+// Greedy sample without a mask (unconstrained generation).
+std::int32_t SampleUnmasked(const SparseLogits& logits, std::int32_t vocab_size,
+                            Rng* rng);
+
+}  // namespace xgr::engine

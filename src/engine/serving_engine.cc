@@ -1,0 +1,316 @@
+#include "engine/serving_engine.h"
+
+#include <algorithm>
+#include <future>
+#include <thread>
+
+#include "support/logging.h"
+#include "support/thread_pool.h"
+#include "support/timer.h"
+
+namespace xgr::engine {
+
+namespace {
+
+struct ActiveRequest {
+  const EngineRequest* request = nullptr;
+  MockLlm::RequestScript script;
+  RequestResult result;
+  DynamicBitset mask;
+  Rng sampler_rng{1};
+  bool finished = false;
+};
+
+// Advances one request by one decode step: sample under the precomputed
+// mask, accept, handle EOS / max-new-tokens, and apply jump-forward with
+// boundary retokenization. Sets ar->finished and returns true when the
+// request completed on this step. `total_tokens` counts emitted tokens.
+bool StepOneRequest(const MockLlm& llm, const EngineOptions& options,
+                    ActiveRequest* ar, std::int64_t* total_tokens) {
+  const tokenizer::TokenizerInfo& tokenizer = llm.Tokenizer();
+  baselines::ConstrainedDecoder* decoder = ar->request->decoder.get();
+  SparseLogits logits = llm.ComputeLogits(&ar->script);
+  std::int32_t token;
+  if (decoder != nullptr) {
+    token = SampleMasked(logits, ar->mask, &ar->sampler_rng);
+  } else {
+    token = SampleUnmasked(logits, tokenizer.VocabSize(), &ar->sampler_rng);
+  }
+  llm.OnTokenSampled(&ar->script, token);
+  if (token == tokenizer.EosId()) {
+    ar->finished = true;
+    ar->result.finished_by_eos = true;
+    return true;
+  }
+  if (decoder != nullptr) {
+    bool ok = decoder->AcceptToken(token);
+    XGR_CHECK(ok) << "masked sampling produced an illegal token";
+  }
+  ar->result.token_ids.push_back(token);
+  ar->result.output_text += tokenizer.TokenBytes(token);
+  ++*total_tokens;
+
+  // Jump-forward decoding (Appendix B): append the forced continuation
+  // without spending decode steps. Tokenizing the forced text on its own
+  // can leave the context non-canonically tokenized — the boundary between
+  // the last sampled token and the forced span may merge under greedy
+  // tokenization — so the engine re-tokenizes across the boundary: roll the
+  // last token back (the §3.3 persistent stack makes this O(1)), greedily
+  // re-tokenize its bytes plus the forced text, and re-accept the canonical
+  // tokens.
+  if (options.jump_forward && decoder != nullptr) {
+    std::string jump = decoder->FindJumpForwardString();
+    if (jump.size() >= 2) {
+      std::string span = jump;
+      std::int32_t replaced = 0;
+      // Rewinding the mock model's alignment works in byte units, so
+      // retokenization is skipped once the script has diverged.
+      if (options.jf_retokenize && !ar->result.token_ids.empty() &&
+          !ar->script.diverged && decoder->RollbackTokens(1)) {
+        const std::string& last_bytes =
+            tokenizer.TokenBytes(ar->result.token_ids.back());
+        span = last_bytes + jump;
+        ar->result.token_ids.pop_back();
+        ar->result.output_text.resize(ar->result.output_text.size() -
+                                      last_bytes.size());
+        ar->script.matched_bytes -= last_bytes.size();
+        replaced = 1;
+        --*total_tokens;
+      }
+      std::vector<std::int32_t> span_tokens =
+          tokenizer::GreedyTokenize(llm.Trie(), span);
+      for (std::int32_t jump_token : span_tokens) {
+        bool ok = decoder->AcceptToken(jump_token);
+        XGR_CHECK(ok) << "jump-forward token rejected";
+        llm.OnTokenSampled(&ar->script, jump_token);
+        ar->result.token_ids.push_back(jump_token);
+        ar->result.output_text += tokenizer.TokenBytes(jump_token);
+        ++*total_tokens;
+      }
+      ar->result.jump_forward_tokens +=
+          static_cast<std::int32_t>(span_tokens.size()) - replaced;
+      ar->result.retokenized_tokens += replaced;
+    }
+  }
+  if (static_cast<std::int32_t>(ar->result.token_ids.size()) >=
+      options.max_new_tokens) {
+    ar->finished = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void ServingEngine::SimulatedWait(double microseconds) const {
+  double scaled = microseconds * options_.time_scale;
+  if (scaled <= 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::int64_t>(scaled)));
+}
+
+BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) {
+  XGR_CHECK(!requests.empty()) << "empty batch";
+  const tokenizer::TokenizerInfo& tokenizer = llm_.Tokenizer();
+  auto vocab_size = static_cast<std::size_t>(tokenizer.VocabSize());
+
+  std::vector<ActiveRequest> active(requests.size());
+  double max_preprocess_s = 0.0;
+  std::int64_t prompt_tokens = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    active[i].request = &requests[i];
+    active[i].script = llm_.MakeScript(requests[i].target_text, requests[i].seed);
+    active[i].mask = DynamicBitset(vocab_size);
+    active[i].sampler_rng = Rng(requests[i].seed * 7919u + 13u);
+    if (requests[i].decoder != nullptr) {
+      requests[i].decoder->Reset();
+      max_preprocess_s = std::max(max_preprocess_s,
+                                  requests[i].decoder->PreprocessSeconds());
+    }
+    prompt_tokens += requests[i].prompt_tokens;
+  }
+
+  BatchResult batch;
+  batch.requests.resize(requests.size());
+
+  // --- Prefill / TTFT -------------------------------------------------------
+  // Grammar preprocessing (already paid at decoder construction) overlaps
+  // with prefill under kOverlap; otherwise it serializes in front of it.
+  Timer ttft_timer;
+  double prefill_us =
+      static_cast<double>(prompt_tokens) * options_.profile.prefill_us_per_token;
+  double preprocess_us = max_preprocess_s * 1e6;
+  if (options_.schedule == GrammarSchedule::kOverlap) {
+    SimulatedWait(std::max(prefill_us, preprocess_us));
+  } else if (options_.schedule == GrammarSchedule::kSerial) {
+    SimulatedWait(prefill_us + preprocess_us);
+  } else {
+    SimulatedWait(prefill_us);
+  }
+  batch.ttft_ms = ttft_timer.ElapsedMillis();
+
+  // --- Decode loop ----------------------------------------------------------
+  Timer decode_timer;
+  std::int32_t num_finished = 0;
+  auto batch_size = static_cast<double>(requests.size());
+  double step_us = options_.profile.decode_base_us +
+                   options_.profile.decode_per_seq_us * batch_size;
+
+  auto compute_masks_serial = [&] {
+    for (ActiveRequest& ar : active) {
+      if (ar.finished || ar.request->decoder == nullptr) continue;
+      ar.request->decoder->FillNextTokenBitmask(&ar.mask);
+    }
+  };
+  auto compute_masks_parallel = [&] {
+    ThreadPool::Global().ParallelFor(active.size(), [&](std::size_t i) {
+      ActiveRequest& ar = active[i];
+      if (ar.finished || ar.request->decoder == nullptr) return;
+      ar.request->decoder->FillNextTokenBitmask(&ar.mask);
+    });
+  };
+
+  while (num_finished < static_cast<std::int32_t>(active.size())) {
+    // Forward pass on the simulated GPU.
+    std::future<void> gpu = std::async(std::launch::async, [this, step_us] {
+      SimulatedWait(step_us);
+    });
+    if (options_.schedule == GrammarSchedule::kOverlap) {
+      compute_masks_parallel();  // overlapped with the forward pass (§3.5)
+    }
+    gpu.get();
+    if (options_.schedule == GrammarSchedule::kSerial) {
+      compute_masks_serial();  // serializes behind the forward pass
+    }
+    SimulatedWait(options_.profile.sampling_us);
+
+    ++batch.decode_steps;
+    for (ActiveRequest& ar : active) {
+      if (ar.finished) continue;
+      if (StepOneRequest(llm_, options_, &ar, &batch.total_tokens)) {
+        ++num_finished;
+      }
+    }
+  }
+  batch.decode_wall_ms = decode_timer.ElapsedMillis();
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    batch.requests[i] = std::move(active[i].result);
+  }
+  return batch;
+}
+
+ContinuousResult ServingEngine::RunContinuous(
+    const std::vector<ContinuousRequest>& requests,
+    std::int32_t max_batch_size) {
+  XGR_CHECK(!requests.empty()) << "empty request stream";
+  XGR_CHECK(max_batch_size > 0) << "batch capacity must be positive";
+  const tokenizer::TokenizerInfo& tokenizer = llm_.Tokenizer();
+  auto vocab_size = static_cast<std::size_t>(tokenizer.VocabSize());
+
+  // Pending queue in arrival order (stable for equal arrival steps).
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return requests[a].arrival_step < requests[b].arrival_step;
+  });
+
+  struct Slot {
+    ActiveRequest ar;
+    std::size_t index = 0;       // into `requests` / result vector
+    double admitted_clock = 0.0; // simulated µs
+  };
+  std::vector<Slot> active;
+  active.reserve(static_cast<std::size_t>(max_batch_size));
+
+  ContinuousResult out;
+  out.requests.resize(requests.size());
+  std::size_t next_pending = 0;
+  std::size_t finished = 0;
+  std::int64_t step = 0;
+  double clock_us = 0.0;  // simulated time; waits also burn scaled wall time
+
+  while (finished < requests.size()) {
+    // Admission: join arrived requests while capacity remains. The joining
+    // request's prefill is paid on this iteration (chunked-prefill style),
+    // lengthening the step for everyone — the continuous-batching tradeoff.
+    double admission_us = 0.0;
+    while (next_pending < order.size() &&
+           active.size() < static_cast<std::size_t>(max_batch_size) &&
+           requests[order[next_pending]].arrival_step <= step) {
+      const std::size_t index = order[next_pending++];
+      const EngineRequest& request = requests[index].request;
+      Slot slot;
+      slot.index = index;
+      slot.ar.request = &request;
+      slot.ar.script = llm_.MakeScript(request.target_text, request.seed);
+      slot.ar.mask = DynamicBitset(vocab_size);
+      slot.ar.sampler_rng = Rng(request.seed * 7919u + 13u);
+      if (request.decoder != nullptr) request.decoder->Reset();
+      admission_us += static_cast<double>(request.prompt_tokens) *
+                      options_.profile.prefill_us_per_token;
+      slot.admitted_clock = clock_us;
+      out.requests[index].admitted_step = step;
+      active.push_back(std::move(slot));
+    }
+    if (active.empty()) {
+      // Idle iteration: nothing running, waiting for future arrivals.
+      ++step;
+      continue;
+    }
+
+    double step_us = options_.profile.decode_base_us +
+                     options_.profile.decode_per_seq_us *
+                         static_cast<double>(active.size()) +
+                     admission_us;
+    // The clock advances by the measured wall time of the iteration: the
+    // (scaled) simulated GPU wait plus however much real mask-generation
+    // work escapes the overlap — exactly the quantity Figure 10 plots.
+    Timer iteration_timer;
+    std::future<void> gpu = std::async(std::launch::async, [this, step_us] {
+      SimulatedWait(step_us);
+    });
+    if (options_.schedule == GrammarSchedule::kOverlap) {
+      ThreadPool::Global().ParallelFor(active.size(), [&](std::size_t i) {
+        Slot& slot = active[i];
+        if (slot.ar.request->decoder == nullptr) return;
+        slot.ar.request->decoder->FillNextTokenBitmask(&slot.ar.mask);
+      });
+    }
+    gpu.get();
+    if (options_.schedule == GrammarSchedule::kSerial) {
+      for (Slot& slot : active) {
+        if (slot.ar.request->decoder == nullptr) continue;
+        slot.ar.request->decoder->FillNextTokenBitmask(&slot.ar.mask);
+      }
+    }
+    SimulatedWait(options_.profile.sampling_us);
+    clock_us += iteration_timer.ElapsedMicros();
+    ++out.decode_steps;
+
+    for (std::size_t i = 0; i < active.size();) {
+      Slot& slot = active[i];
+      bool had_tokens = !slot.ar.result.token_ids.empty();
+      bool done = StepOneRequest(llm_, options_, &slot.ar, &out.total_tokens);
+      ContinuousRequestResult& record = out.requests[slot.index];
+      if (!had_tokens && !slot.ar.result.token_ids.empty()) {
+        record.first_token_step = step;
+        record.ttft_ms = (clock_us - slot.admitted_clock) / 1000.0;
+      }
+      if (done) {
+        record.finish_step = step;
+        record.completion_ms = (clock_us - slot.admitted_clock) / 1000.0;
+        record.result = std::move(slot.ar.result);
+        active[i] = std::move(active.back());
+        active.pop_back();
+        ++finished;
+      } else {
+        ++i;
+      }
+    }
+    ++step;
+  }
+  out.makespan_ms = clock_us / 1000.0;
+  return out;
+}
+
+}  // namespace xgr::engine

@@ -1,0 +1,136 @@
+// Batched LLM serving simulator (§3.5 co-design and the end-to-end
+// experiments of §4.2 / Appendix B / Appendix C).
+//
+// The GPU forward pass is a calibrated wait on a worker thread (see
+// ModelProfile); grammar mask generation is real CPU work through the
+// ConstrainedDecoder interface. Scheduling modes:
+//   * serial    — masks are computed after the forward pass returns, on one
+//                 thread (how vLLM+Outlines and llama.cpp apply constraints);
+//   * overlap   — masks for the step are computed on a thread pool while the
+//                 forward pass runs, synchronizing before sampling (§3.5,
+//                 Figure 8). Grammar preprocessing likewise overlaps with
+//                 prefill.
+// Jump-forward decoding (Appendix B) appends forced continuations without
+// spending decode steps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/constrained_decoder.h"
+#include "engine/mock_llm.h"
+#include "engine/model_profile.h"
+#include "engine/sampler.h"
+
+namespace xgr::engine {
+
+enum class GrammarSchedule : std::uint8_t {
+  kNone,     // unconstrained generation
+  kSerial,   // mask after forward pass, single-threaded
+  kOverlap,  // mask during forward pass, thread pool (§3.5)
+};
+
+struct EngineOptions {
+  ModelProfile profile = ModelProfile::Llama31_8B_H100();
+  GrammarSchedule schedule = GrammarSchedule::kOverlap;
+  bool jump_forward = false;
+  // Re-tokenize across the sampled/forced boundary (Appendix B: jump-forward
+  // "requires retokenization, which involves rolling back some tokens"). Off
+  // = naive append, kept for ablation.
+  bool jf_retokenize = true;
+  std::int32_t max_new_tokens = 64;
+  // Scales every simulated GPU wait (1.0 = calibrated real time). Tests use
+  // small values; benchmarks keep 1.0.
+  double time_scale = 1.0;
+};
+
+struct EngineRequest {
+  // Grammar backend for this request; nullptr = unconstrained.
+  std::shared_ptr<baselines::ConstrainedDecoder> decoder;
+  std::string target_text;           // the mock model's intended completion
+  std::int32_t prompt_tokens = 139;  // paper §4.2: avg input 139 tokens
+  std::uint64_t seed = 1;
+};
+
+struct RequestResult {
+  std::string output_text;
+  std::vector<std::int32_t> token_ids;
+  bool finished_by_eos = false;
+  std::int32_t jump_forward_tokens = 0;
+  // Tokens rolled back and re-accepted to keep the context canonically
+  // tokenized across jump-forward boundaries.
+  std::int32_t retokenized_tokens = 0;
+};
+
+struct BatchResult {
+  std::vector<RequestResult> requests;
+  double ttft_ms = 0.0;          // prefill + preprocessing (+ first mask sync)
+  double decode_wall_ms = 0.0;   // total decode-loop wall time
+  std::int64_t decode_steps = 0;
+  std::int64_t total_tokens = 0;  // includes jump-forwarded tokens
+  // Time per output token as the paper reports it: decode wall time divided
+  // by tokens generated per request slot.
+  double TpotMs() const {
+    return total_tokens == 0
+               ? 0.0
+               : decode_wall_ms /
+                     (static_cast<double>(total_tokens) / static_cast<double>(requests.size()));
+  }
+};
+
+// A request that joins the continuous-batching queue at a given decode step
+// (iteration-level scheduling in the style of Orca, which the paper's §5
+// serving discussion builds on).
+struct ContinuousRequest {
+  EngineRequest request;
+  std::int64_t arrival_step = 0;  // first decode iteration it may join
+};
+
+struct ContinuousRequestResult {
+  RequestResult result;
+  std::int64_t admitted_step = -1;     // iteration the request joined
+  std::int64_t first_token_step = -1;  // iteration of its first token
+  std::int64_t finish_step = -1;       // iteration it completed
+  double ttft_ms = 0.0;                // simulated: admission -> first token
+  double completion_ms = 0.0;          // simulated: admission -> finished
+};
+
+struct ContinuousResult {
+  std::vector<ContinuousRequestResult> requests;  // in submission order
+  std::int64_t decode_steps = 0;
+  std::int64_t total_tokens = 0;
+  double makespan_ms = 0.0;  // simulated clock at last completion
+  double ThroughputTokensPerSec() const {
+    return makespan_ms <= 0.0
+               ? 0.0
+               : static_cast<double>(total_tokens) / (makespan_ms / 1000.0);
+  }
+};
+
+class ServingEngine {
+ public:
+  ServingEngine(const EngineOptions& options, const MockLlm& llm)
+      : options_(options), llm_(llm) {}
+
+  // Runs one static batch to completion (all requests step in lockstep, as in
+  // the paper's fixed-batch-size online-serving setting).
+  BatchResult RunBatch(const std::vector<EngineRequest>& requests);
+
+  // Continuous batching: requests join at their arrival step (capped at
+  // `max_batch_size` concurrent), leave when finished, and the per-step GPU
+  // cost tracks the instantaneous batch size. Grammar scheduling (serial /
+  // overlap) and jump-forward behave exactly as in RunBatch; admission pays
+  // the request's prefill on the joining step (chunked-prefill style).
+  ContinuousResult RunContinuous(const std::vector<ContinuousRequest>& requests,
+                                 std::int32_t max_batch_size);
+
+ private:
+  void SimulatedWait(double microseconds) const;
+
+  EngineOptions options_;
+  const MockLlm& llm_;
+};
+
+}  // namespace xgr::engine

@@ -1,0 +1,238 @@
+#include "ffi/c_api.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "baselines/xgrammar_decoder.h"
+#include "cache/adaptive_cache.h"
+#include "grammar/grammar.h"
+#include "grammar/json_schema.h"
+#include "grammar/regex_to_grammar.h"
+#include "pda/compiled_grammar.h"
+#include "support/logging.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace {
+
+thread_local std::string g_last_error;
+
+void SetError(const char* where, const std::exception& error) {
+  g_last_error = std::string(where) + ": " + error.what();
+}
+
+// Runs `fn`, translating any exception into `error_value` (never lets C++
+// exceptions cross the C boundary).
+template <typename Fn, typename E>
+auto Guarded(const char* where, E error_value, Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const std::exception& error) {
+    SetError(where, error);
+    return error_value;
+  }
+}
+
+size_t CopyOut(const std::string& value, char* buf, size_t buf_len) {
+  if (buf != nullptr && buf_len > 0) {
+    size_t n = std::min(buf_len - 1, value.size());
+    std::memcpy(buf, value.data(), n);
+    buf[n] = '\0';
+  }
+  return value.size();
+}
+
+}  // namespace
+
+// The opaque structs hold shared_ptrs so handle lifetime is independent of
+// the handles they were created from.
+struct xgr_tokenizer {
+  std::shared_ptr<const xgr::tokenizer::TokenizerInfo> info;
+};
+
+struct xgr_grammar {
+  std::shared_ptr<const xgr::cache::AdaptiveTokenMaskCache> cache;
+};
+
+struct xgr_matcher {
+  std::shared_ptr<xgr::baselines::XGrammarDecoder> decoder;
+};
+
+extern "C" {
+
+size_t xgr_last_error(char* buf, size_t buf_len) {
+  return CopyOut(g_last_error, buf, buf_len);
+}
+
+/* ----- tokenizer --------------------------------------------------------- */
+
+xgr_tokenizer* xgr_tokenizer_create(const char* const* token_bytes,
+                                    const size_t* token_lens,
+                                    int32_t vocab_size, int32_t eos_id) {
+  return Guarded("xgr_tokenizer_create", static_cast<xgr_tokenizer*>(nullptr), [&]() -> xgr_tokenizer* {
+    XGR_CHECK(token_bytes != nullptr && token_lens != nullptr);
+    XGR_CHECK(vocab_size > 0) << "empty vocabulary";
+    XGR_CHECK(eos_id >= 0 && eos_id < vocab_size) << "eos_id out of range";
+    xgr::tokenizer::Vocabulary vocab;
+    vocab.tokens.reserve(static_cast<std::size_t>(vocab_size));
+    for (int32_t i = 0; i < vocab_size; ++i) {
+      vocab.tokens.emplace_back(token_bytes[i], token_lens[i]);
+    }
+    vocab.eos_id = eos_id;
+    vocab.special_ids = {eos_id};
+    return new xgr_tokenizer{
+        std::make_shared<xgr::tokenizer::TokenizerInfo>(std::move(vocab))};
+  });
+}
+
+xgr_tokenizer* xgr_tokenizer_create_synthetic(int32_t vocab_size,
+                                              uint64_t seed) {
+  return Guarded("xgr_tokenizer_create_synthetic", static_cast<xgr_tokenizer*>(nullptr), [&]() -> xgr_tokenizer* {
+    return new xgr_tokenizer{std::make_shared<xgr::tokenizer::TokenizerInfo>(
+        xgr::tokenizer::BuildSyntheticVocab({vocab_size, seed}))};
+  });
+}
+
+int32_t xgr_tokenizer_vocab_size(const xgr_tokenizer* tokenizer) {
+  return tokenizer == nullptr ? 0 : tokenizer->info->VocabSize();
+}
+
+int32_t xgr_tokenizer_eos_id(const xgr_tokenizer* tokenizer) {
+  return tokenizer == nullptr ? -1 : tokenizer->info->EosId();
+}
+
+void xgr_tokenizer_destroy(xgr_tokenizer* tokenizer) { delete tokenizer; }
+
+/* ----- compiled grammar --------------------------------------------------- */
+
+namespace {
+
+xgr_grammar* CompileGrammar(const char* where, const xgr::grammar::Grammar& g,
+                            const xgr_tokenizer* tokenizer) {
+  return Guarded(where, static_cast<xgr_grammar*>(nullptr), [&]() -> xgr_grammar* {
+    XGR_CHECK(tokenizer != nullptr) << "null tokenizer";
+    auto pda = xgr::pda::CompiledGrammar::Compile(g);
+    auto cache =
+        xgr::cache::AdaptiveTokenMaskCache::Build(pda, tokenizer->info);
+    return new xgr_grammar{std::move(cache)};
+  });
+}
+
+}  // namespace
+
+xgr_grammar* xgr_grammar_compile_ebnf(const char* ebnf_text,
+                                      const char* root_rule,
+                                      const xgr_tokenizer* tokenizer) {
+  return Guarded("xgr_grammar_compile_ebnf", static_cast<xgr_grammar*>(nullptr), [&]() -> xgr_grammar* {
+    XGR_CHECK(ebnf_text != nullptr);
+    xgr::grammar::Grammar g = xgr::grammar::ParseEbnfOrThrow(
+        ebnf_text, root_rule != nullptr ? root_rule : "root");
+    return CompileGrammar("xgr_grammar_compile_ebnf", g, tokenizer);
+  });
+}
+
+xgr_grammar* xgr_grammar_compile_json_schema(const char* schema_json,
+                                             const xgr_tokenizer* tokenizer) {
+  return Guarded("xgr_grammar_compile_json_schema", static_cast<xgr_grammar*>(nullptr), [&]() -> xgr_grammar* {
+    XGR_CHECK(schema_json != nullptr);
+    xgr::grammar::Grammar g =
+        xgr::grammar::JsonSchemaTextToGrammar(schema_json);
+    return CompileGrammar("xgr_grammar_compile_json_schema", g, tokenizer);
+  });
+}
+
+xgr_grammar* xgr_grammar_compile_regex(const char* pattern,
+                                       const xgr_tokenizer* tokenizer) {
+  return Guarded("xgr_grammar_compile_regex", static_cast<xgr_grammar*>(nullptr), [&]() -> xgr_grammar* {
+    XGR_CHECK(pattern != nullptr);
+    xgr::grammar::Grammar g = xgr::grammar::RegexToGrammar(pattern);
+    return CompileGrammar("xgr_grammar_compile_regex", g, tokenizer);
+  });
+}
+
+xgr_grammar* xgr_grammar_compile_builtin_json(const xgr_tokenizer* tokenizer) {
+  return CompileGrammar("xgr_grammar_compile_builtin_json",
+                        xgr::grammar::BuiltinJsonGrammar(), tokenizer);
+}
+
+void xgr_grammar_destroy(xgr_grammar* grammar) { delete grammar; }
+
+/* ----- matcher ------------------------------------------------------------ */
+
+xgr_matcher* xgr_matcher_create(const xgr_grammar* grammar) {
+  return Guarded("xgr_matcher_create", static_cast<xgr_matcher*>(nullptr), [&]() -> xgr_matcher* {
+    XGR_CHECK(grammar != nullptr) << "null grammar";
+    return new xgr_matcher{
+        std::make_shared<xgr::baselines::XGrammarDecoder>(grammar->cache)};
+  });
+}
+
+void xgr_matcher_destroy(xgr_matcher* matcher) { delete matcher; }
+
+size_t xgr_matcher_mask_words(const xgr_matcher* matcher) {
+  if (matcher == nullptr) return 0;
+  std::size_t vocab = static_cast<std::size_t>(
+      matcher->decoder->Generator().Cache().Tokenizer().VocabSize());
+  return (vocab + 63) / 64;
+}
+
+xgr_status xgr_matcher_fill_next_token_bitmask(xgr_matcher* matcher,
+                                               uint64_t* mask_words,
+                                               size_t num_words) {
+  return Guarded("xgr_matcher_fill_next_token_bitmask", XGR_ERROR, [&]() -> xgr_status {
+    XGR_CHECK(matcher != nullptr && mask_words != nullptr);
+    XGR_CHECK(num_words >= xgr_matcher_mask_words(matcher))
+        << "mask buffer too small: " << num_words << " words";
+    std::size_t vocab = static_cast<std::size_t>(
+        matcher->decoder->Generator().Cache().Tokenizer().VocabSize());
+    xgr::DynamicBitset mask(vocab);
+    matcher->decoder->FillNextTokenBitmask(&mask);
+    static_assert(sizeof(xgr::DynamicBitset::Word) == sizeof(uint64_t));
+    std::memcpy(mask_words, mask.Data(), mask.WordCount() * sizeof(uint64_t));
+    return XGR_OK;
+  });
+}
+
+int32_t xgr_matcher_accept_token(xgr_matcher* matcher, int32_t token_id) {
+  return Guarded("xgr_matcher_accept_token", static_cast<int32_t>(-1), [&]() -> int32_t {
+    XGR_CHECK(matcher != nullptr);
+    const auto& tokenizer = matcher->decoder->Generator().Cache().Tokenizer();
+    XGR_CHECK(token_id >= 0 && token_id < tokenizer.VocabSize())
+        << "token id out of range: " << token_id;
+    return matcher->decoder->AcceptToken(token_id) ? 1 : 0;
+  });
+}
+
+int32_t xgr_matcher_can_terminate(const xgr_matcher* matcher) {
+  if (matcher == nullptr) return 0;
+  return matcher->decoder->CanTerminate() ? 1 : 0;
+}
+
+int32_t xgr_matcher_rollback_tokens(xgr_matcher* matcher, int32_t count) {
+  return Guarded("xgr_matcher_rollback_tokens", static_cast<int32_t>(-1), [&]() -> int32_t {
+    XGR_CHECK(matcher != nullptr);
+    XGR_CHECK(count >= 0) << "negative rollback";
+    return matcher->decoder->RollbackTokens(count) ? 1 : 0;
+  });
+}
+
+size_t xgr_matcher_find_jump_forward_string(xgr_matcher* matcher, char* buf,
+                                            size_t buf_len) {
+  if (matcher == nullptr) return 0;
+  return CopyOut(matcher->decoder->FindJumpForwardString(), buf, buf_len);
+}
+
+void xgr_matcher_reset(xgr_matcher* matcher) {
+  if (matcher != nullptr) matcher->decoder->Reset();
+}
+
+xgr_matcher* xgr_matcher_fork(const xgr_matcher* matcher) {
+  return Guarded("xgr_matcher_fork", static_cast<xgr_matcher*>(nullptr), [&]() -> xgr_matcher* {
+    XGR_CHECK(matcher != nullptr);
+    return new xgr_matcher{matcher->decoder->Fork()};
+  });
+}
+
+} /* extern "C" */

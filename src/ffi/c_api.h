@@ -1,0 +1,124 @@
+/* Stable C ABI over the XGrammar engine (Appendix C: cross-platform
+ * deployment). The paper's WebAssembly/JavaScript and mobile bindings wrap
+ * the engine through a flat C surface exactly like this one: opaque handles,
+ * integer status codes, caller-owned buffers, no C++ types across the
+ * boundary. C++ exceptions never escape — failures set a thread-local error
+ * message retrievable with xgr_last_error().
+ *
+ * Ownership: every *_create / *_compile function returns a handle the caller
+ * must release with the matching *_destroy. Handles are independent; destroy
+ * order does not matter (shared internals are reference-counted).
+ *
+ * Thread safety: a grammar handle is immutable after compilation and may be
+ * shared across threads; tokenizer handles likewise. Matcher handles are
+ * single-threaded, as are forks of the same matcher (they share an
+ * append-only stack pool without synchronization).
+ */
+#ifndef XGRAMMAR_FFI_C_API_H_
+#define XGRAMMAR_FFI_C_API_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* ----- status / errors --------------------------------------------------- */
+
+typedef enum xgr_status {
+  XGR_OK = 0,
+  XGR_ERROR = -1, /* details via xgr_last_error() */
+} xgr_status;
+
+/* Copies the calling thread's last error message (NUL-terminated, possibly
+ * truncated) into `buf`. Returns the full message length. */
+size_t xgr_last_error(char* buf, size_t buf_len);
+
+/* ----- tokenizer --------------------------------------------------------- */
+
+typedef struct xgr_tokenizer xgr_tokenizer;
+
+/* Builds a tokenizer from raw token byte strings (id = array index).
+ * `token_bytes[i]` points at `token_lens[i]` bytes (need not be
+ * NUL-terminated). `eos_id` must index a token that will act as EOS. Returns
+ * NULL on error. */
+xgr_tokenizer* xgr_tokenizer_create(const char* const* token_bytes,
+                                    const size_t* token_lens,
+                                    int32_t vocab_size, int32_t eos_id);
+
+/* The synthetic Llama-like vocabulary used by the benchmarks (DESIGN.md). */
+xgr_tokenizer* xgr_tokenizer_create_synthetic(int32_t vocab_size,
+                                              uint64_t seed);
+
+int32_t xgr_tokenizer_vocab_size(const xgr_tokenizer* tokenizer);
+int32_t xgr_tokenizer_eos_id(const xgr_tokenizer* tokenizer);
+
+void xgr_tokenizer_destroy(xgr_tokenizer* tokenizer);
+
+/* ----- compiled grammar --------------------------------------------------- */
+
+typedef struct xgr_grammar xgr_grammar;
+
+/* Each compile bundles grammar compilation (PDA construction, §3.4
+ * optimizations, §3.2 context expansion) with the adaptive token-mask cache
+ * build (§3.1) for `tokenizer`'s vocabulary. Returns NULL on error. */
+xgr_grammar* xgr_grammar_compile_ebnf(const char* ebnf_text,
+                                      const char* root_rule,
+                                      const xgr_tokenizer* tokenizer);
+xgr_grammar* xgr_grammar_compile_json_schema(const char* schema_json,
+                                             const xgr_tokenizer* tokenizer);
+xgr_grammar* xgr_grammar_compile_regex(const char* pattern,
+                                       const xgr_tokenizer* tokenizer);
+/* Builtin unconstrained-JSON grammar (ECMA-404). */
+xgr_grammar* xgr_grammar_compile_builtin_json(const xgr_tokenizer* tokenizer);
+
+void xgr_grammar_destroy(xgr_grammar* grammar);
+
+/* ----- matcher ------------------------------------------------------------ */
+
+typedef struct xgr_matcher xgr_matcher;
+
+xgr_matcher* xgr_matcher_create(const xgr_grammar* grammar);
+void xgr_matcher_destroy(xgr_matcher* matcher);
+
+/* Number of 64-bit words a mask buffer needs for this matcher's vocabulary:
+ * ceil(vocab_size / 64). */
+size_t xgr_matcher_mask_words(const xgr_matcher* matcher);
+
+/* Fills `mask_words` (length >= xgr_matcher_mask_words()) with the
+ * next-token bitmask; bit i = 1 means token i may be sampled. */
+xgr_status xgr_matcher_fill_next_token_bitmask(xgr_matcher* matcher,
+                                               uint64_t* mask_words,
+                                               size_t num_words);
+
+/* Advances the matcher by one sampled token. Returns 1 if accepted, 0 if the
+ * token is not a legal continuation (state unchanged), -1 on error (e.g. a
+ * token id outside the vocabulary). */
+int32_t xgr_matcher_accept_token(xgr_matcher* matcher, int32_t token_id);
+
+/* 1 when EOS is currently legal, else 0. */
+int32_t xgr_matcher_can_terminate(const xgr_matcher* matcher);
+
+/* Rolls back the last `count` accepted tokens (§3.3). Returns 1 on success,
+ * 0 if fewer than `count` tokens are rollback-able, -1 on error. */
+int32_t xgr_matcher_rollback_tokens(xgr_matcher* matcher, int32_t count);
+
+/* Copies the forced continuation from the current state (Appendix B
+ * jump-forward) into `buf` as a NUL-terminated string, possibly truncated.
+ * Returns the full continuation length ("" = no forced continuation). */
+size_t xgr_matcher_find_jump_forward_string(xgr_matcher* matcher, char* buf,
+                                            size_t buf_len);
+
+/* Restores the matcher to the start of generation. */
+void xgr_matcher_reset(xgr_matcher* matcher);
+
+/* O(1) state branch sharing the persistent stack pool (§3.3). The fork must
+ * be used on the same thread as its parent. Returns NULL on error. */
+xgr_matcher* xgr_matcher_fork(const xgr_matcher* matcher);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* XGRAMMAR_FFI_C_API_H_ */

@@ -1,0 +1,144 @@
+#include "fsa/dfa.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "support/logging.h"
+
+namespace xgr::fsa {
+
+std::int32_t Dfa::Run(const std::string& bytes) const {
+  std::int32_t state = start_;
+  for (char c : bytes) {
+    state = Next(state, static_cast<std::uint8_t>(c));
+    if (state == kDead) return kDead;
+  }
+  return state;
+}
+
+bool Dfa::Accepts(const std::string& bytes) const {
+  std::int32_t state = Run(bytes);
+  return state != kDead && IsAccepting(state);
+}
+
+void Dfa::ComputeLiveStates() {
+  // Reverse reachability from accepting states.
+  std::int32_t n = NumStates();
+  std::vector<std::vector<std::int32_t>> reverse(static_cast<std::size_t>(n));
+  for (std::int32_t s = 0; s < n; ++s) {
+    for (int b = 0; b < 256; ++b) {
+      std::int32_t t = transitions_[static_cast<std::size_t>(s)][static_cast<std::size_t>(b)];
+      if (t != kDead) reverse[static_cast<std::size_t>(t)].push_back(s);
+    }
+  }
+  live_.assign(static_cast<std::size_t>(n), false);
+  std::queue<std::int32_t> queue;
+  for (std::int32_t s = 0; s < n; ++s) {
+    if (accepting_[static_cast<std::size_t>(s)]) {
+      live_[static_cast<std::size_t>(s)] = true;
+      queue.push(s);
+    }
+  }
+  while (!queue.empty()) {
+    std::int32_t s = queue.front();
+    queue.pop();
+    for (std::int32_t p : reverse[static_cast<std::size_t>(s)]) {
+      if (!live_[static_cast<std::size_t>(p)]) {
+        live_[static_cast<std::size_t>(p)] = true;
+        queue.push(p);
+      }
+    }
+  }
+}
+
+Dfa Determinize(const Fsa& nfa, std::int32_t max_states) {
+  XGR_CHECK(IsPureByteFsa(nfa)) << "cannot determinize automaton with rule refs";
+
+  // Epsilon closure helper over the NFA.
+  auto close = [&nfa](std::vector<std::int32_t>* states) {
+    std::vector<char> visited(static_cast<std::size_t>(nfa.NumStates()), 0);
+    for (std::int32_t s : *states) visited[static_cast<std::size_t>(s)] = 1;
+    for (std::size_t i = 0; i < states->size(); ++i) {
+      for (const Edge& e : nfa.EdgesFrom((*states)[i])) {
+        if (e.kind == EdgeKind::kEpsilon &&
+            !visited[static_cast<std::size_t>(e.target)]) {
+          visited[static_cast<std::size_t>(e.target)] = 1;
+          states->push_back(e.target);
+        }
+      }
+    }
+    std::sort(states->begin(), states->end());
+    states->erase(std::unique(states->begin(), states->end()), states->end());
+  };
+
+  Dfa dfa;
+  std::map<std::vector<std::int32_t>, std::int32_t> subset_ids;
+  std::vector<std::vector<std::int32_t>> subsets;
+
+  auto intern = [&](std::vector<std::int32_t> subset) -> std::int32_t {
+    auto [it, inserted] = subset_ids.try_emplace(subset, static_cast<std::int32_t>(subsets.size()));
+    if (inserted) {
+      subsets.push_back(std::move(subset));
+      dfa.transitions_.emplace_back();
+      dfa.transitions_.back().fill(Dfa::kDead);
+      bool accepting = false;
+      for (std::int32_t s : subsets.back()) accepting = accepting || nfa.IsAccepting(s);
+      dfa.accepting_.push_back(accepting);
+      XGR_CHECK(static_cast<std::int32_t>(subsets.size()) <= max_states)
+          << "DFA state explosion beyond " << max_states;
+    }
+    return it->second;
+  };
+
+  std::vector<std::int32_t> initial{nfa.Start()};
+  close(&initial);
+  dfa.start_ = intern(std::move(initial));
+
+  for (std::size_t work = 0; work < subsets.size(); ++work) {
+    // Gather the byte transition function of this subset. Instead of scanning
+    // 256 bytes × edges, bucket edges by byte via boundary sweeping.
+    const std::vector<std::int32_t> subset = subsets[work];  // copy: subsets grows
+    struct Interval {
+      std::int32_t lo, hi, target;
+    };
+    std::vector<Interval> intervals;
+    for (std::int32_t s : subset) {
+      for (const Edge& e : nfa.EdgesFrom(s)) {
+        if (e.kind == EdgeKind::kByteRange) {
+          intervals.push_back({e.min_byte, e.max_byte, e.target});
+        }
+      }
+    }
+    if (intervals.empty()) continue;
+    // Boundary sweep: candidate cut points where the active target set changes.
+    std::vector<std::int32_t> bounds;
+    for (const Interval& iv : intervals) {
+      bounds.push_back(iv.lo);
+      bounds.push_back(iv.hi + 1);
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    for (std::size_t bi = 0; bi + 1 <= bounds.size(); ++bi) {
+      std::int32_t lo = bounds[bi];
+      std::int32_t hi = (bi + 1 < bounds.size()) ? bounds[bi + 1] - 1 : 255;
+      if (lo > 255) break;
+      hi = std::min<std::int32_t>(hi, 255);
+      std::vector<std::int32_t> next;
+      for (const Interval& iv : intervals) {
+        if (iv.lo <= lo && hi <= iv.hi) next.push_back(iv.target);
+      }
+      if (next.empty()) continue;
+      close(&next);
+      std::int32_t id = intern(std::move(next));
+      for (std::int32_t b = lo; b <= hi; ++b) {
+        dfa.transitions_[work][static_cast<std::size_t>(b)] = id;
+      }
+    }
+  }
+
+  dfa.ComputeLiveStates();
+  return dfa;
+}
+
+}  // namespace xgr::fsa

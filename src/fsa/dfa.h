@@ -1,0 +1,55 @@
+// Deterministic automaton with dense byte transition tables.
+//
+// Used by the regex engine and the Outlines-like baseline: schemas convert to
+// regexes, regexes to NFAs, and the NFA is determinized here so that the
+// baseline can precompute a token-indexed transition table per DFA state
+// (the strategy of Willard & Louf 2023).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fsa/fsa.h"
+
+namespace xgr::fsa {
+
+class Dfa {
+ public:
+  static constexpr std::int32_t kDead = -1;
+
+  std::int32_t NumStates() const { return static_cast<std::int32_t>(accepting_.size()); }
+  std::int32_t Start() const { return start_; }
+  bool IsAccepting(std::int32_t state) const {
+    return accepting_[static_cast<std::size_t>(state)];
+  }
+  // Next state on `byte`, or kDead.
+  std::int32_t Next(std::int32_t state, std::uint8_t byte) const {
+    return transitions_[static_cast<std::size_t>(state)][byte];
+  }
+
+  // Runs the DFA from the start; returns kDead if the input dies.
+  std::int32_t Run(const std::string& bytes) const;
+  bool Accepts(const std::string& bytes) const;
+
+  // True if some accepting state is reachable from `state` (i.e. the prefix
+  // leading here can still be extended to a match). Precomputed.
+  bool CanReachAccept(std::int32_t state) const {
+    return live_[static_cast<std::size_t>(state)];
+  }
+
+ private:
+  friend Dfa Determinize(const Fsa& nfa, std::int32_t max_states);
+  void ComputeLiveStates();
+
+  std::vector<std::array<std::int32_t, 256>> transitions_;
+  std::vector<bool> accepting_;
+  std::vector<bool> live_;
+  std::int32_t start_ = 0;
+};
+
+// Subset construction. `nfa` must be a pure byte automaton (epsilon edges
+// allowed). Throws if the DFA would exceed `max_states`.
+Dfa Determinize(const Fsa& nfa, std::int32_t max_states = 1 << 20);
+
+}  // namespace xgr::fsa

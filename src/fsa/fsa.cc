@@ -1,0 +1,159 @@
+#include "fsa/fsa.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/string_utils.h"
+
+namespace xgr::fsa {
+
+void Fsa::AddByteSeqPath(std::int32_t from, const ByteRangeSeq& seq,
+                         std::int32_t to) {
+  XGR_CHECK(!seq.empty()) << "empty byte-range sequence";
+  std::int32_t current = from;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    std::int32_t next = (i + 1 == seq.size()) ? to : AddState();
+    AddByteEdge(current, seq[i].lo, seq[i].hi, next);
+    current = next;
+  }
+}
+
+void Fsa::AddLiteralPath(std::int32_t from, const std::string& bytes,
+                         std::int32_t to) {
+  if (bytes.empty()) {
+    AddEpsilonEdge(from, to);
+    return;
+  }
+  std::int32_t current = from;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    auto b = static_cast<std::uint8_t>(bytes[i]);
+    std::int32_t next = (i + 1 == bytes.size()) ? to : AddState();
+    AddByteEdge(current, b, b, next);
+    current = next;
+  }
+}
+
+std::size_t Fsa::TotalEdges() const {
+  std::size_t total = 0;
+  for (const auto& edges : edges_) total += edges.size();
+  return total;
+}
+
+std::int32_t Fsa::CheckState(std::int32_t state) const {
+  XGR_DCHECK(state >= 0 && state < NumStates()) << "state out of range: " << state;
+  return state;
+}
+
+std::string Fsa::DebugString() const {
+  std::ostringstream out;
+  for (std::int32_t s = 0; s < NumStates(); ++s) {
+    out << s;
+    if (s == start_) out << " (start)";
+    if (accepting_[static_cast<std::size_t>(s)]) out << " (accept)";
+    out << ":\n";
+    for (const Edge& e : edges_[static_cast<std::size_t>(s)]) {
+      switch (e.kind) {
+        case EdgeKind::kByteRange:
+          if (e.min_byte == e.max_byte) {
+            out << "  --[" << EscapeBytes(std::string(1, static_cast<char>(e.min_byte)))
+                << "]--> " << e.target << "\n";
+          } else {
+            out << "  --["
+                << EscapeBytes(std::string(1, static_cast<char>(e.min_byte))) << "-"
+                << EscapeBytes(std::string(1, static_cast<char>(e.max_byte)))
+                << "]--> " << e.target << "\n";
+          }
+          break;
+        case EdgeKind::kRuleRef:
+          out << "  --<rule " << e.rule_ref << ">--> " << e.target << "\n";
+          break;
+        case EdgeKind::kEpsilon:
+          out << "  --eps--> " << e.target << "\n";
+          break;
+      }
+    }
+  }
+  return out.str();
+}
+
+bool IsPureByteFsa(const Fsa& fsa) {
+  for (std::int32_t s = 0; s < fsa.NumStates(); ++s) {
+    for (const Edge& e : fsa.EdgesFrom(s)) {
+      if (e.kind == EdgeKind::kRuleRef) return false;
+    }
+  }
+  return true;
+}
+
+NfaRunner::NfaRunner(const Fsa& fsa) : fsa_(fsa) {
+  visited_.resize(static_cast<std::size_t>(fsa.NumStates()));
+  Reset();
+}
+
+void NfaRunner::Reset() {
+  states_.clear();
+  states_.push_back(fsa_.Start());
+  EpsilonClose(&states_);
+}
+
+void NfaRunner::SetStates(std::vector<std::int32_t> states) {
+  states_ = std::move(states);
+  EpsilonClose(&states_);
+}
+
+void NfaRunner::EpsilonClose(std::vector<std::int32_t>* states) const {
+  std::fill(visited_.begin(), visited_.end(), 0);
+  for (std::int32_t s : *states) visited_[static_cast<std::size_t>(s)] = 1;
+  for (std::size_t i = 0; i < states->size(); ++i) {
+    std::int32_t s = (*states)[i];
+    for (const Edge& e : fsa_.EdgesFrom(s)) {
+      if (e.kind == EdgeKind::kEpsilon && !visited_[static_cast<std::size_t>(e.target)]) {
+        visited_[static_cast<std::size_t>(e.target)] = 1;
+        states->push_back(e.target);
+      }
+    }
+  }
+}
+
+bool NfaRunner::Advance(std::uint8_t byte) {
+  std::vector<std::int32_t> next;
+  std::fill(visited_.begin(), visited_.end(), 0);
+  for (std::int32_t s : states_) {
+    for (const Edge& e : fsa_.EdgesFrom(s)) {
+      if (e.kind == EdgeKind::kByteRange && e.min_byte <= byte && byte <= e.max_byte) {
+        if (!visited_[static_cast<std::size_t>(e.target)]) {
+          visited_[static_cast<std::size_t>(e.target)] = 1;
+          next.push_back(e.target);
+        }
+      }
+    }
+  }
+  EpsilonClose(&next);
+  states_ = std::move(next);
+  return !states_.empty();
+}
+
+bool NfaRunner::InAcceptingState() const {
+  for (std::int32_t s : states_) {
+    if (fsa_.IsAccepting(s)) return true;
+  }
+  return false;
+}
+
+bool FsaAccepts(const Fsa& fsa, const std::string& bytes) {
+  NfaRunner runner(fsa);
+  for (char c : bytes) {
+    if (!runner.Advance(static_cast<std::uint8_t>(c))) return false;
+  }
+  return runner.InAcceptingState();
+}
+
+bool FsaAcceptsPrefix(const Fsa& fsa, const std::string& bytes) {
+  NfaRunner runner(fsa);
+  for (char c : bytes) {
+    if (!runner.Advance(static_cast<std::uint8_t>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace xgr::fsa

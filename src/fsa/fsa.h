@@ -1,0 +1,171 @@
+// Finite-state automaton over bytes, with rule-reference edges.
+//
+// This is the shared automaton substrate: regex compilation produces pure
+// byte FSAs; the grammar compiler produces one FSA per grammar rule whose
+// edges are either byte ranges or *rule references* (the PDA variant of
+// Appendix A in the paper). Epsilon edges exist transiently during Thompson
+// construction and are removed/contracted by the optimization passes in
+// fsa_ops.cc.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/utf8.h"
+
+namespace xgr::fsa {
+
+enum class EdgeKind : std::uint8_t {
+  kByteRange,  // consumes one byte in [min_byte, max_byte]
+  kRuleRef,    // recurses into rule `rule_ref` (PDA push)
+  kEpsilon,    // consumes nothing
+};
+
+struct Edge {
+  EdgeKind kind = EdgeKind::kEpsilon;
+  std::uint8_t min_byte = 0;
+  std::uint8_t max_byte = 0;
+  std::int32_t rule_ref = -1;
+  std::int32_t target = -1;
+
+  static Edge ByteRange(std::uint8_t lo, std::uint8_t hi, std::int32_t target) {
+    return Edge{EdgeKind::kByteRange, lo, hi, -1, target};
+  }
+  static Edge RuleRef(std::int32_t rule, std::int32_t target) {
+    return Edge{EdgeKind::kRuleRef, 0, 0, rule, target};
+  }
+  static Edge Epsilon(std::int32_t target) {
+    return Edge{EdgeKind::kEpsilon, 0, 0, -1, target};
+  }
+
+  // Label equality ignoring the target (used by node merging).
+  bool SameLabel(const Edge& other) const {
+    return kind == other.kind && min_byte == other.min_byte &&
+           max_byte == other.max_byte && rule_ref == other.rule_ref;
+  }
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+// Growable automaton. States are dense int32 ids. Multiple "root" states are
+// supported because the grammar compiler places every rule's automaton in one
+// shared state space.
+class Fsa {
+ public:
+  std::int32_t AddState() {
+    edges_.emplace_back();
+    accepting_.push_back(false);
+    return static_cast<std::int32_t>(edges_.size()) - 1;
+  }
+
+  std::int32_t NumStates() const { return static_cast<std::int32_t>(edges_.size()); }
+
+  void AddEdge(std::int32_t from, Edge edge) { edges_[CheckState(from)].push_back(edge); }
+  void AddByteEdge(std::int32_t from, std::uint8_t lo, std::uint8_t hi, std::int32_t to) {
+    AddEdge(from, Edge::ByteRange(lo, hi, to));
+  }
+  void AddRuleEdge(std::int32_t from, std::int32_t rule, std::int32_t to) {
+    AddEdge(from, Edge::RuleRef(rule, to));
+  }
+  void AddEpsilonEdge(std::int32_t from, std::int32_t to) {
+    AddEdge(from, Edge::Epsilon(to));
+  }
+
+  // Adds states/edges matching the byte-range sequence (UTF-8 compilation
+  // output) from `from` to `to`.
+  void AddByteSeqPath(std::int32_t from, const ByteRangeSeq& seq, std::int32_t to);
+
+  // Adds a literal byte-string path from `from` to `to`.
+  void AddLiteralPath(std::int32_t from, const std::string& bytes, std::int32_t to);
+
+  const std::vector<Edge>& EdgesFrom(std::int32_t state) const {
+    return edges_[CheckState(state)];
+  }
+  std::vector<Edge>& MutableEdgesFrom(std::int32_t state) {
+    return edges_[CheckState(state)];
+  }
+
+  bool IsAccepting(std::int32_t state) const { return accepting_[CheckState(state)]; }
+  void SetAccepting(std::int32_t state, bool value = true) {
+    accepting_[CheckState(state)] = value;
+  }
+
+  std::int32_t Start() const { return start_; }
+  void SetStart(std::int32_t state) { start_ = CheckState(state); }
+
+  std::size_t TotalEdges() const;
+
+  // Human-readable dump for debugging / golden tests.
+  std::string DebugString() const;
+
+ private:
+  std::int32_t CheckState(std::int32_t state) const;
+
+  std::vector<std::vector<Edge>> edges_;
+  std::vector<bool> accepting_;
+  std::int32_t start_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Optimization / construction passes (fsa_ops.cc)
+// ---------------------------------------------------------------------------
+
+// Contracts epsilon edges where safe (paper §3.4 "node merging", epsilon
+// case), then eliminates any remaining epsilon edges by closure expansion.
+// `roots` are entry points that must survive (rule start states).
+// Returns the rewritten automaton and writes the new id of each old root into
+// `roots` in place.
+Fsa EliminateEpsilon(const Fsa& fsa, std::vector<std::int32_t>* roots);
+
+// Merges sibling states reached from one source via identical labels when
+// they have no other in-edges (paper §3.4 node merging). Requires an
+// epsilon-free automaton. Applies to fixpoint, then prunes unreachable
+// states. Updates `roots` in place.
+Fsa MergeEquivalentNodes(const Fsa& fsa, std::vector<std::int32_t>* roots);
+
+// Drops states unreachable from `roots` and renumbers densely.
+Fsa PruneUnreachable(const Fsa& fsa, std::vector<std::int32_t>* roots);
+
+// Builds the union automaton: new start state with epsilon edges to both
+// starts. Only for single-root automata (regex/suffix FSAs).
+Fsa UnionFsa(const Fsa& a, const Fsa& b);
+
+// True if the automaton has no kRuleRef edge (pure byte NFA).
+bool IsPureByteFsa(const Fsa& fsa);
+
+// ---------------------------------------------------------------------------
+// NFA simulation over pure byte automata (used by context expansion and the
+// regex engine before determinization).
+// ---------------------------------------------------------------------------
+
+class NfaRunner {
+ public:
+  // `fsa` must outlive the runner and contain no rule-ref edges.
+  explicit NfaRunner(const Fsa& fsa);
+
+  // Resets to the epsilon closure of the start state.
+  void Reset();
+  // Consumes a byte; returns false when the state set becomes empty (dead).
+  bool Advance(std::uint8_t byte);
+  bool InAcceptingState() const;
+  bool Dead() const { return states_.empty(); }
+  const std::vector<std::int32_t>& States() const { return states_; }
+  void SetStates(std::vector<std::int32_t> states);
+
+ private:
+  void EpsilonClose(std::vector<std::int32_t>* states) const;
+
+  const Fsa& fsa_;
+  std::vector<std::int32_t> states_;
+  mutable std::vector<char> visited_;  // scratch, sized NumStates
+};
+
+// Convenience: whether the pure byte FSA accepts exactly `bytes`.
+bool FsaAccepts(const Fsa& fsa, const std::string& bytes);
+
+// Whether some string with prefix `bytes` is accepted (i.e. the state set is
+// still alive after consuming `bytes`).
+bool FsaAcceptsPrefix(const Fsa& fsa, const std::string& bytes);
+
+}  // namespace xgr::fsa

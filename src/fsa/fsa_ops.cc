@@ -1,0 +1,209 @@
+// Automaton rewriting passes: epsilon elimination, node merging (§3.4),
+// unreachable-state pruning, union.
+#include <algorithm>
+#include <unordered_map>
+
+#include "fsa/fsa.h"
+#include "support/logging.h"
+
+namespace xgr::fsa {
+
+namespace {
+
+// Sorts and deduplicates an edge list; order: byte edges by (min, max,
+// target), then rule refs, then epsilons. Deterministic output keeps golden
+// tests stable.
+void NormalizeEdges(std::vector<Edge>* edges) {
+  auto key = [](const Edge& e) {
+    return std::tuple(static_cast<int>(e.kind), e.min_byte, e.max_byte,
+                      e.rule_ref, e.target);
+  };
+  std::sort(edges->begin(), edges->end(),
+            [&](const Edge& a, const Edge& b) { return key(a) < key(b); });
+  edges->erase(std::unique(edges->begin(), edges->end()), edges->end());
+}
+
+std::vector<std::vector<std::int32_t>> ComputeEpsilonClosures(const Fsa& fsa) {
+  std::int32_t n = fsa.NumStates();
+  std::vector<std::vector<std::int32_t>> closures(static_cast<std::size_t>(n));
+  std::vector<char> visited(static_cast<std::size_t>(n));
+  for (std::int32_t s = 0; s < n; ++s) {
+    std::fill(visited.begin(), visited.end(), 0);
+    std::vector<std::int32_t>& closure = closures[static_cast<std::size_t>(s)];
+    closure.push_back(s);
+    visited[static_cast<std::size_t>(s)] = 1;
+    for (std::size_t i = 0; i < closure.size(); ++i) {
+      for (const Edge& e : fsa.EdgesFrom(closure[i])) {
+        if (e.kind == EdgeKind::kEpsilon &&
+            !visited[static_cast<std::size_t>(e.target)]) {
+          visited[static_cast<std::size_t>(e.target)] = 1;
+          closure.push_back(e.target);
+        }
+      }
+    }
+  }
+  return closures;
+}
+
+}  // namespace
+
+Fsa PruneUnreachable(const Fsa& fsa, std::vector<std::int32_t>* roots) {
+  std::int32_t n = fsa.NumStates();
+  std::vector<std::int32_t> remap(static_cast<std::size_t>(n), -1);
+  std::vector<std::int32_t> order;
+  auto visit = [&](std::int32_t s) {
+    if (remap[static_cast<std::size_t>(s)] == -1) {
+      remap[static_cast<std::size_t>(s)] = static_cast<std::int32_t>(order.size());
+      order.push_back(s);
+    }
+  };
+  // Rule-ref edges jump to the referenced rule's start state; callers include
+  // all rule starts in `roots`, so following target edges here is sufficient.
+  for (std::int32_t root : *roots) visit(root);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (const Edge& e : fsa.EdgesFrom(order[i])) visit(e.target);
+  }
+
+  Fsa result;
+  for (std::size_t i = 0; i < order.size(); ++i) result.AddState();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    std::int32_t old_id = order[i];
+    auto new_id = static_cast<std::int32_t>(i);
+    result.SetAccepting(new_id, fsa.IsAccepting(old_id));
+    for (Edge e : fsa.EdgesFrom(old_id)) {
+      e.target = remap[static_cast<std::size_t>(e.target)];
+      result.AddEdge(new_id, e);
+    }
+    NormalizeEdges(&result.MutableEdgesFrom(new_id));
+  }
+  for (std::int32_t& root : *roots) root = remap[static_cast<std::size_t>(root)];
+  if (fsa.Start() < n && remap[static_cast<std::size_t>(fsa.Start())] != -1) {
+    result.SetStart(remap[static_cast<std::size_t>(fsa.Start())]);
+  }
+  return result;
+}
+
+Fsa EliminateEpsilon(const Fsa& fsa, std::vector<std::int32_t>* roots) {
+  auto closures = ComputeEpsilonClosures(fsa);
+  Fsa result;
+  for (std::int32_t s = 0; s < fsa.NumStates(); ++s) result.AddState();
+  for (std::int32_t s = 0; s < fsa.NumStates(); ++s) {
+    bool accepting = false;
+    for (std::int32_t c : closures[static_cast<std::size_t>(s)]) {
+      accepting = accepting || fsa.IsAccepting(c);
+      for (const Edge& e : fsa.EdgesFrom(c)) {
+        if (e.kind != EdgeKind::kEpsilon) result.AddEdge(s, e);
+      }
+    }
+    result.SetAccepting(s, accepting);
+    NormalizeEdges(&result.MutableEdgesFrom(s));
+  }
+  result.SetStart(fsa.Start());
+  return PruneUnreachable(result, roots);
+}
+
+Fsa MergeEquivalentNodes(const Fsa& input, std::vector<std::int32_t>* roots) {
+  Fsa fsa = input;  // working copy mutated in place
+  std::vector<char> is_root(static_cast<std::size_t>(fsa.NumStates()), 0);
+  for (std::int32_t root : *roots) is_root[static_cast<std::size_t>(root)] = 1;
+
+  constexpr int kMaxIterations = 64;
+  for (int iteration = 0; iteration < kMaxIterations; ++iteration) {
+    std::int32_t n = fsa.NumStates();
+    // In-degree over all edges (rule-ref targets included: those are return
+    // positions reached by pops, so they count as entries).
+    std::vector<std::int32_t> in_degree(static_cast<std::size_t>(n), 0);
+    for (std::int32_t s = 0; s < n; ++s) {
+      for (const Edge& e : fsa.EdgesFrom(s)) {
+        ++in_degree[static_cast<std::size_t>(e.target)];
+      }
+    }
+
+    bool changed = false;
+    for (std::int32_t s = 0; s < n; ++s) {
+      std::vector<Edge>& edges = fsa.MutableEdgesFrom(s);
+      NormalizeEdges(&edges);
+      // Group consecutive same-label edges (NormalizeEdges sorted by label
+      // first, so groups are contiguous).
+      for (std::size_t i = 0; i < edges.size();) {
+        std::size_t j = i + 1;
+        while (j < edges.size() && edges[j].SameLabel(edges[i])) ++j;
+        if (j - i >= 2) {
+          // Candidate group [i, j): merge targets with in-degree 1 that are
+          // neither roots nor the source itself.
+          std::int32_t keeper = -1;
+          std::vector<std::int32_t> absorbed;
+          for (std::size_t k = i; k < j; ++k) {
+            std::int32_t t = edges[k].target;
+            if (t == s || is_root[static_cast<std::size_t>(t)] ||
+                in_degree[static_cast<std::size_t>(t)] != 1) {
+              continue;
+            }
+            if (keeper == -1) {
+              keeper = t;
+            } else if (t != keeper) {
+              absorbed.push_back(t);
+            }
+          }
+          if (!absorbed.empty()) {
+            for (std::int32_t t : absorbed) {
+              // Move t's out-edges and acceptance into keeper.
+              for (const Edge& e : fsa.EdgesFrom(t)) fsa.AddEdge(keeper, e);
+              fsa.MutableEdgesFrom(t).clear();
+              if (fsa.IsAccepting(t)) fsa.SetAccepting(keeper, true);
+              // Redirect the group edge. Other in-edges do not exist
+              // (in-degree was 1). Keep in_degree consistent: dedup below can
+              // only shrink true in-degrees, so stored values stay safe
+              // overestimates, but redirects must be counted exactly.
+              for (std::size_t k = i; k < j; ++k) {
+                if (edges[k].target == t) {
+                  edges[k].target = keeper;
+                  --in_degree[static_cast<std::size_t>(t)];
+                  ++in_degree[static_cast<std::size_t>(keeper)];
+                }
+              }
+            }
+            NormalizeEdges(&fsa.MutableEdgesFrom(keeper));
+            NormalizeEdges(&edges);
+            changed = true;
+            // Restart the grouping for this state: edges changed.
+            i = 0;
+            continue;
+          }
+        }
+        i = j;
+      }
+    }
+    if (!changed) break;
+  }
+  return PruneUnreachable(fsa, roots);
+}
+
+Fsa UnionFsa(const Fsa& a, const Fsa& b) {
+  XGR_CHECK(IsPureByteFsa(a) && IsPureByteFsa(b))
+      << "UnionFsa supports pure byte automata only";
+  Fsa result;
+  std::int32_t start = result.AddState();
+  std::int32_t offset_a = result.NumStates();
+  for (std::int32_t s = 0; s < a.NumStates(); ++s) result.AddState();
+  std::int32_t offset_b = result.NumStates();
+  for (std::int32_t s = 0; s < b.NumStates(); ++s) result.AddState();
+
+  auto copy = [&result](const Fsa& src, std::int32_t offset) {
+    for (std::int32_t s = 0; s < src.NumStates(); ++s) {
+      result.SetAccepting(offset + s, src.IsAccepting(s));
+      for (Edge e : src.EdgesFrom(s)) {
+        e.target += offset;
+        result.AddEdge(offset + s, e);
+      }
+    }
+  };
+  copy(a, offset_a);
+  copy(b, offset_b);
+  result.AddEpsilonEdge(start, offset_a + a.Start());
+  result.AddEpsilonEdge(start, offset_b + b.Start());
+  result.SetStart(start);
+  return result;
+}
+
+}  // namespace xgr::fsa

@@ -1,0 +1,163 @@
+// Builtin grammars used throughout the evaluation (§4.1 of the paper):
+//  - Unconstrained JSON straight from ECMA-404.
+//  - An XML 1.0 subset: nested elements, attributes, character data,
+//    comments and entity/character references (tag-name matching is beyond
+//    CFG and, as in the paper, not enforced).
+//  - A Python DSL covering control flow (if/elif/else, for, while) and the
+//    str/int/float/bool data types, with indentation ignored.
+#include "grammar/grammar.h"
+
+namespace xgr::grammar {
+
+const std::string& JsonGrammarEbnf() {
+  // Written in the paper's own style (Figure 3): leaf lexical structure is
+  // expressed with inline character classes rather than fragment rules, so
+  // `string` and `number` are self-contained. (The fragment-heavy style is
+  // what rule inlining (§3.4) normalizes toward anyway.)
+  static const std::string kText = R"EBNF(
+# ECMA-404 JSON
+root ::= element
+value ::= object | array | string | number | "true" | "false" | "null"
+object ::= "{" ws "}" | "{" members "}"
+members ::= member ("," member)*
+member ::= ws string ws ":" element
+array ::= "[" ws "]" | "[" elements "]"
+elements ::= element ("," element)*
+element ::= ws value ws
+string ::= "\"" ([^"\\\x00-\x1F] | "\\" (["\\/bfnrt] | "u" [0-9a-fA-F]{4}))* "\""
+number ::= "-"? ("0" | [1-9] [0-9]*) ("." [0-9]+)? ([eE] [-+]? [0-9]+)?
+ws ::= [ \t\n\r]*
+)EBNF";
+  return kText;
+}
+
+const std::string& XmlGrammarEbnf() {
+  static const std::string kText = R"EBNF(
+# XML 1.0 subset
+root ::= ws element ws
+element ::= "<" name attributes ws ("/>" | ">" content "</" name ">")
+attributes ::= (wsp attribute)*
+attribute ::= name "=" "\"" attvalue "\""
+attvalue ::= (attchar | reference)*
+attchar ::= [^"<&]
+content ::= (element | chardata | comment | reference)*
+chardata ::= [^<&]+
+reference ::= "&" ("amp" | "lt" | "gt" | "quot" | "apos" | "#" [0-9]+ | "#x" [0-9a-fA-F]+) ";"
+comment ::= "<!--" ([^\-] | "-" [^\-])* "-->"
+name ::= [a-zA-Z_:] [a-zA-Z0-9_.:\-]*
+wsp ::= [ \t\n\r]+
+ws ::= [ \t\n\r]*
+)EBNF";
+  return kText;
+}
+
+const std::string& PythonDslGrammarEbnf() {
+  static const std::string kText = R"EBNF(
+# Python DSL: control flow + basic data types, indentation ignored (paper 4.1)
+root ::= nl* statement+
+statement ::= simple_stmt | compound_stmt
+simple_stmt ::= small_stmt nl+
+small_stmt ::= assignment | return_stmt | "pass" | "break" | "continue" | expression
+assignment ::= identifier wso assign_op wso expression
+assign_op ::= "=" | "+=" | "-=" | "*=" | "/="
+return_stmt ::= "return" (" " expression)?
+compound_stmt ::= if_stmt | while_stmt | for_stmt
+if_stmt ::= "if " expression ":" suite elif_clause* else_clause?
+elif_clause ::= "elif " expression ":" suite
+else_clause ::= "else:" suite
+while_stmt ::= "while " expression ":" suite
+for_stmt ::= "for " identifier " in " expression ":" suite
+suite ::= " " small_stmt nl+ | nl+ statement+
+expression ::= disjunction
+disjunction ::= conjunction (" or " conjunction)*
+conjunction ::= inversion (" and " inversion)*
+inversion ::= "not " inversion | comparison
+comparison ::= sum (wso compare_op wso sum)?
+compare_op ::= "==" | "!=" | "<=" | ">=" | "<" | ">" | " in " | " not in "
+sum ::= term (wso add_op wso term)*
+add_op ::= "+" | "-"
+term ::= factor (wso mul_op wso factor)*
+mul_op ::= "*" | "/" | "%" | "//"
+factor ::= "-" factor | "+" factor | power
+power ::= primary ("**" factor)?
+primary ::= atom trailer*
+trailer ::= "(" wso arguments? wso ")" | "[" wso expression wso "]" | "." identifier
+arguments ::= expression ("," wso expression)*
+atom ::= identifier | float_lit | int_lit | string_lit | "True" | "False" | "None" | list_lit | "(" expression ")"
+list_lit ::= "[" wso (expression ("," wso expression)*)? wso "]"
+identifier ::= [a-zA-Z_] [a-zA-Z0-9_]*
+int_lit ::= [0-9]+
+float_lit ::= [0-9]+ "." [0-9]+
+string_lit ::= "\"" dq_char* "\"" | "'" sq_char* "'"
+dq_char ::= [^"\\\n] | "\\" [^\n]
+sq_char ::= [^'\\\n] | "\\" [^\n]
+nl ::= "\n"
+wso ::= " "?
+)EBNF";
+  return kText;
+}
+
+const std::string& SqlGrammarEbnf() {
+  // SQL subset in canonical form: single spaces, uppercase keywords, explicit
+  // AS for aliases. SELECT with JOIN/WHERE/GROUP BY/ORDER BY/LIMIT, INSERT,
+  // UPDATE, DELETE; expressions with boolean/comparison/arithmetic operators,
+  // LIKE / IN / BETWEEN / IS NULL predicates, aggregate and scalar function
+  // calls, qualified column references and '?' parameter placeholders.
+  static const std::string kText = R"EBNF(
+# SQL subset (canonical spacing)
+root ::= statement ";"?
+statement ::= select_stmt | insert_stmt | update_stmt | delete_stmt
+select_stmt ::= "SELECT " distinct? select_list from_clause? where_clause? group_clause? order_clause? limit_clause?
+distinct ::= "DISTINCT "
+select_list ::= "*" | result_col ("," wso result_col)*
+result_col ::= expression (" AS " identifier)?
+from_clause ::= " FROM " table_ref join_clause*
+table_ref ::= identifier (" AS " identifier)?
+join_clause ::= join_kind table_ref " ON " expression
+join_kind ::= " JOIN " | " LEFT JOIN " | " INNER JOIN " | " CROSS JOIN "
+where_clause ::= " WHERE " expression
+group_clause ::= " GROUP BY " expr_list having_clause?
+having_clause ::= " HAVING " expression
+order_clause ::= " ORDER BY " order_item ("," wso order_item)*
+order_item ::= expression (" ASC" | " DESC")?
+limit_clause ::= " LIMIT " int_lit (" OFFSET " int_lit)?
+insert_stmt ::= "INSERT INTO " identifier wso "(" wso column_list wso ")" " VALUES " values_row ("," wso values_row)*
+values_row ::= "(" wso expr_list wso ")"
+column_list ::= identifier ("," wso identifier)*
+update_stmt ::= "UPDATE " identifier " SET " set_item ("," wso set_item)* where_clause?
+set_item ::= identifier wso "=" wso expression
+delete_stmt ::= "DELETE FROM " identifier where_clause?
+expression ::= and_expr (" OR " and_expr)*
+and_expr ::= not_expr (" AND " not_expr)*
+not_expr ::= "NOT " not_expr | predicate
+predicate ::= operand predicate_tail?
+predicate_tail ::= wso compare_op wso operand | " IS NULL" | " IS NOT NULL" | " LIKE " string_lit | " IN " "(" wso expr_list wso ")" | " BETWEEN " operand " AND " operand
+compare_op ::= "=" | "<>" | "!=" | "<=" | ">=" | "<" | ">"
+operand ::= term (wso add_op wso term)*
+add_op ::= "+" | "-"
+term ::= factor (wso mul_op wso factor)*
+mul_op ::= "*" | "/" | "%"
+factor ::= "-" factor | primary
+primary ::= literal | func_call | column_ref | "(" wso expression wso ")" | "?"
+func_call ::= func_name "(" wso ("*" | "DISTINCT " expression | expr_list)? wso ")"
+func_name ::= "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "UPPER" | "LOWER" | "LENGTH" | "ABS" | "ROUND" | "COALESCE"
+column_ref ::= identifier ("." identifier)?
+literal ::= float_lit | int_lit | string_lit | "NULL" | "TRUE" | "FALSE"
+expr_list ::= expression ("," wso expression)*
+identifier ::= [a-zA-Z_] [a-zA-Z0-9_]*
+int_lit ::= [0-9]+
+float_lit ::= [0-9]+ "." [0-9]+
+string_lit ::= "'" ([^'] | "''")* "'"
+wso ::= " "?
+)EBNF";
+  return kText;
+}
+
+Grammar BuiltinJsonGrammar() { return ParseEbnfOrThrow(JsonGrammarEbnf()); }
+Grammar BuiltinXmlGrammar() { return ParseEbnfOrThrow(XmlGrammarEbnf()); }
+Grammar BuiltinPythonDslGrammar() {
+  return ParseEbnfOrThrow(PythonDslGrammarEbnf());
+}
+Grammar BuiltinSqlGrammar() { return ParseEbnfOrThrow(SqlGrammarEbnf()); }
+
+}  // namespace xgr::grammar

@@ -1,0 +1,296 @@
+#include "grammar/earley.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "support/logging.h"
+#include "support/utf8.h"
+
+namespace xgr::grammar {
+
+namespace {
+
+// Lowering context: builds productions bottom-up, creating fresh
+// nonterminals for choices, repeats and character classes.
+class Lowering {
+ public:
+  explicit Lowering(const Grammar& grammar) : grammar_(grammar) {
+    // One nonterminal per grammar rule, in rule order, so rule references
+    // can be resolved immediately.
+    bnf_.num_nonterminals = grammar.NumRules();
+  }
+
+  BnfGrammar Run() {
+    // Fresh start symbol S' -> <root rule> keeps production 0 canonical.
+    std::int32_t start = NewNonterminal();
+    bnf_.start = start;
+    AddProduction(start,
+                  {NonterminalSymbol(static_cast<std::int32_t>(grammar_.RootRule()))});
+    for (RuleId r = 0; r < grammar_.NumRules(); ++r) {
+      // rhs of rule r: one production per top-level alternative.
+      ExprId body = grammar_.GetRule(r).body;
+      for (std::vector<BnfGrammar::Symbol>& rhs : LowerToAlternatives(body)) {
+        AddProduction(static_cast<std::int32_t>(r), std::move(rhs));
+      }
+    }
+    IndexAndComputeNullable();
+    return std::move(bnf_);
+  }
+
+ private:
+  static BnfGrammar::Symbol TerminalSymbol(std::uint8_t lo, std::uint8_t hi) {
+    BnfGrammar::Symbol s;
+    s.is_terminal = true;
+    s.lo = lo;
+    s.hi = hi;
+    return s;
+  }
+  static BnfGrammar::Symbol NonterminalSymbol(std::int32_t nt) {
+    BnfGrammar::Symbol s;
+    s.nonterminal = nt;
+    return s;
+  }
+
+  std::int32_t NewNonterminal() { return bnf_.num_nonterminals++; }
+
+  void AddProduction(std::int32_t lhs, std::vector<BnfGrammar::Symbol> rhs) {
+    bnf_.productions.push_back({lhs, std::move(rhs)});
+  }
+
+  // Lowers `expr` into a single symbol (introducing a fresh nonterminal
+  // when the expression is not already atomic).
+  BnfGrammar::Symbol LowerToSymbol(ExprId expr_id) {
+    const Expr& expr = grammar_.GetExpr(expr_id);
+    switch (expr.type) {
+      case ExprType::kRuleRef:
+        return NonterminalSymbol(static_cast<std::int32_t>(expr.rule_ref));
+      case ExprType::kByteString:
+        if (expr.bytes.size() == 1) {
+          std::uint8_t b = static_cast<std::uint8_t>(expr.bytes[0]);
+          return TerminalSymbol(b, b);
+        }
+        break;
+      default:
+        break;
+    }
+    std::int32_t fresh = NewNonterminal();
+    for (std::vector<BnfGrammar::Symbol>& rhs : LowerToAlternatives(expr_id)) {
+      AddProduction(fresh, std::move(rhs));
+    }
+    return NonterminalSymbol(fresh);
+  }
+
+  // Lowers `expr` into one or more alternative symbol strings.
+  std::vector<std::vector<BnfGrammar::Symbol>> LowerToAlternatives(ExprId expr_id) {
+    const Expr& expr = grammar_.GetExpr(expr_id);
+    switch (expr.type) {
+      case ExprType::kEmpty:
+        return {{}};
+      case ExprType::kByteString: {
+        std::vector<BnfGrammar::Symbol> rhs;
+        for (char c : expr.bytes) {
+          std::uint8_t b = static_cast<std::uint8_t>(c);
+          rhs.push_back(TerminalSymbol(b, b));
+        }
+        return {std::move(rhs)};
+      }
+      case ExprType::kCharClass: {
+        // One alternative per UTF-8 byte-range sequence of each codepoint
+        // interval — deliberately NOT sharing the automaton compiler.
+        std::vector<std::vector<BnfGrammar::Symbol>> alternatives;
+        for (const regex::CodepointRange& range : expr.ranges) {
+          for (const ByteRangeSeq& seq : CompileCodepointRange(range.lo, range.hi)) {
+            std::vector<BnfGrammar::Symbol> rhs;
+            for (const ByteRange& br : seq) rhs.push_back(TerminalSymbol(br.lo, br.hi));
+            alternatives.push_back(std::move(rhs));
+          }
+        }
+        XGR_CHECK(!alternatives.empty()) << "empty character class";
+        return alternatives;
+      }
+      case ExprType::kRuleRef:
+        return {{NonterminalSymbol(static_cast<std::int32_t>(expr.rule_ref))}};
+      case ExprType::kSequence: {
+        std::vector<BnfGrammar::Symbol> rhs;
+        for (ExprId child : expr.children) rhs.push_back(LowerToSymbol(child));
+        return {std::move(rhs)};
+      }
+      case ExprType::kChoice: {
+        std::vector<std::vector<BnfGrammar::Symbol>> alternatives;
+        for (ExprId child : expr.children) {
+          for (std::vector<BnfGrammar::Symbol>& rhs : LowerToAlternatives(child)) {
+            alternatives.push_back(std::move(rhs));
+          }
+        }
+        return alternatives;
+      }
+      case ExprType::kRepeat: {
+        // X{m,n}: emit m mandatory copies then either an unbounded tail
+        // nonterminal (n = -1) or n-m optional nested copies.
+        BnfGrammar::Symbol child = LowerToSymbol(expr.children[0]);
+        std::vector<BnfGrammar::Symbol> rhs(
+            static_cast<std::size_t>(expr.min_repeat), child);
+        if (expr.max_repeat == -1) {
+          std::int32_t star = NewNonterminal();  // star -> eps | child star
+          AddProduction(star, {});
+          AddProduction(star, {child, NonterminalSymbol(star)});
+          rhs.push_back(NonterminalSymbol(star));
+        } else if (expr.max_repeat > expr.min_repeat) {
+          // opt_k -> eps | child opt_{k-1}, nested for the optional budget.
+          std::int32_t next = -1;
+          for (std::int32_t k = 0; k < expr.max_repeat - expr.min_repeat; ++k) {
+            std::int32_t opt = NewNonterminal();
+            AddProduction(opt, {});
+            if (next == -1) {
+              AddProduction(opt, {child});
+            } else {
+              AddProduction(opt, {child, NonterminalSymbol(next)});
+            }
+            next = opt;
+          }
+          rhs.push_back(NonterminalSymbol(next));
+        }
+        return {std::move(rhs)};
+      }
+    }
+    XGR_UNREACHABLE();
+  }
+
+  void IndexAndComputeNullable() {
+    bnf_.productions_of.assign(static_cast<std::size_t>(bnf_.num_nonterminals), {});
+    for (std::size_t p = 0; p < bnf_.productions.size(); ++p) {
+      bnf_.productions_of[static_cast<std::size_t>(bnf_.productions[p].lhs)]
+          .push_back(static_cast<std::int32_t>(p));
+    }
+    // Fixpoint nullability.
+    bnf_.nullable.assign(static_cast<std::size_t>(bnf_.num_nonterminals), false);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const BnfGrammar::Production& production : bnf_.productions) {
+        if (bnf_.nullable[static_cast<std::size_t>(production.lhs)]) continue;
+        bool all_nullable = true;
+        for (const BnfGrammar::Symbol& symbol : production.rhs) {
+          if (symbol.is_terminal ||
+              !bnf_.nullable[static_cast<std::size_t>(symbol.nonterminal)]) {
+            all_nullable = false;
+            break;
+          }
+        }
+        if (all_nullable) {
+          bnf_.nullable[static_cast<std::size_t>(production.lhs)] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  const Grammar& grammar_;
+  BnfGrammar bnf_;
+};
+
+// One Earley item: production `prod` with the dot before rhs[dot], started
+// at input position `origin`.
+struct Item {
+  std::int32_t prod;
+  std::int32_t dot;
+  std::int32_t origin;
+  friend bool operator==(const Item&, const Item&) = default;
+};
+
+struct ItemHash {
+  std::size_t operator()(const Item& item) const {
+    std::size_t h = static_cast<std::size_t>(item.prod);
+    h = h * 1000003u + static_cast<std::size_t>(item.dot);
+    h = h * 1000003u + static_cast<std::size_t>(item.origin);
+    return h;
+  }
+};
+
+}  // namespace
+
+BnfGrammar LowerToBnf(const Grammar& grammar) {
+  XGR_CHECK(grammar.RootRule() != kInvalidRule) << "grammar has no root";
+  return Lowering(grammar).Run();
+}
+
+bool EarleyAccepts(const BnfGrammar& bnf, std::string_view input) {
+  const std::int32_t n = static_cast<std::int32_t>(input.size());
+  std::vector<std::vector<Item>> sets(static_cast<std::size_t>(n) + 1);
+  std::vector<std::unordered_set<Item, ItemHash>> members(
+      static_cast<std::size_t>(n) + 1);
+
+  auto add = [&](std::int32_t position, Item item) {
+    if (members[static_cast<std::size_t>(position)].insert(item).second) {
+      sets[static_cast<std::size_t>(position)].push_back(item);
+    }
+  };
+
+  for (std::int32_t p : bnf.productions_of[static_cast<std::size_t>(bnf.start)]) {
+    add(0, {p, 0, 0});
+  }
+
+  for (std::int32_t pos = 0; pos <= n; ++pos) {
+    auto& set = sets[static_cast<std::size_t>(pos)];
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      Item item = set[i];
+      const BnfGrammar::Production& production =
+          bnf.productions[static_cast<std::size_t>(item.prod)];
+      if (item.dot < static_cast<std::int32_t>(production.rhs.size())) {
+        const BnfGrammar::Symbol& next =
+            production.rhs[static_cast<std::size_t>(item.dot)];
+        if (next.is_terminal) {
+          // Scanner.
+          if (pos < n) {
+            std::uint8_t byte = static_cast<std::uint8_t>(input[static_cast<std::size_t>(pos)]);
+            if (next.lo <= byte && byte <= next.hi) {
+              add(pos + 1, {item.prod, item.dot + 1, item.origin});
+            }
+          }
+        } else {
+          // Predictor (+ Aycock–Horspool: skip over nullable predictions).
+          for (std::int32_t p :
+               bnf.productions_of[static_cast<std::size_t>(next.nonterminal)]) {
+            add(pos, {p, 0, pos});
+          }
+          if (bnf.nullable[static_cast<std::size_t>(next.nonterminal)]) {
+            add(pos, {item.prod, item.dot + 1, item.origin});
+          }
+        }
+      } else {
+        // Completer: finish `production.lhs` spanning [origin, pos]. Index
+        // through `sets` on every step — when origin == pos, add() grows the
+        // set being walked and may reallocate it.
+        for (std::size_t j = 0; j < sets[static_cast<std::size_t>(item.origin)].size();
+             ++j) {
+          Item waiting = sets[static_cast<std::size_t>(item.origin)][j];
+          const BnfGrammar::Production& wp =
+              bnf.productions[static_cast<std::size_t>(waiting.prod)];
+          if (waiting.dot < static_cast<std::int32_t>(wp.rhs.size()) &&
+              !wp.rhs[static_cast<std::size_t>(waiting.dot)].is_terminal &&
+              wp.rhs[static_cast<std::size_t>(waiting.dot)].nonterminal ==
+                  production.lhs) {
+            add(pos, {waiting.prod, waiting.dot + 1, waiting.origin});
+          }
+        }
+      }
+    }
+  }
+
+  for (const Item& item : sets[static_cast<std::size_t>(n)]) {
+    const BnfGrammar::Production& production =
+        bnf.productions[static_cast<std::size_t>(item.prod)];
+    if (production.lhs == bnf.start && item.origin == 0 &&
+        item.dot == static_cast<std::int32_t>(production.rhs.size())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EarleyAccepts(const Grammar& grammar, std::string_view input) {
+  return EarleyAccepts(LowerToBnf(grammar), input);
+}
+
+}  // namespace xgr::grammar

@@ -1,0 +1,58 @@
+// Earley recognizer over grammars — the independent correctness oracle.
+//
+// The production engine executes grammars through a long pipeline
+// (normalization, inlining, Thompson construction, node merging, context
+// expansion, persistent-stack execution); this recognizer shares none of
+// that code. It lowers the grammar expression trees to plain BNF productions
+// whose terminals are byte ranges (codepoint classes are expanded with the
+// same UTF-8 range decomposition the automata use, but through a separate
+// code path) and runs the textbook Earley algorithm with the
+// Aycock–Horspool nullable fix. Differential tests compare it against the
+// PDA matcher on random grammars and random inputs.
+//
+// Complexity is O(n^3 · |G|) — fine for tests, not for serving; the paper's
+// point is precisely that naive general parsing is too slow for per-token
+// masking.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "grammar/grammar.h"
+
+namespace xgr::grammar {
+
+// A grammar lowered to BNF. Symbols are either terminals (inclusive byte
+// ranges) or nonterminal indices. Production 0's lhs is the start symbol.
+struct BnfGrammar {
+  struct Symbol {
+    bool is_terminal = false;
+    std::uint8_t lo = 0, hi = 0;     // terminal byte range
+    std::int32_t nonterminal = -1;   // nonterminal index
+  };
+  struct Production {
+    std::int32_t lhs = -1;
+    std::vector<Symbol> rhs;  // empty = epsilon production
+  };
+  std::vector<Production> productions;
+  std::int32_t num_nonterminals = 0;
+  std::int32_t start = 0;
+
+  // Indices of productions per lhs, and nullability per nonterminal
+  // (computed by LowerToBnf).
+  std::vector<std::vector<std::int32_t>> productions_of;
+  std::vector<bool> nullable;
+};
+
+// Lowers `grammar` (rooted at its root rule) into BNF productions.
+BnfGrammar LowerToBnf(const Grammar& grammar);
+
+// Textbook Earley recognition on the lowered grammar.
+bool EarleyAccepts(const BnfGrammar& bnf, std::string_view input);
+
+// Convenience: lower + recognize in one call (lowering is O(|G|); callers
+// checking many inputs should lower once).
+bool EarleyAccepts(const Grammar& grammar, std::string_view input);
+
+}  // namespace xgr::grammar

@@ -1,0 +1,467 @@
+// Parser for the GBNF-flavoured EBNF surface syntax.
+//
+// Grammar of the metalanguage:
+//   grammar  := (rule)*
+//   rule     := IDENT "::=" body
+//   body     := sequence ("|" sequence)*
+//   sequence := element*            (empty sequence = epsilon)
+//   element  := atom ("*" | "+" | "?" | "{" m ("," n?)? "}")?
+//   atom     := STRING | CHARCLASS | IDENT | "(" body ")"
+// Comments run from '#' to end of line. Rule bodies may span lines; a new
+// rule begins where `IDENT ::=` appears.
+#include <cctype>
+#include <optional>
+
+#include "grammar/grammar.h"
+#include "support/logging.h"
+#include "support/utf8.h"
+
+namespace xgr::grammar {
+
+namespace {
+
+enum class TokType : std::uint8_t {
+  kIdent,
+  kDefine,  // ::=
+  kPipe,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kQuestion,
+  kString,     // decoded literal bytes in `text`
+  kCharClass,  // raw class source including brackets in `text`
+  kRepeat,     // {m} {m,} {m,n}; bounds in min/max
+  kEnd,
+};
+
+struct Token {
+  TokType type = TokType::kEnd;
+  std::string text;
+  std::int32_t min_repeat = 0;
+  std::int32_t max_repeat = -1;
+  std::size_t offset = 0;  // for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  // Tokenizes the whole input; returns false and sets `error` on failure.
+  bool Run(std::vector<Token>* tokens, std::string* error) {
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= text_.size()) break;
+      Token token;
+      token.offset = pos_;
+      char c = text_[pos_];
+      if (c == ':' && text_.compare(pos_, 3, "::=") == 0) {
+        token.type = TokType::kDefine;
+        pos_ += 3;
+      } else if (c == '|') {
+        token.type = TokType::kPipe;
+        ++pos_;
+      } else if (c == '(') {
+        token.type = TokType::kLParen;
+        ++pos_;
+      } else if (c == ')') {
+        token.type = TokType::kRParen;
+        ++pos_;
+      } else if (c == '*') {
+        token.type = TokType::kStar;
+        ++pos_;
+      } else if (c == '+') {
+        token.type = TokType::kPlus;
+        ++pos_;
+      } else if (c == '?') {
+        token.type = TokType::kQuestion;
+        ++pos_;
+      } else if (c == '{') {
+        if (!LexRepeat(&token, error)) return false;
+      } else if (c == '"' || c == '\'') {
+        if (!LexString(c, &token, error)) return false;
+      } else if (c == '[') {
+        if (!LexCharClass(&token, error)) return false;
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        token.type = TokType::kIdent;
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '-')) {
+          ++pos_;
+        }
+        token.text = text_.substr(start, pos_ - start);
+      } else {
+        *error = Err(pos_, std::string("unexpected character '") + c + "'");
+        return false;
+      }
+      tokens->push_back(std::move(token));
+    }
+    tokens->push_back(Token{});  // kEnd
+    return true;
+  }
+
+ private:
+  static std::string Err(std::size_t offset, const std::string& message) {
+    return "EBNF error at offset " + std::to_string(offset) + ": " + message;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool LexRepeat(Token* token, std::string* error) {
+    std::size_t start = pos_;
+    ++pos_;  // '{'
+    auto read_int = [&]() -> std::optional<std::int32_t> {
+      std::size_t digits = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+      if (digits == pos_) return std::nullopt;
+      return std::stoi(text_.substr(digits, pos_ - digits));
+    };
+    auto min_v = read_int();
+    if (!min_v.has_value()) {
+      *error = Err(start, "number expected in {m,n}");
+      return false;
+    }
+    token->type = TokType::kRepeat;
+    token->min_repeat = *min_v;
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      token->max_repeat = *min_v;
+      return true;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != ',') {
+      *error = Err(start, "',' or '}' expected in {m,n}");
+      return false;
+    }
+    ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      token->max_repeat = -1;
+      return true;
+    }
+    auto max_v = read_int();
+    if (!max_v.has_value() || pos_ >= text_.size() || text_[pos_] != '}') {
+      *error = Err(start, "malformed {m,n}");
+      return false;
+    }
+    ++pos_;
+    token->max_repeat = *max_v;
+    if (token->max_repeat < token->min_repeat) {
+      *error = Err(start, "max < min in {m,n}");
+      return false;
+    }
+    return true;
+  }
+
+  bool LexString(char quote, Token* token, std::string* error) {
+    std::size_t start = pos_;
+    ++pos_;
+    token->type = TokType::kString;
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        *error = Err(start, "unterminated string literal");
+        return false;
+      }
+      char c = text_[pos_++];
+      if (c == quote) break;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        *error = Err(start, "dangling backslash");
+        return false;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case '0': out.push_back('\0'); break;
+        case '"': out.push_back('"'); break;
+        case '\'': out.push_back('\''); break;
+        case '\\': out.push_back('\\'); break;
+        case 'x': {
+          if (pos_ + 2 > text_.size()) {
+            *error = Err(start, "truncated \\x escape");
+            return false;
+          }
+          int value = 0;
+          for (int i = 0; i < 2; ++i) {
+            char h = text_[pos_++];
+            int digit = (h >= '0' && h <= '9')   ? h - '0'
+                        : (h >= 'a' && h <= 'f') ? h - 'a' + 10
+                        : (h >= 'A' && h <= 'F') ? h - 'A' + 10
+                                                 : -1;
+            if (digit < 0) {
+              *error = Err(start, "invalid hex digit in \\x");
+              return false;
+            }
+            value = value * 16 + digit;
+          }
+          out.push_back(static_cast<char>(value));
+          break;
+        }
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            *error = Err(start, "truncated \\u escape");
+            return false;
+          }
+          std::uint32_t value = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            int digit = (h >= '0' && h <= '9')   ? h - '0'
+                        : (h >= 'a' && h <= 'f') ? h - 'a' + 10
+                        : (h >= 'A' && h <= 'F') ? h - 'A' + 10
+                                                 : -1;
+            if (digit < 0) {
+              *error = Err(start, "invalid hex digit in \\u");
+              return false;
+            }
+            value = value * 16 + static_cast<std::uint32_t>(digit);
+          }
+          AppendUtf8(value, &out);
+          break;
+        }
+        default:
+          *error = Err(start, std::string("unknown escape \\") + esc);
+          return false;
+      }
+    }
+    token->text = std::move(out);
+    return true;
+  }
+
+  bool LexCharClass(Token* token, std::string* error) {
+    std::size_t start = pos_;
+    token->type = TokType::kCharClass;
+    ++pos_;  // '['
+    bool escaped = false;
+    bool first = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (!escaped && c == ']' && !first) {
+        ++pos_;
+        token->text = text_.substr(start, pos_ - start);
+        return true;
+      }
+      if (first && c != '^') first = false;
+      escaped = !escaped && c == '\\';
+      ++pos_;
+    }
+    *error = Err(start, "unterminated character class");
+    return false;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+class EbnfParser {
+ public:
+  EbnfParser(std::vector<Token> tokens, const std::string& root_rule)
+      : tokens_(std::move(tokens)), root_name_(root_rule) {}
+
+  EbnfParseResult Run() {
+    EbnfParseResult result;
+    // Pass 1: declare all rules so forward references resolve.
+    for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (tokens_[i].type == TokType::kIdent &&
+          tokens_[i + 1].type == TokType::kDefine) {
+        grammar_.DeclareRule(tokens_[i].text);
+      }
+    }
+    // Pass 2: parse bodies.
+    while (Peek().type != TokType::kEnd) {
+      if (!ParseRule()) {
+        result.error = error_;
+        return result;
+      }
+    }
+    RuleId root = grammar_.FindRule(root_name_);
+    if (root == kInvalidRule) {
+      result.error = "root rule '" + root_name_ + "' not defined";
+      return result;
+    }
+    for (RuleId r = 0; r < grammar_.NumRules(); ++r) {
+      if (grammar_.GetRule(r).body == kInvalidExpr) {
+        result.error = "rule '" + grammar_.GetRule(r).name + "' referenced but never defined";
+        return result;
+      }
+    }
+    grammar_.SetRootRule(root);
+    result.grammar = std::move(grammar_);
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    std::size_t index = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = "EBNF error at offset " + std::to_string(Peek().offset) + ": " + message;
+    }
+    return false;
+  }
+
+  bool ParseRule() {
+    if (Peek().type != TokType::kIdent) return Fail("rule name expected");
+    std::string name = Advance().text;
+    if (Peek().type != TokType::kDefine) return Fail("'::=' expected");
+    Advance();
+    ExprId body;
+    if (!ParseBody(&body)) return false;
+    RuleId rule = grammar_.FindRule(name);
+    if (grammar_.GetRule(rule).body != kInvalidExpr) {
+      return Fail("rule '" + name + "' defined twice");
+    }
+    grammar_.SetRuleBody(rule, body);
+    return true;
+  }
+
+  // A body ends at ')', EOF, or the start of the next rule (IDENT '::"=').
+  bool AtBodyEnd() const {
+    TokType t = Peek().type;
+    if (t == TokType::kEnd || t == TokType::kRParen) return true;
+    return t == TokType::kIdent && Peek(1).type == TokType::kDefine;
+  }
+
+  bool ParseBody(ExprId* out) {
+    std::vector<ExprId> alternatives;
+    while (true) {
+      ExprId seq;
+      if (!ParseSequence(&seq)) return false;
+      alternatives.push_back(seq);
+      if (Peek().type == TokType::kPipe) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    *out = grammar_.AddChoice(std::move(alternatives));
+    return true;
+  }
+
+  bool ParseSequence(ExprId* out) {
+    std::vector<ExprId> elements;
+    while (!AtBodyEnd() && Peek().type != TokType::kPipe) {
+      ExprId element;
+      if (!ParseElement(&element)) return false;
+      elements.push_back(element);
+    }
+    *out = grammar_.AddSequence(std::move(elements));
+    return true;
+  }
+
+  bool ParseElement(ExprId* out) {
+    ExprId atom;
+    if (!ParseAtom(&atom)) return false;
+    while (true) {
+      switch (Peek().type) {
+        case TokType::kStar:
+          Advance();
+          atom = grammar_.AddStar(atom);
+          break;
+        case TokType::kPlus:
+          Advance();
+          atom = grammar_.AddPlus(atom);
+          break;
+        case TokType::kQuestion:
+          Advance();
+          atom = grammar_.AddOptional(atom);
+          break;
+        case TokType::kRepeat: {
+          const Token& token = Advance();
+          atom = grammar_.AddRepeat(atom, token.min_repeat, token.max_repeat);
+          break;
+        }
+        default:
+          *out = atom;
+          return true;
+      }
+    }
+  }
+
+  bool ParseAtom(ExprId* out) {
+    switch (Peek().type) {
+      case TokType::kString: {
+        *out = grammar_.AddByteString(Advance().text);
+        return true;
+      }
+      case TokType::kCharClass: {
+        const Token& token = Advance();
+        // Delegate class-body parsing to the regex engine (same syntax).
+        regex::RegexParseResult parsed = regex::ParseRegex(token.text);
+        if (!parsed.ok() || parsed.root->type != regex::NodeType::kCharClass) {
+          return Fail("invalid character class " + token.text +
+                      (parsed.ok() ? "" : (": " + parsed.error)));
+        }
+        // Ranges come pre-normalized (negation resolved) from the regex parser.
+        *out = grammar_.AddCharClass(std::move(parsed.root->ranges), false);
+        return true;
+      }
+      case TokType::kIdent: {
+        const Token& token = Advance();
+        RuleId rule = grammar_.FindRule(token.text);
+        if (rule == kInvalidRule) {
+          return Fail("reference to undefined rule '" + token.text + "'");
+        }
+        *out = grammar_.AddRuleRef(rule);
+        return true;
+      }
+      case TokType::kLParen: {
+        Advance();
+        if (!ParseBody(out)) return false;
+        if (Peek().type != TokType::kRParen) return Fail("')' expected");
+        Advance();
+        return true;
+      }
+      default:
+        return Fail("atom expected");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::string root_name_;
+  Grammar grammar_;
+  std::string error_;
+};
+
+}  // namespace
+
+EbnfParseResult ParseEbnf(const std::string& text, const std::string& root_rule) {
+  std::vector<Token> tokens;
+  std::string error;
+  if (!Lexer(text).Run(&tokens, &error)) {
+    EbnfParseResult result;
+    result.error = std::move(error);
+    return result;
+  }
+  return EbnfParser(std::move(tokens), root_rule).Run();
+}
+
+Grammar ParseEbnfOrThrow(const std::string& text, const std::string& root_rule) {
+  EbnfParseResult result = ParseEbnf(text, root_rule);
+  XGR_CHECK(result.ok) << result.error;
+  return std::move(result.grammar);
+}
+
+}  // namespace xgr::grammar

@@ -1,0 +1,154 @@
+#include "grammar/grammar.h"
+
+#include "support/logging.h"
+
+namespace xgr::grammar {
+
+ExprId Grammar::AddExpr(Expr expr) {
+  exprs_.push_back(std::move(expr));
+  return static_cast<ExprId>(exprs_.size()) - 1;
+}
+
+ExprId Grammar::AddByteString(std::string bytes) {
+  if (bytes.empty()) return AddEmpty();
+  Expr expr;
+  expr.type = ExprType::kByteString;
+  expr.bytes = std::move(bytes);
+  return AddExpr(std::move(expr));
+}
+
+ExprId Grammar::AddCharClass(std::vector<regex::CodepointRange> ranges,
+                             bool negated) {
+  Expr expr;
+  expr.type = ExprType::kCharClass;
+  expr.ranges = regex::NormalizeRanges(std::move(ranges), negated);
+  XGR_CHECK(!expr.ranges.empty()) << "character class matches nothing";
+  return AddExpr(std::move(expr));
+}
+
+ExprId Grammar::AddRuleRef(RuleId rule) {
+  XGR_CHECK(rule >= 0 && rule < NumRules()) << "bad rule id " << rule;
+  Expr expr;
+  expr.type = ExprType::kRuleRef;
+  expr.rule_ref = rule;
+  return AddExpr(std::move(expr));
+}
+
+ExprId Grammar::AddSequence(std::vector<ExprId> children) {
+  if (children.empty()) return AddEmpty();
+  if (children.size() == 1) return children[0];
+  Expr expr;
+  expr.type = ExprType::kSequence;
+  expr.children = std::move(children);
+  return AddExpr(std::move(expr));
+}
+
+ExprId Grammar::AddChoice(std::vector<ExprId> children) {
+  XGR_CHECK(!children.empty()) << "choice needs at least one alternative";
+  if (children.size() == 1) return children[0];
+  Expr expr;
+  expr.type = ExprType::kChoice;
+  expr.children = std::move(children);
+  return AddExpr(std::move(expr));
+}
+
+ExprId Grammar::AddRepeat(ExprId child, std::int32_t min_repeat,
+                          std::int32_t max_repeat) {
+  XGR_CHECK(min_repeat >= 0) << "negative repetition";
+  XGR_CHECK(max_repeat == -1 || max_repeat >= min_repeat)
+      << "bad repetition bounds {" << min_repeat << "," << max_repeat << "}";
+  if (max_repeat == 1 && min_repeat == 1) return child;
+  Expr expr;
+  expr.type = ExprType::kRepeat;
+  expr.children = {child};
+  expr.min_repeat = min_repeat;
+  expr.max_repeat = max_repeat;
+  return AddExpr(std::move(expr));
+}
+
+RuleId Grammar::DeclareRule(const std::string& name) {
+  auto it = rule_by_name_.find(name);
+  if (it != rule_by_name_.end()) return it->second;
+  RuleId id = static_cast<RuleId>(rules_.size());
+  rules_.push_back(Rule{name, kInvalidExpr});
+  rule_by_name_.emplace(name, id);
+  return id;
+}
+
+RuleId Grammar::AddRule(const std::string& name, ExprId body) {
+  RuleId id = DeclareRule(name);
+  SetRuleBody(id, body);
+  return id;
+}
+
+void Grammar::SetRuleBody(RuleId rule, ExprId body) {
+  XGR_CHECK(rule >= 0 && rule < NumRules()) << "bad rule id " << rule;
+  XGR_CHECK(body >= 0 && body < NumExprs()) << "bad expr id " << body;
+  rules_[static_cast<std::size_t>(rule)].body = body;
+}
+
+RuleId Grammar::FindRule(const std::string& name) const {
+  auto it = rule_by_name_.find(name);
+  return it == rule_by_name_.end() ? kInvalidRule : it->second;
+}
+
+const Rule& Grammar::GetRule(RuleId rule) const {
+  XGR_CHECK(rule >= 0 && rule < NumRules()) << "bad rule id " << rule;
+  return rules_[static_cast<std::size_t>(rule)];
+}
+
+const Expr& Grammar::GetExpr(ExprId expr) const {
+  XGR_CHECK(expr >= 0 && expr < NumExprs()) << "bad expr id " << expr;
+  return exprs_[static_cast<std::size_t>(expr)];
+}
+
+Expr& Grammar::MutableExpr(ExprId expr) {
+  XGR_CHECK(expr >= 0 && expr < NumExprs()) << "bad expr id " << expr;
+  return exprs_[static_cast<std::size_t>(expr)];
+}
+
+std::int32_t Grammar::ExprSize(ExprId expr_id) const {
+  const Expr& expr = GetExpr(expr_id);
+  switch (expr.type) {
+    case ExprType::kEmpty:
+    case ExprType::kCharClass:
+    case ExprType::kRuleRef:
+      return 1;
+    case ExprType::kByteString:
+      return static_cast<std::int32_t>(expr.bytes.size());
+    case ExprType::kSequence:
+    case ExprType::kChoice:
+    case ExprType::kRepeat: {
+      std::int32_t total = 1;
+      for (ExprId child : expr.children) total += ExprSize(child);
+      return total;
+    }
+  }
+  XGR_UNREACHABLE();
+}
+
+ExprId Grammar::CopyExpr(ExprId expr_id) {
+  Expr copy = GetExpr(expr_id);  // value copy; children still point at originals
+  for (ExprId& child : copy.children) child = CopyExpr(child);
+  return AddExpr(std::move(copy));
+}
+
+void Grammar::Validate() const {
+  XGR_CHECK(root_rule_ >= 0 && root_rule_ < NumRules()) << "root rule not set";
+  for (std::int32_t r = 0; r < NumRules(); ++r) {
+    const Rule& rule = rules_[static_cast<std::size_t>(r)];
+    XGR_CHECK(rule.body != kInvalidExpr) << "rule '" << rule.name << "' has no body";
+    XGR_CHECK(rule.body >= 0 && rule.body < NumExprs());
+  }
+  for (std::int32_t e = 0; e < NumExprs(); ++e) {
+    const Expr& expr = exprs_[static_cast<std::size_t>(e)];
+    for (ExprId child : expr.children) {
+      XGR_CHECK(child >= 0 && child < NumExprs()) << "dangling child expr";
+    }
+    if (expr.type == ExprType::kRuleRef) {
+      XGR_CHECK(expr.rule_ref >= 0 && expr.rule_ref < NumRules()) << "dangling rule ref";
+    }
+  }
+}
+
+}  // namespace xgr::grammar

@@ -1,0 +1,171 @@
+// Context-free grammar representation (§2.2 of the paper).
+//
+// A Grammar is a set of named rules; each rule body is an expression tree of
+// sequences, choices, repetitions, byte-string literals, character classes
+// (over Unicode codepoints; negation resolved at construction time) and
+// references to other rules. Expressions live in a flat arena owned by the
+// Grammar, referenced by dense ExprId — the same storage strategy as the
+// reference implementation, keeping traversal cache-friendly and making
+// structural rewrites (flattening, inlining) cheap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "regex/regex.h"
+
+namespace xgr::grammar {
+
+using ExprId = std::int32_t;
+using RuleId = std::int32_t;
+inline constexpr ExprId kInvalidExpr = -1;
+inline constexpr RuleId kInvalidRule = -1;
+
+enum class ExprType : std::uint8_t {
+  kEmpty,       // matches ""
+  kByteString,  // a literal byte sequence (UTF-8 text)
+  kCharClass,   // one character from normalized codepoint ranges
+  kRuleRef,     // reference to another rule
+  kSequence,    // children in order
+  kChoice,      // any child
+  kRepeat,      // child repeated [min, max] times (max = -1: unbounded)
+};
+
+struct Expr {
+  ExprType type = ExprType::kEmpty;
+  std::string bytes;                         // kByteString
+  std::vector<regex::CodepointRange> ranges; // kCharClass (normalized)
+  RuleId rule_ref = kInvalidRule;            // kRuleRef
+  std::vector<ExprId> children;              // kSequence/kChoice/kRepeat
+  std::int32_t min_repeat = 0;               // kRepeat
+  std::int32_t max_repeat = -1;              // kRepeat (-1 = unbounded)
+};
+
+struct Rule {
+  std::string name;
+  ExprId body = kInvalidExpr;
+};
+
+class Grammar {
+ public:
+  // --- Expression construction ------------------------------------------
+  ExprId AddEmpty() { return AddExpr(Expr{}); }
+  ExprId AddByteString(std::string bytes);
+  // `ranges` are raw; pass negated=true to complement against all scalars.
+  ExprId AddCharClass(std::vector<regex::CodepointRange> ranges, bool negated = false);
+  ExprId AddRuleRef(RuleId rule);
+  ExprId AddSequence(std::vector<ExprId> children);
+  ExprId AddChoice(std::vector<ExprId> children);
+  ExprId AddRepeat(ExprId child, std::int32_t min_repeat, std::int32_t max_repeat);
+  // Kleene star / plus / optional conveniences.
+  ExprId AddStar(ExprId child) { return AddRepeat(child, 0, -1); }
+  ExprId AddPlus(ExprId child) { return AddRepeat(child, 1, -1); }
+  ExprId AddOptional(ExprId child) { return AddRepeat(child, 0, 1); }
+
+  // --- Rule construction --------------------------------------------------
+  // Declares a rule by name so recursive references can be created before the
+  // body exists. Re-declaring returns the existing id.
+  RuleId DeclareRule(const std::string& name);
+  RuleId AddRule(const std::string& name, ExprId body);
+  void SetRuleBody(RuleId rule, ExprId body);
+
+  RuleId FindRule(const std::string& name) const;  // kInvalidRule if absent
+  RuleId RootRule() const { return root_rule_; }
+  void SetRootRule(RuleId rule) { root_rule_ = rule; }
+
+  // --- Accessors -----------------------------------------------------------
+  std::int32_t NumRules() const { return static_cast<std::int32_t>(rules_.size()); }
+  std::int32_t NumExprs() const { return static_cast<std::int32_t>(exprs_.size()); }
+  const Rule& GetRule(RuleId rule) const;
+  const Expr& GetExpr(ExprId expr) const;
+  Expr& MutableExpr(ExprId expr);
+
+  // Number of atoms (leaf expressions) under `expr`; used by the inliner's
+  // size caps.
+  std::int32_t ExprSize(ExprId expr) const;
+
+  // Deep-copies an expression tree (within this grammar). Used by inlining.
+  ExprId CopyExpr(ExprId expr);
+
+  // EBNF-ish rendering, stable across runs; used by tests and debugging.
+  std::string ToString() const;
+
+  // Validates internal invariants (all ids in range, bodies set, root set).
+  void Validate() const;
+
+ private:
+  ExprId AddExpr(Expr expr);
+
+  std::vector<Rule> rules_;
+  std::vector<Expr> exprs_;
+  std::unordered_map<std::string, RuleId> rule_by_name_;
+  RuleId root_rule_ = kInvalidRule;
+};
+
+// --- Parsing / printing (ebnf_parser.cc, grammar_printer.cc) ---------------
+
+struct EbnfParseResult {
+  Grammar grammar;
+  std::string error;
+  bool ok = false;
+};
+
+// Parses a GBNF-flavoured EBNF text. Syntax summary:
+//   rulename ::= alternative1 | alternative2
+//   elements: "literal"  [a-z^-]  rulename  ( group )  e*  e+  e?  e{m,n}
+//   comments: '#' to end of line.
+// The rule named `root_rule` (default "root") becomes the grammar root.
+EbnfParseResult ParseEbnf(const std::string& text,
+                          const std::string& root_rule = "root");
+
+// Throwing convenience wrapper.
+Grammar ParseEbnfOrThrow(const std::string& text,
+                         const std::string& root_rule = "root");
+
+// --- Transform passes (grammar_transform.cc) -------------------------------
+
+// Flattens nested sequences/choices, collapses single-child containers and
+// drops empty alternates where legal. Produces an equivalent grammar.
+void NormalizeGrammar(Grammar* grammar);
+
+// Rule inlining (§3.4): iteratively inlines "fragment" rules — rules whose
+// bodies reference no other rule — into their referencing rules, subject to
+// size caps. Returns the number of rules inlined away.
+struct InlineOptions {
+  std::int32_t max_inlinee_atoms = 24;   // size cap on the inlined rule body
+  std::int32_t max_result_atoms = 4096;  // cap on the grown referencing body
+};
+int InlineFragmentRules(Grammar* grammar, const InlineOptions& options = {});
+
+// Drops rules unreachable from the root and renumbers. Returns #removed.
+int RemoveUnreachableRules(Grammar* grammar);
+
+// Imports every rule of `src` into `dst`, renaming each rule to
+// `prefix + original_name` (rule references are remapped). Returns the id in
+// `dst` of `src`'s root rule; `dst`'s own root is left unchanged. Throws
+// xgr::CheckError when a renamed rule collides with an existing one — pick
+// distinct prefixes when composing several grammars.
+RuleId ImportRules(Grammar* dst, const Grammar& src, const std::string& prefix);
+
+// --- Builtin grammars (builtin_grammars.cc) ---------------------------------
+
+// Unconstrained JSON per ECMA-404 (the paper's "CFG (Unconstrained JSON)").
+const std::string& JsonGrammarEbnf();
+// XML 1.0 subset: nested elements, attributes, text, comments, entity refs.
+const std::string& XmlGrammarEbnf();
+// Python DSL: if/for/while control flow + str/int/float/bool expressions,
+// indentation ignored (paper §4.1).
+const std::string& PythonDslGrammarEbnf();
+// SQL subset (the paper's introduction motivates SQL as a target structure):
+// SELECT/INSERT/UPDATE/DELETE with joins, predicates and expressions, in
+// canonical single-space form.
+const std::string& SqlGrammarEbnf();
+
+Grammar BuiltinJsonGrammar();
+Grammar BuiltinXmlGrammar();
+Grammar BuiltinPythonDslGrammar();
+Grammar BuiltinSqlGrammar();
+
+}  // namespace xgr::grammar

@@ -1,0 +1,125 @@
+// EBNF rendering of a Grammar (round-trips through ParseEbnf).
+#include <sstream>
+
+#include "grammar/grammar.h"
+#include "support/logging.h"
+#include "support/string_utils.h"
+#include "support/utf8.h"
+
+namespace xgr::grammar {
+
+namespace {
+
+void PrintCodepoint(std::uint32_t cp, std::ostringstream* out) {
+  if (cp == '\n') {
+    *out << "\\n";
+  } else if (cp == '\t') {
+    *out << "\\t";
+  } else if (cp == '\r') {
+    *out << "\\r";
+  } else if (cp == '\\' || cp == ']' || cp == '^' || cp == '-' || cp == '[') {
+    *out << '\\' << static_cast<char>(cp);
+  } else if (cp >= 0x20 && cp < 0x7F) {
+    *out << static_cast<char>(cp);
+  } else if (cp <= 0xFF) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "\\x%02X", cp);
+    *out << buf;
+  } else if (cp <= 0xFFFF) {
+    char buf[12];
+    std::snprintf(buf, sizeof(buf), "\\u%04X", cp);
+    *out << buf;
+  } else {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "\\u{%X}", cp);
+    *out << buf;
+  }
+}
+
+// Precedence levels: 0 = choice, 1 = sequence, 2 = postfix/atom.
+void PrintExpr(const Grammar& grammar, ExprId expr_id, int parent_level,
+               std::ostringstream* out) {
+  const Expr& expr = grammar.GetExpr(expr_id);
+  auto parenthesize = [&](int level, auto&& body) {
+    bool need = level < parent_level;
+    if (need) *out << "(";
+    body();
+    if (need) *out << ")";
+  };
+  switch (expr.type) {
+    case ExprType::kEmpty:
+      *out << "\"\"";
+      return;
+    case ExprType::kByteString:
+      *out << '"' << EscapeBytes(expr.bytes) << '"';
+      return;
+    case ExprType::kCharClass: {
+      *out << '[';
+      for (const regex::CodepointRange& r : expr.ranges) {
+        PrintCodepoint(r.lo, out);
+        if (r.hi != r.lo) {
+          *out << '-';
+          PrintCodepoint(r.hi, out);
+        }
+      }
+      *out << ']';
+      return;
+    }
+    case ExprType::kRuleRef:
+      *out << grammar.GetRule(expr.rule_ref).name;
+      return;
+    case ExprType::kSequence:
+      parenthesize(1, [&] {
+        for (std::size_t i = 0; i < expr.children.size(); ++i) {
+          if (i > 0) *out << ' ';
+          PrintExpr(grammar, expr.children[i], 2, out);
+        }
+      });
+      return;
+    case ExprType::kChoice:
+      parenthesize(0, [&] {
+        for (std::size_t i = 0; i < expr.children.size(); ++i) {
+          if (i > 0) *out << " | ";
+          PrintExpr(grammar, expr.children[i], 1, out);
+        }
+      });
+      return;
+    case ExprType::kRepeat: {
+      PrintExpr(grammar, expr.children[0], 3, out);  // atoms only unparenthesized
+      if (expr.min_repeat == 0 && expr.max_repeat == -1) {
+        *out << '*';
+      } else if (expr.min_repeat == 1 && expr.max_repeat == -1) {
+        *out << '+';
+      } else if (expr.min_repeat == 0 && expr.max_repeat == 1) {
+        *out << '?';
+      } else if (expr.max_repeat == -1) {
+        *out << '{' << expr.min_repeat << ",}";
+      } else if (expr.min_repeat == expr.max_repeat) {
+        *out << '{' << expr.min_repeat << '}';
+      } else {
+        *out << '{' << expr.min_repeat << ',' << expr.max_repeat << '}';
+      }
+      return;
+    }
+  }
+  XGR_UNREACHABLE();
+}
+
+}  // namespace
+
+std::string Grammar::ToString() const {
+  std::ostringstream out;
+  for (RuleId r = 0; r < NumRules(); ++r) {
+    const Rule& rule = GetRule(r);
+    out << rule.name << " ::= ";
+    if (rule.body == kInvalidExpr) {
+      out << "<unset>";
+    } else {
+      PrintExpr(*this, rule.body, 0, &out);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace xgr::grammar

@@ -1,0 +1,280 @@
+// Grammar-level transformation passes: normalization, fragment-rule inlining
+// (§3.4 of the paper) and dead-rule elimination.
+#include <algorithm>
+#include <unordered_set>
+
+#include "grammar/grammar.h"
+#include "support/logging.h"
+
+namespace xgr::grammar {
+
+namespace {
+
+// Rebuilds `expr` inside `grammar` with nested sequence/choice flattened and
+// degenerate containers collapsed.
+ExprId NormalizeExpr(Grammar* grammar, ExprId expr_id) {
+  const Expr expr = grammar->GetExpr(expr_id);  // copy: arena may grow below
+  switch (expr.type) {
+    case ExprType::kEmpty:
+    case ExprType::kByteString:
+    case ExprType::kCharClass:
+    case ExprType::kRuleRef:
+      return expr_id;
+    case ExprType::kSequence: {
+      std::vector<ExprId> flat;
+      bool changed = false;
+      for (ExprId child_id : expr.children) {
+        ExprId norm = NormalizeExpr(grammar, child_id);
+        changed = changed || norm != child_id;
+        const Expr& child = grammar->GetExpr(norm);
+        if (child.type == ExprType::kSequence) {
+          flat.insert(flat.end(), child.children.begin(), child.children.end());
+          changed = true;
+        } else if (child.type == ExprType::kEmpty) {
+          changed = true;  // drop epsilon inside sequences
+        } else {
+          flat.push_back(norm);
+        }
+      }
+      if (!changed) return expr_id;
+      return grammar->AddSequence(std::move(flat));
+    }
+    case ExprType::kChoice: {
+      std::vector<ExprId> flat;
+      bool changed = false;
+      for (ExprId child_id : expr.children) {
+        ExprId norm = NormalizeExpr(grammar, child_id);
+        changed = changed || norm != child_id;
+        const Expr& child = grammar->GetExpr(norm);
+        if (child.type == ExprType::kChoice) {
+          flat.insert(flat.end(), child.children.begin(), child.children.end());
+          changed = true;
+        } else {
+          flat.push_back(norm);
+        }
+      }
+      if (!changed) return expr_id;
+      return grammar->AddChoice(std::move(flat));
+    }
+    case ExprType::kRepeat: {
+      ExprId norm = NormalizeExpr(grammar, expr.children[0]);
+      const Expr& child = grammar->GetExpr(norm);
+      if (child.type == ExprType::kEmpty) return norm;  // eps{m,n} = eps
+      // star-of-star style collapses: (e*)* => e*, (e?)? => e?, etc. Only the
+      // fully-unbounded/optional combinations are safe to fuse.
+      if (child.type == ExprType::kRepeat) {
+        bool outer_simple = expr.min_repeat <= 1 && (expr.max_repeat == -1 || expr.max_repeat == 1);
+        bool inner_simple = child.min_repeat <= 1 && (child.max_repeat == -1 || child.max_repeat == 1);
+        if (outer_simple && inner_simple) {
+          std::int32_t min_r = std::min(expr.min_repeat, child.min_repeat);
+          std::int32_t max_r = (expr.max_repeat == -1 || child.max_repeat == -1) ? -1 : 1;
+          return grammar->AddRepeat(child.children[0], min_r, max_r);
+        }
+      }
+      if (norm == expr.children[0]) return expr_id;
+      return grammar->AddRepeat(norm, expr.min_repeat, expr.max_repeat);
+    }
+  }
+  XGR_UNREACHABLE();
+}
+
+// Collects the set of rules referenced anywhere under `expr`.
+void CollectRuleRefs(const Grammar& grammar, ExprId expr_id,
+                     std::unordered_set<RuleId>* out) {
+  const Expr& expr = grammar.GetExpr(expr_id);
+  if (expr.type == ExprType::kRuleRef) {
+    out->insert(expr.rule_ref);
+    return;
+  }
+  for (ExprId child : expr.children) CollectRuleRefs(grammar, child, out);
+}
+
+// Replaces references to `target` under `expr` with fresh copies of `body`.
+// Returns the rewritten expression id.
+ExprId SubstituteRule(Grammar* grammar, ExprId expr_id, RuleId target,
+                      ExprId body) {
+  const Expr expr = grammar->GetExpr(expr_id);  // copy (arena growth)
+  if (expr.type == ExprType::kRuleRef) {
+    if (expr.rule_ref == target) return grammar->CopyExpr(body);
+    return expr_id;
+  }
+  if (expr.children.empty()) return expr_id;
+  std::vector<ExprId> children = expr.children;
+  bool changed = false;
+  for (ExprId& child : children) {
+    ExprId rewritten = SubstituteRule(grammar, child, target, body);
+    changed = changed || rewritten != child;
+    child = rewritten;
+  }
+  if (!changed) return expr_id;
+  Expr updated = expr;
+  updated.children = std::move(children);
+  switch (updated.type) {
+    case ExprType::kSequence:
+      return grammar->AddSequence(std::move(updated.children));
+    case ExprType::kChoice:
+      return grammar->AddChoice(std::move(updated.children));
+    case ExprType::kRepeat:
+      return grammar->AddRepeat(updated.children[0], updated.min_repeat,
+                                updated.max_repeat);
+    default:
+      XGR_UNREACHABLE();
+  }
+}
+
+// Deep-copies expression trees from one grammar into another, remapping rule
+// references through `remap` (indexed by source RuleId). Shared by
+// RemoveUnreachableRules and ImportRules.
+struct CrossGrammarCopier {
+  const Grammar& src;
+  Grammar& dst;
+  const std::vector<RuleId>& remap;
+  ExprId Copy(ExprId expr_id) {  // NOLINT(misc-no-recursion)
+    const Expr& expr = src.GetExpr(expr_id);
+    switch (expr.type) {
+      case ExprType::kEmpty:
+        return dst.AddEmpty();
+      case ExprType::kByteString:
+        return dst.AddByteString(expr.bytes);
+      case ExprType::kCharClass: {
+        // Bypass re-normalization: ranges are already normalized.
+        return dst.AddCharClass(expr.ranges, false);
+      }
+      case ExprType::kRuleRef:
+        return dst.AddRuleRef(remap[static_cast<std::size_t>(expr.rule_ref)]);
+      case ExprType::kSequence:
+      case ExprType::kChoice:
+      case ExprType::kRepeat: {
+        std::vector<ExprId> children;
+        children.reserve(expr.children.size());
+        for (ExprId child : expr.children) children.push_back(Copy(child));
+        if (expr.type == ExprType::kSequence) return dst.AddSequence(std::move(children));
+        if (expr.type == ExprType::kChoice) return dst.AddChoice(std::move(children));
+        return dst.AddRepeat(children[0], expr.min_repeat, expr.max_repeat);
+      }
+    }
+    XGR_UNREACHABLE();
+  }
+};
+
+}  // namespace
+
+void NormalizeGrammar(Grammar* grammar) {
+  for (RuleId r = 0; r < grammar->NumRules(); ++r) {
+    ExprId body = grammar->GetRule(r).body;
+    grammar->SetRuleBody(r, NormalizeExpr(grammar, body));
+  }
+}
+
+int InlineFragmentRules(Grammar* grammar, const InlineOptions& options) {
+  int inlined_count = 0;
+  // Iterate to fixpoint: inlining a fragment may turn its parents into
+  // fragments themselves.
+  constexpr int kMaxPasses = 32;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    // Identify current fragments: small rules whose bodies reference no other
+    // rule. The root rule is never inlined away (it is the PDA entry).
+    std::vector<RuleId> fragments;
+    for (RuleId r = 0; r < grammar->NumRules(); ++r) {
+      if (r == grammar->RootRule()) continue;
+      ExprId body = grammar->GetRule(r).body;
+      std::unordered_set<RuleId> refs;
+      CollectRuleRefs(*grammar, body, &refs);
+      if (!refs.empty()) continue;
+      if (grammar->ExprSize(body) > options.max_inlinee_atoms) continue;
+      fragments.push_back(r);
+    }
+    if (fragments.empty()) break;
+
+    bool changed = false;
+    std::unordered_set<RuleId> fragment_set(fragments.begin(), fragments.end());
+    for (RuleId r = 0; r < grammar->NumRules(); ++r) {
+      if (fragment_set.count(r) != 0) continue;  // fragments keep their bodies
+      ExprId body = grammar->GetRule(r).body;
+      std::unordered_set<RuleId> refs;
+      CollectRuleRefs(*grammar, body, &refs);
+      for (RuleId fragment : fragments) {
+        if (refs.count(fragment) == 0) continue;
+        ExprId fragment_body = grammar->GetRule(fragment).body;
+        // Respect the growth cap: the reference count times fragment size
+        // must keep the resulting body bounded.
+        std::int32_t projected =
+            grammar->ExprSize(body) + grammar->ExprSize(fragment_body) * 8;
+        if (projected > options.max_result_atoms) continue;
+        ExprId rewritten = SubstituteRule(grammar, body, fragment, fragment_body);
+        if (rewritten != body) {
+          body = rewritten;
+          grammar->SetRuleBody(r, body);
+          changed = true;
+          ++inlined_count;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  RemoveUnreachableRules(grammar);
+  return inlined_count;
+}
+
+int RemoveUnreachableRules(Grammar* grammar) {
+  // BFS over rule references from the root.
+  std::vector<char> reachable(static_cast<std::size_t>(grammar->NumRules()), 0);
+  std::vector<RuleId> queue{grammar->RootRule()};
+  reachable[static_cast<std::size_t>(grammar->RootRule())] = 1;
+  while (!queue.empty()) {
+    RuleId r = queue.back();
+    queue.pop_back();
+    std::unordered_set<RuleId> refs;
+    CollectRuleRefs(*grammar, grammar->GetRule(r).body, &refs);
+    for (RuleId ref : refs) {
+      if (!reachable[static_cast<std::size_t>(ref)]) {
+        reachable[static_cast<std::size_t>(ref)] = 1;
+        queue.push_back(ref);
+      }
+    }
+  }
+  int removed = 0;
+  for (char flag : reachable) {
+    if (!flag) ++removed;
+  }
+  if (removed == 0) return 0;
+
+  // Rebuild a compact grammar with only reachable rules.
+  Grammar result;
+  std::vector<RuleId> remap(static_cast<std::size_t>(grammar->NumRules()), kInvalidRule);
+  for (RuleId r = 0; r < grammar->NumRules(); ++r) {
+    if (reachable[static_cast<std::size_t>(r)]) {
+      remap[static_cast<std::size_t>(r)] = result.DeclareRule(grammar->GetRule(r).name);
+    }
+  }
+  // Deep-copy bodies with remapped references.
+  CrossGrammarCopier copier{*grammar, result, remap};
+  for (RuleId r = 0; r < grammar->NumRules(); ++r) {
+    if (!reachable[static_cast<std::size_t>(r)]) continue;
+    result.SetRuleBody(remap[static_cast<std::size_t>(r)],
+                       copier.Copy(grammar->GetRule(r).body));
+  }
+  result.SetRootRule(remap[static_cast<std::size_t>(grammar->RootRule())]);
+  *grammar = std::move(result);
+  return removed;
+}
+
+RuleId ImportRules(Grammar* dst, const Grammar& src, const std::string& prefix) {
+  XGR_CHECK(dst != nullptr);
+  XGR_CHECK(src.RootRule() != kInvalidRule) << "source grammar has no root";
+  std::vector<RuleId> remap(static_cast<std::size_t>(src.NumRules()), kInvalidRule);
+  for (RuleId r = 0; r < src.NumRules(); ++r) {
+    const std::string name = prefix + src.GetRule(r).name;
+    XGR_CHECK(dst->FindRule(name) == kInvalidRule)
+        << "ImportRules name collision: " << name;
+    remap[static_cast<std::size_t>(r)] = dst->DeclareRule(name);
+  }
+  CrossGrammarCopier copier{src, *dst, remap};
+  for (RuleId r = 0; r < src.NumRules(); ++r) {
+    dst->SetRuleBody(remap[static_cast<std::size_t>(r)],
+                     copier.Copy(src.GetRule(r).body));
+  }
+  return remap[static_cast<std::size_t>(src.RootRule())];
+}
+
+}  // namespace xgr::grammar

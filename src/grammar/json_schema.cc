@@ -1,0 +1,558 @@
+#include "grammar/json_schema.h"
+
+#include <algorithm>
+
+#include "grammar/regex_to_grammar.h"
+#include "support/logging.h"
+#include "support/string_utils.h"
+
+namespace xgr::grammar {
+
+namespace {
+
+class SchemaConverter {
+ public:
+  SchemaConverter(const json::Value& root_schema, const JsonSchemaOptions& options)
+      : root_schema_(root_schema), options_(options) {}
+
+  Grammar Run() {
+    RuleId root = grammar_.DeclareRule("root");
+    grammar_.SetRuleBody(root, ConvertSchema(root_schema_, "root"));
+    grammar_.SetRootRule(root);
+    NormalizeGrammar(&grammar_);
+    grammar_.Validate();
+    return std::move(grammar_);
+  }
+
+ private:
+  // --- Shared primitive rules (created lazily, one instance each) ----------
+
+  RuleId StringRule() {
+    if (string_rule_ != kInvalidRule) return string_rule_;
+    string_rule_ = grammar_.DeclareRule("json_string");
+    RuleId char_rule = grammar_.DeclareRule("json_char");
+    // char: any codepoint except '"', '\' and C0 controls, or an escape.
+    ExprId plain = grammar_.AddCharClass(
+        {{0, 0x1F}, {'"', '"'}, {'\\', '\\'}}, /*negated=*/true);
+    ExprId simple_escape = grammar_.AddSequence(
+        {grammar_.AddByteString("\\"),
+         grammar_.AddCharClass({{'"', '"'}, {'\\', '\\'}, {'/', '/'}, {'b', 'b'},
+                                {'f', 'f'}, {'n', 'n'}, {'r', 'r'}, {'t', 't'}})});
+    ExprId hex = grammar_.AddCharClass({{'0', '9'}, {'a', 'f'}, {'A', 'F'}});
+    ExprId unicode_escape = grammar_.AddSequence(
+        {grammar_.AddByteString("\\u"), hex, grammar_.CopyExpr(hex),
+         grammar_.CopyExpr(hex), grammar_.CopyExpr(hex)});
+    grammar_.SetRuleBody(char_rule, grammar_.AddChoice({plain, simple_escape, unicode_escape}));
+    grammar_.SetRuleBody(
+        string_rule_,
+        grammar_.AddSequence({grammar_.AddByteString("\""),
+                              grammar_.AddStar(grammar_.AddRuleRef(char_rule)),
+                              grammar_.AddByteString("\"")}));
+    return string_rule_;
+  }
+
+  RuleId NumberRule() {
+    if (number_rule_ != kInvalidRule) return number_rule_;
+    number_rule_ = grammar_.DeclareRule("json_number");
+    grammar_.SetRuleBody(
+        number_rule_,
+        grammar_.AddSequence(
+            {IntegerBody(),
+             grammar_.AddOptional(grammar_.AddSequence(
+                 {grammar_.AddByteString("."),
+                  grammar_.AddPlus(grammar_.AddCharClass({{'0', '9'}}))})),
+             grammar_.AddOptional(grammar_.AddSequence(
+                 {grammar_.AddCharClass({{'e', 'e'}, {'E', 'E'}}),
+                  grammar_.AddOptional(grammar_.AddCharClass({{'-', '-'}, {'+', '+'}})),
+                  grammar_.AddPlus(grammar_.AddCharClass({{'0', '9'}}))}))}));
+    return number_rule_;
+  }
+
+  RuleId IntegerRule() {
+    if (integer_rule_ != kInvalidRule) return integer_rule_;
+    integer_rule_ = grammar_.DeclareRule("json_integer");
+    grammar_.SetRuleBody(integer_rule_, IntegerBody());
+    return integer_rule_;
+  }
+
+  ExprId IntegerBody() {
+    return grammar_.AddSequence(
+        {grammar_.AddOptional(grammar_.AddByteString("-")),
+         grammar_.AddChoice(
+             {grammar_.AddByteString("0"),
+              grammar_.AddSequence(
+                  {grammar_.AddCharClass({{'1', '9'}}),
+                   grammar_.AddStar(grammar_.AddCharClass({{'0', '9'}}))})})});
+  }
+
+  // Generic JSON value (compact form) for untyped schema positions.
+  RuleId AnyValueRule() {
+    if (any_value_rule_ != kInvalidRule) return any_value_rule_;
+    any_value_rule_ = grammar_.DeclareRule("json_value");
+    RuleId object_rule = grammar_.DeclareRule("json_object");
+    RuleId array_rule = grammar_.DeclareRule("json_array");
+    RuleId member_rule = grammar_.DeclareRule("json_member");
+
+    grammar_.SetRuleBody(
+        any_value_rule_,
+        grammar_.AddChoice({grammar_.AddRuleRef(object_rule),
+                            grammar_.AddRuleRef(array_rule),
+                            grammar_.AddRuleRef(StringRule()),
+                            grammar_.AddRuleRef(NumberRule()),
+                            grammar_.AddByteString("true"),
+                            grammar_.AddByteString("false"),
+                            grammar_.AddByteString("null")}));
+    grammar_.SetRuleBody(
+        member_rule,
+        grammar_.AddSequence({grammar_.AddRuleRef(StringRule()),
+                              grammar_.AddByteString(":"),
+                              grammar_.AddRuleRef(any_value_rule_)}));
+    grammar_.SetRuleBody(
+        object_rule,
+        grammar_.AddChoice(
+            {grammar_.AddByteString("{}"),
+             grammar_.AddSequence(
+                 {grammar_.AddByteString("{"), grammar_.AddRuleRef(member_rule),
+                  grammar_.AddStar(grammar_.AddSequence(
+                      {grammar_.AddByteString(","), grammar_.AddRuleRef(member_rule)})),
+                  grammar_.AddByteString("}")})}));
+    grammar_.SetRuleBody(
+        array_rule,
+        grammar_.AddChoice(
+            {grammar_.AddByteString("[]"),
+             grammar_.AddSequence(
+                 {grammar_.AddByteString("["), grammar_.AddRuleRef(any_value_rule_),
+                  grammar_.AddStar(grammar_.AddSequence(
+                      {grammar_.AddByteString(","),
+                       grammar_.AddRuleRef(any_value_rule_)})),
+                  grammar_.AddByteString("]")})}));
+    return any_value_rule_;
+  }
+
+  // --- Schema dispatch ------------------------------------------------------
+
+  ExprId ConvertSchema(const json::Value& schema, const std::string& hint) {
+    // Boolean schemas: true = anything, false = unsatisfiable (rejected).
+    if (schema.IsBool()) {
+      XGR_CHECK(schema.AsBool()) << "schema 'false' matches nothing";
+      return grammar_.AddRuleRef(AnyValueRule());
+    }
+    XGR_CHECK(schema.IsObject()) << "schema must be an object or boolean";
+
+    if (const json::Value* ref = schema.Find("$ref")) {
+      return ConvertRef(ref->AsString());
+    }
+    if (const json::Value* enumeration = schema.Find("enum")) {
+      return ConvertEnum(*enumeration);
+    }
+    if (const json::Value* constant = schema.Find("const")) {
+      return grammar_.AddByteString(constant->Dump());
+    }
+    if (const json::Value* any_of = schema.Find("anyOf")) {
+      return ConvertUnion(*any_of, hint);
+    }
+    if (const json::Value* one_of = schema.Find("oneOf")) {
+      return ConvertUnion(*one_of, hint);
+    }
+    if (const json::Value* all_of = schema.Find("allOf")) {
+      const json::Array& alternatives = all_of->AsArray();
+      XGR_CHECK(!alternatives.empty()) << "empty allOf";
+      if (alternatives.size() == 1) return ConvertSchema(alternatives[0], hint);
+      return ConvertSchema(MergeAllOf(alternatives), hint);
+    }
+
+    const json::Value* type = schema.Find("type");
+    if (type == nullptr) return grammar_.AddRuleRef(AnyValueRule());
+
+    if (type->IsArray()) {
+      std::vector<ExprId> alternatives;
+      for (const json::Value& t : type->AsArray()) {
+        alternatives.push_back(ConvertTyped(t.AsString(), schema, hint));
+      }
+      return grammar_.AddChoice(std::move(alternatives));
+    }
+    return ConvertTyped(type->AsString(), schema, hint);
+  }
+
+  ExprId ConvertTyped(const std::string& type, const json::Value& schema,
+                      const std::string& hint) {
+    if (type == "object") return ConvertObject(schema, hint);
+    if (type == "array") return ConvertArray(schema, hint);
+    if (type == "string") return ConvertString(schema);
+    if (type == "integer") return grammar_.AddRuleRef(IntegerRule());
+    if (type == "number") return grammar_.AddRuleRef(NumberRule());
+    if (type == "boolean") {
+      return grammar_.AddChoice({grammar_.AddByteString("true"),
+                                 grammar_.AddByteString("false")});
+    }
+    if (type == "null") return grammar_.AddByteString("null");
+    XGR_CHECK(false) << "unsupported schema type '" << type << "'";
+    XGR_UNREACHABLE();
+  }
+
+  // Multi-subschema allOf: supported for the common "composed object" form —
+  // every subschema (after $ref resolution) is an object schema using only
+  // type/properties/required/additionalProperties. The intersection is then
+  // the merged object: union of properties (conflicting redefinitions of one
+  // key are rejected), union of required, AND of additionalProperties.
+  // General CFG intersection is not context-free, so anything else throws.
+  json::Value MergeAllOf(const json::Array& subschemas) {
+    json::Object merged_props;
+    json::Array merged_required;
+    bool additional = true;
+    for (const json::Value& entry : subschemas) {
+      const json::Value& sub =
+          entry.Find("$ref") != nullptr ? ResolveRef(entry.Find("$ref")->AsString())
+                                        : entry;
+      XGR_CHECK(sub.IsObject()) << "allOf subschema must be an object";
+      const json::Value* type = sub.Find("type");
+      XGR_CHECK(type != nullptr && type->IsString() && type->AsString() == "object")
+          << "allOf is supported only for compositions of object schemas";
+      for (const auto& [key, unused] : sub.AsObject()) {
+        XGR_CHECK(key == "type" || key == "properties" || key == "required" ||
+                  key == "additionalProperties" || key == "description" ||
+                  key == "title")
+            << "allOf subschema keyword '" << key
+            << "' is outside the supported subset";
+      }
+      if (const json::Value* props = sub.Find("properties")) {
+        for (const auto& [key, prop_schema] : props->AsObject()) {
+          auto [it, inserted] = merged_props.emplace(key, prop_schema);
+          XGR_CHECK(inserted || it->second.Dump() == prop_schema.Dump())
+              << "allOf redefines property '" << key << "' differently";
+        }
+      }
+      if (const json::Value* required = sub.Find("required")) {
+        for (const json::Value& r : required->AsArray()) {
+          bool seen = false;
+          for (const json::Value& existing : merged_required) {
+            seen = seen || existing.AsString() == r.AsString();
+          }
+          if (!seen) merged_required.push_back(r);
+        }
+      }
+      if (const json::Value* ap = sub.Find("additionalProperties")) {
+        additional = additional && (!ap->IsBool() || ap->AsBool());
+      }
+    }
+    return json::Value(json::Object{
+        {"type", json::Value("object")},
+        {"properties", json::Value(std::move(merged_props))},
+        {"required", json::Value(std::move(merged_required))},
+        {"additionalProperties", json::Value(additional)},
+    });
+  }
+
+  ExprId ConvertRef(const std::string& ref) {
+    auto it = ref_rules_.find(ref);
+    if (it != ref_rules_.end()) return grammar_.AddRuleRef(it->second);
+    // Declare first so recursive references terminate.
+    RuleId rule = grammar_.DeclareRule("ref_" + std::to_string(ref_rules_.size()));
+    ref_rules_.emplace(ref, rule);
+    grammar_.SetRuleBody(rule, ConvertSchema(ResolveRef(ref), ref));
+    return grammar_.AddRuleRef(rule);
+  }
+
+  const json::Value& ResolveRef(const std::string& ref) {
+    XGR_CHECK(StartsWith(ref, "#/")) << "only local $ref supported: " << ref;
+    const json::Value* node = &root_schema_;
+    for (const std::string& part : SplitString(ref.substr(2), '/')) {
+      const json::Value* next = node->Find(part);
+      XGR_CHECK(next != nullptr) << "$ref path not found: " << ref;
+      node = next;
+    }
+    return *node;
+  }
+
+  ExprId ConvertEnum(const json::Value& enumeration) {
+    std::vector<ExprId> alternatives;
+    for (const json::Value& v : enumeration.AsArray()) {
+      alternatives.push_back(grammar_.AddByteString(v.Dump()));
+    }
+    XGR_CHECK(!alternatives.empty()) << "empty enum";
+    return grammar_.AddChoice(std::move(alternatives));
+  }
+
+  ExprId ConvertUnion(const json::Value& list, const std::string& hint) {
+    std::vector<ExprId> alternatives;
+    for (const json::Value& sub : list.AsArray()) {
+      alternatives.push_back(ConvertSchema(sub, hint));
+    }
+    XGR_CHECK(!alternatives.empty()) << "empty anyOf/oneOf";
+    return grammar_.AddChoice(std::move(alternatives));
+  }
+
+  // Enforceable "format" values, compiled through the regex engine (unknown
+  // formats are annotations per the JSON-Schema spec and fall through to the
+  // plain string rule). The patterns are the practical subsets the reference
+  // implementation enforces, not full RFC grammars.
+  static const char* FormatPattern(const std::string& format) {
+    if (format == "date") {
+      return "[0-9]{4}-(0[1-9]|1[0-2])-(0[1-9]|[12][0-9]|3[01])";
+    }
+    if (format == "time") {
+      return "([01][0-9]|2[0-3]):[0-5][0-9]:[0-5][0-9]([.][0-9]+)?"
+             "(Z|[+-]([01][0-9]|2[0-3]):[0-5][0-9])";
+    }
+    if (format == "date-time") {
+      return "[0-9]{4}-(0[1-9]|1[0-2])-(0[1-9]|[12][0-9]|3[01])T"
+             "([01][0-9]|2[0-3]):[0-5][0-9]:[0-5][0-9]([.][0-9]+)?"
+             "(Z|[+-]([01][0-9]|2[0-3]):[0-5][0-9])";
+    }
+    if (format == "uuid") {
+      return "[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-"
+             "[0-9a-fA-F]{4}-[0-9a-fA-F]{12}";
+    }
+    if (format == "email") {
+      return "[A-Za-z0-9._%+\\-]+@[A-Za-z0-9.\\-]+[.][A-Za-z]{2,}";
+    }
+    if (format == "ipv4") {
+      return "((25[0-5]|2[0-4][0-9]|1[0-9][0-9]|[1-9]?[0-9])[.]){3}"
+             "(25[0-5]|2[0-4][0-9]|1[0-9][0-9]|[1-9]?[0-9])";
+    }
+    if (format == "hostname") {
+      return "[A-Za-z0-9]([A-Za-z0-9\\-]{0,61}[A-Za-z0-9])?"
+             "([.][A-Za-z0-9]([A-Za-z0-9\\-]{0,61}[A-Za-z0-9])?)*";
+    }
+    return nullptr;
+  }
+
+  ExprId ConvertString(const json::Value& schema) {
+    if (const json::Value* pattern = schema.Find("pattern")) {
+      regex::RegexParseResult parsed = regex::ParseRegex(pattern->AsString());
+      XGR_CHECK(parsed.ok()) << "bad string pattern: " << parsed.error;
+      return grammar_.AddSequence({grammar_.AddByteString("\""),
+                                   AddRegexExpr(&grammar_, *parsed.root),
+                                   grammar_.AddByteString("\"")});
+    }
+    if (const json::Value* format = schema.Find("format")) {
+      if (const char* fmt_pattern = FormatPattern(format->AsString())) {
+        regex::RegexParseResult parsed = regex::ParseRegex(fmt_pattern);
+        XGR_CHECK(parsed.ok()) << "bad format pattern: " << parsed.error;
+        return grammar_.AddSequence({grammar_.AddByteString("\""),
+                                     AddRegexExpr(&grammar_, *parsed.root),
+                                     grammar_.AddByteString("\"")});
+      }
+    }
+    const json::Value* min_length = schema.Find("minLength");
+    const json::Value* max_length = schema.Find("maxLength");
+    if (min_length != nullptr || max_length != nullptr) {
+      std::int32_t lo = min_length != nullptr
+                            ? static_cast<std::int32_t>(min_length->AsInteger())
+                            : 0;
+      std::int32_t hi = max_length != nullptr
+                            ? static_cast<std::int32_t>(max_length->AsInteger())
+                            : -1;
+      lo = std::min(lo, options_.max_unroll);
+      if (hi != -1) hi = std::min(hi, options_.max_unroll);
+      // Reuse json_char via the shared string rule's character rule.
+      StringRule();
+      RuleId char_rule = grammar_.FindRule("json_char");
+      return grammar_.AddSequence(
+          {grammar_.AddByteString("\""),
+           grammar_.AddRepeat(grammar_.AddRuleRef(char_rule), lo, hi),
+           grammar_.AddByteString("\"")});
+    }
+    return grammar_.AddRuleRef(StringRule());
+  }
+
+  // --- Objects --------------------------------------------------------------
+  //
+  // Optional properties use the part/tail scheme: PartRule(i) emits the first
+  // member (no comma), TailRule(i) emits subsequent members (leading comma).
+  // Each becomes its own small rule — deliberately fragment-heavy so rule
+  // inlining (§3.4) has real work to do on schema grammars.
+  ExprId ConvertObject(const json::Value& schema, const std::string& hint) {
+    struct Property {
+      std::string key;
+      ExprId value;
+      bool required;
+    };
+    std::vector<Property> properties;
+    const json::Value* props = schema.Find("properties");
+    const json::Value* required = schema.Find("required");
+    auto is_required = [&](const std::string& key) {
+      if (required == nullptr) return false;
+      for (const json::Value& r : required->AsArray()) {
+        if (r.IsString() && r.AsString() == key) return true;
+      }
+      return false;
+    };
+    if (props != nullptr) {
+      for (const auto& [key, sub_schema] : props->AsObject()) {
+        properties.push_back(Property{key, ConvertSchema(sub_schema, hint + "_" + key),
+                                      is_required(key)});
+      }
+    }
+
+    // additionalProperties: value schema for extra members, or disallowed.
+    const json::Value* additional = schema.Find("additionalProperties");
+    bool allow_additional = options_.default_additional_properties;
+    ExprId additional_value = kInvalidExpr;
+    if (additional != nullptr) {
+      if (additional->IsBool()) {
+        allow_additional = additional->AsBool();
+        if (allow_additional) additional_value = grammar_.AddRuleRef(AnyValueRule());
+      } else {
+        allow_additional = true;
+        additional_value = ConvertSchema(*additional, hint + "_additional");
+      }
+    } else if (allow_additional) {
+      additional_value = grammar_.AddRuleRef(AnyValueRule());
+    }
+
+    if (properties.empty() && !allow_additional) {
+      return grammar_.AddByteString("{}");
+    }
+
+    auto member_literal = [&](const Property& p, bool leading_comma) {
+      std::string lit = leading_comma ? "," : "";
+      lit += json::Value(p.key).Dump();
+      lit += ":";
+      return lit;
+    };
+    auto additional_member = [&](bool leading_comma) {
+      std::vector<ExprId> seq;
+      if (leading_comma) seq.push_back(grammar_.AddByteString(","));
+      seq.push_back(grammar_.AddRuleRef(StringRule()));
+      seq.push_back(grammar_.AddByteString(":"));
+      seq.push_back(grammar_.CopyExpr(additional_value));
+      return grammar_.AddSequence(std::move(seq));
+    };
+
+    std::size_t n = properties.size();
+    std::string prefix = "obj" + std::to_string(object_counter_++) + "_";
+    // TailRule(i): members i..n-1 with leading commas, then additionals.
+    std::vector<RuleId> tail_rules(n + 1, kInvalidRule);
+    tail_rules[n] = grammar_.DeclareRule(prefix + "tail" + std::to_string(n));
+    {
+      ExprId rest = allow_additional
+                        ? grammar_.AddStar(additional_member(/*leading_comma=*/true))
+                        : grammar_.AddEmpty();
+      grammar_.SetRuleBody(tail_rules[n], rest);
+    }
+    for (std::size_t i = n; i-- > 0;) {
+      tail_rules[i] = grammar_.DeclareRule(prefix + "tail" + std::to_string(i));
+      ExprId emit = grammar_.AddSequence(
+          {grammar_.AddByteString(member_literal(properties[i], true)),
+           grammar_.CopyExpr(properties[i].value),
+           grammar_.AddRuleRef(tail_rules[i + 1])});
+      if (properties[i].required) {
+        grammar_.SetRuleBody(tail_rules[i], emit);
+      } else {
+        grammar_.SetRuleBody(
+            tail_rules[i],
+            grammar_.AddChoice({emit, grammar_.AddRuleRef(tail_rules[i + 1])}));
+      }
+    }
+    // PartRule(i): first emitted member is i (no comma) or later.
+    std::vector<ExprId> part_exprs(n + 1, kInvalidExpr);
+    part_exprs[n] = allow_additional
+                        ? grammar_.AddOptional(grammar_.AddSequence(
+                              {additional_member(/*leading_comma=*/false),
+                               grammar_.AddStar(additional_member(true))}))
+                        : grammar_.AddEmpty();
+    for (std::size_t i = n; i-- > 0;) {
+      ExprId emit = grammar_.AddSequence(
+          {grammar_.AddByteString(member_literal(properties[i], false)),
+           grammar_.CopyExpr(properties[i].value),
+           grammar_.AddRuleRef(tail_rules[i + 1])});
+      if (properties[i].required) {
+        part_exprs[i] = emit;
+      } else {
+        part_exprs[i] = grammar_.AddChoice({emit, part_exprs[i + 1]});
+      }
+    }
+
+    return grammar_.AddSequence({grammar_.AddByteString("{"), part_exprs[0],
+                                 grammar_.AddByteString("}")});
+  }
+
+  // --- Arrays ----------------------------------------------------------------
+  ExprId ConvertArray(const json::Value& schema, const std::string& hint) {
+    // Tuple typing (2020-12 prefixItems): every prefix item is required (a
+    // simplification of the spec, which lets minItems shorten tuples), and
+    // "items" then governs the elements past the tuple — a schema, absent
+    // (any value) or false (no extras). maxItems bounds the extras.
+    if (const json::Value* prefix_items = schema.Find("prefixItems")) {
+      const json::Array& tuple = prefix_items->AsArray();
+      XGR_CHECK(!tuple.empty()) << "empty prefixItems";
+      std::vector<ExprId> seq{grammar_.AddByteString("[")};
+      for (std::size_t i = 0; i < tuple.size(); ++i) {
+        if (i > 0) seq.push_back(grammar_.AddByteString(","));
+        seq.push_back(
+            ConvertSchema(tuple[i], hint + "_tuple" + std::to_string(i)));
+      }
+      const json::Value* items = schema.Find("items");
+      bool allow_extras = items == nullptr || !items->IsBool() || items->AsBool();
+      if (allow_extras) {
+        ExprId extra = items != nullptr && !items->IsBool()
+                           ? ConvertSchema(*items, hint + "_item")
+                           : grammar_.AddRuleRef(AnyValueRule());
+        std::int32_t max_extras = -1;
+        if (const json::Value* v = schema.Find("maxItems")) {
+          max_extras = std::max<std::int32_t>(
+              0, std::min(static_cast<std::int32_t>(v->AsInteger()),
+                          options_.max_unroll) -
+                     static_cast<std::int32_t>(tuple.size()));
+        }
+        seq.push_back(grammar_.AddRepeat(
+            grammar_.AddSequence({grammar_.AddByteString(","), extra}), 0,
+            max_extras));
+      }
+      seq.push_back(grammar_.AddByteString("]"));
+      return grammar_.AddSequence(std::move(seq));
+    }
+
+    const json::Value* items = schema.Find("items");
+    ExprId item = items != nullptr ? ConvertSchema(*items, hint + "_item")
+                                   : grammar_.AddRuleRef(AnyValueRule());
+    std::int32_t min_items = 0;
+    std::int32_t max_items = -1;
+    if (const json::Value* v = schema.Find("minItems")) {
+      min_items = std::min(static_cast<std::int32_t>(v->AsInteger()), options_.max_unroll);
+    }
+    if (const json::Value* v = schema.Find("maxItems")) {
+      max_items = std::min(static_cast<std::int32_t>(v->AsInteger()), options_.max_unroll);
+    }
+    XGR_CHECK(max_items == -1 || max_items >= min_items) << "maxItems < minItems";
+    if (max_items == 0) return grammar_.AddByteString("[]");
+
+    ExprId non_empty = grammar_.AddSequence(
+        {grammar_.AddByteString("["), grammar_.CopyExpr(item),
+         grammar_.AddRepeat(
+             grammar_.AddSequence({grammar_.AddByteString(","), grammar_.CopyExpr(item)}),
+             std::max(0, min_items - 1), max_items == -1 ? -1 : max_items - 1),
+         grammar_.AddByteString("]")});
+    if (min_items == 0) {
+      return grammar_.AddChoice({grammar_.AddByteString("[]"), non_empty});
+    }
+    return non_empty;
+  }
+
+  const json::Value& root_schema_;
+  JsonSchemaOptions options_;
+  Grammar grammar_;
+  RuleId string_rule_ = kInvalidRule;
+  RuleId number_rule_ = kInvalidRule;
+  RuleId integer_rule_ = kInvalidRule;
+  RuleId any_value_rule_ = kInvalidRule;
+  std::unordered_map<std::string, RuleId> ref_rules_;
+  int object_counter_ = 0;
+};
+
+}  // namespace
+
+Grammar JsonSchemaToGrammar(const json::Value& schema,
+                            const JsonSchemaOptions& options) {
+  return SchemaConverter(schema, options).Run();
+}
+
+Grammar JsonSchemaTextToGrammar(const std::string& schema_text,
+                                const JsonSchemaOptions& options) {
+  json::ParseResult parsed = json::Parse(schema_text);
+  XGR_CHECK(parsed.ok()) << parsed.error;
+  return JsonSchemaToGrammar(*parsed.value, options);
+}
+
+}  // namespace xgr::grammar

@@ -1,0 +1,49 @@
+// JSON-Schema → context-free-grammar converter.
+//
+// Supports the schema subset exercised by function-calling workloads (the
+// paper's "JSON Schema" task, mirroring the json-mode-eval dataset):
+//   type: object / array / string / integer / number / boolean / null,
+//   properties + required + additionalProperties, items + minItems/maxItems,
+//   prefixItems (tuples; every prefix item required) with items as the
+//   rest-schema or false, enum / const, anyOf / oneOf, allOf (single
+//   subschema, or a composition of object schemas merged by property union),
+//   $ref into #/$defs and #/definitions (recursive schemas supported),
+//   string pattern (via the regex engine), format (date / time / date-time /
+//   uuid / email / ipv4 / hostname; unknown formats are annotations) and
+//   minLength/maxLength.
+// Unsupported numeric range keywords (minimum/maximum) are ignored — numeric
+// ranges are not context-free-expressible at the token level; this matches
+// the reference implementation's behaviour.
+//
+// The generated grammar is *strict*: separators are exactly "," and ":" with
+// no optional whitespace, matching json::Value::Dump(-1) output, so the
+// synthetic LLM's canonical completions are always grammar-conformant.
+#pragma once
+
+#include <string>
+
+#include "grammar/grammar.h"
+#include "json/json.h"
+
+namespace xgr::grammar {
+
+struct JsonSchemaOptions {
+  // When a schema object has no "additionalProperties" keyword, allow extra
+  // members iff this flag is set.
+  bool default_additional_properties = false;
+  // Cap on unrolled bounded repetitions (minItems/maxItems, minLength/...);
+  // larger bounds are clamped to keep automata small.
+  std::int32_t max_unroll = 64;
+};
+
+// Converts a parsed schema document. Throws xgr::CheckError on schemas
+// outside the supported subset.
+Grammar JsonSchemaToGrammar(const json::Value& schema,
+                            const JsonSchemaOptions& options = {});
+
+// Parses `schema_text` then converts. (Distinct name: a const char* argument
+// would otherwise be ambiguous between json::Value and std::string.)
+Grammar JsonSchemaTextToGrammar(const std::string& schema_text,
+                                const JsonSchemaOptions& options = {});
+
+}  // namespace xgr::grammar

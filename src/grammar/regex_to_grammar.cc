@@ -1,0 +1,96 @@
+#include "grammar/regex_to_grammar.h"
+
+#include <utility>
+#include <vector>
+
+#include "support/logging.h"
+#include "support/utf8.h"
+
+namespace xgr::grammar {
+
+namespace {
+
+// True when `node` contributes a fixed byte string (a single codepoint).
+bool IsLiteral(const regex::RegexNode& node) {
+  return node.type == regex::NodeType::kLiteral;
+}
+
+}  // namespace
+
+ExprId AddRegexExpr(Grammar* grammar, const regex::RegexNode& node) {
+  XGR_CHECK(grammar != nullptr);
+  switch (node.type) {
+    case regex::NodeType::kEmpty:
+      return grammar->AddEmpty();
+    case regex::NodeType::kLiteral: {
+      std::string bytes;
+      AppendUtf8(node.literal, &bytes);
+      return grammar->AddByteString(std::move(bytes));
+    }
+    case regex::NodeType::kAnyChar:
+      // '.' = any codepoint except '\n'; negation resolved here.
+      return grammar->AddCharClass(
+          regex::NormalizeRanges({{'\n', '\n'}}, /*negated=*/true),
+          /*negated=*/false);
+    case regex::NodeType::kCharClass:
+      // The regex parser already applied negation via NormalizeRanges.
+      return grammar->AddCharClass(node.ranges, /*negated=*/false);
+    case regex::NodeType::kConcat: {
+      std::vector<ExprId> children;
+      std::size_t i = 0;
+      while (i < node.children.size()) {
+        // Coalesce a maximal run of literal children into one byte string.
+        if (IsLiteral(*node.children[i])) {
+          std::string bytes;
+          while (i < node.children.size() && IsLiteral(*node.children[i])) {
+            AppendUtf8(node.children[i]->literal, &bytes);
+            ++i;
+          }
+          children.push_back(grammar->AddByteString(std::move(bytes)));
+          continue;
+        }
+        children.push_back(AddRegexExpr(grammar, *node.children[i]));
+        ++i;
+      }
+      if (children.empty()) return grammar->AddEmpty();
+      if (children.size() == 1) return children.front();
+      return grammar->AddSequence(std::move(children));
+    }
+    case regex::NodeType::kAlternate: {
+      std::vector<ExprId> children;
+      children.reserve(node.children.size());
+      for (const auto& child : node.children) {
+        children.push_back(AddRegexExpr(grammar, *child));
+      }
+      XGR_CHECK(!children.empty()) << "alternation with no branches";
+      return grammar->AddChoice(std::move(children));
+    }
+    case regex::NodeType::kRepeat:
+      XGR_CHECK(node.children.size() == 1);
+      return grammar->AddRepeat(AddRegexExpr(grammar, *node.children[0]),
+                                node.min_repeat, node.max_repeat);
+  }
+  XGR_UNREACHABLE();
+}
+
+RuleId AddRegexRule(Grammar* grammar, const std::string& pattern,
+                    const std::string& rule_name) {
+  XGR_CHECK(grammar != nullptr);
+  XGR_CHECK(grammar->FindRule(rule_name) == kInvalidRule)
+      << "rule already defined: " << rule_name;
+  regex::RegexParseResult parsed = regex::ParseRegex(pattern);
+  XGR_CHECK(parsed.ok()) << "regex parse error in '" << pattern
+                         << "': " << parsed.error;
+  return grammar->AddRule(rule_name, AddRegexExpr(grammar, *parsed.root));
+}
+
+Grammar RegexToGrammar(const std::string& pattern,
+                       const std::string& rule_name) {
+  Grammar grammar;
+  RuleId root = AddRegexRule(&grammar, pattern, rule_name);
+  grammar.SetRootRule(root);
+  grammar.Validate();
+  return grammar;
+}
+
+}  // namespace xgr::grammar

@@ -1,0 +1,37 @@
+// Regular expression → context-free-grammar conversion.
+//
+// Lets the engine consume regexes natively: a pattern becomes a grammar rule,
+// so the full XGrammar pipeline (compilation, adaptive token-mask cache,
+// persistent stacks) applies to regex-constrained generation exactly as it
+// does to CFGs. This mirrors the reference implementation, which accepts
+// regex alongside EBNF and JSON Schema as a grammar source, and is also what
+// the JSON-Schema converter uses for the "pattern" keyword.
+//
+// Matching semantics follow src/regex: full-match, anchors ignored.
+#pragma once
+
+#include <string>
+
+#include "grammar/grammar.h"
+#include "regex/regex.h"
+
+namespace xgr::grammar {
+
+// Appends expressions equivalent to the regex AST `node` to `grammar` and
+// returns the root expression id. Adjacent literal characters are coalesced
+// into single byte-string expressions so `"foo"|"bar"` compiles to two
+// 3-byte edges rather than six 1-byte ones.
+ExprId AddRegexExpr(Grammar* grammar, const regex::RegexNode& node);
+
+// Parses `pattern` and adds it to `grammar` as a new rule named `rule_name`.
+// Throws xgr::CheckError when the pattern does not parse or the rule name is
+// already taken.
+RuleId AddRegexRule(Grammar* grammar, const std::string& pattern,
+                    const std::string& rule_name);
+
+// Builds a grammar whose root rule matches exactly the strings of `pattern`.
+// Throws xgr::CheckError on parse errors.
+Grammar RegexToGrammar(const std::string& pattern,
+                       const std::string& rule_name = "root");
+
+}  // namespace xgr::grammar

@@ -1,0 +1,232 @@
+#include "grammar/structural_tag.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace xgr::grammar {
+
+namespace {
+
+// Aho-Corasick automaton over the trigger set, specialized for building the
+// trigger-avoiding free-text language: `next[s][c]` is the goto-with-failure
+// transition, and `dead[s]` marks states whose prefix ends with a complete
+// trigger (free text must never enter them).
+struct TriggerAutomaton {
+  // Dense transitions over the ASCII alphabet actually used by triggers;
+  // chars outside `alphabet` always lead back to state 0.
+  std::vector<char> alphabet;
+  std::vector<std::vector<std::int32_t>> next;  // [state][alphabet index]
+  std::vector<bool> dead;
+  std::int32_t num_states = 0;
+};
+
+TriggerAutomaton BuildTriggerAutomaton(const std::vector<std::string>& triggers) {
+  XGR_CHECK(!triggers.empty()) << "structural tags need at least one trigger";
+  // Collect the alphabet.
+  bool used[128] = {};
+  for (const std::string& trigger : triggers) {
+    XGR_CHECK(!trigger.empty()) << "empty trigger";
+    for (char c : trigger) {
+      XGR_CHECK(static_cast<unsigned char>(c) >= 0x20 &&
+                static_cast<unsigned char>(c) < 0x7F)
+          << "triggers must be printable ASCII";
+      used[static_cast<unsigned char>(c)] = true;
+    }
+  }
+  TriggerAutomaton ac;
+  for (int c = 0; c < 128; ++c) {
+    if (used[c]) ac.alphabet.push_back(static_cast<char>(c));
+  }
+  auto alpha_index = [&](char c) {
+    auto it = std::lower_bound(ac.alphabet.begin(), ac.alphabet.end(), c);
+    return static_cast<std::size_t>(it - ac.alphabet.begin());
+  };
+
+  // Trie construction.
+  const std::size_t k = ac.alphabet.size();
+  std::vector<std::vector<std::int32_t>> trie(1, std::vector<std::int32_t>(k, -1));
+  std::vector<bool> terminal(1, false);
+  for (const std::string& trigger : triggers) {
+    std::int32_t state = 0;
+    for (char c : trigger) {
+      std::size_t idx = alpha_index(c);
+      if (trie[static_cast<std::size_t>(state)][idx] < 0) {
+        trie[static_cast<std::size_t>(state)][idx] =
+            static_cast<std::int32_t>(trie.size());
+        trie.emplace_back(k, -1);
+        terminal.push_back(false);
+      }
+      state = trie[static_cast<std::size_t>(state)][idx];
+    }
+    terminal[static_cast<std::size_t>(state)] = true;
+  }
+
+  // Failure links (BFS) + goto-with-failure; a state is dead when its own
+  // node is terminal or its failure chain passes through a terminal (some
+  // suffix of the prefix read so far is a complete trigger).
+  ac.num_states = static_cast<std::int32_t>(trie.size());
+  ac.next.assign(trie.size(), std::vector<std::int32_t>(k, 0));
+  ac.dead = terminal;
+  std::vector<std::int32_t> fail(trie.size(), 0);
+  std::queue<std::int32_t> bfs;
+  for (std::size_t idx = 0; idx < k; ++idx) {
+    std::int32_t child = trie[0][idx];
+    if (child < 0) {
+      ac.next[0][idx] = 0;
+    } else {
+      ac.next[0][idx] = child;
+      fail[static_cast<std::size_t>(child)] = 0;
+      bfs.push(child);
+    }
+  }
+  while (!bfs.empty()) {
+    std::int32_t state = bfs.front();
+    bfs.pop();
+    std::int32_t f = fail[static_cast<std::size_t>(state)];
+    if (ac.dead[static_cast<std::size_t>(f)]) ac.dead[static_cast<std::size_t>(state)] = true;
+    for (std::size_t idx = 0; idx < k; ++idx) {
+      std::int32_t child = trie[static_cast<std::size_t>(state)][idx];
+      if (child < 0) {
+        ac.next[static_cast<std::size_t>(state)][idx] = ac.next[static_cast<std::size_t>(f)][idx];
+      } else {
+        ac.next[static_cast<std::size_t>(state)][idx] = child;
+        fail[static_cast<std::size_t>(child)] = ac.next[static_cast<std::size_t>(f)][idx];
+        bfs.push(child);
+      }
+    }
+  }
+  return ac;
+}
+
+// Adds the free-text rules (one per live automaton state) to `grammar` with
+// names `<prefix>0`, `<prefix>1`, ...; returns the rule for state 0.
+RuleId AddFreeTextRules(Grammar* grammar, const TriggerAutomaton& ac,
+                        const std::string& prefix) {
+  std::vector<RuleId> state_rule(static_cast<std::size_t>(ac.num_states),
+                                 kInvalidRule);
+  for (std::int32_t s = 0; s < ac.num_states; ++s) {
+    if (ac.dead[static_cast<std::size_t>(s)]) continue;
+    state_rule[static_cast<std::size_t>(s)] =
+        grammar->DeclareRule(prefix + std::to_string(s));
+  }
+  for (std::int32_t s = 0; s < ac.num_states; ++s) {
+    if (ac.dead[static_cast<std::size_t>(s)]) continue;
+    // The free segment may end here.
+    std::vector<ExprId> alternatives{grammar->AddEmpty()};
+    // Alphabet chars, grouped by target state into one class per target.
+    std::map<std::int32_t, std::vector<regex::CodepointRange>> by_target;
+    for (std::size_t idx = 0; idx < ac.alphabet.size(); ++idx) {
+      std::int32_t t = ac.next[static_cast<std::size_t>(s)][idx];
+      if (ac.dead[static_cast<std::size_t>(t)]) continue;  // would complete a trigger
+      std::uint32_t c = static_cast<std::uint32_t>(ac.alphabet[idx]);
+      by_target[t].push_back({c, c});
+    }
+    for (auto& [target, ranges] : by_target) {
+      alternatives.push_back(grammar->AddSequence(
+          {grammar->AddCharClass(std::move(ranges), /*negated=*/false),
+           grammar->AddRuleRef(state_rule[static_cast<std::size_t>(target)])}));
+    }
+    // Every char outside the trigger alphabet resets to state 0.
+    std::vector<regex::CodepointRange> alphabet_ranges;
+    for (char c : ac.alphabet) {
+      std::uint32_t u = static_cast<std::uint32_t>(c);
+      alphabet_ranges.push_back({u, u});
+    }
+    alternatives.push_back(grammar->AddSequence(
+        {grammar->AddCharClass(std::move(alphabet_ranges), /*negated=*/true),
+         grammar->AddRuleRef(state_rule[0])}));
+    grammar->SetRuleBody(state_rule[static_cast<std::size_t>(s)],
+                         grammar->AddChoice(std::move(alternatives)));
+  }
+  return state_rule[0];
+}
+
+}  // namespace
+
+Grammar BuildTriggerFreeTextGrammar(const std::vector<std::string>& triggers) {
+  Grammar grammar;
+  TriggerAutomaton ac = BuildTriggerAutomaton(triggers);
+  RuleId free0 = AddFreeTextRules(&grammar, ac, "free_");
+  ExprId body = grammar.AddRuleRef(free0);
+  grammar.SetRootRule(grammar.AddRule("root", body));
+  grammar.Validate();
+  return grammar;
+}
+
+Grammar BuildStructuralTagGrammar(const std::vector<StructuralTag>& tags,
+                                  const std::vector<std::string>& triggers,
+                                  const StructuralTagOptions& options) {
+  XGR_CHECK(!tags.empty()) << "no structural tags given";
+  TriggerAutomaton ac = BuildTriggerAutomaton(triggers);
+
+  // Every begin marker must extend exactly one trigger (the dispatch point).
+  for (const StructuralTag& tag : tags) {
+    XGR_CHECK(!tag.begin.empty()) << "empty begin marker";
+    XGR_CHECK(!tag.end.empty()) << "empty end marker";
+    int prefixing = 0;
+    for (const std::string& trigger : triggers) {
+      if (tag.begin.size() >= trigger.size() &&
+          tag.begin.compare(0, trigger.size(), trigger) == 0) {
+        ++prefixing;
+      }
+    }
+    XGR_CHECK(prefixing == 1)
+        << "begin marker '" << tag.begin << "' must extend exactly one "
+        << "trigger (found " << prefixing << ")";
+  }
+
+  Grammar grammar;
+  RuleId root = grammar.DeclareRule("root");
+  grammar.SetRootRule(root);
+
+  // Tag bodies: one imported schema grammar per tag; unconstrained-JSON tags
+  // share a single import.
+  RuleId shared_json = kInvalidRule;
+  std::vector<ExprId> tag_alternatives;
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    const StructuralTag& tag = tags[i];
+    RuleId body_rule;
+    if (tag.schema_text.empty()) {
+      if (shared_json == kInvalidRule) {
+        shared_json = ImportRules(&grammar, BuiltinJsonGrammar(), "json_body_");
+      }
+      body_rule = shared_json;
+    } else {
+      Grammar schema_grammar =
+          JsonSchemaTextToGrammar(tag.schema_text, options.schema_options);
+      body_rule = ImportRules(&grammar, schema_grammar,
+                              "tag" + std::to_string(i) + "_");
+    }
+    tag_alternatives.push_back(grammar.AddSequence(
+        {grammar.AddByteString(tag.begin), grammar.AddRuleRef(body_rule),
+         grammar.AddByteString(tag.end)}));
+  }
+  RuleId tag_rule =
+      grammar.AddRule("tag", grammar.AddChoice(std::move(tag_alternatives)));
+
+  // Free text between invocations.
+  ExprId free_expr;
+  if (options.allow_free_text) {
+    RuleId free0 = AddFreeTextRules(&grammar, ac, "free_");
+    free_expr = grammar.AddRuleRef(free0);
+  } else {
+    free_expr = grammar.AddEmpty();
+  }
+
+  // root ::= free ( tag free ){min,max}
+  std::int32_t min_invocations = options.require_invocation ? 1 : 0;
+  ExprId invocation =
+      grammar.AddSequence({grammar.AddRuleRef(tag_rule), free_expr});
+  ExprId invocations =
+      grammar.AddRepeat(invocation, min_invocations, options.max_invocations);
+  grammar.SetRuleBody(root, grammar.AddSequence({free_expr, invocations}));
+  grammar.Validate();
+  return grammar;
+}
+
+}  // namespace xgr::grammar

@@ -1,0 +1,67 @@
+// Structural tags: constrained tool-call segments embedded in free text.
+//
+// The reference implementation exposes "structural tags" as a grammar source
+// alongside EBNF, regex and JSON Schema: the model emits unconstrained prose
+// until it produces one of a small set of *trigger* strings (for example
+// "<function="); from that point the output must complete one of the tags
+// whose begin marker starts with that trigger — the rest of the begin marker,
+// a body conforming to the tag's JSON schema, then the end marker — after
+// which free text resumes. This is how function calling is enforced without
+// constraining the surrounding explanation text.
+//
+// We encode the whole protocol as one context-free grammar:
+//
+//   root      ::= free ( tag free )*
+//   tag       ::= begin_1 body_1 end_1 | ... | begin_n body_n end_n
+//   free      ::= text containing no occurrence of any trigger
+//
+// The trigger-avoiding free-text language is regular; we build it from the
+// Aho-Corasick automaton of the trigger set (one grammar rule per automaton
+// state, right-recursive). Right recursion grows the matching stack with the
+// length of the free text, which is exactly the access pattern the persistent
+// execution stack (§3.3) makes cheap: each byte appends O(1) tree nodes.
+//
+// Boundary semantics: the *triggers* are forbidden in free text, not the full
+// begin markers; a begin marker must start with exactly one trigger. A free
+// segment may end with a proper prefix of a trigger (for example "a < b"
+// never completes the trigger "<fn" and is plain text).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grammar/grammar.h"
+#include "grammar/json_schema.h"
+#include "json/json.h"
+
+namespace xgr::grammar {
+
+struct StructuralTag {
+  std::string begin;        // full begin marker, e.g. "<function=get_weather>"
+  std::string schema_text;  // JSON schema for the body; "" = unconstrained JSON
+  std::string end;          // end marker, e.g. "</function>"
+};
+
+struct StructuralTagOptions {
+  JsonSchemaOptions schema_options;
+  // When false, the output must consist of tag invocations only (no prose
+  // before, between or after) — the free rules still appear but match "".
+  bool allow_free_text = true;
+  // Maximum number of tag invocations; -1 = unbounded.
+  std::int32_t max_invocations = -1;
+  // Require at least one invocation (an output of pure prose is rejected).
+  bool require_invocation = false;
+};
+
+// Builds the combined grammar. Requirements, checked with xgr::CheckError:
+// tags and triggers are non-empty; every trigger is non-empty printable
+// ASCII; every tag's begin marker extends exactly one trigger; schemas parse.
+Grammar BuildStructuralTagGrammar(const std::vector<StructuralTag>& tags,
+                                  const std::vector<std::string>& triggers,
+                                  const StructuralTagOptions& options = {});
+
+// The trigger-avoiding free-text grammar alone (root matches any text with
+// no occurrence of any trigger). Exposed for tests and reuse.
+Grammar BuildTriggerFreeTextGrammar(const std::vector<std::string>& triggers);
+
+}  // namespace xgr::grammar

@@ -1,0 +1,467 @@
+#include "json/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/logging.h"
+#include "support/utf8.h"
+
+namespace xgr::json {
+
+bool Value::AsBool() const {
+  XGR_CHECK(IsBool()) << "JSON value is not a bool";
+  return bool_;
+}
+
+double Value::AsNumber() const {
+  XGR_CHECK(IsNumber()) << "JSON value is not a number";
+  return number_;
+}
+
+bool Value::IsInteger() const {
+  if (!IsNumber()) return false;
+  return std::floor(number_) == number_ && std::abs(number_) < 9.0e18;
+}
+
+std::int64_t Value::AsInteger() const {
+  XGR_CHECK(IsInteger()) << "JSON value is not an integer";
+  return static_cast<std::int64_t>(number_);
+}
+
+const std::string& Value::AsString() const {
+  XGR_CHECK(IsString()) << "JSON value is not a string";
+  return string_;
+}
+
+const Array& Value::AsArray() const {
+  XGR_CHECK(IsArray()) << "JSON value is not an array";
+  return *array_;
+}
+
+const Object& Value::AsObject() const {
+  XGR_CHECK(IsObject()) << "JSON value is not an object";
+  return *object_;
+}
+
+Array& Value::MutableArray() {
+  XGR_CHECK(IsArray()) << "JSON value is not an array";
+  if (array_.use_count() > 1) array_ = std::make_shared<Array>(*array_);
+  return *array_;
+}
+
+Object& Value::MutableObject() {
+  XGR_CHECK(IsObject()) << "JSON value is not an object";
+  if (object_.use_count() > 1) object_ = std::make_shared<Object>(*object_);
+  return *object_;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (!IsObject()) return nullptr;
+  auto it = object_->find(std::string(key));
+  return it == object_->end() ? nullptr : &it->second;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return a.bool_ == b.bool_;
+    case Type::kNumber: return a.number_ == b.number_;
+    case Type::kString: return a.string_ == b.string_;
+    case Type::kArray: return *a.array_ == *b.array_;
+    case Type::kObject: return *a.object_ == *b.object_;
+  }
+  XGR_UNREACHABLE();
+}
+
+namespace {
+
+void DumpString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04X", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpNumber(double value, std::string* out) {
+  if (std::floor(value) == value && std::abs(value) < 9.0e18) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    *out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    *out += buf;
+  }
+}
+
+void DumpValue(const Value& v, int indent, int depth, std::string* out) {
+  auto newline = [&](int d) {
+    if (indent >= 0) {
+      out->push_back('\n');
+      out->append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (v.GetType()) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      return;
+    case Type::kNumber:
+      DumpNumber(v.AsNumber(), out);
+      return;
+    case Type::kString:
+      DumpString(v.AsString(), out);
+      return;
+    case Type::kArray: {
+      const Array& arr = v.AsArray();
+      if (arr.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        DumpValue(arr[i], indent, depth + 1, out);
+      }
+      newline(depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      const Object& obj = v.AsObject();
+      if (obj.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : obj) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        DumpString(key, out);
+        *out += indent >= 0 ? ": " : ":";
+        DumpValue(value, indent, depth + 1, out);
+      }
+      newline(depth);
+      out->push_back('}');
+      return;
+    }
+  }
+  XGR_UNREACHABLE();
+}
+
+// Recursive-descent parser with explicit depth cap (stack safety on
+// adversarial inputs, e.g. deeply nested arrays from an unconstrained model).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParseResult Run() {
+    ParseResult result;
+    SkipWhitespace();
+    std::optional<Value> value = ParseValue(0);
+    if (!value.has_value()) {
+      result.error = error_;
+      return result;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      result.error = Fail("trailing characters after document");
+      return result;
+    }
+    result.value = std::move(value);
+    return result;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 512;
+
+  std::string Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = "JSON parse error at offset " + std::to_string(pos_) + ": " + message;
+    }
+    return error_;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      Fail("maximum nesting depth exceeded");
+      return std::nullopt;
+    }
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': return ParseString();
+      case 't': return ParseKeyword("true", Value(true));
+      case 'f': return ParseKeyword("false", Value(false));
+      case 'n': return ParseKeyword("null", Value(nullptr));
+      default: return ParseNumber();
+    }
+  }
+
+  std::optional<Value> ParseKeyword(std::string_view keyword, Value value) {
+    if (text_.substr(pos_, keyword.size()) != keyword) {
+      Fail("invalid literal");
+      return std::nullopt;
+    }
+    pos_ += keyword.size();
+    return value;
+  }
+
+  std::optional<Value> ParseNumber() {
+    std::size_t start = pos_;
+    if (Consume('-')) {
+      // fallthrough: digits must follow
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      Fail("invalid number");
+      return std::nullopt;
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        Fail("digit expected after decimal point");
+        return std::nullopt;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        Fail("digit expected in exponent");
+        return std::nullopt;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    std::string literal(text_.substr(start, pos_ - start));
+    return Value(std::strtod(literal.c_str(), nullptr));
+  }
+
+  std::optional<Value> ParseString() {
+    std::optional<std::string> s = ParseRawString();
+    if (!s.has_value()) return std::nullopt;
+    return Value(std::move(*s));
+  }
+
+  std::optional<std::string> ParseRawString() {
+    if (!Consume('"')) {
+      Fail("'\"' expected");
+      return std::nullopt;
+    }
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+        return std::nullopt;
+      }
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x80) {
+          out.push_back(c);
+          continue;
+        }
+        // Raw multi-byte character: ECMA-404 documents are sequences of
+        // Unicode code points, so the bytes must form valid UTF-8 (no
+        // truncated, overlong or surrogate encodings).
+        DecodedChar decoded = DecodeUtf8(text_, pos_ - 1);
+        if (!decoded.ok) {
+          Fail("invalid UTF-8 in string");
+          return std::nullopt;
+        }
+        out.append(text_.substr(pos_ - 1, static_cast<std::size_t>(decoded.length)));
+        pos_ += static_cast<std::size_t>(decoded.length) - 1;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("unterminated escape");
+        return std::nullopt;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::optional<std::uint32_t> cp = ParseHex4();
+          if (!cp.has_value()) return std::nullopt;
+          std::uint32_t codepoint = *cp;
+          // Surrogate pair handling.
+          if (codepoint >= 0xD800 && codepoint <= 0xDBFF) {
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              std::optional<std::uint32_t> low = ParseHex4();
+              if (!low.has_value()) return std::nullopt;
+              if (*low >= 0xDC00 && *low <= 0xDFFF) {
+                codepoint = 0x10000 + ((codepoint - 0xD800) << 10) + (*low - 0xDC00);
+              } else {
+                Fail("invalid low surrogate");
+                return std::nullopt;
+              }
+            } else {
+              Fail("unpaired high surrogate");
+              return std::nullopt;
+            }
+          } else if (codepoint >= 0xDC00 && codepoint <= 0xDFFF) {
+            Fail("unpaired low surrogate");
+            return std::nullopt;
+          }
+          AppendUtf8(codepoint, &out);
+          break;
+        }
+        default:
+          Fail("invalid escape character");
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<std::uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      Fail("truncated \\u escape");
+      return std::nullopt;
+    }
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        Fail("invalid hex digit in \\u escape");
+        return std::nullopt;
+      }
+    }
+    return value;
+  }
+
+  std::optional<Value> ParseArray(int depth) {
+    Consume('[');
+    Array items;
+    SkipWhitespace();
+    if (Consume(']')) return Value(std::move(items));
+    while (true) {
+      SkipWhitespace();
+      std::optional<Value> item = ParseValue(depth + 1);
+      if (!item.has_value()) return std::nullopt;
+      items.push_back(std::move(*item));
+      SkipWhitespace();
+      if (Consume(']')) return Value(std::move(items));
+      if (!Consume(',')) {
+        Fail("',' or ']' expected in array");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<Value> ParseObject(int depth) {
+    Consume('{');
+    Object members;
+    SkipWhitespace();
+    if (Consume('}')) return Value(std::move(members));
+    while (true) {
+      SkipWhitespace();
+      std::optional<std::string> key = ParseRawString();
+      if (!key.has_value()) return std::nullopt;
+      SkipWhitespace();
+      if (!Consume(':')) {
+        Fail("':' expected in object");
+        return std::nullopt;
+      }
+      SkipWhitespace();
+      std::optional<Value> value = ParseValue(depth + 1);
+      if (!value.has_value()) return std::nullopt;
+      members.insert_or_assign(std::move(*key), std::move(*value));
+      SkipWhitespace();
+      if (Consume('}')) return Value(std::move(members));
+      if (!Consume(',')) {
+        Fail("',' or '}' expected in object");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpValue(*this, indent, 0, &out);
+  return out;
+}
+
+ParseResult Parse(std::string_view text) { return Parser(text).Run(); }
+
+bool IsValid(std::string_view text) { return Parse(text).ok(); }
+
+}  // namespace xgr::json

@@ -1,0 +1,104 @@
+// Minimal ECMA-404 JSON library.
+//
+// Substrate for three things: parsing JSON Schemas fed to the schema→grammar
+// converter, generating synthetic datasets, and validating model outputs for
+// the Table 4 accuracy experiment. Numbers are stored as double plus the raw
+// literal so integer-ness survives round trips.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xgr::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+// std::map keeps object keys ordered deterministically, which keeps the
+// schema→grammar conversion and dataset generation reproducible.
+using Object = std::map<std::string, Value>;
+
+enum class Type : std::uint8_t {
+  kNull,
+  kBool,
+  kNumber,
+  kString,
+  kArray,
+  kObject,
+};
+
+// A JSON document node with value semantics.
+class Value {
+ public:
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}  // NOLINT(runtime/explicit)
+  Value(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
+  Value(double num) : type_(Type::kNumber), number_(num) {}  // NOLINT
+  Value(int num)  // NOLINT(runtime/explicit)
+      : type_(Type::kNumber), number_(static_cast<double>(num)) {}
+  Value(std::int64_t num)  // NOLINT(runtime/explicit)
+      : type_(Type::kNumber), number_(static_cast<double>(num)) {}
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Value(Array a)  // NOLINT(runtime/explicit)
+      : type_(Type::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+  Value(Object o)  // NOLINT(runtime/explicit)
+      : type_(Type::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+  Type GetType() const { return type_; }
+  bool IsNull() const { return type_ == Type::kNull; }
+  bool IsBool() const { return type_ == Type::kBool; }
+  bool IsNumber() const { return type_ == Type::kNumber; }
+  bool IsString() const { return type_ == Type::kString; }
+  bool IsArray() const { return type_ == Type::kArray; }
+  bool IsObject() const { return type_ == Type::kObject; }
+
+  bool AsBool() const;
+  double AsNumber() const;
+  // True when the number is integral and fits an int64.
+  bool IsInteger() const;
+  std::int64_t AsInteger() const;
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  const Object& AsObject() const;
+  Array& MutableArray();
+  Object& MutableObject();
+
+  // Object convenience: returns nullptr if absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+  // Serializes the document. `indent` < 0 → compact single-line output.
+  std::string Dump(int indent = -1) const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Containers are shared_ptr so Value stays cheap to copy; all mutation is
+  // explicit through MutableArray/MutableObject.
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+// Parse outcome; on failure `error` holds a message with byte offset.
+struct ParseResult {
+  std::optional<Value> value;
+  std::string error;
+  bool ok() const { return value.has_value(); }
+};
+
+// Parses a complete JSON document (trailing whitespace allowed, nothing else).
+ParseResult Parse(std::string_view text);
+
+// True iff `text` is a syntactically valid JSON document.
+bool IsValid(std::string_view text);
+
+}  // namespace xgr::json

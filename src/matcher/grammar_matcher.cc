@@ -1,0 +1,214 @@
+#include "matcher/grammar_matcher.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/logging.h"
+
+namespace xgr::matcher {
+
+namespace {
+// Budget on the closure working set; exceeded only by pathological grammars
+// (e.g. left recursion, which pushes unboundedly without consuming input).
+constexpr std::size_t kMaxClosureStacks = 65536;
+}  // namespace
+
+void StackTransitions::Close(std::vector<std::int32_t>* stacks,
+                             ClosureInfo* info) const {
+  const fsa::Fsa& automaton = pda_->Automaton();
+  std::unordered_set<std::int32_t> visited(stacks->begin(), stacks->end());
+  for (std::size_t i = 0; i < stacks->size(); ++i) {
+    std::int32_t stack_id = (*stacks)[i];
+    const PersistentStackPool::Frame frame = pool_->Get(stack_id);
+    // Rule-reference pushes: q --<R>--> t replaces the top with the return
+    // position t, then pushes R's start node.
+    for (const fsa::Edge& edge : automaton.EdgesFrom(frame.pda_node)) {
+      if (edge.kind != fsa::EdgeKind::kRuleRef) continue;
+      std::int32_t return_frame = pool_->Intern(frame.parent, edge.target);
+      std::int32_t pushed =
+          pool_->Intern(return_frame, pda_->RuleStartNode(edge.rule_ref));
+      if (visited.insert(pushed).second) stacks->push_back(pushed);
+    }
+    // Pop: reaching an accepting state returns to the parent frame.
+    if (automaton.IsAccepting(frame.pda_node)) {
+      if (frame.parent == PersistentStackPool::kNoParent) {
+        info->can_complete = true;
+      } else if (frame.parent == PersistentStackPool::kUnknownParent) {
+        info->escaped = true;
+      } else {
+        if (visited.insert(frame.parent).second) {
+          stacks->push_back(frame.parent);
+        }
+        info->pop_results.push_back(frame.parent);
+      }
+    }
+    XGR_CHECK(stacks->size() <= kMaxClosureStacks)
+        << "closure budget exceeded; grammar is likely left-recursive";
+  }
+  std::sort(stacks->begin(), stacks->end());
+  std::sort(info->pop_results.begin(), info->pop_results.end());
+  info->pop_results.erase(
+      std::unique(info->pop_results.begin(), info->pop_results.end()),
+      info->pop_results.end());
+}
+
+void StackTransitions::AdvanceByte(const std::vector<std::int32_t>& closed,
+                                   std::uint8_t byte,
+                                   std::vector<std::int32_t>* out) const {
+  const fsa::Fsa& automaton = pda_->Automaton();
+  out->clear();
+  for (std::int32_t stack_id : closed) {
+    const PersistentStackPool::Frame frame = pool_->Get(stack_id);
+    for (const fsa::Edge& edge : automaton.EdgesFrom(frame.pda_node)) {
+      if (edge.kind == fsa::EdgeKind::kByteRange && edge.min_byte <= byte &&
+          byte <= edge.max_byte) {
+        out->push_back(pool_->Intern(frame.parent, edge.target));
+      }
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+void StackTransitions::AllowedBytes(const std::vector<std::int32_t>& closed,
+                                    std::array<bool, 256>* allowed) const {
+  const fsa::Fsa& automaton = pda_->Automaton();
+  allowed->fill(false);
+  for (std::int32_t stack_id : closed) {
+    const PersistentStackPool::Frame frame = pool_->Get(stack_id);
+    for (const fsa::Edge& edge : automaton.EdgesFrom(frame.pda_node)) {
+      if (edge.kind != fsa::EdgeKind::kByteRange) continue;
+      for (int b = edge.min_byte; b <= edge.max_byte; ++b) {
+        (*allowed)[static_cast<std::size_t>(b)] = true;
+      }
+    }
+  }
+}
+
+GrammarMatcher::GrammarMatcher(std::shared_ptr<const pda::CompiledGrammar> pda)
+    : GrammarMatcher(std::move(pda), PersistentStackPool::kNoParent, -1) {}
+
+GrammarMatcher::GrammarMatcher(std::shared_ptr<const pda::CompiledGrammar> pda,
+                               std::int32_t bottom_sentinel,
+                               std::int32_t start_node)
+    : pda_(std::move(pda)),
+      pool_(std::make_shared<PersistentStackPool>()),
+      transitions_(*pda_, pool_.get()) {
+  if (start_node < 0) start_node = pda_->RuleStartNode(pda_->RootRule());
+  Snapshot initial;
+  initial.stacks.push_back(pool_->Intern(bottom_sentinel, start_node));
+  SealSnapshot(&initial);
+  history_.push_back(std::move(initial));
+}
+
+GrammarMatcher::GrammarMatcher(std::shared_ptr<const pda::CompiledGrammar> pda,
+                               const PersistentStackPool& source_pool,
+                               std::int32_t stack_id)
+    : pda_(std::move(pda)),
+      pool_(std::make_shared<PersistentStackPool>()),
+      transitions_(*pda_, pool_.get()) {
+  Snapshot initial;
+  initial.stacks.push_back(pool_->CopyChainFrom(source_pool, stack_id));
+  SealSnapshot(&initial);
+  history_.push_back(std::move(initial));
+}
+
+GrammarMatcher GrammarMatcher::ForCacheSimulation(
+    std::shared_ptr<const pda::CompiledGrammar> pda, std::int32_t node) {
+  return GrammarMatcher(std::move(pda), PersistentStackPool::kUnknownParent, node);
+}
+
+GrammarMatcher::GrammarMatcher(std::shared_ptr<const pda::CompiledGrammar> pda,
+                               std::shared_ptr<PersistentStackPool> pool,
+                               Snapshot snapshot)
+    : pda_(std::move(pda)),
+      pool_(std::move(pool)),
+      transitions_(*pda_, pool_.get()) {
+  history_.push_back(std::move(snapshot));
+}
+
+GrammarMatcher GrammarMatcher::Fork() const {
+  return GrammarMatcher(pda_, pool_, history_.back());
+}
+
+void GrammarMatcher::SealSnapshot(Snapshot* snapshot) {
+  snapshot->closed = snapshot->stacks;
+  snapshot->info = StackTransitions::ClosureInfo{};
+  transitions_.Close(&snapshot->closed, &snapshot->info);
+  stats_.closure_stacks += snapshot->closed.size();
+}
+
+bool GrammarMatcher::AcceptByte(std::uint8_t byte) {
+  ++stats_.bytes_attempted;
+  Snapshot next;
+  transitions_.AdvanceByte(history_.back().closed, byte, &next.stacks);
+  if (next.stacks.empty()) return false;
+  SealSnapshot(&next);
+  history_.push_back(std::move(next));
+  ++stats_.bytes_accepted;
+  return true;
+}
+
+bool GrammarMatcher::AcceptString(std::string_view bytes) {
+  std::int32_t entry_depth = NumConsumedBytes();
+  for (char c : bytes) {
+    if (!AcceptByte(static_cast<std::uint8_t>(c))) {
+      RollbackToDepth(entry_depth);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool GrammarMatcher::CanAcceptString(std::string_view bytes) {
+  std::int32_t entry_depth = NumConsumedBytes();
+  bool accepted = AcceptString(bytes);
+  RollbackToDepth(entry_depth);
+  return accepted;
+}
+
+void GrammarMatcher::RollbackToDepth(std::int32_t depth) {
+  XGR_CHECK(depth >= 0 && depth <= NumConsumedBytes())
+      << "rollback depth out of range: " << depth;
+  stats_.rollback_bytes += static_cast<std::uint64_t>(NumConsumedBytes() - depth);
+  history_.resize(static_cast<std::size_t>(depth) + 1);
+}
+
+void GrammarMatcher::RollbackTokens(std::int32_t count) {
+  XGR_CHECK(count >= 0 && count <= NumTokenCheckpoints())
+      << "token rollback out of range: " << count;
+  if (count == 0) return;
+  std::size_t keep = token_checkpoints_.size() - static_cast<std::size_t>(count);
+  // checkpoints[i] records the byte depth *after* token i; rolling back to
+  // "after the last kept token" means checkpoints[keep-1], or the initial
+  // state when nothing is kept.
+  std::int32_t depth = keep == 0 ? 0 : token_checkpoints_[keep - 1];
+  token_checkpoints_.resize(keep);
+  RollbackToDepth(depth);
+}
+
+std::string GrammarMatcher::FindJumpForwardString(std::int32_t max_length) {
+  std::int32_t entry_depth = NumConsumedBytes();
+  std::string result;
+  std::array<bool, 256> allowed{};
+  while (static_cast<std::int32_t>(result.size()) < max_length) {
+    // Termination as an alternative makes the continuation non-unique.
+    if (CanTerminate()) break;
+    transitions_.AllowedBytes(history_.back().closed, &allowed);
+    int unique_byte = -1;
+    int count = 0;
+    for (int b = 0; b < 256 && count <= 1; ++b) {
+      if (allowed[static_cast<std::size_t>(b)]) {
+        ++count;
+        unique_byte = b;
+      }
+    }
+    if (count != 1) break;
+    if (!AcceptByte(static_cast<std::uint8_t>(unique_byte))) break;
+    result.push_back(static_cast<char>(unique_byte));
+  }
+  RollbackToDepth(entry_depth);
+  return result;
+}
+
+}  // namespace xgr::matcher

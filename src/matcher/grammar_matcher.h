@@ -1,0 +1,175 @@
+// Byte-level grammar matcher: executes the compiled PDA over multiple
+// parallel persistent stacks (§3.3), with per-byte history for rollback and
+// the jump-forward probe used by jump-forward decoding (Appendix B).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "matcher/persistent_stack.h"
+#include "pda/compiled_grammar.h"
+
+namespace xgr::matcher {
+
+// Closure + byte-step primitives over the compiled automaton. Stateless with
+// respect to matching; owns nothing.
+class StackTransitions {
+ public:
+  StackTransitions(const pda::CompiledGrammar& pda, PersistentStackPool* pool)
+      : pda_(&pda), pool_(pool) {}
+
+  struct ClosureInfo {
+    bool can_complete = false;  // a kNoParent bottom frame popped (EOS legal)
+    bool escaped = false;       // a kUnknownParent bottom frame popped
+    // Stacks produced by pop transitions (returning to a parent frame),
+    // including pops enabled by pushing nullable rules first. Together with
+    // the canonical stacks these are exactly the states whose cache entries
+    // mask generation must union (push expansions are already folded into
+    // each entry's classification).
+    std::vector<std::int32_t> pop_results;
+  };
+
+  // Expands `stacks` in place to its push/pop closure (deduplicated, sorted).
+  // All intermediate stacks are kept: each may own byte edges.
+  void Close(std::vector<std::int32_t>* stacks, ClosureInfo* info) const;
+
+  // One byte step over a closed stack set; output is the deduplicated
+  // canonical (pre-closure) successor set.
+  void AdvanceByte(const std::vector<std::int32_t>& closed, std::uint8_t byte,
+                   std::vector<std::int32_t>* out) const;
+
+  // Marks every byte accepted from `closed` in `allowed` (jump-forward).
+  void AllowedBytes(const std::vector<std::int32_t>& closed,
+                    std::array<bool, 256>* allowed) const;
+
+ private:
+  const pda::CompiledGrammar* pda_;
+  PersistentStackPool* pool_;
+};
+
+struct MatcherStats {
+  std::uint64_t bytes_accepted = 0;   // successful AcceptByte calls
+  std::uint64_t bytes_attempted = 0;  // including failed ones
+  std::uint64_t closure_stacks = 0;   // cumulative closed-set sizes
+  std::uint64_t rollback_bytes = 0;
+};
+
+// The matcher. One instance per concurrent generation request (not
+// thread-safe; the compiled grammar it references is shared and immutable).
+class GrammarMatcher {
+ public:
+  explicit GrammarMatcher(std::shared_ptr<const pda::CompiledGrammar> pda);
+
+  // Seeds a scratch matcher from an existing runtime stack (frame chain is
+  // copied into the private pool). Used for context-dependent token checks.
+  GrammarMatcher(std::shared_ptr<const pda::CompiledGrammar> pda,
+                 const PersistentStackPool& source_pool, std::int32_t stack_id);
+
+  // Seeds the cache-build simulation: a single-frame stack [node] whose
+  // parent is unknown (§3.1 token classification).
+  static GrammarMatcher ForCacheSimulation(
+      std::shared_ptr<const pda::CompiledGrammar> pda, std::int32_t node);
+
+  // O(#parallel stacks) state branch (§3.3: tree-of-thought / speculative
+  // decoding keep one matching state per output branch). The fork shares
+  // this matcher's persistent stack pool — frames are append-only, so the
+  // parent's state is immune to the fork's progress — and starts its own
+  // history at the current position: byte depth 0 in the fork is the fork
+  // point, which bounds its rollback. Forks must be used from the same
+  // thread as the parent (the shared pool is not synchronized).
+  GrammarMatcher Fork() const;
+
+  // --- Byte-level matching --------------------------------------------------
+
+  // Consumes one byte. Returns false and leaves the state unchanged when no
+  // stack can consume it.
+  bool AcceptByte(std::uint8_t byte);
+  // All-or-nothing: on failure the state is rolled back to entry state.
+  bool AcceptString(std::string_view bytes);
+  // True iff `bytes` could be accepted (state is never changed).
+  bool CanAcceptString(std::string_view bytes);
+
+  // Number of bytes consumed since construction.
+  std::int32_t NumConsumedBytes() const { return static_cast<std::int32_t>(history_.size()) - 1; }
+  // Restores the state to `depth` consumed bytes (depth <= NumConsumedBytes).
+  void RollbackToDepth(std::int32_t depth);
+  void RollbackBytes(std::int32_t count) { RollbackToDepth(NumConsumedBytes() - count); }
+
+  // --- State inspection -----------------------------------------------------
+
+  // Canonical (pre-closure) stack set at the current position.
+  const std::vector<std::int32_t>& CurrentStacks() const {
+    return history_.back().stacks;
+  }
+  // Closed stack set (computed eagerly after every byte).
+  const std::vector<std::int32_t>& ClosedStacks() const {
+    return history_.back().closed;
+  }
+  // Canonical stacks plus pop-produced stacks: the minimal set whose cache
+  // entries jointly cover every token (see ClosureInfo::pop_results).
+  std::vector<std::int32_t> MaskStacks() const {
+    std::vector<std::int32_t> stacks = history_.back().stacks;
+    for (std::int32_t pop : history_.back().info.pop_results) {
+      if (std::find(stacks.begin(), stacks.end(), pop) == stacks.end()) {
+        stacks.push_back(pop);
+      }
+    }
+    return stacks;
+  }
+  // True when the whole grammar can terminate here (EOS would be legal).
+  bool CanTerminate() const { return history_.back().info.can_complete; }
+  // Whether an unknown-parent pop happened while closing depth `depth`
+  // (cache-build simulations only).
+  bool EscapedAtDepth(std::int32_t depth) const {
+    return history_[static_cast<std::size_t>(depth)].info.escaped;
+  }
+  bool Dead() const { return history_.back().closed.empty(); }
+
+  PersistentStackPool& Pool() { return *pool_; }
+  const pda::CompiledGrammar& Pda() const { return *pda_; }
+  const MatcherStats& Stats() const { return stats_; }
+
+  // --- Token-boundary checkpoints (rollback in token units) ----------------
+  void PushTokenCheckpoint() { token_checkpoints_.push_back(NumConsumedBytes()); }
+  std::int32_t NumTokenCheckpoints() const {
+    return static_cast<std::int32_t>(token_checkpoints_.size());
+  }
+  // Rolls back the last `count` tokens (paper §3.3: constant-time pointer
+  // restore per step).
+  void RollbackTokens(std::int32_t count);
+
+  // --- Jump-forward (Appendix B) --------------------------------------------
+  // Longest unique forced continuation from the current state: while exactly
+  // one byte is accepted (and termination is not an alternative), that byte
+  // is appended. State is left where it was on entry.
+  std::string FindJumpForwardString(std::int32_t max_length = 256);
+
+ private:
+  struct Snapshot {
+    std::vector<std::int32_t> stacks;  // canonical
+    std::vector<std::int32_t> closed;  // after push/pop closure
+    StackTransitions::ClosureInfo info;
+  };
+
+  GrammarMatcher(std::shared_ptr<const pda::CompiledGrammar> pda,
+                 std::int32_t bottom_sentinel, std::int32_t start_node);
+  // Fork constructor: shared pool, history seeded with one snapshot.
+  GrammarMatcher(std::shared_ptr<const pda::CompiledGrammar> pda,
+                 std::shared_ptr<PersistentStackPool> pool, Snapshot snapshot);
+
+  void SealSnapshot(Snapshot* snapshot);
+
+  std::shared_ptr<const pda::CompiledGrammar> pda_;
+  std::shared_ptr<PersistentStackPool> pool_;
+  StackTransitions transitions_;
+  std::vector<Snapshot> history_;  // [0] = initial state, [i] = after i bytes
+  std::vector<std::int32_t> token_checkpoints_;
+  MatcherStats stats_;
+};
+
+}  // namespace xgr::matcher

@@ -1,0 +1,90 @@
+// Persistent execution stack (§3.3 of the paper).
+//
+// All matching stacks — the parallel stacks of the current step and every
+// stack from previous steps — are organized into a single tree. A stack is
+// identified by the id of its top frame; the chain of parent pointers is the
+// stack content. Frames are interned by (parent, pda_node), which gives
+// three properties the matcher relies on:
+//   * structural sharing: stacks from adjacent steps share their deep frames,
+//   * O(1) state branching: splitting a stack allocates at most one frame,
+//   * equal stacks <=> equal ids, making stack-set deduplication trivial.
+// Frames are never freed while the pool lives; rollback is just restoring an
+// earlier vector of stack ids (the paper's sliding-window history).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace xgr::matcher {
+
+class PersistentStackPool {
+ public:
+  // Bottom-of-stack sentinels.
+  static constexpr std::int32_t kNoParent = -1;       // real generation stack
+  static constexpr std::int32_t kUnknownParent = -2;  // cache-build simulation
+
+  struct Frame {
+    std::int32_t parent;    // frame id, or a sentinel
+    std::int32_t pda_node;  // current position (top) / return position (inner)
+  };
+
+  // Returns the unique frame id for (parent, pda_node).
+  std::int32_t Intern(std::int32_t parent, std::int32_t pda_node) {
+    std::uint64_t key = MakeKey(parent, pda_node);
+    auto [it, inserted] = index_.try_emplace(key, static_cast<std::int32_t>(frames_.size()));
+    if (inserted) frames_.push_back(Frame{parent, pda_node});
+    return it->second;
+  }
+
+  const Frame& Get(std::int32_t id) const {
+    XGR_DCHECK(id >= 0 && id < static_cast<std::int32_t>(frames_.size()));
+    return frames_[static_cast<std::size_t>(id)];
+  }
+
+  std::int32_t TopNode(std::int32_t id) const { return Get(id).pda_node; }
+
+  // Depth of the stack (number of frames to the bottom sentinel).
+  std::int32_t Depth(std::int32_t id) const {
+    std::int32_t depth = 0;
+    while (id >= 0) {
+      ++depth;
+      id = Get(id).parent;
+    }
+    return depth;
+  }
+
+  // Copies the frame chain of `id` (which lives in `source`) into this pool,
+  // preserving the bottom sentinel. Used to seed a scratch matcher from a
+  // runtime stack when checking context-dependent tokens.
+  std::int32_t CopyChainFrom(const PersistentStackPool& source, std::int32_t id) {
+    if (id < 0) return id;  // sentinel
+    const Frame& frame = source.Get(id);
+    std::int32_t parent = CopyChainFrom(source, frame.parent);
+    return Intern(parent, frame.pda_node);
+  }
+
+  std::size_t Size() const { return frames_.size(); }
+  std::size_t MemoryBytes() const {
+    return frames_.size() * sizeof(Frame) +
+           index_.size() * (sizeof(std::uint64_t) + sizeof(std::int32_t) + 2 * sizeof(void*));
+  }
+
+  void Clear() {
+    frames_.clear();
+    index_.clear();
+  }
+
+ private:
+  static std::uint64_t MakeKey(std::int32_t parent, std::int32_t node) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(parent)) << 32) |
+           static_cast<std::uint32_t>(node);
+  }
+
+  std::vector<Frame> frames_;
+  std::unordered_map<std::uint64_t, std::int32_t> index_;
+};
+
+}  // namespace xgr::matcher

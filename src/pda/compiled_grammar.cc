@@ -1,0 +1,310 @@
+#include "pda/compiled_grammar.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace xgr::pda {
+
+namespace {
+
+using grammar::Expr;
+using grammar::ExprId;
+using grammar::ExprType;
+using grammar::Grammar;
+using grammar::RuleId;
+
+struct Fragment {
+  std::int32_t entry;
+  std::int32_t exit;
+};
+
+// Thompson-style construction of grammar expressions into the shared
+// automaton. Produces epsilon edges freely; they are removed afterwards.
+class ExprCompiler {
+ public:
+  ExprCompiler(const Grammar& g, fsa::Fsa* fsa) : grammar_(g), fsa_(fsa) {}
+
+  Fragment Compile(ExprId expr_id) {  // NOLINT(misc-no-recursion)
+    const Expr& expr = grammar_.GetExpr(expr_id);
+    switch (expr.type) {
+      case ExprType::kEmpty: {
+        std::int32_t s = fsa_->AddState();
+        return {s, s};
+      }
+      case ExprType::kByteString: {
+        std::int32_t entry = fsa_->AddState();
+        std::int32_t exit = fsa_->AddState();
+        fsa_->AddLiteralPath(entry, expr.bytes, exit);
+        return {entry, exit};
+      }
+      case ExprType::kCharClass: {
+        std::int32_t entry = fsa_->AddState();
+        std::int32_t exit = fsa_->AddState();
+        regex::AddCodepointRangesPath(fsa_, entry, exit, expr.ranges);
+        return {entry, exit};
+      }
+      case ExprType::kRuleRef: {
+        std::int32_t entry = fsa_->AddState();
+        std::int32_t exit = fsa_->AddState();
+        fsa_->AddRuleEdge(entry, expr.rule_ref, exit);
+        return {entry, exit};
+      }
+      case ExprType::kSequence: {
+        Fragment result = Compile(expr.children[0]);
+        for (std::size_t i = 1; i < expr.children.size(); ++i) {
+          Fragment next = Compile(expr.children[i]);
+          fsa_->AddEpsilonEdge(result.exit, next.entry);
+          result.exit = next.exit;
+        }
+        return result;
+      }
+      case ExprType::kChoice: {
+        std::int32_t entry = fsa_->AddState();
+        std::int32_t exit = fsa_->AddState();
+        for (ExprId child : expr.children) {
+          Fragment f = Compile(child);
+          fsa_->AddEpsilonEdge(entry, f.entry);
+          fsa_->AddEpsilonEdge(f.exit, exit);
+        }
+        return {entry, exit};
+      }
+      case ExprType::kRepeat: {
+        std::int32_t entry = fsa_->AddState();
+        std::int32_t current = entry;
+        for (std::int32_t i = 0; i < expr.min_repeat; ++i) {
+          Fragment f = Compile(expr.children[0]);
+          fsa_->AddEpsilonEdge(current, f.entry);
+          current = f.exit;
+        }
+        if (expr.max_repeat == -1) {
+          std::int32_t loop = fsa_->AddState();
+          std::int32_t exit = fsa_->AddState();
+          fsa_->AddEpsilonEdge(current, loop);
+          Fragment f = Compile(expr.children[0]);
+          fsa_->AddEpsilonEdge(loop, f.entry);
+          fsa_->AddEpsilonEdge(f.exit, loop);
+          fsa_->AddEpsilonEdge(loop, exit);
+          return {entry, exit};
+        }
+        std::int32_t exit = fsa_->AddState();
+        fsa_->AddEpsilonEdge(current, exit);
+        for (std::int32_t i = expr.min_repeat; i < expr.max_repeat; ++i) {
+          Fragment f = Compile(expr.children[0]);
+          fsa_->AddEpsilonEdge(current, f.entry);
+          fsa_->AddEpsilonEdge(f.exit, exit);
+          current = f.exit;
+        }
+        return {entry, exit};
+      }
+    }
+    XGR_UNREACHABLE();
+  }
+
+ private:
+  const Grammar& grammar_;
+  fsa::Fsa* fsa_;
+};
+
+// Assigns each node to the rule whose subgraph contains it. Rule subgraphs
+// never share nodes (edges do not cross rules; rule-ref edges point to return
+// positions within the same rule).
+std::vector<RuleId> AssignNodeRules(const fsa::Fsa& fsa,
+                                    const std::vector<std::int32_t>& rule_starts) {
+  std::vector<RuleId> node_rule(static_cast<std::size_t>(fsa.NumStates()),
+                                grammar::kInvalidRule);
+  for (std::size_t r = 0; r < rule_starts.size(); ++r) {
+    std::vector<std::int32_t> queue{rule_starts[r]};
+    while (!queue.empty()) {
+      std::int32_t node = queue.back();
+      queue.pop_back();
+      if (node_rule[static_cast<std::size_t>(node)] != grammar::kInvalidRule) continue;
+      node_rule[static_cast<std::size_t>(node)] = static_cast<RuleId>(r);
+      for (const fsa::Edge& e : fsa.EdgesFrom(node)) queue.push_back(e.target);
+    }
+  }
+  return node_rule;
+}
+
+}  // namespace
+
+fsa::Fsa ExtractContextFsa(const fsa::Fsa& automaton,
+                           const std::vector<std::int32_t>& rule_starts,
+                           RuleId rule) {
+  // Algorithm 2: for every edge s --<rule>--> t, DFS from t over character
+  // edges only; stop (and mark final) at accepting nodes or nodes owning
+  // rule-reference edges. Merge all extracted subgraphs by union.
+  fsa::Fsa result;  // starts empty: no states => empty language
+  bool any = false;
+  for (std::int32_t s = 0; s < automaton.NumStates(); ++s) {
+    for (const fsa::Edge& ref_edge : automaton.EdgesFrom(s)) {
+      if (ref_edge.kind != fsa::EdgeKind::kRuleRef || ref_edge.rule_ref != rule) {
+        continue;
+      }
+      // EXTRACT_ONE from the return position t.
+      fsa::Fsa delta;
+      std::unordered_map<std::int32_t, std::int32_t> visited;  // old -> delta id
+      struct StackItem {
+        std::int32_t old_node;
+      };
+      std::vector<std::int32_t> stack{ref_edge.target};
+      auto intern = [&](std::int32_t old_node) {
+        auto it = visited.find(old_node);
+        if (it != visited.end()) return it->second;
+        std::int32_t id = delta.AddState();
+        visited.emplace(old_node, id);
+        return id;
+      };
+      delta.SetStart(intern(ref_edge.target));
+      while (!stack.empty()) {
+        std::int32_t old_node = stack.back();
+        stack.pop_back();
+        std::int32_t delta_node = intern(old_node);
+        bool has_rule_edge = false;
+        for (const fsa::Edge& e : automaton.EdgesFrom(old_node)) {
+          if (e.kind == fsa::EdgeKind::kRuleRef) has_rule_edge = true;
+        }
+        if (automaton.IsAccepting(old_node) || has_rule_edge) {
+          // Matching may continue into a child rule or pop further; the
+          // extracted context stops here.
+          delta.SetAccepting(delta_node, true);
+          continue;
+        }
+        for (const fsa::Edge& e : automaton.EdgesFrom(old_node)) {
+          XGR_DCHECK(e.kind == fsa::EdgeKind::kByteRange);
+          bool seen = visited.count(e.target) != 0;
+          std::int32_t target = intern(e.target);
+          delta.AddByteEdge(delta_node, e.min_byte, e.max_byte, target);
+          if (!seen) stack.push_back(e.target);
+        }
+      }
+      result = any ? fsa::UnionFsa(result, delta) : std::move(delta);
+      any = true;
+    }
+  }
+  (void)rule_starts;
+  if (!any) {
+    // Rule is never referenced (typically the root): nothing may follow it.
+    fsa::Fsa empty;
+    std::int32_t s = empty.AddState();
+    empty.SetStart(s);  // non-accepting, no edges: empty language
+    return empty;
+  }
+  std::vector<std::int32_t> roots{result.Start()};
+  fsa::Fsa cleaned = fsa::EliminateEpsilon(result, &roots);
+  cleaned.SetStart(roots[0]);
+  return cleaned;
+}
+
+std::shared_ptr<const CompiledGrammar> CompiledGrammar::Compile(
+    const grammar::Grammar& input, const CompileOptions& options) {
+  auto result = std::shared_ptr<CompiledGrammar>(new CompiledGrammar());
+  result->options_ = options;
+  result->grammar_ = input;  // private copy we may transform
+  Grammar& g = result->grammar_;
+  grammar::NormalizeGrammar(&g);
+  if (options.rule_inlining) {
+    grammar::InlineFragmentRules(&g, options.inline_options);
+  }
+  g.Validate();
+
+  // Thompson construction: one automaton, one start state per rule.
+  fsa::Fsa fsa;
+  std::vector<std::int32_t> rule_starts;
+  rule_starts.reserve(static_cast<std::size_t>(g.NumRules()));
+  ExprCompiler compiler(g, &fsa);
+  for (RuleId r = 0; r < g.NumRules(); ++r) {
+    std::int32_t start = fsa.AddState();
+    rule_starts.push_back(start);
+    Fragment body = compiler.Compile(g.GetRule(r).body);
+    fsa.AddEpsilonEdge(start, body.entry);
+    fsa.SetAccepting(body.exit, true);
+  }
+
+  fsa = fsa::EliminateEpsilon(fsa, &rule_starts);
+  if (options.node_merging) {
+    fsa = fsa::MergeEquivalentNodes(fsa, &rule_starts);
+  }
+
+  result->automaton_ = std::move(fsa);
+  result->rule_starts_ = std::move(rule_starts);
+  result->root_rule_ = g.RootRule();
+  result->node_rule_ = AssignNodeRules(result->automaton_, result->rule_starts_);
+
+  if (options.context_expansion) {
+    result->context_automaton_ = std::make_unique<fsa::Fsa>(
+        BuildGlobalContextAutomaton(result->automaton_, result->node_rule_,
+                                    g.NumRules(), &result->context_starts_));
+  }
+  return result;
+}
+
+fsa::Fsa BuildGlobalContextAutomaton(const fsa::Fsa& automaton,
+                                     const std::vector<RuleId>& node_rule,
+                                     std::int32_t num_rules,
+                                     std::vector<std::int32_t>* starts) {
+  fsa::Fsa ctx;
+  // Per-rule entry states. The root (or any unreferenced rule) keeps a dead
+  // entry: once it completes, generation is over and no byte may follow.
+  starts->assign(static_cast<std::size_t>(num_rules), -1);
+  for (std::int32_t r = 0; r < num_rules; ++r) {
+    (*starts)[static_cast<std::size_t>(r)] = ctx.AddState();
+  }
+  // Mirror state for each PDA node that participates in some suffix subgraph,
+  // created on demand.
+  std::vector<std::int32_t> mirror(static_cast<std::size_t>(automaton.NumStates()), -1);
+  std::vector<std::int32_t> worklist;
+  auto mirror_of = [&](std::int32_t node) {
+    std::int32_t& m = mirror[static_cast<std::size_t>(node)];
+    if (m == -1) {
+      m = ctx.AddState();
+      worklist.push_back(node);
+    }
+    return m;
+  };
+
+  // Seed: every rule-reference edge s --<R>--> t contributes "what can follow
+  // R" starting at t's mirror.
+  for (std::int32_t s = 0; s < automaton.NumStates(); ++s) {
+    for (const fsa::Edge& e : automaton.EdgesFrom(s)) {
+      if (e.kind != fsa::EdgeKind::kRuleRef) continue;
+      ctx.AddEpsilonEdge((*starts)[static_cast<std::size_t>(e.rule_ref)],
+                         mirror_of(e.target));
+    }
+  }
+
+  // Expand mirrors: copy character edges; a node owning rule-reference edges
+  // is an opaque frontier (mark accepting: anything beyond is unknown); a
+  // node accepting in its own rule splices into that rule's suffix language.
+  while (!worklist.empty()) {
+    std::int32_t node = worklist.back();
+    worklist.pop_back();
+    std::int32_t m = mirror[static_cast<std::size_t>(node)];
+    bool has_rule_edge = false;
+    for (const fsa::Edge& e : automaton.EdgesFrom(node)) {
+      if (e.kind == fsa::EdgeKind::kRuleRef) {
+        has_rule_edge = true;
+      } else if (e.kind == fsa::EdgeKind::kByteRange) {
+        ctx.AddByteEdge(m, e.min_byte, e.max_byte, mirror_of(e.target));
+      }
+    }
+    if (has_rule_edge) ctx.SetAccepting(m, true);
+    if (automaton.IsAccepting(node)) {
+      RuleId owner = node_rule[static_cast<std::size_t>(node)];
+      ctx.AddEpsilonEdge(m, (*starts)[static_cast<std::size_t>(owner)]);
+    }
+  }
+  return ctx;
+}
+
+std::string CompiledGrammar::StatsString() const {
+  std::ostringstream out;
+  out << "rules=" << NumRules() << " nodes=" << NumNodes()
+      << " edges=" << automaton_.TotalEdges();
+  if (context_automaton_ != nullptr) {
+    out << " ctx_fsa_states=" << context_automaton_->NumStates();
+  }
+  return out.str();
+}
+
+}  // namespace xgr::pda

@@ -1,0 +1,111 @@
+// Compiled pushdown automaton for a grammar (the PDA variant of Appendix A).
+//
+// Every rule is compiled into a byte-level finite automaton; all rule
+// automata share one dense node-id space. Edges are byte ranges or rule
+// references. The compile pipeline applies, in order and under option flags
+// (each is a row of the paper's Table 3 ablation):
+//   1. grammar normalization + rule inlining           (§3.4)
+//   2. Thompson construction (byte level, UTF-8 aware)  (§3)
+//   3. epsilon elimination
+//   4. node merging                                     (§3.4)
+//   5. context expansion: expanded-suffix FSA per rule  (§3.2, Algorithm 2)
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fsa/fsa.h"
+#include "grammar/grammar.h"
+
+namespace xgr::serialize_detail {
+struct CompiledGrammarAccess;  // binary (de)serialization, src/serialize
+}  // namespace xgr::serialize_detail
+
+namespace xgr::pda {
+
+struct CompileOptions {
+  bool rule_inlining = true;
+  bool node_merging = true;
+  bool context_expansion = true;
+  grammar::InlineOptions inline_options;
+
+  static CompileOptions AllDisabled() {
+    return CompileOptions{false, false, false, {}};
+  }
+};
+
+class CompiledGrammar {
+ public:
+  // Compiles a copy of `g`. The returned object is immutable and shareable
+  // across matchers/threads.
+  static std::shared_ptr<const CompiledGrammar> Compile(
+      const grammar::Grammar& g, const CompileOptions& options = {});
+
+  const fsa::Fsa& Automaton() const { return automaton_; }
+  std::int32_t NumNodes() const { return automaton_.NumStates(); }
+  std::int32_t NumRules() const { return static_cast<std::int32_t>(rule_starts_.size()); }
+  grammar::RuleId RootRule() const { return root_rule_; }
+  std::int32_t RuleStartNode(grammar::RuleId rule) const {
+    return rule_starts_[static_cast<std::size_t>(rule)];
+  }
+  // The rule whose automaton contains `node`.
+  grammar::RuleId NodeRule(std::int32_t node) const {
+    return node_rule_[static_cast<std::size_t>(node)];
+  }
+  // Global expanded-suffix automaton (context expansion, §3.2). One shared
+  // automaton holds every rule's suffix language; ContextStart(rule) is the
+  // entry state for "strings that may legally follow a completed `rule`".
+  // When a parent rule completes in turn, an epsilon edge splices into that
+  // parent's own suffix language (our sound extension of Algorithm 2: the
+  // paper stops at final states and keeps such tokens context-dependent; we
+  // follow the pop upward, which rejects strictly more tokens and is what
+  // yields the ~90% context-dependent reduction on JSON). Accepting states
+  // mark positions where a child rule begins: beyond them the expansion
+  // cannot see, so any remaining bytes stay context-dependent.
+  // nullptr when context expansion is disabled.
+  const fsa::Fsa* ContextAutomaton() const { return context_automaton_.get(); }
+  std::int32_t ContextStart(grammar::RuleId rule) const {
+    return context_starts_[static_cast<std::size_t>(rule)];
+  }
+
+  // The transformed grammar the automaton was built from (post inlining).
+  const grammar::Grammar& SourceGrammar() const { return grammar_; }
+  const CompileOptions& Options() const { return options_; }
+  const std::string& RuleName(grammar::RuleId rule) const {
+    return grammar_.GetRule(rule).name;
+  }
+
+  std::string StatsString() const;
+
+ private:
+  friend struct xgr::serialize_detail::CompiledGrammarAccess;
+
+  CompiledGrammar() = default;
+
+  grammar::Grammar grammar_;
+  CompileOptions options_;
+  fsa::Fsa automaton_;
+  std::vector<std::int32_t> rule_starts_;
+  std::vector<grammar::RuleId> node_rule_;
+  std::unique_ptr<fsa::Fsa> context_automaton_;
+  std::vector<std::int32_t> context_starts_;
+  grammar::RuleId root_rule_ = grammar::kInvalidRule;
+};
+
+// Algorithm 2 exactly as printed in the paper (single-rule, stop at final
+// states): extracts the expanded-suffix FSA of `rule`. Kept for unit tests
+// and for comparing against the spliced variant the compiler uses.
+fsa::Fsa ExtractContextFsa(const fsa::Fsa& automaton,
+                           const std::vector<std::int32_t>& rule_starts,
+                           grammar::RuleId rule);
+
+// The spliced global variant used by CompiledGrammar (see ContextAutomaton).
+// Writes the per-rule entry states into `starts`.
+fsa::Fsa BuildGlobalContextAutomaton(const fsa::Fsa& automaton,
+                                     const std::vector<grammar::RuleId>& node_rule,
+                                     std::int32_t num_rules,
+                                     std::vector<std::int32_t>* starts);
+
+}  // namespace xgr::pda

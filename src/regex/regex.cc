@@ -1,0 +1,571 @@
+#include "regex/regex.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/utf8.h"
+
+namespace xgr::regex {
+
+namespace {
+
+// --- Parser ----------------------------------------------------------------
+
+class RegexParser {
+ public:
+  explicit RegexParser(const std::string& pattern) : pattern_(pattern) {}
+
+  RegexParseResult Run() {
+    RegexParseResult result;
+    auto root = ParseAlternate();
+    if (!error_.empty()) {
+      result.error = error_;
+      return result;
+    }
+    if (pos_ != pattern_.size()) {
+      result.error = Fail("unexpected character '" + std::string(1, pattern_[pos_]) + "'");
+      return result;
+    }
+    result.root = std::move(root);
+    return result;
+  }
+
+ private:
+  std::string Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = "regex error at offset " + std::to_string(pos_) + ": " + message;
+    }
+    return error_;
+  }
+
+  bool AtEnd() const { return pos_ >= pattern_.size(); }
+  char Peek() const { return pattern_[pos_]; }
+
+  std::unique_ptr<RegexNode> MakeNode(NodeType type) {
+    auto node = std::make_unique<RegexNode>();
+    node->type = type;
+    return node;
+  }
+
+  std::unique_ptr<RegexNode> ParseAlternate() {
+    auto first = ParseConcat();
+    if (!error_.empty()) return nullptr;
+    if (AtEnd() || Peek() != '|') return first;
+    auto alt = MakeNode(NodeType::kAlternate);
+    alt->children.push_back(std::move(first));
+    while (!AtEnd() && Peek() == '|') {
+      ++pos_;
+      auto next = ParseConcat();
+      if (!error_.empty()) return nullptr;
+      alt->children.push_back(std::move(next));
+    }
+    return alt;
+  }
+
+  std::unique_ptr<RegexNode> ParseConcat() {
+    auto concat = MakeNode(NodeType::kConcat);
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      auto atom = ParseRepeat();
+      if (!error_.empty()) return nullptr;
+      if (atom != nullptr) concat->children.push_back(std::move(atom));
+    }
+    if (concat->children.empty()) return MakeNode(NodeType::kEmpty);
+    if (concat->children.size() == 1) return std::move(concat->children[0]);
+    return concat;
+  }
+
+  // Parses an atom with optional quantifier. Returns nullptr (without error)
+  // for ignored anchors.
+  std::unique_ptr<RegexNode> ParseRepeat() {
+    if (Peek() == '^' || Peek() == '$') {
+      ++pos_;  // full-match semantics: anchors are no-ops
+      return nullptr;
+    }
+    auto atom = ParseAtom();
+    if (!error_.empty()) return nullptr;
+    while (!AtEnd()) {
+      char c = Peek();
+      int min_repeat;
+      int max_repeat;
+      if (c == '*') {
+        min_repeat = 0;
+        max_repeat = -1;
+        ++pos_;
+      } else if (c == '+') {
+        min_repeat = 1;
+        max_repeat = -1;
+        ++pos_;
+      } else if (c == '?') {
+        min_repeat = 0;
+        max_repeat = 1;
+        ++pos_;
+      } else if (c == '{') {
+        std::size_t saved = pos_;
+        if (!ParseBounds(&min_repeat, &max_repeat)) {
+          if (!error_.empty()) return nullptr;  // well-formed but invalid
+          pos_ = saved;  // not bounds-shaped: literal '{'
+          break;
+        }
+      } else {
+        break;
+      }
+      auto repeat = MakeNode(NodeType::kRepeat);
+      repeat->min_repeat = min_repeat;
+      repeat->max_repeat = max_repeat;
+      repeat->children.push_back(std::move(atom));
+      atom = std::move(repeat);
+    }
+    return atom;
+  }
+
+  bool ParseBounds(int* min_repeat, int* max_repeat) {
+    XGR_DCHECK(Peek() == '{');
+    ++pos_;
+    std::size_t digits_start = pos_;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (pos_ == digits_start) return false;
+    *min_repeat = std::stoi(pattern_.substr(digits_start, pos_ - digits_start));
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      *max_repeat = *min_repeat;
+      return true;
+    }
+    if (AtEnd() || Peek() != ',') return false;
+    ++pos_;
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      *max_repeat = -1;
+      return true;
+    }
+    digits_start = pos_;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (pos_ == digits_start || AtEnd() || Peek() != '}') return false;
+    *max_repeat = std::stoi(pattern_.substr(digits_start, pos_ - digits_start));
+    ++pos_;
+    if (*max_repeat < *min_repeat) {
+      // {3,1} is bounds-shaped but inverted: an error (as in PCRE/Python),
+      // not a literal-brace fallback.
+      error_ = "numbers out of order in {} quantifier";
+      return false;
+    }
+    return true;
+  }
+
+  std::unique_ptr<RegexNode> ParseAtom() {
+    if (AtEnd()) {
+      Fail("unexpected end of pattern");
+      return nullptr;
+    }
+    char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      // Non-capturing group marker is accepted and ignored.
+      if (pos_ + 1 < pattern_.size() && Peek() == '?' && pattern_[pos_ + 1] == ':') {
+        pos_ += 2;
+      }
+      auto inner = ParseAlternate();
+      if (!error_.empty()) return nullptr;
+      if (AtEnd() || Peek() != ')') {
+        Fail("')' expected");
+        return nullptr;
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '[') return ParseCharClass();
+    if (c == '.') {
+      ++pos_;
+      auto node = MakeNode(NodeType::kAnyChar);
+      return node;
+    }
+    if (c == '*' || c == '+' || c == '?' || c == ')') {
+      Fail("misplaced quantifier or ')'");
+      return nullptr;
+    }
+    if (c == '\\') return ParseEscape(/*in_class=*/false);
+    // Plain literal (possibly multi-byte UTF-8).
+    DecodedChar decoded = DecodeUtf8(pattern_, pos_);
+    if (!decoded.ok) {
+      Fail("invalid UTF-8 in pattern");
+      return nullptr;
+    }
+    pos_ += static_cast<std::size_t>(decoded.length);
+    auto node = MakeNode(NodeType::kLiteral);
+    node->literal = decoded.codepoint;
+    return node;
+  }
+
+  // Builds a char-class node for \d \w \s (negated variants included), or a
+  // literal node for escaped metacharacters.
+  std::unique_ptr<RegexNode> ParseEscape(bool in_class) {
+    XGR_DCHECK(Peek() == '\\');
+    ++pos_;
+    if (AtEnd()) {
+      Fail("dangling backslash");
+      return nullptr;
+    }
+    char c = pattern_[pos_++];
+    auto char_class = [&](std::vector<CodepointRange> ranges, bool negated) {
+      auto node = MakeNode(NodeType::kCharClass);
+      node->ranges = NormalizeRanges(std::move(ranges), negated);
+      return node;
+    };
+    switch (c) {
+      case 'd': return char_class({{'0', '9'}}, false);
+      case 'D': return char_class({{'0', '9'}}, true);
+      case 'w': return char_class({{'a', 'z'}, {'A', 'Z'}, {'0', '9'}, {'_', '_'}}, false);
+      case 'W': return char_class({{'a', 'z'}, {'A', 'Z'}, {'0', '9'}, {'_', '_'}}, true);
+      case 's':
+        return char_class({{' ', ' '}, {'\t', '\t'}, {'\n', '\n'}, {'\r', '\r'}, {'\f', '\f'}, {0x0B, 0x0B}}, false);
+      case 'S':
+        return char_class({{' ', ' '}, {'\t', '\t'}, {'\n', '\n'}, {'\r', '\r'}, {'\f', '\f'}, {0x0B, 0x0B}}, true);
+      default: {
+        std::uint32_t cp = 0;
+        if (!DecodeEscapedChar(c, in_class, &cp)) return nullptr;
+        auto node = MakeNode(NodeType::kLiteral);
+        node->literal = cp;
+        return node;
+      }
+    }
+  }
+
+  // Decodes single-character escapes shared by atoms and classes.
+  bool DecodeEscapedChar(char c, bool in_class, std::uint32_t* out) {
+    switch (c) {
+      case 'n': *out = '\n'; return true;
+      case 't': *out = '\t'; return true;
+      case 'r': *out = '\r'; return true;
+      case 'f': *out = '\f'; return true;
+      case 'v': *out = 0x0B; return true;
+      case '0': *out = 0; return true;
+      case 'x': {
+        if (pos_ + 2 > pattern_.size()) {
+          Fail("truncated \\x escape");
+          return false;
+        }
+        int value = 0;
+        for (int i = 0; i < 2; ++i) {
+          int digit = HexDigit(pattern_[pos_]);
+          if (digit < 0) {
+            Fail("invalid hex digit");
+            return false;
+          }
+          value = value * 16 + digit;
+          ++pos_;
+        }
+        *out = static_cast<std::uint32_t>(value);
+        return true;
+      }
+      case 'u': {
+        // \uXXXX or \u{X...}
+        if (!AtEnd() && Peek() == '{') {
+          ++pos_;
+          std::uint32_t value = 0;
+          bool any = false;
+          while (!AtEnd() && Peek() != '}') {
+            int digit = HexDigit(Peek());
+            if (digit < 0) {
+              Fail("invalid hex digit in \\u{...}");
+              return false;
+            }
+            value = value * 16 + static_cast<std::uint32_t>(digit);
+            any = true;
+            ++pos_;
+          }
+          if (!any || AtEnd()) {
+            Fail("malformed \\u{...}");
+            return false;
+          }
+          ++pos_;  // '}'
+          *out = value;
+          return true;
+        }
+        if (pos_ + 4 > pattern_.size()) {
+          Fail("truncated \\u escape");
+          return false;
+        }
+        std::uint32_t value = 0;
+        for (int i = 0; i < 4; ++i) {
+          int digit = HexDigit(pattern_[pos_]);
+          if (digit < 0) {
+            Fail("invalid hex digit");
+            return false;
+          }
+          value = value * 16 + static_cast<std::uint32_t>(digit);
+          ++pos_;
+        }
+        *out = value;
+        return true;
+      }
+      default:
+        // Escaped metacharacter or punctuation: take literally.
+        (void)in_class;
+        *out = static_cast<unsigned char>(c);
+        return true;
+    }
+  }
+
+  static int HexDigit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  }
+
+  std::unique_ptr<RegexNode> ParseCharClass() {
+    XGR_DCHECK(Peek() == '[');
+    ++pos_;
+    bool negated = false;
+    if (!AtEnd() && Peek() == '^') {
+      negated = true;
+      ++pos_;
+    }
+    std::vector<CodepointRange> ranges;
+    bool first = true;
+    while (true) {
+      if (AtEnd()) {
+        Fail("unterminated character class");
+        return nullptr;
+      }
+      if (Peek() == ']' && !first) {
+        ++pos_;
+        break;
+      }
+      first = false;
+      // One class item: literal char / escape / perl class.
+      std::uint32_t lo;
+      if (Peek() == '\\') {
+        std::size_t saved = pos_;
+        ++pos_;
+        if (AtEnd()) {
+          Fail("dangling backslash in class");
+          return nullptr;
+        }
+        char c = pattern_[pos_];
+        if (c == 'd' || c == 'w' || c == 's' || c == 'D' || c == 'W' || c == 'S') {
+          pos_ = saved;
+          auto sub = ParseEscape(/*in_class=*/true);
+          if (sub == nullptr) return nullptr;
+          for (const CodepointRange& r : sub->ranges) ranges.push_back(r);
+          continue;
+        }
+        ++pos_;
+        if (!DecodeEscapedChar(c, /*in_class=*/true, &lo)) return nullptr;
+      } else {
+        DecodedChar decoded = DecodeUtf8(pattern_, pos_);
+        if (!decoded.ok) {
+          Fail("invalid UTF-8 in character class");
+          return nullptr;
+        }
+        lo = decoded.codepoint;
+        pos_ += static_cast<std::size_t>(decoded.length);
+      }
+      std::uint32_t hi = lo;
+      // Range "a-z" (a trailing '-' is a literal).
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < pattern_.size() && pattern_[pos_ + 1] != ']') {
+        ++pos_;
+        if (Peek() == '\\') {
+          ++pos_;
+          if (AtEnd()) {
+            Fail("dangling backslash in class range");
+            return nullptr;
+          }
+          char c = pattern_[pos_++];
+          if (!DecodeEscapedChar(c, /*in_class=*/true, &hi)) return nullptr;
+        } else {
+          DecodedChar decoded = DecodeUtf8(pattern_, pos_);
+          if (!decoded.ok) {
+            Fail("invalid UTF-8 in character class");
+            return nullptr;
+          }
+          hi = decoded.codepoint;
+          pos_ += static_cast<std::size_t>(decoded.length);
+        }
+        if (hi < lo) {
+          Fail("inverted range in character class");
+          return nullptr;
+        }
+      }
+      ranges.push_back({lo, hi});
+    }
+    auto node = MakeNode(NodeType::kCharClass);
+    node->negated = negated;
+    node->ranges = NormalizeRanges(std::move(ranges), negated);
+    return node;
+  }
+
+  const std::string& pattern_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- Compiler ---------------------------------------------------------------
+
+// Thompson construction: returns (entry, exit) pair of states in `fsa`.
+struct Fragment {
+  std::int32_t entry;
+  std::int32_t exit;
+};
+
+class RegexCompiler {
+ public:
+  explicit RegexCompiler(fsa::Fsa* fsa) : fsa_(fsa) {}
+
+  Fragment Compile(const RegexNode& node) {
+    switch (node.type) {
+      case NodeType::kEmpty: {
+        std::int32_t s = fsa_->AddState();
+        return {s, s};
+      }
+      case NodeType::kLiteral: {
+        std::int32_t entry = fsa_->AddState();
+        std::int32_t exit = fsa_->AddState();
+        AddCodepointRangesPath(fsa_, entry, exit, {{node.literal, node.literal}});
+        return {entry, exit};
+      }
+      case NodeType::kAnyChar: {
+        std::int32_t entry = fsa_->AddState();
+        std::int32_t exit = fsa_->AddState();
+        AddCodepointRangesPath(fsa_, entry, exit,
+                               NormalizeRanges({{'\n', '\n'}}, /*negated=*/true));
+        return {entry, exit};
+      }
+      case NodeType::kCharClass: {
+        std::int32_t entry = fsa_->AddState();
+        std::int32_t exit = fsa_->AddState();
+        AddCodepointRangesPath(fsa_, entry, exit, node.ranges);
+        return {entry, exit};
+      }
+      case NodeType::kConcat: {
+        XGR_CHECK(!node.children.empty());
+        Fragment result = Compile(*node.children[0]);
+        for (std::size_t i = 1; i < node.children.size(); ++i) {
+          Fragment next = Compile(*node.children[i]);
+          fsa_->AddEpsilonEdge(result.exit, next.entry);
+          result.exit = next.exit;
+        }
+        return result;
+      }
+      case NodeType::kAlternate: {
+        std::int32_t entry = fsa_->AddState();
+        std::int32_t exit = fsa_->AddState();
+        for (const auto& child : node.children) {
+          Fragment f = Compile(*child);
+          fsa_->AddEpsilonEdge(entry, f.entry);
+          fsa_->AddEpsilonEdge(f.exit, exit);
+        }
+        return {entry, exit};
+      }
+      case NodeType::kRepeat:
+        return CompileRepeat(node);
+    }
+    XGR_UNREACHABLE();
+  }
+
+ private:
+  Fragment CompileRepeat(const RegexNode& node) {
+    const RegexNode& child = *node.children[0];
+    std::int32_t entry = fsa_->AddState();
+    std::int32_t current = entry;
+    // Mandatory prefix: min copies.
+    for (int i = 0; i < node.min_repeat; ++i) {
+      Fragment f = Compile(child);
+      fsa_->AddEpsilonEdge(current, f.entry);
+      current = f.exit;
+    }
+    if (node.max_repeat < 0) {
+      // Kleene tail.
+      std::int32_t loop = fsa_->AddState();
+      std::int32_t exit = fsa_->AddState();
+      fsa_->AddEpsilonEdge(current, loop);
+      Fragment f = Compile(child);
+      fsa_->AddEpsilonEdge(loop, f.entry);
+      fsa_->AddEpsilonEdge(f.exit, loop);
+      fsa_->AddEpsilonEdge(loop, exit);
+      return {entry, exit};
+    }
+    // Bounded optional tail: (child?){max-min} unrolled.
+    std::int32_t exit = fsa_->AddState();
+    fsa_->AddEpsilonEdge(current, exit);
+    for (int i = node.min_repeat; i < node.max_repeat; ++i) {
+      Fragment f = Compile(child);
+      fsa_->AddEpsilonEdge(current, f.entry);
+      fsa_->AddEpsilonEdge(f.exit, exit);
+      current = f.exit;
+    }
+    return {entry, exit};
+  }
+
+  fsa::Fsa* fsa_;
+};
+
+}  // namespace
+
+std::vector<CodepointRange> NormalizeRanges(std::vector<CodepointRange> ranges,
+                                            bool negated) {
+  std::sort(ranges.begin(), ranges.end(),
+            [](const CodepointRange& a, const CodepointRange& b) {
+              return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
+            });
+  std::vector<CodepointRange> merged;
+  for (const CodepointRange& r : ranges) {
+    if (!merged.empty() && r.lo <= merged.back().hi + 1 &&
+        merged.back().hi != kMaxCodepoint) {
+      merged.back().hi = std::max(merged.back().hi, r.hi);
+    } else if (!merged.empty() && r.lo <= merged.back().hi) {
+      // overlap at the very top of the codepoint space
+      merged.back().hi = std::max(merged.back().hi, r.hi);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  if (!negated) return merged;
+  std::vector<CodepointRange> complement;
+  std::uint32_t cursor = 0;
+  for (const CodepointRange& r : merged) {
+    if (r.lo > cursor) complement.push_back({cursor, r.lo - 1});
+    cursor = r.hi == kMaxCodepoint ? kMaxCodepoint : r.hi + 1;
+    if (r.hi == kMaxCodepoint) return complement;
+  }
+  if (cursor <= kMaxCodepoint) complement.push_back({cursor, kMaxCodepoint});
+  return complement;
+}
+
+void AddCodepointRangesPath(fsa::Fsa* fsa, std::int32_t from, std::int32_t to,
+                            const std::vector<CodepointRange>& ranges) {
+  for (const CodepointRange& r : ranges) {
+    // Surrogates are excluded by the UTF-8 compiler.
+    for (const ByteRangeSeq& seq : CompileCodepointRange(r.lo, r.hi)) {
+      fsa->AddByteSeqPath(from, seq, to);
+    }
+  }
+}
+
+RegexParseResult ParseRegex(const std::string& pattern) {
+  return RegexParser(pattern).Run();
+}
+
+fsa::Fsa CompileRegexToFsa(const RegexNode& root) {
+  fsa::Fsa fsa;
+  RegexCompiler compiler(&fsa);
+  Fragment f = compiler.Compile(root);
+  fsa.SetStart(f.entry);
+  fsa.SetAccepting(f.exit, true);
+  return fsa;
+}
+
+fsa::Fsa CompileRegex(const std::string& pattern) {
+  RegexParseResult parsed = ParseRegex(pattern);
+  XGR_CHECK(parsed.ok()) << parsed.error;
+  fsa::Fsa nfa = CompileRegexToFsa(*parsed.root);
+  std::vector<std::int32_t> roots{nfa.Start()};
+  fsa::Fsa result = EliminateEpsilon(nfa, &roots);
+  result.SetStart(roots[0]);
+  return result;
+}
+
+fsa::Dfa CompileRegexToDfa(const std::string& pattern) {
+  return fsa::Determinize(CompileRegex(pattern));
+}
+
+}  // namespace xgr::regex

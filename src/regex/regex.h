@@ -1,0 +1,80 @@
+// A self-contained regular-expression engine (parse + compile to byte FSA).
+//
+// Scope: the subset needed for JSON-Schema string patterns and for building
+// the Outlines-like baseline (Willard & Louf 2023), which converts JSON
+// Schemas into one big regex:
+//   literals, '.', character classes [...] with ranges/negation and \d \w \s
+//   escapes, grouping (...), alternation |, quantifiers * + ? {m} {m,} {m,n},
+//   and Unicode literals (compiled byte-level via UTF-8 range splitting).
+// Anchors ^/$ are accepted and ignored: matching is always full-match.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fsa/dfa.h"
+#include "fsa/fsa.h"
+
+namespace xgr::regex {
+
+// --- AST -------------------------------------------------------------------
+
+enum class NodeType : std::uint8_t {
+  kEmpty,      // matches ""
+  kLiteral,    // a single codepoint
+  kAnyChar,    // '.' = any codepoint except '\n'
+  kCharClass,  // [..] over codepoints
+  kConcat,
+  kAlternate,
+  kRepeat,  // {min, max}, max = -1 for unbounded
+};
+
+struct CodepointRange {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  friend bool operator==(const CodepointRange&, const CodepointRange&) = default;
+};
+
+struct RegexNode {
+  NodeType type = NodeType::kEmpty;
+  std::uint32_t literal = 0;                // kLiteral
+  std::vector<CodepointRange> ranges;       // kCharClass (normalized, sorted)
+  bool negated = false;                     // kCharClass
+  std::vector<std::unique_ptr<RegexNode>> children;
+  int min_repeat = 0;                       // kRepeat
+  int max_repeat = -1;                      // kRepeat; -1 = unbounded
+};
+
+// --- API -------------------------------------------------------------------
+
+struct RegexParseResult {
+  std::unique_ptr<RegexNode> root;  // null on error
+  std::string error;
+  bool ok() const { return root != nullptr; }
+};
+
+RegexParseResult ParseRegex(const std::string& pattern);
+
+// Compiles the AST into a byte-level NFA (with epsilon edges).
+fsa::Fsa CompileRegexToFsa(const RegexNode& root);
+
+// One-step convenience: parse + compile + epsilon-eliminate. Throws
+// xgr::CheckError on parse failure.
+fsa::Fsa CompileRegex(const std::string& pattern);
+
+// Parse + compile + determinize.
+fsa::Dfa CompileRegexToDfa(const std::string& pattern);
+
+// Normalizes a list of codepoint ranges: sort, merge overlaps. If `negated`,
+// complements against [0, 0x10FFFF].
+std::vector<CodepointRange> NormalizeRanges(std::vector<CodepointRange> ranges,
+                                            bool negated);
+
+// Adds FSA states/edges matching one codepoint from `ranges` between two
+// existing states (shared with the grammar compiler's character classes).
+void AddCodepointRangesPath(fsa::Fsa* fsa, std::int32_t from, std::int32_t to,
+                            const std::vector<CodepointRange>& ranges);
+
+}  // namespace xgr::regex

@@ -1,0 +1,510 @@
+#include "serialize/serialize.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "fsa/fsa.h"
+#include "support/logging.h"
+
+namespace xgr::serialize {
+
+// --- Little-endian byte writer/reader (file-local; named so the friend
+// gateways below can take them as parameters) --------------------------------
+
+class Writer {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void I32(std::int32_t v) { U32(static_cast<std::uint32_t>(v)); }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void F64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(std::string_view s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+  void I32Vec(const std::vector<std::int32_t>& v) {
+    U32(static_cast<std::uint32_t>(v.size()));
+    for (std::int32_t x : v) I32(x);
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint8_t U8() { return static_cast<std::uint8_t>(Bytes(1)[0]); }
+  std::uint32_t U32() {
+    std::string_view b = Bytes(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(
+               b[static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t U64() {
+    std::string_view b = Bytes(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+               b[static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::int32_t I32() { return static_cast<std::int32_t>(U32()); }
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+  double F64() {
+    std::uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    std::uint32_t n = U32();
+    return std::string(Bytes(n));
+  }
+  std::vector<std::int32_t> I32Vec() {
+    std::uint32_t n = U32();
+    XGR_CHECK(static_cast<std::size_t>(n) * 4 <= Remaining())
+        << "corrupt artifact: vector length " << n << " exceeds payload";
+    std::vector<std::int32_t> v(n);
+    for (std::uint32_t i = 0; i < n; ++i) v[i] = I32();
+    return v;
+  }
+  std::size_t Remaining() const { return data_.size() - pos_; }
+  void ExpectEnd() const {
+    XGR_CHECK(pos_ == data_.size())
+        << "corrupt artifact: " << Remaining() << " trailing bytes";
+  }
+
+ private:
+  std::string_view Bytes(std::size_t n) {
+    XGR_CHECK(pos_ + n <= data_.size()) << "corrupt artifact: truncated";
+    std::string_view view = data_.substr(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+namespace {
+
+// --- Envelope -----------------------------------------------------------------
+
+constexpr char kMagic[4] = {'X', 'G', 'R', 'S'};
+
+enum class ArtifactKind : std::uint8_t {
+  kGrammar = 1,
+  kCompiledGrammar = 2,
+  kEngineArtifact = 3,
+};
+
+std::uint64_t Fnv1a(std::string_view data,
+                    std::uint64_t seed = 0xCBF29CE484222325ull) {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::string Seal(ArtifactKind kind, std::string payload) {
+  Writer envelope;
+  for (char c : kMagic) envelope.U8(static_cast<std::uint8_t>(c));
+  envelope.U32(kFormatVersion);
+  envelope.U8(static_cast<std::uint8_t>(kind));
+  envelope.U64(Fnv1a(payload));
+  std::string out = envelope.Take();
+  out += payload;
+  return out;
+}
+
+// Validates the envelope and returns the payload view.
+std::string_view Open(ArtifactKind kind, std::string_view bytes) {
+  constexpr std::size_t kHeader = 4 + 4 + 1 + 8;
+  XGR_CHECK(bytes.size() >= kHeader) << "corrupt artifact: too short";
+  XGR_CHECK(std::memcmp(bytes.data(), kMagic, 4) == 0)
+      << "not an XGrammar artifact (bad magic)";
+  Reader header(bytes.substr(4, kHeader - 4));
+  std::uint32_t version = header.U32();
+  XGR_CHECK(version == kFormatVersion)
+      << "unsupported artifact version " << version;
+  std::uint8_t stored_kind = header.U8();
+  XGR_CHECK(stored_kind == static_cast<std::uint8_t>(kind))
+      << "artifact kind mismatch: got " << static_cast<int>(stored_kind);
+  std::uint64_t checksum = header.U64();
+  std::string_view payload = bytes.substr(kHeader);
+  XGR_CHECK(Fnv1a(payload) == checksum) << "artifact checksum mismatch";
+  return payload;
+}
+
+// --- Grammar payload ------------------------------------------------------------
+//
+// Layout: rule names first (so references resolve while reading expressions),
+// then the expression arena in id order, then rule bodies and the root.
+
+void WriteGrammar(Writer* w, const grammar::Grammar& g) {
+  w->I32(g.NumRules());
+  for (grammar::RuleId r = 0; r < g.NumRules(); ++r) {
+    w->Str(g.GetRule(r).name);
+  }
+  w->I32(g.NumExprs());
+  for (grammar::ExprId e = 0; e < g.NumExprs(); ++e) {
+    const grammar::Expr& expr = g.GetExpr(e);
+    w->U8(static_cast<std::uint8_t>(expr.type));
+    w->Str(expr.bytes);
+    w->U32(static_cast<std::uint32_t>(expr.ranges.size()));
+    for (const regex::CodepointRange& r : expr.ranges) {
+      w->U32(r.lo);
+      w->U32(r.hi);
+    }
+    w->I32(expr.rule_ref);
+    for (grammar::ExprId child : expr.children) {
+      XGR_CHECK(child < e) << "expression arena is not topologically ordered";
+    }
+    w->I32Vec(expr.children);
+    w->I32(expr.min_repeat);
+    w->I32(expr.max_repeat);
+  }
+  for (grammar::RuleId r = 0; r < g.NumRules(); ++r) {
+    w->I32(g.GetRule(r).body);
+  }
+  w->I32(g.RootRule());
+}
+
+grammar::Grammar ReadGrammar(Reader* r) {
+  grammar::Grammar g;
+  std::int32_t num_rules = r->I32();
+  XGR_CHECK(num_rules > 0) << "corrupt artifact: no rules";
+  for (std::int32_t i = 0; i < num_rules; ++i) {
+    grammar::RuleId id = g.DeclareRule(r->Str());
+    XGR_CHECK(id == i) << "corrupt artifact: duplicate rule name";
+  }
+  std::int32_t num_exprs = r->I32();
+  XGR_CHECK(num_exprs >= 0) << "corrupt artifact: negative expr count";
+  for (std::int32_t e = 0; e < num_exprs; ++e) {
+    auto type = static_cast<grammar::ExprType>(r->U8());
+    std::string bytes = r->Str();
+    std::uint32_t num_ranges = r->U32();
+    std::vector<regex::CodepointRange> ranges;
+    ranges.reserve(num_ranges);
+    for (std::uint32_t i = 0; i < num_ranges; ++i) {
+      std::uint32_t lo = r->U32();
+      std::uint32_t hi = r->U32();
+      ranges.push_back({lo, hi});
+    }
+    std::int32_t rule_ref = r->I32();
+    std::vector<std::int32_t> children = r->I32Vec();
+    for (std::int32_t child : children) {
+      XGR_CHECK(child >= 0 && child < e) << "corrupt artifact: bad child id";
+    }
+    std::int32_t min_repeat = r->I32();
+    std::int32_t max_repeat = r->I32();
+
+    // Re-adding in arena order reproduces identical ids (each Add* call
+    // appends exactly one expression; the arena never contains repeat{1,1},
+    // the one collapsing case).
+    grammar::ExprId added = grammar::kInvalidExpr;
+    switch (type) {
+      case grammar::ExprType::kEmpty:
+        added = g.AddEmpty();
+        break;
+      case grammar::ExprType::kByteString:
+        added = g.AddByteString(std::move(bytes));
+        break;
+      case grammar::ExprType::kCharClass:
+        added = g.AddCharClass(std::move(ranges), /*negated=*/false);
+        break;
+      case grammar::ExprType::kRuleRef:
+        XGR_CHECK(rule_ref >= 0 && rule_ref < num_rules)
+            << "corrupt artifact: rule reference out of range";
+        added = g.AddRuleRef(rule_ref);
+        break;
+      case grammar::ExprType::kSequence:
+        added = g.AddSequence(std::move(children));
+        break;
+      case grammar::ExprType::kChoice:
+        added = g.AddChoice(std::move(children));
+        break;
+      case grammar::ExprType::kRepeat:
+        XGR_CHECK(children.size() == 1) << "corrupt artifact: repeat arity";
+        added = g.AddRepeat(children[0], min_repeat, max_repeat);
+        break;
+    }
+    XGR_CHECK(added == e) << "corrupt artifact: expression ids diverged";
+  }
+  for (std::int32_t i = 0; i < num_rules; ++i) {
+    std::int32_t body = r->I32();
+    XGR_CHECK(body >= 0 && body < num_exprs) << "corrupt artifact: rule body";
+    g.SetRuleBody(i, body);
+  }
+  std::int32_t root = r->I32();
+  XGR_CHECK(root >= 0 && root < num_rules) << "corrupt artifact: root rule";
+  g.SetRootRule(root);
+  g.Validate();
+  return g;
+}
+
+// --- FSA payload ------------------------------------------------------------------
+
+void WriteFsa(Writer* w, const fsa::Fsa& automaton) {
+  w->I32(automaton.NumStates());
+  for (std::int32_t s = 0; s < automaton.NumStates(); ++s) {
+    w->U8(automaton.IsAccepting(s) ? 1 : 0);
+    const auto& edges = automaton.EdgesFrom(s);
+    w->U32(static_cast<std::uint32_t>(edges.size()));
+    for (const fsa::Edge& edge : edges) {
+      w->U8(static_cast<std::uint8_t>(edge.kind));
+      w->U8(edge.min_byte);
+      w->U8(edge.max_byte);
+      w->I32(edge.rule_ref);
+      w->I32(edge.target);
+    }
+  }
+  w->I32(automaton.Start());
+}
+
+fsa::Fsa ReadFsa(Reader* r) {
+  fsa::Fsa automaton;
+  std::int32_t num_states = r->I32();
+  XGR_CHECK(num_states >= 0) << "corrupt artifact: negative state count";
+  for (std::int32_t s = 0; s < num_states; ++s) automaton.AddState();
+  for (std::int32_t s = 0; s < num_states; ++s) {
+    automaton.SetAccepting(s, r->U8() != 0);
+    std::uint32_t num_edges = r->U32();
+    for (std::uint32_t i = 0; i < num_edges; ++i) {
+      fsa::Edge edge;
+      edge.kind = static_cast<fsa::EdgeKind>(r->U8());
+      edge.min_byte = r->U8();
+      edge.max_byte = r->U8();
+      edge.rule_ref = r->I32();
+      edge.target = r->I32();
+      XGR_CHECK(edge.target >= 0 && edge.target < num_states)
+          << "corrupt artifact: edge target out of range";
+      automaton.AddEdge(s, edge);
+    }
+  }
+  std::int32_t start = r->I32();
+  if (num_states > 0) automaton.SetStart(start);
+  return automaton;
+}
+
+}  // namespace
+
+std::uint64_t VocabularyHash(const tokenizer::TokenizerInfo& tokenizer) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::int32_t id = 0; id < tokenizer.VocabSize(); ++id) {
+    h = Fnv1a(tokenizer.TokenBytes(id), h);
+    h = Fnv1a(tokenizer.IsSpecial(id) ? "\x01" : "\x00", h);
+  }
+  return h;
+}
+
+std::string SerializeGrammar(const grammar::Grammar& g) {
+  Writer w;
+  WriteGrammar(&w, g);
+  return Seal(ArtifactKind::kGrammar, w.Take());
+}
+
+grammar::Grammar DeserializeGrammar(std::string_view bytes) {
+  Reader r(Open(ArtifactKind::kGrammar, bytes));
+  grammar::Grammar g = ReadGrammar(&r);
+  r.ExpectEnd();
+  return g;
+}
+
+// Payload writers re-exposed to the gateways (the anonymous-namespace
+// versions are file-local; these are defined at the bottom of the file).
+void WriteGrammarPayload(Writer* w, const grammar::Grammar& g);
+grammar::Grammar ReadGrammarPayload(Reader* r);
+void WriteFsaPayload(Writer* w, const fsa::Fsa& automaton);
+fsa::Fsa ReadFsaPayload(Reader* r);
+
+}  // namespace xgr::serialize
+
+// --- Private-state gateways (friends of the two classes) -----------------------
+
+namespace xgr::serialize_detail {
+
+struct CompiledGrammarAccess {
+  static void Write(serialize::Writer* w, const pda::CompiledGrammar& c) {
+    serialize::WriteGrammarPayload(w, c.grammar_);
+    w->U8(c.options_.rule_inlining ? 1 : 0);
+    w->U8(c.options_.node_merging ? 1 : 0);
+    w->U8(c.options_.context_expansion ? 1 : 0);
+    w->I32(c.options_.inline_options.max_inlinee_atoms);
+    w->I32(c.options_.inline_options.max_result_atoms);
+    serialize::WriteFsaPayload(w, c.automaton_);
+    w->I32Vec(c.rule_starts_);
+    w->I32Vec(c.node_rule_);
+    w->U8(c.context_automaton_ != nullptr ? 1 : 0);
+    if (c.context_automaton_ != nullptr) {
+      serialize::WriteFsaPayload(w, *c.context_automaton_);
+      w->I32Vec(c.context_starts_);
+    }
+    w->I32(c.root_rule_);
+  }
+
+  static std::shared_ptr<const pda::CompiledGrammar> Read(serialize::Reader* r) {
+    auto compiled = std::shared_ptr<pda::CompiledGrammar>(new pda::CompiledGrammar());
+    compiled->grammar_ = serialize::ReadGrammarPayload(r);
+    compiled->options_.rule_inlining = r->U8() != 0;
+    compiled->options_.node_merging = r->U8() != 0;
+    compiled->options_.context_expansion = r->U8() != 0;
+    compiled->options_.inline_options.max_inlinee_atoms = r->I32();
+    compiled->options_.inline_options.max_result_atoms = r->I32();
+    compiled->automaton_ = serialize::ReadFsaPayload(r);
+    compiled->rule_starts_ = r->I32Vec();
+    compiled->node_rule_ = r->I32Vec();
+    XGR_CHECK(static_cast<std::int32_t>(compiled->node_rule_.size()) ==
+              compiled->automaton_.NumStates())
+        << "corrupt artifact: node-rule table size";
+    if (r->U8() != 0) {
+      compiled->context_automaton_ =
+          std::make_unique<fsa::Fsa>(serialize::ReadFsaPayload(r));
+      compiled->context_starts_ = r->I32Vec();
+    }
+    compiled->root_rule_ = r->I32();
+    XGR_CHECK(compiled->root_rule_ >= 0 &&
+              compiled->root_rule_ < compiled->grammar_.NumRules())
+        << "corrupt artifact: compiled root rule";
+    return compiled;
+  }
+};
+
+struct CacheAccess {
+  static void Write(serialize::Writer* w, const cache::AdaptiveTokenMaskCache& c) {
+    w->U64(serialize::VocabularyHash(*c.tokenizer_));
+    w->U32(static_cast<std::uint32_t>(c.entries_.size()));
+    for (const cache::NodeMaskEntry& entry : c.entries_) {
+      w->U8(static_cast<std::uint8_t>(entry.kind));
+      w->I32Vec(entry.stored);
+      w->U32(static_cast<std::uint32_t>(entry.accepted_bits.Size()));
+      for (std::size_t i = 0; i < entry.accepted_bits.WordCount(); ++i) {
+        w->U64(entry.accepted_bits.Data()[i]);
+      }
+      w->I32Vec(entry.context_dependent);
+    }
+    const cache::CacheBuildStats& stats = c.stats_;
+    w->I64(stats.nodes);
+    w->I64(stats.tokens_classified);
+    w->I64(stats.ci_accepted);
+    w->I64(stats.ci_rejected);
+    w->I64(stats.context_dependent);
+    w->I64(stats.max_ctx_dependent_per_node);
+    w->I64(stats.bytes_checked);
+    w->I64(stats.bytes_total);
+    w->U64(stats.memory_bytes);
+    w->U64(stats.full_bitset_bytes);
+    w->F64(stats.build_seconds);
+    for (std::int64_t count : stats.storage_kind_counts) w->I64(count);
+  }
+
+  static std::shared_ptr<const cache::AdaptiveTokenMaskCache> Read(
+      serialize::Reader* r, std::shared_ptr<const pda::CompiledGrammar> pda,
+      std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer) {
+    auto cache = std::shared_ptr<cache::AdaptiveTokenMaskCache>(
+        new cache::AdaptiveTokenMaskCache());
+    std::uint64_t vocab_hash = r->U64();
+    XGR_CHECK(vocab_hash == serialize::VocabularyHash(*tokenizer))
+        << "engine artifact was built for a different vocabulary";
+    cache->pda_ = std::move(pda);
+    cache->tokenizer_ = std::move(tokenizer);
+    std::uint32_t num_entries = r->U32();
+    XGR_CHECK(static_cast<std::int32_t>(num_entries) ==
+              cache->pda_->NumNodes())
+        << "corrupt artifact: cache entry count";
+    cache->entries_.resize(num_entries);
+    for (cache::NodeMaskEntry& entry : cache->entries_) {
+      entry.kind = static_cast<cache::StorageKind>(r->U8());
+      entry.stored = r->I32Vec();
+      std::uint32_t bits = r->U32();
+      entry.accepted_bits = DynamicBitset(bits);
+      for (std::size_t i = 0; i < entry.accepted_bits.WordCount(); ++i) {
+        entry.accepted_bits.MutableData()[i] = r->U64();
+      }
+      entry.context_dependent = r->I32Vec();
+    }
+    cache::CacheBuildStats& stats = cache->stats_;
+    stats.nodes = r->I64();
+    stats.tokens_classified = r->I64();
+    stats.ci_accepted = r->I64();
+    stats.ci_rejected = r->I64();
+    stats.context_dependent = r->I64();
+    stats.max_ctx_dependent_per_node = r->I64();
+    stats.bytes_checked = r->I64();
+    stats.bytes_total = r->I64();
+    stats.memory_bytes = r->U64();
+    stats.full_bitset_bytes = r->U64();
+    stats.build_seconds = r->F64();
+    for (std::int64_t& count : stats.storage_kind_counts) count = r->I64();
+    return cache;
+  }
+};
+
+}  // namespace xgr::serialize_detail
+
+namespace xgr::serialize {
+
+void WriteGrammarPayload(Writer* w, const grammar::Grammar& g) {
+  WriteGrammar(w, g);
+}
+grammar::Grammar ReadGrammarPayload(Reader* r) { return ReadGrammar(r); }
+void WriteFsaPayload(Writer* w, const fsa::Fsa& automaton) {
+  WriteFsa(w, automaton);
+}
+fsa::Fsa ReadFsaPayload(Reader* r) { return ReadFsa(r); }
+
+std::string SerializeCompiledGrammar(const pda::CompiledGrammar& compiled) {
+  Writer w;
+  serialize_detail::CompiledGrammarAccess::Write(&w, compiled);
+  return Seal(ArtifactKind::kCompiledGrammar, w.Take());
+}
+
+std::shared_ptr<const pda::CompiledGrammar> DeserializeCompiledGrammar(
+    std::string_view bytes) {
+  Reader r(Open(ArtifactKind::kCompiledGrammar, bytes));
+  auto compiled = serialize_detail::CompiledGrammarAccess::Read(&r);
+  r.ExpectEnd();
+  return compiled;
+}
+
+std::string SerializeEngineArtifact(const cache::AdaptiveTokenMaskCache& cache) {
+  Writer w;
+  serialize_detail::CompiledGrammarAccess::Write(&w, cache.Pda());
+  serialize_detail::CacheAccess::Write(&w, cache);
+  return Seal(ArtifactKind::kEngineArtifact, w.Take());
+}
+
+std::shared_ptr<const cache::AdaptiveTokenMaskCache> DeserializeEngineArtifact(
+    std::string_view bytes,
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer) {
+  Reader r(Open(ArtifactKind::kEngineArtifact, bytes));
+  auto pda = serialize_detail::CompiledGrammarAccess::Read(&r);
+  auto cache = serialize_detail::CacheAccess::Read(&r, std::move(pda),
+                                                   std::move(tokenizer));
+  r.ExpectEnd();
+  return cache;
+}
+
+}  // namespace xgr::serialize

@@ -1,0 +1,53 @@
+// Binary serialization of compiled artifacts (deployment substrate).
+//
+// Grammar compilation plus mask-cache construction is the expensive,
+// vocabulary-dependent preprocessing step (§3.1). Deployments that cannot
+// afford it at startup — the browser/WASM and mobile targets of Appendix C,
+// or serving fleets sharing compiled grammars across processes — persist the
+// compiled artifact once and map it back in. This module provides that path:
+//
+//   * SerializeGrammar / DeserializeGrammar          — grammar AST
+//   * SerializeCompiledGrammar / Deserialize...      — PDA + optimizations
+//   * SerializeEngineArtifact / Deserialize...       — PDA + token-mask cache
+//
+// Format: little-endian, versioned envelope ("XGRS", format version, artifact
+// kind, FNV-1a payload checksum). Every load validates the envelope and
+// checksum and throws xgr::CheckError on mismatch or truncation; the engine
+// artifact additionally pins the vocabulary via a content hash so a cache is
+// never paired with the wrong tokenizer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cache/adaptive_cache.h"
+#include "grammar/grammar.h"
+#include "pda/compiled_grammar.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::serialize {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+std::string SerializeGrammar(const grammar::Grammar& g);
+grammar::Grammar DeserializeGrammar(std::string_view bytes);
+
+std::string SerializeCompiledGrammar(const pda::CompiledGrammar& compiled);
+std::shared_ptr<const pda::CompiledGrammar> DeserializeCompiledGrammar(
+    std::string_view bytes);
+
+// The full preprocessed engine state: compiled grammar + adaptive token-mask
+// cache. `tokenizer` at load time must be the vocabulary the cache was built
+// for (checked via a content hash, not just the size).
+std::string SerializeEngineArtifact(const cache::AdaptiveTokenMaskCache& cache);
+std::shared_ptr<const cache::AdaptiveTokenMaskCache> DeserializeEngineArtifact(
+    std::string_view bytes,
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer);
+
+// FNV-1a content hash of a vocabulary (token bytes + special ids); the pin
+// stored inside engine artifacts.
+std::uint64_t VocabularyHash(const tokenizer::TokenizerInfo& tokenizer);
+
+}  // namespace xgr::serialize

@@ -1,0 +1,141 @@
+// A fixed-size dynamic bitset tuned for token masks.
+//
+// Token masks are bitsets of vocabulary size (up to 128k bits = 16 KB). The
+// engine manipulates them with word-level operations: fill, set/reset ranges,
+// intersection/union with token-id lists, popcount. This mirrors the bitset
+// used by the reference implementation for the "equal cases" storage format
+// and for the final mask handed to the sampler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace xgr {
+
+class DynamicBitset {
+ public:
+  using Word = std::uint64_t;
+  static constexpr int kBitsPerWord = 64;
+
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t size, bool value = false)
+      : size_(size),
+        words_((size + kBitsPerWord - 1) / kBitsPerWord,
+               value ? ~Word{0} : Word{0}) {
+    ClearPadding();
+  }
+
+  std::size_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+  bool Test(std::size_t index) const {
+    XGR_DCHECK(index < size_);
+    return (words_[index / kBitsPerWord] >> (index % kBitsPerWord)) & 1u;
+  }
+  bool operator[](std::size_t index) const { return Test(index); }
+
+  void Set(std::size_t index) {
+    XGR_DCHECK(index < size_);
+    words_[index / kBitsPerWord] |= Word{1} << (index % kBitsPerWord);
+  }
+  void Reset(std::size_t index) {
+    XGR_DCHECK(index < size_);
+    words_[index / kBitsPerWord] &= ~(Word{1} << (index % kBitsPerWord));
+  }
+  void SetTo(std::size_t index, bool value) {
+    if (value) {
+      Set(index);
+    } else {
+      Reset(index);
+    }
+  }
+
+  void SetAll() {
+    for (Word& w : words_) w = ~Word{0};
+    ClearPadding();
+  }
+  void ResetAll() {
+    for (Word& w : words_) w = 0;
+  }
+
+  // In-place boolean algebra. Sizes must match.
+  DynamicBitset& operator&=(const DynamicBitset& other) {
+    XGR_DCHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+  DynamicBitset& operator|=(const DynamicBitset& other) {
+    XGR_DCHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+  DynamicBitset& operator^=(const DynamicBitset& other) {
+    XGR_DCHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+    return *this;
+  }
+  void FlipAll() {
+    for (Word& w : words_) w = ~w;
+    ClearPadding();
+  }
+
+  std::size_t Count() const {
+    std::size_t count = 0;
+    for (Word w : words_) count += static_cast<std::size_t>(__builtin_popcountll(w));
+    return count;
+  }
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  // Index of the first set bit at or after `from`, or -1 if none.
+  std::int64_t FindNext(std::size_t from) const {
+    if (from >= size_) return -1;
+    std::size_t word_index = from / kBitsPerWord;
+    Word word = words_[word_index] & (~Word{0} << (from % kBitsPerWord));
+    while (true) {
+      if (word != 0) {
+        std::size_t bit =
+            word_index * kBitsPerWord + static_cast<std::size_t>(__builtin_ctzll(word));
+        return bit < size_ ? static_cast<std::int64_t>(bit) : -1;
+      }
+      if (++word_index >= words_.size()) return -1;
+      word = words_[word_index];
+    }
+  }
+
+  // Collects all set bit indices; mostly used by tests and diagnostics.
+  std::vector<std::int32_t> ToIndexList() const {
+    std::vector<std::int32_t> result;
+    for (std::int64_t i = FindNext(0); i >= 0;
+         i = FindNext(static_cast<std::size_t>(i) + 1)) {
+      result.push_back(static_cast<std::int32_t>(i));
+    }
+    return result;
+  }
+
+  // Raw word access for bulk copies (e.g. uploading the mask to the sampler).
+  const Word* Data() const { return words_.data(); }
+  Word* MutableData() { return words_.data(); }
+  std::size_t WordCount() const { return words_.size(); }
+
+  // Approximate heap memory footprint in bytes.
+  std::size_t MemoryBytes() const { return words_.size() * sizeof(Word); }
+
+ private:
+  // Keeps bits beyond size_ at zero so Count()/equality stay exact.
+  void ClearPadding() {
+    std::size_t tail = size_ % kBitsPerWord;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (Word{1} << tail) - 1;
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace xgr

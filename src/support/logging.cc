@@ -1,0 +1,15 @@
+#include "support/logging.h"
+
+#include <cstdlib>
+
+namespace xgr {
+
+int& LogLevel() {
+  static int level = [] {
+    const char* env = std::getenv("XGR_LOG_LEVEL");
+    return env != nullptr ? std::atoi(env) : 0;
+  }();
+  return level;
+}
+
+}  // namespace xgr

@@ -1,0 +1,104 @@
+// Lightweight CHECK/LOG facility used across the library.
+//
+// We deliberately avoid external logging dependencies: the engine is meant to
+// be embeddable in LLM serving frameworks, so failures raise exceptions that
+// the host can catch, and logging is stderr-only and opt-in.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace xgr {
+
+// Error raised by XGR_CHECK failures. Deriving from std::runtime_error keeps
+// host integration simple (catchable at FFI boundaries).
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+// Accumulates a message via operator<< and throws on destruction of the
+// temporary full expression (via Raise()).
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* cond) {
+    stream_ << file << ":" << line << ": check failed: `" << cond << "` ";
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  [[noreturn]] void Raise() { throw CheckError(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Helper giving `XGR_CHECK(c) << msg;` statement semantics: the message is
+// streamed into CheckFailureStream and Raise() fires at the `&` operator,
+// which binds looser than `<<`.
+struct CheckRaiser {
+  // Bare check: `CheckRaiser{} & CheckFailureStream(...)` (prvalue).
+  [[noreturn]] void operator&(CheckFailureStream&& stream) { stream.Raise(); }
+  // With message: operator<< returned an lvalue reference.
+  [[noreturn]] void operator&(CheckFailureStream& stream) { stream.Raise(); }
+};
+
+}  // namespace detail
+
+}  // namespace xgr
+
+// Throws xgr::CheckError with file/line and the streamed message when `cond`
+// is false. Usage: XGR_CHECK(a == b) << "detail " << a;
+// Precedence: `<<` binds tighter than `&`, so the streamed message is
+// accumulated into the temporary stream before CheckRaiser fires Raise().
+#define XGR_CHECK(cond)                           \
+  (cond) ? (void)0                                \
+         : ::xgr::detail::CheckRaiser{} &         \
+               ::xgr::detail::CheckFailureStream( \
+                   __FILE__, __LINE__, #cond)
+
+// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define XGR_DCHECK(cond) XGR_CHECK(true)
+#else
+#define XGR_DCHECK(cond) XGR_CHECK(cond)
+#endif
+
+// Marks unreachable code paths.
+#define XGR_UNREACHABLE() \
+  XGR_CHECK(false) << "unreachable code reached"
+
+namespace xgr {
+
+// Global log verbosity: 0 = silent (default), 1 = info, 2 = debug.
+int& LogLevel();
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(bool enabled) : enabled_(enabled) {}
+  ~LogLine() {
+    if (enabled_) std::cerr << stream_.str() << "\n";
+  }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace xgr
+
+#define XGR_LOG_INFO ::xgr::detail::LogLine(::xgr::LogLevel() >= 1) << "[xgr] "
+#define XGR_LOG_DEBUG ::xgr::detail::LogLine(::xgr::LogLevel() >= 2) << "[xgr] "

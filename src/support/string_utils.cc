@@ -1,0 +1,68 @@
+#include "support/string_utils.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xgr {
+
+std::string EscapeBytes(std::string_view bytes) {
+  std::string out;
+  out.reserve(bytes.size());
+  for (char c : bytes) {
+    auto byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      default:
+        if (byte >= 0x20 && byte < 0x7F) {
+          out += c;
+        } else {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02X", byte);
+          out += buf;
+        }
+    }
+  }
+  return out;
+}
+
+std::size_t CommonPrefixLength(std::string_view a, std::string_view b) {
+  std::size_t limit = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < limit && a[i] == b[i]) ++i;
+  return i;
+}
+
+std::vector<std::string> SplitString(std::string_view text, char delimiter) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace xgr

@@ -1,0 +1,27 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xgr {
+
+// Escapes a byte string for human-readable diagnostics: printable ASCII is
+// kept, everything else becomes \xNN / \n / \t / ...
+std::string EscapeBytes(std::string_view bytes);
+
+// Length of the longest common prefix of two byte strings.
+std::size_t CommonPrefixLength(std::string_view a, std::string_view b);
+
+// Splits on a delimiter character; keeps empty fields.
+std::vector<std::string> SplitString(std::string_view text, char delimiter);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Formats `value` with `digits` significant decimal places (benchmark tables).
+std::string FormatDouble(double value, int digits);
+
+}  // namespace xgr

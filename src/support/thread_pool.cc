@@ -1,0 +1,61 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace xgr {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  XGR_CHECK(num_threads > 0) << "thread pool needs at least one thread";
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  std::size_t shards = std::min(count, NumThreads());
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    std::size_t begin = count * shard / shards;
+    std::size_t end = count * (shard + 1) / shards;
+    futures.push_back(Submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (std::future<void>& future : futures) future.get();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace xgr

@@ -1,0 +1,60 @@
+// A small fixed-size thread pool.
+//
+// Used for (a) parallel preprocessing of the adaptive token mask cache across
+// automaton nodes (§3.1 of the paper) and (b) running grammar mask generation
+// concurrently with the simulated GPU forward pass (§3.5).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace xgr {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t NumThreads() const { return workers_.size(); }
+
+  // Enqueues a task; the returned future observes completion and exceptions.
+  template <typename F>
+  std::future<void> Submit(F&& task) {
+    auto packaged =
+        std::make_shared<std::packaged_task<void()>>(std::forward<F>(task));
+    std::future<void> future = packaged->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  // Runs fn(i) for i in [0, count) across the pool and blocks until all
+  // complete. Work is distributed in contiguous shards.
+  void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  // A shared process-wide pool sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace xgr

@@ -1,0 +1,49 @@
+// Monotonic wall-clock timing helpers used by benchmarks and the engine
+// simulator's latency accounting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace xgr {
+
+class Timer {
+ public:
+  Timer() { Reset(); }
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Simple running statistics accumulator (mean / min / max) for latency series.
+class StatAccumulator {
+ public:
+  void Add(double value) {
+    ++count_;
+    sum_ += value;
+    if (value < min_ || count_ == 1) min_ = value;
+    if (value > max_ || count_ == 1) max_ = value;
+  }
+  std::uint64_t Count() const { return count_; }
+  double Sum() const { return sum_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace xgr

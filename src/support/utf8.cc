@@ -1,0 +1,173 @@
+#include "support/utf8.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace xgr {
+
+int Utf8EncodedLength(std::uint32_t codepoint) {
+  if (codepoint <= 0x7F) return 1;
+  if (codepoint <= 0x7FF) return 2;
+  if (codepoint <= 0xFFFF) return 3;
+  return 4;
+}
+
+int EncodeUtf8(std::uint32_t codepoint, std::uint8_t out[4]) {
+  XGR_CHECK(codepoint <= kMaxCodepoint) << "codepoint out of range";
+  if (codepoint <= 0x7F) {
+    out[0] = static_cast<std::uint8_t>(codepoint);
+    return 1;
+  }
+  if (codepoint <= 0x7FF) {
+    out[0] = static_cast<std::uint8_t>(0xC0 | (codepoint >> 6));
+    out[1] = static_cast<std::uint8_t>(0x80 | (codepoint & 0x3F));
+    return 2;
+  }
+  if (codepoint <= 0xFFFF) {
+    out[0] = static_cast<std::uint8_t>(0xE0 | (codepoint >> 12));
+    out[1] = static_cast<std::uint8_t>(0x80 | ((codepoint >> 6) & 0x3F));
+    out[2] = static_cast<std::uint8_t>(0x80 | (codepoint & 0x3F));
+    return 3;
+  }
+  out[0] = static_cast<std::uint8_t>(0xF0 | (codepoint >> 18));
+  out[1] = static_cast<std::uint8_t>(0x80 | ((codepoint >> 12) & 0x3F));
+  out[2] = static_cast<std::uint8_t>(0x80 | ((codepoint >> 6) & 0x3F));
+  out[3] = static_cast<std::uint8_t>(0x80 | (codepoint & 0x3F));
+  return 4;
+}
+
+void AppendUtf8(std::uint32_t codepoint, std::string* out) {
+  std::uint8_t buf[4];
+  int len = EncodeUtf8(codepoint, buf);
+  out->append(reinterpret_cast<const char*>(buf), static_cast<std::size_t>(len));
+}
+
+DecodedChar DecodeUtf8(std::string_view data, std::size_t pos) {
+  DecodedChar result;
+  if (pos >= data.size()) return result;
+  auto byte = [&](std::size_t i) {
+    return static_cast<std::uint8_t>(data[pos + i]);
+  };
+  std::uint8_t b0 = byte(0);
+  int len;
+  std::uint32_t cp;
+  if (b0 < 0x80) {
+    len = 1;
+    cp = b0;
+  } else if ((b0 & 0xE0) == 0xC0) {
+    len = 2;
+    cp = b0 & 0x1F;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+    cp = b0 & 0x0F;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4;
+    cp = b0 & 0x07;
+  } else {
+    return result;  // continuation or invalid lead byte
+  }
+  if (pos + static_cast<std::size_t>(len) > data.size()) return result;
+  for (int i = 1; i < len; ++i) {
+    std::uint8_t b = byte(static_cast<std::size_t>(i));
+    if ((b & 0xC0) != 0x80) return result;
+    cp = (cp << 6) | (b & 0x3F);
+  }
+  // Reject overlong encodings, out-of-range values and surrogates.
+  static constexpr std::uint32_t kMinByLen[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (cp < kMinByLen[len] || cp > kMaxCodepoint) return result;
+  if (cp >= 0xD800 && cp <= 0xDFFF) return result;
+  result.codepoint = cp;
+  result.length = len;
+  result.ok = true;
+  return result;
+}
+
+namespace {
+
+// Recursively splits same-encoded-length intervals given their encodings.
+// lo/hi point at `n` remaining bytes each. `prefix` collects byte ranges for
+// the already-fixed leading bytes.
+void SplitSameLength(const std::uint8_t* lo, const std::uint8_t* hi, int n,
+                     ByteRangeSeq* prefix, std::vector<ByteRangeSeq>* out) {
+  if (n == 1) {
+    prefix->push_back(ByteRange{lo[0], hi[0]});
+    out->push_back(*prefix);
+    prefix->pop_back();
+    return;
+  }
+  if (lo[0] == hi[0]) {
+    prefix->push_back(ByteRange{lo[0], lo[0]});
+    SplitSameLength(lo + 1, hi + 1, n - 1, prefix, out);
+    prefix->pop_back();
+    return;
+  }
+  std::uint8_t lo_first = lo[0];
+  std::uint8_t hi_first = hi[0];
+  // If the low remainder is not the minimum (all 0x80), peel off the first
+  // byte's low edge with an exact match and recurse.
+  bool lo_is_min = true;
+  for (int i = 1; i < n; ++i) lo_is_min &= (lo[i] == 0x80);
+  if (!lo_is_min) {
+    std::uint8_t max_rest[4] = {0xBF, 0xBF, 0xBF, 0xBF};
+    prefix->push_back(ByteRange{lo_first, lo_first});
+    SplitSameLength(lo + 1, max_rest, n - 1, prefix, out);
+    prefix->pop_back();
+    ++lo_first;
+  }
+  bool hi_is_max = true;
+  for (int i = 1; i < n; ++i) hi_is_max &= (hi[i] == 0xBF);
+  if (!hi_is_max) {
+    std::uint8_t min_rest[4] = {0x80, 0x80, 0x80, 0x80};
+    prefix->push_back(ByteRange{hi_first, hi_first});
+    SplitSameLength(min_rest, hi + 1, n - 1, prefix, out);
+    prefix->pop_back();
+    if (hi_first == 0) return;  // defensive; cannot happen for valid UTF-8
+    --hi_first;
+  }
+  if (lo_first <= hi_first) {
+    ByteRangeSeq seq = *prefix;
+    seq.push_back(ByteRange{lo_first, hi_first});
+    for (int i = 1; i < n; ++i) seq.push_back(ByteRange{0x80, 0xBF});
+    out->push_back(std::move(seq));
+  }
+}
+
+void CompileRangeRec(std::uint32_t lo, std::uint32_t hi,
+                     std::vector<ByteRangeSeq>* out) {
+  if (lo > hi) return;
+  // Exclude UTF-16 surrogates, which are not valid scalar values.
+  if (lo <= 0xDFFF && hi >= 0xD800) {
+    if (lo < 0xD800) CompileRangeRec(lo, 0xD7FF, out);
+    if (hi > 0xDFFF) CompileRangeRec(0xE000, hi, out);
+    return;
+  }
+  // Split at encoded-length boundaries.
+  for (std::uint32_t boundary : {0x7Fu, 0x7FFu, 0xFFFFu}) {
+    if (lo <= boundary && boundary < hi) {
+      CompileRangeRec(lo, boundary, out);
+      CompileRangeRec(boundary + 1, hi, out);
+      return;
+    }
+  }
+  std::uint8_t lo_bytes[4];
+  std::uint8_t hi_bytes[4];
+  int n = EncodeUtf8(lo, lo_bytes);
+  int n_hi = EncodeUtf8(hi, hi_bytes);
+  XGR_CHECK(n == n_hi) << "length-split invariant violated";
+  ByteRangeSeq prefix;
+  SplitSameLength(lo_bytes, hi_bytes, n, &prefix, out);
+}
+
+}  // namespace
+
+std::vector<ByteRangeSeq> CompileCodepointRange(std::uint32_t lo,
+                                                std::uint32_t hi) {
+  XGR_CHECK(lo <= hi) << "empty codepoint range";
+  XGR_CHECK(hi <= kMaxCodepoint) << "codepoint out of range";
+  std::vector<ByteRangeSeq> out;
+  CompileRangeRec(lo, hi, &out);
+  return out;
+}
+
+}  // namespace xgr

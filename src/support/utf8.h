@@ -1,0 +1,57 @@
+// UTF-8 utilities.
+//
+// The engine is byte-level (§3 of the paper): grammar character classes are
+// specified over Unicode codepoints but compiled into automata whose edges
+// are byte ranges, so tokens that split UTF-8 characters ("sub-UTF8 tokens")
+// are handled naturally. CompileCodepointRange implements the standard
+// UTF-8 range decomposition: a codepoint interval becomes a small set of
+// byte-range *sequences* whose concatenated matches are exactly the UTF-8
+// encodings of the interval.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xgr {
+
+inline constexpr std::uint32_t kMaxCodepoint = 0x10FFFF;
+
+// One inclusive byte interval.
+struct ByteRange {
+  std::uint8_t lo = 0;
+  std::uint8_t hi = 0;
+  friend bool operator==(const ByteRange&, const ByteRange&) = default;
+};
+
+// A sequence of byte intervals of length 1..4; matches any byte string
+// b_0 b_1 ... with ranges[i].lo <= b_i <= ranges[i].hi.
+using ByteRangeSeq = std::vector<ByteRange>;
+
+// Number of bytes in the UTF-8 encoding of `codepoint` (1..4).
+int Utf8EncodedLength(std::uint32_t codepoint);
+
+// Encodes `codepoint` into out[0..3]; returns the encoded length.
+int EncodeUtf8(std::uint32_t codepoint, std::uint8_t out[4]);
+
+// Appends the UTF-8 encoding of `codepoint` to `out`.
+void AppendUtf8(std::uint32_t codepoint, std::string* out);
+
+// Result of decoding one codepoint.
+struct DecodedChar {
+  std::uint32_t codepoint = 0;
+  int length = 0;   // bytes consumed; 0 on error
+  bool ok = false;  // false on truncated/invalid sequences
+};
+
+// Decodes the UTF-8 character starting at data[pos].
+DecodedChar DecodeUtf8(std::string_view data, std::size_t pos);
+
+// Decomposes the codepoint interval [lo, hi] (inclusive) into byte-range
+// sequences. Surrogates (U+D800..U+DFFF) are excluded automatically. The
+// result is deterministic and minimal in the usual sense of the standard
+// algorithm (at most ~30 sequences for the full Unicode range).
+std::vector<ByteRangeSeq> CompileCodepointRange(std::uint32_t lo, std::uint32_t hi);
+
+}  // namespace xgr

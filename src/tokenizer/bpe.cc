@@ -1,0 +1,152 @@
+#include "tokenizer/bpe.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.h"
+
+namespace xgr::tokenizer {
+
+namespace {
+
+// GPT-style pre-tokenization: words keep their leading space. "a b" ->
+// ["a", " b"]. Newlines and punctuation stay inside words; good enough for
+// the synthetic corpora used here.
+std::vector<std::string> PreTokenize(const std::string& text) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : text) {
+    if (c == ' ' && !current.empty()) {
+      words.push_back(current);
+      current.clear();
+    }
+    current.push_back(c);
+  }
+  if (!current.empty()) words.push_back(current);
+  return words;
+}
+
+}  // namespace
+
+BpeModel BpeModel::Train(const std::string& corpus, std::int32_t vocab_size) {
+  XGR_CHECK(vocab_size >= 256) << "vocab must include the 256 byte tokens";
+  BpeModel model;
+  model.token_bytes_.reserve(static_cast<std::size_t>(vocab_size));
+  for (int b = 0; b < 256; ++b) {
+    model.token_bytes_.push_back(std::string(1, static_cast<char>(b)));
+  }
+
+  // Unique words with frequencies; each word is a symbol sequence.
+  std::unordered_map<std::string, std::int64_t> word_freq;
+  for (const std::string& word : PreTokenize(corpus)) ++word_freq[word];
+  struct Word {
+    std::vector<std::int32_t> symbols;
+    std::int64_t freq;
+  };
+  std::vector<Word> words;
+  words.reserve(word_freq.size());
+  for (const auto& [text, freq] : word_freq) {
+    Word w;
+    w.freq = freq;
+    w.symbols.reserve(text.size());
+    for (char c : text) w.symbols.push_back(static_cast<std::uint8_t>(c));
+    words.push_back(std::move(w));
+  }
+
+  while (model.VocabSize() < vocab_size) {
+    // Count adjacent pairs. (Recounted per merge: simple and fast enough for
+    // the corpus sizes used in tests/benchmarks.)
+    std::unordered_map<std::uint64_t, std::int64_t> pair_freq;
+    for (const Word& word : words) {
+      for (std::size_t i = 0; i + 1 < word.symbols.size(); ++i) {
+        pair_freq[PairKey(word.symbols[i], word.symbols[i + 1])] += word.freq;
+      }
+    }
+    if (pair_freq.empty()) break;
+    // Deterministic argmax: highest frequency, then lowest key.
+    std::uint64_t best_key = 0;
+    std::int64_t best_freq = -1;
+    for (const auto& [key, freq] : pair_freq) {
+      if (freq > best_freq || (freq == best_freq && key < best_key)) {
+        best_key = key;
+        best_freq = freq;
+      }
+    }
+    if (best_freq < 2) break;  // nothing left worth merging
+    auto left = static_cast<std::int32_t>(best_key >> 32);
+    auto right = static_cast<std::int32_t>(best_key & 0xFFFFFFFFu);
+    std::int32_t result = model.VocabSize();
+    model.token_bytes_.push_back(model.token_bytes_[static_cast<std::size_t>(left)] +
+                                 model.token_bytes_[static_cast<std::size_t>(right)]);
+    model.merge_rank_.emplace(best_key, static_cast<std::int32_t>(model.merges_.size()));
+    model.merges_.push_back(Merge{left, right, result});
+    // Apply the merge to every word.
+    for (Word& word : words) {
+      std::vector<std::int32_t>& s = word.symbols;
+      std::size_t write = 0;
+      for (std::size_t read = 0; read < s.size(); ++read) {
+        if (read + 1 < s.size() && s[read] == left && s[read + 1] == right) {
+          s[write++] = result;
+          ++read;
+        } else {
+          s[write++] = s[read];
+        }
+      }
+      s.resize(write);
+    }
+  }
+  return model;
+}
+
+std::vector<std::int32_t> BpeModel::EncodeWord(const std::string& word) const {
+  std::vector<std::int32_t> symbols;
+  symbols.reserve(word.size());
+  for (char c : word) symbols.push_back(static_cast<std::uint8_t>(c));
+  // Repeatedly apply the lowest-rank applicable merge.
+  while (symbols.size() >= 2) {
+    std::int32_t best_rank = -1;
+    std::size_t best_pos = 0;
+    for (std::size_t i = 0; i + 1 < symbols.size(); ++i) {
+      auto it = merge_rank_.find(PairKey(symbols[i], symbols[i + 1]));
+      if (it != merge_rank_.end() && (best_rank == -1 || it->second < best_rank)) {
+        best_rank = it->second;
+        best_pos = i;
+      }
+    }
+    if (best_rank == -1) break;
+    symbols[best_pos] = merges_[static_cast<std::size_t>(best_rank)].result;
+    symbols.erase(symbols.begin() + static_cast<std::ptrdiff_t>(best_pos) + 1);
+  }
+  return symbols;
+}
+
+std::vector<std::int32_t> BpeModel::Encode(const std::string& text) const {
+  std::vector<std::int32_t> ids;
+  for (const std::string& word : PreTokenize(text)) {
+    std::vector<std::int32_t> word_ids = EncodeWord(word);
+    ids.insert(ids.end(), word_ids.begin(), word_ids.end());
+  }
+  return ids;
+}
+
+std::string BpeModel::Decode(const std::vector<std::int32_t>& ids) const {
+  std::string out;
+  for (std::int32_t id : ids) {
+    XGR_CHECK(id >= 0 && id < VocabSize()) << "token id out of range";
+    out += token_bytes_[static_cast<std::size_t>(id)];
+  }
+  return out;
+}
+
+Vocabulary BpeModel::ToVocabulary() const {
+  Vocabulary vocab;
+  vocab.tokens = token_bytes_;
+  vocab.bos_id = vocab.Size();
+  vocab.tokens.push_back("<|begin_of_text|>");
+  vocab.eos_id = vocab.Size();
+  vocab.tokens.push_back("<|end_of_text|>");
+  vocab.special_ids = {vocab.bos_id, vocab.eos_id};
+  return vocab;
+}
+
+}  // namespace xgr::tokenizer

@@ -1,0 +1,57 @@
+// Byte-level byte-pair encoding: trainer + encoder.
+//
+// Substrate replacing the Llama tokenizer data files (unavailable offline):
+// tests and examples train small BPE vocabularies on synthetic corpora, and
+// the encoder is used by jump-forward decoding to retokenize forced text.
+// Training is the standard word-based algorithm: pre-tokenize into
+// space-attached words, then iteratively merge the most frequent adjacent
+// symbol pair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tokenizer/vocabulary.h"
+
+namespace xgr::tokenizer {
+
+class BpeModel {
+ public:
+  // Trains merges until the vocabulary reaches `vocab_size` (includes the
+  // 256 byte tokens; special tokens are appended on top afterwards).
+  static BpeModel Train(const std::string& corpus, std::int32_t vocab_size);
+
+  // Encodes text into token ids (merge-rank order, standard BPE semantics).
+  std::vector<std::int32_t> Encode(const std::string& text) const;
+  // Concatenates token byte strings.
+  std::string Decode(const std::vector<std::int32_t>& ids) const;
+
+  std::int32_t VocabSize() const { return static_cast<std::int32_t>(token_bytes_.size()); }
+  const std::string& TokenBytes(std::int32_t id) const {
+    return token_bytes_[static_cast<std::size_t>(id)];
+  }
+
+  // Converts to a Vocabulary with BOS/EOS special tokens appended.
+  Vocabulary ToVocabulary() const;
+
+ private:
+  struct Merge {
+    std::int32_t left;
+    std::int32_t right;
+    std::int32_t result;
+  };
+
+  std::vector<std::string> token_bytes_;      // id -> bytes (0..255 = bytes)
+  std::vector<Merge> merges_;                 // in rank order
+  std::unordered_map<std::uint64_t, std::int32_t> merge_rank_;  // pair -> rank
+
+  static std::uint64_t PairKey(std::int32_t a, std::int32_t b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+  std::vector<std::int32_t> EncodeWord(const std::string& word) const;
+};
+
+}  // namespace xgr::tokenizer

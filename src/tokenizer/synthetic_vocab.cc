@@ -1,0 +1,147 @@
+#include "tokenizer/synthetic_vocab.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/utf8.h"
+
+namespace xgr::tokenizer {
+
+namespace {
+
+const char* const kOnsets[] = {"b",  "c",  "d",  "f",  "g",  "h",  "j",  "k",
+                               "l",  "m",  "n",  "p",  "r",  "s",  "t",  "v",
+                               "w",  "z",  "st", "tr", "ch", "sh", "th", "pl",
+                               "br", "gr", "cl", "fr", "sp", "qu"};
+const char* const kVowels[] = {"a", "e", "i", "o", "u", "ai", "ea", "ou", "io", "ee"};
+const char* const kCodas[] = {"",   "n",  "r",  "s",  "t",  "l",  "m",  "d",
+                              "ck", "ng", "st", "nt", "rd", "ss", "x",  "p"};
+
+// Frequent code / JSON / prose fragments seen in real BPE vocabularies.
+const char* const kFragments[] = {
+    "\": \"", "\":",    "\",",   "\"}",    "},",    "}]",     "[{",    "{\"",
+    "()",     "();",    "())",   " = ",    " == ",  " != ",   " => ",  "->",
+    "://",    ".com",   ".org",  "\n\n",   "\n\t",  " {",     " }",    " [",
+    " ]",     "',",     "':",    " (",     ");",    "//",     "/*",    "*/",
+    " +",     " -",     " /",    ",\"",    ":\"",   "e\",",   "s\",",  "\\\"",
+    " \"",    "==",     "!=",    "<=",     ">=",    "&&",     "||",    "+=",
+    " if",    " else",  " for",  " while", " return", " true", " false",
+    " null",  "true",   "false", "null",   "None",  "True",   "False"};
+
+void AddToken(std::unordered_set<std::string>* seen,
+              std::vector<std::string>* tokens, const std::string& token,
+              std::int32_t limit) {
+  if (static_cast<std::int32_t>(tokens->size()) >= limit) return;
+  if (token.empty()) return;
+  if (seen->insert(token).second) tokens->push_back(token);
+}
+
+std::string MakeSyllable(Rng& rng) {
+  std::string s;
+  s += kOnsets[rng.NextBounded(std::size(kOnsets))];
+  s += kVowels[rng.NextBounded(std::size(kVowels))];
+  s += kCodas[rng.NextBounded(std::size(kCodas))];
+  return s;
+}
+
+std::string MakeWord(Rng& rng) {
+  // Zipf-ish syllable count: mostly 1-2 syllables.
+  double roll = rng.NextDouble();
+  int syllables = roll < 0.55 ? 1 : roll < 0.9 ? 2 : 3;
+  std::string word;
+  for (int i = 0; i < syllables; ++i) word += MakeSyllable(rng);
+  return word;
+}
+
+}  // namespace
+
+Vocabulary BuildSyntheticVocab(const SyntheticVocabOptions& options) {
+  XGR_CHECK(options.size >= 1000) << "synthetic vocab should be >= 1000 tokens";
+  Rng rng(options.seed);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(options.size));
+  // Reserve room for the special tokens appended at the end.
+  const std::int32_t limit = options.size - 2;
+
+  // 1. Byte-fallback tokens: every single byte.
+  for (int b = 0; b < 256; ++b) {
+    AddToken(&seen, &tokens, std::string(1, static_cast<char>(b)), limit);
+  }
+  // 2. Whitespace runs (Llama-3 has many, used heavily by code).
+  for (int n = 2; n <= 16; ++n) {
+    AddToken(&seen, &tokens, std::string(static_cast<std::size_t>(n), ' '), limit);
+  }
+  for (int n = 2; n <= 4; ++n) {
+    AddToken(&seen, &tokens, std::string(static_cast<std::size_t>(n), '\n'), limit);
+    AddToken(&seen, &tokens, std::string(static_cast<std::size_t>(n), '\t'), limit);
+  }
+  // 3. Digit groups: all 2- and 3-digit strings (Llama-3 groups digits).
+  for (int d = 0; d <= 99; ++d) {
+    AddToken(&seen, &tokens, std::to_string(d / 10) + std::to_string(d % 10), limit);
+  }
+  for (int d = 0; d <= 999; ++d) {
+    std::string s = std::to_string(d);
+    while (s.size() < 3) s.insert(s.begin(), '0');
+    AddToken(&seen, &tokens, s, limit);
+  }
+  // 4. Operator / fragment tokens.
+  for (const char* fragment : kFragments) {
+    AddToken(&seen, &tokens, fragment, limit);
+  }
+  // 5. Multi-byte UTF-8 tokens: accented latin, CJK, and a few emoji; plus
+  //    sub-UTF8 pieces (leading bytes without continuation) that force the
+  //    byte-level automaton to handle split characters.
+  for (int i = 0; i < 600 && static_cast<std::int32_t>(tokens.size()) < limit; ++i) {
+    std::string s;
+    std::uint32_t cp;
+    double kind = rng.NextDouble();
+    if (kind < 0.4) {
+      cp = 0x4E00 + static_cast<std::uint32_t>(rng.NextBounded(0x51A5));  // CJK
+    } else if (kind < 0.8) {
+      cp = 0xC0 + static_cast<std::uint32_t>(rng.NextBounded(0x250));  // accented
+    } else {
+      cp = 0x1F300 + static_cast<std::uint32_t>(rng.NextBounded(0x200));  // emoji
+    }
+    AppendUtf8(cp, &s);
+    if (rng.NextDouble() < 0.15 && s.size() > 1) {
+      s.pop_back();  // sub-UTF8 piece
+    }
+    if (rng.NextDouble() < 0.3) s.insert(0, " ");
+    AddToken(&seen, &tokens, s, limit);
+  }
+  // 6. English-like words: the bulk of the vocabulary. Each word may appear
+  //    bare, with leading space, capitalized, and with attached punctuation —
+  //    mirroring real BPE inventories.
+  while (static_cast<std::int32_t>(tokens.size()) < limit) {
+    std::string word = MakeWord(rng);
+    AddToken(&seen, &tokens, word, limit);
+    AddToken(&seen, &tokens, " " + word, limit);
+    if (rng.NextDouble() < 0.35) {
+      std::string capitalized = word;
+      capitalized[0] = static_cast<char>(std::toupper(capitalized[0]));
+      AddToken(&seen, &tokens, capitalized, limit);
+      AddToken(&seen, &tokens, " " + capitalized, limit);
+    }
+    if (rng.NextDouble() < 0.1) {
+      AddToken(&seen, &tokens, word + ",", limit);
+      AddToken(&seen, &tokens, word + ".", limit);
+      AddToken(&seen, &tokens, word + "\"", limit);
+    }
+  }
+
+  Vocabulary vocab;
+  vocab.tokens = std::move(tokens);
+  vocab.bos_id = vocab.Size();
+  vocab.tokens.push_back("<|begin_of_text|>");
+  vocab.eos_id = vocab.Size();
+  vocab.tokens.push_back("<|end_of_text|>");
+  vocab.special_ids = {vocab.bos_id, vocab.eos_id};
+  XGR_CHECK(vocab.Size() == options.size);
+  return vocab;
+}
+
+}  // namespace xgr::tokenizer

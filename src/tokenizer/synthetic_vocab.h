@@ -1,0 +1,29 @@
+// Synthetic Llama-3.1-like vocabulary builder.
+//
+// The paper's experiments run on the Llama-3.1 tokenizer (128k byte-level BPE
+// vocabulary); its data files are not available offline, so this builder
+// produces a vocabulary with matched statistics instead (see DESIGN.md §1):
+//   * the 256 single-byte fallback tokens,
+//   * English-like words via syllable composition, with leading-space and
+//     capitalized variants (the bulk of real BPE vocabs),
+//   * digit groups, whitespace runs, punctuation clusters and code/JSON
+//     operator fragments (": ", "},", "():", ...),
+//   * multi-byte UTF-8 tokens (CJK, accented latin) and tokens that split
+//     UTF-8 characters (sub-UTF8 pieces, §3's byte-level motivation),
+// Deterministic for a given (size, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "tokenizer/vocabulary.h"
+
+namespace xgr::tokenizer {
+
+struct SyntheticVocabOptions {
+  std::int32_t size = 128000;
+  std::uint64_t seed = 2024;
+};
+
+Vocabulary BuildSyntheticVocab(const SyntheticVocabOptions& options = {});
+
+}  // namespace xgr::tokenizer

@@ -1,0 +1,72 @@
+#include "tokenizer/token_trie.h"
+
+#include <algorithm>
+
+namespace xgr::tokenizer {
+
+TokenTrie::TokenTrie(const TokenizerInfo& info) {
+  nodes_.emplace_back();
+  // Inserting in sorted order makes child vectors naturally sorted.
+  for (std::int32_t id : info.SortedTokenIds()) {
+    const std::string& bytes = info.TokenBytes(id);
+    std::int32_t node = 0;
+    for (char c : bytes) {
+      auto byte = static_cast<std::uint8_t>(c);
+      std::int32_t child = Child(node, byte);
+      if (child < 0) {
+        child = static_cast<std::int32_t>(nodes_.size());
+        nodes_[static_cast<std::size_t>(node)].children.emplace_back(byte, child);
+        nodes_.emplace_back();
+      }
+      node = child;
+    }
+    nodes_[static_cast<std::size_t>(node)].token_ids.push_back(id);
+  }
+}
+
+std::int32_t TokenTrie::LongestMatch(std::string_view text, std::size_t pos,
+                                     std::size_t* match_length) const {
+  std::int32_t node = 0;
+  std::int32_t best_token = -1;
+  std::size_t best_length = 0;
+  std::size_t length = 0;
+  while (pos + length < text.size()) {
+    node = Child(node, static_cast<std::uint8_t>(text[pos + length]));
+    if (node < 0) break;
+    ++length;
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (!n.token_ids.empty()) {
+      best_token = n.token_ids.front();
+      best_length = length;
+    }
+  }
+  *match_length = best_length;
+  return best_token;
+}
+
+std::vector<std::int32_t> GreedyTokenize(const TokenTrie& trie,
+                                         std::string_view text) {
+  std::vector<std::int32_t> ids;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t length = 0;
+    std::int32_t token = trie.LongestMatch(text, pos, &length);
+    if (token < 0) break;  // unreachable with byte-fallback vocabularies
+    ids.push_back(token);
+    pos += length;
+  }
+  return ids;
+}
+
+std::int32_t TokenTrie::Child(std::int32_t node, std::uint8_t byte) const {
+  const auto& children = nodes_[static_cast<std::size_t>(node)].children;
+  auto it = std::lower_bound(
+      children.begin(), children.end(), byte,
+      [](const std::pair<std::uint8_t, std::int32_t>& entry, std::uint8_t b) {
+        return entry.first < b;
+      });
+  if (it != children.end() && it->first == byte) return it->second;
+  return -1;
+}
+
+}  // namespace xgr::tokenizer

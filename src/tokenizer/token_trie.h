@@ -1,0 +1,53 @@
+// Byte trie over the vocabulary.
+//
+// The llama.cpp-grammar and lm-format-enforcer baseline strategies walk the
+// vocabulary as a trie: shared prefixes are matched once and the automaton
+// state branches per trie edge. (XGrammar itself uses sorted-order traversal
+// with persistent-stack rollback instead; both are provided so the Figure 9
+// comparison runs each engine's real algorithm.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::tokenizer {
+
+class TokenTrie {
+ public:
+  struct Node {
+    // Token ids that end exactly at this node (duplicates share nodes).
+    std::vector<std::int32_t> token_ids;
+    // Sorted (byte, child) pairs.
+    std::vector<std::pair<std::uint8_t, std::int32_t>> children;
+  };
+
+  // Builds the trie over all non-special tokens.
+  explicit TokenTrie(const TokenizerInfo& info);
+
+  std::int32_t Root() const { return 0; }
+  const Node& GetNode(std::int32_t id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  std::size_t NumNodes() const { return nodes_.size(); }
+
+  // Child on `byte` or -1.
+  std::int32_t Child(std::int32_t node, std::uint8_t byte) const;
+
+  // Longest token that is a prefix of `text` starting at `pos` (-1 if none;
+  // cannot happen when the vocabulary contains all single bytes).
+  std::int32_t LongestMatch(std::string_view text, std::size_t pos,
+                            std::size_t* match_length) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+// Greedy longest-match tokenization against the trie. With byte-fallback
+// vocabularies this always succeeds. Used by the mock LLM's target scripts
+// and by jump-forward retokenization.
+std::vector<std::int32_t> GreedyTokenize(const TokenTrie& trie,
+                                         std::string_view text);
+
+}  // namespace xgr::tokenizer

@@ -1,0 +1,38 @@
+#include "tokenizer/tokenizer_info.h"
+
+#include <algorithm>
+
+#include "support/string_utils.h"
+
+namespace xgr::tokenizer {
+
+TokenizerInfo::TokenizerInfo(Vocabulary vocabulary)
+    : vocabulary_(std::move(vocabulary)) {
+  is_special_.assign(static_cast<std::size_t>(vocabulary_.Size()), false);
+  for (std::int32_t id : vocabulary_.special_ids) {
+    is_special_[static_cast<std::size_t>(id)] = true;
+  }
+  sorted_ids_.reserve(static_cast<std::size_t>(vocabulary_.Size()));
+  for (std::int32_t id = 0; id < vocabulary_.Size(); ++id) {
+    if (!is_special_[static_cast<std::size_t>(id)]) sorted_ids_.push_back(id);
+  }
+  std::sort(sorted_ids_.begin(), sorted_ids_.end(),
+            [this](std::int32_t a, std::int32_t b) {
+              const std::string& ta = vocabulary_.tokens[static_cast<std::size_t>(a)];
+              const std::string& tb = vocabulary_.tokens[static_cast<std::size_t>(b)];
+              return ta != tb ? ta < tb : a < b;
+            });
+  prefix_lengths_.resize(sorted_ids_.size(), 0);
+  for (std::size_t i = 0; i < sorted_ids_.size(); ++i) {
+    const std::string& token = vocabulary_.tokens[static_cast<std::size_t>(sorted_ids_[i])];
+    total_bytes_ += token.size();
+    if (i > 0) {
+      const std::string& prev =
+          vocabulary_.tokens[static_cast<std::size_t>(sorted_ids_[i - 1])];
+      prefix_lengths_[i] = static_cast<std::int32_t>(CommonPrefixLength(prev, token));
+    }
+    bytes_after_skip_ += token.size() - static_cast<std::size_t>(prefix_lengths_[i]);
+  }
+}
+
+}  // namespace xgr::tokenizer

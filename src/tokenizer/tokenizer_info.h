@@ -1,0 +1,55 @@
+// Preprocessed tokenizer metadata used by mask generation.
+//
+// The adaptive token-mask cache checks the whole vocabulary in lexicographic
+// order so that the persistent stack can roll back to the longest common
+// prefix between consecutive tokens (§3.3: only ~30% of bytes need to be
+// re-checked). This class precomputes that ordering and the common-prefix
+// table once per vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tokenizer/vocabulary.h"
+
+namespace xgr::tokenizer {
+
+class TokenizerInfo {
+ public:
+  explicit TokenizerInfo(Vocabulary vocabulary);
+
+  std::int32_t VocabSize() const { return vocabulary_.Size(); }
+  const Vocabulary& Vocab() const { return vocabulary_; }
+  const std::string& TokenBytes(std::int32_t id) const {
+    return vocabulary_.tokens[static_cast<std::size_t>(id)];
+  }
+  bool IsSpecial(std::int32_t id) const {
+    return is_special_[static_cast<std::size_t>(id)];
+  }
+  std::int32_t EosId() const { return vocabulary_.eos_id; }
+
+  // Non-special token ids sorted by token bytes (ties by id).
+  const std::vector<std::int32_t>& SortedTokenIds() const { return sorted_ids_; }
+  // prefix_lengths[i] = longest common prefix of sorted token i and i-1
+  // (0 for i == 0).
+  const std::vector<std::int32_t>& SortedCommonPrefixLengths() const {
+    return prefix_lengths_;
+  }
+
+  // Sum of byte lengths over non-special tokens, and the bytes remaining
+  // after common-prefix skipping — the §3.3 "30% of characters" statistic.
+  std::uint64_t TotalTokenBytes() const { return total_bytes_; }
+  std::uint64_t BytesAfterPrefixSkip() const { return bytes_after_skip_; }
+
+ private:
+  Vocabulary vocabulary_;
+  std::vector<bool> is_special_;
+  std::vector<std::int32_t> sorted_ids_;
+  std::vector<std::int32_t> prefix_lengths_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t bytes_after_skip_ = 0;
+};
+
+}  // namespace xgr::tokenizer

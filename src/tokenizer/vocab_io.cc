@@ -1,0 +1,152 @@
+#include "tokenizer/vocab_io.h"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "json/json.h"
+#include "support/logging.h"
+#include "support/utf8.h"
+
+namespace xgr::tokenizer {
+
+namespace {
+
+// GPT-2 byte → unicode bijection: printable bytes map to themselves, the
+// rest to codepoints 0x100, 0x101, ... in byte order. Identical to the
+// `bytes_to_unicode` table in the GPT-2 reference code and HuggingFace
+// byte-level tokenizers.
+std::array<std::uint32_t, 256> ByteToUnicodeTable() {
+  std::array<std::uint32_t, 256> table{};
+  auto printable = [](int b) {
+    return (b >= '!' && b <= '~') || (b >= 0xA1 && b <= 0xAC) ||
+           (b >= 0xAE && b <= 0xFF);
+  };
+  std::uint32_t next = 256;
+  for (int b = 0; b < 256; ++b) {
+    table[static_cast<std::size_t>(b)] =
+        printable(b) ? static_cast<std::uint32_t>(b) : next++;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& ByteToUnicode() {
+  static const std::array<std::uint32_t, 256> table = ByteToUnicodeTable();
+  return table;
+}
+
+const std::unordered_map<std::uint32_t, std::uint8_t>& UnicodeToByte() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::uint32_t, std::uint8_t>();
+    const auto& table = ByteToUnicode();
+    for (int b = 0; b < 256; ++b) {
+      m->emplace(table[static_cast<std::size_t>(b)],
+                 static_cast<std::uint8_t>(b));
+    }
+    return m;
+  }();
+  return *map;
+}
+
+std::string EncodeTokenBytes(const std::string& bytes) {
+  std::string out;
+  for (char c : bytes) {
+    AppendUtf8(ByteToUnicode()[static_cast<std::uint8_t>(c)], &out);
+  }
+  return out;
+}
+
+std::string DecodeTokenBytes(const std::string& encoded) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < encoded.size()) {
+    DecodedChar decoded = DecodeUtf8(encoded, pos);
+    XGR_CHECK(decoded.ok) << "invalid UTF-8 in encoded token";
+    auto it = UnicodeToByte().find(decoded.codepoint);
+    XGR_CHECK(it != UnicodeToByte().end())
+        << "codepoint U+" << decoded.codepoint
+        << " is not in the byte-level alphabet";
+    out.push_back(static_cast<char>(it->second));
+    pos += static_cast<std::size_t>(decoded.length);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string VocabularyToJson(const Vocabulary& vocab) {
+  json::Array tokens;
+  tokens.reserve(vocab.tokens.size());
+  for (const std::string& bytes : vocab.tokens) {
+    tokens.emplace_back(EncodeTokenBytes(bytes));
+  }
+  json::Array special;
+  for (std::int32_t id : vocab.special_ids) {
+    special.emplace_back(static_cast<std::int64_t>(id));
+  }
+  json::Value doc(json::Object{
+      {"tokens", json::Value(std::move(tokens))},
+      {"special_ids", json::Value(std::move(special))},
+      {"eos_id", json::Value(static_cast<std::int64_t>(vocab.eos_id))},
+      {"bos_id", json::Value(static_cast<std::int64_t>(vocab.bos_id))},
+  });
+  return doc.Dump();
+}
+
+Vocabulary VocabularyFromJson(const std::string& json_text) {
+  json::ParseResult parsed = json::Parse(json_text);
+  XGR_CHECK(parsed.ok()) << "vocabulary JSON: " << parsed.error;
+  const json::Value& doc = *parsed.value;
+  XGR_CHECK(doc.IsObject()) << "vocabulary JSON must be an object";
+
+  const json::Value* tokens = doc.Find("tokens");
+  XGR_CHECK(tokens != nullptr && tokens->IsArray()) << "missing 'tokens'";
+  Vocabulary vocab;
+  vocab.tokens.reserve(tokens->AsArray().size());
+  for (const json::Value& token : tokens->AsArray()) {
+    XGR_CHECK(token.IsString()) << "token entries must be strings";
+    vocab.tokens.push_back(DecodeTokenBytes(token.AsString()));
+  }
+  XGR_CHECK(!vocab.tokens.empty()) << "empty vocabulary";
+
+  auto id_in_range = [&](std::int64_t id) {
+    return id >= 0 && id < static_cast<std::int64_t>(vocab.tokens.size());
+  };
+  if (const json::Value* special = doc.Find("special_ids")) {
+    for (const json::Value& id : special->AsArray()) {
+      XGR_CHECK(id.IsInteger() && id_in_range(id.AsInteger()))
+          << "special id out of range";
+      vocab.special_ids.push_back(static_cast<std::int32_t>(id.AsInteger()));
+    }
+  }
+  if (const json::Value* eos = doc.Find("eos_id")) {
+    XGR_CHECK(eos->IsInteger() && id_in_range(eos->AsInteger()))
+        << "eos_id out of range";
+    vocab.eos_id = static_cast<std::int32_t>(eos->AsInteger());
+  }
+  if (const json::Value* bos = doc.Find("bos_id")) {
+    if (bos->AsInteger() >= 0) {
+      XGR_CHECK(id_in_range(bos->AsInteger())) << "bos_id out of range";
+    }
+    vocab.bos_id = static_cast<std::int32_t>(bos->AsInteger());
+  }
+  return vocab;
+}
+
+void SaveVocabulary(const Vocabulary& vocab, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  XGR_CHECK(file.good()) << "cannot open for writing: " << path;
+  file << VocabularyToJson(vocab);
+  XGR_CHECK(file.good()) << "write failed: " << path;
+}
+
+Vocabulary LoadVocabulary(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  XGR_CHECK(file.good()) << "cannot open: " << path;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return VocabularyFromJson(buffer.str());
+}
+
+}  // namespace xgr::tokenizer

@@ -1,0 +1,37 @@
+// Vocabulary persistence: load/save the token table in a simple JSON format.
+//
+// The adoption path for real tokenizers: export `tokenizer.json`-style data
+// (id → token bytes, special ids) from any tokenizer library offline, then
+// load it here and the whole engine — mask cache, serialization pinning,
+// FFI — runs against the real vocabulary. Token byte strings are encoded
+// with the GPT-2 byte↔unicode bijection (the same scheme HuggingFace
+// byte-level BPE vocab files use), so arbitrary bytes — byte-fallback
+// tokens, sub-UTF-8 pieces — round-trip exactly through valid JSON.
+//
+// Format:
+//   {
+//     "tokens": ["<pad>", "a", " the", ...],   // index = token id
+//     "special_ids": [0, 1, 2],
+//     "eos_id": 2,
+//     "bos_id": 1
+//   }
+#pragma once
+
+#include <string>
+
+#include "tokenizer/vocabulary.h"
+
+namespace xgr::tokenizer {
+
+// Serializes `vocab` to the JSON format above (compact, deterministic).
+std::string VocabularyToJson(const Vocabulary& vocab);
+
+// Parses the JSON format. Throws xgr::CheckError on malformed input
+// (bad JSON, missing fields, ids out of range).
+Vocabulary VocabularyFromJson(const std::string& json_text);
+
+// File convenience wrappers (throw xgr::CheckError on I/O failure).
+void SaveVocabulary(const Vocabulary& vocab, const std::string& path);
+Vocabulary LoadVocabulary(const std::string& path);
+
+}  // namespace xgr::tokenizer

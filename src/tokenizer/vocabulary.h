@@ -1,0 +1,25 @@
+// Vocabulary: token id -> decoded byte string, plus special-token metadata.
+//
+// The engine is tokenizer-agnostic: any vocabulary whose entries are byte
+// strings works (byte-fallback tokens are just 1-byte entries, and tokens
+// that split UTF-8 characters are ordinary byte strings). Special/control
+// tokens take no part in grammar matching: the mask always disables them,
+// except EOS which is enabled exactly when the grammar can terminate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xgr::tokenizer {
+
+struct Vocabulary {
+  std::vector<std::string> tokens;          // id -> raw bytes
+  std::vector<std::int32_t> special_ids;    // control tokens (includes eos)
+  std::int32_t eos_id = -1;
+  std::int32_t bos_id = -1;
+
+  std::int32_t Size() const { return static_cast<std::int32_t>(tokens.size()); }
+};
+
+}  // namespace xgr::tokenizer

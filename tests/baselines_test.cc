@@ -1,0 +1,244 @@
+// Tests for the baseline engines: schema→regex conversion, and the central
+// cross-engine property — on regex-expressible tasks all engines must
+// produce identical masks and accept decisions; on CFG tasks the PDA engines
+// must agree with XGrammar.
+#include <gtest/gtest.h>
+
+#include "baselines/char_trie_enforcer.h"
+#include "baselines/factory.h"
+#include "baselines/lexer_parser.h"
+#include "baselines/pda_baseline.h"
+#include "baselines/regex_fsm.h"
+#include "baselines/schema_to_regex.h"
+#include "baselines/xgrammar_decoder.h"
+#include "datasets/workloads.h"
+#include "fsa/dfa.h"
+#include "grammar/grammar.h"
+#include "regex/regex.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/token_trie.h"
+
+namespace xgr::baselines {
+namespace {
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer() {
+  static auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({2500, 13}));
+  return info;
+}
+
+// --- schema_to_regex -----------------------------------------------------------
+
+TEST(SchemaToRegex, ScalarSchemas) {
+  EXPECT_TRUE(regex::CompileRegexToDfa(
+                  JsonSchemaToRegex(*json::Parse(R"({"type":"integer"})").value))
+                  .Accepts("-42"));
+  EXPECT_TRUE(regex::CompileRegexToDfa(
+                  JsonSchemaToRegex(*json::Parse(R"({"type":"boolean"})").value))
+                  .Accepts("false"));
+}
+
+class SchemaRegexDatasetTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchemaRegexDatasetTest, RegexAcceptsCanonicalAnswers) {
+  auto tasks =
+      datasets::GenerateSchemaTasks(1, static_cast<std::uint64_t>(GetParam()) + 300);
+  std::string pattern = JsonSchemaToRegex(tasks[0].schema);
+  fsa::Dfa dfa = regex::CompileRegexToDfa(pattern);
+  std::string answer = tasks[0].canonical_answer.Dump();
+  EXPECT_TRUE(dfa.Accepts(answer)) << answer << "\n" << pattern;
+  EXPECT_FALSE(dfa.Accepts(answer + "}"));
+  EXPECT_FALSE(dfa.Accepts(answer.substr(0, answer.size() - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemaRegexDatasetTest, ::testing::Range(0, 12));
+
+TEST(SchemaToRegex, RecursionRejected) {
+  const char* recursive = R"({
+    "$defs":{"n":{"type":"object","properties":{"x":{"$ref":"#/$defs/n"}},
+                   "additionalProperties":false}},
+    "$ref":"#/$defs/n"})";
+  EXPECT_THROW(JsonSchemaToRegex(*json::Parse(recursive).value), CheckError);
+}
+
+TEST(SchemaToRegex, EscapesMetacharacters) {
+  EXPECT_EQ(EscapeRegexLiteral("a.b*c"), "a\\.b\\*c");
+  EXPECT_EQ(EscapeRegexLiteral("{\"k\":[1]}"), "\\{\"k\":\\[1\\]\\}");
+}
+
+// --- Cross-engine mask agreement ----------------------------------------------
+
+// Drives all decoders along `text` (greedy tokens) asserting identical masks.
+void ExpectMaskAgreement(
+    std::vector<std::shared_ptr<ConstrainedDecoder>> decoders,
+    const std::string& text) {
+  auto info = TestTokenizer();
+  tokenizer::TokenTrie trie(*info);
+  DynamicBitset reference(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  auto tokens = tokenizer::GreedyTokenize(trie, text);
+  for (std::size_t step = 0; step < tokens.size(); ++step) {
+    decoders[0]->FillNextTokenBitmask(&reference);
+    for (std::size_t e = 1; e < decoders.size(); ++e) {
+      decoders[e]->FillNextTokenBitmask(&mask);
+      ASSERT_TRUE(mask == reference)
+          << "engine " << decoders[e]->Name() << " diverges at step " << step
+          << " (prefix '" << text.substr(0, 32) << "...')";
+    }
+    for (auto& decoder : decoders) {
+      ASSERT_TRUE(decoder->AcceptToken(tokens[step])) << decoder->Name();
+    }
+  }
+  for (auto& decoder : decoders) {
+    EXPECT_TRUE(decoder->CanTerminate()) << decoder->Name();
+  }
+}
+
+class SchemaEngineAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchemaEngineAgreementTest, AllFiveEnginesAgree) {
+  auto info = TestTokenizer();
+  auto tasks =
+      datasets::GenerateSchemaTasks(1, static_cast<std::uint64_t>(GetParam()) + 800);
+  std::vector<std::shared_ptr<ConstrainedDecoder>> decoders;
+  for (EngineKind kind :
+       {EngineKind::kXGrammar, EngineKind::kOutlines, EngineKind::kLlamaCpp,
+        EngineKind::kLmFormatEnforcer, EngineKind::kOutlinesCfg}) {
+    DecoderFactory factory(kind, info);
+    factory.PrepareSchema(tasks[0].schema);
+    decoders.push_back(factory.NewDecoder());
+  }
+  ExpectMaskAgreement(std::move(decoders), tasks[0].canonical_answer.Dump());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemaEngineAgreementTest, ::testing::Range(0, 6));
+
+class CfgEngineAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CfgEngineAgreementTest, PdaEnginesAgreeOnJson) {
+  auto info = TestTokenizer();
+  auto docs =
+      datasets::GenerateJsonDocuments(1, static_cast<std::uint64_t>(GetParam()) + 900);
+  std::vector<std::shared_ptr<ConstrainedDecoder>> decoders;
+  for (EngineKind kind :
+       {EngineKind::kXGrammar, EngineKind::kLlamaCpp, EngineKind::kOutlinesCfg}) {
+    DecoderFactory factory(kind, info);
+    factory.PrepareGrammar(grammar::BuiltinJsonGrammar());
+    decoders.push_back(factory.NewDecoder());
+  }
+  ExpectMaskAgreement(std::move(decoders), docs[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CfgEngineAgreementTest, ::testing::Range(0, 6));
+
+// --- Individual engine behaviours ------------------------------------------------
+
+TEST(Factory, RegexEnginesRejectCfg) {
+  auto info = TestTokenizer();
+  DecoderFactory outlines(EngineKind::kOutlines, info);
+  EXPECT_THROW(outlines.PrepareGrammar(grammar::BuiltinJsonGrammar()), CheckError);
+  DecoderFactory lmfe(EngineKind::kLmFormatEnforcer, info);
+  EXPECT_THROW(lmfe.PrepareGrammar(grammar::BuiltinJsonGrammar()), CheckError);
+}
+
+TEST(Factory, NewDecoderRequiresPreparation) {
+  DecoderFactory factory(EngineKind::kXGrammar, TestTokenizer());
+  EXPECT_THROW(factory.NewDecoder(), CheckError);
+}
+
+TEST(RegexFsm, SharedIndexAcrossDecoders) {
+  auto info = TestTokenizer();
+  auto index = std::make_shared<RegexTokenIndex>(R"([a-z]+(,[a-z]+)*)", info);
+  RegexFsmDecoder a(index);
+  RegexFsmDecoder b(index);
+  DynamicBitset mask_a(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset mask_b(static_cast<std::size_t>(info->VocabSize()));
+  a.FillNextTokenBitmask(&mask_a);
+  b.FillNextTokenBitmask(&mask_b);
+  EXPECT_TRUE(mask_a == mask_b);
+  std::int32_t indexed_before = index->NumIndexedStates();
+  // Advancing one decoder must not corrupt the other.
+  tokenizer::TokenTrie trie(*info);
+  auto ids = tokenizer::GreedyTokenize(trie, "abc");
+  ASSERT_TRUE(a.AcceptToken(ids[0]));
+  b.FillNextTokenBitmask(&mask_b);
+  EXPECT_TRUE(mask_b == mask_a);
+  EXPECT_GE(index->NumIndexedStates(), indexed_before);
+}
+
+TEST(RegexFsm, JumpForwardFollowsForcedBytes) {
+  auto info = TestTokenizer();
+  RegexFsmDecoder decoder(R"(BEGIN-[0-9]-END)", info);
+  EXPECT_EQ(decoder.FindJumpForwardString(), "BEGIN-");
+}
+
+TEST(XGrammarDecoder, RollbackTokensRestoresState) {
+  auto info = TestTokenizer();
+  DecoderFactory factory(EngineKind::kXGrammar, info);
+  factory.PrepareGrammar(grammar::BuiltinJsonGrammar());
+  auto decoder = factory.NewDecoder();
+  tokenizer::TokenTrie trie(*info);
+  auto ids = tokenizer::GreedyTokenize(trie, "[1,2]");
+  DynamicBitset before(static_cast<std::size_t>(info->VocabSize()));
+  ASSERT_TRUE(decoder->AcceptToken(ids[0]));
+  decoder->FillNextTokenBitmask(&before);
+  for (std::size_t i = 1; i < ids.size(); ++i) ASSERT_TRUE(decoder->AcceptToken(ids[i]));
+  ASSERT_TRUE(decoder->RollbackTokens(static_cast<std::int32_t>(ids.size() - 1)));
+  DynamicBitset after(static_cast<std::size_t>(info->VocabSize()));
+  decoder->FillNextTokenBitmask(&after);
+  EXPECT_TRUE(after == before);
+}
+
+TEST(Decoders, IllegalTokenRejectedWithoutStateChange) {
+  auto info = TestTokenizer();
+  tokenizer::TokenTrie trie(*info);
+  auto open = tokenizer::GreedyTokenize(trie, "{")[0];
+  auto close_bracket = tokenizer::GreedyTokenize(trie, ")")[0];
+  for (EngineKind kind : {EngineKind::kXGrammar, EngineKind::kLlamaCpp,
+                          EngineKind::kOutlinesCfg}) {
+    DecoderFactory factory(kind, info);
+    factory.PrepareGrammar(grammar::BuiltinJsonGrammar());
+    auto decoder = factory.NewDecoder();
+    ASSERT_TRUE(decoder->AcceptToken(open)) << decoder->Name();
+    EXPECT_FALSE(decoder->AcceptToken(close_bracket)) << decoder->Name();
+    // Still usable afterwards.
+    auto brace = tokenizer::GreedyTokenize(trie, "}")[0];
+    EXPECT_TRUE(decoder->AcceptToken(brace)) << decoder->Name();
+    EXPECT_TRUE(decoder->CanTerminate()) << decoder->Name();
+  }
+}
+
+TEST(Decoders, EosAcceptedOnlyAtTermination) {
+  auto info = TestTokenizer();
+  DecoderFactory factory(EngineKind::kXGrammar, info);
+  factory.PrepareGrammar(grammar::BuiltinJsonGrammar());
+  auto decoder = factory.NewDecoder();
+  tokenizer::TokenTrie trie(*info);
+  EXPECT_FALSE(decoder->AcceptToken(info->EosId()));  // empty: not terminal
+  for (std::int32_t id : tokenizer::GreedyTokenize(trie, "true")) {
+    ASSERT_TRUE(decoder->AcceptToken(id));
+  }
+  EXPECT_TRUE(decoder->AcceptToken(info->EosId()));
+}
+
+TEST(Decoders, ResetRestartsGeneration) {
+  auto info = TestTokenizer();
+  tokenizer::TokenTrie trie(*info);
+  for (EngineKind kind : {EngineKind::kXGrammar, EngineKind::kLlamaCpp}) {
+    DecoderFactory factory(kind, info);
+    factory.PrepareGrammar(grammar::BuiltinJsonGrammar());
+    auto decoder = factory.NewDecoder();
+    for (std::int32_t id : tokenizer::GreedyTokenize(trie, "[1]")) {
+      ASSERT_TRUE(decoder->AcceptToken(id));
+    }
+    decoder->Reset();
+    EXPECT_FALSE(decoder->CanTerminate());
+    for (std::int32_t id : tokenizer::GreedyTokenize(trie, "{}")) {
+      EXPECT_TRUE(decoder->AcceptToken(id)) << decoder->Name();
+    }
+    EXPECT_TRUE(decoder->CanTerminate());
+  }
+}
+
+}  // namespace
+}  // namespace xgr::baselines

@@ -1,0 +1,226 @@
+// Tests for the C FFI surface: handle lifecycle, every grammar source,
+// masking/acceptance/termination, rollback, jump-forward, fork, and error
+// reporting (exceptions must never cross the boundary).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ffi/c_api.h"
+
+namespace {
+
+std::string LastError() {
+  char buf[512];
+  xgr_last_error(buf, sizeof(buf));
+  return buf;
+}
+
+struct TokenizerHandle {
+  xgr_tokenizer* get() const { return ptr.get(); }
+  std::shared_ptr<xgr_tokenizer> ptr;
+};
+
+TokenizerHandle SyntheticTokenizer() {
+  static TokenizerHandle handle{std::shared_ptr<xgr_tokenizer>(
+      xgr_tokenizer_create_synthetic(2000, 17), &xgr_tokenizer_destroy)};
+  return handle;
+}
+
+TEST(CApiTokenizer, SyntheticLifecycle) {
+  auto tok = SyntheticTokenizer();
+  ASSERT_NE(tok.get(), nullptr);
+  EXPECT_EQ(xgr_tokenizer_vocab_size(tok.get()), 2000);
+  EXPECT_GE(xgr_tokenizer_eos_id(tok.get()), 0);
+}
+
+TEST(CApiTokenizer, FromRawTokens) {
+  const char* tokens[] = {"a", "b", "ab", "<eos>"};
+  const size_t lens[] = {1, 1, 2, 5};
+  xgr_tokenizer* tok = xgr_tokenizer_create(tokens, lens, 4, 3);
+  ASSERT_NE(tok, nullptr);
+  EXPECT_EQ(xgr_tokenizer_vocab_size(tok), 4);
+  EXPECT_EQ(xgr_tokenizer_eos_id(tok), 3);
+
+  xgr_grammar* grammar = xgr_grammar_compile_regex("(ab)+", tok);
+  ASSERT_NE(grammar, nullptr);
+  xgr_matcher* matcher = xgr_matcher_create(grammar);
+  ASSERT_NE(matcher, nullptr);
+
+  // "a" then "b" spells one "ab"; token 2 ("ab") also works directly.
+  EXPECT_EQ(xgr_matcher_accept_token(matcher, 0), 1);
+  EXPECT_EQ(xgr_matcher_can_terminate(matcher), 0);
+  EXPECT_EQ(xgr_matcher_accept_token(matcher, 1), 1);
+  EXPECT_EQ(xgr_matcher_can_terminate(matcher), 1);
+  EXPECT_EQ(xgr_matcher_accept_token(matcher, 2), 1);
+  EXPECT_EQ(xgr_matcher_can_terminate(matcher), 1);
+  // 'b' alone is never a legal continuation here.
+  EXPECT_EQ(xgr_matcher_accept_token(matcher, 1), 0);
+
+  xgr_matcher_destroy(matcher);
+  xgr_grammar_destroy(grammar);
+  xgr_tokenizer_destroy(tok);
+}
+
+TEST(CApiTokenizer, InvalidArgsReturnNullWithMessage) {
+  EXPECT_EQ(xgr_tokenizer_create(nullptr, nullptr, 4, 0), nullptr);
+  EXPECT_FALSE(LastError().empty());
+  const char* tokens[] = {"a"};
+  const size_t lens[] = {1};
+  EXPECT_EQ(xgr_tokenizer_create(tokens, lens, 1, 9), nullptr);
+  EXPECT_NE(LastError().find("eos_id"), std::string::npos);
+}
+
+TEST(CApiGrammar, EveryCompileSourceWorks) {
+  auto tok = SyntheticTokenizer();
+  xgr_grammar* ebnf =
+      xgr_grammar_compile_ebnf("root ::= \"yes\" | \"no\"", "root", tok.get());
+  ASSERT_NE(ebnf, nullptr);
+  xgr_grammar* schema = xgr_grammar_compile_json_schema(
+      R"({"type":"object","properties":{"x":{"type":"integer"}},
+          "required":["x"],"additionalProperties":false})",
+      tok.get());
+  ASSERT_NE(schema, nullptr);
+  xgr_grammar* regex = xgr_grammar_compile_regex("[0-9]{4}", tok.get());
+  ASSERT_NE(regex, nullptr);
+  xgr_grammar* json = xgr_grammar_compile_builtin_json(tok.get());
+  ASSERT_NE(json, nullptr);
+  for (xgr_grammar* g : {ebnf, schema, regex, json}) xgr_grammar_destroy(g);
+}
+
+TEST(CApiGrammar, CompileErrorsSetMessage) {
+  auto tok = SyntheticTokenizer();
+  EXPECT_EQ(xgr_grammar_compile_ebnf("root ::= \"x", "root", tok.get()), nullptr);
+  EXPECT_NE(LastError().find("unterminated"), std::string::npos);
+  EXPECT_EQ(xgr_grammar_compile_json_schema("{bad json", tok.get()), nullptr);
+  EXPECT_EQ(xgr_grammar_compile_regex("(oops", tok.get()), nullptr);
+  EXPECT_EQ(xgr_grammar_compile_builtin_json(nullptr), nullptr);
+  EXPECT_NE(LastError().find("null tokenizer"), std::string::npos);
+}
+
+// Drives a full masked generation loop over the C surface.
+TEST(CApiMatcher, MaskedGenerationLoop) {
+  auto tok = SyntheticTokenizer();
+  xgr_grammar* grammar = xgr_grammar_compile_builtin_json(tok.get());
+  ASSERT_NE(grammar, nullptr);
+  xgr_matcher* matcher = xgr_matcher_create(grammar);
+  ASSERT_NE(matcher, nullptr);
+
+  size_t words = xgr_matcher_mask_words(matcher);
+  ASSERT_EQ(words, (2000 + 63) / 64u);
+  std::vector<uint64_t> mask(words);
+
+  // Greedily pick the first allowed non-EOS token for a few steps; every
+  // accepted token must have been permitted by the preceding mask.
+  int32_t eos = xgr_tokenizer_eos_id(tok.get());
+  for (int step = 0; step < 12; ++step) {
+    ASSERT_EQ(xgr_matcher_fill_next_token_bitmask(matcher, mask.data(), words),
+              XGR_OK);
+    int32_t pick = -1;
+    for (int32_t id = 0; id < 2000; ++id) {
+      if (id != eos && ((mask[static_cast<size_t>(id) / 64] >>
+                         (static_cast<size_t>(id) % 64)) &
+                        1u) != 0) {
+        pick = id;
+        break;
+      }
+    }
+    ASSERT_GE(pick, 0);
+    ASSERT_EQ(xgr_matcher_accept_token(matcher, pick), 1);
+  }
+
+  // Misuse: oversized ids error (-1), undersized buffers error (XGR_ERROR).
+  EXPECT_EQ(xgr_matcher_accept_token(matcher, 99999), -1);
+  EXPECT_NE(LastError().find("out of range"), std::string::npos);
+  EXPECT_EQ(xgr_matcher_fill_next_token_bitmask(matcher, mask.data(), 1),
+            XGR_ERROR);
+  EXPECT_NE(LastError().find("too small"), std::string::npos);
+
+  xgr_matcher_destroy(matcher);
+  xgr_grammar_destroy(grammar);
+}
+
+TEST(CApiMatcher, RollbackAndReset) {
+  auto tok = SyntheticTokenizer();
+  xgr_grammar* grammar = xgr_grammar_compile_regex("[ab]+", tok.get());
+  ASSERT_NE(grammar, nullptr);
+  xgr_matcher* matcher = xgr_matcher_create(grammar);
+
+  size_t words = xgr_matcher_mask_words(matcher);
+  std::vector<uint64_t> mask(words);
+  ASSERT_EQ(xgr_matcher_fill_next_token_bitmask(matcher, mask.data(), words),
+            XGR_OK);
+  // Find the single-byte token "a".
+  int32_t a_id = -1;
+  for (int32_t id = 0; id < xgr_tokenizer_vocab_size(tok.get()); ++id) {
+    if ((mask[static_cast<size_t>(id) / 64] >> (static_cast<size_t>(id) % 64) &
+         1u) != 0) {
+      a_id = id;
+      break;
+    }
+  }
+  ASSERT_GE(a_id, 0);
+
+  ASSERT_EQ(xgr_matcher_accept_token(matcher, a_id), 1);
+  ASSERT_EQ(xgr_matcher_accept_token(matcher, a_id), 1);
+  EXPECT_EQ(xgr_matcher_can_terminate(matcher), 1);
+
+  EXPECT_EQ(xgr_matcher_rollback_tokens(matcher, 1), 1);
+  EXPECT_EQ(xgr_matcher_can_terminate(matcher), 1);
+  EXPECT_EQ(xgr_matcher_rollback_tokens(matcher, 5), 0);  // too many
+
+  xgr_matcher_reset(matcher);
+  EXPECT_EQ(xgr_matcher_can_terminate(matcher), 0);  // "+" needs >= 1 char
+
+  xgr_matcher_destroy(matcher);
+  xgr_grammar_destroy(grammar);
+}
+
+TEST(CApiMatcher, JumpForwardString) {
+  auto tok = SyntheticTokenizer();
+  xgr_grammar* grammar = xgr_grammar_compile_ebnf(
+      "root ::= \"SELECT \" [0-9]+", "root", tok.get());
+  ASSERT_NE(grammar, nullptr);
+  xgr_matcher* matcher = xgr_matcher_create(grammar);
+
+  char buf[64];
+  size_t len = xgr_matcher_find_jump_forward_string(matcher, buf, sizeof(buf));
+  EXPECT_EQ(std::string(buf), "SELECT ");
+  EXPECT_EQ(len, 7u);
+
+  // Truncation still NUL-terminates and reports the full length.
+  char tiny[4];
+  len = xgr_matcher_find_jump_forward_string(matcher, tiny, sizeof(tiny));
+  EXPECT_EQ(std::string(tiny), "SEL");
+  EXPECT_EQ(len, 7u);
+
+  xgr_matcher_destroy(matcher);
+  xgr_grammar_destroy(grammar);
+}
+
+TEST(CApiMatcher, ForkBranchesIndependently) {
+  auto tok = SyntheticTokenizer();
+  xgr_grammar* grammar = xgr_grammar_compile_builtin_json(tok.get());
+  xgr_matcher* trunk = xgr_matcher_create(grammar);
+
+  size_t words = xgr_matcher_mask_words(trunk);
+  std::vector<uint64_t> mask(words);
+  EXPECT_EQ(xgr_matcher_fill_next_token_bitmask(trunk, mask.data(), words),
+            XGR_OK);
+
+  xgr_matcher* fork = xgr_matcher_fork(trunk);
+  ASSERT_NE(fork, nullptr);
+
+  // The fork emits identical masks until the branches diverge.
+  std::vector<uint64_t> fork_mask(words);
+  EXPECT_EQ(xgr_matcher_fill_next_token_bitmask(fork, fork_mask.data(), words),
+            XGR_OK);
+  EXPECT_EQ(mask, fork_mask);
+
+  xgr_matcher_destroy(fork);
+  xgr_matcher_destroy(trunk);
+  xgr_grammar_destroy(grammar);
+}
+
+}  // namespace

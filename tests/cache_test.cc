@@ -1,0 +1,326 @@
+// Tests for the adaptive token mask cache: token classification, adaptive
+// storage selection, Algorithm-1 merging, and the central equivalence
+// property — masks from the cache must equal brute-force PDA masks at every
+// generation state.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cache/mask_generator.h"
+#include "datasets/workloads.h"
+#include "grammar/grammar.h"
+#include "grammar/json_schema.h"
+#include "matcher/grammar_matcher.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "support/rng.h"
+#include "tokenizer/token_trie.h"
+
+namespace xgr::cache {
+namespace {
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer(std::int32_t size = 3000,
+                                                              std::uint64_t seed = 17) {
+  static std::map<std::pair<std::int32_t, std::uint64_t>,
+                  std::shared_ptr<const tokenizer::TokenizerInfo>>
+      cache;
+  auto key = std::make_pair(size, seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_shared<tokenizer::TokenizerInfo>(
+                                tokenizer::BuildSyntheticVocab({size, seed})))
+             .first;
+  }
+  return it->second;
+}
+
+// The central invariant: for every prefix of `document`, the cached mask must
+// equal the brute-force mask.
+void ExpectMaskEquivalenceAlong(const grammar::Grammar& g,
+                                const std::string& document,
+                                std::int32_t vocab_size, std::uint64_t vocab_seed,
+                                const pda::CompileOptions& options = {}) {
+  auto pda = pda::CompiledGrammar::Compile(g, options);
+  auto info = TestTokenizer(vocab_size, vocab_seed);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  MaskGenerator generator(cache);
+  matcher::GrammarMatcher m(pda);
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset brute(static_cast<std::size_t>(info->VocabSize()));
+  for (std::size_t i = 0;; ++i) {
+    generator.FillNextTokenBitmask(&m, &mask);
+    FillBitmaskBruteForce(&m, *info, &brute);
+    ASSERT_TRUE(mask == brute)
+        << "prefix '" << document.substr(0, i) << "' cached=" << mask.Count()
+        << " brute=" << brute.Count();
+    if (i >= document.size()) break;
+    ASSERT_TRUE(m.AcceptByte(static_cast<std::uint8_t>(document[i])));
+  }
+}
+
+class JsonMaskEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonMaskEquivalenceTest, CachedMaskEqualsBruteForce) {
+  auto docs =
+      datasets::GenerateJsonDocuments(1, static_cast<std::uint64_t>(GetParam()) + 40);
+  ExpectMaskEquivalenceAlong(grammar::BuiltinJsonGrammar(), docs[0], 3000, 17);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonMaskEquivalenceTest, ::testing::Range(0, 8));
+
+TEST(MaskEquivalence, XmlGrammar) {
+  auto docs = datasets::GenerateXmlDocuments(1, 9, 2);
+  ExpectMaskEquivalenceAlong(grammar::BuiltinXmlGrammar(), docs[0], 3000, 17);
+}
+
+TEST(MaskEquivalence, PythonDsl) {
+  auto programs = datasets::GeneratePythonPrograms(1, 3, 3);
+  ExpectMaskEquivalenceAlong(grammar::BuiltinPythonDslGrammar(), programs[0], 2000, 17);
+}
+
+TEST(MaskEquivalence, SchemaGrammar) {
+  auto tasks = datasets::GenerateSchemaTasks(1, 55);
+  grammar::Grammar g = grammar::JsonSchemaToGrammar(tasks[0].schema);
+  ExpectMaskEquivalenceAlong(g, tasks[0].canonical_answer.Dump(), 3000, 17);
+}
+
+TEST(MaskEquivalence, HoldsWithoutOptimizations) {
+  auto docs = datasets::GenerateJsonDocuments(1, 77);
+  ExpectMaskEquivalenceAlong(grammar::BuiltinJsonGrammar(), docs[0], 2000, 23,
+                             pda::CompileOptions::AllDisabled());
+}
+
+TEST(MaskEquivalence, HoldsWithDifferentVocabSeeds) {
+  auto docs = datasets::GenerateJsonDocuments(1, 78);
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    ExpectMaskEquivalenceAlong(grammar::BuiltinJsonGrammar(), docs[0], 1500, seed);
+  }
+}
+
+// --- Classification ---------------------------------------------------------------
+
+TEST(Classification, BuilderAgreesWithReferenceClassifier) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(1200, 31);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  Rng rng(5);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto node = static_cast<std::int32_t>(rng.NextBounded(pda->NumNodes()));
+    auto token = static_cast<std::int32_t>(rng.NextBounded(info->VocabSize()));
+    if (info->IsSpecial(token)) continue;
+    TokenClass expected = ClassifyTokenAtNode(pda, node, info->TokenBytes(token));
+    const NodeMaskEntry& entry = cache->Entry(node);
+    bool in_ctx = std::find(entry.context_dependent.begin(),
+                            entry.context_dependent.end(),
+                            token) != entry.context_dependent.end();
+    bool in_stored = std::binary_search(entry.stored.begin(), entry.stored.end(), token);
+    TokenClass actual;
+    if (in_ctx) {
+      actual = TokenClass::kContextDependent;
+    } else {
+      switch (entry.kind) {
+        case StorageKind::kAcceptHeavy:
+          actual = in_stored ? TokenClass::kRejected : TokenClass::kAccepted;
+          break;
+        case StorageKind::kRejectHeavy:
+          actual = in_stored ? TokenClass::kAccepted : TokenClass::kRejected;
+          break;
+        case StorageKind::kBitset:
+          actual = entry.accepted_bits.Test(static_cast<std::size_t>(token))
+                       ? TokenClass::kAccepted
+                       : TokenClass::kRejected;
+          break;
+      }
+    }
+    EXPECT_EQ(static_cast<int>(actual), static_cast<int>(expected))
+        << "node=" << node << " token='" << info->TokenBytes(token) << "'";
+  }
+}
+
+TEST(Classification, InStringNodeShapes) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+
+  // Inside a *value* string: plain words stay local (accepted); crossing the
+  // closing quote into "," or "}" may be legal in some parents (ctx-dep);
+  // crossing into ":" or letters can never be legal after a value (rejected
+  // by context expansion: ':' only follows keys).
+  matcher::GrammarMatcher value_probe(pda);
+  ASSERT_TRUE(value_probe.AcceptString("{\"key\":\"a"));
+  std::int32_t value_node = value_probe.Pool().TopNode(value_probe.CurrentStacks()[0]);
+  EXPECT_EQ(static_cast<int>(ClassifyTokenAtNode(pda, value_node, "hello")),
+            static_cast<int>(TokenClass::kAccepted));
+  EXPECT_EQ(static_cast<int>(ClassifyTokenAtNode(pda, value_node, "\",")),
+            static_cast<int>(TokenClass::kContextDependent));
+  EXPECT_EQ(static_cast<int>(ClassifyTokenAtNode(pda, value_node, "\"}")),
+            static_cast<int>(TokenClass::kContextDependent));
+  EXPECT_EQ(static_cast<int>(ClassifyTokenAtNode(pda, value_node, "\"zz")),
+            static_cast<int>(TokenClass::kRejected));
+  EXPECT_EQ(static_cast<int>(ClassifyTokenAtNode(pda, value_node, "\":")),
+            static_cast<int>(TokenClass::kRejected));
+}
+
+TEST(Classification, ContextExpansionOnlyRemovesCtxDependents) {
+  grammar::Grammar g = grammar::BuiltinJsonGrammar();
+  pda::CompileOptions with = {};
+  pda::CompileOptions without = {};
+  without.context_expansion = false;
+  auto pda_with = pda::CompiledGrammar::Compile(g, with);
+  auto pda_without = pda::CompiledGrammar::Compile(g, without);
+  auto info = TestTokenizer(1500, 3);
+  auto cache_with = AdaptiveTokenMaskCache::Build(pda_with, info);
+  auto cache_without = AdaptiveTokenMaskCache::Build(pda_without, info);
+  // Same automaton => same accepted counts; expansion can only convert
+  // context-dependent tokens into rejected ones.
+  EXPECT_EQ(cache_with->Stats().ci_accepted, cache_without->Stats().ci_accepted);
+  EXPECT_LE(cache_with->Stats().context_dependent,
+            cache_without->Stats().context_dependent);
+  EXPECT_GE(cache_with->Stats().ci_rejected, cache_without->Stats().ci_rejected);
+}
+
+// --- Adaptive storage ---------------------------------------------------------------
+
+TEST(AdaptiveStorage, PicksCheapestFormat) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(3000, 17);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  std::size_t vocab_bytes = static_cast<std::size_t>(info->VocabSize()) / 8;
+  for (std::int32_t n = 0; n < pda->NumNodes(); ++n) {
+    const NodeMaskEntry& e = cache->Entry(n);
+    std::size_t chosen = e.MemoryBytes();
+    // The chosen format must not exceed the bitset strawman + ctx list.
+    EXPECT_LE(chosen, vocab_bytes + e.context_dependent.size() * 4 + 8) << n;
+  }
+  // The cache overall must be far below the all-bitset layout.
+  EXPECT_LT(cache->Stats().memory_bytes, cache->Stats().full_bitset_bytes);
+}
+
+TEST(AdaptiveStorage, ForcedBitsetMode) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(1200, 31);
+  AdaptiveCacheOptions options;
+  options.adaptive_storage = false;
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info, options);
+  for (std::int32_t n = 0; n < pda->NumNodes(); ++n) {
+    EXPECT_EQ(static_cast<int>(cache->Entry(n).kind),
+              static_cast<int>(StorageKind::kBitset));
+  }
+}
+
+TEST(AdaptiveStorage, InStringNodeIsAcceptHeavy) {
+  // At small vocabularies the per-node bitset is so cheap that it can win
+  // even for wildcard nodes; the accept-heavy format takes over once the
+  // vocabulary grows (the paper's regime: 128k).
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(16000, 17);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  matcher::GrammarMatcher probe(pda);
+  ASSERT_TRUE(probe.AcceptString("{\"key\":\"a"));
+  std::int32_t node = probe.Pool().TopNode(probe.CurrentStacks()[0]);
+  EXPECT_EQ(static_cast<int>(cache->Entry(node).kind),
+            static_cast<int>(StorageKind::kAcceptHeavy));
+}
+
+TEST(AdaptiveStorage, StructuralNodeIsRejectHeavy) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(3000, 17);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  matcher::GrammarMatcher probe(pda);
+  ASSERT_TRUE(probe.AcceptString("{"));  // next must be ws/"/}: reject-heavy
+  std::int32_t node = probe.Pool().TopNode(probe.CurrentStacks()[0]);
+  EXPECT_EQ(static_cast<int>(cache->Entry(node).kind),
+            static_cast<int>(StorageKind::kRejectHeavy));
+}
+
+TEST(AdaptiveStorage, CtxDependentListIsLexicographicallySorted) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(3000, 17);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  for (std::int32_t n = 0; n < pda->NumNodes(); ++n) {
+    const auto& ctx = cache->Entry(n).context_dependent;
+    for (std::size_t i = 1; i < ctx.size(); ++i) {
+      EXPECT_LE(info->TokenBytes(ctx[i - 1]), info->TokenBytes(ctx[i]));
+    }
+  }
+}
+
+// --- Multi-stack merge (Algorithm 1) ------------------------------------------------
+
+TEST(MaskMerge, AmbiguousGrammarUsesMultipleStacks) {
+  // Deliberately ambiguous: both alternatives share the prefix "aa", so two
+  // parallel stacks survive after "aa" and the masks must merge.
+  grammar::Grammar g = grammar::ParseEbnfOrThrow(R"(
+    root ::= item*
+    item ::= "aa" "x" | "a" "a" "y"
+  )");
+  auto pda = pda::CompiledGrammar::Compile(g, pda::CompileOptions::AllDisabled());
+  auto info = TestTokenizer(1200, 31);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  MaskGenerator generator(cache);
+  matcher::GrammarMatcher m(pda);
+  ASSERT_TRUE(m.AcceptString("aa"));
+  EXPECT_GE(m.ClosedStacks().size(), 2u);
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  generator.FillNextTokenBitmask(&m, &mask);
+  DynamicBitset brute(static_cast<std::size_t>(info->VocabSize()));
+  FillBitmaskBruteForce(&m, *info, &brute);
+  EXPECT_TRUE(mask == brute);
+  EXPECT_GT(generator.Stats().merges, 0);
+}
+
+// --- EOS handling --------------------------------------------------------------------
+
+TEST(MaskGeneration, EosOnlyWhenTerminable) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(1200, 31);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  MaskGenerator generator(cache);
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  matcher::GrammarMatcher m(pda);
+  ASSERT_TRUE(m.AcceptString("[1"));
+  generator.FillNextTokenBitmask(&m, &mask);
+  EXPECT_FALSE(mask.Test(static_cast<std::size_t>(info->EosId())));
+  ASSERT_TRUE(m.AcceptString("]"));
+  generator.FillNextTokenBitmask(&m, &mask);
+  EXPECT_TRUE(mask.Test(static_cast<std::size_t>(info->EosId())));
+  // Special non-EOS tokens are never allowed.
+  EXPECT_FALSE(mask.Test(static_cast<std::size_t>(info->Vocab().bos_id)));
+}
+
+TEST(CacheStats, InternalConsistency) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(1500, 3);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  const CacheBuildStats& s = cache->Stats();
+  EXPECT_EQ(s.nodes, pda->NumNodes());
+  EXPECT_EQ(s.tokens_classified,
+            static_cast<std::int64_t>(pda->NumNodes()) *
+                static_cast<std::int64_t>(info->SortedTokenIds().size()));
+  EXPECT_EQ(s.ci_accepted + s.ci_rejected + s.context_dependent, s.tokens_classified);
+  EXPECT_LE(s.bytes_checked, s.bytes_total);
+  std::size_t total_memory = 0;
+  for (std::int32_t n = 0; n < pda->NumNodes(); ++n) {
+    total_memory += cache->Entry(n).MemoryBytes();
+  }
+  EXPECT_EQ(s.memory_bytes, total_memory);
+  EXPECT_EQ(s.storage_kind_counts[0] + s.storage_kind_counts[1] +
+                s.storage_kind_counts[2],
+            s.nodes);
+}
+
+TEST(CacheBuild, SingleThreadMatchesParallel) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(1200, 31);
+  AdaptiveCacheOptions serial;
+  serial.num_threads = 1;
+  AdaptiveCacheOptions parallel;
+  parallel.num_threads = 4;
+  auto a = AdaptiveTokenMaskCache::Build(pda, info, serial);
+  auto b = AdaptiveTokenMaskCache::Build(pda, info, parallel);
+  for (std::int32_t n = 0; n < pda->NumNodes(); ++n) {
+    EXPECT_EQ(a->Entry(n).stored, b->Entry(n).stored) << n;
+    EXPECT_EQ(a->Entry(n).context_dependent, b->Entry(n).context_dependent) << n;
+    EXPECT_EQ(static_cast<int>(a->Entry(n).kind), static_cast<int>(b->Entry(n).kind));
+  }
+}
+
+}  // namespace
+}  // namespace xgr::cache

@@ -1,0 +1,88 @@
+// End-to-end smoke tests for the core pipeline: grammar parsing, PDA
+// compilation, byte matching, cache construction and mask generation.
+#include <gtest/gtest.h>
+
+#include "cache/mask_generator.h"
+#include "grammar/grammar.h"
+#include "grammar/json_schema.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "tokenizer/synthetic_vocab.h"
+
+namespace xgr {
+namespace {
+
+using grammar::BuiltinJsonGrammar;
+using matcher::GrammarMatcher;
+using pda::CompiledGrammar;
+using pda::CompileOptions;
+
+TEST(CoreSmoke, JsonGrammarParses) {
+  grammar::Grammar g = BuiltinJsonGrammar();
+  EXPECT_GT(g.NumRules(), 5);
+  g.Validate();
+}
+
+TEST(CoreSmoke, JsonMatcherAcceptsValidDocuments) {
+  auto pda = CompiledGrammar::Compile(BuiltinJsonGrammar());
+  for (const char* doc :
+       {R"({"a": 1, "b": [true, false, null]})", R"([])", R"(42)",
+        R"(-3.5e+10)", R"("hello \"world\" é")", R"({"nested": {"x": []}})"}) {
+    GrammarMatcher m(pda);
+    EXPECT_TRUE(m.AcceptString(doc)) << doc;
+    EXPECT_TRUE(m.CanTerminate()) << doc;
+  }
+}
+
+TEST(CoreSmoke, JsonMatcherRejectsInvalidDocuments) {
+  auto pda = CompiledGrammar::Compile(BuiltinJsonGrammar());
+  for (const char* doc : {R"({,})", R"([1,])", R"(01)", R"("unterminated)",
+                          R"(tru)", R"({"a" 1})"}) {
+    GrammarMatcher m(pda);
+    bool accepted = m.AcceptString(doc) && m.CanTerminate();
+    EXPECT_FALSE(accepted) << doc;
+  }
+}
+
+TEST(CoreSmoke, MaskMatchesBruteForce) {
+  auto pda = CompiledGrammar::Compile(BuiltinJsonGrammar());
+  auto vocab = tokenizer::BuildSyntheticVocab({.size = 2000, .seed = 7});
+  auto info = std::make_shared<tokenizer::TokenizerInfo>(vocab);
+  auto cache = cache::AdaptiveTokenMaskCache::Build(pda, info, {});
+
+  cache::MaskGenerator gen(cache);
+  GrammarMatcher m(pda);
+  ASSERT_TRUE(m.AcceptString(R"({"key": [1, 2)"));
+
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  gen.FillNextTokenBitmask(&m, &mask);
+
+  DynamicBitset brute(static_cast<std::size_t>(info->VocabSize()));
+  cache::FillBitmaskBruteForce(&m, *info, &brute);
+
+  EXPECT_EQ(mask.Count(), brute.Count());
+  EXPECT_TRUE(mask == brute);
+}
+
+TEST(CoreSmoke, SchemaGrammarRoundTrip) {
+  const char* schema = R"({
+    "type": "object",
+    "properties": {
+      "name": {"type": "string"},
+      "age": {"type": "integer"},
+      "tags": {"type": "array", "items": {"type": "string"}}
+    },
+    "required": ["name", "age"],
+    "additionalProperties": false
+  })";
+  grammar::Grammar g = grammar::JsonSchemaTextToGrammar(schema);
+  auto pda = CompiledGrammar::Compile(g);
+  GrammarMatcher m(pda);
+  EXPECT_TRUE(m.AcceptString(R"({"age":30,"name":"Ada","tags":["x","y"]})"));
+  EXPECT_TRUE(m.CanTerminate());
+  GrammarMatcher m2(pda);
+  EXPECT_FALSE(m2.AcceptString(R"({"age":"thirty")"));
+}
+
+}  // namespace
+}  // namespace xgr

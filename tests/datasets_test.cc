@@ -1,0 +1,80 @@
+// Tests for the synthetic workload generators: determinism, validity against
+// the corresponding grammars/parsers, and schema/answer consistency.
+#include <gtest/gtest.h>
+
+#include "datasets/workloads.h"
+#include "grammar/grammar.h"
+#include "grammar/json_schema.h"
+#include "json/json.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+
+namespace xgr::datasets {
+namespace {
+
+TEST(Datasets, Deterministic) {
+  EXPECT_EQ(GenerateJsonDocuments(3, 42), GenerateJsonDocuments(3, 42));
+  EXPECT_NE(GenerateJsonDocuments(3, 42), GenerateJsonDocuments(3, 43));
+  EXPECT_EQ(GenerateXmlDocuments(3, 7), GenerateXmlDocuments(3, 7));
+  EXPECT_EQ(GeneratePythonPrograms(3, 7), GeneratePythonPrograms(3, 7));
+  auto a = GenerateSchemaTasks(2, 11);
+  auto b = GenerateSchemaTasks(2, 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].schema.Dump(), b[i].schema.Dump());
+    EXPECT_EQ(a[i].canonical_answer.Dump(), b[i].canonical_answer.Dump());
+  }
+}
+
+TEST(Datasets, JsonDocumentsParse) {
+  for (const std::string& doc : GenerateJsonDocuments(25, 100)) {
+    EXPECT_TRUE(json::IsValid(doc)) << doc;
+  }
+}
+
+TEST(Datasets, SchemaTasksHaveParsablePrompts) {
+  for (const auto& task : GenerateSchemaTasks(10, 200)) {
+    EXPECT_FALSE(task.prompt.empty());
+    EXPECT_NE(task.prompt.find("Schema:"), std::string::npos);
+    EXPECT_TRUE(task.schema.IsObject());
+    EXPECT_TRUE(json::IsValid(task.canonical_answer.Dump()));
+  }
+}
+
+TEST(Datasets, SchemaAnswersConformToSchemas) {
+  for (const auto& task : GenerateSchemaTasks(15, 300)) {
+    grammar::Grammar g = grammar::JsonSchemaToGrammar(task.schema);
+    auto pda = pda::CompiledGrammar::Compile(g);
+    matcher::GrammarMatcher m(pda);
+    EXPECT_TRUE(m.AcceptString(task.canonical_answer.Dump()) && m.CanTerminate())
+        << task.canonical_answer.Dump() << "\n" << task.schema.Dump();
+  }
+}
+
+TEST(Datasets, XmlDocumentsMatchGrammar) {
+  static auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinXmlGrammar());
+  for (const std::string& doc : GenerateXmlDocuments(25, 400)) {
+    matcher::GrammarMatcher m(pda);
+    EXPECT_TRUE(m.AcceptString(doc) && m.CanTerminate()) << doc;
+  }
+}
+
+TEST(Datasets, PythonProgramsMatchGrammar) {
+  static auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinPythonDslGrammar());
+  for (const std::string& program : GeneratePythonPrograms(25, 500)) {
+    matcher::GrammarMatcher m(pda);
+    EXPECT_TRUE(m.AcceptString(program) && m.CanTerminate()) << program;
+  }
+}
+
+TEST(Datasets, DepthParameterBoundsNesting) {
+  // Depth-0 objects contain no nested objects.
+  json::Value shallow = GenerateJsonValue(1, 0);
+  ASSERT_TRUE(shallow.IsObject());
+  for (const auto& [key, value] : shallow.AsObject()) {
+    EXPECT_FALSE(value.IsObject()) << key;
+  }
+}
+
+}  // namespace
+}  // namespace xgr::datasets

@@ -1,0 +1,271 @@
+// The Earley recognizer as an independent oracle: it shares no code with the
+// production pipeline (no Thompson construction, no node merging, no
+// persistent stacks, no mask cache), so agreement on random grammars and
+// random inputs is strong evidence both are right.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grammar/earley.h"
+#include "grammar/grammar.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "support/rng.h"
+
+namespace xgr::grammar {
+namespace {
+
+bool PipelineAccepts(const Grammar& g, const std::string& input,
+                     const pda::CompileOptions& options = {}) {
+  auto pda = pda::CompiledGrammar::Compile(g, options);
+  matcher::GrammarMatcher m(pda);
+  return m.AcceptString(input) && m.CanTerminate();
+}
+
+// --- Direct unit tests --------------------------------------------------------
+
+TEST(Earley, RecognizesFixedGrammars) {
+  Grammar json = BuiltinJsonGrammar();
+  BnfGrammar bnf = LowerToBnf(json);
+  EXPECT_TRUE(EarleyAccepts(bnf, R"({"a":[1,2,{"b":null}]})"));
+  EXPECT_TRUE(EarleyAccepts(bnf, "[]"));
+  EXPECT_FALSE(EarleyAccepts(bnf, "[1,]"));
+  EXPECT_FALSE(EarleyAccepts(bnf, "{,}"));
+}
+
+TEST(Earley, NullableHeavyGrammar) {
+  // S -> A A "a"; A -> eps | "x". Exercises the Aycock-Horspool fix.
+  Grammar g = ParseEbnfOrThrow(R"EBNF(
+root ::= a a "a"
+a ::= "" | "x"
+)EBNF");
+  BnfGrammar bnf = LowerToBnf(g);
+  EXPECT_TRUE(EarleyAccepts(bnf, "a"));
+  EXPECT_TRUE(EarleyAccepts(bnf, "xa"));
+  EXPECT_TRUE(EarleyAccepts(bnf, "xxa"));
+  EXPECT_FALSE(EarleyAccepts(bnf, "xxxa"));
+  EXPECT_FALSE(EarleyAccepts(bnf, ""));
+}
+
+TEST(Earley, CenterRecursionBeyondRegular) {
+  // a^n b^n — the canonical non-regular language.
+  Grammar g = ParseEbnfOrThrow("root ::= \"ab\" | \"a\" root \"b\"");
+  BnfGrammar bnf = LowerToBnf(g);
+  EXPECT_TRUE(EarleyAccepts(bnf, "ab"));
+  EXPECT_TRUE(EarleyAccepts(bnf, "aaabbb"));
+  EXPECT_FALSE(EarleyAccepts(bnf, "aaabb"));
+  EXPECT_FALSE(EarleyAccepts(bnf, "ba"));
+}
+
+TEST(Earley, Utf8ClassesMatchByteLevel) {
+  Grammar g = ParseEbnfOrThrow("root ::= [α-ω]+");
+  BnfGrammar bnf = LowerToBnf(g);
+  EXPECT_TRUE(EarleyAccepts(bnf, "αβγ"));
+  EXPECT_FALSE(EarleyAccepts(bnf, "abc"));
+  EXPECT_FALSE(EarleyAccepts(bnf, "α\xCE"));  // dangling lead byte
+}
+
+TEST(Earley, BoundedRepeats) {
+  Grammar g = ParseEbnfOrThrow("root ::= \"x\"{2,4}");
+  BnfGrammar bnf = LowerToBnf(g);
+  EXPECT_FALSE(EarleyAccepts(bnf, "x"));
+  EXPECT_TRUE(EarleyAccepts(bnf, "xx"));
+  EXPECT_TRUE(EarleyAccepts(bnf, "xxxx"));
+  EXPECT_FALSE(EarleyAccepts(bnf, "xxxxx"));
+}
+
+// --- Fixed recursive grammars, oracle vs pipeline ------------------------------
+
+class EarleyVsPipelineFixed : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EarleyVsPipelineFixed, AgreeOnProbes) {
+  Grammar g = ParseEbnfOrThrow(GetParam());
+  BnfGrammar bnf = LowerToBnf(g);
+  Rng rng(2718);
+  // Probe strings over the grammars' joint alphabet.
+  const char alphabet[] = "ab()[]{}x,";
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string probe;
+    std::size_t len = rng.NextBounded(10);
+    for (std::size_t i = 0; i < len; ++i) {
+      probe.push_back(alphabet[rng.NextBounded(sizeof(alphabet) - 1)]);
+    }
+    EXPECT_EQ(EarleyAccepts(bnf, probe), PipelineAccepts(g, probe))
+        << "grammar={" << GetParam() << "} probe=" << probe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammars, EarleyVsPipelineFixed,
+    ::testing::Values(
+        "root ::= \"ab\" | \"a\" root \"b\"",             // a^n b^n
+        "root ::= \"\" | \"(\" root \")\" root",          // balanced parens
+        "root ::= \"x\" | \"[\" (root (\",\" root)*)? \"]\"",  // nested lists
+        "root ::= (\"a\" | \"b\")* \"ab\" (\"a\" | \"b\")*",   // ambiguous infix
+        "root ::= \"a\"{2,5} \"b\"+ \"x\"?"));             // bounded repeats
+
+// --- Random grammars, oracle vs pipeline ----------------------------------------
+
+// Random acyclic grammar over {a,b,c}: rule i may reference only rules > i,
+// so generation terminates; depth and width are bounded. Recursion is
+// covered by the fixed grammars above.
+Grammar RandomGrammar(Rng* rng) {
+  Grammar g;
+  const int num_rules = 2 + static_cast<int>(rng->NextBounded(3));
+  std::vector<RuleId> rules;
+  for (int i = 0; i < num_rules; ++i) {
+    rules.push_back(g.DeclareRule("r" + std::to_string(i)));
+  }
+
+  // Builds a random expression that may reference rules with index > `from`.
+  struct Builder {
+    Grammar& g;
+    Rng& rng;
+    const std::vector<RuleId>& rules;
+    ExprId Build(int from, int depth) {  // NOLINT(misc-no-recursion)
+      const bool leaf = depth <= 0 || rng.NextBool(0.35);
+      if (leaf) {
+        switch (rng.NextBounded(3)) {
+          case 0: {
+            std::string bytes;
+            std::size_t len = 1 + rng.NextBounded(3);
+            for (std::size_t i = 0; i < len; ++i) {
+              bytes.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+            }
+            return g.AddByteString(std::move(bytes));
+          }
+          case 1: {
+            std::uint32_t lo = 'a' + static_cast<std::uint32_t>(rng.NextBounded(2));
+            std::uint32_t hi =
+                lo + static_cast<std::uint32_t>(rng.NextBounded('c' - lo + 1));
+            return g.AddCharClass({{lo, hi}});
+          }
+          default:
+            if (from + 1 < static_cast<int>(rules.size())) {
+              std::size_t pick = static_cast<std::size_t>(from) + 1 +
+                                 rng.NextBounded(rules.size() - static_cast<std::size_t>(from) - 1);
+              return g.AddRuleRef(rules[pick]);
+            }
+            return g.AddByteString("c");
+        }
+      }
+      switch (rng.NextBounded(3)) {
+        case 0: {
+          std::vector<ExprId> children;
+          std::size_t n = 2 + rng.NextBounded(2);
+          for (std::size_t i = 0; i < n; ++i) children.push_back(Build(from, depth - 1));
+          return g.AddSequence(std::move(children));
+        }
+        case 1: {
+          std::vector<ExprId> children;
+          std::size_t n = 2 + rng.NextBounded(2);
+          for (std::size_t i = 0; i < n; ++i) children.push_back(Build(from, depth - 1));
+          return g.AddChoice(std::move(children));
+        }
+        default: {
+          std::int32_t min = static_cast<std::int32_t>(rng.NextBounded(2));
+          std::int32_t max = rng.NextBool(0.3)
+                                 ? -1
+                                 : min + static_cast<std::int32_t>(rng.NextBounded(3));
+          return g.AddRepeat(Build(from, depth - 1), min, max);
+        }
+      }
+    }
+  };
+  Builder builder{g, *rng, rules};
+  for (int i = 0; i < num_rules; ++i) {
+    g.SetRuleBody(rules[static_cast<std::size_t>(i)], builder.Build(i, 3));
+  }
+  g.SetRootRule(rules[0]);
+  g.Validate();
+  return g;
+}
+
+// Samples a string from the grammar by random expansion (repeats capped).
+void Sample(const Grammar& g, ExprId expr_id, Rng* rng, std::string* out,
+            int depth) {  // NOLINT(misc-no-recursion)
+  if (depth > 64) return;  // runaway guard; sampled string stays a "maybe"
+  const Expr& expr = g.GetExpr(expr_id);
+  switch (expr.type) {
+    case ExprType::kEmpty:
+      return;
+    case ExprType::kByteString:
+      out->append(expr.bytes);
+      return;
+    case ExprType::kCharClass: {
+      const regex::CodepointRange& range =
+          expr.ranges[rng->NextBounded(expr.ranges.size())];
+      std::uint32_t cp =
+          range.lo + static_cast<std::uint32_t>(
+                         rng->NextBounded(static_cast<std::uint64_t>(range.hi) - range.lo + 1));
+      AppendUtf8(cp, out);
+      return;
+    }
+    case ExprType::kRuleRef:
+      Sample(g, g.GetRule(expr.rule_ref).body, rng, out, depth + 1);
+      return;
+    case ExprType::kSequence:
+      for (ExprId child : expr.children) Sample(g, child, rng, out, depth + 1);
+      return;
+    case ExprType::kChoice:
+      Sample(g, expr.children[rng->NextBounded(expr.children.size())], rng, out,
+             depth + 1);
+      return;
+    case ExprType::kRepeat: {
+      std::int32_t cap = expr.max_repeat == -1
+                             ? expr.min_repeat + 3
+                             : std::min(expr.max_repeat, expr.min_repeat + 3);
+      std::int32_t count =
+          expr.min_repeat + static_cast<std::int32_t>(rng->NextBounded(
+                                static_cast<std::uint64_t>(cap - expr.min_repeat + 1)));
+      for (std::int32_t i = 0; i < count; ++i) {
+        Sample(g, expr.children[0], rng, out, depth + 1);
+      }
+      return;
+    }
+  }
+}
+
+class RandomGrammarOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGrammarOracle, EarleyAgreesWithPipeline) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 17);
+  Grammar g = RandomGrammar(&rng);
+  BnfGrammar bnf = LowerToBnf(g);
+
+  int positives = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    std::string sample;
+    Sample(g, g.GetRule(g.RootRule()).body, &rng, &sample, 0);
+    if (sample.size() > 200) continue;
+
+    bool earley = EarleyAccepts(bnf, sample);
+    EXPECT_EQ(earley, PipelineAccepts(g, sample))
+        << "seed=" << GetParam() << " sampled='" << sample << "'\n"
+        << g.ToString();
+    EXPECT_EQ(earley,
+              PipelineAccepts(g, sample, pda::CompileOptions::AllDisabled()))
+        << "(unoptimized pipeline) seed=" << GetParam() << " sampled='"
+        << sample << "'";
+    positives += earley ? 1 : 0;
+
+    // A mutation, usually negative — both sides must still agree.
+    std::string mutated = sample;
+    if (!mutated.empty()) {
+      mutated[rng.NextBounded(mutated.size())] =
+          static_cast<char>('a' + rng.NextBounded(4));  // 'd' breaks alphabet
+      EXPECT_EQ(EarleyAccepts(bnf, mutated), PipelineAccepts(g, mutated))
+          << "seed=" << GetParam() << " mutated='" << mutated << "'";
+    }
+  }
+  // Sampling must exercise the accepting language (repeat caps can push a
+  // sample outside the language, but not always).
+  EXPECT_GT(positives, 10) << g.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGrammarOracle, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace xgr::grammar

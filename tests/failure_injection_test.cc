@@ -1,0 +1,229 @@
+// Failure-injection tests: every user-facing entry point must fail loudly
+// and precisely on malformed input — parse errors carry positions and causes,
+// API misuse raises CheckError, and no invalid input corrupts state or
+// crashes. (Production embeddings catch CheckError at the FFI boundary.)
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "grammar/grammar.h"
+#include "grammar/json_schema.h"
+#include "grammar/structural_tag.h"
+#include "json/json.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "regex/regex.h"
+#include "support/logging.h"
+#include "support/utf8.h"
+
+namespace xgr {
+namespace {
+
+using grammar::ParseEbnf;
+using grammar::ParseEbnfOrThrow;
+
+// --- EBNF parser ------------------------------------------------------------
+
+struct EbnfErrorCase {
+  const char* name;
+  const char* text;
+  const char* message_fragment;
+};
+
+class EbnfErrors : public ::testing::TestWithParam<EbnfErrorCase> {};
+
+TEST_P(EbnfErrors, ReportsCauseAndFailsCleanly) {
+  auto [name, text, fragment] = GetParam();
+  grammar::EbnfParseResult result = ParseEbnf(text);
+  ASSERT_FALSE(result.ok) << name;
+  EXPECT_NE(result.error.find(fragment), std::string::npos)
+      << name << ": got error '" << result.error << "'";
+  EXPECT_THROW(ParseEbnfOrThrow(text), CheckError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EbnfErrors,
+    ::testing::Values(
+        EbnfErrorCase{"unterminated_string", "root ::= \"abc", "unterminated"},
+        EbnfErrorCase{"dangling_backslash", "root ::= \"a\\", "backslash"},
+        EbnfErrorCase{"bad_hex_escape", R"(root ::= "\xZZ")", "hex"},
+        EbnfErrorCase{"truncated_unicode", R"(root ::= "\u00")", "\\u"},
+        EbnfErrorCase{"inverted_repeat", "root ::= \"a\"{3,1}", "max < min"},
+        EbnfErrorCase{"missing_define", "root \"a\"", "::="},
+        EbnfErrorCase{"undefined_rule", "root ::= missing_rule", "undefined"},
+        EbnfErrorCase{"no_root", "other ::= \"a\"", "root"},
+        EbnfErrorCase{"unbalanced_group", "root ::= (\"a\" | \"b\"", ")"},
+        EbnfErrorCase{"stray_token", "root ::= \"a\" )", ""},
+        EbnfErrorCase{"unterminated_class", "root ::= [a-z", "character class"}),
+    [](const ::testing::TestParamInfo<EbnfErrorCase>& info) {
+      return info.param.name;
+    });
+
+TEST(EbnfErrors, ErrorsCarryByteOffsets) {
+  grammar::EbnfParseResult result = ParseEbnf("root ::= \"ok\"\nbad ::= \"x");
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("offset"), std::string::npos);
+}
+
+// --- JSON parser --------------------------------------------------------------
+
+TEST(JsonErrors, MalformedDocumentsRejectedWithPosition) {
+  for (const char* text :
+       {"{", "[1,]", "{\"k\":}", "\"unterminated", "01", "1.2.3", "tru",
+        "{\"a\":1,}", "[1] trailing", "\"bad\\q\"", "nul"}) {
+    json::ParseResult result = json::Parse(text);
+    EXPECT_FALSE(result.ok()) << text;
+    EXPECT_FALSE(result.error.empty()) << text;
+  }
+}
+
+TEST(JsonErrors, InvalidUtf8InStringsRejected) {
+  EXPECT_FALSE(json::Parse("\"\xC3\"").ok());        // truncated 2-byte seq
+  EXPECT_FALSE(json::Parse("\"\xFF\xFE\"").ok());    // not UTF-8 at all
+  EXPECT_FALSE(json::Parse("\"\xE0\x80\x80\"").ok());  // overlong encoding
+}
+
+// --- JSON-Schema converter -----------------------------------------------------
+
+TEST(SchemaErrors, MalformedSchemasThrow) {
+  EXPECT_THROW(grammar::JsonSchemaTextToGrammar("not json"), CheckError);
+  EXPECT_THROW(grammar::JsonSchemaTextToGrammar("[1,2]"), CheckError);
+  EXPECT_THROW(grammar::JsonSchemaTextToGrammar(R"({"type":"quux"})"), CheckError);
+  EXPECT_THROW(grammar::JsonSchemaTextToGrammar(R"({"enum":[]})"), CheckError);
+  EXPECT_THROW(grammar::JsonSchemaTextToGrammar(R"({"anyOf":[]})"), CheckError);
+  EXPECT_THROW(grammar::JsonSchemaTextToGrammar(R"({"allOf":[]})"), CheckError);
+  EXPECT_THROW(
+      grammar::JsonSchemaTextToGrammar(R"({"$ref":"#/missing/path"})"),
+      CheckError);
+  EXPECT_THROW(
+      grammar::JsonSchemaTextToGrammar(R"({"type":"string","pattern":"(["})"),
+      CheckError);
+  EXPECT_THROW(grammar::JsonSchemaTextToGrammar(
+                   R"({"type":"array","maxItems":1,"minItems":2})"),
+               CheckError);
+  EXPECT_THROW(grammar::JsonSchemaTextToGrammar(
+                   R"({"type":"array","prefixItems":[]})"),
+               CheckError);
+}
+
+// --- Grammar construction misuse ------------------------------------------------
+
+TEST(GrammarMisuse, EmptyCharClassThrows) {
+  grammar::Grammar g;
+  // Negating the full range leaves nothing matchable.
+  EXPECT_THROW(g.AddCharClass({{0, kMaxCodepoint}}, /*negated=*/true), CheckError);
+  EXPECT_THROW(g.AddCharClass({}, /*negated=*/false), CheckError);
+}
+
+TEST(GrammarMisuse, ValidateCatchesUnsetBodies) {
+  grammar::Grammar g;
+  grammar::RuleId rule = g.DeclareRule("root");
+  g.SetRootRule(rule);
+  EXPECT_THROW(g.Validate(), CheckError);  // body never set
+}
+
+TEST(GrammarMisuse, ValidateCatchesMissingRoot) {
+  grammar::Grammar g;
+  g.AddRule("a", g.AddByteString("x"));
+  EXPECT_THROW(g.Validate(), CheckError);  // no root set
+}
+
+TEST(GrammarMisuse, BadRepeatBoundsThrow) {
+  grammar::Grammar g;
+  grammar::ExprId child = g.AddByteString("a");
+  EXPECT_THROW(g.AddRepeat(child, -1, 2), CheckError);
+  EXPECT_THROW(g.AddRepeat(child, 3, 2), CheckError);
+}
+
+// --- Matcher misuse ---------------------------------------------------------------
+
+TEST(MatcherMisuse, RollbackPastHistoryThrows) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  matcher::GrammarMatcher m(pda);
+  ASSERT_TRUE(m.AcceptString("[1"));
+  EXPECT_THROW(m.RollbackToDepth(-1), CheckError);
+  EXPECT_THROW(m.RollbackToDepth(3), CheckError);
+  EXPECT_THROW(m.RollbackBytes(5), CheckError);
+  EXPECT_THROW(m.RollbackTokens(1), CheckError);  // no checkpoints pushed
+}
+
+TEST(MatcherMisuse, RejectedByteLeavesStateIntact) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  matcher::GrammarMatcher m(pda);
+  ASSERT_TRUE(m.AcceptString("{\"a\":"));
+  std::int32_t depth = m.NumConsumedBytes();
+  EXPECT_FALSE(m.AcceptByte('}'));  // value required before '}'
+  EXPECT_EQ(m.NumConsumedBytes(), depth);
+  EXPECT_TRUE(m.AcceptString("1}"));
+  EXPECT_TRUE(m.CanTerminate());
+}
+
+TEST(MatcherMisuse, InvalidUtf8BytesJustFailToMatch) {
+  // Grammars over text reject stray continuation bytes without crashing.
+  auto pda = pda::CompiledGrammar::Compile(
+      ParseEbnfOrThrow("root ::= [a-zé]+"));
+  matcher::GrammarMatcher m(pda);
+  EXPECT_FALSE(m.AcceptByte(0xA9));  // continuation byte with no lead
+  EXPECT_TRUE(m.AcceptByte(0xC3));   // lead byte of é is a valid prefix
+  EXPECT_TRUE(m.AcceptByte(0xA9));
+  EXPECT_TRUE(m.CanTerminate());
+}
+
+// --- Structural tags -----------------------------------------------------------
+
+TEST(StructuralTagErrors, BadSchemasAndMarkersThrow) {
+  using grammar::BuildStructuralTagGrammar;
+  using grammar::StructuralTag;
+  EXPECT_THROW(BuildStructuralTagGrammar({}, {"<f"}), CheckError);
+  EXPECT_THROW(
+      BuildStructuralTagGrammar({{"", "", "</f>"}}, {"<f"}), CheckError);
+  EXPECT_THROW(
+      BuildStructuralTagGrammar({{"<f>", "", ""}}, {"<f"}), CheckError);
+  EXPECT_THROW(
+      BuildStructuralTagGrammar({{"<f>", "{bad schema", "</f>"}}, {"<f"}),
+      CheckError);
+}
+
+// --- Pushdown automaton compilation ----------------------------------------------
+
+TEST(CompileErrors, LeftRecursionIsCaughtAtRuntimeBudget) {
+  // Left recursion compiles but cannot be executed: the closure would push
+  // forever. The matcher's closure budget turns that into CheckError instead
+  // of a hang.
+  grammar::Grammar g;
+  grammar::RuleId rule = g.DeclareRule("root");
+  g.SetRuleBody(rule, g.AddChoice({g.AddSequence({g.AddRuleRef(rule),
+                                                  g.AddByteString("a")}),
+                                   g.AddByteString("a")}));
+  g.SetRootRule(rule);
+  auto pda = pda::CompiledGrammar::Compile(g);
+  EXPECT_THROW(matcher::GrammarMatcher{pda}, CheckError);
+}
+
+// --- UTF-8 utilities --------------------------------------------------------------
+
+TEST(Utf8Errors, DecodeReportsInvalidSequences) {
+  for (const char* bad : {"\xC3", "\x80", "\xFF", "\xE0\x80\x80",
+                          "\xED\xA0\x80" /* surrogate */}) {
+    DecodedChar decoded = DecodeUtf8(bad, 0);
+    EXPECT_FALSE(decoded.ok) << static_cast<int>(bad[0]);
+  }
+}
+
+TEST(Utf8Errors, EncodeRejectsOutOfRange) {
+  std::string out;
+  EXPECT_THROW(AppendUtf8(0x110000, &out), CheckError);
+}
+
+// --- Regex engine -------------------------------------------------------------------
+
+TEST(RegexErrors, DeterminizationBudgetThrows) {
+  // (a|b)*a(a|b){20} needs ~2^20 DFA states; a small budget must throw
+  // rather than exhaust memory.
+  fsa::Fsa nfa = regex::CompileRegex("(a|b)*a(a|b){20}");
+  EXPECT_THROW(fsa::Determinize(nfa, 1024), CheckError);
+}
+
+}  // namespace
+}  // namespace xgr

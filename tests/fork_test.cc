@@ -1,0 +1,190 @@
+// Tests for matcher/decoder state branching (§3.3: per-branch grammar state
+// for tree-of-thought and speculative decoding).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/xgrammar_decoder.h"
+#include "cache/adaptive_cache.h"
+#include "grammar/grammar.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "support/rng.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/token_trie.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::matcher {
+namespace {
+
+std::shared_ptr<const pda::CompiledGrammar> JsonPda() {
+  static auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  return pda;
+}
+
+TEST(MatcherFork, ForkContinuesFromForkPoint) {
+  GrammarMatcher parent(JsonPda());
+  ASSERT_TRUE(parent.AcceptString("{\"key\":"));
+  GrammarMatcher fork = parent.Fork();
+  EXPECT_EQ(fork.NumConsumedBytes(), 0);  // fork-local depth
+  EXPECT_TRUE(fork.AcceptString("42}"));
+  EXPECT_TRUE(fork.CanTerminate());
+}
+
+TEST(MatcherFork, BranchesAreIndependent) {
+  GrammarMatcher parent(JsonPda());
+  ASSERT_TRUE(parent.AcceptString("[1,"));
+  GrammarMatcher left = parent.Fork();
+  GrammarMatcher right = parent.Fork();
+
+  ASSERT_TRUE(left.AcceptString("2]"));
+  ASSERT_TRUE(right.AcceptString("\"x\"]"));
+  EXPECT_TRUE(left.CanTerminate());
+  EXPECT_TRUE(right.CanTerminate());
+
+  // The parent is still at "[1," and can take its own continuation.
+  EXPECT_EQ(parent.NumConsumedBytes(), 3);
+  EXPECT_TRUE(parent.AcceptString("null]"));
+  EXPECT_TRUE(parent.CanTerminate());
+}
+
+TEST(MatcherFork, ForkSharesThePersistentPool) {
+  GrammarMatcher parent(JsonPda());
+  ASSERT_TRUE(parent.AcceptString("[[["));
+  GrammarMatcher fork = parent.Fork();
+  EXPECT_EQ(&parent.Pool(), &fork.Pool());
+  // Progress in the fork appends to the shared pool without disturbing the
+  // parent's stacks.
+  std::size_t before = parent.Pool().Size();
+  ASSERT_TRUE(fork.AcceptString("1]]]"));
+  EXPECT_GE(parent.Pool().Size(), before);
+  EXPECT_TRUE(parent.AcceptString("2]]]"));
+  EXPECT_TRUE(parent.CanTerminate());
+}
+
+TEST(MatcherFork, ForkOfForkChains) {
+  GrammarMatcher root(JsonPda());
+  ASSERT_TRUE(root.AcceptString("{\"a\":{\"b\":"));
+  GrammarMatcher child = root.Fork();
+  ASSERT_TRUE(child.AcceptString("[1"));
+  GrammarMatcher grandchild = child.Fork();
+  ASSERT_TRUE(grandchild.AcceptString(",2]}}"));
+  EXPECT_TRUE(grandchild.CanTerminate());
+  // Intermediate generations are intact.
+  EXPECT_TRUE(child.AcceptString("]}}"));
+  EXPECT_TRUE(child.CanTerminate());
+  EXPECT_TRUE(root.AcceptString("7}}"));
+  EXPECT_TRUE(root.CanTerminate());
+}
+
+TEST(MatcherFork, RollbackInsideForkIsBoundedByForkPoint) {
+  GrammarMatcher parent(JsonPda());
+  ASSERT_TRUE(parent.AcceptString("[true,"));
+  GrammarMatcher fork = parent.Fork();
+  ASSERT_TRUE(fork.AcceptString("false"));
+  fork.RollbackBytes(5);
+  EXPECT_EQ(fork.NumConsumedBytes(), 0);
+  // Depth 0 is the fork point; the fork can re-take a different continuation.
+  EXPECT_TRUE(fork.AcceptString("null]"));
+  EXPECT_TRUE(fork.CanTerminate());
+}
+
+// Differential property: a fork must accept exactly the strings a fresh
+// matcher accepts after the same prefix.
+class ForkEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ForkEquivalence, ForkMatchesFreshMatcherReplay) {
+  const std::string prefix = GetParam();
+  GrammarMatcher parent(JsonPda());
+  ASSERT_TRUE(parent.AcceptString(prefix));
+  GrammarMatcher fork = parent.Fork();
+
+  Rng rng(0xF0F0F0F0ull ^ prefix.size());
+  const std::string continuations[] = {
+      "1]", "null]", "\"s\"]", "{}]", "[]]", "}", "]", ",2]", ":3}", "x"};
+  for (const std::string& continuation : continuations) {
+    GrammarMatcher fresh(JsonPda());
+    ASSERT_TRUE(fresh.AcceptString(prefix));
+    EXPECT_EQ(fork.CanAcceptString(continuation),
+              fresh.CanAcceptString(continuation))
+        << "prefix=" << prefix << " continuation=" << continuation;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefixes, ForkEquivalence,
+                         ::testing::Values("[", "[1,", "[[", "{\"k\":",
+                                           "[{\"a\":1},", "[\"str", "[12"));
+
+// --- Decoder-level fork -------------------------------------------------------
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer() {
+  static auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({3000, 17}));
+  return info;
+}
+
+TEST(DecoderFork, ForkProducesSameMasksAsReplay) {
+  auto info = TestTokenizer();
+  auto cache = cache::AdaptiveTokenMaskCache::Build(JsonPda(), info);
+  baselines::XGrammarDecoder decoder(cache);
+
+  tokenizer::TokenTrie trie(*info);
+  const std::string prefix = "{\"key\":[1,2,";
+  std::vector<std::int32_t> prefix_tokens = tokenizer::GreedyTokenize(trie, prefix);
+  for (std::int32_t token : prefix_tokens) {
+    ASSERT_TRUE(decoder.AcceptToken(token));
+  }
+  auto fork = decoder.Fork();
+
+  // A fresh decoder fed the same prefix must emit the identical mask.
+  baselines::XGrammarDecoder replay(cache);
+  for (std::int32_t token : prefix_tokens) {
+    ASSERT_TRUE(replay.AcceptToken(token));
+  }
+  DynamicBitset fork_mask(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset replay_mask(static_cast<std::size_t>(info->VocabSize()));
+  fork->FillNextTokenBitmask(&fork_mask);
+  replay.FillNextTokenBitmask(&replay_mask);
+  for (std::int32_t id = 0; id < info->VocabSize(); ++id) {
+    ASSERT_EQ(fork_mask.Test(static_cast<std::size_t>(id)),
+              replay_mask.Test(static_cast<std::size_t>(id)))
+        << "token " << id;
+  }
+}
+
+TEST(DecoderFork, SpeculativeBranchesVerifyIndependently) {
+  auto info = TestTokenizer();
+  auto cache = cache::AdaptiveTokenMaskCache::Build(JsonPda(), info);
+  baselines::XGrammarDecoder decoder(cache);
+
+  tokenizer::TokenTrie trie(*info);
+  for (std::int32_t token : tokenizer::GreedyTokenize(trie, "[10,")) {
+    ASSERT_TRUE(decoder.AcceptToken(token));
+  }
+
+  // Two speculative continuations, one valid and one grammar-breaking.
+  auto good = decoder.Fork();
+  auto bad = decoder.Fork();
+  bool good_ok = true;
+  for (std::int32_t token : tokenizer::GreedyTokenize(trie, "20]")) {
+    good_ok = good_ok && good->AcceptToken(token);
+  }
+  EXPECT_TRUE(good_ok && good->CanTerminate());
+
+  bool bad_ok = true;
+  for (std::int32_t token : tokenizer::GreedyTokenize(trie, ",:5")) {
+    bad_ok = bad_ok && bad->AcceptToken(token);
+  }
+  EXPECT_FALSE(bad_ok);
+
+  // The trunk survives both branches and finishes its own way.
+  for (std::int32_t token : tokenizer::GreedyTokenize(trie, "30]")) {
+    ASSERT_TRUE(decoder.AcceptToken(token));
+  }
+  EXPECT_TRUE(decoder.CanTerminate());
+}
+
+}  // namespace
+}  // namespace xgr::matcher

@@ -1,0 +1,236 @@
+// Tests for the automaton substrate: construction, epsilon elimination, node
+// merging, union, determinization — including language-equivalence property
+// tests on randomly generated automata.
+#include <gtest/gtest.h>
+
+#include "fsa/dfa.h"
+#include "fsa/fsa.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace xgr::fsa {
+namespace {
+
+// Builds a small random NFA over alphabet {a, b, c} with epsilon edges.
+Fsa RandomNfa(std::uint64_t seed, int num_states) {
+  Rng rng(seed);
+  Fsa fsa;
+  for (int i = 0; i < num_states; ++i) fsa.AddState();
+  int num_edges = num_states * 2;
+  for (int i = 0; i < num_edges; ++i) {
+    auto from = static_cast<std::int32_t>(rng.NextBounded(num_states));
+    auto to = static_cast<std::int32_t>(rng.NextBounded(num_states));
+    double roll = rng.NextDouble();
+    if (roll < 0.25) {
+      fsa.AddEpsilonEdge(from, to);
+    } else {
+      auto c = static_cast<std::uint8_t>('a' + rng.NextBounded(3));
+      fsa.AddByteEdge(from, c, c, to);
+    }
+  }
+  fsa.SetStart(0);
+  for (int i = 0; i < 2; ++i) {
+    fsa.SetAccepting(static_cast<std::int32_t>(rng.NextBounded(num_states)));
+  }
+  return fsa;
+}
+
+// Enumerates all strings over {a,b,c} up to `max_len` and compares acceptance.
+void ExpectSameLanguage(const Fsa& a, const Fsa& b, int max_len) {
+  std::vector<std::string> frontier{""};
+  for (int len = 0; len <= max_len; ++len) {
+    std::vector<std::string> next;
+    for (const std::string& s : frontier) {
+      EXPECT_EQ(FsaAccepts(a, s), FsaAccepts(b, s)) << "string '" << s << "'";
+      for (char c : {'a', 'b', 'c'}) next.push_back(s + c);
+    }
+    frontier = std::move(next);
+  }
+}
+
+class RandomNfaTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomNfaTest, EpsilonEliminationPreservesLanguage) {
+  Fsa nfa = RandomNfa(GetParam(), 8);
+  std::vector<std::int32_t> roots{nfa.Start()};
+  Fsa cleaned = EliminateEpsilon(nfa, &roots);
+  cleaned.SetStart(roots[0]);
+  ExpectSameLanguage(nfa, cleaned, 5);
+  // No epsilon edges remain.
+  for (std::int32_t s = 0; s < cleaned.NumStates(); ++s) {
+    for (const Edge& e : cleaned.EdgesFrom(s)) {
+      EXPECT_NE(e.kind, EdgeKind::kEpsilon);
+    }
+  }
+}
+
+TEST_P(RandomNfaTest, NodeMergingPreservesLanguage) {
+  Fsa nfa = RandomNfa(GetParam(), 8);
+  std::vector<std::int32_t> roots{nfa.Start()};
+  Fsa cleaned = EliminateEpsilon(nfa, &roots);
+  cleaned.SetStart(roots[0]);
+  std::vector<std::int32_t> roots2{cleaned.Start()};
+  Fsa merged = MergeEquivalentNodes(cleaned, &roots2);
+  merged.SetStart(roots2[0]);
+  EXPECT_LE(merged.NumStates(), cleaned.NumStates());
+  ExpectSameLanguage(cleaned, merged, 5);
+}
+
+TEST_P(RandomNfaTest, DeterminizationPreservesLanguage) {
+  Fsa nfa = RandomNfa(GetParam(), 7);
+  Dfa dfa = Determinize(nfa);
+  std::vector<std::string> frontier{""};
+  for (int len = 0; len <= 5; ++len) {
+    std::vector<std::string> next;
+    for (const std::string& s : frontier) {
+      EXPECT_EQ(dfa.Accepts(s), FsaAccepts(nfa, s)) << "string '" << s << "'";
+      for (char c : {'a', 'b', 'c'}) next.push_back(s + c);
+    }
+    frontier = std::move(next);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNfaTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(Fsa, LiteralPathMatchesExactly) {
+  Fsa fsa;
+  std::int32_t start = fsa.AddState();
+  std::int32_t end = fsa.AddState();
+  fsa.AddLiteralPath(start, "abc", end);
+  fsa.SetStart(start);
+  fsa.SetAccepting(end);
+  EXPECT_TRUE(FsaAccepts(fsa, "abc"));
+  EXPECT_FALSE(FsaAccepts(fsa, "ab"));
+  EXPECT_FALSE(FsaAccepts(fsa, "abcd"));
+  EXPECT_TRUE(FsaAcceptsPrefix(fsa, "ab"));
+  EXPECT_FALSE(FsaAcceptsPrefix(fsa, "abd"));
+}
+
+TEST(Fsa, ByteSeqPath) {
+  Fsa fsa;
+  std::int32_t start = fsa.AddState();
+  std::int32_t end = fsa.AddState();
+  fsa.AddByteSeqPath(start, {ByteRange{0x41, 0x5A}, ByteRange{0x30, 0x39}}, end);
+  fsa.SetStart(start);
+  fsa.SetAccepting(end);
+  EXPECT_TRUE(FsaAccepts(fsa, "A0"));
+  EXPECT_TRUE(FsaAccepts(fsa, "Z9"));
+  EXPECT_FALSE(FsaAccepts(fsa, "a0"));
+  EXPECT_FALSE(FsaAccepts(fsa, "A"));
+}
+
+TEST(Fsa, UnionAcceptsEitherLanguage) {
+  Fsa a;
+  std::int32_t sa = a.AddState();
+  std::int32_t ea = a.AddState();
+  a.AddLiteralPath(sa, "cat", ea);
+  a.SetStart(sa);
+  a.SetAccepting(ea);
+  Fsa b;
+  std::int32_t sb = b.AddState();
+  std::int32_t eb = b.AddState();
+  b.AddLiteralPath(sb, "dog", eb);
+  b.SetStart(sb);
+  b.SetAccepting(eb);
+  Fsa u = UnionFsa(a, b);
+  EXPECT_TRUE(FsaAccepts(u, "cat"));
+  EXPECT_TRUE(FsaAccepts(u, "dog"));
+  EXPECT_FALSE(FsaAccepts(u, "cow"));
+}
+
+TEST(Fsa, MergeCollapsesDuplicateBranches) {
+  // start --a--> s1 --b--> end1(acc), start --a--> s2 --b--> end2(acc):
+  // merging should collapse the parallel branches.
+  Fsa fsa;
+  std::int32_t start = fsa.AddState();
+  std::int32_t s1 = fsa.AddState();
+  std::int32_t s2 = fsa.AddState();
+  std::int32_t e1 = fsa.AddState();
+  std::int32_t e2 = fsa.AddState();
+  fsa.AddByteEdge(start, 'a', 'a', s1);
+  fsa.AddByteEdge(start, 'a', 'a', s2);
+  fsa.AddByteEdge(s1, 'b', 'b', e1);
+  fsa.AddByteEdge(s2, 'b', 'b', e2);
+  fsa.SetStart(start);
+  fsa.SetAccepting(e1);
+  fsa.SetAccepting(e2);
+  std::vector<std::int32_t> roots{start};
+  Fsa merged = MergeEquivalentNodes(fsa, &roots);
+  merged.SetStart(roots[0]);
+  EXPECT_EQ(merged.NumStates(), 3);
+  EXPECT_TRUE(FsaAccepts(merged, "ab"));
+  EXPECT_FALSE(FsaAccepts(merged, "a"));
+}
+
+TEST(Fsa, MergePreservesRootStates) {
+  Fsa fsa;
+  std::int32_t start = fsa.AddState();
+  std::int32_t other_root = fsa.AddState();
+  fsa.AddByteEdge(start, 'x', 'x', other_root);  // root reached by an edge
+  fsa.SetStart(start);
+  fsa.SetAccepting(other_root);
+  std::vector<std::int32_t> roots{start, other_root};
+  Fsa merged = MergeEquivalentNodes(fsa, &roots);
+  EXPECT_EQ(roots.size(), 2u);
+  EXPECT_NE(roots[0], -1);
+  EXPECT_NE(roots[1], -1);
+}
+
+TEST(Fsa, PruneDropsUnreachable) {
+  Fsa fsa;
+  std::int32_t start = fsa.AddState();
+  std::int32_t reachable = fsa.AddState();
+  fsa.AddState();  // orphan
+  fsa.AddByteEdge(start, 'a', 'a', reachable);
+  fsa.SetStart(start);
+  fsa.SetAccepting(reachable);
+  std::vector<std::int32_t> roots{start};
+  Fsa pruned = PruneUnreachable(fsa, &roots);
+  EXPECT_EQ(pruned.NumStates(), 2);
+}
+
+TEST(Dfa, StateExplosionGuard) {
+  // (a|b)...(a|b) with a subset blow-up must respect max_states.
+  Fsa nfa;
+  std::int32_t start = nfa.AddState();
+  nfa.SetStart(start);
+  // Classic (a|b)*a(a|b)^n needs 2^n DFA states.
+  std::int32_t current = start;
+  nfa.AddByteEdge(start, 'a', 'b', start);
+  std::int32_t next = nfa.AddState();
+  nfa.AddByteEdge(start, 'a', 'a', next);
+  current = next;
+  for (int i = 0; i < 12; ++i) {
+    next = nfa.AddState();
+    nfa.AddByteEdge(current, 'a', 'b', next);
+    current = next;
+  }
+  nfa.SetAccepting(current);
+  EXPECT_THROW(Determinize(nfa, /*max_states=*/64), CheckError);
+  EXPECT_NO_THROW(Determinize(nfa, /*max_states=*/100000));
+}
+
+TEST(NfaRunner, TracksStateSets) {
+  Fsa fsa;
+  std::int32_t s0 = fsa.AddState();
+  std::int32_t s1 = fsa.AddState();
+  std::int32_t s2 = fsa.AddState();
+  fsa.AddByteEdge(s0, 'a', 'a', s1);
+  fsa.AddByteEdge(s0, 'a', 'a', s2);
+  fsa.AddByteEdge(s1, 'b', 'b', s1);
+  fsa.SetStart(s0);
+  fsa.SetAccepting(s2);
+  NfaRunner runner(fsa);
+  EXPECT_FALSE(runner.InAcceptingState());
+  EXPECT_TRUE(runner.Advance('a'));
+  EXPECT_EQ(runner.States().size(), 2u);
+  EXPECT_TRUE(runner.InAcceptingState());
+  EXPECT_TRUE(runner.Advance('b'));
+  EXPECT_FALSE(runner.InAcceptingState());
+  EXPECT_FALSE(runner.Advance('z'));
+  EXPECT_TRUE(runner.Dead());
+}
+
+}  // namespace
+}  // namespace xgr::fsa

@@ -1,0 +1,118 @@
+// Tests for the memoizing GrammarCompiler: hit/miss accounting, artifact
+// sharing, per-source isolation, error retry, and thread safety.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/grammar_compiler.h"
+#include "support/logging.h"
+#include "tokenizer/synthetic_vocab.h"
+
+namespace xgr::cache {
+namespace {
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer() {
+  static auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({2000, 17}));
+  return info;
+}
+
+TEST(GrammarCompiler, MemoizesBySource) {
+  GrammarCompiler compiler(TestTokenizer());
+  auto a = compiler.CompileEbnf("root ::= \"yes\" | \"no\"");
+  auto b = compiler.CompileEbnf("root ::= \"yes\" | \"no\"");
+  EXPECT_EQ(a.get(), b.get());  // the exact artifact is shared
+  EXPECT_EQ(compiler.Stats().hits, 1);
+  EXPECT_EQ(compiler.Stats().misses, 1);
+}
+
+TEST(GrammarCompiler, DistinctSourcesDistinctArtifacts) {
+  GrammarCompiler compiler(TestTokenizer());
+  auto a = compiler.CompileEbnf("root ::= \"a\"+");
+  auto b = compiler.CompileEbnf("root ::= \"b\"+");
+  auto c = compiler.CompileRegex("a+");
+  auto d = compiler.CompileJsonSchema(R"({"type":"integer"})");
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_NE(c.get(), d.get());
+  EXPECT_EQ(compiler.Stats().misses, 4);
+  EXPECT_GT(compiler.Stats().compile_seconds, 0.0);
+}
+
+TEST(GrammarCompiler, SourceKindsDoNotCollide) {
+  // The same text through different frontends must not share a cache slot.
+  GrammarCompiler compiler(TestTokenizer());
+  auto as_regex = compiler.CompileRegex("[0-9]+");
+  auto as_ebnf = compiler.CompileEbnf("root ::= [0-9]+");
+  EXPECT_NE(as_regex.get(), as_ebnf.get());
+  EXPECT_EQ(compiler.Stats().misses, 2);
+}
+
+TEST(GrammarCompiler, RootRuleIsPartOfTheKey) {
+  GrammarCompiler compiler(TestTokenizer());
+  const char* text = "root ::= item\nitem ::= \"x\"";
+  auto by_root = compiler.CompileEbnf(text, "root");
+  auto by_item = compiler.CompileEbnf(text, "item");
+  EXPECT_NE(by_root.get(), by_item.get());
+}
+
+TEST(GrammarCompiler, FailuresPropagateAndAllowRetry) {
+  GrammarCompiler compiler(TestTokenizer());
+  EXPECT_THROW(compiler.CompileEbnf("root ::= \"unterminated"), CheckError);
+  // The failed key is evicted, so fixing the source works and a repeat of
+  // the broken source fails again (not a cached success).
+  EXPECT_THROW(compiler.CompileEbnf("root ::= \"unterminated"), CheckError);
+  auto fixed = compiler.CompileEbnf("root ::= \"terminated\"");
+  EXPECT_NE(fixed, nullptr);
+}
+
+TEST(GrammarCompiler, ClearDropsMemo) {
+  GrammarCompiler compiler(TestTokenizer());
+  auto a = compiler.CompileBuiltinJson();
+  compiler.Clear();
+  auto b = compiler.CompileBuiltinJson();
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(compiler.Stats().misses, 2);
+}
+
+TEST(GrammarCompiler, ConcurrentSameKeyCompilesOnce) {
+  GrammarCompiler compiler(TestTokenizer());
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const AdaptiveTokenMaskCache>> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        results[static_cast<std::size_t>(t)] =
+            compiler.CompileJsonSchema(R"({"type":"object","properties":
+              {"x":{"type":"integer"}},"required":["x"],
+              "additionalProperties":false})");
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[static_cast<std::size_t>(t)].get(), results[0].get());
+  }
+  EXPECT_EQ(compiler.Stats().misses, 1);
+  EXPECT_EQ(compiler.Stats().hits, kThreads - 1);
+}
+
+TEST(GrammarCompiler, CompileOptionsAreHonored) {
+  pda::CompileOptions options = pda::CompileOptions::AllDisabled();
+  GrammarCompiler unoptimized(TestTokenizer(), options);
+  GrammarCompiler optimized(TestTokenizer());
+  auto a = unoptimized.CompileBuiltinJson();
+  auto b = optimized.CompileBuiltinJson();
+  EXPECT_FALSE(a->Pda().Options().context_expansion);
+  EXPECT_TRUE(b->Pda().Options().context_expansion);
+  // Without context expansion, more tokens stay context-dependent.
+  EXPECT_GT(a->Stats().context_dependent, b->Stats().context_dependent);
+}
+
+}  // namespace
+}  // namespace xgr::cache

@@ -1,0 +1,271 @@
+// Tests for the grammar layer: EBNF parsing, printing, normalization, rule
+// inlining and dead-rule elimination — with matcher-level equivalence checks
+// for the transformation passes.
+#include <gtest/gtest.h>
+
+#include "grammar/grammar.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+
+namespace xgr::grammar {
+namespace {
+
+bool Accepts(const Grammar& g, const std::string& text) {
+  auto pda = pda::CompiledGrammar::Compile(g);
+  matcher::GrammarMatcher m(pda);
+  return m.AcceptString(text) && m.CanTerminate();
+}
+
+TEST(EbnfParser, BasicRule) {
+  Grammar g = ParseEbnfOrThrow("root ::= \"hello\"");
+  EXPECT_EQ(g.NumRules(), 1);
+  EXPECT_TRUE(Accepts(g, "hello"));
+  EXPECT_FALSE(Accepts(g, "hell"));
+}
+
+TEST(EbnfParser, AlternationAndSequence) {
+  Grammar g = ParseEbnfOrThrow(R"(root ::= "a" "b" | "c")");
+  EXPECT_TRUE(Accepts(g, "ab"));
+  EXPECT_TRUE(Accepts(g, "c"));
+  EXPECT_FALSE(Accepts(g, "ac"));
+}
+
+TEST(EbnfParser, RepetitionOperators) {
+  Grammar g = ParseEbnfOrThrow(R"(root ::= "a"* "b"+ "c"? "d"{2,3})");
+  EXPECT_TRUE(Accepts(g, "bdd"));
+  EXPECT_TRUE(Accepts(g, "aabbcddd"));
+  EXPECT_FALSE(Accepts(g, "add"));      // missing b
+  EXPECT_FALSE(Accepts(g, "bd"));       // too few d
+  EXPECT_FALSE(Accepts(g, "bdddd"));    // too many d
+}
+
+TEST(EbnfParser, ExactAndOpenRepetition) {
+  Grammar g = ParseEbnfOrThrow(R"(root ::= "x"{3} "y"{2,})");
+  EXPECT_TRUE(Accepts(g, "xxxyy"));
+  EXPECT_TRUE(Accepts(g, "xxxyyyyy"));
+  EXPECT_FALSE(Accepts(g, "xxyy"));
+  EXPECT_FALSE(Accepts(g, "xxxy"));
+}
+
+TEST(EbnfParser, CharClasses) {
+  Grammar g = ParseEbnfOrThrow(R"(root ::= [a-fA-F0-9]+ "-" [^x-z])");
+  EXPECT_TRUE(Accepts(g, "dead-w"));
+  EXPECT_FALSE(Accepts(g, "dead-x"));
+  EXPECT_FALSE(Accepts(g, "zzzz-a"));
+}
+
+TEST(EbnfParser, RecursiveRules) {
+  Grammar g = ParseEbnfOrThrow(R"EB(
+    root ::= balanced
+    balanced ::= "(" balanced ")" | ""
+  )EB");
+  EXPECT_TRUE(Accepts(g, ""));
+  EXPECT_TRUE(Accepts(g, "((()))"));
+  EXPECT_FALSE(Accepts(g, "(()"));
+}
+
+TEST(EbnfParser, MutualRecursion) {
+  Grammar g = ParseEbnfOrThrow(R"(
+    root ::= a
+    a ::= "x" b | "x"
+    b ::= "y" a
+  )");
+  EXPECT_TRUE(Accepts(g, "x"));
+  EXPECT_TRUE(Accepts(g, "xyx"));
+  EXPECT_TRUE(Accepts(g, "xyxyx"));
+  EXPECT_FALSE(Accepts(g, "xy"));
+}
+
+TEST(EbnfParser, CommentsAndEscapes) {
+  Grammar g = ParseEbnfOrThrow(
+      "# leading comment\n"
+      "root ::= \"\\n\" \"\\t\" \"\\x41\" \"\\u00e9\" # trailing\n");
+  EXPECT_TRUE(Accepts(g, "\n\tA\xC3\xA9"));
+}
+
+TEST(EbnfParser, EmptyAlternative) {
+  Grammar g = ParseEbnfOrThrow(R"(root ::= "a" | "")");
+  EXPECT_TRUE(Accepts(g, "a"));
+  EXPECT_TRUE(Accepts(g, ""));
+}
+
+TEST(EbnfParser, EmptyBodyIsEpsilonRule) {
+  Grammar g = ParseEbnfOrThrow("root ::=");
+  EXPECT_TRUE(Accepts(g, ""));
+  EXPECT_FALSE(Accepts(g, "x"));
+}
+
+class EbnfErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EbnfErrorTest, Rejected) {
+  EbnfParseResult result = ParseEbnf(GetParam());
+  EXPECT_FALSE(result.ok) << GetParam();
+  EXPECT_FALSE(result.error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EbnfErrorTest,
+    ::testing::Values("root ::= undefined_rule",       // dangling reference
+                      "::= \"x\"",                     // missing name
+                      "root \"x\"",                    // missing ::=
+                      "root ::= \"unterminated",       // bad literal
+                      "root ::= [unclosed",            // bad class
+                      "root ::= (\"a\"",               // missing )
+                      "root ::= \"a\" {2,1}",          // inverted bounds
+                      "other ::= \"x\"",               // no root rule
+                      "root ::= \"a\"\nroot ::= \"b\""  // duplicate definition
+                      ));
+
+TEST(EbnfParser, RootRuleNameConfigurable) {
+  EbnfParseResult result = ParseEbnf("main ::= \"m\"", "main");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.grammar.GetRule(result.grammar.RootRule()).name, "main");
+}
+
+TEST(GrammarPrinter, RoundTripsThroughParser) {
+  const char* sources[] = {
+      R"(root ::= "a" ("b" | "c")* [x-z]+ "tail"{2,4})",
+      R"(root ::= "" | "nested" (("deep" | "deeper") "end")?)",
+  };
+  for (const char* source : sources) {
+    Grammar g1 = ParseEbnfOrThrow(source);
+    std::string printed1 = g1.ToString();
+    Grammar g2 = ParseEbnfOrThrow(printed1);
+    // Printing is a fixpoint after one round trip.
+    EXPECT_EQ(g2.ToString(), printed1) << source;
+  }
+}
+
+TEST(GrammarPrinter, BuiltinGrammarsRoundTrip) {
+  for (const Grammar& g :
+       {BuiltinJsonGrammar(), BuiltinXmlGrammar(), BuiltinPythonDslGrammar()}) {
+    std::string printed = g.ToString();
+    Grammar reparsed = ParseEbnfOrThrow(printed);
+    EXPECT_EQ(reparsed.ToString(), printed);
+  }
+}
+
+TEST(GrammarTransform, NormalizeFlattensNesting) {
+  Grammar g;
+  RuleId r = g.DeclareRule("root");
+  ExprId a = g.AddByteString("a");
+  ExprId b = g.AddByteString("b");
+  ExprId inner_seq = g.AddSequence({a, b});
+  ExprId c = g.AddByteString("c");
+  ExprId outer = g.AddSequence({inner_seq, c, g.AddEmpty()});
+  g.SetRuleBody(r, outer);
+  g.SetRootRule(r);
+  NormalizeGrammar(&g);
+  const Expr& body = g.GetExpr(g.GetRule(r).body);
+  ASSERT_EQ(body.type, ExprType::kSequence);
+  EXPECT_EQ(body.children.size(), 3u);  // a b c, epsilon dropped
+  for (ExprId child : body.children) {
+    EXPECT_EQ(g.GetExpr(child).type, ExprType::kByteString);
+  }
+}
+
+TEST(GrammarTransform, InliningPreservesLanguage) {
+  const char* source = R"(
+    root ::= item ("," item)*
+    item ::= digit digit | letter
+    digit ::= [0-9]
+    letter ::= [a-z]
+  )";
+  Grammar original = ParseEbnfOrThrow(source);
+  Grammar inlined = ParseEbnfOrThrow(source);
+  int count = InlineFragmentRules(&inlined);
+  EXPECT_GT(count, 0);
+  EXPECT_LT(inlined.NumRules(), original.NumRules());
+  for (const char* text : {"12", "a", "12,a,34", "a,b", "", "1", "12,", "1a"}) {
+    EXPECT_EQ(Accepts(original, text), Accepts(inlined, text)) << text;
+  }
+}
+
+TEST(GrammarTransform, InliningRespectsSizeCap) {
+  Grammar g = ParseEbnfOrThrow(R"(
+    root ::= big big
+    big ::= "0123456789012345678901234567890123456789"
+  )");
+  InlineOptions options;
+  options.max_inlinee_atoms = 8;  // "big" is larger than this
+  EXPECT_EQ(InlineFragmentRules(&g, options), 0);
+  EXPECT_EQ(g.NumRules(), 2);
+}
+
+TEST(GrammarTransform, InliningNeverRemovesRoot) {
+  Grammar g = ParseEbnfOrThrow("root ::= \"tiny\"");
+  InlineFragmentRules(&g);
+  EXPECT_EQ(g.NumRules(), 1);
+  EXPECT_EQ(g.GetRule(g.RootRule()).name, "root");
+}
+
+TEST(GrammarTransform, RemoveUnreachableRules) {
+  Grammar g = ParseEbnfOrThrow(R"(
+    root ::= used
+    used ::= "u"
+    orphan ::= "o" other
+    other ::= "x"
+  )");
+  EXPECT_EQ(RemoveUnreachableRules(&g), 2);
+  EXPECT_EQ(g.NumRules(), 2);
+  EXPECT_EQ(g.FindRule("orphan"), kInvalidRule);
+  EXPECT_TRUE(Accepts(g, "u"));
+}
+
+TEST(Grammar, ExprSizeCountsAtoms) {
+  Grammar g;
+  RuleId r = g.DeclareRule("root");
+  ExprId body = g.AddSequence({g.AddByteString("abc"), g.AddCharClass({{'a', 'z'}})});
+  g.SetRuleBody(r, body);
+  g.SetRootRule(r);
+  EXPECT_EQ(g.ExprSize(body), 5);  // 3 bytes + 1 class + 1 container
+}
+
+TEST(Grammar, ValidateCatchesMissingBody) {
+  Grammar g;
+  g.DeclareRule("root");
+  g.SetRootRule(0);
+  EXPECT_THROW(g.Validate(), CheckError);
+}
+
+TEST(Grammar, RepeatBoundsChecked) {
+  Grammar g;
+  ExprId a = g.AddByteString("a");
+  EXPECT_THROW(g.AddRepeat(a, -1, 2), CheckError);
+  EXPECT_THROW(g.AddRepeat(a, 3, 2), CheckError);
+  EXPECT_NO_THROW(g.AddRepeat(a, 2, -1));
+}
+
+TEST(BuiltinGrammars, ParseAndValidate) {
+  for (Grammar g :
+       {BuiltinJsonGrammar(), BuiltinXmlGrammar(), BuiltinPythonDslGrammar()}) {
+    g.Validate();
+    EXPECT_GT(g.NumRules(), 3);
+  }
+}
+
+TEST(BuiltinGrammars, XmlAcceptsRepresentativeDocuments) {
+  Grammar g = BuiltinXmlGrammar();
+  EXPECT_TRUE(Accepts(g, "<a/>"));
+  EXPECT_TRUE(Accepts(g, R"(<a b="c">text</a>)"));
+  EXPECT_TRUE(Accepts(g, "<a><!-- note --><b/>x &amp; y</a>"));
+  EXPECT_TRUE(Accepts(g, "<a>&#x41;&#65;</a>"));
+  EXPECT_FALSE(Accepts(g, "<a>"));          // unclosed
+  EXPECT_FALSE(Accepts(g, "<a>&bogus;</a>"));  // unknown entity
+  EXPECT_FALSE(Accepts(g, "plain text"));
+}
+
+TEST(BuiltinGrammars, PythonDslAcceptsRepresentativePrograms) {
+  Grammar g = BuiltinPythonDslGrammar();
+  EXPECT_TRUE(Accepts(g, "x = 1\n"));
+  EXPECT_TRUE(Accepts(g, "if x > 2: y = x * 3\n"));
+  EXPECT_TRUE(Accepts(g, "for i in items: total += i\n"));
+  EXPECT_TRUE(Accepts(g, "while True: pass\n"));
+  EXPECT_TRUE(Accepts(g, "s = \"str\"\nf = 1.5\nb = False\n"));
+  EXPECT_TRUE(Accepts(g, "if a == b:\nx = f(1, 2)\ny = items[0]\n"));
+  EXPECT_FALSE(Accepts(g, "x = \n"));
+  EXPECT_FALSE(Accepts(g, "if : pass\n"));
+}
+
+}  // namespace
+}  // namespace xgr::grammar

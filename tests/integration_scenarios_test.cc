@@ -1,0 +1,187 @@
+// Cross-feature integration scenarios: the new subsystems composed the way a
+// downstream serving integration would use them — compiler cache feeding
+// continuous batching, structural tags surviving serialization, forks of
+// deserialized engines, and cross-grammar rule import.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/xgrammar_decoder.h"
+#include "cache/grammar_compiler.h"
+#include "engine/serving_engine.h"
+#include "grammar/earley.h"
+#include "grammar/grammar.h"
+#include "grammar/regex_to_grammar.h"
+#include "grammar/structural_tag.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "serialize/serialize.h"
+#include "tokenizer/synthetic_vocab.h"
+
+namespace xgr {
+namespace {
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer() {
+  static auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({2500, 19}));
+  return info;
+}
+
+// --- ImportRules (the substrate under structural tags) -------------------------
+
+TEST(ImportRules, ImportedGrammarKeepsItsLanguage) {
+  grammar::Grammar host;
+  grammar::RuleId imported =
+      grammar::ImportRules(&host, grammar::BuiltinJsonGrammar(), "json_");
+  // Host grammar: a log line "LEVEL <json>".
+  grammar::ExprId body = host.AddSequence(
+      {host.AddChoice({host.AddByteString("INFO "), host.AddByteString("ERROR ")}),
+       host.AddRuleRef(imported)});
+  host.SetRootRule(host.AddRule("root", body));
+  host.Validate();
+
+  auto pda = pda::CompiledGrammar::Compile(host);
+  matcher::GrammarMatcher m(pda);
+  EXPECT_TRUE(m.AcceptString("ERROR {\"code\":500}") && m.CanTerminate());
+  m.RollbackToDepth(0);
+  EXPECT_TRUE(m.AcceptString("INFO [1,2,3]") && m.CanTerminate());
+  m.RollbackToDepth(0);
+  EXPECT_FALSE(m.AcceptString("WARN {}"));
+}
+
+TEST(ImportRules, TwoImportsCoexistUnderDistinctPrefixes) {
+  grammar::Grammar host;
+  grammar::RuleId number =
+      grammar::ImportRules(&host, grammar::RegexToGrammar("-?[0-9]+"), "num_");
+  grammar::RuleId word =
+      grammar::ImportRules(&host, grammar::RegexToGrammar("[a-z]+"), "word_");
+  grammar::ExprId body = host.AddSequence({host.AddRuleRef(word),
+                                           host.AddByteString("="),
+                                           host.AddRuleRef(number)});
+  host.SetRootRule(host.AddRule("root", body));
+  auto pda = pda::CompiledGrammar::Compile(host);
+  matcher::GrammarMatcher m(pda);
+  EXPECT_TRUE(m.AcceptString("answer=-42") && m.CanTerminate());
+}
+
+TEST(ImportRules, NameCollisionThrows) {
+  grammar::Grammar host;
+  grammar::ImportRules(&host, grammar::RegexToGrammar("a"), "p_");
+  EXPECT_THROW(grammar::ImportRules(&host, grammar::RegexToGrammar("b"), "p_"),
+               CheckError);
+}
+
+// --- Compiler cache + continuous batching ---------------------------------------
+
+TEST(Scenario, CompilerCacheFeedsContinuousBatching) {
+  auto info = TestTokenizer();
+  cache::GrammarCompiler compiler(info);
+  engine::MockLlm llm(info, {.derail_probability = 0.0, .seed = 9});
+
+  // Three requests against two distinct schemas: the compiler compiles twice
+  // and serves the third request from cache.
+  const char* schema_a = R"({"type":"object","properties":{"a":{"type":"integer"}},
+                             "required":["a"],"additionalProperties":false})";
+  const char* schema_b = R"({"type":"array","items":{"type":"integer"}})";
+  std::vector<engine::ContinuousRequest> stream;
+  const char* targets[] = {R"({"a":1})", "[1,2]", R"({"a":2})"};
+  const char* schemas[] = {schema_a, schema_b, schema_a};
+  for (int i = 0; i < 3; ++i) {
+    engine::ContinuousRequest r;
+    r.request.decoder = std::make_shared<baselines::XGrammarDecoder>(
+        compiler.CompileJsonSchema(schemas[i]));
+    r.request.target_text = targets[i];
+    r.request.seed = static_cast<std::uint64_t>(i) + 1;
+    r.arrival_step = i;
+    stream.push_back(std::move(r));
+  }
+  EXPECT_EQ(compiler.Stats().misses, 2);
+  EXPECT_EQ(compiler.Stats().hits, 1);
+
+  engine::EngineOptions options;
+  options.time_scale = 0.0;
+  options.max_new_tokens = 64;
+  engine::ServingEngine engine(options, llm);
+  auto result = engine.RunContinuous(stream, 2);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.requests[static_cast<std::size_t>(i)].result.output_text,
+              targets[i]);
+  }
+}
+
+// --- Structural tags through serialization ---------------------------------------
+
+TEST(Scenario, StructuralTagGrammarSurvivesSerializationWithMasks) {
+  auto info = TestTokenizer();
+  grammar::Grammar tag_grammar = grammar::BuildStructuralTagGrammar(
+      {{"<function=f>",
+        R"({"type":"object","properties":{"q":{"type":"string"}},
+            "required":["q"],"additionalProperties":false})",
+        "</function>"}},
+      {"<function="});
+  auto pda = pda::CompiledGrammar::Compile(tag_grammar);
+  auto cache = cache::AdaptiveTokenMaskCache::Build(pda, info);
+
+  std::string blob = serialize::SerializeEngineArtifact(*cache);
+  auto loaded = serialize::DeserializeEngineArtifact(blob, info);
+
+  const std::string transcript =
+      "ok <function=f>" R"({"q":"weather"})" "</function> done";
+  baselines::XGrammarDecoder a(cache);
+  baselines::XGrammarDecoder b(loaded);
+  for (char c : transcript) {
+    DynamicBitset mask_a(static_cast<std::size_t>(info->VocabSize()));
+    DynamicBitset mask_b(static_cast<std::size_t>(info->VocabSize()));
+    a.FillNextTokenBitmask(&mask_a);
+    b.FillNextTokenBitmask(&mask_b);
+    ASSERT_TRUE(mask_a == mask_b);
+    ASSERT_TRUE(a.Matcher().AcceptByte(static_cast<std::uint8_t>(c)));
+    ASSERT_TRUE(b.Matcher().AcceptByte(static_cast<std::uint8_t>(c)));
+  }
+  EXPECT_TRUE(a.CanTerminate());
+  EXPECT_TRUE(b.CanTerminate());
+}
+
+TEST(Scenario, ForkOfDeserializedEngineBranches) {
+  auto info = TestTokenizer();
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto cache = cache::AdaptiveTokenMaskCache::Build(pda, info);
+  auto loaded = serialize::DeserializeEngineArtifact(
+      serialize::SerializeEngineArtifact(*cache), info);
+
+  baselines::XGrammarDecoder trunk(loaded);
+  ASSERT_TRUE(trunk.Matcher().AcceptString("[1,"));
+  auto fork = trunk.Fork();
+  EXPECT_TRUE(fork->Matcher().AcceptString("2]"));
+  EXPECT_TRUE(fork->CanTerminate());
+  EXPECT_TRUE(trunk.Matcher().AcceptString("null]"));
+  EXPECT_TRUE(trunk.CanTerminate());
+}
+
+// --- Earley oracle over the composed grammar sources ------------------------------
+
+TEST(Scenario, EarleyValidatesComposedTagGrammar) {
+  grammar::Grammar tag_grammar = grammar::BuildStructuralTagGrammar(
+      {{"<d>", "", "</d>"}}, {"<d>"});
+  grammar::BnfGrammar bnf = grammar::LowerToBnf(tag_grammar);
+  auto pda = pda::CompiledGrammar::Compile(tag_grammar);
+
+  const char* probes[] = {
+      "plain text",
+      "<d>[1,2]</d>",
+      "a <d>{\"k\":null}</d> b",
+      "<d>[1,2</d>",       // malformed body
+      "a <d> b",           // unterminated tag
+      "almost <q> there",  // non-trigger markup
+  };
+  for (const char* probe : probes) {
+    matcher::GrammarMatcher m(pda);
+    bool pipeline = m.AcceptString(probe) && m.CanTerminate();
+    EXPECT_EQ(grammar::EarleyAccepts(bnf, probe), pipeline) << probe;
+  }
+}
+
+}  // namespace
+}  // namespace xgr

@@ -1,0 +1,335 @@
+// Tests for the JSON-Schema → grammar converter: every supported keyword,
+// plus property tests over the synthetic schema dataset (canonical answers
+// accepted, mutations rejected).
+#include <gtest/gtest.h>
+
+#include "datasets/workloads.h"
+#include "grammar/json_schema.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+
+namespace xgr::grammar {
+namespace {
+
+bool SchemaAccepts(const std::string& schema_text, const std::string& instance) {
+  Grammar g = JsonSchemaTextToGrammar(schema_text);
+  auto pda = pda::CompiledGrammar::Compile(g);
+  matcher::GrammarMatcher m(pda);
+  return m.AcceptString(instance) && m.CanTerminate();
+}
+
+TEST(JsonSchema, ScalarTypes) {
+  EXPECT_TRUE(SchemaAccepts(R"({"type":"string"})", R"("hi there")"));
+  EXPECT_FALSE(SchemaAccepts(R"({"type":"string"})", "42"));
+  EXPECT_TRUE(SchemaAccepts(R"({"type":"integer"})", "-12"));
+  EXPECT_FALSE(SchemaAccepts(R"({"type":"integer"})", "1.5"));
+  EXPECT_FALSE(SchemaAccepts(R"({"type":"integer"})", "01"));
+  EXPECT_TRUE(SchemaAccepts(R"({"type":"number"})", "3.25e-2"));
+  EXPECT_TRUE(SchemaAccepts(R"({"type":"boolean"})", "true"));
+  EXPECT_FALSE(SchemaAccepts(R"({"type":"boolean"})", "yes"));
+  EXPECT_TRUE(SchemaAccepts(R"({"type":"null"})", "null"));
+}
+
+TEST(JsonSchema, StringEscapesAccepted) {
+  EXPECT_TRUE(SchemaAccepts(R"({"type":"string"})", R"("a\"b\\cA")"));
+  EXPECT_FALSE(SchemaAccepts(R"({"type":"string"})", R"("bad\q")"));
+  EXPECT_FALSE(SchemaAccepts(R"({"type":"string"})", "\"ctrl\x02\""));
+  // Raw multi-byte UTF-8 inside strings.
+  EXPECT_TRUE(SchemaAccepts(R"({"type":"string"})", "\"caf\xC3\xA9 \xF0\x9F\x98\x80\""));
+}
+
+TEST(JsonSchema, EnumAndConst) {
+  const char* schema = R"({"enum":["red","green",7,true,null]})";
+  EXPECT_TRUE(SchemaAccepts(schema, R"("red")"));
+  EXPECT_TRUE(SchemaAccepts(schema, "7"));
+  EXPECT_TRUE(SchemaAccepts(schema, "true"));
+  EXPECT_TRUE(SchemaAccepts(schema, "null"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"("blue")"));
+  EXPECT_TRUE(SchemaAccepts(R"({"const":{"k":1}})", R"({"k":1})"));
+  EXPECT_FALSE(SchemaAccepts(R"({"const":{"k":1}})", R"({"k":2})"));
+}
+
+TEST(JsonSchema, ObjectRequiredProperties) {
+  const char* schema = R"({
+    "type":"object",
+    "properties":{"a":{"type":"integer"},"b":{"type":"string"}},
+    "required":["a","b"],
+    "additionalProperties": false
+  })";
+  EXPECT_TRUE(SchemaAccepts(schema, R"({"a":1,"b":"x"})"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"({"a":1})"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"({"b":"x","a":1})"));  // fixed order
+  EXPECT_FALSE(SchemaAccepts(schema, R"({"a":1,"b":"x","c":2})"));
+}
+
+TEST(JsonSchema, ObjectOptionalProperties) {
+  const char* schema = R"({
+    "type":"object",
+    "properties":{"a":{"type":"integer"},"b":{"type":"string"},"c":{"type":"boolean"}},
+    "required":["b"],
+    "additionalProperties": false
+  })";
+  EXPECT_TRUE(SchemaAccepts(schema, R"({"b":"x"})"));
+  EXPECT_TRUE(SchemaAccepts(schema, R"({"a":1,"b":"x"})"));
+  EXPECT_TRUE(SchemaAccepts(schema, R"({"b":"x","c":true})"));
+  EXPECT_TRUE(SchemaAccepts(schema, R"({"a":1,"b":"x","c":false})"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"({"a":1,"c":true})"));  // missing b
+  EXPECT_FALSE(SchemaAccepts(schema, R"({"a":1,"b":"x",})"));
+}
+
+TEST(JsonSchema, AllOptionalAllowsEmptyObject) {
+  const char* schema = R"({
+    "type":"object",
+    "properties":{"a":{"type":"integer"}},
+    "additionalProperties": false
+  })";
+  EXPECT_TRUE(SchemaAccepts(schema, "{}"));
+  EXPECT_TRUE(SchemaAccepts(schema, R"({"a":5})"));
+}
+
+TEST(JsonSchema, AdditionalProperties) {
+  const char* schema = R"({
+    "type":"object",
+    "properties":{"id":{"type":"integer"}},
+    "required":["id"],
+    "additionalProperties": {"type":"string"}
+  })";
+  EXPECT_TRUE(SchemaAccepts(schema, R"({"id":1})"));
+  EXPECT_TRUE(SchemaAccepts(schema, R"({"id":1,"x":"y"})"));
+  EXPECT_TRUE(SchemaAccepts(schema, R"({"id":1,"x":"y","z":"w"})"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"({"id":1,"x":2})"));  // extra must be string
+}
+
+TEST(JsonSchema, EmptyObjectSchema) {
+  EXPECT_TRUE(SchemaAccepts(R"({"type":"object","additionalProperties":false})", "{}"));
+  EXPECT_FALSE(SchemaAccepts(R"({"type":"object","additionalProperties":false})",
+                             R"({"a":1})"));
+}
+
+TEST(JsonSchema, Arrays) {
+  const char* schema = R"({"type":"array","items":{"type":"integer"}})";
+  EXPECT_TRUE(SchemaAccepts(schema, "[]"));
+  EXPECT_TRUE(SchemaAccepts(schema, "[1]"));
+  EXPECT_TRUE(SchemaAccepts(schema, "[1,2,3]"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"([1,"x"])"));
+  EXPECT_FALSE(SchemaAccepts(schema, "[1,]"));
+}
+
+TEST(JsonSchema, ArrayBounds) {
+  const char* schema =
+      R"({"type":"array","items":{"type":"integer"},"minItems":2,"maxItems":3})";
+  EXPECT_FALSE(SchemaAccepts(schema, "[1]"));
+  EXPECT_TRUE(SchemaAccepts(schema, "[1,2]"));
+  EXPECT_TRUE(SchemaAccepts(schema, "[1,2,3]"));
+  EXPECT_FALSE(SchemaAccepts(schema, "[1,2,3,4]"));
+}
+
+TEST(JsonSchema, AnyOf) {
+  const char* schema = R"({"anyOf":[{"type":"integer"},{"type":"string"}]})";
+  EXPECT_TRUE(SchemaAccepts(schema, "3"));
+  EXPECT_TRUE(SchemaAccepts(schema, R"("s")"));
+  EXPECT_FALSE(SchemaAccepts(schema, "true"));
+}
+
+TEST(JsonSchema, TypeArray) {
+  const char* schema = R"({"type":["integer","null"]})";
+  EXPECT_TRUE(SchemaAccepts(schema, "5"));
+  EXPECT_TRUE(SchemaAccepts(schema, "null"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"("s")"));
+}
+
+TEST(JsonSchema, RefAndRecursion) {
+  const char* schema = R"({
+    "type":"object",
+    "properties":{"value":{"type":"integer"},
+                   "next":{"anyOf":[{"$ref":"#/$defs/node"},{"type":"null"}]}},
+    "required":["value","next"],
+    "additionalProperties": false,
+    "$defs":{"node":{
+      "type":"object",
+      "properties":{"value":{"type":"integer"},
+                     "next":{"anyOf":[{"$ref":"#/$defs/node"},{"type":"null"}]}},
+      "required":["value","next"],
+      "additionalProperties": false}}
+  })";
+  EXPECT_TRUE(SchemaAccepts(schema, R"({"next":null,"value":1})"));
+  EXPECT_TRUE(SchemaAccepts(
+      schema, R"({"next":{"next":{"next":null,"value":3},"value":2},"value":1})"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"({"next":{},"value":1})"));
+}
+
+TEST(JsonSchema, StringPattern) {
+  const char* schema = R"({"type":"string","pattern":"[A-Z]{2}-[0-9]{4}"})";
+  EXPECT_TRUE(SchemaAccepts(schema, R"("AB-1234")"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"("ab-1234")"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"("AB-123")"));
+}
+
+TEST(JsonSchema, StringLengthBounds) {
+  const char* schema = R"({"type":"string","minLength":2,"maxLength":4})";
+  EXPECT_FALSE(SchemaAccepts(schema, R"("a")"));
+  EXPECT_TRUE(SchemaAccepts(schema, R"("ab")"));
+  EXPECT_TRUE(SchemaAccepts(schema, R"("abcd")"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"("abcde")"));
+}
+
+TEST(JsonSchema, UntypedFallsBackToAnyValue) {
+  const char* schema = R"({"type":"object","properties":{"x":{}},
+                           "required":["x"],"additionalProperties":false})";
+  EXPECT_TRUE(SchemaAccepts(schema, R"({"x":123})"));
+  EXPECT_TRUE(SchemaAccepts(schema, R"({"x":{"nested":[1,"two",null]}})"));
+  EXPECT_TRUE(SchemaAccepts(schema, R"({"x":[[],{}]})"));
+}
+
+TEST(JsonSchema, BooleanSchemas) {
+  EXPECT_TRUE(SchemaAccepts("true", R"({"anything":[1,2]})"));
+  EXPECT_THROW(JsonSchemaTextToGrammar("false"), CheckError);
+}
+
+TEST(JsonSchema, UnsupportedConstructsThrow) {
+  EXPECT_THROW(JsonSchemaTextToGrammar(R"({"type":"frob"})"), CheckError);
+  EXPECT_THROW(JsonSchemaTextToGrammar(R"({"$ref":"http://remote"})"), CheckError);
+  EXPECT_THROW(
+      JsonSchemaTextToGrammar(R"({"allOf":[{"type":"integer"},{"type":"number"}]})"),
+      CheckError);
+  EXPECT_NO_THROW(JsonSchemaTextToGrammar(R"({"allOf":[{"type":"integer"}]})"));
+}
+
+TEST(JsonSchema, AllOfMergesObjectSchemas) {
+  const char* schema = R"({
+    "allOf": [
+      {"type":"object","properties":{"a":{"type":"integer"}},"required":["a"]},
+      {"type":"object","properties":{"b":{"type":"string"}},"required":["b"],
+       "additionalProperties": false}
+    ]
+  })";
+  EXPECT_TRUE(SchemaAccepts(schema, R"({"a":1,"b":"x"})"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"({"a":1})"));          // b required
+  EXPECT_FALSE(SchemaAccepts(schema, R"({"b":"x"})"));        // a required
+  EXPECT_FALSE(SchemaAccepts(schema, R"({"a":1,"b":"x","c":2})"));  // AND of AP
+  EXPECT_FALSE(SchemaAccepts(schema, R"({"a":"s","b":"x"})"));
+}
+
+TEST(JsonSchema, AllOfRejectsConflictingRedefinition) {
+  EXPECT_THROW(JsonSchemaTextToGrammar(R"({
+    "allOf": [
+      {"type":"object","properties":{"a":{"type":"integer"}}},
+      {"type":"object","properties":{"a":{"type":"string"}}}
+    ]
+  })"),
+               CheckError);
+}
+
+TEST(JsonSchema, FormatDate) {
+  const char* schema = R"({"type":"string","format":"date"})";
+  EXPECT_TRUE(SchemaAccepts(schema, R"("2026-06-09")"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"("2026-13-09")"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"("2026-06-32")"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"("26-06-09")"));
+}
+
+TEST(JsonSchema, FormatDateTime) {
+  const char* schema = R"({"type":"string","format":"date-time"})";
+  EXPECT_TRUE(SchemaAccepts(schema, R"("2026-06-09T23:59:01Z")"));
+  EXPECT_TRUE(SchemaAccepts(schema, R"("2026-06-09T12:00:00.25+05:30")"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"("2026-06-09 23:59:01Z")"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"("2026-06-09T24:00:00Z")"));
+}
+
+TEST(JsonSchema, FormatUuid) {
+  const char* schema = R"({"type":"string","format":"uuid"})";
+  EXPECT_TRUE(SchemaAccepts(schema, R"("123e4567-e89b-12d3-a456-426614174000")"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"("123e4567e89b12d3a456426614174000")"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"("123e4567-e89b-12d3-a456-42661417400g")"));
+}
+
+TEST(JsonSchema, FormatEmailAndIpv4) {
+  EXPECT_TRUE(SchemaAccepts(R"({"type":"string","format":"email"})",
+                            R"("a.b+c@example.co")"));
+  EXPECT_FALSE(SchemaAccepts(R"({"type":"string","format":"email"})",
+                             R"("not an email")"));
+  EXPECT_TRUE(SchemaAccepts(R"({"type":"string","format":"ipv4"})",
+                            R"("192.168.0.255")"));
+  EXPECT_FALSE(SchemaAccepts(R"({"type":"string","format":"ipv4"})",
+                             R"("192.168.0.256")"));
+  EXPECT_FALSE(SchemaAccepts(R"({"type":"string","format":"ipv4"})",
+                             R"("192.168.0")"));
+}
+
+TEST(JsonSchema, UnknownFormatIsAnnotationOnly) {
+  // Per the spec, unrecognized formats do not constrain the value.
+  EXPECT_TRUE(SchemaAccepts(R"({"type":"string","format":"color-name"})",
+                            R"("chartreuse")"));
+}
+
+TEST(JsonSchema, PrefixItemsTuple) {
+  const char* schema = R"({
+    "type":"array",
+    "prefixItems":[{"type":"integer"},{"type":"string"}],
+    "items": false
+  })";
+  EXPECT_TRUE(SchemaAccepts(schema, R"([1,"x"])"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"([1])"));        // tuple incomplete
+  EXPECT_FALSE(SchemaAccepts(schema, R"([1,"x",2])"));  // items: false
+  EXPECT_FALSE(SchemaAccepts(schema, R"(["x",1])"));    // order matters
+}
+
+TEST(JsonSchema, PrefixItemsWithTypedExtras) {
+  const char* schema = R"({
+    "type":"array",
+    "prefixItems":[{"type":"string"}],
+    "items": {"type":"integer"},
+    "maxItems": 3
+  })";
+  EXPECT_TRUE(SchemaAccepts(schema, R"(["x"])"));
+  EXPECT_TRUE(SchemaAccepts(schema, R"(["x",1,2])"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"(["x",1,2,3])"));  // maxItems
+  EXPECT_FALSE(SchemaAccepts(schema, R"(["x","y"])"));    // extras typed
+}
+
+TEST(JsonSchema, PrefixItemsDefaultExtrasAreAnyValue) {
+  const char* schema = R"({"type":"array","prefixItems":[{"type":"integer"}]})";
+  EXPECT_TRUE(SchemaAccepts(schema, R"([1,{"k":null},"s"])"));
+  EXPECT_FALSE(SchemaAccepts(schema, R"(["s"])"));
+}
+
+// --- Property tests over the synthetic dataset ------------------------------
+
+class SchemaDatasetTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchemaDatasetTest, CanonicalAnswersAccepted) {
+  auto tasks = datasets::GenerateSchemaTasks(1, static_cast<std::uint64_t>(GetParam()));
+  const auto& task = tasks[0];
+  Grammar g = JsonSchemaToGrammar(task.schema);
+  auto pda = pda::CompiledGrammar::Compile(g);
+  matcher::GrammarMatcher m(pda);
+  std::string answer = task.canonical_answer.Dump();
+  EXPECT_TRUE(m.AcceptString(answer)) << answer << "\nschema: " << task.schema.Dump();
+  EXPECT_TRUE(m.CanTerminate());
+}
+
+TEST_P(SchemaDatasetTest, MutatedAnswersRejected) {
+  auto tasks = datasets::GenerateSchemaTasks(1, static_cast<std::uint64_t>(GetParam()));
+  const auto& task = tasks[0];
+  Grammar g = JsonSchemaToGrammar(task.schema);
+  auto pda = pda::CompiledGrammar::Compile(g);
+  std::string answer = task.canonical_answer.Dump();
+  // Structural mutations that must always break acceptance-at-termination.
+  std::vector<std::string> mutations;
+  mutations.push_back(answer + "}");                 // trailing garbage
+  mutations.push_back(answer.substr(0, answer.size() - 1));  // truncated
+  mutations.push_back("[" + answer + "]");            // wrapped
+  std::string prose = "Sure! " + answer;               // leading prose
+  mutations.push_back(prose);
+  for (const std::string& mutated : mutations) {
+    matcher::GrammarMatcher m(pda);
+    bool accepted = m.AcceptString(mutated) && m.CanTerminate();
+    EXPECT_FALSE(accepted) << mutated;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemaDatasetTest,
+                         ::testing::Range(100, 120));
+
+}  // namespace
+}  // namespace xgr::grammar

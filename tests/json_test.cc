@@ -1,0 +1,129 @@
+// Tests for the JSON substrate: parsing, serialization, validation.
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+#include "support/logging.h"
+
+namespace xgr::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Parse("null").value->IsNull());
+  EXPECT_EQ(Parse("true").value->AsBool(), true);
+  EXPECT_EQ(Parse("false").value->AsBool(), false);
+  EXPECT_DOUBLE_EQ(Parse("3.25").value->AsNumber(), 3.25);
+  EXPECT_EQ(Parse("-17").value->AsInteger(), -17);
+  EXPECT_DOUBLE_EQ(Parse("1e3").value->AsNumber(), 1000.0);
+  EXPECT_DOUBLE_EQ(Parse("2E-2").value->AsNumber(), 0.02);
+  EXPECT_EQ(Parse("\"hi\"").value->AsString(), "hi");
+}
+
+TEST(JsonParse, Containers) {
+  auto doc = Parse(R"({"a": [1, 2, {"b": null}], "c": "d"})");
+  ASSERT_TRUE(doc.ok());
+  const Value& v = *doc.value;
+  EXPECT_EQ(v.AsObject().size(), 2u);
+  EXPECT_EQ(v.Find("a")->AsArray().size(), 3u);
+  EXPECT_TRUE(v.Find("a")->AsArray()[2].Find("b")->IsNull());
+  EXPECT_EQ(v.Find("c")->AsString(), "d");
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Parse(R"("\n\t\r\b\f\\\/\"")").value->AsString(), "\n\t\r\b\f\\/\"");
+  EXPECT_EQ(Parse(R"("A")").value->AsString(), "A");
+  EXPECT_EQ(Parse(R"("é")").value->AsString(), "\xC3\xA9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Parse(R"("😀")").value->AsString(), "\xF0\x9F\x98\x80");
+}
+
+class JsonInvalidTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonInvalidTest, Rejected) {
+  ParseResult result = Parse(GetParam());
+  EXPECT_FALSE(result.ok()) << GetParam();
+  EXPECT_FALSE(result.error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, JsonInvalidTest,
+    ::testing::Values("", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "01", "1.",
+                      "1e", "+1", "tru", "nul", "\"unterminated", "\"\\q\"",
+                      "\"\\u12G4\"", "[1] extra", "{'a':1}", "\"\\uD800\"",
+                      "\"\x01\"", "[1 2]", "{\"a\":1,}"));
+
+class JsonValidTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonValidTest, Accepted) { EXPECT_TRUE(IsValid(GetParam())) << GetParam(); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, JsonValidTest,
+    ::testing::Values("0", "-0", "0.5", "[[[[]]]]", "{}", "[]", " 1 ",
+                      "{\"\":\"\"}", "\"\\u0000\"", "1e+30", "[null,true]",
+                      "{\"a\":{\"a\":{\"a\":1}}}"));
+
+TEST(JsonDump, RoundTripsCompact) {
+  const char* docs[] = {
+      R"({"a":[1,2.5,"x"],"b":null})",
+      R"([true,false,[],{}])",
+      R"("esc \" \\ \n")",
+      R"({"nested":{"deep":[{"k":"v"}]}})",
+  };
+  for (const char* doc : docs) {
+    ParseResult first = Parse(doc);
+    ASSERT_TRUE(first.ok()) << doc;
+    std::string dumped = first.value->Dump();
+    ParseResult second = Parse(dumped);
+    ASSERT_TRUE(second.ok()) << dumped;
+    EXPECT_TRUE(*first.value == *second.value) << dumped;
+    // Dump is a fixpoint: dumping again yields identical bytes.
+    EXPECT_EQ(second.value->Dump(), dumped);
+  }
+}
+
+TEST(JsonDump, PrettyPrint) {
+  Value v(Object{{"a", Value(Array{Value(1), Value(2)})}});
+  EXPECT_EQ(v.Dump(2), "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonDump, ControlCharactersEscaped) {
+  Value v(std::string("\x01\x1F"));
+  EXPECT_EQ(v.Dump(), "\"\\u0001\\u001F\"");
+  EXPECT_TRUE(IsValid(v.Dump()));
+}
+
+TEST(JsonValue, IntegerDetection) {
+  EXPECT_TRUE(Parse("42").value->IsInteger());
+  EXPECT_TRUE(Parse("-7").value->IsInteger());
+  EXPECT_TRUE(Parse("2.0").value->IsInteger());
+  EXPECT_FALSE(Parse("2.5").value->IsInteger());
+  EXPECT_FALSE(Parse("\"2\"").value->IsInteger());
+}
+
+TEST(JsonValue, MutationCopiesOnWrite) {
+  Value inner(Array{Value(1)});
+  Value a(Object{{"k", inner}});
+  Value b = a;  // shares structure
+  b.MutableObject().at("k").MutableArray().push_back(Value(2));
+  EXPECT_EQ(a.Find("k")->AsArray().size(), 1u);
+  EXPECT_EQ(b.Find("k")->AsArray().size(), 2u);
+}
+
+TEST(JsonParse, DepthLimitEnforced) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+  std::string ok(100, '[');
+  ok += std::string(100, ']');
+  EXPECT_TRUE(Parse(ok).ok());
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  Value v(3.0);
+  EXPECT_THROW(v.AsString(), ::xgr::CheckError);
+  EXPECT_THROW(v.AsArray(), ::xgr::CheckError);
+  EXPECT_THROW(Value("x").AsNumber(), ::xgr::CheckError);
+}
+
+}  // namespace
+}  // namespace xgr::json

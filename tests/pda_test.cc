@@ -1,0 +1,188 @@
+// Tests for PDA compilation: optimization-pass effects, node/rule ownership,
+// context expansion automata (both the paper's Algorithm 2 and the spliced
+// global variant), and equivalence between optimized and unoptimized
+// automata.
+#include <gtest/gtest.h>
+
+#include "datasets/workloads.h"
+#include "grammar/grammar.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+
+namespace xgr::pda {
+namespace {
+
+using grammar::BuiltinJsonGrammar;
+
+TEST(Compile, OptionsReduceAutomatonSize) {
+  grammar::Grammar g = BuiltinJsonGrammar();
+  auto raw = CompiledGrammar::Compile(g, CompileOptions::AllDisabled());
+  CompileOptions merged_only = CompileOptions::AllDisabled();
+  merged_only.node_merging = true;
+  auto merged = CompiledGrammar::Compile(g, merged_only);
+  auto full = CompiledGrammar::Compile(g);
+  EXPECT_LE(merged->NumNodes(), raw->NumNodes());
+  // Inlining eliminates fragment rules entirely.
+  EXPECT_LT(full->NumRules(), raw->NumRules());
+}
+
+TEST(Compile, NodeRuleAssignmentCoversEverything) {
+  auto pda = CompiledGrammar::Compile(BuiltinJsonGrammar());
+  for (std::int32_t n = 0; n < pda->NumNodes(); ++n) {
+    grammar::RuleId rule = pda->NodeRule(n);
+    ASSERT_GE(rule, 0);
+    ASSERT_LT(rule, pda->NumRules());
+  }
+  // Every rule's start node belongs to that rule.
+  for (grammar::RuleId r = 0; r < pda->NumRules(); ++r) {
+    EXPECT_EQ(pda->NodeRule(pda->RuleStartNode(r)), r);
+  }
+}
+
+// Property: all four optimization configurations accept exactly the same
+// strings.
+class OptimizationEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizationEquivalenceTest, ConfigurationsAgreeOnDocumentsAndMutations) {
+  grammar::Grammar g = BuiltinJsonGrammar();
+  std::vector<std::shared_ptr<const CompiledGrammar>> variants;
+  variants.push_back(CompiledGrammar::Compile(g, CompileOptions::AllDisabled()));
+  {
+    CompileOptions o = CompileOptions::AllDisabled();
+    o.node_merging = true;
+    variants.push_back(CompiledGrammar::Compile(g, o));
+    o.rule_inlining = true;
+    variants.push_back(CompiledGrammar::Compile(g, o));
+    o.context_expansion = true;
+    variants.push_back(CompiledGrammar::Compile(g, o));
+  }
+  auto seed = static_cast<std::uint64_t>(GetParam());
+  auto docs = datasets::GenerateJsonDocuments(2, seed + 1700);
+  std::vector<std::string> probes = docs;
+  probes.push_back(docs[0] + "x");
+  probes.push_back(docs[0].substr(0, docs[0].size() / 2));
+  probes.push_back("{\"broken\":}");
+  for (const std::string& probe : probes) {
+    int reference = -1;
+    for (const auto& pda : variants) {
+      matcher::GrammarMatcher m(pda);
+      int accepted = m.AcceptString(probe) && m.CanTerminate() ? 1 : 0;
+      if (reference == -1) {
+        reference = accepted;
+      } else {
+        EXPECT_EQ(accepted, reference) << probe;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizationEquivalenceTest, ::testing::Range(0, 8));
+
+// --- Paper's Algorithm 2 (single-rule extraction) -------------------------------
+
+TEST(ContextExpansion, PaperAlgorithmExtractsFollowSets) {
+  // array ::= "[" item ("," item)* "]": after `item` only "," or "]" follow.
+  grammar::Grammar g = grammar::ParseEbnfOrThrow(R"EB(
+    root ::= "[" item ("," item)* "]"
+    item ::= [a-z]+
+  )EB");
+  CompileOptions options = CompileOptions::AllDisabled();  // keep `item` a rule
+  auto pda = CompiledGrammar::Compile(g, options);
+  grammar::RuleId item_rule = pda->SourceGrammar().FindRule("item");
+  ASSERT_NE(item_rule, grammar::kInvalidRule);
+  std::vector<std::int32_t> starts;
+  for (grammar::RuleId r = 0; r < pda->NumRules(); ++r) {
+    starts.push_back(pda->RuleStartNode(r));
+  }
+  fsa::Fsa ctx = ExtractContextFsa(pda->Automaton(), starts, item_rule);
+  EXPECT_TRUE(fsa::FsaAccepts(ctx, ","));
+  EXPECT_TRUE(fsa::FsaAccepts(ctx, "]"));
+  EXPECT_FALSE(fsa::FsaAcceptsPrefix(ctx, "x"));
+  // "," reaches a rule-ref frontier (the next item): it is final there, and
+  // nothing beyond it is visible.
+  EXPECT_FALSE(fsa::FsaAcceptsPrefix(ctx, ",,"));
+}
+
+TEST(ContextExpansion, UnreferencedRuleHasEmptyContext) {
+  grammar::Grammar g = grammar::ParseEbnfOrThrow(R"(root ::= "a")");
+  auto pda = CompiledGrammar::Compile(g, CompileOptions::AllDisabled());
+  std::vector<std::int32_t> starts{pda->RuleStartNode(0)};
+  fsa::Fsa ctx = ExtractContextFsa(pda->Automaton(), starts, pda->RootRule());
+  // Empty language: no string (not even "") is accepted.
+  EXPECT_FALSE(fsa::FsaAccepts(ctx, ""));
+  EXPECT_FALSE(fsa::FsaAcceptsPrefix(ctx, "a"));
+}
+
+// --- Spliced global context automaton ----------------------------------------------
+
+TEST(ContextExpansion, GlobalAutomatonSplicesThroughParents) {
+  // After `leaf` completes inside `mid`, and `mid` completes inside root,
+  // the suffix language of `leaf` must include root's continuation ")".
+  grammar::Grammar g = grammar::ParseEbnfOrThrow(R"EB(
+    root ::= "(" mid ")"
+    mid ::= "[" leaf "]"
+    leaf ::= [a-z]
+  )EB");
+  auto pda = CompiledGrammar::Compile(g, [] {
+    CompileOptions o = CompileOptions::AllDisabled();
+    o.context_expansion = true;
+    return o;
+  }());
+  const fsa::Fsa* ctx = pda->ContextAutomaton();
+  ASSERT_NE(ctx, nullptr);
+  grammar::RuleId leaf = pda->SourceGrammar().FindRule("leaf");
+  ASSERT_NE(leaf, grammar::kInvalidRule);
+  fsa::NfaRunner runner(*ctx);
+  runner.SetStates({pda->ContextStart(leaf)});
+  // "]" then ")" both legal after leaf; "x" is not.
+  EXPECT_TRUE(runner.Advance(']'));
+  EXPECT_TRUE(runner.Advance(')'));
+  fsa::NfaRunner runner2(*ctx);
+  runner2.SetStates({pda->ContextStart(leaf)});
+  EXPECT_FALSE(runner2.Advance('x'));
+  // After the full continuation "])" the root is done: nothing can follow.
+  fsa::NfaRunner runner3(*ctx);
+  runner3.SetStates({pda->ContextStart(leaf)});
+  EXPECT_TRUE(runner3.Advance(']'));
+  EXPECT_TRUE(runner3.Advance(')'));
+  EXPECT_FALSE(runner3.Advance(')'));
+}
+
+TEST(ContextExpansion, RootContinuationIsDead) {
+  auto pda = CompiledGrammar::Compile(BuiltinJsonGrammar());
+  const fsa::Fsa* ctx = pda->ContextAutomaton();
+  ASSERT_NE(ctx, nullptr);
+  fsa::NfaRunner runner(*ctx);
+  runner.SetStates({pda->ContextStart(pda->RootRule())});
+  EXPECT_FALSE(runner.InAcceptingState());
+  EXPECT_FALSE(runner.Advance('x'));
+}
+
+TEST(ContextExpansion, DisabledMeansNoAutomaton) {
+  CompileOptions options;
+  options.context_expansion = false;
+  auto pda = CompiledGrammar::Compile(BuiltinJsonGrammar(), options);
+  EXPECT_EQ(pda->ContextAutomaton(), nullptr);
+}
+
+TEST(Compile, StatsStringMentionsSizes) {
+  auto pda = CompiledGrammar::Compile(BuiltinJsonGrammar());
+  std::string stats = pda->StatsString();
+  EXPECT_NE(stats.find("rules="), std::string::npos);
+  EXPECT_NE(stats.find("nodes="), std::string::npos);
+  EXPECT_NE(stats.find("ctx_fsa_states="), std::string::npos);
+}
+
+TEST(Compile, LeftRecursionDetectedAtMatchTime) {
+  grammar::Grammar g = grammar::ParseEbnfOrThrow(R"(
+    root ::= expr
+    expr ::= expr "+" [0-9] | [0-9]
+  )");
+  auto pda = CompiledGrammar::Compile(g);
+  // Left recursion pushes unboundedly during the very first closure (at
+  // matcher construction); the budget check fires rather than hanging.
+  EXPECT_THROW(matcher::GrammarMatcher m(pda), CheckError);
+}
+
+}  // namespace
+}  // namespace xgr::pda

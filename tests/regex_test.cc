@@ -1,0 +1,191 @@
+// Tests for the regex engine: parsing, compilation to byte FSAs/DFAs, and
+// full-match semantics over the supported subset.
+#include <gtest/gtest.h>
+
+#include "fsa/dfa.h"
+#include "regex/regex.h"
+
+namespace xgr::regex {
+namespace {
+
+struct MatchCase {
+  const char* pattern;
+  const char* input;
+  bool matches;
+};
+
+class RegexMatchTest : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(RegexMatchTest, FullMatchSemantics) {
+  auto [pattern, input, expected] = GetParam();
+  fsa::Dfa dfa = CompileRegexToDfa(pattern);
+  EXPECT_EQ(dfa.Accepts(input), expected)
+      << "pattern=" << pattern << " input=" << input;
+  // The NFA path must agree with the DFA path.
+  fsa::Fsa nfa = CompileRegex(pattern);
+  EXPECT_EQ(fsa::FsaAccepts(nfa, input), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Literals, RegexMatchTest,
+    ::testing::Values(MatchCase{"abc", "abc", true}, MatchCase{"abc", "ab", false},
+                      MatchCase{"abc", "abcd", false}, MatchCase{"", "", true},
+                      MatchCase{"", "x", false}, MatchCase{"a\\.b", "a.b", true},
+                      MatchCase{"a\\.b", "axb", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Quantifiers, RegexMatchTest,
+    ::testing::Values(MatchCase{"a*", "", true}, MatchCase{"a*", "aaaa", true},
+                      MatchCase{"a+", "", false}, MatchCase{"a+", "aaa", true},
+                      MatchCase{"a?b", "b", true}, MatchCase{"a?b", "ab", true},
+                      MatchCase{"a?b", "aab", false},
+                      MatchCase{"a{3}", "aaa", true}, MatchCase{"a{3}", "aa", false},
+                      MatchCase{"a{2,4}", "aa", true}, MatchCase{"a{2,4}", "aaaa", true},
+                      MatchCase{"a{2,4}", "aaaaa", false},
+                      MatchCase{"a{2,}", "aaaaaaa", true},
+                      MatchCase{"a{2,}", "a", false},
+                      MatchCase{"(ab)*", "ababab", true},
+                      MatchCase{"(ab)*", "aba", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, RegexMatchTest,
+    ::testing::Values(MatchCase{"[abc]+", "cab", true}, MatchCase{"[abc]+", "cad", false},
+                      MatchCase{"[a-z0-9]+", "a0z9", true},
+                      MatchCase{"[^a-z]+", "ABZ09", true},
+                      MatchCase{"[^a-z]", "m", false},
+                      MatchCase{"\\d+", "0123", true}, MatchCase{"\\d+", "12a", false},
+                      MatchCase{"\\w+", "az_09", true}, MatchCase{"\\w", "-", false},
+                      MatchCase{"\\s", " ", true}, MatchCase{"\\s", "x", false},
+                      MatchCase{"\\D", "x", true}, MatchCase{"\\D", "5", false},
+                      MatchCase{"[\\d\\s]+", "1 2", true},
+                      MatchCase{"[a\\-z]+", "a-z", true},
+                      MatchCase{"[]a]+", "]a", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Alternation, RegexMatchTest,
+    ::testing::Values(MatchCase{"cat|dog", "cat", true},
+                      MatchCase{"cat|dog", "dog", true},
+                      MatchCase{"cat|dog", "cow", false},
+                      MatchCase{"(a|b)c", "ac", true}, MatchCase{"(a|b)c", "bc", true},
+                      MatchCase{"(a|b)c", "cc", false},
+                      MatchCase{"a(b|)c", "ac", true},
+                      MatchCase{"(?:x|y)z", "yz", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    AnchorsAndDot, RegexMatchTest,
+    ::testing::Values(MatchCase{"^abc$", "abc", true},  // anchors are no-ops
+                      MatchCase{".", "x", true}, MatchCase{".", "\n", false},
+                      MatchCase{".*", "anything here", true},
+                      MatchCase{"a.c", "abc", true}, MatchCase{"a.c", "ac", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Unicode, RegexMatchTest,
+    ::testing::Values(MatchCase{"é+", "éé", true}, MatchCase{"é", "e", false},
+                      MatchCase{"[α-ω]+", "αβγ", true},
+                      MatchCase{"[α-ω]", "z", false},
+                      MatchCase{"\\u00e9", "é", true},
+                      MatchCase{"\\u{1F600}", "😀", true},
+                      MatchCase{".", "中", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Escapes, RegexMatchTest,
+    ::testing::Values(MatchCase{"\\n", "\n", true}, MatchCase{"\\t", "\t", true},
+                      MatchCase{"\\x41", "A", true},
+                      MatchCase{"a\\{2\\}", "a{2}", true},
+                      MatchCase{"{2}", "{2}", true}  // bare brace: literal
+                      ));
+
+class RegexErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegexErrorTest, ParseFails) {
+  RegexParseResult result = ParseRegex(GetParam());
+  EXPECT_FALSE(result.ok()) << GetParam();
+  EXPECT_FALSE(result.error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, RegexErrorTest,
+                         ::testing::Values("(", ")", "a)", "[abc", "*a",
+                                           "a\\", "[z-a]", "\\x4", "(?:a"));
+
+TEST(RegexLeniency, StackedQuantifiersCollapse) {
+  // `a**` parses as (a*)* == a*; some engines reject, we accept.
+  fsa::Dfa dfa = CompileRegexToDfa("a**");
+  EXPECT_TRUE(dfa.Accepts(""));
+  EXPECT_TRUE(dfa.Accepts("aaa"));
+  EXPECT_FALSE(dfa.Accepts("b"));
+}
+
+TEST(RegexLeniency, InvertedBoundsAreAnError) {
+  // `{4,2}` is bounds-shaped but max < min: an error, as in PCRE/Python.
+  // (Only non-bounds-shaped braces like `{x}` fall back to literals.)
+  RegexParseResult result = ParseRegex("a{4,2}");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("out of order"), std::string::npos);
+}
+
+TEST(RegexLeniency, NonNumericBracesAreLiterals) {
+  fsa::Dfa dfa = CompileRegexToDfa("a{x}");
+  EXPECT_TRUE(dfa.Accepts("a{x}"));
+  EXPECT_FALSE(dfa.Accepts("a"));
+}
+
+TEST(RegexRanges, NormalizeMergesAndSorts) {
+  auto r = NormalizeRanges({{5, 9}, {1, 3}, {4, 4}, {20, 30}}, false);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].lo, 1u);
+  EXPECT_EQ(r[0].hi, 9u);
+  EXPECT_EQ(r[1].lo, 20u);
+  EXPECT_EQ(r[1].hi, 30u);
+}
+
+TEST(RegexRanges, NegationComplements) {
+  auto r = NormalizeRanges({{'b', 'y'}}, true);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].lo, 0u);
+  EXPECT_EQ(r[0].hi, 'a');
+  EXPECT_EQ(r[1].lo, 'z');
+  EXPECT_EQ(r[1].hi, kMaxCodepoint);
+}
+
+TEST(RegexRanges, NegationOfEverythingIsEmpty) {
+  auto r = NormalizeRanges({{0, kMaxCodepoint}}, true);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(RegexDfa, CanReachAcceptPrunesDeadStates) {
+  fsa::Dfa dfa = CompileRegexToDfa("ab|ac");
+  std::int32_t s = dfa.Start();
+  EXPECT_TRUE(dfa.CanReachAccept(s));
+  s = dfa.Next(s, 'a');
+  ASSERT_NE(s, fsa::Dfa::kDead);
+  EXPECT_TRUE(dfa.CanReachAccept(s));
+  EXPECT_EQ(dfa.Next(s, 'x'), fsa::Dfa::kDead);
+}
+
+TEST(RegexDfa, JsonStringPattern) {
+  // The pattern used throughout the schema converter / baselines.
+  fsa::Dfa dfa = CompileRegexToDfa(
+      R"("(?:[^"\\\x00-\x1F]|\\["\\/bfnrt]|\\u[0-9a-fA-F]{4})*")");
+  EXPECT_TRUE(dfa.Accepts(R"("hello")"));
+  EXPECT_TRUE(dfa.Accepts(R"("")"));
+  EXPECT_TRUE(dfa.Accepts(R"("a\"b\\c")"));
+  EXPECT_TRUE(dfa.Accepts(R"("é")"));
+  EXPECT_TRUE(dfa.Accepts("\"caf\xC3\xA9\""));  // raw UTF-8 inside
+  EXPECT_FALSE(dfa.Accepts(R"("unterminated)"));
+  EXPECT_FALSE(dfa.Accepts("\"ctrl\x01\""));
+  EXPECT_FALSE(dfa.Accepts(R"("bad\q")"));
+}
+
+TEST(RegexDfa, NumberPattern) {
+  fsa::Dfa dfa =
+      CompileRegexToDfa(R"(-?(?:0|[1-9][0-9]*)(?:\.[0-9]+)?(?:[eE][-+]?[0-9]+)?)");
+  for (const char* ok : {"0", "-1", "10", "3.25", "-0.5", "1e9", "2E-3", "1.5e+10"}) {
+    EXPECT_TRUE(dfa.Accepts(ok)) << ok;
+  }
+  for (const char* bad : {"01", "1.", ".5", "--1", "1e", "+1", ""}) {
+    EXPECT_FALSE(dfa.Accepts(bad)) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace xgr::regex

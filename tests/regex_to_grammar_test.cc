@@ -1,0 +1,228 @@
+// Tests for the regex → grammar converter: direct acceptance, differential
+// equivalence against the regex DFA on sampled strings, literal coalescing,
+// and error handling.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fsa/dfa.h"
+#include "grammar/regex_to_grammar.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "regex/regex.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace xgr::grammar {
+namespace {
+
+// Full-match through the XGrammar pipeline: pattern → grammar → PDA → matcher.
+bool GrammarAccepts(const std::string& pattern, const std::string& input) {
+  auto pda = pda::CompiledGrammar::Compile(RegexToGrammar(pattern));
+  matcher::GrammarMatcher m(pda);
+  return m.AcceptString(input) && m.CanTerminate();
+}
+
+TEST(RegexToGrammar, LiteralSequence) {
+  EXPECT_TRUE(GrammarAccepts("abc", "abc"));
+  EXPECT_FALSE(GrammarAccepts("abc", "ab"));
+  EXPECT_FALSE(GrammarAccepts("abc", "abcd"));
+  EXPECT_FALSE(GrammarAccepts("abc", ""));
+}
+
+TEST(RegexToGrammar, EmptyPatternMatchesEmptyString) {
+  EXPECT_TRUE(GrammarAccepts("", ""));
+  EXPECT_FALSE(GrammarAccepts("", "x"));
+}
+
+TEST(RegexToGrammar, AlternationPrecedence) {
+  // '|' binds looser than concatenation: ab|cd = (ab)|(cd).
+  EXPECT_TRUE(GrammarAccepts("ab|cd", "ab"));
+  EXPECT_TRUE(GrammarAccepts("ab|cd", "cd"));
+  EXPECT_FALSE(GrammarAccepts("ab|cd", "ad"));
+  EXPECT_FALSE(GrammarAccepts("ab|cd", "abcd"));
+}
+
+TEST(RegexToGrammar, Quantifiers) {
+  EXPECT_TRUE(GrammarAccepts("a*", ""));
+  EXPECT_TRUE(GrammarAccepts("a*", "aaaa"));
+  EXPECT_FALSE(GrammarAccepts("a+", ""));
+  EXPECT_TRUE(GrammarAccepts("a+", "a"));
+  EXPECT_TRUE(GrammarAccepts("a?b", "b"));
+  EXPECT_TRUE(GrammarAccepts("a?b", "ab"));
+  EXPECT_FALSE(GrammarAccepts("a?b", "aab"));
+}
+
+TEST(RegexToGrammar, BoundedRepeats) {
+  EXPECT_FALSE(GrammarAccepts("a{2,3}", "a"));
+  EXPECT_TRUE(GrammarAccepts("a{2,3}", "aa"));
+  EXPECT_TRUE(GrammarAccepts("a{2,3}", "aaa"));
+  EXPECT_FALSE(GrammarAccepts("a{2,3}", "aaaa"));
+  EXPECT_TRUE(GrammarAccepts("(ab){2}", "abab"));
+  EXPECT_FALSE(GrammarAccepts("(ab){2}", "ab"));
+}
+
+TEST(RegexToGrammar, NestedQuantifiers) {
+  EXPECT_TRUE(GrammarAccepts("(a{1,2}b)*", ""));
+  EXPECT_TRUE(GrammarAccepts("(a{1,2}b)*", "abaab"));
+  EXPECT_FALSE(GrammarAccepts("(a{1,2}b)*", "aaab"));
+}
+
+TEST(RegexToGrammar, CharacterClasses) {
+  EXPECT_TRUE(GrammarAccepts("[a-z]+", "hello"));
+  EXPECT_FALSE(GrammarAccepts("[a-z]+", "Hello"));
+  EXPECT_TRUE(GrammarAccepts("[^0-9]", "x"));
+  EXPECT_FALSE(GrammarAccepts("[^0-9]", "5"));
+  EXPECT_TRUE(GrammarAccepts(R"(\d+\.\d+)", "3.14"));
+  EXPECT_FALSE(GrammarAccepts(R"(\d+\.\d+)", "3."));
+}
+
+TEST(RegexToGrammar, DotExcludesNewline) {
+  EXPECT_TRUE(GrammarAccepts("a.c", "abc"));
+  EXPECT_TRUE(GrammarAccepts("a.c", "a?c"));
+  EXPECT_FALSE(GrammarAccepts("a.c", "a\nc"));
+}
+
+TEST(RegexToGrammar, UnicodeLiteralsCompileByteLevel) {
+  // U+00E9 (é) is two UTF-8 bytes; U+4E16 (世) is three.
+  EXPECT_TRUE(GrammarAccepts("café", "café"));
+  EXPECT_FALSE(GrammarAccepts("café", "cafe"));
+  EXPECT_TRUE(GrammarAccepts("[一-鿿]+", "世界"));
+  EXPECT_FALSE(GrammarAccepts("[一-鿿]+", "world"));
+}
+
+TEST(RegexToGrammar, PartialUtf8PrefixIsAcceptedByteWise) {
+  // Byte-level automata accept token fragments that split a character.
+  auto pda = pda::CompiledGrammar::Compile(RegexToGrammar("café"));
+  matcher::GrammarMatcher m(pda);
+  EXPECT_TRUE(m.AcceptString("caf\xC3"));  // first byte of é
+  EXPECT_FALSE(m.CanTerminate());
+  EXPECT_TRUE(m.AcceptByte(0xA9));  // second byte completes it
+  EXPECT_TRUE(m.CanTerminate());
+}
+
+TEST(RegexToGrammar, LiteralRunsAreCoalesced) {
+  Grammar g = RegexToGrammar("foobar[0-9]baz");
+  // "foobar" and "baz" each become one byte-string expression; together with
+  // the class and the sequence wrapper that is 4 expressions.
+  int byte_strings = 0;
+  for (std::int32_t i = 0; i < g.NumExprs(); ++i) {
+    if (g.GetExpr(i).type == ExprType::kByteString) {
+      ++byte_strings;
+      EXPECT_GT(g.GetExpr(i).bytes.size(), 2u);
+    }
+  }
+  EXPECT_EQ(byte_strings, 2);
+}
+
+TEST(RegexToGrammar, AddRegexRuleRejectsDuplicateNames) {
+  Grammar g;
+  AddRegexRule(&g, "a+", "ident");
+  EXPECT_THROW(AddRegexRule(&g, "b+", "ident"), xgr::CheckError);
+}
+
+TEST(RegexToGrammar, BadPatternThrows) {
+  EXPECT_THROW(RegexToGrammar("a{3,1}"), xgr::CheckError);
+  EXPECT_THROW(RegexToGrammar("(unclosed"), xgr::CheckError);
+  EXPECT_THROW(RegexToGrammar("[z-a]"), xgr::CheckError);
+}
+
+TEST(RegexToGrammar, RuleComposesIntoLargerGrammar) {
+  // A regex rule used as a building block of a hand-built CFG: a key-value
+  // line "<ident>=<number>" with the pieces coming from patterns.
+  Grammar g;
+  RuleId ident = AddRegexRule(&g, "[a-z_][a-z0-9_]*", "ident");
+  RuleId number = AddRegexRule(&g, "-?[0-9]+", "number");
+  ExprId body = g.AddSequence({g.AddRuleRef(ident), g.AddByteString("="),
+                               g.AddRuleRef(number)});
+  g.SetRootRule(g.AddRule("root", body));
+  auto pda = pda::CompiledGrammar::Compile(g);
+  matcher::GrammarMatcher m(pda);
+  EXPECT_TRUE(m.AcceptString("max_tokens=-42") && m.CanTerminate());
+  m.RollbackToDepth(0);
+  EXPECT_FALSE(m.AcceptString("9bad=1"));
+}
+
+// --- Differential sweep: grammar path vs. regex DFA ------------------------
+
+// Samples a string accepted by `dfa` via a random walk biased to terminate.
+std::string SampleAccepted(const fsa::Dfa& dfa, Rng* rng) {
+  std::string out;
+  std::int32_t state = dfa.Start();
+  for (int steps = 0; steps < 64; ++steps) {
+    if (dfa.IsAccepting(state) && (out.size() > 8 || rng->NextBounded(3) == 0)) {
+      return out;
+    }
+    // Collect live successor bytes.
+    std::vector<std::uint8_t> choices;
+    for (int b = 0; b < 256; ++b) {
+      std::int32_t next = dfa.Next(state, static_cast<std::uint8_t>(b));
+      if (next != fsa::Dfa::kDead && dfa.CanReachAccept(next)) {
+        choices.push_back(static_cast<std::uint8_t>(b));
+      }
+    }
+    if (choices.empty()) break;
+    std::uint8_t byte = choices[rng->NextBounded(static_cast<std::uint32_t>(choices.size()))];
+    out.push_back(static_cast<char>(byte));
+    state = dfa.Next(state, byte);
+  }
+  return out;  // possibly non-accepted when the walk hits the step cap
+}
+
+// Mutates `s` to produce a likely-rejected variant.
+std::string Mutate(const std::string& s, Rng* rng) {
+  std::string out = s;
+  switch (rng->NextBounded(3)) {
+    case 0:  // flip a byte
+      if (!out.empty()) {
+        out[rng->NextBounded(static_cast<std::uint32_t>(out.size()))] ^=
+            static_cast<char>(1 + rng->NextBounded(255));
+      }
+      break;
+    case 1:  // drop a byte
+      if (!out.empty()) {
+        out.erase(out.begin() + rng->NextBounded(static_cast<std::uint32_t>(out.size())));
+      }
+      break;
+    default:  // insert a byte
+      out.insert(out.begin() + rng->NextBounded(static_cast<std::uint32_t>(out.size()) + 1),
+                 static_cast<char>(rng->NextBounded(256)));
+      break;
+  }
+  return out;
+}
+
+class RegexGrammarEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegexGrammarEquivalence, MatchesDfaOnSampledStrings) {
+  const std::string pattern = GetParam();
+  fsa::Dfa dfa = regex::CompileRegexToDfa(pattern);
+  auto pda = pda::CompiledGrammar::Compile(RegexToGrammar(pattern));
+  Rng rng(0x9E3779B9ull ^ pattern.size());
+  int accepted_seen = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    std::string sample = SampleAccepted(dfa, &rng);
+    for (const std::string& input : {sample, Mutate(sample, &rng)}) {
+      matcher::GrammarMatcher m(pda);
+      bool grammar_ok = m.AcceptString(input) && m.CanTerminate();
+      bool dfa_ok = dfa.Accepts(input);
+      EXPECT_EQ(grammar_ok, dfa_ok)
+          << "pattern=" << pattern << " input=" << input;
+      accepted_seen += dfa_ok ? 1 : 0;
+    }
+  }
+  // The sampler must exercise the accepting region, not just rejections.
+  EXPECT_GT(accepted_seen, 10) << "sampler starved for " << pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, RegexGrammarEquivalence,
+    ::testing::Values(
+        "[a-z]+", "(ab|cd)*e", "-?[0-9]+(\\.[0-9]+)?", "\"[^\"]*\"",
+        "(a|b){2,5}", "[A-Fa-f0-9]{4}", "(foo|bar|baz)(,(foo|bar|baz))*",
+        "[ \\t\\n]*[a-z]+[ \\t\\n]*", "a(bc)*d|ef+g?", "x[0-9a-f]{1,8}"));
+
+}  // namespace
+}  // namespace xgr::grammar

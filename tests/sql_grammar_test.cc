@@ -1,0 +1,133 @@
+// Tests for the builtin SQL grammar: statement coverage, expression forms,
+// rejection of malformed statements, and mask-generation integration.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cache/adaptive_cache.h"
+#include "cache/mask_generator.h"
+#include "grammar/grammar.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/token_trie.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::grammar {
+namespace {
+
+std::shared_ptr<const pda::CompiledGrammar> SqlPda() {
+  static auto pda = pda::CompiledGrammar::Compile(BuiltinSqlGrammar());
+  return pda;
+}
+
+bool MatchesSql(const std::string& statement) {
+  matcher::GrammarMatcher m(SqlPda());
+  return m.AcceptString(statement) && m.CanTerminate();
+}
+
+struct SqlCase {
+  const char* statement;
+  bool valid;
+};
+
+class SqlGrammarTest : public ::testing::TestWithParam<SqlCase> {};
+
+TEST_P(SqlGrammarTest, MatchesExpectation) {
+  auto [statement, valid] = GetParam();
+  EXPECT_EQ(MatchesSql(statement), valid) << statement;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Select, SqlGrammarTest,
+    ::testing::Values(
+        SqlCase{"SELECT *", true},
+        SqlCase{"SELECT * FROM users", true},
+        SqlCase{"SELECT * FROM users;", true},
+        SqlCase{"SELECT id, name FROM users", true},
+        SqlCase{"SELECT DISTINCT city FROM users", true},
+        SqlCase{"SELECT id AS user_id FROM users", true},
+        SqlCase{"SELECT u.id FROM users AS u", true},
+        SqlCase{"SELECT * FROM a JOIN b ON a.id = b.id", true},
+        SqlCase{"SELECT * FROM a LEFT JOIN b ON a.id = b.a_id WHERE b.x IS NULL",
+                true},
+        SqlCase{"SELECT COUNT(*) FROM events", true},
+        SqlCase{"SELECT COUNT(DISTINCT user_id) FROM events", true},
+        SqlCase{"SELECT city, COUNT(*) FROM users GROUP BY city HAVING COUNT(*) > 10",
+                true},
+        SqlCase{"SELECT * FROM t ORDER BY created_at DESC LIMIT 10 OFFSET 20",
+                true},
+        SqlCase{"SELECT name FROM users WHERE age >= 21 AND city = 'Oslo'",
+                true},
+        SqlCase{"SELECT * FROM t WHERE name LIKE 'A%'", true},
+        SqlCase{"SELECT * FROM t WHERE id IN (1, 2, 3)", true},
+        SqlCase{"SELECT * FROM t WHERE price BETWEEN 10 AND 20", true},
+        SqlCase{"SELECT * FROM t WHERE NOT deleted = TRUE", true},
+        SqlCase{"SELECT (a + b) * 2 FROM t", true},
+        SqlCase{"SELECT COALESCE(nick, name) FROM users", true},
+        SqlCase{"SELECT * FROM t WHERE x = ?", true},
+        // Malformed variants.
+        SqlCase{"SELECT", false},
+        SqlCase{"SELECT FROM users", false},
+        SqlCase{"SELECT * FORM users", false},
+        SqlCase{"SELECT * FROM users WHERE", false},
+        SqlCase{"SELECT * FROM users GROUP BY", false},
+        SqlCase{"SELECT * FROM a JOIN b", false},   // JOIN requires ON
+        SqlCase{"select * from users", false},      // canonical form: uppercase
+        SqlCase{"SELECT  *  FROM users", false}));  // canonical single spaces
+
+INSTANTIATE_TEST_SUITE_P(
+    Mutations, SqlGrammarTest,
+    ::testing::Values(
+        SqlCase{"INSERT INTO users (id, name) VALUES (1, 'Ada')", true},
+        SqlCase{"INSERT INTO users (id) VALUES (1), (2), (3)", true},
+        SqlCase{"INSERT INTO t (x) VALUES (NULL)", true},
+        SqlCase{"UPDATE users SET name = 'Bob' WHERE id = 7", true},
+        SqlCase{"UPDATE users SET a = 1, b = b + 1", true},
+        SqlCase{"DELETE FROM users WHERE id = 9", true},
+        SqlCase{"DELETE FROM users", true},
+        SqlCase{"INSERT INTO users VALUES (1)", false},  // column list required
+        SqlCase{"UPDATE users WHERE id = 7", false},     // SET required
+        SqlCase{"DELETE users WHERE id = 9", false},
+        SqlCase{"INSERT INTO users (id) VALUES ()", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Literals, SqlGrammarTest,
+    ::testing::Values(
+        SqlCase{"SELECT 'it''s quoted' FROM t", true},  // '' escape
+        SqlCase{"SELECT 3.14 FROM t", true},
+        SqlCase{"SELECT -5 FROM t", true},
+        SqlCase{"SELECT 'unterminated FROM t", false},
+        SqlCase{"SELECT 3. FROM t", false}));
+
+TEST(SqlGrammar, JumpForwardCompletesKeywords) {
+  // After "DELETE FROM users" + " WHERE ", there is no forced continuation;
+  // but right after "DELETE " the grammar forces "FROM ".
+  matcher::GrammarMatcher m(SqlPda());
+  ASSERT_TRUE(m.AcceptString("DELETE "));
+  EXPECT_EQ(m.FindJumpForwardString(), "FROM ");
+}
+
+TEST(SqlGrammar, MaskGenerationWalksAStatement) {
+  auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({3000, 17}));
+  auto cache = cache::AdaptiveTokenMaskCache::Build(SqlPda(), info);
+  cache::MaskGenerator generator(cache);
+  matcher::GrammarMatcher m(SqlPda());
+
+  const std::string statement =
+      "SELECT name FROM users WHERE age >= 21 ORDER BY name ASC LIMIT 5";
+  tokenizer::TokenTrie trie(*info);
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  for (std::int32_t token : tokenizer::GreedyTokenize(trie, statement)) {
+    generator.FillNextTokenBitmask(&m, &mask);
+    ASSERT_TRUE(mask.Test(static_cast<std::size_t>(token)))
+        << "token '" << info->TokenBytes(token) << "' masked out";
+    ASSERT_TRUE(m.AcceptString(info->TokenBytes(token)));
+  }
+  EXPECT_TRUE(m.CanTerminate());
+}
+
+}  // namespace
+}  // namespace xgr::grammar

@@ -1,0 +1,268 @@
+// Tests for structural tags: trigger-avoiding free text, tag dispatch,
+// schema-constrained bodies, invocation bounds, and mask-generation
+// integration through the full XGrammar pipeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/xgrammar_decoder.h"
+#include "cache/adaptive_cache.h"
+#include "grammar/structural_tag.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "support/logging.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/token_trie.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::grammar {
+namespace {
+
+bool Matches(const Grammar& g, const std::string& input) {
+  auto pda = pda::CompiledGrammar::Compile(g);
+  matcher::GrammarMatcher m(pda);
+  return m.AcceptString(input) && m.CanTerminate();
+}
+
+// --- Trigger-free text ------------------------------------------------------
+
+TEST(TriggerFreeText, AcceptsTextWithoutTrigger) {
+  Grammar g = BuildTriggerFreeTextGrammar({"<fn"});
+  EXPECT_TRUE(Matches(g, ""));
+  EXPECT_TRUE(Matches(g, "hello world"));
+  EXPECT_TRUE(Matches(g, "a < b and c > d"));   // bare '<' is fine
+  EXPECT_TRUE(Matches(g, "<f is a prefix only"));
+  EXPECT_TRUE(Matches(g, "ends with a partial <f"));
+}
+
+TEST(TriggerFreeText, RejectsTextContainingTrigger) {
+  Grammar g = BuildTriggerFreeTextGrammar({"<fn"});
+  EXPECT_FALSE(Matches(g, "<fn"));
+  EXPECT_FALSE(Matches(g, "call <fn now"));
+  EXPECT_FALSE(Matches(g, "x<fn"));
+  EXPECT_FALSE(Matches(g, "<f<fn"));  // divergence then a real trigger
+}
+
+TEST(TriggerFreeText, MultipleTriggers) {
+  Grammar g = BuildTriggerFreeTextGrammar({"<a>", "[[call"});
+  EXPECT_TRUE(Matches(g, "plain [[ca text <a ok"));
+  EXPECT_FALSE(Matches(g, "has <a> tag"));
+  EXPECT_FALSE(Matches(g, "has [[call marker"));
+}
+
+TEST(TriggerFreeText, OverlappingTriggerPrefixes) {
+  // Self-overlapping trigger: "aa" inside "aaa" etc. The Aho-Corasick failure
+  // links must catch a trigger that starts inside a diverged prefix.
+  Grammar g = BuildTriggerFreeTextGrammar({"aab"});
+  EXPECT_TRUE(Matches(g, "aa"));
+  EXPECT_TRUE(Matches(g, "aaa"));        // never completes "aab"
+  EXPECT_FALSE(Matches(g, "aaab"));      // trigger starting at offset 1
+  EXPECT_FALSE(Matches(g, "xxaabxx"));
+}
+
+TEST(TriggerFreeText, UnicodeFreeTextPassesThrough) {
+  Grammar g = BuildTriggerFreeTextGrammar({"<fn"});
+  EXPECT_TRUE(Matches(g, "héllo wörld 世界"));
+}
+
+TEST(TriggerFreeText, RejectsBadTriggers) {
+  EXPECT_THROW(BuildTriggerFreeTextGrammar({}), xgr::CheckError);
+  EXPECT_THROW(BuildTriggerFreeTextGrammar({""}), xgr::CheckError);
+  EXPECT_THROW(BuildTriggerFreeTextGrammar({"caf\xC3\xA9"}), xgr::CheckError);
+}
+
+// --- Structural tag grammars -------------------------------------------------
+
+constexpr const char* kWeatherSchema = R"({
+  "type": "object",
+  "properties": {
+    "city": {"type": "string"},
+    "unit": {"enum": ["celsius", "fahrenheit"]}
+  },
+  "required": ["city", "unit"],
+  "additionalProperties": false
+})";
+
+std::vector<StructuralTag> WeatherTags() {
+  return {{"<function=get_weather>", kWeatherSchema, "</function>"}};
+}
+
+TEST(StructuralTag, PlainProseIsAccepted) {
+  Grammar g = BuildStructuralTagGrammar(WeatherTags(), {"<function="});
+  EXPECT_TRUE(Matches(g, "I will look that up for you."));
+  EXPECT_TRUE(Matches(g, ""));
+}
+
+TEST(StructuralTag, WellFormedCallIsAccepted) {
+  Grammar g = BuildStructuralTagGrammar(WeatherTags(), {"<function="});
+  EXPECT_TRUE(Matches(
+      g,
+      "Let me check. <function=get_weather>"
+      R"({"city":"Paris","unit":"celsius"})"
+      "</function> One moment."));
+}
+
+TEST(StructuralTag, TriggerMustStartACall) {
+  Grammar g = BuildStructuralTagGrammar(WeatherTags(), {"<function="});
+  // Once "<function=" appears it must complete a tag invocation.
+  EXPECT_FALSE(Matches(g, "mentioning <function= casually"));
+  EXPECT_FALSE(Matches(g, "<function=get_weather>{}</function>"));  // schema violated
+  EXPECT_FALSE(Matches(
+      g, "<function=get_weather>"
+         R"({"city":"Paris","unit":"kelvin"})"
+         "</function>"));  // enum violated
+}
+
+TEST(StructuralTag, MultipleTagsDispatchOnBeginMarker) {
+  std::vector<StructuralTag> tags = {
+      {"<function=get_weather>", kWeatherSchema, "</function>"},
+      {"<function=get_time>",
+       R"({"type":"object","properties":{"tz":{"type":"string"}},)"
+       R"("required":["tz"],"additionalProperties":false})",
+       "</function>"},
+  };
+  Grammar g = BuildStructuralTagGrammar(tags, {"<function="});
+  EXPECT_TRUE(Matches(g, "<function=get_time>"
+                         R"({"tz":"UTC"})"
+                         "</function>"));
+  // get_time's schema must not leak into get_weather.
+  EXPECT_FALSE(Matches(g, "<function=get_weather>"
+                          R"({"tz":"UTC"})"
+                          "</function>"));
+}
+
+TEST(StructuralTag, MultipleInvocationsWithProseBetween) {
+  Grammar g = BuildStructuralTagGrammar(WeatherTags(), {"<function="});
+  const std::string call =
+      "<function=get_weather>"
+      R"({"city":"Oslo","unit":"celsius"})"
+      "</function>";
+  EXPECT_TRUE(Matches(g, "First: " + call + " and second: " + call + "."));
+}
+
+TEST(StructuralTag, UnconstrainedJsonBodyWhenSchemaEmpty) {
+  std::vector<StructuralTag> tags = {{"<data>", "", "</data>"}};
+  Grammar g = BuildStructuralTagGrammar(tags, {"<data>"});
+  EXPECT_TRUE(Matches(g, "<data>[1,2,{\"k\":null}]</data>"));
+  EXPECT_FALSE(Matches(g, "<data>not json</data>"));
+}
+
+TEST(StructuralTag, RequireInvocationRejectsPureProse) {
+  StructuralTagOptions options;
+  options.require_invocation = true;
+  Grammar g = BuildStructuralTagGrammar(WeatherTags(), {"<function="}, options);
+  EXPECT_FALSE(Matches(g, "no call here"));
+  EXPECT_TRUE(Matches(g, "<function=get_weather>"
+                         R"({"city":"Rio","unit":"celsius"})"
+                         "</function>"));
+}
+
+TEST(StructuralTag, MaxInvocationsBoundsCalls) {
+  StructuralTagOptions options;
+  options.max_invocations = 1;
+  Grammar g = BuildStructuralTagGrammar(WeatherTags(), {"<function="}, options);
+  const std::string call =
+      "<function=get_weather>"
+      R"({"city":"Oslo","unit":"celsius"})"
+      "</function>";
+  EXPECT_TRUE(Matches(g, call));
+  EXPECT_FALSE(Matches(g, call + call));
+}
+
+TEST(StructuralTag, NoFreeTextModeForcesBareCalls) {
+  StructuralTagOptions options;
+  options.allow_free_text = false;
+  options.require_invocation = true;
+  Grammar g = BuildStructuralTagGrammar(WeatherTags(), {"<function="}, options);
+  const std::string call =
+      "<function=get_weather>"
+      R"({"city":"Oslo","unit":"celsius"})"
+      "</function>";
+  EXPECT_TRUE(Matches(g, call));
+  EXPECT_TRUE(Matches(g, call + call));
+  EXPECT_FALSE(Matches(g, "prose " + call));
+  EXPECT_FALSE(Matches(g, call + " prose"));
+}
+
+TEST(StructuralTag, BeginMarkerMustExtendExactlyOneTrigger) {
+  // No trigger prefixes the begin marker.
+  EXPECT_THROW(
+      BuildStructuralTagGrammar({{"[tool]", "", "[/tool]"}}, {"<function="}),
+      xgr::CheckError);
+  // Two triggers prefix the same begin marker.
+  EXPECT_THROW(BuildStructuralTagGrammar(WeatherTags(), {"<function=", "<fun"}),
+               xgr::CheckError);
+}
+
+// --- Pipeline integration ----------------------------------------------------
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer() {
+  static auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({3000, 17}));
+  return info;
+}
+
+// First non-special token whose bytes equal `text`, or -1.
+std::int32_t FindToken(const tokenizer::TokenizerInfo& info,
+                       const std::string& text) {
+  for (std::int32_t id = 0; id < info.VocabSize(); ++id) {
+    if (!info.IsSpecial(id) && info.TokenBytes(id) == text) return id;
+  }
+  return -1;
+}
+
+TEST(StructuralTag, MaskGenerationDrivesACompleteCall) {
+  // Drive the XGrammar decoder token by token along a valid transcript and
+  // check every emitted token is allowed by the mask it was sampled under.
+  Grammar g = BuildStructuralTagGrammar(WeatherTags(), {"<function="});
+  auto pda = pda::CompiledGrammar::Compile(g);
+  auto info = TestTokenizer();
+  auto cache = cache::AdaptiveTokenMaskCache::Build(pda, info);
+  baselines::XGrammarDecoder decoder(cache);
+
+  const std::string transcript =
+      "Checking. <function=get_weather>"
+      R"({"city":"Lima","unit":"celsius"})"
+      "</function> Done.";
+  tokenizer::TokenTrie trie(*info);
+  std::vector<std::int32_t> tokens = tokenizer::GreedyTokenize(trie, transcript);
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  for (std::int32_t token : tokens) {
+    decoder.FillNextTokenBitmask(&mask);
+    ASSERT_TRUE(mask.Test(static_cast<std::size_t>(token)))
+        << "token '" << info->TokenBytes(token) << "' masked out";
+    ASSERT_TRUE(decoder.AcceptToken(token));
+  }
+  EXPECT_TRUE(decoder.CanTerminate());
+}
+
+TEST(StructuralTag, MaskForbidsSchemaViolationInsideBody) {
+  Grammar g = BuildStructuralTagGrammar(WeatherTags(), {"<function="});
+  auto pda = pda::CompiledGrammar::Compile(g);
+  auto info = TestTokenizer();
+  auto cache = cache::AdaptiveTokenMaskCache::Build(pda, info);
+  baselines::XGrammarDecoder decoder(cache);
+
+  // Enter the body and open the object; the next key must start with "city"
+  // or "unit" — a token starting the forbidden key "tz" must be masked.
+  const std::string prefix = "<function=get_weather>{\"";
+  tokenizer::TokenTrie trie(*info);
+  for (std::int32_t token : tokenizer::GreedyTokenize(trie, prefix)) {
+    ASSERT_TRUE(decoder.AcceptToken(token));
+  }
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  decoder.FillNextTokenBitmask(&mask);
+  std::int32_t tz = FindToken(*info, "tz");
+  if (tz >= 0) {
+    EXPECT_FALSE(mask.Test(static_cast<std::size_t>(tz)));
+  }
+  std::int32_t city = FindToken(*info, "city");
+  if (city >= 0) {
+    EXPECT_TRUE(mask.Test(static_cast<std::size_t>(city)));
+  }
+}
+
+}  // namespace
+}  // namespace xgr::grammar

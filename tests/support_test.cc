@@ -1,0 +1,264 @@
+// Unit and property tests for the support substrate: bitset, thread pool,
+// RNG, UTF-8 (including the range→byte-sequence compiler), string utils.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/dynamic_bitset.h"
+#include "support/rng.h"
+#include "support/string_utils.h"
+#include "support/thread_pool.h"
+#include "support/utf8.h"
+
+namespace xgr {
+namespace {
+
+// --- DynamicBitset -----------------------------------------------------------
+
+class BitsetSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitsetSizeTest, SetResetCountAcrossWordBoundaries) {
+  std::size_t size = GetParam();
+  DynamicBitset bits(size);
+  EXPECT_EQ(bits.Count(), 0u);
+  for (std::size_t i = 0; i < size; i += 3) bits.Set(i);
+  EXPECT_EQ(bits.Count(), (size + 2) / 3);
+  for (std::size_t i = 0; i < size; ++i) {
+    EXPECT_EQ(bits.Test(i), i % 3 == 0) << i;
+  }
+  for (std::size_t i = 0; i < size; i += 3) bits.Reset(i);
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST_P(BitsetSizeTest, SetAllRespectsSizePadding) {
+  std::size_t size = GetParam();
+  DynamicBitset bits(size);
+  bits.SetAll();
+  EXPECT_EQ(bits.Count(), size);
+  bits.FlipAll();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST_P(BitsetSizeTest, FindNextVisitsExactlySetBits) {
+  std::size_t size = GetParam();
+  DynamicBitset bits(size);
+  Rng rng(size);
+  std::set<std::size_t> expected;
+  for (int i = 0; i < 40; ++i) {
+    std::size_t index = rng.NextBounded(size);
+    expected.insert(index);
+    bits.Set(index);
+  }
+  std::set<std::size_t> found;
+  for (std::int64_t i = bits.FindNext(0); i >= 0;
+       i = bits.FindNext(static_cast<std::size_t>(i) + 1)) {
+    found.insert(static_cast<std::size_t>(i));
+  }
+  EXPECT_EQ(found, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetSizeTest,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 1000, 4097));
+
+TEST(DynamicBitset, ConstructAllOnes) {
+  DynamicBitset bits(130, true);
+  EXPECT_EQ(bits.Count(), 130u);
+  EXPECT_TRUE(bits.Test(129));
+}
+
+TEST(DynamicBitset, BooleanAlgebra) {
+  DynamicBitset a(200);
+  DynamicBitset b(200);
+  for (std::size_t i = 0; i < 200; i += 2) a.Set(i);
+  for (std::size_t i = 0; i < 200; i += 3) b.Set(i);
+  DynamicBitset intersection = a;
+  intersection &= b;
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(intersection.Test(i), i % 6 == 0) << i;
+  }
+  DynamicBitset both = a;
+  both |= b;
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(both.Test(i), i % 2 == 0 || i % 3 == 0) << i;
+  }
+}
+
+TEST(DynamicBitset, EqualityAndIndexList) {
+  DynamicBitset a(70);
+  a.Set(0);
+  a.Set(69);
+  DynamicBitset b(70);
+  EXPECT_FALSE(a == b);
+  b.Set(0);
+  b.Set(69);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.ToIndexList(), (std::vector<std::int32_t>{0, 69}));
+}
+
+// --- ThreadPool ---------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+// --- Rng ------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    std::int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// --- UTF-8 ------------------------------------------------------------------------
+
+TEST(Utf8, EncodeDecodeRoundTripAllRanges) {
+  for (std::uint32_t cp : {0x0u, 0x41u, 0x7Fu, 0x80u, 0x7FFu, 0x800u, 0xFFFFu,
+                           0x10000u, 0x10FFFFu, 0xE9u, 0x4E2Du, 0x1F600u}) {
+    std::string s;
+    AppendUtf8(cp, &s);
+    EXPECT_EQ(s.size(), static_cast<std::size_t>(Utf8EncodedLength(cp)));
+    DecodedChar decoded = DecodeUtf8(s, 0);
+    ASSERT_TRUE(decoded.ok) << cp;
+    EXPECT_EQ(decoded.codepoint, cp);
+    EXPECT_EQ(decoded.length, Utf8EncodedLength(cp));
+  }
+}
+
+TEST(Utf8, DecodeRejectsInvalidSequences) {
+  // Bare continuation byte, truncated sequence, overlong encoding.
+  EXPECT_FALSE(DecodeUtf8("\x80", 0).ok);
+  EXPECT_FALSE(DecodeUtf8("\xC3", 0).ok);
+  EXPECT_FALSE(DecodeUtf8("\xC0\xAF", 0).ok);  // overlong '/'
+  EXPECT_FALSE(DecodeUtf8("\xED\xA0\x80", 0).ok);  // surrogate D800
+  EXPECT_FALSE(DecodeUtf8("\xF5\x80\x80\x80", 0).ok);  // > U+10FFFF
+}
+
+// Checks a byte string against a set of byte-range sequences.
+bool MatchesAnySeq(const std::vector<ByteRangeSeq>& seqs, const std::string& s) {
+  for (const ByteRangeSeq& seq : seqs) {
+    if (seq.size() != s.size()) continue;
+    bool ok = true;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      auto b = static_cast<std::uint8_t>(s[i]);
+      if (b < seq[i].lo || b > seq[i].hi) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+struct RangeCase {
+  std::uint32_t lo;
+  std::uint32_t hi;
+};
+
+class Utf8RangeTest : public ::testing::TestWithParam<RangeCase> {};
+
+TEST_P(Utf8RangeTest, CompiledSequencesMatchExactlyTheRange) {
+  auto [lo, hi] = GetParam();
+  auto seqs = CompileCodepointRange(lo, hi);
+  Rng rng(lo * 31 + hi);
+  // Codepoints inside the range must match; sampled outside must not.
+  for (int i = 0; i < 200; ++i) {
+    std::uint32_t cp = lo + static_cast<std::uint32_t>(rng.NextBounded(hi - lo + 1));
+    if (cp >= 0xD800 && cp <= 0xDFFF) continue;
+    std::string s;
+    AppendUtf8(cp, &s);
+    EXPECT_TRUE(MatchesAnySeq(seqs, s)) << "cp=" << cp;
+  }
+  for (int i = 0; i < 200; ++i) {
+    std::uint32_t cp = static_cast<std::uint32_t>(rng.NextBounded(kMaxCodepoint + 1));
+    if (cp >= lo && cp <= hi) continue;
+    if (cp >= 0xD800 && cp <= 0xDFFF) continue;
+    std::string s;
+    AppendUtf8(cp, &s);
+    EXPECT_FALSE(MatchesAnySeq(seqs, s)) << "cp=" << cp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, Utf8RangeTest,
+    ::testing::Values(RangeCase{'a', 'z'}, RangeCase{0, 0x7F},
+                      RangeCase{0x80, 0x7FF}, RangeCase{0x20, 0x10FFFF},
+                      RangeCase{0x7F, 0x80}, RangeCase{0xFFFF, 0x10000},
+                      RangeCase{0xD000, 0xE000},  // straddles surrogates
+                      RangeCase{0x4E00, 0x9FFF}, RangeCase{0x10FFFF, 0x10FFFF}));
+
+TEST(Utf8Range, SurrogatesExcluded) {
+  auto seqs = CompileCodepointRange(0xD000, 0xE000);
+  // The encoding of a surrogate (if forced) must not match.
+  std::uint8_t buf[4] = {0xED, 0xA0, 0x80, 0};  // D800 encoded CESU-style
+  std::string s(reinterpret_cast<char*>(buf), 3);
+  EXPECT_FALSE(MatchesAnySeq(seqs, s));
+}
+
+// --- String utils -----------------------------------------------------------------
+
+TEST(StringUtils, EscapeBytes) {
+  EXPECT_EQ(EscapeBytes("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapeBytes(std::string_view("\x01\xFF", 2)), "\\x01\\xFF");
+  EXPECT_EQ(EscapeBytes("quote\""), "quote\\\"");
+}
+
+TEST(StringUtils, CommonPrefixLength) {
+  EXPECT_EQ(CommonPrefixLength("", ""), 0u);
+  EXPECT_EQ(CommonPrefixLength("abc", "abd"), 2u);
+  EXPECT_EQ(CommonPrefixLength("abc", "abc"), 3u);
+  EXPECT_EQ(CommonPrefixLength("abc", "abcdef"), 3u);
+  EXPECT_EQ(CommonPrefixLength("xyz", "abc"), 0u);
+}
+
+TEST(StringUtils, SplitString) {
+  EXPECT_EQ(SplitString("a/b/c", '/'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("/a/", '/'), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(SplitString("", '/'), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtils, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("lo", "hello"));
+}
+
+}  // namespace
+}  // namespace xgr

@@ -1,0 +1,199 @@
+// Tests for the tokenizer substrate: BPE training/encoding, the synthetic
+// vocabulary builder, TokenizerInfo preprocessing and the token trie.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "support/rng.h"
+#include "support/string_utils.h"
+#include "tokenizer/bpe.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/token_trie.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::tokenizer {
+namespace {
+
+std::string SampleCorpus() {
+  std::string corpus;
+  for (int i = 0; i < 60; ++i) {
+    corpus +=
+        "the quick brown fox jumps over the lazy dog and the cat sat on "
+        "the mat while json objects like {\"key\": \"value\"} appear often ";
+  }
+  return corpus;
+}
+
+TEST(Bpe, TrainingGrowsVocabulary) {
+  BpeModel model = BpeModel::Train(SampleCorpus(), 400);
+  EXPECT_GT(model.VocabSize(), 256);
+  EXPECT_LE(model.VocabSize(), 400);
+}
+
+TEST(Bpe, EncodeDecodeRoundTrip) {
+  BpeModel model = BpeModel::Train(SampleCorpus(), 400);
+  for (const char* text :
+       {"the quick brown fox", "json objects", "completely novel zxqj bytes",
+        "with\nnewlines\tand tabs", "unicode caf\xC3\xA9"}) {
+    std::vector<std::int32_t> ids = model.Encode(text);
+    EXPECT_EQ(model.Decode(ids), text);
+  }
+}
+
+TEST(Bpe, FrequentWordsCompressWell) {
+  BpeModel model = BpeModel::Train(SampleCorpus(), 500);
+  // "the" appears everywhere: should encode in very few tokens.
+  EXPECT_LE(model.Encode(" the").size(), 2u);
+  // Rare letter salad decomposes into more pieces than common words.
+  EXPECT_GT(model.Encode(" zqxv").size(), model.Encode(" the").size());
+}
+
+TEST(Bpe, TrainingIsDeterministic) {
+  BpeModel a = BpeModel::Train(SampleCorpus(), 350);
+  BpeModel b = BpeModel::Train(SampleCorpus(), 350);
+  ASSERT_EQ(a.VocabSize(), b.VocabSize());
+  for (std::int32_t i = 0; i < a.VocabSize(); ++i) {
+    EXPECT_EQ(a.TokenBytes(i), b.TokenBytes(i));
+  }
+}
+
+TEST(Bpe, ToVocabularyAppendsSpecials) {
+  BpeModel model = BpeModel::Train(SampleCorpus(), 300);
+  Vocabulary vocab = model.ToVocabulary();
+  EXPECT_EQ(vocab.Size(), model.VocabSize() + 2);
+  EXPECT_EQ(vocab.eos_id, vocab.Size() - 1);
+  EXPECT_EQ(vocab.special_ids.size(), 2u);
+}
+
+// --- Synthetic vocabulary ----------------------------------------------------
+
+class SyntheticVocabTest : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(SyntheticVocabTest, ExactSizeUniqueEntriesByteCoverage) {
+  Vocabulary vocab = BuildSyntheticVocab({GetParam(), 7});
+  EXPECT_EQ(vocab.Size(), GetParam());
+  std::unordered_set<std::string> seen;
+  for (const std::string& token : vocab.tokens) {
+    EXPECT_TRUE(seen.insert(token).second) << "duplicate " << EscapeBytes(token);
+  }
+  // Byte fallback: every single byte present.
+  for (int b = 0; b < 256; ++b) {
+    EXPECT_TRUE(seen.count(std::string(1, static_cast<char>(b))) > 0) << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SyntheticVocabTest,
+                         ::testing::Values(2000, 8000, 32000));
+
+TEST(SyntheticVocab, DeterministicForSeed) {
+  Vocabulary a = BuildSyntheticVocab({4000, 9});
+  Vocabulary b = BuildSyntheticVocab({4000, 9});
+  EXPECT_EQ(a.tokens, b.tokens);
+  Vocabulary c = BuildSyntheticVocab({4000, 10});
+  EXPECT_NE(a.tokens, c.tokens);
+}
+
+TEST(SyntheticVocab, LlamaLikeStatistics) {
+  Vocabulary vocab = BuildSyntheticVocab({32000, 2024});
+  double total_bytes = 0;
+  int with_space = 0;
+  int multibyte_utf8 = 0;
+  for (const std::string& token : vocab.tokens) {
+    total_bytes += static_cast<double>(token.size());
+    if (!token.empty() && token[0] == ' ') ++with_space;
+    if (!token.empty() && static_cast<unsigned char>(token[0]) >= 0xC0) ++multibyte_utf8;
+  }
+  double mean_length = total_bytes / vocab.Size();
+  EXPECT_GT(mean_length, 3.0);   // Llama-3-like regime (theirs: ~4.3)
+  EXPECT_LT(mean_length, 8.0);
+  EXPECT_GT(with_space, vocab.Size() / 4);  // leading-space variants dominate
+  EXPECT_GT(multibyte_utf8, 50);
+}
+
+// --- TokenizerInfo -------------------------------------------------------------
+
+TEST(TokenizerInfo, SortedOrderAndPrefixTable) {
+  auto info = TokenizerInfo(BuildSyntheticVocab({3000, 5}));
+  const auto& sorted = info.SortedTokenIds();
+  const auto& prefixes = info.SortedCommonPrefixLengths();
+  ASSERT_EQ(sorted.size(), prefixes.size());
+  EXPECT_EQ(sorted.size(), static_cast<std::size_t>(info.VocabSize()) - 2);  // specials excluded
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const std::string& prev = info.TokenBytes(sorted[i - 1]);
+    const std::string& cur = info.TokenBytes(sorted[i]);
+    EXPECT_LE(prev, cur);
+    EXPECT_EQ(static_cast<std::size_t>(prefixes[i]), CommonPrefixLength(prev, cur));
+  }
+}
+
+TEST(TokenizerInfo, PrefixSkipSavesBytes) {
+  auto info = TokenizerInfo(BuildSyntheticVocab({32000, 5}));
+  // The §3.3 statistic: sorted traversal re-checks well under half the bytes.
+  EXPECT_LT(static_cast<double>(info.BytesAfterPrefixSkip()),
+            0.5 * static_cast<double>(info.TotalTokenBytes()));
+}
+
+TEST(TokenizerInfo, SpecialsExcludedFromSortedList) {
+  auto info = TokenizerInfo(BuildSyntheticVocab({2000, 5}));
+  for (std::int32_t id : info.SortedTokenIds()) {
+    EXPECT_FALSE(info.IsSpecial(id));
+  }
+  EXPECT_TRUE(info.IsSpecial(info.EosId()));
+}
+
+// --- TokenTrie -------------------------------------------------------------------
+
+TEST(TokenTrie, LongestMatchAgreesWithBruteForce) {
+  auto info = TokenizerInfo(BuildSyntheticVocab({3000, 5}));
+  TokenTrie trie(info);
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random text stitched from tokens + noise.
+    std::string text;
+    for (int i = 0; i < 4; ++i) {
+      text += info.TokenBytes(static_cast<std::int32_t>(rng.NextBounded(info.VocabSize() - 2)));
+    }
+    std::size_t pos = rng.NextBounded(text.size());
+    std::size_t trie_len = 0;
+    trie.LongestMatch(text, pos, &trie_len);
+    // Brute force: longest token that prefixes text[pos:].
+    std::size_t best = 0;
+    for (std::int32_t id : info.SortedTokenIds()) {
+      const std::string& token = info.TokenBytes(id);
+      if (token.size() > best && text.compare(pos, token.size(), token) == 0) {
+        best = token.size();
+      }
+    }
+    EXPECT_EQ(trie_len, best) << "text=" << EscapeBytes(text) << " pos=" << pos;
+  }
+}
+
+TEST(TokenTrie, GreedyTokenizeRoundTrips) {
+  auto info = TokenizerInfo(BuildSyntheticVocab({3000, 5}));
+  TokenTrie trie(info);
+  for (const char* text :
+       {"hello world", "{\"json\": [1, 2, 3]}", "\xF0\x9F\x98\x80 emoji",
+        "arbitrary \x7F bytes \xFE\xFF"}) {
+    std::vector<std::int32_t> ids = GreedyTokenize(trie, text);
+    std::string decoded;
+    for (std::int32_t id : ids) decoded += info.TokenBytes(id);
+    EXPECT_EQ(decoded, text);
+  }
+}
+
+TEST(TokenTrie, GreedyPrefersLongestToken) {
+  Vocabulary vocab;
+  vocab.tokens = {"a", "b", "ab", "abc", "c"};
+  auto info = TokenizerInfo(vocab);
+  TokenTrie trie(info);
+  std::vector<std::int32_t> ids = GreedyTokenize(trie, "abc");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(info.TokenBytes(ids[0]), "abc");
+  ids = GreedyTokenize(trie, "abab");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(info.TokenBytes(ids[0]), "ab");
+}
+
+}  // namespace
+}  // namespace xgr::tokenizer

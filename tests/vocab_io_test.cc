@@ -1,0 +1,105 @@
+// Tests for vocabulary persistence: exact byte round trips (including
+// non-UTF-8 byte-fallback tokens via the GPT-2 byte↔unicode bijection),
+// file I/O, malformed-input rejection, and end-to-end equivalence of an
+// engine built on a reloaded vocabulary.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cache/adaptive_cache.h"
+#include "grammar/grammar.h"
+#include "pda/compiled_grammar.h"
+#include "serialize/serialize.h"
+#include "support/logging.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/tokenizer_info.h"
+#include "tokenizer/vocab_io.h"
+
+namespace xgr::tokenizer {
+namespace {
+
+TEST(VocabIo, RoundTripsPlainTokens) {
+  Vocabulary vocab;
+  vocab.tokens = {"hello", " world", "<eos>"};
+  vocab.special_ids = {2};
+  vocab.eos_id = 2;
+  Vocabulary restored = VocabularyFromJson(VocabularyToJson(vocab));
+  EXPECT_EQ(restored.tokens, vocab.tokens);
+  EXPECT_EQ(restored.special_ids, vocab.special_ids);
+  EXPECT_EQ(restored.eos_id, 2);
+  EXPECT_EQ(restored.bos_id, -1);
+}
+
+TEST(VocabIo, RoundTripsArbitraryBytes) {
+  // Byte-fallback tokens, sub-UTF-8 pieces, control bytes, quotes and
+  // backslashes — every byte value must survive exactly.
+  Vocabulary vocab;
+  vocab.tokens.push_back(std::string("\x00", 1));       // NUL
+  vocab.tokens.push_back("\xC3");                       // dangling UTF-8 lead
+  vocab.tokens.push_back("\xA9\xFF\x80");               // raw high bytes
+  vocab.tokens.push_back("caf\xC3\xA9");                // valid UTF-8
+  vocab.tokens.push_back("a\"b\\c\n\t ");               // JSON metachars
+  std::string all_bytes;
+  for (int b = 0; b < 256; ++b) all_bytes.push_back(static_cast<char>(b));
+  vocab.tokens.push_back(all_bytes);
+  vocab.eos_id = 0;
+  vocab.special_ids = {0};
+
+  std::string json_text = VocabularyToJson(vocab);
+  Vocabulary restored = VocabularyFromJson(json_text);
+  ASSERT_EQ(restored.tokens.size(), vocab.tokens.size());
+  for (std::size_t i = 0; i < vocab.tokens.size(); ++i) {
+    EXPECT_EQ(restored.tokens[i], vocab.tokens[i]) << "token " << i;
+  }
+}
+
+TEST(VocabIo, SyntheticVocabularySurvivesExactly) {
+  Vocabulary vocab = BuildSyntheticVocab({3000, 17});
+  Vocabulary restored = VocabularyFromJson(VocabularyToJson(vocab));
+  EXPECT_EQ(restored.tokens, vocab.tokens);
+  EXPECT_EQ(restored.special_ids, vocab.special_ids);
+  EXPECT_EQ(restored.eos_id, vocab.eos_id);
+  EXPECT_EQ(restored.bos_id, vocab.bos_id);
+}
+
+TEST(VocabIo, FileRoundTrip) {
+  Vocabulary vocab = BuildSyntheticVocab({1000, 3});
+  const std::string path = "/tmp/xgr_vocab_io_test.json";
+  SaveVocabulary(vocab, path);
+  Vocabulary restored = LoadVocabulary(path);
+  EXPECT_EQ(restored.tokens, vocab.tokens);
+  std::remove(path.c_str());
+}
+
+TEST(VocabIo, MalformedInputsThrow) {
+  EXPECT_THROW(VocabularyFromJson("not json"), CheckError);
+  EXPECT_THROW(VocabularyFromJson("[]"), CheckError);
+  EXPECT_THROW(VocabularyFromJson(R"({"no_tokens":1})"), CheckError);
+  EXPECT_THROW(VocabularyFromJson(R"({"tokens":[]})"), CheckError);
+  EXPECT_THROW(VocabularyFromJson(R"({"tokens":["a"],"eos_id":5})"), CheckError);
+  EXPECT_THROW(VocabularyFromJson(R"({"tokens":["a"],"special_ids":[-1]})"),
+               CheckError);
+  EXPECT_THROW(VocabularyFromJson(R"({"tokens":[42]})"), CheckError);
+  EXPECT_THROW(LoadVocabulary("/nonexistent/path.json"), CheckError);
+}
+
+TEST(VocabIo, ReloadedVocabularyPinsTheSameEngineArtifacts) {
+  // The serialization module pins engine artifacts to a vocabulary hash; a
+  // vocabulary that survived a JSON round trip must produce the same hash
+  // and accept the same artifact.
+  auto original = std::make_shared<TokenizerInfo>(BuildSyntheticVocab({2000, 17}));
+  auto reloaded = std::make_shared<TokenizerInfo>(
+      VocabularyFromJson(VocabularyToJson(original->Vocab())));
+  EXPECT_EQ(serialize::VocabularyHash(*original),
+            serialize::VocabularyHash(*reloaded));
+
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto cache = cache::AdaptiveTokenMaskCache::Build(pda, original);
+  std::string blob = serialize::SerializeEngineArtifact(*cache);
+  EXPECT_NO_THROW(serialize::DeserializeEngineArtifact(blob, reloaded));
+}
+
+}  // namespace
+}  // namespace xgr::tokenizer
