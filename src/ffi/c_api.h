@@ -32,7 +32,11 @@ typedef enum xgr_status {
 } xgr_status;
 
 /* Copies the calling thread's last error message (NUL-terminated, possibly
- * truncated) into `buf`. Returns the full message length. */
+ * truncated) into `buf`. Returns the full message length, which may exceed
+ * `buf_len` (call again with a larger buffer to get the untruncated text).
+ * Thread-safe: each thread sees only errors raised by its own calls. The
+ * message is only meaningful immediately after a call on this thread
+ * reported failure (NULL return or XGR_ERROR / -1 status). */
 size_t xgr_last_error(char* buf, size_t buf_len);
 
 /* ----- tokenizer --------------------------------------------------------- */
@@ -41,19 +45,26 @@ typedef struct xgr_tokenizer xgr_tokenizer;
 
 /* Builds a tokenizer from raw token byte strings (id = array index).
  * `token_bytes[i]` points at `token_lens[i]` bytes (need not be
- * NUL-terminated). `eos_id` must index a token that will act as EOS. Returns
- * NULL on error. */
+ * NUL-terminated); the bytes are copied, so the caller's arrays may be freed
+ * immediately after the call. `eos_id` must index a token that will act as
+ * EOS. Returns NULL on error (message via xgr_last_error()); the returned
+ * handle is owned by the caller and released with xgr_tokenizer_destroy(). */
 xgr_tokenizer* xgr_tokenizer_create(const char* const* token_bytes,
                                     const size_t* token_lens,
                                     int32_t vocab_size, int32_t eos_id);
 
-/* The synthetic Llama-like vocabulary used by the benchmarks (DESIGN.md). */
+/* The synthetic Llama-like vocabulary used by the benchmarks
+ * (src/tokenizer/synthetic_vocab.h). Deterministic in (vocab_size, seed).
+ * Returns NULL on error; release with xgr_tokenizer_destroy(). */
 xgr_tokenizer* xgr_tokenizer_create_synthetic(int32_t vocab_size,
                                               uint64_t seed);
 
+/* Read-only accessors; safe from any thread, never fail on a live handle. */
 int32_t xgr_tokenizer_vocab_size(const xgr_tokenizer* tokenizer);
 int32_t xgr_tokenizer_eos_id(const xgr_tokenizer* tokenizer);
 
+/* Releases the handle. Safe while grammars compiled against it are still
+ * alive (shared internals are reference-counted); passing NULL is a no-op. */
 void xgr_tokenizer_destroy(xgr_tokenizer* tokenizer);
 
 /* ----- compiled grammar --------------------------------------------------- */
@@ -62,24 +73,43 @@ typedef struct xgr_grammar xgr_grammar;
 
 /* Each compile bundles grammar compilation (PDA construction, §3.4
  * optimizations, §3.2 context expansion) with the adaptive token-mask cache
- * build (§3.1) for `tokenizer`'s vocabulary. Returns NULL on error. */
+ * build (§3.1) for `tokenizer`'s vocabulary. This is the expensive
+ * preprocessing step — expect milliseconds to seconds depending on grammar
+ * and vocabulary size; amortize it by compiling once and sharing the handle.
+ *
+ * All four return a caller-owned handle (release with xgr_grammar_destroy())
+ * or NULL on error (malformed input text, unknown `root_rule`, NULL
+ * `tokenizer`; message via xgr_last_error()). The tokenizer is snapshotted:
+ * the grammar stays valid after xgr_tokenizer_destroy(tokenizer).
+ *
+ * `xgr_grammar_compile_ebnf` parses GBNF-style EBNF text and compiles the
+ * rule named `root_rule` (NULL means "root"). */
 xgr_grammar* xgr_grammar_compile_ebnf(const char* ebnf_text,
                                       const char* root_rule,
                                       const xgr_tokenizer* tokenizer);
+/* Converts a JSON Schema document (text) to a grammar, then compiles it. */
 xgr_grammar* xgr_grammar_compile_json_schema(const char* schema_json,
                                              const xgr_tokenizer* tokenizer);
+/* Compiles a regular expression (anchored: must match the whole output). */
 xgr_grammar* xgr_grammar_compile_regex(const char* pattern,
                                        const xgr_tokenizer* tokenizer);
 /* Builtin unconstrained-JSON grammar (ECMA-404). */
 xgr_grammar* xgr_grammar_compile_builtin_json(const xgr_tokenizer* tokenizer);
 
+/* Releases the handle. Live matchers created from it keep their own
+ * reference and remain valid; passing NULL is a no-op. */
 void xgr_grammar_destroy(xgr_grammar* grammar);
 
 /* ----- matcher ------------------------------------------------------------ */
 
 typedef struct xgr_matcher xgr_matcher;
 
+/* Creates a fresh per-request matcher at the grammar's start state. The
+ * grammar is retained internally, so destroying `grammar` afterwards is
+ * fine. Caller-owned; release with xgr_matcher_destroy(). Returns NULL on
+ * error. Matcher handles are single-threaded (see file header). */
 xgr_matcher* xgr_matcher_create(const xgr_grammar* grammar);
+/* Releases the handle (forks survive independently); NULL is a no-op. */
 void xgr_matcher_destroy(xgr_matcher* matcher);
 
 /* Number of 64-bit words a mask buffer needs for this matcher's vocabulary:
@@ -87,7 +117,11 @@ void xgr_matcher_destroy(xgr_matcher* matcher);
 size_t xgr_matcher_mask_words(const xgr_matcher* matcher);
 
 /* Fills `mask_words` (length >= xgr_matcher_mask_words()) with the
- * next-token bitmask; bit i = 1 means token i may be sampled. */
+ * next-token bitmask; bit i = 1 means token i may be sampled. The buffer is
+ * caller-owned and only written on XGR_OK. XGR_ERROR covers NULL arguments,
+ * an undersized buffer, and internal matcher failures (e.g. a pathological
+ * grammar exceeding engine limits) — always a reportable runtime error, not
+ * necessarily a programming mistake; details via xgr_last_error(). */
 xgr_status xgr_matcher_fill_next_token_bitmask(xgr_matcher* matcher,
                                                uint64_t* mask_words,
                                                size_t num_words);
@@ -97,7 +131,8 @@ xgr_status xgr_matcher_fill_next_token_bitmask(xgr_matcher* matcher,
  * token id outside the vocabulary). */
 int32_t xgr_matcher_accept_token(xgr_matcher* matcher, int32_t token_id);
 
-/* 1 when EOS is currently legal, else 0. */
+/* 1 when EOS is currently legal (the bytes accepted so far form a complete
+ * sentence of the grammar), else 0. Never sets an error. */
 int32_t xgr_matcher_can_terminate(const xgr_matcher* matcher);
 
 /* Rolls back the last `count` accepted tokens (§3.3). Returns 1 on success,
@@ -110,11 +145,15 @@ int32_t xgr_matcher_rollback_tokens(xgr_matcher* matcher, int32_t count);
 size_t xgr_matcher_find_jump_forward_string(xgr_matcher* matcher, char* buf,
                                             size_t buf_len);
 
-/* Restores the matcher to the start of generation. */
+/* Restores the matcher to the start of generation (cheaper than destroying
+ * and re-creating: the compiled grammar and cache are untouched). */
 void xgr_matcher_reset(xgr_matcher* matcher);
 
-/* O(1) state branch sharing the persistent stack pool (§3.3). The fork must
- * be used on the same thread as its parent. Returns NULL on error. */
+/* O(1) state branch sharing the persistent stack pool (§3.3). The returned
+ * handle is caller-owned (xgr_matcher_destroy()) and independent — either
+ * side may advance, roll back, or be destroyed first — but it must be used
+ * on the same thread as its parent (shared unsynchronized pool). Returns
+ * NULL on error. */
 xgr_matcher* xgr_matcher_fork(const xgr_matcher* matcher);
 
 #ifdef __cplusplus
