@@ -54,28 +54,62 @@ inline const tokenizer::TokenTrie& GetTrie(
   return *it->second;
 }
 
-// Measures mean per-token mask-generation latency (µs) by driving `decoder`
-// along the token paths of `documents` (greedy tokenization), timing only
-// FillNextTokenBitmask. Returns the mean over at most `max_steps` steps.
-inline double MeasureMaskGenUs(
+// Optional allocation-counter hook. A bench main that includes
+// support/alloc_hook.h (counting operator new; one TU per binary) registers
+// it here — `AllocCountFn() = &xgr::support::AllocHookCount;` — and
+// MeasureMaskGen then reports heap allocations per token alongside latency.
+// Without a hook, allocs_per_token stays at -1 ("not measured").
+inline std::int64_t (*&AllocCountFn())() {
+  static std::int64_t (*fn)() = nullptr;
+  return fn;
+}
+
+struct MaskGenMeasurement {
+  double mean_us = 0.0;
+  std::int64_t steps = 0;
+  double allocs_per_token = -1.0;  // operator-new calls per mask; -1 = no hook
+};
+
+// Measures mean per-token mask-generation latency (µs) — and, when an alloc
+// hook is registered, allocations per token — by driving `decoder` along the
+// token paths of `documents` (greedy tokenization), timing only
+// FillNextTokenBitmask. Means are over at most `max_steps` steps.
+inline MaskGenMeasurement MeasureMaskGen(
     baselines::ConstrainedDecoder* decoder,
     const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
     const std::vector<std::string>& documents, std::int32_t max_steps) {
   const tokenizer::TokenTrie& trie = GetTrie(info);
   DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
   StatAccumulator stat;
+  std::int64_t (*alloc_now)() = AllocCountFn();
+  std::int64_t allocs = 0;
   for (const std::string& doc : documents) {
     if (static_cast<std::int32_t>(stat.Count()) >= max_steps) break;
     decoder->Reset();
     for (std::int32_t token : tokenizer::GreedyTokenize(trie, doc)) {
       if (static_cast<std::int32_t>(stat.Count()) >= max_steps) break;
+      std::int64_t allocs_before = alloc_now != nullptr ? alloc_now() : 0;
       Timer timer;
       decoder->FillNextTokenBitmask(&mask);
       stat.Add(timer.ElapsedMicros());
+      if (alloc_now != nullptr) allocs += alloc_now() - allocs_before;
       if (!decoder->AcceptToken(token)) break;  // defensive
     }
   }
-  return stat.Mean();
+  MaskGenMeasurement out;
+  out.mean_us = stat.Mean();
+  out.steps = static_cast<std::int64_t>(stat.Count());
+  if (alloc_now != nullptr && out.steps > 0) {
+    out.allocs_per_token = static_cast<double>(allocs) / static_cast<double>(out.steps);
+  }
+  return out;
+}
+
+inline double MeasureMaskGenUs(
+    baselines::ConstrainedDecoder* decoder,
+    const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
+    const std::vector<std::string>& documents, std::int32_t max_steps) {
+  return MeasureMaskGen(decoder, info, documents, max_steps).mean_us;
 }
 
 // --- Table printing ---------------------------------------------------------

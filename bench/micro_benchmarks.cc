@@ -3,6 +3,9 @@
 // (cached vs brute force), Algorithm-1 mask merging, and bitset operations.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <iterator>
+
 #include "baselines/xgrammar_decoder.h"
 #include "cache/mask_generator.h"
 #include "datasets/workloads.h"
@@ -160,6 +163,124 @@ void BM_BruteForceMaskGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BruteForceMaskGeneration);
+
+// --- Algorithm-1 merge kernels ----------------------------------------------
+// The same merge workload — K accept-heavy stacks (rejected lists) plus one
+// reject-heavy stack (accepted list) over a 128k vocabulary — implemented the
+// pre-refactor way (sorted-list set algebra, allocating a temporary per
+// union/intersection) and the current way (word-level batches into reusable
+// scratch bitsets). The gap is the point of the PR's merge rework.
+
+constexpr std::size_t kMergeVocab = 128000;
+
+std::vector<std::int32_t> SyntheticIdList(std::size_t count, std::uint64_t stride,
+                                          std::uint64_t offset) {
+  std::vector<std::int32_t> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ids.push_back(static_cast<std::int32_t>((offset + i * stride) % kMergeVocab));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+struct MergeWorkload {
+  std::vector<std::vector<std::int32_t>> rejected;  // per accept-heavy stack
+  std::vector<std::int32_t> accepted;               // reject-heavy stack
+  DynamicBitset accepted_bits;                      // kBitset-storage stack
+};
+
+const MergeWorkload& SyntheticMergeWorkload() {
+  static MergeWorkload w = [] {
+    MergeWorkload out;
+    for (std::uint64_t k = 0; k < 3; ++k) {
+      out.rejected.push_back(SyntheticIdList(4000, 17 + k, 13 * k));
+    }
+    out.accepted = SyntheticIdList(600, 97, 5);
+    out.accepted_bits = DynamicBitset(kMergeVocab);
+    for (std::size_t i = 0; i < kMergeVocab; i += 3) out.accepted_bits.Set(i);
+    return out;
+  }();
+  return w;
+}
+
+void BM_MaskMergeSortedLists(benchmark::State& state) {
+  const MergeWorkload& w = SyntheticMergeWorkload();
+  DynamicBitset mask(kMergeVocab);
+  for (auto _ : state) {
+    std::vector<std::int32_t> partial_rej = w.rejected[0];
+    for (std::size_t k = 1; k < w.rejected.size(); ++k) {
+      std::vector<std::int32_t> next;
+      std::set_intersection(partial_rej.begin(), partial_rej.end(),
+                            w.rejected[k].begin(), w.rejected[k].end(),
+                            std::back_inserter(next));
+      partial_rej = std::move(next);
+    }
+    // Pre-refactor handling of bitset-storage entries: materialize the whole
+    // bitset into an index list, then sorted-union it in.
+    std::vector<std::int32_t> bitset_ids = w.accepted_bits.ToIndexList();
+    std::vector<std::int32_t> partial_acc;
+    std::set_union(w.accepted.begin(), w.accepted.end(), bitset_ids.begin(),
+                   bitset_ids.end(), std::back_inserter(partial_acc));
+    std::vector<std::int32_t> final_rej;
+    std::set_difference(partial_rej.begin(), partial_rej.end(),
+                        partial_acc.begin(), partial_acc.end(),
+                        std::back_inserter(final_rej));
+    mask.SetAll();
+    for (std::int32_t id : final_rej) mask.Reset(static_cast<std::size_t>(id));
+    benchmark::DoNotOptimize(mask);
+  }
+}
+BENCHMARK(BM_MaskMergeSortedLists);
+
+void BM_MaskMergeWordLevel(benchmark::State& state) {
+  const MergeWorkload& w = SyntheticMergeWorkload();
+  DynamicBitset mask(kMergeVocab);
+  DynamicBitset rejected(kMergeVocab);
+  DynamicBitset entry(kMergeVocab);
+  DynamicBitset accepted(kMergeVocab);
+  for (auto _ : state) {
+    accepted.ResetAll();
+    accepted.SetBatch(w.accepted);
+    accepted.OrWith(w.accepted_bits);  // bitset-storage entry: word-wise OR
+    rejected.ResetAll();
+    rejected.SetBatch(w.rejected[0]);
+    for (std::size_t k = 1; k < w.rejected.size(); ++k) {
+      entry.ResetAll();
+      entry.SetBatch(w.rejected[k]);
+      rejected.AndWith(entry);
+    }
+    mask.CopyFrom(rejected);
+    mask.FlipAll();
+    mask.OrWith(accepted);
+    benchmark::DoNotOptimize(mask);
+  }
+}
+BENCHMARK(BM_MaskMergeWordLevel);
+
+void BM_MultiStackMaskGeneration(benchmark::State& state) {
+  // End-to-end Algorithm 1: an ambiguous grammar keeps two stacks alive, so
+  // every FillNextTokenBitmask runs the multi-stack merge path.
+  static auto pda = pda::CompiledGrammar::Compile(
+      grammar::ParseEbnfOrThrow(R"(
+        root ::= item*
+        item ::= "aa" "x" | "a" "a" "y"
+      )"),
+      pda::CompileOptions::AllDisabled());
+  static auto cache = cache::AdaptiveTokenMaskCache::Build(pda, BenchTokenizer());
+  auto info = BenchTokenizer();
+  cache::MaskGenerator generator(cache);
+  matcher::GrammarMatcher matcher(pda);
+  matcher.AcceptString("aa");
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  for (auto _ : state) {
+    generator.FillNextTokenBitmask(&matcher, &mask);
+    benchmark::DoNotOptimize(mask);
+  }
+  state.SetLabel("merges=" + std::to_string(generator.Stats().merges));
+}
+BENCHMARK(BM_MultiStackMaskGeneration);
 
 void BM_BitsetIntersect(benchmark::State& state) {
   DynamicBitset a(128000, true);

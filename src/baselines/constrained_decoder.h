@@ -12,6 +12,10 @@
 
 #include "support/dynamic_bitset.h"
 
+namespace xgr::cache {
+struct MaskGenStats;  // cache/mask_generator.h
+}  // namespace xgr::cache
+
 namespace xgr::baselines {
 
 class ConstrainedDecoder {
@@ -48,6 +52,12 @@ class ConstrainedDecoder {
   // One-time preprocessing cost already paid by this decoder (grammar
   // compilation, mask cache, DFA token indexing, ...), for TTFT accounting.
   virtual double PreprocessSeconds() const { return 0.0; }
+
+  // Mask-generation statistics (scratch-matcher reuse, merges, ...) when the
+  // backend runs the adaptive mask cache; nullptr for engines without one.
+  // The serving engine aggregates these per batch to observe the
+  // zero-allocation decode hot path under load.
+  virtual const cache::MaskGenStats* MaskStats() const { return nullptr; }
 };
 
 }  // namespace xgr::baselines

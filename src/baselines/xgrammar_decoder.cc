@@ -30,7 +30,22 @@ bool XGrammarDecoder::RollbackTokens(std::int32_t count) {
 }
 
 void XGrammarDecoder::Reset() {
-  matcher_ = matcher::GrammarMatcher(cache_->PdaShared());
+  // Reseed in place instead of constructing a fresh matcher: the persistent
+  // stack pool is append-only, so its interned frames, the matcher's recycled
+  // snapshots, and the mask generator's scratch matcher (which shares this
+  // pool) all stay valid and warm across requests. The pool only grows when a
+  // request reaches a (parent, node) chain no earlier request produced, so it
+  // plateaus for steady workloads — but a long-lived decoder fed ever-deeper
+  // nesting would grow it without bound, so an oversized pool is dropped and
+  // the matcher rebuilt fresh (the generator's scratch matcher detects the
+  // pool swap and rebuilds itself on the next mask).
+  constexpr std::size_t kMaxRetainedFrames = 1u << 20;  // 16 MB of frames
+  if (matcher_.Pool().Size() > kMaxRetainedFrames) {
+    matcher_ = matcher::GrammarMatcher(cache_->PdaShared());
+    generator_.ReleaseScratch();  // don't pin the dropped pool while idle
+  } else {
+    matcher_.ResetToStart();
+  }
 }
 
 }  // namespace xgr::baselines

@@ -28,14 +28,23 @@ class XGrammarDecoder : public ConstrainedDecoder {
     return matcher_.FindJumpForwardString();
   }
   double PreprocessSeconds() const override { return preprocess_seconds_; }
+  const cache::MaskGenStats* MaskStats() const override {
+    return &generator_.Stats();
+  }
 
   matcher::GrammarMatcher& Matcher() { return matcher_; }
+  // The generator owns the per-request MaskWorkspace (scratch bitsets +
+  // reusable scratch matcher); FillNextTokenBitmask is allocation-free in
+  // steady state. Stats expose scratch reseed/rebuild counts.
   const cache::MaskGenerator& Generator() const { return generator_; }
 
   // Cheap per-branch decoder (§3.3 tree decoding): the fork continues from
   // this decoder's current position, sharing the persistent stack pool.
   // Token rollback inside the fork is bounded by the fork point. Same-thread
-  // use only (see GrammarMatcher::Fork).
+  // use only (see GrammarMatcher::Fork) — that includes FillNextTokenBitmask,
+  // which interns into the shared pool, so do NOT submit pool-sharing forks
+  // as separate ServingEngine requests (the overlap scheduler computes masks
+  // for different requests on different threads).
   std::shared_ptr<XGrammarDecoder> Fork() const {
     return std::shared_ptr<XGrammarDecoder>(
         new XGrammarDecoder(cache_, matcher_.Fork(), preprocess_seconds_));

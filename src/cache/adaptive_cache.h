@@ -49,7 +49,10 @@ struct NodeMaskEntry {
   // kBitset only: bit = 1 for accepted CI tokens.
   DynamicBitset accepted_bits;
   // Context-dependent token ids in lexicographic byte order (the order the
-  // runtime checker walks them, maximizing prefix sharing).
+  // runtime checker walks them, maximizing prefix sharing). The merge path
+  // consumes this list only through order-invariant word-level bitset batches
+  // (DynamicBitset::SetBatch/ResetBatch), so no id-sorted copy is stored and
+  // no per-step copy+sort happens; MemoryBytes() stays one list per entry.
   std::vector<std::int32_t> context_dependent;
 
   std::size_t MemoryBytes() const {

@@ -1,7 +1,6 @@
 #include "cache/mask_generator.h"
 
 #include <algorithm>
-#include <optional>
 
 #include "support/logging.h"
 #include "support/string_utils.h"
@@ -10,31 +9,10 @@ namespace xgr::cache {
 
 namespace {
 
-// Sorted-vector set helpers (Algorithm 1 runs on small token-id lists).
-std::vector<std::int32_t> IntersectSorted(const std::vector<std::int32_t>& a,
-                                          const std::vector<std::int32_t>& b) {
-  std::vector<std::int32_t> out;
-  out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
-}
-
-std::vector<std::int32_t> UnionSorted(const std::vector<std::int32_t>& a,
-                                      const std::vector<std::int32_t>& b) {
-  std::vector<std::int32_t> out;
-  out.reserve(a.size() + b.size());
-  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
-  return out;
-}
-
-std::vector<std::int32_t> DifferenceSorted(const std::vector<std::int32_t>& a,
-                                           const std::vector<std::int32_t>& b) {
-  std::vector<std::int32_t> out;
-  out.reserve(a.size());
-  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
-                      std::back_inserter(out));
-  return out;
+// (Re)shapes a workspace bitset to `size` bits. Only the very first step (or
+// a vocab-size change, which cannot happen mid-request) allocates.
+void EnsureShape(DynamicBitset* bits, std::size_t size) {
+  if (bits->Size() != size) *bits = DynamicBitset(size);
 }
 
 void ApplySpecialTokens(const tokenizer::TokenizerInfo& tokenizer, bool can_terminate,
@@ -49,15 +27,34 @@ void ApplySpecialTokens(const tokenizer::TokenizerInfo& tokenizer, bool can_term
 
 }  // namespace
 
-std::vector<std::int32_t> MaskGenerator::CheckContextDependent(
+matcher::GrammarMatcher& MaskGenerator::ScratchMatcher(
+    matcher::GrammarMatcher* runtime, std::int32_t stack_id) {
+  std::unique_ptr<matcher::GrammarMatcher>& scratch = workspace_.scratch_matcher;
+  if (scratch == nullptr || &scratch->Pool() != &runtime->Pool()) {
+    // First use, or the runtime matcher swapped pools (e.g. a decoder reset
+    // onto a fresh matcher): rebuild, sharing the runtime pool. The scratch
+    // holds the pool alive via shared_ptr, so the identity comparison above
+    // can never be confused by address reuse.
+    scratch = std::make_unique<matcher::GrammarMatcher>(
+        cache_->PdaShared(), runtime->PoolShared(), stack_id);
+    ++stats_.scratch_rebuilds;
+  } else {
+    scratch->Reseed(stack_id);
+    ++stats_.scratch_reseeds;
+  }
+  return *scratch;
+}
+
+const std::vector<std::int32_t>& MaskGenerator::CheckContextDependent(
     matcher::GrammarMatcher* matcher, std::int32_t stack_id,
     const NodeMaskEntry& entry) {
-  std::vector<std::int32_t> accepted;
+  std::vector<std::int32_t>& accepted = workspace_.ctx_accepted;
+  accepted.clear();
   if (entry.context_dependent.empty()) return accepted;
   const tokenizer::TokenizerInfo& tokenizer = cache_->Tokenizer();
-  // Scratch matcher seeded with the full runtime stack: pops now resolve
-  // against real parent frames.
-  matcher::GrammarMatcher scratch(cache_->PdaShared(), matcher->Pool(), stack_id);
+  // Scratch matcher seeded with the full runtime stack (shared pool, no chain
+  // copy): pops resolve against real parent frames.
+  matcher::GrammarMatcher& scratch = ScratchMatcher(matcher, stack_id);
   std::string_view previous;
   for (std::int32_t token_id : entry.context_dependent) {  // lexicographic
     const std::string& token = tokenizer.TokenBytes(token_id);
@@ -75,7 +72,6 @@ std::vector<std::int32_t> MaskGenerator::CheckContextDependent(
     if (ok) accepted.push_back(token_id);
     previous = token;
   }
-  std::sort(accepted.begin(), accepted.end());
   return accepted;
 }
 
@@ -85,6 +81,15 @@ void MaskGenerator::FillNextTokenBitmask(matcher::GrammarMatcher* matcher,
   XGR_CHECK(mask->Size() == static_cast<std::size_t>(tokenizer.VocabSize()))
       << "mask size must equal vocabulary size";
   ++stats_.masks_generated;
+  // A scratch matcher tied to a different pool (the runtime matcher was
+  // rebuilt, e.g. a decoder dropping an oversized pool) must be released
+  // eagerly: CheckContextDependent may not run for a long time (entries with
+  // no context-dependent tokens), and holding the scratch would pin the
+  // dropped pool alive through its shared_ptr.
+  if (workspace_.scratch_matcher != nullptr &&
+      &workspace_.scratch_matcher->Pool() != &matcher->Pool()) {
+    workspace_.scratch_matcher.reset();
+  }
   // Union over the canonical stacks plus the closure's pop-produced stacks:
   // each cache entry's classification already folds in every rule *push*
   // below its node, so push expansions of the closure need no entries of
@@ -93,7 +98,8 @@ void MaskGenerator::FillNextTokenBitmask(matcher::GrammarMatcher* matcher,
   // pre-pop entry deliberately leaves unclassified (see ClassifyFromWalk on
   // depth-0 escapes). This keeps per-step work proportional to the true
   // ambiguity of the grammar rather than its rule-nesting depth.
-  const std::vector<std::int32_t> stacks = matcher->MaskStacks();
+  std::vector<std::int32_t>& stacks = workspace_.stacks;
+  matcher->MaskStacks(&stacks);
   stats_.stacks_processed += static_cast<std::int64_t>(stacks.size());
 
   if (stacks.empty()) {
@@ -107,70 +113,90 @@ void MaskGenerator::FillNextTokenBitmask(matcher::GrammarMatcher* matcher,
     // Fast path: write the cache entry straight into the output mask.
     std::int32_t top = matcher->Pool().TopNode(stacks[0]);
     const NodeMaskEntry& entry = cache_->Entry(top);
-    std::vector<std::int32_t> ctx_accepted =
+    const std::vector<std::int32_t>& ctx_accepted =
         CheckContextDependent(matcher, stacks[0], entry);
     switch (entry.kind) {
       case StorageKind::kAcceptHeavy:
+        // Accepted = V \ stored \ (context_dependent \ ctx_accepted).
         mask->SetAll();
-        for (std::int32_t id : entry.stored) mask->Reset(static_cast<std::size_t>(id));
-        for (std::int32_t id : entry.context_dependent) {
-          mask->Reset(static_cast<std::size_t>(id));
-        }
-        for (std::int32_t id : ctx_accepted) mask->Set(static_cast<std::size_t>(id));
+        mask->ResetBatch(entry.stored);
+        mask->ResetBatch(entry.context_dependent);
+        mask->SetBatch(ctx_accepted);
         break;
       case StorageKind::kRejectHeavy:
         mask->ResetAll();
-        for (std::int32_t id : entry.stored) mask->Set(static_cast<std::size_t>(id));
-        for (std::int32_t id : ctx_accepted) mask->Set(static_cast<std::size_t>(id));
+        mask->SetBatch(entry.stored);
+        mask->SetBatch(ctx_accepted);
         break;
-      case StorageKind::kBitset: {
+      case StorageKind::kBitset:
         XGR_CHECK(entry.accepted_bits.Size() == mask->Size());
-        std::copy(entry.accepted_bits.Data(),
-                  entry.accepted_bits.Data() + entry.accepted_bits.WordCount(),
-                  mask->MutableData());
-        for (std::int32_t id : ctx_accepted) mask->Set(static_cast<std::size_t>(id));
+        mask->CopyFrom(entry.accepted_bits);
+        mask->SetBatch(ctx_accepted);
         break;
-      }
     }
     ApplySpecialTokens(tokenizer, matcher->CanTerminate(), mask);
     return;
   }
 
-  // Algorithm 1: merge per-stack masks on small sorted lists.
+  // Algorithm 1, word-level: instead of sorted-list set algebra (which
+  // allocated a temporary per union/intersection and materialized bitset
+  // entries into index lists), accumulate directly into two scratch bitsets:
+  //   accepted_bits = union of accepted contributions (reject-heavy stored
+  //                   lists, bitset entries, runtime-accepted ctx tokens),
+  //   rejected_bits = intersection over accept-heavy stacks of their
+  //                   rejected sets (stored + ctx tokens that failed).
+  // Final mask: accepted | ~rejected when any accept-heavy stack was seen
+  // (rejecting requires every wildcard-ish stack to reject), else accepted.
   ++stats_.merges;
-  std::optional<std::vector<std::int32_t>> partial_rej;  // nullopt = V
-  std::vector<std::int32_t> partial_acc;
+  DynamicBitset& accepted_bits = workspace_.accepted_bits;
+  DynamicBitset& rejected_bits = workspace_.rejected_bits;
+  DynamicBitset& entry_bits = workspace_.entry_bits;
+  EnsureShape(&accepted_bits, mask->Size());
+  accepted_bits.ResetAll();
+  bool has_rejected = false;
   for (std::int32_t stack_id : stacks) {
     std::int32_t top = matcher->Pool().TopNode(stack_id);
     const NodeMaskEntry& entry = cache_->Entry(top);
-    std::vector<std::int32_t> ctx_accepted =
+    const std::vector<std::int32_t>& ctx_accepted =
         CheckContextDependent(matcher, stack_id, entry);
-    if (entry.kind == StorageKind::kAcceptHeavy) {
-      // Rejected list = stored (CI-rejected) + context-dependent that failed.
-      std::vector<std::int32_t> ctx_sorted = entry.context_dependent;
-      std::sort(ctx_sorted.begin(), ctx_sorted.end());
-      std::vector<std::int32_t> rejected =
-          UnionSorted(entry.stored, DifferenceSorted(ctx_sorted, ctx_accepted));
-      partial_rej = partial_rej.has_value() ? IntersectSorted(*partial_rej, rejected)
-                                            : std::move(rejected);
-    } else {
-      // Reject-heavy and bitset entries contribute accepted lists.
-      std::vector<std::int32_t> accepted =
-          entry.kind == StorageKind::kBitset ? entry.accepted_bits.ToIndexList()
-                                             : entry.stored;
-      partial_acc = UnionSorted(partial_acc, UnionSorted(accepted, ctx_accepted));
+    switch (entry.kind) {
+      case StorageKind::kAcceptHeavy: {
+        // Rejected set = stored + (context_dependent \ ctx_accepted); built
+        // by set/reset batches (ctx_accepted is a subset of
+        // context_dependent, and stored is disjoint from it, so order within
+        // the three batches does not matter).
+        DynamicBitset& target = has_rejected ? entry_bits : rejected_bits;
+        EnsureShape(&target, mask->Size());
+        target.ResetAll();
+        target.SetBatch(entry.stored);
+        target.SetBatch(entry.context_dependent);
+        target.ResetBatch(ctx_accepted);
+        if (has_rejected) {
+          rejected_bits.AndWith(entry_bits);
+        } else {
+          has_rejected = true;
+        }
+        break;
+      }
+      case StorageKind::kRejectHeavy:
+        accepted_bits.SetBatch(entry.stored);
+        accepted_bits.SetBatch(ctx_accepted);
+        break;
+      case StorageKind::kBitset:
+        XGR_CHECK(entry.accepted_bits.Size() == mask->Size());
+        accepted_bits.OrWith(entry.accepted_bits);
+        accepted_bits.SetBatch(ctx_accepted);
+        break;
     }
   }
-  if (!partial_rej.has_value()) {
-    // All stacks reject-heavy: accepted = PartialAcc.
-    mask->ResetAll();
-    for (std::int32_t id : partial_acc) mask->Set(static_cast<std::size_t>(id));
+  if (!has_rejected) {
+    // All stacks contributed accepted sets: the mask is their union.
+    mask->CopyFrom(accepted_bits);
   } else {
-    // Rejected = PartialRej \ PartialAcc.
-    mask->SetAll();
-    for (std::int32_t id : DifferenceSorted(*partial_rej, partial_acc)) {
-      mask->Reset(static_cast<std::size_t>(id));
-    }
+    // Rejected = rejected_bits \ accepted_bits, i.e. mask = ~rejected | accepted.
+    mask->CopyFrom(rejected_bits);
+    mask->FlipAll();
+    mask->OrWith(accepted_bits);
   }
   ApplySpecialTokens(tokenizer, matcher->CanTerminate(), mask);
 }

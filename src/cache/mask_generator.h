@@ -4,10 +4,20 @@
 // by stack-top node) with on-the-fly PDA execution of the few
 // context-dependent tokens, merging per-stack masks with Algorithm 1 when the
 // grammar is ambiguous and several parallel stacks are alive.
+//
+// Decode hot path contract: after a warm-up step per (matcher, state shape),
+// FillNextTokenBitmask performs ZERO heap allocations. Everything the step
+// needs lives in the MaskWorkspace below — scratch bitsets for the word-level
+// Algorithm-1 merge, reusable id buffers, and one scratch matcher that is
+// reseeded (not reconstructed) per context-dependent check and that shares
+// the runtime matcher's append-only persistent stack pool. The workspace is
+// verified by an operator-new-counting test (tests/mask_workspace_test.cc)
+// and surfaced as allocs/token in bench/fig09_mask_gen.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "cache/adaptive_cache.h"
 #include "matcher/grammar_matcher.h"
@@ -20,6 +30,40 @@ struct MaskGenStats {
   std::int64_t runtime_tokens_checked = 0;  // context-dependent executions
   std::int64_t stacks_processed = 0;
   std::int64_t merges = 0;  // multi-stack Algorithm-1 invocations
+  // Scratch-matcher reuse: a rebuild constructs a matcher (allocates), a
+  // reseed recycles the existing one (steady state: reseeds only).
+  std::int64_t scratch_rebuilds = 0;
+  std::int64_t scratch_reseeds = 0;
+};
+
+// Per-generator scratch state for the decode hot path. All buffers are sized
+// on first use and reused across steps. MaskGenerator (like GrammarMatcher)
+// serves one generation request at a time, so the workspace needs no
+// synchronization; concurrent requests each own a generator (see
+// engine/serving_engine.cc, which parallelizes across decoders, never within
+// one). Caveat: the scratch matcher interns frames into the runtime
+// matcher's pool, so decoders whose matchers SHARE a pool (forks, §3.3) must
+// also share a thread for mask generation — see GrammarMatcher::Fork.
+class MaskWorkspace {
+ private:
+  friend class MaskGenerator;
+
+  // Word-level Algorithm-1 accumulators: union of accepted contributions,
+  // intersection of accept-heavy rejected sets, and a per-entry scratch for
+  // building one rejected set before intersecting it in.
+  DynamicBitset accepted_bits;
+  DynamicBitset rejected_bits;
+  DynamicBitset entry_bits;
+  // Context-dependent tokens accepted for the current stack (unsorted; the
+  // word-level merge is order-invariant).
+  std::vector<std::int32_t> ctx_accepted;
+  // Output buffer of GrammarMatcher::MaskStacks.
+  std::vector<std::int32_t> stacks;
+  // Scratch matcher, reused via Reseed across stacks and steps. Shares the
+  // runtime matcher's persistent stack pool (append-only, so extending it
+  // from here is safe) and is rebuilt only when the runtime matcher's pool
+  // changes identity.
+  std::unique_ptr<matcher::GrammarMatcher> scratch_matcher;
 };
 
 class MaskGenerator {
@@ -29,21 +73,38 @@ class MaskGenerator {
 
   // Fills `mask` (size = vocab; bit = 1 means the token may be sampled) for
   // the matcher's current state. Special tokens are disabled; EOS is enabled
-  // exactly when the grammar can terminate.
+  // exactly when the grammar can terminate. Allocation-free in steady state
+  // (see the header comment). May intern frames into `matcher`'s stack pool
+  // (context-dependent checks run there); the pool is append-only, so the
+  // matcher's visible state is unchanged.
   void FillNextTokenBitmask(matcher::GrammarMatcher* matcher, DynamicBitset* mask);
 
   const MaskGenStats& Stats() const { return stats_; }
   const AdaptiveTokenMaskCache& Cache() const { return *cache_; }
 
+  // Drops the reusable scratch matcher and with it the shared_ptr it holds
+  // on a runtime matcher's pool. Decoders call this when they discard their
+  // matcher's pool (see XGrammarDecoder::Reset) so an idle generator cannot
+  // pin the dropped pool; FillNextTokenBitmask also releases a stale scratch
+  // on its next call, so this hook is about promptness, not correctness.
+  void ReleaseScratch() { workspace_.scratch_matcher.reset(); }
+
  private:
   // Runs the context-dependent tokens of `entry` against the full stack
-  // `stack_id`; returns accepted ids sorted by id.
-  std::vector<std::int32_t> CheckContextDependent(matcher::GrammarMatcher* matcher,
-                                                  std::int32_t stack_id,
-                                                  const NodeMaskEntry& entry);
+  // `stack_id` on the reusable scratch matcher; returns the accepted ids
+  // (workspace buffer, valid until the next call; unsorted).
+  const std::vector<std::int32_t>& CheckContextDependent(
+      matcher::GrammarMatcher* matcher, std::int32_t stack_id,
+      const NodeMaskEntry& entry);
+
+  // Returns the scratch matcher reseeded at `stack_id`, rebuilding it only
+  // when `runtime`'s pool is not the one the scratch currently shares.
+  matcher::GrammarMatcher& ScratchMatcher(matcher::GrammarMatcher* runtime,
+                                          std::int32_t stack_id);
 
   std::shared_ptr<const AdaptiveTokenMaskCache> cache_;
   MaskGenStats stats_;
+  MaskWorkspace workspace_;
 };
 
 // Mask generation without any cache: walks the entire vocabulary through the

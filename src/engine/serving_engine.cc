@@ -4,6 +4,7 @@
 #include <future>
 #include <thread>
 
+#include "cache/mask_generator.h"
 #include "support/logging.h"
 #include "support/thread_pool.h"
 #include "support/timer.h"
@@ -20,6 +21,30 @@ struct ActiveRequest {
   Rng sampler_rng{1};
   bool finished = false;
 };
+
+// Decoder mask-gen counters accumulate over the decoder's lifetime; the
+// engine reports per-run deltas, so it snapshots them at admission and
+// subtracts on completion.
+MaskGenAggregate SnapshotMaskGen(const baselines::ConstrainedDecoder* decoder) {
+  MaskGenAggregate snapshot;
+  const cache::MaskGenStats* stats =
+      decoder != nullptr ? decoder->MaskStats() : nullptr;
+  if (stats != nullptr) {
+    snapshot.masks_generated = stats->masks_generated;
+    snapshot.scratch_rebuilds = stats->scratch_rebuilds;
+    snapshot.scratch_reseeds = stats->scratch_reseeds;
+  }
+  return snapshot;
+}
+
+void AccumulateMaskGenDelta(const baselines::ConstrainedDecoder* decoder,
+                            const MaskGenAggregate& admitted,
+                            MaskGenAggregate* out) {
+  MaskGenAggregate now = SnapshotMaskGen(decoder);
+  out->masks_generated += now.masks_generated - admitted.masks_generated;
+  out->scratch_rebuilds += now.scratch_rebuilds - admitted.scratch_rebuilds;
+  out->scratch_reseeds += now.scratch_reseeds - admitted.scratch_reseeds;
+}
 
 // Advances one request by one decode step: sample under the precomputed
 // mask, accept, handle EOS / max-new-tokens, and apply jump-forward with
@@ -115,6 +140,7 @@ BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) 
   auto vocab_size = static_cast<std::size_t>(tokenizer.VocabSize());
 
   std::vector<ActiveRequest> active(requests.size());
+  std::vector<MaskGenAggregate> admitted_stats(requests.size());
   double max_preprocess_s = 0.0;
   std::int64_t prompt_tokens = 0;
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -127,6 +153,7 @@ BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) 
       max_preprocess_s = std::max(max_preprocess_s,
                                   requests[i].decoder->PreprocessSeconds());
     }
+    admitted_stats[i] = SnapshotMaskGen(requests[i].decoder.get());
     prompt_tokens += requests[i].prompt_tokens;
   }
 
@@ -194,6 +221,8 @@ BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) 
   }
   batch.decode_wall_ms = decode_timer.ElapsedMillis();
   for (std::size_t i = 0; i < active.size(); ++i) {
+    AccumulateMaskGenDelta(requests[i].decoder.get(), admitted_stats[i],
+                           &batch.mask_gen);
     batch.requests[i] = std::move(active[i].result);
   }
   return batch;
@@ -218,6 +247,7 @@ ContinuousResult ServingEngine::RunContinuous(
     ActiveRequest ar;
     std::size_t index = 0;       // into `requests` / result vector
     double admitted_clock = 0.0; // simulated µs
+    MaskGenAggregate admitted_stats;
   };
   std::vector<Slot> active;
   active.reserve(static_cast<std::size_t>(max_batch_size));
@@ -246,6 +276,7 @@ ContinuousResult ServingEngine::RunContinuous(
       slot.ar.mask = DynamicBitset(vocab_size);
       slot.ar.sampler_rng = Rng(request.seed * 7919u + 13u);
       if (request.decoder != nullptr) request.decoder->Reset();
+      slot.admitted_stats = SnapshotMaskGen(request.decoder.get());
       admission_us += static_cast<double>(request.prompt_tokens) *
                       options_.profile.prefill_us_per_token;
       slot.admitted_clock = clock_us;
@@ -300,6 +331,8 @@ ContinuousResult ServingEngine::RunContinuous(
         record.finish_step = step;
         record.completion_ms = (clock_us - slot.admitted_clock) / 1000.0;
         record.result = std::move(slot.ar.result);
+        AccumulateMaskGenDelta(slot.ar.request->decoder.get(),
+                               slot.admitted_stats, &out.mask_gen);
         active[i] = std::move(active.back());
         active.pop_back();
         ++finished;

@@ -64,12 +64,25 @@ struct RequestResult {
   std::int32_t retokenized_tokens = 0;
 };
 
+// Mask-generation counters aggregated over the grammar-constrained requests
+// of one run (deltas across the run, summed over requests; all zero for
+// unconstrained or non-cache backends). `scratch_rebuilds` vs
+// `scratch_reseeds` shows the decode hot path staying on its reusable
+// workspace: in steady state rebuilds stay at one per decoder while reseeds
+// grow with every context-dependent check.
+struct MaskGenAggregate {
+  std::int64_t masks_generated = 0;
+  std::int64_t scratch_rebuilds = 0;
+  std::int64_t scratch_reseeds = 0;
+};
+
 struct BatchResult {
   std::vector<RequestResult> requests;
   double ttft_ms = 0.0;          // prefill + preprocessing (+ first mask sync)
   double decode_wall_ms = 0.0;   // total decode-loop wall time
   std::int64_t decode_steps = 0;
   std::int64_t total_tokens = 0;  // includes jump-forwarded tokens
+  MaskGenAggregate mask_gen;
   // Time per output token as the paper reports it: decode wall time divided
   // by tokens generated per request slot.
   double TpotMs() const {
@@ -101,6 +114,7 @@ struct ContinuousResult {
   std::vector<ContinuousRequestResult> requests;  // in submission order
   std::int64_t decode_steps = 0;
   std::int64_t total_tokens = 0;
+  MaskGenAggregate mask_gen;
   double makespan_ms = 0.0;  // simulated clock at last completion
   double ThroughputTokensPerSec() const {
     return makespan_ms <= 0.0

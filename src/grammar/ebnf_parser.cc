@@ -362,7 +362,9 @@ class EbnfParser {
   bool ParseSequence(ExprId* out) {
     std::vector<ExprId> elements;
     while (!AtBodyEnd() && Peek().type != TokType::kPipe) {
-      ExprId element;
+      // Initialized only to satisfy GCC 12's -Wmaybe-uninitialized at -O3
+      // (the failure paths of ParseElement never reach the push_back).
+      ExprId element = -1;
       if (!ParseElement(&element)) return false;
       elements.push_back(element);
     }
@@ -371,7 +373,7 @@ class EbnfParser {
   }
 
   bool ParseElement(ExprId* out) {
-    ExprId atom;
+    ExprId atom = -1;
     if (!ParseAtom(&atom)) return false;
     while (true) {
       switch (Peek().type) {

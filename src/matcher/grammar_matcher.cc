@@ -1,7 +1,6 @@
 #include "matcher/grammar_matcher.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "support/logging.h"
 
@@ -13,10 +12,34 @@ namespace {
 constexpr std::size_t kMaxClosureStacks = 65536;
 }  // namespace
 
-void StackTransitions::Close(std::vector<std::int32_t>* stacks,
-                             ClosureInfo* info) const {
+void StackTransitions::BeginEpoch() {
+  if (++epoch_ == 0) {
+    // Epoch counter wrapped: stale stamps could collide, so clear them once
+    // every 2^32 closures and restart at epoch 1.
+    std::fill(visited_epoch_.begin(), visited_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
+}
+
+bool StackTransitions::MarkVisited(std::int32_t id) {
+  auto index = static_cast<std::size_t>(id);
+  if (index >= visited_epoch_.size()) {
+    // Doubling growth keeps resizes amortized while the pool is still
+    // interning new frames; once the frame set stabilizes (steady-state
+    // decoding) this branch is never taken again.
+    visited_epoch_.resize(
+        std::max(index + 1, std::max<std::size_t>(64, visited_epoch_.size() * 2)),
+        0u);
+  }
+  if (visited_epoch_[index] == epoch_) return false;
+  visited_epoch_[index] = epoch_;
+  return true;
+}
+
+void StackTransitions::Close(std::vector<std::int32_t>* stacks, ClosureInfo* info) {
   const fsa::Fsa& automaton = pda_->Automaton();
-  std::unordered_set<std::int32_t> visited(stacks->begin(), stacks->end());
+  BeginEpoch();
+  for (std::int32_t stack_id : *stacks) MarkVisited(stack_id);
   for (std::size_t i = 0; i < stacks->size(); ++i) {
     std::int32_t stack_id = (*stacks)[i];
     const PersistentStackPool::Frame frame = pool_->Get(stack_id);
@@ -27,7 +50,7 @@ void StackTransitions::Close(std::vector<std::int32_t>* stacks,
       std::int32_t return_frame = pool_->Intern(frame.parent, edge.target);
       std::int32_t pushed =
           pool_->Intern(return_frame, pda_->RuleStartNode(edge.rule_ref));
-      if (visited.insert(pushed).second) stacks->push_back(pushed);
+      if (MarkVisited(pushed)) stacks->push_back(pushed);
     }
     // Pop: reaching an accepting state returns to the parent frame.
     if (automaton.IsAccepting(frame.pda_node)) {
@@ -36,7 +59,7 @@ void StackTransitions::Close(std::vector<std::int32_t>* stacks,
       } else if (frame.parent == PersistentStackPool::kUnknownParent) {
         info->escaped = true;
       } else {
-        if (visited.insert(frame.parent).second) {
+        if (MarkVisited(frame.parent)) {
           stacks->push_back(frame.parent);
         }
         info->pop_results.push_back(frame.parent);
@@ -113,6 +136,18 @@ GrammarMatcher::GrammarMatcher(std::shared_ptr<const pda::CompiledGrammar> pda,
   history_.push_back(std::move(initial));
 }
 
+GrammarMatcher::GrammarMatcher(std::shared_ptr<const pda::CompiledGrammar> pda,
+                               std::shared_ptr<PersistentStackPool> pool,
+                               std::int32_t stack_id)
+    : pda_(std::move(pda)),
+      pool_(std::move(pool)),
+      transitions_(*pda_, pool_.get()) {
+  Snapshot initial;
+  initial.stacks.push_back(stack_id);
+  SealSnapshot(&initial);
+  history_.push_back(std::move(initial));
+}
+
 GrammarMatcher GrammarMatcher::ForCacheSimulation(
     std::shared_ptr<const pda::CompiledGrammar> pda, std::int32_t node) {
   return GrammarMatcher(std::move(pda), PersistentStackPool::kUnknownParent, node);
@@ -132,17 +167,32 @@ GrammarMatcher GrammarMatcher::Fork() const {
 }
 
 void GrammarMatcher::SealSnapshot(Snapshot* snapshot) {
-  snapshot->closed = snapshot->stacks;
-  snapshot->info = StackTransitions::ClosureInfo{};
+  // Field-wise reset (rather than assigning fresh objects) keeps the vector
+  // capacities of recycled snapshots alive across AcceptByte/Rollback cycles.
+  snapshot->closed.assign(snapshot->stacks.begin(), snapshot->stacks.end());
+  snapshot->info.can_complete = false;
+  snapshot->info.escaped = false;
+  snapshot->info.pop_results.clear();
   transitions_.Close(&snapshot->closed, &snapshot->info);
   stats_.closure_stacks += snapshot->closed.size();
 }
 
+GrammarMatcher::Snapshot GrammarMatcher::AcquireSnapshot() {
+  if (recycled_snapshots_.empty()) return Snapshot{};
+  Snapshot snapshot = std::move(recycled_snapshots_.back());
+  recycled_snapshots_.pop_back();
+  snapshot.stacks.clear();
+  return snapshot;
+}
+
 bool GrammarMatcher::AcceptByte(std::uint8_t byte) {
   ++stats_.bytes_attempted;
-  Snapshot next;
+  Snapshot next = AcquireSnapshot();
   transitions_.AdvanceByte(history_.back().closed, byte, &next.stacks);
-  if (next.stacks.empty()) return false;
+  if (next.stacks.empty()) {
+    RecycleSnapshot(std::move(next));
+    return false;
+  }
   SealSnapshot(&next);
   history_.push_back(std::move(next));
   ++stats_.bytes_accepted;
@@ -171,7 +221,30 @@ void GrammarMatcher::RollbackToDepth(std::int32_t depth) {
   XGR_CHECK(depth >= 0 && depth <= NumConsumedBytes())
       << "rollback depth out of range: " << depth;
   stats_.rollback_bytes += static_cast<std::uint64_t>(NumConsumedBytes() - depth);
-  history_.resize(static_cast<std::size_t>(depth) + 1);
+  std::size_t target = static_cast<std::size_t>(depth) + 1;
+  while (history_.size() > target) {
+    RecycleSnapshot(std::move(history_.back()));
+    history_.pop_back();
+  }
+}
+
+void GrammarMatcher::Reseed(std::int32_t stack_id) {
+  XGR_DCHECK(stack_id >= 0 &&
+             static_cast<std::size_t>(stack_id) < pool_->Size());
+  while (history_.size() > 1) {
+    RecycleSnapshot(std::move(history_.back()));
+    history_.pop_back();
+  }
+  token_checkpoints_.clear();
+  Snapshot& initial = history_.front();
+  initial.stacks.clear();
+  initial.stacks.push_back(stack_id);
+  SealSnapshot(&initial);
+}
+
+void GrammarMatcher::ResetToStart() {
+  Reseed(pool_->Intern(PersistentStackPool::kNoParent,
+                       pda_->RuleStartNode(pda_->RootRule())));
 }
 
 void GrammarMatcher::RollbackTokens(std::int32_t count) {

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -35,8 +36,10 @@ class StackTransitions {
   };
 
   // Expands `stacks` in place to its push/pop closure (deduplicated, sorted).
-  // All intermediate stacks are kept: each may own byte edges.
-  void Close(std::vector<std::int32_t>* stacks, ClosureInfo* info) const;
+  // All intermediate stacks are kept: each may own byte edges. Non-const:
+  // reuses the epoch-stamped visited scratch below, so steady-state closure
+  // performs no heap allocations (the old per-call std::unordered_set did).
+  void Close(std::vector<std::int32_t>* stacks, ClosureInfo* info);
 
   // One byte step over a closed stack set; output is the deduplicated
   // canonical (pre-closure) successor set.
@@ -48,8 +51,16 @@ class StackTransitions {
                     std::array<bool, 256>* allowed) const;
 
  private:
+  // Marks `id` visited in the current epoch; returns true on first visit.
+  // Grows the stamp array only when the pool has interned new frames —
+  // steady-state decoding never resizes it.
+  bool MarkVisited(std::int32_t id);
+  void BeginEpoch();
+
   const pda::CompiledGrammar* pda_;
   PersistentStackPool* pool_;
+  std::vector<std::uint32_t> visited_epoch_;  // frame id -> last-visit epoch
+  std::uint32_t epoch_ = 0;
 };
 
 struct MatcherStats {
@@ -65,10 +76,20 @@ class GrammarMatcher {
  public:
   explicit GrammarMatcher(std::shared_ptr<const pda::CompiledGrammar> pda);
 
-  // Seeds a scratch matcher from an existing runtime stack (frame chain is
-  // copied into the private pool). Used for context-dependent token checks.
+  // Seeds a scratch matcher from an existing runtime stack by copying the
+  // frame chain into a private pool. Superseded on the decode hot path by the
+  // shared-pool constructor below; kept for cross-pool seeding (and as the
+  // reference implementation in differential tests).
   GrammarMatcher(std::shared_ptr<const pda::CompiledGrammar> pda,
                  const PersistentStackPool& source_pool, std::int32_t stack_id);
+
+  // Seeds a scratch matcher that SHARES `pool` and starts from the existing
+  // stack `stack_id` of that pool — no chain copy. Safe because the pool is
+  // append-only: frames are interned and never freed, so a scratch matcher
+  // interning new frames cannot invalidate the owner's stacks. Same-thread
+  // use only (the pool's intern table is not synchronized).
+  GrammarMatcher(std::shared_ptr<const pda::CompiledGrammar> pda,
+                 std::shared_ptr<PersistentStackPool> pool, std::int32_t stack_id);
 
   // Seeds the cache-build simulation: a single-frame stack [node] whose
   // parent is unknown (§3.1 token classification).
@@ -81,7 +102,10 @@ class GrammarMatcher {
   // parent's state is immune to the fork's progress — and starts its own
   // history at the current position: byte depth 0 in the fork is the fork
   // point, which bounds its rollback. Forks must be used from the same
-  // thread as the parent (the shared pool is not synchronized).
+  // thread as the parent (the shared pool is not synchronized). "Use"
+  // includes mask generation: MaskGenerator's scratch matcher interns frames
+  // into this pool, so computing masks for pool-sharing matchers on
+  // different threads concurrently is a data race.
   GrammarMatcher Fork() const;
 
   // --- Byte-level matching --------------------------------------------------
@@ -93,6 +117,17 @@ class GrammarMatcher {
   bool AcceptString(std::string_view bytes);
   // True iff `bytes` could be accepted (state is never changed).
   bool CanAcceptString(std::string_view bytes);
+
+  // Restarts this matcher from the single existing stack `stack_id` of its
+  // own pool, dropping all history and token checkpoints. Snapshot buffers
+  // are recycled, so reseeding (and the byte walking that follows) is
+  // allocation-free in steady state. This is how the mask generator reuses
+  // one scratch matcher across context-dependent checks instead of
+  // constructing a fresh matcher per stack per step.
+  void Reseed(std::int32_t stack_id);
+  // Reseed back to the grammar's start state (fresh generation) while keeping
+  // the pool's interned frames and this matcher's recycled buffers.
+  void ResetToStart();
 
   // Number of bytes consumed since construction.
   std::int32_t NumConsumedBytes() const { return static_cast<std::int32_t>(history_.size()) - 1; }
@@ -111,14 +146,20 @@ class GrammarMatcher {
     return history_.back().closed;
   }
   // Canonical stacks plus pop-produced stacks: the minimal set whose cache
-  // entries jointly cover every token (see ClosureInfo::pop_results).
+  // entries jointly cover every token (see ClosureInfo::pop_results). Both
+  // inputs are sorted and deduplicated, so the union is a single linear
+  // merge into the caller's buffer (only its first-use growth allocates).
+  void MaskStacks(std::vector<std::int32_t>* out) const {
+    const Snapshot& current = history_.back();
+    out->clear();
+    std::set_union(current.stacks.begin(), current.stacks.end(),
+                   current.info.pop_results.begin(), current.info.pop_results.end(),
+                   std::back_inserter(*out));
+  }
+  // Convenience form for tests and diagnostics (allocates the result).
   std::vector<std::int32_t> MaskStacks() const {
-    std::vector<std::int32_t> stacks = history_.back().stacks;
-    for (std::int32_t pop : history_.back().info.pop_results) {
-      if (std::find(stacks.begin(), stacks.end(), pop) == stacks.end()) {
-        stacks.push_back(pop);
-      }
-    }
+    std::vector<std::int32_t> stacks;
+    MaskStacks(&stacks);
     return stacks;
   }
   // True when the whole grammar can terminate here (EOS would be legal).
@@ -131,6 +172,10 @@ class GrammarMatcher {
   bool Dead() const { return history_.back().closed.empty(); }
 
   PersistentStackPool& Pool() { return *pool_; }
+  const PersistentStackPool& Pool() const { return *pool_; }
+  // Shared handle to the pool, for scratch matchers that extend this
+  // matcher's append-only frame tree (see the shared-pool constructor).
+  const std::shared_ptr<PersistentStackPool>& PoolShared() const { return pool_; }
   const pda::CompiledGrammar& Pda() const { return *pda_; }
   const MatcherStats& Stats() const { return stats_; }
 
@@ -164,10 +209,20 @@ class GrammarMatcher {
 
   void SealSnapshot(Snapshot* snapshot);
 
+  // Snapshot recycling: RollbackToDepth parks trimmed snapshots here instead
+  // of destroying them, and AcceptByte reuses them (with their vector
+  // capacities intact). The per-byte AcceptByte -> RollbackToDepth cycle of
+  // context-dependent token checking therefore stops churning the allocator.
+  Snapshot AcquireSnapshot();
+  void RecycleSnapshot(Snapshot&& snapshot) {
+    recycled_snapshots_.push_back(std::move(snapshot));
+  }
+
   std::shared_ptr<const pda::CompiledGrammar> pda_;
   std::shared_ptr<PersistentStackPool> pool_;
   StackTransitions transitions_;
   std::vector<Snapshot> history_;  // [0] = initial state, [i] = after i bytes
+  std::vector<Snapshot> recycled_snapshots_;
   std::vector<std::int32_t> token_checkpoints_;
   MatcherStats stats_;
 };

@@ -1,0 +1,51 @@
+// Allocation-counting hook for zero-allocation tests and benches.
+//
+// Including this header replaces the global `operator new` / `operator
+// delete` of the including binary with versions that bump a process-wide
+// counter. Because replaceable allocation functions must have exactly one
+// definition per program, include it in EXACTLY ONE translation unit of a
+// binary (a test file or a bench main) — never from library code.
+//
+// Usage:
+//   std::int64_t before = xgr::support::AllocHookCount();
+//   <code under test>
+//   std::int64_t allocs = xgr::support::AllocHookCount() - before;
+//
+// Only the plain (throwing, default-aligned) forms are replaced; the standard
+// nothrow forms forward to them, so `new (std::nothrow)` is counted too.
+// Over-aligned allocations bypass the hook — irrelevant here, since the hot
+// path only allocates through std::vector<int32/uint64> and std::string.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace xgr::support {
+
+inline std::atomic<std::int64_t>& AllocHookCounter() {
+  static std::atomic<std::int64_t> counter{0};
+  return counter;
+}
+
+// Total operator-new calls observed so far in this process.
+inline std::int64_t AllocHookCount() {
+  return AllocHookCounter().load(std::memory_order_relaxed);
+}
+
+}  // namespace xgr::support
+
+void* operator new(std::size_t size) {
+  xgr::support::AllocHookCounter().fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }

@@ -7,6 +7,7 @@
 // and for the final mask handed to the sampler.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -58,6 +59,40 @@ class DynamicBitset {
   }
   void ResetAll() {
     for (Word& w : words_) w = 0;
+  }
+
+  // --- Batch operations (decode hot path) -----------------------------------
+  // Word-level primitives used by the Algorithm-1 mask merge
+  // (cache/mask_generator.cc). All of them are allocation-free; the id-list
+  // forms accept ids in any order (no sortedness or uniqueness required).
+
+  // Sets every bit whose index appears in [ids, ids + count).
+  void SetBatch(const std::int32_t* ids, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      Set(static_cast<std::size_t>(ids[i]));
+    }
+  }
+  void SetBatch(const std::vector<std::int32_t>& ids) {
+    SetBatch(ids.data(), ids.size());
+  }
+  // Resets every bit whose index appears in [ids, ids + count).
+  void ResetBatch(const std::int32_t* ids, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      Reset(static_cast<std::size_t>(ids[i]));
+    }
+  }
+  void ResetBatch(const std::vector<std::int32_t>& ids) {
+    ResetBatch(ids.data(), ids.size());
+  }
+  // Word-wise OR / AND with `other` (named forms of |= / &= for the merge
+  // code, which reads as set algebra: accepted |= ..., rejected &= ...).
+  void OrWith(const DynamicBitset& other) { *this |= other; }
+  void AndWith(const DynamicBitset& other) { *this &= other; }
+  // Word copy from an equal-sized bitset; never touches capacity, so it is
+  // guaranteed allocation-free (unlike operator=, which may reallocate).
+  void CopyFrom(const DynamicBitset& other) {
+    XGR_DCHECK(size_ == other.size_);
+    std::copy(other.words_.begin(), other.words_.end(), words_.begin());
   }
 
   // In-place boolean algebra. Sizes must match.

@@ -1,0 +1,418 @@
+// Tests for the zero-allocation decode hot path (MaskWorkspace, word-level
+// Algorithm-1 merge, scratch-matcher reuse):
+//   * differential: the workspace + word-merge path must produce bit-identical
+//     masks vs FillBitmaskBruteForce AND vs a faithful reimplementation of the
+//     pre-refactor sorted-list merge, across multi-stack (ambiguous) grammars,
+//     all three StorageKinds, and start/terminated states;
+//   * allocation: steady-state FillNextTokenBitmask performs zero heap
+//     allocations, demonstrated by counting global operator new (alloc_hook.h
+//     is included in exactly this translation unit of the binary);
+//   * scratch reuse: one scratch-matcher construction per decoder lifetime,
+//     reseeds thereafter — surviving decoder Reset().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "baselines/xgrammar_decoder.h"
+#include "cache/mask_generator.h"
+#include "datasets/workloads.h"
+#include "grammar/grammar.h"
+#include "matcher/grammar_matcher.h"
+#include "support/alloc_hook.h"
+#include "support/string_utils.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/token_trie.h"
+
+namespace xgr::cache {
+namespace {
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer(std::int32_t size = 3000,
+                                                              std::uint64_t seed = 17) {
+  static std::map<std::pair<std::int32_t, std::uint64_t>,
+                  std::shared_ptr<const tokenizer::TokenizerInfo>>
+      cache;
+  auto key = std::make_pair(size, seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_shared<tokenizer::TokenizerInfo>(
+                                tokenizer::BuildSyntheticVocab({size, seed})))
+             .first;
+  }
+  return it->second;
+}
+
+// --- Reference: the pre-refactor sorted-list Algorithm-1 merge ---------------
+// Faithful reimplementation of the list-based merge this PR replaced
+// (sorted-vector set algebra, per-stack chain-copied scratch matchers,
+// ToIndexList materialization). Kept here as the semantic oracle.
+
+std::vector<std::int32_t> IntersectSorted(const std::vector<std::int32_t>& a,
+                                          const std::vector<std::int32_t>& b) {
+  std::vector<std::int32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::int32_t> UnionSorted(const std::vector<std::int32_t>& a,
+                                      const std::vector<std::int32_t>& b) {
+  std::vector<std::int32_t> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::int32_t> DifferenceSorted(const std::vector<std::int32_t>& a,
+                                           const std::vector<std::int32_t>& b) {
+  std::vector<std::int32_t> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::int32_t> ReferenceCheckContextDependent(
+    const AdaptiveTokenMaskCache& cache, matcher::GrammarMatcher* matcher,
+    std::int32_t stack_id, const NodeMaskEntry& entry) {
+  std::vector<std::int32_t> accepted;
+  if (entry.context_dependent.empty()) return accepted;
+  const tokenizer::TokenizerInfo& tokenizer = cache.Tokenizer();
+  // Pre-refactor behavior: a fresh scratch matcher per stack, frame chain
+  // copied into a private pool.
+  matcher::GrammarMatcher scratch(cache.PdaShared(), matcher->Pool(), stack_id);
+  std::string_view previous;
+  for (std::int32_t token_id : entry.context_dependent) {
+    const std::string& token = tokenizer.TokenBytes(token_id);
+    auto common = static_cast<std::int32_t>(CommonPrefixLength(previous, token));
+    scratch.RollbackToDepth(std::min(common, scratch.NumConsumedBytes()));
+    bool ok = true;
+    for (std::size_t j = static_cast<std::size_t>(scratch.NumConsumedBytes());
+         j < token.size(); ++j) {
+      if (!scratch.AcceptByte(static_cast<std::uint8_t>(token[j]))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) accepted.push_back(token_id);
+    previous = token;
+  }
+  std::sort(accepted.begin(), accepted.end());
+  return accepted;
+}
+
+void ReferenceFillNextTokenBitmask(const AdaptiveTokenMaskCache& cache,
+                                   matcher::GrammarMatcher* matcher,
+                                   DynamicBitset* mask) {
+  const tokenizer::TokenizerInfo& tokenizer = cache.Tokenizer();
+  const std::vector<std::int32_t> stacks = matcher->MaskStacks();
+  auto apply_special = [&] {
+    for (std::int32_t id : tokenizer.Vocab().special_ids) {
+      mask->Reset(static_cast<std::size_t>(id));
+    }
+    if (matcher->CanTerminate() && tokenizer.EosId() >= 0) {
+      mask->Set(static_cast<std::size_t>(tokenizer.EosId()));
+    }
+  };
+  if (stacks.empty()) {
+    mask->ResetAll();
+    apply_special();
+    return;
+  }
+  std::optional<std::vector<std::int32_t>> partial_rej;  // nullopt = V
+  std::vector<std::int32_t> partial_acc;
+  bool single = stacks.size() == 1;
+  for (std::int32_t stack_id : stacks) {
+    std::int32_t top = matcher->Pool().TopNode(stack_id);
+    const NodeMaskEntry& entry = cache.Entry(top);
+    std::vector<std::int32_t> ctx_accepted =
+        ReferenceCheckContextDependent(cache, matcher, stack_id, entry);
+    if (single) {
+      // Pre-refactor single-stack fast path, written straight into the mask.
+      switch (entry.kind) {
+        case StorageKind::kAcceptHeavy:
+          mask->SetAll();
+          for (std::int32_t id : entry.stored) mask->Reset(static_cast<std::size_t>(id));
+          for (std::int32_t id : entry.context_dependent) {
+            mask->Reset(static_cast<std::size_t>(id));
+          }
+          for (std::int32_t id : ctx_accepted) mask->Set(static_cast<std::size_t>(id));
+          break;
+        case StorageKind::kRejectHeavy:
+          mask->ResetAll();
+          for (std::int32_t id : entry.stored) mask->Set(static_cast<std::size_t>(id));
+          for (std::int32_t id : ctx_accepted) mask->Set(static_cast<std::size_t>(id));
+          break;
+        case StorageKind::kBitset: {
+          std::copy(entry.accepted_bits.Data(),
+                    entry.accepted_bits.Data() + entry.accepted_bits.WordCount(),
+                    mask->MutableData());
+          for (std::int32_t id : ctx_accepted) mask->Set(static_cast<std::size_t>(id));
+          break;
+        }
+      }
+      apply_special();
+      return;
+    }
+    if (entry.kind == StorageKind::kAcceptHeavy) {
+      std::vector<std::int32_t> ctx_sorted = entry.context_dependent;
+      std::sort(ctx_sorted.begin(), ctx_sorted.end());
+      std::vector<std::int32_t> rejected =
+          UnionSorted(entry.stored, DifferenceSorted(ctx_sorted, ctx_accepted));
+      partial_rej = partial_rej.has_value() ? IntersectSorted(*partial_rej, rejected)
+                                            : std::move(rejected);
+    } else {
+      std::vector<std::int32_t> accepted =
+          entry.kind == StorageKind::kBitset ? entry.accepted_bits.ToIndexList()
+                                             : entry.stored;
+      partial_acc = UnionSorted(partial_acc, UnionSorted(accepted, ctx_accepted));
+    }
+  }
+  if (!partial_rej.has_value()) {
+    mask->ResetAll();
+    for (std::int32_t id : partial_acc) mask->Set(static_cast<std::size_t>(id));
+  } else {
+    mask->SetAll();
+    for (std::int32_t id : DifferenceSorted(*partial_rej, partial_acc)) {
+      mask->Reset(static_cast<std::size_t>(id));
+    }
+  }
+  apply_special();
+}
+
+// --- Differential driver -----------------------------------------------------
+
+// At every byte prefix of `document` (including the terminated end state),
+// the workspace path, the brute-force oracle, and the pre-refactor list merge
+// must agree bit-for-bit.
+void ExpectThreeWayEquivalenceAlong(const grammar::Grammar& g,
+                                    const std::string& document,
+                                    std::int32_t vocab_size, std::uint64_t vocab_seed,
+                                    const AdaptiveCacheOptions& cache_options = {},
+                                    const pda::CompileOptions& options = {}) {
+  auto pda = pda::CompiledGrammar::Compile(g, options);
+  auto info = TestTokenizer(vocab_size, vocab_seed);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info, cache_options);
+  MaskGenerator generator(cache);
+  matcher::GrammarMatcher m(pda);
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset brute(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset reference(static_cast<std::size_t>(info->VocabSize()));
+  for (std::size_t i = 0;; ++i) {
+    generator.FillNextTokenBitmask(&m, &mask);
+    FillBitmaskBruteForce(&m, *info, &brute);
+    ReferenceFillNextTokenBitmask(*cache, &m, &reference);
+    ASSERT_TRUE(mask == brute)
+        << "brute mismatch at prefix '" << document.substr(0, i)
+        << "' cached=" << mask.Count() << " brute=" << brute.Count();
+    ASSERT_TRUE(mask == reference)
+        << "list-merge mismatch at prefix '" << document.substr(0, i)
+        << "' cached=" << mask.Count() << " reference=" << reference.Count();
+    if (i >= document.size()) break;
+    ASSERT_TRUE(m.AcceptByte(static_cast<std::uint8_t>(document[i])));
+  }
+}
+
+grammar::Grammar AmbiguousGrammar() {
+  // Both alternatives share the prefix "aa": two parallel stacks stay alive
+  // and the masks must merge (Algorithm 1 multi-stack path).
+  return grammar::ParseEbnfOrThrow(R"(
+    root ::= item*
+    item ::= "aa" "x" | "a" "a" "y"
+  )");
+}
+
+TEST(WordLevelMerge, MatchesOraclesOnJsonDocuments) {
+  auto docs = datasets::GenerateJsonDocuments(2, 101);
+  for (const std::string& doc : docs) {
+    ExpectThreeWayEquivalenceAlong(grammar::BuiltinJsonGrammar(), doc, 3000, 17);
+  }
+}
+
+TEST(WordLevelMerge, MatchesOraclesOnAmbiguousMultiStackGrammar) {
+  auto pda = pda::CompiledGrammar::Compile(AmbiguousGrammar(),
+                                           pda::CompileOptions::AllDisabled());
+  {
+    // Confirm the document actually exercises the multi-stack merge.
+    matcher::GrammarMatcher probe(pda);
+    ASSERT_TRUE(probe.AcceptString("aa"));
+    ASSERT_GE(probe.ClosedStacks().size(), 2u);
+  }
+  ExpectThreeWayEquivalenceAlong(AmbiguousGrammar(), "aaxaayaax", 1200, 31, {},
+                                 pda::CompileOptions::AllDisabled());
+}
+
+TEST(WordLevelMerge, MatchesOraclesUnderForcedBitsetStorage) {
+  // adaptive_storage=false stores every entry as StorageKind::kBitset, so the
+  // merge's bitset branch (word-wise OR of entry bitsets) runs at every step.
+  AdaptiveCacheOptions forced;
+  forced.adaptive_storage = false;
+  auto docs = datasets::GenerateJsonDocuments(1, 44);
+  ExpectThreeWayEquivalenceAlong(grammar::BuiltinJsonGrammar(), docs[0], 1500, 23,
+                                 forced);
+  ExpectThreeWayEquivalenceAlong(AmbiguousGrammar(), "aayaax", 1200, 31, forced,
+                                 pda::CompileOptions::AllDisabled());
+}
+
+TEST(WordLevelMerge, StorageKindCoverage) {
+  // The JSON grammar at this vocab exercises all three storage kinds, so the
+  // differential runs above covered each branch; assert that holds so the
+  // coverage cannot silently rot if storage selection changes.
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(16000, 17);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  const CacheBuildStats& s = cache->Stats();
+  EXPECT_GT(s.storage_kind_counts[static_cast<int>(StorageKind::kAcceptHeavy)], 0);
+  EXPECT_GT(s.storage_kind_counts[static_cast<int>(StorageKind::kRejectHeavy)], 0);
+  auto docs = datasets::GenerateJsonDocuments(1, 7);
+  ExpectThreeWayEquivalenceAlong(grammar::BuiltinJsonGrammar(), docs[0], 16000, 17);
+}
+
+TEST(WordLevelMerge, TerminatedStateEnablesExactlyEos) {
+  grammar::Grammar g = grammar::ParseEbnfOrThrow(R"(root ::= "ab")");
+  auto pda = pda::CompiledGrammar::Compile(g);
+  auto info = TestTokenizer(1200, 31);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  MaskGenerator generator(cache);
+  matcher::GrammarMatcher m(pda);
+  ASSERT_TRUE(m.AcceptString("ab"));
+  ASSERT_TRUE(m.CanTerminate());
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  generator.FillNextTokenBitmask(&m, &mask);
+  DynamicBitset brute(static_cast<std::size_t>(info->VocabSize()));
+  FillBitmaskBruteForce(&m, *info, &brute);
+  EXPECT_TRUE(mask == brute);
+  EXPECT_TRUE(mask.Test(static_cast<std::size_t>(info->EosId())));
+}
+
+// --- Zero-allocation steady state --------------------------------------------
+
+// Drives `decoder` through `document` once (returns the number of mask calls
+// made); with `count_allocs` set, asserts every FillNextTokenBitmask after
+// warm-up allocates nothing.
+std::int64_t DriveDocument(baselines::XGrammarDecoder* decoder,
+                           const tokenizer::TokenTrie& trie,
+                           const std::string& document, DynamicBitset* mask,
+                           bool count_allocs) {
+  std::int64_t steps = 0;
+  for (std::int32_t token : tokenizer::GreedyTokenize(trie, document)) {
+    std::int64_t before = support::AllocHookCount();
+    decoder->FillNextTokenBitmask(mask);
+    std::int64_t allocated = support::AllocHookCount() - before;
+    ++steps;
+    if (count_allocs) {
+      EXPECT_EQ(allocated, 0)
+          << "FillNextTokenBitmask allocated on steady-state step " << steps;
+    }
+    if (!decoder->AcceptToken(token)) break;
+  }
+  return steps;
+}
+
+TEST(ZeroAllocation, SteadyStateMaskGenerationJson) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(3000, 17);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  tokenizer::TokenTrie trie(*info);
+  baselines::XGrammarDecoder decoder(cache);
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  std::string doc = datasets::GenerateJsonDocuments(1, 5, 3)[0];
+  // Pass 1 (warm-up): buffers grow to steady-state capacity, the scratch
+  // matcher is built, every frame the walk needs is interned.
+  DriveDocument(&decoder, trie, doc, &mask, /*count_allocs=*/false);
+  // Pass 2 over the identical state sequence: zero allocations per step.
+  decoder.Reset();
+  std::int64_t steps =
+      DriveDocument(&decoder, trie, doc, &mask, /*count_allocs=*/true);
+  ASSERT_GT(steps, 4);
+  // The workspace really ran context-dependent checks (the hard part of the
+  // allocation-free claim), not just cache lookups.
+  EXPECT_GT(decoder.Generator().Stats().runtime_tokens_checked, 0);
+}
+
+TEST(ZeroAllocation, SteadyStateMultiStackMerge) {
+  auto pda = pda::CompiledGrammar::Compile(AmbiguousGrammar(),
+                                           pda::CompileOptions::AllDisabled());
+  auto info = TestTokenizer(1200, 31);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  MaskGenerator generator(cache);
+  matcher::GrammarMatcher m(pda);
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  std::string doc = "aaxaayaaxaay";
+  auto drive = [&](bool count) {
+    for (char c : doc) {
+      std::int64_t before = support::AllocHookCount();
+      generator.FillNextTokenBitmask(&m, &mask);
+      std::int64_t allocated = support::AllocHookCount() - before;
+      if (count) EXPECT_EQ(allocated, 0) << "allocation in multi-stack merge";
+      ASSERT_TRUE(m.AcceptByte(static_cast<std::uint8_t>(c)));
+    }
+  };
+  drive(false);  // warm-up
+  m.ResetToStart();
+  drive(true);
+  EXPECT_GT(generator.Stats().merges, 0);
+}
+
+// --- Scratch-matcher reuse ----------------------------------------------------
+
+TEST(ScratchReuse, OneRebuildPerDecoderAcrossResets) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(3000, 17);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  tokenizer::TokenTrie trie(*info);
+  baselines::XGrammarDecoder decoder(cache);
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  std::string doc = datasets::GenerateJsonDocuments(1, 9, 3)[0];
+  DriveDocument(&decoder, trie, doc, &mask, false);
+  const MaskGenStats& stats = decoder.Generator().Stats();
+  ASSERT_GT(stats.runtime_tokens_checked, 0);
+  EXPECT_EQ(stats.scratch_rebuilds, 1);
+  EXPECT_GT(stats.scratch_reseeds, 0);
+  // Reset() reseeds the same matcher/pool: the scratch matcher survives.
+  decoder.Reset();
+  DriveDocument(&decoder, trie, doc, &mask, false);
+  EXPECT_EQ(stats.scratch_rebuilds, 1);
+}
+
+TEST(ScratchReuse, ReseedMatchesFreshMatcher) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(1500, 3);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  MaskGenerator generator(cache);
+  matcher::GrammarMatcher m(pda);
+  ASSERT_TRUE(m.AcceptString("{\"key\":[1,2"));
+  m.ResetToStart();
+  EXPECT_EQ(m.NumConsumedBytes(), 0);
+  matcher::GrammarMatcher fresh(pda);
+  DynamicBitset reseeded_mask(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset fresh_mask(static_cast<std::size_t>(info->VocabSize()));
+  MaskGenerator fresh_generator(cache);
+  generator.FillNextTokenBitmask(&m, &reseeded_mask);
+  fresh_generator.FillNextTokenBitmask(&fresh, &fresh_mask);
+  EXPECT_TRUE(reseeded_mask == fresh_mask);
+  // And after re-consuming the same prefix the states agree again.
+  ASSERT_TRUE(m.AcceptString("{\"key\":"));
+  ASSERT_TRUE(fresh.AcceptString("{\"key\":"));
+  generator.FillNextTokenBitmask(&m, &reseeded_mask);
+  fresh_generator.FillNextTokenBitmask(&fresh, &fresh_mask);
+  EXPECT_TRUE(reseeded_mask == fresh_mask);
+}
+
+// --- MaskStacks ---------------------------------------------------------------
+
+TEST(MaskStacks, BufferFormIsSortedDeduplicatedAndMatchesConvenienceForm) {
+  auto pda = pda::CompiledGrammar::Compile(AmbiguousGrammar(),
+                                           pda::CompileOptions::AllDisabled());
+  matcher::GrammarMatcher m(pda);
+  ASSERT_TRUE(m.AcceptString("aax"));  // item boundary: pop results live here
+  std::vector<std::int32_t> buffer{-7, -8, -9};  // stale contents must vanish
+  m.MaskStacks(&buffer);
+  EXPECT_EQ(buffer, m.MaskStacks());
+  ASSERT_FALSE(buffer.empty());
+  for (std::size_t i = 1; i < buffer.size(); ++i) {
+    EXPECT_LT(buffer[i - 1], buffer[i]);  // strictly increasing = sorted+unique
+  }
+}
+
+}  // namespace
+}  // namespace xgr::cache

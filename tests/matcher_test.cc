@@ -264,6 +264,63 @@ TEST(GrammarMatcher, DeepNestingSurvives) {
   EXPECT_TRUE(m.CanTerminate());
 }
 
+TEST(GrammarMatcher, SharedPoolScratchMatchesChainCopyScratch) {
+  // The two scratch-seeding modes — chain copy into a private pool (legacy)
+  // and direct sharing of the runtime pool (hot path) — must accept exactly
+  // the same continuations.
+  auto pda = JsonPda();
+  GrammarMatcher runtime(pda);
+  ASSERT_TRUE(runtime.AcceptString("{\"key\":\"va"));
+  std::int32_t stack_id = runtime.CurrentStacks()[0];
+  GrammarMatcher copied(pda, runtime.Pool(), stack_id);
+  GrammarMatcher shared(pda, runtime.PoolShared(), stack_id);
+  for (const char* probe : {"lue\"}", "\",\"k2\":1}", "\"]", "x\"}"}) {
+    EXPECT_EQ(copied.CanAcceptString(probe), shared.CanAcceptString(probe)) << probe;
+  }
+  EXPECT_EQ(copied.CanTerminate(), shared.CanTerminate());
+}
+
+TEST(GrammarMatcher, ReseedRestartsFromExistingStack) {
+  GrammarMatcher m(JsonPda());
+  ASSERT_TRUE(m.AcceptString("{\"a\":[1,"));
+  std::int32_t mid_stack = m.CurrentStacks()[0];
+  ASSERT_TRUE(m.AcceptString("2]"));
+  // Reseed back to the remembered mid-list stack: "2]}" must be acceptable
+  // again, exactly as it was from that state the first time.
+  m.Reseed(mid_stack);
+  EXPECT_EQ(m.NumConsumedBytes(), 0);
+  EXPECT_TRUE(m.AcceptString("2]}"));
+  EXPECT_TRUE(m.CanTerminate());
+}
+
+TEST(GrammarMatcher, ResetToStartEqualsFreshMatcher) {
+  GrammarMatcher m(JsonPda());
+  ASSERT_TRUE(m.AcceptString("[[1,2],{\"k\":3}"));
+  m.ResetToStart();
+  EXPECT_EQ(m.NumConsumedBytes(), 0);
+  GrammarMatcher fresh(JsonPda());
+  EXPECT_EQ(m.CurrentStacks().size(), fresh.CurrentStacks().size());
+  EXPECT_EQ(m.ClosedStacks().size(), fresh.ClosedStacks().size());
+  EXPECT_EQ(m.CanTerminate(), fresh.CanTerminate());
+  ASSERT_TRUE(m.AcceptString("{\"x\":[]}"));
+  EXPECT_TRUE(m.CanTerminate());
+}
+
+TEST(GrammarMatcher, SnapshotRecyclingPreservesRollbackSemantics) {
+  // Hammer the AcceptByte -> RollbackToDepth cycle that the recycled-snapshot
+  // pool serves; state must stay exactly reproducible.
+  GrammarMatcher m(JsonPda());
+  ASSERT_TRUE(m.AcceptString("{\"k\":"));
+  std::int32_t base = m.NumConsumedBytes();
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_TRUE(m.AcceptString("123"));
+    m.RollbackToDepth(base);
+    ASSERT_EQ(m.NumConsumedBytes(), base);
+  }
+  ASSERT_TRUE(m.AcceptString("42}"));
+  EXPECT_TRUE(m.CanTerminate());
+}
+
 TEST(GrammarMatcher, CacheSimulationTracksEscapes) {
   // From inside the string rule, a token crossing the closing quote escapes.
   auto pda = JsonPda();

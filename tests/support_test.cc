@@ -83,6 +83,78 @@ TEST(DynamicBitset, BooleanAlgebra) {
   }
 }
 
+// --- Batch helpers (decode hot path; see cache/mask_generator.cc) -----------
+
+TEST(DynamicBitsetBatch, SetAndResetBatchAcceptUnsortedDuplicates) {
+  DynamicBitset bits(200);
+  // Unsorted, with duplicates — the helpers must not rely on either.
+  std::vector<std::int32_t> ids{150, 3, 64, 3, 199, 0, 64};
+  bits.SetBatch(ids);
+  EXPECT_EQ(bits.Count(), 5u);
+  for (std::int32_t id : ids) EXPECT_TRUE(bits.Test(static_cast<std::size_t>(id)));
+  bits.ResetBatch(ids.data(), 3);  // resets {150, 3, 64}
+  EXPECT_EQ(bits.Count(), 2u);
+  EXPECT_TRUE(bits.Test(199));
+  EXPECT_TRUE(bits.Test(0));
+  bits.ResetBatch(ids);
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+class BitsetBatchPaddingTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitsetBatchPaddingTest, BatchOpsKeepPaddingClear) {
+  // Sizes straddling word boundaries: batch writes into the last (partial)
+  // word followed by word-level combines must never leak into padding bits,
+  // or Count()/equality break.
+  std::size_t size = GetParam();
+  DynamicBitset a(size);
+  DynamicBitset b(size);
+  std::vector<std::int32_t> last{static_cast<std::int32_t>(size - 1)};
+  a.SetBatch(last);
+  b.SetAll();
+  a.OrWith(b);
+  EXPECT_EQ(a.Count(), size);
+  a.FlipAll();  // all zero; padding must stay zero after the flip
+  EXPECT_EQ(a.Count(), 0u);
+  EXPECT_TRUE(a == DynamicBitset(size));
+  a.CopyFrom(b);
+  EXPECT_EQ(a.Count(), size);
+  EXPECT_TRUE(a == b);
+  a.AndWith(DynamicBitset(size));
+  EXPECT_EQ(a.Count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetBatchPaddingTest,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 4097));
+
+TEST(DynamicBitsetBatch, CopyFromMatchesAssignmentWithoutRealloc) {
+  DynamicBitset src(300);
+  for (std::size_t i = 0; i < 300; i += 7) src.Set(i);
+  DynamicBitset dst(300, true);
+  const DynamicBitset::Word* words_before = dst.Data();
+  dst.CopyFrom(src);
+  EXPECT_TRUE(dst == src);
+  EXPECT_EQ(dst.Data(), words_before);  // word storage untouched
+}
+
+TEST(DynamicBitsetBatch, OrAndWithMatchOperators) {
+  Rng rng(99);
+  DynamicBitset a(257);
+  DynamicBitset b(257);
+  for (int i = 0; i < 120; ++i) a.Set(rng.NextBounded(257));
+  for (int i = 0; i < 120; ++i) b.Set(rng.NextBounded(257));
+  DynamicBitset or_named = a;
+  or_named.OrWith(b);
+  DynamicBitset or_op = a;
+  or_op |= b;
+  EXPECT_TRUE(or_named == or_op);
+  DynamicBitset and_named = a;
+  and_named.AndWith(b);
+  DynamicBitset and_op = a;
+  and_op &= b;
+  EXPECT_TRUE(and_named == and_op);
+}
+
 TEST(DynamicBitset, EqualityAndIndexList) {
   DynamicBitset a(70);
   a.Set(0);
