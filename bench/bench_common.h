@@ -6,6 +6,8 @@
 //                    smaller vocabularies preserve every ordering, only the
 //                    absolute baseline costs shrink proportionally)
 //   XGR_BENCH_STEPS  max decode steps measured per configuration
+//   XGR_BENCH_WARMUP warm-up laps before the measured lap (default 1; the
+//                    paper's regime is long steady-state generations)
 #pragma once
 
 #include <cstdio>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "baselines/constrained_decoder.h"
+#include "cache/mask_generator.h"
 #include "support/timer.h"
 #include "tokenizer/synthetic_vocab.h"
 #include "tokenizer/token_trie.h"
@@ -30,6 +33,7 @@ inline std::int32_t EnvInt(const char* name, std::int32_t fallback) {
 
 inline std::int32_t VocabSize() { return EnvInt("XGR_VOCAB", 32000); }
 inline std::int32_t MaxSteps() { return EnvInt("XGR_BENCH_STEPS", 48); }
+inline std::int32_t WarmupLaps() { return EnvInt("XGR_BENCH_WARMUP", 1); }
 
 // One synthetic tokenizer per size, cached for the process.
 inline std::shared_ptr<const tokenizer::TokenizerInfo> GetTokenizer(
@@ -68,6 +72,13 @@ struct MaskGenMeasurement {
   double mean_us = 0.0;
   std::int64_t steps = 0;
   double allocs_per_token = -1.0;  // operator-new calls per mask; -1 = no hook
+  // Context-dependent checking attribution, per token over the measured lap
+  // (engines exposing cache::MaskGenStats only; -1 = not measured): tokens
+  // resolved, sub-trie bytes attempted, and tokens rejected via subtree
+  // cut-off. See MaskGenStats for exact counter semantics.
+  double ctx_tokens_checked = -1.0;
+  double ctx_bytes_checked = -1.0;
+  double ctx_tokens_pruned = -1.0;
 };
 
 // Measures mean per-token mask-generation latency (µs) — and, when an alloc
@@ -83,6 +94,9 @@ inline MaskGenMeasurement MeasureMaskGen(
   StatAccumulator stat;
   std::int64_t (*alloc_now)() = AllocCountFn();
   std::int64_t allocs = 0;
+  const cache::MaskGenStats* mask_stats = decoder->MaskStats();
+  cache::MaskGenStats stats_before;
+  if (mask_stats != nullptr) stats_before = *mask_stats;
   for (const std::string& doc : documents) {
     if (static_cast<std::int32_t>(stat.Count()) >= max_steps) break;
     decoder->Reset();
@@ -101,6 +115,17 @@ inline MaskGenMeasurement MeasureMaskGen(
   out.steps = static_cast<std::int64_t>(stat.Count());
   if (alloc_now != nullptr && out.steps > 0) {
     out.allocs_per_token = static_cast<double>(allocs) / static_cast<double>(out.steps);
+  }
+  if (mask_stats != nullptr && out.steps > 0) {
+    auto per_token = [&](std::int64_t now, std::int64_t before) {
+      return static_cast<double>(now - before) / static_cast<double>(out.steps);
+    };
+    out.ctx_tokens_checked = per_token(mask_stats->runtime_tokens_checked,
+                                       stats_before.runtime_tokens_checked);
+    out.ctx_bytes_checked =
+        per_token(mask_stats->ctx_bytes_checked, stats_before.ctx_bytes_checked);
+    out.ctx_tokens_pruned =
+        per_token(mask_stats->ctx_tokens_pruned, stats_before.ctx_tokens_pruned);
   }
   return out;
 }

@@ -7,12 +7,14 @@
 #include <iterator>
 
 #include "baselines/xgrammar_decoder.h"
+#include "cache/ctx_trie_dfs.h"
 #include "cache/mask_generator.h"
 #include "datasets/workloads.h"
 #include "grammar/grammar.h"
 #include "matcher/grammar_matcher.h"
 #include "pda/compiled_grammar.h"
 #include "support/dynamic_bitset.h"
+#include "support/string_utils.h"
 #include "tokenizer/synthetic_vocab.h"
 #include "tokenizer/token_trie.h"
 
@@ -281,6 +283,123 @@ void BM_MultiStackMaskGeneration(benchmark::State& state) {
   state.SetLabel("merges=" + std::to_string(generator.Stats().merges));
 }
 BENCHMARK(BM_MultiStackMaskGeneration);
+
+// --- Context-dependent checking kernels --------------------------------------
+// The same wide workload — every sorted vocabulary token (16k ids, heavy
+// shared prefixes) checked against one mid-document stack — implemented the
+// pre-refactor way (flat lexicographic loop: rollback to the common prefix
+// with the previous token, re-attempting the failing byte once per following
+// token that shares it) and the current way (stackless DFS over a
+// PrefixTrieSlice: each unique (prefix, byte) attempted once, a failing byte
+// cutting off its whole subtree). The gap is the point of the PR's
+// trie-pruned ctx checking; per-stack result memoization (MaskGenerator's
+// ctx memo) then removes even the DFS from recurring steady-state checks.
+
+struct CtxCheckFixture {
+  std::shared_ptr<const pda::CompiledGrammar> pda;
+  matcher::GrammarMatcher runtime;
+  std::int32_t stack_id;
+  tokenizer::PrefixTrieSlice trie;
+
+  explicit CtxCheckFixture(const char* prefix) : pda(BenchPda()), runtime(pda) {
+    runtime.AcceptString(prefix);
+    stack_id = runtime.MaskStacks().front();
+    trie = tokenizer::PrefixTrieSlice::Build(*BenchTokenizer(),
+                                             BenchTokenizer()->SortedTokenIds());
+  }
+};
+
+// In-string: almost every byte is legal, so the walk is accept-heavy and the
+// trie's win is walking each shared prefix once.
+CtxCheckFixture& InStringFixture() {
+  static CtxCheckFixture fixture("{\"key\":\"par");
+  return fixture;
+}
+// Object-key position: only '"', '}' and whitespace may start a token, so
+// almost every token fails on its first byte — the flat list re-attempts that
+// byte once per token while the DFS cuts off each first-byte subtree whole.
+CtxCheckFixture& RejectHeavyFixture() {
+  static CtxCheckFixture fixture("{");
+  return fixture;
+}
+
+void RunCtxCheckFlatList(benchmark::State& state, CtxCheckFixture& f) {
+  auto info = BenchTokenizer();
+  const std::vector<std::int32_t>& tokens = info->SortedTokenIds();
+  matcher::GrammarMatcher scratch(f.pda, f.runtime.PoolShared(), f.stack_id);
+  std::vector<std::int32_t> accepted;
+  for (auto _ : state) {
+    accepted.clear();
+    scratch.Reseed(f.stack_id);
+    std::string_view previous;
+    for (std::int32_t token_id : tokens) {
+      const std::string& token = info->TokenBytes(token_id);
+      auto common = static_cast<std::int32_t>(
+          xgr::CommonPrefixLength(previous, token));
+      scratch.RollbackToDepth(std::min(common, scratch.NumConsumedBytes()));
+      bool ok = true;
+      for (std::size_t j = static_cast<std::size_t>(scratch.NumConsumedBytes());
+           j < token.size(); ++j) {
+        if (!scratch.AcceptByte(static_cast<std::uint8_t>(token[j]))) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) accepted.push_back(token_id);
+      previous = token;
+    }
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tokens.size()));
+}
+
+void RunCtxCheckTrieDfs(benchmark::State& state, CtxCheckFixture& f) {
+  auto info = BenchTokenizer();
+  const std::vector<std::int32_t>& tokens = info->SortedTokenIds();
+  matcher::GrammarMatcher scratch(f.pda, f.runtime.PoolShared(), f.stack_id);
+  std::vector<std::int32_t> accepted;
+  cache::CtxDfsCounters counters;
+  for (auto _ : state) {
+    accepted.clear();
+    scratch.Reseed(f.stack_id);
+    cache::CtxTrieDfs(
+        f.trie, &scratch, &counters,
+        [&](std::int32_t pos) {
+          for (std::int32_t t = f.trie.TokenBegin(pos);
+               t < f.trie.TerminalTokenEnd(pos); ++t) {
+            accepted.push_back(tokens[static_cast<std::size_t>(t)]);
+          }
+        },
+        [](std::int32_t) {});
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tokens.size()));
+  state.SetLabel("cutoffs=" + std::to_string(counters.subtree_cutoffs /
+                                             std::max<std::int64_t>(
+                                                 1, state.iterations())));
+}
+
+void BM_CtxCheckFlatList_InString(benchmark::State& state) {
+  RunCtxCheckFlatList(state, InStringFixture());
+}
+BENCHMARK(BM_CtxCheckFlatList_InString);
+
+void BM_CtxCheckTrieDfs_InString(benchmark::State& state) {
+  RunCtxCheckTrieDfs(state, InStringFixture());
+}
+BENCHMARK(BM_CtxCheckTrieDfs_InString);
+
+void BM_CtxCheckFlatList_RejectHeavy(benchmark::State& state) {
+  RunCtxCheckFlatList(state, RejectHeavyFixture());
+}
+BENCHMARK(BM_CtxCheckFlatList_RejectHeavy);
+
+void BM_CtxCheckTrieDfs_RejectHeavy(benchmark::State& state) {
+  RunCtxCheckTrieDfs(state, RejectHeavyFixture());
+}
+BENCHMARK(BM_CtxCheckTrieDfs_RejectHeavy);
 
 void BM_BitsetIntersect(benchmark::State& state) {
   DynamicBitset a(128000, true);

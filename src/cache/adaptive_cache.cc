@@ -4,6 +4,7 @@
 #include <atomic>
 #include <sstream>
 
+#include "cache/ctx_trie_dfs.h"
 #include "support/logging.h"
 #include "support/thread_pool.h"
 #include "support/timer.h"
@@ -71,6 +72,8 @@ struct NodeBuildResult {
   std::int64_t context_dependent = 0;
   std::int64_t bytes_checked = 0;
   std::int64_t bytes_total = 0;
+  std::int64_t tokens_pruned = 0;
+  std::int64_t subtree_cutoffs = 0;
 };
 
 }  // namespace
@@ -106,7 +109,13 @@ std::shared_ptr<const AdaptiveTokenMaskCache> AdaptiveTokenMaskCache::Build(
   std::vector<NodeBuildResult> results(static_cast<std::size_t>(num_nodes));
 
   const std::vector<std::int32_t>& sorted = tokenizer->SortedTokenIds();
-  const std::vector<std::int32_t>& prefixes = tokenizer->SortedCommonPrefixLengths();
+  // One vocabulary-wide preorder trie, shared read-only by every node build.
+  // The DFS below replaces the old flat lexicographic walk (rollback to the
+  // SortedCommonPrefixLengths table): a byte failing at depth d used to be
+  // re-attempted by every following token sharing that prefix; the trie
+  // attempts each unique (prefix, byte) once and cuts the subtree off.
+  const tokenizer::PrefixTrieSlice vocab_trie =
+      tokenizer::PrefixTrieSlice::Build(*tokenizer, sorted);
 
   auto build_node = [&](std::size_t node_index) {
     auto node = static_cast<std::int32_t>(node_index);
@@ -120,41 +129,86 @@ std::shared_ptr<const AdaptiveTokenMaskCache> AdaptiveTokenMaskCache::Build(
     std::vector<std::int32_t> rejected;
     std::vector<std::int32_t> ctx_dependent;  // lexicographic encounter order
 
-    for (std::size_t i = 0; i < sorted.size(); ++i) {
-      std::int32_t token_id = sorted[i];
-      const std::string& token = tokenizer->TokenBytes(token_id);
-      // §3.3: roll back to the common prefix with the previous token (or to
-      // wherever the previous walk died, whichever is shorter).
-      std::int32_t target = std::min(prefixes[i], matcher.NumConsumedBytes());
-      matcher.RollbackToDepth(target);
-      bool consumed_all = true;
-      for (std::size_t j = static_cast<std::size_t>(target); j < token.size(); ++j) {
-        ++result.bytes_checked;
-        if (!matcher.AcceptByte(static_cast<std::uint8_t>(token[j]))) {
-          consumed_all = false;
-          break;
-        }
-      }
-      result.bytes_total += static_cast<std::int64_t>(token.size());
-      switch (ClassifyFromWalk(matcher, ctx_fsa, ctx_start, token, consumed_all)) {
-        case TokenClass::kAccepted:
-          accepted.push_back(token_id);
-          ++result.ci_accepted;
-          break;
-        case TokenClass::kRejected:
-          rejected.push_back(token_id);
-          ++result.ci_rejected;
-          break;
-        case TokenClass::kContextDependent:
-          ctx_dependent.push_back(token_id);
-          ++result.context_dependent;
-          break;
-      }
+    // Preorder emission keeps all three lists in lexicographic byte order
+    // (terminal tokens of a node precede its subtree, pruned ranges precede
+    // the skip target), exactly as the flat walk produced them.
+    for (std::int32_t t = 0; t < vocab_trie.RootTokenEnd(); ++t) {
+      // Zero-length tokens consume nothing: trivially accepted.
+      accepted.push_back(sorted[static_cast<std::size_t>(t)]);
+      ++result.ci_accepted;
     }
+    CtxDfsCounters counters;
+    CtxTrieDfs(
+        vocab_trie, &matcher, &counters,
+        /*on_accept=*/
+        [&](std::int32_t pos) {
+          // Every byte of these tokens was consumed: context-independent
+          // accepted (ClassifyFromWalk's consumed_all case).
+          for (std::int32_t t = vocab_trie.TokenBegin(pos);
+               t < vocab_trie.TerminalTokenEnd(pos); ++t) {
+            accepted.push_back(sorted[static_cast<std::size_t>(t)]);
+            ++result.ci_accepted;
+          }
+        },
+        /*on_prune=*/
+        [&](std::int32_t pos) {
+          // The whole subtree died on this byte after `consumed` shared
+          // bytes; the escape depths are shared too, so when no path popped
+          // below the start the entire subtree is rejected in one step.
+          // Otherwise each token still needs its own expanded-suffix check
+          // (ClassifyFromWalk refutes escapes against the token's suffix,
+          // which differs across the subtree).
+          std::int32_t consumed = vocab_trie.Depth(pos) - 1;
+          bool any_escape = false;
+          for (std::int32_t d = 1; d <= consumed; ++d) {
+            if (matcher.EscapedAtDepth(d)) {
+              any_escape = true;
+              break;
+            }
+          }
+          std::int32_t begin = vocab_trie.TokenBegin(pos);
+          std::int32_t end = vocab_trie.SubtreeTokenEnd(pos);
+          if (!any_escape) {
+            for (std::int32_t t = begin; t < end; ++t) {
+              rejected.push_back(sorted[static_cast<std::size_t>(t)]);
+              ++result.ci_rejected;
+            }
+            return;
+          }
+          for (std::int32_t t = begin; t < end; ++t) {
+            std::int32_t token_id = sorted[static_cast<std::size_t>(t)];
+            const std::string& token = tokenizer->TokenBytes(token_id);
+            bool plausible = false;
+            for (std::int32_t d = 1; d <= consumed; ++d) {
+              if (!matcher.EscapedAtDepth(d)) continue;
+              if (ContextPlausible(ctx_fsa, ctx_start,
+                                   std::string_view(token).substr(
+                                       static_cast<std::size_t>(d)))) {
+                plausible = true;
+                break;
+              }
+            }
+            if (plausible) {
+              ctx_dependent.push_back(token_id);
+              ++result.context_dependent;
+            } else {
+              rejected.push_back(token_id);
+              ++result.ci_rejected;
+            }
+          }
+        });
+    result.bytes_checked = counters.bytes_checked;
+    result.tokens_pruned = counters.tokens_pruned;
+    result.subtree_cutoffs = counters.subtree_cutoffs;
+    result.bytes_total = static_cast<std::int64_t>(tokenizer->TotalTokenBytes());
 
-    // Adaptive storage selection (Figure 5) by exact byte cost.
+    // Adaptive storage selection (Figure 5) by exact byte cost. The ctx
+    // sub-trie is common to all three kinds, so it does not enter the
+    // comparison (it is still counted in MemoryBytes()).
     NodeMaskEntry& entry = cache->entries_[node_index];
     entry.context_dependent = std::move(ctx_dependent);
+    entry.ctx_trie = tokenizer::PrefixTrieSlice::Build(*tokenizer,
+                                                       entry.context_dependent);
     std::size_t cost_accept_heavy =
         (rejected.size() + entry.context_dependent.size()) * sizeof(std::int32_t);
     std::size_t cost_reject_heavy =
@@ -208,6 +262,8 @@ std::shared_ptr<const AdaptiveTokenMaskCache> AdaptiveTokenMaskCache::Build(
         std::max(stats.max_ctx_dependent_per_node, r.context_dependent);
     stats.bytes_checked += r.bytes_checked;
     stats.bytes_total += r.bytes_total;
+    stats.tokens_pruned += r.tokens_pruned;
+    stats.subtree_cutoffs += r.subtree_cutoffs;
     stats.memory_bytes += cache->entries_[n].MemoryBytes();
     ++stats.storage_kind_counts[static_cast<int>(cache->entries_[n].kind)];
   }
@@ -228,6 +284,8 @@ std::string AdaptiveTokenMaskCache::StatsString() const {
       << (s.bytes_total > 0
               ? static_cast<double>(s.bytes_checked) / static_cast<double>(s.bytes_total)
               : 0.0)
+      << " tokens_pruned=" << s.tokens_pruned
+      << " subtree_cutoffs=" << s.subtree_cutoffs
       << " memory_bytes=" << s.memory_bytes
       << " full_bitset_bytes=" << s.full_bitset_bytes
       << " storage(accept/reject/bitset)=" << s.storage_kind_counts[0] << "/"

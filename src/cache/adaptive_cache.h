@@ -13,8 +13,11 @@
 //     the full stack.
 // Entries use the adaptive storage format (accept-heavy / reject-heavy /
 // bitset, Figure 5) chosen by exact byte cost. The builder walks the
-// vocabulary in lexicographic order, rolling the persistent stack back to the
-// common prefix between consecutive tokens (§3.3).
+// vocabulary as a preorder byte trie (one vocabulary-wide PrefixTrieSlice)
+// with subtree cut-off: a byte that fails with no viable escape rejects every
+// token sharing that prefix in one step (§3.3, the trie-pruned form of
+// shared-prefix state reuse). Each entry's context-dependent list is likewise
+// compiled into a per-entry sub-trie that the runtime checker DFS-walks.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +28,7 @@
 #include "matcher/grammar_matcher.h"
 #include "pda/compiled_grammar.h"
 #include "support/dynamic_bitset.h"
+#include "tokenizer/token_trie.h"
 #include "tokenizer/tokenizer_info.h"
 
 namespace xgr::serialize_detail {
@@ -48,17 +52,22 @@ struct NodeMaskEntry {
   std::vector<std::int32_t> stored;
   // kBitset only: bit = 1 for accepted CI tokens.
   DynamicBitset accepted_bits;
-  // Context-dependent token ids in lexicographic byte order (the order the
-  // runtime checker walks them, maximizing prefix sharing). The merge path
+  // Context-dependent token ids in lexicographic byte order (the order
+  // ctx_trie below indexes them, maximizing prefix sharing). The merge path
   // consumes this list only through order-invariant word-level bitset batches
   // (DynamicBitset::SetBatch/ResetBatch), so no id-sorted copy is stored and
   // no per-step copy+sort happens; MemoryBytes() stays one list per entry.
   std::vector<std::int32_t> context_dependent;
+  // Preorder-flattened sub-trie over `context_dependent` (token indices in
+  // the trie refer to positions in that list). The runtime checker DFS-walks
+  // this slice with subtree cut-off instead of re-walking shared prefixes
+  // token by token; empty iff `context_dependent` is.
+  tokenizer::PrefixTrieSlice ctx_trie;
 
   std::size_t MemoryBytes() const {
     return stored.size() * sizeof(std::int32_t) +
            context_dependent.size() * sizeof(std::int32_t) +
-           accepted_bits.MemoryBytes();
+           ctx_trie.MemoryBytes() + accepted_bits.MemoryBytes();
   }
 };
 
@@ -71,10 +80,14 @@ struct CacheBuildStats {
   // Max over nodes of |context_dependent| — the per-step runtime burden the
   // paper quotes (1134 -> 120 for Llama-3.1 + JSON).
   std::int64_t max_ctx_dependent_per_node = 0;
-  // Rollback effectiveness (§3.3): bytes actually pushed vs sum of token
-  // lengths over all (node, token) pairs.
+  // Trie-DFS effectiveness (§3.3): bytes actually attempted (one per visited
+  // trie edge) vs sum of token lengths over all (node, token) pairs.
   std::int64_t bytes_checked = 0;
   std::int64_t bytes_total = 0;
+  // Subtree cut-off attribution: tokens rejected by a shared failing byte
+  // without an individual walk, and the number of cut-off events.
+  std::int64_t tokens_pruned = 0;
+  std::int64_t subtree_cutoffs = 0;
   // Memory: adaptive vs all-bitset strawman (the paper's 160 MB -> 0.46 MB).
   std::size_t memory_bytes = 0;
   std::size_t full_bitset_bytes = 0;

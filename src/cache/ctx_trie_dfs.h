@@ -1,0 +1,72 @@
+// Trie-pruned token checking: the DFS-with-cutoff kernel shared by the
+// runtime context-dependent checker (mask_generator.cc) and the cache
+// builder's per-node classification walk (adaptive_cache.cc).
+//
+// The kernel walks a PrefixTrieSlice (preorder + skip pointers, see
+// tokenizer/token_trie.h) with a GrammarMatcher. Each trie edge is attempted
+// exactly once: a byte that fails at depth d prunes the node's entire
+// subtree — every token sharing that failing prefix — in one step, where the
+// flat lexicographic walk it replaces re-attempted the byte once per
+// following token sharing the prefix. The preorder/skip encoding makes the
+// DFS stackless (the skip array plays the role of an explicit backtrack
+// stack), so the walk allocates nothing and the zero-allocation decode
+// contract holds trivially.
+//
+// Rollback discipline: preorder guarantees the next visited node's parent
+// depth never exceeds the matcher's current depth (descend: equal; backtrack:
+// smaller), so RollbackToDepth is always legal and hits its O(1) equal-depth
+// fast path on every descent.
+#pragma once
+
+#include <cstdint>
+
+#include "matcher/grammar_matcher.h"
+#include "tokenizer/token_trie.h"
+
+namespace xgr::cache {
+
+// Attribution counters for one DFS (accumulated into MaskGenStats at runtime
+// and CacheBuildStats at build time).
+struct CtxDfsCounters {
+  // AcceptByte attempts == trie nodes visited (each edge tried once).
+  std::int64_t bytes_checked = 0;
+  // Tokens rejected via subtree cut-off: resolved by a single failing byte
+  // shared with other tokens instead of an individual walk each.
+  std::int64_t tokens_pruned = 0;
+  // Number of cut-off events (failed bytes, each discarding one subtree).
+  std::int64_t subtree_cutoffs = 0;
+};
+
+// Walks `trie` with `matcher`, which must be positioned at 0 consumed bytes
+// (freshly seeded/reseeded). For every node whose full path the matcher
+// accepts, calls `on_accept(pos)` — its terminal tokens
+// [trie.TokenBegin(pos), trie.TerminalTokenEnd(pos)) are accepted. For every
+// failing edge, updates `counters` and calls `on_prune(pos)` — the subtree
+// tokens [trie.TokenBegin(pos), trie.SubtreeTokenEnd(pos)) are all rejected
+// by that one byte — then jumps past the subtree. Zero-length tokens
+// ([0, trie.RootTokenEnd()), trivially accepted) are the caller's concern.
+// The matcher is left at an arbitrary depth; callers needing the seed state
+// back must RollbackToDepth(0).
+template <typename OnAccept, typename OnPrune>
+void CtxTrieDfs(const tokenizer::PrefixTrieSlice& trie,
+                matcher::GrammarMatcher* matcher, CtxDfsCounters* counters,
+                OnAccept&& on_accept, OnPrune&& on_prune) {
+  const std::int32_t num_nodes = trie.NumNodes();
+  std::int32_t pos = 0;
+  while (pos < num_nodes) {
+    matcher->RollbackToDepth(trie.Depth(pos) - 1);
+    ++counters->bytes_checked;
+    if (matcher->AcceptByte(trie.EdgeByte(pos))) {
+      on_accept(pos);
+      ++pos;
+    } else {
+      std::int32_t pruned = trie.SubtreeTokenEnd(pos) - trie.TokenBegin(pos);
+      counters->tokens_pruned += pruned;
+      ++counters->subtree_cutoffs;
+      on_prune(pos);
+      pos = trie.Skip(pos);
+    }
+  }
+}
+
+}  // namespace xgr::cache

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "cache/ctx_trie_dfs.h"
 #include "support/logging.h"
-#include "support/string_utils.h"
 
 namespace xgr::cache {
 
@@ -51,27 +51,55 @@ const std::vector<std::int32_t>& MaskGenerator::CheckContextDependent(
   std::vector<std::int32_t>& accepted = workspace_.ctx_accepted;
   accepted.clear();
   if (entry.context_dependent.empty()) return accepted;
-  const tokenizer::TokenizerInfo& tokenizer = cache_->Tokenizer();
-  // Scratch matcher seeded with the full runtime stack (shared pool, no chain
-  // copy): pops resolve against real parent frames.
-  matcher::GrammarMatcher& scratch = ScratchMatcher(matcher, stack_id);
-  std::string_view previous;
-  for (std::int32_t token_id : entry.context_dependent) {  // lexicographic
-    const std::string& token = tokenizer.TokenBytes(token_id);
-    auto common = static_cast<std::int32_t>(CommonPrefixLength(previous, token));
-    scratch.RollbackToDepth(std::min(common, scratch.NumConsumedBytes()));
-    bool ok = true;
-    for (std::size_t j = static_cast<std::size_t>(scratch.NumConsumedBytes());
-         j < token.size(); ++j) {
-      if (!scratch.AcceptByte(static_cast<std::uint8_t>(token[j]))) {
-        ok = false;
-        break;
-      }
-    }
-    ++stats_.runtime_tokens_checked;
-    if (ok) accepted.push_back(token_id);
-    previous = token;
+  stats_.runtime_tokens_checked +=
+      static_cast<std::int64_t>(entry.context_dependent.size());
+  // Memo: the accepted set is a pure function of the full stack (the pool is
+  // append-only and interned, so the id denotes the same frame chain forever,
+  // and the entry is determined by the stack's top node). Recurring states —
+  // the steady-state norm — resolve their whole ctx list in one lookup.
+  support::ArenaSlice* memo = workspace_.ctx_memo.Put(stack_id);
+  if (memo->length >= 0) {
+    ++stats_.ctx_memo_hits;
+    accepted.assign(
+        workspace_.ctx_memo_arena.begin() + memo->begin,
+        workspace_.ctx_memo_arena.begin() + memo->begin + memo->length);
+    return accepted;
   }
+  ++stats_.ctx_memo_misses;
+  // Scratch matcher seeded with the full runtime stack (shared pool, no chain
+  // copy): pops resolve against real parent frames. Reseed leaves it at 0
+  // consumed bytes, the depth base the sub-trie DFS expects.
+  matcher::GrammarMatcher& scratch = ScratchMatcher(matcher, stack_id);
+  // DFS over the entry's ctx sub-trie: each shared prefix is walked once and
+  // a failing byte rejects its whole subtree, instead of the flat
+  // lexicographic loop re-attempting the byte for every later token sharing
+  // the prefix. Stackless (preorder + skip pointers) and allocation-free:
+  // `accepted` grows within its steady-state capacity only.
+  const tokenizer::PrefixTrieSlice& trie = entry.ctx_trie;
+  for (std::int32_t t = 0; t < trie.RootTokenEnd(); ++t) {
+    // Zero-length tokens consume nothing: trivially accepted.
+    accepted.push_back(entry.context_dependent[static_cast<std::size_t>(t)]);
+  }
+  CtxDfsCounters counters;
+  CtxTrieDfs(
+      trie, &scratch, &counters,
+      /*on_accept=*/
+      [&](std::int32_t pos) {
+        for (std::int32_t t = trie.TokenBegin(pos); t < trie.TerminalTokenEnd(pos);
+             ++t) {
+          accepted.push_back(entry.context_dependent[static_cast<std::size_t>(t)]);
+        }
+      },
+      /*on_prune=*/[](std::int32_t) {});
+  stats_.ctx_bytes_checked += counters.bytes_checked;
+  stats_.ctx_tokens_pruned += counters.tokens_pruned;
+  stats_.ctx_subtree_cutoffs += counters.subtree_cutoffs;
+  // Park the result for the next occurrence of this stack. `memo` is still
+  // valid: nothing above touched the memo map.
+  memo->begin = static_cast<std::int32_t>(workspace_.ctx_memo_arena.size());
+  memo->length = static_cast<std::int32_t>(accepted.size());
+  workspace_.ctx_memo_arena.insert(workspace_.ctx_memo_arena.end(),
+                                   accepted.begin(), accepted.end());
   return accepted;
 }
 
@@ -85,10 +113,14 @@ void MaskGenerator::FillNextTokenBitmask(matcher::GrammarMatcher* matcher,
   // rebuilt, e.g. a decoder dropping an oversized pool) must be released
   // eagerly: CheckContextDependent may not run for a long time (entries with
   // no context-dependent tokens), and holding the scratch would pin the
-  // dropped pool alive through its shared_ptr.
+  // dropped pool alive through its shared_ptr. The ctx memo is keyed by the
+  // old pool's stack ids, so it must be dropped with it — BEFORE the next
+  // memo lookup, which would otherwise serve results for the wrong stacks.
   if (workspace_.scratch_matcher != nullptr &&
       &workspace_.scratch_matcher->Pool() != &matcher->Pool()) {
     workspace_.scratch_matcher.reset();
+    workspace_.ctx_memo.Clear();
+    workspace_.ctx_memo_arena.clear();
   }
   // Union over the canonical stacks plus the closure's pop-produced stacks:
   // each cache entry's classification already folds in every rule *push*

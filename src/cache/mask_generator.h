@@ -2,8 +2,11 @@
 //
 // Combines the adaptive token mask cache (context-independent tokens, fetched
 // by stack-top node) with on-the-fly PDA execution of the few
-// context-dependent tokens, merging per-stack masks with Algorithm 1 when the
-// grammar is ambiguous and several parallel stacks are alive.
+// context-dependent tokens — resolved by a stackless DFS over the entry's
+// per-entry ctx sub-trie (see cache/ctx_trie_dfs.h), so a byte failing at
+// depth d prunes every ctx token sharing that prefix in one step — merging
+// per-stack masks with Algorithm 1 when the grammar is ambiguous and several
+// parallel stacks are alive.
 //
 // Decode hot path contract: after a warm-up step per (matcher, state shape),
 // FillNextTokenBitmask performs ZERO heap allocations. Everything the step
@@ -22,12 +25,26 @@
 #include "cache/adaptive_cache.h"
 #include "matcher/grammar_matcher.h"
 #include "support/dynamic_bitset.h"
+#include "support/flat_slice_map.h"
 
 namespace xgr::cache {
 
 struct MaskGenStats {
   std::int64_t masks_generated = 0;
-  std::int64_t runtime_tokens_checked = 0;  // context-dependent executions
+  std::int64_t runtime_tokens_checked = 0;  // context-dependent tokens resolved
+  // Trie-DFS attribution for the context-dependent checker: bytes actually
+  // attempted (one per visited sub-trie edge), tokens rejected via subtree
+  // cut-off (a shared failing byte, no individual walk), and the number of
+  // cut-off events. tokens_pruned / runtime_tokens_checked is the fraction
+  // of the ctx burden the trie resolves for free.
+  std::int64_t ctx_bytes_checked = 0;
+  std::int64_t ctx_tokens_pruned = 0;
+  std::int64_t ctx_subtree_cutoffs = 0;
+  // Per-stack ctx-result memoization: the accepted set is a pure function of
+  // the (interned, append-only) stack id, so recurring states skip the DFS
+  // entirely. Hits resolve their tokens with zero byte checks.
+  std::int64_t ctx_memo_hits = 0;
+  std::int64_t ctx_memo_misses = 0;
   std::int64_t stacks_processed = 0;
   std::int64_t merges = 0;  // multi-stack Algorithm-1 invocations
   // Scratch-matcher reuse: a rebuild constructs a matcher (allocates), a
@@ -64,6 +81,11 @@ class MaskWorkspace {
   // from here is safe) and is rebuilt only when the runtime matcher's pool
   // changes identity.
   std::unique_ptr<matcher::GrammarMatcher> scratch_matcher;
+  // Memoized CheckContextDependent results, keyed by stack id (valid for the
+  // pool the scratch matcher shares; cleared whenever that pool is dropped).
+  // ctx_memo_arena backs the accepted-id slices.
+  support::FlatSliceMap ctx_memo;
+  std::vector<std::int32_t> ctx_memo_arena;
 };
 
 class MaskGenerator {
@@ -87,12 +109,18 @@ class MaskGenerator {
   // matcher's pool (see XGrammarDecoder::Reset) so an idle generator cannot
   // pin the dropped pool; FillNextTokenBitmask also releases a stale scratch
   // on its next call, so this hook is about promptness, not correctness.
-  void ReleaseScratch() { workspace_.scratch_matcher.reset(); }
+  // The ctx memo is keyed by that pool's stack ids, so it must die with it.
+  void ReleaseScratch() {
+    workspace_.scratch_matcher.reset();
+    workspace_.ctx_memo.Clear();
+    workspace_.ctx_memo_arena.clear();
+  }
 
  private:
-  // Runs the context-dependent tokens of `entry` against the full stack
-  // `stack_id` on the reusable scratch matcher; returns the accepted ids
-  // (workspace buffer, valid until the next call; unsorted).
+  // Resolves the context-dependent tokens of `entry` against the full stack
+  // `stack_id` by DFS over `entry.ctx_trie` on the reusable scratch matcher;
+  // returns the accepted ids (workspace buffer, valid until the next call;
+  // lexicographic order, not id order).
   const std::vector<std::int32_t>& CheckContextDependent(
       matcher::GrammarMatcher* matcher, std::int32_t stack_id,
       const NodeMaskEntry& entry);

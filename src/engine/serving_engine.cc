@@ -33,6 +33,10 @@ MaskGenAggregate SnapshotMaskGen(const baselines::ConstrainedDecoder* decoder) {
     snapshot.masks_generated = stats->masks_generated;
     snapshot.scratch_rebuilds = stats->scratch_rebuilds;
     snapshot.scratch_reseeds = stats->scratch_reseeds;
+    snapshot.ctx_tokens_checked = stats->runtime_tokens_checked;
+    snapshot.ctx_bytes_checked = stats->ctx_bytes_checked;
+    snapshot.ctx_tokens_pruned = stats->ctx_tokens_pruned;
+    snapshot.ctx_subtree_cutoffs = stats->ctx_subtree_cutoffs;
   }
   return snapshot;
 }
@@ -44,6 +48,10 @@ void AccumulateMaskGenDelta(const baselines::ConstrainedDecoder* decoder,
   out->masks_generated += now.masks_generated - admitted.masks_generated;
   out->scratch_rebuilds += now.scratch_rebuilds - admitted.scratch_rebuilds;
   out->scratch_reseeds += now.scratch_reseeds - admitted.scratch_reseeds;
+  out->ctx_tokens_checked += now.ctx_tokens_checked - admitted.ctx_tokens_checked;
+  out->ctx_bytes_checked += now.ctx_bytes_checked - admitted.ctx_bytes_checked;
+  out->ctx_tokens_pruned += now.ctx_tokens_pruned - admitted.ctx_tokens_pruned;
+  out->ctx_subtree_cutoffs += now.ctx_subtree_cutoffs - admitted.ctx_subtree_cutoffs;
 }
 
 // Advances one request by one decode step: sample under the precomputed

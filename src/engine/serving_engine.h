@@ -74,6 +74,14 @@ struct MaskGenAggregate {
   std::int64_t masks_generated = 0;
   std::int64_t scratch_rebuilds = 0;
   std::int64_t scratch_reseeds = 0;
+  // Trie-pruned context-dependent checking (see cache::MaskGenStats): tokens
+  // resolved, sub-trie bytes attempted, tokens rejected via subtree cut-off,
+  // and cut-off events. ctx_tokens_pruned / ctx_tokens_checked is the share
+  // of the batch's runtime ctx burden the per-entry sub-tries absorbed.
+  std::int64_t ctx_tokens_checked = 0;
+  std::int64_t ctx_bytes_checked = 0;
+  std::int64_t ctx_tokens_pruned = 0;
+  std::int64_t ctx_subtree_cutoffs = 0;
 };
 
 struct BatchResult {

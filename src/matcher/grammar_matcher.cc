@@ -36,12 +36,28 @@ bool StackTransitions::MarkVisited(std::int32_t id) {
   return true;
 }
 
-void StackTransitions::Close(std::vector<std::int32_t>* stacks, ClosureInfo* info) {
+const StackTransitions::CachedClosure& StackTransitions::EnsureClosure(
+    std::int32_t seed) {
+  auto index = static_cast<std::size_t>(seed);
+  if (index >= closure_cache_.size()) {
+    // Doubling growth, like the visited stamps: once the pool's frame set
+    // stabilizes this never resizes again.
+    closure_cache_.resize(
+        std::max(index + 1, std::max<std::size_t>(64, closure_cache_.size() * 2)));
+  }
+  if (closure_cache_[index].valid) return closure_cache_[index];
+
+  // First encounter: run the worklist expansion for this seed alone.
   const fsa::Fsa& automaton = pda_->Automaton();
   BeginEpoch();
-  for (std::int32_t stack_id : *stacks) MarkVisited(stack_id);
-  for (std::size_t i = 0; i < stacks->size(); ++i) {
-    std::int32_t stack_id = (*stacks)[i];
+  worklist_.clear();
+  worklist_.push_back(seed);
+  MarkVisited(seed);
+  pop_scratch_.clear();
+  bool can_complete = false;
+  bool escaped = false;
+  for (std::size_t i = 0; i < worklist_.size(); ++i) {
+    std::int32_t stack_id = worklist_[i];
     const PersistentStackPool::Frame frame = pool_->Get(stack_id);
     // Rule-reference pushes: q --<R>--> t replaces the top with the return
     // position t, then pushes R's start node.
@@ -50,44 +66,138 @@ void StackTransitions::Close(std::vector<std::int32_t>* stacks, ClosureInfo* inf
       std::int32_t return_frame = pool_->Intern(frame.parent, edge.target);
       std::int32_t pushed =
           pool_->Intern(return_frame, pda_->RuleStartNode(edge.rule_ref));
-      if (MarkVisited(pushed)) stacks->push_back(pushed);
+      if (MarkVisited(pushed)) worklist_.push_back(pushed);
     }
     // Pop: reaching an accepting state returns to the parent frame.
     if (automaton.IsAccepting(frame.pda_node)) {
       if (frame.parent == PersistentStackPool::kNoParent) {
-        info->can_complete = true;
+        can_complete = true;
       } else if (frame.parent == PersistentStackPool::kUnknownParent) {
-        info->escaped = true;
+        escaped = true;
       } else {
-        if (MarkVisited(frame.parent)) {
-          stacks->push_back(frame.parent);
-        }
-        info->pop_results.push_back(frame.parent);
+        if (MarkVisited(frame.parent)) worklist_.push_back(frame.parent);
+        pop_scratch_.push_back(frame.parent);
       }
     }
-    XGR_CHECK(stacks->size() <= kMaxClosureStacks)
+    XGR_CHECK(worklist_.size() <= kMaxClosureStacks)
         << "closure budget exceeded; grammar is likely left-recursive";
   }
-  std::sort(stacks->begin(), stacks->end());
+  std::sort(pop_scratch_.begin(), pop_scratch_.end());
+  pop_scratch_.erase(std::unique(pop_scratch_.begin(), pop_scratch_.end()),
+                     pop_scratch_.end());
+
+  // Park the result. Interning above cannot have resized closure_cache_ (only
+  // this function grows it), so the entry reference below is stable.
+  CachedClosure& entry = closure_cache_[index];
+  entry.begin = static_cast<std::int32_t>(closure_arena_.size());
+  entry.length = static_cast<std::int32_t>(worklist_.size());
+  closure_arena_.insert(closure_arena_.end(), worklist_.begin(), worklist_.end());
+  entry.pop_begin = static_cast<std::int32_t>(pop_arena_.size());
+  entry.pop_length = static_cast<std::int32_t>(pop_scratch_.size());
+  pop_arena_.insert(pop_arena_.end(), pop_scratch_.begin(), pop_scratch_.end());
+  entry.can_complete = can_complete;
+  entry.escaped = escaped;
+  entry.valid = true;
+  return entry;
+}
+
+void StackTransitions::Close(std::vector<std::int32_t>* stacks, ClosureInfo* info) {
+  // The closure of a set is the union of its seeds' closures (expansion is
+  // per-element: pushes and pops depend only on the stack's own top frame).
+  // Phase 1 memoizes any seed not yet cached — EnsureClosure runs its own
+  // epoch, so seeds are snapshotted first; phase 2 merges the cached slices.
+  if (stacks->size() == 1) {
+    // Single seed: the cached slices need no dedup or re-sort at all.
+    const CachedClosure& cached = EnsureClosure((*stacks)[0]);
+    info->can_complete |= cached.can_complete;
+    info->escaped |= cached.escaped;
+    stacks->assign(
+        closure_arena_.begin() + cached.begin,
+        closure_arena_.begin() + cached.begin + cached.length);
+    info->pop_results.insert(
+        info->pop_results.end(), pop_arena_.begin() + cached.pop_begin,
+        pop_arena_.begin() + cached.pop_begin + cached.pop_length);
+    return;
+  }
+  seed_scratch_.assign(stacks->begin(), stacks->end());
+  for (std::int32_t seed : seed_scratch_) EnsureClosure(seed);
+  BeginEpoch();
+  stacks->clear();
+  for (std::int32_t seed : seed_scratch_) {
+    const CachedClosure& cached = closure_cache_[static_cast<std::size_t>(seed)];
+    info->can_complete |= cached.can_complete;
+    info->escaped |= cached.escaped;
+    for (std::int32_t i = 0; i < cached.length; ++i) {
+      std::int32_t id = closure_arena_[static_cast<std::size_t>(cached.begin + i)];
+      if (MarkVisited(id)) stacks->push_back(id);
+    }
+    for (std::int32_t i = 0; i < cached.pop_length; ++i) {
+      info->pop_results.push_back(
+          pop_arena_[static_cast<std::size_t>(cached.pop_begin + i)]);
+    }
+  }
+  XGR_CHECK(stacks->size() <= kMaxClosureStacks)
+      << "closure budget exceeded; grammar is likely left-recursive";
+  // Pop results must stay sorted+unique for MaskStacks' linear set_union; the
+  // closed set itself has no ordering contract.
   std::sort(info->pop_results.begin(), info->pop_results.end());
   info->pop_results.erase(
       std::unique(info->pop_results.begin(), info->pop_results.end()),
       info->pop_results.end());
 }
 
-void StackTransitions::AdvanceByte(const std::vector<std::int32_t>& closed,
-                                   std::uint8_t byte,
-                                   std::vector<std::int32_t>* out) const {
+const support::ArenaSlice& StackTransitions::EnsureSuccessors(
+    std::int32_t seed, std::uint8_t byte) {
+  std::int64_t key = (static_cast<std::int64_t>(seed) << 8) | byte;
+  support::ArenaSlice* slice = successor_map_.Put(key);
+  if (slice->length >= 0) return *slice;
+
+  // First attempt of this (seed, byte): scan the seed's closure for matching
+  // byte edges. Interning successors cannot touch the map, so `slice` stays
+  // valid across the loop.
+  const CachedClosure& closure = EnsureClosure(seed);
   const fsa::Fsa& automaton = pda_->Automaton();
-  out->clear();
-  for (std::int32_t stack_id : closed) {
+  successor_scratch_.clear();
+  for (std::int32_t i = 0; i < closure.length; ++i) {
+    std::int32_t stack_id =
+        closure_arena_[static_cast<std::size_t>(closure.begin + i)];
     const PersistentStackPool::Frame frame = pool_->Get(stack_id);
     for (const fsa::Edge& edge : automaton.EdgesFrom(frame.pda_node)) {
       if (edge.kind == fsa::EdgeKind::kByteRange && edge.min_byte <= byte &&
           byte <= edge.max_byte) {
-        out->push_back(pool_->Intern(frame.parent, edge.target));
+        successor_scratch_.push_back(pool_->Intern(frame.parent, edge.target));
       }
     }
+  }
+  std::sort(successor_scratch_.begin(), successor_scratch_.end());
+  successor_scratch_.erase(
+      std::unique(successor_scratch_.begin(), successor_scratch_.end()),
+      successor_scratch_.end());
+  slice->begin = static_cast<std::int32_t>(successor_arena_.size());
+  slice->length = static_cast<std::int32_t>(successor_scratch_.size());
+  successor_arena_.insert(successor_arena_.end(), successor_scratch_.begin(),
+                          successor_scratch_.end());
+  return *slice;
+}
+
+void StackTransitions::AdvanceByte(const std::vector<std::int32_t>& stacks,
+                                   std::uint8_t byte,
+                                   std::vector<std::int32_t>* out) {
+  out->clear();
+  if (stacks.size() == 1) {
+    // Single canonical stack (the overwhelmingly common case): the memoized
+    // slice IS the sorted successor set.
+    const support::ArenaSlice& slice = EnsureSuccessors(stacks[0], byte);
+    out->insert(out->end(),
+                successor_arena_.begin() + slice.begin,
+                successor_arena_.begin() + slice.begin + slice.length);
+    return;
+  }
+  for (std::int32_t seed : stacks) {
+    const support::ArenaSlice& slice = EnsureSuccessors(seed, byte);
+    out->insert(out->end(),
+                successor_arena_.begin() + slice.begin,
+                successor_arena_.begin() + slice.begin + slice.length);
   }
   std::sort(out->begin(), out->end());
   out->erase(std::unique(out->begin(), out->end()), out->end());
@@ -188,7 +298,7 @@ GrammarMatcher::Snapshot GrammarMatcher::AcquireSnapshot() {
 bool GrammarMatcher::AcceptByte(std::uint8_t byte) {
   ++stats_.bytes_attempted;
   Snapshot next = AcquireSnapshot();
-  transitions_.AdvanceByte(history_.back().closed, byte, &next.stacks);
+  transitions_.AdvanceByte(history_.back().stacks, byte, &next.stacks);
   if (next.stacks.empty()) {
     RecycleSnapshot(std::move(next));
     return false;
@@ -218,9 +328,21 @@ bool GrammarMatcher::CanAcceptString(std::string_view bytes) {
 }
 
 void GrammarMatcher::RollbackToDepth(std::int32_t depth) {
-  XGR_CHECK(depth >= 0 && depth <= NumConsumedBytes())
+  std::int32_t consumed = NumConsumedBytes();
+  // Debug-only check on the hot path: the ctx-trie DFS calls this before
+  // every edge and by construction never targets beyond the consumed depth
+  // (preorder: a node's parent depth never exceeds the previous depth + 1).
+  XGR_DCHECK(depth >= 0 && depth <= consumed)
       << "rollback depth out of range: " << depth;
-  stats_.rollback_bytes += static_cast<std::uint64_t>(NumConsumedBytes() - depth);
+  // O(1) fast path: descending a trie chain (or any caller already at the
+  // target) skips the snapshot loop entirely.
+  if (depth == consumed) return;
+  // Off the fast path the hard check is free — keep release builds throwing
+  // on misuse instead of popping the initial snapshot (UB) or underflowing
+  // the rollback accounting.
+  XGR_CHECK(depth >= 0 && depth < consumed)
+      << "rollback depth out of range: " << depth;
+  stats_.rollback_bytes += static_cast<std::uint64_t>(consumed - depth);
   std::size_t target = static_cast<std::size_t>(depth) + 1;
   while (history_.size() > target) {
     RecycleSnapshot(std::move(history_.back()));

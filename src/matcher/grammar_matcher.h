@@ -14,6 +14,7 @@
 
 #include "matcher/persistent_stack.h"
 #include "pda/compiled_grammar.h"
+#include "support/flat_slice_map.h"
 
 namespace xgr::matcher {
 
@@ -35,22 +36,53 @@ class StackTransitions {
     std::vector<std::int32_t> pop_results;
   };
 
-  // Expands `stacks` in place to its push/pop closure (deduplicated, sorted).
-  // All intermediate stacks are kept: each may own byte edges. Non-const:
-  // reuses the epoch-stamped visited scratch below, so steady-state closure
-  // performs no heap allocations (the old per-call std::unordered_set did).
+  // Expands `stacks` in place to its push/pop closure (deduplicated; order
+  // unspecified). All intermediate stacks are kept: each may own byte edges.
+  // The closure of a single stack id is a pure function of that id (the pool
+  // is append-only and frames are interned), so per-seed closures are
+  // memoized: the first encounter of a stack runs the worklist expansion and
+  // parks the result in a flat arena; every later Close over that stack —
+  // including every byte of every later mask-generation scratch walk — just
+  // merges cached lists through the epoch-stamped visited array. Steady-state
+  // closure therefore performs no push/pop expansion and no heap allocations.
   void Close(std::vector<std::int32_t>* stacks, ClosureInfo* info);
 
-  // One byte step over a closed stack set; output is the deduplicated
-  // canonical (pre-closure) successor set.
-  void AdvanceByte(const std::vector<std::int32_t>& closed, std::uint8_t byte,
-                   std::vector<std::int32_t>* out) const;
+  // One byte step over a CANONICAL (pre-closure) stack set; output is the
+  // sorted, deduplicated canonical successor set. Successors of a set are the
+  // union of each seed's successors over its own closure, so the step is
+  // memoized per (seed, byte): the first attempt scans the seed's cached
+  // closure for matching byte edges and parks the sorted result in an arena;
+  // every later attempt — e.g. every revisit of a ctx sub-trie edge from the
+  // same state — is a single flat-hash lookup. Single-seed steps (the common
+  // case) copy the slice without any merge.
+  void AdvanceByte(const std::vector<std::int32_t>& stacks, std::uint8_t byte,
+                   std::vector<std::int32_t>* out);
 
   // Marks every byte accepted from `closed` in `allowed` (jump-forward).
   void AllowedBytes(const std::vector<std::int32_t>& closed,
                     std::array<bool, 256>* allowed) const;
 
  private:
+  // Memoized closure of one seed stack: a slice of closure_arena_ (the closed
+  // set, seed included) plus a sorted-unique slice of pop_arena_ and the two
+  // completion flags. Immutable once valid (see Close's doc comment).
+  struct CachedClosure {
+    std::int32_t begin = 0;
+    std::int32_t length = 0;
+    std::int32_t pop_begin = 0;
+    std::int32_t pop_length = 0;
+    bool can_complete = false;
+    bool escaped = false;
+    bool valid = false;
+  };
+
+  // Computes (or returns) the memoized closure of `seed`.
+  const CachedClosure& EnsureClosure(std::int32_t seed);
+
+  // Computes (or returns) the memoized successor slice of (seed, byte),
+  // keyed as (seed << 8 | byte) in successor_map_.
+  const support::ArenaSlice& EnsureSuccessors(std::int32_t seed, std::uint8_t byte);
+
   // Marks `id` visited in the current epoch; returns true on first visit.
   // Grows the stamp array only when the pool has interned new frames —
   // steady-state decoding never resizes it.
@@ -61,6 +93,15 @@ class StackTransitions {
   PersistentStackPool* pool_;
   std::vector<std::uint32_t> visited_epoch_;  // frame id -> last-visit epoch
   std::uint32_t epoch_ = 0;
+  std::vector<CachedClosure> closure_cache_;  // frame id -> memoized closure
+  std::vector<std::int32_t> closure_arena_;   // backing store for closed sets
+  std::vector<std::int32_t> pop_arena_;       // backing store for pop results
+  std::vector<std::int32_t> seed_scratch_;    // Close's seed snapshot
+  std::vector<std::int32_t> worklist_;        // EnsureClosure expansion
+  std::vector<std::int32_t> pop_scratch_;     // EnsureClosure pop collection
+  support::FlatSliceMap successor_map_;       // (seed, byte) -> successor slice
+  std::vector<std::int32_t> successor_arena_; // backing store for successors
+  std::vector<std::int32_t> successor_scratch_;  // EnsureSuccessors collection
 };
 
 struct MatcherStats {

@@ -36,6 +36,10 @@ class Writer {
     U32(static_cast<std::uint32_t>(v.size()));
     for (std::int32_t x : v) I32(x);
   }
+  void U8Vec(const std::vector<std::uint8_t>& v) {
+    U32(static_cast<std::uint32_t>(v.size()));
+    for (std::uint8_t x : v) U8(x);
+  }
 
   std::string Take() { return std::move(out_); }
 
@@ -86,6 +90,14 @@ class Reader {
         << "corrupt artifact: vector length " << n << " exceeds payload";
     std::vector<std::int32_t> v(n);
     for (std::uint32_t i = 0; i < n; ++i) v[i] = I32();
+    return v;
+  }
+  std::vector<std::uint8_t> U8Vec() {
+    std::uint32_t n = U32();
+    XGR_CHECK(static_cast<std::size_t>(n) <= Remaining())
+        << "corrupt artifact: byte-vector length " << n << " exceeds payload";
+    std::vector<std::uint8_t> v(n);
+    for (std::uint32_t i = 0; i < n; ++i) v[i] = U8();
     return v;
   }
   std::size_t Remaining() const { return data_.size() - pos_; }
@@ -392,10 +404,56 @@ struct CompiledGrammarAccess {
   }
 };
 
+// Structural validation of a deserialized ctx sub-trie: the runtime DFS
+// indexes these arrays unchecked, so a corrupt (but checksum-colliding or
+// hand-edited) artifact must be rejected at load time.
+inline void ValidateCtxTrie(const cache::NodeMaskEntry& entry) {
+  using TrieAccess = tokenizer::PrefixTrieSliceAccess;
+  const auto& edge_bytes = TrieAccess::EdgeBytes(entry.ctx_trie);
+  const auto& depths = TrieAccess::Depths(entry.ctx_trie);
+  const auto& skips = TrieAccess::Skips(entry.ctx_trie);
+  const auto& token_begins = TrieAccess::TokenBegins(entry.ctx_trie);
+  auto nodes = static_cast<std::int32_t>(edge_bytes.size());
+  XGR_CHECK(depths.size() == edge_bytes.size() && skips.size() == edge_bytes.size())
+      << "corrupt artifact: ctx-trie array sizes disagree";
+  // Build never produces nodes without tokens (every node's subtree holds at
+  // least one terminal), and the per-node loop below indexes token_begins —
+  // so an empty ctx list must mean an entirely empty trie.
+  XGR_CHECK(entry.context_dependent.empty()
+                ? nodes == 0 && token_begins.empty()
+                : token_begins.size() == edge_bytes.size() + 1)
+      << "corrupt artifact: ctx-trie token-range table size";
+  XGR_CHECK(token_begins.empty() ||
+            token_begins.back() ==
+                static_cast<std::int32_t>(entry.context_dependent.size()))
+      << "corrupt artifact: ctx-trie token count";
+  for (std::int32_t i = 0; i < nodes; ++i) {
+    auto index = static_cast<std::size_t>(i);
+    // Preorder depth chain: the first node is a root child and a successor
+    // descends at most one level — this is what keeps the DFS's
+    // RollbackToDepth targets within the consumed depth.
+    XGR_CHECK(depths[index] >= 1 &&
+              depths[index] <= (i == 0 ? 1 : depths[index - 1] + 1))
+        << "corrupt artifact: ctx-trie depth chain";
+    XGR_CHECK(skips[index] > i && skips[index] <= nodes)
+        << "corrupt artifact: ctx-trie skip pointer";
+    // A cut-off jumps to the skip node after consuming depth-1 bytes, so the
+    // skip target may not sit deeper than the pruned node — otherwise the
+    // DFS would roll "back" to a depth it never reached.
+    XGR_CHECK(skips[index] == nodes ||
+              depths[static_cast<std::size_t>(skips[index])] <= depths[index])
+        << "corrupt artifact: ctx-trie skip target deeper than source";
+    XGR_CHECK(token_begins[index] >= 0 &&
+              token_begins[index] <= token_begins[index + 1])
+        << "corrupt artifact: ctx-trie token ranges not monotone";
+  }
+}
+
 struct CacheAccess {
   static void Write(serialize::Writer* w, const cache::AdaptiveTokenMaskCache& c) {
     w->U64(serialize::VocabularyHash(*c.tokenizer_));
     w->U32(static_cast<std::uint32_t>(c.entries_.size()));
+    using TrieAccess = tokenizer::PrefixTrieSliceAccess;
     for (const cache::NodeMaskEntry& entry : c.entries_) {
       w->U8(static_cast<std::uint8_t>(entry.kind));
       w->I32Vec(entry.stored);
@@ -404,6 +462,13 @@ struct CacheAccess {
         w->U64(entry.accepted_bits.Data()[i]);
       }
       w->I32Vec(entry.context_dependent);
+      // Ctx sub-trie: the four flat arrays as-is (cheaper to load than to
+      // rebuild from context_dependent, and keeps the artifact the single
+      // source of truth for what the runtime walks).
+      w->U8Vec(TrieAccess::EdgeBytes(entry.ctx_trie));
+      w->I32Vec(TrieAccess::Depths(entry.ctx_trie));
+      w->I32Vec(TrieAccess::Skips(entry.ctx_trie));
+      w->I32Vec(TrieAccess::TokenBegins(entry.ctx_trie));
     }
     const cache::CacheBuildStats& stats = c.stats_;
     w->I64(stats.nodes);
@@ -414,6 +479,8 @@ struct CacheAccess {
     w->I64(stats.max_ctx_dependent_per_node);
     w->I64(stats.bytes_checked);
     w->I64(stats.bytes_total);
+    w->I64(stats.tokens_pruned);
+    w->I64(stats.subtree_cutoffs);
     w->U64(stats.memory_bytes);
     w->U64(stats.full_bitset_bytes);
     w->F64(stats.build_seconds);
@@ -435,6 +502,7 @@ struct CacheAccess {
               cache->pda_->NumNodes())
         << "corrupt artifact: cache entry count";
     cache->entries_.resize(num_entries);
+    using TrieAccess = tokenizer::PrefixTrieSliceAccess;
     for (cache::NodeMaskEntry& entry : cache->entries_) {
       entry.kind = static_cast<cache::StorageKind>(r->U8());
       entry.stored = r->I32Vec();
@@ -444,6 +512,11 @@ struct CacheAccess {
         entry.accepted_bits.MutableData()[i] = r->U64();
       }
       entry.context_dependent = r->I32Vec();
+      TrieAccess::EdgeBytes(entry.ctx_trie) = r->U8Vec();
+      TrieAccess::Depths(entry.ctx_trie) = r->I32Vec();
+      TrieAccess::Skips(entry.ctx_trie) = r->I32Vec();
+      TrieAccess::TokenBegins(entry.ctx_trie) = r->I32Vec();
+      ValidateCtxTrie(entry);
     }
     cache::CacheBuildStats& stats = cache->stats_;
     stats.nodes = r->I64();
@@ -454,6 +527,8 @@ struct CacheAccess {
     stats.max_ctx_dependent_per_node = r->I64();
     stats.bytes_checked = r->I64();
     stats.bytes_total = r->I64();
+    stats.tokens_pruned = r->I64();
+    stats.subtree_cutoffs = r->I64();
     stats.memory_bytes = r->U64();
     stats.full_bitset_bytes = r->U64();
     stats.build_seconds = r->F64();

@@ -29,7 +29,9 @@
 
 namespace xgr::serialize {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: NodeMaskEntry carries its flattened ctx sub-trie (PrefixTrieSlice
+// arrays) and CacheBuildStats gained tokens_pruned / subtree_cutoffs.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 std::string SerializeGrammar(const grammar::Grammar& g);
 grammar::Grammar DeserializeGrammar(std::string_view bytes);

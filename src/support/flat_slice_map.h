@@ -1,0 +1,90 @@
+// Open-addressing map from an int64 key to an arena slice {begin, length}.
+//
+// Purpose-built for the decode hot path's memoization tables (per-(seed,byte)
+// successor sets in the matcher, per-stack context-dependent results in the
+// mask generator): lookups are one multiply-shift hash plus a short linear
+// probe over POD slots, growth is a plain rehash, and a slice value of
+// length == -1 marks "reserved but not yet computed" so Put doubles as
+// find-or-insert. Steady state performs lookups only — no allocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xgr::support {
+
+struct ArenaSlice {
+  std::int32_t begin = 0;
+  std::int32_t length = -1;  // -1 = reserved, not yet computed
+};
+
+class FlatSliceMap {
+ public:
+  // Returns the slice for `key`, inserting a reserved one (length == -1) on
+  // first sight. The reference stays valid until the next Put.
+  ArenaSlice* Put(std::int64_t key) {
+    if (slots_.empty() || size_ * 4 >= slots_.size() * 3) Grow();
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash(key) & mask;
+    while (slots_[i].key != kEmpty && slots_[i].key != key) i = (i + 1) & mask;
+    if (slots_[i].key == kEmpty) {
+      slots_[i].key = key;
+      slots_[i].slice = ArenaSlice{};
+      ++size_;
+    }
+    return &slots_[i].slice;
+  }
+
+  const ArenaSlice* Find(std::int64_t key) const {
+    if (slots_.empty()) return nullptr;
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash(key) & mask;
+    while (slots_[i].key != kEmpty) {
+      if (slots_[i].key == key) return &slots_[i].slice;
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+
+  void Clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+  std::size_t Size() const { return size_; }
+  std::size_t MemoryBytes() const { return slots_.size() * sizeof(Slot); }
+
+ private:
+  // Keys are non-negative composites (ids, shifted id|byte packs), so -1 is
+  // free to mark empty slots.
+  static constexpr std::int64_t kEmpty = -1;
+
+  struct Slot {
+    std::int64_t key = kEmpty;
+    ArenaSlice slice;
+  };
+
+  static std::size_t Hash(std::int64_t key) {
+    auto h = static_cast<std::uint64_t>(key);
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 256 : old.size() * 2, Slot{});
+    std::size_t mask = slots_.size() - 1;
+    for (const Slot& slot : old) {
+      if (slot.key == kEmpty) continue;
+      std::size_t i = Hash(slot.key) & mask;
+      while (slots_[i].key != kEmpty) i = (i + 1) & mask;
+      slots_[i] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace xgr::support

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/logging.h"
+
 namespace xgr::tokenizer {
 
 TokenTrie::TokenTrie(const TokenizerInfo& info) {
@@ -56,6 +58,65 @@ std::vector<std::int32_t> GreedyTokenize(const TokenTrie& trie,
     pos += length;
   }
   return ids;
+}
+
+namespace {
+
+// Recursive preorder emitter for PrefixTrieSlice::Build. `lo`/`hi` bound the
+// tokens whose bytes all share the current node's path (length `depth`);
+// terminals sort first, then children group by their byte at `depth`.
+struct SliceBuilder {
+  const TokenizerInfo& info;
+  const std::vector<std::int32_t>& tokens;
+  std::vector<std::uint8_t> edge_bytes;
+  std::vector<std::int32_t> depths;
+  std::vector<std::int32_t> skips;
+  std::vector<std::int32_t> token_begins;
+
+  void EmitChildren(std::size_t lo, std::size_t hi, std::size_t depth) {
+    while (lo < hi && info.TokenBytes(tokens[lo]).size() == depth) ++lo;
+    while (lo < hi) {
+      auto byte = static_cast<std::uint8_t>(info.TokenBytes(tokens[lo])[depth]);
+      std::size_t group_end = lo + 1;
+      while (group_end < hi &&
+             static_cast<std::uint8_t>(info.TokenBytes(tokens[group_end])[depth]) ==
+                 byte) {
+        ++group_end;
+      }
+      std::size_t node = edge_bytes.size();
+      edge_bytes.push_back(byte);
+      depths.push_back(static_cast<std::int32_t>(depth) + 1);
+      skips.push_back(0);  // patched after the subtree is emitted
+      token_begins.push_back(static_cast<std::int32_t>(lo));
+      EmitChildren(lo, group_end, depth + 1);
+      skips[node] = static_cast<std::int32_t>(edge_bytes.size());
+      lo = group_end;
+    }
+  }
+};
+
+}  // namespace
+
+PrefixTrieSlice PrefixTrieSlice::Build(const TokenizerInfo& info,
+                                       const std::vector<std::int32_t>& token_ids) {
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < token_ids.size(); ++i) {
+    XGR_DCHECK(info.TokenBytes(token_ids[i - 1]) <= info.TokenBytes(token_ids[i]))
+        << "PrefixTrieSlice input must be in lexicographic byte order";
+  }
+#endif
+  PrefixTrieSlice slice;
+  if (token_ids.empty()) return slice;
+  SliceBuilder builder{info, token_ids, {}, {}, {}, {}};
+  // Root-terminal (empty-byte) tokens land in [0, token_begins.front()); the
+  // first stored node's token_begin is their count.
+  builder.EmitChildren(0, token_ids.size(), 0);
+  builder.token_begins.push_back(static_cast<std::int32_t>(token_ids.size()));
+  slice.edge_bytes_ = std::move(builder.edge_bytes);
+  slice.depths_ = std::move(builder.depths);
+  slice.skips_ = std::move(builder.skips);
+  slice.token_begins_ = std::move(builder.token_begins);
+  return slice;
 }
 
 std::int32_t TokenTrie::Child(std::int32_t node, std::uint8_t byte) const {

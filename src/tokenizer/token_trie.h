@@ -1,13 +1,25 @@
-// Byte trie over the vocabulary.
+// Byte tries over the vocabulary.
 //
-// The llama.cpp-grammar and lm-format-enforcer baseline strategies walk the
-// vocabulary as a trie: shared prefixes are matched once and the automaton
-// state branches per trie edge. (XGrammar itself uses sorted-order traversal
-// with persistent-stack rollback instead; both are provided so the Figure 9
-// comparison runs each engine's real algorithm.)
+// TokenTrie: pointer-style trie used by the llama.cpp-grammar and
+// lm-format-enforcer baseline strategies, which walk the vocabulary as a
+// trie: shared prefixes are matched once and the automaton state branches
+// per trie edge.
+//
+// PrefixTrieSlice: the compact, flattened form XGrammar's own engine uses
+// for trie-pruned token checking (§3.3). Nodes are laid out in preorder with
+// an explicit `skip` pointer per node (the preorder index of the first node
+// outside the node's subtree), so a depth-first walk needs no child lookup
+// and no heap stack: advancing to `pos + 1` descends/continues, jumping to
+// `skip[pos]` prunes the entire subtree in one step. Because the source
+// token list is in lexicographic byte order, preorder node order equals
+// token order and the per-node token ranges tile the input list — a failed
+// byte at node `pos` rejects exactly the contiguous token range
+// [TokenBegin(pos), SubtreeTokenEnd(pos)) at once.
 #pragma once
 
 #include <cstdint>
+#include <cstddef>
+#include <string_view>
 #include <vector>
 
 #include "tokenizer/tokenizer_info.h"
@@ -49,5 +61,95 @@ class TokenTrie {
 // and by jump-forward retokenization.
 std::vector<std::int32_t> GreedyTokenize(const TokenTrie& trie,
                                          std::string_view text);
+
+// Preorder-flattened byte trie over a lexicographically ordered token list
+// (see the file comment). Immutable after Build; owned by cache entries
+// (per-entry context-dependent sub-tries) and by the cache builder (one
+// vocabulary-wide instance). All state lives in four flat arrays so the
+// structure serializes as-is and MemoryBytes() is exact.
+class PrefixTrieSlice {
+ public:
+  PrefixTrieSlice() = default;
+
+  // `token_ids` must be sorted by token bytes (ties adjacent, any order);
+  // this is the order TokenizerInfo::SortedTokenIds and
+  // NodeMaskEntry::context_dependent already maintain. Token index `t`
+  // throughout this class refers to a position in that input list.
+  static PrefixTrieSlice Build(const TokenizerInfo& info,
+                               const std::vector<std::int32_t>& token_ids);
+
+  std::int32_t NumNodes() const { return static_cast<std::int32_t>(edge_bytes_.size()); }
+  bool Empty() const { return edge_bytes_.empty(); }
+
+  // Byte labeling the edge into node `pos`.
+  std::uint8_t EdgeByte(std::int32_t pos) const {
+    return edge_bytes_[static_cast<std::size_t>(pos)];
+  }
+  // 1-based byte depth of node `pos` (the root, depth 0, is not stored).
+  std::int32_t Depth(std::int32_t pos) const {
+    return depths_[static_cast<std::size_t>(pos)];
+  }
+  // Preorder index of the first node outside `pos`'s subtree (== NumNodes()
+  // for the last subtree).
+  std::int32_t Skip(std::int32_t pos) const {
+    return skips_[static_cast<std::size_t>(pos)];
+  }
+  // Token range of `pos`'s whole subtree: [TokenBegin(pos), SubtreeTokenEnd(pos)).
+  std::int32_t TokenBegin(std::int32_t pos) const {
+    return token_begins_[static_cast<std::size_t>(pos)];
+  }
+  std::int32_t SubtreeTokenEnd(std::int32_t pos) const {
+    return token_begins_[static_cast<std::size_t>(skips_[static_cast<std::size_t>(pos)])];
+  }
+  // Tokens whose bytes end exactly at `pos` (a prefix of the subtree range:
+  // shorter strings sort first, so terminals precede descendants).
+  std::int32_t TerminalTokenEnd(std::int32_t pos) const {
+    return token_begins_[static_cast<std::size_t>(pos) + 1];
+  }
+  // Zero-length tokens terminate at the (unstored) root: range [0, RootTokenEnd).
+  std::int32_t RootTokenEnd() const {
+    return token_begins_.empty() ? 0 : token_begins_.front();
+  }
+  std::int32_t NumTokens() const {
+    return token_begins_.empty() ? 0 : token_begins_.back();
+  }
+
+  std::size_t MemoryBytes() const {
+    return edge_bytes_.size() * sizeof(std::uint8_t) +
+           (depths_.size() + skips_.size() + token_begins_.size()) *
+               sizeof(std::int32_t);
+  }
+
+  friend bool operator==(const PrefixTrieSlice& a, const PrefixTrieSlice& b) {
+    return a.edge_bytes_ == b.edge_bytes_ && a.depths_ == b.depths_ &&
+           a.skips_ == b.skips_ && a.token_begins_ == b.token_begins_;
+  }
+
+ private:
+  friend struct PrefixTrieSliceAccess;  // serialization (src/serialize)
+
+  std::vector<std::uint8_t> edge_bytes_;     // per node: incoming edge label
+  std::vector<std::int32_t> depths_;         // per node: 1-based byte depth
+  std::vector<std::int32_t> skips_;          // per node: preorder subtree end
+  // Per node: first input-list token in the subtree, preceded by the count of
+  // root-terminal (empty) tokens and followed by a total-count sentinel —
+  // size NumNodes() + 1, monotone, tiling [0, NumTokens()). Empty when the
+  // input list is empty.
+  std::vector<std::int32_t> token_begins_;
+};
+
+// Serialization gateway: the only code outside PrefixTrieSlice that touches
+// the raw arrays (kept out of the public API so the flat layout can change
+// without breaking callers).
+struct PrefixTrieSliceAccess {
+  static std::vector<std::uint8_t>& EdgeBytes(PrefixTrieSlice& t) { return t.edge_bytes_; }
+  static std::vector<std::int32_t>& Depths(PrefixTrieSlice& t) { return t.depths_; }
+  static std::vector<std::int32_t>& Skips(PrefixTrieSlice& t) { return t.skips_; }
+  static std::vector<std::int32_t>& TokenBegins(PrefixTrieSlice& t) { return t.token_begins_; }
+  static const std::vector<std::uint8_t>& EdgeBytes(const PrefixTrieSlice& t) { return t.edge_bytes_; }
+  static const std::vector<std::int32_t>& Depths(const PrefixTrieSlice& t) { return t.depths_; }
+  static const std::vector<std::int32_t>& Skips(const PrefixTrieSlice& t) { return t.skips_; }
+  static const std::vector<std::int32_t>& TokenBegins(const PrefixTrieSlice& t) { return t.token_begins_; }
+};
 
 }  // namespace xgr::tokenizer

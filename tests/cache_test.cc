@@ -186,8 +186,12 @@ TEST(AdaptiveStorage, PicksCheapestFormat) {
   for (std::int32_t n = 0; n < pda->NumNodes(); ++n) {
     const NodeMaskEntry& e = cache->Entry(n);
     std::size_t chosen = e.MemoryBytes();
-    // The chosen format must not exceed the bitset strawman + ctx list.
-    EXPECT_LE(chosen, vocab_bytes + e.context_dependent.size() * 4 + 8) << n;
+    // The chosen format must not exceed the bitset strawman + ctx list + ctx
+    // sub-trie (the trie is carried by every format, so it does not affect
+    // the choice but does count toward the entry's footprint).
+    EXPECT_LE(chosen, vocab_bytes + e.context_dependent.size() * 4 +
+                          e.ctx_trie.MemoryBytes() + 8)
+        << n;
   }
   // The cache overall must be far below the all-bitset layout.
   EXPECT_LT(cache->Stats().memory_bytes, cache->Stats().full_bitset_bytes);

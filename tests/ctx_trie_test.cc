@@ -1,0 +1,387 @@
+// Trie-pruned context-dependent checking:
+//   * PrefixTrieSlice structural invariants (preorder depth chain, skip
+//     pointers, token-range tiling, duplicate and empty tokens);
+//   * differential: the trie-DFS checker must accept exactly the same ctx
+//     tokens as the flat lexicographic checker it replaced AND as per-token
+//     brute-force matcher acceptance, across ambiguous multi-stack grammars,
+//     all three StorageKinds, and terminated states;
+//   * per-stack ctx memoization: repeat laps produce bit-identical masks and
+//     actually hit the memo;
+//   * serialize round trip of entries with non-empty ctx sub-tries;
+//   * RollbackToDepth equal-depth fast path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/ctx_trie_dfs.h"
+#include "cache/mask_generator.h"
+#include "datasets/workloads.h"
+#include "grammar/grammar.h"
+#include "matcher/grammar_matcher.h"
+#include "serialize/serialize.h"
+#include "support/string_utils.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/token_trie.h"
+
+namespace xgr::cache {
+namespace {
+
+using tokenizer::PrefixTrieSlice;
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer(std::int32_t size,
+                                                              std::uint64_t seed) {
+  static std::map<std::pair<std::int32_t, std::uint64_t>,
+                  std::shared_ptr<const tokenizer::TokenizerInfo>>
+      cache;
+  auto key = std::make_pair(size, seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_shared<tokenizer::TokenizerInfo>(
+                                tokenizer::BuildSyntheticVocab({size, seed})))
+             .first;
+  }
+  return it->second;
+}
+
+// Tiny handmade vocabulary for structural tests (ids in declaration order).
+tokenizer::TokenizerInfo HandmadeTokenizer(std::vector<std::string> tokens) {
+  tokenizer::Vocabulary vocab;
+  vocab.tokens = std::move(tokens);
+  return tokenizer::TokenizerInfo(std::move(vocab));
+}
+
+// --- PrefixTrieSlice structure ------------------------------------------------
+
+TEST(PrefixTrieSlice, EmptyInputBuildsEmptySlice) {
+  tokenizer::TokenizerInfo info = HandmadeTokenizer({"a"});
+  PrefixTrieSlice trie = PrefixTrieSlice::Build(info, {});
+  EXPECT_TRUE(trie.Empty());
+  EXPECT_EQ(trie.NumNodes(), 0);
+  EXPECT_EQ(trie.NumTokens(), 0);
+  EXPECT_EQ(trie.RootTokenEnd(), 0);
+  EXPECT_EQ(trie.MemoryBytes(), 0u);
+}
+
+TEST(PrefixTrieSlice, StructureOfSmallTrie) {
+  // Lexicographic input: "", "a", "ab", "ab" (duplicate), "ac", "b".
+  tokenizer::TokenizerInfo info =
+      HandmadeTokenizer({"", "a", "ab", "ab", "ac", "b"});
+  std::vector<std::int32_t> ids{0, 1, 2, 3, 4, 5};
+  PrefixTrieSlice trie = PrefixTrieSlice::Build(info, ids);
+  // Nodes in preorder: a(d1), ab(d2), ac(d2), b(d1).
+  ASSERT_EQ(trie.NumNodes(), 4);
+  EXPECT_EQ(trie.NumTokens(), 6);
+  EXPECT_EQ(trie.RootTokenEnd(), 1);  // the empty token
+  EXPECT_EQ(trie.EdgeByte(0), 'a');
+  EXPECT_EQ(trie.Depth(0), 1);
+  EXPECT_EQ(trie.Skip(0), 3);  // subtree of "a" = nodes {0,1,2}
+  EXPECT_EQ(trie.TokenBegin(0), 1);
+  EXPECT_EQ(trie.TerminalTokenEnd(0), 2);   // token "a"
+  EXPECT_EQ(trie.SubtreeTokenEnd(0), 5);    // "a","ab","ab","ac"
+  EXPECT_EQ(trie.EdgeByte(1), 'b');
+  EXPECT_EQ(trie.Depth(1), 2);
+  EXPECT_EQ(trie.TokenBegin(1), 2);
+  EXPECT_EQ(trie.TerminalTokenEnd(1), 4);  // both duplicate "ab" ids
+  EXPECT_EQ(trie.EdgeByte(3), 'b');
+  EXPECT_EQ(trie.Depth(3), 1);
+  EXPECT_EQ(trie.Skip(3), 4);
+  EXPECT_EQ(trie.SubtreeTokenEnd(3), 6);
+}
+
+TEST(PrefixTrieSlice, InvariantsOnSyntheticVocabulary) {
+  auto info = TestTokenizer(3000, 17);
+  const std::vector<std::int32_t>& sorted = info->SortedTokenIds();
+  PrefixTrieSlice trie = PrefixTrieSlice::Build(*info, sorted);
+  ASSERT_GT(trie.NumNodes(), 0);
+  EXPECT_EQ(trie.NumTokens(), static_cast<std::int32_t>(sorted.size()));
+  std::int64_t terminal_total = trie.RootTokenEnd();
+  for (std::int32_t i = 0; i < trie.NumNodes(); ++i) {
+    // Preorder depth chain: first node is a root child; successors descend at
+    // most one level. This is what keeps the DFS rollback targets legal.
+    EXPECT_GE(trie.Depth(i), 1);
+    EXPECT_LE(trie.Depth(i), i == 0 ? 1 : trie.Depth(i - 1) + 1);
+    EXPECT_GT(trie.Skip(i), i);
+    EXPECT_LE(trie.Skip(i), trie.NumNodes());
+    // Token ranges tile the input: terminals are a prefix of the subtree.
+    EXPECT_LE(trie.TokenBegin(i), trie.TerminalTokenEnd(i));
+    EXPECT_LE(trie.TerminalTokenEnd(i), trie.SubtreeTokenEnd(i));
+    terminal_total += trie.TerminalTokenEnd(i) - trie.TokenBegin(i);
+    // Every node's terminal tokens spell exactly the node's path bytes: check
+    // the depth matches the token length.
+    for (std::int32_t t = trie.TokenBegin(i); t < trie.TerminalTokenEnd(i); ++t) {
+      EXPECT_EQ(static_cast<std::int32_t>(
+                    info->TokenBytes(sorted[static_cast<std::size_t>(t)]).size()),
+                trie.Depth(i));
+    }
+  }
+  // Every token is terminal at exactly one node (or the root).
+  EXPECT_EQ(terminal_total, trie.NumTokens());
+}
+
+// --- Differential: trie DFS vs flat list vs brute force -----------------------
+
+// The flat lexicographic checker this PR replaced (faithful reimplementation
+// on the public matcher API): rollback to the common prefix with the previous
+// token, walk the remainder.
+std::vector<std::int32_t> FlatCheck(std::shared_ptr<const pda::CompiledGrammar> pda,
+                                    const tokenizer::TokenizerInfo& tokenizer,
+                                    const matcher::GrammarMatcher& runtime,
+                                    std::int32_t stack_id,
+                                    const NodeMaskEntry& entry) {
+  std::vector<std::int32_t> accepted;
+  matcher::GrammarMatcher scratch(std::move(pda), runtime.Pool(), stack_id);
+  std::string_view previous;
+  for (std::int32_t token_id : entry.context_dependent) {
+    const std::string& token = tokenizer.TokenBytes(token_id);
+    auto common = static_cast<std::int32_t>(CommonPrefixLength(previous, token));
+    scratch.RollbackToDepth(std::min(common, scratch.NumConsumedBytes()));
+    bool ok = true;
+    for (std::size_t j = static_cast<std::size_t>(scratch.NumConsumedBytes());
+         j < token.size(); ++j) {
+      if (!scratch.AcceptByte(static_cast<std::uint8_t>(token[j]))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) accepted.push_back(token_id);
+    previous = token;
+  }
+  std::sort(accepted.begin(), accepted.end());
+  return accepted;
+}
+
+// The new checker's core: DFS over the entry's ctx sub-trie.
+std::vector<std::int32_t> TrieCheck(std::shared_ptr<const pda::CompiledGrammar> pda,
+                                    const matcher::GrammarMatcher& runtime,
+                                    std::int32_t stack_id,
+                                    const NodeMaskEntry& entry) {
+  std::vector<std::int32_t> accepted;
+  matcher::GrammarMatcher scratch(std::move(pda), runtime.Pool(), stack_id);
+  const PrefixTrieSlice& trie = entry.ctx_trie;
+  for (std::int32_t t = 0; t < trie.RootTokenEnd(); ++t) {
+    accepted.push_back(entry.context_dependent[static_cast<std::size_t>(t)]);
+  }
+  CtxDfsCounters counters;
+  CtxTrieDfs(
+      trie, &scratch, &counters,
+      [&](std::int32_t pos) {
+        for (std::int32_t t = trie.TokenBegin(pos); t < trie.TerminalTokenEnd(pos);
+             ++t) {
+          accepted.push_back(entry.context_dependent[static_cast<std::size_t>(t)]);
+        }
+      },
+      [](std::int32_t) {});
+  std::sort(accepted.begin(), accepted.end());
+  return accepted;
+}
+
+// Ground truth: one fresh walk per token.
+std::vector<std::int32_t> BruteCheck(std::shared_ptr<const pda::CompiledGrammar> pda,
+                                     const tokenizer::TokenizerInfo& tokenizer,
+                                     const matcher::GrammarMatcher& runtime,
+                                     std::int32_t stack_id,
+                                     const NodeMaskEntry& entry) {
+  std::vector<std::int32_t> accepted;
+  matcher::GrammarMatcher scratch(std::move(pda), runtime.Pool(), stack_id);
+  for (std::int32_t token_id : entry.context_dependent) {
+    if (scratch.CanAcceptString(tokenizer.TokenBytes(token_id))) {
+      accepted.push_back(token_id);
+    }
+  }
+  std::sort(accepted.begin(), accepted.end());
+  return accepted;
+}
+
+// Walks `document` byte by byte; at every prefix (including the terminated
+// end state) the three checkers must agree on every mask stack whose entry
+// has context-dependent tokens. Returns how many (stack, entry) checks ran.
+std::int64_t ExpectCheckersAgreeAlong(const grammar::Grammar& g,
+                                      const std::string& document,
+                                      std::int32_t vocab_size, std::uint64_t seed,
+                                      const AdaptiveCacheOptions& cache_options = {},
+                                      const pda::CompileOptions& options = {}) {
+  auto pda = pda::CompiledGrammar::Compile(g, options);
+  auto info = TestTokenizer(vocab_size, seed);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info, cache_options);
+  matcher::GrammarMatcher m(pda);
+  std::int64_t checks = 0;
+  for (std::size_t i = 0;; ++i) {
+    for (std::int32_t stack_id : m.MaskStacks()) {
+      const NodeMaskEntry& entry = cache->Entry(m.Pool().TopNode(stack_id));
+      if (entry.context_dependent.empty()) {
+        EXPECT_TRUE(entry.ctx_trie.Empty());
+        continue;
+      }
+      EXPECT_EQ(entry.ctx_trie.NumTokens(),
+                static_cast<std::int32_t>(entry.context_dependent.size()));
+      std::vector<std::int32_t> flat = FlatCheck(pda, *info, m, stack_id, entry);
+      std::vector<std::int32_t> trie = TrieCheck(pda, m, stack_id, entry);
+      std::vector<std::int32_t> brute = BruteCheck(pda, *info, m, stack_id, entry);
+      EXPECT_EQ(trie, flat) << "prefix '" << document.substr(0, i) << "'";
+      EXPECT_EQ(trie, brute) << "prefix '" << document.substr(0, i) << "'";
+      ++checks;
+    }
+    if (i >= document.size()) break;
+    EXPECT_TRUE(m.AcceptByte(static_cast<std::uint8_t>(document[i])));
+  }
+  return checks;
+}
+
+grammar::Grammar AmbiguousGrammar() {
+  // Both alternatives share the prefix "aa": two parallel stacks stay alive,
+  // so checks run against genuinely different full stacks per step.
+  return grammar::ParseEbnfOrThrow(R"(
+    root ::= item*
+    item ::= "aa" "x" | "a" "a" "y"
+  )");
+}
+
+TEST(CtxTrieDifferential, JsonGrammarAllStorageKinds) {
+  // At this vocabulary the JSON grammar exercises accept-heavy, reject-heavy
+  // AND bitset entries (asserted by WordLevelMerge.StorageKindCoverage).
+  auto docs = datasets::GenerateJsonDocuments(1, 7);
+  std::int64_t checks =
+      ExpectCheckersAgreeAlong(grammar::BuiltinJsonGrammar(), docs[0], 16000, 17);
+  EXPECT_GT(checks, 0) << "no context-dependent entries were exercised";
+}
+
+TEST(CtxTrieDifferential, AmbiguousMultiStackGrammar) {
+  std::int64_t checks =
+      ExpectCheckersAgreeAlong(AmbiguousGrammar(), "aaxaayaax", 1200, 31, {},
+                               pda::CompileOptions::AllDisabled());
+  // The walk itself must have seen multiple live stacks.
+  auto pda = pda::CompiledGrammar::Compile(AmbiguousGrammar(),
+                                           pda::CompileOptions::AllDisabled());
+  matcher::GrammarMatcher probe(pda);
+  ASSERT_TRUE(probe.AcceptString("aa"));
+  ASSERT_GE(probe.ClosedStacks().size(), 2u);
+  (void)checks;
+}
+
+TEST(CtxTrieDifferential, ForcedBitsetStorage) {
+  AdaptiveCacheOptions forced;
+  forced.adaptive_storage = false;
+  auto docs = datasets::GenerateJsonDocuments(1, 44);
+  ExpectCheckersAgreeAlong(grammar::BuiltinJsonGrammar(), docs[0], 1500, 23, forced);
+  ExpectCheckersAgreeAlong(AmbiguousGrammar(), "aayaax", 1200, 31, forced,
+                           pda::CompileOptions::AllDisabled());
+}
+
+TEST(CtxTrieDifferential, TerminatedState) {
+  // The driver checks the end state too; this pins a grammar that terminates.
+  grammar::Grammar g = grammar::ParseEbnfOrThrow(R"(root ::= "ab" | "ab" "c")");
+  ExpectCheckersAgreeAlong(g, "abc", 1200, 31);
+}
+
+// --- Per-stack ctx memoization ------------------------------------------------
+
+TEST(CtxMemo, RepeatLapsHitMemoAndMatchBitForBit) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(3000, 17);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  MaskGenerator generator(cache);
+  matcher::GrammarMatcher m(pda);
+  std::string doc = datasets::GenerateJsonDocuments(1, 5, 3)[0];
+  DynamicBitset lap1(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset lap2(static_cast<std::size_t>(info->VocabSize()));
+  std::vector<DynamicBitset> lap1_masks;
+  for (char c : doc) {
+    generator.FillNextTokenBitmask(&m, &lap1);
+    lap1_masks.push_back(lap1);
+    ASSERT_TRUE(m.AcceptByte(static_cast<std::uint8_t>(c)));
+  }
+  ASSERT_GT(generator.Stats().ctx_memo_misses, 0);
+  m.ResetToStart();
+  std::int64_t hits_before = generator.Stats().ctx_memo_hits;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    generator.FillNextTokenBitmask(&m, &lap2);
+    EXPECT_TRUE(lap2 == lap1_masks[i]) << "memoized mask diverged at step " << i;
+    ASSERT_TRUE(m.AcceptByte(static_cast<std::uint8_t>(doc[i])));
+  }
+  EXPECT_GT(generator.Stats().ctx_memo_hits, hits_before);
+  // Counter sanity: every resolved token was either walked or pruned or
+  // memo-served; bytes were only spent on misses.
+  const MaskGenStats& s = generator.Stats();
+  EXPECT_GT(s.runtime_tokens_checked, 0);
+  EXPECT_LE(s.ctx_tokens_pruned, s.runtime_tokens_checked);
+}
+
+// --- Serialization ------------------------------------------------------------
+
+TEST(CtxTrieSerialize, RoundTripsEntriesWithNonEmptySubTries) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinXmlGrammar());
+  auto info = TestTokenizer(3000, 17);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  bool any_ctx_trie = false;
+  for (std::int32_t n = 0; n < pda->NumNodes(); ++n) {
+    if (!cache->Entry(n).ctx_trie.Empty()) any_ctx_trie = true;
+  }
+  ASSERT_TRUE(any_ctx_trie) << "test grammar produced no ctx sub-tries";
+
+  std::string bytes = serialize::SerializeEngineArtifact(*cache);
+  auto restored = serialize::DeserializeEngineArtifact(bytes, info);
+  ASSERT_EQ(restored->Pda().NumNodes(), pda->NumNodes());
+  for (std::int32_t n = 0; n < pda->NumNodes(); ++n) {
+    const NodeMaskEntry& a = cache->Entry(n);
+    const NodeMaskEntry& b = restored->Entry(n);
+    EXPECT_EQ(a.context_dependent, b.context_dependent) << n;
+    EXPECT_TRUE(a.ctx_trie == b.ctx_trie) << "ctx trie mismatch at node " << n;
+    EXPECT_EQ(a.MemoryBytes(), b.MemoryBytes()) << n;
+  }
+  EXPECT_EQ(restored->Stats().tokens_pruned, cache->Stats().tokens_pruned);
+  EXPECT_EQ(restored->Stats().subtree_cutoffs, cache->Stats().subtree_cutoffs);
+
+  // The restored cache must generate identical masks through the trie path.
+  MaskGenerator original_gen(cache);
+  MaskGenerator restored_gen(restored);
+  matcher::GrammarMatcher m1(pda);
+  matcher::GrammarMatcher m2(restored->PdaShared());
+  DynamicBitset mask1(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset mask2(static_cast<std::size_t>(info->VocabSize()));
+  std::string doc = datasets::GenerateXmlDocuments(1, 555)[0];
+  for (char c : doc) {
+    original_gen.FillNextTokenBitmask(&m1, &mask1);
+    restored_gen.FillNextTokenBitmask(&m2, &mask2);
+    ASSERT_TRUE(mask1 == mask2);
+    ASSERT_TRUE(m1.AcceptByte(static_cast<std::uint8_t>(c)));
+    ASSERT_TRUE(m2.AcceptByte(static_cast<std::uint8_t>(c)));
+  }
+}
+
+// --- Build stats --------------------------------------------------------------
+
+TEST(CtxTrieBuildStats, SubtreeCutoffsAttributed) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto info = TestTokenizer(3000, 17);
+  auto cache = AdaptiveTokenMaskCache::Build(pda, info);
+  const CacheBuildStats& s = cache->Stats();
+  // The builder's DFS must have cut off subtrees (a vocabulary walk with no
+  // pruning would mean the trie is useless) and every pruned token is one of
+  // the classified ones.
+  EXPECT_GT(s.subtree_cutoffs, 0);
+  EXPECT_GT(s.tokens_pruned, 0);
+  EXPECT_LE(s.tokens_pruned, s.tokens_classified);
+  EXPECT_LE(s.bytes_checked, s.bytes_total);
+}
+
+// --- RollbackToDepth fast path -----------------------------------------------
+
+TEST(RollbackFastPath, EqualDepthRollbackIsANoOp) {
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  matcher::GrammarMatcher m(pda);
+  ASSERT_TRUE(m.AcceptString("{\"a\":"));
+  std::int32_t depth = m.NumConsumedBytes();
+  std::uint64_t rollback_bytes = m.Stats().rollback_bytes;
+  m.RollbackToDepth(depth);
+  EXPECT_EQ(m.NumConsumedBytes(), depth);
+  // The O(1) early return must not even touch the rollback accounting.
+  EXPECT_EQ(m.Stats().rollback_bytes, rollback_bytes);
+  EXPECT_TRUE(m.AcceptString("1}"));
+  EXPECT_TRUE(m.CanTerminate());
+}
+
+}  // namespace
+}  // namespace xgr::cache

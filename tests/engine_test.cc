@@ -294,6 +294,14 @@ TEST(Engine, BatchResultMetricsConsistent) {
   EXPECT_EQ(counted, result.total_tokens);
   EXPECT_GE(result.decode_steps, 1);
   EXPECT_GE(result.ttft_ms, 0.0);
+  // Mask-generation counters thread from MaskGenStats into the per-batch
+  // aggregate: one mask per decode step per request, and the ctx attribution
+  // counters stay mutually consistent (pruned tokens are a subset of the
+  // checked ones; sub-trie bytes imply checks ran).
+  EXPECT_GE(result.mask_gen.masks_generated, result.decode_steps);
+  EXPECT_GE(result.mask_gen.ctx_tokens_checked, 0);
+  EXPECT_LE(result.mask_gen.ctx_tokens_pruned, result.mask_gen.ctx_tokens_checked);
+  EXPECT_LE(result.mask_gen.ctx_subtree_cutoffs, result.mask_gen.ctx_bytes_checked);
 }
 
 }  // namespace
