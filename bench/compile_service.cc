@@ -1,0 +1,397 @@
+// Grammar-runtime benchmark: the cold-start storm the agentic serving regime
+// produces (a stream of distinct, dynamically arriving JSON schemas) driven
+// through runtime::CompileService + GrammarRegistry, measuring what the
+// subsystem exists to deliver:
+//
+//   1. admission — while a cold schema compiles, co-scheduled requests'
+//      per-token latency under async (deferred) admission stays near their
+//      no-cold-compile baseline, where the synchronous front door stalls
+//      them for the full build;
+//   2. storm — 32 distinct schemas at once: time-to-first-token p50/p99 and
+//      registry memory staying under the configured budget (LRU eviction);
+//   3. warm start — a fresh service over the same disk tier resolves every
+//      schema without recompiling (verified via compiled/disk-hit counters).
+//
+// Emits machine-readable results to BENCH_compile_service.json (override
+// with XGR_BENCH_JSON). Knobs: XGR_VOCAB, XGR_STORM_SCHEMAS (default 32),
+// XGR_CACHE_DIR (default: a scratch dir under the system temp directory,
+// wiped at startup so every run starts cold).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/xgrammar_decoder.h"
+#include "bench/bench_common.h"
+#include "datasets/workloads.h"
+#include "engine/mock_llm.h"
+#include "engine/serving_engine.h"
+#include "json/json.h"
+#include "runtime/compile_service.h"
+#include "support/timer.h"
+
+namespace {
+using namespace xgr;             // NOLINT
+using namespace xgr::benchutil;  // NOLINT
+
+namespace fs = std::filesystem;
+
+// Decode-step sleeps are scaled down so the bench finishes in seconds while
+// grammar compilation stays real CPU work — exactly the regime that makes a
+// synchronous compile stall visible in co-scheduled requests' latency.
+//
+// Unit note: the engine's simulated clock mixes scaled GPU/prefill/sampling
+// waits with *real* wall time for CPU work (mask generation and compile
+// stalls alike — see RunContinuous). Compressing GPU time 20x therefore
+// makes the compile stall ~20x heavier relative to decode than at real
+// scale: the sync-vs-async *contrast* is structural (the stall disappears
+// entirely under deferred admission), but the absolute ratios are
+// time_scale-dependent and the JSON records the scale used.
+constexpr double kTimeScale = 0.05;
+
+runtime::CompileJob SchemaJob(const datasets::SchemaTask& task) {
+  runtime::CompileJob job;
+  job.kind = runtime::GrammarKind::kJsonSchema;
+  job.source = task.schema.Dump();
+  return job;
+}
+
+// The admission scenario's cold arrival: a deliberately heavy schema (nested
+// objects, enums, arrays — an invoice, the shape of real function-calling
+// payloads) whose build spans hundreds of decode steps at the bench's time
+// scale, so the sync-vs-async difference is unmistakable and does not depend
+// on which schema the workload generator happens to produce.
+const char* kColdSchema = R"({
+  "type": "object",
+  "properties": {
+    "invoice_id": {"type": "string"},
+    "currency": {"enum": ["USD", "EUR", "GBP", "JPY", "CHF"]},
+    "status": {"enum": ["draft", "issued", "paid", "void"]},
+    "customer": {
+      "type": "object",
+      "properties": {
+        "name": {"type": "string"},
+        "email": {"type": "string"},
+        "address": {
+          "type": "object",
+          "properties": {
+            "street": {"type": "string"},
+            "city": {"type": "string"},
+            "zip": {"type": "string"},
+            "country": {"enum": ["US", "DE", "FR", "JP", "GB"]}
+          },
+          "required": ["street", "city", "country"],
+          "additionalProperties": false
+        }
+      },
+      "required": ["name", "address"],
+      "additionalProperties": false
+    },
+    "lines": {
+      "type": "array",
+      "items": {
+        "type": "object",
+        "properties": {
+          "sku": {"type": "string"},
+          "description": {"type": "string"},
+          "quantity": {"type": "integer"},
+          "unit_price": {"type": "number"},
+          "discounted": {"type": "boolean"}
+        },
+        "required": ["sku", "quantity", "unit_price"],
+        "additionalProperties": false
+      }
+    },
+    "total": {"type": "number"},
+    "notes": {"type": "string"}
+  },
+  "required": ["invoice_id", "currency", "status", "customer", "lines", "total"],
+  "additionalProperties": false
+})";
+
+const char* kColdAnswer =
+    R"({"invoice_id":"inv-001","currency":"USD","status":"paid",)"
+    R"("customer":{"name":"Ada","address":{"street":"1 Main","city":"Zurich",)"
+    R"("country":"US"}},"lines":[{"sku":"A1","quantity":2,"unit_price":9.5}],)"
+    R"("total":19.0})";
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double rank = p * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+engine::EngineOptions BenchOptions(engine::CompileAdmission admission) {
+  engine::EngineOptions options;
+  options.time_scale = kTimeScale;
+  options.max_new_tokens = 64;
+  options.admission = admission;
+  return options;
+}
+
+// Mean decode latency per token over the given (completed) warm requests.
+double WarmMsPerToken(const engine::ContinuousResult& result,
+                      std::size_t warm_count) {
+  double total_ms = 0.0;
+  std::int64_t total_tokens = 0;
+  for (std::size_t i = 0; i < warm_count; ++i) {
+    total_ms += result.requests[i].completion_ms;
+    total_tokens +=
+        static_cast<std::int64_t>(result.requests[i].result.token_ids.size());
+  }
+  return total_tokens == 0 ? 0.0 : total_ms / static_cast<double>(total_tokens);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Grammar runtime (compile service + registry): async admission vs sync\n"
+      "stall, cold-start schema storm under a memory budget, disk warm start");
+  auto info = GetTokenizer();
+  const int storm_schemas = EnvInt("XGR_STORM_SCHEMAS", 32);
+
+  const char* cache_dir_env = std::getenv("XGR_CACHE_DIR");
+  const std::string cache_dir =
+      cache_dir_env != nullptr
+          ? std::string(cache_dir_env)
+          : (fs::temp_directory_path() / "xgr_bench_compile_service").string();
+  fs::remove_all(cache_dir);  // every run starts cold
+
+  engine::MockLlm llm(info, {.derail_probability = 0.0, .seed = 11});
+
+  // --- 1. admission: async overlap vs synchronous stall ---------------------
+  // Two warm schema-constrained requests decode from step 0; one cold schema
+  // arrives at step 2. Baseline omits the cold arrival entirely.
+  auto warm_tasks = datasets::GenerateSchemaTasks(2, 71);
+
+  std::vector<runtime::Artifact> warm_artifacts;
+  {
+    runtime::CompileService warmup(info);
+    for (const auto& task : warm_tasks) {
+      warm_artifacts.push_back(warmup.Compile(SchemaJob(task)));
+    }
+  }
+  auto make_warm_stream = [&] {
+    std::vector<engine::ContinuousRequest> stream;
+    for (std::size_t i = 0; i < warm_tasks.size(); ++i) {
+      engine::ContinuousRequest r;
+      r.request.decoder =
+          std::make_shared<baselines::XGrammarDecoder>(warm_artifacts[i]);
+      r.request.target_text = warm_tasks[i].canonical_answer.Dump();
+      r.request.seed = 31 + i;
+      r.arrival_step = 0;
+      stream.push_back(std::move(r));
+    }
+    return stream;
+  };
+
+  struct AdmissionRun {
+    double warm_ms_per_token = 0.0;
+    double cold_compile_wait_ms = 0.0;
+    double cold_ttft_ms = 0.0;
+  };
+  auto run_admission = [&](engine::CompileAdmission admission,
+                           bool with_cold) -> AdmissionRun {
+    std::vector<engine::ContinuousRequest> stream = make_warm_stream();
+    // A fresh service per run: the cold schema must actually compile.
+    runtime::CompileService service(info);
+    if (with_cold) {
+      runtime::CompileJob job;
+      job.kind = runtime::GrammarKind::kJsonSchema;
+      job.source = kColdSchema;
+      engine::ContinuousRequest cold;
+      cold.pending_grammar = std::make_shared<runtime::CompileTicket>(
+          service.Submit(std::move(job)));
+      cold.request.target_text = kColdAnswer;
+      cold.request.seed = 97;
+      cold.arrival_step = 2;
+      stream.push_back(std::move(cold));
+    }
+    engine::ServingEngine engine(BenchOptions(admission), llm);
+    engine::ContinuousResult result = engine.RunContinuous(stream, 4);
+    AdmissionRun run;
+    run.warm_ms_per_token = WarmMsPerToken(result, warm_tasks.size());
+    if (with_cold) {
+      const auto& cold_result = result.requests.back();
+      run.cold_compile_wait_ms = cold_result.compile_wait_ms;
+      run.cold_ttft_ms = cold_result.compile_wait_ms + cold_result.ttft_ms;
+    }
+    return run;
+  };
+
+  AdmissionRun baseline =
+      run_admission(engine::CompileAdmission::kDeferred, /*with_cold=*/false);
+  AdmissionRun sync_run =
+      run_admission(engine::CompileAdmission::kBlocking, /*with_cold=*/true);
+  AdmissionRun async_run =
+      run_admission(engine::CompileAdmission::kDeferred, /*with_cold=*/true);
+
+  double sync_ratio = baseline.warm_ms_per_token > 0
+                          ? sync_run.warm_ms_per_token / baseline.warm_ms_per_token
+                          : 0.0;
+  double async_ratio = baseline.warm_ms_per_token > 0
+                           ? async_run.warm_ms_per_token / baseline.warm_ms_per_token
+                           : 0.0;
+
+  std::printf("\nAdmission (2 warm requests + 1 cold schema arriving at step 2):\n");
+  PrintRow({"mode", "warm ms/token", "vs baseline", "cold TTFT ms"});
+  PrintRow({"no-cold baseline", Fmt(baseline.warm_ms_per_token, 3), "1.00", "-"});
+  PrintRow({"sync (blocking)", Fmt(sync_run.warm_ms_per_token, 3),
+            Fmt(sync_ratio, 2), Fmt(sync_run.cold_ttft_ms, 1)});
+  PrintRow({"async (deferred)", Fmt(async_run.warm_ms_per_token, 3),
+            Fmt(async_ratio, 2), Fmt(async_run.cold_ttft_ms, 1)});
+
+  // --- 2. storm: distinct schemas under a memory budget ---------------------
+  auto storm_tasks = datasets::GenerateSchemaTasks(storm_schemas, 2025);
+
+  // Budget: enough for a handful of resident artifacts, far below the whole
+  // storm — the registry must evict to stay within it.
+  std::size_t artifact_bytes = 0;
+  {
+    runtime::CompileService sizing(info);
+    artifact_bytes = sizing.Compile(SchemaJob(storm_tasks[0]))->MemoryBytes();
+  }
+  const std::size_t budget_bytes = artifact_bytes * 4;
+
+  runtime::CompileServiceOptions storm_options;
+  storm_options.num_threads = 4;
+  storm_options.registry.memory_budget_bytes = budget_bytes;
+  storm_options.registry.disk_dir = cache_dir;
+
+  std::vector<double> storm_ttft_ms;
+  std::vector<double> storm_wait_ms;
+  runtime::CompileServiceStats storm_stats;
+  runtime::GrammarRegistryStats storm_registry;
+  {
+    runtime::CompileService service(info, storm_options);
+    std::vector<engine::ContinuousRequest> stream;
+    for (int i = 0; i < storm_schemas; ++i) {
+      engine::ContinuousRequest r;
+      r.pending_grammar = std::make_shared<runtime::CompileTicket>(
+          service.Submit(SchemaJob(storm_tasks[static_cast<std::size_t>(i)])));
+      r.request.target_text =
+          storm_tasks[static_cast<std::size_t>(i)].canonical_answer.Dump();
+      r.request.seed = static_cast<std::uint64_t>(i) * 13 + 7;
+      r.arrival_step = 0;
+      stream.push_back(std::move(r));
+    }
+    engine::ServingEngine engine(
+        BenchOptions(engine::CompileAdmission::kDeferred), llm);
+    engine::ContinuousResult result = engine.RunContinuous(stream, 8);
+    for (const auto& r : result.requests) {
+      storm_ttft_ms.push_back(r.compile_wait_ms + r.ttft_ms);
+      storm_wait_ms.push_back(r.compile_wait_ms);
+    }
+    storm_stats = service.Stats();
+    storm_registry = service.Registry().Stats();
+  }
+  bool storm_within_budget = storm_registry.peak_memory_bytes <= budget_bytes;
+
+  std::printf("\nStorm (%d distinct schemas, batch 8, budget %.2f MB):\n",
+              storm_schemas, static_cast<double>(budget_bytes) / 1e6);
+  std::printf("  TTFT p50 / p99            : %.1f / %.1f ms (compile wait p50 %.1f)\n",
+              Percentile(storm_ttft_ms, 0.50), Percentile(storm_ttft_ms, 0.99),
+              Percentile(storm_wait_ms, 0.50));
+  std::printf("  registry peak / budget    : %.2f / %.2f MB (%s), evictions %lld\n",
+              static_cast<double>(storm_registry.peak_memory_bytes) / 1e6,
+              static_cast<double>(budget_bytes) / 1e6,
+              storm_within_budget ? "within budget" : "OVER BUDGET",
+              static_cast<long long>(storm_registry.evictions));
+  std::printf("  builds / coalesced / hits : %lld / %lld / %lld\n",
+              static_cast<long long>(storm_stats.compiled),
+              static_cast<long long>(storm_stats.coalesced),
+              static_cast<long long>(storm_stats.registry_hits));
+
+  // --- 3. warm start: a new process over the same disk tier -----------------
+  std::vector<double> warm_ready_ms;
+  runtime::CompileServiceStats warm_stats;
+  runtime::GrammarRegistryStats warm_registry;
+  {
+    runtime::CompileService service(info, storm_options);
+    for (const auto& task : storm_tasks) {
+      Timer timer;
+      runtime::Artifact artifact = service.Compile(SchemaJob(task));
+      warm_ready_ms.push_back(timer.ElapsedMicros() / 1e3);
+      XGR_CHECK(artifact != nullptr);
+    }
+    warm_stats = service.Stats();
+    warm_registry = service.Registry().Stats();
+  }
+  bool warm_skipped_all = warm_stats.compiled == 0;
+
+  std::printf("\nWarm start (fresh service, same disk tier):\n");
+  std::printf("  ready p50 / p99           : %.1f / %.1f ms\n",
+              Percentile(warm_ready_ms, 0.50), Percentile(warm_ready_ms, 0.99));
+  std::printf("  recompiled / disk hits    : %lld / %lld (%s)\n",
+              static_cast<long long>(warm_stats.compiled),
+              static_cast<long long>(warm_registry.disk_hits),
+              warm_skipped_all ? "all loads, no recompilation"
+                               : "UNEXPECTED RECOMPILES");
+
+  // --- JSON -----------------------------------------------------------------
+  json::Object admission;
+  admission["baseline_warm_ms_per_token"] = baseline.warm_ms_per_token;
+  admission["sync_warm_ms_per_token"] = sync_run.warm_ms_per_token;
+  admission["async_warm_ms_per_token"] = async_run.warm_ms_per_token;
+  admission["sync_vs_baseline"] = sync_ratio;
+  admission["async_vs_baseline"] = async_ratio;
+  admission["async_within_2x"] = async_ratio <= 2.0;
+  admission["cold_ttft_ms_sync"] = sync_run.cold_ttft_ms;
+  admission["cold_ttft_ms_async"] = async_run.cold_ttft_ms;
+  admission["cold_compile_wait_ms_async"] = async_run.cold_compile_wait_ms;
+
+  json::Object storm;
+  storm["schemas"] = storm_schemas;
+  storm["max_batch"] = 8;
+  storm["memory_budget_bytes"] = static_cast<std::int64_t>(budget_bytes);
+  storm["registry_peak_bytes"] =
+      static_cast<std::int64_t>(storm_registry.peak_memory_bytes);
+  storm["registry_resident_bytes"] =
+      static_cast<std::int64_t>(storm_registry.memory_bytes);
+  storm["within_budget"] = storm_within_budget;
+  storm["evictions"] = storm_registry.evictions;
+  storm["compiled"] = storm_stats.compiled;
+  storm["disk_writes"] = storm_registry.disk_writes;
+  storm["ttft_ms_p50"] = Percentile(storm_ttft_ms, 0.50);
+  storm["ttft_ms_p99"] = Percentile(storm_ttft_ms, 0.99);
+  storm["compile_wait_ms_p50"] = Percentile(storm_wait_ms, 0.50);
+  storm["compile_wait_ms_p99"] = Percentile(storm_wait_ms, 0.99);
+
+  json::Object warm_start;
+  warm_start["compiled"] = warm_stats.compiled;
+  warm_start["disk_loads"] = warm_stats.disk_loads;
+  warm_start["disk_hits"] = warm_registry.disk_hits;
+  warm_start["registry_hits"] = warm_stats.registry_hits;
+  warm_start["skipped_recompilation"] = warm_skipped_all;
+  warm_start["ready_ms_p50"] = Percentile(warm_ready_ms, 0.50);
+  warm_start["ready_ms_p99"] = Percentile(warm_ready_ms, 0.99);
+
+  json::Object doc;
+  doc["benchmark"] = "compile_service";
+  doc["vocab_size"] = info->VocabSize();
+  doc["time_scale"] = kTimeScale;
+  doc["admission"] = json::Value(std::move(admission));
+  doc["storm"] = json::Value(std::move(storm));
+  doc["warm_start"] = json::Value(std::move(warm_start));
+
+  const char* json_path = std::getenv("XGR_BENCH_JSON");
+  std::string path =
+      json_path != nullptr ? json_path : "BENCH_compile_service.json";
+  std::ofstream out(path);
+  out << json::Value(std::move(doc)).Dump(2) << "\n";
+  if (out) {
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}

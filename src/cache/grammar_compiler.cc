@@ -1,5 +1,6 @@
 #include "cache/grammar_compiler.h"
 
+#include <chrono>
 #include <utility>
 
 #include "grammar/json_schema.h"
@@ -7,6 +8,21 @@
 #include "support/timer.h"
 
 namespace xgr::cache {
+
+std::string EbnfArtifactKey(const std::string& root_rule,
+                            const std::string& ebnf_text) {
+  return "ebnf:" + root_rule + ":" + ebnf_text;
+}
+
+std::string JsonSchemaArtifactKey(const std::string& schema_text) {
+  return "schema:" + schema_text;
+}
+
+std::string RegexArtifactKey(const std::string& pattern) {
+  return "regex:" + pattern;
+}
+
+std::string BuiltinJsonArtifactKey() { return "builtin:json"; }
 
 std::shared_ptr<const AdaptiveTokenMaskCache> GrammarCompiler::CompileKeyed(
     const std::string& key, const std::function<grammar::Grammar()>& build) {
@@ -17,7 +33,14 @@ std::shared_ptr<const AdaptiveTokenMaskCache> GrammarCompiler::CompileKeyed(
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = memo_.find(key);
     if (it != memo_.end()) {
-      ++stats_.hits;
+      // Ready future = true hit; pending future = we are about to block
+      // behind the owner's in-flight build (coalesced wait).
+      if (it->second.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        ++stats_.hits;
+      } else {
+        ++stats_.coalesced_waits;
+      }
       future = it->second;
     } else {
       ++stats_.misses;
@@ -52,27 +75,27 @@ std::shared_ptr<const AdaptiveTokenMaskCache> GrammarCompiler::CompileKeyed(
 
 std::shared_ptr<const AdaptiveTokenMaskCache> GrammarCompiler::CompileEbnf(
     const std::string& ebnf_text, const std::string& root_rule) {
-  return CompileKeyed("ebnf:" + root_rule + ":" + ebnf_text, [&] {
+  return CompileKeyed(EbnfArtifactKey(root_rule, ebnf_text), [&] {
     return grammar::ParseEbnfOrThrow(ebnf_text, root_rule);
   });
 }
 
 std::shared_ptr<const AdaptiveTokenMaskCache> GrammarCompiler::CompileJsonSchema(
     const std::string& schema_text) {
-  return CompileKeyed("schema:" + schema_text, [&] {
+  return CompileKeyed(JsonSchemaArtifactKey(schema_text), [&] {
     return grammar::JsonSchemaTextToGrammar(schema_text);
   });
 }
 
 std::shared_ptr<const AdaptiveTokenMaskCache> GrammarCompiler::CompileRegex(
     const std::string& pattern) {
-  return CompileKeyed("regex:" + pattern,
+  return CompileKeyed(RegexArtifactKey(pattern),
                       [&] { return grammar::RegexToGrammar(pattern); });
 }
 
 std::shared_ptr<const AdaptiveTokenMaskCache>
 GrammarCompiler::CompileBuiltinJson() {
-  return CompileKeyed("builtin:json",
+  return CompileKeyed(BuiltinJsonArtifactKey(),
                       [] { return grammar::BuiltinJsonGrammar(); });
 }
 

@@ -24,8 +24,25 @@
 
 namespace xgr::cache {
 
+// Canonical content keys for compiled engine artifacts. GrammarCompiler
+// memoizes on these, and the grammar runtime (runtime::CompileJobKey, its
+// registry, and the disk tier) addresses the same artifact space through
+// them — both front doors MUST build keys here so the spaces can never
+// silently diverge.
+std::string EbnfArtifactKey(const std::string& root_rule,
+                            const std::string& ebnf_text);
+std::string JsonSchemaArtifactKey(const std::string& schema_text);
+std::string RegexArtifactKey(const std::string& pattern);
+std::string BuiltinJsonArtifactKey();
+
 struct GrammarCompilerStats {
+  // A hit means the artifact was already built: the caller returned without
+  // waiting. A caller that arrives while the owning thread is still mid-build
+  // shares the artifact but *blocks for the remaining build time* — that is a
+  // coalesced wait, not a hit, and the two are counted separately so serving
+  // dashboards don't mistake convoy stalls for cache locality.
   std::int64_t hits = 0;
+  std::int64_t coalesced_waits = 0;
   std::int64_t misses = 0;
   double compile_seconds = 0.0;  // cumulative, misses only
 };

@@ -4,6 +4,7 @@
 #include <future>
 #include <thread>
 
+#include "baselines/xgrammar_decoder.h"
 #include "cache/mask_generator.h"
 #include "support/logging.h"
 #include "support/thread_pool.h"
@@ -15,6 +16,10 @@ namespace {
 
 struct ActiveRequest {
   const EngineRequest* request = nullptr;
+  // The grammar backend actually used: request->decoder for prepared
+  // requests, or a decoder built at admission from a finished
+  // runtime::CompileTicket artifact (async admission).
+  std::shared_ptr<baselines::ConstrainedDecoder> decoder;
   MockLlm::RequestScript script;
   RequestResult result;
   DynamicBitset mask;
@@ -61,7 +66,7 @@ void AccumulateMaskGenDelta(const baselines::ConstrainedDecoder* decoder,
 bool StepOneRequest(const MockLlm& llm, const EngineOptions& options,
                     ActiveRequest* ar, std::int64_t* total_tokens) {
   const tokenizer::TokenizerInfo& tokenizer = llm.Tokenizer();
-  baselines::ConstrainedDecoder* decoder = ar->request->decoder.get();
+  baselines::ConstrainedDecoder* decoder = ar->decoder.get();
   SparseLogits logits = llm.ComputeLogits(&ar->script);
   std::int32_t token;
   if (decoder != nullptr) {
@@ -153,15 +158,16 @@ BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) 
   std::int64_t prompt_tokens = 0;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     active[i].request = &requests[i];
+    active[i].decoder = requests[i].decoder;
     active[i].script = llm_.MakeScript(requests[i].target_text, requests[i].seed);
     active[i].mask = DynamicBitset(vocab_size);
     active[i].sampler_rng = Rng(requests[i].seed * 7919u + 13u);
-    if (requests[i].decoder != nullptr) {
-      requests[i].decoder->Reset();
+    if (active[i].decoder != nullptr) {
+      active[i].decoder->Reset();
       max_preprocess_s = std::max(max_preprocess_s,
-                                  requests[i].decoder->PreprocessSeconds());
+                                  active[i].decoder->PreprocessSeconds());
     }
-    admitted_stats[i] = SnapshotMaskGen(requests[i].decoder.get());
+    admitted_stats[i] = SnapshotMaskGen(active[i].decoder.get());
     prompt_tokens += requests[i].prompt_tokens;
   }
 
@@ -193,15 +199,15 @@ BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) 
 
   auto compute_masks_serial = [&] {
     for (ActiveRequest& ar : active) {
-      if (ar.finished || ar.request->decoder == nullptr) continue;
-      ar.request->decoder->FillNextTokenBitmask(&ar.mask);
+      if (ar.finished || ar.decoder == nullptr) continue;
+      ar.decoder->FillNextTokenBitmask(&ar.mask);
     }
   };
   auto compute_masks_parallel = [&] {
     ThreadPool::Global().ParallelFor(active.size(), [&](std::size_t i) {
       ActiveRequest& ar = active[i];
-      if (ar.finished || ar.request->decoder == nullptr) return;
-      ar.request->decoder->FillNextTokenBitmask(&ar.mask);
+      if (ar.finished || ar.decoder == nullptr) return;
+      ar.decoder->FillNextTokenBitmask(&ar.mask);
     });
   };
 
@@ -229,7 +235,7 @@ BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) 
   }
   batch.decode_wall_ms = decode_timer.ElapsedMillis();
   for (std::size_t i = 0; i < active.size(); ++i) {
-    AccumulateMaskGenDelta(requests[i].decoder.get(), admitted_stats[i],
+    AccumulateMaskGenDelta(active[i].decoder.get(), admitted_stats[i],
                            &batch.mask_gen);
     batch.requests[i] = std::move(active[i].result);
   }
@@ -245,9 +251,10 @@ ContinuousResult ServingEngine::RunContinuous(
   auto vocab_size = static_cast<std::size_t>(tokenizer.VocabSize());
 
   // Pending queue in arrival order (stable for equal arrival steps).
-  std::vector<std::size_t> order(requests.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+  std::vector<std::size_t> pending(requests.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+  std::stable_sort(pending.begin(), pending.end(),
+                   [&](std::size_t a, std::size_t b) {
     return requests[a].arrival_step < requests[b].arrival_step;
   });
 
@@ -262,7 +269,15 @@ ContinuousResult ServingEngine::RunContinuous(
 
   ContinuousResult out;
   out.requests.resize(requests.size());
-  std::size_t next_pending = 0;
+  // Simulated clock at which each request was first held back *because its
+  // grammar was still compiling* (never stamped for capacity queueing, so
+  // compile_wait_ms measures compile overlap only); -1 = never compile-held.
+  std::vector<double> compile_held_clock(requests.size(), -1.0);
+  auto compile_wait_ms = [&](std::size_t index, double now_us) {
+    return compile_held_clock[index] < 0.0
+               ? 0.0
+               : (now_us - compile_held_clock[index]) / 1000.0;
+  };
   std::size_t finished = 0;
   std::int64_t step = 0;
   double clock_us = 0.0;  // simulated time; waits also burn scaled wall time
@@ -271,27 +286,82 @@ ContinuousResult ServingEngine::RunContinuous(
     // Admission: join arrived requests while capacity remains. The joining
     // request's prefill is paid on this iteration (chunked-prefill style),
     // lengthening the step for everyone — the continuous-batching tradeoff.
+    // A request whose grammar is still compiling is skipped (kDeferred:
+    // it waits out-of-batch, later arrivals may overtake it) or stalls the
+    // loop (kBlocking: the synchronous-front-door baseline).
     double admission_us = 0.0;
-    while (next_pending < order.size() &&
-           active.size() < static_cast<std::size_t>(max_batch_size) &&
-           requests[order[next_pending]].arrival_step <= step) {
-      const std::size_t index = order[next_pending++];
-      const EngineRequest& request = requests[index].request;
+    for (auto it = pending.begin();
+         it != pending.end() &&
+         active.size() < static_cast<std::size_t>(max_batch_size);) {
+      const std::size_t index = *it;
+      const ContinuousRequest& arrival = requests[index];
+      if (arrival.arrival_step > step) break;  // sorted: rest arrive later
+      std::shared_ptr<baselines::ConstrainedDecoder> decoder =
+          arrival.request.decoder;
+      runtime::CompileTicket* ticket = arrival.pending_grammar.get();
+      if (decoder == nullptr && ticket != nullptr && ticket->Valid()) {
+        if (ticket->State() == runtime::CompileState::kPending) {
+          if (compile_held_clock[index] < 0.0) {
+            compile_held_clock[index] = clock_us;
+          }
+          if (options_.admission == CompileAdmission::kDeferred) {
+            ++it;  // wait out-of-batch; everyone else keeps decoding
+            continue;
+          }
+          // kBlocking: the whole loop stalls for the build, and the stall
+          // is wall time every co-scheduled request's clock absorbs.
+          Timer stall;
+          while (!ticket->WaitFor(0.1)) {
+          }
+          clock_us += stall.ElapsedMicros();
+        }
+        if (ticket->State() == runtime::CompileState::kReady) {
+          decoder = std::make_shared<baselines::XGrammarDecoder>(ticket->Get());
+        } else {
+          // Failed or cancelled: drop the request instead of wedging the
+          // loop on a grammar that will never arrive.
+          out.requests[index].grammar_failed = true;
+          out.requests[index].compile_wait_ms = compile_wait_ms(index, clock_us);
+          ++finished;
+          it = pending.erase(it);
+          continue;
+        }
+      }
       Slot slot;
       slot.index = index;
-      slot.ar.request = &request;
-      slot.ar.script = llm_.MakeScript(request.target_text, request.seed);
+      slot.ar.request = &arrival.request;
+      slot.ar.decoder = std::move(decoder);
+      slot.ar.script =
+          llm_.MakeScript(arrival.request.target_text, arrival.request.seed);
       slot.ar.mask = DynamicBitset(vocab_size);
-      slot.ar.sampler_rng = Rng(request.seed * 7919u + 13u);
-      if (request.decoder != nullptr) request.decoder->Reset();
-      slot.admitted_stats = SnapshotMaskGen(request.decoder.get());
-      admission_us += static_cast<double>(request.prompt_tokens) *
+      slot.ar.sampler_rng = Rng(arrival.request.seed * 7919u + 13u);
+      if (slot.ar.decoder != nullptr) slot.ar.decoder->Reset();
+      slot.admitted_stats = SnapshotMaskGen(slot.ar.decoder.get());
+      admission_us += static_cast<double>(arrival.request.prompt_tokens) *
                       options_.profile.prefill_us_per_token;
       slot.admitted_clock = clock_us;
       out.requests[index].admitted_step = step;
+      out.requests[index].compile_wait_ms = compile_wait_ms(index, clock_us);
       active.push_back(std::move(slot));
+      it = pending.erase(it);
     }
     if (active.empty()) {
+      if (!pending.empty() && requests[pending.front()].arrival_step <= step) {
+        // Nothing decodes and the head request only waits on its compile:
+        // lend it the iteration as real wait (no decode step happens).
+        runtime::CompileTicket* ticket =
+            requests[pending.front()].pending_grammar.get();
+        XGR_CHECK(ticket != nullptr && ticket->Valid())
+            << "unadmittable request without a compile ticket";
+        Timer idle;
+        ticket->WaitFor(1e-3);
+        clock_us += idle.ElapsedMicros();
+        // The step still advances: a later-arriving ready request must not
+        // be starved behind the head-of-line compile — it becomes eligible
+        // and decodes while the compile proceeds.
+        ++step;
+        continue;
+      }
       // Idle iteration: nothing running, waiting for future arrivals.
       ++step;
       continue;
@@ -311,15 +381,15 @@ ContinuousResult ServingEngine::RunContinuous(
     if (options_.schedule == GrammarSchedule::kOverlap) {
       ThreadPool::Global().ParallelFor(active.size(), [&](std::size_t i) {
         Slot& slot = active[i];
-        if (slot.ar.request->decoder == nullptr) return;
-        slot.ar.request->decoder->FillNextTokenBitmask(&slot.ar.mask);
+        if (slot.ar.decoder == nullptr) return;
+        slot.ar.decoder->FillNextTokenBitmask(&slot.ar.mask);
       });
     }
     gpu.get();
     if (options_.schedule == GrammarSchedule::kSerial) {
       for (Slot& slot : active) {
-        if (slot.ar.request->decoder == nullptr) continue;
-        slot.ar.request->decoder->FillNextTokenBitmask(&slot.ar.mask);
+        if (slot.ar.decoder == nullptr) continue;
+        slot.ar.decoder->FillNextTokenBitmask(&slot.ar.mask);
       }
     }
     SimulatedWait(options_.profile.sampling_us);
@@ -339,7 +409,7 @@ ContinuousResult ServingEngine::RunContinuous(
         record.finish_step = step;
         record.completion_ms = (clock_us - slot.admitted_clock) / 1000.0;
         record.result = std::move(slot.ar.result);
-        AccumulateMaskGenDelta(slot.ar.request->decoder.get(),
+        AccumulateMaskGenDelta(slot.ar.decoder.get(),
                                slot.admitted_stats, &out.mask_gen);
         active[i] = std::move(active.back());
         active.pop_back();

@@ -23,6 +23,7 @@
 #include "engine/mock_llm.h"
 #include "engine/model_profile.h"
 #include "engine/sampler.h"
+#include "runtime/compile_service.h"
 
 namespace xgr::engine {
 
@@ -32,9 +33,23 @@ enum class GrammarSchedule : std::uint8_t {
   kOverlap,  // mask during forward pass, thread pool (§3.5)
 };
 
+// How RunContinuous admits a request whose grammar is still compiling
+// (ContinuousRequest::pending_grammar not yet ready at its arrival step).
+enum class CompileAdmission : std::uint8_t {
+  // The request waits *out of batch* — co-scheduled requests keep decoding
+  // while the CompileService builds on its own threads — and joins on the
+  // first iteration its artifact is ready. Compile latency overlaps decode.
+  kDeferred,
+  // The request is admitted at its arrival step and the whole decode loop
+  // blocks on the build — how a synchronous compile front door behaves.
+  // Kept for the bench comparison, not for serving.
+  kBlocking,
+};
+
 struct EngineOptions {
   ModelProfile profile = ModelProfile::Llama31_8B_H100();
   GrammarSchedule schedule = GrammarSchedule::kOverlap;
+  CompileAdmission admission = CompileAdmission::kDeferred;
   bool jump_forward = false;
   // Re-tokenize across the sampled/forced boundary (Appendix B: jump-forward
   // "requires retokenization, which involves rolling back some tokens"). Off
@@ -107,6 +122,11 @@ struct BatchResult {
 struct ContinuousRequest {
   EngineRequest request;
   std::int64_t arrival_step = 0;  // first decode iteration it may join
+  // Async grammar admission: when set (and request.decoder is null), the
+  // request's grammar is being built by a runtime::CompileService; the
+  // engine constructs an XGrammarDecoder from the finished artifact at
+  // admission. See EngineOptions::admission for the scheduling policy.
+  std::shared_ptr<runtime::CompileTicket> pending_grammar;
 };
 
 struct ContinuousRequestResult {
@@ -116,6 +136,14 @@ struct ContinuousRequestResult {
   std::int64_t finish_step = -1;       // iteration it completed
   double ttft_ms = 0.0;                // simulated: admission -> first token
   double completion_ms = 0.0;          // simulated: admission -> finished
+  // Simulated time from the request first being held back *because its
+  // grammar was still compiling* until admission (or until it was dropped
+  // on compile failure). 0 for requests never compile-held — including
+  // ones that merely queued for batch capacity, which is not compile wait.
+  double compile_wait_ms = 0.0;
+  // The pending grammar failed to compile (or was cancelled): the request
+  // was dropped without decoding and `result` is empty.
+  bool grammar_failed = false;
 };
 
 struct ContinuousResult {

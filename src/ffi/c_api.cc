@@ -11,6 +11,7 @@
 #include "grammar/json_schema.h"
 #include "grammar/regex_to_grammar.h"
 #include "pda/compiled_grammar.h"
+#include "runtime/compile_service.h"
 #include "support/logging.h"
 #include "tokenizer/synthetic_vocab.h"
 #include "tokenizer/tokenizer_info.h"
@@ -58,6 +59,14 @@ struct xgr_grammar {
 
 struct xgr_matcher {
   std::shared_ptr<xgr::baselines::XGrammarDecoder> decoder;
+};
+
+struct xgr_compile_service {
+  std::unique_ptr<xgr::runtime::CompileService> service;
+};
+
+struct xgr_compile_ticket {
+  xgr::runtime::CompileTicket ticket;
 };
 
 extern "C" {
@@ -158,6 +167,119 @@ xgr_grammar* xgr_grammar_compile_builtin_json(const xgr_tokenizer* tokenizer) {
 }
 
 void xgr_grammar_destroy(xgr_grammar* grammar) { delete grammar; }
+
+/* ----- async compilation -------------------------------------------------- */
+
+xgr_compile_service* xgr_compile_service_create(const xgr_tokenizer* tokenizer,
+                                                int32_t num_threads,
+                                                size_t memory_budget_bytes,
+                                                const char* disk_cache_dir) {
+  return Guarded("xgr_compile_service_create",
+                 static_cast<xgr_compile_service*>(nullptr),
+                 [&]() -> xgr_compile_service* {
+    XGR_CHECK(tokenizer != nullptr) << "null tokenizer";
+    XGR_CHECK(num_threads > 0) << "num_threads must be positive";
+    xgr::runtime::CompileServiceOptions options;
+    options.num_threads = num_threads;
+    options.registry.memory_budget_bytes = memory_budget_bytes;
+    if (disk_cache_dir != nullptr) options.registry.disk_dir = disk_cache_dir;
+    return new xgr_compile_service{
+        std::make_unique<xgr::runtime::CompileService>(tokenizer->info,
+                                                       std::move(options))};
+  });
+}
+
+void xgr_compile_service_destroy(xgr_compile_service* service) {
+  delete service;
+}
+
+namespace {
+
+xgr_compile_ticket* SubmitJob(const char* where, xgr_compile_service* service,
+                              xgr::runtime::CompileJob job) {
+  return Guarded(where, static_cast<xgr_compile_ticket*>(nullptr),
+                 [&]() -> xgr_compile_ticket* {
+    XGR_CHECK(service != nullptr) << "null compile service";
+    return new xgr_compile_ticket{service->service->Submit(std::move(job))};
+  });
+}
+
+}  // namespace
+
+xgr_compile_ticket* xgr_compile_service_submit_ebnf(
+    xgr_compile_service* service, const char* ebnf_text,
+    const char* root_rule) {
+  if (ebnf_text == nullptr) {
+    g_last_error = "xgr_compile_service_submit_ebnf: null ebnf_text";
+    return nullptr;
+  }
+  xgr::runtime::CompileJob job;
+  job.kind = xgr::runtime::GrammarKind::kEbnf;
+  job.source = ebnf_text;
+  job.root_rule = root_rule != nullptr ? root_rule : "root";
+  return SubmitJob("xgr_compile_service_submit_ebnf", service, std::move(job));
+}
+
+xgr_compile_ticket* xgr_compile_service_submit_json_schema(
+    xgr_compile_service* service, const char* schema_json) {
+  if (schema_json == nullptr) {
+    g_last_error = "xgr_compile_service_submit_json_schema: null schema_json";
+    return nullptr;
+  }
+  xgr::runtime::CompileJob job;
+  job.kind = xgr::runtime::GrammarKind::kJsonSchema;
+  job.source = schema_json;
+  return SubmitJob("xgr_compile_service_submit_json_schema", service,
+                   std::move(job));
+}
+
+xgr_compile_ticket* xgr_compile_service_submit_regex(
+    xgr_compile_service* service, const char* pattern) {
+  if (pattern == nullptr) {
+    g_last_error = "xgr_compile_service_submit_regex: null pattern";
+    return nullptr;
+  }
+  xgr::runtime::CompileJob job;
+  job.kind = xgr::runtime::GrammarKind::kRegex;
+  job.source = pattern;
+  return SubmitJob("xgr_compile_service_submit_regex", service,
+                   std::move(job));
+}
+
+int32_t xgr_compile_ticket_poll(const xgr_compile_ticket* ticket) {
+  if (ticket == nullptr || !ticket->ticket.Valid()) {
+    g_last_error = "xgr_compile_ticket_poll: invalid ticket";
+    return -1;
+  }
+  switch (ticket->ticket.State()) {
+    case xgr::runtime::CompileState::kPending:
+      return 0;
+    case xgr::runtime::CompileState::kReady:
+      return 1;
+    case xgr::runtime::CompileState::kFailed:
+      g_last_error =
+          "xgr_compile_ticket_poll: compilation failed: " + ticket->ticket.Error();
+      return -1;
+    case xgr::runtime::CompileState::kCancelled:
+      g_last_error = "xgr_compile_ticket_poll: compilation cancelled";
+      return -1;
+  }
+  return -1;
+}
+
+xgr_grammar* xgr_compile_ticket_await(xgr_compile_ticket* ticket) {
+  return Guarded("xgr_compile_ticket_await", static_cast<xgr_grammar*>(nullptr),
+                 [&]() -> xgr_grammar* {
+    XGR_CHECK(ticket != nullptr && ticket->ticket.Valid()) << "invalid ticket";
+    return new xgr_grammar{ticket->ticket.Get()};
+  });
+}
+
+void xgr_compile_ticket_cancel(xgr_compile_ticket* ticket) {
+  if (ticket != nullptr && ticket->ticket.Valid()) ticket->ticket.Cancel();
+}
+
+void xgr_compile_ticket_destroy(xgr_compile_ticket* ticket) { delete ticket; }
 
 /* ----- matcher ------------------------------------------------------------ */
 

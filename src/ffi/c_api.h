@@ -100,6 +100,73 @@ xgr_grammar* xgr_grammar_compile_builtin_json(const xgr_tokenizer* tokenizer);
  * reference and remain valid; passing NULL is a no-op. */
 void xgr_grammar_destroy(xgr_grammar* grammar);
 
+/* ----- async compilation -------------------------------------------------- */
+
+/* A compile service wraps the grammar runtime (src/runtime): a thread pool
+ * compiling grammars asynchronously, a memory-budgeted LRU registry of
+ * finished artifacts, and an optional disk cache that persists compiled
+ * grammars across processes. Submitting returns a *ticket* immediately; the
+ * build proceeds off-thread while the caller keeps serving decode traffic.
+ * Concurrent submissions of identical sources share one build.
+ *
+ * Thread safety: service handles are fully thread-safe (submit from any
+ * thread). A ticket handle is owned by one caller; poll/await/cancel on the
+ * same ticket from multiple threads is not supported, but distinct tickets
+ * for the same source are independent. */
+
+typedef struct xgr_compile_service xgr_compile_service;
+typedef struct xgr_compile_ticket xgr_compile_ticket;
+
+/* Creates a compile service over `tokenizer`'s vocabulary.
+ *   num_threads         — compile workers (>= 1).
+ *   memory_budget_bytes — resident-artifact LRU budget; 0 = unlimited.
+ *   disk_cache_dir      — directory for the persistent artifact cache
+ *                         (created on demand), or NULL for memory-only.
+ * The tokenizer is snapshotted (may be destroyed afterwards). Returns NULL
+ * on error; release with xgr_compile_service_destroy(). */
+xgr_compile_service* xgr_compile_service_create(const xgr_tokenizer* tokenizer,
+                                                int32_t num_threads,
+                                                size_t memory_budget_bytes,
+                                                const char* disk_cache_dir);
+
+/* Cancels still-queued builds, waits for running builds to finish, and
+ * releases the service. Outstanding tickets stay valid (they resolve as
+ * ready, failed, or cancelled) but must still be destroyed individually.
+ * NULL is a no-op. */
+void xgr_compile_service_destroy(xgr_compile_service* service);
+
+/* Asynchronous counterparts of the xgr_grammar_compile_* functions. Each
+ * returns a caller-owned ticket immediately (release with
+ * xgr_compile_ticket_destroy()) or NULL on invalid arguments. A failure of
+ * the build itself is reported through the ticket, not here. */
+xgr_compile_ticket* xgr_compile_service_submit_ebnf(
+    xgr_compile_service* service, const char* ebnf_text, const char* root_rule);
+xgr_compile_ticket* xgr_compile_service_submit_json_schema(
+    xgr_compile_service* service, const char* schema_json);
+xgr_compile_ticket* xgr_compile_service_submit_regex(
+    xgr_compile_service* service, const char* pattern);
+
+/* Non-blocking status probe: 1 = ready (await will not block), 0 = still
+ * compiling, -1 = failed or cancelled (message via xgr_last_error()). */
+int32_t xgr_compile_ticket_poll(const xgr_compile_ticket* ticket);
+
+/* Blocks until the build resolves and returns the compiled grammar as a
+ * caller-owned handle (same ownership as xgr_grammar_compile_*; release
+ * with xgr_grammar_destroy()). Returns NULL if the build failed or was
+ * cancelled (message via xgr_last_error()). May be called repeatedly; each
+ * success returns a new handle over the same shared artifact. */
+xgr_grammar* xgr_compile_ticket_await(xgr_compile_ticket* ticket);
+
+/* Abandons this ticket's interest in the build. A queued build nobody else
+ * is waiting for is dropped without running; a running or finished build is
+ * unaffected. The ticket itself stays valid (poll reports -1 once
+ * cancelled) and must still be destroyed. */
+void xgr_compile_ticket_cancel(xgr_compile_ticket* ticket);
+
+/* Releases the ticket handle. Destroying an un-awaited ticket implies
+ * cancel (see above). NULL is a no-op. */
+void xgr_compile_ticket_destroy(xgr_compile_ticket* ticket);
+
 /* ----- matcher ------------------------------------------------------------ */
 
 typedef struct xgr_matcher xgr_matcher;

@@ -1,0 +1,411 @@
+#include "runtime/compile_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/grammar_compiler.h"
+#include "grammar/grammar.h"
+#include "grammar/json_schema.h"
+#include "grammar/regex_to_grammar.h"
+#include "support/logging.h"
+#include "support/timer.h"
+
+namespace xgr::runtime {
+
+std::string CompileJobKey(const CompileJob& job) {
+  // The canonical builders in cache/grammar_compiler.h — shared with
+  // GrammarCompiler's memo so both front doors address the same artifact
+  // space by construction.
+  switch (job.kind) {
+    case GrammarKind::kEbnf:
+      return cache::EbnfArtifactKey(job.root_rule, job.source);
+    case GrammarKind::kJsonSchema:
+      return cache::JsonSchemaArtifactKey(job.source);
+    case GrammarKind::kRegex:
+      return cache::RegexArtifactKey(job.source);
+    case GrammarKind::kBuiltinJson:
+      return cache::BuiltinJsonArtifactKey();
+  }
+  XGR_UNREACHABLE();
+}
+
+namespace detail {
+
+struct CompileTask {
+  std::string key;             // full content key: the identity (exact)
+  std::uint64_t key_hash = 0;  // ContentHash(key), for display/addressing
+  CompileJob job;
+  CompilePriority priority = CompilePriority::kNormal;
+  std::uint64_t seq = 0;  // FIFO tie-break within a priority class
+
+  // Guarded by ServiceCore::mutex.
+  bool queued = false;  // in the heap and eligible to run
+  int interest = 0;     // live tickets; 0 while queued => abandon
+  std::vector<CompileCallback> callbacks;
+  std::string error;
+
+  // state is written under the lock but read lock-free by pollers; the
+  // error field it guards is published-before via the store (the artifact
+  // itself lives solely in the promise/shared_future).
+  std::atomic<CompileState> state{CompileState::kPending};
+  std::promise<Artifact> promise;
+  std::shared_future<Artifact> future;
+};
+
+struct ServiceCore {
+  std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer;
+  CompileServiceOptions options;
+  std::unique_ptr<GrammarRegistry> registry;
+
+  mutable std::mutex mutex;
+  bool shutdown = false;
+  std::uint64_t next_seq = 0;
+  // Keyed coalescing table: every queued or running build, exactly once.
+  // Keyed by the full content key — a hash is not an identity.
+  std::unordered_map<std::string, std::shared_ptr<CompileTask>> inflight;
+  // Priority heap over queued builds (best = lowest (priority, seq)).
+  // Cancelled entries stay until a worker drains them.
+  std::vector<std::shared_ptr<CompileTask>> heap;
+  CompileServiceStats stats;
+};
+
+namespace {
+
+// std::push_heap keeps the *largest* element first, so "worse-than" ordering
+// makes the front the highest-priority (lowest enum), oldest job.
+bool WorseOrder(const std::shared_ptr<CompileTask>& a,
+                const std::shared_ptr<CompileTask>& b) {
+  if (a->priority != b->priority) return a->priority > b->priority;
+  return a->seq > b->seq;
+}
+
+// Requires core->mutex. Detaches the task from the coalescing table, stamps
+// the outcome, and hands back the callbacks; the caller must set the promise
+// (the single home of the artifact value) and invoke them *after* unlocking
+// (callbacks are user code).
+std::vector<CompileCallback> FinalizeLocked(ServiceCore* core,
+                                            const std::shared_ptr<CompileTask>& task,
+                                            std::string error,
+                                            CompileState state) {
+  auto it = core->inflight.find(task->key);
+  if (it != core->inflight.end() && it->second == task) core->inflight.erase(it);
+  task->queued = false;
+  task->error = std::move(error);
+  task->state.store(state);
+  return std::exchange(task->callbacks, {});
+}
+
+grammar::Grammar BuildGrammar(const CompileJob& job) {
+  switch (job.kind) {
+    case GrammarKind::kEbnf:
+      return grammar::ParseEbnfOrThrow(job.source, job.root_rule);
+    case GrammarKind::kJsonSchema:
+      return grammar::JsonSchemaTextToGrammar(job.source);
+    case GrammarKind::kRegex:
+      return grammar::RegexToGrammar(job.source);
+    case GrammarKind::kBuiltinJson:
+      return grammar::BuiltinJsonGrammar();
+  }
+  XGR_UNREACHABLE();
+}
+
+Artifact BuildArtifact(const ServiceCore& core, const CompileJob& job) {
+  auto pda =
+      pda::CompiledGrammar::Compile(BuildGrammar(job), core.options.compile_options);
+  return cache::AdaptiveTokenMaskCache::Build(pda, core.tokenizer,
+                                              core.options.cache_options);
+}
+
+}  // namespace
+}  // namespace detail
+
+// ----- CompileTicket ---------------------------------------------------------
+
+CompileTicket::CompileTicket(std::shared_ptr<detail::CompileTask> task,
+                             std::shared_ptr<detail::ServiceCore> core)
+    : task_(std::move(task)), core_(std::move(core)) {}
+
+CompileTicket::CompileTicket(CompileTicket&& other) noexcept
+    : task_(std::move(other.task_)), core_(std::move(other.core_)) {
+  other.task_ = nullptr;
+  other.core_ = nullptr;
+}
+
+CompileTicket& CompileTicket::operator=(CompileTicket&& other) noexcept {
+  if (this != &other) {
+    Release();
+    task_ = std::move(other.task_);
+    core_ = std::move(other.core_);
+    other.task_ = nullptr;
+    other.core_ = nullptr;
+  }
+  return *this;
+}
+
+CompileTicket::~CompileTicket() { Release(); }
+
+void CompileTicket::Release() {
+  if (task_ == nullptr || core_ == nullptr) return;
+  std::vector<CompileCallback> callbacks;
+  bool abandoned = false;
+  {
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    --task_->interest;
+    if (task_->interest == 0 && task_->queued &&
+        task_->state.load() == CompileState::kPending) {
+      ++core_->stats.cancelled;
+      callbacks = detail::FinalizeLocked(core_.get(), task_,
+                                         "compilation cancelled",
+                                         CompileState::kCancelled);
+      abandoned = true;
+    }
+  }
+  if (abandoned) {
+    task_->promise.set_value(nullptr);
+    for (CompileCallback& cb : callbacks) {
+      if (cb) cb(nullptr);
+    }
+  }
+  core_ = nullptr;  // keep task_ so State()/Error() stay observable
+}
+
+void CompileTicket::Cancel() { Release(); }
+
+CompileState CompileTicket::State() const {
+  XGR_CHECK(task_ != nullptr) << "invalid CompileTicket";
+  return task_->state.load();
+}
+
+bool CompileTicket::WaitFor(double seconds) const {
+  XGR_CHECK(task_ != nullptr) << "invalid CompileTicket";
+  if (task_->state.load() != CompileState::kPending) return true;
+  return task_->future.wait_for(std::chrono::duration<double>(seconds)) ==
+         std::future_status::ready;
+}
+
+Artifact CompileTicket::Get() const {
+  XGR_CHECK(task_ != nullptr) << "invalid CompileTicket";
+  Artifact artifact = task_->future.get();
+  if (artifact == nullptr) {
+    XGR_CHECK(false) << (task_->state.load() == CompileState::kCancelled
+                             ? "grammar compilation cancelled"
+                             : "grammar compilation failed: " + task_->error);
+  }
+  return artifact;
+}
+
+Artifact CompileTicket::TryGet() const {
+  if (State() == CompileState::kPending) return nullptr;
+  return Get();
+}
+
+std::string CompileTicket::Error() const {
+  XGR_CHECK(task_ != nullptr) << "invalid CompileTicket";
+  if (task_->state.load() == CompileState::kPending) return {};
+  return task_->error;
+}
+
+std::uint64_t CompileTicket::KeyHash() const {
+  XGR_CHECK(task_ != nullptr) << "invalid CompileTicket";
+  return task_->key_hash;
+}
+
+// ----- CompileService --------------------------------------------------------
+
+CompileService::CompileService(
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+    CompileServiceOptions options) {
+  XGR_CHECK(tokenizer != nullptr) << "compile service needs a tokenizer";
+  XGR_CHECK(options.num_threads > 0) << "compile service needs workers";
+  core_ = std::make_shared<detail::ServiceCore>();
+  core_->tokenizer = std::move(tokenizer);
+  core_->options = std::move(options);
+  if (core_->options.cache_options.num_threads == 0) {
+    // 0 would put the per-node cache-build ParallelFor on the process-wide
+    // global pool — the very pool the serving engine's overlap scheduler
+    // computes decode masks on, so a background build would queue ahead of
+    // latency-critical mask work and stall decode. Builds stay inside the
+    // service's own workers instead: serial per build, parallel across
+    // builds. Callers wanting intra-build parallelism set an explicit count
+    // (a private pool per build).
+    core_->options.cache_options.num_threads = 1;
+  }
+  core_->registry = std::make_unique<GrammarRegistry>(core_->tokenizer,
+                                                      core_->options.registry);
+  pool_ = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(core_->options.num_threads));
+}
+
+CompileService::~CompileService() {
+  // Abandon every queued (not yet running) build so no new work starts; the
+  // pool destructor then drains its queue — pump tasks find nothing eligible
+  // — and joins after running builds finalize normally.
+  std::vector<std::pair<std::shared_ptr<detail::CompileTask>,
+                        std::vector<CompileCallback>>>
+      abandoned;
+  {
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    core_->shutdown = true;
+    for (auto& task : core_->heap) {
+      if (task->queued && task->state.load() == CompileState::kPending) {
+        ++core_->stats.cancelled;
+        abandoned.emplace_back(
+            task, detail::FinalizeLocked(core_.get(), task,
+                                         "compile service shut down",
+                                         CompileState::kCancelled));
+      }
+    }
+    core_->heap.clear();
+  }
+  for (auto& [task, callbacks] : abandoned) {
+    task->promise.set_value(nullptr);
+    for (CompileCallback& cb : callbacks) {
+      if (cb) cb(nullptr);
+    }
+  }
+  pool_.reset();
+}
+
+CompileTicket CompileService::Submit(CompileJob job, CompilePriority priority,
+                                     CompileCallback on_done) {
+  std::string key = CompileJobKey(job);
+  std::shared_ptr<detail::CompileTask> task;
+  Artifact ready;
+  bool need_worker = false;
+  {
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    XGR_CHECK(!core_->shutdown) << "Submit() on a shut-down CompileService";
+    ++core_->stats.submitted;
+    auto it = core_->inflight.find(key);
+    if (it != core_->inflight.end()) {
+      // Coalesce: share the in-flight build (queued or running). A more
+      // urgent submission escalates a still-queued build — an interactive
+      // caller must not wait behind normal jobs on a build that happened to
+      // be queued as prefetch.
+      task = it->second;
+      ++task->interest;
+      ++core_->stats.coalesced;
+      if (task->queued && priority < task->priority) {
+        task->priority = priority;
+        std::make_heap(core_->heap.begin(), core_->heap.end(),
+                       detail::WorseOrder);
+      }
+      if (on_done) task->callbacks.push_back(std::move(on_done));
+      return CompileTicket(std::move(task), core_);
+    }
+    task = std::make_shared<detail::CompileTask>();
+    task->key_hash = ContentHash(key);
+    task->key = std::move(key);
+    task->job = std::move(job);
+    task->priority = priority;
+    task->seq = core_->next_seq++;
+    task->future = task->promise.get_future().share();
+    task->interest = 1;
+    ready = core_->registry->TryGetResident(task->key);
+    if (ready != nullptr) {
+      ++core_->stats.registry_hits;
+      task->state.store(CompileState::kReady);
+    } else {
+      task->queued = true;
+      if (on_done) {
+        task->callbacks.push_back(std::move(on_done));
+        on_done = nullptr;
+      }
+      core_->inflight.emplace(task->key, task);
+      core_->heap.push_back(task);
+      std::push_heap(core_->heap.begin(), core_->heap.end(), detail::WorseOrder);
+      need_worker = true;
+    }
+  }
+  if (ready != nullptr) {
+    task->promise.set_value(ready);
+    if (on_done) on_done(ready);
+  } else if (need_worker) {
+    // One pump per queued job: each drains exactly one eligible build, so
+    // queued == pending pumps and abandoned builds cost nothing.
+    auto core = core_;
+    pool_->Submit([core] { RunOne(core); });
+  }
+  return CompileTicket(std::move(task), core_);
+}
+
+void CompileService::RunOne(const std::shared_ptr<detail::ServiceCore>& core) {
+  std::shared_ptr<detail::CompileTask> task;
+  {
+    std::lock_guard<std::mutex> lock(core->mutex);
+    while (!core->heap.empty()) {
+      std::pop_heap(core->heap.begin(), core->heap.end(), detail::WorseOrder);
+      std::shared_ptr<detail::CompileTask> candidate =
+          std::move(core->heap.back());
+      core->heap.pop_back();
+      if (candidate->queued &&
+          candidate->state.load() == CompileState::kPending) {
+        task = std::move(candidate);
+        task->queued = false;  // running: cancellation no longer applies
+        break;
+      }
+      // Abandoned entries drain here without running.
+    }
+    if (task == nullptr) return;
+    ++core->stats.builds_started;
+  }
+
+  Artifact artifact;
+  std::string error;
+  bool built = false;
+  double build_seconds = 0.0;
+  try {
+    // Full registry lookup (memory, pinned, disk) happens on the worker so
+    // Submit() never touches the filesystem.
+    artifact = core->registry->Lookup(task->key);
+    if (artifact == nullptr) {
+      Timer timer;
+      artifact = detail::BuildArtifact(*core, task->job);
+      build_seconds = timer.ElapsedMicros() / 1e6;
+      built = true;
+      core->registry->Insert(task->key, artifact);
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  } catch (...) {
+    error = "unknown compilation error";
+  }
+
+  std::vector<CompileCallback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(core->mutex);
+    if (built) {
+      ++core->stats.compiled;
+      core->stats.compile_seconds += build_seconds;
+    } else if (artifact != nullptr) {
+      ++core->stats.disk_loads;  // resolved by the worker without a build
+    }
+    if (artifact == nullptr) ++core->stats.failed;
+    callbacks = detail::FinalizeLocked(
+        core.get(), task, std::move(error),
+        artifact != nullptr ? CompileState::kReady : CompileState::kFailed);
+  }
+  task->promise.set_value(artifact);
+  for (CompileCallback& cb : callbacks) {
+    if (cb) cb(artifact);
+  }
+}
+
+Artifact CompileService::Compile(CompileJob job) {
+  return Submit(std::move(job), CompilePriority::kInteractive).Get();
+}
+
+GrammarRegistry& CompileService::Registry() { return *core_->registry; }
+
+CompileServiceStats CompileService::Stats() const {
+  std::lock_guard<std::mutex> lock(core_->mutex);
+  return core_->stats;
+}
+
+}  // namespace xgr::runtime

@@ -1,0 +1,184 @@
+// CompileService: the asynchronous compilation front door of the grammar
+// runtime.
+//
+// Grammar compilation plus mask-cache construction takes milliseconds to
+// seconds (§3.1); the paper's serving co-design (§3.5) keeps that work off
+// the decode critical path. GrammarCompiler::Compile* blocks the calling
+// request for the full build — fine for a fixed grammar set, fatal for the
+// agentic regime where distinct grammars arrive continuously. The service
+// instead accepts a *job* and returns a *ticket*:
+//
+//   * requests for the same content key share one build (coalescing) —
+//     including builds already in flight;
+//   * builds run on the service's own ThreadPool, highest priority first
+//     (interactive < normal < prefetch);
+//   * a queued build whose every ticket has been cancelled or dropped is
+//     abandoned without running (a build already running completes — its
+//     artifact lands in the registry for the next requester);
+//   * completion can be observed by polling, blocking, or a callback.
+//
+// Finished artifacts live in the service's GrammarRegistry (memory-budgeted
+// LRU + optional disk tier), so a resubmitted key is a registry hit, a
+// process restart warm-starts from disk, and memory stays bounded under a
+// stream of novel grammars.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cache/adaptive_cache.h"
+#include "pda/compiled_grammar.h"
+#include "runtime/grammar_registry.h"
+#include "support/thread_pool.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::runtime {
+
+enum class GrammarKind : std::uint8_t {
+  kEbnf,
+  kJsonSchema,
+  kRegex,
+  kBuiltinJson,
+};
+
+struct CompileJob {
+  GrammarKind kind = GrammarKind::kEbnf;
+  std::string source;              // unused for kBuiltinJson
+  std::string root_rule = "root";  // kEbnf only
+};
+
+// The content key a job is coalesced and cached under (stable across
+// processes; hash it with ContentHash for registry/disk addressing).
+std::string CompileJobKey(const CompileJob& job);
+
+enum class CompilePriority : std::uint8_t {
+  kInteractive = 0,  // a request is waiting on this grammar right now
+  kNormal = 1,
+  kPrefetch = 2,  // speculative warm-up; yields to everything else
+};
+
+enum class CompileState : std::uint8_t {
+  kPending,  // queued or building
+  kReady,
+  kFailed,
+  kCancelled,
+};
+
+namespace detail {
+struct CompileTask;
+struct ServiceCore;
+}  // namespace detail
+
+// Observer handle for one Submit() call. Move-only; dropping the ticket
+// releases its interest in the build, and a queued build with no remaining
+// interest is abandoned (RAII cancellation). Tickets may outlive the
+// service: once the service is destroyed, pending tickets resolve as
+// cancelled.
+class CompileTicket {
+ public:
+  CompileTicket() = default;
+  CompileTicket(CompileTicket&& other) noexcept;
+  CompileTicket& operator=(CompileTicket&& other) noexcept;
+  CompileTicket(const CompileTicket&) = delete;
+  CompileTicket& operator=(const CompileTicket&) = delete;
+  ~CompileTicket();
+
+  bool Valid() const { return task_ != nullptr; }
+  CompileState State() const;
+  bool Ready() const { return State() != CompileState::kPending; }
+
+  // Blocks until the build resolves (at most `seconds`); returns true when
+  // resolved. Never throws.
+  bool WaitFor(double seconds) const;
+
+  // Blocks until resolved and returns the artifact; throws xgr::CheckError
+  // if the build failed or was cancelled.
+  Artifact Get() const;
+
+  // Non-blocking: the artifact when ready, nullptr while pending; throws on
+  // failure/cancellation like Get().
+  Artifact TryGet() const;
+
+  // Error text after kFailed (empty otherwise).
+  std::string Error() const;
+
+  // Releases this ticket's interest. Queued builds with no other interested
+  // ticket are abandoned (State() becomes kCancelled for every holder);
+  // running or finished builds are unaffected. Idempotent.
+  void Cancel();
+
+  std::uint64_t KeyHash() const;
+
+ private:
+  friend class CompileService;
+  CompileTicket(std::shared_ptr<detail::CompileTask> task,
+                std::shared_ptr<detail::ServiceCore> core);
+  void Release();
+
+  std::shared_ptr<detail::CompileTask> task_;
+  std::shared_ptr<detail::ServiceCore> core_;
+};
+
+// Invoked exactly once when the build resolves, from a service worker thread
+// (or inline from Submit() for registry hits): the artifact on success,
+// nullptr on failure or cancellation. Must not block for long — it runs on
+// the compile pool — and must not call back into the service's blocking APIs
+// for its own key.
+using CompileCallback = std::function<void(const Artifact&)>;
+
+struct CompileServiceOptions {
+  int num_threads = 2;  // dedicated compile workers
+  pda::CompileOptions compile_options = {};
+  cache::AdaptiveCacheOptions cache_options = {};
+  GrammarRegistryOptions registry = {};
+};
+
+struct CompileServiceStats {
+  std::int64_t submitted = 0;
+  std::int64_t registry_hits = 0;  // resident artifact at submit time
+  std::int64_t coalesced = 0;      // attached to an in-flight build
+  std::int64_t builds_started = 0;
+  std::int64_t compiled = 0;   // full builds (registry+disk miss)
+  std::int64_t disk_loads = 0;  // resolved from the disk tier by a worker
+  std::int64_t cancelled = 0;  // queued builds abandoned before running
+  std::int64_t failed = 0;
+  double compile_seconds = 0.0;  // cumulative, full builds only
+};
+
+class CompileService {
+ public:
+  CompileService(std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+                 CompileServiceOptions options = {});
+
+  // Cancels every still-queued build (their tickets resolve as kCancelled),
+  // waits for running builds to finish, and joins the workers.
+  ~CompileService();
+
+  CompileService(const CompileService&) = delete;
+  CompileService& operator=(const CompileService&) = delete;
+
+  // Never blocks on compilation. Registry hit -> an already-ready ticket;
+  // key already in flight -> a ticket on the shared build; otherwise the job
+  // is queued by priority.
+  CompileTicket Submit(CompileJob job,
+                       CompilePriority priority = CompilePriority::kNormal,
+                       CompileCallback on_done = {});
+
+  // Blocking convenience: Submit(kInteractive) + Get().
+  Artifact Compile(CompileJob job);
+
+  GrammarRegistry& Registry();
+  CompileServiceStats Stats() const;
+
+ private:
+  static void RunOne(const std::shared_ptr<detail::ServiceCore>& core);
+
+  std::shared_ptr<detail::ServiceCore> core_;
+  // Declared after core_ so workers (which hold core_ by shared_ptr) are
+  // joined before anything else is torn down.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace xgr::runtime

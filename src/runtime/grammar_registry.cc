@@ -1,0 +1,298 @@
+#include "runtime/grammar_registry.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "serialize/serialize.h"
+#include "support/logging.h"
+
+namespace xgr::runtime {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Disk-tier file wrapper around the serialize envelope: the full content key
+// is embedded and verified on load, so a (possible, FNV-1a is not collision
+// resistant) filename-hash collision can never hand a request the wrong
+// grammar's masks.
+constexpr char kDiskMagic[4] = {'X', 'G', 'R', 'K'};
+
+std::string WrapWithKey(std::string_view key, const std::string& payload) {
+  std::string bytes;
+  bytes.reserve(sizeof(kDiskMagic) + sizeof(std::uint32_t) + key.size() +
+                payload.size());
+  bytes.append(kDiskMagic, sizeof(kDiskMagic));
+  auto key_len = static_cast<std::uint32_t>(key.size());
+  bytes.append(reinterpret_cast<const char*>(&key_len), sizeof(key_len));
+  bytes.append(key);
+  bytes.append(payload);
+  return bytes;
+}
+
+}  // namespace
+
+std::uint64_t ContentHash(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+GrammarRegistry::GrammarRegistry(
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+    GrammarRegistryOptions options)
+    : tokenizer_(std::move(tokenizer)), options_(std::move(options)) {
+  XGR_CHECK(tokenizer_ != nullptr) << "registry needs a tokenizer";
+  if (!options_.disk_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(options_.disk_dir, ec);
+    XGR_CHECK(!ec) << "cannot create disk tier directory " << options_.disk_dir
+                   << ": " << ec.message();
+  }
+}
+
+std::string GrammarRegistry::DiskPath(std::string_view key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.xgr",
+                static_cast<unsigned long long>(ContentHash(key)));
+  return (fs::path(options_.disk_dir) / name).string();
+}
+
+Artifact GrammarRegistry::LookupResidentLocked(std::string_view key) {
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.artifact;
+  }
+  auto pit = pinned_.find(key);
+  if (pit != pinned_.end()) {
+    if (Artifact alive = pit->second.lock()) {
+      pinned_.erase(pit);
+      ++stats_.pin_resurrections;
+      AdoptLocked(key, alive);
+      return alive;
+    }
+    pinned_.erase(pit);  // expired — fall through to miss/disk
+  }
+  return nullptr;
+}
+
+bool GrammarRegistry::IsResident(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_.find(key) != resident_.end();
+}
+
+Artifact GrammarRegistry::TryGetResident(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Artifact found = LookupResidentLocked(key);
+  if (found != nullptr) ++stats_.hits;
+  return found;
+}
+
+Artifact GrammarRegistry::Lookup(std::string_view key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Artifact found = LookupResidentLocked(key);
+    if (found != nullptr) {
+      ++stats_.hits;
+      return found;
+    }
+    if (options_.disk_dir.empty()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+  }
+  // Disk tier, outside the lock: loads are slow (read + validate + rebuild)
+  // and must not serialize unrelated registry traffic. Two threads racing
+  // the same key both load from disk; whichever adopts first is canonical
+  // and the loser's copy is discarded — every caller must receive the *one*
+  // shared artifact per key (duplicates would be invisible to both the LRU
+  // accounting and the pin table).
+  Artifact loaded = LoadFromDisk(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Artifact raced = LookupResidentLocked(key);
+  if (raced != nullptr) {
+    ++stats_.hits;
+    return raced;
+  }
+  if (loaded == nullptr) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.disk_hits;
+  AdoptLocked(key, loaded);
+  return loaded;
+}
+
+void GrammarRegistry::Insert(std::string_view key, const Artifact& artifact) {
+  XGR_CHECK(artifact != nullptr) << "cannot register a null artifact";
+  if (!options_.disk_dir.empty() && options_.disk_write_through) {
+    PersistToDisk(key, artifact);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.inserts;
+  AdoptLocked(key, artifact);
+}
+
+void GrammarRegistry::AdoptLocked(std::string_view key,
+                                  const Artifact& artifact) {
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  auto pit = pinned_.find(key);
+  if (pit != pinned_.end()) pinned_.erase(pit);
+  lru_.emplace_front(key);
+  Entry entry;
+  entry.artifact = artifact;
+  entry.bytes = artifact->MemoryBytes();
+  entry.lru_it = lru_.begin();
+  stats_.memory_bytes += entry.bytes;
+  resident_.emplace(std::string(key), std::move(entry));
+  EvictPastBudgetLocked();
+  if (stats_.memory_bytes > stats_.peak_memory_bytes) {
+    stats_.peak_memory_bytes = stats_.memory_bytes;
+  }
+}
+
+void GrammarRegistry::EvictPastBudgetLocked() {
+  if (options_.memory_budget_bytes == 0) return;
+  // Sweep expired pins first: under a stream of never-repeated grammars an
+  // evicted key is never looked up again, so without this the weak_ptr
+  // table would grow by one node per distinct grammar ever evicted.
+  for (auto it = pinned_.begin(); it != pinned_.end();) {
+    it = it->second.expired() ? pinned_.erase(it) : std::next(it);
+  }
+  // LRU-first, including — as the final resort — the just-inserted entry:
+  // an artifact bigger than the whole budget must not stay resident (its
+  // caller still holds it; a later lookup resurrects it through the pin
+  // table for as long as it stays live).
+  while (stats_.memory_bytes > options_.memory_budget_bytes && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = resident_.find(victim);
+    XGR_DCHECK(it != resident_.end());
+    stats_.memory_bytes -= it->second.bytes;
+    pinned_[victim] = it->second.artifact;  // weak: lives while callers do
+    resident_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void GrammarRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  resident_.clear();
+  lru_.clear();
+  pinned_.clear();
+  stats_.memory_bytes = 0;
+}
+
+GrammarRegistryStats GrammarRegistry::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t GrammarRegistry::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.memory_bytes;
+}
+
+Artifact GrammarRegistry::LoadFromDisk(std::string_view key) {
+  const std::string path = DiskPath(key);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return nullptr;  // no file — plain miss, not a reject
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = std::move(buffer).str();
+  }
+  // Unwrap and verify the embedded key before trusting the payload.
+  const std::size_t header = sizeof(kDiskMagic) + sizeof(std::uint32_t);
+  std::uint32_t key_len = 0;
+  if (bytes.size() >= header) {
+    std::memcpy(&key_len, bytes.data() + sizeof(kDiskMagic), sizeof(key_len));
+  }
+  if (bytes.size() < header ||
+      std::memcmp(bytes.data(), kDiskMagic, sizeof(kDiskMagic)) != 0 ||
+      bytes.size() - header < key_len) {
+    XGR_LOG_INFO << "discarding malformed disk-tier file " << path;
+    std::error_code ec;
+    fs::remove(path, ec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.disk_rejects;
+    return nullptr;
+  }
+  if (std::string_view(bytes.data() + header, key_len) != key) {
+    // Filename-hash collision with a *different* grammar: this file is valid
+    // for its true owner, so leave it alone and report a miss for us.
+    XGR_LOG_INFO << "disk-tier filename collision at " << path
+                 << " (different content key); treating as miss";
+    return nullptr;
+  }
+  try {
+    // Validates the envelope, payload checksum, and vocabulary pin; throws
+    // on truncation, bit flips, or a cache built for a different tokenizer.
+    return serialize::DeserializeEngineArtifact(
+        std::string_view(bytes).substr(header + key_len), tokenizer_);
+  } catch (const std::exception& error) {
+    XGR_LOG_INFO << "discarding corrupt disk-tier artifact " << path << ": "
+                 << error.what();
+    std::error_code ec;
+    fs::remove(path, ec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.disk_rejects;
+    return nullptr;
+  }
+}
+
+void GrammarRegistry::PersistToDisk(std::string_view key,
+                                    const Artifact& artifact) {
+  const std::string path = DiskPath(key);
+  std::error_code ec;
+  if (fs::exists(path, ec)) return;  // content-addressed: identical payload
+  static std::atomic<std::uint64_t> tmp_counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_counter.fetch_add(1));
+  const std::string bytes =
+      WrapWithKey(key, serialize::SerializeEngineArtifact(*artifact));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      XGR_LOG_INFO << "disk tier: cannot open " << tmp << " for writing";
+      return;
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    // Flush explicitly: a close-time failure (e.g. ENOSPC) inside the
+    // destructor would be unobservable and the rename below would publish a
+    // truncated artifact under its content-addressed name.
+    out.flush();
+    if (!out) {
+      XGR_LOG_INFO << "disk tier: short write to " << tmp;
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  // Atomic publish: readers see either no file or the complete artifact.
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    XGR_LOG_INFO << "disk tier: rename " << tmp << " -> " << path
+                 << " failed: " << ec.message();
+    fs::remove(tmp, ec);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.disk_writes;
+}
+
+}  // namespace xgr::runtime

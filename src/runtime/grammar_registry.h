@@ -1,0 +1,157 @@
+// GrammarRegistry: memory-budgeted LRU over compiled engine artifacts.
+//
+// The serving regime the paper targets (§3.5) — and the agentic workloads of
+// XGrammar-2 — present a stream of *distinct, dynamically arriving* grammars.
+// Memoizing every compiled artifact forever (what GrammarCompiler's memo map
+// does) grows memory without bound; recompiling on every request stalls the
+// decode path for seconds. The registry sits between: compiled artifacts are
+// cached under a content hash, accounted by their real footprint
+// (AdaptiveTokenMaskCache::MemoryBytes()), and evicted LRU-first once a
+// configured budget is exceeded.
+//
+// Pinning: artifacts are handed out as shared_ptrs, so eviction only drops
+// the registry's own reference — a request mid-decode keeps its artifact
+// alive for as long as it needs it. Evicted-but-still-live artifacts are
+// remembered through weak_ptrs and re-adopted on the next lookup instead of
+// being recompiled ("pin resurrection").
+//
+// Disk tier (optional): artifacts round-trip through the serialize-format-v2
+// envelope into content-hash-named files. Writes go through a temp file +
+// atomic rename so concurrent processes never observe a half-written
+// artifact; loads re-validate the envelope, checksum, and vocabulary pin and
+// fall back to recompilation (deleting the bad file) on any mismatch.
+//
+// Identity: entries are keyed by the *full* content key (the compile job's
+// kind + source text), never by its hash alone — FNV-1a is not collision
+// resistant and a collision would silently decode requests under the wrong
+// grammar's masks. The hash only names disk files, and each file embeds the
+// full key, verified on load (a mismatched file is left in place for its
+// true owner and reported as a miss).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "cache/adaptive_cache.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::runtime {
+
+// The unit the runtime layer traffics in: a fully preprocessed engine
+// artifact (compiled PDA + adaptive token-mask cache).
+using Artifact = std::shared_ptr<const cache::AdaptiveTokenMaskCache>;
+
+// FNV-1a content hash used to key registry entries and name disk-tier files.
+std::uint64_t ContentHash(std::string_view bytes);
+
+struct GrammarRegistryOptions {
+  // Resident-artifact budget in bytes; 0 = unlimited (no eviction).
+  std::size_t memory_budget_bytes = 0;
+  // Directory for the disk tier; empty = memory only. Created on demand.
+  std::string disk_dir;
+  // Write every inserted artifact through to the disk tier.
+  bool disk_write_through = true;
+};
+
+struct GrammarRegistryStats {
+  std::int64_t hits = 0;               // resident LRU hits
+  std::int64_t pin_resurrections = 0;  // evicted-but-live artifacts re-adopted
+  std::int64_t misses = 0;             // not resident, not pinned, not on disk
+  std::int64_t inserts = 0;
+  std::int64_t evictions = 0;
+  std::int64_t disk_hits = 0;    // loaded + validated from the disk tier
+  std::int64_t disk_writes = 0;  // artifacts persisted to the disk tier
+  std::int64_t disk_rejects = 0;  // corrupt/mismatched files discarded
+  std::size_t memory_bytes = 0;   // current resident accounted bytes
+  // Max resident bytes observed after any eviction pass completed — the
+  // steady-state high-water mark the budget bounds. (Mid-insert, the new
+  // artifact is transiently counted before LRU entries are pushed out.)
+  std::size_t peak_memory_bytes = 0;
+};
+
+class GrammarRegistry {
+ public:
+  // `tokenizer` is the vocabulary every artifact in this registry was built
+  // for; disk-tier loads validate their vocabulary pin against it.
+  GrammarRegistry(std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+                  GrammarRegistryOptions options = {});
+
+  GrammarRegistry(const GrammarRegistry&) = delete;
+  GrammarRegistry& operator=(const GrammarRegistry&) = delete;
+
+  // Full lookup: resident LRU, then the pinned (evicted-but-live) table,
+  // then the disk tier. A disk hit is validated, adopted as resident (which
+  // may evict), and returned. nullptr = genuine miss (counted).
+  Artifact Lookup(std::string_view key);
+
+  // Memory-only probe for fast paths that must not touch the filesystem.
+  // Counts a hit on success and nothing on failure (the caller is expected
+  // to follow up with Lookup()/Insert()).
+  Artifact TryGetResident(std::string_view key);
+
+  // Pure observation: is the key currently a *resident* (budget-accounted)
+  // entry? Never resurrects pins, touches LRU order, or counts stats —
+  // for tests and introspection only.
+  bool IsResident(std::string_view key) const;
+
+  // Adopts an artifact as resident (touching it most-recently-used if the
+  // key already exists), evicts LRU entries past the budget, and — when the
+  // disk tier is enabled — persists it (atomic rename, skipped if the file
+  // already exists).
+  void Insert(std::string_view key, const Artifact& artifact);
+
+  // Drops every resident entry (disk tier untouched).
+  void Clear();
+
+  GrammarRegistryStats Stats() const;
+  std::size_t MemoryBytes() const;
+  std::size_t MemoryBudgetBytes() const { return options_.memory_budget_bytes; }
+  bool HasDiskTier() const { return !options_.disk_dir.empty(); }
+
+  // The disk-tier file an artifact with this key lives at (exposed so tests
+  // can corrupt it); meaningless when the disk tier is disabled.
+  std::string DiskPath(std::string_view key) const;
+
+ private:
+  struct Entry {
+    Artifact artifact;
+    std::size_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  // Transparent heterogeneous lookup so string_view keys don't allocate.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  template <typename V>
+  using KeyMap = std::unordered_map<std::string, V, StringHash, std::equal_to<>>;
+
+  // All *Locked helpers require mutex_ to be held.
+  Artifact LookupResidentLocked(std::string_view key);
+  void AdoptLocked(std::string_view key, const Artifact& artifact);
+  void EvictPastBudgetLocked();
+
+  // Disk tier (no registry lock held during file IO).
+  Artifact LoadFromDisk(std::string_view key);
+  void PersistToDisk(std::string_view key, const Artifact& artifact);
+
+  std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer_;
+  GrammarRegistryOptions options_;
+
+  mutable std::mutex mutex_;
+  KeyMap<Entry> resident_;
+  std::list<std::string> lru_;  // front = most recently used
+  // Evicted entries whose artifacts may still be alive in requests.
+  KeyMap<std::weak_ptr<const cache::AdaptiveTokenMaskCache>> pinned_;
+  GrammarRegistryStats stats_;
+};
+
+}  // namespace xgr::runtime

@@ -483,7 +483,12 @@ struct CacheAccess {
     w->I64(stats.subtree_cutoffs);
     w->U64(stats.memory_bytes);
     w->U64(stats.full_bitset_bytes);
-    w->F64(stats.build_seconds);
+    // Deliberately not the wall-clock: artifact bytes must be a pure
+    // function of (grammar, vocabulary, options) so independent builds are
+    // bit-identical — the content-addressed disk tier and the runtime's
+    // reproducibility tests depend on it. Loaded artifacts report 0 ("not
+    // built in this process"). Field kept for format-v2 layout stability.
+    w->F64(0.0);
     for (std::int64_t count : stats.storage_kind_counts) w->I64(count);
   }
 

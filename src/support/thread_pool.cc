@@ -50,7 +50,18 @@ void ThreadPool::ParallelFor(std::size_t count,
       for (std::size_t i = begin; i < end; ++i) fn(i);
     }));
   }
-  for (std::future<void>& future : futures) future.get();
+  // Wait for *every* shard before rethrowing: bailing on the first error
+  // would return (and destroy `fn` at the caller) while other shards still
+  // reference it.
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::Global() {

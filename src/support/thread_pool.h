@@ -19,6 +19,10 @@ namespace xgr {
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
+
+  // Drains: every task already queued still runs (its future resolves),
+  // then the workers join. No task is silently dropped, so shutdown with
+  // queued work cannot leave a future permanently unready.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -26,7 +30,9 @@ class ThreadPool {
 
   std::size_t NumThreads() const { return workers_.size(); }
 
-  // Enqueues a task; the returned future observes completion and exceptions.
+  // Enqueues a task; the returned future observes completion and exceptions
+  // (a throwing task surfaces through future.get() and never takes down the
+  // worker thread).
   template <typename F>
   std::future<void> Submit(F&& task) {
     auto packaged =
@@ -41,7 +47,9 @@ class ThreadPool {
   }
 
   // Runs fn(i) for i in [0, count) across the pool and blocks until all
-  // complete. Work is distributed in contiguous shards.
+  // complete. Work is distributed in contiguous shards. If fn throws, the
+  // call waits for every shard to resolve (so fn is never used after this
+  // frame unwinds) and then rethrows the first exception.
   void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
 
   // A shared process-wide pool sized to the hardware concurrency.

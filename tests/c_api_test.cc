@@ -199,6 +199,92 @@ TEST(CApiMatcher, JumpForwardString) {
   xgr_grammar_destroy(grammar);
 }
 
+TEST(CApiCompileService, AsyncSubmitPollAwaitLifecycle) {
+  auto tok = SyntheticTokenizer();
+  xgr_compile_service* service =
+      xgr_compile_service_create(tok.get(), 2, /*memory_budget_bytes=*/0,
+                                 /*disk_cache_dir=*/nullptr);
+  ASSERT_NE(service, nullptr);
+
+  xgr_compile_ticket* ticket = xgr_compile_service_submit_json_schema(
+      service,
+      R"({"type":"object","properties":{"n":{"type":"integer"}},
+          "required":["n"],"additionalProperties":false})");
+  ASSERT_NE(ticket, nullptr);
+
+  // Poll until ready (0 = pending, 1 = ready); the build runs off-thread.
+  int32_t status = xgr_compile_ticket_poll(ticket);
+  while (status == 0) status = xgr_compile_ticket_poll(ticket);
+  ASSERT_EQ(status, 1);
+
+  xgr_grammar* grammar = xgr_compile_ticket_await(ticket);
+  ASSERT_NE(grammar, nullptr);
+  xgr_matcher* matcher = xgr_matcher_create(grammar);
+  ASSERT_NE(matcher, nullptr);
+  // The async-compiled grammar constrains exactly like a sync one: '{' must
+  // be legal at the start, so some mask bit is set.
+  std::vector<uint64_t> mask(xgr_matcher_mask_words(matcher));
+  ASSERT_EQ(xgr_matcher_fill_next_token_bitmask(matcher, mask.data(),
+                                                mask.size()),
+            XGR_OK);
+  uint64_t any = 0;
+  for (uint64_t word : mask) any |= word;
+  EXPECT_NE(any, 0u);
+
+  // Await twice: each success hands out an independent grammar handle.
+  xgr_grammar* again = xgr_compile_ticket_await(ticket);
+  ASSERT_NE(again, nullptr);
+  xgr_grammar_destroy(again);
+
+  xgr_matcher_destroy(matcher);
+  xgr_grammar_destroy(grammar);
+  xgr_compile_ticket_destroy(ticket);
+  xgr_compile_service_destroy(service);
+}
+
+TEST(CApiCompileService, FailedBuildReportsThroughPollAndAwait) {
+  auto tok = SyntheticTokenizer();
+  xgr_compile_service* service =
+      xgr_compile_service_create(tok.get(), 1, 0, nullptr);
+  ASSERT_NE(service, nullptr);
+  xgr_compile_ticket* ticket =
+      xgr_compile_service_submit_ebnf(service, "root ::= \"unterminated", nullptr);
+  ASSERT_NE(ticket, nullptr);
+  int32_t status = xgr_compile_ticket_poll(ticket);
+  while (status == 0) status = xgr_compile_ticket_poll(ticket);
+  EXPECT_EQ(status, -1);
+  EXPECT_NE(LastError().find("failed"), std::string::npos);
+  EXPECT_EQ(xgr_compile_ticket_await(ticket), nullptr);
+  EXPECT_FALSE(LastError().empty());
+  xgr_compile_ticket_destroy(ticket);
+  xgr_compile_service_destroy(service);
+}
+
+TEST(CApiCompileService, CancelAndInvalidArguments) {
+  auto tok = SyntheticTokenizer();
+  xgr_compile_service* service =
+      xgr_compile_service_create(tok.get(), 1, 0, nullptr);
+  ASSERT_NE(service, nullptr);
+
+  // NULL / invalid arguments never crash and set an error message.
+  EXPECT_EQ(xgr_compile_service_create(nullptr, 1, 0, nullptr), nullptr);
+  EXPECT_EQ(xgr_compile_service_submit_json_schema(service, nullptr), nullptr);
+  EXPECT_EQ(xgr_compile_service_submit_regex(nullptr, "[0-9]+"), nullptr);
+  EXPECT_EQ(xgr_compile_ticket_poll(nullptr), -1);
+
+  xgr_compile_ticket* ticket =
+      xgr_compile_service_submit_regex(service, "[a-f0-9]{8}");
+  ASSERT_NE(ticket, nullptr);
+  xgr_compile_ticket_cancel(ticket);
+  // Whatever the race outcome (cancelled before running, or the build won),
+  // poll must resolve to a definite -1 or 1 — never hang at 0 forever.
+  int32_t status = xgr_compile_ticket_poll(ticket);
+  while (status == 0) status = xgr_compile_ticket_poll(ticket);
+  EXPECT_TRUE(status == 1 || status == -1);
+  xgr_compile_ticket_destroy(ticket);
+  xgr_compile_service_destroy(service);
+}
+
 TEST(CApiMatcher, ForkBranchesIndependently) {
   auto tok = SyntheticTokenizer();
   xgr_grammar* grammar = xgr_grammar_compile_builtin_json(tok.get());

@@ -13,6 +13,7 @@
 #include "datasets/workloads.h"
 #include "engine/serving_engine.h"
 #include "json/json.h"
+#include "runtime/compile_service.h"
 #include "tokenizer/synthetic_vocab.h"
 
 namespace xgr::engine {
@@ -197,6 +198,163 @@ TEST(ContinuousBatching, JumpForwardWorksPerSlot) {
   }
   // Forced spans cost no decode steps: fewer iterations than emitted tokens.
   EXPECT_LT(result.decode_steps, result.total_tokens);
+}
+
+// --- async grammar admission (runtime::CompileService integration) ----------
+
+runtime::CompileJob SchemaJob(const json::Value& schema) {
+  runtime::CompileJob job;
+  job.kind = runtime::GrammarKind::kJsonSchema;
+  job.source = schema.Dump();
+  return job;
+}
+
+ContinuousRequest MakeAsyncArrival(std::shared_ptr<runtime::CompileTicket> ticket,
+                                   std::string target, std::int64_t arrival_step,
+                                   std::uint64_t seed = 1) {
+  ContinuousRequest r;
+  r.pending_grammar = std::move(ticket);
+  r.request.target_text = std::move(target);
+  r.request.seed = seed;
+  r.arrival_step = arrival_step;
+  return r;
+}
+
+TEST(ContinuousBatching, DeferredAdmissionOverlapsCompileWithDecode) {
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+  auto tasks = datasets::GenerateSchemaTasks(1, 41);
+
+  runtime::CompileService service(info);
+  auto ticket = std::make_shared<runtime::CompileTicket>(
+      service.Submit(SchemaJob(tasks[0].schema)));
+
+  // A warm unconstrained request decodes from step 0; the cold request's
+  // schema compiles on the service's workers meanwhile.
+  std::vector<ContinuousRequest> stream;
+  stream.push_back(MakeArrival(nullptr, "[1,2,3,4,5,6,7,8]", 0));
+  stream.push_back(MakeAsyncArrival(ticket, tasks[0].canonical_answer.Dump(), 0, 7));
+
+  EngineOptions options = FastOptions();
+  options.admission = CompileAdmission::kDeferred;
+  ServingEngine engine(options, llm);
+  ContinuousResult result = engine.RunContinuous(stream, 4);
+
+  // Both complete with their intended outputs.
+  EXPECT_EQ(result.requests[0].result.output_text, "[1,2,3,4,5,6,7,8]");
+  EXPECT_EQ(result.requests[1].result.output_text,
+            tasks[0].canonical_answer.Dump());
+  EXPECT_TRUE(json::IsValid(result.requests[1].result.output_text));
+  EXPECT_FALSE(result.requests[1].grammar_failed);
+
+  // The warm request was never stalled: its first token landed on step 0
+  // even though the cold grammar (a multi-ms build vs µs decode steps at
+  // time_scale 0) was still compiling.
+  EXPECT_EQ(result.requests[0].first_token_step, 0);
+  // The cold request joined strictly after its grammar finished — and paid
+  // its compile wait out-of-batch (recorded, non-negative).
+  EXPECT_GE(result.requests[1].admitted_step, 0);
+  EXPECT_GE(result.requests[1].compile_wait_ms, 0.0);
+  EXPECT_GE(result.requests[1].first_token_step,
+            result.requests[1].admitted_step);
+}
+
+TEST(ContinuousBatching, BlockingAdmissionAlsoCompletesButAdmitsAtArrival) {
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+  auto tasks = datasets::GenerateSchemaTasks(1, 43);
+
+  runtime::CompileService service(info);
+  auto ticket = std::make_shared<runtime::CompileTicket>(
+      service.Submit(SchemaJob(tasks[0].schema)));
+
+  std::vector<ContinuousRequest> stream;
+  stream.push_back(MakeArrival(nullptr, "[9,8,7]", 0));
+  stream.push_back(MakeAsyncArrival(ticket, tasks[0].canonical_answer.Dump(), 2, 7));
+
+  EngineOptions options = FastOptions();
+  options.admission = CompileAdmission::kBlocking;
+  ServingEngine engine(options, llm);
+  ContinuousResult result = engine.RunContinuous(stream, 4);
+
+  EXPECT_EQ(result.requests[1].result.output_text,
+            tasks[0].canonical_answer.Dump());
+  EXPECT_FALSE(result.requests[1].grammar_failed);
+  // Blocking admission joins exactly at the arrival step: the loop stalls
+  // for the build instead of letting the request wait out-of-batch.
+  EXPECT_EQ(result.requests[1].admitted_step, 2);
+}
+
+TEST(ContinuousBatching, AsyncAdmissionAloneInStreamCompletes) {
+  // No warm request to keep the loop busy: the engine must idle-wait on the
+  // compile (without spinning forever) and then decode normally.
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+  auto tasks = datasets::GenerateSchemaTasks(1, 47);
+
+  runtime::CompileService service(info);
+  auto ticket = std::make_shared<runtime::CompileTicket>(
+      service.Submit(SchemaJob(tasks[0].schema)));
+
+  ServingEngine engine(FastOptions(), llm);
+  ContinuousResult result = engine.RunContinuous(
+      {MakeAsyncArrival(ticket, tasks[0].canonical_answer.Dump(), 0)}, 2);
+  EXPECT_EQ(result.requests[0].result.output_text,
+            tasks[0].canonical_answer.Dump());
+  EXPECT_GE(result.requests[0].compile_wait_ms, 0.0);
+}
+
+TEST(ContinuousBatching, CompileWaitDoesNotStarveLaterArrivals) {
+  // Head-of-line request is stuck compiling; a request with a *later*
+  // arrival step and a ready decoder must still be admitted and decode
+  // while the compile runs — the step counter advances during compile-only
+  // waits.
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+  auto tasks = datasets::GenerateSchemaTasks(1, 53);
+
+  runtime::CompileService service(info);
+  auto ticket = std::make_shared<runtime::CompileTicket>(
+      service.Submit(SchemaJob(tasks[0].schema)));
+
+  std::vector<ContinuousRequest> stream;
+  stream.push_back(MakeAsyncArrival(ticket, tasks[0].canonical_answer.Dump(), 0));
+  stream.push_back(MakeArrival(nullptr, "[5,6,7]", 3, 9));
+
+  ServingEngine engine(FastOptions(), llm);
+  ContinuousResult result = engine.RunContinuous(stream, 2);
+
+  EXPECT_EQ(result.requests[0].result.output_text,
+            tasks[0].canonical_answer.Dump());
+  EXPECT_EQ(result.requests[1].result.output_text, "[5,6,7]");
+  // The later arrival overtook the compiling head (multi-ms build vs µs
+  // steps at time_scale 0): it was admitted no later than the compiling
+  // request.
+  EXPECT_LE(result.requests[1].admitted_step, result.requests[0].admitted_step);
+}
+
+TEST(ContinuousBatching, FailedCompileDropsRequestWithoutHanging) {
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+
+  runtime::CompileService service(info);
+  runtime::CompileJob bad;
+  bad.kind = runtime::GrammarKind::kJsonSchema;
+  bad.source = "{\"type\": not json at all";
+  auto ticket =
+      std::make_shared<runtime::CompileTicket>(service.Submit(std::move(bad)));
+
+  std::vector<ContinuousRequest> stream;
+  stream.push_back(MakeArrival(nullptr, "[1,2]", 0));
+  stream.push_back(MakeAsyncArrival(ticket, "{\"x\":1}", 0, 5));
+
+  ServingEngine engine(FastOptions(), llm);
+  ContinuousResult result = engine.RunContinuous(stream, 4);
+
+  EXPECT_EQ(result.requests[0].result.output_text, "[1,2]");
+  EXPECT_TRUE(result.requests[1].grammar_failed);
+  EXPECT_TRUE(result.requests[1].result.output_text.empty());
+  EXPECT_EQ(result.requests[1].admitted_step, -1);  // never joined the batch
 }
 
 TEST(ContinuousBatching, RejectsDegenerateArguments) {

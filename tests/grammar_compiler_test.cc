@@ -25,7 +25,8 @@ TEST(GrammarCompiler, MemoizesBySource) {
   auto a = compiler.CompileEbnf("root ::= \"yes\" | \"no\"");
   auto b = compiler.CompileEbnf("root ::= \"yes\" | \"no\"");
   EXPECT_EQ(a.get(), b.get());  // the exact artifact is shared
-  EXPECT_EQ(compiler.Stats().hits, 1);
+  EXPECT_EQ(compiler.Stats().hits, 1);  // sequential repeat: a true hit
+  EXPECT_EQ(compiler.Stats().coalesced_waits, 0);
   EXPECT_EQ(compiler.Stats().misses, 1);
 }
 
@@ -98,8 +99,61 @@ TEST(GrammarCompiler, ConcurrentSameKeyCompilesOnce) {
   for (int t = 1; t < kThreads; ++t) {
     EXPECT_EQ(results[static_cast<std::size_t>(t)].get(), results[0].get());
   }
-  EXPECT_EQ(compiler.Stats().misses, 1);
-  EXPECT_EQ(compiler.Stats().hits, kThreads - 1);
+  // One build; every other caller either found the finished artifact (hit)
+  // or blocked behind the in-flight build (coalesced wait) — the split the
+  // stats must not blur (a blocked caller is not a cache hit).
+  GrammarCompilerStats stats = compiler.Stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits + stats.coalesced_waits, kThreads - 1);
+}
+
+TEST(GrammarCompiler, MidBuildArrivalIsACoalescedWaitNotAHit) {
+  // The miss is recorded when the owner installs the in-flight future —
+  // *before* the build — so entering right after observing the miss lands
+  // mid-build and must be counted as a coalesced wait, not a hit. Whether a
+  // given arrival actually lands mid-build is a scheduling race (under
+  // heavy machine load the owner can finish first), so the test retries
+  // with a fresh key until one does; every attempt, either way, must
+  // account the arrival exactly once.
+  GrammarCompiler compiler(TestTokenizer());
+  bool observed_coalesced = false;
+  std::string last_text;
+  for (int attempt = 0; attempt < 50 && !observed_coalesced; ++attempt) {
+    // A nested JSON-ish grammar: expensive enough (~tens of ms per build)
+    // that the mid-build window dwarfs a scheduling quantum even on a
+    // heavily loaded box; the leading literal makes each attempt's key
+    // fresh.
+    last_text = "root ::= \"k" + std::to_string(attempt) +
+                ":\" obj\n"
+                "obj ::= \"{\" pair (\",\" pair)* \"}\"\n"
+                "pair ::= \"\\\"\" [a-z]+ \"\\\"\" \":\" value\n"
+                "value ::= num | str | obj | arr\n"
+                "arr ::= \"[\" value (\",\" value)* \"]\"\n"
+                "num ::= \"-\"? [0-9]+ (\".\" [0-9]+)?\n"
+                "str ::= \"\\\"\" [a-z0-9 ]* \"\\\"\"";
+    GrammarCompilerStats before = compiler.Stats();
+    std::thread owner([&] { compiler.CompileEbnf(last_text); });
+    while (compiler.Stats().misses == before.misses) std::this_thread::yield();
+    auto shared = compiler.CompileEbnf(last_text);
+    owner.join();
+    ASSERT_NE(shared, nullptr);
+    GrammarCompilerStats now = compiler.Stats();
+    EXPECT_EQ(now.misses, before.misses + 1);  // one build per key
+    // The arrival is either a wait (landed mid-build) or a hit (the build
+    // won the race) — exactly one of the two, never both, never neither.
+    EXPECT_EQ((now.coalesced_waits - before.coalesced_waits) +
+                  (now.hits - before.hits),
+              1);
+    observed_coalesced = now.coalesced_waits > before.coalesced_waits;
+  }
+  EXPECT_TRUE(observed_coalesced)
+      << "no arrival landed mid-build in 50 attempts";
+  // After the build has completed, a repeat of the same key is a true hit.
+  GrammarCompilerStats before_repeat = compiler.Stats();
+  compiler.CompileEbnf(last_text);
+  GrammarCompilerStats after_repeat = compiler.Stats();
+  EXPECT_EQ(after_repeat.hits, before_repeat.hits + 1);
+  EXPECT_EQ(after_repeat.coalesced_waits, before_repeat.coalesced_waits);
 }
 
 TEST(GrammarCompiler, CompileOptionsAreHonored) {

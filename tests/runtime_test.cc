@@ -1,0 +1,629 @@
+// Tests for the grammar runtime subsystem (src/runtime): CompileService
+// coalescing / priorities / cancellation / callbacks under concurrency, the
+// memory-budgeted GrammarRegistry LRU with in-use pinning, and the disk tier
+// (atomic writes, load-time validation, corruption fallback).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/compile_service.h"
+#include "runtime/grammar_registry.h"
+#include "serialize/serialize.h"
+#include "support/logging.h"
+#include "tokenizer/synthetic_vocab.h"
+
+namespace xgr::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer() {
+  static auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({2000, 23}));
+  return info;
+}
+
+// A fresh, empty temp directory per test (removed on destruction).
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((fs::temp_directory_path() / ("xgr_runtime_test_" + name)).string()) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+CompileJob EbnfJob(const std::string& text) {
+  CompileJob job;
+  job.kind = GrammarKind::kEbnf;
+  job.source = text;
+  return job;
+}
+
+CompileJob SchemaJob(const std::string& schema) {
+  CompileJob job;
+  job.kind = GrammarKind::kJsonSchema;
+  job.source = schema;
+  return job;
+}
+
+// A build heavy enough (builtin JSON grammar: ~60 automaton nodes over the
+// full vocabulary) to keep a worker busy for many milliseconds — used to
+// deterministically hold the single-worker services' queues open while the
+// tests shape them. Tiny EBNF grammars compile in microseconds and do NOT
+// block reliably.
+CompileJob BlockerJob() {
+  CompileJob job;
+  job.kind = GrammarKind::kBuiltinJson;
+  return job;
+}
+
+std::vector<CompileJob> DistinctJobs(int count) {
+  std::vector<CompileJob> jobs;
+  for (int i = 0; i < count; ++i) {
+    jobs.push_back(EbnfJob("root ::= \"k" + std::to_string(i) +
+                           ":\" [a-z]+ (\",\" [a-z]+)*"));
+  }
+  return jobs;
+}
+
+// --- keys and hashing --------------------------------------------------------
+
+TEST(CompileJobKey, KindsAndRootsDoNotCollide) {
+  EXPECT_NE(CompileJobKey(EbnfJob("[0-9]+")),
+            CompileJobKey(SchemaJob("[0-9]+")));
+  CompileJob by_item = EbnfJob("root ::= item\nitem ::= \"x\"");
+  by_item.root_rule = "item";
+  CompileJob by_root = EbnfJob("root ::= item\nitem ::= \"x\"");
+  EXPECT_NE(CompileJobKey(by_item), CompileJobKey(by_root));
+  EXPECT_NE(ContentHash(CompileJobKey(by_item)),
+            ContentHash(CompileJobKey(by_root)));
+}
+
+// --- CompileService basics ---------------------------------------------------
+
+TEST(CompileService, SubmitResolvesAndRepeatHitsRegistry) {
+  CompileService service(TestTokenizer());
+  CompileTicket ticket = service.Submit(EbnfJob("root ::= \"a\"+"));
+  Artifact first = ticket.Get();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(ticket.State(), CompileState::kReady);
+
+  CompileTicket again = service.Submit(EbnfJob("root ::= \"a\"+"));
+  EXPECT_TRUE(again.Ready());  // registry hit: ready at submit time
+  EXPECT_EQ(again.Get().get(), first.get());
+
+  CompileServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.compiled, 1);
+  EXPECT_EQ(stats.registry_hits, 1);
+}
+
+TEST(CompileService, FailedBuildReportsThroughTicketAndAllowsRetry) {
+  CompileService service(TestTokenizer());
+  CompileTicket bad = service.Submit(EbnfJob("root ::= \"unterminated"));
+  EXPECT_TRUE(bad.WaitFor(60.0));
+  EXPECT_EQ(bad.State(), CompileState::kFailed);
+  EXPECT_FALSE(bad.Error().empty());
+  EXPECT_THROW(bad.Get(), CheckError);
+  EXPECT_EQ(service.Stats().failed, 1);
+  // The failure is not memoized: a corrected source compiles.
+  Artifact fixed = service.Compile(EbnfJob("root ::= \"terminated\""));
+  EXPECT_NE(fixed, nullptr);
+}
+
+TEST(CompileService, CallbackFiresOnceWithTheArtifact) {
+  CompileService service(TestTokenizer());
+  std::atomic<int> calls{0};
+  Artifact seen;
+  std::mutex seen_mutex;
+  CompileTicket ticket =
+      service.Submit(EbnfJob("root ::= [0-9]+"), CompilePriority::kNormal,
+                     [&](const Artifact& artifact) {
+                       std::lock_guard<std::mutex> lock(seen_mutex);
+                       seen = artifact;
+                       ++calls;
+                     });
+  Artifact direct = ticket.Get();
+  // The callback may run just after Get() unblocks; wait for it.
+  while (calls.load() == 0) std::this_thread::yield();
+  std::lock_guard<std::mutex> lock(seen_mutex);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen.get(), direct.get());
+}
+
+// --- concurrency torture -----------------------------------------------------
+
+TEST(CompileService, TortureOneBuildPerKeyAndBitIdenticalArtifacts) {
+  constexpr int kThreads = 8;
+  constexpr int kGrammars = 4;
+  std::vector<CompileJob> jobs = DistinctJobs(kGrammars);
+
+  CompileServiceOptions options;
+  options.num_threads = 3;
+  CompileService service(TestTokenizer(), options);
+
+  // N threads × M grammars, interleaved orders, every thread keeps its own
+  // artifact pointers.
+  std::vector<std::vector<Artifact>> results(
+      kThreads, std::vector<Artifact>(kGrammars));
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int g = 0; g < kGrammars; ++g) {
+          int index = (g + t) % kGrammars;  // staggered submission order
+          results[static_cast<std::size_t>(t)][static_cast<std::size_t>(index)] =
+              service.Submit(jobs[static_cast<std::size_t>(index)]).Get();
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  // One build per key: every thread got the same shared artifact object.
+  for (int g = 0; g < kGrammars; ++g) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(results[static_cast<std::size_t>(t)][static_cast<std::size_t>(g)].get(),
+                results[0][static_cast<std::size_t>(g)].get())
+          << "thread " << t << " grammar " << g;
+    }
+  }
+  CompileServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.compiled, kGrammars);
+  EXPECT_EQ(stats.submitted, kThreads * kGrammars);
+  EXPECT_EQ(stats.registry_hits + stats.coalesced,
+            kThreads * kGrammars - kGrammars);
+  EXPECT_EQ(stats.failed, 0);
+
+  // Bit-identical artifacts: an independent service (fresh registry, fresh
+  // workers, different thread interleavings) serializes to the same bytes.
+  CompileService independent(TestTokenizer(), options);
+  for (int g = 0; g < kGrammars; ++g) {
+    Artifact redo = independent.Compile(jobs[static_cast<std::size_t>(g)]);
+    EXPECT_EQ(serialize::SerializeEngineArtifact(*redo),
+              serialize::SerializeEngineArtifact(*results[0][static_cast<std::size_t>(g)]))
+        << "grammar " << g;
+  }
+}
+
+// --- priorities and cancellation --------------------------------------------
+
+// Occupies the single worker until `release` turns true is not possible from
+// outside the service API, so instead: submit a blocker, wait until the
+// worker picks it up (builds_started == 1), then shape the queue behind it.
+TEST(CompileService, PriorityOrdersQueuedBuilds) {
+  CompileServiceOptions options;
+  options.num_threads = 1;
+  CompileService service(TestTokenizer(), options);
+
+  CompileTicket blocker = service.Submit(BlockerJob());
+  while (service.Stats().builds_started == 0) std::this_thread::yield();
+
+  // Queued strictly behind the blocker; completion order on one worker
+  // equals start order, which must follow priority then FIFO.
+  std::mutex order_mutex;
+  std::vector<std::string> completion_order;
+  auto record = [&](const std::string& name) {
+    return [&, name](const Artifact&) {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      completion_order.push_back(name);
+    };
+  };
+  CompileTicket prefetch = service.Submit(
+      EbnfJob("root ::= \"p\" [a-z]+"), CompilePriority::kPrefetch,
+      record("prefetch"));
+  CompileTicket normal_a = service.Submit(
+      EbnfJob("root ::= \"na\" [a-z]+"), CompilePriority::kNormal,
+      record("normal_a"));
+  CompileTicket interactive = service.Submit(
+      EbnfJob("root ::= \"i\" [a-z]+"), CompilePriority::kInteractive,
+      record("interactive"));
+  CompileTicket normal_b = service.Submit(
+      EbnfJob("root ::= \"nb\" [a-z]+"), CompilePriority::kNormal,
+      record("normal_b"));
+
+  blocker.Get();
+  prefetch.Get();
+  normal_a.Get();
+  interactive.Get();
+  normal_b.Get();
+  // Get() unblocks at promise resolution, which precedes the callback; wait
+  // for the last callback before asserting on the order.
+  for (;;) {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    if (completion_order.size() == 4) break;
+    std::this_thread::yield();
+  }
+  std::lock_guard<std::mutex> lock(order_mutex);
+  EXPECT_EQ(completion_order,
+            (std::vector<std::string>{"interactive", "normal_a", "normal_b",
+                                      "prefetch"}));
+}
+
+TEST(CompileService, CoalescingEscalatesQueuedPriority) {
+  CompileServiceOptions options;
+  options.num_threads = 1;
+  CompileService service(TestTokenizer(), options);
+
+  CompileTicket blocker = service.Submit(BlockerJob());
+  while (service.Stats().builds_started == 0) std::this_thread::yield();
+
+  std::mutex order_mutex;
+  std::vector<std::string> completion_order;
+  auto record = [&](const std::string& name) {
+    return [&, name](const Artifact&) {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      completion_order.push_back(name);
+    };
+  };
+  // A speculative prefetch queues S; normal jobs queue after it; then a
+  // request arrives that needs S *now*. The coalesced interactive submit
+  // must escalate S ahead of the normal jobs.
+  CompileTicket prefetched = service.Submit(
+      EbnfJob("root ::= \"s\" [a-z]+"), CompilePriority::kPrefetch,
+      record("shared"));
+  CompileTicket normal = service.Submit(
+      EbnfJob("root ::= \"n\" [a-z]+"), CompilePriority::kNormal,
+      record("normal"));
+  CompileTicket urgent = service.Submit(EbnfJob("root ::= \"s\" [a-z]+"),
+                                        CompilePriority::kInteractive);
+  EXPECT_EQ(service.Stats().coalesced, 1);
+
+  blocker.Get();
+  urgent.Get();
+  normal.Get();
+  for (;;) {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    if (completion_order.size() == 2) break;
+    std::this_thread::yield();
+  }
+  std::lock_guard<std::mutex> lock(order_mutex);
+  EXPECT_EQ(completion_order,
+            (std::vector<std::string>{"shared", "normal"}));
+}
+
+TEST(CompileService, CancelAbandonsQueuedBuildWithoutRunningIt) {
+  CompileServiceOptions options;
+  options.num_threads = 1;
+  CompileService service(TestTokenizer(), options);
+
+  CompileTicket blocker = service.Submit(BlockerJob());
+  while (service.Stats().builds_started == 0) std::this_thread::yield();
+
+  CompileTicket doomed = service.Submit(EbnfJob("root ::= \"doomed\""));
+  doomed.Cancel();
+  EXPECT_EQ(doomed.State(), CompileState::kCancelled);
+  EXPECT_THROW(doomed.Get(), CheckError);
+
+  blocker.Get();
+  CompileServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.compiled, 1);  // only the blocker was built
+}
+
+TEST(CompileService, CoalescedInterestKeepsACancelledSubmissionAlive) {
+  CompileServiceOptions options;
+  options.num_threads = 1;
+  CompileService service(TestTokenizer(), options);
+
+  CompileTicket blocker = service.Submit(BlockerJob());
+  while (service.Stats().builds_started == 0) std::this_thread::yield();
+
+  CompileTicket first = service.Submit(EbnfJob("root ::= \"shared\" [a-z]*"));
+  CompileTicket second = service.Submit(EbnfJob("root ::= \"shared\" [a-z]*"));
+  EXPECT_EQ(service.Stats().coalesced, 1);
+  first.Cancel();  // one of two interested parties walks away
+  EXPECT_EQ(second.State(), CompileState::kPending);  // build must survive
+  Artifact artifact = second.Get();
+  EXPECT_NE(artifact, nullptr);
+}
+
+TEST(CompileService, DroppingTheOnlyTicketAbandonsTheBuild) {
+  CompileServiceOptions options;
+  options.num_threads = 1;
+  CompileService service(TestTokenizer(), options);
+
+  CompileTicket blocker = service.Submit(BlockerJob());
+  while (service.Stats().builds_started == 0) std::this_thread::yield();
+  {
+    CompileTicket dropped = service.Submit(EbnfJob("root ::= \"dropped\""));
+    // Scope exit abandons the only interest in the build (RAII cancel).
+  }
+  blocker.Get();
+  EXPECT_EQ(service.Stats().cancelled, 1);
+  EXPECT_EQ(service.Stats().compiled, 1);
+}
+
+TEST(CompileService, ShutdownCancelsQueuedBuildsAndResolvesTickets) {
+  std::vector<CompileTicket> tickets;
+  {
+    CompileServiceOptions options;
+    options.num_threads = 1;
+    CompileService service(TestTokenizer(), options);
+    tickets.push_back(service.Submit(BlockerJob()));
+    while (service.Stats().builds_started == 0) std::this_thread::yield();
+    for (int i = 0; i < 4; ++i) {
+      tickets.push_back(
+          service.Submit(EbnfJob("root ::= \"q" + std::to_string(i) + "\"")));
+    }
+    // Destructor: running build completes, queued builds cancel.
+  }
+  EXPECT_EQ(tickets[0].State(), CompileState::kReady);
+  EXPECT_NE(tickets[0].Get(), nullptr);
+  for (std::size_t i = 1; i < tickets.size(); ++i) {
+    EXPECT_EQ(tickets[i].State(), CompileState::kCancelled) << i;
+  }
+}
+
+// --- GrammarRegistry: LRU, budget, pinning ----------------------------------
+
+// Builds a handful of small artifacts through a service and returns them
+// with their key hashes.
+struct BuiltArtifact {
+  std::string key;
+  Artifact artifact;
+};
+
+std::vector<BuiltArtifact> BuildArtifacts(int count) {
+  CompileService service(TestTokenizer());
+  std::vector<BuiltArtifact> built;
+  for (CompileJob& job : DistinctJobs(count)) {
+    BuiltArtifact entry;
+    entry.key = CompileJobKey(job);
+    entry.artifact = service.Compile(job);
+    built.push_back(entry);
+  }
+  return built;
+}
+
+TEST(GrammarRegistry, LruEvictsUnderBudgetAndAccountsMemory) {
+  std::vector<BuiltArtifact> built = BuildArtifacts(4);
+  // Budget: exactly the two largest artifacts fit, the rest must evict.
+  std::size_t budget = 0;
+  for (const BuiltArtifact& b : built) {
+    budget = std::max(budget, b.artifact->MemoryBytes());
+  }
+  budget *= 2;
+
+  GrammarRegistryOptions options;
+  options.memory_budget_bytes = budget;
+  GrammarRegistry registry(TestTokenizer(), options);
+  for (const BuiltArtifact& b : built) {
+    registry.Insert(b.key, b.artifact);
+    EXPECT_LE(registry.MemoryBytes(), budget);  // never rests above budget
+  }
+  GrammarRegistryStats stats = registry.Stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_LE(stats.peak_memory_bytes, budget);
+
+  // LRU order: the most recently inserted artifacts are the residents.
+  EXPECT_TRUE(registry.IsResident(built.back().key));
+}
+
+TEST(GrammarRegistry, LookupRefreshesLruOrder) {
+  std::vector<BuiltArtifact> built = BuildArtifacts(3);
+  std::size_t each = 0;
+  for (const BuiltArtifact& b : built) {
+    each = std::max(each, b.artifact->MemoryBytes());
+  }
+  GrammarRegistryOptions options;
+  options.memory_budget_bytes = each * 2;
+  GrammarRegistry registry(TestTokenizer(), options);
+
+  registry.Insert(built[0].key, built[0].artifact);
+  registry.Insert(built[1].key, built[1].artifact);
+  ASSERT_NE(registry.Lookup(built[0].key), nullptr);  // 0 becomes MRU
+  registry.Insert(built[2].key, built[2].artifact);   // must evict 1, not 0
+  EXPECT_TRUE(registry.IsResident(built[0].key));
+  EXPECT_FALSE(registry.IsResident(built[1].key));
+}
+
+TEST(GrammarRegistry, PinnedArtifactSurvivesEvictionAndResurrects) {
+  std::vector<BuiltArtifact> built = BuildArtifacts(3);
+  std::size_t largest = 0;
+  for (const BuiltArtifact& b : built) {
+    largest = std::max(largest, b.artifact->MemoryBytes());
+  }
+  GrammarRegistryOptions options;
+  options.memory_budget_bytes = largest;  // roughly one resident at a time
+  GrammarRegistry registry(TestTokenizer(), options);
+
+  // "In use": this shared_ptr is the live request holding the artifact.
+  Artifact pinned = built[0].artifact;
+  const cache::AdaptiveTokenMaskCache* pinned_raw = pinned.get();
+  registry.Insert(built[0].key, built[0].artifact);
+  registry.Insert(built[1].key, built[1].artifact);  // evicts 0
+  registry.Insert(built[2].key, built[2].artifact);  // evicts 1
+  ASSERT_FALSE(registry.IsResident(built[0].key));
+
+  // The live reference kept the artifact fully usable through eviction…
+  EXPECT_GT(pinned->MemoryBytes(), 0u);
+  EXPECT_GT(pinned->Stats().nodes, 0);
+
+  // …and a later lookup re-adopts the exact same object instead of
+  // recompiling or touching disk (no disk tier configured here).
+  Artifact resurrected = registry.Lookup(built[0].key);
+  ASSERT_NE(resurrected, nullptr);
+  EXPECT_EQ(resurrected.get(), pinned_raw);
+  EXPECT_EQ(registry.Stats().pin_resurrections, 1);
+
+  // Once the last live reference is gone, the pin expires and the key is a
+  // genuine miss.
+  registry.Clear();
+  pinned = nullptr;
+  resurrected = nullptr;
+  EXPECT_EQ(registry.Lookup(built[0].key), nullptr);
+  EXPECT_GT(registry.Stats().misses, 0);
+}
+
+// --- disk tier ---------------------------------------------------------------
+
+TEST(GrammarRegistry, DiskTierRoundTripsAcrossRegistryInstances) {
+  TempDir dir("disk_roundtrip");
+  std::vector<BuiltArtifact> built = BuildArtifacts(2);
+
+  GrammarRegistryOptions options;
+  options.disk_dir = dir.path;
+  {
+    GrammarRegistry writer(TestTokenizer(), options);
+    for (const BuiltArtifact& b : built) writer.Insert(b.key, b.artifact);
+    EXPECT_EQ(writer.Stats().disk_writes, 2);
+    for (const BuiltArtifact& b : built) {
+      EXPECT_TRUE(fs::exists(writer.DiskPath(b.key)));
+    }
+  }
+  // A fresh registry (fresh process, conceptually) warm-starts from disk.
+  GrammarRegistry reader(TestTokenizer(), options);
+  for (const BuiltArtifact& b : built) {
+    Artifact loaded = reader.Lookup(b.key);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(serialize::SerializeEngineArtifact(*loaded),
+              serialize::SerializeEngineArtifact(*b.artifact));
+  }
+  EXPECT_EQ(reader.Stats().disk_hits, 2);
+  EXPECT_EQ(reader.Stats().misses, 0);
+}
+
+TEST(GrammarRegistry, TruncatedDiskFileIsRejectedAndDeleted) {
+  TempDir dir("disk_truncated");
+  std::vector<BuiltArtifact> built = BuildArtifacts(1);
+  GrammarRegistryOptions options;
+  options.disk_dir = dir.path;
+  {
+    GrammarRegistry writer(TestTokenizer(), options);
+    writer.Insert(built[0].key, built[0].artifact);
+  }
+  GrammarRegistry reader(TestTokenizer(), options);
+  const std::string path = reader.DiskPath(built[0].key);
+  // Truncate to half.
+  const auto full_size = static_cast<std::uintmax_t>(fs::file_size(path));
+  fs::resize_file(path, full_size / 2);
+
+  EXPECT_EQ(reader.Lookup(built[0].key), nullptr);
+  EXPECT_EQ(reader.Stats().disk_rejects, 1);
+  EXPECT_FALSE(fs::exists(path));  // the bad file is gone, not re-read
+}
+
+TEST(GrammarRegistry, BitFlippedDiskFileIsRejected) {
+  TempDir dir("disk_bitflip");
+  std::vector<BuiltArtifact> built = BuildArtifacts(1);
+  GrammarRegistryOptions options;
+  options.disk_dir = dir.path;
+  {
+    GrammarRegistry writer(TestTokenizer(), options);
+    writer.Insert(built[0].key, built[0].artifact);
+  }
+  GrammarRegistry reader(TestTokenizer(), options);
+  const std::string path = reader.DiskPath(built[0].key);
+  // Flip one bit deep in the payload (past the envelope header).
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = std::move(buffer).str();
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_EQ(reader.Lookup(built[0].key), nullptr);
+  EXPECT_EQ(reader.Stats().disk_rejects, 1);
+}
+
+TEST(GrammarRegistry, FilenameCollisionNeverServesTheWrongGrammar) {
+  // Disk files are *named* by a 64-bit FNV-1a hash but *identified* by the
+  // full embedded content key. Simulate a filename collision by parking one
+  // grammar's artifact at another key's path: the lookup must report a miss
+  // (never the wrong grammar's masks) and must leave the file in place for
+  // its true owner.
+  TempDir dir("disk_collision");
+  std::vector<BuiltArtifact> built = BuildArtifacts(2);
+  GrammarRegistryOptions options;
+  options.disk_dir = dir.path;
+  {
+    GrammarRegistry writer(TestTokenizer(), options);
+    writer.Insert(built[0].key, built[0].artifact);
+  }
+  GrammarRegistry reader(TestTokenizer(), options);
+  // Park key-0's file where key-1's would live.
+  fs::rename(reader.DiskPath(built[0].key), reader.DiskPath(built[1].key));
+
+  EXPECT_EQ(reader.Lookup(built[1].key), nullptr);
+  EXPECT_EQ(reader.Stats().disk_hits, 0);
+  EXPECT_TRUE(fs::exists(reader.DiskPath(built[1].key)));  // left in place
+  // The true owner still cannot load it from the colliding name — but a
+  // lookup under its own key (now missing on disk) is a clean miss, not a
+  // crash or a wrong artifact.
+  EXPECT_EQ(reader.Lookup(built[0].key), nullptr);
+}
+
+TEST(CompileService, CorruptDiskArtifactFallsBackToRecompile) {
+  TempDir dir("service_corrupt");
+  CompileJob job = SchemaJob(
+      R"({"type":"object","properties":{"v":{"type":"integer"}},
+          "required":["v"],"additionalProperties":false})");
+  const std::string key = CompileJobKey(job);
+
+  CompileServiceOptions options;
+  options.registry.disk_dir = dir.path;
+  std::string good_bytes;
+  std::string path;
+  {
+    CompileService service(TestTokenizer(), options);
+    Artifact artifact = service.Compile(job);
+    good_bytes = serialize::SerializeEngineArtifact(*artifact);
+    path = service.Registry().DiskPath(key);
+    ASSERT_TRUE(fs::exists(path));
+  }
+  // Corrupt the persisted artifact between "processes".
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "XGRS garbage that is definitely not a valid envelope";
+  }
+  CompileService service(TestTokenizer(), options);
+  Artifact recompiled = service.Compile(job);
+  ASSERT_NE(recompiled, nullptr);
+  // Validated reject -> full recompile -> identical artifact, re-persisted.
+  EXPECT_EQ(serialize::SerializeEngineArtifact(*recompiled), good_bytes);
+  EXPECT_EQ(service.Stats().compiled, 1);
+  EXPECT_EQ(service.Registry().Stats().disk_rejects, 1);
+  EXPECT_TRUE(fs::exists(path));  // rewritten by the recompile
+}
+
+TEST(CompileService, WarmStartFromDiskSkipsRecompilation) {
+  TempDir dir("service_warm");
+  std::vector<CompileJob> jobs = DistinctJobs(3);
+  CompileServiceOptions options;
+  options.registry.disk_dir = dir.path;
+  {
+    CompileService cold(TestTokenizer(), options);
+    for (const CompileJob& job : jobs) cold.Compile(job);
+    EXPECT_EQ(cold.Stats().compiled, 3);
+  }
+  CompileService warm(TestTokenizer(), options);
+  for (const CompileJob& job : jobs) {
+    EXPECT_NE(warm.Compile(job), nullptr);
+  }
+  EXPECT_EQ(warm.Stats().compiled, 0);  // everything came from the disk tier
+  EXPECT_EQ(warm.Stats().disk_loads, 3);
+  EXPECT_EQ(warm.Registry().Stats().disk_hits, 3);
+}
+
+}  // namespace
+}  // namespace xgr::runtime

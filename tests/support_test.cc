@@ -2,7 +2,10 @@
 // RNG, UTF-8 (including the range→byte-sequence compiler), string utils.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "support/dynamic_bitset.h"
 #include "support/rng.h"
@@ -179,7 +182,84 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
 TEST(ThreadPool, SubmitPropagatesExceptions) {
   ThreadPool pool(2);
   auto future = pool.Submit([] { throw std::runtime_error("boom"); });
-  EXPECT_THROW(future.get(), std::runtime_error);
+  try {
+    future.get();
+    FAIL() << "expected the task's exception through the future";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "boom");  // the exact exception, not a wrapper
+  }
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotKillTheWorker) {
+  // A single-thread pool makes the ordering deterministic: the worker that
+  // ran (and survived) the throwing task must run the next one.
+  ThreadPool pool(1);
+  auto bad = pool.Submit([] { throw std::runtime_error("first"); });
+  std::atomic<bool> ran{false};
+  auto good = pool.Submit([&] { ran = true; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  good.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  // Shutdown with a deep queue: every already-submitted task still runs and
+  // every future resolves — nothing is dropped and nothing deadlocks.
+  constexpr int kTasks = 64;
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+      futures.push_back(pool.Submit([&executed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ++executed;
+      }));
+    }
+    // Destructor runs here with most of the queue still pending.
+  }
+  EXPECT_EQ(executed.load(), kTasks);
+  for (std::future<void>& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    future.get();  // must not throw
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsThrowingTasksCleanly) {
+  // Mixed success/failure under shutdown: futures of drained tasks surface
+  // their exceptions; the pool still joins without deadlock.
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.Submit([i] {
+        if (i % 2 == 0) throw std::runtime_error("even task");
+      }));
+    }
+  }
+  for (int i = 0; i < 32; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_THROW(futures[static_cast<std::size_t>(i)].get(),
+                   std::runtime_error);
+    } else {
+      futures[static_cast<std::size_t>(i)].get();
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesWorkerExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(257,
+                                [](std::size_t i) {
+                                  if (i == 100) throw std::runtime_error("shard");
+                                }),
+               std::runtime_error);
+  // The pool remains usable afterwards.
+  std::atomic<int> count{0};
+  pool.ParallelFor(64, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 64);
 }
 
 TEST(ThreadPool, ParallelForZeroItemsIsNoop) {
