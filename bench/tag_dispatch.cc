@@ -1,0 +1,284 @@
+// Tag-dispatch composition benchmark: the agentic function-calling regime the
+// composite decoder exists for, against the monolithic
+// BuildStructuralTagGrammar path. Three sections:
+//
+//   1. compile — preprocessing time vs toolset size: the monolithic build
+//      (one grammar + mask cache over the whole toolset) against the
+//      dispatch plan build, cold (every per-tag artifact compiled) and warm
+//      (same service: every per-tag compile is a registry hit, so only the
+//      per-config tables are rebuilt). The acceptance claim: dispatch warm
+//      cost grows sublinearly vs the monolithic build because tool artifacts
+//      are content-addressed and shared.
+//   2. free_text — per-token mask cost in the free-text segment vs toolset
+//      size, plus allocations per token (the dispatch free segment must be
+//      allocation-free in steady state — a CI gate).
+//   3. session — a simulated multi-request agent session over one
+//      CompileService: requests use overlapping tool subsets; per-tag
+//      artifacts must be shared across requests (shared_artifact_hits > 0 is
+//      a CI gate) and every transcript must decode correctly.
+//
+// Emits BENCH_tag_dispatch.json (override with XGR_BENCH_JSON). Knobs:
+// XGR_VOCAB, XGR_TOOLS (largest toolset, default 32), XGR_SESSION_REQUESTS
+// (default 12), XGR_BENCH_STEPS.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/tag_dispatch_decoder.h"
+#include "baselines/xgrammar_decoder.h"
+#include "bench/bench_common.h"
+#include "compose/tag_dispatch.h"
+#include "grammar/structural_tag.h"
+#include "json/json.h"
+#include "pda/compiled_grammar.h"
+#include "runtime/compile_service.h"
+#include "support/alloc_hook.h"
+#include "support/timer.h"
+#include "tokenizer/token_trie.h"
+
+namespace {
+using namespace xgr;             // NOLINT
+using namespace xgr::benchutil;  // NOLINT
+
+grammar::StructuralTag MakeTool(int index) {
+  grammar::StructuralTag tag;
+  tag.begin = "<function=tool_" + std::to_string(index) + ">";
+  tag.schema_text =
+      R"({"type":"object","properties":{"arg_)" + std::to_string(index) +
+      R"(":{"type":"string"},"count":{"type":"integer"}},)"
+      R"("required":["arg_)" + std::to_string(index) +
+      R"("],"additionalProperties":false})";
+  tag.end = "</function>";
+  return tag;
+}
+
+compose::TagDispatchConfig MakeConfig(int num_tools, int first = 0) {
+  compose::TagDispatchConfig config;
+  for (int i = 0; i < num_tools; ++i) config.tags.push_back(MakeTool(first + i));
+  config.triggers = {"<function="};
+  return config;
+}
+
+std::string MakeCall(int index) {
+  return "<function=tool_" + std::to_string(index) + ">" + R"({"arg_)" +
+         std::to_string(index) + R"(":"value"})" + "</function>";
+}
+
+grammar::StructuralTagOptions MonolithicOptions() { return {}; }
+
+const std::vector<std::string>& ProseDocuments() {
+  static const std::vector<std::string> docs = {
+      "The assistant considered the request carefully and explained the plan "
+      "in plain language before doing anything else. ",
+      "Numbers like 1024 and names like Turing appear in ordinary prose, and "
+      "none of them should cost more than a table lookup to validate. ",
+      "Long free-form reasoning is the common case in agent transcripts; the "
+      "tool call itself is a few dozen tokens at the very end. ",
+  };
+  return docs;
+}
+
+struct CompileRow {
+  int tools = 0;
+  double monolithic_ms = 0.0;
+  double dispatch_cold_ms = 0.0;
+  double dispatch_warm_ms = 0.0;
+  std::int64_t warm_prefetch_hits = 0;
+};
+
+struct FreeTextRow {
+  int tools = 0;
+  MaskGenMeasurement monolithic;
+  MaskGenMeasurement dispatch;
+};
+
+}  // namespace
+
+int main() {
+  AllocCountFn() = &xgr::support::AllocHookCount;
+  auto info = GetTokenizer();
+  const tokenizer::TokenTrie& trie = GetTrie(info);
+  const int max_tools = EnvInt("XGR_TOOLS", 32);
+  const int session_requests = EnvInt("XGR_SESSION_REQUESTS", 12);
+
+  std::vector<int> sizes{2, 8, max_tools};
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  sizes.erase(std::remove_if(sizes.begin(), sizes.end(),
+                             [&](int n) { return n > max_tools; }),
+              sizes.end());
+
+  PrintHeader("Tag-dispatch composition: compile time, free-text mask cost, "
+              "agent-session artifact reuse");
+
+  // --- 1. Compile time vs toolset size --------------------------------------
+  std::vector<CompileRow> compile_rows;
+  PrintRow({"tools", "monolithic ms", "dispatch cold ms", "dispatch warm ms"});
+  for (int n : sizes) {
+    CompileRow row;
+    row.tools = n;
+    compose::TagDispatchConfig config = MakeConfig(n);
+    {
+      Timer timer;
+      grammar::Grammar g = grammar::BuildStructuralTagGrammar(
+          config.tags, config.triggers, MonolithicOptions());
+      auto pda = pda::CompiledGrammar::Compile(g);
+      auto cache = cache::AdaptiveTokenMaskCache::Build(pda, info);
+      row.monolithic_ms = timer.ElapsedMicros() / 1e3;
+    }
+    runtime::CompileService service(info, {});
+    {
+      Timer timer;
+      auto plan = compose::TagDispatchPlan::Build(config, &service);
+      row.dispatch_cold_ms = timer.ElapsedMicros() / 1e3;
+    }
+    {
+      Timer timer;
+      auto plan = compose::TagDispatchPlan::Build(config, &service);
+      row.dispatch_warm_ms = timer.ElapsedMicros() / 1e3;
+      row.warm_prefetch_hits = plan->BuildStats().prefetch_hits;
+    }
+    PrintRow({std::to_string(n), Fmt(row.monolithic_ms), Fmt(row.dispatch_cold_ms),
+              Fmt(row.dispatch_warm_ms)});
+    compile_rows.push_back(row);
+  }
+
+  // --- 2. Free-text mask cost vs toolset size -------------------------------
+  std::vector<FreeTextRow> free_rows;
+  std::printf("\nFree-text segment (prose, no tool calls):\n");
+  PrintRow({"tools", "monolithic us/tok", "dispatch us/tok", "mono allocs/tok",
+            "disp allocs/tok"});
+  for (int n : sizes) {
+    FreeTextRow row;
+    row.tools = n;
+    compose::TagDispatchConfig config = MakeConfig(n);
+    {
+      grammar::Grammar g = grammar::BuildStructuralTagGrammar(
+          config.tags, config.triggers, MonolithicOptions());
+      auto pda = pda::CompiledGrammar::Compile(g);
+      auto cache = cache::AdaptiveTokenMaskCache::Build(pda, info);
+      baselines::XGrammarDecoder decoder(cache);
+      MeasureMaskGen(&decoder, info, ProseDocuments(), MaxSteps());  // warm-up
+      row.monolithic = MeasureMaskGen(&decoder, info, ProseDocuments(), MaxSteps());
+    }
+    {
+      runtime::CompileService service(info, {});
+      auto plan = compose::TagDispatchPlan::Build(config, &service);
+      baselines::TagDispatchDecoder decoder(plan);
+      MeasureMaskGen(&decoder, info, ProseDocuments(), MaxSteps());  // warm-up
+      row.dispatch = MeasureMaskGen(&decoder, info, ProseDocuments(), MaxSteps());
+    }
+    PrintRow({std::to_string(n), Fmt(row.monolithic.mean_us, 2),
+              Fmt(row.dispatch.mean_us, 2), Fmt(row.monolithic.allocs_per_token, 2),
+              Fmt(row.dispatch.allocs_per_token, 2)});
+    free_rows.push_back(row);
+  }
+
+  // --- 3. Simulated agent session -------------------------------------------
+  // One service; each request builds a plan over an overlapping subset of
+  // the tool universe (as a router would per conversation turn), decodes a
+  // transcript with a call, and moves on. After the first few requests,
+  // every per-tag compile must be a registry hit.
+  runtime::CompileService session_service(info, {});
+  std::vector<double> plan_ms;
+  std::int64_t session_dispatches = 0;
+  std::int64_t session_prefetch_hits = 0;
+  bool transcripts_ok = true;
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  for (int r = 0; r < session_requests; ++r) {
+    // Window of 4 tools sliding by 2: adjacent requests share half their
+    // toolset, like consecutive turns of one agent conversation.
+    int first = (r * 2) % std::max(1, max_tools - 3);
+    compose::TagDispatchConfig config = MakeConfig(4, first);
+    Timer timer;
+    auto plan = compose::TagDispatchPlan::Build(config, &session_service);
+    plan_ms.push_back(timer.ElapsedMicros() / 1e3);
+    session_prefetch_hits += plan->BuildStats().prefetch_hits;
+    baselines::TagDispatchDecoder decoder(plan);
+    const std::string transcript =
+        "Let me call the tool. " + MakeCall(first + 1) + " Done.";
+    for (std::int32_t token : tokenizer::GreedyTokenize(trie, transcript)) {
+      decoder.FillNextTokenBitmask(&mask);
+      if (!mask.Test(static_cast<std::size_t>(token)) ||
+          !decoder.AcceptToken(token)) {
+        transcripts_ok = false;
+        break;
+      }
+    }
+    session_dispatches += decoder.Matcher().Stats().dispatches;
+  }
+  runtime::CompileServiceStats session_stats = session_service.Stats();
+  // Median over the warm requests only (the first build is the cold outlier
+  // the reuse story is about excluding).
+  double plan_ms_median_rest = 0.0;
+  if (plan_ms.size() > 1) {
+    std::vector<double> rest(plan_ms.begin() + 1, plan_ms.end());
+    std::sort(rest.begin(), rest.end());
+    plan_ms_median_rest = rest[rest.size() / 2];
+  }
+  std::printf("\nAgent session (%d requests, 4-tool windows over %d tools):\n",
+              session_requests, max_tools);
+  std::printf("  plan build first / median rest : %.1f / %.1f ms\n", plan_ms[0],
+              plan_ms_median_rest);
+  std::printf("  shared artifact hits           : %lld (compiled %lld of %lld submits)\n",
+              static_cast<long long>(session_stats.registry_hits),
+              static_cast<long long>(session_stats.compiled),
+              static_cast<long long>(session_stats.submitted));
+  std::printf("  dispatches                     : %lld, transcripts %s\n",
+              static_cast<long long>(session_dispatches),
+              transcripts_ok ? "ok" : "FAILED");
+
+  // --- JSON -------------------------------------------------------------------
+  json::Array compile_json;
+  for (const CompileRow& row : compile_rows) {
+    json::Object o;
+    o["tools"] = row.tools;
+    o["monolithic_ms"] = row.monolithic_ms;
+    o["dispatch_cold_ms"] = row.dispatch_cold_ms;
+    o["dispatch_warm_ms"] = row.dispatch_warm_ms;
+    o["warm_prefetch_hits"] = row.warm_prefetch_hits;
+    compile_json.push_back(json::Value(std::move(o)));
+  }
+  json::Array free_json;
+  for (const FreeTextRow& row : free_rows) {
+    json::Object o;
+    o["tools"] = row.tools;
+    o["monolithic_us_per_token"] = row.monolithic.mean_us;
+    o["dispatch_us_per_token"] = row.dispatch.mean_us;
+    o["monolithic_allocs_per_token"] = row.monolithic.allocs_per_token;
+    o["dispatch_allocs_per_token"] = row.dispatch.allocs_per_token;
+    free_json.push_back(json::Value(std::move(o)));
+  }
+  json::Object session;
+  session["requests"] = session_requests;
+  session["tools_universe"] = max_tools;
+  session["shared_artifact_hits"] = session_stats.registry_hits;
+  session["compiled"] = session_stats.compiled;
+  session["submitted"] = session_stats.submitted;
+  session["dispatches"] = session_dispatches;
+  session["plan_build_ms_first"] = plan_ms.empty() ? 0.0 : plan_ms[0];
+  session["plan_build_ms_median_rest"] = plan_ms_median_rest;
+  session["transcripts_ok"] = transcripts_ok;
+
+  json::Object doc;
+  doc["benchmark"] = "tag_dispatch";
+  doc["vocab_size"] = info->VocabSize();
+  doc["compile"] = json::Value(std::move(compile_json));
+  doc["free_text"] = json::Value(std::move(free_json));
+  doc["session"] = json::Value(std::move(session));
+
+  const char* json_path = std::getenv("XGR_BENCH_JSON");
+  std::string path = json_path != nullptr ? json_path : "BENCH_tag_dispatch.json";
+  std::ofstream out(path);
+  out << json::Value(std::move(doc)).Dump(2) << "\n";
+  if (out) {
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  return transcripts_ok ? 0 : 1;
+}

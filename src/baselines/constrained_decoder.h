@@ -16,6 +16,10 @@ namespace xgr::cache {
 struct MaskGenStats;  // cache/mask_generator.h
 }  // namespace xgr::cache
 
+namespace xgr::compose {
+struct TagDispatchStats;  // compose/tag_dispatch.h
+}  // namespace xgr::compose
+
 namespace xgr::baselines {
 
 class ConstrainedDecoder {
@@ -58,6 +62,13 @@ class ConstrainedDecoder {
   // The serving engine aggregates these per batch to observe the
   // zero-allocation decode hot path under load.
   virtual const cache::MaskGenStats* MaskStats() const { return nullptr; }
+
+  // Tag-dispatch segment counters (dispatches, segment switches, prefetch
+  // accounting) for the composite agentic decoder; nullptr for every other
+  // backend. Aggregated by the serving engine like MaskStats().
+  virtual const compose::TagDispatchStats* DispatchStats() const {
+    return nullptr;
+  }
 };
 
 }  // namespace xgr::baselines

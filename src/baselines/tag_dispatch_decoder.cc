@@ -1,0 +1,22 @@
+#include "baselines/tag_dispatch_decoder.h"
+
+namespace xgr::baselines {
+
+bool TagDispatchDecoder::AcceptToken(std::int32_t token_id) {
+  const tokenizer::TokenizerInfo& tokenizer = matcher_.Plan().Tokenizer();
+  if (token_id == tokenizer.EosId()) return matcher_.CanTerminate();
+  if (tokenizer.IsSpecial(token_id)) return false;
+  return matcher_.AcceptBytes(tokenizer.TokenBytes(token_id));
+}
+
+const compose::TagDispatchStats* TagDispatchDecoder::DispatchStats() const {
+  merged_stats_ = matcher_.Stats();
+  const compose::TagDispatchStats& plan = matcher_.Plan().BuildStats();
+  merged_stats_.tags = plan.tags;
+  merged_stats_.prefetch_submits = plan.prefetch_submits;
+  merged_stats_.prefetch_hits = plan.prefetch_hits;
+  merged_stats_.prefetch_waits = plan.prefetch_waits;
+  return &merged_stats_;
+}
+
+}  // namespace xgr::baselines

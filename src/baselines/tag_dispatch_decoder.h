@@ -1,0 +1,50 @@
+// The tag-dispatch composite decoder behind the ConstrainedDecoder API: free
+// text on the trigger automaton, tool-call bodies on separately compiled,
+// registry-shared per-tag grammars (see compose/tag_dispatch.h). Drop-in
+// anywhere a decoder is accepted — the serving engine, the benches, the C
+// ABI — and mask-equivalent to an XGrammarDecoder over the monolithic
+// BuildStructuralTagGrammar artifact for the same config.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/constrained_decoder.h"
+#include "compose/tag_dispatch.h"
+
+namespace xgr::baselines {
+
+class TagDispatchDecoder : public ConstrainedDecoder {
+ public:
+  explicit TagDispatchDecoder(std::shared_ptr<const compose::TagDispatchPlan> plan)
+      : matcher_(std::move(plan)) {}
+
+  const std::string& Name() const override { return name_; }
+  void FillNextTokenBitmask(DynamicBitset* mask) override {
+    matcher_.FillNextTokenBitmask(mask);
+  }
+  bool AcceptToken(std::int32_t token_id) override;
+  bool CanTerminate() override { return matcher_.CanTerminate(); }
+  void Reset() override { matcher_.Reset(); }
+  std::string FindJumpForwardString() override {
+    return matcher_.FindJumpForwardString();
+  }
+  double PreprocessSeconds() const override {
+    return matcher_.Plan().PreprocessSeconds();
+  }
+  const cache::MaskGenStats* MaskStats() const override {
+    return &matcher_.AggregatedMaskStats();
+  }
+  const compose::TagDispatchStats* DispatchStats() const override;
+
+  compose::TagDispatchMatcher& Matcher() { return matcher_; }
+
+ private:
+  std::string name_ = "TagDispatch";
+  compose::TagDispatchMatcher matcher_;
+  // DispatchStats merges the plan-level prefetch accounting into the
+  // matcher's run counters; stored here so the returned pointer stays valid.
+  mutable compose::TagDispatchStats merged_stats_;
+};
+
+}  // namespace xgr::baselines

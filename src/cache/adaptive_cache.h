@@ -117,6 +117,9 @@ class AdaptiveTokenMaskCache {
   const pda::CompiledGrammar& Pda() const { return *pda_; }
   std::shared_ptr<const pda::CompiledGrammar> PdaShared() const { return pda_; }
   const tokenizer::TokenizerInfo& Tokenizer() const { return *tokenizer_; }
+  std::shared_ptr<const tokenizer::TokenizerInfo> TokenizerShared() const {
+    return tokenizer_;
+  }
 
   std::string StatsString() const;
 

@@ -24,6 +24,10 @@ std::string RegexArtifactKey(const std::string& pattern) {
 
 std::string BuiltinJsonArtifactKey() { return "builtin:json"; }
 
+std::string TagSegmentArtifactKey(const std::string& encoded_tag) {
+  return "tag-segment:" + encoded_tag;
+}
+
 std::shared_ptr<const AdaptiveTokenMaskCache> GrammarCompiler::CompileKeyed(
     const std::string& key, const std::function<grammar::Grammar()>& build) {
   std::shared_future<std::shared_ptr<const AdaptiveTokenMaskCache>> future;

@@ -34,6 +34,11 @@ std::string EbnfArtifactKey(const std::string& root_rule,
 std::string JsonSchemaArtifactKey(const std::string& schema_text);
 std::string RegexArtifactKey(const std::string& pattern);
 std::string BuiltinJsonArtifactKey();
+// Keyed on grammar::EncodeTagSegmentSource(tag): one tag's `begin body end`
+// segment grammar (tag-dispatch composition, src/compose). Intrinsic to the
+// tag — the trigger set is deliberately absent — so the artifact is shared
+// by every config that mentions the tool.
+std::string TagSegmentArtifactKey(const std::string& encoded_tag);
 
 struct GrammarCompilerStats {
   // A hit means the artifact was already built: the caller returned without

@@ -1,0 +1,749 @@
+#include "compose/tag_dispatch.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "support/logging.h"
+#include "support/timer.h"
+
+namespace xgr::compose {
+
+namespace {
+
+// Parse-thread budget. Real configs keep a handful of threads (one free
+// thread, occasionally one or two tag threads across an ambiguous close) —
+// EXCEPT at a dispatch, which legitimately fans out one thread per tag
+// sharing the completed trigger, so the cap must scale with the toolset.
+// Blowing it means a pathologically ambiguous trigger/marker set.
+std::size_t ThreadBudget(std::size_t num_tags) {
+  return 64 + 4 * num_tags;
+}
+std::size_t SimThreadBudget(std::size_t num_tags) {
+  return 256 + 4 * num_tags;
+}
+
+constexpr std::int32_t kUnbounded = std::numeric_limits<std::int32_t>::max();
+
+std::int32_t RemainingBudget(std::int32_t max_invocations, std::int32_t used) {
+  return max_invocations < 0 ? kUnbounded : max_invocations - used;
+}
+
+}  // namespace
+
+std::uint8_t Utf8Next(std::uint8_t state, std::uint8_t byte) {
+  switch (state) {
+    case kU8Boundary:
+      if (byte < 0x80) return kU8Boundary;
+      if (byte >= 0xC2 && byte <= 0xDF) return kU8Tail1;
+      if (byte == 0xE0) return kU8LeadE0;
+      if (byte >= 0xE1 && byte <= 0xEC) return kU8Tail2;
+      if (byte == 0xED) return kU8LeadED;
+      if (byte >= 0xEE && byte <= 0xEF) return kU8Tail2;
+      if (byte == 0xF0) return kU8LeadF0;
+      if (byte >= 0xF1 && byte <= 0xF3) return kU8Tail3;
+      if (byte == 0xF4) return kU8LeadF4;
+      return kU8Reject;  // stray continuation, C0/C1 overlong, F5..FF
+    case kU8Tail1:
+      return byte >= 0x80 && byte <= 0xBF ? kU8Boundary : kU8Reject;
+    case kU8Tail2:
+      return byte >= 0x80 && byte <= 0xBF ? kU8Tail1 : kU8Reject;
+    case kU8Tail3:
+      return byte >= 0x80 && byte <= 0xBF ? kU8Tail2 : kU8Reject;
+    case kU8LeadE0:
+      return byte >= 0xA0 && byte <= 0xBF ? kU8Tail1 : kU8Reject;
+    case kU8LeadED:
+      return byte >= 0x80 && byte <= 0x9F ? kU8Tail1 : kU8Reject;
+    case kU8LeadF0:
+      return byte >= 0x90 && byte <= 0xBF ? kU8Tail2 : kU8Reject;
+    case kU8LeadF4:
+      return byte >= 0x80 && byte <= 0x8F ? kU8Tail2 : kU8Reject;
+    default:
+      return kU8Reject;
+  }
+}
+
+namespace {
+
+// --- Build-time simulator ----------------------------------------------------
+//
+// The exact composite transition relation, used to annotate the precomputed
+// tables: boundary tokens (free-state tokens that enter tags) and spill
+// remainders (bytes after a tag closes mid-token). Tracks the minimal number
+// of tag entries over accepting parses; budget filtering happens at runtime
+// against that number. Allocation discipline does not matter here — this
+// runs once per plan, never on the decode path.
+//
+// LOCKSTEP CONTRACT: Run() below and TagDispatchMatcher::StepByte implement
+// the SAME transition relation and must change together (the deliberate
+// differences are exactly two: the simulator never budget-gates spawns — it
+// records min_uses for runtime filtering instead — and it has its own thread
+// cap). Divergence silently breaks the bit-identical-mask guarantee; the
+// differential suite in tests/tag_dispatch_test.cc is the tripwire.
+class Simulator {
+ public:
+  explicit Simulator(const TagDispatchPlan& plan) : plan_(plan) {}
+
+  struct Outcome {
+    bool viable = false;
+    std::int32_t min_uses = 0;
+  };
+
+  Outcome FromFreeState(std::int32_t ac_state, std::uint8_t utf8_state,
+                        std::string_view bytes) {
+    threads_.clear();
+    threads_.push_back(SimThread::Free(ac_state, utf8_state, 0));
+    return Run(bytes);
+  }
+
+  // The continuation point right after a tag's end marker.
+  Outcome FromAfterTag(std::string_view bytes) {
+    threads_.clear();
+    SeedGap(0, &threads_);
+    return Run(bytes);
+  }
+
+ private:
+  struct SimThread {
+    enum class Kind : std::uint8_t { kFree, kGap, kTag };
+    Kind kind = Kind::kFree;
+    std::int32_t ac_state = 0;
+    std::uint8_t utf8_state = kU8Boundary;
+    std::int32_t uses = 0;  // tag entries, including an in-progress one
+    std::int32_t tag = -1;
+    std::shared_ptr<matcher::GrammarMatcher> matcher;
+
+    static SimThread Free(std::int32_t ac, std::uint8_t u8, std::int32_t uses) {
+      SimThread t;
+      t.kind = Kind::kFree;
+      t.ac_state = ac;
+      t.utf8_state = u8;
+      t.uses = uses;
+      return t;
+    }
+  };
+
+  void PushFree(std::int32_t ac, std::uint8_t u8, std::int32_t uses,
+                std::vector<SimThread>* out) {
+    for (const SimThread& t : *out) {
+      if (t.kind == SimThread::Kind::kFree && t.ac_state == ac &&
+          t.utf8_state == u8 && t.uses == uses) {
+        return;
+      }
+    }
+    out->push_back(SimThread::Free(ac, u8, uses));
+  }
+
+  void SpawnTag(std::int32_t tag, std::string_view begin_prefix,
+                std::int32_t uses, std::vector<SimThread>* out) {
+    SimThread t;
+    t.kind = SimThread::Kind::kTag;
+    t.tag = tag;
+    t.uses = uses;
+    t.matcher = std::make_shared<matcher::GrammarMatcher>(
+        plan_.TagArtifact(tag)->PdaShared());
+    bool ok = t.matcher->AcceptString(begin_prefix);
+    XGR_CHECK(ok) << "begin-marker prefix rejected by its own segment grammar";
+    out->push_back(std::move(t));
+  }
+
+  // The between-tags continuation: free text (allow_free_text) or a gap
+  // marker plus a fresh thread per tag.
+  void SeedGap(std::int32_t uses, std::vector<SimThread>* out) {
+    if (plan_.Config().allow_free_text) {
+      PushFree(0, kU8Boundary, uses, out);
+      return;
+    }
+    for (const SimThread& t : *out) {
+      if (t.kind == SimThread::Kind::kGap && t.uses == uses) return;
+    }
+    SimThread gap;
+    gap.kind = SimThread::Kind::kGap;
+    gap.uses = uses;
+    out->push_back(std::move(gap));
+    for (std::int32_t tag = 0; tag < plan_.NumTags(); ++tag) {
+      SpawnTag(tag, std::string_view(), uses + 1, out);
+    }
+  }
+
+  Outcome Run(std::string_view bytes) {
+    for (char c : bytes) {
+      auto byte = static_cast<std::uint8_t>(c);
+      next_.clear();
+      for (SimThread& t : threads_) {
+        switch (t.kind) {
+          case SimThread::Kind::kFree: {
+            if (t.utf8_state != kU8Boundary || byte >= 0x80) {
+              std::uint8_t u8 = Utf8Next(t.utf8_state, byte);
+              if (u8 != kU8Reject) PushFree(0, u8, t.uses, &next_);
+              break;
+            }
+            std::int32_t target = plan_.Automaton().Step(t.ac_state, byte);
+            if (!plan_.Automaton().dead[static_cast<std::size_t>(target)]) {
+              PushFree(target, kU8Boundary, t.uses, &next_);
+              break;
+            }
+            for (const TagDispatchPlan::DispatchCandidate& cand :
+                 plan_.Candidates(target)) {
+              SpawnTag(cand.tag,
+                       std::string_view(
+                           plan_.Config().tags[static_cast<std::size_t>(cand.tag)]
+                               .begin)
+                           .substr(0, static_cast<std::size_t>(cand.prefix_len)),
+                       t.uses + 1, &next_);
+            }
+            break;
+          }
+          case SimThread::Kind::kGap:
+            break;  // a gap consumes no bytes
+          case SimThread::Kind::kTag: {
+            if (!t.matcher->AcceptByte(byte)) break;
+            bool terminable = t.matcher->CanTerminate();
+            std::int32_t uses = t.uses;
+            next_.push_back(std::move(t));
+            if (terminable) SeedGap(uses, &next_);
+            break;
+          }
+        }
+      }
+      threads_.swap(next_);
+      XGR_CHECK(threads_.size() <=
+                SimThreadBudget(static_cast<std::size_t>(plan_.NumTags())))
+          << "tag-dispatch simulation exceeded its thread budget; the "
+          << "trigger/marker set is pathologically ambiguous";
+      if (threads_.empty()) return Outcome{};
+    }
+    Outcome outcome;
+    outcome.viable = true;
+    outcome.min_uses = kUnbounded;
+    for (const SimThread& t : threads_) {
+      outcome.min_uses = std::min(outcome.min_uses, t.uses);
+    }
+    return outcome;
+  }
+
+  const TagDispatchPlan& plan_;
+  std::vector<SimThread> threads_;
+  std::vector<SimThread> next_;
+};
+
+// Pure free-text walk of one token from a combined (automaton, UTF-8) state:
+// kStays (never leaves free text), kDies (invalid UTF-8), or kDispatches
+// (completes a trigger somewhere).
+enum class FreeWalk : std::uint8_t { kStays, kDies, kDispatches };
+
+FreeWalk WalkFree(const grammar::TriggerAutomaton& ac, std::int32_t ac_state,
+                  std::uint8_t utf8_state, std::string_view bytes) {
+  for (char c : bytes) {
+    auto byte = static_cast<std::uint8_t>(c);
+    if (utf8_state != kU8Boundary || byte >= 0x80) {
+      utf8_state = Utf8Next(utf8_state, byte);
+      if (utf8_state == kU8Reject) return FreeWalk::kDies;
+      ac_state = 0;
+      continue;
+    }
+    ac_state = ac.Step(ac_state, byte);
+    if (ac.dead[static_cast<std::size_t>(ac_state)]) return FreeWalk::kDispatches;
+  }
+  return FreeWalk::kStays;
+}
+
+}  // namespace
+
+// --- Plan build --------------------------------------------------------------
+
+std::shared_ptr<const TagDispatchPlan> TagDispatchPlan::Build(
+    const TagDispatchConfig& config, runtime::CompileService* service) {
+  XGR_CHECK(service != nullptr) << "tag dispatch needs a CompileService";
+  XGR_CHECK(!config.tags.empty()) << "no structural tags given";
+  Timer timer;
+  auto plan = std::shared_ptr<TagDispatchPlan>(new TagDispatchPlan());
+  plan->config_ = config;
+  plan->automaton_ = grammar::BuildTriggerAutomaton(config.triggers);
+  for (const grammar::StructuralTag& tag : config.tags) {
+    XGR_CHECK(!tag.begin.empty()) << "empty begin marker";
+    XGR_CHECK(!tag.end.empty()) << "empty end marker";
+    XGR_CHECK(grammar::LongestTriggerPrefix(tag.begin, config.triggers) >= 0)
+        << "begin marker '" << tag.begin << "' must extend a trigger";
+  }
+
+  // Per-tag segment artifacts: submitted as prefetch (they yield to any
+  // interactive compile elsewhere in the process), then collected. A tag
+  // already compiled by any earlier config — or an earlier session via the
+  // registry's disk tier — resolves without a build.
+  std::vector<runtime::CompileTicket> tickets;
+  tickets.reserve(config.tags.size());
+  for (const grammar::StructuralTag& tag : config.tags) {
+    runtime::CompileJob job;
+    job.kind = runtime::GrammarKind::kTagSegment;
+    job.source = grammar::EncodeTagSegmentSource(tag);
+    tickets.push_back(
+        service->Submit(std::move(job), runtime::CompilePriority::kPrefetch));
+    ++plan->build_stats_.prefetch_submits;
+    if (tickets.back().Ready()) ++plan->build_stats_.prefetch_hits;
+  }
+  plan->artifacts_.reserve(tickets.size());
+  for (runtime::CompileTicket& ticket : tickets) {
+    if (!ticket.Ready()) ++plan->build_stats_.prefetch_waits;
+    plan->artifacts_.push_back(ticket.Get());
+  }
+  plan->build_stats_.tags = static_cast<std::int64_t>(config.tags.size());
+  plan->tokenizer_ = plan->artifacts_.front()->TokenizerShared();
+  const tokenizer::TokenizerInfo& tok = *plan->tokenizer_;
+
+  // Dispatch candidates: for each dead state, every suffix of its prefix
+  // string that is itself a trie prefix (the failure chain) marks a position
+  // where a begin marker may have started — spawn every tag whose begin
+  // extends that suffix. This is what keeps overlapping trigger sets exact:
+  // over {"ab","bc"} the text "abc" dies at "ab" but the chain contains "b",
+  // so a tag with begin "bc..." is still entered at the right alignment.
+  const grammar::TriggerAutomaton& ac = plan->automaton_;
+  std::vector<std::string> state_str(static_cast<std::size_t>(ac.num_states));
+  for (const std::string& trigger : config.triggers) {
+    std::int32_t s = 0;
+    std::string prefix;
+    for (char c : trigger) {
+      s = ac.Step(s, static_cast<std::uint8_t>(c));
+      prefix += c;
+      state_str[static_cast<std::size_t>(s)] = prefix;
+    }
+  }
+  plan->dispatch_candidates_.assign(static_cast<std::size_t>(ac.num_states), {});
+  for (std::int32_t s = 0; s < ac.num_states; ++s) {
+    if (!ac.dead[static_cast<std::size_t>(s)]) continue;
+    std::vector<DispatchCandidate>& out =
+        plan->dispatch_candidates_[static_cast<std::size_t>(s)];
+    for (std::int32_t c = s; c != 0; c = ac.fail[static_cast<std::size_t>(c)]) {
+      const std::string& u = state_str[static_cast<std::size_t>(c)];
+      for (std::size_t tag = 0; tag < config.tags.size(); ++tag) {
+        const std::string& begin = config.tags[tag].begin;
+        if (begin.size() >= u.size() && begin.compare(0, u.size(), u) == 0) {
+          out.push_back({static_cast<std::int32_t>(tag),
+                         static_cast<std::int32_t>(u.size())});
+        }
+      }
+    }
+  }
+
+  Simulator sim(*plan);
+
+  // Spill tables, shared across tags with the same end marker: every string
+  // completing a tag ends with its end marker, so candidate tokens and cut
+  // positions are a pure function of (end marker, config continuation).
+  plan->spill_table_of_tag_.assign(config.tags.size(), 0);
+  std::vector<std::string> distinct_ends;
+  for (std::size_t tag = 0; tag < config.tags.size(); ++tag) {
+    const std::string& end = config.tags[tag].end;
+    auto it = std::find(distinct_ends.begin(), distinct_ends.end(), end);
+    if (it == distinct_ends.end()) {
+      distinct_ends.push_back(end);
+      it = std::prev(distinct_ends.end());
+    }
+    plan->spill_table_of_tag_[tag] =
+        static_cast<std::int32_t>(it - distinct_ends.begin());
+  }
+  plan->spill_tables_.resize(distinct_ends.size());
+  for (std::size_t e = 0; e < distinct_ends.size(); ++e) {
+    const std::string& end = distinct_ends[e];
+    TagSpillTable& table = plan->spill_tables_[e];
+    table.by_cut.resize(end.size() > 1 ? end.size() - 1 : 0);
+    for (std::int32_t id = 0; id < tok.VocabSize(); ++id) {
+      if (tok.IsSpecial(id)) continue;
+      const std::string& bytes = tok.TokenBytes(id);
+      for (std::size_t cut = 1; cut <= bytes.size(); ++cut) {
+        bool matches;
+        if (cut < end.size()) {
+          matches = bytes.compare(0, cut, end, end.size() - cut, cut) == 0;
+        } else {
+          matches = bytes.compare(cut - end.size(), end.size(), end) == 0;
+        }
+        if (!matches) continue;
+        std::string_view rest = std::string_view(bytes).substr(cut);
+        Simulator::Outcome outcome =
+            rest.empty() ? Simulator::Outcome{true, 0} : sim.FromAfterTag(rest);
+        if (!outcome.viable) continue;
+        if (cut < end.size()) {
+          table.by_cut[cut - 1].push_back(
+              {id, outcome.min_uses});
+        } else {
+          table.long_cuts.push_back(
+              {id, static_cast<std::int32_t>(cut), outcome.min_uses});
+        }
+      }
+    }
+  }
+
+  // Free-text token tables: one per live automaton state (at a UTF-8
+  // boundary) plus one per mid-sequence UTF-8 state. Tokens whose walk never
+  // leaves free text land in the stay bitset; tokens that complete a trigger
+  // are fully simulated and, when viable, listed with the minimal number of
+  // tag entries any accepting parse needs.
+  if (config.allow_free_text) {
+    auto build_table = [&](std::int32_t ac_state, std::uint8_t utf8_state,
+                           FreeStateTable* table) {
+      table->stay = DynamicBitset(static_cast<std::size_t>(tok.VocabSize()));
+      for (std::int32_t id = 0; id < tok.VocabSize(); ++id) {
+        if (tok.IsSpecial(id)) continue;
+        const std::string& bytes = tok.TokenBytes(id);
+        switch (WalkFree(ac, ac_state, utf8_state, bytes)) {
+          case FreeWalk::kStays:
+            table->stay.Set(static_cast<std::size_t>(id));
+            break;
+          case FreeWalk::kDies:
+            break;
+          case FreeWalk::kDispatches: {
+            Simulator::Outcome outcome =
+                sim.FromFreeState(ac_state, utf8_state, bytes);
+            if (outcome.viable) table->boundary.push_back({id, outcome.min_uses});
+            break;
+          }
+        }
+      }
+    };
+    plan->free_tables_.resize(static_cast<std::size_t>(ac.num_states));
+    for (std::int32_t s = 0; s < ac.num_states; ++s) {
+      if (ac.dead[static_cast<std::size_t>(s)]) continue;  // never a rest state
+      build_table(s, kU8Boundary, &plan->free_tables_[static_cast<std::size_t>(s)]);
+    }
+    plan->utf8_tables_.resize(kU8NumStates - 1);
+    for (std::uint8_t u8 = 1; u8 < kU8NumStates; ++u8) {
+      build_table(0, u8, &plan->utf8_tables_[static_cast<std::size_t>(u8) - 1]);
+    }
+  }
+
+  plan->preprocess_seconds_ = timer.ElapsedMicros() / 1e6;
+  return plan;
+}
+
+// --- Matcher -----------------------------------------------------------------
+
+TagDispatchMatcher::TagDispatchMatcher(
+    std::shared_ptr<const TagDispatchPlan> plan)
+    : plan_(std::move(plan)) {
+  generators_.resize(static_cast<std::size_t>(plan_->NumTags()));
+  Reset();
+}
+
+void TagDispatchMatcher::Reset() {
+  scratch_threads_.clear();
+  if (plan_->Config().allow_free_text) {
+    PushFree(0, kU8Boundary, 0);
+  } else {
+    PushGap(0);
+    SpawnFreshTags(0);
+  }
+  threads_.swap(scratch_threads_);
+  scratch_threads_.clear();
+  backup_threads_.clear();
+  for (auto& generator : generators_) {
+    if (generator != nullptr) generator->ReleaseScratch();
+  }
+}
+
+cache::MaskGenerator& TagDispatchMatcher::GeneratorFor(std::int32_t tag) {
+  auto& generator = generators_[static_cast<std::size_t>(tag)];
+  if (generator == nullptr) {
+    generator = std::make_unique<cache::MaskGenerator>(plan_->TagArtifact(tag));
+  }
+  return *generator;
+}
+
+void TagDispatchMatcher::PushFree(std::int32_t ac_state,
+                                  std::uint8_t utf8_state,
+                                  std::int32_t invocations) {
+  for (const Thread& t : scratch_threads_) {
+    if (t.kind == Thread::Kind::kFree && t.ac_state == ac_state &&
+        t.utf8_state == utf8_state && t.invocations == invocations) {
+      return;
+    }
+  }
+  Thread t;
+  t.kind = Thread::Kind::kFree;
+  t.ac_state = ac_state;
+  t.utf8_state = utf8_state;
+  t.invocations = invocations;
+  scratch_threads_.push_back(std::move(t));
+}
+
+void TagDispatchMatcher::PushGap(std::int32_t invocations) {
+  for (const Thread& t : scratch_threads_) {
+    if (t.kind == Thread::Kind::kGap && t.invocations == invocations) return;
+  }
+  Thread t;
+  t.kind = Thread::Kind::kGap;
+  t.invocations = invocations;
+  scratch_threads_.push_back(std::move(t));
+}
+
+void TagDispatchMatcher::SpawnFreshTags(std::int32_t invocations) {
+  if (RemainingBudget(plan_->MaxInvocations(), invocations) <= 0) return;
+  for (std::int32_t tag = 0; tag < plan_->NumTags(); ++tag) {
+    bool duplicate = false;
+    for (const Thread& t : scratch_threads_) {
+      if (t.kind == Thread::Kind::kTag && t.tag == tag &&
+          t.invocations == invocations + 1 &&
+          t.matcher->NumConsumedBytes() == 0) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    Thread t;
+    t.kind = Thread::Kind::kTag;
+    t.tag = tag;
+    t.invocations = invocations + 1;
+    t.matcher = std::make_shared<matcher::GrammarMatcher>(
+        plan_->TagArtifact(tag)->PdaShared());
+    t.entry_depth = -1;  // born this token: dropped on token rollback
+    scratch_threads_.push_back(std::move(t));
+  }
+}
+
+void TagDispatchMatcher::SpawnDispatch(std::int32_t dead_state,
+                                       std::int32_t invocations) {
+  if (RemainingBudget(plan_->MaxInvocations(), invocations) <= 0) return;
+  const std::vector<TagDispatchPlan::DispatchCandidate>& candidates =
+      plan_->Candidates(dead_state);
+  if (candidates.empty()) return;
+  ++stats_.dispatches;
+  ++stats_.segment_switches;
+  token_saw_tag_ = true;
+  for (const TagDispatchPlan::DispatchCandidate& cand : candidates) {
+    Thread t;
+    t.kind = Thread::Kind::kTag;
+    t.tag = cand.tag;
+    t.invocations = invocations + 1;
+    t.matcher = std::make_shared<matcher::GrammarMatcher>(
+        plan_->TagArtifact(cand.tag)->PdaShared());
+    bool ok = t.matcher->AcceptString(
+        std::string_view(
+            plan_->Config().tags[static_cast<std::size_t>(cand.tag)].begin)
+            .substr(0, static_cast<std::size_t>(cand.prefix_len)));
+    XGR_DCHECK(ok) << "begin-marker prefix rejected by its segment grammar";
+    if (!ok) continue;
+    t.entry_depth = -1;
+    scratch_threads_.push_back(std::move(t));
+  }
+}
+
+void TagDispatchMatcher::SpawnGapAfterTag(std::int32_t invocations) {
+  ++stats_.segment_switches;
+  if (plan_->Config().allow_free_text) {
+    PushFree(0, kU8Boundary, invocations);
+    return;
+  }
+  PushGap(invocations);
+  SpawnFreshTags(invocations);
+}
+
+// LOCKSTEP CONTRACT: this is the same transition relation as Simulator::Run
+// (see that class's comment); behavioral changes must land in both.
+bool TagDispatchMatcher::StepByte(std::uint8_t byte) {
+  scratch_threads_.clear();
+  for (Thread& t : threads_) {
+    switch (t.kind) {
+      case Thread::Kind::kFree: {
+        if (t.utf8_state != kU8Boundary || byte >= 0x80) {
+          std::uint8_t u8 = Utf8Next(t.utf8_state, byte);
+          if (u8 != kU8Reject) PushFree(0, u8, t.invocations);
+          break;
+        }
+        std::int32_t target = plan_->Automaton().Step(t.ac_state, byte);
+        if (!plan_->Automaton().dead[static_cast<std::size_t>(target)]) {
+          PushFree(target, kU8Boundary, t.invocations);
+        } else {
+          SpawnDispatch(target, t.invocations);
+        }
+        break;
+      }
+      case Thread::Kind::kGap:
+        break;  // a gap consumes no bytes; its fresh tag threads carry on
+      case Thread::Kind::kTag: {
+        if (!t.matcher->AcceptByte(byte)) break;  // thread dies
+        bool terminable = t.matcher->CanTerminate();
+        std::int32_t invocations = t.invocations;
+        scratch_threads_.push_back(std::move(t));
+        if (terminable) SpawnGapAfterTag(invocations);
+        break;
+      }
+    }
+  }
+  threads_.swap(scratch_threads_);
+  XGR_CHECK(threads_.size() <=
+            ThreadBudget(static_cast<std::size_t>(plan_->NumTags())))
+      << "tag-dispatch matcher exceeded its thread budget";
+  return !threads_.empty();
+}
+
+bool TagDispatchMatcher::AcceptBytes(std::string_view bytes) {
+  token_saw_tag_ = false;
+  for (Thread& t : threads_) {
+    if (t.kind == Thread::Kind::kTag) {
+      t.entry_depth = t.matcher->NumConsumedBytes();
+      token_saw_tag_ = true;
+    }
+  }
+  backup_threads_ = threads_;
+  // Restores the entry state: threads born during this token vanish with the
+  // scratch copies; survivors roll their matchers back to the entry depth.
+  auto restore = [this] {
+    threads_.swap(backup_threads_);
+    backup_threads_.clear();
+    for (Thread& t : threads_) {
+      if (t.kind == Thread::Kind::kTag) t.matcher->RollbackToDepth(t.entry_depth);
+    }
+  };
+  for (char c : bytes) {
+    bool alive;
+    try {
+      alive = StepByte(static_cast<std::uint8_t>(c));
+    } catch (...) {
+      // All-or-nothing also under errors (e.g. the thread-budget check):
+      // a caller that catches and keeps the handle must see the pre-token
+      // state, not a half-stepped one.
+      restore();
+      throw;
+    }
+    if (!alive) {
+      restore();
+      return false;
+    }
+  }
+  backup_threads_.clear();
+  stats_.threads_peak = std::max(
+      stats_.threads_peak, static_cast<std::int64_t>(threads_.size()));
+  if (token_saw_tag_) {
+    ++stats_.tag_tokens;
+  } else {
+    ++stats_.free_tokens;
+  }
+  return true;
+}
+
+bool TagDispatchMatcher::CanTerminate() const {
+  std::int32_t min = plan_->MinInvocations();
+  for (const Thread& t : threads_) {
+    if (t.kind == Thread::Kind::kFree && t.utf8_state == kU8Boundary &&
+        t.invocations >= min) {
+      return true;
+    }
+    if (t.kind == Thread::Kind::kGap && t.invocations >= min) return true;
+  }
+  return false;
+}
+
+bool TagDispatchMatcher::CanCompleteWith(matcher::GrammarMatcher* m,
+                                         std::string_view bytes) {
+  ++stats_.spill_probes;
+  if (!m->AcceptString(bytes)) return false;
+  bool terminable = m->CanTerminate();
+  m->RollbackBytes(static_cast<std::int32_t>(bytes.size()));
+  return terminable;
+}
+
+void TagDispatchMatcher::FillNextTokenBitmask(DynamicBitset* mask) {
+  const tokenizer::TokenizerInfo& tok = plan_->Tokenizer();
+  XGR_CHECK(mask->Size() == static_cast<std::size_t>(tok.VocabSize()))
+      << "mask size must equal vocabulary size";
+  mask->ResetAll();
+  bool eos_ok = false;
+  const std::int32_t max = plan_->MaxInvocations();
+  const std::int32_t min = plan_->MinInvocations();
+  for (Thread& t : threads_) {
+    switch (t.kind) {
+      case Thread::Kind::kFree: {
+        const TagDispatchPlan::FreeStateTable& table =
+            t.utf8_state == kU8Boundary ? plan_->FreeTable(t.ac_state)
+                                        : plan_->FreeTableMidUtf8(t.utf8_state);
+        mask->OrWith(table.stay);
+        std::int32_t budget = RemainingBudget(max, t.invocations);
+        for (const TagDispatchPlan::BoundaryToken& b : table.boundary) {
+          if (b.min_uses <= budget) mask->Set(static_cast<std::size_t>(b.token_id));
+        }
+        if (t.utf8_state == kU8Boundary && t.invocations >= min) eos_ok = true;
+        break;
+      }
+      case Thread::Kind::kGap:
+        if (t.invocations >= min) eos_ok = true;
+        break;
+      case Thread::Kind::kTag: {
+        if (tag_mask_scratch_.Size() != mask->Size()) {
+          tag_mask_scratch_ = DynamicBitset(mask->Size());
+        }
+        GeneratorFor(t.tag).FillNextTokenBitmask(t.matcher.get(),
+                                                 &tag_mask_scratch_);
+        mask->OrWith(tag_mask_scratch_);
+        // Segment spill: tokens that close this tag mid-token and continue
+        // outside it. Any completion's consumed prefix ends with the end
+        // marker, so one probe per cut length covers every short candidate.
+        const TagDispatchPlan::TagSpillTable& spill = plan_->SpillTable(t.tag);
+        const std::string& end =
+            plan_->Config().tags[static_cast<std::size_t>(t.tag)].end;
+        std::int32_t budget = RemainingBudget(max, t.invocations);
+        for (std::size_t cut = 1; cut <= spill.by_cut.size(); ++cut) {
+          const auto& candidates = spill.by_cut[cut - 1];
+          if (candidates.empty()) continue;
+          if (!CanCompleteWith(t.matcher.get(),
+                               std::string_view(end).substr(end.size() - cut))) {
+            continue;
+          }
+          for (const TagDispatchPlan::SpillCandidate& cand : candidates) {
+            if (cand.v_min_uses <= budget) {
+              mask->Set(static_cast<std::size_t>(cand.token_id));
+            }
+          }
+        }
+        for (const TagDispatchPlan::TagSpillTable::LongCandidate& cand :
+             spill.long_cuts) {
+          if (cand.v_min_uses > budget) continue;
+          if (mask->Test(static_cast<std::size_t>(cand.token_id))) continue;
+          const std::string& bytes = tok.TokenBytes(cand.token_id);
+          if (CanCompleteWith(t.matcher.get(),
+                              std::string_view(bytes).substr(
+                                  0, static_cast<std::size_t>(cand.cut)))) {
+            mask->Set(static_cast<std::size_t>(cand.token_id));
+          }
+        }
+        break;
+      }
+    }
+  }
+  for (std::int32_t id : tok.Vocab().special_ids) {
+    mask->Reset(static_cast<std::size_t>(id));
+  }
+  if (eos_ok && tok.EosId() >= 0) {
+    mask->Set(static_cast<std::size_t>(tok.EosId()));
+  }
+}
+
+std::string TagDispatchMatcher::FindJumpForwardString() {
+  // Forced continuations exist only when a single in-tag thread is live (free
+  // text admits any byte; several threads mean the parse itself is
+  // ambiguous). The underlying matcher stops at terminable states — where
+  // free text could resume — and trims to a UTF-8 boundary.
+  if (threads_.size() != 1 || threads_[0].kind != Thread::Kind::kTag) return "";
+  if (threads_[0].matcher->CanTerminate()) return "";
+  return threads_[0].matcher->FindJumpForwardString();
+}
+
+const cache::MaskGenStats& TagDispatchMatcher::AggregatedMaskStats() const {
+  mask_stats_agg_ = cache::MaskGenStats{};
+  for (const auto& generator : generators_) {
+    if (generator == nullptr) continue;
+    const cache::MaskGenStats& s = generator->Stats();
+    mask_stats_agg_.masks_generated += s.masks_generated;
+    mask_stats_agg_.runtime_tokens_checked += s.runtime_tokens_checked;
+    mask_stats_agg_.ctx_bytes_checked += s.ctx_bytes_checked;
+    mask_stats_agg_.ctx_tokens_pruned += s.ctx_tokens_pruned;
+    mask_stats_agg_.ctx_subtree_cutoffs += s.ctx_subtree_cutoffs;
+    mask_stats_agg_.ctx_memo_hits += s.ctx_memo_hits;
+    mask_stats_agg_.ctx_memo_misses += s.ctx_memo_misses;
+    mask_stats_agg_.stacks_processed += s.stacks_processed;
+    mask_stats_agg_.merges += s.merges;
+    mask_stats_agg_.scratch_rebuilds += s.scratch_rebuilds;
+    mask_stats_agg_.scratch_reseeds += s.scratch_reseeds;
+  }
+  return mask_stats_agg_;
+}
+
+}  // namespace xgr::compose

@@ -1,0 +1,299 @@
+// Tag-dispatch composition: agentic structural tags without a monolithic
+// grammar.
+//
+// BuildStructuralTagGrammar (src/grammar/structural_tag.h) compiles every
+// tool schema into ONE grammar, so compile time and artifact size scale with
+// the full toolset even though a request typically invokes one tool, and the
+// per-prose-byte cost runs through the PDA (right-recursive free rules grow
+// the matching stack with the text). This layer decomposes the protocol at
+// runtime instead:
+//
+//   * free text runs on the trigger Aho-Corasick automaton directly — a DFA
+//     step per byte, no PDA stack growth and no allocations;
+//   * when a trigger completes, the matcher dispatches into that tag's
+//     SEPARATELY COMPILED segment grammar (`begin body end`, one artifact per
+//     tag) — content-addressed in the GrammarRegistry and prefetched through
+//     the CompileService at kPrefetch priority, so a tool schema is compiled
+//     once per registry lifetime no matter how many configs mention it and
+//     adding a tool never recompiles the world;
+//   * at the end marker the matcher returns to free text.
+//
+// The composite accepts exactly the same byte strings and produces
+// bit-identical per-token masks as the monolithic grammar (the differential
+// suite in tests/tag_dispatch_test.cc enforces this). Exactness requires care
+// at three boundaries, all handled here:
+//
+//   1. Trigger-completion alignment. When a trigger completes, a begin marker
+//      may have started at ANY earlier offset whose suffix is a prefix of
+//      some begin — including prefixes of *other* triggers (overlapping
+//      trigger sets like {"ab","bc"} over the text "abc..."). The dispatch
+//      candidates are exactly the failure-chain states of the dead automaton
+//      state, so every alignment spawns its own tag thread.
+//   2. UTF-8. The monolithic free-text rules match codepoints, so free text
+//      accepts exactly valid UTF-8 (sub-UTF8 tokens are viable mid-sequence
+//      but free text can neither end nor dispatch there). The free segment
+//      therefore runs the product of the trigger DFA and the standard UTF-8
+//      byte DFA; since triggers are ASCII, the product adds only 7 states.
+//   3. Segment spill. A single token may close the active tag mid-token and
+//      continue as free text (or even open the next tag). Any string that
+//      completes a tag ends with the tag's end marker, so the spill
+//      candidates per tag are precomputable: tokens whose prefix is a proper
+//      suffix of the end marker (checked with one shared probe per cut
+//      length) or which contain the whole end marker (checked individually).
+//
+// Per-token mask cost in free text is one bitset copy plus a short boundary
+// list — independent of toolset size; in-tag cost is one MaskGenerator pass
+// over the ACTIVE tag's cache (its MaskWorkspace reused across steps) plus
+// the spill probes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/mask_generator.h"
+#include "grammar/structural_tag.h"
+#include "matcher/grammar_matcher.h"
+#include "runtime/compile_service.h"
+#include "support/dynamic_bitset.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::compose {
+
+struct TagDispatchConfig {
+  std::vector<grammar::StructuralTag> tags;
+  std::vector<std::string> triggers;
+  // Same semantics as grammar::StructuralTagOptions (the monolithic
+  // differential counterpart is built with exactly these values).
+  bool allow_free_text = true;
+  std::int32_t max_invocations = -1;  // -1 = unbounded
+  bool require_invocation = false;
+};
+
+// Counters the decoder and the serving engine report. Plan-level fields are
+// stamped once at plan build and constant afterwards; run-level fields grow
+// monotonically with decoding (the engine aggregates per-run deltas).
+struct TagDispatchStats {
+  // Plan-level (constant after TagDispatchPlan::Build).
+  std::int64_t tags = 0;
+  std::int64_t prefetch_submits = 0;   // one kPrefetch job per tag
+  std::int64_t prefetch_hits = 0;      // artifact resident at submit time
+  std::int64_t prefetch_waits = 0;     // plan build had to wait for a build
+  // Run-level.
+  std::int64_t dispatches = 0;         // trigger completions entering tags
+  std::int64_t segment_switches = 0;   // free->tag and tag->free transitions
+  std::int64_t free_tokens = 0;        // tokens accepted with no tag thread
+  std::int64_t tag_tokens = 0;         // tokens accepted with >=1 tag thread
+  std::int64_t spill_probes = 0;       // end-boundary completion probes
+  std::int64_t threads_peak = 0;       // max simultaneous parse threads
+};
+
+// --- UTF-8 byte DFA (exported for tests) ------------------------------------
+// States of the standard UTF-8 acceptor: kU8Boundary between characters, the
+// others mid-sequence. kU8Reject is a trap.
+enum : std::uint8_t {
+  kU8Boundary = 0,
+  kU8Tail1,  // 1 continuation byte left (80-BF)
+  kU8Tail2,  // 2 left
+  kU8Tail3,  // 3 left
+  kU8LeadE0, // after E0: next must be A0-BF
+  kU8LeadED, // after ED: next must be 80-9F (no surrogates)
+  kU8LeadF0, // after F0: next must be 90-BF
+  kU8LeadF4, // after F4: next must be 80-8F (<= U+10FFFF)
+  kU8NumStates,
+  kU8Reject = 0xFF,
+};
+std::uint8_t Utf8Next(std::uint8_t state, std::uint8_t byte);
+
+// --- Plan --------------------------------------------------------------------
+//
+// The immutable per-config artifact the composite decoder runs on: the
+// trigger automaton, per-tag segment artifacts (registry-shared), the
+// per-state free-text token tables and the per-tag spill tables. Build cost
+// is O(states x vocab) DFA walks plus a full simulation of the few
+// trigger-adjacent tokens — independent of how many OTHER configs exist, and
+// every per-tag compile is a registry hit after its first use anywhere.
+// Thread-safe after Build (all state is const).
+class TagDispatchPlan {
+ public:
+  // Compiles (or fetches) every tag segment through `service` and builds the
+  // dispatch tables. Throws xgr::CheckError on invalid configs (no triggers,
+  // a begin marker no trigger prefixes, schema errors).
+  static std::shared_ptr<const TagDispatchPlan> Build(
+      const TagDispatchConfig& config, runtime::CompileService* service);
+
+  const TagDispatchConfig& Config() const { return config_; }
+  const grammar::TriggerAutomaton& Automaton() const { return automaton_; }
+  const tokenizer::TokenizerInfo& Tokenizer() const { return *tokenizer_; }
+  const std::shared_ptr<const tokenizer::TokenizerInfo>& TokenizerShared() const {
+    return tokenizer_;
+  }
+  std::int32_t NumTags() const {
+    return static_cast<std::int32_t>(config_.tags.size());
+  }
+  const runtime::Artifact& TagArtifact(std::int32_t tag) const {
+    return artifacts_[static_cast<std::size_t>(tag)];
+  }
+  // Plan-level stats (prefetch accounting); run-level fields are zero.
+  const TagDispatchStats& BuildStats() const { return build_stats_; }
+  double PreprocessSeconds() const { return preprocess_seconds_; }
+
+  // --- Dispatch tables (used by TagDispatchMatcher and tests) ---------------
+
+  // A begin marker may have started `prefix_len` bytes before the byte that
+  // completed a trigger; the tag's matcher is seeded with begin[0..prefix_len).
+  struct DispatchCandidate {
+    std::int32_t tag = 0;
+    std::int32_t prefix_len = 0;
+  };
+  // Candidates for a *dead* automaton state (empty for live states).
+  const std::vector<DispatchCandidate>& Candidates(std::int32_t state) const {
+    return dispatch_candidates_[static_cast<std::size_t>(state)];
+  }
+
+  // A token acceptable from a free state only by entering tags: allowed at
+  // runtime iff `min_uses` more invocations fit the remaining budget.
+  struct BoundaryToken {
+    std::int32_t token_id = 0;
+    std::int32_t min_uses = 0;  // minimal tag entries over accepting parses
+  };
+  struct FreeStateTable {
+    DynamicBitset stay;  // tokens that remain entirely in free text
+    std::vector<BoundaryToken> boundary;
+  };
+  // Table for a live automaton state at a UTF-8 character boundary.
+  const FreeStateTable& FreeTable(std::int32_t ac_state) const {
+    return free_tables_[static_cast<std::size_t>(ac_state)];
+  }
+  // Table for mid-UTF-8 states (automaton state pinned to 0).
+  const FreeStateTable& FreeTableMidUtf8(std::uint8_t utf8_state) const {
+    return utf8_tables_[static_cast<std::size_t>(utf8_state) - 1];
+  }
+
+  // A token that may close the active tag after `cut` bytes and continue as
+  // free text / further tags. For cut < |end|, the consumed prefix is always
+  // end[|end|-cut ..), so one probe per cut covers every candidate sharing it.
+  struct SpillCandidate {
+    std::int32_t token_id = 0;
+    std::int32_t v_min_uses = 0;  // tag entries needed by the remainder
+  };
+  struct TagSpillTable {
+    // by_cut[cut-1] lists candidates with that cut (cut in 1..|end|-1).
+    std::vector<std::vector<SpillCandidate>> by_cut;
+    // Candidates whose cut >= |end| (the token contains the whole end
+    // marker); probed individually with their own prefix bytes.
+    struct LongCandidate {
+      std::int32_t token_id = 0;
+      std::int32_t cut = 0;
+      std::int32_t v_min_uses = 0;
+    };
+    std::vector<LongCandidate> long_cuts;
+  };
+  // Spill tables are shared between tags with identical end markers (the
+  // table is a pure function of the end marker and the config continuation).
+  const TagSpillTable& SpillTable(std::int32_t tag) const {
+    return spill_tables_[static_cast<std::size_t>(
+        spill_table_of_tag_[static_cast<std::size_t>(tag)])];
+  }
+
+  std::int32_t MinInvocations() const { return config_.require_invocation ? 1 : 0; }
+  // Remaining-entry budget semantics: entries committed so far must stay
+  // <= max (unbounded when max < 0).
+  std::int32_t MaxInvocations() const { return config_.max_invocations; }
+
+ private:
+  TagDispatchPlan() = default;
+
+  TagDispatchConfig config_;
+  grammar::TriggerAutomaton automaton_;
+  std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer_;
+  std::vector<runtime::Artifact> artifacts_;
+  std::vector<std::vector<DispatchCandidate>> dispatch_candidates_;
+  std::vector<FreeStateTable> free_tables_;       // by automaton state
+  std::vector<FreeStateTable> utf8_tables_;       // by utf8 state - 1
+  std::vector<TagSpillTable> spill_tables_;       // one per distinct end marker
+  std::vector<std::int32_t> spill_table_of_tag_;
+  TagDispatchStats build_stats_;
+  double preprocess_seconds_ = 0.0;
+};
+
+// --- Matcher -----------------------------------------------------------------
+//
+// The segment state machine: a small set of parse threads, each either
+//   * kFree  — in free text at (automaton state, UTF-8 state); a plain DFA
+//     position, no matcher, no allocations;
+//   * kTag   — inside tag `tag` with its own GrammarMatcher on the tag's
+//     segment grammar;
+//   * kGap   — between tags when free text is disabled (carries only EOS
+//     eligibility; fresh kTag threads are spawned alongside it).
+// Several threads coexist exactly where the monolithic grammar is ambiguous
+// (overlapping triggers, a tag that may close or continue). One instance per
+// generation request; not thread-safe. Per-tag MaskGenerators (and their
+// MaskWorkspaces) are pooled across invocations of the same tag.
+class TagDispatchMatcher {
+ public:
+  explicit TagDispatchMatcher(std::shared_ptr<const TagDispatchPlan> plan);
+
+  // All-or-nothing: on failure the state is unchanged.
+  bool AcceptBytes(std::string_view bytes);
+  // Fills the allowed-token mask for the current state (bit-identical to the
+  // monolithic path). Allocation-free in steady state while no tag thread is
+  // live (the free-text segment).
+  void FillNextTokenBitmask(DynamicBitset* mask);
+  bool CanTerminate() const;
+  void Reset();
+
+  // Forced continuation when a single in-tag thread is active ("" otherwise;
+  // free text is never forced). Trimmed to a codepoint boundary by the
+  // underlying matcher.
+  std::string FindJumpForwardString();
+
+  const TagDispatchPlan& Plan() const { return *plan_; }
+  const TagDispatchStats& Stats() const { return stats_; }
+  // Sum of the per-tag generators' mask stats (ctx-check attribution etc.).
+  const cache::MaskGenStats& AggregatedMaskStats() const;
+  std::size_t NumThreads() const { return threads_.size(); }
+
+ private:
+  struct Thread {
+    enum class Kind : std::uint8_t { kFree, kGap, kTag };
+    Kind kind = Kind::kFree;
+    std::int32_t ac_state = 0;           // kFree
+    std::uint8_t utf8_state = kU8Boundary;  // kFree
+    // Tag entries committed, including a kTag thread's in-progress one.
+    std::int32_t invocations = 0;
+    std::int32_t tag = -1;               // kTag
+    std::shared_ptr<matcher::GrammarMatcher> matcher;  // kTag
+    std::int32_t entry_depth = 0;  // matcher depth at token start (rollback)
+  };
+
+  // Steps every thread over one byte (threads_ -> scratch_threads_, swapped
+  // in). Returns false when every thread died.
+  bool StepByte(std::uint8_t byte);
+  void SpawnDispatch(std::int32_t dead_state, std::int32_t invocations);
+  // After a tag thread's matcher reaches a terminable state: spawn the
+  // between-tags continuation (free/gap thread + fresh tags when free text
+  // is disabled) into scratch_threads_.
+  void SpawnGapAfterTag(std::int32_t invocations);
+  void PushFree(std::int32_t ac_state, std::uint8_t utf8_state,
+                std::int32_t invocations);
+  void PushGap(std::int32_t invocations);
+  void SpawnFreshTags(std::int32_t invocations);
+  cache::MaskGenerator& GeneratorFor(std::int32_t tag);
+  // Does `m` accept `bytes` and reach a terminable state? State restored.
+  bool CanCompleteWith(matcher::GrammarMatcher* m, std::string_view bytes);
+
+  std::shared_ptr<const TagDispatchPlan> plan_;
+  std::vector<Thread> threads_;
+  std::vector<Thread> scratch_threads_;  // StepByte output buffer
+  std::vector<Thread> backup_threads_;   // token-level rollback
+  std::vector<std::unique_ptr<cache::MaskGenerator>> generators_;  // per tag
+  DynamicBitset tag_mask_scratch_;
+  bool token_saw_tag_ = false;  // any kTag thread live during this token
+  TagDispatchStats stats_;
+  mutable cache::MaskGenStats mask_stats_agg_;
+};
+
+}  // namespace xgr::compose

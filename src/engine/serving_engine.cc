@@ -6,6 +6,7 @@
 
 #include "baselines/xgrammar_decoder.h"
 #include "cache/mask_generator.h"
+#include "compose/tag_dispatch.h"
 #include "support/logging.h"
 #include "support/thread_pool.h"
 #include "support/timer.h"
@@ -57,6 +58,43 @@ void AccumulateMaskGenDelta(const baselines::ConstrainedDecoder* decoder,
   out->ctx_bytes_checked += now.ctx_bytes_checked - admitted.ctx_bytes_checked;
   out->ctx_tokens_pruned += now.ctx_tokens_pruned - admitted.ctx_tokens_pruned;
   out->ctx_subtree_cutoffs += now.ctx_subtree_cutoffs - admitted.ctx_subtree_cutoffs;
+}
+
+// Tag-dispatch counters, same snapshot/delta discipline as MaskGenAggregate.
+// The plan-level prefetch fields are copied at admission and added ONCE per
+// request at completion (they are constants of the decoder's plan, not work
+// done this run).
+TagDispatchAggregate SnapshotTagDispatch(
+    const baselines::ConstrainedDecoder* decoder) {
+  TagDispatchAggregate snapshot;
+  const compose::TagDispatchStats* stats =
+      decoder != nullptr ? decoder->DispatchStats() : nullptr;
+  if (stats != nullptr) {
+    snapshot.decoders = 1;  // marks "this request runs a dispatch decoder"
+    snapshot.dispatches = stats->dispatches;
+    snapshot.segment_switches = stats->segment_switches;
+    snapshot.free_tokens = stats->free_tokens;
+    snapshot.tag_tokens = stats->tag_tokens;
+    snapshot.prefetch_submits = stats->prefetch_submits;
+    snapshot.prefetch_hits = stats->prefetch_hits;
+    snapshot.prefetch_waits = stats->prefetch_waits;
+  }
+  return snapshot;
+}
+
+void AccumulateTagDispatchDelta(const baselines::ConstrainedDecoder* decoder,
+                                const TagDispatchAggregate& admitted,
+                                TagDispatchAggregate* out) {
+  if (admitted.decoders == 0) return;
+  TagDispatchAggregate now = SnapshotTagDispatch(decoder);
+  out->decoders += 1;
+  out->dispatches += now.dispatches - admitted.dispatches;
+  out->segment_switches += now.segment_switches - admitted.segment_switches;
+  out->free_tokens += now.free_tokens - admitted.free_tokens;
+  out->tag_tokens += now.tag_tokens - admitted.tag_tokens;
+  out->prefetch_submits += admitted.prefetch_submits;
+  out->prefetch_hits += admitted.prefetch_hits;
+  out->prefetch_waits += admitted.prefetch_waits;
 }
 
 // Advances one request by one decode step: sample under the precomputed
@@ -154,6 +192,7 @@ BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) 
 
   std::vector<ActiveRequest> active(requests.size());
   std::vector<MaskGenAggregate> admitted_stats(requests.size());
+  std::vector<TagDispatchAggregate> admitted_dispatch(requests.size());
   double max_preprocess_s = 0.0;
   std::int64_t prompt_tokens = 0;
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -168,6 +207,7 @@ BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) 
                                   active[i].decoder->PreprocessSeconds());
     }
     admitted_stats[i] = SnapshotMaskGen(active[i].decoder.get());
+    admitted_dispatch[i] = SnapshotTagDispatch(active[i].decoder.get());
     prompt_tokens += requests[i].prompt_tokens;
   }
 
@@ -237,6 +277,8 @@ BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) 
   for (std::size_t i = 0; i < active.size(); ++i) {
     AccumulateMaskGenDelta(active[i].decoder.get(), admitted_stats[i],
                            &batch.mask_gen);
+    AccumulateTagDispatchDelta(active[i].decoder.get(), admitted_dispatch[i],
+                               &batch.tag_dispatch);
     batch.requests[i] = std::move(active[i].result);
   }
   return batch;
@@ -263,6 +305,7 @@ ContinuousResult ServingEngine::RunContinuous(
     std::size_t index = 0;       // into `requests` / result vector
     double admitted_clock = 0.0; // simulated µs
     MaskGenAggregate admitted_stats;
+    TagDispatchAggregate admitted_dispatch;
   };
   std::vector<Slot> active;
   active.reserve(static_cast<std::size_t>(max_batch_size));
@@ -337,6 +380,7 @@ ContinuousResult ServingEngine::RunContinuous(
       slot.ar.sampler_rng = Rng(arrival.request.seed * 7919u + 13u);
       if (slot.ar.decoder != nullptr) slot.ar.decoder->Reset();
       slot.admitted_stats = SnapshotMaskGen(slot.ar.decoder.get());
+      slot.admitted_dispatch = SnapshotTagDispatch(slot.ar.decoder.get());
       admission_us += static_cast<double>(arrival.request.prompt_tokens) *
                       options_.profile.prefill_us_per_token;
       slot.admitted_clock = clock_us;
@@ -411,6 +455,8 @@ ContinuousResult ServingEngine::RunContinuous(
         record.result = std::move(slot.ar.result);
         AccumulateMaskGenDelta(slot.ar.decoder.get(),
                                slot.admitted_stats, &out.mask_gen);
+        AccumulateTagDispatchDelta(slot.ar.decoder.get(),
+                                   slot.admitted_dispatch, &out.tag_dispatch);
         active[i] = std::move(active.back());
         active.pop_back();
         ++finished;

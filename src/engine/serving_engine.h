@@ -99,6 +99,23 @@ struct MaskGenAggregate {
   std::int64_t ctx_subtree_cutoffs = 0;
 };
 
+// Tag-dispatch segment counters aggregated over the composite agentic
+// decoders of one run (see compose::TagDispatchStats; zero when no request
+// used one). Run counters are per-run deltas; `prefetch_*` are plan-level
+// totals summed once per admitted decoder — they describe how the decoder's
+// per-tag artifacts were obtained (registry hit vs compile wait), not work
+// done during decoding.
+struct TagDispatchAggregate {
+  std::int64_t decoders = 0;  // requests that ran on a tag-dispatch decoder
+  std::int64_t dispatches = 0;
+  std::int64_t segment_switches = 0;
+  std::int64_t free_tokens = 0;
+  std::int64_t tag_tokens = 0;
+  std::int64_t prefetch_submits = 0;
+  std::int64_t prefetch_hits = 0;
+  std::int64_t prefetch_waits = 0;
+};
+
 struct BatchResult {
   std::vector<RequestResult> requests;
   double ttft_ms = 0.0;          // prefill + preprocessing (+ first mask sync)
@@ -106,6 +123,7 @@ struct BatchResult {
   std::int64_t decode_steps = 0;
   std::int64_t total_tokens = 0;  // includes jump-forwarded tokens
   MaskGenAggregate mask_gen;
+  TagDispatchAggregate tag_dispatch;
   // Time per output token as the paper reports it: decode wall time divided
   // by tokens generated per request slot.
   double TpotMs() const {
@@ -151,6 +169,7 @@ struct ContinuousResult {
   std::int64_t decode_steps = 0;
   std::int64_t total_tokens = 0;
   MaskGenAggregate mask_gen;
+  TagDispatchAggregate tag_dispatch;
   double makespan_ms = 0.0;  // simulated clock at last completion
   double ThroughputTokensPerSec() const {
     return makespan_ms <= 0.0

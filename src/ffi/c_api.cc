@@ -5,14 +5,17 @@
 #include <string>
 #include <utility>
 
+#include "baselines/tag_dispatch_decoder.h"
 #include "baselines/xgrammar_decoder.h"
 #include "cache/adaptive_cache.h"
+#include "compose/tag_dispatch.h"
 #include "grammar/grammar.h"
 #include "grammar/json_schema.h"
 #include "grammar/regex_to_grammar.h"
 #include "pda/compiled_grammar.h"
 #include "runtime/compile_service.h"
 #include "support/logging.h"
+#include "support/utf8.h"
 #include "tokenizer/synthetic_vocab.h"
 #include "tokenizer/tokenizer_info.h"
 
@@ -36,9 +39,17 @@ auto Guarded(const char* where, E error_value, Fn&& fn) -> decltype(fn()) {
   }
 }
 
+// Copies `value` into a caller buffer, NUL-terminated, and returns the FULL
+// byte length of `value` (callers detect truncation by return >= buf_len).
+// A truncated copy never ends mid-UTF-8 sequence: the cut is pulled back to
+// the last complete codepoint so C callers can hand the buffer to
+// UTF-8-consuming code without validating the tail.
 size_t CopyOut(const std::string& value, char* buf, size_t buf_len) {
   if (buf != nullptr && buf_len > 0) {
     size_t n = std::min(buf_len - 1, value.size());
+    if (n < value.size()) {
+      n = xgr::CompleteUtf8PrefixLength(std::string_view(value.data(), n));
+    }
     std::memcpy(buf, value.data(), n);
     buf[n] = '\0';
   }
@@ -57,8 +68,12 @@ struct xgr_grammar {
   std::shared_ptr<const xgr::cache::AdaptiveTokenMaskCache> cache;
 };
 
+// Generalized over the decoder interface so one handle type serves both the
+// grammar-backed matcher and the tag-dispatch composite; XGrammar-specific
+// entry points (fork) downcast and error out for other backends.
 struct xgr_matcher {
-  std::shared_ptr<xgr::baselines::XGrammarDecoder> decoder;
+  std::shared_ptr<xgr::baselines::ConstrainedDecoder> decoder;
+  std::shared_ptr<const xgr::tokenizer::TokenizerInfo> tokenizer;
 };
 
 struct xgr_compile_service {
@@ -287,7 +302,8 @@ xgr_matcher* xgr_matcher_create(const xgr_grammar* grammar) {
   return Guarded("xgr_matcher_create", static_cast<xgr_matcher*>(nullptr), [&]() -> xgr_matcher* {
     XGR_CHECK(grammar != nullptr) << "null grammar";
     return new xgr_matcher{
-        std::make_shared<xgr::baselines::XGrammarDecoder>(grammar->cache)};
+        std::make_shared<xgr::baselines::XGrammarDecoder>(grammar->cache),
+        grammar->cache->TokenizerShared()};
   });
 }
 
@@ -295,8 +311,7 @@ void xgr_matcher_destroy(xgr_matcher* matcher) { delete matcher; }
 
 size_t xgr_matcher_mask_words(const xgr_matcher* matcher) {
   if (matcher == nullptr) return 0;
-  std::size_t vocab = static_cast<std::size_t>(
-      matcher->decoder->Generator().Cache().Tokenizer().VocabSize());
+  auto vocab = static_cast<std::size_t>(matcher->tokenizer->VocabSize());
   return (vocab + 63) / 64;
 }
 
@@ -307,8 +322,7 @@ xgr_status xgr_matcher_fill_next_token_bitmask(xgr_matcher* matcher,
     XGR_CHECK(matcher != nullptr && mask_words != nullptr);
     XGR_CHECK(num_words >= xgr_matcher_mask_words(matcher))
         << "mask buffer too small: " << num_words << " words";
-    std::size_t vocab = static_cast<std::size_t>(
-        matcher->decoder->Generator().Cache().Tokenizer().VocabSize());
+    auto vocab = static_cast<std::size_t>(matcher->tokenizer->VocabSize());
     xgr::DynamicBitset mask(vocab);
     matcher->decoder->FillNextTokenBitmask(&mask);
     static_assert(sizeof(xgr::DynamicBitset::Word) == sizeof(uint64_t));
@@ -320,8 +334,7 @@ xgr_status xgr_matcher_fill_next_token_bitmask(xgr_matcher* matcher,
 int32_t xgr_matcher_accept_token(xgr_matcher* matcher, int32_t token_id) {
   return Guarded("xgr_matcher_accept_token", static_cast<int32_t>(-1), [&]() -> int32_t {
     XGR_CHECK(matcher != nullptr);
-    const auto& tokenizer = matcher->decoder->Generator().Cache().Tokenizer();
-    XGR_CHECK(token_id >= 0 && token_id < tokenizer.VocabSize())
+    XGR_CHECK(token_id >= 0 && token_id < matcher->tokenizer->VocabSize())
         << "token id out of range: " << token_id;
     return matcher->decoder->AcceptToken(token_id) ? 1 : 0;
   });
@@ -353,7 +366,48 @@ void xgr_matcher_reset(xgr_matcher* matcher) {
 xgr_matcher* xgr_matcher_fork(const xgr_matcher* matcher) {
   return Guarded("xgr_matcher_fork", static_cast<xgr_matcher*>(nullptr), [&]() -> xgr_matcher* {
     XGR_CHECK(matcher != nullptr);
-    return new xgr_matcher{matcher->decoder->Fork()};
+    auto xg = std::dynamic_pointer_cast<xgr::baselines::XGrammarDecoder>(
+        matcher->decoder);
+    XGR_CHECK(xg != nullptr)
+        << "only grammar-backed matchers support forking";
+    return new xgr_matcher{xg->Fork(), matcher->tokenizer};
+  });
+}
+
+xgr_matcher* xgr_tag_dispatch_matcher_create(
+    xgr_compile_service* service, const char* const* begins,
+    const char* const* schemas, const char* const* ends, int32_t num_tags,
+    const char* const* triggers, int32_t num_triggers,
+    int32_t allow_free_text, int32_t max_invocations,
+    int32_t require_invocation) {
+  return Guarded("xgr_tag_dispatch_matcher_create",
+                 static_cast<xgr_matcher*>(nullptr), [&]() -> xgr_matcher* {
+    XGR_CHECK(service != nullptr) << "null compile service";
+    XGR_CHECK(begins != nullptr && ends != nullptr) << "null tag arrays";
+    XGR_CHECK(num_tags > 0) << "no structural tags given";
+    XGR_CHECK(triggers != nullptr && num_triggers > 0) << "no triggers given";
+    xgr::compose::TagDispatchConfig config;
+    config.tags.reserve(static_cast<std::size_t>(num_tags));
+    for (int32_t i = 0; i < num_tags; ++i) {
+      XGR_CHECK(begins[i] != nullptr && ends[i] != nullptr)
+          << "null tag marker at index " << i;
+      xgr::grammar::StructuralTag tag;
+      tag.begin = begins[i];
+      if (schemas != nullptr && schemas[i] != nullptr) tag.schema_text = schemas[i];
+      tag.end = ends[i];
+      config.tags.push_back(std::move(tag));
+    }
+    for (int32_t i = 0; i < num_triggers; ++i) {
+      XGR_CHECK(triggers[i] != nullptr) << "null trigger at index " << i;
+      config.triggers.emplace_back(triggers[i]);
+    }
+    config.allow_free_text = allow_free_text != 0;
+    config.max_invocations = max_invocations;
+    config.require_invocation = require_invocation != 0;
+    auto plan =
+        xgr::compose::TagDispatchPlan::Build(config, service->service.get());
+    auto decoder = std::make_shared<xgr::baselines::TagDispatchDecoder>(plan);
+    return new xgr_matcher{std::move(decoder), plan->TokenizerShared()};
   });
 }
 

@@ -219,9 +219,37 @@ void xgr_matcher_reset(xgr_matcher* matcher);
 /* O(1) state branch sharing the persistent stack pool (§3.3). The returned
  * handle is caller-owned (xgr_matcher_destroy()) and independent — either
  * side may advance, roll back, or be destroyed first — but it must be used
- * on the same thread as its parent (shared unsynchronized pool). Returns
- * NULL on error. */
+ * on the same thread as its parent (shared unsynchronized pool). Only
+ * grammar-backed matchers (xgr_matcher_create) support forking; for
+ * tag-dispatch matchers this returns NULL with an error. */
 xgr_matcher* xgr_matcher_fork(const xgr_matcher* matcher);
+
+/* ----- tag-dispatch composite matcher ------------------------------------- */
+
+/* Creates a matcher for agentic structural tags via tag-dispatch
+ * composition: unconstrained prose until one of `triggers` completes, then
+ * the matching tag's `begin body end` segment (body constrained by that
+ * tag's JSON schema; NULL or "" schema = any JSON), then prose again. Each
+ * tag's segment grammar is compiled SEPARATELY through `service` (prefetch
+ * priority) and cached in its registry by content, so a tool schema compiles
+ * once per registry lifetime no matter how many configs or requests mention
+ * it, and this call is fast when the tags are already known.
+ *
+ * `begins`, `schemas`, `ends` are parallel arrays of length `num_tags`
+ * (`schemas` itself may be NULL = all bodies unconstrained JSON). Every
+ * begin marker must start with at least one trigger; triggers must be
+ * non-empty printable ASCII. `max_invocations` < 0 means unbounded.
+ *
+ * The returned handle supports the full xgr_matcher_* surface except
+ * xgr_matcher_fork and xgr_matcher_rollback_tokens. It retains `service`'s
+ * internals, so destroying `service` afterwards is fine. Caller-owned;
+ * release with xgr_matcher_destroy(). Returns NULL on error. */
+xgr_matcher* xgr_tag_dispatch_matcher_create(
+    xgr_compile_service* service, const char* const* begins,
+    const char* const* schemas, const char* const* ends, int32_t num_tags,
+    const char* const* triggers, int32_t num_triggers,
+    int32_t allow_free_text, int32_t max_invocations,
+    int32_t require_invocation);
 
 #ifdef __cplusplus
 } /* extern "C" */

@@ -10,21 +10,6 @@
 
 namespace xgr::grammar {
 
-namespace {
-
-// Aho-Corasick automaton over the trigger set, specialized for building the
-// trigger-avoiding free-text language: `next[s][c]` is the goto-with-failure
-// transition, and `dead[s]` marks states whose prefix ends with a complete
-// trigger (free text must never enter them).
-struct TriggerAutomaton {
-  // Dense transitions over the ASCII alphabet actually used by triggers;
-  // chars outside `alphabet` always lead back to state 0.
-  std::vector<char> alphabet;
-  std::vector<std::vector<std::int32_t>> next;  // [state][alphabet index]
-  std::vector<bool> dead;
-  std::int32_t num_states = 0;
-};
-
 TriggerAutomaton BuildTriggerAutomaton(const std::vector<std::string>& triggers) {
   XGR_CHECK(!triggers.empty()) << "structural tags need at least one trigger";
   // Collect the alphabet.
@@ -50,20 +35,23 @@ TriggerAutomaton BuildTriggerAutomaton(const std::vector<std::string>& triggers)
   // Trie construction.
   const std::size_t k = ac.alphabet.size();
   std::vector<std::vector<std::int32_t>> trie(1, std::vector<std::int32_t>(k, -1));
-  std::vector<bool> terminal(1, false);
-  for (const std::string& trigger : triggers) {
+  ac.terminal_triggers.assign(1, {});
+  ac.depth.assign(1, 0);
+  for (std::size_t t = 0; t < triggers.size(); ++t) {
     std::int32_t state = 0;
-    for (char c : trigger) {
+    for (char c : triggers[t]) {
       std::size_t idx = alpha_index(c);
       if (trie[static_cast<std::size_t>(state)][idx] < 0) {
         trie[static_cast<std::size_t>(state)][idx] =
             static_cast<std::int32_t>(trie.size());
         trie.emplace_back(k, -1);
-        terminal.push_back(false);
+        ac.terminal_triggers.emplace_back();
+        ac.depth.push_back(ac.depth[static_cast<std::size_t>(state)] + 1);
       }
       state = trie[static_cast<std::size_t>(state)][idx];
     }
-    terminal[static_cast<std::size_t>(state)] = true;
+    ac.terminal_triggers[static_cast<std::size_t>(state)].push_back(
+        static_cast<std::int32_t>(t));
   }
 
   // Failure links (BFS) + goto-with-failure; a state is dead when its own
@@ -71,8 +59,11 @@ TriggerAutomaton BuildTriggerAutomaton(const std::vector<std::string>& triggers)
   // suffix of the prefix read so far is a complete trigger).
   ac.num_states = static_cast<std::int32_t>(trie.size());
   ac.next.assign(trie.size(), std::vector<std::int32_t>(k, 0));
-  ac.dead = terminal;
-  std::vector<std::int32_t> fail(trie.size(), 0);
+  ac.dead.resize(trie.size());
+  for (std::size_t s = 0; s < trie.size(); ++s) {
+    ac.dead[s] = !ac.terminal_triggers[s].empty();
+  }
+  ac.fail.assign(trie.size(), 0);
   std::queue<std::int32_t> bfs;
   for (std::size_t idx = 0; idx < k; ++idx) {
     std::int32_t child = trie[0][idx];
@@ -80,14 +71,14 @@ TriggerAutomaton BuildTriggerAutomaton(const std::vector<std::string>& triggers)
       ac.next[0][idx] = 0;
     } else {
       ac.next[0][idx] = child;
-      fail[static_cast<std::size_t>(child)] = 0;
+      ac.fail[static_cast<std::size_t>(child)] = 0;
       bfs.push(child);
     }
   }
   while (!bfs.empty()) {
     std::int32_t state = bfs.front();
     bfs.pop();
-    std::int32_t f = fail[static_cast<std::size_t>(state)];
+    std::int32_t f = ac.fail[static_cast<std::size_t>(state)];
     if (ac.dead[static_cast<std::size_t>(f)]) ac.dead[static_cast<std::size_t>(state)] = true;
     for (std::size_t idx = 0; idx < k; ++idx) {
       std::int32_t child = trie[static_cast<std::size_t>(state)][idx];
@@ -95,13 +86,31 @@ TriggerAutomaton BuildTriggerAutomaton(const std::vector<std::string>& triggers)
         ac.next[static_cast<std::size_t>(state)][idx] = ac.next[static_cast<std::size_t>(f)][idx];
       } else {
         ac.next[static_cast<std::size_t>(state)][idx] = child;
-        fail[static_cast<std::size_t>(child)] = ac.next[static_cast<std::size_t>(f)][idx];
+        ac.fail[static_cast<std::size_t>(child)] = ac.next[static_cast<std::size_t>(f)][idx];
         bfs.push(child);
       }
     }
   }
   return ac;
 }
+
+std::int32_t LongestTriggerPrefix(const std::string& begin,
+                                  const std::vector<std::string>& triggers) {
+  std::int32_t best = -1;
+  std::size_t best_len = 0;
+  for (std::size_t t = 0; t < triggers.size(); ++t) {
+    const std::string& trigger = triggers[t];
+    if (begin.size() >= trigger.size() &&
+        begin.compare(0, trigger.size(), trigger) == 0 &&
+        (best < 0 || trigger.size() > best_len)) {
+      best = static_cast<std::int32_t>(t);
+      best_len = trigger.size();
+    }
+  }
+  return best;
+}
+
+namespace {
 
 // Adds the free-text rules (one per live automaton state) to `grammar` with
 // names `<prefix>0`, `<prefix>1`, ...; returns the rule for state 0.
@@ -164,20 +173,19 @@ Grammar BuildStructuralTagGrammar(const std::vector<StructuralTag>& tags,
   XGR_CHECK(!tags.empty()) << "no structural tags given";
   TriggerAutomaton ac = BuildTriggerAutomaton(triggers);
 
-  // Every begin marker must extend exactly one trigger (the dispatch point).
+  // Every begin marker must extend at least one trigger (the dispatch
+  // point). Nested trigger sets — one trigger a prefix of another, e.g.
+  // "<tool" + "<tool_call" — are legal: several triggers then prefix the same
+  // begin marker and the tag dispatches under the longest match, so only the
+  // longest matching trigger is counted here. (An earlier version required
+  // *exactly* one prefixing trigger, which rejected these configs outright.)
   for (const StructuralTag& tag : tags) {
     XGR_CHECK(!tag.begin.empty()) << "empty begin marker";
     XGR_CHECK(!tag.end.empty()) << "empty end marker";
-    int prefixing = 0;
-    for (const std::string& trigger : triggers) {
-      if (tag.begin.size() >= trigger.size() &&
-          tag.begin.compare(0, trigger.size(), trigger) == 0) {
-        ++prefixing;
-      }
-    }
-    XGR_CHECK(prefixing == 1)
-        << "begin marker '" << tag.begin << "' must extend exactly one "
-        << "trigger (found " << prefixing << ")";
+    XGR_CHECK(LongestTriggerPrefix(tag.begin, triggers) >= 0)
+        << "begin marker '" << tag.begin
+        << "' must extend a trigger (none of the " << triggers.size()
+        << " triggers prefixes it)";
   }
 
   Grammar grammar;
@@ -227,6 +235,69 @@ Grammar BuildStructuralTagGrammar(const std::vector<StructuralTag>& tags,
   grammar.SetRuleBody(root, grammar.AddSequence({free_expr, invocations}));
   grammar.Validate();
   return grammar;
+}
+
+Grammar BuildTagSegmentGrammar(const StructuralTag& tag) {
+  XGR_CHECK(!tag.begin.empty()) << "empty begin marker";
+  XGR_CHECK(!tag.end.empty()) << "empty end marker";
+  Grammar grammar;
+  RuleId root = grammar.DeclareRule("root");
+  grammar.SetRootRule(root);
+  RuleId body_rule;
+  if (tag.schema_text.empty()) {
+    body_rule = ImportRules(&grammar, BuiltinJsonGrammar(), "body_");
+  } else {
+    body_rule = ImportRules(&grammar, JsonSchemaTextToGrammar(tag.schema_text),
+                            "body_");
+  }
+  grammar.SetRuleBody(
+      root, grammar.AddSequence({grammar.AddByteString(tag.begin),
+                                 grammar.AddRuleRef(body_rule),
+                                 grammar.AddByteString(tag.end)}));
+  grammar.Validate();
+  return grammar;
+}
+
+// Length-prefixed fields keep the encoding unambiguous for arbitrary marker
+// and schema bytes (markers may contain ':' or newlines; schemas certainly
+// do). Field order is fixed; any format change must bump the registry's
+// artifact space via the key prefix in cache/grammar_compiler.cc.
+std::string EncodeTagSegmentSource(const StructuralTag& tag) {
+  std::string out;
+  auto field = [&out](const std::string& value) {
+    out += std::to_string(value.size());
+    out += ':';
+    out += value;
+  };
+  field(tag.begin);
+  field(tag.schema_text);
+  field(tag.end);
+  return out;
+}
+
+StructuralTag DecodeTagSegmentSource(const std::string& source) {
+  StructuralTag tag;
+  std::size_t pos = 0;
+  auto field = [&](std::string* value) {
+    std::size_t colon = source.find(':', pos);
+    XGR_CHECK(colon != std::string::npos && colon > pos)
+        << "malformed tag-segment source";
+    std::size_t len = 0;
+    for (std::size_t i = pos; i < colon; ++i) {
+      char c = source[i];
+      XGR_CHECK(c >= '0' && c <= '9') << "malformed tag-segment source";
+      len = len * 10 + static_cast<std::size_t>(c - '0');
+    }
+    pos = colon + 1;
+    XGR_CHECK(pos + len <= source.size()) << "malformed tag-segment source";
+    value->assign(source, pos, len);
+    pos += len;
+  };
+  field(&tag.begin);
+  field(&tag.schema_text);
+  field(&tag.end);
+  XGR_CHECK(pos == source.size()) << "malformed tag-segment source";
+  return tag;
 }
 
 }  // namespace xgr::grammar

@@ -27,6 +27,8 @@
 // never completes the trigger "<fn" and is plain text).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -55,7 +57,10 @@ struct StructuralTagOptions {
 
 // Builds the combined grammar. Requirements, checked with xgr::CheckError:
 // tags and triggers are non-empty; every trigger is non-empty printable
-// ASCII; every tag's begin marker extends exactly one trigger; schemas parse.
+// ASCII; every tag's begin marker extends at least one trigger (when several
+// triggers prefix the same begin marker — nested trigger sets like "<tool"
+// and "<tool_call" — the begin dispatches under its longest matching
+// trigger); schemas parse.
 Grammar BuildStructuralTagGrammar(const std::vector<StructuralTag>& tags,
                                   const std::vector<std::string>& triggers,
                                   const StructuralTagOptions& options = {});
@@ -63,5 +68,67 @@ Grammar BuildStructuralTagGrammar(const std::vector<StructuralTag>& tags,
 // The trigger-avoiding free-text grammar alone (root matches any text with
 // no occurrence of any trigger). Exposed for tests and reuse.
 Grammar BuildTriggerFreeTextGrammar(const std::vector<std::string>& triggers);
+
+// Index of the longest trigger that is a prefix of `begin`, or -1 when no
+// trigger prefixes it (ties on equal length — duplicate triggers — resolve to
+// the first). This is the dispatch trigger structural-tag validation and the
+// tag-dispatch composite layer (src/compose) agree on.
+std::int32_t LongestTriggerPrefix(const std::string& begin,
+                                  const std::vector<std::string>& triggers);
+
+// --- Per-tag segment grammars (tag-dispatch composition, src/compose) -------
+//
+// The monolithic grammar above compiles every tag into one artifact, so
+// compile time and artifact size scale with the full toolset. The composite
+// decoder instead compiles each tag separately — `begin body end` as its own
+// root — and stitches segments together at runtime. The segment grammar is a
+// pure function of the tag (trigger set not included), which is what makes
+// the artifacts content-addressed and shared across configs and sessions.
+
+// Grammar for one tag: root ::= begin body end, where body comes from the
+// tag's JSON schema (builtin JSON when the schema text is empty).
+Grammar BuildTagSegmentGrammar(const StructuralTag& tag);
+
+// Canonical source encoding of a tag for runtime::CompileJob{kTagSegment}:
+// deterministic, byte-exact, stable across processes (it names disk-tier
+// artifacts). Decode rejects malformed encodings with xgr::CheckError.
+std::string EncodeTagSegmentSource(const StructuralTag& tag);
+StructuralTag DecodeTagSegmentSource(const std::string& source);
+
+// --- Trigger Aho-Corasick automaton (exported for src/compose) --------------
+//
+// `next[s][i]` is the goto-with-failure transition over `alphabet[i]`;
+// `dead[s]` marks states whose prefix string ends with a complete trigger —
+// trigger-avoiding free text must never enter them. The dispatch layer also
+// needs the trie structure itself: failure links and per-state depth recover
+// every "a begin marker may have started here" alignment when a trigger
+// completes (see compose/tag_dispatch.h).
+struct TriggerAutomaton {
+  // Dense transitions over the ASCII alphabet actually used by triggers;
+  // bytes outside `alphabet` always lead back to state 0.
+  std::vector<char> alphabet;
+  std::vector<std::vector<std::int32_t>> next;  // [state][alphabet index]
+  std::vector<bool> dead;
+  std::vector<std::int32_t> fail;   // longest proper suffix that is a prefix
+  std::vector<std::int32_t> depth;  // length of the state's prefix string
+  // Trigger indices whose full string equals this state's prefix string
+  // (several only when duplicate triggers are passed).
+  std::vector<std::vector<std::int32_t>> terminal_triggers;
+  std::int32_t num_states = 0;
+
+  // Goto-with-failure over a raw byte (out-of-alphabet bytes reset to 0).
+  std::int32_t Step(std::int32_t state, std::uint8_t byte) const {
+    auto it = std::lower_bound(alphabet.begin(), alphabet.end(),
+                               static_cast<char>(byte));
+    if (byte >= 0x80 || it == alphabet.end() ||
+        *it != static_cast<char>(byte)) {
+      return 0;
+    }
+    return next[static_cast<std::size_t>(state)]
+               [static_cast<std::size_t>(it - alphabet.begin())];
+  }
+};
+
+TriggerAutomaton BuildTriggerAutomaton(const std::vector<std::string>& triggers);
 
 }  // namespace xgr::grammar

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.h"
+#include "support/utf8.h"
 
 namespace xgr::matcher {
 
@@ -403,6 +404,13 @@ std::string GrammarMatcher::FindJumpForwardString(std::int32_t max_length) {
     result.push_back(static_cast<char>(unique_byte));
   }
   RollbackToDepth(entry_depth);
+  // The walk can stop mid-UTF-8 sequence — at max_length, or because only the
+  // lead byte of a character class is forced (e.g. a codepoint range within
+  // one lead byte) while its continuation bytes are not. A forced string is
+  // appended to the generation context verbatim, so a partial codepoint there
+  // would be retokenized as half a character; trim back to the last complete
+  // codepoint instead (the dropped bytes are still enforced by the grammar).
+  result.resize(CompleteUtf8PrefixLength(result));
   return result;
 }
 

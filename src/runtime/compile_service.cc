@@ -13,6 +13,7 @@
 #include "grammar/grammar.h"
 #include "grammar/json_schema.h"
 #include "grammar/regex_to_grammar.h"
+#include "grammar/structural_tag.h"
 #include "support/logging.h"
 #include "support/timer.h"
 
@@ -31,6 +32,8 @@ std::string CompileJobKey(const CompileJob& job) {
       return cache::RegexArtifactKey(job.source);
     case GrammarKind::kBuiltinJson:
       return cache::BuiltinJsonArtifactKey();
+    case GrammarKind::kTagSegment:
+      return cache::TagSegmentArtifactKey(job.source);
   }
   XGR_UNREACHABLE();
 }
@@ -111,6 +114,9 @@ grammar::Grammar BuildGrammar(const CompileJob& job) {
       return grammar::RegexToGrammar(job.source);
     case GrammarKind::kBuiltinJson:
       return grammar::BuiltinJsonGrammar();
+    case GrammarKind::kTagSegment:
+      return grammar::BuildTagSegmentGrammar(
+          grammar::DecodeTagSegmentSource(job.source));
   }
   XGR_UNREACHABLE();
 }
@@ -402,6 +408,11 @@ Artifact CompileService::Compile(CompileJob job) {
 }
 
 GrammarRegistry& CompileService::Registry() { return *core_->registry; }
+
+const std::shared_ptr<const tokenizer::TokenizerInfo>&
+CompileService::Tokenizer() const {
+  return core_->tokenizer;
+}
 
 CompileServiceStats CompileService::Stats() const {
   std::lock_guard<std::mutex> lock(core_->mutex);

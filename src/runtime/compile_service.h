@@ -41,6 +41,10 @@ enum class GrammarKind : std::uint8_t {
   kJsonSchema,
   kRegex,
   kBuiltinJson,
+  // One structural tag's `begin body end` segment grammar; source is
+  // grammar::EncodeTagSegmentSource(tag). The unit the tag-dispatch
+  // composite decoder (src/compose) prefetches and fetches per tool.
+  kTagSegment,
 };
 
 struct CompileJob {
@@ -171,6 +175,8 @@ class CompileService {
 
   GrammarRegistry& Registry();
   CompileServiceStats Stats() const;
+  // The vocabulary every artifact of this service is built for.
+  const std::shared_ptr<const tokenizer::TokenizerInfo>& Tokenizer() const;
 
  private:
   static void RunOne(const std::shared_ptr<detail::ServiceCore>& core);

@@ -83,6 +83,36 @@ DecodedChar DecodeUtf8(std::string_view data, std::size_t pos) {
   return result;
 }
 
+std::size_t CompleteUtf8PrefixLength(std::string_view bytes) {
+  if (bytes.empty()) return 0;
+  // Find the start of the last (possibly partial) sequence: scan back over at
+  // most 3 continuation bytes to the nearest lead byte.
+  std::size_t last = bytes.size() - 1;
+  std::size_t back = 0;
+  while (back < 3 && last > 0 &&
+         (static_cast<std::uint8_t>(bytes[last]) & 0xC0) == 0x80) {
+    --last;
+    ++back;
+  }
+  std::uint8_t lead = static_cast<std::uint8_t>(bytes[last]);
+  int expected;
+  if (lead < 0x80) {
+    expected = 1;
+  } else if ((lead & 0xE0) == 0xC0) {
+    expected = 2;
+  } else if ((lead & 0xF0) == 0xE0) {
+    expected = 3;
+  } else if ((lead & 0xF8) == 0xF0) {
+    expected = 4;
+  } else {
+    // Stray continuation or invalid lead: not a truncated character, keep it.
+    return bytes.size();
+  }
+  std::size_t available = bytes.size() - last;
+  if (available < static_cast<std::size_t>(expected)) return last;
+  return bytes.size();
+}
+
 namespace {
 
 // Recursively splits same-encoded-length intervals given their encodings.

@@ -48,6 +48,18 @@ struct DecodedChar {
 // Decodes the UTF-8 character starting at data[pos].
 DecodedChar DecodeUtf8(std::string_view data, std::size_t pos);
 
+// Length of the longest prefix of `bytes` that does not end inside a UTF-8
+// sequence: when the tail is an incomplete (truncated) multi-byte sequence —
+// a lead byte whose continuation bytes run past the end of `bytes` — the
+// prefix stops before that lead byte. Byte content that is not valid UTF-8
+// in other ways (stray continuation bytes, overlong forms) is NOT trimmed:
+// the engine is byte-level and such bytes may be legitimate grammar content;
+// only a split *trailing* character is. Used by jump-forward (a forced
+// continuation must never push a partial codepoint into the context, where
+// retokenization would have to tokenize half a character) and by the C API's
+// buffer truncation.
+std::size_t CompleteUtf8PrefixLength(std::string_view bytes);
+
 // Decomposes the codepoint interval [lo, hi] (inclusive) into byte-range
 // sequences. Surrogates (U+D800..U+DFFF) are excluded automatically. The
 // result is deterministic and minimal in the usual sense of the standard

@@ -199,6 +199,32 @@ TEST(CApiMatcher, JumpForwardString) {
   xgr_grammar_destroy(grammar);
 }
 
+TEST(CApiMatcher, TruncationNeverSplitsUtf8) {
+  auto tok = SyntheticTokenizer();
+  // Forced span "prix: é" — 8 bytes, 'é' = C3 A9 at offset 6.
+  xgr_grammar* grammar = xgr_grammar_compile_ebnf(
+      "root ::= \"prix: \xC3\xA9\" [0-9]+", "root", tok.get());
+  ASSERT_NE(grammar, nullptr);
+  xgr_matcher* matcher = xgr_matcher_create(grammar);
+  ASSERT_NE(matcher, nullptr);
+
+  char full[64];
+  size_t len = xgr_matcher_find_jump_forward_string(matcher, full, sizeof(full));
+  ASSERT_EQ(std::string(full), "prix: \xC3\xA9");
+  ASSERT_EQ(len, 8u);
+
+  // A buffer that would cut between C3 and A9 must back off to the last
+  // complete codepoint, never hand the caller half a character. The return
+  // value is still the FULL byte length, so truncation is detectable.
+  char tiny[8];  // room for 7 bytes + NUL: the cut lands mid-'é'
+  len = xgr_matcher_find_jump_forward_string(matcher, tiny, sizeof(tiny));
+  EXPECT_EQ(std::string(tiny), "prix: ");
+  EXPECT_EQ(len, 8u);
+
+  xgr_matcher_destroy(matcher);
+  xgr_grammar_destroy(grammar);
+}
+
 TEST(CApiCompileService, AsyncSubmitPollAwaitLifecycle) {
   auto tok = SyntheticTokenizer();
   xgr_compile_service* service =
@@ -307,6 +333,52 @@ TEST(CApiMatcher, ForkBranchesIndependently) {
   xgr_matcher_destroy(fork);
   xgr_matcher_destroy(trunk);
   xgr_grammar_destroy(grammar);
+}
+
+TEST(CApiTagDispatch, CompositeMatcherLifecycle) {
+  auto tok = SyntheticTokenizer();
+  xgr_compile_service* service =
+      xgr_compile_service_create(tok.get(), 2, 0, nullptr);
+  ASSERT_NE(service, nullptr);
+
+  const char* begins[] = {"<fn=a>", "<fn=b>"};
+  const char* schemas[] = {R"({"type":"integer"})", nullptr};
+  const char* ends[] = {"</fn>", "</fn>"};
+  const char* triggers[] = {"<fn="};
+  xgr_matcher* matcher = xgr_tag_dispatch_matcher_create(
+      service, begins, schemas, ends, 2, triggers, 1,
+      /*allow_free_text=*/1, /*max_invocations=*/-1, /*require_invocation=*/0);
+  ASSERT_NE(matcher, nullptr) << LastError();
+
+  // The matcher retains everything it needs: destroying the service first is
+  // documented as safe — all use below happens after this.
+  xgr_compile_service_destroy(service);
+
+  // Mask surface works; free text allows EOS immediately.
+  size_t words = xgr_matcher_mask_words(matcher);
+  ASSERT_GT(words, 0u);
+  std::vector<uint64_t> mask(words);
+  EXPECT_EQ(xgr_matcher_fill_next_token_bitmask(matcher, mask.data(), words),
+            XGR_OK);
+  EXPECT_EQ(xgr_matcher_can_terminate(matcher), 1);
+
+  // The composite matcher does not fork; the error path must be clean.
+  EXPECT_EQ(xgr_matcher_fork(matcher), nullptr);
+  EXPECT_NE(LastError().find("fork"), std::string::npos);
+
+  xgr_matcher_reset(matcher);
+  xgr_matcher_destroy(matcher);
+
+  // Invalid config: no trigger prefixes the begin marker.
+  xgr_compile_service* service2 =
+      xgr_compile_service_create(tok.get(), 1, 0, nullptr);
+  const char* bad_begin[] = {"[tool]"};
+  const char* bad_end[] = {"[/tool]"};
+  EXPECT_EQ(xgr_tag_dispatch_matcher_create(service2, bad_begin, nullptr,
+                                            bad_end, 1, triggers, 1, 1, -1, 0),
+            nullptr);
+  EXPECT_FALSE(LastError().empty());
+  xgr_compile_service_destroy(service2);
 }
 
 }  // namespace

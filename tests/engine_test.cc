@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include "baselines/factory.h"
+#include "baselines/tag_dispatch_decoder.h"
+#include "compose/tag_dispatch.h"
 #include "datasets/workloads.h"
 #include "engine/sampler.h"
 #include "engine/serving_engine.h"
+#include "support/utf8.h"
 #include "tokenizer/synthetic_vocab.h"
 
 namespace xgr::engine {
@@ -256,6 +259,121 @@ TEST(Engine, JumpForwardRetokenizationCanBeDisabledForAblation) {
   }
   // The boundary-merge path actually fired somewhere across the tasks.
   EXPECT_GT(retokenized_on, 0);
+}
+
+TEST(Engine, JumpForwardRetokenizationDifferentialOverMultiByteUtf8) {
+  // jf_retokenize on/off over targets whose forced spans contain multi-byte
+  // UTF-8 — including a char class whose codepoints share one lead byte, so
+  // the jump-forward walk is forced PAST the lead byte but stops inside the
+  // character. The trimmed jump string (GrammarMatcher::FindJumpForwardString)
+  // must keep both modes byte-identical, and with retokenization on the token
+  // ids must be the canonical greedy tokenization of the final text.
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 4});
+
+  struct Case {
+    const char* ebnf;
+    const char* target;
+  };
+  const Case cases[] = {
+      // Forced literals with 2- and 3-byte characters around sampled spans.
+      {"root ::= \"cité: \" [a-z]+ \" — fin\"", "cité: lyon — fin"},
+      // [à-ö] lives entirely under lead byte 0xC3: the lead is forced, the
+      // continuation is not — the jump must stop BEFORE the character.
+      {"root ::= \"val\" [à-ö] [à-ö] \"—\" [0-9]", "valéö—7"},
+      // Multi-byte characters inside a repeated class.
+      {"root ::= \"tag:\" ([é-ü] | [0-9])+ \".\"", "tag:9é8ü."},
+  };
+
+  // A case built around a 2-byte character that exists as a single vocab
+  // token, with a char class spanning its lead byte: the forced span after
+  // the first sampled token ends in the bare lead byte, so an untrimmed
+  // jump-forward (the pre-fix behaviour) forces half the character into the
+  // context and the canonical-tokenization assertion below catches it.
+  std::string crafted_ebnf, crafted_target;
+  for (std::int32_t id = 0; id < info->VocabSize(); ++id) {
+    if (info->IsSpecial(id)) continue;
+    const std::string& bytes = info->TokenBytes(id);
+    if (bytes.size() != 2) continue;
+    DecodedChar decoded = DecodeUtf8(bytes, 0);
+    if (!decoded.ok || decoded.codepoint < 0xC1 || decoded.codepoint > 0xFE) {
+      continue;  // need [cp-1, cp+1] to share the 0xC3 lead byte
+    }
+    std::string lo, hi;
+    AppendUtf8(decoded.codepoint - 1, &lo);
+    AppendUtf8(decoded.codepoint + 1, &hi);
+    crafted_ebnf = "root ::= [a-z] \":x\" [" + lo + "-" + hi + "] \".\"";
+    crafted_target = "q:x" + bytes + ".";
+    break;
+  }
+  ASSERT_FALSE(crafted_ebnf.empty())
+      << "synthetic vocabulary lost its 2-byte accented tokens";
+
+  std::vector<Case> all_cases(std::begin(cases), std::end(cases));
+  all_cases.push_back({crafted_ebnf.c_str(), crafted_target.c_str()});
+
+  for (const Case& c : all_cases) {
+    grammar::Grammar g = grammar::ParseEbnfOrThrow(c.ebnf);
+    std::string reference_text;
+    for (bool retokenize : {true, false}) {
+      EngineOptions options;
+      options.time_scale = 0.0;
+      options.jump_forward = true;
+      options.jf_retokenize = retokenize;
+      options.max_new_tokens = 128;
+      ServingEngine engine(options, llm);
+      DecoderFactory factory(EngineKind::kXGrammar, info);
+      factory.PrepareGrammar(g);
+      auto result =
+          engine.RunBatch({MakeRequest(factory.NewDecoder(), c.target)});
+      const RequestResult& r = result.requests[0];
+      EXPECT_EQ(r.output_text, c.target) << c.ebnf;
+      if (reference_text.empty()) {
+        reference_text = r.output_text;
+      } else {
+        EXPECT_EQ(r.output_text, reference_text)
+            << "retokenize on/off text diverged for " << c.ebnf;
+      }
+      if (retokenize) {
+        EXPECT_EQ(r.token_ids, tokenizer::GreedyTokenize(llm.Trie(), r.output_text))
+            << "non-canonical tokenization of '" << r.output_text << "' for "
+            << c.ebnf;
+      }
+    }
+  }
+}
+
+TEST(Engine, TagDispatchDecoderAggregatesSegmentStats) {
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 4});
+  runtime::CompileService service(info, {});
+  compose::TagDispatchConfig config;
+  config.tags = {{"<function=get_time>",
+                  R"({"type":"object","properties":{"tz":{"type":"string"}},)"
+                  R"("required":["tz"],"additionalProperties":false})",
+                  "</function>"}};
+  config.triggers = {"<function="};
+  auto plan = compose::TagDispatchPlan::Build(config, &service);
+
+  EngineOptions options;
+  options.time_scale = 0.0;
+  options.max_new_tokens = 96;
+  ServingEngine engine(options, llm);
+  const std::string target =
+      "Sure. <function=get_time>"
+      R"({"tz":"UTC"})"
+      "</function> Done.";
+  auto result = engine.RunBatch(
+      {MakeRequest(std::make_shared<baselines::TagDispatchDecoder>(plan), target)});
+  EXPECT_EQ(result.requests[0].output_text, target);
+  EXPECT_EQ(result.tag_dispatch.decoders, 1);
+  EXPECT_EQ(result.tag_dispatch.dispatches, 1);
+  EXPECT_EQ(result.tag_dispatch.segment_switches, 2);
+  EXPECT_GT(result.tag_dispatch.free_tokens, 0);
+  EXPECT_GT(result.tag_dispatch.tag_tokens, 0);
+  EXPECT_EQ(result.tag_dispatch.prefetch_submits, 1);
+  // Mask stats flow through the same aggregate as the grammar-backed path.
+  EXPECT_GT(result.mask_gen.masks_generated, 0);
 }
 
 TEST(Engine, TpotReflectsSimulatedGpuTime) {

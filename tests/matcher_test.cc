@@ -217,6 +217,31 @@ TEST(JumpForward, SchemaLiteralsAreForced) {
   EXPECT_EQ(m.FindJumpForwardString(), "{\"temperature_celsius\":");
 }
 
+TEST(JumpForward, NeverCutsMultiByteLiteralAtMaxLength) {
+  // "clé" is 4 bytes (c l C3 A9): a max_length landing inside 'é' must trim
+  // back to the complete-codepoint boundary instead of forcing the lead byte
+  // alone into the context (a partial codepoint cannot be retokenized).
+  auto g = grammar::ParseEbnfOrThrow(R"(root ::= "clé-suffix")");
+  auto pda = CompiledGrammar::Compile(g);
+  GrammarMatcher m(pda);
+  EXPECT_EQ(m.FindJumpForwardString(3), "cl");   // not "cl\xC3"
+  EXPECT_EQ(m.FindJumpForwardString(4), "clé");  // boundary is fine
+  EXPECT_EQ(m.FindJumpForwardString(), "clé-suffix");
+  EXPECT_EQ(m.NumConsumedBytes(), 0);
+}
+
+TEST(JumpForward, NeverStopsMidCodepointAtCharClassContinuation) {
+  // All of [à-ö] shares the lead byte 0xC3; only its continuation byte
+  // varies. The lead byte is therefore forced — the old walk emitted it and
+  // stopped, pushing half a character into the forced span.
+  auto g = grammar::ParseEbnfOrThrow(R"(root ::= "a" [à-ö] "z")");
+  auto pda = CompiledGrammar::Compile(g);
+  GrammarMatcher m(pda);
+  EXPECT_EQ(m.FindJumpForwardString(), "a");  // not "a\xC3"
+  ASSERT_TRUE(m.AcceptString("aéz"));
+  EXPECT_TRUE(m.CanTerminate());
+}
+
 // --- Termination / EOS ------------------------------------------------------------
 
 TEST(GrammarMatcher, TerminationOnlyAtCompleteDocuments) {

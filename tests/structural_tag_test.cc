@@ -186,14 +186,70 @@ TEST(StructuralTag, NoFreeTextModeForcesBareCalls) {
   EXPECT_FALSE(Matches(g, call + " prose"));
 }
 
-TEST(StructuralTag, BeginMarkerMustExtendExactlyOneTrigger) {
+TEST(StructuralTag, BeginMarkerMustExtendSomeTrigger) {
   // No trigger prefixes the begin marker.
   EXPECT_THROW(
       BuildStructuralTagGrammar({{"[tool]", "", "[/tool]"}}, {"<function="}),
       xgr::CheckError);
-  // Two triggers prefix the same begin marker.
-  EXPECT_THROW(BuildStructuralTagGrammar(WeatherTags(), {"<function=", "<fun"}),
-               xgr::CheckError);
+}
+
+TEST(StructuralTag, NestedTriggersAreLegalAndDispatchOnLongestMatch) {
+  // One trigger prefixing another used to be rejected by an over-strict
+  // `prefixing == 1` check; the validator now counts only the longest
+  // matching trigger. Both tags stay reachable.
+  std::vector<StructuralTag> tags = {
+      {"<tool_call>", R"({"type":"integer"})", "</tool_call>"},
+      {"<toolbox>", R"({"type":"integer"})", "</toolbox>"},
+  };
+  Grammar g = BuildStructuralTagGrammar(tags, {"<tool", "<tool_call"});
+  EXPECT_TRUE(Matches(g, "go <tool_call>7</tool_call> done"));
+  EXPECT_TRUE(Matches(g, "go <toolbox>7</toolbox> done"));
+  EXPECT_TRUE(Matches(g, "<tool_call>1</tool_call><toolbox>2</toolbox>"));
+  // Triggers still end free text: a bare occurrence must start a tag.
+  EXPECT_FALSE(Matches(g, "mentioning <tool casually"));
+  EXPECT_FALSE(Matches(g, "mentioning <tool_call casually"));
+}
+
+TEST(StructuralTag, MultipleTriggersPrefixingSameBeginMarker) {
+  // Several triggers prefixing one begin marker is a valid nested config.
+  Grammar g = BuildStructuralTagGrammar(WeatherTags(), {"<function=", "<fun"});
+  EXPECT_TRUE(Matches(g, "<function=get_weather>"
+                         R"({"city":"Oslo","unit":"celsius"})"
+                         "</function>"));
+  EXPECT_FALSE(Matches(g, "a bare <fun mention"));
+}
+
+TEST(StructuralTag, LongestTriggerPrefixSelection) {
+  std::vector<std::string> triggers = {"<tool", "<tool_call", "[["};
+  EXPECT_EQ(LongestTriggerPrefix("<tool_call>", triggers), 1);
+  EXPECT_EQ(LongestTriggerPrefix("<toolbox>", triggers), 0);
+  EXPECT_EQ(LongestTriggerPrefix("[[x]]", triggers), 2);
+  EXPECT_EQ(LongestTriggerPrefix("<other>", triggers), -1);
+}
+
+TEST(StructuralTag, TagSegmentSourceRoundTrip) {
+  StructuralTag tag{"<function=f>", R"({"type":"integer"})", "</function>"};
+  std::string encoded = EncodeTagSegmentSource(tag);
+  StructuralTag decoded = DecodeTagSegmentSource(encoded);
+  EXPECT_EQ(decoded.begin, tag.begin);
+  EXPECT_EQ(decoded.schema_text, tag.schema_text);
+  EXPECT_EQ(decoded.end, tag.end);
+  // Markers containing the delimiter characters stay unambiguous.
+  StructuralTag tricky{"a:1:b", "", ":9:"};
+  StructuralTag tricky_decoded =
+      DecodeTagSegmentSource(EncodeTagSegmentSource(tricky));
+  EXPECT_EQ(tricky_decoded.begin, tricky.begin);
+  EXPECT_EQ(tricky_decoded.end, tricky.end);
+  EXPECT_THROW(DecodeTagSegmentSource("garbage"), xgr::CheckError);
+  EXPECT_THROW(DecodeTagSegmentSource("5:ab"), xgr::CheckError);
+}
+
+TEST(StructuralTag, TagSegmentGrammarMatchesOneFullTag) {
+  StructuralTag tag{"<data>", "", "</data>"};
+  Grammar g = BuildTagSegmentGrammar(tag);
+  EXPECT_TRUE(Matches(g, "<data>[1,2]</data>"));
+  EXPECT_FALSE(Matches(g, "<data>[1,2]</data> trailing"));
+  EXPECT_FALSE(Matches(g, "[1,2]</data>"));
 }
 
 // --- Pipeline integration ----------------------------------------------------

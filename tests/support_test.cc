@@ -320,6 +320,23 @@ TEST(Utf8, DecodeRejectsInvalidSequences) {
   EXPECT_FALSE(DecodeUtf8("\xF5\x80\x80\x80", 0).ok);  // > U+10FFFF
 }
 
+TEST(Utf8, CompleteUtf8PrefixTrimsOnlyTruncatedTails) {
+  EXPECT_EQ(CompleteUtf8PrefixLength(""), 0u);
+  EXPECT_EQ(CompleteUtf8PrefixLength("abc"), 3u);
+  EXPECT_EQ(CompleteUtf8PrefixLength("clé"), 4u);          // complete 2-byte
+  EXPECT_EQ(CompleteUtf8PrefixLength("cl\xC3"), 2u);       // truncated 2-byte
+  EXPECT_EQ(CompleteUtf8PrefixLength("a\xE4\xB8"), 1u);    // truncated 3-byte
+  EXPECT_EQ(CompleteUtf8PrefixLength("\xE4\xB8\x96"), 3u); // complete 3-byte
+  EXPECT_EQ(CompleteUtf8PrefixLength("a\xF0\x9F\x98"), 1u);  // truncated 4-byte
+  EXPECT_EQ(CompleteUtf8PrefixLength("\xF0\x9F\x98\x80"), 4u);
+  EXPECT_EQ(CompleteUtf8PrefixLength("\xC3"), 0u);  // lone lead byte
+  // Byte content that is invalid-but-not-truncated is preserved: the engine
+  // is byte-level and such bytes may be legitimate grammar content.
+  EXPECT_EQ(CompleteUtf8PrefixLength("\x80"), 1u);    // stray continuation
+  EXPECT_EQ(CompleteUtf8PrefixLength("a\xFF"), 2u);   // invalid lead
+  EXPECT_EQ(CompleteUtf8PrefixLength("x\x80\x80\x80\x80"), 5u);
+}
+
 // Checks a byte string against a set of byte-range sequences.
 bool MatchesAnySeq(const std::vector<ByteRangeSeq>& seqs, const std::string& s) {
   for (const ByteRangeSeq& seq : seqs) {

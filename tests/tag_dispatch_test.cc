@@ -1,0 +1,485 @@
+// Tag-dispatch composition tests. The load-bearing suite is the differential
+// one: on any shared config, the composite decoder must accept exactly the
+// same byte strings and produce BIT-IDENTICAL per-token masks as an
+// XGrammarDecoder over the monolithic BuildStructuralTagGrammar artifact —
+// across ambiguous/overlapping/nested trigger sets, multi-invocation
+// transcripts, invocation bounds, disabled free text, and UTF-8 (including
+// the synthetic vocabulary's sub-UTF8 tokens). Also covered: free-segment
+// zero-allocation, dispatch stats, registry sharing across plans, in-tag
+// jump-forward, and the C boundary lives in c_api_test.cc.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/tag_dispatch_decoder.h"
+#include "baselines/xgrammar_decoder.h"
+#include "cache/adaptive_cache.h"
+#include "compose/tag_dispatch.h"
+#include "grammar/structural_tag.h"
+#include "pda/compiled_grammar.h"
+#include "support/alloc_hook.h"
+#include "support/logging.h"
+#include "support/rng.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/token_trie.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::compose {
+namespace {
+
+constexpr const char* kWeatherSchema = R"({
+  "type": "object",
+  "properties": {
+    "city": {"type": "string"},
+    "unit": {"enum": ["celsius", "fahrenheit"]}
+  },
+  "required": ["city", "unit"],
+  "additionalProperties": false
+})";
+
+constexpr const char* kTimeSchema =
+    R"({"type":"object","properties":{"tz":{"type":"string"}},)"
+    R"("required":["tz"],"additionalProperties":false})";
+
+constexpr const char* kIntSchema = R"({"type":"integer"})";
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer() {
+  static auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({1600, 17}));
+  return info;
+}
+
+const tokenizer::TokenTrie& TestTrie() {
+  static tokenizer::TokenTrie trie(*TestTokenizer());
+  return trie;
+}
+
+runtime::CompileService& SharedService() {
+  static runtime::CompileService service(TestTokenizer(), {});
+  return service;
+}
+
+grammar::StructuralTagOptions MonolithicOptions(const TagDispatchConfig& config) {
+  grammar::StructuralTagOptions options;
+  options.allow_free_text = config.allow_free_text;
+  options.max_invocations = config.max_invocations;
+  options.require_invocation = config.require_invocation;
+  return options;
+}
+
+std::shared_ptr<baselines::XGrammarDecoder> MonolithicDecoder(
+    const TagDispatchConfig& config) {
+  grammar::Grammar g = grammar::BuildStructuralTagGrammar(
+      config.tags, config.triggers, MonolithicOptions(config));
+  auto pda = pda::CompiledGrammar::Compile(g);
+  auto cache = cache::AdaptiveTokenMaskCache::Build(pda, TestTokenizer());
+  return std::make_shared<baselines::XGrammarDecoder>(cache);
+}
+
+std::shared_ptr<baselines::TagDispatchDecoder> DispatchDecoder(
+    const TagDispatchConfig& config) {
+  auto plan = TagDispatchPlan::Build(config, &SharedService());
+  return std::make_shared<baselines::TagDispatchDecoder>(plan);
+}
+
+std::vector<std::int32_t> MaskDiff(const DynamicBitset& a, const DynamicBitset& b,
+                                   std::size_t limit = 8) {
+  std::vector<std::int32_t> diff;
+  for (std::size_t i = 0; i < a.Size() && diff.size() < limit; ++i) {
+    if (a.Test(i) != b.Test(i)) diff.push_back(static_cast<std::int32_t>(i));
+  }
+  return diff;
+}
+
+std::string DescribeDiff(const tokenizer::TokenizerInfo& info,
+                         const DynamicBitset& mono, const DynamicBitset& disp) {
+  std::string out;
+  for (std::int32_t id : MaskDiff(mono, disp)) {
+    out += "  token " + std::to_string(id) + " '" + info.TokenBytes(id) +
+           "' mono=" + (mono.Test(static_cast<std::size_t>(id)) ? "1" : "0") +
+           " dispatch=" +
+           (disp.Test(static_cast<std::size_t>(id)) ? "1" : "0") + "\n";
+  }
+  return out;
+}
+
+// Drives both decoders along `transcript` (greedy tokenization), comparing
+// the full mask, CanTerminate, and the per-token accept verdict at every
+// step. `expect_accept` = whether the transcript should be accepted end to
+// end; on the first divergence-by-design (an illegal transcript) both sides
+// must reject the same token.
+void DifferentialTranscript(const TagDispatchConfig& config,
+                            const std::string& transcript) {
+  auto info = TestTokenizer();
+  auto mono = MonolithicDecoder(config);
+  auto dispatch = DispatchDecoder(config);
+  std::vector<std::int32_t> tokens = tokenizer::GreedyTokenize(TestTrie(), transcript);
+  DynamicBitset mono_mask(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset disp_mask(static_cast<std::size_t>(info->VocabSize()));
+  for (std::size_t step = 0; step < tokens.size(); ++step) {
+    mono->FillNextTokenBitmask(&mono_mask);
+    dispatch->FillNextTokenBitmask(&disp_mask);
+    ASSERT_EQ(mono_mask, disp_mask)
+        << "mask mismatch at step " << step << " of transcript '" << transcript
+        << "'\n"
+        << DescribeDiff(*info, mono_mask, disp_mask);
+    ASSERT_EQ(mono->CanTerminate(), dispatch->CanTerminate())
+        << "termination mismatch at step " << step;
+    bool mono_ok = mono->AcceptToken(tokens[step]);
+    bool disp_ok = dispatch->AcceptToken(tokens[step]);
+    ASSERT_EQ(mono_ok, disp_ok)
+        << "accept mismatch at step " << step << " token '"
+        << info->TokenBytes(tokens[step]) << "'";
+    if (!mono_ok) return;  // both rejected: done
+  }
+  mono->FillNextTokenBitmask(&mono_mask);
+  dispatch->FillNextTokenBitmask(&disp_mask);
+  EXPECT_EQ(mono_mask, disp_mask) << "final mask mismatch\n"
+                                  << DescribeDiff(*info, mono_mask, disp_mask);
+  EXPECT_EQ(mono->CanTerminate(), dispatch->CanTerminate());
+}
+
+// Seeded random walk: at every step compare masks, then sample a random
+// allowed token (mask-guided, so the walk explores tag bodies and
+// boundaries) and accept it on both sides.
+void DifferentialRandomWalk(const TagDispatchConfig& config, std::uint64_t seed,
+                            std::int32_t steps) {
+  auto info = TestTokenizer();
+  auto mono = MonolithicDecoder(config);
+  auto dispatch = DispatchDecoder(config);
+  DynamicBitset mono_mask(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset disp_mask(static_cast<std::size_t>(info->VocabSize()));
+  Rng rng(seed);
+  for (std::int32_t step = 0; step < steps; ++step) {
+    mono->FillNextTokenBitmask(&mono_mask);
+    dispatch->FillNextTokenBitmask(&disp_mask);
+    ASSERT_EQ(mono_mask, disp_mask)
+        << "mask mismatch at random-walk step " << step << " (seed " << seed
+        << ")\n"
+        << DescribeDiff(*info, mono_mask, disp_mask);
+    ASSERT_EQ(mono->CanTerminate(), dispatch->CanTerminate());
+    std::vector<std::int32_t> allowed;
+    for (std::int64_t id = mono_mask.FindNext(0); id >= 0;
+         id = mono_mask.FindNext(static_cast<std::size_t>(id) + 1)) {
+      allowed.push_back(static_cast<std::int32_t>(id));
+    }
+    if (allowed.empty()) break;
+    std::int32_t token =
+        allowed[static_cast<std::size_t>(rng.Next() % allowed.size())];
+    if (token == info->EosId()) break;
+    ASSERT_TRUE(mono->AcceptToken(token));
+    ASSERT_TRUE(dispatch->AcceptToken(token))
+        << "dispatch rejected mask-allowed token '" << info->TokenBytes(token)
+        << "' at step " << step;
+  }
+}
+
+TagDispatchConfig WeatherConfig() {
+  TagDispatchConfig config;
+  config.tags = {{"<function=get_weather>", kWeatherSchema, "</function>"}};
+  config.triggers = {"<function="};
+  return config;
+}
+
+TagDispatchConfig TwoToolConfig() {
+  TagDispatchConfig config;
+  config.tags = {{"<function=get_weather>", kWeatherSchema, "</function>"},
+                 {"<function=get_time>", kTimeSchema, "</function>"}};
+  config.triggers = {"<function="};
+  return config;
+}
+
+TagDispatchConfig NestedTriggerConfig() {
+  TagDispatchConfig config;
+  config.tags = {{"<tool_call>", kTimeSchema, "</tool_call>"},
+                 {"<toolbox>", kIntSchema, "</toolbox>"}};
+  config.triggers = {"<tool", "<tool_call"};
+  return config;
+}
+
+// {"ab","bc"} over "abc...": the "ab" completion must still enter a tag whose
+// begin started one byte later with "b" (the failure-chain alignment case).
+TagDispatchConfig OverlappingTriggerConfig() {
+  TagDispatchConfig config;
+  config.tags = {{"abX", kIntSchema, "Z"}, {"bcY", kIntSchema, "W"}};
+  config.triggers = {"ab", "bc"};
+  return config;
+}
+
+// --- Differential: transcripts ----------------------------------------------
+
+TEST(TagDispatchDifferential, ProseOnly) {
+  DifferentialTranscript(WeatherConfig(), "Plain prose, no calls at all.");
+}
+
+TEST(TagDispatchDifferential, SingleCompleteCall) {
+  DifferentialTranscript(
+      WeatherConfig(),
+      "Checking. <function=get_weather>"
+      R"({"city":"Lima","unit":"celsius"})"
+      "</function> Done.");
+}
+
+TEST(TagDispatchDifferential, MultiInvocation) {
+  const std::string call =
+      "<function=get_weather>"
+      R"({"city":"Oslo","unit":"celsius"})"
+      "</function>";
+  DifferentialTranscript(WeatherConfig(),
+                         "First: " + call + " then " + call + " end.");
+}
+
+TEST(TagDispatchDifferential, TwoToolsDispatchOnBeginMarker) {
+  DifferentialTranscript(TwoToolConfig(),
+                         "<function=get_time>"
+                         R"({"tz":"UTC"})"
+                         "</function> and "
+                         "<function=get_weather>"
+                         R"({"city":"Rio","unit":"celsius"})"
+                         "</function>");
+}
+
+TEST(TagDispatchDifferential, SchemaViolationRejectedIdentically) {
+  DifferentialTranscript(TwoToolConfig(),
+                         "<function=get_weather>"
+                         R"({"tz":"UTC"})"
+                         "</function>");
+}
+
+TEST(TagDispatchDifferential, UnicodeProseAndSubUtf8Boundaries) {
+  DifferentialTranscript(
+      WeatherConfig(),
+      "héllo wörld 世界 <function=get_weather>"
+      R"({"city":"São Paulo","unit":"celsius"})"
+      "</function> 完了");
+}
+
+TEST(TagDispatchDifferential, NestedTriggers) {
+  DifferentialTranscript(NestedTriggerConfig(),
+                         "use <tool_call>"
+                         R"({"tz":"UTC"})"
+                         "</tool_call> and <toolbox>7</toolbox> done");
+}
+
+TEST(TagDispatchDifferential, OverlappingTriggersStraddledAlignment) {
+  // "x abcY7W y": the trigger "ab" completes first, but the real tag is
+  // "bcY..." starting at the 'b' — the monolithic grammar parses it, so the
+  // composite must too.
+  DifferentialTranscript(OverlappingTriggerConfig(), "x abcY7W y");
+  DifferentialTranscript(OverlappingTriggerConfig(), "x abX7Z y");
+}
+
+TEST(TagDispatchDifferential, UnconstrainedJsonBody) {
+  TagDispatchConfig config;
+  config.tags = {{"<data>", "", "</data>"}};
+  config.triggers = {"<data>"};
+  DifferentialTranscript(config, "<data>[1,2,{\"k\":null}]</data> ok");
+}
+
+TEST(TagDispatchDifferential, MaxInvocationsBound) {
+  TagDispatchConfig config = WeatherConfig();
+  config.max_invocations = 1;
+  const std::string call =
+      "<function=get_weather>"
+      R"({"city":"Oslo","unit":"celsius"})"
+      "</function>";
+  DifferentialTranscript(config, call + " extra prose");
+  DifferentialTranscript(config, call + call);  // second call must be rejected
+}
+
+TEST(TagDispatchDifferential, RequireInvocation) {
+  TagDispatchConfig config = WeatherConfig();
+  config.require_invocation = true;
+  DifferentialTranscript(config, "prose only, EOS must stay masked");
+  DifferentialTranscript(config,
+                         "<function=get_weather>"
+                         R"({"city":"Rio","unit":"celsius"})"
+                         "</function>");
+}
+
+TEST(TagDispatchDifferential, NoFreeTextMode) {
+  TagDispatchConfig config = TwoToolConfig();
+  config.allow_free_text = false;
+  config.require_invocation = true;
+  const std::string call =
+      "<function=get_time>"
+      R"({"tz":"UTC"})"
+      "</function>";
+  DifferentialTranscript(config, call);
+  DifferentialTranscript(config, call + call);
+  DifferentialTranscript(config, "prose " + call);  // must reject identically
+}
+
+// --- Differential: seeded random walks --------------------------------------
+
+TEST(TagDispatchDifferential, RandomWalkWeather) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    DifferentialRandomWalk(WeatherConfig(), seed, 48);
+  }
+}
+
+TEST(TagDispatchDifferential, RandomWalkTwoTools) {
+  for (std::uint64_t seed : {7u, 8u}) {
+    DifferentialRandomWalk(TwoToolConfig(), seed, 48);
+  }
+}
+
+TEST(TagDispatchDifferential, RandomWalkOverlappingTriggers) {
+  for (std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    DifferentialRandomWalk(OverlappingTriggerConfig(), seed, 40);
+  }
+}
+
+TEST(TagDispatchDifferential, RandomWalkNestedTriggers) {
+  for (std::uint64_t seed : {21u, 22u}) {
+    DifferentialRandomWalk(NestedTriggerConfig(), seed, 40);
+  }
+}
+
+TEST(TagDispatchDifferential, RandomWalkNoFreeText) {
+  TagDispatchConfig config = TwoToolConfig();
+  config.allow_free_text = false;
+  for (std::uint64_t seed : {31u, 32u}) {
+    DifferentialRandomWalk(config, seed, 40);
+  }
+}
+
+TEST(TagDispatchDifferential, RandomWalkBoundedInvocations) {
+  TagDispatchConfig config = WeatherConfig();
+  config.max_invocations = 2;
+  for (std::uint64_t seed : {41u, 42u}) {
+    DifferentialRandomWalk(config, seed, 48);
+  }
+}
+
+// --- Composite-specific behaviour -------------------------------------------
+
+TEST(TagDispatch, Utf8DfaAcceptsExactlyValidSequences) {
+  // Boundary-to-boundary walks for representative codepoints.
+  auto walk = [](const std::string& bytes) {
+    std::uint8_t state = kU8Boundary;
+    for (char c : bytes) {
+      state = Utf8Next(state, static_cast<std::uint8_t>(c));
+      if (state == kU8Reject) return std::string("reject");
+    }
+    return std::string(state == kU8Boundary ? "accept" : "partial");
+  };
+  EXPECT_EQ(walk("a"), "accept");
+  EXPECT_EQ(walk("é"), "accept");        // C3 A9
+  EXPECT_EQ(walk("世"), "accept");       // E4 B8 96
+  EXPECT_EQ(walk("\xF0\x9F\x98\x80"), "accept");  // U+1F600
+  EXPECT_EQ(walk("\xC3"), "partial");
+  EXPECT_EQ(walk("\x80"), "reject");              // stray continuation
+  EXPECT_EQ(walk("\xC0\xAF"), "reject");          // overlong
+  EXPECT_EQ(walk("\xED\xA0\x80"), "reject");      // surrogate
+  EXPECT_EQ(walk("\xF5\x80\x80\x80"), "reject");  // > U+10FFFF lead
+  EXPECT_EQ(walk("\xE0\x9F\xBF"), "reject");      // overlong 3-byte
+}
+
+TEST(TagDispatch, StatsCountDispatchesAndSegments) {
+  auto dispatch = DispatchDecoder(WeatherConfig());
+  const std::string transcript =
+      "Hi <function=get_weather>"
+      R"({"city":"Lima","unit":"celsius"})"
+      "</function> bye";
+  for (std::int32_t token : tokenizer::GreedyTokenize(TestTrie(), transcript)) {
+    ASSERT_TRUE(dispatch->AcceptToken(token));
+  }
+  const TagDispatchStats& stats = dispatch->Matcher().Stats();
+  EXPECT_EQ(stats.dispatches, 1);
+  EXPECT_EQ(stats.segment_switches, 2);  // free->tag and tag->free
+  EXPECT_GT(stats.free_tokens, 0);
+  EXPECT_GT(stats.tag_tokens, 0);
+  const TagDispatchStats* merged = dispatch->DispatchStats();
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->tags, 1);
+  EXPECT_EQ(merged->prefetch_submits, 1);
+}
+
+TEST(TagDispatch, FreeTextSteadyStateIsAllocationFree) {
+  auto dispatch = DispatchDecoder(WeatherConfig());
+  DynamicBitset mask(static_cast<std::size_t>(TestTokenizer()->VocabSize()));
+  std::vector<std::int32_t> tokens =
+      tokenizer::GreedyTokenize(TestTrie(), "the quick brown fox jumps over");
+  // Warm-up lap: sizes every buffer.
+  for (std::int32_t token : tokens) {
+    dispatch->FillNextTokenBitmask(&mask);
+    ASSERT_TRUE(dispatch->AcceptToken(token));
+  }
+  dispatch->Reset();
+  std::int64_t before = support::AllocHookCount();
+  for (std::int32_t token : tokens) {
+    dispatch->FillNextTokenBitmask(&mask);
+    ASSERT_TRUE(dispatch->AcceptToken(token));
+  }
+  EXPECT_EQ(support::AllocHookCount() - before, 0)
+      << "free-text segment allocated on the steady-state path";
+}
+
+TEST(TagDispatch, JumpForwardForcesBeginRemainderInsideTag) {
+  auto dispatch = DispatchDecoder(WeatherConfig());
+  // Enter the tag: accept prose then the begin-marker prefix token by token
+  // until a dispatch happened, then ask for the forced continuation.
+  const std::string prefix = "<function=get_weather>{\"";
+  for (std::int32_t token : tokenizer::GreedyTokenize(TestTrie(), prefix)) {
+    ASSERT_TRUE(dispatch->AcceptToken(token));
+  }
+  // Inside the object, the next forced span is a key start; just assert the
+  // jump string is consistent: every byte re-accepted.
+  std::string jump = dispatch->FindJumpForwardString();
+  if (!jump.empty()) {
+    EXPECT_TRUE(dispatch->Matcher().AcceptBytes(jump));
+  }
+}
+
+TEST(TagDispatch, PlansShareArtifactsThroughRegistry) {
+  runtime::CompileService service(TestTokenizer(), {});
+  TagDispatchConfig config = TwoToolConfig();
+  auto plan_a = TagDispatchPlan::Build(config, &service);
+  EXPECT_EQ(plan_a->BuildStats().prefetch_hits, 0);
+  // Second plan over an overlapping toolset: both tags resolve from the
+  // registry without a compile.
+  auto plan_b = TagDispatchPlan::Build(config, &service);
+  EXPECT_EQ(plan_b->BuildStats().prefetch_hits, 2);
+  EXPECT_EQ(plan_b->BuildStats().prefetch_waits, 0);
+  // And the artifacts are literally the same objects.
+  EXPECT_EQ(plan_a->TagArtifact(0).get(), plan_b->TagArtifact(0).get());
+  EXPECT_EQ(service.Stats().compiled, 2);
+}
+
+TEST(TagDispatch, LargeToolsetDispatchesWithoutBlowingTheThreadBudget) {
+  // The per-dispatch fan-out is one thread per tag sharing the completed
+  // trigger, so the thread budget must scale with the toolset: a 70-tool
+  // config used to pass plan build and then throw on the first dispatch.
+  TagDispatchConfig config;
+  for (int i = 0; i < 70; ++i) {
+    config.tags.push_back({"<function=tool_" + std::to_string(i) + ">",
+                           kIntSchema, "</function>"});
+  }
+  config.triggers = {"<function="};
+  auto plan = TagDispatchPlan::Build(config, &SharedService());
+  baselines::TagDispatchDecoder decoder(plan);
+  DynamicBitset mask(static_cast<std::size_t>(TestTokenizer()->VocabSize()));
+  const std::string transcript = "go <function=tool_42>7</function> done";
+  for (std::int32_t token : tokenizer::GreedyTokenize(TestTrie(), transcript)) {
+    decoder.FillNextTokenBitmask(&mask);
+    ASSERT_TRUE(mask.Test(static_cast<std::size_t>(token)));
+    ASSERT_TRUE(decoder.AcceptToken(token));
+  }
+  EXPECT_TRUE(decoder.CanTerminate());
+  EXPECT_EQ(decoder.Matcher().Stats().dispatches, 1);
+}
+
+TEST(TagDispatch, InvalidConfigsThrow) {
+  runtime::CompileService& service = SharedService();
+  TagDispatchConfig config;
+  config.triggers = {"<fn"};
+  EXPECT_THROW(TagDispatchPlan::Build(config, &service), xgr::CheckError);
+  config.tags = {{"[tool]", "", "[/tool]"}};  // no trigger prefixes it
+  EXPECT_THROW(TagDispatchPlan::Build(config, &service), xgr::CheckError);
+}
+
+}  // namespace
+}  // namespace xgr::compose
