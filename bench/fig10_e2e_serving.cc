@@ -8,11 +8,27 @@
 //                SGLang+XGrammar 7/10/13, XGrammar engine 6/9/12
 // Expected shape: baselines degrade sharply with batch size (serial CPU
 // grammar work multiplies), XGrammar stays at the unconstrained step time.
+//
+// Second section (committed as BENCH_e2e_serving.json): batch-scale numbers
+// at batch 64/128/256 on the dense-logits decode path — per-step grammar
+// overhead, overlap-hidden fraction, throughput, and steady-state
+// allocations per decode step (gated at zero in Release CI).
+//
+// Environment knobs for the second section:
+//   XGR_E2E_BATCHES     comma list of batch sizes      (default "64,128,256")
+//   XGR_E2E_TIME_SCALE  simulated-GPU time scale        (default 1.0;
+//                       CI smoke uses 0.05 to compress the forward pass)
+//   XGR_BENCH_JSON      output path        (default ./BENCH_e2e_serving.json)
+#include <fstream>
+
 #include "baselines/factory.h"
 #include "bench/bench_common.h"
 #include "datasets/workloads.h"
 #include "engine/serving_engine.h"
 #include "grammar/grammar.h"
+#include "json/json.h"
+#include "support/alloc_hook.h"
+#include "support/string_utils.h"
 
 namespace {
 
@@ -55,6 +71,208 @@ double RunConfig(const EngineConfig& config, bool schema_task,
     requests[i].seed = i + 1;
   }
   return eng.RunBatch(requests).TpotMs();
+}
+
+// --- Batch-scale e2e section (BENCH_e2e_serving.json) -----------------------
+
+std::uint64_t CountAllocs() {
+  return static_cast<std::uint64_t>(support::AllocHookCount());
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+std::vector<std::int32_t> E2eBatches() {
+  const char* value = std::getenv("XGR_E2E_BATCHES");
+  std::string spec = value != nullptr ? value : "64,128,256";
+  std::vector<std::int32_t> batches;
+  for (const std::string& part : SplitString(spec, ',')) {
+    std::int32_t b = std::atoi(part.c_str());
+    if (b > 0) batches.push_back(b);
+  }
+  return batches;
+}
+
+// One slot of a batch-scale workload: a prepared factory plus the document
+// its decoders are driven toward.
+struct Slot {
+  std::shared_ptr<DecoderFactory> factory;
+  std::string target;
+};
+
+// json_schema: 8 distinct schemas; cfg_python: the Python-DSL grammar over 8
+// programs (mask-heavy — this is where cost-aware sharding and overlap pay);
+// mixed: alternating slots, the LPT planner's target case (one expensive
+// python mask next to a crowd of cheap schema masks).
+std::vector<Slot> BuildSlots(
+    const std::string& task,
+    const std::shared_ptr<const tokenizer::TokenizerInfo>& info) {
+  std::vector<Slot> schema_slots;
+  for (const auto& t : datasets::GenerateSchemaTasks(8, 41)) {
+    auto factory = std::make_shared<DecoderFactory>(EngineKind::kXGrammar, info);
+    factory->PrepareSchema(t.schema);
+    schema_slots.push_back({std::move(factory), t.canonical_answer.Dump()});
+  }
+  std::vector<Slot> python_slots;
+  {
+    auto factory = std::make_shared<DecoderFactory>(EngineKind::kXGrammar, info);
+    factory->PrepareGrammar(grammar::BuiltinPythonDslGrammar());
+    for (const std::string& program : datasets::GeneratePythonPrograms(8, 777)) {
+      python_slots.push_back({factory, program});
+    }
+  }
+  if (task == "json_schema") return schema_slots;
+  if (task == "cfg_python") return python_slots;
+  std::vector<Slot> mixed;
+  for (std::size_t i = 0; i < 8; ++i) {
+    mixed.push_back(i % 2 == 0 ? schema_slots[i] : python_slots[i]);
+  }
+  return mixed;
+}
+
+struct E2eRow {
+  double tpot_ms = 0.0;
+  double tokens_per_s = 0.0;
+  double mask_ms_per_step = 0.0;
+  double gpu_ms_per_step = 0.0;
+  double overhead_ms_per_step = 0.0;  // grammar time NOT hidden by the GPU
+  double hidden_fraction = 0.0;
+  double allocs_per_step = -1.0;
+  std::int64_t decode_steps = 0;
+  std::int64_t total_tokens = 0;
+};
+
+E2eRow RunE2e(const std::vector<Slot>& slots, GrammarSchedule schedule,
+              bool constrained, std::int32_t batch, double time_scale,
+              const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
+              const engine::MockLlm& llm, std::int32_t max_tokens) {
+  EngineOptions options;
+  options.profile = engine::ModelProfile::Llama31_8B_H100();
+  options.schedule = schedule;
+  options.max_new_tokens = max_tokens;
+  options.time_scale = time_scale;
+  options.dense_logits = true;  // full logits row + fused SIMD kernel
+  options.alloc_count_fn = &CountAllocs;
+  engine::ServingEngine eng(options, llm);
+  std::vector<EngineRequest> requests(static_cast<std::size_t>(batch));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Slot& slot = slots[i % slots.size()];
+    if (constrained) requests[i].decoder = slot.factory->NewDecoder();
+    requests[i].target_text = slot.target;
+    requests[i].seed = i + 1;
+  }
+  // Warm-up laps bring every lazy structure (adaptive mask caches, matcher
+  // stacks, planner buffers) to steady state; the measured lap is the
+  // serving regime the JSON gates describe.
+  engine::BatchResult result;
+  for (std::int32_t lap = 0; lap <= WarmupLaps(); ++lap) {
+    result = eng.RunBatch(requests);
+  }
+  E2eRow row;
+  row.tpot_ms = result.TpotMs();
+  row.decode_steps = result.decode_steps;
+  row.total_tokens = result.total_tokens;
+  if (result.decode_wall_ms > 0.0) {
+    row.tokens_per_s = static_cast<double>(result.total_tokens) /
+                       (result.decode_wall_ms / 1000.0);
+  }
+  if (result.decode_steps > 0) {
+    double steps = static_cast<double>(result.decode_steps);
+    row.mask_ms_per_step = result.mask_wall_ms / steps;
+    row.gpu_ms_per_step = result.gpu_wall_ms / steps;
+    row.overhead_ms_per_step = result.exposed_overhead_ms / steps;
+  }
+  row.hidden_fraction = result.OverlapHiddenFraction();
+  if (result.steady_steps > 0) {
+    row.allocs_per_step = static_cast<double>(result.steady_allocs) /
+                          static_cast<double>(result.steady_steps);
+  }
+  return row;
+}
+
+json::Object RowJson(const E2eRow& row) {
+  json::Object obj;
+  obj["tpot_ms"] = row.tpot_ms;
+  obj["tokens_per_s"] = row.tokens_per_s;
+  obj["mask_ms_per_step"] = row.mask_ms_per_step;
+  obj["gpu_ms_per_step"] = row.gpu_ms_per_step;
+  obj["grammar_overhead_ms_per_step"] = row.overhead_ms_per_step;
+  obj["overlap_hidden_fraction"] = row.hidden_fraction;
+  obj["allocs_per_step"] = row.allocs_per_step;
+  obj["decode_steps"] = row.decode_steps;
+  obj["total_tokens"] = row.total_tokens;
+  return obj;
+}
+
+int RunE2eSection() {
+  auto info = GetTokenizer();
+  engine::MockLlm llm(info, {.derail_probability = 0.05, .seed = 3});
+  const double time_scale = EnvDouble("XGR_E2E_TIME_SCALE", 1.0);
+  const std::vector<std::int32_t> batches = E2eBatches();
+  std::int32_t max_tokens = std::min<std::int32_t>(MaxSteps(), 16);
+
+  std::printf(
+      "\n--- Batch-scale e2e (dense logits + fused mask/softmax/sample) ---\n");
+  std::printf("time_scale=%.3f  batches=", time_scale);
+  for (std::int32_t b : batches) std::printf("%d ", b);
+  std::printf("\n");
+  PrintRow({"task", "batch", "sched", "tpot ms", "tok/s", "mask ms", "exposed ms",
+            "hidden", "allocs/step"},
+           12);
+
+  json::Array results;
+  for (const std::string& task : {std::string("json_schema"),
+                                  std::string("cfg_python"),
+                                  std::string("mixed")}) {
+    std::vector<Slot> slots = BuildSlots(task, info);
+    for (std::int32_t batch : batches) {
+      json::Object entry;
+      entry["task"] = task;
+      entry["batch"] = batch;
+      json::Object configs;
+      E2eRow unconstrained = RunE2e(slots, GrammarSchedule::kNone, false, batch,
+                                    time_scale, info, llm, max_tokens);
+      E2eRow serial = RunE2e(slots, GrammarSchedule::kSerial, true, batch,
+                             time_scale, info, llm, max_tokens);
+      E2eRow overlap = RunE2e(slots, GrammarSchedule::kOverlap, true, batch,
+                              time_scale, info, llm, max_tokens);
+      for (const auto& [label, row] :
+           {std::pair<const char*, const E2eRow&>{"unconstrained", unconstrained},
+            {"serial", serial},
+            {"overlap", overlap}}) {
+        configs[label] = json::Value(RowJson(row));
+        PrintRow({task, std::to_string(batch), label, Fmt(row.tpot_ms, 2),
+                  Fmt(row.tokens_per_s, 0), Fmt(row.mask_ms_per_step, 3),
+                  Fmt(row.overhead_ms_per_step, 3), Fmt(row.hidden_fraction, 3),
+                  Fmt(row.allocs_per_step, 2)},
+                 12);
+      }
+      entry["configs"] = json::Value(std::move(configs));
+      results.push_back(json::Value(std::move(entry)));
+    }
+  }
+
+  json::Object doc;
+  doc["bench"] = "fig10_e2e_serving";
+  doc["vocab"] = VocabSize();
+  doc["time_scale"] = time_scale;
+  doc["max_new_tokens"] = max_tokens;
+  doc["warmup_laps"] = WarmupLaps();
+  doc["dense_logits"] = true;
+  doc["results"] = json::Value(std::move(results));
+  const char* json_path = std::getenv("XGR_BENCH_JSON");
+  std::string path = json_path != nullptr ? json_path : "BENCH_e2e_serving.json";
+  std::ofstream out(path);
+  out << json::Value(std::move(doc)).Dump(2) << "\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -124,5 +342,5 @@ int main() {
       PrintRow(row, 24);
     }
   }
-  return 0;
+  return RunE2eSection();
 }

@@ -1,0 +1,49 @@
+#include "engine/mask_shard_planner.h"
+
+#include <algorithm>
+
+namespace xgr::engine {
+
+void MaskShardPlanner::Plan(const float* cost_us, std::size_t n,
+                            std::size_t shard_count) {
+  shard_count_ = std::max<std::size_t>(1, std::min(shard_count, n));
+  if (n == 0) {
+    shard_count_ = 1;
+    offsets_.assign(2, 0);
+    return;
+  }
+
+  order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order_[i] = static_cast<std::int32_t>(i);
+  }
+  std::sort(order_.begin(), order_.end(),
+            [cost_us](std::int32_t a, std::int32_t b) {
+              if (cost_us[a] != cost_us[b]) return cost_us[a] > cost_us[b];
+              return a < b;  // stable, deterministic tie-break
+            });
+
+  shard_load_.assign(shard_count_, 0.0);
+  shard_of_.resize(n);
+  offsets_.assign(shard_count_ + 1, 0);
+  for (std::int32_t req : order_) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < shard_count_; ++s) {
+      if (shard_load_[s] < shard_load_[best]) best = s;  // < keeps lowest id
+    }
+    shard_of_[req] = static_cast<std::int32_t>(best);
+    shard_load_[best] += static_cast<double>(cost_us[req]);
+    ++offsets_[best + 1];
+  }
+
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    offsets_[s + 1] += offsets_[s];
+  }
+  items_.resize(n);
+  fill_.assign(offsets_.begin(), offsets_.end() - 1);
+  for (std::int32_t req : order_) {  // keeps descending-cost order per shard
+    items_[fill_[shard_of_[req]]++] = req;
+  }
+}
+
+}  // namespace xgr::engine

@@ -1,0 +1,55 @@
+// Deterministic cost-aware sharding of batch mask generation.
+//
+// The naive even split (ParallelFor over the batch) serializes one
+// expensive CFG request behind dozens of cheap JSON requests in the same
+// contiguous shard. The planner instead runs LPT (longest-processing-time-
+// first) over per-request cost estimates — the engine feeds it an EWMA of
+// each request's measured mask-fill microseconds — assigning each request
+// to the currently least-loaded shard.
+//
+// Determinism: ties in cost sort by ascending request index, ties in shard
+// load break to the lowest shard id, so the request→shard mapping is a pure
+// function of (costs, shard_count). Which thread EXECUTES a shard is still
+// dynamic (WorkerTeam claiming), but since each request's mask only depends
+// on its own decoder state, thread assignment cannot affect results — the
+// property the batch-determinism suite pins down.
+//
+// All buffers are reused across Plan() calls; after the first step at a
+// given batch size, planning allocates nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xgr::engine {
+
+class MaskShardPlanner {
+ public:
+  // Distributes requests [0, n) into `shard_count` shards by LPT on
+  // cost_us[i] (estimated microseconds for request i). shard_count is
+  // clamped to [1, n].
+  void Plan(const float* cost_us, std::size_t n, std::size_t shard_count);
+
+  std::size_t shard_count() const { return shard_count_; }
+
+  // Requests of shard s, in descending-cost order:
+  //   Items()[ShardBegin(s) .. ShardEnd(s))
+  const std::int32_t* Items() const { return items_.data(); }
+  std::size_t ShardBegin(std::size_t s) const { return offsets_[s]; }
+  std::size_t ShardEnd(std::size_t s) const { return offsets_[s + 1]; }
+
+  // Planned load (summed cost estimate) of shard s — exposed for tests.
+  double ShardLoad(std::size_t s) const { return shard_load_[s]; }
+
+ private:
+  std::size_t shard_count_ = 0;
+  std::vector<std::int32_t> order_;      // request indices, cost-desc
+  std::vector<std::int32_t> shard_of_;   // request -> shard
+  std::vector<std::int32_t> items_;      // requests grouped by shard
+  std::vector<std::size_t> offsets_;     // shard -> begin index into items_
+  std::vector<std::size_t> fill_;        // scratch cursor per shard
+  std::vector<double> shard_load_;
+};
+
+}  // namespace xgr::engine

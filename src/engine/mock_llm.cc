@@ -1,6 +1,7 @@
 #include "engine/mock_llm.h"
 
 #include <cctype>
+#include <cstring>
 
 #include "support/logging.h"
 
@@ -30,6 +31,14 @@ MockLlm::MockLlm(std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
     }
   }
   if (distractors_.empty()) distractors_.push_back(0);
+  // Dense-path base noise: a deterministic sub-1.0 logit per token, so the
+  // unboosted "long tail" has a total order (fused-kernel argmax stays
+  // deterministic) while any boost >= 1 still dominates it.
+  base_noise_.resize(static_cast<std::size_t>(tokenizer_->VocabSize()));
+  Rng noise_rng(options_.seed ^ 0x9E3779B97F4A7C15ull);
+  for (float& v : base_noise_) {
+    v = static_cast<float>(noise_rng.NextDouble());
+  }
   // Closing tokens (single-byte lookups through the trie).
   for (const char* closer :
        {"\"", "'", "}", "]", ")", ">", "<", "/", "=", ";", ":", "\n"}) {
@@ -49,22 +58,29 @@ MockLlm::RequestScript MockLlm::MakeScript(const std::string& target,
 
 SparseLogits MockLlm::ComputeLogits(RequestScript* script) const {
   SparseLogits logits;
+  ComputeLogitsSparse(script, &logits);
+  return logits;
+}
+
+void MockLlm::ComputeLogitsSparse(RequestScript* script,
+                                  SparseLogits* out) const {
+  out->boosted.clear();
   if (!script->diverged) {
     if (script->matched_bytes >= script->target.size()) {
-      logits.boosted.emplace_back(tokenizer_->EosId(), kTargetBoost);
-      return logits;
+      out->boosted.emplace_back(tokenizer_->EosId(), kTargetBoost);
+      return;
     }
     std::size_t length = 0;
     std::int32_t next = trie_->LongestMatch(script->target, script->matched_bytes, &length);
     XGR_CHECK(next >= 0) << "target text not tokenizable";
-    logits.boosted.emplace_back(next, kTargetBoost);
+    out->boosted.emplace_back(next, kTargetBoost);
     if (options_.derail_probability > 0.0 &&
         script->rng.NextBool(options_.derail_probability)) {
       std::int32_t distractor =
           distractors_[script->rng.NextBounded(distractors_.size())];
-      logits.boosted.emplace_back(distractor, kDerailBoost);
+      out->boosted.emplace_back(distractor, kDerailBoost);
     }
-    return logits;
+    return;
   }
   // Derailed: ramble for a few prose tokens, then stop. Structural closers
   // get lower boosts: an unmasked model ignores them (invalid output), while
@@ -73,18 +89,29 @@ SparseLogits MockLlm::ComputeLogits(RequestScript* script) const {
   if (script->prose_emitted < options_.derail_length) {
     std::int32_t distractor =
         distractors_[script->rng.NextBounded(distractors_.size())];
-    logits.boosted.emplace_back(distractor, kTargetBoost);
+    out->boosted.emplace_back(distractor, kTargetBoost);
   } else {
-    logits.boosted.emplace_back(tokenizer_->EosId(), kTargetBoost);
+    out->boosted.emplace_back(tokenizer_->EosId(), kTargetBoost);
   }
   // Randomized per-step boosts: which closer the model "prefers" varies, so a
   // masked model escapes free-text positions instead of appending the same
   // always-legal character forever.
   for (std::int32_t closer : closers_) {
-    logits.boosted.emplace_back(
+    out->boosted.emplace_back(
         closer, 9.0f + 4.0f * static_cast<float>(script->rng.NextDouble()));
   }
-  return logits;
+}
+
+void MockLlm::ComputeLogitsDense(RequestScript* script, SparseLogits* scratch,
+                                 float* row) const {
+  ComputeLogitsSparse(script, scratch);
+  std::memcpy(row, base_noise_.data(), base_noise_.size() * sizeof(float));
+  for (const auto& [token, boost] : scratch->boosted) {
+    if (token >= 0 &&
+        static_cast<std::size_t>(token) < base_noise_.size()) {
+      row[token] += boost;
+    }
+  }
 }
 
 void MockLlm::OnTokenSampled(RequestScript* script, std::int32_t token_id) const {

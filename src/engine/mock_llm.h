@@ -54,6 +54,21 @@ class MockLlm {
   // Logits for the next step of `script`.
   SparseLogits ComputeLogits(RequestScript* script) const;
 
+  // Allocation-free variant for the decode hot path: clears and refills
+  // `out` (capacity is reused across steps once warm).
+  void ComputeLogitsSparse(RequestScript* script, SparseLogits* out) const;
+
+  // Dense-logits variant: writes a full VocabSize()-wide row into `row` —
+  // the shared base-noise row (deterministic per-token values in [0, 1),
+  // built once at construction) plus the step's sparse boosts. `scratch`
+  // receives the boosts as a side effect (same reuse contract as
+  // ComputeLogitsSparse). Zero allocations once warm.
+  void ComputeLogitsDense(RequestScript* script, SparseLogits* scratch,
+                          float* row) const;
+
+  // The dense path's per-token background logits (size VocabSize()).
+  const std::vector<float>& BaseNoiseRow() const { return base_noise_; }
+
   // Informs the script that `token_id` was sampled; updates alignment.
   void OnTokenSampled(RequestScript* script, std::int32_t token_id) const;
 
@@ -66,6 +81,7 @@ class MockLlm {
   Options options_;
   std::vector<std::int32_t> distractors_;  // prose-like token ids
   std::vector<std::int32_t> closers_;      // '"', '}', ']', ... for recovery
+  std::vector<float> base_noise_;          // dense path: per-token [0,1) floor
 };
 
 }  // namespace xgr::engine

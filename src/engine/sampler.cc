@@ -7,17 +7,22 @@ namespace xgr::engine {
 std::int32_t SampleMasked(const SparseLogits& logits, const DynamicBitset& mask,
                           Rng* rng) {
   std::int32_t best = -1;
+  // Every unboosted allowed token has logit 0, so a boosted candidate must
+  // strictly beat that floor — starting from best == -1 with best_logit 0
+  // and requiring `>` is exactly "initialize against the implicit 0-logit
+  // floor". (A boosted token at a negative logit falls through to the
+  // fallback below, where the 0-logit crowd wins.)
   float best_logit = 0.0f;
   for (const auto& [token, logit] : logits.boosted) {
     if (token < 0 || !mask.Test(static_cast<std::size_t>(token))) continue;
-    if (best == -1 || logit > best_logit) {
+    if (logit > best_logit) {
       best = token;
       best_logit = logit;
     }
   }
   if (best != -1) return best;
-  // All boosted tokens are masked: fall back to a pseudo-random allowed token
-  // (every unboosted allowed token ties at logit 0).
+  // No boosted token beats the floor: fall back to a pseudo-random allowed
+  // token (every unboosted allowed token ties at logit 0).
   std::size_t start = rng->NextBounded(mask.Size());
   std::int64_t pick = mask.FindNext(start);
   if (pick < 0) pick = mask.FindNext(0);
@@ -28,16 +33,36 @@ std::int32_t SampleMasked(const SparseLogits& logits, const DynamicBitset& mask,
 std::int32_t SampleUnmasked(const SparseLogits& logits, std::int32_t vocab_size,
                             Rng* rng) {
   std::int32_t best = -1;
-  float best_logit = 0.0f;
+  float best_logit = 0.0f;  // implicit floor: unboosted tokens sit at 0
   for (const auto& [token, logit] : logits.boosted) {
     if (token < 0) continue;
-    if (best == -1 || logit > best_logit) {
+    if (logit > best_logit) {
       best = token;
       best_logit = logit;
     }
   }
   if (best != -1) return best;
-  return static_cast<std::int32_t>(rng->NextBounded(static_cast<std::uint64_t>(vocab_size)));
+  return static_cast<std::int32_t>(
+      rng->NextBounded(static_cast<std::uint64_t>(vocab_size)));
+}
+
+void DenseSampler::Prepare(std::size_t vocab_size) {
+  if (exp_scratch_.size() != vocab_size) exp_scratch_.resize(vocab_size);
+}
+
+std::int32_t DenseSampler::Sample(const float* logits, std::size_t vocab_size,
+                                  const DynamicBitset* mask, float temperature,
+                                  Rng* rng) {
+  XGR_CHECK(exp_scratch_.size() >= vocab_size)
+      << "DenseSampler::Prepare not called for this vocab size";
+  const std::uint64_t* words = mask != nullptr ? mask->Data() : nullptr;
+  // Draw the uniform only on the temperature path so the greedy path leaves
+  // the request's rng stream untouched.
+  bool stochastic = temperature > 0.0f;
+  double uniform = stochastic ? rng->NextDouble() : 0.0;
+  return support::simd::FusedMaskSoftmaxSample(
+      logits, vocab_size, words, temperature, uniform, exp_scratch_.data(),
+      &stats_);
 }
 
 }  // namespace xgr::engine

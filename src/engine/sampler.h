@@ -1,17 +1,27 @@
-// Masked greedy sampling over sparse logits.
+// Masked sampling over sparse or dense logits.
 //
-// Mirrors Figure 2: invalid tokens get -inf (here: are skipped), the argmax
-// of the surviving logits is selected. With sparse logits every non-boosted
-// token has logit 0, so the fallback among equally-scored allowed tokens is a
-// seeded pseudo-random pick — a stand-in for the long tail of a real
-// distribution.
+// Mirrors Figure 2: invalid tokens get -inf (sparse: are skipped; dense:
+// are masked inside the fused kernel), the argmax of the surviving logits
+// is selected.
+//
+// Sparse path: every non-boosted token has logit 0, so the fallback among
+// equally-scored allowed tokens is a seeded pseudo-random pick — a stand-in
+// for the long tail of a real distribution. A boosted token wins only when
+// its logit strictly beats that implicit 0-logit floor (a negative-logit
+// boost must NOT shadow the unboosted allowed tokens tying at 0).
+//
+// Dense path: DenseSampler runs the runtime-dispatched fused
+// bitmask-apply + softmax + sample kernel (support/simd_kernels.h) over a
+// full logits row, with temperature <= 0 meaning greedy argmax.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "engine/mock_llm.h"
 #include "support/dynamic_bitset.h"
 #include "support/rng.h"
+#include "support/simd_kernels.h"
 
 namespace xgr::engine {
 
@@ -22,5 +32,27 @@ std::int32_t SampleMasked(const SparseLogits& logits, const DynamicBitset& mask,
 // Greedy sample without a mask (unconstrained generation).
 std::int32_t SampleUnmasked(const SparseLogits& logits, std::int32_t vocab_size,
                             Rng* rng);
+
+// Stateful dense sampler: owns the exp scratch row so the per-step sampling
+// call performs zero heap allocations.
+class DenseSampler {
+ public:
+  // Sizes the scratch for `vocab_size`-wide rows; call once per request at
+  // admission (re-calling with the same size is a no-op).
+  void Prepare(std::size_t vocab_size);
+
+  // Samples from logits[0..vocab_size). mask == nullptr = unconstrained.
+  // temperature <= 0 (or NaN) = greedy argmax; otherwise softmax sampling
+  // with one uniform draw from `rng`. Returns -1 only when the mask allows
+  // no token at all.
+  std::int32_t Sample(const float* logits, std::size_t vocab_size,
+                      const DynamicBitset* mask, float temperature, Rng* rng);
+
+  const support::simd::FusedSampleStats& LastStats() const { return stats_; }
+
+ private:
+  std::vector<float> exp_scratch_;
+  support::simd::FusedSampleStats stats_;
+};
 
 }  // namespace xgr::engine

@@ -1,14 +1,14 @@
 #include "engine/serving_engine.h"
 
 #include <algorithm>
-#include <future>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "baselines/xgrammar_decoder.h"
 #include "cache/mask_generator.h"
 #include "compose/tag_dispatch.h"
 #include "support/logging.h"
-#include "support/thread_pool.h"
 #include "support/timer.h"
 
 namespace xgr::engine {
@@ -26,7 +26,37 @@ struct ActiveRequest {
   DynamicBitset mask;
   Rng sampler_rng{1};
   bool finished = false;
+  // Cost-aware sharding: EWMA of this request's measured mask-fill
+  // microseconds (0 until first measured — the planner then spreads
+  // requests evenly).
+  float mask_cost_ewma_us = 0.0f;
+  // Hot-path scratch, sized once at admission so decode steps allocate
+  // nothing: the sparse boost list, and (dense path) the logits row plus
+  // the sampler's exp scratch.
+  SparseLogits logits_scratch;
+  std::vector<float> dense_row;
+  DenseSampler dense_sampler;
 };
+
+// Sizes every per-request buffer the decode loop touches, so the loop
+// itself stays allocation-free.
+void InitActiveRequest(ActiveRequest* ar, const MockLlm& llm,
+                       const EngineOptions& options,
+                       const std::string& target_text, std::uint64_t seed,
+                       std::size_t vocab_size) {
+  ar->script = llm.MakeScript(target_text, seed);
+  ar->mask = DynamicBitset(vocab_size);
+  ar->sampler_rng = Rng(seed * 7919u + 13u);
+  ar->logits_scratch.boosted.reserve(16);  // covers target+distractor+closers
+  auto max_new = static_cast<std::size_t>(std::max(options.max_new_tokens, 1));
+  ar->result.token_ids.reserve(max_new);
+  ar->result.output_text.reserve(max_new * 16);  // ample for long tokens
+  if (options.dense_logits) {
+    ar->dense_row.resize(vocab_size);
+    ar->dense_sampler.Prepare(vocab_size);
+  }
+  if (ar->decoder != nullptr) ar->decoder->Reset();
+}
 
 // Decoder mask-gen counters accumulate over the decoder's lifetime; the
 // engine reports per-run deltas, so it snapshots them at admission and
@@ -105,12 +135,25 @@ bool StepOneRequest(const MockLlm& llm, const EngineOptions& options,
                     ActiveRequest* ar, std::int64_t* total_tokens) {
   const tokenizer::TokenizerInfo& tokenizer = llm.Tokenizer();
   baselines::ConstrainedDecoder* decoder = ar->decoder.get();
-  SparseLogits logits = llm.ComputeLogits(&ar->script);
   std::int32_t token;
-  if (decoder != nullptr) {
-    token = SampleMasked(logits, ar->mask, &ar->sampler_rng);
+  if (options.dense_logits) {
+    // Dense path: full logits row through the fused
+    // mask-apply/softmax/sample kernel.
+    llm.ComputeLogitsDense(&ar->script, &ar->logits_scratch,
+                           ar->dense_row.data());
+    token = ar->dense_sampler.Sample(
+        ar->dense_row.data(), ar->dense_row.size(),
+        decoder != nullptr ? &ar->mask : nullptr, options.temperature,
+        &ar->sampler_rng);
+    XGR_CHECK(token >= 0) << "mask allows no token at all";
   } else {
-    token = SampleUnmasked(logits, tokenizer.VocabSize(), &ar->sampler_rng);
+    llm.ComputeLogitsSparse(&ar->script, &ar->logits_scratch);
+    if (decoder != nullptr) {
+      token = SampleMasked(ar->logits_scratch, ar->mask, &ar->sampler_rng);
+    } else {
+      token = SampleUnmasked(ar->logits_scratch, tokenizer.VocabSize(),
+                             &ar->sampler_rng);
+    }
   }
   llm.OnTokenSampled(&ar->script, token);
   if (token == tokenizer.EosId()) {
@@ -176,13 +219,132 @@ bool StepOneRequest(const MockLlm& llm, const EngineOptions& options,
   return false;
 }
 
+// Shard body for WorkerTeam: run the planned mask fills of one shard,
+// timing each request to feed its EWMA cost estimate.
+struct MaskPhaseCtx {
+  MaskTask* tasks = nullptr;
+  const MaskShardPlanner* planner = nullptr;
+};
+
+void RunMaskShard(void* opaque, std::size_t shard) {
+  auto* ctx = static_cast<MaskPhaseCtx*>(opaque);
+  const MaskShardPlanner& plan = *ctx->planner;
+  for (std::size_t k = plan.ShardBegin(shard); k < plan.ShardEnd(shard); ++k) {
+    MaskTask& task = ctx->tasks[plan.Items()[k]];
+    Timer timer;
+    task.decoder->FillNextTokenBitmask(task.mask);
+    auto us = static_cast<float>(timer.ElapsedMicros());
+    float& ewma = *task.cost_ewma_us;
+    ewma = ewma <= 0.0f ? us : 0.7f * ewma + 0.3f * us;
+  }
+}
+
 }  // namespace
+
+// Persistent simulated-GPU thread: the forward-pass wait of every decode
+// step runs here, replacing the per-step std::async of the original loop —
+// no thread spawn and no shared-state allocation per step, so overlap
+// measurements see only the wait itself and the steady-state decode step
+// stays allocation-free.
+class ServingEngine::SimGpu {
+ public:
+  SimGpu() : thread_([this] { Loop(); }) {}
+
+  ~SimGpu() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  // Starts a forward pass of `scaled_us` (already time-scaled) microseconds.
+  void Launch(double scaled_us) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    XGR_CHECK(!busy_) << "SimGpu launched twice without Wait";
+    wait_us_ = scaled_us;
+    busy_ = true;
+    cv_.notify_all();
+  }
+
+  // Blocks until the launched pass completes; returns its measured wall ms.
+  double WaitMs() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !busy_; });
+    return last_wall_ms_;
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      cv_.wait(lock, [this] { return stop_ || busy_; });
+      if (stop_) return;
+      double us = wait_us_;
+      lock.unlock();
+      Timer timer;
+      if (us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<std::int64_t>(us)));
+      }
+      double wall_ms = timer.ElapsedMillis();
+      lock.lock();
+      last_wall_ms_ = wall_ms;
+      busy_ = false;
+      cv_.notify_all();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  double wait_us_ = 0.0;
+  double last_wall_ms_ = 0.0;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+ServingEngine::ServingEngine(const EngineOptions& options, const MockLlm& llm)
+    : options_(options),
+      llm_(llm),
+      gpu_(std::make_unique<SimGpu>()),
+      mask_team_(options.mask_threads > 0
+                     ? static_cast<std::size_t>(options.mask_threads)
+                     : std::max<std::size_t>(
+                           2, std::thread::hardware_concurrency())) {}
+
+ServingEngine::~ServingEngine() = default;
 
 void ServingEngine::SimulatedWait(double microseconds) const {
   double scaled = microseconds * options_.time_scale;
   if (scaled <= 0) return;
   std::this_thread::sleep_for(
       std::chrono::microseconds(static_cast<std::int64_t>(scaled)));
+}
+
+double ServingEngine::RunMaskTasks(bool parallel) {
+  if (mask_tasks_.empty()) return 0.0;
+  Timer wall;
+  if (!parallel || mask_tasks_.size() == 1 || mask_team_.thread_count() == 1) {
+    for (MaskTask& task : mask_tasks_) {
+      Timer timer;
+      task.decoder->FillNextTokenBitmask(task.mask);
+      auto us = static_cast<float>(timer.ElapsedMicros());
+      float& ewma = *task.cost_ewma_us;
+      ewma = ewma <= 0.0f ? us : 0.7f * ewma + 0.3f * us;
+    }
+  } else {
+    plan_cost_us_.resize(mask_tasks_.size());
+    for (std::size_t i = 0; i < mask_tasks_.size(); ++i) {
+      plan_cost_us_[i] = *mask_tasks_[i].cost_ewma_us;
+    }
+    planner_.Plan(plan_cost_us_.data(), mask_tasks_.size(),
+                  mask_team_.thread_count());
+    MaskPhaseCtx ctx{mask_tasks_.data(), &planner_};
+    mask_team_.Dispatch(&RunMaskShard, &ctx, planner_.shard_count());
+  }
+  return wall.ElapsedMillis();
 }
 
 BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) {
@@ -198,11 +360,9 @@ BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) 
   for (std::size_t i = 0; i < requests.size(); ++i) {
     active[i].request = &requests[i];
     active[i].decoder = requests[i].decoder;
-    active[i].script = llm_.MakeScript(requests[i].target_text, requests[i].seed);
-    active[i].mask = DynamicBitset(vocab_size);
-    active[i].sampler_rng = Rng(requests[i].seed * 7919u + 13u);
+    InitActiveRequest(&active[i], llm_, options_, requests[i].target_text,
+                      requests[i].seed, vocab_size);
     if (active[i].decoder != nullptr) {
-      active[i].decoder->Reset();
       max_preprocess_s = std::max(max_preprocess_s,
                                   active[i].decoder->PreprocessSeconds());
     }
@@ -210,6 +370,7 @@ BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) 
     admitted_dispatch[i] = SnapshotTagDispatch(active[i].decoder.get());
     prompt_tokens += requests[i].prompt_tokens;
   }
+  mask_tasks_.reserve(requests.size());
 
   BatchResult batch;
   batch.requests.resize(requests.size());
@@ -237,33 +398,43 @@ BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) 
   double step_us = options_.profile.decode_base_us +
                    options_.profile.decode_per_seq_us * batch_size;
 
-  auto compute_masks_serial = [&] {
-    for (ActiveRequest& ar : active) {
-      if (ar.finished || ar.decoder == nullptr) continue;
-      ar.decoder->FillNextTokenBitmask(&ar.mask);
-    }
-  };
-  auto compute_masks_parallel = [&] {
-    ThreadPool::Global().ParallelFor(active.size(), [&](std::size_t i) {
-      ActiveRequest& ar = active[i];
-      if (ar.finished || ar.decoder == nullptr) return;
-      ar.decoder->FillNextTokenBitmask(&ar.mask);
-    });
-  };
+  const bool counting = options_.alloc_count_fn != nullptr;
+  if (counting) batch.steady_allocs = 0;
+  std::int64_t step_index = 0;
 
   while (num_finished < static_cast<std::int32_t>(active.size())) {
-    // Forward pass on the simulated GPU.
-    std::future<void> gpu = std::async(std::launch::async, [this, step_us] {
-      SimulatedWait(step_us);
-    });
+    std::uint64_t allocs_before = counting ? options_.alloc_count_fn() : 0;
+    // Gather the step's mask work (unfinished grammar-constrained requests).
+    mask_tasks_.clear();
+    if (options_.schedule != GrammarSchedule::kNone) {
+      for (ActiveRequest& ar : active) {
+        if (ar.finished || ar.decoder == nullptr) continue;
+        mask_tasks_.push_back(
+            {ar.decoder.get(), &ar.mask, &ar.mask_cost_ewma_us});
+      }
+    }
+    // Forward pass on the persistent simulated GPU.
+    gpu_->Launch(step_us * options_.time_scale);
+    double mask_wall_ms = 0.0;
     if (options_.schedule == GrammarSchedule::kOverlap) {
-      compute_masks_parallel();  // overlapped with the forward pass (§3.5)
+      // Overlapped with the forward pass (§3.5), cost-aware-sharded.
+      mask_wall_ms = RunMaskTasks(/*parallel=*/true);
     }
-    gpu.get();
+    double gpu_wall_ms = gpu_->WaitMs();
     if (options_.schedule == GrammarSchedule::kSerial) {
-      compute_masks_serial();  // serializes behind the forward pass
+      mask_wall_ms = RunMaskTasks(/*parallel=*/false);  // behind the GPU
     }
-    SimulatedWait(options_.profile.sampling_us);
+    batch.mask_wall_ms += mask_wall_ms;
+    batch.gpu_wall_ms += gpu_wall_ms;
+    batch.exposed_overhead_ms +=
+        options_.schedule == GrammarSchedule::kOverlap
+            ? std::max(0.0, mask_wall_ms - gpu_wall_ms)
+            : mask_wall_ms;
+    if (!options_.dense_logits) {
+      // Simulated GPU-side sampling; on the dense path the fused kernel
+      // below IS the sampling work, measured for real.
+      SimulatedWait(options_.profile.sampling_us);
+    }
 
     ++batch.decode_steps;
     for (ActiveRequest& ar : active) {
@@ -272,6 +443,12 @@ BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) 
         ++num_finished;
       }
     }
+    if (counting && step_index >= 2) {
+      batch.steady_allocs += static_cast<std::int64_t>(
+          options_.alloc_count_fn() - allocs_before);
+      ++batch.steady_steps;
+    }
+    ++step_index;
   }
   batch.decode_wall_ms = decode_timer.ElapsedMillis();
   for (std::size_t i = 0; i < active.size(); ++i) {
@@ -309,6 +486,7 @@ ContinuousResult ServingEngine::RunContinuous(
   };
   std::vector<Slot> active;
   active.reserve(static_cast<std::size_t>(max_batch_size));
+  mask_tasks_.reserve(static_cast<std::size_t>(max_batch_size));
 
   ContinuousResult out;
   out.requests.resize(requests.size());
@@ -374,11 +552,8 @@ ContinuousResult ServingEngine::RunContinuous(
       slot.index = index;
       slot.ar.request = &arrival.request;
       slot.ar.decoder = std::move(decoder);
-      slot.ar.script =
-          llm_.MakeScript(arrival.request.target_text, arrival.request.seed);
-      slot.ar.mask = DynamicBitset(vocab_size);
-      slot.ar.sampler_rng = Rng(arrival.request.seed * 7919u + 13u);
-      if (slot.ar.decoder != nullptr) slot.ar.decoder->Reset();
+      InitActiveRequest(&slot.ar, llm_, options_, arrival.request.target_text,
+                        arrival.request.seed, vocab_size);
       slot.admitted_stats = SnapshotMaskGen(slot.ar.decoder.get());
       slot.admitted_dispatch = SnapshotTagDispatch(slot.ar.decoder.get());
       admission_us += static_cast<double>(arrival.request.prompt_tokens) *
@@ -419,24 +594,32 @@ ContinuousResult ServingEngine::RunContinuous(
     // (scaled) simulated GPU wait plus however much real mask-generation
     // work escapes the overlap — exactly the quantity Figure 10 plots.
     Timer iteration_timer;
-    std::future<void> gpu = std::async(std::launch::async, [this, step_us] {
-      SimulatedWait(step_us);
-    });
-    if (options_.schedule == GrammarSchedule::kOverlap) {
-      ThreadPool::Global().ParallelFor(active.size(), [&](std::size_t i) {
-        Slot& slot = active[i];
-        if (slot.ar.decoder == nullptr) return;
-        slot.ar.decoder->FillNextTokenBitmask(&slot.ar.mask);
-      });
-    }
-    gpu.get();
-    if (options_.schedule == GrammarSchedule::kSerial) {
+    mask_tasks_.clear();
+    if (options_.schedule != GrammarSchedule::kNone) {
       for (Slot& slot : active) {
         if (slot.ar.decoder == nullptr) continue;
-        slot.ar.decoder->FillNextTokenBitmask(&slot.ar.mask);
+        mask_tasks_.push_back({slot.ar.decoder.get(), &slot.ar.mask,
+                               &slot.ar.mask_cost_ewma_us});
       }
     }
-    SimulatedWait(options_.profile.sampling_us);
+    gpu_->Launch(step_us * options_.time_scale);
+    double mask_wall_ms = 0.0;
+    if (options_.schedule == GrammarSchedule::kOverlap) {
+      mask_wall_ms = RunMaskTasks(/*parallel=*/true);
+    }
+    double gpu_wall_ms = gpu_->WaitMs();
+    if (options_.schedule == GrammarSchedule::kSerial) {
+      mask_wall_ms = RunMaskTasks(/*parallel=*/false);
+    }
+    out.mask_wall_ms += mask_wall_ms;
+    out.gpu_wall_ms += gpu_wall_ms;
+    out.exposed_overhead_ms +=
+        options_.schedule == GrammarSchedule::kOverlap
+            ? std::max(0.0, mask_wall_ms - gpu_wall_ms)
+            : mask_wall_ms;
+    if (!options_.dense_logits) {
+      SimulatedWait(options_.profile.sampling_us);
+    }
     clock_us += iteration_timer.ElapsedMicros();
     ++out.decode_steps;
 

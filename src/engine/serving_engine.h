@@ -20,10 +20,12 @@
 #include <vector>
 
 #include "baselines/constrained_decoder.h"
+#include "engine/mask_shard_planner.h"
 #include "engine/mock_llm.h"
 #include "engine/model_profile.h"
 #include "engine/sampler.h"
 #include "runtime/compile_service.h"
+#include "support/worker_team.h"
 
 namespace xgr::engine {
 
@@ -59,6 +61,22 @@ struct EngineOptions {
   // Scales every simulated GPU wait (1.0 = calibrated real time). Tests use
   // small values; benchmarks keep 1.0.
   double time_scale = 1.0;
+  // Dense-logits decode path: the mock LLM emits a full float row per
+  // sequence and sampling runs the runtime-dispatched fused
+  // bitmask-apply + softmax + sample kernel (support/simd_kernels.h). The
+  // profile's sampling_us wait is skipped — the kernel IS the sampling work.
+  bool dense_logits = false;
+  // Softmax temperature for the dense path; <= 0 = greedy argmax (the
+  // deterministic default the batch-determinism suite relies on).
+  float temperature = 0.0f;
+  // Worker threads (including the dispatching thread) for batch mask
+  // generation; 0 = one per hardware thread. Each engine owns a persistent
+  // WorkerTeam, so thread count is a per-engine knob, not a global.
+  std::int32_t mask_threads = 0;
+  // Optional process-wide allocation counter (see support/alloc_hook.h and
+  // benchutil::AllocCountFn). When set, RunBatch reports allocations
+  // performed during steady-state decode steps (BatchResult::steady_allocs).
+  std::uint64_t (*alloc_count_fn)() = nullptr;
 };
 
 struct EngineRequest {
@@ -124,6 +142,26 @@ struct BatchResult {
   std::int64_t total_tokens = 0;  // includes jump-forwarded tokens
   MaskGenAggregate mask_gen;
   TagDispatchAggregate tag_dispatch;
+  // Overlap accounting, summed over decode steps: wall time of the mask
+  // phase, wall time of the simulated forward pass, and the grammar
+  // overhead that escaped the overlap (per step: max(0, mask - gpu) under
+  // kOverlap; the full mask wall under kSerial — exactly the quantity
+  // Figure 10 plots as added TPOT).
+  double mask_wall_ms = 0.0;
+  double gpu_wall_ms = 0.0;
+  double exposed_overhead_ms = 0.0;
+  // Fraction of mask-generation wall time hidden behind the forward pass.
+  double OverlapHiddenFraction() const {
+    return mask_wall_ms <= 0.0
+               ? 1.0
+               : 1.0 - exposed_overhead_ms / mask_wall_ms;
+  }
+  // Allocation audit (only when EngineOptions::alloc_count_fn is set):
+  // operator-new calls observed across steady-state decode steps (the
+  // first two steps are warm-up: lazy scratch, planner buffers). -1 = not
+  // measured.
+  std::int64_t steady_allocs = -1;
+  std::int64_t steady_steps = 0;
   // Time per output token as the paper reports it: decode wall time divided
   // by tokens generated per request slot.
   double TpotMs() const {
@@ -170,6 +208,10 @@ struct ContinuousResult {
   std::int64_t total_tokens = 0;
   MaskGenAggregate mask_gen;
   TagDispatchAggregate tag_dispatch;
+  // Same overlap accounting as BatchResult, summed over iterations.
+  double mask_wall_ms = 0.0;
+  double gpu_wall_ms = 0.0;
+  double exposed_overhead_ms = 0.0;
   double makespan_ms = 0.0;  // simulated clock at last completion
   double ThroughputTokensPerSec() const {
     return makespan_ms <= 0.0
@@ -178,10 +220,19 @@ struct ContinuousResult {
   }
 };
 
+// One unit of batch mask work: fill `mask` from `decoder`, then fold the
+// measured microseconds into the request's EWMA cost estimate (each request
+// belongs to exactly one shard per step, so the EWMA update is race-free).
+struct MaskTask {
+  baselines::ConstrainedDecoder* decoder = nullptr;
+  DynamicBitset* mask = nullptr;
+  float* cost_ewma_us = nullptr;
+};
+
 class ServingEngine {
  public:
-  ServingEngine(const EngineOptions& options, const MockLlm& llm)
-      : options_(options), llm_(llm) {}
+  ServingEngine(const EngineOptions& options, const MockLlm& llm);
+  ~ServingEngine();
 
   // Runs one static batch to completion (all requests step in lockstep, as in
   // the paper's fixed-batch-size online-serving setting).
@@ -196,10 +247,22 @@ class ServingEngine {
                                  std::int32_t max_batch_size);
 
  private:
+  class SimGpu;  // persistent simulated-GPU thread (defined in the .cc)
+
   void SimulatedWait(double microseconds) const;
+  // Runs the gathered mask_tasks_ (serial, or cost-aware-sharded across the
+  // worker team); returns the phase's wall-clock milliseconds.
+  double RunMaskTasks(bool parallel);
 
   EngineOptions options_;
   const MockLlm& llm_;
+  std::unique_ptr<SimGpu> gpu_;
+  support::WorkerTeam mask_team_;
+  // Reused per step: the step's mask work, its cost snapshot, and the LPT
+  // plan — all allocation-free once warm.
+  std::vector<MaskTask> mask_tasks_;
+  std::vector<float> plan_cost_us_;
+  MaskShardPlanner planner_;
 };
 
 }  // namespace xgr::engine

@@ -1,0 +1,380 @@
+#include "support/simd_kernels.h"
+
+#include <cmath>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define XGR_SIMD_BUILD_AVX2 1
+#include <immintrin.h>
+#else
+#define XGR_SIMD_BUILD_AVX2 0
+#endif
+
+namespace xgr::support::simd {
+namespace {
+
+// exp(r) polynomial + range-reduction constants (cephes expf). Both the
+// scalar and AVX2 paths evaluate exactly this fma chain so per-element
+// results are bit-identical; see ExpNegCore below and ExpBlockAvx2.
+constexpr float kLog2e = 1.44269504088896341f;
+constexpr float kLn2Hi = 0.693359375f;
+constexpr float kLn2Lo = -2.12194440e-4f;
+constexpr float kExpC0 = 1.9875691500e-4f;
+constexpr float kExpC1 = 1.3981999507e-3f;
+constexpr float kExpC2 = 8.3334519073e-3f;
+constexpr float kExpC3 = 4.1665795894e-2f;
+constexpr float kExpC4 = 1.6666665459e-1f;
+constexpr float kExpC5 = 5.0000001201e-1f;
+// Below this, exp(x) rounds to 0 in float (we cut slightly early so the
+// 2^k scale stays a normal number in both code paths).
+constexpr float kExpLo = -87.0f;
+
+// exp(x) for kExpLo <= x <= 0. Every operation is exactly specified by
+// IEEE-754 (mul, div, fma, nearest-even round), so the AVX2 lane-wise
+// mirror produces bit-identical results.
+inline float ExpNegCore(float x) {
+  float k = std::nearbyintf(x * kLog2e);
+  float r = std::fmaf(-k, kLn2Hi, x);
+  r = std::fmaf(-k, kLn2Lo, r);
+  float p = kExpC0;
+  p = std::fmaf(p, r, kExpC1);
+  p = std::fmaf(p, r, kExpC2);
+  p = std::fmaf(p, r, kExpC3);
+  p = std::fmaf(p, r, kExpC4);
+  p = std::fmaf(p, r, kExpC5);
+  p = std::fmaf(p, r, 1.0f);  // z*r + 1
+  p = std::fmaf(p, r, 1.0f);  // (z*r + 1)*r + 1 = exp(r)
+  // Scale by 2^k via exponent-bit construction; k in [-126, 0] here.
+  std::uint32_t bits = static_cast<std::uint32_t>(static_cast<int>(k) + 127)
+                       << 23;
+  float scale;
+  std::memcpy(&scale, &bits, sizeof(scale));
+  return p * scale;
+}
+
+inline bool BitAllowed(const std::uint64_t* words, std::size_t i) {
+  return words == nullptr ||
+         (words[i >> 6] >> (i & 63)) & std::uint64_t{1};
+}
+
+std::int32_t CountAllowed(const std::uint64_t* words, std::size_t n) {
+  if (words == nullptr) return static_cast<std::int32_t>(n);
+  std::size_t word_count = (n + 63) / 64;
+  std::int32_t total = 0;
+  for (std::size_t w = 0; w < word_count; ++w) {
+    total += static_cast<std::int32_t>(__builtin_popcountll(words[w]));
+  }
+  return total;  // padding bits beyond n are guaranteed clear
+}
+
+std::int32_t FirstAllowed(const std::uint64_t* words, std::size_t n) {
+  if (n == 0) return -1;
+  if (words == nullptr) return 0;
+  std::size_t word_count = (n + 63) / 64;
+  for (std::size_t w = 0; w < word_count; ++w) {
+    if (words[w] != 0) {
+      return static_cast<std::int32_t>(w * 64 + __builtin_ctzll(words[w]));
+    }
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar implementation
+// ---------------------------------------------------------------------------
+
+FusedSampleStats ArgmaxScalar(const float* logits, std::size_t n,
+                              const std::uint64_t* words) {
+  FusedSampleStats st;
+  std::int32_t first_allowed = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!BitAllowed(words, i)) continue;
+    ++st.allowed;
+    float v = logits[i];
+    if (first_allowed < 0) first_allowed = static_cast<std::int32_t>(i);
+    if (st.argmax < 0) {
+      if (v == v) {  // NaN never becomes the comparable best
+        st.argmax = static_cast<std::int32_t>(i);
+        st.max_logit = v;
+      }
+    } else if (v > st.max_logit) {  // strict > keeps the lowest tied index
+      st.argmax = static_cast<std::int32_t>(i);
+      st.max_logit = v;
+    }
+  }
+  if (st.argmax < 0 && first_allowed >= 0) {
+    // Allowed tokens exist but every one is NaN: deterministically pick the
+    // lowest allowed index.
+    st.argmax = first_allowed;
+    st.max_logit = logits[first_allowed];
+  }
+  return st;
+}
+
+void ExpFillScalar(const float* logits, std::size_t n,
+                   const std::uint64_t* words, float max_logit,
+                   float temperature, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    float e = 0.0f;
+    if (BitAllowed(words, i)) {
+      float v = logits[i];
+      if (v == v) {
+        float x = (v - max_logit) / temperature;
+        if (!(x < kExpLo)) e = ExpNegCore(x);
+      }
+    }
+    out[i] = e;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 implementation (runtime-dispatched; compiled with a target attribute
+// so the rest of the binary stays baseline-ISA)
+// ---------------------------------------------------------------------------
+
+#if XGR_SIMD_BUILD_AVX2
+
+__attribute__((target("avx2,fma"))) inline __m256 LaneMask8(
+    std::uint32_t bits) {
+  const __m256i select =
+      _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  __m256i b = _mm256_set1_epi32(static_cast<int>(bits));
+  __m256i hit = _mm256_cmpeq_epi32(_mm256_and_si256(b, select), select);
+  return _mm256_castsi256_ps(hit);
+}
+
+__attribute__((target("avx2,fma"))) inline std::uint32_t MaskBits8(
+    const std::uint64_t* words, std::size_t base) {
+  if (words == nullptr) return 0xFFu;
+  return static_cast<std::uint32_t>(words[base >> 6] >> (base & 63)) & 0xFFu;
+}
+
+__attribute__((target("avx2,fma"))) inline float HorizontalMax(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 m = _mm_max_ps(lo, hi);
+  m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+  m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+  return _mm_cvtss_f32(m);
+}
+
+// Lane-wise mirror of ExpNegCore: fnmadd(k, c, x) computes fmaf(-k, c, x)
+// with identical rounding, _mm256_round_ps nearest matches nearbyintf.
+__attribute__((target("avx2,fma"))) inline __m256 ExpBlockAvx2(__m256 x) {
+  __m256 k = _mm256_round_ps(
+      _mm256_mul_ps(x, _mm256_set1_ps(kLog2e)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256 r = _mm256_fnmadd_ps(k, _mm256_set1_ps(kLn2Hi), x);
+  r = _mm256_fnmadd_ps(k, _mm256_set1_ps(kLn2Lo), r);
+  __m256 p = _mm256_set1_ps(kExpC0);
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC1));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC2));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC3));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC4));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC5));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.0f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.0f));
+  __m256i ik = _mm256_cvtps_epi32(k);
+  __m256i scale_bits =
+      _mm256_slli_epi32(_mm256_add_epi32(ik, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(p, _mm256_castsi256_ps(scale_bits));
+}
+
+__attribute__((target("avx2,fma"))) FusedSampleStats ArgmaxAvx2(
+    const float* logits, std::size_t n, const std::uint64_t* words) {
+  FusedSampleStats st;
+  st.allowed = CountAllowed(words, n);
+  if (st.allowed == 0) return st;
+
+  const std::size_t vec_n = n & ~std::size_t{7};
+  const __m256 neg_inf = _mm256_set1_ps(-INFINITY);
+  __m256 vmax = neg_inf;
+  bool any_candidate = false;
+  __m256 vany = _mm256_setzero_ps();
+  for (std::size_t base = 0; base < vec_n; base += 8) {
+    __m256 v = _mm256_loadu_ps(logits + base);
+    __m256 cand = _mm256_and_ps(LaneMask8(MaskBits8(words, base)),
+                                _mm256_cmp_ps(v, v, _CMP_EQ_OQ));
+    vany = _mm256_or_ps(vany, cand);
+    vmax = _mm256_max_ps(vmax, _mm256_blendv_ps(neg_inf, v, cand));
+  }
+  any_candidate = _mm256_movemask_ps(vany) != 0;
+  float m = HorizontalMax(vmax);
+  for (std::size_t i = vec_n; i < n; ++i) {
+    if (!BitAllowed(words, i)) continue;
+    float v = logits[i];
+    if (v != v) continue;
+    any_candidate = true;
+    if (v > m) m = v;
+  }
+  if (!any_candidate) {
+    // Every allowed logit is NaN: lowest allowed index, matching scalar.
+    st.argmax = FirstAllowed(words, n);
+    st.max_logit = logits[st.argmax];
+    return st;
+  }
+  // Second pass: first candidate lane equal to the max (lowest index wins,
+  // exactly as the scalar strict-> scan does).
+  const __m256 vm = _mm256_set1_ps(m);
+  for (std::size_t base = 0; base < vec_n; base += 8) {
+    __m256 v = _mm256_loadu_ps(logits + base);
+    __m256 hit = _mm256_and_ps(LaneMask8(MaskBits8(words, base)),
+                               _mm256_cmp_ps(v, vm, _CMP_EQ_OQ));
+    int bits = _mm256_movemask_ps(hit);
+    if (bits != 0) {
+      st.argmax = static_cast<std::int32_t>(base) + __builtin_ctz(bits);
+      st.max_logit = m;
+      return st;
+    }
+  }
+  for (std::size_t i = vec_n; i < n; ++i) {
+    if (BitAllowed(words, i) && logits[i] == m) {
+      st.argmax = static_cast<std::int32_t>(i);
+      st.max_logit = m;
+      return st;
+    }
+  }
+  st.max_logit = m;  // unreachable in practice; keep stats consistent
+  return st;
+}
+
+__attribute__((target("avx2,fma"))) void ExpFillAvx2(
+    const float* logits, std::size_t n, const std::uint64_t* words,
+    float max_logit, float temperature, float* out) {
+  const std::size_t vec_n = n & ~std::size_t{7};
+  const __m256 vmax = _mm256_set1_ps(max_logit);
+  const __m256 vtemp = _mm256_set1_ps(temperature);
+  const __m256 vlo = _mm256_set1_ps(kExpLo);
+  for (std::size_t base = 0; base < vec_n; base += 8) {
+    __m256 v = _mm256_loadu_ps(logits + base);
+    __m256 cand = _mm256_and_ps(LaneMask8(MaskBits8(words, base)),
+                                _mm256_cmp_ps(v, v, _CMP_EQ_OQ));
+    __m256 x = _mm256_div_ps(_mm256_sub_ps(v, vmax), vtemp);
+    // Zero out lanes that are masked, NaN, or below the exp underflow
+    // cutoff (GE is false for NaN / -inf x, matching the scalar branch).
+    __m256 keep = _mm256_and_ps(cand, _mm256_cmp_ps(x, vlo, _CMP_GE_OQ));
+    __m256 e = _mm256_and_ps(ExpBlockAvx2(x), keep);
+    _mm256_storeu_ps(out + base, e);
+  }
+  if (vec_n < n) {
+    ExpFillScalar(logits + vec_n, n - vec_n,
+                  nullptr,  // handled per-bit below instead
+                  max_logit, temperature, out + vec_n);
+    // Re-apply the mask bits for the tail (ExpFillScalar above ran
+    // unmasked so the shared exp code stays identical).
+    if (words != nullptr) {
+      for (std::size_t i = vec_n; i < n; ++i) {
+        if (!BitAllowed(words, i)) out[i] = 0.0f;
+      }
+    }
+  }
+}
+
+bool CpuHasAvx2() {
+  static const bool has =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return has;
+}
+
+#endif  // XGR_SIMD_BUILD_AVX2
+
+// Shared (identical across implementations) normalization + inverse-CDF
+// walk over the exp scratch row: with bit-identical exp values and an
+// index-ordered double accumulation, the sampled token is itself
+// bit-identical across implementations.
+std::int32_t SampleFromExpRow(const float* exp_row, std::size_t n,
+                              double uniform, std::int32_t fallback,
+                              double* sum_out) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += exp_row[i];
+  if (sum_out != nullptr) *sum_out = sum;
+  if (!(sum > 0.0)) return fallback;
+  double target = uniform * sum;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cum += exp_row[i];
+    if (cum > target) return static_cast<std::int32_t>(i);
+  }
+  return fallback;  // guard against accumulated rounding
+}
+
+}  // namespace
+
+const char* ImplName(Impl impl) {
+  switch (impl) {
+    case Impl::kScalar:
+      return "scalar";
+    case Impl::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::vector<Impl> AvailableImpls() {
+  std::vector<Impl> impls{Impl::kScalar};
+#if XGR_SIMD_BUILD_AVX2
+  if (CpuHasAvx2()) impls.push_back(Impl::kAvx2);
+#endif
+  return impls;
+}
+
+Impl BestImpl() {
+#if XGR_SIMD_BUILD_AVX2
+  static const Impl best = CpuHasAvx2() ? Impl::kAvx2 : Impl::kScalar;
+  return best;
+#else
+  return Impl::kScalar;
+#endif
+}
+
+float ExpNegF(float x) {
+  if (x != x) return x;
+  if (x < kExpLo) return 0.0f;
+  return ExpNegCore(x);
+}
+
+FusedSampleStats FusedMaskArgmax(Impl impl, const float* logits, std::size_t n,
+                                 const std::uint64_t* mask_words) {
+#if XGR_SIMD_BUILD_AVX2
+  if (impl == Impl::kAvx2) return ArgmaxAvx2(logits, n, mask_words);
+#endif
+  (void)impl;
+  return ArgmaxScalar(logits, n, mask_words);
+}
+
+std::int32_t FusedMaskSoftmaxSample(Impl impl, const float* logits,
+                                    std::size_t n,
+                                    const std::uint64_t* mask_words,
+                                    float temperature, double uniform,
+                                    float* exp_scratch,
+                                    FusedSampleStats* stats) {
+  FusedSampleStats st = FusedMaskArgmax(impl, logits, n, mask_words);
+  if (stats != nullptr) *stats = st;
+  if (st.argmax < 0) return -1;
+  // Greedy when: temperature is <= 0 / NaN, or the max is not a finite
+  // comparable value (+inf collapses the distribution onto the max token;
+  // -inf / NaN rows have no meaningful softmax).
+  bool greedy = !(temperature > 0.0f) || temperature != temperature ||
+                !(st.max_logit == st.max_logit) ||
+                std::isinf(st.max_logit);
+  if (greedy) return st.argmax;
+#if XGR_SIMD_BUILD_AVX2
+  if (impl == Impl::kAvx2) {
+    ExpFillAvx2(logits, n, mask_words, st.max_logit, temperature,
+                exp_scratch);
+  } else {
+    ExpFillScalar(logits, n, mask_words, st.max_logit, temperature,
+                  exp_scratch);
+  }
+#else
+  ExpFillScalar(logits, n, mask_words, st.max_logit, temperature,
+                exp_scratch);
+#endif
+  double sum = 0.0;
+  std::int32_t pick =
+      SampleFromExpRow(exp_scratch, n, uniform, st.argmax, &sum);
+  if (stats != nullptr) stats->sum_exp = sum;
+  return pick;
+}
+
+}  // namespace xgr::support::simd

@@ -1,0 +1,110 @@
+// Fused bitmask-apply + softmax + sample kernels over a dense logits row.
+//
+// The CPU analogue of the reference implementation's
+// apply_token_mask_inplace.cu: instead of writing -inf over masked logits and
+// handing the row back to a separate softmax/sample pass, one kernel walks
+// the row once, treats masked tokens as -inf on the fly (the Figure 2
+// operation), and produces either the greedy argmax or a temperature sample.
+// Used by engine::DenseSampler on the batch decode hot path.
+//
+// Dispatch: an AVX2+FMA path is selected at runtime on x86-64 when the CPU
+// supports it, otherwise the portable scalar path runs. Both paths are
+// compiled whenever the toolchain allows (the AVX2 body carries a
+// `target("avx2,fma")` attribute, so no global -mavx2 is needed) and tests
+// drive every available implementation explicitly, regardless of the runtime
+// pick. A NEON path slots into the same Impl enum/dispatch switch when an
+// aarch64 implementation lands; until then aarch64 runs the scalar path.
+//
+// Determinism contract (verified by tests/simd_kernel_test.cc):
+//   * The argmax (greedy) result is IDENTICAL across implementations: ties
+//     break to the lowest token index, NaN logits never win, and a row whose
+//     allowed logits are all NaN deterministically yields the lowest allowed
+//     index.
+//   * Per-token exp values are bit-identical across implementations (both
+//     evaluate the same fma-based polynomial; std::fma and vfmadd are both
+//     single-rounded). Only the order of the sum reduction differs, so
+//     normalized probabilities agree to a few ulps and the sampled index can
+//     differ only when the uniform draw lands within that sliver of a CDF
+//     boundary.
+//
+// Zero allocations: callers provide the exp scratch row; the kernels
+// themselves never touch the heap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xgr::support::simd {
+
+enum class Impl : std::uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+  // kNeon reserved: add here + in Dispatch() + AvailableImpls().
+};
+
+const char* ImplName(Impl impl);
+
+// Implementations that can run on this CPU, scalar first. Tests iterate this
+// to differentially exercise every compiled path.
+std::vector<Impl> AvailableImpls();
+
+// The implementation the convenience entry points use (cached runtime pick:
+// best available).
+Impl BestImpl();
+
+struct FusedSampleStats {
+  std::int32_t argmax = -1;  // lowest-index argmax among allowed tokens
+  float max_logit = 0.0f;    // its logit (meaningless when argmax < 0)
+  double sum_exp = 0.0;      // softmax normalizer (temperature path only)
+  std::int32_t allowed = 0;  // number of mask-allowed tokens in [0, n)
+};
+
+// Fused bitmask-apply + argmax over logits[0..n).
+//
+// `mask_words` is a DynamicBitset-style word array (bit i = token i allowed)
+// with the padding bits beyond n cleared; nullptr means every token is
+// allowed. Masked tokens are treated as -inf without writing to the row.
+// Returns {-1, ...} when no token is allowed. When allowed tokens exist but
+// none has a comparable logit (all NaN), argmax is the lowest allowed index.
+FusedSampleStats FusedMaskArgmax(Impl impl, const float* logits, std::size_t n,
+                                 const std::uint64_t* mask_words);
+
+// Fused bitmask-apply + softmax(temperature) + sample.
+//
+// temperature <= 0 (or non-finite) selects the greedy argmax — the fully
+// fused single pass; exp_scratch may be nullptr in that case. Otherwise
+// exp_scratch must hold n floats: the kernel writes unnormalized
+// exp((logit - max)/temperature) for allowed tokens (0 for masked or NaN
+// tokens) and inverse-CDF samples with `uniform` in [0, 1). A row whose max
+// allowed logit is +inf degenerates to the greedy argmax (the distribution
+// collapses onto the +inf token). Returns the sampled token id, or -1 when
+// no token is allowed. `stats` (optional) receives argmax/max/sum/allowed.
+std::int32_t FusedMaskSoftmaxSample(Impl impl, const float* logits,
+                                    std::size_t n,
+                                    const std::uint64_t* mask_words,
+                                    float temperature, double uniform,
+                                    float* exp_scratch,
+                                    FusedSampleStats* stats);
+
+// Convenience forms on BestImpl().
+inline FusedSampleStats FusedMaskArgmax(const float* logits, std::size_t n,
+                                        const std::uint64_t* mask_words) {
+  return FusedMaskArgmax(BestImpl(), logits, n, mask_words);
+}
+inline std::int32_t FusedMaskSoftmaxSample(const float* logits, std::size_t n,
+                                           const std::uint64_t* mask_words,
+                                           float temperature, double uniform,
+                                           float* exp_scratch,
+                                           FusedSampleStats* stats = nullptr) {
+  return FusedMaskSoftmaxSample(BestImpl(), logits, n, mask_words, temperature,
+                                uniform, exp_scratch, stats);
+}
+
+// The shared exp kernel (scalar form), exposed for the differential tests:
+// exp(x) for x <= 0 with exp(-inf) = 0, NaN propagated, ~2 ulp accuracy.
+// The AVX2 path evaluates the identical fma polynomial per lane, so results
+// are bit-identical between implementations.
+float ExpNegF(float x);
+
+}  // namespace xgr::support::simd

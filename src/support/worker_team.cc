@@ -1,0 +1,96 @@
+#include "support/worker_team.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace xgr::support {
+
+WorkerTeam::WorkerTeam(std::size_t threads)
+    : threads_(std::max<std::size_t>(1, threads)) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerTeam::~WorkerTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void WorkerTeam::RunClaimed(ShardFn fn, void* ctx,
+                            std::size_t shard_count) noexcept {
+  for (;;) {
+    std::size_t shard = next_shard_.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= shard_count) break;
+    try {
+      fn(ctx, shard);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void WorkerTeam::Dispatch(ShardFn fn, void* ctx, std::size_t shard_count) {
+  XGR_CHECK(fn != nullptr) << "WorkerTeam::Dispatch needs a shard function";
+  if (shard_count == 0) return;
+  if (workers_.empty() || shard_count == 1) {
+    // Inline fast path: nothing to synchronize with.
+    next_shard_.store(shard_count, std::memory_order_relaxed);
+    for (std::size_t s = 0; s < shard_count; ++s) fn(ctx, s);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = fn;
+    ctx_ = ctx;
+    shard_count_ = shard_count;
+    next_shard_.store(0, std::memory_order_relaxed);
+    pending_workers_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  RunClaimed(fn, ctx, shard_count);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void WorkerTeam::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    ShardFn fn = nullptr;
+    void* ctx = nullptr;
+    std::size_t shard_count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = fn_;
+      ctx = ctx_;
+      shard_count = shard_count_;
+    }
+    RunClaimed(fn, ctx, shard_count);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_workers_;
+      if (pending_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace xgr::support

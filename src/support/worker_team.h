@@ -1,0 +1,76 @@
+// Persistent worker team for allocation-free parallel shard execution.
+//
+// ThreadPool::ParallelFor allocates a packaged_task + future pair per shard
+// on every call, which is fine for compile-time work but poisons the
+// zero-allocation steady-state contract of the batch decode loop.
+// WorkerTeam keeps its threads parked on a condition variable between
+// dispatches and passes work as a raw function pointer + context pointer,
+// so a Dispatch() performs no heap allocation at all (the only allocation
+// ever made after construction is the exception_ptr captured if a shard
+// throws).
+//
+// Protocol: Dispatch() publishes (fn, ctx, shard_count) under the mutex,
+// bumps the generation counter, and wakes the workers. Workers and the
+// calling thread then claim shard indices from a shared atomic counter and
+// run them; Dispatch() returns after every worker has finished the
+// generation (pending-worker count reaches zero under the same mutex, so
+// all shard writes happen-before Dispatch() returning — this is the
+// TSan-visible synchronization edge the batch engine relies on).
+//
+// Shard claiming is dynamic (work-stealing-ish), so which THREAD runs a
+// shard is nondeterministic — callers must make shards independent, which
+// is exactly what MaskShardPlanner guarantees for batch mask generation.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xgr::support {
+
+class WorkerTeam {
+ public:
+  using ShardFn = void (*)(void* ctx, std::size_t shard_index);
+
+  // `threads` is the total parallelism including the calling thread, so
+  // WorkerTeam(1) spawns no background threads and runs shards inline.
+  explicit WorkerTeam(std::size_t threads);
+  ~WorkerTeam();
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  std::size_t thread_count() const { return threads_; }
+
+  // Runs fn(ctx, s) for every s in [0, shard_count); blocks until all
+  // shards complete. If any shard throws, the first captured exception is
+  // rethrown here (after all shards of the generation finish or drain).
+  void Dispatch(ShardFn fn, void* ctx, std::size_t shard_count);
+
+ private:
+  void WorkerLoop();
+  void RunClaimed(ShardFn fn, void* ctx, std::size_t shard_count) noexcept;
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_workers_ = 0;
+  ShardFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t shard_count_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+
+  std::atomic<std::size_t> next_shard_{0};
+};
+
+}  // namespace xgr::support

@@ -1,0 +1,273 @@
+// Batch-scale determinism: RunBatch and RunContinuous must produce
+// bit-identical results across mask-team thread counts {1, 4, hardware},
+// across kSerial vs kOverlap schedules, and across repeat runs with fixed
+// seeds — on both the sparse and the dense-logits decode paths. This is the
+// property that makes every future parallelism change reviewable: the
+// cost-aware shard plan and the dynamic WorkerTeam claiming may move work
+// between threads, but they must never move the OUTPUT.
+//
+// Also pins down the deterministic LPT shard planner itself.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "datasets/workloads.h"
+#include "engine/mask_shard_planner.h"
+#include "engine/serving_engine.h"
+#include "tokenizer/synthetic_vocab.h"
+
+namespace xgr::engine {
+namespace {
+
+using baselines::DecoderFactory;
+using baselines::EngineKind;
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer() {
+  static auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({2500, 19}));
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// MaskShardPlanner
+// ---------------------------------------------------------------------------
+
+TEST(MaskShardPlanner, CoversEveryRequestExactlyOnce) {
+  MaskShardPlanner planner;
+  std::vector<float> costs{5.0f, 1.0f, 9.0f, 2.0f, 2.0f, 7.0f, 1.0f};
+  planner.Plan(costs.data(), costs.size(), 3);
+  ASSERT_EQ(planner.shard_count(), 3u);
+  std::vector<int> seen(costs.size(), 0);
+  for (std::size_t s = 0; s < planner.shard_count(); ++s) {
+    for (std::size_t k = planner.ShardBegin(s); k < planner.ShardEnd(s); ++k) {
+      std::int32_t req = planner.Items()[k];
+      ASSERT_GE(req, 0);
+      ASSERT_LT(req, static_cast<std::int32_t>(costs.size()));
+      ++seen[req];
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(MaskShardPlanner, IsAPureFunctionOfItsInputs) {
+  std::vector<float> costs{3.5f, 3.5f, 0.0f, 12.0f, 1.0f, 1.0f, 1.0f, 8.0f};
+  MaskShardPlanner a;
+  MaskShardPlanner b;
+  a.Plan(costs.data(), costs.size(), 4);
+  // Perturb b with unrelated plans first: reused buffers must not leak.
+  std::vector<float> other{1.0f, 2.0f};
+  b.Plan(other.data(), other.size(), 2);
+  b.Plan(costs.data(), costs.size(), 4);
+  ASSERT_EQ(a.shard_count(), b.shard_count());
+  for (std::size_t s = 0; s < a.shard_count(); ++s) {
+    ASSERT_EQ(a.ShardBegin(s), b.ShardBegin(s));
+    ASSERT_EQ(a.ShardEnd(s), b.ShardEnd(s));
+    for (std::size_t k = a.ShardBegin(s); k < a.ShardEnd(s); ++k) {
+      EXPECT_EQ(a.Items()[k], b.Items()[k]);
+    }
+  }
+}
+
+TEST(MaskShardPlanner, LptSplitsOneExpensiveRequestAwayFromTheCheapCrowd) {
+  // One CFG-ish request at 100 µs plus 15 cheap 1 µs requests, 4 shards:
+  // a naive even split (4 contiguous requests per shard) would put 3 cheap
+  // requests behind the expensive one (load 103); LPT isolates it.
+  std::vector<float> costs(16, 1.0f);
+  costs[5] = 100.0f;
+  MaskShardPlanner planner;
+  planner.Plan(costs.data(), costs.size(), 4);
+  double max_load = 0.0;
+  std::size_t expensive_shard = 0;
+  for (std::size_t s = 0; s < planner.shard_count(); ++s) {
+    max_load = std::max(max_load, planner.ShardLoad(s));
+    for (std::size_t k = planner.ShardBegin(s); k < planner.ShardEnd(s); ++k) {
+      if (planner.Items()[k] == 5) expensive_shard = s;
+    }
+  }
+  // The expensive request sits alone on its shard; makespan = 100, not 103.
+  EXPECT_EQ(planner.ShardEnd(expensive_shard) -
+                planner.ShardBegin(expensive_shard),
+            1u);
+  EXPECT_EQ(max_load, 100.0);
+}
+
+TEST(MaskShardPlanner, ClampsShardCountAndHandlesUniformCosts) {
+  std::vector<float> costs{2.0f, 2.0f, 2.0f};
+  MaskShardPlanner planner;
+  planner.Plan(costs.data(), costs.size(), 16);  // clamped to n
+  EXPECT_EQ(planner.shard_count(), 3u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(planner.ShardEnd(s) - planner.ShardBegin(s), 1u);
+  }
+  planner.Plan(costs.data(), 0, 4);
+  EXPECT_EQ(planner.shard_count(), 1u);
+  EXPECT_EQ(planner.ShardBegin(0), planner.ShardEnd(0));
+}
+
+// ---------------------------------------------------------------------------
+// Engine determinism
+// ---------------------------------------------------------------------------
+
+struct Fingerprint {
+  std::vector<std::vector<std::int32_t>> tokens;
+  std::vector<std::string> texts;
+  std::vector<std::int64_t> steps;  // finish/admission bookkeeping
+  std::int64_t decode_steps = 0;
+  std::int64_t total_tokens = 0;
+
+  bool operator==(const Fingerprint& other) const {
+    return tokens == other.tokens && texts == other.texts &&
+           steps == other.steps && decode_steps == other.decode_steps &&
+           total_tokens == other.total_tokens;
+  }
+};
+
+struct Harness {
+  std::shared_ptr<const tokenizer::TokenizerInfo> info = TestTokenizer();
+  std::vector<datasets::SchemaTask> tasks;
+  std::vector<std::unique_ptr<DecoderFactory>> factories;
+
+  explicit Harness(int count) : tasks(datasets::GenerateSchemaTasks(count, 77)) {
+    for (const auto& task : tasks) {
+      factories.push_back(
+          std::make_unique<DecoderFactory>(EngineKind::kXGrammar, info));
+      factories.back()->PrepareSchema(task.schema);
+    }
+  }
+
+  EngineOptions Options(GrammarSchedule schedule, std::int32_t mask_threads,
+                        bool dense) const {
+    EngineOptions options;
+    options.time_scale = 0.0;
+    options.max_new_tokens = 200;
+    options.schedule = schedule;
+    options.mask_threads = mask_threads;
+    options.dense_logits = dense;
+    return options;
+  }
+
+  Fingerprint RunBatchOnce(GrammarSchedule schedule, std::int32_t mask_threads,
+                           bool dense) const {
+    MockLlm llm(info, {.derail_probability = 0.25, .seed = 11});
+    ServingEngine engine(Options(schedule, mask_threads, dense), llm);
+    std::vector<EngineRequest> requests(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      requests[i].decoder = factories[i]->NewDecoder();
+      requests[i].target_text = tasks[i].canonical_answer.Dump();
+      requests[i].seed = i + 1;
+    }
+    BatchResult result = engine.RunBatch(requests);
+    Fingerprint fp;
+    fp.decode_steps = result.decode_steps;
+    fp.total_tokens = result.total_tokens;
+    for (const RequestResult& r : result.requests) {
+      fp.tokens.push_back(r.token_ids);
+      fp.texts.push_back(r.output_text);
+      fp.steps.push_back(r.finished_by_eos ? 1 : 0);
+    }
+    return fp;
+  }
+
+  Fingerprint RunContinuousOnce(GrammarSchedule schedule,
+                                std::int32_t mask_threads, bool dense) const {
+    MockLlm llm(info, {.derail_probability = 0.25, .seed = 11});
+    ServingEngine engine(Options(schedule, mask_threads, dense), llm);
+    std::vector<ContinuousRequest> stream(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      stream[i].request.decoder = factories[i]->NewDecoder();
+      stream[i].request.target_text = tasks[i].canonical_answer.Dump();
+      stream[i].request.seed = i + 1;
+      stream[i].arrival_step = static_cast<std::int64_t>(i) * 2;
+    }
+    ContinuousResult result =
+        engine.RunContinuous(stream, /*max_batch_size=*/4);
+    Fingerprint fp;
+    fp.decode_steps = result.decode_steps;
+    fp.total_tokens = result.total_tokens;
+    for (const ContinuousRequestResult& r : result.requests) {
+      fp.tokens.push_back(r.result.token_ids);
+      fp.texts.push_back(r.result.output_text);
+      fp.steps.push_back(r.admitted_step);
+      fp.steps.push_back(r.first_token_step);
+      fp.steps.push_back(r.finish_step);
+    }
+    return fp;
+  }
+};
+
+TEST(BatchDeterminism, RunBatchIdenticalAcrossThreadCountsSchedulesAndRepeats) {
+  Harness harness(6);
+  for (bool dense : {false, true}) {
+    SCOPED_TRACE(dense ? "dense" : "sparse");
+    Fingerprint reference =
+        harness.RunBatchOnce(GrammarSchedule::kSerial, 1, dense);
+    ASSERT_FALSE(reference.tokens.empty());
+    ASSERT_GT(reference.total_tokens, 0);
+    for (std::int32_t threads : {1, 4, 0}) {  // 0 = hardware concurrency
+      for (GrammarSchedule schedule :
+           {GrammarSchedule::kSerial, GrammarSchedule::kOverlap}) {
+        SCOPED_TRACE(static_cast<int>(schedule));
+        SCOPED_TRACE(threads);
+        EXPECT_TRUE(harness.RunBatchOnce(schedule, threads, dense) ==
+                    reference);
+      }
+    }
+    // Repeat run with the same configuration: bit-identical again.
+    EXPECT_TRUE(harness.RunBatchOnce(GrammarSchedule::kOverlap, 0, dense) ==
+                harness.RunBatchOnce(GrammarSchedule::kOverlap, 0, dense));
+  }
+}
+
+TEST(BatchDeterminism,
+     RunContinuousIdenticalAcrossThreadCountsSchedulesAndRepeats) {
+  Harness harness(6);
+  for (bool dense : {false, true}) {
+    SCOPED_TRACE(dense ? "dense" : "sparse");
+    Fingerprint reference =
+        harness.RunContinuousOnce(GrammarSchedule::kSerial, 1, dense);
+    ASSERT_GT(reference.total_tokens, 0);
+    for (std::int32_t threads : {1, 4, 0}) {
+      for (GrammarSchedule schedule :
+           {GrammarSchedule::kSerial, GrammarSchedule::kOverlap}) {
+        SCOPED_TRACE(static_cast<int>(schedule));
+        SCOPED_TRACE(threads);
+        EXPECT_TRUE(harness.RunContinuousOnce(schedule, threads, dense) ==
+                    reference);
+      }
+    }
+    EXPECT_TRUE(
+        harness.RunContinuousOnce(GrammarSchedule::kOverlap, 0, dense) ==
+        harness.RunContinuousOnce(GrammarSchedule::kOverlap, 0, dense));
+  }
+}
+
+TEST(BatchDeterminism, DenseAndSparsePathsBothProduceValidTargets) {
+  // Not bit-identical to each other (different long-tail models), but both
+  // must drive every request to its grammar-conforming target under a mask.
+  Harness harness(4);
+  for (bool dense : {false, true}) {
+    SCOPED_TRACE(dense ? "dense" : "sparse");
+    MockLlm llm(harness.info, {.derail_probability = 0.0, .seed = 11});
+    ServingEngine engine(
+        harness.Options(GrammarSchedule::kOverlap, 0, dense), llm);
+    std::vector<EngineRequest> requests(harness.tasks.size());
+    for (std::size_t i = 0; i < harness.tasks.size(); ++i) {
+      requests[i].decoder = harness.factories[i]->NewDecoder();
+      requests[i].target_text = harness.tasks[i].canonical_answer.Dump();
+      requests[i].seed = i + 1;
+    }
+    BatchResult result = engine.RunBatch(requests);
+    for (std::size_t i = 0; i < harness.tasks.size(); ++i) {
+      EXPECT_EQ(result.requests[i].output_text,
+                harness.tasks[i].canonical_answer.Dump());
+      EXPECT_TRUE(result.requests[i].finished_by_eos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xgr::engine

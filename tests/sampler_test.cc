@@ -1,0 +1,154 @@
+// Sampler unit tests: the sparse-path tie-break contract (a boosted token
+// must STRICTLY beat the implicit 0-logit floor of the unboosted allowed
+// tokens — the pre-fix code let a negative-logit boost shadow them), and
+// the dense-path DenseSampler wiring over the fused SIMD kernel.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "engine/mock_llm.h"
+#include "engine/sampler.h"
+#include "support/dynamic_bitset.h"
+#include "support/rng.h"
+#include "tokenizer/synthetic_vocab.h"
+
+namespace xgr::engine {
+namespace {
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer() {
+  static auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({1200, 7}));
+  return info;
+}
+
+TEST(SparseSampler, PositiveBoostBeatsTheFloor) {
+  SparseLogits logits;
+  logits.boosted = {{7, 2.0f}};
+  DynamicBitset mask(64);
+  for (std::size_t i = 0; i < 32; ++i) mask.Set(i);
+  Rng rng(3);
+  EXPECT_EQ(SampleMasked(logits, mask, &rng), 7);
+  EXPECT_EQ(SampleUnmasked(logits, 64, &rng), 7);
+}
+
+TEST(SparseSampler, HighestBoostWinsLowestIndexOnTie) {
+  SparseLogits logits;
+  logits.boosted = {{3, 5.0f}, {9, 8.0f}, {12, 8.0f}, {20, 1.0f}};
+  DynamicBitset mask(64);
+  mask.SetAll();
+  Rng rng(3);
+  // Strict > keeps the first list entry among equal boosts.
+  EXPECT_EQ(SampleMasked(logits, mask, &rng), 9);
+  EXPECT_EQ(SampleUnmasked(logits, 64, &rng), 9);
+}
+
+// Regression (fails pre-fix): a boosted token with a NEGATIVE logit must not
+// win over unboosted allowed tokens, which all sit at the implicit 0 logit.
+// The pre-fix `best == -1` clause accepted the first candidate regardless of
+// its logit, so token 5 below was returned on every seed.
+TEST(SparseSampler, NegativeBoostDoesNotShadowTheZeroLogitCrowd) {
+  SparseLogits logits;
+  logits.boosted = {{5, -3.0f}};
+  DynamicBitset mask(64);
+  mask.Set(5);
+  for (std::size_t i = 10; i < 30; ++i) mask.Set(i);
+
+  std::set<std::int32_t> picks;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    std::int32_t token = SampleMasked(logits, mask, &rng);
+    EXPECT_TRUE(mask.Test(static_cast<std::size_t>(token)));
+    picks.insert(token);
+  }
+  // Post-fix the sampler falls back to the pseudo-random 0-logit pool; the
+  // negative-boost token must not dominate it (pre-fix: picks == {5}).
+  EXPECT_GT(picks.size(), 1u);
+  EXPECT_FALSE(picks.count(5) == 1 && picks.size() == 1);
+}
+
+TEST(SparseSampler, NegativeBoostUnmaskedFallsBackToRandom) {
+  SparseLogits logits;
+  logits.boosted = {{5, -0.001f}};
+  std::set<std::int32_t> picks;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    picks.insert(SampleUnmasked(logits, 1000, &rng));
+  }
+  EXPECT_GT(picks.size(), 1u);  // pre-fix: always token 5
+}
+
+TEST(SparseSampler, ZeroLogitBoostDoesNotBeatTheFloor) {
+  // Exactly 0 ties with the floor; strict > sends it to the fallback pool.
+  SparseLogits logits;
+  logits.boosted = {{5, 0.0f}};
+  DynamicBitset mask(256);
+  mask.SetAll();
+  std::set<std::int32_t> picks;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    picks.insert(SampleMasked(logits, mask, &rng));
+  }
+  EXPECT_GT(picks.size(), 1u);
+}
+
+TEST(DenseSampler, GreedyPicksTheBoostedTokenUnderMask) {
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+  auto vocab = static_cast<std::size_t>(info->VocabSize());
+
+  std::vector<float> row(vocab, 0.0f);
+  SparseLogits scratch;
+  MockLlm::RequestScript script = llm.MakeScript("\"ab\"", 9);
+  llm.ComputeLogitsDense(&script, &scratch, row.data());
+  ASSERT_FALSE(scratch.boosted.empty());
+  std::int32_t boosted = scratch.boosted.front().first;
+
+  DenseSampler sampler;
+  sampler.Prepare(vocab);
+  Rng rng(17);
+  // Unmasked greedy: the +16 boost dominates the sub-1.0 noise floor.
+  EXPECT_EQ(sampler.Sample(row.data(), vocab, nullptr, 0.0f, &rng), boosted);
+
+  // Mask away the boosted token: greedy must fall to the best *allowed*
+  // noise token, never an excluded one.
+  DynamicBitset mask(vocab);
+  mask.SetAll();
+  mask.Reset(static_cast<std::size_t>(boosted));
+  std::int32_t token = sampler.Sample(row.data(), vocab, &mask, 0.0f, &rng);
+  ASSERT_GE(token, 0);
+  EXPECT_NE(token, boosted);
+  EXPECT_TRUE(mask.Test(static_cast<std::size_t>(token)));
+
+  // Temperature path stays within the mask too.
+  std::int32_t sampled = sampler.Sample(row.data(), vocab, &mask, 0.8f, &rng);
+  ASSERT_GE(sampled, 0);
+  EXPECT_TRUE(mask.Test(static_cast<std::size_t>(sampled)));
+}
+
+TEST(DenseSampler, DenseGreedyAgreesWithSparseArgmaxWhenBoostDominates) {
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+  auto vocab = static_cast<std::size_t>(info->VocabSize());
+
+  MockLlm::RequestScript sparse_script = llm.MakeScript("\"xy\"", 21);
+  MockLlm::RequestScript dense_script = llm.MakeScript("\"xy\"", 21);
+  SparseLogits sparse;
+  llm.ComputeLogitsSparse(&sparse_script, &sparse);
+  std::vector<float> row(vocab);
+  SparseLogits scratch;
+  llm.ComputeLogitsDense(&dense_script, &scratch, row.data());
+
+  DynamicBitset all(vocab);
+  all.SetAll();
+  Rng rng_a(7);
+  Rng rng_b(7);
+  DenseSampler sampler;
+  sampler.Prepare(vocab);
+  EXPECT_EQ(sampler.Sample(row.data(), vocab, &all, 0.0f, &rng_a),
+            SampleMasked(sparse, all, &rng_b));
+}
+
+}  // namespace
+}  // namespace xgr::engine

@@ -1,0 +1,359 @@
+// Differential + property tests for the fused bitmask-apply/softmax/sample
+// kernels (support/simd_kernels.h): every implementation the CPU can run
+// (scalar always; AVX2 whenever the host supports it, regardless of the
+// runtime dispatch pick) is driven against the scalar reference and a naive
+// double-precision oracle, across tail-heavy vocab sizes, all-masked rows,
+// single-allowed rows, ±inf/NaN logits, and denormal temperatures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "support/dynamic_bitset.h"
+#include "support/rng.h"
+#include "support/simd_kernels.h"
+
+namespace xgr::support::simd {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+
+struct OracleResult {
+  std::int32_t argmax = -1;
+  std::int32_t allowed = 0;
+  std::vector<double> probs;  // empty when no softmax applies
+};
+
+// Naive double-precision reference: skip masked tokens, NaN never wins the
+// comparable max (all-NaN rows fall back to the lowest allowed index),
+// strict > keeps the lowest tied index.
+OracleResult NaiveOracle(const std::vector<float>& logits,
+                         const DynamicBitset* mask, float temperature) {
+  OracleResult oracle;
+  std::int32_t first_allowed = -1;
+  double max_logit = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (mask != nullptr && !mask->Test(i)) continue;
+    ++oracle.allowed;
+    if (first_allowed < 0) first_allowed = static_cast<std::int32_t>(i);
+    double v = logits[i];
+    if (oracle.argmax < 0) {
+      if (!std::isnan(v)) {
+        oracle.argmax = static_cast<std::int32_t>(i);
+        max_logit = v;
+      }
+    } else if (v > max_logit) {
+      oracle.argmax = static_cast<std::int32_t>(i);
+      max_logit = v;
+    }
+  }
+  if (oracle.argmax < 0 && first_allowed >= 0) oracle.argmax = first_allowed;
+  if (oracle.argmax < 0 || !(temperature > 0.0f) ||
+      !std::isfinite(max_logit) || std::isnan(logits[oracle.argmax])) {
+    return oracle;
+  }
+  oracle.probs.assign(logits.size(), 0.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (mask != nullptr && !mask->Test(i)) continue;
+    double v = logits[i];
+    if (std::isnan(v)) continue;
+    double x = (v - max_logit) / static_cast<double>(temperature);
+    double e = std::exp(x);
+    oracle.probs[i] = e;
+    sum += e;
+  }
+  if (sum > 0.0) {
+    for (double& p : oracle.probs) p /= sum;
+  }
+  return oracle;
+}
+
+void CheckAgainstOracleAndPeers(const std::vector<float>& logits,
+                                const DynamicBitset* mask, float temperature,
+                                double uniform) {
+  const std::size_t n = logits.size();
+  const std::uint64_t* words = mask != nullptr ? mask->Data() : nullptr;
+  OracleResult oracle = NaiveOracle(logits, mask, temperature);
+  std::vector<Impl> impls = AvailableImpls();
+  ASSERT_FALSE(impls.empty());
+  ASSERT_EQ(impls.front(), Impl::kScalar);
+
+  std::vector<float> first_scratch;
+  FusedSampleStats first_stats;
+  std::int32_t first_pick = 0;
+  for (std::size_t which = 0; which < impls.size(); ++which) {
+    Impl impl = impls[which];
+    SCOPED_TRACE(ImplName(impl));
+
+    FusedSampleStats am = FusedMaskArgmax(impl, logits.data(), n, words);
+    EXPECT_EQ(am.argmax, oracle.argmax);
+    EXPECT_EQ(am.allowed, oracle.allowed);
+    if (oracle.argmax >= 0 && !std::isnan(logits[oracle.argmax])) {
+      EXPECT_EQ(am.max_logit, logits[oracle.argmax]);
+    }
+
+    std::vector<float> scratch(n, -1.0f);
+    FusedSampleStats stats;
+    std::int32_t pick =
+        FusedMaskSoftmaxSample(impl, logits.data(), n, words, temperature,
+                               uniform, scratch.data(), &stats);
+    EXPECT_EQ(stats.argmax, oracle.argmax);
+    if (oracle.argmax < 0) {
+      EXPECT_EQ(pick, -1);
+    } else {
+      ASSERT_GE(pick, 0);
+      if (mask != nullptr) EXPECT_TRUE(mask->Test(pick));
+      if (oracle.probs.empty()) {
+        // Greedy (temperature <= 0, or a non-finite/NaN max).
+        EXPECT_EQ(pick, oracle.argmax);
+      } else if (stats.sum_exp > 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          double p = scratch[i] / stats.sum_exp;
+          EXPECT_NEAR(p, oracle.probs[i], 1e-6 + 1e-5 * oracle.probs[i])
+              << "probability mismatch at token " << i;
+        }
+      }
+    }
+
+    if (which == 0) {
+      first_scratch = scratch;
+      first_stats = stats;
+      first_pick = pick;
+    } else {
+      // Cross-implementation bit-compatibility: the sampled token and every
+      // per-element exp value must match the scalar reference exactly (the
+      // two paths evaluate the same fma chain; normalization and the CDF
+      // walk are shared code).
+      EXPECT_EQ(pick, first_pick);
+      EXPECT_EQ(stats.sum_exp, first_stats.sum_exp);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(std::memcmp(&scratch[i], &first_scratch[i], sizeof(float)),
+                  0)
+            << "exp value differs bitwise at token " << i;
+      }
+    }
+  }
+}
+
+DynamicBitset RandomMask(std::size_t n, double density, Rng* rng) {
+  DynamicBitset mask(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng->NextDouble() < density) mask.Set(i);
+  }
+  return mask;
+}
+
+TEST(SimdKernels, ScalarAlwaysAvailableAndAvx2ListedWhenSupported) {
+  std::vector<Impl> impls = AvailableImpls();
+  ASSERT_FALSE(impls.empty());
+  EXPECT_EQ(impls.front(), Impl::kScalar);
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    ASSERT_EQ(impls.size(), 2u)
+        << "AVX2-capable host must exercise both dispatch targets";
+    EXPECT_EQ(impls[1], Impl::kAvx2);
+    EXPECT_EQ(BestImpl(), Impl::kAvx2);
+  }
+#endif
+  EXPECT_STREQ(ImplName(Impl::kScalar), "scalar");
+  EXPECT_STREQ(ImplName(Impl::kAvx2), "avx2");
+}
+
+TEST(SimdKernels, ExpKernelMatchesDoubleExp) {
+  // ~2 ulp accuracy across the whole negative domain, exact at the edges.
+  EXPECT_EQ(ExpNegF(0.0f), 1.0f);
+  EXPECT_EQ(ExpNegF(-kInf), 0.0f);
+  EXPECT_EQ(ExpNegF(-200.0f), 0.0f);
+  EXPECT_TRUE(std::isnan(ExpNegF(kNan)));
+  for (float x = -86.5f; x <= 0.0f; x += 0.0173f) {
+    double want = std::exp(static_cast<double>(x));
+    double got = ExpNegF(x);
+    EXPECT_NEAR(got, want, want * 4e-7) << "x=" << x;
+  }
+}
+
+TEST(SimdKernels, RandomRowsAcrossTailSizesAndDensities) {
+  Rng rng(2026);
+  for (std::size_t n :
+       {std::size_t{1}, std::size_t{3}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{100}, std::size_t{257}, std::size_t{1000},
+        std::size_t{4093}}) {
+    SCOPED_TRACE(n);
+    for (double density : {1.0, 0.5, 0.05}) {
+      std::vector<float> logits(n);
+      for (float& v : logits) {
+        v = static_cast<float>(rng.NextDouble() * 30.0 - 15.0);
+      }
+      DynamicBitset mask = RandomMask(n, density, &rng);
+      if (mask.Count() == 0) mask.Set(n / 2);
+      for (float temperature : {0.0f, 0.7f, 1.0f}) {
+        CheckAgainstOracleAndPeers(logits, &mask, temperature,
+                                   rng.NextDouble());
+      }
+      // Unconstrained row (nullptr mask) too.
+      CheckAgainstOracleAndPeers(logits, nullptr, 1.0f, rng.NextDouble());
+    }
+  }
+}
+
+TEST(SimdKernels, AllMaskedRowYieldsMinusOne) {
+  std::vector<float> logits(100, 1.0f);
+  DynamicBitset mask(100);  // all clear
+  for (Impl impl : AvailableImpls()) {
+    SCOPED_TRACE(ImplName(impl));
+    FusedSampleStats st =
+        FusedMaskArgmax(impl, logits.data(), logits.size(), mask.Data());
+    EXPECT_EQ(st.argmax, -1);
+    EXPECT_EQ(st.allowed, 0);
+    std::vector<float> scratch(logits.size());
+    EXPECT_EQ(FusedMaskSoftmaxSample(impl, logits.data(), logits.size(),
+                                     mask.Data(), 1.0f, 0.5, scratch.data(),
+                                     nullptr),
+              -1);
+  }
+}
+
+TEST(SimdKernels, SingleAllowedTokenAlwaysWins) {
+  Rng rng(7);
+  for (std::size_t n : {std::size_t{1}, std::size_t{70}, std::size_t{129}}) {
+    std::vector<float> logits(n);
+    for (float& v : logits) {
+      v = static_cast<float>(rng.NextDouble() * 100.0);
+    }
+    for (std::size_t only : {std::size_t{0}, n / 2, n - 1}) {
+      DynamicBitset mask(n);
+      mask.Set(only);
+      logits[only] = -50.0f;  // lowest logit in the row: mask still forces it
+      CheckAgainstOracleAndPeers(logits, &mask, 0.0f, 0.0);
+      CheckAgainstOracleAndPeers(logits, &mask, 1.0f, 0.999);
+      for (Impl impl : AvailableImpls()) {
+        std::vector<float> scratch(n);
+        EXPECT_EQ(FusedMaskSoftmaxSample(impl, logits.data(), n, mask.Data(),
+                                         1.0f, 0.73, scratch.data(), nullptr),
+                  static_cast<std::int32_t>(only));
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, InfAndNanLogits) {
+  Rng rng(11);
+  std::vector<float> logits(77);
+  for (float& v : logits) {
+    v = static_cast<float>(rng.NextDouble() * 4.0);
+  }
+  logits[5] = kNan;
+  logits[13] = -kInf;
+  logits[21] = kNan;
+  DynamicBitset all(77);
+  all.SetAll();
+
+  // NaN tokens never win; +inf wins and collapses sampling onto itself.
+  CheckAgainstOracleAndPeers(logits, &all, 1.0f, 0.42);
+  logits[40] = kInf;
+  CheckAgainstOracleAndPeers(logits, &all, 1.0f, 0.42);
+  for (Impl impl : AvailableImpls()) {
+    SCOPED_TRACE(ImplName(impl));
+    std::vector<float> scratch(logits.size());
+    EXPECT_EQ(FusedMaskSoftmaxSample(impl, logits.data(), logits.size(),
+                                     all.Data(), 1.0f, 0.99, scratch.data(),
+                                     nullptr),
+              40);
+  }
+
+  // A row whose allowed logits are ALL NaN: lowest allowed index, greedily.
+  std::vector<float> nan_row(40, kNan);
+  DynamicBitset some(40);
+  some.Set(7);
+  some.Set(20);
+  for (Impl impl : AvailableImpls()) {
+    SCOPED_TRACE(ImplName(impl));
+    FusedSampleStats st =
+        FusedMaskArgmax(impl, nan_row.data(), nan_row.size(), some.Data());
+    EXPECT_EQ(st.argmax, 7);
+    std::vector<float> scratch(nan_row.size());
+    EXPECT_EQ(FusedMaskSoftmaxSample(impl, nan_row.data(), nan_row.size(),
+                                     some.Data(), 1.0f, 0.5, scratch.data(),
+                                     nullptr),
+              7);
+  }
+
+  // All allowed logits -inf: degenerate distribution, greedy lowest index.
+  std::vector<float> neg_row(33, -kInf);
+  DynamicBitset pair_mask(33);
+  pair_mask.Set(4);
+  pair_mask.Set(19);
+  for (Impl impl : AvailableImpls()) {
+    SCOPED_TRACE(ImplName(impl));
+    std::vector<float> scratch(neg_row.size());
+    EXPECT_EQ(FusedMaskSoftmaxSample(impl, neg_row.data(), neg_row.size(),
+                                     pair_mask.Data(), 1.0f, 0.5,
+                                     scratch.data(), nullptr),
+              4);
+  }
+}
+
+TEST(SimdKernels, TieBreaksToLowestIndexAcrossImpls) {
+  std::vector<float> logits(96, 0.25f);
+  logits[17] = 3.0f;
+  logits[18] = 3.0f;
+  logits[90] = 3.0f;
+  DynamicBitset all(96);
+  all.SetAll();
+  for (Impl impl : AvailableImpls()) {
+    SCOPED_TRACE(ImplName(impl));
+    EXPECT_EQ(FusedMaskArgmax(impl, logits.data(), logits.size(), all.Data())
+                  .argmax,
+              17);
+  }
+  // Mask away the first two winners: the cross-word one must be found.
+  all.Reset(17);
+  all.Reset(18);
+  for (Impl impl : AvailableImpls()) {
+    SCOPED_TRACE(ImplName(impl));
+    EXPECT_EQ(FusedMaskArgmax(impl, logits.data(), logits.size(), all.Data())
+                  .argmax,
+              90);
+  }
+}
+
+TEST(SimdKernels, DenormalAndExtremeTemperatures) {
+  Rng rng(13);
+  std::vector<float> logits(130);
+  for (float& v : logits) {
+    v = static_cast<float>(rng.NextDouble() * 10.0);
+  }
+  logits[77] = 50.0f;
+  DynamicBitset all(130);
+  all.SetAll();
+  const float denormal = std::numeric_limits<float>::denorm_min();
+  for (Impl impl : AvailableImpls()) {
+    SCOPED_TRACE(ImplName(impl));
+    std::vector<float> scratch(logits.size());
+    // Denormal temperature: (v - max)/T overflows to -inf for every
+    // non-max token, so sampling degenerates to the argmax.
+    EXPECT_EQ(FusedMaskSoftmaxSample(impl, logits.data(), logits.size(),
+                                     all.Data(), denormal, 0.9999,
+                                     scratch.data(), nullptr),
+              77);
+    // Huge temperature: near-uniform, still a valid allowed pick.
+    std::int32_t pick =
+        FusedMaskSoftmaxSample(impl, logits.data(), logits.size(), all.Data(),
+                               1e30f, 0.37, scratch.data(), nullptr);
+    ASSERT_GE(pick, 0);
+    ASSERT_LT(pick, static_cast<std::int32_t>(logits.size()));
+    // NaN temperature falls back to greedy.
+    EXPECT_EQ(FusedMaskSoftmaxSample(impl, logits.data(), logits.size(),
+                                     all.Data(), kNan, 0.5, scratch.data(),
+                                     nullptr),
+              77);
+  }
+}
+
+}  // namespace
+}  // namespace xgr::support::simd

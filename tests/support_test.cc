@@ -12,6 +12,7 @@
 #include "support/string_utils.h"
 #include "support/thread_pool.h"
 #include "support/utf8.h"
+#include "support/worker_team.h"
 
 namespace xgr {
 namespace {
@@ -427,6 +428,69 @@ TEST(StringUtils, StartsEndsWith) {
   EXPECT_FALSE(StartsWith("he", "hello"));
   EXPECT_TRUE(EndsWith("hello", "lo"));
   EXPECT_FALSE(EndsWith("lo", "hello"));
+}
+
+// --- WorkerTeam --------------------------------------------------------------
+
+struct ShardRecorder {
+  std::vector<std::atomic<int>> hits;
+  explicit ShardRecorder(std::size_t n) : hits(n) {}
+  static void Run(void* ctx, std::size_t shard) {
+    static_cast<ShardRecorder*>(ctx)->hits[shard].fetch_add(1);
+  }
+};
+
+TEST(WorkerTeam, RunsEveryShardExactlyOnce) {
+  support::WorkerTeam team(4);
+  EXPECT_EQ(team.thread_count(), 4u);
+  for (std::size_t shards : {1u, 3u, 4u, 17u, 64u}) {
+    ShardRecorder recorder(shards);
+    team.Dispatch(&ShardRecorder::Run, &recorder, shards);
+    for (auto& h : recorder.hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(WorkerTeam, SingleThreadRunsInlineOnTheCaller) {
+  support::WorkerTeam team(1);  // no worker threads spawned
+  struct Ctx {
+    std::thread::id caller;
+    std::atomic<int> mismatches{0};
+  } ctx{std::this_thread::get_id(), {}};
+  team.Dispatch(
+      [](void* raw, std::size_t) {
+        auto* c = static_cast<Ctx*>(raw);
+        if (std::this_thread::get_id() != c->caller) c->mismatches.fetch_add(1);
+      },
+      &ctx, 8);
+  EXPECT_EQ(ctx.mismatches.load(), 0);
+}
+
+TEST(WorkerTeam, ReusableAcrossManyDispatches) {
+  support::WorkerTeam team(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    team.Dispatch(
+        [](void* raw, std::size_t shard) {
+          static_cast<std::atomic<long>*>(raw)->fetch_add(
+              static_cast<long>(shard));
+        },
+        &total, 10);
+  }
+  EXPECT_EQ(total.load(), 200L * 45L);
+}
+
+TEST(WorkerTeam, PropagatesTheFirstShardException) {
+  support::WorkerTeam team(4);
+  EXPECT_THROW(team.Dispatch(
+                   [](void*, std::size_t shard) {
+                     if (shard == 2) throw std::runtime_error("shard boom");
+                   },
+                   nullptr, 6),
+               std::runtime_error);
+  // The team survives an exception and keeps working.
+  ShardRecorder recorder(5);
+  team.Dispatch(&ShardRecorder::Run, &recorder, 5);
+  for (auto& h : recorder.hits) EXPECT_EQ(h.load(), 1);
 }
 
 }  // namespace
