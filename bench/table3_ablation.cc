@@ -1,95 +1,258 @@
-// Table 3: ablation of the optimization techniques, per-token mask
-// generation latency on the CFG (unconstrained JSON) task.
+// Table 3 (grammar-optimizer ablation): cumulative per-pass on/off rows over
+// the four fig09 tasks.
 //
-// Paper reference (ms/token): PDA baseline 65.776; +node merging 38.280
-// (1.7x); +adaptive token mask cache 0.154 (248.6x); +rule inlining 0.035
-// (4.4x); +context expansion 0.018 (1.9x).
-// Expected shape: the cache is the dominant step; merging, inlining and
-// context expansion each contribute a further constant factor.
+// Row 0 compiles with every grammar-optimizer pass off (normalization only);
+// each subsequent row enables one more pass in standard pipeline order
+// (eps-elim, unit-collapse, inline, atom-merge, fsa-minimize, dead-compact).
+// Node merging and context expansion stay ON in every row so the grammar
+// optimizer is the single variable. Per row and task this reports:
+//   * build_ms        grammar+PDA compile plus adaptive-cache build, wall ms
+//   * artifact_bytes  serialized engine artifact (PDA + mask cache) size
+//   * us_per_token    steady-state mask generation latency
+//   * mask_mismatches mask bits differing from the row-0 build along a
+//                     shared decode path — any nonzero value is a
+//                     correctness bug, and CI gates on it
+// The fully-optimized row also carries the per-pass PassStats attribution
+// (rules/exprs/arena-bytes before/after and wall µs per pass).
+//
+// Emits BENCH_ablation.json (override with XGR_BENCH_JSON). Knobs:
+// XGR_VOCAB, XGR_BENCH_STEPS, XGR_BENCH_WARMUP (see bench_common.h).
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "baselines/xgrammar_decoder.h"
 #include "bench/bench_common.h"
-#include "cache/mask_generator.h"
+#include "cache/adaptive_cache.h"
 #include "datasets/workloads.h"
 #include "grammar/grammar.h"
+#include "grammar/json_schema.h"
+#include "json/json.h"
+#include "serialize/serialize.h"
+#include "support/timer.h"
 
 namespace {
 
 using namespace xgr;             // NOLINT
 using namespace xgr::benchutil;  // NOLINT
 
-// Brute-force decoder: PDA execution over the whole (sorted) vocabulary.
-double MeasureBruteForce(std::shared_ptr<const pda::CompiledGrammar> pda,
-                         const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
-                         const std::vector<std::string>& documents,
-                         std::int32_t max_steps) {
-  const tokenizer::TokenTrie& trie = GetTrie(info);
-  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
-  StatAccumulator stat;
-  for (const std::string& doc : documents) {
-    if (static_cast<std::int32_t>(stat.Count()) >= max_steps) break;
-    matcher::GrammarMatcher matcher(pda);
-    for (std::int32_t token : tokenizer::GreedyTokenize(trie, doc)) {
-      if (static_cast<std::int32_t>(stat.Count()) >= max_steps) break;
-      Timer timer;
-      cache::FillBitmaskBruteForce(&matcher, *info, &mask);
-      stat.Add(timer.ElapsedMicros());
-      if (!matcher.AcceptString(info->TokenBytes(token))) break;
-    }
-  }
-  return stat.Mean();
+struct TaskSpec {
+  std::string name;
+  grammar::Grammar cfg;
+  std::vector<std::string> documents;
+};
+
+struct RowSpec {
+  const char* label;
+  pda::CompileOptions options;
+};
+
+// The cumulative ladder: every row keeps node merging / context expansion on.
+std::vector<RowSpec> BuildRows() {
+  std::vector<RowSpec> rows;
+  pda::CompileOptions o;
+  o.rule_inlining = false;
+  o.optimizer = grammar::OptimizerOptions::AllDisabled();
+  rows.push_back({"unoptimized", o});
+  o.optimizer.epsilon_elimination = true;
+  rows.push_back({"+ eps-elim", o});
+  o.optimizer.unit_rule_collapse = true;
+  rows.push_back({"+ unit-collapse", o});
+  o.rule_inlining = true;  // the top-level toggle drives optimizer.rule_inlining
+  rows.push_back({"+ inline", o});
+  o.optimizer.atom_merging = true;
+  rows.push_back({"+ atom-merge", o});
+  o.optimizer.fsa_minimization = true;
+  rows.push_back({"+ fsa-minimize", o});
+  o.optimizer.dead_rule_elimination = true;
+  rows.push_back({"+ dead-compact", o});
+  return rows;
 }
 
-double MeasureCached(std::shared_ptr<const pda::CompiledGrammar> pda,
+struct RowResult {
+  double build_ms = 0.0;
+  double cache_build_ms = 0.0;
+  std::size_t artifact_bytes = 0;
+  double us_per_token = 0.0;
+  std::int64_t mask_mismatches = 0;
+  std::shared_ptr<const cache::AdaptiveTokenMaskCache> cache;
+  std::vector<grammar::PassStats> pass_stats;
+};
+
+// Walks `documents`' token paths once, filling masks from both caches at
+// every step and counting differing bits. Language-preserving optimization
+// means this must come back 0.
+std::int64_t CountMaskMismatches(
+    const std::shared_ptr<const cache::AdaptiveTokenMaskCache>& a,
+    const std::shared_ptr<const cache::AdaptiveTokenMaskCache>& b,
+    const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
+    const std::vector<std::string>& documents, std::int32_t max_steps) {
+  const tokenizer::TokenTrie& trie = GetTrie(info);
+  baselines::XGrammarDecoder da(a);
+  baselines::XGrammarDecoder db(b);
+  DynamicBitset mask_a(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset mask_b(static_cast<std::size_t>(info->VocabSize()));
+  std::int64_t mismatches = 0;
+  std::int32_t steps = 0;
+  for (const std::string& doc : documents) {
+    if (steps >= max_steps) break;
+    da.Reset();
+    db.Reset();
+    for (std::int32_t token : tokenizer::GreedyTokenize(trie, doc)) {
+      if (steps >= max_steps) break;
+      da.FillNextTokenBitmask(&mask_a);
+      db.FillNextTokenBitmask(&mask_b);
+      ++steps;
+      for (std::int32_t id = 0; id < info->VocabSize(); ++id) {
+        if (mask_a.Test(static_cast<std::size_t>(id)) !=
+            mask_b.Test(static_cast<std::size_t>(id))) {
+          ++mismatches;
+        }
+      }
+      if (!da.AcceptToken(token) || !db.AcceptToken(token)) break;
+    }
+  }
+  return mismatches;
+}
+
+RowResult MeasureRow(const TaskSpec& task, const pda::CompileOptions& options,
                      const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
-                     const std::vector<std::string>& documents,
-                     std::int32_t max_steps) {
-  auto mask_cache = cache::AdaptiveTokenMaskCache::Build(pda, info);
-  baselines::XGrammarDecoder decoder(mask_cache);
-  return MeasureMaskGenUs(&decoder, info, documents, max_steps);
+                     std::int32_t max_steps,
+                     const std::shared_ptr<const cache::AdaptiveTokenMaskCache>&
+                         baseline_cache) {
+  RowResult out;
+  Timer build_timer;
+  auto pda = pda::CompiledGrammar::Compile(task.cfg, options);
+  Timer cache_timer;
+  out.cache = cache::AdaptiveTokenMaskCache::Build(pda, info);
+  out.cache_build_ms = cache_timer.ElapsedSeconds() * 1e3;
+  out.build_ms = build_timer.ElapsedSeconds() * 1e3;
+  out.artifact_bytes = serialize::SerializeEngineArtifact(*out.cache).size();
+  out.pass_stats = pda->PassStats();
+
+  baselines::XGrammarDecoder decoder(out.cache);
+  for (std::int32_t lap = 0; lap < WarmupLaps(); ++lap) {
+    MeasureMaskGen(&decoder, info, task.documents, max_steps);
+  }
+  out.us_per_token =
+      MeasureMaskGen(&decoder, info, task.documents, max_steps).mean_us;
+  if (baseline_cache != nullptr) {
+    out.mask_mismatches = CountMaskMismatches(baseline_cache, out.cache, info,
+                                              task.documents, max_steps);
+  }
+  return out;
+}
+
+json::Value PassStatsJson(const std::vector<grammar::PassStats>& stats) {
+  json::Array rows;
+  for (const grammar::PassStats& s : stats) {
+    json::Object row;
+    row["pass"] = s.name;
+    row["rules_before"] = static_cast<std::int64_t>(s.rules_before);
+    row["rules_after"] = static_cast<std::int64_t>(s.rules_after);
+    row["exprs_before"] = static_cast<std::int64_t>(s.exprs_before);
+    row["exprs_after"] = static_cast<std::int64_t>(s.exprs_after);
+    row["arena_bytes_before"] = s.arena_bytes_before;
+    row["arena_bytes_after"] = s.arena_bytes_after;
+    row["wall_us"] = s.wall_us;
+    row["changed"] = s.changed;
+    rows.push_back(json::Value(std::move(row)));
+  }
+  return json::Value(std::move(rows));
 }
 
 }  // namespace
 
 int main() {
   PrintHeader(
-      "Table 3: optimization ablation, CFG (unconstrained JSON), us/token\n"
-      "paper (ms): 65.776 -> 38.280 (1.7x) -> 0.154 (248.6x) -> 0.035 (4.4x)\n"
-      "            -> 0.018 (1.9x)");
+      "Table 3 (optimizer ablation): cumulative grammar passes per fig09 task\n"
+      "per row: compile+cache build ms, artifact bytes, mask us/token,\n"
+      "mask bits differing vs the unoptimized build (must be 0)");
   auto info = GetTokenizer();
-  grammar::Grammar json_cfg = grammar::BuiltinJsonGrammar();
-  auto documents = datasets::GenerateJsonDocuments(4, 4321);
   std::int32_t steps = MaxSteps();
 
-  struct RowSpec {
-    const char* label;
-    pda::CompileOptions options;
-    bool cached;
-  };
-  std::vector<RowSpec> rows;
-  rows.push_back({"PDA Baseline", pda::CompileOptions::AllDisabled(), false});
+  std::vector<TaskSpec> tasks;
   {
-    pda::CompileOptions o = pda::CompileOptions::AllDisabled();
-    o.node_merging = true;
-    rows.push_back({"+ Node merging", o, false});
-    rows.push_back({"+ Adaptive token mask cache", o, true});
-    o.rule_inlining = true;
-    rows.push_back({"+ Rule inlining", o, true});
-    o.context_expansion = true;
-    rows.push_back({"+ Context expansion", o, true});
+    TaskSpec t;
+    t.name = "JSON Schema";
+    auto schema_tasks = datasets::GenerateSchemaTasks(1, 97);
+    t.cfg = grammar::JsonSchemaToGrammar(schema_tasks[0].schema);
+    t.documents = {schema_tasks[0].canonical_answer.Dump()};
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.name = "CFG (Unconstrained JSON)";
+    t.cfg = grammar::BuiltinJsonGrammar();
+    t.documents = datasets::GenerateJsonDocuments(4, 1234);
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.name = "CFG (XML)";
+    t.cfg = grammar::BuiltinXmlGrammar();
+    t.documents = datasets::GenerateXmlDocuments(4, 555);
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.name = "CFG (Python DSL)";
+    t.cfg = grammar::BuiltinPythonDslGrammar();
+    t.documents = datasets::GeneratePythonPrograms(4, 777);
+    tasks.push_back(std::move(t));
   }
 
-  PrintRow({"configuration", "us/token", "speedup"}, 32);
-  double previous = 0.0;
-  for (const RowSpec& row : rows) {
-    auto pda = pda::CompiledGrammar::Compile(json_cfg, row.options);
-    double us =
-        row.cached
-            ? MeasureCached(pda, info, documents, steps)
-            : MeasureBruteForce(pda, info, documents, std::min(steps, 12));
-    std::string speedup =
-        previous > 0.0 ? (Fmt(previous / us, 1) + "x") : "-";
-    PrintRow({row.label, Fmt(us, 2), speedup}, 32);
-    previous = us;
+  const std::vector<RowSpec> rows = BuildRows();
+  json::Array task_results;
+  for (const TaskSpec& task : tasks) {
+    std::printf("\n-- %s --\n", task.name.c_str());
+    PrintRow({"configuration", "build_ms", "artifact_kB", "us/token",
+              "mask_diff"},
+             18);
+    std::shared_ptr<const cache::AdaptiveTokenMaskCache> baseline;
+    json::Array row_results;
+    for (const RowSpec& row : rows) {
+      RowResult r = MeasureRow(task, row.options, info, steps, baseline);
+      if (baseline == nullptr) baseline = r.cache;
+      PrintRow({row.label, Fmt(r.build_ms, 1),
+                Fmt(static_cast<double>(r.artifact_bytes) / 1024.0, 1),
+                Fmt(r.us_per_token, 2),
+                std::to_string(r.mask_mismatches)},
+               18);
+      json::Object row_json;
+      row_json["config"] = row.label;
+      row_json["build_ms"] = r.build_ms;
+      row_json["cache_build_ms"] = r.cache_build_ms;
+      row_json["artifact_bytes"] = static_cast<std::int64_t>(r.artifact_bytes);
+      row_json["us_per_token"] = r.us_per_token;
+      row_json["mask_mismatches"] = r.mask_mismatches;
+      if (&row == &rows.back()) {
+        row_json["pass_stats"] = PassStatsJson(r.pass_stats);
+      }
+      row_results.push_back(json::Value(std::move(row_json)));
+    }
+    json::Object task_json;
+    task_json["task"] = task.name;
+    task_json["rows"] = json::Value(std::move(row_results));
+    task_results.push_back(json::Value(std::move(task_json)));
   }
+
+  json::Object doc;
+  doc["bench"] = "table3_optimizer_ablation";
+  doc["vocab"] = VocabSize();
+  doc["max_steps"] = steps;
+  doc["warmup_laps"] = WarmupLaps();
+  doc["results"] = json::Value(std::move(task_results));
+  const char* json_path = std::getenv("XGR_BENCH_JSON");
+  std::string path = json_path != nullptr ? json_path : "BENCH_ablation.json";
+  std::ofstream out(path);
+  out << json::Value(std::move(doc)).Dump(2) << "\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "cache/ctx_trie_dfs.h"
+#include "fsa/dfa.h"
 #include "support/logging.h"
 #include "support/thread_pool.h"
 #include "support/timer.h"
@@ -40,6 +41,60 @@ bool ContextPlausible(const fsa::Fsa* ctx_fsa, std::int32_t ctx_start,
   }
   return true;
 }
+
+// Deterministic form of one rule's expanded-suffix plausibility check.
+//
+// ContextPlausible above simulates the context NFA per call — a fresh
+// NfaRunner (two vector allocations), epsilon closure and a state-set scan
+// per byte. The builder calls it for every escaping (token, depth) pair, and
+// on optimized grammars (inlined bodies, few rule frames) that NFA walk
+// dominated the cache build. Here the per-rule start slice of the global
+// context automaton is determinized once up front and the check becomes a
+// dense table walk. Accepting states are made terminal before subset
+// construction: the predicate returns true at the first accept, so edges out
+// of accepting states are unobservable, and dropping them keeps the subset
+// graph small. If a rule's slice still exceeds the state cap, the checker
+// falls back to the NFA path — the DFA is a pure strength reduction and never
+// changes a verdict.
+class RuleContextChecker {
+ public:
+  static constexpr std::int32_t kMaxDfaStates = 1 << 12;
+
+  RuleContextChecker() = default;
+  RuleContextChecker(const fsa::Fsa* nfa, std::int32_t start)
+      : nfa_(nfa), start_(start) {}
+
+  // `stripped` is the shared accepting-terminal copy of the context
+  // automaton; only the start differs between rules.
+  void TryDeterminize(fsa::Fsa* stripped) {
+    if (nfa_ == nullptr) return;
+    stripped->SetStart(start_);
+    try {
+      dfa_ = fsa::Determinize(*stripped, kMaxDfaStates);
+      has_dfa_ = true;
+    } catch (const CheckError&) {
+      has_dfa_ = false;  // oversized subset graph: keep the NFA path
+    }
+  }
+
+  bool Plausible(std::string_view remaining) const {
+    if (!has_dfa_) return ContextPlausible(nfa_, start_, remaining);
+    std::int32_t s = dfa_.Start();
+    if (dfa_.IsAccepting(s)) return true;
+    for (char c : remaining) {
+      s = dfa_.Next(s, static_cast<std::uint8_t>(c));
+      if (s == fsa::Dfa::kDead) return false;
+      if (dfa_.IsAccepting(s)) return true;
+    }
+    return true;
+  }
+
+ private:
+  const fsa::Fsa* nfa_ = nullptr;
+  std::int32_t start_ = -1;
+  fsa::Dfa dfa_;
+  bool has_dfa_ = false;
+};
 
 // Classifies the token currently being walked by `matcher` (already advanced
 // as far as possible). `consumed_all` tells whether every byte was accepted.
@@ -117,11 +172,28 @@ std::shared_ptr<const AdaptiveTokenMaskCache> AdaptiveTokenMaskCache::Build(
   const tokenizer::PrefixTrieSlice vocab_trie =
       tokenizer::PrefixTrieSlice::Build(*tokenizer, sorted);
 
+  // Per-rule deterministic context checkers, shared read-only by the node
+  // builds below. One stripped (accepting-terminal) copy of the context
+  // automaton serves every rule; only the start differs per Determinize call.
+  const fsa::Fsa* ctx_fsa = pda->ContextAutomaton();
+  std::vector<RuleContextChecker> ctx_checkers(
+      static_cast<std::size_t>(pda->NumRules()));
+  if (ctx_fsa != nullptr) {
+    fsa::Fsa stripped = *ctx_fsa;
+    for (std::int32_t s = 0; s < stripped.NumStates(); ++s) {
+      if (stripped.IsAccepting(s)) stripped.MutableEdgesFrom(s).clear();
+    }
+    for (std::int32_t r = 0; r < pda->NumRules(); ++r) {
+      RuleContextChecker& checker = ctx_checkers[static_cast<std::size_t>(r)];
+      checker = RuleContextChecker(ctx_fsa, pda->ContextStart(r));
+      checker.TryDeterminize(&stripped);
+    }
+  }
+
   auto build_node = [&](std::size_t node_index) {
     auto node = static_cast<std::int32_t>(node_index);
-    const fsa::Fsa* ctx_fsa = pda->ContextAutomaton();
-    std::int32_t ctx_start =
-        ctx_fsa != nullptr ? pda->ContextStart(pda->NodeRule(node)) : -1;
+    const RuleContextChecker& ctx =
+        ctx_checkers[static_cast<std::size_t>(pda->NodeRule(node))];
     matcher::GrammarMatcher matcher =
         matcher::GrammarMatcher::ForCacheSimulation(pda, node);
     NodeBuildResult& result = results[node_index];
@@ -181,9 +253,8 @@ std::shared_ptr<const AdaptiveTokenMaskCache> AdaptiveTokenMaskCache::Build(
             bool plausible = false;
             for (std::int32_t d = 1; d <= consumed; ++d) {
               if (!matcher.EscapedAtDepth(d)) continue;
-              if (ContextPlausible(ctx_fsa, ctx_start,
-                                   std::string_view(token).substr(
-                                       static_cast<std::size_t>(d)))) {
+              if (ctx.Plausible(std::string_view(token).substr(
+                      static_cast<std::size_t>(d)))) {
                 plausible = true;
                 break;
               }
@@ -270,6 +341,7 @@ std::shared_ptr<const AdaptiveTokenMaskCache> AdaptiveTokenMaskCache::Build(
   stats.full_bitset_bytes = static_cast<std::size_t>(num_nodes) *
                             (static_cast<std::size_t>(vocab_size) / 8);
   stats.build_seconds = timer.ElapsedSeconds();
+  stats.optimizer_passes = cache->pda_->PassStats();
   return cache;
 }
 

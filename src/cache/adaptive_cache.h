@@ -93,6 +93,11 @@ struct CacheBuildStats {
   std::size_t full_bitset_bytes = 0;
   double build_seconds = 0.0;
   std::int64_t storage_kind_counts[3] = {0, 0, 0};
+  // Per-pass grammar-optimizer stats copied from the CompiledGrammar this
+  // cache was built over. Like build_seconds, these are measurements, not
+  // content: they are NOT serialized (deserialized artifacts report an empty
+  // vector), keeping artifacts bit-identical across runs.
+  std::vector<grammar::PassStats> optimizer_passes;
 };
 
 struct AdaptiveCacheOptions {

@@ -277,10 +277,16 @@ std::shared_ptr<const TagDispatchPlan> TagDispatchPlan::Build(
     runtime::CompileJob job;
     job.kind = runtime::GrammarKind::kTagSegment;
     job.source = grammar::EncodeTagSegmentSource(tag);
+    // A prefetch hit is "artifact resident at submit time" (a registry hit),
+    // NOT "ticket ready when we looked": a fast worker can finish a fresh
+    // compile between Submit and a Ready() probe, which would miscount a
+    // cold build as a hit.
+    const std::int64_t registry_hits_before = service->Stats().registry_hits;
     tickets.push_back(
         service->Submit(std::move(job), runtime::CompilePriority::kPrefetch));
     ++plan->build_stats_.prefetch_submits;
-    if (tickets.back().Ready()) ++plan->build_stats_.prefetch_hits;
+    plan->build_stats_.prefetch_hits +=
+        service->Stats().registry_hits - registry_hits_before;
   }
   plan->artifacts_.reserve(tickets.size());
   for (runtime::CompileTicket& ticket : tickets) {

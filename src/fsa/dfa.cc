@@ -1,8 +1,11 @@
 #include "fsa/dfa.h"
 
 #include <algorithm>
+#include <bitset>
+#include <deque>
 #include <map>
 #include <queue>
+#include <utility>
 
 #include "support/logging.h"
 
@@ -139,6 +142,164 @@ Dfa Determinize(const Fsa& nfa, std::int32_t max_states) {
 
   dfa.ComputeLiveStates();
   return dfa;
+}
+
+Dfa Minimize(const Dfa& dfa) {
+  const std::int32_t n = dfa.NumStates();
+  XGR_CHECK(n > 0) << "cannot minimize an empty DFA";
+  // Complete the transition function with an explicit sink state so kDead
+  // participates in refinement like any other target.
+  const std::int32_t sink = n;
+  const std::int32_t total = n + 1;
+  auto next = [&dfa, sink](std::int32_t s, int b) -> std::int32_t {
+    if (s == sink) return sink;
+    std::int32_t t = dfa.Next(s, static_cast<std::uint8_t>(b));
+    return t == Dfa::kDead ? sink : t;
+  };
+
+  // CSR inverse transition table: predecessors of target t on byte b live at
+  // preds[offset[b*total+t] .. offset[b*total+t+1]).
+  std::vector<std::int32_t> offset(static_cast<std::size_t>(256) * total + 1, 0);
+  for (std::int32_t s = 0; s < total; ++s) {
+    for (int b = 0; b < 256; ++b) {
+      ++offset[static_cast<std::size_t>(b) * total + next(s, b) + 1];
+    }
+  }
+  for (std::size_t i = 1; i < offset.size(); ++i) offset[i] += offset[i - 1];
+  std::vector<std::int32_t> preds(static_cast<std::size_t>(256) * total);
+  {
+    std::vector<std::int32_t> cursor(offset.begin(), offset.end() - 1);
+    for (std::int32_t s = 0; s < total; ++s) {
+      for (int b = 0; b < 256; ++b) {
+        std::size_t key = static_cast<std::size_t>(b) * total + next(s, b);
+        preds[static_cast<std::size_t>(cursor[key]++)] = s;
+      }
+    }
+  }
+
+  // Initial partition: accepting vs everything else (the sink never accepts).
+  std::vector<std::int32_t> block_of(static_cast<std::size_t>(total), 0);
+  std::vector<std::vector<std::int32_t>> blocks;
+  {
+    std::vector<std::int32_t> rest, acc;
+    for (std::int32_t s = 0; s < n; ++s) {
+      (dfa.IsAccepting(s) ? acc : rest).push_back(s);
+    }
+    rest.push_back(sink);
+    blocks.push_back(std::move(rest));
+    if (!acc.empty()) blocks.push_back(std::move(acc));
+    for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+      for (std::int32_t s : blocks[bi]) {
+        block_of[static_cast<std::size_t>(s)] = static_cast<std::int32_t>(bi);
+      }
+    }
+  }
+
+  // Worklist of (block, byte) splitters. Seeding every initial block on every
+  // byte keeps the logic textbook-simple; the smaller-half rule below is what
+  // carries the n·log n bound.
+  std::deque<std::pair<std::int32_t, int>> work;
+  std::vector<std::bitset<256>> queued(blocks.size());
+  auto enqueue = [&work, &queued](std::int32_t blk, int b) {
+    if (!queued[static_cast<std::size_t>(blk)][static_cast<std::size_t>(b)]) {
+      queued[static_cast<std::size_t>(blk)][static_cast<std::size_t>(b)] = true;
+      work.emplace_back(blk, b);
+    }
+  };
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    for (int b = 0; b < 256; ++b) enqueue(static_cast<std::int32_t>(bi), b);
+  }
+
+  std::vector<char> in_x(static_cast<std::size_t>(total), 0);
+  std::vector<char> touched_mark;
+  while (!work.empty()) {
+    auto [a, b] = work.front();
+    work.pop_front();
+    queued[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = false;
+    // X = all states whose b-transition lands inside block a.
+    std::vector<std::int32_t> x;
+    for (std::int32_t t : blocks[static_cast<std::size_t>(a)]) {
+      std::size_t key = static_cast<std::size_t>(b) * total + t;
+      for (std::int32_t i = offset[key]; i < offset[key + 1]; ++i) {
+        x.push_back(preds[static_cast<std::size_t>(i)]);
+      }
+    }
+    if (x.empty()) continue;
+    touched_mark.assign(blocks.size(), 0);
+    std::vector<std::int32_t> touched;
+    for (std::int32_t s : x) {
+      in_x[static_cast<std::size_t>(s)] = 1;
+      std::int32_t y = block_of[static_cast<std::size_t>(s)];
+      if (!touched_mark[static_cast<std::size_t>(y)]) {
+        touched_mark[static_cast<std::size_t>(y)] = 1;
+        touched.push_back(y);
+      }
+    }
+    for (std::int32_t y : touched) {
+      std::vector<std::int32_t> inside, outside;
+      for (std::int32_t s : blocks[static_cast<std::size_t>(y)]) {
+        (in_x[static_cast<std::size_t>(s)] ? inside : outside).push_back(s);
+      }
+      if (inside.empty() || outside.empty()) continue;
+      // Split y; the smaller half becomes the new block z. Hopcroft's update
+      // rule — enqueue (z, c) when (y, c) is pending, else the smaller of the
+      // halves — collapses to "always enqueue z" since z IS the smaller half.
+      std::int32_t z = static_cast<std::int32_t>(blocks.size());
+      bool move_inside = inside.size() <= outside.size();
+      blocks[static_cast<std::size_t>(y)] =
+          std::move(move_inside ? outside : inside);
+      blocks.push_back(std::move(move_inside ? inside : outside));
+      queued.emplace_back();
+      for (std::int32_t s : blocks[static_cast<std::size_t>(z)]) {
+        block_of[static_cast<std::size_t>(s)] = z;
+      }
+      for (int c = 0; c < 256; ++c) enqueue(z, c);
+    }
+    for (std::int32_t s : x) in_x[static_cast<std::size_t>(s)] = 0;
+  }
+
+  // Emit: BFS-renumber blocks reachable from the start block; the sink's
+  // block maps back to kDead.
+  const std::int32_t sink_block = block_of[static_cast<std::size_t>(sink)];
+  const std::int32_t start_block = block_of[static_cast<std::size_t>(dfa.Start())];
+  Dfa out;
+  if (start_block == sink_block) {
+    // Empty language: a single non-accepting state with no way out.
+    out.transitions_.emplace_back();
+    out.transitions_.back().fill(Dfa::kDead);
+    out.accepting_.push_back(false);
+    out.start_ = 0;
+    out.ComputeLiveStates();
+    return out;
+  }
+  std::vector<std::int32_t> renum(blocks.size(), -1);
+  std::vector<std::int32_t> order{start_block};
+  renum[static_cast<std::size_t>(start_block)] = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    std::int32_t rep = blocks[static_cast<std::size_t>(order[i])][0];
+    for (int b = 0; b < 256; ++b) {
+      std::int32_t tb = block_of[static_cast<std::size_t>(next(rep, b))];
+      if (tb == sink_block) continue;
+      if (renum[static_cast<std::size_t>(tb)] == -1) {
+        renum[static_cast<std::size_t>(tb)] = static_cast<std::int32_t>(order.size());
+        order.push_back(tb);
+      }
+    }
+  }
+  for (std::int32_t ob : order) {
+    std::int32_t rep = blocks[static_cast<std::size_t>(ob)][0];
+    out.transitions_.emplace_back();
+    auto& row = out.transitions_.back();
+    for (int b = 0; b < 256; ++b) {
+      std::int32_t tb = block_of[static_cast<std::size_t>(next(rep, b))];
+      row[static_cast<std::size_t>(b)] =
+          tb == sink_block ? Dfa::kDead : renum[static_cast<std::size_t>(tb)];
+    }
+    out.accepting_.push_back(dfa.IsAccepting(rep));
+  }
+  out.start_ = 0;
+  out.ComputeLiveStates();
+  return out;
 }
 
 }  // namespace xgr::fsa

@@ -40,6 +40,7 @@ class Dfa {
 
  private:
   friend Dfa Determinize(const Fsa& nfa, std::int32_t max_states);
+  friend Dfa Minimize(const Dfa& dfa);
   void ComputeLiveStates();
 
   std::vector<std::array<std::int32_t, 256>> transitions_;
@@ -51,5 +52,14 @@ class Dfa {
 // Subset construction. `nfa` must be a pure byte automaton (epsilon edges
 // allowed). Throws if the DFA would exceed `max_states`.
 Dfa Determinize(const Fsa& nfa, std::int32_t max_states = 1 << 20);
+
+// Hopcroft minimization: returns the unique (up to renumbering) minimal DFA
+// for the same language. Unreachable states are dropped; the result's state 0
+// is the start. Partition refinement runs over an explicit sink state so the
+// partial transition function (kDead) is handled exactly. Memory is
+// O(256 · states) for the inverse transition table — intended for the
+// modestly-sized DFAs the grammar optimizer produces, not for automata near
+// Determinize's default state cap.
+Dfa Minimize(const Dfa& dfa);
 
 }  // namespace xgr::fsa

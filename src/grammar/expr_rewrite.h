@@ -1,0 +1,92 @@
+// Internal iterative expression-walk helpers shared by grammar_transform.cc
+// and grammar_optimizer.cc.
+//
+// Grammars arrive from untrusted EBNF text (and from schema converters that
+// mechanically nest deeply), so no traversal in the grammar layer may recurse
+// on the C++ call stack. Every walker here drives an explicit stack and
+// memoizes per ExprId, which also means DAG-shared subtrees are rewritten
+// once and stay shared in the output — a strict improvement over the old
+// recursive walkers, which duplicated shared subtrees on every path.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "grammar/grammar.h"
+
+namespace xgr::grammar::detail {
+
+// Bottom-up memoized rewrite over the expr DAG under `root`.
+//
+// `fn(ExprId id, std::vector<ExprId> children, bool children_changed)` is
+// called exactly once per distinct reachable expr, after all its children
+// have been rewritten; `children` holds the rewritten child ids and
+// `children_changed` is true iff any differs from the original. `fn` must
+// return the rewritten id for the node (return `id` unchanged to keep it).
+// `fn` may allocate new exprs in the arena.
+template <typename Fn>
+ExprId RewriteExprBottomUp(Grammar* grammar, ExprId root, Fn&& fn) {
+  std::unordered_map<ExprId, ExprId> done;
+  std::vector<ExprId> stack{root};
+  while (!stack.empty()) {
+    ExprId id = stack.back();
+    if (done.count(id) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    // Copy of the child list: `fn` may grow the arena and invalidate refs.
+    const std::vector<ExprId> children = grammar->GetExpr(id).children;
+    bool ready = true;
+    for (ExprId child : children) {
+      if (done.count(child) == 0) {
+        ready = false;
+        stack.push_back(child);
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+    std::vector<ExprId> rewritten;
+    rewritten.reserve(children.size());
+    bool changed = false;
+    for (ExprId child : children) {
+      ExprId r = done.at(child);
+      changed = changed || r != child;
+      rewritten.push_back(r);
+    }
+    done.emplace(id, fn(id, std::move(rewritten), changed));
+  }
+  return done.at(root);
+}
+
+// Visits every distinct expr reachable from `root` once (pre-order-ish,
+// unspecified order). `fn(ExprId)` must not mutate the arena.
+template <typename Fn>
+void VisitExprs(const Grammar& grammar, ExprId root, Fn&& fn) {
+  std::vector<char> seen(static_cast<std::size_t>(grammar.NumExprs()), 0);
+  std::vector<ExprId> stack{root};
+  while (!stack.empty()) {
+    ExprId id = stack.back();
+    stack.pop_back();
+    char& flag = seen[static_cast<std::size_t>(id)];
+    if (flag) continue;
+    flag = 1;
+    fn(id);
+    for (ExprId child : grammar.GetExpr(id).children) stack.push_back(child);
+  }
+}
+
+// Occurrence counts of every rule referenced under `root`, with
+// tree-expansion semantics: a reference sitting under a DAG-shared subtree
+// counts once per path, mirroring what SubstituteRule / Thompson lowering
+// will actually materialize. Counts saturate alongside ExprSize's cap.
+std::unordered_map<RuleId, std::int64_t> CountRuleRefs(const Grammar& grammar,
+                                                       ExprId root);
+
+// Replaces references to `target` under `expr` with fresh copies of `body`.
+// Returns the rewritten expression id (== `expr` when no reference exists).
+ExprId SubstituteRule(Grammar* grammar, ExprId expr, RuleId target,
+                      ExprId body);
+
+}  // namespace xgr::grammar::detail

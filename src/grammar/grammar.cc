@@ -1,5 +1,8 @@
 #include "grammar/grammar.h"
 
+#include <limits>
+#include <unordered_map>
+
 #include "support/logging.h"
 
 namespace xgr::grammar {
@@ -108,29 +111,76 @@ Expr& Grammar::MutableExpr(ExprId expr) {
 }
 
 std::int32_t Grammar::ExprSize(ExprId expr_id) const {
-  const Expr& expr = GetExpr(expr_id);
-  switch (expr.type) {
-    case ExprType::kEmpty:
-    case ExprType::kCharClass:
-    case ExprType::kRuleRef:
-      return 1;
-    case ExprType::kByteString:
-      return static_cast<std::int32_t>(expr.bytes.size());
-    case ExprType::kSequence:
-    case ExprType::kChoice:
-    case ExprType::kRepeat: {
-      std::int32_t total = 1;
-      for (ExprId child : expr.children) total += ExprSize(child);
-      return total;
+  // Explicit-stack walk: grammars arrive from untrusted EBNF text and can nest
+  // arbitrarily deep, so no tree traversal in this file may use the C++ call
+  // stack. No memoization on purpose — a subtree referenced twice costs twice
+  // (tree-expansion semantics), which is what Thompson lowering will pay.
+  std::int64_t total = 0;
+  std::vector<ExprId> stack{expr_id};
+  while (!stack.empty()) {
+    const Expr& expr = GetExpr(stack.back());
+    stack.pop_back();
+    switch (expr.type) {
+      case ExprType::kEmpty:
+      case ExprType::kCharClass:
+      case ExprType::kRuleRef:
+        total += 1;
+        break;
+      case ExprType::kByteString:
+        total += static_cast<std::int64_t>(expr.bytes.size());
+        break;
+      case ExprType::kSequence:
+      case ExprType::kChoice:
+      case ExprType::kRepeat:
+        total += 1;
+        for (ExprId child : expr.children) stack.push_back(child);
+        break;
+    }
+    if (total >= std::numeric_limits<std::int32_t>::max()) {
+      return std::numeric_limits<std::int32_t>::max();
     }
   }
-  XGR_UNREACHABLE();
+  return static_cast<std::int32_t>(total);
 }
 
 ExprId Grammar::CopyExpr(ExprId expr_id) {
-  Expr copy = GetExpr(expr_id);  // value copy; children still point at originals
-  for (ExprId& child : copy.children) child = CopyExpr(child);
-  return AddExpr(std::move(copy));
+  // Iterative post-order copy, memoized per source id: a subtree shared via
+  // DAG structure is copied once and re-shared, and deep chains cannot
+  // overflow the call stack.
+  std::unordered_map<ExprId, ExprId> done;
+  std::vector<ExprId> stack{expr_id};
+  while (!stack.empty()) {
+    ExprId id = stack.back();
+    if (done.count(id) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    // Copy of the children list: AddExpr below may reallocate the arena.
+    const std::vector<ExprId> children = GetExpr(id).children;
+    bool ready = true;
+    for (ExprId child : children) {
+      if (done.count(child) == 0) {
+        if (ready) ready = false;
+        stack.push_back(child);
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+    Expr copy = GetExpr(id);  // value copy
+    for (ExprId& child : copy.children) child = done.at(child);
+    done.emplace(id, AddExpr(std::move(copy)));
+  }
+  return done.at(expr_id);
+}
+
+std::size_t Grammar::ArenaBytes() const {
+  std::size_t total = exprs_.capacity() * sizeof(Expr);
+  for (const Expr& expr : exprs_) {
+    total += expr.bytes.capacity();
+    total += expr.ranges.capacity() * sizeof(regex::CodepointRange);
+    total += expr.children.capacity() * sizeof(ExprId);
+  }
+  return total;
 }
 
 void Grammar::Validate() const {

@@ -82,12 +82,20 @@ class Grammar {
   const Expr& GetExpr(ExprId expr) const;
   Expr& MutableExpr(ExprId expr);
 
-  // Number of atoms (leaf expressions) under `expr`; used by the inliner's
-  // size caps.
+  // Number of atoms (leaf expressions) under `expr`, counted with
+  // tree-expansion semantics (a shared subexpression is counted once per
+  // reference, mirroring what Thompson construction will emit); used by the
+  // inliner's and the FSA-minimizer's size caps. Saturates at INT32_MAX.
   std::int32_t ExprSize(ExprId expr) const;
 
   // Deep-copies an expression tree (within this grammar). Used by inlining.
+  // Shared subexpressions are copied once and re-shared in the copy.
   ExprId CopyExpr(ExprId expr);
+
+  // Bytes held by the expression arena (structs + out-of-line payloads).
+  // Counts every slot, live or stranded — the number the optimizer's
+  // compaction pass exists to shrink; reported per pass in PassStats.
+  std::size_t ArenaBytes() const;
 
   // EBNF-ish rendering, stable across runs; used by tests and debugging.
   std::string ToString() const;

@@ -1,0 +1,656 @@
+// Grammar optimizer pass implementations. See grammar_optimizer.h for the
+// pipeline contract: every pass preserves the byte-level language exactly.
+#include "grammar/grammar_optimizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "fsa/dfa.h"
+#include "fsa/fsa.h"
+#include "grammar/expr_rewrite.h"
+#include "support/logging.h"
+#include "support/utf8.h"
+
+namespace xgr::grammar {
+
+void PassPipeline::Add(std::unique_ptr<GrammarPass> pass) {
+  XGR_CHECK(pass != nullptr);
+  passes_.push_back(std::move(pass));
+}
+
+bool PassPipeline::Run(Grammar* grammar, std::vector<PassStats>* stats) const {
+  XGR_CHECK(grammar != nullptr);
+  bool any = false;
+  for (const auto& pass : passes_) {
+    PassStats s;
+    s.name = pass->Name();
+    s.rules_before = grammar->NumRules();
+    s.exprs_before = grammar->NumExprs();
+    s.arena_bytes_before = static_cast<std::int64_t>(grammar->ArenaBytes());
+    const auto t0 = std::chrono::steady_clock::now();
+    s.changed = pass->Run(grammar);
+    const auto t1 = std::chrono::steady_clock::now();
+    s.wall_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
+    s.rules_after = grammar->NumRules();
+    s.exprs_after = grammar->NumExprs();
+    s.arena_bytes_after = static_cast<std::int64_t>(grammar->ArenaBytes());
+    any = any || s.changed;
+    if (stats != nullptr) stats->push_back(std::move(s));
+  }
+  return any;
+}
+
+namespace {
+
+// --- normalize --------------------------------------------------------------
+
+class NormalizePass final : public GrammarPass {
+ public:
+  const char* Name() const override { return "normalize"; }
+  bool Run(Grammar* grammar) override {
+    std::vector<ExprId> before;
+    before.reserve(static_cast<std::size_t>(grammar->NumRules()));
+    for (RuleId r = 0; r < grammar->NumRules(); ++r) {
+      before.push_back(grammar->GetRule(r).body);
+    }
+    NormalizeGrammar(grammar);
+    for (RuleId r = 0; r < grammar->NumRules(); ++r) {
+      if (grammar->GetRule(r).body != before[static_cast<std::size_t>(r)]) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// --- eps-elim ---------------------------------------------------------------
+
+// Substitutes away rules whose entire body is epsilon: every reference to
+// such a rule is replaced by kEmpty, then normalization removes the hole.
+// Iterates because the cleanup can expose new epsilon-bodied rules. The
+// emptied rules themselves become unreachable and are collected by
+// dead-compact.
+class EpsilonEliminationPass final : public GrammarPass {
+ public:
+  const char* Name() const override { return "eps-elim"; }
+  bool Run(Grammar* grammar) override {
+    bool any = false;
+    constexpr int kMaxIterations = 8;
+    for (int iter = 0; iter < kMaxIterations; ++iter) {
+      std::vector<RuleId> eps_rules;
+      for (RuleId r = 0; r < grammar->NumRules(); ++r) {
+        if (r == grammar->RootRule()) continue;
+        if (grammar->GetExpr(grammar->GetRule(r).body).type ==
+            ExprType::kEmpty) {
+          eps_rules.push_back(r);
+        }
+      }
+      if (eps_rules.empty()) break;
+      bool changed = false;
+      for (RuleId r = 0; r < grammar->NumRules(); ++r) {
+        ExprId body = grammar->GetRule(r).body;
+        for (RuleId eps : eps_rules) {
+          if (r == eps) continue;
+          ExprId rewritten = detail::SubstituteRule(
+              grammar, body, eps, grammar->GetRule(eps).body);
+          if (rewritten != body) {
+            body = rewritten;
+            changed = true;
+          }
+        }
+        grammar->SetRuleBody(r, body);
+      }
+      if (!changed) break;
+      NormalizeGrammar(grammar);
+      any = true;
+    }
+    return any;
+  }
+};
+
+// --- unit-collapse ----------------------------------------------------------
+
+// A unit rule's body is exactly one kRuleRef. Redirect every reference
+// through the alias chain to its terminal rule; the aliases become
+// unreachable. Chains that loop back on themselves (a ::= b; b ::= a — an
+// empty language) are left untouched.
+class UnitRuleCollapsePass final : public GrammarPass {
+ public:
+  const char* Name() const override { return "unit-collapse"; }
+  bool Run(Grammar* grammar) override {
+    const std::int32_t n = grammar->NumRules();
+    std::vector<RuleId> alias(static_cast<std::size_t>(n), kInvalidRule);
+    bool has_alias = false;
+    for (RuleId r = 0; r < n; ++r) {
+      if (r == grammar->RootRule()) continue;
+      const Expr& body = grammar->GetExpr(grammar->GetRule(r).body);
+      if (body.type == ExprType::kRuleRef) {
+        alias[static_cast<std::size_t>(r)] = body.rule_ref;
+        has_alias = true;
+      }
+    }
+    if (!has_alias) return false;
+
+    std::vector<RuleId> target(static_cast<std::size_t>(n));
+    for (RuleId r = 0; r < n; ++r) {
+      RuleId cur = r;
+      std::unordered_set<RuleId> seen;
+      while (alias[static_cast<std::size_t>(cur)] != kInvalidRule &&
+             seen.insert(cur).second) {
+        cur = alias[static_cast<std::size_t>(cur)];
+      }
+      const bool cycle = alias[static_cast<std::size_t>(cur)] != kInvalidRule;
+      target[static_cast<std::size_t>(r)] = cycle ? r : cur;
+    }
+
+    bool changed = false;
+    for (RuleId r = 0; r < n; ++r) {
+      ExprId body = grammar->GetRule(r).body;
+      ExprId rewritten = detail::RewriteExprBottomUp(
+          grammar, body,
+          [&](ExprId id, std::vector<ExprId> children,
+              bool child_changed) -> ExprId {
+            const Expr& expr = grammar->GetExpr(id);
+            if (expr.type == ExprType::kRuleRef) {
+              RuleId t = target[static_cast<std::size_t>(expr.rule_ref)];
+              return t == expr.rule_ref ? id : grammar->AddRuleRef(t);
+            }
+            if (!child_changed) return id;
+            switch (expr.type) {
+              case ExprType::kSequence:
+                return grammar->AddSequence(std::move(children));
+              case ExprType::kChoice:
+                return grammar->AddChoice(std::move(children));
+              case ExprType::kRepeat:
+                return grammar->AddRepeat(children[0], expr.min_repeat,
+                                          expr.max_repeat);
+              default:
+                return id;
+            }
+          });
+      if (rewritten != body) {
+        grammar->SetRuleBody(r, rewritten);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+// --- inline -----------------------------------------------------------------
+
+class InlinePass final : public GrammarPass {
+ public:
+  explicit InlinePass(const InlineOptions& options) : options_(options) {}
+  const char* Name() const override { return "inline"; }
+  bool Run(Grammar* grammar) override {
+    return InlineFragmentRules(grammar, options_) > 0;
+  }
+
+ private:
+  InlineOptions options_;
+};
+
+// --- atom-merge -------------------------------------------------------------
+
+// Inside sequences: concatenate adjacent byte-string children. Inside
+// choices: drop duplicate (id-identical) alternates and union char-class and
+// single-codepoint byte-string alternates into one char class — both match
+// exactly one codepoint, so the union is language-equal.
+class AtomMergePass final : public GrammarPass {
+ public:
+  const char* Name() const override { return "atom-merge"; }
+  bool Run(Grammar* grammar) override {
+    bool changed = false;
+    for (RuleId r = 0; r < grammar->NumRules(); ++r) {
+      ExprId body = grammar->GetRule(r).body;
+      ExprId rewritten = detail::RewriteExprBottomUp(
+          grammar, body,
+          [&](ExprId id, std::vector<ExprId> children, bool child_changed) {
+            return MergeNode(grammar, id, std::move(children), child_changed);
+          });
+      if (rewritten != body) {
+        grammar->SetRuleBody(r, rewritten);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+ private:
+  static ExprId MergeNode(Grammar* grammar, ExprId id,
+                          std::vector<ExprId> children, bool child_changed) {
+    const ExprType type = grammar->GetExpr(id).type;
+    switch (type) {
+      case ExprType::kEmpty:
+      case ExprType::kByteString:
+      case ExprType::kCharClass:
+      case ExprType::kRuleRef:
+        return id;
+      case ExprType::kRepeat: {
+        if (!child_changed) return id;
+        const Expr self = grammar->GetExpr(id);  // copy (arena growth below)
+        return grammar->AddRepeat(children[0], self.min_repeat,
+                                  self.max_repeat);
+      }
+      case ExprType::kSequence: {
+        std::vector<ExprId> out;
+        out.reserve(children.size());
+        bool merged = false;
+        for (ExprId child : children) {
+          if (grammar->GetExpr(child).type == ExprType::kByteString &&
+              !out.empty() &&
+              grammar->GetExpr(out.back()).type == ExprType::kByteString) {
+            std::string combined = grammar->GetExpr(out.back()).bytes +
+                                   grammar->GetExpr(child).bytes;
+            out.back() = grammar->AddByteString(std::move(combined));
+            merged = true;
+          } else {
+            out.push_back(child);
+          }
+        }
+        if (!child_changed && !merged) return id;
+        return grammar->AddSequence(std::move(out));
+      }
+      case ExprType::kChoice: {
+        std::vector<ExprId> out;
+        out.reserve(children.size());
+        bool merged = false;
+        std::unordered_set<ExprId> seen;
+        std::vector<regex::CodepointRange> ranges;
+        int collected = 0;
+        std::size_t class_pos = 0;
+        ExprId first_collected = kInvalidExpr;
+        for (ExprId child : children) {
+          if (!seen.insert(child).second) {
+            merged = true;  // duplicate alternate
+            continue;
+          }
+          const Expr& ce = grammar->GetExpr(child);
+          bool single_codepoint = false;
+          std::uint32_t codepoint = 0;
+          if (ce.type == ExprType::kByteString) {
+            xgr::DecodedChar dc = xgr::DecodeUtf8(ce.bytes, 0);
+            if (dc.ok && static_cast<std::size_t>(dc.length) == ce.bytes.size()) {
+              single_codepoint = true;
+              codepoint = dc.codepoint;
+            }
+          }
+          if (ce.type == ExprType::kCharClass || single_codepoint) {
+            if (collected == 0) {
+              class_pos = out.size();
+              out.push_back(child);  // placeholder, replaced if merging
+              first_collected = child;
+            }
+            if (ce.type == ExprType::kCharClass) {
+              ranges.insert(ranges.end(), ce.ranges.begin(), ce.ranges.end());
+            } else {
+              ranges.push_back({codepoint, codepoint});
+            }
+            ++collected;
+            continue;
+          }
+          out.push_back(child);
+        }
+        if (collected >= 2) {
+          out[class_pos] = grammar->AddCharClass(std::move(ranges), false);
+          merged = true;
+        } else if (collected == 1) {
+          out[class_pos] = first_collected;
+        }
+        if (!child_changed && !merged) return id;
+        return grammar->AddChoice(std::move(out));
+      }
+    }
+    XGR_UNREACHABLE();
+  }
+};
+
+// --- fsa-minimize -----------------------------------------------------------
+
+struct Fragment {
+  std::int32_t entry;
+  std::int32_t exit;
+};
+
+// Iterative (explicit-frame) Thompson lowering of a recursion-free expr into
+// `fsa`; mirrors the PDA compiler's construction node for node.
+Fragment LowerExprToFsa(const Grammar& grammar, ExprId root, fsa::Fsa* fsa) {
+  struct Frame {
+    ExprId id;
+    std::vector<ExprId> requests;  // child compilations, in completion order
+    std::vector<Fragment> done;
+  };
+  auto make_frame = [&grammar](ExprId id) {
+    Frame f;
+    f.id = id;
+    const Expr& expr = grammar.GetExpr(id);
+    switch (expr.type) {
+      case ExprType::kSequence:
+      case ExprType::kChoice:
+        f.requests = expr.children;
+        break;
+      case ExprType::kRepeat: {
+        // Bounded repeats compile max copies; unbounded compile min + the
+        // loop body — the same unrolling the PDA compiler performs.
+        std::int32_t copies = expr.max_repeat == -1 ? expr.min_repeat + 1
+                                                    : expr.max_repeat;
+        f.requests.assign(static_cast<std::size_t>(copies), expr.children[0]);
+        break;
+      }
+      default:
+        break;
+    }
+    return f;
+  };
+  auto combine = [&grammar, fsa](const Frame& f) -> Fragment {
+    const Expr& expr = grammar.GetExpr(f.id);
+    switch (expr.type) {
+      case ExprType::kEmpty: {
+        std::int32_t s = fsa->AddState();
+        return {s, s};
+      }
+      case ExprType::kByteString: {
+        std::int32_t entry = fsa->AddState();
+        std::int32_t exit = fsa->AddState();
+        fsa->AddLiteralPath(entry, expr.bytes, exit);
+        return {entry, exit};
+      }
+      case ExprType::kCharClass: {
+        std::int32_t entry = fsa->AddState();
+        std::int32_t exit = fsa->AddState();
+        regex::AddCodepointRangesPath(fsa, entry, exit, expr.ranges);
+        return {entry, exit};
+      }
+      case ExprType::kRuleRef:
+        XGR_CHECK(false) << "rule ref in recursion-free lowering";
+        XGR_UNREACHABLE();
+      case ExprType::kSequence: {
+        Fragment result = f.done[0];
+        for (std::size_t i = 1; i < f.done.size(); ++i) {
+          fsa->AddEpsilonEdge(result.exit, f.done[i].entry);
+          result.exit = f.done[i].exit;
+        }
+        return result;
+      }
+      case ExprType::kChoice: {
+        std::int32_t entry = fsa->AddState();
+        std::int32_t exit = fsa->AddState();
+        for (const Fragment& alt : f.done) {
+          fsa->AddEpsilonEdge(entry, alt.entry);
+          fsa->AddEpsilonEdge(alt.exit, exit);
+        }
+        return {entry, exit};
+      }
+      case ExprType::kRepeat: {
+        std::int32_t entry = fsa->AddState();
+        std::int32_t current = entry;
+        std::size_t idx = 0;
+        for (std::int32_t i = 0; i < expr.min_repeat; ++i) {
+          const Fragment& rep = f.done[idx++];
+          fsa->AddEpsilonEdge(current, rep.entry);
+          current = rep.exit;
+        }
+        if (expr.max_repeat == -1) {
+          std::int32_t loop = fsa->AddState();
+          std::int32_t exit = fsa->AddState();
+          fsa->AddEpsilonEdge(current, loop);
+          const Fragment& rep = f.done[idx++];
+          fsa->AddEpsilonEdge(loop, rep.entry);
+          fsa->AddEpsilonEdge(rep.exit, loop);
+          fsa->AddEpsilonEdge(loop, exit);
+          return {entry, exit};
+        }
+        std::int32_t exit = fsa->AddState();
+        fsa->AddEpsilonEdge(current, exit);
+        for (std::int32_t i = expr.min_repeat; i < expr.max_repeat; ++i) {
+          const Fragment& rep = f.done[idx++];
+          fsa->AddEpsilonEdge(current, rep.entry);
+          fsa->AddEpsilonEdge(rep.exit, exit);
+          current = rep.exit;
+        }
+        return {entry, exit};
+      }
+    }
+    XGR_UNREACHABLE();
+  };
+
+  std::vector<Frame> stack;
+  stack.push_back(make_frame(root));
+  while (true) {
+    Frame& top = stack.back();
+    if (top.done.size() < top.requests.size()) {
+      ExprId next = top.requests[top.done.size()];
+      stack.push_back(make_frame(next));
+      continue;
+    }
+    Fragment frag = combine(top);
+    stack.pop_back();
+    if (stack.empty()) return frag;
+    stack.back().done.push_back(frag);
+  }
+}
+
+// One maximal byte range [lo, hi] as an expression, or kInvalidExpr when it
+// cannot be expressed without changing the language. Legality: codepoints
+// <= 0x7F encode as the identical single byte, so ASCII ranges map to a char
+// class; bytes >= 0x80 are NOT single-codepoint ranges (char classes expand
+// through UTF-8 at lowering), but a lone byte is expressible as a one-byte
+// kByteString, so narrow high ranges become a choice of single bytes. Wide
+// high ranges are inexpressible — the caller keeps the original rule body.
+ExprId ByteRangeToExpr(Grammar* grammar, int lo, int hi) {
+  std::vector<ExprId> alts;
+  if (lo <= 0x7F) {
+    int ascii_hi = std::min(hi, 0x7F);
+    alts.push_back(grammar->AddCharClass(
+        {{static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(ascii_hi)}},
+        false));
+    lo = 0x80;
+  }
+  if (lo <= hi) {
+    if (hi - lo + 1 > 4) return kInvalidExpr;
+    for (int b = lo; b <= hi; ++b) {
+      alts.push_back(grammar->AddByteString(std::string(1, static_cast<char>(b))));
+    }
+  }
+  return grammar->AddChoice(std::move(alts));
+}
+
+// GNFA state elimination: re-emits `dfa` as a grammar expression. Returns
+// kInvalidExpr when a transition is inexpressible, a label outgrows
+// `max_atoms`, or the language is empty.
+ExprId EmitDfaAsExpr(Grammar* grammar, const fsa::Dfa& dfa,
+                     std::int32_t max_atoms) {
+  const std::int32_t m = dfa.NumStates();
+  const std::int32_t kSuperStart = m;
+  const std::int32_t kSuperAccept = m + 1;
+  const std::int32_t total = m + 2;
+  std::vector<std::vector<ExprId>> label(
+      static_cast<std::size_t>(total),
+      std::vector<ExprId>(static_cast<std::size_t>(total), kInvalidExpr));
+  auto add_alt = [&](std::int32_t i, std::int32_t j, ExprId e) {
+    ExprId& slot = label[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    slot = slot == kInvalidExpr ? e : grammar->AddChoice({slot, e});
+  };
+  label[static_cast<std::size_t>(kSuperStart)]
+       [static_cast<std::size_t>(dfa.Start())] = grammar->AddEmpty();
+  for (std::int32_t q = 0; q < m; ++q) {
+    if (dfa.IsAccepting(q)) {
+      label[static_cast<std::size_t>(q)]
+           [static_cast<std::size_t>(kSuperAccept)] = grammar->AddEmpty();
+    }
+  }
+  for (std::int32_t q = 0; q < m; ++q) {
+    int b = 0;
+    while (b < 256) {
+      std::int32_t t = dfa.Next(q, static_cast<std::uint8_t>(b));
+      int e = b;
+      while (e + 1 < 256 &&
+             dfa.Next(q, static_cast<std::uint8_t>(e + 1)) == t) {
+        ++e;
+      }
+      if (t != fsa::Dfa::kDead) {
+        ExprId range = ByteRangeToExpr(grammar, b, e);
+        if (range == kInvalidExpr) return kInvalidExpr;
+        add_alt(q, t, range);
+      }
+      b = e + 1;
+    }
+  }
+
+  // Eliminate original states, cheapest fan-in × fan-out first.
+  std::vector<char> alive(static_cast<std::size_t>(m), 1);
+  for (std::int32_t step = 0; step < m; ++step) {
+    std::int32_t q = -1;
+    std::int64_t best_cost = std::numeric_limits<std::int64_t>::max();
+    for (std::int32_t c = 0; c < m; ++c) {
+      if (!alive[static_cast<std::size_t>(c)]) continue;
+      std::int64_t in = 0, out = 0;
+      for (std::int32_t i = 0; i < total; ++i) {
+        if (i != c && label[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)] != kInvalidExpr) ++in;
+        if (i != c && label[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)] != kInvalidExpr) ++out;
+      }
+      if (in * out < best_cost) {
+        best_cost = in * out;
+        q = c;
+      }
+    }
+    alive[static_cast<std::size_t>(q)] = 0;
+    ExprId self = label[static_cast<std::size_t>(q)][static_cast<std::size_t>(q)];
+    ExprId star = self == kInvalidExpr ? kInvalidExpr : grammar->AddStar(self);
+    for (std::int32_t i = 0; i < total; ++i) {
+      if (i == q) continue;
+      ExprId in_label = label[static_cast<std::size_t>(i)][static_cast<std::size_t>(q)];
+      if (in_label == kInvalidExpr) continue;
+      for (std::int32_t j = 0; j < total; ++j) {
+        if (j == q) continue;
+        ExprId out_label = label[static_cast<std::size_t>(q)][static_cast<std::size_t>(j)];
+        if (out_label == kInvalidExpr) continue;
+        std::vector<ExprId> parts;
+        auto push = [&](ExprId e) {
+          if (grammar->GetExpr(e).type != ExprType::kEmpty) parts.push_back(e);
+        };
+        push(in_label);
+        if (star != kInvalidExpr) push(star);
+        push(out_label);
+        ExprId seg =
+            parts.empty() ? grammar->AddEmpty()
+                          : grammar->AddSequence(std::move(parts));
+        add_alt(i, j, seg);
+        if (grammar->ExprSize(label[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]) > max_atoms) {
+          return kInvalidExpr;
+        }
+      }
+    }
+    for (std::int32_t i = 0; i < total; ++i) {
+      label[static_cast<std::size_t>(i)][static_cast<std::size_t>(q)] = kInvalidExpr;
+      label[static_cast<std::size_t>(q)][static_cast<std::size_t>(i)] = kInvalidExpr;
+    }
+  }
+  return label[static_cast<std::size_t>(kSuperStart)]
+              [static_cast<std::size_t>(kSuperAccept)];
+}
+
+class FsaMinimizePass final : public GrammarPass {
+ public:
+  explicit FsaMinimizePass(const OptimizerOptions& options)
+      : options_(options) {}
+  const char* Name() const override { return "fsa-minimize"; }
+  bool Run(Grammar* grammar) override {
+    bool changed = false;
+    for (RuleId r = 0; r < grammar->NumRules(); ++r) {
+      ExprId body = grammar->GetRule(r).body;
+      ExprId minimized = TryMinimize(grammar, body);
+      if (minimized != kInvalidExpr) {
+        grammar->SetRuleBody(r, minimized);
+        changed = true;
+      }
+    }
+    // Re-normalize: GNFA emission nests choices/sequences freely. Abandoned
+    // intermediates stay stranded in the arena until dead-compact runs.
+    if (changed) NormalizeGrammar(grammar);
+    return changed;
+  }
+
+ private:
+  ExprId TryMinimize(Grammar* grammar, ExprId body) const {
+    const std::int32_t source_atoms = grammar->ExprSize(body);
+    if (source_atoms > options_.fsa_max_source_atoms) return kInvalidExpr;
+    if (!detail::CountRuleRefs(*grammar, body).empty()) return kInvalidExpr;
+
+    fsa::Fsa nfa;
+    Fragment frag = LowerExprToFsa(*grammar, body, &nfa);
+    nfa.SetStart(frag.entry);
+    nfa.SetAccepting(frag.exit, true);
+    std::vector<std::int32_t> roots{frag.entry};
+    fsa::Fsa clean = fsa::EliminateEpsilon(nfa, &roots);
+    clean.SetStart(roots[0]);
+
+    fsa::Dfa minimal;
+    try {
+      minimal = fsa::Minimize(fsa::Determinize(clean, options_.fsa_max_dfa_states));
+    } catch (const CheckError&) {
+      return kInvalidExpr;  // DFA state explosion: keep the original body
+    }
+    ExprId emitted =
+        EmitDfaAsExpr(grammar, minimal, options_.fsa_max_result_atoms);
+    if (emitted == kInvalidExpr) return kInvalidExpr;
+    // Only a strict win replaces the body.
+    if (grammar->ExprSize(emitted) >= source_atoms) return kInvalidExpr;
+    return emitted;
+  }
+
+  OptimizerOptions options_;
+};
+
+// --- dead-compact -----------------------------------------------------------
+
+class DeadCompactPass final : public GrammarPass {
+ public:
+  const char* Name() const override { return "dead-compact"; }
+  bool Run(Grammar* grammar) override {
+    const std::int32_t exprs_before = grammar->NumExprs();
+    const int removed = RemoveUnreachableRules(grammar);
+    return removed > 0 || grammar->NumExprs() != exprs_before;
+  }
+};
+
+}  // namespace
+
+PassPipeline BuildOptimizerPipeline(const OptimizerOptions& options) {
+  PassPipeline pipeline;
+  if (options.normalize) {
+    pipeline.Add(std::make_unique<NormalizePass>());
+  }
+  if (options.epsilon_elimination) {
+    pipeline.Add(std::make_unique<EpsilonEliminationPass>());
+  }
+  if (options.unit_rule_collapse) {
+    pipeline.Add(std::make_unique<UnitRuleCollapsePass>());
+  }
+  if (options.rule_inlining) {
+    pipeline.Add(std::make_unique<InlinePass>(options.inline_options));
+  }
+  if (options.atom_merging) {
+    pipeline.Add(std::make_unique<AtomMergePass>());
+  }
+  if (options.fsa_minimization) {
+    pipeline.Add(std::make_unique<FsaMinimizePass>(options));
+  }
+  if (options.dead_rule_elimination) {
+    pipeline.Add(std::make_unique<DeadCompactPass>());
+  }
+  return pipeline;
+}
+
+bool OptimizeGrammar(Grammar* grammar, const OptimizerOptions& options,
+                     std::vector<PassStats>* stats) {
+  return BuildOptimizerPipeline(options).Run(grammar, stats);
+}
+
+}  // namespace xgr::grammar

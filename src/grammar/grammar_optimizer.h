@@ -1,0 +1,111 @@
+// Composable grammar optimization passes (§3.4 of the paper).
+//
+// Every compile-time cost downstream — adaptive token-mask cache build time,
+// serialized artifact bytes, live PDA stacks per decoded token — scales with
+// grammar size, so grammar rewriting is organized as a pipeline of small
+// passes, each of which must preserve the byte-level language EXACTLY
+// (language equality is what guarantees bit-identical per-token masks; the
+// differential suite in tests/grammar_optimizer_test.cc enforces it).
+//
+// The standard pipeline (BuildOptimizerPipeline), in order:
+//   normalize    flatten nested seq/choice, drop eps in seq, fuse star-star
+//   eps-elim     substitute away rules whose body is epsilon
+//   unit-collapse redirect refs through single-RuleRef alias rules
+//   inline       fragment-rule inlining under real-ref-count growth caps
+//   atom-merge   concatenate adjacent byte strings; union char-class and
+//                single-codepoint alternates inside choices
+//   fsa-minimize lower recursion-free rule bodies through NFA → DFA →
+//                Hopcroft-minimal DFA → GNFA state elimination, keep the
+//                result only when strictly smaller
+//   dead-compact drop unreachable rules and rebuild the expr arena, GC'ing
+//                every expr stranded by the passes above (runs last)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grammar/grammar.h"
+
+namespace xgr::grammar {
+
+// Before/after snapshot of one pass invocation; threaded into
+// CacheBuildStats::optimizer_passes and the bench JSON.
+struct PassStats {
+  std::string name;
+  std::int32_t rules_before = 0;
+  std::int32_t rules_after = 0;
+  std::int32_t exprs_before = 0;
+  std::int32_t exprs_after = 0;
+  std::int64_t arena_bytes_before = 0;
+  std::int64_t arena_bytes_after = 0;
+  std::int64_t wall_us = 0;
+  bool changed = false;
+};
+
+class GrammarPass {
+ public:
+  virtual ~GrammarPass() = default;
+  virtual const char* Name() const = 0;
+  // Rewrites `grammar` in place; returns true if anything changed. The
+  // byte-level language of every rule reachable from the root must be
+  // preserved exactly.
+  virtual bool Run(Grammar* grammar) = 0;
+};
+
+class PassPipeline {
+ public:
+  void Add(std::unique_ptr<GrammarPass> pass);
+  std::size_t NumPasses() const { return passes_.size(); }
+  // Runs every pass in order. Appends one PassStats per pass to `stats` when
+  // non-null. Returns true if any pass changed the grammar.
+  bool Run(Grammar* grammar, std::vector<PassStats>* stats = nullptr) const;
+
+ private:
+  std::vector<std::unique_ptr<GrammarPass>> passes_;
+};
+
+struct OptimizerOptions {
+  bool normalize = true;
+  bool epsilon_elimination = true;
+  bool unit_rule_collapse = true;
+  bool rule_inlining = true;
+  bool atom_merging = true;
+  bool fsa_minimization = true;
+  bool dead_rule_elimination = true;
+  InlineOptions inline_options;
+
+  // FSA-minimization legality guards: a rule body is only lowered when it is
+  // recursion-free (no rule refs at all), its atom count is at most
+  // `fsa_max_source_atoms`, its DFA stays within `fsa_max_dfa_states`, and
+  // the re-emitted expression has fewer than `fsa_max_result_atoms` atoms
+  // AND fewer atoms than the original body. Rules that fail any guard keep
+  // their original body.
+  std::int32_t fsa_max_dfa_states = 128;
+  std::int32_t fsa_max_source_atoms = 4096;
+  std::int32_t fsa_max_result_atoms = 256;
+
+  // Everything off except normalization, which downstream lowering relies on
+  // for flat bodies (matches the historical always-on NormalizeGrammar).
+  static OptimizerOptions AllDisabled() {
+    OptimizerOptions o;
+    o.epsilon_elimination = false;
+    o.unit_rule_collapse = false;
+    o.rule_inlining = false;
+    o.atom_merging = false;
+    o.fsa_minimization = false;
+    o.dead_rule_elimination = false;
+    return o;
+  }
+};
+
+// Assembles the standard pipeline for `options` (disabled passes are simply
+// not added, so PassStats rows only exist for passes that ran).
+PassPipeline BuildOptimizerPipeline(const OptimizerOptions& options = {});
+
+// Convenience: build + run the standard pipeline.
+bool OptimizeGrammar(Grammar* grammar, const OptimizerOptions& options = {},
+                     std::vector<PassStats>* stats = nullptr);
+
+}  // namespace xgr::grammar

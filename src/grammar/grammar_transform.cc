@@ -1,145 +1,181 @@
 // Grammar-level transformation passes: normalization, fragment-rule inlining
-// (§3.4 of the paper) and dead-rule elimination.
+// (§3.4 of the paper) and dead-rule elimination with arena compaction.
+//
+// All walks here are explicit-stack (see expr_rewrite.h): rule bodies can
+// nest ~100k deep without touching the C++ call stack.
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "grammar/expr_rewrite.h"
 #include "grammar/grammar.h"
 #include "support/logging.h"
 
 namespace xgr::grammar {
+
+namespace detail {
+
+std::unordered_map<RuleId, std::int64_t> CountRuleRefs(const Grammar& grammar,
+                                                       ExprId root) {
+  std::unordered_map<RuleId, std::int64_t> counts;
+  std::vector<ExprId> stack{root};
+  while (!stack.empty()) {
+    const Expr& expr = grammar.GetExpr(stack.back());
+    stack.pop_back();
+    if (expr.type == ExprType::kRuleRef) {
+      ++counts[expr.rule_ref];
+      continue;
+    }
+    for (ExprId child : expr.children) stack.push_back(child);
+  }
+  return counts;
+}
+
+ExprId SubstituteRule(Grammar* grammar, ExprId expr_id, RuleId target,
+                      ExprId body) {
+  return RewriteExprBottomUp(
+      grammar, expr_id,
+      [&](ExprId id, std::vector<ExprId> children, bool changed) -> ExprId {
+        const Expr& expr = grammar->GetExpr(id);
+        if (expr.type == ExprType::kRuleRef) {
+          return expr.rule_ref == target ? grammar->CopyExpr(body) : id;
+        }
+        if (!changed) return id;
+        switch (expr.type) {
+          case ExprType::kSequence:
+            return grammar->AddSequence(std::move(children));
+          case ExprType::kChoice:
+            return grammar->AddChoice(std::move(children));
+          case ExprType::kRepeat:
+            return grammar->AddRepeat(children[0], expr.min_repeat,
+                                      expr.max_repeat);
+          default:
+            XGR_UNREACHABLE();
+        }
+      });
+}
+
+}  // namespace detail
 
 namespace {
 
 // Rebuilds `expr` inside `grammar` with nested sequence/choice flattened and
 // degenerate containers collapsed.
 ExprId NormalizeExpr(Grammar* grammar, ExprId expr_id) {
-  const Expr expr = grammar->GetExpr(expr_id);  // copy: arena may grow below
-  switch (expr.type) {
-    case ExprType::kEmpty:
-    case ExprType::kByteString:
-    case ExprType::kCharClass:
-    case ExprType::kRuleRef:
-      return expr_id;
-    case ExprType::kSequence: {
-      std::vector<ExprId> flat;
-      bool changed = false;
-      for (ExprId child_id : expr.children) {
-        ExprId norm = NormalizeExpr(grammar, child_id);
-        changed = changed || norm != child_id;
-        const Expr& child = grammar->GetExpr(norm);
-        if (child.type == ExprType::kSequence) {
-          flat.insert(flat.end(), child.children.begin(), child.children.end());
-          changed = true;
-        } else if (child.type == ExprType::kEmpty) {
-          changed = true;  // drop epsilon inside sequences
-        } else {
-          flat.push_back(norm);
+  return detail::RewriteExprBottomUp(
+      grammar, expr_id,
+      [&](ExprId id, std::vector<ExprId> children, bool changed) -> ExprId {
+        // Copy, not reference: AddSequence/AddChoice below may grow the arena.
+        const ExprType type = grammar->GetExpr(id).type;
+        switch (type) {
+          case ExprType::kEmpty:
+          case ExprType::kByteString:
+          case ExprType::kCharClass:
+          case ExprType::kRuleRef:
+            return id;
+          case ExprType::kSequence: {
+            std::vector<ExprId> flat;
+            for (ExprId child_id : children) {
+              const Expr& child = grammar->GetExpr(child_id);
+              if (child.type == ExprType::kSequence) {
+                flat.insert(flat.end(), child.children.begin(),
+                            child.children.end());
+                changed = true;
+              } else if (child.type == ExprType::kEmpty) {
+                changed = true;  // drop epsilon inside sequences
+              } else {
+                flat.push_back(child_id);
+              }
+            }
+            if (!changed) return id;
+            return grammar->AddSequence(std::move(flat));
+          }
+          case ExprType::kChoice: {
+            std::vector<ExprId> flat;
+            for (ExprId child_id : children) {
+              const Expr& child = grammar->GetExpr(child_id);
+              if (child.type == ExprType::kChoice) {
+                flat.insert(flat.end(), child.children.begin(),
+                            child.children.end());
+                changed = true;
+              } else {
+                flat.push_back(child_id);
+              }
+            }
+            if (!changed) return id;
+            return grammar->AddChoice(std::move(flat));
+          }
+          case ExprType::kRepeat: {
+            const Expr self = grammar->GetExpr(id);  // copy (arena growth)
+            ExprId norm = children[0];
+            const Expr& child = grammar->GetExpr(norm);
+            if (child.type == ExprType::kEmpty) return norm;  // eps{m,n} = eps
+            // star-of-star style collapses: (e*)* => e*, (e?)? => e?, etc.
+            // Only the fully-unbounded/optional combinations are safe to fuse.
+            if (child.type == ExprType::kRepeat) {
+              bool outer_simple = self.min_repeat <= 1 &&
+                                  (self.max_repeat == -1 || self.max_repeat == 1);
+              bool inner_simple =
+                  child.min_repeat <= 1 &&
+                  (child.max_repeat == -1 || child.max_repeat == 1);
+              if (outer_simple && inner_simple) {
+                std::int32_t min_r = std::min(self.min_repeat, child.min_repeat);
+                std::int32_t max_r =
+                    (self.max_repeat == -1 || child.max_repeat == -1) ? -1 : 1;
+                return grammar->AddRepeat(child.children[0], min_r, max_r);
+              }
+            }
+            if (!changed) return id;
+            return grammar->AddRepeat(norm, self.min_repeat, self.max_repeat);
+          }
         }
-      }
-      if (!changed) return expr_id;
-      return grammar->AddSequence(std::move(flat));
-    }
-    case ExprType::kChoice: {
-      std::vector<ExprId> flat;
-      bool changed = false;
-      for (ExprId child_id : expr.children) {
-        ExprId norm = NormalizeExpr(grammar, child_id);
-        changed = changed || norm != child_id;
-        const Expr& child = grammar->GetExpr(norm);
-        if (child.type == ExprType::kChoice) {
-          flat.insert(flat.end(), child.children.begin(), child.children.end());
-          changed = true;
-        } else {
-          flat.push_back(norm);
-        }
-      }
-      if (!changed) return expr_id;
-      return grammar->AddChoice(std::move(flat));
-    }
-    case ExprType::kRepeat: {
-      ExprId norm = NormalizeExpr(grammar, expr.children[0]);
-      const Expr& child = grammar->GetExpr(norm);
-      if (child.type == ExprType::kEmpty) return norm;  // eps{m,n} = eps
-      // star-of-star style collapses: (e*)* => e*, (e?)? => e?, etc. Only the
-      // fully-unbounded/optional combinations are safe to fuse.
-      if (child.type == ExprType::kRepeat) {
-        bool outer_simple = expr.min_repeat <= 1 && (expr.max_repeat == -1 || expr.max_repeat == 1);
-        bool inner_simple = child.min_repeat <= 1 && (child.max_repeat == -1 || child.max_repeat == 1);
-        if (outer_simple && inner_simple) {
-          std::int32_t min_r = std::min(expr.min_repeat, child.min_repeat);
-          std::int32_t max_r = (expr.max_repeat == -1 || child.max_repeat == -1) ? -1 : 1;
-          return grammar->AddRepeat(child.children[0], min_r, max_r);
-        }
-      }
-      if (norm == expr.children[0]) return expr_id;
-      return grammar->AddRepeat(norm, expr.min_repeat, expr.max_repeat);
-    }
-  }
-  XGR_UNREACHABLE();
-}
-
-// Collects the set of rules referenced anywhere under `expr`.
-void CollectRuleRefs(const Grammar& grammar, ExprId expr_id,
-                     std::unordered_set<RuleId>* out) {
-  const Expr& expr = grammar.GetExpr(expr_id);
-  if (expr.type == ExprType::kRuleRef) {
-    out->insert(expr.rule_ref);
-    return;
-  }
-  for (ExprId child : expr.children) CollectRuleRefs(grammar, child, out);
-}
-
-// Replaces references to `target` under `expr` with fresh copies of `body`.
-// Returns the rewritten expression id.
-ExprId SubstituteRule(Grammar* grammar, ExprId expr_id, RuleId target,
-                      ExprId body) {
-  const Expr expr = grammar->GetExpr(expr_id);  // copy (arena growth)
-  if (expr.type == ExprType::kRuleRef) {
-    if (expr.rule_ref == target) return grammar->CopyExpr(body);
-    return expr_id;
-  }
-  if (expr.children.empty()) return expr_id;
-  std::vector<ExprId> children = expr.children;
-  bool changed = false;
-  for (ExprId& child : children) {
-    ExprId rewritten = SubstituteRule(grammar, child, target, body);
-    changed = changed || rewritten != child;
-    child = rewritten;
-  }
-  if (!changed) return expr_id;
-  Expr updated = expr;
-  updated.children = std::move(children);
-  switch (updated.type) {
-    case ExprType::kSequence:
-      return grammar->AddSequence(std::move(updated.children));
-    case ExprType::kChoice:
-      return grammar->AddChoice(std::move(updated.children));
-    case ExprType::kRepeat:
-      return grammar->AddRepeat(updated.children[0], updated.min_repeat,
-                                updated.max_repeat);
-    default:
-      XGR_UNREACHABLE();
-  }
+        XGR_UNREACHABLE();
+      });
 }
 
 // Deep-copies expression trees from one grammar into another, remapping rule
 // references through `remap` (indexed by source RuleId). Shared by
-// RemoveUnreachableRules and ImportRules.
+// RemoveUnreachableRules and ImportRules. Iterative post-order with a memo
+// shared across Copy calls, so subtrees shared between rules stay shared.
 struct CrossGrammarCopier {
   const Grammar& src;
   Grammar& dst;
   const std::vector<RuleId>& remap;
-  ExprId Copy(ExprId expr_id) {  // NOLINT(misc-no-recursion)
-    const Expr& expr = src.GetExpr(expr_id);
+  std::unordered_map<ExprId, ExprId> done;
+
+  ExprId Copy(ExprId root) {
+    std::vector<ExprId> stack{root};
+    while (!stack.empty()) {
+      ExprId id = stack.back();
+      if (done.count(id) != 0) {
+        stack.pop_back();
+        continue;
+      }
+      const Expr& expr = src.GetExpr(id);
+      bool ready = true;
+      for (ExprId child : expr.children) {
+        if (done.count(child) == 0) {
+          ready = false;
+          stack.push_back(child);
+        }
+      }
+      if (!ready) continue;
+      stack.pop_back();
+      done.emplace(id, CopyNode(expr));
+    }
+    return done.at(root);
+  }
+
+ private:
+  ExprId CopyNode(const Expr& expr) {
     switch (expr.type) {
       case ExprType::kEmpty:
         return dst.AddEmpty();
       case ExprType::kByteString:
         return dst.AddByteString(expr.bytes);
-      case ExprType::kCharClass: {
+      case ExprType::kCharClass:
         // Bypass re-normalization: ranges are already normalized.
         return dst.AddCharClass(expr.ranges, false);
-      }
       case ExprType::kRuleRef:
         return dst.AddRuleRef(remap[static_cast<std::size_t>(expr.rule_ref)]);
       case ExprType::kSequence:
@@ -147,9 +183,11 @@ struct CrossGrammarCopier {
       case ExprType::kRepeat: {
         std::vector<ExprId> children;
         children.reserve(expr.children.size());
-        for (ExprId child : expr.children) children.push_back(Copy(child));
-        if (expr.type == ExprType::kSequence) return dst.AddSequence(std::move(children));
-        if (expr.type == ExprType::kChoice) return dst.AddChoice(std::move(children));
+        for (ExprId child : expr.children) children.push_back(done.at(child));
+        if (expr.type == ExprType::kSequence)
+          return dst.AddSequence(std::move(children));
+        if (expr.type == ExprType::kChoice)
+          return dst.AddChoice(std::move(children));
         return dst.AddRepeat(children[0], expr.min_repeat, expr.max_repeat);
       }
     }
@@ -178,9 +216,7 @@ int InlineFragmentRules(Grammar* grammar, const InlineOptions& options) {
     for (RuleId r = 0; r < grammar->NumRules(); ++r) {
       if (r == grammar->RootRule()) continue;
       ExprId body = grammar->GetRule(r).body;
-      std::unordered_set<RuleId> refs;
-      CollectRuleRefs(*grammar, body, &refs);
-      if (!refs.empty()) continue;
+      if (!detail::CountRuleRefs(*grammar, body).empty()) continue;
       if (grammar->ExprSize(body) > options.max_inlinee_atoms) continue;
       fragments.push_back(r);
     }
@@ -191,17 +227,25 @@ int InlineFragmentRules(Grammar* grammar, const InlineOptions& options) {
     for (RuleId r = 0; r < grammar->NumRules(); ++r) {
       if (fragment_set.count(r) != 0) continue;  // fragments keep their bodies
       ExprId body = grammar->GetRule(r).body;
-      std::unordered_set<RuleId> refs;
-      CollectRuleRefs(*grammar, body, &refs);
+      // Reference counts for this body, computed once per pass. Substituting
+      // one fragment cannot change the counts of the others (fragment bodies
+      // reference no rules), so the counts stay valid across the inner loop.
+      std::unordered_map<RuleId, std::int64_t> ref_counts =
+          detail::CountRuleRefs(*grammar, body);
       for (RuleId fragment : fragments) {
-        if (refs.count(fragment) == 0) continue;
+        auto it = ref_counts.find(fragment);
+        if (it == ref_counts.end()) continue;
+        const std::int64_t refs = it->second;
         ExprId fragment_body = grammar->GetRule(fragment).body;
-        // Respect the growth cap: the reference count times fragment size
-        // must keep the resulting body bounded.
-        std::int32_t projected =
-            grammar->ExprSize(body) + grammar->ExprSize(fragment_body) * 8;
+        // Growth cap with the real reference count: each of the `refs`
+        // one-atom kRuleRef nodes becomes a copy of the fragment body, so the
+        // body grows by refs * (fragment_atoms - 1) atoms exactly.
+        const std::int64_t fragment_atoms = grammar->ExprSize(fragment_body);
+        const std::int64_t projected =
+            grammar->ExprSize(body) + refs * (fragment_atoms - 1);
         if (projected > options.max_result_atoms) continue;
-        ExprId rewritten = SubstituteRule(grammar, body, fragment, fragment_body);
+        ExprId rewritten =
+            detail::SubstituteRule(grammar, body, fragment, fragment_body);
         if (rewritten != body) {
           body = rewritten;
           grammar->SetRuleBody(r, body);
@@ -224,9 +268,9 @@ int RemoveUnreachableRules(Grammar* grammar) {
   while (!queue.empty()) {
     RuleId r = queue.back();
     queue.pop_back();
-    std::unordered_set<RuleId> refs;
-    CollectRuleRefs(*grammar, grammar->GetRule(r).body, &refs);
-    for (RuleId ref : refs) {
+    for (const auto& [ref, count] :
+         detail::CountRuleRefs(*grammar, grammar->GetRule(r).body)) {
+      (void)count;
       if (!reachable[static_cast<std::size_t>(ref)]) {
         reachable[static_cast<std::size_t>(ref)] = 1;
         queue.push_back(ref);
@@ -237,9 +281,11 @@ int RemoveUnreachableRules(Grammar* grammar) {
   for (char flag : reachable) {
     if (!flag) ++removed;
   }
-  if (removed == 0) return 0;
 
-  // Rebuild a compact grammar with only reachable rules.
+  // Rebuild a compact grammar even when every rule survives: rewrites such as
+  // SubstituteRule and NormalizeExpr strand their intermediate exprs in the
+  // arena, and this rebuild is where those stranded slots are reclaimed
+  // before serialization.
   Grammar result;
   std::vector<RuleId> remap(static_cast<std::size_t>(grammar->NumRules()), kInvalidRule);
   for (RuleId r = 0; r < grammar->NumRules(); ++r) {
@@ -248,7 +294,7 @@ int RemoveUnreachableRules(Grammar* grammar) {
     }
   }
   // Deep-copy bodies with remapped references.
-  CrossGrammarCopier copier{*grammar, result, remap};
+  CrossGrammarCopier copier{*grammar, result, remap, {}};
   for (RuleId r = 0; r < grammar->NumRules(); ++r) {
     if (!reachable[static_cast<std::size_t>(r)]) continue;
     result.SetRuleBody(remap[static_cast<std::size_t>(r)],
@@ -269,7 +315,7 @@ RuleId ImportRules(Grammar* dst, const Grammar& src, const std::string& prefix) 
         << "ImportRules name collision: " << name;
     remap[static_cast<std::size_t>(r)] = dst->DeclareRule(name);
   }
-  CrossGrammarCopier copier{src, *dst, remap};
+  CrossGrammarCopier copier{src, *dst, remap, {}};
   for (RuleId r = 0; r < src.NumRules(); ++r) {
     dst->SetRuleBody(remap[static_cast<std::size_t>(r)],
                      copier.Copy(src.GetRule(r).body));

@@ -202,10 +202,12 @@ std::shared_ptr<const CompiledGrammar> CompiledGrammar::Compile(
   result->options_ = options;
   result->grammar_ = input;  // private copy we may transform
   Grammar& g = result->grammar_;
-  grammar::NormalizeGrammar(&g);
-  if (options.rule_inlining) {
-    grammar::InlineFragmentRules(&g, options.inline_options);
-  }
+  // Grammar optimizer pipeline (§3.4). The historical top-level
+  // `rule_inlining` toggle wins over the optimizer's own flag so that the
+  // Table-3 ablation rows keep their meaning.
+  grammar::OptimizerOptions optimizer = options.optimizer;
+  optimizer.rule_inlining = options.rule_inlining;
+  grammar::OptimizeGrammar(&g, optimizer, &result->pass_stats_);
   g.Validate();
 
   // Thompson construction: one automaton, one start state per rule.

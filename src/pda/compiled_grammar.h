@@ -4,7 +4,9 @@
 // automata share one dense node-id space. Edges are byte ranges or rule
 // references. The compile pipeline applies, in order and under option flags
 // (each is a row of the paper's Table 3 ablation):
-//   1. grammar normalization + rule inlining           (§3.4)
+//   1. grammar optimizer pass pipeline                  (§3.4,
+//      grammar_optimizer.h: normalize, eps-elim, unit-collapse, inline,
+//      atom-merge, fsa-minimize, dead-compact)
 //   2. Thompson construction (byte level, UTF-8 aware)  (§3)
 //   3. epsilon elimination
 //   4. node merging                                     (§3.4)
@@ -18,6 +20,7 @@
 
 #include "fsa/fsa.h"
 #include "grammar/grammar.h"
+#include "grammar/grammar_optimizer.h"
 
 namespace xgr::serialize_detail {
 struct CompiledGrammarAccess;  // binary (de)serialization, src/serialize
@@ -26,13 +29,22 @@ struct CompiledGrammarAccess;  // binary (de)serialization, src/serialize
 namespace xgr::pda {
 
 struct CompileOptions {
+  // `rule_inlining` is the historical Table-3 toggle; it overrides
+  // `optimizer.rule_inlining` so `AllDisabled()` + `rule_inlining = true`
+  // keeps meaning "inlining only". The remaining grammar passes are switched
+  // through `optimizer` (see grammar_optimizer.h for the pass list).
   bool rule_inlining = true;
   bool node_merging = true;
   bool context_expansion = true;
-  grammar::InlineOptions inline_options;
+  grammar::OptimizerOptions optimizer;
 
   static CompileOptions AllDisabled() {
-    return CompileOptions{false, false, false, {}};
+    CompileOptions o;
+    o.rule_inlining = false;
+    o.node_merging = false;
+    o.context_expansion = false;
+    o.optimizer = grammar::OptimizerOptions::AllDisabled();
+    return o;
   }
 };
 
@@ -70,9 +82,15 @@ class CompiledGrammar {
     return context_starts_[static_cast<std::size_t>(rule)];
   }
 
-  // The transformed grammar the automaton was built from (post inlining).
+  // The transformed grammar the automaton was built from (post optimizer).
   const grammar::Grammar& SourceGrammar() const { return grammar_; }
   const CompileOptions& Options() const { return options_; }
+  // Per-pass before/after stats from the grammar optimizer pipeline that ran
+  // inside Compile. Empty on deserialized artifacts (stats are measurements,
+  // not grammar content, and artifacts stay bit-identical across runs).
+  const std::vector<grammar::PassStats>& PassStats() const {
+    return pass_stats_;
+  }
   const std::string& RuleName(grammar::RuleId rule) const {
     return grammar_.GetRule(rule).name;
   }
@@ -86,6 +104,7 @@ class CompiledGrammar {
 
   grammar::Grammar grammar_;
   CompileOptions options_;
+  std::vector<grammar::PassStats> pass_stats_;
   fsa::Fsa automaton_;
   std::vector<std::int32_t> rule_starts_;
   std::vector<grammar::RuleId> node_rule_;

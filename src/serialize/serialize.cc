@@ -364,8 +364,21 @@ struct CompiledGrammarAccess {
     w->U8(c.options_.rule_inlining ? 1 : 0);
     w->U8(c.options_.node_merging ? 1 : 0);
     w->U8(c.options_.context_expansion ? 1 : 0);
-    w->I32(c.options_.inline_options.max_inlinee_atoms);
-    w->I32(c.options_.inline_options.max_result_atoms);
+    // Format v3: the full grammar-optimizer configuration (pass switches +
+    // guards). Options participate in the artifact so a cache hit proves the
+    // artifact was built the way the caller asked.
+    w->U8(c.options_.optimizer.normalize ? 1 : 0);
+    w->U8(c.options_.optimizer.epsilon_elimination ? 1 : 0);
+    w->U8(c.options_.optimizer.unit_rule_collapse ? 1 : 0);
+    w->U8(c.options_.optimizer.rule_inlining ? 1 : 0);
+    w->U8(c.options_.optimizer.atom_merging ? 1 : 0);
+    w->U8(c.options_.optimizer.fsa_minimization ? 1 : 0);
+    w->U8(c.options_.optimizer.dead_rule_elimination ? 1 : 0);
+    w->I32(c.options_.optimizer.inline_options.max_inlinee_atoms);
+    w->I32(c.options_.optimizer.inline_options.max_result_atoms);
+    w->I32(c.options_.optimizer.fsa_max_dfa_states);
+    w->I32(c.options_.optimizer.fsa_max_source_atoms);
+    w->I32(c.options_.optimizer.fsa_max_result_atoms);
     serialize::WriteFsaPayload(w, c.automaton_);
     w->I32Vec(c.rule_starts_);
     w->I32Vec(c.node_rule_);
@@ -383,8 +396,18 @@ struct CompiledGrammarAccess {
     compiled->options_.rule_inlining = r->U8() != 0;
     compiled->options_.node_merging = r->U8() != 0;
     compiled->options_.context_expansion = r->U8() != 0;
-    compiled->options_.inline_options.max_inlinee_atoms = r->I32();
-    compiled->options_.inline_options.max_result_atoms = r->I32();
+    compiled->options_.optimizer.normalize = r->U8() != 0;
+    compiled->options_.optimizer.epsilon_elimination = r->U8() != 0;
+    compiled->options_.optimizer.unit_rule_collapse = r->U8() != 0;
+    compiled->options_.optimizer.rule_inlining = r->U8() != 0;
+    compiled->options_.optimizer.atom_merging = r->U8() != 0;
+    compiled->options_.optimizer.fsa_minimization = r->U8() != 0;
+    compiled->options_.optimizer.dead_rule_elimination = r->U8() != 0;
+    compiled->options_.optimizer.inline_options.max_inlinee_atoms = r->I32();
+    compiled->options_.optimizer.inline_options.max_result_atoms = r->I32();
+    compiled->options_.optimizer.fsa_max_dfa_states = r->I32();
+    compiled->options_.optimizer.fsa_max_source_atoms = r->I32();
+    compiled->options_.optimizer.fsa_max_result_atoms = r->I32();
     compiled->automaton_ = serialize::ReadFsaPayload(r);
     compiled->rule_starts_ = r->I32Vec();
     compiled->node_rule_ = r->I32Vec();

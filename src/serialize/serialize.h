@@ -31,7 +31,9 @@ namespace xgr::serialize {
 
 // v2: NodeMaskEntry carries its flattened ctx sub-trie (PrefixTrieSlice
 // arrays) and CacheBuildStats gained tokens_pruned / subtree_cutoffs.
-inline constexpr std::uint32_t kFormatVersion = 2;
+// v3: CompileOptions carries the grammar-optimizer configuration (pass
+// switches, inline caps moved under optimizer, FSA-minimization guards).
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 std::string SerializeGrammar(const grammar::Grammar& g);
 grammar::Grammar DeserializeGrammar(std::string_view bytes);

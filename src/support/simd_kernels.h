@@ -8,21 +8,21 @@
 // Used by engine::DenseSampler on the batch decode hot path.
 //
 // Dispatch: an AVX2+FMA path is selected at runtime on x86-64 when the CPU
-// supports it, otherwise the portable scalar path runs. Both paths are
-// compiled whenever the toolchain allows (the AVX2 body carries a
-// `target("avx2,fma")` attribute, so no global -mavx2 is needed) and tests
-// drive every available implementation explicitly, regardless of the runtime
-// pick. A NEON path slots into the same Impl enum/dispatch switch when an
-// aarch64 implementation lands; until then aarch64 runs the scalar path.
+// supports it; on aarch64 the NEON path is selected (Advanced SIMD is
+// mandatory on aarch64, so no runtime probe is needed); otherwise the
+// portable scalar path runs. All paths the toolchain can build are compiled
+// (the AVX2 body carries a `target("avx2,fma")` attribute, so no global
+// -mavx2 is needed) and tests drive every available implementation
+// explicitly, regardless of the runtime pick.
 //
 // Determinism contract (verified by tests/simd_kernel_test.cc):
 //   * The argmax (greedy) result is IDENTICAL across implementations: ties
 //     break to the lowest token index, NaN logits never win, and a row whose
 //     allowed logits are all NaN deterministically yields the lowest allowed
 //     index.
-//   * Per-token exp values are bit-identical across implementations (both
-//     evaluate the same fma-based polynomial; std::fma and vfmadd are both
-//     single-rounded). Only the order of the sum reduction differs, so
+//   * Per-token exp values are bit-identical across implementations (all
+//     evaluate the same fma-based polynomial; std::fma, vfmadd and vfmaq
+//     are each single-rounded). Only the order of the sum reduction differs, so
 //     normalized probabilities agree to a few ulps and the sampled index can
 //     differ only when the uniform draw lands within that sliver of a CDF
 //     boundary.
@@ -40,7 +40,7 @@ namespace xgr::support::simd {
 enum class Impl : std::uint8_t {
   kScalar = 0,
   kAvx2 = 1,
-  // kNeon reserved: add here + in Dispatch() + AvailableImpls().
+  kNeon = 2,
 };
 
 const char* ImplName(Impl impl);
@@ -103,8 +103,8 @@ inline std::int32_t FusedMaskSoftmaxSample(const float* logits, std::size_t n,
 
 // The shared exp kernel (scalar form), exposed for the differential tests:
 // exp(x) for x <= 0 with exp(-inf) = 0, NaN propagated, ~2 ulp accuracy.
-// The AVX2 path evaluates the identical fma polynomial per lane, so results
-// are bit-identical between implementations.
+// The AVX2 and NEON paths evaluate the identical fma polynomial per lane, so
+// results are bit-identical between implementations.
 float ExpNegF(float x);
 
 }  // namespace xgr::support::simd

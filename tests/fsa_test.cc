@@ -1,6 +1,6 @@
 // Tests for the automaton substrate: construction, epsilon elimination, node
-// merging, union, determinization — including language-equivalence property
-// tests on randomly generated automata.
+// merging, union, determinization, Hopcroft minimization — including
+// language-equivalence property tests on randomly generated automata.
 #include <gtest/gtest.h>
 
 #include "fsa/dfa.h"
@@ -209,6 +209,94 @@ TEST(Dfa, StateExplosionGuard) {
   nfa.SetAccepting(current);
   EXPECT_THROW(Determinize(nfa, /*max_states=*/64), CheckError);
   EXPECT_NO_THROW(Determinize(nfa, /*max_states=*/100000));
+}
+
+TEST_P(RandomNfaTest, MinimizationPreservesLanguageAndNeverGrows) {
+  Fsa nfa = RandomNfa(GetParam(), 7);
+  Dfa dfa = Determinize(nfa);
+  Dfa minimal = Minimize(dfa);
+  EXPECT_LE(minimal.NumStates(), dfa.NumStates());
+  // Minimizing again must be a fixpoint (already minimal).
+  EXPECT_EQ(Minimize(minimal).NumStates(), minimal.NumStates());
+  std::vector<std::string> frontier{""};
+  for (int len = 0; len <= 5; ++len) {
+    std::vector<std::string> next;
+    for (const std::string& s : frontier) {
+      EXPECT_EQ(minimal.Accepts(s), dfa.Accepts(s)) << "string '" << s << "'";
+      for (char c : {'a', 'b', 'c'}) next.push_back(s + c);
+    }
+    frontier = std::move(next);
+  }
+}
+
+TEST(Dfa, MinimizeReachesTextbookStateCount) {
+  // (a|b)*abb: the textbook subset-construction example; its minimal DFA has
+  // exactly 4 states.
+  Fsa nfa;
+  std::int32_t s0 = nfa.AddState();
+  std::int32_t s1 = nfa.AddState();
+  std::int32_t s2 = nfa.AddState();
+  std::int32_t s3 = nfa.AddState();
+  nfa.SetStart(s0);
+  nfa.AddByteEdge(s0, 'a', 'b', s0);
+  nfa.AddByteEdge(s0, 'a', 'a', s1);
+  nfa.AddByteEdge(s1, 'b', 'b', s2);
+  nfa.AddByteEdge(s2, 'b', 'b', s3);
+  nfa.SetAccepting(s3);
+  Dfa minimal = Minimize(Determinize(nfa));
+  EXPECT_EQ(minimal.NumStates(), 4);
+  EXPECT_EQ(minimal.Start(), 0);
+  EXPECT_TRUE(minimal.Accepts("abb"));
+  EXPECT_TRUE(minimal.Accepts("aabb"));
+  EXPECT_TRUE(minimal.Accepts("babb"));
+  EXPECT_FALSE(minimal.Accepts("ab"));
+  EXPECT_FALSE(minimal.Accepts("abba"));
+}
+
+TEST(Dfa, MinimizeMergesRedundantUnionBranches) {
+  // "ab" | "a" "b" as two disjoint literal paths: 5 live DFA states collapse
+  // to the 3-state chain for the single string "ab".
+  Fsa nfa;
+  std::int32_t start = nfa.AddState();
+  nfa.SetStart(start);
+  for (int branch = 0; branch < 2; ++branch) {
+    std::int32_t mid = nfa.AddState();
+    std::int32_t end = nfa.AddState();
+    nfa.AddByteEdge(start, 'a', 'a', mid);
+    nfa.AddByteEdge(mid, 'b', 'b', end);
+    nfa.SetAccepting(end);
+  }
+  Dfa dfa = Determinize(nfa);
+  Dfa minimal = Minimize(dfa);
+  EXPECT_EQ(minimal.NumStates(), 3);
+  EXPECT_TRUE(minimal.Accepts("ab"));
+  EXPECT_FALSE(minimal.Accepts("a"));
+  EXPECT_FALSE(minimal.Accepts("abb"));
+}
+
+TEST(Dfa, MinimizeEmptyAndUniversalLanguages) {
+  // No accepting state at all: the minimal automaton is a single dead
+  // non-accepting state.
+  Fsa empty;
+  std::int32_t s = empty.AddState();
+  empty.SetStart(s);
+  empty.AddByteEdge(s, 'a', 'z', s);
+  Dfa empty_min = Minimize(Determinize(empty));
+  EXPECT_EQ(empty_min.NumStates(), 1);
+  EXPECT_FALSE(empty_min.Accepts(""));
+  EXPECT_FALSE(empty_min.Accepts("a"));
+  EXPECT_FALSE(empty_min.CanReachAccept(empty_min.Start()));
+
+  // All strings over the full byte alphabet: one accepting state.
+  Fsa universal;
+  std::int32_t u = universal.AddState();
+  universal.SetStart(u);
+  universal.AddByteEdge(u, 0x00, 0xFF, u);
+  universal.SetAccepting(u);
+  Dfa universal_min = Minimize(Determinize(universal));
+  EXPECT_EQ(universal_min.NumStates(), 1);
+  EXPECT_TRUE(universal_min.Accepts(""));
+  EXPECT_TRUE(universal_min.Accepts(std::string("\x00\xFFxyz", 5)));
 }
 
 TEST(NfaRunner, TracksStateSets) {

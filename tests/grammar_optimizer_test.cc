@@ -1,0 +1,483 @@
+// Grammar optimizer pass-pipeline tests (grammar/grammar_optimizer.h):
+//   (a) per-pass unit tests — each pass produces the expected structural
+//       rewrite and preserves the byte-level language (Earley oracle);
+//   (b) inlining-cap regressions — the real-reference-count growth projection
+//       both inlines what the old `ExprSize(fragment) * 8` heuristic wrongly
+//       blocked and blocks the many-reference blowup it wrongly permitted;
+//   (c) ~100k-deep expression trees flow through every grammar-layer
+//       transform (all walks are explicit-stack iterative, never C++
+//       recursion over untrusted nesting depth);
+//   (d) the differential suite — for every fig09 task grammar and a set of
+//       adversarial grammars, the fully-optimized compile accepts exactly the
+//       same byte strings and yields bit-identical per-token masks as the
+//       unoptimized compile, along random token- and byte-level walks;
+//   (e) pass stats are recorded per pass, threaded into CacheBuildStats, and
+//       excluded from serialized artifacts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/xgrammar_decoder.h"
+#include "cache/adaptive_cache.h"
+#include "grammar/earley.h"
+#include "grammar/expr_rewrite.h"
+#include "grammar/grammar.h"
+#include "grammar/grammar_optimizer.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "serialize/serialize.h"
+#include "support/dynamic_bitset.h"
+#include "support/logging.h"
+#include "support/rng.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr {
+namespace {
+
+using grammar::ExprId;
+using grammar::ExprType;
+using grammar::Grammar;
+using grammar::OptimizerOptions;
+using grammar::PassStats;
+using grammar::RuleId;
+
+// Compile options whose only difference from the default is that every
+// grammar-optimizer pass beyond normalization is off (node merging and
+// context expansion stay on, so the optimizer is the single variable).
+pda::CompileOptions UnoptimizedCompile() {
+  pda::CompileOptions o;
+  o.rule_inlining = false;
+  o.optimizer = OptimizerOptions::AllDisabled();
+  return o;
+}
+
+// --- (a) per-pass unit tests -------------------------------------------------
+
+TEST(OptimizerPasses, EpsilonRuleSubstitutedAndRemoved) {
+  Grammar g;
+  RuleId e = g.AddRule("e", g.AddEmpty());
+  ExprId body = g.AddSequence(
+      {g.AddByteString("a"), g.AddRuleRef(e), g.AddByteString("b")});
+  g.SetRootRule(g.AddRule("root", body));
+
+  OptimizerOptions opts = OptimizerOptions::AllDisabled();
+  opts.epsilon_elimination = true;
+  opts.dead_rule_elimination = true;
+  EXPECT_TRUE(OptimizeGrammar(&g, opts));
+
+  EXPECT_EQ(g.FindRule("e"), grammar::kInvalidRule);
+  EXPECT_EQ(g.NumRules(), 1);
+  EXPECT_TRUE(EarleyAccepts(g, "ab"));
+  EXPECT_FALSE(EarleyAccepts(g, "a"));
+  EXPECT_FALSE(EarleyAccepts(g, "b"));
+}
+
+TEST(OptimizerPasses, UnitRuleChainCollapsed) {
+  Grammar g;
+  RuleId c = g.AddRule("c", g.AddByteString("x"));
+  RuleId b = g.AddRule("b", g.AddRuleRef(c));
+  RuleId a = g.AddRule("a", g.AddRuleRef(b));
+  g.SetRootRule(
+      g.AddRule("root", g.AddSequence({g.AddRuleRef(a), g.AddRuleRef(a)})));
+
+  OptimizerOptions opts = OptimizerOptions::AllDisabled();
+  opts.unit_rule_collapse = true;
+  opts.dead_rule_elimination = true;
+  EXPECT_TRUE(OptimizeGrammar(&g, opts));
+
+  // References to `a` were redirected through the alias chain to `c`; the
+  // orphaned aliases are then unreachable.
+  EXPECT_EQ(g.FindRule("a"), grammar::kInvalidRule);
+  EXPECT_EQ(g.FindRule("b"), grammar::kInvalidRule);
+  EXPECT_NE(g.FindRule("c"), grammar::kInvalidRule);
+  EXPECT_EQ(g.NumRules(), 2);
+  EXPECT_TRUE(EarleyAccepts(g, "xx"));
+  EXPECT_FALSE(EarleyAccepts(g, "x"));
+}
+
+TEST(OptimizerPasses, AdjacentByteStringsMerged) {
+  Grammar g = grammar::ParseEbnfOrThrow(R"(root ::= "ab" "c" [0-9] "d" "e")");
+  OptimizerOptions opts = OptimizerOptions::AllDisabled();
+  opts.atom_merging = true;
+  EXPECT_TRUE(OptimizeGrammar(&g, opts));
+
+  const grammar::Expr& body = g.GetExpr(g.GetRule(g.RootRule()).body);
+  ASSERT_EQ(body.type, ExprType::kSequence);
+  ASSERT_EQ(body.children.size(), 3u);
+  EXPECT_EQ(g.GetExpr(body.children[0]).type, ExprType::kByteString);
+  EXPECT_EQ(g.GetExpr(body.children[0]).bytes, "abc");
+  EXPECT_EQ(g.GetExpr(body.children[1]).type, ExprType::kCharClass);
+  EXPECT_EQ(g.GetExpr(body.children[2]).bytes, "de");
+  EXPECT_TRUE(EarleyAccepts(g, "abc5de"));
+  EXPECT_FALSE(EarleyAccepts(g, "abcde"));
+}
+
+TEST(OptimizerPasses, CharClassAlternatesMerged) {
+  // "d" and the two-byte "\xCE\xB2" (U+03B2, β) are single-codepoint
+  // alternates; both fold into one normalized character class.
+  Grammar g;
+  ExprId body = g.AddChoice({g.AddCharClass({{'a', 'c'}}),
+                             g.AddByteString("d"),
+                             g.AddCharClass({{'x', 'z'}}),
+                             g.AddByteString("\xCE\xB2")});
+  g.SetRootRule(g.AddRule("root", body));
+
+  OptimizerOptions opts = OptimizerOptions::AllDisabled();
+  opts.atom_merging = true;
+  EXPECT_TRUE(OptimizeGrammar(&g, opts));
+
+  EXPECT_EQ(g.GetExpr(g.GetRule(g.RootRule()).body).type,
+            ExprType::kCharClass);
+  for (const char* accepted : {"a", "c", "d", "x", "z", "\xCE\xB2"}) {
+    EXPECT_TRUE(EarleyAccepts(g, accepted)) << accepted;
+  }
+  for (const char* rejected : {"e", "w", "", "ad"}) {
+    EXPECT_FALSE(EarleyAccepts(g, rejected)) << rejected;
+  }
+}
+
+TEST(OptimizerPasses, DeadRulesRemovedAndArenaCompacted) {
+  Grammar g;
+  RuleId junk = g.DeclareRule("junk");
+  g.SetRuleBody(junk, g.AddChoice({g.AddSequence({g.AddCharClass({{'b', 'z'}}),
+                                                  g.AddRuleRef(junk)}),
+                                   g.AddByteString("b")}));
+  g.SetRootRule(g.AddRule("root", g.AddByteString("a")));
+  // Stranded exprs (never referenced by any rule) must also be compacted.
+  g.AddByteString("stranded");
+  g.AddCharClass({{'0', '9'}});
+
+  const std::int32_t exprs_before = g.NumExprs();
+  const std::size_t arena_before = g.ArenaBytes();
+  OptimizerOptions opts = OptimizerOptions::AllDisabled();
+  opts.dead_rule_elimination = true;
+  EXPECT_TRUE(OptimizeGrammar(&g, opts));
+
+  EXPECT_EQ(g.NumRules(), 1);
+  EXPECT_EQ(g.FindRule("junk"), grammar::kInvalidRule);
+  EXPECT_LT(g.NumExprs(), exprs_before);
+  EXPECT_LT(g.ArenaBytes(), arena_before);
+  EXPECT_TRUE(EarleyAccepts(g, "a"));
+}
+
+TEST(OptimizerPasses, FsaMinimizeShrinksRedundantRegexBody) {
+  // Both alternates denote a+; the minimal DFA has 2 states and re-emits as
+  // fewer atoms than the redundant two-alternate source body.
+  Grammar g = grammar::ParseEbnfOrThrow(R"(root ::= "a" "a"* | "a"* "a")");
+  const std::int32_t atoms_before = g.ExprSize(g.GetRule(g.RootRule()).body);
+
+  OptimizerOptions opts = OptimizerOptions::AllDisabled();
+  opts.fsa_minimization = true;
+  opts.dead_rule_elimination = true;
+  EXPECT_TRUE(OptimizeGrammar(&g, opts));
+
+  EXPECT_LT(g.ExprSize(g.GetRule(g.RootRule()).body), atoms_before);
+  EXPECT_FALSE(EarleyAccepts(g, ""));
+  EXPECT_TRUE(EarleyAccepts(g, "a"));
+  EXPECT_TRUE(EarleyAccepts(g, "aa"));
+  EXPECT_TRUE(EarleyAccepts(g, "aaaa"));
+  EXPECT_FALSE(EarleyAccepts(g, "ab"));
+}
+
+TEST(OptimizerPasses, FsaMinimizeSkipsRecursiveAndOversizedRules) {
+  // Recursive body: not recursion-free, must keep its body verbatim.
+  Grammar recursive =
+      grammar::ParseEbnfOrThrow(R"EBNF(root ::= "(" root ")" | "x")EBNF");
+  std::string before = recursive.ToString();
+  OptimizerOptions opts = OptimizerOptions::AllDisabled();
+  opts.fsa_minimization = true;
+  OptimizeGrammar(&recursive, opts);
+  EXPECT_EQ(recursive.ToString(), before);
+
+  // Source-size guard: a body over fsa_max_source_atoms is never lowered.
+  Grammar oversized = grammar::ParseEbnfOrThrow(R"(root ::= "a" "a"* | "a"* "a")");
+  before = oversized.ToString();
+  opts.fsa_max_source_atoms = 2;
+  OptimizeGrammar(&oversized, opts);
+  EXPECT_EQ(oversized.ToString(), before);
+}
+
+// --- (b) inlining-cap regressions -------------------------------------------
+
+Grammar FragmentGrammar(int fragment_atoms, int references) {
+  Grammar g;
+  std::vector<ExprId> atoms;
+  for (int i = 0; i < fragment_atoms; ++i) {
+    atoms.push_back(g.AddByteString(std::string(1, static_cast<char>('a' + i))));
+  }
+  RuleId frag = g.AddRule("frag", g.AddSequence(std::move(atoms)));
+  std::vector<ExprId> refs;
+  for (int i = 0; i < references; ++i) refs.push_back(g.AddRuleRef(frag));
+  refs.push_back(g.AddByteString("!"));
+  g.SetRootRule(g.AddRule("root", g.AddSequence(std::move(refs))));
+  return g;
+}
+
+TEST(InliningCap, SingleReferenceOfLargeFragmentInlines) {
+  // The 20-literal fragment body measures 21 atoms (ExprSize counts the
+  // sequence node too) and is referenced ONCE from a 3-atom body: real
+  // growth is 3 + 1*(21-1) = 23 atoms, comfortably under the 60-atom cap.
+  // The old `ExprSize(fragment) * 8` heuristic projected 3 + 168 > 60 and
+  // wrongly blocked this inline.
+  Grammar g = FragmentGrammar(/*fragment_atoms=*/20, /*references=*/1);
+  grammar::InlineOptions opts;
+  opts.max_inlinee_atoms = 24;
+  opts.max_result_atoms = 60;
+  EXPECT_EQ(InlineFragmentRules(&g, opts), 1);
+  EXPECT_EQ(g.FindRule("frag"), grammar::kInvalidRule);
+  EXPECT_EQ(g.NumRules(), 1);
+  EXPECT_TRUE(EarleyAccepts(g, "abcdefghijklmnopqrst!"));
+}
+
+TEST(InliningCap, ManyReferencesOfSmallFragmentBlocked) {
+  // The 10-literal fragment measures 11 atoms and is referenced 16 times
+  // from an 18-atom body: real growth is 18 + 16*(11-1) = 178 atoms, over
+  // the 120-atom cap, so the inline must be refused. The old heuristic
+  // projected 18 + 11*8 = 106 <= 120 and wrongly permitted a 178-atom
+  // blowup.
+  Grammar g = FragmentGrammar(/*fragment_atoms=*/10, /*references=*/16);
+  const std::int32_t body_atoms = g.ExprSize(g.GetRule(g.RootRule()).body);
+  ASSERT_EQ(body_atoms, 18);
+  grammar::InlineOptions opts;
+  opts.max_inlinee_atoms = 24;
+  opts.max_result_atoms = 120;
+  EXPECT_EQ(InlineFragmentRules(&g, opts), 0);
+  EXPECT_NE(g.FindRule("frag"), grammar::kInvalidRule);
+  EXPECT_EQ(g.ExprSize(g.GetRule(g.RootRule()).body), body_atoms);
+}
+
+// --- (c) ~100k-deep expression trees ----------------------------------------
+
+TEST(DeepNesting, HundredThousandDeepBodiesTransformIteratively) {
+  // Alternating sequence/choice nesting so normalization cannot flatten the
+  // spine away: every grammar-layer walk must traverse the full depth
+  // without touching the C++ call stack. (The PDA compiler is deliberately
+  // NOT invoked here; this exercises the grammar-layer transforms only.)
+  constexpr int kDepth = 100000;
+  Grammar g;
+  RuleId leaf = g.AddRule("leaf", g.AddByteString("x"));
+  ExprId node = g.AddRuleRef(leaf);
+  for (int i = 0; i < kDepth; ++i) {
+    ExprId lit = g.AddByteString("a");
+    node = (i % 2 == 0) ? g.AddSequence({node, lit})
+                        : g.AddChoice({node, lit});
+  }
+  g.SetRootRule(g.AddRule("root", node));
+  g.Validate();
+
+  EXPECT_GE(g.ExprSize(node), kDepth);
+  auto counts = grammar::detail::CountRuleRefs(g, node);
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts.at(leaf), 1);
+
+  ExprId copy = g.CopyExpr(node);
+  EXPECT_NE(copy, node);
+  EXPECT_EQ(g.ExprSize(copy), g.ExprSize(node));
+
+  ExprId substituted = grammar::detail::SubstituteRule(
+      &g, node, leaf, g.GetRule(leaf).body);
+  EXPECT_NE(substituted, node);
+  ASSERT_TRUE(grammar::detail::CountRuleRefs(g, substituted).empty());
+
+  // The full standard pipeline (fsa-minimize skips the oversized/recursive
+  // bodies via its guards) and the cross-grammar copier both walk the spine.
+  std::vector<PassStats> stats;
+  OptimizeGrammar(&g, OptimizerOptions{}, &stats);
+  EXPECT_EQ(stats.size(), 7u);
+  Grammar fresh;
+  fresh.SetRootRule(fresh.AddRule("root", fresh.AddByteString("y")));
+  RuleId imported = ImportRules(&fresh, g, "deep_");
+  EXPECT_NE(imported, grammar::kInvalidRule);
+  fresh.Validate();
+}
+
+// --- (e) pass stats ----------------------------------------------------------
+
+TEST(PassPipelineStats, RowsRecordedPerPassInOrder) {
+  Grammar g = grammar::BuiltinJsonGrammar();
+  std::vector<PassStats> stats;
+  OptimizeGrammar(&g, OptimizerOptions{}, &stats);
+
+  const std::vector<std::string> expected = {
+      "normalize", "eps-elim",     "unit-collapse", "inline",
+      "atom-merge", "fsa-minimize", "dead-compact"};
+  ASSERT_EQ(stats.size(), expected.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].name, expected[i]);
+    EXPECT_GE(stats[i].wall_us, 0);
+    EXPECT_GT(stats[i].rules_before, 0);
+    EXPECT_GT(stats[i].exprs_before, 0);
+    if (i > 0) {
+      // Each pass starts from the previous pass's output.
+      EXPECT_EQ(stats[i].rules_before, stats[i - 1].rules_after);
+      EXPECT_EQ(stats[i].exprs_before, stats[i - 1].exprs_after);
+      EXPECT_EQ(stats[i].arena_bytes_before, stats[i - 1].arena_bytes_after);
+    }
+    if (!stats[i].changed) {
+      EXPECT_EQ(stats[i].rules_before, stats[i].rules_after);
+      EXPECT_EQ(stats[i].exprs_before, stats[i].exprs_after);
+    }
+  }
+  // Disabled passes contribute no rows.
+  Grammar g2 = grammar::BuiltinJsonGrammar();
+  stats.clear();
+  OptimizeGrammar(&g2, OptimizerOptions::AllDisabled(), &stats);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "normalize");
+}
+
+TEST(PassPipelineStats, ThreadedIntoCacheBuildButNotSerialized) {
+  auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({1000, 11}));
+  auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  EXPECT_FALSE(pda->PassStats().empty());
+  auto cache = cache::AdaptiveTokenMaskCache::Build(pda, info);
+  EXPECT_FALSE(cache->Stats().optimizer_passes.empty());
+  EXPECT_EQ(cache->Stats().optimizer_passes.size(), pda->PassStats().size());
+
+  // Stats are measurements, not content: artifacts round-trip without them
+  // and stay bit-identical across independent compiles.
+  std::string bytes = serialize::SerializeEngineArtifact(*cache);
+  auto loaded = serialize::DeserializeEngineArtifact(bytes, info);
+  EXPECT_TRUE(loaded->Stats().optimizer_passes.empty());
+  auto pda2 = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+  auto cache2 = cache::AdaptiveTokenMaskCache::Build(pda2, info);
+  EXPECT_EQ(serialize::SerializeEngineArtifact(*cache2), bytes);
+}
+
+// --- (d) differential suite: optimized vs unoptimized ------------------------
+
+// fig09 task grammars + adversarial shapes targeting individual passes.
+const char* const kDifferentialGrammars[] = {
+    "json", "xml", "python", "sql",
+    "expr", "eps-units", "regex-redundant", "utf8-choice", "ambiguous",
+};
+
+Grammar DifferentialGrammar(const std::string& name) {
+  if (name == "json") return grammar::BuiltinJsonGrammar();
+  if (name == "xml") return grammar::BuiltinXmlGrammar();
+  if (name == "python") return grammar::BuiltinPythonDslGrammar();
+  if (name == "sql") return grammar::BuiltinSqlGrammar();
+  if (name == "expr") {
+    return grammar::ParseEbnfOrThrow(R"EBNF(
+root ::= term (("+" | "-") term)*
+term ::= factor (("*" | "/") factor)*
+factor ::= [0-9]+ | "(" root ")"
+)EBNF");
+  }
+  if (name == "eps-units") {
+    // Epsilon rules + a unit-rule alias chain + an inlinable fragment.
+    Grammar g;
+    RuleId e = g.AddRule("e", g.AddEmpty());
+    RuleId digits = g.AddRule("digits", g.AddPlus(g.AddCharClass({{'0', '9'}})));
+    RuleId v = g.AddRule("v", g.AddRuleRef(digits));
+    RuleId u = g.AddRule("u", g.AddRuleRef(v));
+    ExprId item = g.AddChoice({g.AddRuleRef(u), g.AddByteString("_")});
+    g.SetRootRule(g.AddRule(
+        "root", g.AddSequence({g.AddByteString("n"), g.AddRuleRef(e),
+                               g.AddRuleRef(u), g.AddStar(item),
+                               g.AddRuleRef(e)})));
+    return g;
+  }
+  if (name == "regex-redundant") {
+    // Heavily redundant recursion-free alternates: fsa-minimize fodder.
+    return grammar::ParseEbnfOrThrow(
+        R"(root ::= ("ab" | "a" "b" | "abab" | "ab" "ab")* "#")");
+  }
+  if (name == "utf8-choice") {
+    // Multi-byte single-codepoint alternates exercise the UTF-8 merge path
+    // and high-byte mask structure.
+    Grammar g;
+    ExprId alt = g.AddChoice({g.AddByteString("\xCE\xB1"),
+                              g.AddByteString("\xCE\xB2"),
+                              g.AddCharClass({{'a', 'z'}})});
+    g.SetRootRule(g.AddRule("root", g.AddPlus(alt)));
+    return g;
+  }
+  if (name == "ambiguous") {
+    // (a|aa)* is ambiguous AND language-equal to a*: fsa-minimize legally
+    // replaces the whole body, so masks must stay identical while the
+    // derivation structure changes completely.
+    return grammar::ParseEbnfOrThrow(R"(root ::= ("a" | "a" "a")* "!")");
+  }
+  XGR_CHECK(false) << name;
+  XGR_UNREACHABLE();
+}
+
+class OptimizedVsUnoptimized : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OptimizedVsUnoptimized, PerTokenMasksBitIdentical) {
+  static auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({1200, 11}));
+  auto pda_opt =
+      pda::CompiledGrammar::Compile(DifferentialGrammar(GetParam()));
+  auto pda_unopt = pda::CompiledGrammar::Compile(DifferentialGrammar(GetParam()),
+                                                 UnoptimizedCompile());
+  auto cache_opt = cache::AdaptiveTokenMaskCache::Build(pda_opt, info);
+  auto cache_unopt = cache::AdaptiveTokenMaskCache::Build(pda_unopt, info);
+
+  baselines::XGrammarDecoder opt(cache_opt);
+  baselines::XGrammarDecoder unopt(cache_unopt);
+  Rng rng(0x0971ull ^ std::string(GetParam()).size());
+  DynamicBitset opt_mask(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset unopt_mask(static_cast<std::size_t>(info->VocabSize()));
+
+  for (int step = 0; step < 30; ++step) {
+    opt.FillNextTokenBitmask(&opt_mask);
+    unopt.FillNextTokenBitmask(&unopt_mask);
+    std::vector<std::int32_t> allowed;
+    for (std::int32_t id = 0; id < info->VocabSize(); ++id) {
+      ASSERT_EQ(opt_mask.Test(static_cast<std::size_t>(id)),
+                unopt_mask.Test(static_cast<std::size_t>(id)))
+          << "grammar=" << GetParam() << " step=" << step << " token=" << id
+          << " bytes='" << info->TokenBytes(id) << "'";
+      if (opt_mask.Test(static_cast<std::size_t>(id)) && id != info->EosId()) {
+        allowed.push_back(id);
+      }
+    }
+    ASSERT_EQ(opt.CanTerminate(), unopt.CanTerminate()) << "step=" << step;
+    if (allowed.empty()) break;
+    std::int32_t pick =
+        allowed[rng.NextBounded(static_cast<std::uint64_t>(allowed.size()))];
+    ASSERT_TRUE(opt.AcceptToken(pick));
+    ASSERT_TRUE(unopt.AcceptToken(pick));
+  }
+}
+
+TEST_P(OptimizedVsUnoptimized, ByteLanguageIdentical) {
+  auto pda_opt =
+      pda::CompiledGrammar::Compile(DifferentialGrammar(GetParam()));
+  auto pda_unopt = pda::CompiledGrammar::Compile(DifferentialGrammar(GetParam()),
+                                                 UnoptimizedCompile());
+  matcher::GrammarMatcher opt(pda_opt);
+  matcher::GrammarMatcher unopt(pda_unopt);
+
+  Rng rng(0xB17E5ull ^ std::string(GetParam()).size());
+  for (int step = 0; step < 25; ++step) {
+    // Every single-byte continuation must be accepted by both or neither.
+    std::vector<std::uint8_t> viable;
+    for (int b = 0; b < 256; ++b) {
+      std::string probe(1, static_cast<char>(b));
+      bool opt_ok = opt.CanAcceptString(probe);
+      ASSERT_EQ(opt_ok, unopt.CanAcceptString(probe))
+          << "grammar=" << GetParam() << " step=" << step << " byte=" << b;
+      if (opt_ok) viable.push_back(static_cast<std::uint8_t>(b));
+    }
+    ASSERT_EQ(opt.CanTerminate(), unopt.CanTerminate()) << "step=" << step;
+    if (viable.empty()) break;
+    std::uint8_t next =
+        viable[rng.NextBounded(static_cast<std::uint64_t>(viable.size()))];
+    ASSERT_TRUE(opt.AcceptByte(next));
+    ASSERT_TRUE(unopt.AcceptByte(next));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grammars, OptimizedVsUnoptimized,
+                         ::testing::ValuesIn(kDifferentialGrammars));
+
+}  // namespace
+}  // namespace xgr

@@ -1,7 +1,8 @@
 // Differential + property tests for the fused bitmask-apply/softmax/sample
 // kernels (support/simd_kernels.h): every implementation the CPU can run
-// (scalar always; AVX2 whenever the host supports it, regardless of the
-// runtime dispatch pick) is driven against the scalar reference and a naive
+// (scalar always; AVX2 whenever the host supports it; NEON on aarch64 —
+// regardless of the runtime dispatch pick) is driven against the scalar
+// reference and a naive
 // double-precision oracle, across tail-heavy vocab sizes, all-masked rows,
 // single-allowed rows, ±inf/NaN logits, and denormal temperatures.
 #include <gtest/gtest.h>
@@ -147,7 +148,7 @@ DynamicBitset RandomMask(std::size_t n, double density, Rng* rng) {
   return mask;
 }
 
-TEST(SimdKernels, ScalarAlwaysAvailableAndAvx2ListedWhenSupported) {
+TEST(SimdKernels, ScalarAlwaysAvailableAndSimdListedWhenSupported) {
   std::vector<Impl> impls = AvailableImpls();
   ASSERT_FALSE(impls.empty());
   EXPECT_EQ(impls.front(), Impl::kScalar);
@@ -159,8 +160,17 @@ TEST(SimdKernels, ScalarAlwaysAvailableAndAvx2ListedWhenSupported) {
     EXPECT_EQ(BestImpl(), Impl::kAvx2);
   }
 #endif
+#if defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+  // Advanced SIMD is mandatory on aarch64: the NEON path must always be
+  // listed (and picked) so the differential loops above exercise it.
+  ASSERT_EQ(impls.size(), 2u)
+      << "aarch64 host must exercise both dispatch targets";
+  EXPECT_EQ(impls[1], Impl::kNeon);
+  EXPECT_EQ(BestImpl(), Impl::kNeon);
+#endif
   EXPECT_STREQ(ImplName(Impl::kScalar), "scalar");
   EXPECT_STREQ(ImplName(Impl::kAvx2), "avx2");
+  EXPECT_STREQ(ImplName(Impl::kNeon), "neon");
 }
 
 TEST(SimdKernels, ExpKernelMatchesDoubleExp) {
