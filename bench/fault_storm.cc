@@ -1,0 +1,389 @@
+// Fault-storm benchmark: the 32-schema cold-start storm of
+// bench/compile_service.cc re-run under deterministic injected faults —
+// ~1% compile failures, ~5% transient disk-tier I/O errors, and one
+// permanently-poisoned hot schema submitted repeatedly — to prove the
+// fault-tolerance layer's serving-facing properties:
+//
+//   1. zero wedged requests — every request reaches a terminal outcome
+//      (completed, or dropped with a structured StatusCode + error);
+//   2. zero leaked builds/tickets — the service's inflight table is empty
+//      once the storm drains;
+//   3. healthy tenants stay healthy — completed requests' TTFT p99 and
+//      goodput stay within a stated margin of the fault-free run;
+//   4. the poisoned schema settles into O(1) steady-state rejection — no
+//      build is ever started for it again and rejection latency is µs-scale.
+//
+// All faults come from seeded fault points (support/fault_point.h): the
+// fire pattern is a pure function of the seeds below, so the numbers are
+// reproducible run to run. Emits BENCH_fault_storm.json (override with
+// XGR_BENCH_JSON). Knobs: XGR_VOCAB, XGR_STORM_SCHEMAS (default 32),
+// XGR_CACHE_DIR (default: scratch under the system temp dir, wiped cold).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "datasets/workloads.h"
+#include "engine/mock_llm.h"
+#include "engine/serving_engine.h"
+#include "json/json.h"
+#include "runtime/compile_service.h"
+#include "support/fault_point.h"
+#include "support/logging.h"
+#include "support/status.h"
+#include "support/timer.h"
+
+namespace {
+using namespace xgr;             // NOLINT
+using namespace xgr::benchutil;  // NOLINT
+
+namespace fs = std::filesystem;
+namespace fault = support::fault;
+
+// Same scale as bench/compile_service.cc: decode-step sleeps compressed so
+// the storm finishes in seconds while compilation (and injected fault
+// handling) stays real CPU work.
+constexpr double kTimeScale = 0.05;
+
+// The hot schema that is permanently broken: a deterministic parse failure
+// (kInvalidGrammar), so the quarantine trips on the FIRST build and every
+// later submit must be rejected O(1) from the failure memo.
+const char* kPoisonSchema = R"({"type": "object", "properties": {)";
+
+runtime::CompileJob SchemaJob(const datasets::SchemaTask& task) {
+  runtime::CompileJob job;
+  job.kind = runtime::GrammarKind::kJsonSchema;
+  job.source = task.schema.Dump();
+  return job;
+}
+
+runtime::CompileJob PoisonJob() {
+  runtime::CompileJob job;
+  job.kind = runtime::GrammarKind::kJsonSchema;
+  job.source = kPoisonSchema;
+  return job;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double rank = p * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+struct StormOutcome {
+  int completed = 0;
+  int dropped = 0;       // terminal failure with a structured code
+  int wedged = 0;        // neither completed nor classified: must be zero
+  std::int64_t healthy_tokens = 0;
+  double makespan_ms = 0.0;
+  std::vector<double> healthy_ttft_ms;
+  runtime::CompileServiceStats service_stats;
+  runtime::GrammarRegistryStats registry_stats;
+  double goodput_tok_per_s() const {
+    return makespan_ms <= 0.0
+               ? 0.0
+               : static_cast<double>(healthy_tokens) / (makespan_ms / 1000.0);
+  }
+};
+
+// Runs the storm: `tasks` healthy schemas arriving over the first steps,
+// plus (when poison_submissions > 0) that many requests for the permanently
+// broken hot schema interleaved through the stream.
+StormOutcome RunStorm(const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
+                      engine::MockLlm& llm,
+                      const std::vector<datasets::SchemaTask>& tasks,
+                      const std::string& disk_dir, int poison_submissions) {
+  runtime::CompileServiceOptions options;
+  options.num_threads = 4;
+  options.registry.disk_dir = disk_dir;
+  runtime::CompileService service(info, options);
+
+  StormOutcome outcome;
+  std::size_t healthy_count = tasks.size();
+  {
+    // When the storm includes the broken hot schema, build (and fail, and
+    // quarantine) it FIRST, before any healthy job is queued: the later
+    // submits then exercise the O(1) memo rejection path mid-storm, and the
+    // blocking wait can't let healthy builds drain before the measured run
+    // starts (which would skew TTFT vs the fault-free reference).
+    std::shared_ptr<runtime::CompileTicket> poison_first;
+    if (poison_submissions > 0) {
+      poison_first = std::make_shared<runtime::CompileTicket>(
+          service.Submit(PoisonJob()));
+      poison_first->WaitFor(60.0);
+    }
+
+    std::vector<engine::ContinuousRequest> stream;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      engine::ContinuousRequest r;
+      r.pending_grammar = std::make_shared<runtime::CompileTicket>(
+          service.Submit(SchemaJob(tasks[i])));
+      r.request.target_text = tasks[i].canonical_answer.Dump();
+      r.request.seed = static_cast<std::uint64_t>(i) * 13 + 7;
+      r.arrival_step = static_cast<std::int64_t>(i % 8);
+      stream.push_back(std::move(r));
+    }
+    if (poison_submissions > 0) {
+      engine::ContinuousRequest hot;
+      hot.pending_grammar = std::move(poison_first);
+      hot.request.target_text = "{}";
+      hot.arrival_step = 0;
+      stream.push_back(std::move(hot));
+      for (int i = 1; i < poison_submissions; ++i) {
+        engine::ContinuousRequest repeat;
+        repeat.pending_grammar = std::make_shared<runtime::CompileTicket>(
+            service.Submit(PoisonJob()));
+        repeat.request.target_text = "{}";
+        repeat.arrival_step = i % 8;
+        stream.push_back(std::move(repeat));
+      }
+    }
+
+    engine::EngineOptions engine_options;
+    engine_options.time_scale = kTimeScale;
+    engine_options.max_new_tokens = 64;
+    engine_options.admission = engine::CompileAdmission::kDeferred;
+    // Safety net: a wedged build must surface as a classified deadline drop,
+    // never as a hung storm (simulated ms; far above any healthy build).
+    engine_options.compile_deadline_ms = 60'000.0;
+    engine::ServingEngine engine(engine_options, llm);
+    engine::ContinuousResult result = engine.RunContinuous(stream, 8);
+
+    outcome.makespan_ms = result.makespan_ms;
+    for (std::size_t i = 0; i < result.requests.size(); ++i) {
+      const engine::ContinuousRequestResult& r = result.requests[i];
+      const bool finished = r.status == StatusCode::kOk &&
+                            !r.result.output_text.empty();
+      const bool classified_drop = r.status != StatusCode::kOk;
+      if (finished) {
+        ++outcome.completed;
+        if (i < healthy_count) {
+          outcome.healthy_tokens +=
+              static_cast<std::int64_t>(r.result.token_ids.size());
+          outcome.healthy_ttft_ms.push_back(r.compile_wait_ms + r.ttft_ms);
+        }
+      } else if (classified_drop) {
+        ++outcome.dropped;
+        XGR_CHECK(!r.error.empty()) << "classified drop without an error";
+      } else {
+        ++outcome.wedged;  // unreachable if the layer holds its contract
+      }
+    }
+    // Stream destruction releases every ticket (RAII interest drop).
+  }
+  outcome.service_stats = service.Stats();
+  outcome.registry_stats = service.Registry().Stats();
+
+  // Poisoned steady state: after the storm, the hot schema must be rejected
+  // O(1) — zero new builds, µs-scale latency, the memoized error served.
+  if (poison_submissions > 0) {
+    const std::int64_t builds_before = outcome.service_stats.builds_started;
+    constexpr int kProbes = 100;
+    Timer timer;
+    for (int i = 0; i < kProbes; ++i) {
+      runtime::CompileTicket rejected = service.Submit(PoisonJob());
+      XGR_CHECK(rejected.State() == runtime::CompileState::kFailed);
+      XGR_CHECK(rejected.Code() == StatusCode::kPoisoned);
+    }
+    const double total_us = timer.ElapsedMicros();
+    outcome.service_stats = service.Stats();
+    std::printf("  poisoned steady state     : %d rejects, %.1f us each, "
+                "builds started %+lld\n",
+                kProbes, total_us / kProbes,
+                static_cast<long long>(outcome.service_stats.builds_started -
+                                       builds_before));
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Fault storm: the 32-schema cold-start storm under injected compile\n"
+      "failures, transient disk errors, and a permanently-poisoned hot schema");
+  auto info = GetTokenizer();
+  const int storm_schemas = EnvInt("XGR_STORM_SCHEMAS", 32);
+
+  const char* cache_dir_env = std::getenv("XGR_CACHE_DIR");
+  const std::string cache_root =
+      cache_dir_env != nullptr
+          ? std::string(cache_dir_env)
+          : (fs::temp_directory_path() / "xgr_bench_fault_storm").string();
+  fs::remove_all(cache_root);
+
+  engine::MockLlm llm(info, {.derail_probability = 0.0, .seed = 11});
+  auto tasks = datasets::GenerateSchemaTasks(storm_schemas, 2025);
+
+  // Unmeasured warmup lap: the first storm in a process pays one-time
+  // per-tokenizer setup that later storms don't, which would make the
+  // faulted run look *faster* than the reference. Warm first, then compare
+  // warm-vs-warm.
+  RunStorm(info, llm, tasks, cache_root + "/warmup", /*poison=*/0);
+
+  // --- fault-free reference run ---------------------------------------------
+  std::printf("\nFault-free reference storm (%d schemas, batch 8):\n",
+              storm_schemas);
+  StormOutcome clean =
+      RunStorm(info, llm, tasks, cache_root + "/clean", /*poison=*/0);
+  std::printf("  completed / dropped       : %d / %d\n", clean.completed,
+              clean.dropped);
+  std::printf("  healthy TTFT p50 / p99    : %.1f / %.1f ms\n",
+              Percentile(clean.healthy_ttft_ms, 0.50),
+              Percentile(clean.healthy_ttft_ms, 0.99));
+  std::printf("  goodput                   : %.0f tok/s\n",
+              clean.goodput_tok_per_s());
+
+  // --- faulted run -----------------------------------------------------------
+  // ~1% of builds throw a transient internal failure; ~5% of disk reads and
+  // writes fail transiently (retried with backoff); one hot schema is
+  // permanently broken and submitted six times through the storm.
+  {
+    fault::FaultRule compile_fault;
+    compile_fault.action = fault::FaultAction::kThrow;
+    compile_fault.code = StatusCode::kInternal;
+    compile_fault.message = "injected transient compile failure";
+    compile_fault.probability = 0.01;
+    compile_fault.seed = 0x5eed0001;
+    fault::Arm("compile.before_build", compile_fault);
+
+    fault::FaultRule read_fault;
+    read_fault.action = fault::FaultAction::kFail;
+    read_fault.probability = 0.05;
+    read_fault.seed = 0x5eed0002;
+    fault::Arm("registry.disk.read", read_fault);
+
+    fault::FaultRule write_fault;
+    write_fault.action = fault::FaultAction::kFail;
+    write_fault.probability = 0.05;
+    write_fault.seed = 0x5eed0003;
+    fault::Arm("registry.disk.write_short", write_fault);
+  }
+  constexpr int kPoisonSubmissions = 6;
+  std::printf("\nFaulted storm (1%% compile faults, 5%% disk faults, "
+              "%d poisoned submits):\n", kPoisonSubmissions);
+  StormOutcome faulted = RunStorm(info, llm, tasks, cache_root + "/faulted",
+                                  kPoisonSubmissions);
+  const fault::SiteStats compile_site = fault::Stats("compile.before_build");
+  const fault::SiteStats read_site = fault::Stats("registry.disk.read");
+  const fault::SiteStats write_site = fault::Stats("registry.disk.write_short");
+  fault::DisarmAll();
+
+  std::printf("  completed / dropped / wedged : %d / %d / %d\n",
+              faulted.completed, faulted.dropped, faulted.wedged);
+  std::printf("  healthy TTFT p50 / p99    : %.1f / %.1f ms\n",
+              Percentile(faulted.healthy_ttft_ms, 0.50),
+              Percentile(faulted.healthy_ttft_ms, 0.99));
+  std::printf("  goodput                   : %.0f tok/s\n",
+              faulted.goodput_tok_per_s());
+  std::printf("  injected fires            : compile %lld/%lld, disk read "
+              "%lld/%lld, disk write %lld/%lld\n",
+              static_cast<long long>(compile_site.fires),
+              static_cast<long long>(compile_site.hits),
+              static_cast<long long>(read_site.fires),
+              static_cast<long long>(read_site.hits),
+              static_cast<long long>(write_site.fires),
+              static_cast<long long>(write_site.hits));
+  std::printf("  disk retries / exhausted  : %lld / %lld\n",
+              static_cast<long long>(faulted.registry_stats.disk_retries),
+              static_cast<long long>(
+                  faulted.registry_stats.disk_retry_exhausted));
+  std::printf("  quarantine rejects        : %lld\n",
+              static_cast<long long>(
+                  faulted.service_stats.quarantine_rejects));
+
+  // --- gates ------------------------------------------------------------------
+  const bool zero_wedged = faulted.wedged == 0 && clean.wedged == 0;
+  const bool zero_leaked = faulted.service_stats.inflight == 0 &&
+                           clean.service_stats.inflight == 0;
+  const double clean_p99 = Percentile(clean.healthy_ttft_ms, 0.99);
+  const double faulted_p99 = Percentile(faulted.healthy_ttft_ms, 0.99);
+  const double ttft_p99_ratio = clean_p99 > 0.0 ? faulted_p99 / clean_p99 : 0.0;
+  const double goodput_ratio =
+      clean.goodput_tok_per_s() > 0.0
+          ? faulted.goodput_tok_per_s() / clean.goodput_tok_per_s()
+          : 0.0;
+  // Stated margins: healthy-tenant p99 TTFT within 5x of fault-free, goodput
+  // within 2x (>= 0.5 of fault-free) — the storm drops at most a few percent
+  // of requests and disk retries add only ms-scale backoff.
+  const bool ttft_bounded = ttft_p99_ratio <= 5.0;
+  const bool goodput_within_margin = goodput_ratio >= 0.5;
+  const bool poison_o1 = faulted.service_stats.quarantine_rejects >= 100;
+
+  std::printf("\nGates: wedged=%s leaked=%s ttft_p99 %.2fx (<=5x: %s) "
+              "goodput %.2fx (>=0.5x: %s) poison O(1)=%s\n",
+              zero_wedged ? "0 ok" : "FAIL", zero_leaked ? "0 ok" : "FAIL",
+              ttft_p99_ratio, ttft_bounded ? "ok" : "FAIL", goodput_ratio,
+              goodput_within_margin ? "ok" : "FAIL",
+              poison_o1 ? "ok" : "FAIL");
+
+  // --- JSON -------------------------------------------------------------------
+  auto storm_json = [](const StormOutcome& o) {
+    json::Object obj;
+    obj["completed"] = o.completed;
+    obj["dropped"] = o.dropped;
+    obj["wedged"] = o.wedged;
+    obj["healthy_tokens"] = o.healthy_tokens;
+    obj["makespan_ms"] = o.makespan_ms;
+    obj["goodput_tok_per_s"] = o.goodput_tok_per_s();
+    obj["healthy_ttft_ms_p50"] = Percentile(o.healthy_ttft_ms, 0.50);
+    obj["healthy_ttft_ms_p99"] = Percentile(o.healthy_ttft_ms, 0.99);
+    obj["builds_started"] = o.service_stats.builds_started;
+    obj["failed"] = o.service_stats.failed;
+    obj["quarantine_rejects"] = o.service_stats.quarantine_rejects;
+    obj["inflight_after"] = o.service_stats.inflight;
+    obj["disk_retries"] = o.registry_stats.disk_retries;
+    obj["disk_retry_exhausted"] = o.registry_stats.disk_retry_exhausted;
+    return obj;
+  };
+
+  json::Object faults;
+  faults["compile_failure_probability"] = 0.01;
+  faults["disk_failure_probability"] = 0.05;
+  faults["poison_submissions"] = kPoisonSubmissions;
+  faults["compile_fires"] = compile_site.fires;
+  faults["compile_hits"] = compile_site.hits;
+  faults["disk_read_fires"] = read_site.fires;
+  faults["disk_write_fires"] = write_site.fires;
+
+  json::Object gates;
+  gates["zero_wedged"] = zero_wedged;
+  gates["zero_leaked"] = zero_leaked;
+  gates["ttft_p99_ratio"] = ttft_p99_ratio;
+  gates["ttft_p99_bounded_5x"] = ttft_bounded;
+  gates["goodput_ratio"] = goodput_ratio;
+  gates["goodput_within_margin"] = goodput_within_margin;
+  gates["poison_steady_state_o1"] = poison_o1;
+
+  json::Object doc;
+  doc["benchmark"] = "fault_storm";
+  doc["vocab_size"] = info->VocabSize();
+  doc["time_scale"] = kTimeScale;
+  doc["schemas"] = storm_schemas;
+  doc["fault_free"] = json::Value(storm_json(clean));
+  doc["faulted"] = json::Value(storm_json(faulted));
+  doc["faults"] = json::Value(std::move(faults));
+  doc["gates"] = json::Value(std::move(gates));
+
+  const char* json_path = std::getenv("XGR_BENCH_JSON");
+  std::string path = json_path != nullptr ? json_path : "BENCH_fault_storm.json";
+  std::ofstream out(path);
+  out << json::Value(std::move(doc)).Dump(2) << "\n";
+  if (out) {
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  const bool all_gates = zero_wedged && zero_leaked && ttft_bounded &&
+                         goodput_within_margin && poison_o1;
+  return all_gates ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 
 #include "grammar/json_schema.h"
 #include "grammar/regex_to_grammar.h"
+#include "support/status.h"
 #include "support/timer.h"
 
 namespace xgr::cache {
@@ -35,6 +36,15 @@ std::shared_ptr<const AdaptiveTokenMaskCache> GrammarCompiler::CompileKeyed(
   bool is_owner = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Negative cache first: a key that already failed deterministically is
+    // rejected O(1) with its recorded error — re-running the build cannot
+    // change the outcome and would burn a full compile per caller.
+    auto fit = failed_.find(key);
+    if (fit != failed_.end()) {
+      ++stats_.negative_hits;
+      throw StatusError(StatusCode::kPoisoned,
+                        "grammar compilation failed (cached): " + fit->second);
+    }
     auto it = memo_.find(key);
     if (it != memo_.end()) {
       // Ready future = true hit; pending future = we are about to block
@@ -65,10 +75,22 @@ std::shared_ptr<const AdaptiveTokenMaskCache> GrammarCompiler::CompileKeyed(
   try {
     auto pda = pda::CompiledGrammar::Compile(build(), options_);
     artifact = AdaptiveTokenMaskCache::Build(pda, tokenizer_, cache_options_);
-  } catch (...) {
+  } catch (const CheckError& e) {
+    // The pipeline rejected the source — deterministic. Negative-cache the
+    // error so later callers fail O(1) instead of re-running the build.
+    // The pending future is dropped either way so the memo map holds only
+    // successes; in-flight waiters still observe nullptr and throw.
     promise.set_value(nullptr);
     std::lock_guard<std::mutex> lock(mutex_);
-    memo_.erase(key);  // let a later call retry (and report its own error)
+    memo_.erase(key);
+    failed_.emplace(key, e.what());
+    throw;
+  } catch (...) {
+    // Non-CheckError failures (bad_alloc and kin) may be transient: let a
+    // later call retry and report its own error.
+    promise.set_value(nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    memo_.erase(key);
     throw;
   }
   promise.set_value(artifact);
@@ -111,6 +133,7 @@ GrammarCompilerStats GrammarCompiler::Stats() const {
 void GrammarCompiler::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   memo_.clear();
+  failed_.clear();
 }
 
 }  // namespace xgr::cache

@@ -49,6 +49,9 @@ struct GrammarCompilerStats {
   std::int64_t hits = 0;
   std::int64_t coalesced_waits = 0;
   std::int64_t misses = 0;
+  // Callers rejected O(1) by the negative cache: the key already failed a
+  // deterministic parse/compile and re-building could not change that.
+  std::int64_t negative_hits = 0;
   double compile_seconds = 0.0;  // cumulative, misses only
 };
 
@@ -93,6 +96,13 @@ class GrammarCompiler {
       std::string,
       std::shared_future<std::shared_ptr<const AdaptiveTokenMaskCache>>>
       memo_;
+  // Negative cache: keys whose build failed *deterministically* (CheckError
+  // from the parse/compile pipeline), with the original error text. Aligned
+  // with CompileService's quarantine policy: deterministic failures are
+  // served from here O(1) instead of re-burning a build per caller.
+  // Transient failures (anything not a CheckError) are NOT recorded and
+  // retry as before. Cleared by Clear().
+  std::unordered_map<std::string, std::string> failed_;
   GrammarCompilerStats stats_;
 };
 

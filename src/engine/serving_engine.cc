@@ -499,11 +499,44 @@ ContinuousResult ServingEngine::RunContinuous(
                ? 0.0
                : (now_us - compile_held_clock[index]) / 1000.0;
   };
+  // Simulated clock at which each request became eligible (arrival_step
+  // reached) — the epoch its total deadline counts from; -1 = not yet.
+  std::vector<double> eligible_clock(requests.size(), -1.0);
   std::size_t finished = 0;
   std::int64_t step = 0;
   double clock_us = 0.0;  // simulated time; waits also burn scaled wall time
 
   while (finished < requests.size()) {
+    // Deadline sweep over the eligible prefix of the pending queue: a
+    // request whose total deadline (or compile deadline, once compile-held)
+    // expired leaves with an explicit kDeadlineExceeded result instead of
+    // waiting forever — whether it was waiting on a compile or on batch
+    // capacity.
+    for (auto it = pending.begin(); it != pending.end();) {
+      const std::size_t index = *it;
+      const ContinuousRequest& arrival = requests[index];
+      if (arrival.arrival_step > step) break;  // sorted: rest arrive later
+      if (eligible_clock[index] < 0.0) eligible_clock[index] = clock_us;
+      const bool total_expired =
+          arrival.deadline_ms > 0.0 &&
+          (clock_us - eligible_clock[index]) / 1000.0 >= arrival.deadline_ms;
+      const bool compile_expired =
+          options_.compile_deadline_ms > 0.0 &&
+          compile_held_clock[index] >= 0.0 &&
+          compile_wait_ms(index, clock_us) >= options_.compile_deadline_ms;
+      if (!total_expired && !compile_expired) {
+        ++it;
+        continue;
+      }
+      ContinuousRequestResult& record = out.requests[index];
+      record.status = StatusCode::kDeadlineExceeded;
+      record.error = compile_expired
+                         ? "compile deadline exceeded waiting for grammar"
+                         : "request deadline exceeded before admission";
+      record.compile_wait_ms = compile_wait_ms(index, clock_us);
+      ++finished;
+      it = pending.erase(it);
+    }
     // Admission: join arrived requests while capacity remains. The joining
     // request's prefill is paid on this iteration (chunked-prefill style),
     // lengthening the step for everyone — the continuous-batching tradeoff.
@@ -530,19 +563,42 @@ ContinuousResult ServingEngine::RunContinuous(
             continue;
           }
           // kBlocking: the whole loop stalls for the build, and the stall
-          // is wall time every co-scheduled request's clock absorbs.
+          // is wall time every co-scheduled request's clock absorbs. The
+          // compile deadline still applies — a wedged build must not stall
+          // the loop forever.
           Timer stall;
+          bool timed_out = false;
           while (!ticket->WaitFor(0.1)) {
+            if (options_.compile_deadline_ms > 0.0 &&
+                compile_wait_ms(index, clock_us + stall.ElapsedMicros()) >=
+                    options_.compile_deadline_ms) {
+              timed_out = true;
+              break;
+            }
           }
           clock_us += stall.ElapsedMicros();
+          if (timed_out) {
+            ContinuousRequestResult& record = out.requests[index];
+            record.status = StatusCode::kDeadlineExceeded;
+            record.error = "compile deadline exceeded waiting for grammar";
+            record.compile_wait_ms = compile_wait_ms(index, clock_us);
+            ++finished;
+            it = pending.erase(it);
+            continue;
+          }
         }
         if (ticket->State() == runtime::CompileState::kReady) {
           decoder = std::make_shared<baselines::XGrammarDecoder>(ticket->Get());
         } else {
           // Failed or cancelled: drop the request instead of wedging the
-          // loop on a grammar that will never arrive.
-          out.requests[index].grammar_failed = true;
-          out.requests[index].compile_wait_ms = compile_wait_ms(index, clock_us);
+          // loop on a grammar that will never arrive — and thread the
+          // ticket's structured code + error through so the drop is
+          // diagnosable by the caller, not just counted.
+          ContinuousRequestResult& record = out.requests[index];
+          record.grammar_failed = true;
+          record.status = ticket->Code();
+          record.error = ticket->Error();
+          record.compile_wait_ms = compile_wait_ms(index, clock_us);
           ++finished;
           it = pending.erase(it);
           continue;
@@ -631,6 +687,17 @@ ContinuousResult ServingEngine::RunContinuous(
       if (!had_tokens && !slot.ar.result.token_ids.empty()) {
         record.first_token_step = step;
         record.ttft_ms = (clock_us - slot.admitted_clock) / 1000.0;
+      }
+      // Mid-decode total deadline: an expired request leaves the batch now,
+      // keeping its partial output, instead of occupying a slot past its
+      // useful-by time.
+      const double request_deadline_ms = requests[slot.index].deadline_ms;
+      if (!done && request_deadline_ms > 0.0 &&
+          (clock_us - eligible_clock[slot.index]) / 1000.0 >=
+              request_deadline_ms) {
+        record.status = StatusCode::kDeadlineExceeded;
+        record.error = "request deadline exceeded mid-decode";
+        done = true;
       }
       if (done) {
         record.finish_step = step;

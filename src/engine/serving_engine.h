@@ -25,6 +25,7 @@
 #include "engine/model_profile.h"
 #include "engine/sampler.h"
 #include "runtime/compile_service.h"
+#include "support/status.h"
 #include "support/worker_team.h"
 
 namespace xgr::engine {
@@ -77,6 +78,11 @@ struct EngineOptions {
   // benchutil::AllocCountFn). When set, RunBatch reports allocations
   // performed during steady-state decode steps (BatchResult::steady_allocs).
   std::uint64_t (*alloc_count_fn)() = nullptr;
+  // RunContinuous: maximum *simulated* ms a request may sit compile-held
+  // (its grammar still building) before it is dropped with
+  // StatusCode::kDeadlineExceeded instead of waiting forever on a wedged
+  // or slow build. 0 = no limit. Applies to both admission modes.
+  double compile_deadline_ms = 0.0;
 };
 
 struct EngineRequest {
@@ -183,6 +189,12 @@ struct ContinuousRequest {
   // engine constructs an XGrammarDecoder from the finished artifact at
   // admission. See EngineOptions::admission for the scheduling policy.
   std::shared_ptr<runtime::CompileTicket> pending_grammar;
+  // Total per-request deadline in *simulated* ms, measured from the first
+  // iteration the request is eligible (arrival_step reached). Covers
+  // compile wait, capacity queueing, and decoding: an expired request
+  // leaves the batch with StatusCode::kDeadlineExceeded — mid-decode it
+  // keeps its partial output. 0 = none.
+  double deadline_ms = 0.0;
 };
 
 struct ContinuousRequestResult {
@@ -200,6 +212,13 @@ struct ContinuousRequestResult {
   // The pending grammar failed to compile (or was cancelled): the request
   // was dropped without decoding and `result` is empty.
   bool grammar_failed = false;
+  // Structured outcome: kOk for a normal completion; kDeadlineExceeded for
+  // a deadline drop (admission-side or mid-decode); for grammar_failed, the
+  // compile ticket's code (kInvalidGrammar / kPoisoned / kOverloaded / ...).
+  StatusCode status = StatusCode::kOk;
+  // Human-readable failure detail (the compile error for grammar_failed —
+  // threaded through so a dropped request is diagnosable, not just counted).
+  std::string error;
 };
 
 struct ContinuousResult {

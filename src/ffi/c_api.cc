@@ -15,6 +15,7 @@
 #include "pda/compiled_grammar.h"
 #include "runtime/compile_service.h"
 #include "support/logging.h"
+#include "support/status.h"
 #include "support/utf8.h"
 #include "tokenizer/synthetic_vocab.h"
 #include "tokenizer/tokenizer_info.h"
@@ -22,9 +23,41 @@
 namespace {
 
 thread_local std::string g_last_error;
+thread_local xgr_status g_last_status = XGR_OK;
+
+// StatusCode -> ABI code. Every failure class maps to a distinct negative
+// value; unclassified internals stay on the historical XGR_ERROR.
+xgr_status ToAbiStatus(xgr::StatusCode code) {
+  switch (code) {
+    case xgr::StatusCode::kOk:
+      return XGR_OK;
+    case xgr::StatusCode::kInvalidGrammar:
+      return XGR_ERROR_INVALID_GRAMMAR;
+    case xgr::StatusCode::kDeadlineExceeded:
+      return XGR_ERROR_TIMEOUT;
+    case xgr::StatusCode::kOverloaded:
+      return XGR_ERROR_OVERLOADED;
+    case xgr::StatusCode::kCorruptArtifact:
+      return XGR_ERROR_CORRUPT_ARTIFACT;
+    case xgr::StatusCode::kCancelled:
+      return XGR_ERROR_CANCELLED;
+    case xgr::StatusCode::kPoisoned:
+      return XGR_ERROR_POISONED;
+    case xgr::StatusCode::kInternal:
+      return XGR_ERROR;
+  }
+  return XGR_ERROR;
+}
 
 void SetError(const char* where, const std::exception& error) {
   g_last_error = std::string(where) + ": " + error.what();
+  g_last_status = ToAbiStatus(xgr::StatusCodeOf(error));
+}
+
+// For hand-rolled (non-exception) error paths: message + explicit code.
+void SetErrorRaw(std::string message, xgr_status status = XGR_ERROR) {
+  g_last_error = std::move(message);
+  g_last_status = status;
 }
 
 // Runs `fn`, translating any exception into `error_value` (never lets C++
@@ -89,6 +122,8 @@ extern "C" {
 size_t xgr_last_error(char* buf, size_t buf_len) {
   return CopyOut(g_last_error, buf, buf_len);
 }
+
+xgr_status xgr_last_status(void) { return g_last_status; }
 
 /* ----- tokenizer --------------------------------------------------------- */
 
@@ -225,7 +260,7 @@ xgr_compile_ticket* xgr_compile_service_submit_ebnf(
     xgr_compile_service* service, const char* ebnf_text,
     const char* root_rule) {
   if (ebnf_text == nullptr) {
-    g_last_error = "xgr_compile_service_submit_ebnf: null ebnf_text";
+    SetErrorRaw("xgr_compile_service_submit_ebnf: null ebnf_text");
     return nullptr;
   }
   xgr::runtime::CompileJob job;
@@ -238,7 +273,7 @@ xgr_compile_ticket* xgr_compile_service_submit_ebnf(
 xgr_compile_ticket* xgr_compile_service_submit_json_schema(
     xgr_compile_service* service, const char* schema_json) {
   if (schema_json == nullptr) {
-    g_last_error = "xgr_compile_service_submit_json_schema: null schema_json";
+    SetErrorRaw("xgr_compile_service_submit_json_schema: null schema_json");
     return nullptr;
   }
   xgr::runtime::CompileJob job;
@@ -251,7 +286,7 @@ xgr_compile_ticket* xgr_compile_service_submit_json_schema(
 xgr_compile_ticket* xgr_compile_service_submit_regex(
     xgr_compile_service* service, const char* pattern) {
   if (pattern == nullptr) {
-    g_last_error = "xgr_compile_service_submit_regex: null pattern";
+    SetErrorRaw("xgr_compile_service_submit_regex: null pattern");
     return nullptr;
   }
   xgr::runtime::CompileJob job;
@@ -263,7 +298,7 @@ xgr_compile_ticket* xgr_compile_service_submit_regex(
 
 int32_t xgr_compile_ticket_poll(const xgr_compile_ticket* ticket) {
   if (ticket == nullptr || !ticket->ticket.Valid()) {
-    g_last_error = "xgr_compile_ticket_poll: invalid ticket";
+    SetErrorRaw("xgr_compile_ticket_poll: invalid ticket");
     return -1;
   }
   switch (ticket->ticket.State()) {
@@ -272,11 +307,13 @@ int32_t xgr_compile_ticket_poll(const xgr_compile_ticket* ticket) {
     case xgr::runtime::CompileState::kReady:
       return 1;
     case xgr::runtime::CompileState::kFailed:
-      g_last_error =
-          "xgr_compile_ticket_poll: compilation failed: " + ticket->ticket.Error();
+      SetErrorRaw("xgr_compile_ticket_poll: compilation failed: " +
+                      ticket->ticket.Error(),
+                  ToAbiStatus(ticket->ticket.Code()));
       return -1;
     case xgr::runtime::CompileState::kCancelled:
-      g_last_error = "xgr_compile_ticket_poll: compilation cancelled";
+      SetErrorRaw("xgr_compile_ticket_poll: compilation cancelled",
+                  XGR_ERROR_CANCELLED);
       return -1;
   }
   return -1;

@@ -26,9 +26,29 @@ extern "C" {
 
 /* ----- status / errors --------------------------------------------------- */
 
+/* XGR_OK and XGR_ERROR keep their historical values; the structured codes
+ * below refine XGR_ERROR (every one is negative, so `status < 0` remains a
+ * complete failure check for old callers). */
 typedef enum xgr_status {
   XGR_OK = 0,
-  XGR_ERROR = -1, /* details via xgr_last_error() */
+  XGR_ERROR = -1, /* unclassified failure; details via xgr_last_error() */
+  /* The grammar/schema/regex source itself is invalid. Deterministic:
+   * resubmitting the identical source can never succeed — fix it. */
+  XGR_ERROR_INVALID_GRAMMAR = -2,
+  /* A deadline expired (compile or request). Retrying with a larger budget
+   * may succeed. */
+  XGR_ERROR_TIMEOUT = -3,
+  /* The compile service shed this work under overload. Transient: back off
+   * and retry. */
+  XGR_ERROR_OVERLOADED = -4,
+  /* A disk-tier artifact failed validation; the engine recompiles on its
+   * own. Seeing this through the ABI is informational. */
+  XGR_ERROR_CORRUPT_ARTIFACT = -5,
+  /* The operation was cancelled (ticket released / service shut down). */
+  XGR_ERROR_CANCELLED = -6,
+  /* The key is quarantined after repeated failures; rejected O(1) with the
+   * cached error. Retrying before the quarantine TTL expires is pointless. */
+  XGR_ERROR_POISONED = -7,
 } xgr_status;
 
 /* Copies the calling thread's last error message (NUL-terminated, possibly
@@ -38,6 +58,12 @@ typedef enum xgr_status {
  * message is only meaningful immediately after a call on this thread
  * reported failure (NULL return or XGR_ERROR / -1 status). */
 size_t xgr_last_error(char* buf, size_t buf_len);
+
+/* The structured status code of the calling thread's most recent failure —
+ * the machine-readable companion of xgr_last_error(), set by exactly the
+ * same calls. Like the message, it is only meaningful immediately after a
+ * call on this thread reported failure; successful calls do not reset it. */
+xgr_status xgr_last_status(void);
 
 /* ----- tokenizer --------------------------------------------------------- */
 

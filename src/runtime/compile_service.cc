@@ -14,6 +14,7 @@
 #include "grammar/json_schema.h"
 #include "grammar/regex_to_grammar.h"
 #include "grammar/structural_tag.h"
+#include "support/fault_point.h"
 #include "support/logging.h"
 #include "support/timer.h"
 
@@ -46,19 +47,31 @@ struct CompileTask {
   CompileJob job;
   CompilePriority priority = CompilePriority::kNormal;
   std::uint64_t seq = 0;  // FIFO tie-break within a priority class
+  double deadline_ms = 0.0;     // from the first submit's job; 0 = none
+  std::uint64_t submit_ms = 0;  // service clock at Submit()
 
   // Guarded by ServiceCore::mutex.
   bool queued = false;  // in the heap and eligible to run
   int interest = 0;     // live tickets; 0 while queued => abandon
   std::vector<CompileCallback> callbacks;
   std::string error;
+  StatusCode code = StatusCode::kOk;  // written before state leaves kPending
 
   // state is written under the lock but read lock-free by pollers; the
-  // error field it guards is published-before via the store (the artifact
-  // itself lives solely in the promise/shared_future).
+  // error/code fields it guards are published-before via the store (the
+  // artifact itself lives solely in the promise/shared_future).
   std::atomic<CompileState> state{CompileState::kPending};
   std::promise<Artifact> promise;
   std::shared_future<Artifact> future;
+};
+
+// Per-key failure history backing the poison-grammar quarantine.
+struct FailureMemo {
+  std::int64_t attempts = 0;  // failed builds since the last success/probe
+  std::string error;          // last failure's message (served to rejects)
+  StatusCode code = StatusCode::kInternal;
+  bool poisoned = false;
+  std::uint64_t quarantined_until_ms = 0;
 };
 
 struct ServiceCore {
@@ -75,6 +88,11 @@ struct ServiceCore {
   // Priority heap over queued builds (best = lowest (priority, seq)).
   // Cancelled entries stay until a worker drains them.
   std::vector<std::shared_ptr<CompileTask>> heap;
+  // Queued-and-eligible builds (heap entries minus abandoned ones): the
+  // quantity max_queue_depth bounds.
+  std::size_t queued_count = 0;
+  // Failure memos, by full content key. Also the quarantine set.
+  std::unordered_map<std::string, FailureMemo> failures;
   CompileServiceStats stats;
 };
 
@@ -88,6 +106,16 @@ bool WorseOrder(const std::shared_ptr<CompileTask>& a,
   return a->seq > b->seq;
 }
 
+// Service clock (ms, monotonic). Injectable for deterministic deadline and
+// quarantine-TTL tests.
+std::uint64_t NowMs(const ServiceCore& core) {
+  if (core.options.now_ms_fn != nullptr) return core.options.now_ms_fn();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 // Requires core->mutex. Detaches the task from the coalescing table, stamps
 // the outcome, and hands back the callbacks; the caller must set the promise
 // (the single home of the artifact value) and invoke them *after* unlocking
@@ -95,11 +123,14 @@ bool WorseOrder(const std::shared_ptr<CompileTask>& a,
 std::vector<CompileCallback> FinalizeLocked(ServiceCore* core,
                                             const std::shared_ptr<CompileTask>& task,
                                             std::string error,
-                                            CompileState state) {
+                                            CompileState state,
+                                            StatusCode code) {
   auto it = core->inflight.find(task->key);
   if (it != core->inflight.end() && it->second == task) core->inflight.erase(it);
+  if (task->queued) --core->queued_count;
   task->queued = false;
   task->error = std::move(error);
+  task->code = code;
   task->state.store(state);
   return std::exchange(task->callbacks, {});
 }
@@ -121,11 +152,41 @@ grammar::Grammar BuildGrammar(const CompileJob& job) {
   XGR_UNREACHABLE();
 }
 
-Artifact BuildArtifact(const ServiceCore& core, const CompileJob& job) {
-  auto pda =
-      pda::CompiledGrammar::Compile(BuildGrammar(job), core.options.compile_options);
-  return cache::AdaptiveTokenMaskCache::Build(pda, core.tokenizer,
-                                              core.options.cache_options);
+// Cooperative abort point between build pipeline passes: a build whose every
+// ticket has been released, or whose deadline expired, stops here instead of
+// finishing work nobody wants. Throws StatusError; the worker's catch block
+// classifies it.
+void CheckAbort(const std::shared_ptr<ServiceCore>& core,
+                const std::shared_ptr<CompileTask>& task) {
+  {
+    std::lock_guard<std::mutex> lock(core->mutex);
+    if (task->interest == 0) {
+      throw StatusError(StatusCode::kCancelled,
+                        "build abandoned mid-flight: every ticket released");
+    }
+  }
+  if (task->deadline_ms > 0.0 &&
+      static_cast<double>(NowMs(*core) - task->submit_ms) >= task->deadline_ms) {
+    throw StatusError(StatusCode::kDeadlineExceeded,
+                      "compile deadline exceeded mid-build");
+  }
+}
+
+Artifact BuildArtifact(const std::shared_ptr<ServiceCore>& core,
+                       const std::shared_ptr<CompileTask>& task) {
+  // Fault site: an injected transient/internal compile failure.
+  XGR_FAULT_HIT("compile.before_build");
+  grammar::Grammar grammar = BuildGrammar(task->job);
+  // The post-pass sites run callbacks first (tests advance a fake clock or
+  // gate on a condition variable here), then the abort check observes them.
+  XGR_FAULT_HIT("compile.after_grammar");
+  CheckAbort(core, task);
+  auto pda = pda::CompiledGrammar::Compile(std::move(grammar),
+                                           core->options.compile_options);
+  XGR_FAULT_HIT("compile.after_pda");
+  CheckAbort(core, task);
+  return cache::AdaptiveTokenMaskCache::Build(pda, core->tokenizer,
+                                              core->options.cache_options);
 }
 
 }  // namespace
@@ -168,7 +229,8 @@ void CompileTicket::Release() {
       ++core_->stats.cancelled;
       callbacks = detail::FinalizeLocked(core_.get(), task_,
                                          "compilation cancelled",
-                                         CompileState::kCancelled);
+                                         CompileState::kCancelled,
+                                         StatusCode::kCancelled);
       abandoned = true;
     }
   }
@@ -199,9 +261,14 @@ Artifact CompileTicket::Get() const {
   XGR_CHECK(task_ != nullptr) << "invalid CompileTicket";
   Artifact artifact = task_->future.get();
   if (artifact == nullptr) {
-    XGR_CHECK(false) << (task_->state.load() == CompileState::kCancelled
-                             ? "grammar compilation cancelled"
-                             : "grammar compilation failed: " + task_->error);
+    // StatusError (a CheckError) so callers catching CheckError still work
+    // while status-aware layers (engine drops, the C ABI) recover the code.
+    const StatusCode code =
+        task_->code == StatusCode::kOk ? StatusCode::kInternal : task_->code;
+    throw StatusError(code,
+                      task_->state.load() == CompileState::kCancelled
+                          ? "grammar compilation cancelled"
+                          : "grammar compilation failed: " + task_->error);
   }
   return artifact;
 }
@@ -215,6 +282,12 @@ std::string CompileTicket::Error() const {
   XGR_CHECK(task_ != nullptr) << "invalid CompileTicket";
   if (task_->state.load() == CompileState::kPending) return {};
   return task_->error;
+}
+
+StatusCode CompileTicket::Code() const {
+  XGR_CHECK(task_ != nullptr) << "invalid CompileTicket";
+  if (task_->state.load() == CompileState::kPending) return StatusCode::kOk;
+  return task_->code;
 }
 
 std::uint64_t CompileTicket::KeyHash() const {
@@ -264,7 +337,8 @@ CompileService::~CompileService() {
         abandoned.emplace_back(
             task, detail::FinalizeLocked(core_.get(), task,
                                          "compile service shut down",
-                                         CompileState::kCancelled));
+                                         CompileState::kCancelled,
+                                         StatusCode::kCancelled));
       }
     }
     core_->heap.clear();
@@ -282,8 +356,11 @@ CompileTicket CompileService::Submit(CompileJob job, CompilePriority priority,
                                      CompileCallback on_done) {
   std::string key = CompileJobKey(job);
   std::shared_ptr<detail::CompileTask> task;
+  std::shared_ptr<detail::CompileTask> shed_task;
+  std::vector<CompileCallback> shed_callbacks;
   Artifact ready;
   bool need_worker = false;
+  bool rejected = false;  // resolved kFailed at submit (quarantine/overload)
   {
     std::lock_guard<std::mutex> lock(core_->mutex);
     XGR_CHECK(!core_->shutdown) << "Submit() on a shut-down CompileService";
@@ -311,14 +388,21 @@ CompileTicket CompileService::Submit(CompileJob job, CompilePriority priority,
     task->job = std::move(job);
     task->priority = priority;
     task->seq = core_->next_seq++;
+    task->deadline_ms = task->job.deadline_ms;
+    task->submit_ms = detail::NowMs(*core_);
     task->future = task->promise.get_future().share();
     task->interest = 1;
     ready = core_->registry->TryGetResident(task->key);
     if (ready != nullptr) {
       ++core_->stats.registry_hits;
       task->state.store(CompileState::kReady);
+    } else if (QuarantineRejectLocked(task)) {
+      rejected = true;
+    } else if (OverloadRejectLocked(task, &shed_task, &shed_callbacks)) {
+      rejected = true;
     } else {
       task->queued = true;
+      ++core_->queued_count;
       if (on_done) {
         task->callbacks.push_back(std::move(on_done));
         on_done = nullptr;
@@ -329,9 +413,18 @@ CompileTicket CompileService::Submit(CompileJob job, CompilePriority priority,
       need_worker = true;
     }
   }
+  if (shed_task != nullptr) {
+    shed_task->promise.set_value(nullptr);
+    for (CompileCallback& cb : shed_callbacks) {
+      if (cb) cb(nullptr);
+    }
+  }
   if (ready != nullptr) {
     task->promise.set_value(ready);
     if (on_done) on_done(ready);
+  } else if (rejected) {
+    task->promise.set_value(nullptr);
+    if (on_done) on_done(nullptr);
   } else if (need_worker) {
     // One pump per queued job: each drains exactly one eligible build, so
     // queued == pending pumps and abandoned builds cost nothing.
@@ -339,6 +432,70 @@ CompileTicket CompileService::Submit(CompileJob job, CompilePriority priority,
     pool_->Submit([core] { RunOne(core); });
   }
   return CompileTicket(std::move(task), core_);
+}
+
+// Requires core_->mutex. If the key is quarantined, resolves `task` as
+// kFailed/kPoisoned with the memoized error — O(1), no queue entry, no
+// worker — and returns true. An expired quarantine grants one probe build:
+// attempts resets so a single new failure re-quarantines.
+bool CompileService::QuarantineRejectLocked(
+    const std::shared_ptr<detail::CompileTask>& task) {
+  auto it = core_->failures.find(task->key);
+  if (it == core_->failures.end()) return false;
+  detail::FailureMemo& memo = it->second;
+  if (!memo.poisoned) return false;
+  if (detail::NowMs(*core_) >= memo.quarantined_until_ms) {
+    // TTL expired: one probe. max_attempts-1 prior strikes remain on record,
+    // so the probe's failure trips quarantine again immediately.
+    memo.poisoned = false;
+    memo.attempts =
+        std::max<std::int64_t>(0, core_->options.quarantine.max_attempts - 1);
+    return false;
+  }
+  ++core_->stats.quarantine_rejects;
+  task->error = "quarantined after " + std::to_string(memo.attempts) +
+                " failed build(s) [" + StatusCodeName(memo.code) +
+                "]: " + memo.error;
+  task->code = StatusCode::kPoisoned;
+  task->state.store(CompileState::kFailed);
+  return true;
+}
+
+// Requires core_->mutex. Backpressure at the queue door: when the queue is
+// full, either evict the worst queued build (if the arrival outranks it) or
+// reject the arrival, resolving the loser kFailed/kOverloaded. Prefetch and
+// batch work thus sheds before interactive work. Returns true when the
+// ARRIVAL was rejected.
+bool CompileService::OverloadRejectLocked(
+    const std::shared_ptr<detail::CompileTask>& task,
+    std::shared_ptr<detail::CompileTask>* shed_task,
+    std::vector<CompileCallback>* shed_callbacks) {
+  const std::size_t depth = core_->options.max_queue_depth;
+  if (depth == 0 || core_->queued_count < depth) return false;
+  // Worst queued build = the one every other queued build outranks.
+  std::shared_ptr<detail::CompileTask> worst;
+  for (const auto& queued : core_->heap) {
+    if (!queued->queued || queued->state.load() != CompileState::kPending) {
+      continue;
+    }
+    if (worst == nullptr || detail::WorseOrder(queued, worst)) worst = queued;
+  }
+  if (worst != nullptr && task->priority < worst->priority) {
+    // The arrival strictly outranks the worst queued build: evict it. Its
+    // heap entry stays (drained by its pump like a cancelled build).
+    ++core_->stats.shed;
+    *shed_callbacks = detail::FinalizeLocked(
+        core_.get(), worst, "shed under overload by a more urgent compile",
+        CompileState::kFailed, StatusCode::kOverloaded);
+    *shed_task = std::move(worst);
+    return false;
+  }
+  ++core_->stats.overload_rejects;
+  task->error = "compile queue full (" + std::to_string(core_->queued_count) +
+                " queued): overloaded";
+  task->code = StatusCode::kOverloaded;
+  task->state.store(CompileState::kFailed);
+  return true;
 }
 
 void CompileService::RunOne(const std::shared_ptr<detail::ServiceCore>& core) {
@@ -354,33 +511,58 @@ void CompileService::RunOne(const std::shared_ptr<detail::ServiceCore>& core) {
           candidate->state.load() == CompileState::kPending) {
         task = std::move(candidate);
         task->queued = false;  // running: cancellation no longer applies
+        --core->queued_count;
         break;
       }
       // Abandoned entries drain here without running.
     }
     if (task == nullptr) return;
-    ++core->stats.builds_started;
   }
 
   Artifact artifact;
   std::string error;
+  StatusCode code = StatusCode::kOk;
   bool built = false;
   double build_seconds = 0.0;
-  try {
-    // Full registry lookup (memory, pinned, disk) happens on the worker so
-    // Submit() never touches the filesystem.
-    artifact = core->registry->Lookup(task->key);
-    if (artifact == nullptr) {
-      Timer timer;
-      artifact = detail::BuildArtifact(*core, task->job);
-      build_seconds = timer.ElapsedMicros() / 1e6;
-      built = true;
-      core->registry->Insert(task->key, artifact);
+  // A deadline that expired while the job sat in the queue fails here
+  // without occupying the worker for a build.
+  if (task->deadline_ms > 0.0 &&
+      static_cast<double>(detail::NowMs(*core) - task->submit_ms) >=
+          task->deadline_ms) {
+    error = "compile deadline expired while queued";
+    code = StatusCode::kDeadlineExceeded;
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(core->mutex);
+      ++core->stats.builds_started;
     }
-  } catch (const std::exception& e) {
-    error = e.what();
-  } catch (...) {
-    error = "unknown compilation error";
+    try {
+      // Full registry lookup (memory, pinned, disk) happens on the worker so
+      // Submit() never touches the filesystem.
+      artifact = core->registry->Lookup(task->key);
+      if (artifact == nullptr) {
+        Timer timer;
+        artifact = detail::BuildArtifact(core, task);
+        build_seconds = timer.ElapsedMicros() / 1e6;
+        built = true;
+        core->registry->Insert(task->key, artifact);
+      }
+    } catch (const StatusError& e) {
+      // Injected faults, cooperative aborts: already classified.
+      error = e.what();
+      code = e.code();
+    } catch (const CheckError& e) {
+      // The build pipeline rejected the source — deterministic, so retrying
+      // the identical key is pointless (quarantines on first failure).
+      error = e.what();
+      code = StatusCode::kInvalidGrammar;
+    } catch (const std::exception& e) {
+      error = e.what();
+      code = StatusCode::kInternal;
+    } catch (...) {
+      error = "unknown compilation error";
+      code = StatusCode::kInternal;
+    }
   }
 
   std::vector<CompileCallback> callbacks;
@@ -392,10 +574,44 @@ void CompileService::RunOne(const std::shared_ptr<detail::ServiceCore>& core) {
     } else if (artifact != nullptr) {
       ++core->stats.disk_loads;  // resolved by the worker without a build
     }
-    if (artifact == nullptr) ++core->stats.failed;
+    if (artifact != nullptr) {
+      // A success wipes the key's failure history (e.g. transient faults
+      // that healed before reaching the quarantine threshold).
+      core->failures.erase(task->key);
+    } else {
+      ++core->stats.failed;
+      switch (code) {
+        case StatusCode::kDeadlineExceeded:
+          ++core->stats.deadline_expired;
+          break;
+        case StatusCode::kCancelled:
+          ++core->stats.builds_aborted;
+          break;
+        default:
+          break;
+      }
+      // Quarantine bookkeeping. Deadline expiry and cancellation say nothing
+      // about the grammar itself, so they never poison the key.
+      if (code == StatusCode::kInvalidGrammar ||
+          code == StatusCode::kInternal ||
+          code == StatusCode::kCorruptArtifact) {
+        detail::FailureMemo& memo = core->failures[task->key];
+        ++memo.attempts;
+        memo.error = error;
+        memo.code = code;
+        if (code == StatusCode::kInvalidGrammar ||
+            memo.attempts >= core->options.quarantine.max_attempts) {
+          memo.poisoned = true;
+          memo.quarantined_until_ms =
+              detail::NowMs(*core) +
+              static_cast<std::uint64_t>(core->options.quarantine.ttl_ms);
+        }
+      }
+    }
     callbacks = detail::FinalizeLocked(
         core.get(), task, std::move(error),
-        artifact != nullptr ? CompileState::kReady : CompileState::kFailed);
+        artifact != nullptr ? CompileState::kReady : CompileState::kFailed,
+        artifact != nullptr ? StatusCode::kOk : code);
   }
   task->promise.set_value(artifact);
   for (CompileCallback& cb : callbacks) {
@@ -416,7 +632,11 @@ CompileService::Tokenizer() const {
 
 CompileServiceStats CompileService::Stats() const {
   std::lock_guard<std::mutex> lock(core_->mutex);
-  return core_->stats;
+  CompileServiceStats stats = core_->stats;
+  // Live snapshot, not a counter: every key still queued or building. A
+  // non-zero value after all tickets resolved is a leaked build.
+  stats.inflight = static_cast<std::int64_t>(core_->inflight.size());
+  return stats;
 }
 
 }  // namespace xgr::runtime

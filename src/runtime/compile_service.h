@@ -21,16 +21,30 @@
 // LRU + optional disk tier), so a resubmitted key is a registry hit, a
 // process restart warm-starts from disk, and memory stays bounded under a
 // stream of novel grammars.
+//
+// Fault tolerance (the production hardening layer):
+//   * per-job deadlines with cooperative cancellation between build passes
+//     (StatusCode::kDeadlineExceeded);
+//   * poison-grammar quarantine: keys that keep failing are rejected O(1)
+//     with their cached error instead of re-occupying workers (kPoisoned);
+//   * bounded queue with priority-aware shedding under overload
+//     (kOverloaded, prefetch sheds first);
+//   * every failed ticket carries a structured StatusCode via Code().
+// Failure paths are exercised deterministically through the fault-point
+// sites "compile.before_build" / "compile.after_grammar" /
+// "compile.after_pda" (support/fault_point.h).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cache/adaptive_cache.h"
 #include "pda/compiled_grammar.h"
 #include "runtime/grammar_registry.h"
+#include "support/status.h"
 #include "support/thread_pool.h"
 #include "tokenizer/tokenizer_info.h"
 
@@ -51,6 +65,12 @@ struct CompileJob {
   GrammarKind kind = GrammarKind::kEbnf;
   std::string source;              // unused for kBuiltinJson
   std::string root_rule = "root";  // kEbnf only
+  // Per-job deadline, measured from Submit(); 0 = none. A job whose deadline
+  // expires while queued fails without building; a build in flight checks
+  // cooperatively between pipeline passes (grammar -> PDA -> mask cache) and
+  // aborts with StatusCode::kDeadlineExceeded. Not part of the content key:
+  // coalesced submits share the FIRST submit's deadline.
+  double deadline_ms = 0.0;
 };
 
 // The content key a job is coalesced and cached under (stable across
@@ -108,6 +128,11 @@ class CompileTicket {
   // Error text after kFailed (empty otherwise).
   std::string Error() const;
 
+  // Structured failure class once resolved: kOk for kReady (and while still
+  // pending), kCancelled for kCancelled, and for kFailed the specific code —
+  // kInvalidGrammar / kDeadlineExceeded / kOverloaded / kPoisoned / kInternal.
+  StatusCode Code() const;
+
   // Releases this ticket's interest. Queued builds with no other interested
   // ticket are abandoned (State() becomes kCancelled for every holder);
   // running or finished builds are unaffected. Idempotent.
@@ -132,11 +157,35 @@ class CompileTicket {
 // for its own key.
 using CompileCallback = std::function<void(const Artifact&)>;
 
+// Poison-grammar quarantine policy. A key whose build fails deterministically
+// (StatusCode::kInvalidGrammar — the source itself is broken) is quarantined
+// on the FIRST failure; transient failures (kInternal) quarantine only after
+// `max_attempts` total failures. While quarantined, Submit() rejects the key
+// in O(1) with the cached error (state kFailed, code kPoisoned) — no worker
+// is occupied and no ticket waits. After `ttl_ms` the key earns exactly one
+// probe build; another failure re-quarantines immediately.
+struct QuarantineOptions {
+  std::int64_t max_attempts = 3;
+  double ttl_ms = 30'000.0;
+};
+
 struct CompileServiceOptions {
   int num_threads = 2;  // dedicated compile workers
   pda::CompileOptions compile_options = {};
   cache::AdaptiveCacheOptions cache_options = {};
   GrammarRegistryOptions registry = {};
+  // Backpressure: maximum builds queued (not yet running) before Submit()
+  // starts shedding. 0 = unbounded. When the queue is full, an arrival that
+  // is strictly more urgent than the worst queued build evicts it (the
+  // evicted tickets resolve kFailed/kOverloaded); otherwise the arrival
+  // itself is rejected with kOverloaded — so kPrefetch sheds first and
+  // interactive work is preserved.
+  std::size_t max_queue_depth = 0;
+  QuarantineOptions quarantine = {};
+  // Monotonic clock in ms used for deadlines and quarantine TTLs. Null =
+  // std::chrono::steady_clock. Tests inject a fake clock so deadline expiry
+  // and TTL re-probes are exercised deterministically, without sleeps.
+  std::uint64_t (*now_ms_fn)() = nullptr;
 };
 
 struct CompileServiceStats {
@@ -147,7 +196,13 @@ struct CompileServiceStats {
   std::int64_t compiled = 0;   // full builds (registry+disk miss)
   std::int64_t disk_loads = 0;  // resolved from the disk tier by a worker
   std::int64_t cancelled = 0;  // queued builds abandoned before running
-  std::int64_t failed = 0;
+  std::int64_t failed = 0;     // every kFailed resolution (all causes)
+  std::int64_t deadline_expired = 0;   // failed with kDeadlineExceeded
+  std::int64_t builds_aborted = 0;     // cancelled cooperatively mid-build
+  std::int64_t shed = 0;               // queued builds evicted under overload
+  std::int64_t overload_rejects = 0;   // submits refused at the door
+  std::int64_t quarantine_rejects = 0; // submits refused by the failure memo
+  std::int64_t inflight = 0;  // queued+running now (leak detector: 0 at idle)
   double compile_seconds = 0.0;  // cumulative, full builds only
 };
 
@@ -180,6 +235,11 @@ class CompileService {
 
  private:
   static void RunOne(const std::shared_ptr<detail::ServiceCore>& core);
+  bool QuarantineRejectLocked(const std::shared_ptr<detail::CompileTask>& task);
+  bool OverloadRejectLocked(
+      const std::shared_ptr<detail::CompileTask>& task,
+      std::shared_ptr<detail::CompileTask>* shed_task,
+      std::vector<CompileCallback>* shed_callbacks);
 
   std::shared_ptr<detail::ServiceCore> core_;
   // Declared after core_ so workers (which hold core_ by shared_ptr) are

@@ -10,7 +10,9 @@
 #include <utility>
 
 #include "serialize/serialize.h"
+#include "support/fault_point.h"
 #include "support/logging.h"
+#include "support/retry_policy.h"
 
 namespace xgr::runtime {
 
@@ -210,12 +212,46 @@ std::size_t GrammarRegistry::MemoryBytes() const {
 Artifact GrammarRegistry::LoadFromDisk(std::string_view key) {
   const std::string path = DiskPath(key);
   std::string bytes;
-  {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return nullptr;  // no file — plain miss, not a reject
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    bytes = std::move(buffer).str();
+  bool file_exists = true;
+  // The read itself can fail transiently (network filesystem blip, injected
+  // fault); retry with backoff before concluding anything. A missing file is
+  // terminal (plain miss), and validation failures below are terminal by
+  // design — corruption does not heal on retry.
+  support::RetryStats retry_stats;
+  const bool read_ok = support::RetryTransient(
+      options_.disk_retry,
+      [&] {
+        // Fault site: transient read error (kFail => this attempt fails).
+        if (XGR_FAULT_HIT("registry.disk.read")) return false;
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+          file_exists = false;
+          return true;  // no file — plain miss, not a reject
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        if (in.bad()) return false;  // stream-level read failure
+        bytes = std::move(buffer).str();
+        return true;
+      },
+      &retry_stats);
+  if (retry_stats.retries > 0 || !read_ok) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.disk_retries += retry_stats.retries;
+    if (!read_ok) ++stats_.disk_retry_exhausted;
+  }
+  if (!read_ok) {
+    XGR_LOG_INFO << "disk tier: read of " << path
+                 << " failed after " << retry_stats.attempts
+                 << " attempts; treating as miss";
+    return nullptr;
+  }
+  if (!file_exists) return nullptr;
+  // Fault site: read corruption — flip a payload byte so the validation
+  // pipeline below (checksum/deserialize) exercises its delete+recompile
+  // terminal path under injection.
+  if (XGR_FAULT_HIT("registry.disk.read_corrupt") && !bytes.empty()) {
+    bytes[bytes.size() / 2] ^= 0x40;
   }
   // Unwrap and verify the embedded key before trusting the payload.
   const std::size_t header = sizeof(kDiskMagic) + sizeof(std::uint32_t);
@@ -262,37 +298,61 @@ void GrammarRegistry::PersistToDisk(std::string_view key,
   std::error_code ec;
   if (fs::exists(path, ec)) return;  // content-addressed: identical payload
   static std::atomic<std::uint64_t> tmp_counter{0};
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
-                          std::to_string(tmp_counter.fetch_add(1));
   const std::string bytes =
       WrapWithKey(key, serialize::SerializeEngineArtifact(*artifact));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      XGR_LOG_INFO << "disk tier: cannot open " << tmp << " for writing";
-      return;
-    }
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    // Flush explicitly: a close-time failure (e.g. ENOSPC) inside the
-    // destructor would be unobservable and the rename below would publish a
-    // truncated artifact under its content-addressed name.
-    out.flush();
-    if (!out) {
-      XGR_LOG_INFO << "disk tier: short write to " << tmp;
-      fs::remove(tmp, ec);
-      return;
-    }
-  }
-  // Atomic publish: readers see either no file or the complete artifact.
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    XGR_LOG_INFO << "disk tier: rename " << tmp << " -> " << path
-                 << " failed: " << ec.message();
-    fs::remove(tmp, ec);
-    return;
-  }
+  // Every failure mode here — failed open (e.g. ENOSPC on a full volume),
+  // short write caught by the flush check, failed rename — is treated as
+  // transient and retried with backoff; a fresh temp file per attempt. After
+  // exhaustion the artifact simply stays memory-only (the disk tier is an
+  // optimization, never a correctness dependency).
+  support::RetryStats retry_stats;
+  const bool write_ok = support::RetryTransient(
+      options_.disk_retry,
+      [&] {
+        // Fault site: the volume is out of space — opening the temp file (or
+        // any write to it) fails outright.
+        if (XGR_FAULT_HIT("registry.disk.write_enospc")) return false;
+        const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                                "." + std::to_string(tmp_counter.fetch_add(1));
+        std::size_t write_len = bytes.size();
+        // Fault site: short write — only part of the payload reaches the
+        // file before the device reports an error at flush time.
+        if (XGR_FAULT_HIT("registry.disk.write_short")) write_len /= 2;
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) return false;
+        out.write(bytes.data(), static_cast<std::streamsize>(write_len));
+        // Flush explicitly: a close-time failure (e.g. ENOSPC) inside the
+        // destructor would be unobservable and the rename below would
+        // publish a truncated artifact under its content-addressed name.
+        out.flush();
+        if (!out || write_len != bytes.size()) {
+          out.close();
+          std::error_code remove_ec;
+          fs::remove(tmp, remove_ec);
+          return false;
+        }
+        out.close();
+        // Atomic publish: readers see either no file or the full artifact.
+        std::error_code rename_ec;
+        fs::rename(tmp, path, rename_ec);
+        if (rename_ec) {
+          std::error_code remove_ec;
+          fs::remove(tmp, remove_ec);
+          return false;
+        }
+        return true;
+      },
+      &retry_stats);
   std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.disk_writes;
+  stats_.disk_retries += retry_stats.retries;
+  if (write_ok) {
+    ++stats_.disk_writes;
+  } else {
+    ++stats_.disk_retry_exhausted;
+    XGR_LOG_INFO << "disk tier: persisting " << path << " failed after "
+                 << retry_stats.attempts << " attempts; artifact stays "
+                 << "memory-only";
+  }
 }
 
 }  // namespace xgr::runtime

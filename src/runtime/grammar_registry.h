@@ -38,6 +38,7 @@
 #include <unordered_map>
 
 #include "cache/adaptive_cache.h"
+#include "support/retry_policy.h"
 #include "tokenizer/tokenizer_info.h"
 
 namespace xgr::runtime {
@@ -56,6 +57,13 @@ struct GrammarRegistryOptions {
   std::string disk_dir;
   // Write every inserted artifact through to the disk tier.
   bool disk_write_through = true;
+  // Backoff schedule for *transient* disk-tier I/O failures (unreadable
+  // file, failed open/flush/rename). Corruption is never retried: a file
+  // that fails validation is deleted and the caller recompiles — that
+  // terminal path is unchanged. Retry exhaustion degrades gracefully: a
+  // failed load is a miss (recompile), a failed store leaves the artifact
+  // memory-only.
+  support::RetryPolicy disk_retry = {};
 };
 
 struct GrammarRegistryStats {
@@ -67,6 +75,8 @@ struct GrammarRegistryStats {
   std::int64_t disk_hits = 0;    // loaded + validated from the disk tier
   std::int64_t disk_writes = 0;  // artifacts persisted to the disk tier
   std::int64_t disk_rejects = 0;  // corrupt/mismatched files discarded
+  std::int64_t disk_retries = 0;  // transient I/O failures retried
+  std::int64_t disk_retry_exhausted = 0;  // ops that failed every attempt
   std::size_t memory_bytes = 0;   // current resident accounted bytes
   // Max resident bytes observed after any eviction pass completed — the
   // steady-state high-water mark the budget bounds. (Mid-insert, the new

@@ -1,0 +1,135 @@
+#include "support/fault_point.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace xgr::support::fault {
+
+namespace detail {
+std::atomic<int> g_armed_sites{0};
+}  // namespace detail
+
+namespace {
+
+// splitmix64: tiny, seedable, and good enough for fire/no-fire coin flips.
+// Each armed site keeps its own state so firing sequences are independent.
+std::uint64_t NextRandom(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct SiteState {
+  FaultRule rule;
+  std::uint64_t rng = 0;
+  std::int64_t hits = 0;
+  std::int64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, SiteState> sites;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+}  // namespace
+
+void Arm(const std::string& site, FaultRule rule) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  SiteState state;
+  state.rng = rule.seed;
+  state.rule = std::move(rule);
+  auto [it, inserted] = registry.sites.insert_or_assign(site, std::move(state));
+  (void)it;
+  if (inserted) {
+    detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Disarm(const std::string& site) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.sites.erase(site) > 0) {
+    detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  detail::g_armed_sites.fetch_sub(static_cast<int>(registry.sites.size()),
+                                  std::memory_order_relaxed);
+  registry.sites.clear();
+}
+
+SiteStats Stats(const std::string& site) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(site);
+  if (it == registry.sites.end()) return {};
+  return {it->second.hits, it->second.fires};
+}
+
+namespace detail {
+
+bool HitSlow(const char* site) {
+  // Decide under the lock; act (throw/sleep/callback) outside it so a
+  // blocking injected action never holds up Arm/Disarm from other threads.
+  FaultAction action;
+  StatusCode code;
+  std::string message;
+  double delay_ms = 0.0;
+  std::function<void()> callback;
+  {
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto it = registry.sites.find(site);
+    if (it == registry.sites.end()) return false;
+    SiteState& state = it->second;
+    ++state.hits;
+    if (state.hits <= state.rule.skip_first) return false;
+    if (state.rule.max_fires >= 0 && state.fires >= state.rule.max_fires) {
+      return false;
+    }
+    if (state.rule.probability < 1.0) {
+      const double coin = static_cast<double>(NextRandom(state.rng) >> 11) *
+                          (1.0 / 9007199254740992.0);  // [0, 1)
+      if (coin >= state.rule.probability) return false;
+    }
+    ++state.fires;
+    action = state.rule.action;
+    code = state.rule.code;
+    message = state.rule.message;
+    delay_ms = state.rule.delay_ms;
+    callback = state.rule.callback;
+  }
+  switch (action) {
+    case FaultAction::kThrow:
+      throw StatusError(code, message + " [fault:" + site + "]");
+    case FaultAction::kFail:
+      return true;
+    case FaultAction::kDelay:
+      if (delay_ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+      }
+      return false;
+    case FaultAction::kCallback:
+      if (callback) callback();
+      return false;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+}  // namespace xgr::support::fault

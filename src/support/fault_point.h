@@ -1,0 +1,96 @@
+// Deterministic fault-injection framework.
+//
+// Production code marks named fault sites (`XGR_FAULT_HIT("registry.disk.read")`)
+// at the places failures can really happen: compile worker stages, the
+// registry disk tier, the mask WorkerTeam. Tests and the fault-storm bench
+// arm rules against those sites — throw a StatusError, return an injected
+// error, delay, or run a callback — with seeded probabilistic firing plus
+// skip_first/max_fires windows, so every failure path is reachable on demand
+// and reproducible under a fixed seed.
+//
+// Cost when nothing is armed (production / Release): Hit() is a single
+// relaxed atomic load of a global armed-site counter and a predictable
+// not-taken branch. No allocation, no lock, no string hashing — safe to
+// place adjacent to the zero-alloc decode hot path. Only once at least one
+// rule is armed does the slow path (mutex + site map lookup) run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "support/status.h"
+
+namespace xgr::support::fault {
+
+enum class FaultAction : std::uint8_t {
+  kThrow,     // throw StatusError{code, message} from the site
+  kFail,      // Hit() returns true: the site takes its own error path
+  kDelay,     // sleep delay_ms, then behave as if not fired
+  kCallback,  // run `callback`, then behave as if not fired
+};
+
+struct FaultRule {
+  FaultAction action = FaultAction::kThrow;
+  StatusCode code = StatusCode::kInternal;  // kThrow only
+  std::string message = "injected fault";   // kThrow only
+  // Fraction of eligible hits that fire, decided by a per-site RNG seeded
+  // from `seed` — the fire/no-fire sequence is a pure function of the seed
+  // and the site's hit order.
+  double probability = 1.0;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  std::int64_t skip_first = 0;  // hits to pass through before eligibility
+  std::int64_t max_fires = -1;  // stop firing after this many; -1 = unlimited
+  double delay_ms = 0.0;        // kDelay only
+  std::function<void()> callback;  // kCallback only (runs on the hitting thread)
+};
+
+struct SiteStats {
+  std::int64_t hits = 0;   // times the armed site was reached
+  std::int64_t fires = 0;  // times the rule actually triggered
+};
+
+// Installs `rule` at `site`, replacing any existing rule (hit/fire counters
+// reset). Sites are free-form strings; arming a site nothing ever hits is
+// legal and simply never fires.
+void Arm(const std::string& site, FaultRule rule);
+void Disarm(const std::string& site);
+// Removes every rule. Tests should call this in teardown (or use ScopedFault)
+// so faults never leak across test cases.
+void DisarmAll();
+// Counters for an armed site ({0,0} if not armed).
+SiteStats Stats(const std::string& site);
+
+namespace detail {
+// Number of currently armed sites. Non-zero is the only condition under
+// which Hit() leaves its fast path.
+extern std::atomic<int> g_armed_sites;
+bool HitSlow(const char* site);
+}  // namespace detail
+
+// The per-site check. Returns true iff an armed kFail rule fired, in which
+// case the caller takes its (site-specific) injected error path. kThrow
+// rules throw from inside; kDelay/kCallback rules run and return false.
+inline bool Hit(const char* site) {
+  if (detail::g_armed_sites.load(std::memory_order_relaxed) == 0) return false;
+  return detail::HitSlow(site);
+}
+
+// RAII arming for tests: disarms its site on scope exit.
+class ScopedFault {
+ public:
+  ScopedFault(std::string site, FaultRule rule) : site_(std::move(site)) {
+    Arm(site_, std::move(rule));
+  }
+  ~ScopedFault() { Disarm(site_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace xgr::support::fault
+
+#define XGR_FAULT_HIT(site) ::xgr::support::fault::Hit(site)

@@ -1,0 +1,86 @@
+// Retry with exponential backoff + deterministic jitter.
+//
+// Used by the GrammarRegistry disk tier: a transient read/write error (NFS
+// blip, injected fault) is retried a bounded number of times with growing,
+// jittered delays; only after exhaustion does the caller fall back to its
+// terminal path (recompile / memory-only artifact). Corruption is NOT
+// retried — that distinction belongs to the caller, which classifies the
+// failure before asking the policy for another attempt.
+//
+// Determinism: jitter comes from a splitmix64 stream seeded by the policy,
+// and tests inject `sleep_fn` to record delays instead of sleeping, so retry
+// schedules are asserted exactly — no wall-clock races.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace xgr::support {
+
+struct RetryPolicy {
+  int max_attempts = 3;            // total tries, including the first
+  double initial_backoff_ms = 1.0;  // delay before attempt 2
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 50.0;
+  // Each delay is scaled by a factor drawn uniformly from
+  // [1 - jitter, 1 + jitter], decorrelating retry storms across callers.
+  double jitter = 0.25;
+  std::uint64_t seed = 0x853c49e6748fea9bull;
+  // Test hook: replaces the real sleep. Signature matches a plain function
+  // so the policy stays a trivially copyable value type.
+  void (*sleep_fn)(double ms) = nullptr;
+};
+
+struct RetryStats {
+  int attempts = 0;     // attempts actually made
+  int retries = 0;      // attempts - 1 when > 0
+  double slept_ms = 0;  // total backoff requested (recorded even via sleep_fn)
+};
+
+namespace retry_detail {
+inline std::uint64_t NextRandom(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace retry_detail
+
+// Runs `attempt` (a callable returning true on success / terminal outcome,
+// false on transient failure) up to policy.max_attempts times. Returns the
+// last attempt's verdict; false means the transient failure survived every
+// retry and the caller should take its exhaustion path.
+template <typename AttemptFn>
+bool RetryTransient(const RetryPolicy& policy, AttemptFn&& attempt,
+                    RetryStats* stats = nullptr) {
+  const int max_attempts = std::max(1, policy.max_attempts);
+  std::uint64_t rng = policy.seed;
+  double backoff_ms = policy.initial_backoff_ms;
+  for (int tried = 1;; ++tried) {
+    if (stats != nullptr) stats->attempts = tried;
+    if (attempt()) return true;
+    if (tried >= max_attempts) return false;
+    const double unit =
+        static_cast<double>(retry_detail::NextRandom(rng) >> 11) *
+        (1.0 / 9007199254740992.0);  // [0, 1)
+    const double factor = 1.0 + policy.jitter * (2.0 * unit - 1.0);
+    const double delay_ms =
+        std::min(policy.max_backoff_ms, backoff_ms) * factor;
+    if (stats != nullptr) {
+      ++stats->retries;
+      stats->slept_ms += delay_ms;
+    }
+    if (policy.sleep_fn != nullptr) {
+      policy.sleep_fn(delay_ms);
+    } else if (delay_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+    backoff_ms *= policy.backoff_multiplier;
+  }
+}
+
+}  // namespace xgr::support

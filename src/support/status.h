@@ -1,0 +1,88 @@
+// Structured status taxonomy for the serving runtime.
+//
+// The engine's internal error channel is exceptions (XGR_CHECK ->
+// CheckError), which carry a message but no machine-readable class. Serving
+// callers need to distinguish "your grammar is broken" (client bug, never
+// retry) from "the service is overloaded" (back off and retry) from "your
+// deadline expired" (maybe retry with a bigger budget). StatusCode is that
+// taxonomy; StatusError is a CheckError subtype carrying one, so every
+// existing catch(CheckError&) site keeps working while status-aware layers
+// (CompileService tickets, ServingEngine results, the C ABI) can recover the
+// code with StatusCodeOf().
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+#include "support/logging.h"
+
+namespace xgr {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  // The grammar/schema/regex itself is invalid: deterministic, retrying the
+  // identical source can never succeed. Quarantined immediately.
+  kInvalidGrammar = 1,
+  // A per-job or per-request deadline expired before the work finished.
+  kDeadlineExceeded = 2,
+  // The compile queue is full and this job lost the shedding decision.
+  kOverloaded = 3,
+  // A disk-tier artifact failed validation (bad magic / key mismatch /
+  // deserialize failure). Terminal for the cached copy; recompile follows.
+  kCorruptArtifact = 4,
+  // Every interested ticket was dropped (RAII release or explicit Cancel).
+  kCancelled = 5,
+  // The key is quarantined: it failed too many times recently and is being
+  // rejected O(1) with the cached error instead of re-occupying a worker.
+  kPoisoned = 6,
+  // Anything else: transient internal failure (bad_alloc, injected fault...).
+  kInternal = 7,
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidGrammar:
+      return "invalid_grammar";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kCorruptArtifact:
+      return "corrupt_artifact";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kPoisoned:
+      return "poisoned";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+// A CheckError with a StatusCode attached. Derives from CheckError so the
+// whole pre-existing error surface (FFI Guarded(), test EXPECT_THROWs,
+// worker catch blocks) handles it unchanged.
+class StatusError : public CheckError {
+ public:
+  StatusError(StatusCode code, const std::string& message)
+      : CheckError(message), code_(code) {}
+
+  StatusCode code() const { return code_; }
+
+ private:
+  StatusCode code_;
+};
+
+// Recovers the status class of an in-flight exception: StatusError yields
+// its code; any other exception is an unclassified internal failure.
+inline StatusCode StatusCodeOf(const std::exception& error) {
+  if (const auto* statused = dynamic_cast<const StatusError*>(&error)) {
+    return statused->code();
+  }
+  return StatusCode::kInternal;
+}
+
+}  // namespace xgr

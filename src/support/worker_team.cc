@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/fault_point.h"
 #include "support/logging.h"
 
 namespace xgr::support {
@@ -29,6 +30,10 @@ void WorkerTeam::RunClaimed(ShardFn fn, void* ctx,
     std::size_t shard = next_shard_.fetch_add(1, std::memory_order_relaxed);
     if (shard >= shard_count) break;
     try {
+      // Fault site: lets tests inject a slow or throwing shard to prove the
+      // team's error propagation and the engine's tolerance of straggler
+      // shards. One relaxed atomic load when disarmed.
+      XGR_FAULT_HIT("worker_team.shard");
       fn(ctx, shard);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -43,7 +48,10 @@ void WorkerTeam::Dispatch(ShardFn fn, void* ctx, std::size_t shard_count) {
   if (workers_.empty() || shard_count == 1) {
     // Inline fast path: nothing to synchronize with.
     next_shard_.store(shard_count, std::memory_order_relaxed);
-    for (std::size_t s = 0; s < shard_count; ++s) fn(ctx, s);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      XGR_FAULT_HIT("worker_team.shard");
+      fn(ctx, s);
+    }
     return;
   }
   {

@@ -286,6 +286,60 @@ TEST(CApiCompileService, FailedBuildReportsThroughPollAndAwait) {
   xgr_compile_service_destroy(service);
 }
 
+TEST(CApiCompileService, LastStatusReportsRefinedCodes) {
+  auto tok = SyntheticTokenizer();
+  xgr_compile_service* service =
+      xgr_compile_service_create(tok.get(), 1, 0, nullptr);
+  ASSERT_NE(service, nullptr);
+
+  // Deterministic parse failure: the first failed poll reports the refined
+  // invalid-grammar code alongside the message.
+  xgr_compile_ticket* bad =
+      xgr_compile_service_submit_ebnf(service, "root ::= \"broken", nullptr);
+  ASSERT_NE(bad, nullptr);
+  int32_t status = xgr_compile_ticket_poll(bad);
+  while (status == 0) status = xgr_compile_ticket_poll(bad);
+  EXPECT_EQ(status, -1);
+  EXPECT_EQ(xgr_last_status(), XGR_ERROR_INVALID_GRAMMAR);
+  // await on the same failed ticket recovers the code through the exception
+  // path (Guarded + StatusError) as well.
+  EXPECT_EQ(xgr_compile_ticket_await(bad), nullptr);
+  EXPECT_EQ(xgr_last_status(), XGR_ERROR_INVALID_GRAMMAR);
+  xgr_compile_ticket_destroy(bad);
+
+  // The identical source is quarantined after its first deterministic
+  // failure: the resubmit is rejected O(1) with the poisoned code.
+  xgr_compile_ticket* again =
+      xgr_compile_service_submit_ebnf(service, "root ::= \"broken", nullptr);
+  ASSERT_NE(again, nullptr);
+  status = xgr_compile_ticket_poll(again);
+  while (status == 0) status = xgr_compile_ticket_poll(again);
+  EXPECT_EQ(status, -1);
+  EXPECT_EQ(xgr_last_status(), XGR_ERROR_POISONED);
+  EXPECT_NE(LastError().find("quarantined"), std::string::npos);
+  xgr_compile_ticket_destroy(again);
+
+  // Cancellation maps to its own refined code.
+  xgr_compile_ticket* cancelled =
+      xgr_compile_service_submit_regex(service, "[0-9a-f]{12}");
+  ASSERT_NE(cancelled, nullptr);
+  xgr_compile_ticket_cancel(cancelled);
+  status = xgr_compile_ticket_poll(cancelled);
+  while (status == 0) status = xgr_compile_ticket_poll(cancelled);
+  if (status == -1) {
+    // The cancel won the race against the build.
+    EXPECT_EQ(xgr_last_status(), XGR_ERROR_CANCELLED);
+  }
+  xgr_compile_ticket_destroy(cancelled);
+
+  // Unclassified argument errors stay plain XGR_ERROR.
+  EXPECT_EQ(xgr_compile_service_submit_ebnf(service, nullptr, nullptr),
+            nullptr);
+  EXPECT_EQ(xgr_last_status(), XGR_ERROR);
+
+  xgr_compile_service_destroy(service);
+}
+
 TEST(CApiCompileService, CancelAndInvalidArguments) {
   auto tok = SyntheticTokenizer();
   xgr_compile_service* service =

@@ -357,6 +357,123 @@ TEST(ContinuousBatching, FailedCompileDropsRequestWithoutHanging) {
   EXPECT_EQ(result.requests[1].admitted_step, -1);  // never joined the batch
 }
 
+TEST(ContinuousBatching, DroppedRequestCarriesCompileErrorAndStatus) {
+  // Regression: a dropped request must be diagnosable, not just counted —
+  // the compile ticket's structured code and human-readable error have to
+  // survive into the ContinuousRequestResult.
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+
+  runtime::CompileService service(info);
+  runtime::CompileJob bad;
+  bad.kind = runtime::GrammarKind::kEbnf;
+  bad.source = "root ::= \"unterminated";
+  auto ticket =
+      std::make_shared<runtime::CompileTicket>(service.Submit(bad));
+  ticket->WaitFor(60.0);
+  const std::string compile_error = ticket->Error();
+  ASSERT_FALSE(compile_error.empty());
+
+  std::vector<ContinuousRequest> stream;
+  stream.push_back(MakeArrival(nullptr, "[1,2]", 0));
+  stream.push_back(MakeAsyncArrival(ticket, "{\"x\":1}", 0, 5));
+
+  ServingEngine engine(FastOptions(), llm);
+  ContinuousResult result = engine.RunContinuous(stream, 4);
+
+  const ContinuousRequestResult& dropped = result.requests[1];
+  EXPECT_TRUE(dropped.grammar_failed);
+  EXPECT_EQ(dropped.status, StatusCode::kInvalidGrammar);
+  EXPECT_EQ(dropped.error, compile_error);  // the message survived verbatim
+  // The healthy co-scheduled request is untouched by the drop.
+  EXPECT_EQ(result.requests[0].result.output_text, "[1,2]");
+  EXPECT_EQ(result.requests[0].status, StatusCode::kOk);
+  EXPECT_TRUE(result.requests[0].error.empty());
+}
+
+TEST(ContinuousBatching, CompileDeadlineDropsRequestWedgedOnASlowBuild) {
+  // A single-worker service busy with a heavy build wedges the request's
+  // grammar; the engine's compile deadline (simulated ms, tiny at
+  // time_scale 0) must drop the request instead of waiting forever.
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+
+  runtime::CompileServiceOptions service_options;
+  service_options.num_threads = 1;
+  runtime::CompileService service(info, service_options);
+  runtime::CompileJob blocker;
+  blocker.kind = runtime::GrammarKind::kBuiltinJson;
+  runtime::CompileTicket hold = service.Submit(blocker);
+  auto tasks = datasets::GenerateSchemaTasks(1, 59);
+  auto ticket = std::make_shared<runtime::CompileTicket>(
+      service.Submit(SchemaJob(tasks[0].schema)));
+
+  std::vector<ContinuousRequest> stream;
+  stream.push_back(MakeArrival(nullptr, "[3,1,4,1,5,9,2,6]", 0));
+  stream.push_back(MakeAsyncArrival(ticket, tasks[0].canonical_answer.Dump(), 0, 7));
+
+  EngineOptions options = FastOptions();
+  options.compile_deadline_ms = 1e-4;  // expires after any real iteration
+  ServingEngine engine(options, llm);
+  ContinuousResult result = engine.RunContinuous(stream, 4);
+
+  const ContinuousRequestResult& dropped = result.requests[1];
+  EXPECT_EQ(dropped.status, StatusCode::kDeadlineExceeded);
+  EXPECT_NE(dropped.error.find("compile deadline"), std::string::npos);
+  EXPECT_EQ(dropped.admitted_step, -1);
+  EXPECT_GT(dropped.compile_wait_ms, 0.0);
+  EXPECT_EQ(result.requests[0].result.output_text, "[3,1,4,1,5,9,2,6]");
+}
+
+TEST(ContinuousBatching, RequestDeadlineDropsBeforeAdmissionUnderCapacity) {
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+
+  // Capacity 1: the long head request holds the only slot; the second
+  // request's total deadline expires while it queues for capacity.
+  std::vector<ContinuousRequest> stream;
+  stream.push_back(
+      MakeArrival(nullptr, "[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]", 0));
+  stream.push_back(MakeArrival(nullptr, "[42]", 0, 9));
+  stream[1].deadline_ms = 1e-4;  // simulated ms; any real iteration exceeds it
+
+  ServingEngine engine(FastOptions(), llm);
+  ContinuousResult result = engine.RunContinuous(stream, 1);
+
+  EXPECT_EQ(result.requests[0].status, StatusCode::kOk);
+  const ContinuousRequestResult& expired = result.requests[1];
+  EXPECT_EQ(expired.status, StatusCode::kDeadlineExceeded);
+  EXPECT_NE(expired.error.find("before admission"), std::string::npos);
+  EXPECT_EQ(expired.admitted_step, -1);
+  EXPECT_TRUE(expired.result.output_text.empty());
+}
+
+TEST(ContinuousBatching, MidDecodeDeadlineKeepsPartialOutput) {
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+
+  const std::string target = "[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18]";
+  std::vector<ContinuousRequest> stream;
+  stream.push_back(MakeArrival(nullptr, target, 0));
+  stream[0].deadline_ms = 1e-4;  // expires during the first decode iteration
+
+  ServingEngine engine(FastOptions(), llm);
+  ContinuousResult result = engine.RunContinuous(stream, 1);
+
+  const ContinuousRequestResult& r = result.requests[0];
+  EXPECT_EQ(r.status, StatusCode::kDeadlineExceeded);
+  EXPECT_NE(r.error.find("mid-decode"), std::string::npos);
+  // The request was admitted, produced at least one token, and keeps its
+  // partial output — a prefix of the target, not the whole thing.
+  EXPECT_GE(r.admitted_step, 0);
+  EXPECT_FALSE(r.result.output_text.empty());
+  EXPECT_LT(r.result.output_text.size(), target.size());
+  EXPECT_EQ(target.compare(0, r.result.output_text.size(),
+                           r.result.output_text),
+            0);
+  EXPECT_FALSE(r.result.finished_by_eos);
+}
+
 TEST(ContinuousBatching, RejectsDegenerateArguments) {
   auto info = TestTokenizer();
   MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});

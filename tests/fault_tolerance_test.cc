@@ -1,0 +1,704 @@
+// Tests for the fault-tolerance layer: the deterministic fault-injection
+// framework itself (seeded firing, windows, actions), RetryPolicy backoff
+// schedules, the GrammarRegistry disk tier under injected transient I/O
+// errors / ENOSPC / corruption, CompileService deadlines with cooperative
+// mid-build cancellation, the poison-grammar quarantine, overload shedding,
+// and destructor/cancel races against in-flight failing builds. Every
+// failure path here is driven by seeded fault points and injected clocks —
+// no sleep-based races.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/compile_service.h"
+#include "runtime/grammar_registry.h"
+#include "support/fault_point.h"
+#include "support/retry_policy.h"
+#include "support/status.h"
+#include "support/worker_team.h"
+#include "tokenizer/synthetic_vocab.h"
+
+namespace xgr::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+namespace fault = support::fault;
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer() {
+  static auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({2000, 23}));
+  return info;
+}
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((fs::temp_directory_path() / ("xgr_fault_test_" + name)).string()) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+CompileJob EbnfJob(const std::string& text) {
+  CompileJob job;
+  job.kind = GrammarKind::kEbnf;
+  job.source = text;
+  return job;
+}
+
+// Heavy enough (builtin JSON over the full vocab) to hold a single worker
+// busy for many milliseconds while tests shape the queue behind it.
+CompileJob BlockerJob() {
+  CompileJob job;
+  job.kind = GrammarKind::kBuiltinJson;
+  return job;
+}
+
+// Injectable service clock: a plain function pointer over a global atomic.
+std::atomic<std::uint64_t> g_fake_now_ms{0};
+std::uint64_t FakeNowMs() { return g_fake_now_ms.load(); }
+
+void NoSleep(double) {}
+
+// --- fault points ------------------------------------------------------------
+
+TEST(FaultPoint, DisarmedHitIsFalseAndUncounted) {
+  fault::DisarmAll();
+  EXPECT_FALSE(XGR_FAULT_HIT("nobody.armed.this"));
+  fault::SiteStats stats = fault::Stats("nobody.armed.this");
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.fires, 0);
+}
+
+TEST(FaultPoint, FailActionFiresAndDisarmStops) {
+  fault::FaultRule rule;
+  rule.action = fault::FaultAction::kFail;
+  fault::Arm("test.fail", rule);
+  EXPECT_TRUE(XGR_FAULT_HIT("test.fail"));
+  EXPECT_TRUE(XGR_FAULT_HIT("test.fail"));
+  fault::SiteStats stats = fault::Stats("test.fail");
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.fires, 2);
+  fault::Disarm("test.fail");
+  EXPECT_FALSE(XGR_FAULT_HIT("test.fail"));
+}
+
+TEST(FaultPoint, SkipFirstAndMaxFiresBoundTheWindow) {
+  fault::FaultRule rule;
+  rule.action = fault::FaultAction::kFail;
+  rule.skip_first = 2;
+  rule.max_fires = 1;
+  fault::ScopedFault armed("test.window", rule);
+  EXPECT_FALSE(XGR_FAULT_HIT("test.window"));  // skipped
+  EXPECT_FALSE(XGR_FAULT_HIT("test.window"));  // skipped
+  EXPECT_TRUE(XGR_FAULT_HIT("test.window"));   // the one fire
+  EXPECT_FALSE(XGR_FAULT_HIT("test.window"));  // max_fires exhausted
+  fault::SiteStats stats = fault::Stats("test.window");
+  EXPECT_EQ(stats.hits, 4);
+  EXPECT_EQ(stats.fires, 1);
+}
+
+TEST(FaultPoint, ProbabilisticFiringIsAPureFunctionOfTheSeed) {
+  constexpr int kHits = 200;
+  auto run = [&] {
+    fault::FaultRule rule;
+    rule.action = fault::FaultAction::kFail;
+    rule.probability = 0.3;
+    rule.seed = 1234;
+    fault::ScopedFault armed("test.coin", rule);
+    std::vector<bool> fired;
+    for (int i = 0; i < kHits; ++i) fired.push_back(XGR_FAULT_HIT("test.coin"));
+    return fired;
+  };
+  std::vector<bool> first = run();
+  std::vector<bool> second = run();
+  EXPECT_EQ(first, second);  // re-arming the same seed replays exactly
+  int fires = 0;
+  for (bool f : first) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, kHits);  // a coin, not a constant
+}
+
+TEST(FaultPoint, ThrowActionCarriesCodeAndTagsTheSite) {
+  fault::FaultRule rule;
+  rule.action = fault::FaultAction::kThrow;
+  rule.code = StatusCode::kCorruptArtifact;
+  rule.message = "disk went sideways";
+  fault::ScopedFault armed("test.throw", rule);
+  try {
+    XGR_FAULT_HIT("test.throw");
+    FAIL() << "expected the armed site to throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kCorruptArtifact);
+    EXPECT_NE(std::string(e.what()).find("disk went sideways"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("[fault:test.throw]"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultPoint, CallbackActionRunsAndPassesThrough) {
+  int calls = 0;
+  fault::FaultRule rule;
+  rule.action = fault::FaultAction::kCallback;
+  rule.callback = [&] { ++calls; };
+  fault::ScopedFault armed("test.callback", rule);
+  EXPECT_FALSE(XGR_FAULT_HIT("test.callback"));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(FaultPoint, ScopedFaultDisarmsOnScopeExit) {
+  {
+    fault::FaultRule rule;
+    rule.action = fault::FaultAction::kFail;
+    fault::ScopedFault armed("test.scoped", rule);
+    EXPECT_TRUE(XGR_FAULT_HIT("test.scoped"));
+  }
+  EXPECT_FALSE(XGR_FAULT_HIT("test.scoped"));
+}
+
+// --- retry policy ------------------------------------------------------------
+
+TEST(RetryPolicy, FirstTrySuccessNeverSleeps) {
+  support::RetryPolicy policy;
+  policy.sleep_fn = NoSleep;
+  support::RetryStats stats;
+  EXPECT_TRUE(support::RetryTransient(policy, [] { return true; }, &stats));
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.retries, 0);
+  EXPECT_EQ(stats.slept_ms, 0.0);
+}
+
+TEST(RetryPolicy, TransientFailureRetriesWithGrowingJitteredBackoff) {
+  support::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ms = 2.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 100.0;
+  policy.jitter = 0.25;
+  policy.sleep_fn = NoSleep;
+  int failures_left = 2;
+  support::RetryStats stats;
+  EXPECT_TRUE(support::RetryTransient(
+      policy, [&] { return --failures_left < 0; }, &stats));
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.retries, 2);
+  // Two delays drawn from [1.5, 2.5] and [3, 5] ms respectively.
+  EXPECT_GE(stats.slept_ms, 1.5 + 3.0);
+  EXPECT_LE(stats.slept_ms, 2.5 + 5.0);
+
+  // Determinism: the same policy (same seed) produces the same schedule.
+  failures_left = 2;
+  support::RetryStats replay;
+  support::RetryTransient(policy, [&] { return --failures_left < 0; }, &replay);
+  EXPECT_EQ(replay.slept_ms, stats.slept_ms);
+}
+
+TEST(RetryPolicy, ExhaustionReturnsFalseAfterMaxAttempts) {
+  support::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.sleep_fn = NoSleep;
+  support::RetryStats stats;
+  EXPECT_FALSE(support::RetryTransient(policy, [] { return false; }, &stats));
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.retries, 2);
+}
+
+// --- worker team fault site --------------------------------------------------
+
+TEST(WorkerTeamFault, InjectedShardFailurePropagatesToDispatch) {
+  support::WorkerTeam team(2);
+  auto noop = +[](void*, std::size_t) {};
+  team.Dispatch(noop, nullptr, 4);  // healthy dispatch first
+  fault::FaultRule rule;
+  rule.action = fault::FaultAction::kThrow;
+  rule.code = StatusCode::kInternal;
+  rule.message = "shard blew up";
+  rule.max_fires = 1;
+  fault::ScopedFault armed("worker_team.shard", rule);
+  try {
+    team.Dispatch(noop, nullptr, 4);
+    FAIL() << "expected the injected shard failure to propagate";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kInternal);
+  }
+  // The team survives the failed generation and keeps dispatching.
+  fault::DisarmAll();
+  team.Dispatch(noop, nullptr, 4);
+}
+
+// --- registry disk tier under injection --------------------------------------
+
+// One artifact, built once, shared across the disk-tier tests.
+struct DiskFixture {
+  std::string key;
+  Artifact artifact;
+  DiskFixture() {
+    CompileService service(TestTokenizer());
+    CompileJob job = EbnfJob("root ::= \"disk\" [a-z]+");
+    key = CompileJobKey(job);
+    artifact = service.Compile(job);
+  }
+};
+
+GrammarRegistryOptions DiskOptions(const std::string& dir) {
+  GrammarRegistryOptions options;
+  options.disk_dir = dir;
+  options.disk_retry.sleep_fn = NoSleep;
+  return options;
+}
+
+TEST(RegistryFault, TransientReadErrorIsRetriedAndRecovers) {
+  TempDir dir("read_retry");
+  DiskFixture fx;
+  { GrammarRegistry(TestTokenizer(), DiskOptions(dir.path))
+        .Insert(fx.key, fx.artifact); }
+
+  GrammarRegistry reader(TestTokenizer(), DiskOptions(dir.path));
+  fault::FaultRule rule;
+  rule.action = fault::FaultAction::kFail;
+  rule.max_fires = 1;  // first attempt fails, the retry succeeds
+  fault::ScopedFault armed("registry.disk.read", rule);
+  Artifact loaded = reader.Lookup(fx.key);
+  ASSERT_NE(loaded, nullptr);
+  GrammarRegistryStats stats = reader.Stats();
+  EXPECT_EQ(stats.disk_hits, 1);
+  EXPECT_GE(stats.disk_retries, 1);
+  EXPECT_EQ(stats.disk_retry_exhausted, 0);
+}
+
+TEST(RegistryFault, ReadRetryExhaustionIsAMissAndTheFileSurvives) {
+  TempDir dir("read_exhaust");
+  DiskFixture fx;
+  { GrammarRegistry(TestTokenizer(), DiskOptions(dir.path))
+        .Insert(fx.key, fx.artifact); }
+
+  GrammarRegistry reader(TestTokenizer(), DiskOptions(dir.path));
+  {
+    fault::FaultRule rule;
+    rule.action = fault::FaultAction::kFail;  // unlimited: every attempt fails
+    fault::ScopedFault armed("registry.disk.read", rule);
+    EXPECT_EQ(reader.Lookup(fx.key), nullptr);
+  }
+  GrammarRegistryStats stats = reader.Stats();
+  EXPECT_EQ(stats.disk_retry_exhausted, 1);
+  EXPECT_EQ(stats.disk_rejects, 0);  // transient, not corruption: no delete
+  EXPECT_TRUE(fs::exists(reader.DiskPath(fx.key)));
+  // Once the fault clears, the same registry recovers the artifact.
+  EXPECT_NE(reader.Lookup(fx.key), nullptr);
+}
+
+TEST(RegistryFault, EnospcWriteExhaustionLeavesArtifactMemoryOnly) {
+  TempDir dir("write_enospc");
+  DiskFixture fx;
+  GrammarRegistry registry(TestTokenizer(), DiskOptions(dir.path));
+  {
+    fault::FaultRule rule;
+    rule.action = fault::FaultAction::kFail;
+    fault::ScopedFault armed("registry.disk.write_enospc", rule);
+    registry.Insert(fx.key, fx.artifact);
+  }
+  EXPECT_EQ(registry.Stats().disk_writes, 0);
+  EXPECT_EQ(registry.Stats().disk_retry_exhausted, 1);
+  EXPECT_FALSE(fs::exists(registry.DiskPath(fx.key)));
+  // Memory tier is unaffected: the artifact serves from residency.
+  EXPECT_NE(registry.Lookup(fx.key), nullptr);
+}
+
+TEST(RegistryFault, ShortWriteIsCaughtCleanedUpAndRetriedToSuccess) {
+  TempDir dir("write_short");
+  DiskFixture fx;
+  GrammarRegistry writer(TestTokenizer(), DiskOptions(dir.path));
+  {
+    fault::FaultRule rule;
+    rule.action = fault::FaultAction::kFail;
+    rule.max_fires = 1;  // first attempt truncates; the retry writes fully
+    fault::ScopedFault armed("registry.disk.write_short", rule);
+    writer.Insert(fx.key, fx.artifact);
+  }
+  EXPECT_EQ(writer.Stats().disk_writes, 1);
+  EXPECT_GE(writer.Stats().disk_retries, 1);
+  ASSERT_TRUE(fs::exists(writer.DiskPath(fx.key)));
+  // No stray temp files: the failed attempt cleaned up after itself.
+  int files = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1);
+  // The published file passes full validation in a fresh registry.
+  GrammarRegistry reader(TestTokenizer(), DiskOptions(dir.path));
+  EXPECT_NE(reader.Lookup(fx.key), nullptr);
+  EXPECT_EQ(reader.Stats().disk_hits, 1);
+}
+
+TEST(RegistryFault, InjectedReadCorruptionIsTerminalDeleteAndRecompile) {
+  TempDir dir("read_corrupt");
+  CompileJob job = EbnfJob("root ::= \"corrupt\" [a-z]+");
+  CompileServiceOptions options;
+  options.registry = DiskOptions(dir.path);
+  {
+    CompileService service(TestTokenizer(), options);
+    ASSERT_NE(service.Compile(job), nullptr);
+    ASSERT_TRUE(fs::exists(service.Registry().DiskPath(CompileJobKey(job))));
+  }
+  // Fresh "process": the warm-start read observes corrupted bytes exactly
+  // once. That is terminal (no retry): the file is deleted and the service
+  // recompiles.
+  CompileService service(TestTokenizer(), options);
+  fault::FaultRule rule;
+  rule.action = fault::FaultAction::kFail;
+  rule.max_fires = 1;
+  fault::ScopedFault armed("registry.disk.read_corrupt", rule);
+  ASSERT_NE(service.Compile(job), nullptr);
+  EXPECT_EQ(service.Stats().compiled, 1);  // full recompile, not a disk load
+  EXPECT_EQ(service.Registry().Stats().disk_rejects, 1);
+  EXPECT_EQ(service.Registry().Stats().disk_retries, 0);  // never retried
+  // The recompile re-persisted a good copy under the same name.
+  EXPECT_TRUE(fs::exists(service.Registry().DiskPath(CompileJobKey(job))));
+}
+
+TEST(RegistryFault, ServiceCompilesThroughFullDiskAndHealsNextProcess) {
+  TempDir dir("service_enospc");
+  CompileJob job = EbnfJob("root ::= \"enospc\" [a-z]+");
+  CompileServiceOptions options;
+  options.registry = DiskOptions(dir.path);
+  {
+    CompileService service(TestTokenizer(), options);
+    fault::FaultRule rule;
+    rule.action = fault::FaultAction::kFail;
+    fault::ScopedFault armed("registry.disk.write_enospc", rule);
+    // The disk tier is an optimization: a full volume degrades to
+    // memory-only, never to a failed compile.
+    ASSERT_NE(service.Compile(job), nullptr);
+    EXPECT_EQ(service.Stats().compiled, 1);
+    EXPECT_GE(service.Registry().Stats().disk_retry_exhausted, 1);
+    EXPECT_FALSE(fs::exists(service.Registry().DiskPath(CompileJobKey(job))));
+  }
+  // Next process (volume healed): nothing was persisted, so the key
+  // recompiles once and lands on disk this time.
+  CompileService service(TestTokenizer(), options);
+  ASSERT_NE(service.Compile(job), nullptr);
+  EXPECT_EQ(service.Stats().compiled, 1);
+  EXPECT_TRUE(fs::exists(service.Registry().DiskPath(CompileJobKey(job))));
+}
+
+// --- compile deadlines -------------------------------------------------------
+
+TEST(CompileDeadline, QueueExpiredDeadlineFailsWithoutOccupyingAWorker) {
+  g_fake_now_ms.store(0);
+  CompileServiceOptions options;
+  options.num_threads = 1;
+  options.now_ms_fn = FakeNowMs;
+  CompileService service(TestTokenizer(), options);
+
+  CompileTicket blocker = service.Submit(BlockerJob());
+  while (service.Stats().builds_started == 0) std::this_thread::yield();
+
+  CompileJob job = EbnfJob("root ::= \"late\"");
+  job.deadline_ms = 10.0;
+  CompileTicket late = service.Submit(std::move(job));
+  g_fake_now_ms.store(100);  // the deadline passes while the job queues
+
+  ASSERT_NE(blocker.Get(), nullptr);
+  ASSERT_TRUE(late.WaitFor(60.0));
+  EXPECT_EQ(late.State(), CompileState::kFailed);
+  EXPECT_EQ(late.Code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(late.Error().find("while queued"), std::string::npos);
+  CompileServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.deadline_expired, 1);
+  EXPECT_EQ(stats.builds_started, 1);  // only the blocker ever built
+  EXPECT_EQ(stats.inflight, 0);
+}
+
+TEST(CompileDeadline, MidBuildExpiryAbortsCooperativelyBetweenPasses) {
+  g_fake_now_ms.store(0);
+  CompileServiceOptions options;
+  options.num_threads = 1;
+  options.now_ms_fn = FakeNowMs;
+  CompileService service(TestTokenizer(), options);
+
+  // The build starts in time; the injected callback advances the clock past
+  // the deadline between the grammar pass and the PDA pass, and the
+  // cooperative check right after it aborts the build.
+  fault::FaultRule rule;
+  rule.action = fault::FaultAction::kCallback;
+  rule.callback = [] { g_fake_now_ms.store(100); };
+  rule.max_fires = 1;
+  fault::ScopedFault armed("compile.after_grammar", rule);
+
+  CompileJob job = EbnfJob("root ::= \"slow\" [a-z]+");
+  job.deadline_ms = 50.0;
+  CompileTicket ticket = service.Submit(std::move(job));
+  ASSERT_TRUE(ticket.WaitFor(60.0));
+  EXPECT_EQ(ticket.State(), CompileState::kFailed);
+  EXPECT_EQ(ticket.Code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(ticket.Error().find("mid-build"), std::string::npos);
+  CompileServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.builds_started, 1);
+  EXPECT_EQ(stats.deadline_expired, 1);
+  EXPECT_EQ(stats.inflight, 0);
+}
+
+TEST(CompileDeadline, DeadlineFailuresNeverQuarantineTheKey) {
+  g_fake_now_ms.store(0);
+  CompileServiceOptions options;
+  options.num_threads = 1;
+  options.now_ms_fn = FakeNowMs;
+  CompileService service(TestTokenizer(), options);
+  {
+    fault::FaultRule rule;
+    rule.action = fault::FaultAction::kCallback;
+    rule.callback = [] { g_fake_now_ms.fetch_add(100); };
+    rule.max_fires = 1;
+    fault::ScopedFault armed("compile.after_grammar", rule);
+    CompileJob job = EbnfJob("root ::= \"timing\"");
+    job.deadline_ms = 50.0;
+    CompileTicket ticket = service.Submit(std::move(job));
+    ASSERT_TRUE(ticket.WaitFor(60.0));
+    ASSERT_EQ(ticket.Code(), StatusCode::kDeadlineExceeded);
+  }
+  // A deadline expiry says nothing about the grammar: the immediate
+  // resubmit (no deadline) builds and succeeds — no quarantine.
+  Artifact ok = service.Compile(EbnfJob("root ::= \"timing\""));
+  EXPECT_NE(ok, nullptr);
+  EXPECT_EQ(service.Stats().quarantine_rejects, 0);
+}
+
+// --- cooperative cancellation mid-build --------------------------------------
+
+TEST(CompileCancel, ReleasingEveryTicketAbortsARunningBuild) {
+  CompileServiceOptions options;
+  options.num_threads = 1;
+  CompileService service(TestTokenizer(), options);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool reached = false;
+  bool released = false;
+  fault::FaultRule rule;
+  rule.action = fault::FaultAction::kCallback;
+  rule.max_fires = 1;
+  rule.callback = [&] {
+    std::unique_lock<std::mutex> lock(m);
+    reached = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return released; });
+  };
+  fault::ScopedFault armed("compile.after_grammar", rule);
+
+  CompileTicket ticket = service.Submit(EbnfJob("root ::= \"doomed\" [a-z]+"));
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return reached; });
+  }
+  // The build is parked mid-flight; dropping the only interest must abort it
+  // at the next cooperative check instead of finishing work nobody wants.
+  ticket.Cancel();
+  {
+    std::lock_guard<std::mutex> lock(m);
+    released = true;
+  }
+  cv.notify_all();
+
+  ASSERT_TRUE(ticket.WaitFor(60.0));
+  EXPECT_EQ(ticket.Code(), StatusCode::kCancelled);
+  EXPECT_NE(ticket.Error().find("abandoned mid-flight"), std::string::npos);
+  CompileServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.builds_aborted, 1);
+  EXPECT_EQ(stats.compiled, 0);
+  EXPECT_EQ(stats.inflight, 0);
+}
+
+TEST(CompileCancel, DestructorRacesInFlightFailingBuildsWithoutWedging) {
+  // Eight distinct keys, every build failing mid-pipeline, service torn down
+  // while builds are in flight: every ticket must resolve (no hangs, no
+  // leaks) with a classified code. TSan-checked in CI.
+  fault::FaultRule rule;
+  rule.action = fault::FaultAction::kThrow;
+  rule.code = StatusCode::kInternal;
+  rule.message = "injected mid-build failure";
+  fault::ScopedFault armed("compile.after_grammar", rule);
+
+  std::vector<CompileTicket> tickets;
+  {
+    CompileServiceOptions options;
+    options.num_threads = 2;
+    CompileService service(TestTokenizer(), options);
+    for (int i = 0; i < 8; ++i) {
+      tickets.push_back(service.Submit(
+          EbnfJob("root ::= \"races" + std::to_string(i) + "\" [a-z]+")));
+    }
+    while (service.Stats().builds_started == 0) std::this_thread::yield();
+    // Destructor: running (failing) builds finalize, queued builds cancel.
+  }
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_NE(tickets[i].State(), CompileState::kPending) << i;
+    const StatusCode code = tickets[i].Code();
+    EXPECT_TRUE(code == StatusCode::kInternal ||
+                code == StatusCode::kCancelled)
+        << i << ": " << StatusCodeName(code);
+  }
+}
+
+// --- poison-grammar quarantine -----------------------------------------------
+
+TEST(Quarantine, InvalidGrammarIsQuarantinedOnFirstFailure) {
+  CompileService service(TestTokenizer());
+  CompileTicket first = service.Submit(EbnfJob("root ::= \"unterminated"));
+  ASSERT_TRUE(first.WaitFor(60.0));
+  ASSERT_EQ(first.Code(), StatusCode::kInvalidGrammar);
+  const std::string original_error = first.Error();
+
+  // The identical source is rejected at the door: no queueing, no build, the
+  // ticket is already resolved when Submit() returns, and the cached error
+  // plus original code class are served back.
+  CompileTicket second = service.Submit(EbnfJob("root ::= \"unterminated"));
+  EXPECT_TRUE(second.Ready());
+  EXPECT_EQ(second.State(), CompileState::kFailed);
+  EXPECT_EQ(second.Code(), StatusCode::kPoisoned);
+  EXPECT_NE(second.Error().find("quarantined after 1 failed build(s)"),
+            std::string::npos);
+  EXPECT_NE(second.Error().find("invalid_grammar"), std::string::npos);
+  EXPECT_NE(second.Error().find(original_error), std::string::npos);
+  CompileServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.builds_started, 1);  // O(1) rejection: one build ever
+  EXPECT_EQ(stats.quarantine_rejects, 1);
+  EXPECT_EQ(stats.inflight, 0);
+}
+
+TEST(Quarantine, TransientFailuresQuarantineAtThresholdAndTtlGrantsAProbe) {
+  g_fake_now_ms.store(0);
+  CompileServiceOptions options;
+  options.num_threads = 1;
+  options.now_ms_fn = FakeNowMs;
+  options.quarantine.max_attempts = 2;
+  options.quarantine.ttl_ms = 1000.0;
+  CompileService service(TestTokenizer(), options);
+
+  CompileJob job = EbnfJob("root ::= \"flaky\" [a-z]+");
+  fault::FaultRule rule;
+  rule.action = fault::FaultAction::kThrow;
+  rule.code = StatusCode::kInternal;
+  rule.message = "transient blip";
+  fault::Arm("compile.before_build", rule);
+
+  // Strike one: a transient failure does not quarantine below the threshold.
+  CompileTicket s1 = service.Submit(job);
+  ASSERT_TRUE(s1.WaitFor(60.0));
+  EXPECT_EQ(s1.Code(), StatusCode::kInternal);
+  // Strike two hits max_attempts: the key is now poisoned...
+  CompileTicket s2 = service.Submit(job);
+  ASSERT_TRUE(s2.WaitFor(60.0));
+  EXPECT_EQ(s2.Code(), StatusCode::kInternal);
+  EXPECT_EQ(service.Stats().builds_started, 2);
+  // ...so the third submit is rejected O(1) without building.
+  CompileTicket s3 = service.Submit(job);
+  EXPECT_EQ(s3.Code(), StatusCode::kPoisoned);
+  EXPECT_EQ(service.Stats().builds_started, 2);
+  EXPECT_EQ(service.Stats().quarantine_rejects, 1);
+
+  // TTL expiry earns exactly one probe; the probe failing (fault still
+  // armed) re-quarantines immediately — a single strike, not a fresh count.
+  g_fake_now_ms.store(2000);
+  CompileTicket probe = service.Submit(job);
+  ASSERT_TRUE(probe.WaitFor(60.0));
+  EXPECT_EQ(probe.Code(), StatusCode::kInternal);
+  EXPECT_EQ(service.Stats().builds_started, 3);
+  CompileTicket rejected = service.Submit(job);
+  EXPECT_EQ(rejected.Code(), StatusCode::kPoisoned);
+  EXPECT_EQ(service.Stats().builds_started, 3);
+
+  // The fault heals; the next TTL probe succeeds and wipes the key's
+  // failure history: the artifact is real and a resubmit is a registry hit.
+  fault::DisarmAll();
+  g_fake_now_ms.store(4000);
+  CompileTicket healed = service.Submit(job);
+  ASSERT_NE(healed.Get(), nullptr);
+  CompileTicket hit = service.Submit(job);
+  EXPECT_EQ(hit.State(), CompileState::kReady);
+  EXPECT_EQ(service.Stats().registry_hits, 1);
+}
+
+// --- overload backpressure ---------------------------------------------------
+
+TEST(Overload, FullQueueRejectsEqualPriorityArrivalWithOverloaded) {
+  CompileServiceOptions options;
+  options.num_threads = 1;
+  options.max_queue_depth = 1;
+  CompileService service(TestTokenizer(), options);
+
+  CompileTicket blocker = service.Submit(BlockerJob());
+  while (service.Stats().builds_started == 0) std::this_thread::yield();
+
+  CompileTicket queued = service.Submit(EbnfJob("root ::= \"q\" [a-z]+"));
+  // Same priority does not outrank the queued build: the arrival loses.
+  CompileTicket rejected = service.Submit(EbnfJob("root ::= \"r\" [a-z]+"));
+  EXPECT_TRUE(rejected.Ready());
+  EXPECT_EQ(rejected.State(), CompileState::kFailed);
+  EXPECT_EQ(rejected.Code(), StatusCode::kOverloaded);
+  EXPECT_NE(rejected.Error().find("queue full"), std::string::npos);
+  EXPECT_EQ(service.Stats().overload_rejects, 1);
+
+  // The queued build was untouched by the rejection and completes.
+  ASSERT_NE(blocker.Get(), nullptr);
+  EXPECT_NE(queued.Get(), nullptr);
+  EXPECT_EQ(service.Stats().inflight, 0);
+}
+
+TEST(Overload, UrgentArrivalShedsTheWorstQueuedBuild) {
+  CompileServiceOptions options;
+  options.num_threads = 1;
+  options.max_queue_depth = 1;
+  CompileService service(TestTokenizer(), options);
+
+  CompileTicket blocker = service.Submit(BlockerJob());
+  while (service.Stats().builds_started == 0) std::this_thread::yield();
+
+  std::atomic<int> shed_callbacks{0};
+  std::atomic<bool> shed_saw_null{false};
+  CompileTicket prefetch = service.Submit(
+      EbnfJob("root ::= \"spec\" [a-z]+"), CompilePriority::kPrefetch,
+      [&](const Artifact& artifact) {
+        shed_saw_null.store(artifact == nullptr);
+        ++shed_callbacks;
+      });
+  // An interactive arrival outranks the queued prefetch: the prefetch is
+  // evicted (kOverloaded) and the interactive job takes its queue slot.
+  CompileTicket urgent = service.Submit(EbnfJob("root ::= \"now\" [a-z]+"),
+                                        CompilePriority::kInteractive);
+  EXPECT_EQ(prefetch.State(), CompileState::kFailed);
+  EXPECT_EQ(prefetch.Code(), StatusCode::kOverloaded);
+  EXPECT_NE(prefetch.Error().find("shed under overload"), std::string::npos);
+  EXPECT_EQ(shed_callbacks.load(), 1);
+  EXPECT_TRUE(shed_saw_null.load());
+  CompileServiceStats mid = service.Stats();
+  EXPECT_EQ(mid.shed, 1);
+  EXPECT_EQ(mid.overload_rejects, 0);
+
+  ASSERT_NE(blocker.Get(), nullptr);
+  EXPECT_NE(urgent.Get(), nullptr);  // the urgent job really ran
+  EXPECT_EQ(service.Stats().inflight, 0);
+}
+
+// Faults must never leak into later test binaries' expectations.
+class GlobalFaultTeardown : public ::testing::Environment {
+ public:
+  void TearDown() override { fault::DisarmAll(); }
+};
+const auto* const g_teardown =
+    ::testing::AddGlobalTestEnvironment(new GlobalFaultTeardown());
+
+}  // namespace
+}  // namespace xgr::runtime

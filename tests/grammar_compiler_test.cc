@@ -9,6 +9,7 @@
 
 #include "cache/grammar_compiler.h"
 #include "support/logging.h"
+#include "support/status.h"
 #include "tokenizer/synthetic_vocab.h"
 
 namespace xgr::cache {
@@ -63,11 +64,39 @@ TEST(GrammarCompiler, RootRuleIsPartOfTheKey) {
 TEST(GrammarCompiler, FailuresPropagateAndAllowRetry) {
   GrammarCompiler compiler(TestTokenizer());
   EXPECT_THROW(compiler.CompileEbnf("root ::= \"unterminated"), CheckError);
-  // The failed key is evicted, so fixing the source works and a repeat of
-  // the broken source fails again (not a cached success).
+  // A deterministic parse failure is negative-cached: the repeat fails again
+  // (served from the memo, not recompiled) and a corrected source — a
+  // different key — compiles normally.
   EXPECT_THROW(compiler.CompileEbnf("root ::= \"unterminated"), CheckError);
+  EXPECT_EQ(compiler.Stats().negative_hits, 1);
   auto fixed = compiler.CompileEbnf("root ::= \"terminated\"");
   EXPECT_NE(fixed, nullptr);
+}
+
+TEST(GrammarCompiler, NegativeCacheServesTheOriginalErrorAndClears) {
+  GrammarCompiler compiler(TestTokenizer());
+  std::string first_error;
+  try {
+    compiler.CompileEbnf("root ::= \"broken");
+  } catch (const CheckError& e) {
+    first_error = e.what();
+  }
+  ASSERT_FALSE(first_error.empty());
+  // The cached rejection carries the original diagnostic and a structured
+  // kPoisoned code — O(1), no re-parse.
+  try {
+    compiler.CompileEbnf("root ::= \"broken");
+    FAIL() << "expected the negative-cached failure to throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kPoisoned);
+    EXPECT_NE(std::string(e.what()).find(first_error), std::string::npos);
+  }
+  EXPECT_EQ(compiler.Stats().negative_hits, 1);
+  // Clear() drops the negative cache too: the source is re-parsed (and
+  // fails afresh, as a plain CheckError).
+  compiler.Clear();
+  EXPECT_THROW(compiler.CompileEbnf("root ::= \"broken"), CheckError);
+  EXPECT_EQ(compiler.Stats().negative_hits, 1);
 }
 
 TEST(GrammarCompiler, ClearDropsMemo) {

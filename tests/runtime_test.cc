@@ -118,8 +118,10 @@ TEST(CompileService, FailedBuildReportsThroughTicketAndAllowsRetry) {
   EXPECT_EQ(bad.State(), CompileState::kFailed);
   EXPECT_FALSE(bad.Error().empty());
   EXPECT_THROW(bad.Get(), CheckError);
+  EXPECT_EQ(bad.Code(), StatusCode::kInvalidGrammar);
   EXPECT_EQ(service.Stats().failed, 1);
-  // The failure is not memoized: a corrected source compiles.
+  // The broken key is quarantined, but a corrected source is a different
+  // content key and compiles normally.
   Artifact fixed = service.Compile(EbnfJob("root ::= \"terminated\""));
   EXPECT_NE(fixed, nullptr);
 }
