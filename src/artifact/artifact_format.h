@@ -1,0 +1,191 @@
+// Flat zero-copy artifact format ("XGR3").
+//
+// The serialize-v2 envelope ("XGRS"/"XGRK") heap-parses every array on load
+// (~1 ms/schema); this format instead stores the adaptive mask cache exactly
+// as its in-memory representation — PrefixTrieSlice arrays, stored/ctx token
+// lists, bitset words — behind an offset table, so loading is mmap +
+// validation + pointer fix-up into non-owning views (support::ArrayRef /
+// FrozenBitset). N serving processes mapping the same file share one
+// physical page set machine-wide.
+//
+// Layout (all section offsets 64-byte aligned, file padded to 64 bytes):
+//
+//   FlatHeader             128 bytes, magic "XGR3"
+//   content key            raw bytes (registry content addressing; size 0 =
+//                          unkeyed artifact, key check skipped)
+//   pda section            FlatPdaHeader + CSR automata (12-byte edge
+//                          records, offset tables, accepting bytes) viewed
+//                          in place via fsa::Fsa::FrozenView; only the small
+//                          grammar AST blob and the per-rule/per-node int32
+//                          tables are heap-parsed/copied on load
+//   FlatStats              fixed-size numeric CacheBuildStats snapshot
+//   entry table            num_entries × FlatEntryRecord
+//   data region            per-entry arrays; int32 arrays 4-byte aligned,
+//                          bitset words 64-byte (cache-line) aligned
+//
+// Integrity: `header_checksum` covers the header (checksum fields zeroed);
+// `payload_checksum` is a word-wise FNV-1a over [128, file_size). Offsets
+// are validated for range + alignment before any view is formed, the vocab
+// pin must match the serving tokenizer, and every ctx sub-trie passes the
+// same structural validation as the v2 reader — a corrupt file classifies
+// as StatusCode::kCorruptArtifact, never a crash.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace xgr::artifact {
+
+inline constexpr char kFlatMagic[4] = {'X', 'G', 'R', '3'};
+inline constexpr std::uint32_t kFlatVersion = 1;
+inline constexpr std::uint64_t kEndianMarker = 0x0123456789ABCDEFull;
+inline constexpr std::size_t kSectionAlign = 64;
+
+// On-disk artifact families that can appear in a registry disk dir. The
+// loader sniffs the magic and dispatches: kFlatV3 takes the mmap path,
+// kDiskEnvelope the legacy serialize-v2 heap path (version-skew coexistence);
+// kSerializeEnvelope is a bare "XGRS" envelope without the disk key wrapper.
+enum class ArtifactFormat : std::uint8_t {
+  kUnknown = 0,
+  kSerializeEnvelope,  // "XGRS"
+  kDiskEnvelope,       // "XGRK" (registry v2 disk tier)
+  kFlatV3,             // "XGR3" (this format)
+};
+
+inline ArtifactFormat SniffArtifactFormat(std::string_view bytes) {
+  if (bytes.size() < 4) return ArtifactFormat::kUnknown;
+  if (std::memcmp(bytes.data(), kFlatMagic, 4) == 0) return ArtifactFormat::kFlatV3;
+  if (std::memcmp(bytes.data(), "XGRK", 4) == 0) return ArtifactFormat::kDiskEnvelope;
+  if (std::memcmp(bytes.data(), "XGRS", 4) == 0) return ArtifactFormat::kSerializeEnvelope;
+  return ArtifactFormat::kUnknown;
+}
+
+struct FlatHeader {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t endian_marker;
+  std::uint64_t file_size;
+  std::uint64_t header_checksum;   // FNV over this struct, checksum fields = 0
+  std::uint64_t payload_checksum;  // word-wise FNV over [sizeof(FlatHeader), file_size)
+  std::uint64_t vocab_hash;        // serialize::VocabularyHash pin
+  std::uint32_t vocab_size;        // bits per bitset entry
+  std::uint32_t num_entries;       // == pda->NumNodes()
+  std::uint64_t content_key_offset;
+  std::uint64_t content_key_size;
+  std::uint64_t pda_offset;
+  std::uint64_t pda_size;
+  std::uint64_t stats_offset;
+  std::uint64_t entry_table_offset;
+  std::uint8_t reserved[24];
+};
+static_assert(sizeof(FlatHeader) == 128, "FlatHeader must stay 2 cache lines");
+
+// Header of the pda section (all offsets relative to the section start,
+// which itself lands kSectionAlign-aligned in the file). The two automata —
+// main and context-expansion — are stored CSR: an edge array of 12-byte
+// records matching fsa::Edge's in-memory layout (padding byte zeroed for
+// deterministic bytes), a (num_states+1)-entry int32 offset table, and one
+// accepting byte per state. The grammar AST rides along as a nested
+// serialize-v2 envelope (small), and the per-rule / per-node int32 tables
+// are copied out on load (memcpy-cheap); everything else is viewed in place.
+struct FlatPdaHeader {
+  std::uint32_t num_states;
+  std::uint32_t num_edges;
+  std::uint32_t num_rules;
+  std::uint32_t ctx_num_states;  // 0 when context expansion is disabled
+  std::uint32_t ctx_num_edges;
+  std::int32_t start_state;
+  std::int32_t ctx_start_state;
+  std::int32_t root_rule;
+  std::uint64_t grammar_offset;  // serialize::SerializeGrammar envelope
+  std::uint64_t grammar_size;
+  std::uint64_t edges_offset;         // num_edges × sizeof(fsa::Edge)
+  std::uint64_t edge_offsets_offset;  // (num_states + 1) × int32
+  std::uint64_t accepting_offset;     // num_states × uint8
+  std::uint64_t rule_starts_offset;   // num_rules × int32
+  std::uint64_t node_rule_offset;     // num_states × int32
+  std::uint64_t ctx_edges_offset;
+  std::uint64_t ctx_edge_offsets_offset;
+  std::uint64_t ctx_accepting_offset;
+  std::uint64_t context_starts_offset;  // num_rules × int32; -1 = no suffix
+  std::uint8_t has_context;
+  // CompileOptions snapshot, same order as the serialize-v2 encoding:
+  // rule_inlining, node_merging, context_expansion, then the 7 optimizer
+  // pass switches; the 5 ints are the inline/fsa-minimization guards.
+  std::uint8_t opt_flags[10];
+  std::uint8_t pad;
+  std::int32_t opt_ints[5];
+  std::uint8_t reserved[8];
+};
+static_assert(sizeof(FlatPdaHeader) == 160, "FlatPdaHeader layout drifted");
+
+// Offsets are absolute file offsets; a count/size of 0 means the array is
+// absent and its offset must be 0.
+struct FlatEntryRecord {
+  std::uint32_t kind;  // cache::StorageKind
+  std::uint32_t reserved;
+  std::uint64_t stored_offset;
+  std::uint64_t stored_count;
+  std::uint64_t bits_offset;  // 64-byte aligned (SIMD word copies)
+  std::uint64_t bits_words;
+  std::uint64_t bits_size;  // in bits
+  std::uint64_t ctx_offset;
+  std::uint64_t ctx_count;
+  std::uint64_t trie_edge_offset;  // edge_bytes, trie_nodes entries
+  std::uint64_t trie_nodes;
+  std::uint64_t trie_depths_offset;
+  std::uint64_t trie_skips_offset;
+  std::uint64_t trie_token_begins_offset;
+  std::uint64_t trie_token_begins_count;
+};
+static_assert(sizeof(FlatEntryRecord) == 112, "FlatEntryRecord layout drifted");
+
+// Fixed-size snapshot of cache::CacheBuildStats (minus the non-serialized
+// measurement fields: build_seconds and optimizer_passes, which stay 0/empty
+// on loaded artifacts so bytes are a pure function of content).
+struct FlatStats {
+  std::int64_t nodes;
+  std::int64_t tokens_classified;
+  std::int64_t ci_accepted;
+  std::int64_t ci_rejected;
+  std::int64_t context_dependent;
+  std::int64_t max_ctx_dependent_per_node;
+  std::int64_t bytes_checked;
+  std::int64_t bytes_total;
+  std::int64_t tokens_pruned;
+  std::int64_t subtree_cutoffs;
+  std::uint64_t memory_bytes;
+  std::uint64_t full_bitset_bytes;
+  std::int64_t storage_kind_counts[3];
+};
+static_assert(sizeof(FlatStats) == 120, "FlatStats layout drifted");
+
+// Word-wise FNV-1a (8 bytes per step instead of 1): ~8× cheaper validation
+// on load, which matters because checksum verification is the only O(bytes)
+// work left on the mmap ready path. Only defined over whole words — the
+// writer pads the file to kSectionAlign.
+inline std::uint64_t FnvWords(const std::uint64_t* words, std::size_t count,
+                              std::uint64_t seed = 0xCBF29CE484222325ull) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < count; ++i) {
+    h ^= words[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t HeaderChecksum(const FlatHeader& header) {
+  FlatHeader copy = header;
+  copy.header_checksum = 0;
+  copy.payload_checksum = 0;
+  std::uint64_t words[sizeof(FlatHeader) / 8];
+  std::memcpy(words, &copy, sizeof(copy));
+  return FnvWords(words, sizeof(FlatHeader) / 8);
+}
+
+inline std::size_t AlignUp(std::size_t n, std::size_t alignment) {
+  return (n + alignment - 1) / alignment * alignment;
+}
+
+}  // namespace xgr::artifact

@@ -1,0 +1,267 @@
+#include "artifact/artifact_reader.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "artifact/artifact_format.h"
+#include "artifact/flat_pda.h"
+#include "serialize/serialize.h"
+#include "support/fault_point.h"
+#include "support/status.h"
+#include "tokenizer/token_trie.h"
+
+namespace xgr::artifact_detail {
+
+// The one gateway allowed to assemble an AdaptiveTokenMaskCache around
+// borrowed storage (friend of the cache class).
+struct ArtifactAccess {
+  static std::shared_ptr<const cache::AdaptiveTokenMaskCache> Assemble(
+      std::shared_ptr<const pda::CompiledGrammar> pda,
+      std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+      std::vector<cache::NodeMaskEntry> entries, cache::CacheBuildStats stats,
+      std::shared_ptr<const void> backing) {
+    auto cache = std::shared_ptr<cache::AdaptiveTokenMaskCache>(
+        new cache::AdaptiveTokenMaskCache());
+    cache->pda_ = std::move(pda);
+    cache->tokenizer_ = std::move(tokenizer);
+    cache->entries_ = std::move(entries);
+    cache->stats_ = std::move(stats);
+    cache->backing_ = std::move(backing);
+    return cache;
+  }
+};
+
+}  // namespace xgr::artifact_detail
+
+namespace xgr::artifact {
+
+namespace {
+
+[[noreturn]] void Corrupt(const std::string& detail) {
+  throw StatusError(StatusCode::kCorruptArtifact, "flat artifact: " + detail);
+}
+
+struct Bounds {
+  const char* base;
+  std::uint64_t size;
+};
+
+// Validates an offset table reference before any view is formed: in-range
+// (overflow-safe), inside the body (never aliasing the header), and aligned.
+// A zero-count array must encode as offset 0 and yields nullptr.
+template <typename T>
+const T* RangeArray(const Bounds& b, std::uint64_t offset, std::uint64_t count,
+                    std::uint64_t alignment, const char* what) {
+  if (count == 0) {
+    if (offset != 0) Corrupt(std::string(what) + ": nonzero offset for empty array");
+    return nullptr;
+  }
+  if (count > b.size / sizeof(T)) Corrupt(std::string(what) + ": count exceeds file");
+  std::uint64_t bytes = count * sizeof(T);
+  if (offset < sizeof(FlatHeader) || offset % alignment != 0 ||
+      offset > b.size || bytes > b.size - offset) {
+    Corrupt(std::string(what) + ": offset out of range or misaligned");
+  }
+  return reinterpret_cast<const T*>(b.base + offset);
+}
+
+FlatHeader ReadHeader(std::string_view bytes) {
+  if (bytes.size() < sizeof(FlatHeader)) Corrupt("shorter than header");
+  FlatHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (std::memcmp(header.magic, kFlatMagic, sizeof(kFlatMagic)) != 0) {
+    Corrupt("bad magic");
+  }
+  if (header.version != kFlatVersion) {
+    Corrupt("unsupported version " + std::to_string(header.version));
+  }
+  if (header.endian_marker != kEndianMarker) Corrupt("endianness mismatch");
+  if (header.header_checksum != HeaderChecksum(header)) {
+    Corrupt("header checksum mismatch");
+  }
+  if (header.file_size != bytes.size() || bytes.size() % kSectionAlign != 0) {
+    Corrupt("file size mismatch (truncated or padded)");
+  }
+  return header;
+}
+
+void CheckTokenIds(const support::ArrayRef<std::int32_t>& ids,
+                   std::int32_t vocab_size, const char* what) {
+  for (std::int32_t id : ids) {
+    if (id < 0 || id >= vocab_size) {
+      Corrupt(std::string(what) + ": token id out of vocabulary");
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view PeekContentKey(std::string_view bytes) {
+  FlatHeader header = ReadHeader(bytes);
+  Bounds bounds{bytes.data(), header.file_size};
+  const char* key = RangeArray<char>(bounds, header.content_key_offset,
+                                     header.content_key_size, 1, "content key");
+  return key == nullptr
+             ? std::string_view{}
+             : std::string_view(key, static_cast<std::size_t>(header.content_key_size));
+}
+
+std::shared_ptr<const cache::AdaptiveTokenMaskCache> LoadFlatArtifactBytes(
+    std::shared_ptr<const void> backing, std::string_view bytes,
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+    const LoadOptions& options) {
+  FlatHeader header = ReadHeader(bytes);
+  if (XGR_FAULT_HIT("artifact.load.validate")) {
+    Corrupt("injected validation fault");
+  }
+  if (options.verify_checksum) {
+    std::uint64_t checksum = FnvWords(
+        reinterpret_cast<const std::uint64_t*>(bytes.data() + sizeof(FlatHeader)),
+        (bytes.size() - sizeof(FlatHeader)) / 8);
+    if (checksum != header.payload_checksum) Corrupt("payload checksum mismatch");
+  }
+  if (header.vocab_hash != serialize::VocabularyHash(*tokenizer) ||
+      header.vocab_size !=
+          static_cast<std::uint32_t>(tokenizer->VocabSize())) {
+    Corrupt("vocabulary pin mismatch: artifact built for a different tokenizer");
+  }
+  Bounds bounds{bytes.data(), header.file_size};
+  const char* key_data = RangeArray<char>(
+      bounds, header.content_key_offset, header.content_key_size, 1, "content key");
+  if (!options.expect_content_key.empty()) {
+    std::string_view embedded(key_data == nullptr ? "" : key_data,
+                              static_cast<std::size_t>(header.content_key_size));
+    if (embedded != options.expect_content_key) Corrupt("content key mismatch");
+  }
+
+  const char* pda_data = RangeArray<char>(bounds, header.pda_offset,
+                                          header.pda_size, kSectionAlign, "pda blob");
+  // Frozen-view CompiledGrammar straight over the section bytes: the backing
+  // keep-alive rides on the pda too, because it can be shared independently
+  // of the mask cache that carried it in.
+  std::shared_ptr<const pda::CompiledGrammar> pda = LoadFlatPdaSection(
+      std::string_view(pda_data == nullptr ? "" : pda_data,
+                       static_cast<std::size_t>(header.pda_size)),
+      backing, options.deep_validate);
+  if (static_cast<std::int32_t>(header.num_entries) != pda->NumNodes()) {
+    Corrupt("entry count disagrees with pda node count");
+  }
+
+  const auto* stats_data = RangeArray<FlatStats>(bounds, header.stats_offset, 1,
+                                                 kSectionAlign, "stats block");
+  const auto* records = RangeArray<FlatEntryRecord>(
+      bounds, header.entry_table_offset, header.num_entries, kSectionAlign,
+      "entry table");
+  if (XGR_FAULT_HIT("artifact.load.fixup")) {
+    Corrupt("injected fix-up fault");
+  }
+
+  auto vocab_size = static_cast<std::int32_t>(header.vocab_size);
+  std::vector<cache::NodeMaskEntry> entries(header.num_entries);
+  using TrieAccess = tokenizer::PrefixTrieSliceAccess;
+  for (std::uint32_t i = 0; i < header.num_entries; ++i) {
+    const FlatEntryRecord& rec = records[i];
+    cache::NodeMaskEntry& entry = entries[i];
+    if (rec.kind > static_cast<std::uint32_t>(cache::StorageKind::kBitset)) {
+      Corrupt("unknown storage kind");
+    }
+    entry.kind = static_cast<cache::StorageKind>(rec.kind);
+    entry.stored = support::ArrayRef<std::int32_t>::View(
+        RangeArray<std::int32_t>(bounds, rec.stored_offset, rec.stored_count, 4,
+                                 "stored ids"),
+        static_cast<std::size_t>(rec.stored_count));
+    entry.context_dependent = support::ArrayRef<std::int32_t>::View(
+        RangeArray<std::int32_t>(bounds, rec.ctx_offset, rec.ctx_count, 4,
+                                 "ctx ids"),
+        static_cast<std::size_t>(rec.ctx_count));
+    if (options.deep_validate) {
+      CheckTokenIds(entry.stored, vocab_size, "stored ids");
+      CheckTokenIds(entry.context_dependent, vocab_size, "ctx ids");
+    }
+
+    if (rec.bits_size != 0 &&
+        rec.bits_size != static_cast<std::uint64_t>(vocab_size)) {
+      Corrupt("bitset size disagrees with vocabulary");
+    }
+    if (rec.bits_words != (rec.bits_size + 63) / 64) {
+      Corrupt("bitset word count disagrees with bit size");
+    }
+    const auto* words = RangeArray<std::uint64_t>(
+        bounds, rec.bits_offset, rec.bits_words, kSectionAlign, "bitset words");
+    if (options.deep_validate && rec.bits_size % 64 != 0 && words != nullptr &&
+        (words[rec.bits_words - 1] >> (rec.bits_size % 64)) != 0) {
+      Corrupt("bitset padding bits set");
+    }
+    entry.accepted_bits = FrozenBitset::View(
+        words, static_cast<std::size_t>(rec.bits_words),
+        static_cast<std::size_t>(rec.bits_size));
+
+    TrieAccess::EdgeBytes(entry.ctx_trie) = support::ArrayRef<std::uint8_t>::View(
+        RangeArray<std::uint8_t>(bounds, rec.trie_edge_offset, rec.trie_nodes, 1,
+                                 "trie edges"),
+        static_cast<std::size_t>(rec.trie_nodes));
+    TrieAccess::Depths(entry.ctx_trie) = support::ArrayRef<std::int32_t>::View(
+        RangeArray<std::int32_t>(bounds, rec.trie_depths_offset, rec.trie_nodes,
+                                 4, "trie depths"),
+        static_cast<std::size_t>(rec.trie_nodes));
+    TrieAccess::Skips(entry.ctx_trie) = support::ArrayRef<std::int32_t>::View(
+        RangeArray<std::int32_t>(bounds, rec.trie_skips_offset, rec.trie_nodes,
+                                 4, "trie skips"),
+        static_cast<std::size_t>(rec.trie_nodes));
+    TrieAccess::TokenBegins(entry.ctx_trie) = support::ArrayRef<std::int32_t>::View(
+        RangeArray<std::int32_t>(bounds, rec.trie_token_begins_offset,
+                                 rec.trie_token_begins_count, 4, "trie ranges"),
+        static_cast<std::size_t>(rec.trie_token_begins_count));
+    if (options.deep_validate) {
+      try {
+        serialize::ValidateCtxTrieEntry(entry);
+      } catch (const CheckError& e) {
+        Corrupt(std::string("ctx trie rejected: ") + e.what());
+      }
+    }
+  }
+
+  cache::CacheBuildStats stats;
+  stats.nodes = stats_data->nodes;
+  stats.tokens_classified = stats_data->tokens_classified;
+  stats.ci_accepted = stats_data->ci_accepted;
+  stats.ci_rejected = stats_data->ci_rejected;
+  stats.context_dependent = stats_data->context_dependent;
+  stats.max_ctx_dependent_per_node = stats_data->max_ctx_dependent_per_node;
+  stats.bytes_checked = stats_data->bytes_checked;
+  stats.bytes_total = stats_data->bytes_total;
+  stats.tokens_pruned = stats_data->tokens_pruned;
+  stats.subtree_cutoffs = stats_data->subtree_cutoffs;
+  stats.memory_bytes = stats_data->memory_bytes;
+  stats.full_bitset_bytes = stats_data->full_bitset_bytes;
+  for (int k = 0; k < 3; ++k) {
+    stats.storage_kind_counts[k] = stats_data->storage_kind_counts[k];
+  }
+
+  return artifact_detail::ArtifactAccess::Assemble(
+      std::move(pda), std::move(tokenizer), std::move(entries), std::move(stats),
+      std::move(backing));
+}
+
+std::shared_ptr<const cache::AdaptiveTokenMaskCache> LoadFlatArtifact(
+    std::shared_ptr<const MappedFile> file,
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+    const LoadOptions& options) {
+  if (file == nullptr || XGR_FAULT_HIT("artifact.load.open")) {
+    Corrupt("cannot map file");
+  }
+  std::string_view bytes = file->bytes();
+  return LoadFlatArtifactBytes(std::move(file), bytes, std::move(tokenizer),
+                               options);
+}
+
+std::shared_ptr<const cache::AdaptiveTokenMaskCache> LoadFlatArtifactFile(
+    const std::string& path,
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+    const LoadOptions& options) {
+  return LoadFlatArtifact(MappedFile::Open(path), std::move(tokenizer), options);
+}
+
+}  // namespace xgr::artifact

@@ -1,0 +1,81 @@
+// Flat "XGR3" artifact loader: mmap + validate + view fix-up. Zero-copy.
+//
+// Ready time is O(validation), not O(bytes parsed): the mask-cache arrays
+// (95% of artifact bytes and of v2 deserialize time) are never copied — the
+// returned AdaptiveTokenMaskCache's entries view the mapping directly, and
+// the mapping is pinned by the cache's keep-alive (IsMapped() == true).
+// Every process mapping the same file shares one physical page set.
+//
+// Every failure mode — wrong magic/version, truncation, checksum mismatch,
+// misaligned or out-of-range offsets, vocab-pin or content-key mismatch,
+// structurally invalid ctx tries — throws StatusError(kCorruptArtifact) so
+// callers (the registry disk tier) classify and degrade to recompile.
+// Fault sites: "artifact.load.open", "artifact.load.validate",
+// "artifact.load.fixup".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "artifact/mapped_file.h"
+#include "cache/adaptive_cache.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::artifact {
+
+struct LoadOptions {
+  // Non-empty: the artifact's embedded content key must match exactly (the
+  // registry's defense against hash-collision file names). Empty: unchecked.
+  std::string expect_content_key;
+  // Verify the word-wise payload checksum — the only O(bytes) step on the
+  // ready path. Leave on except for measurement.
+  bool verify_checksum = true;
+  // Per-element content validation: every stored/ctx token id in vocabulary,
+  // ctx-trie structural invariants, bitset padding bits, per-edge automaton
+  // invariants — O(elements stored). Structural checks (header, bounds,
+  // alignment, counts, vocab pin) always run regardless. Turn off only for a
+  // trusted reopen of an artifact a process on this machine already loaded
+  // with full verification (the checksum covers bit-rot; deep validation
+  // covers writer logic, which cannot drift between two loads of one file).
+  bool deep_validate = true;
+};
+
+// Trusted-reopen preset: structural validation only, no O(bytes) checksum and
+// no O(elements) content scans. This is the steady-state attach path for the
+// Nth process mapping an artifact the first process verified end to end.
+inline LoadOptions TrustedReopen() {
+  LoadOptions options;
+  options.verify_checksum = false;
+  options.deep_validate = false;
+  return options;
+}
+
+// Content key embedded in a flat artifact's header (empty if unkeyed).
+// Throws StatusError(kCorruptArtifact) unless `bytes` carries a well-formed
+// flat header.
+std::string_view PeekContentKey(std::string_view bytes);
+
+// Loads from an existing mapping. The returned cache shares `file` as its
+// keep-alive; dropping the cache unmaps (if last reference).
+std::shared_ptr<const cache::AdaptiveTokenMaskCache> LoadFlatArtifact(
+    std::shared_ptr<const MappedFile> file,
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+    const LoadOptions& options = {});
+
+// Loads from arbitrary bytes kept alive by `backing` (a heap buffer, a test
+// string, a foreign mapping). `bytes` must stay valid for the lifetime of
+// the returned cache — the views point straight into it.
+std::shared_ptr<const cache::AdaptiveTokenMaskCache> LoadFlatArtifactBytes(
+    std::shared_ptr<const void> backing, std::string_view bytes,
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+    const LoadOptions& options = {});
+
+// mmap(path) + LoadFlatArtifact. Missing/unmappable file throws
+// StatusError(kCorruptArtifact) like any other invalid artifact.
+std::shared_ptr<const cache::AdaptiveTokenMaskCache> LoadFlatArtifactFile(
+    const std::string& path,
+    std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
+    const LoadOptions& options = {});
+
+}  // namespace xgr::artifact

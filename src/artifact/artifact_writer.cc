@@ -1,0 +1,159 @@
+#include "artifact/artifact_writer.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "artifact/artifact_format.h"
+#include "artifact/flat_pda.h"
+#include "serialize/serialize.h"
+#include "support/fault_point.h"
+#include "support/status.h"
+#include "tokenizer/token_trie.h"
+
+namespace xgr::artifact {
+
+namespace {
+
+// Appends `bytes` at the next `alignment` boundary (zero padding in between)
+// and returns the absolute offset it landed at — 0 when `bytes` is empty, so
+// absent arrays encode as {offset 0, count 0}.
+std::uint64_t AppendAligned(std::string* buf, const void* data,
+                            std::size_t bytes, std::size_t alignment) {
+  if (bytes == 0) return 0;
+  buf->resize(AlignUp(buf->size(), alignment), '\0');
+  std::uint64_t offset = buf->size();
+  buf->append(static_cast<const char*>(data), bytes);
+  return offset;
+}
+
+}  // namespace
+
+std::string BuildFlatArtifact(const cache::AdaptiveTokenMaskCache& cache,
+                              std::string_view content_key) {
+  using TrieAccess = tokenizer::PrefixTrieSliceAccess;
+
+  std::string pda_blob = BuildFlatPdaSection(cache.Pda());
+  auto num_entries = static_cast<std::uint32_t>(cache.Pda().NumNodes());
+
+  std::string buf(sizeof(FlatHeader), '\0');
+  FlatHeader header{};
+  std::memcpy(header.magic, kFlatMagic, sizeof(kFlatMagic));
+  header.version = kFlatVersion;
+  header.endian_marker = kEndianMarker;
+  header.vocab_hash = serialize::VocabularyHash(cache.Tokenizer());
+  header.vocab_size = static_cast<std::uint32_t>(cache.Tokenizer().VocabSize());
+  header.num_entries = num_entries;
+
+  header.content_key_offset = AppendAligned(&buf, content_key.data(),
+                                            content_key.size(), kSectionAlign);
+  header.content_key_size = content_key.size();
+  header.pda_offset =
+      AppendAligned(&buf, pda_blob.data(), pda_blob.size(), kSectionAlign);
+  header.pda_size = pda_blob.size();
+
+  const cache::CacheBuildStats& build = cache.Stats();
+  FlatStats stats{};
+  stats.nodes = build.nodes;
+  stats.tokens_classified = build.tokens_classified;
+  stats.ci_accepted = build.ci_accepted;
+  stats.ci_rejected = build.ci_rejected;
+  stats.context_dependent = build.context_dependent;
+  stats.max_ctx_dependent_per_node = build.max_ctx_dependent_per_node;
+  stats.bytes_checked = build.bytes_checked;
+  stats.bytes_total = build.bytes_total;
+  stats.tokens_pruned = build.tokens_pruned;
+  stats.subtree_cutoffs = build.subtree_cutoffs;
+  stats.memory_bytes = build.memory_bytes;
+  stats.full_bitset_bytes = build.full_bitset_bytes;
+  for (int i = 0; i < 3; ++i) {
+    stats.storage_kind_counts[i] = build.storage_kind_counts[i];
+  }
+  header.stats_offset =
+      AppendAligned(&buf, &stats, sizeof(stats), kSectionAlign);
+
+  // Entry table: placeholder now, records filled after the data region
+  // assigns every array its offset.
+  buf.resize(AlignUp(buf.size(), kSectionAlign), '\0');
+  header.entry_table_offset = buf.size();
+  buf.resize(buf.size() + std::size_t{num_entries} * sizeof(FlatEntryRecord),
+             '\0');
+
+  std::vector<FlatEntryRecord> records(num_entries);
+  for (std::uint32_t i = 0; i < num_entries; ++i) {
+    const cache::NodeMaskEntry& entry =
+        cache.Entry(static_cast<std::int32_t>(i));
+    FlatEntryRecord& rec = records[i];
+    rec.kind = static_cast<std::uint32_t>(entry.kind);
+    rec.stored_offset =
+        AppendAligned(&buf, entry.stored.data(),
+                      entry.stored.size() * sizeof(std::int32_t), 4);
+    rec.stored_count = entry.stored.size();
+    rec.ctx_offset = AppendAligned(
+        &buf, entry.context_dependent.data(),
+        entry.context_dependent.size() * sizeof(std::int32_t), 4);
+    rec.ctx_count = entry.context_dependent.size();
+    const auto& edges = TrieAccess::EdgeBytes(entry.ctx_trie);
+    const auto& depths = TrieAccess::Depths(entry.ctx_trie);
+    const auto& skips = TrieAccess::Skips(entry.ctx_trie);
+    const auto& begins = TrieAccess::TokenBegins(entry.ctx_trie);
+    rec.trie_edge_offset = AppendAligned(&buf, edges.data(), edges.size(), 1);
+    rec.trie_nodes = edges.size();
+    rec.trie_depths_offset = AppendAligned(
+        &buf, depths.data(), depths.size() * sizeof(std::int32_t), 4);
+    rec.trie_skips_offset = AppendAligned(
+        &buf, skips.data(), skips.size() * sizeof(std::int32_t), 4);
+    rec.trie_token_begins_offset = AppendAligned(
+        &buf, begins.data(), begins.size() * sizeof(std::int32_t), 4);
+    rec.trie_token_begins_count = begins.size();
+    // Bitset words last and cache-line aligned: the decode hot path copies
+    // them with word/SIMD loops.
+    rec.bits_offset = AppendAligned(
+        &buf, entry.accepted_bits.Data(),
+        entry.accepted_bits.WordCount() * sizeof(std::uint64_t), kSectionAlign);
+    rec.bits_words = entry.accepted_bits.WordCount();
+    rec.bits_size = entry.accepted_bits.Size();
+  }
+  std::memcpy(buf.data() + header.entry_table_offset, records.data(),
+              records.size() * sizeof(FlatEntryRecord));
+
+  buf.resize(AlignUp(buf.size(), kSectionAlign), '\0');
+  header.file_size = buf.size();
+  header.payload_checksum = FnvWords(
+      reinterpret_cast<const std::uint64_t*>(buf.data() + sizeof(FlatHeader)),
+      (buf.size() - sizeof(FlatHeader)) / 8);
+  header.header_checksum = HeaderChecksum(header);
+  std::memcpy(buf.data(), &header, sizeof(header));
+  return buf;
+}
+
+void WriteFlatArtifactFile(const std::string& path,
+                           const cache::AdaptiveTokenMaskCache& cache,
+                           std::string_view content_key) {
+  std::string bytes = BuildFlatArtifact(cache, content_key);
+  static std::atomic<std::uint64_t> counter{0};
+  std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(counter.fetch_add(1));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr || XGR_FAULT_HIT("artifact.write")) {
+    if (f != nullptr) {
+      std::fclose(f);
+      std::remove(tmp.c_str());
+    }
+    throw StatusError(StatusCode::kInternal,
+                      "artifact: cannot open temp file " + tmp);
+  }
+  std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool ok = written == bytes.size() && std::fflush(f) == 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw StatusError(StatusCode::kInternal,
+                      "artifact: short write publishing " + path);
+  }
+}
+
+}  // namespace xgr::artifact

@@ -1,0 +1,29 @@
+// Flat "XGR3" artifact writer (format: artifact_format.h).
+//
+// Output bytes are a pure function of (grammar, vocabulary, options,
+// content_key) — no timestamps, no build-time measurements — so independent
+// builds of the same content are bit-identical and the content-addressed
+// disk tier can compare files byte-wise.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "cache/adaptive_cache.h"
+
+namespace xgr::artifact {
+
+// Assembles the flat artifact in memory. `content_key` is embedded for
+// registry content addressing; empty produces an unkeyed artifact (loaders
+// skip the key check).
+std::string BuildFlatArtifact(const cache::AdaptiveTokenMaskCache& cache,
+                              std::string_view content_key = {});
+
+// Atomic publish: writes to `path + ".tmp.<pid>.<seq>"`, then rename(2)s
+// onto `path`, so concurrent readers only ever see complete files. Throws
+// StatusError(kInternal) on I/O failure. Fault site: "artifact.write".
+void WriteFlatArtifactFile(const std::string& path,
+                           const cache::AdaptiveTokenMaskCache& cache,
+                           std::string_view content_key = {});
+
+}  // namespace xgr::artifact

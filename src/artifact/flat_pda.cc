@@ -1,0 +1,363 @@
+#include "artifact/flat_pda.h"
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "artifact/artifact_format.h"
+#include "fsa/fsa.h"
+#include "serialize/serialize.h"
+#include "support/array_ref.h"
+#include "support/logging.h"
+#include "support/status.h"
+
+namespace xgr::artifact_detail {
+
+// The one gateway allowed to assemble a CompiledGrammar around borrowed
+// storage (friend of the class).
+struct PdaAccess {
+  static std::shared_ptr<const pda::CompiledGrammar> Assemble(
+      grammar::Grammar grammar,
+      std::function<grammar::Grammar()> grammar_parser,
+      pda::CompileOptions options, fsa::Fsa automaton,
+      std::vector<std::int32_t> rule_starts,
+      std::vector<grammar::RuleId> node_rule,
+      std::unique_ptr<fsa::Fsa> context_automaton,
+      std::vector<std::int32_t> context_starts, grammar::RuleId root_rule,
+      std::shared_ptr<const void> backing) {
+    auto compiled =
+        std::shared_ptr<pda::CompiledGrammar>(new pda::CompiledGrammar());
+    compiled->grammar_ = std::move(grammar);
+    compiled->grammar_parser_ = std::move(grammar_parser);
+    compiled->options_ = options;
+    compiled->automaton_ = std::move(automaton);
+    compiled->rule_starts_ = std::move(rule_starts);
+    compiled->node_rule_ = std::move(node_rule);
+    compiled->context_automaton_ = std::move(context_automaton);
+    compiled->context_starts_ = std::move(context_starts);
+    compiled->root_rule_ = root_rule;
+    compiled->backing_ = std::move(backing);
+    return compiled;
+  }
+};
+
+}  // namespace xgr::artifact_detail
+
+namespace xgr::artifact {
+
+namespace {
+
+// The edge records in the file ARE fsa::Edge objects (padding byte zeroed by
+// the writer); the loader views them in place. Pin the layout.
+static_assert(std::is_trivially_copyable_v<fsa::Edge>, "Edge must be a POD");
+static_assert(sizeof(fsa::Edge) == 12, "Edge record layout drifted");
+static_assert(offsetof(fsa::Edge, kind) == 0 &&
+                  offsetof(fsa::Edge, min_byte) == 1 &&
+                  offsetof(fsa::Edge, max_byte) == 2 &&
+                  offsetof(fsa::Edge, rule_ref) == 4 &&
+                  offsetof(fsa::Edge, target) == 8,
+              "Edge record layout drifted");
+
+[[noreturn]] void Corrupt(const std::string& detail) {
+  throw StatusError(StatusCode::kCorruptArtifact,
+                    "flat artifact: pda section: " + detail);
+}
+
+std::uint64_t AppendAligned(std::string* buf, const void* data,
+                            std::size_t bytes, std::size_t alignment) {
+  if (bytes == 0) return 0;
+  buf->resize(AlignUp(buf->size(), alignment), '\0');
+  std::uint64_t offset = buf->size();
+  buf->append(static_cast<const char*>(data), bytes);
+  return offset;
+}
+
+// CSR-encodes one automaton: 12-byte edge records (padding zeroed for
+// deterministic bytes), (n+1)-entry offset table, accepting bytes.
+void AppendFsa(std::string* buf, const fsa::Fsa& fsa,
+               std::uint64_t* edges_offset, std::uint64_t* offsets_offset,
+               std::uint64_t* accepting_offset, std::uint32_t* num_edges_out) {
+  const std::int32_t n = fsa.NumStates();
+  std::string edge_bytes;
+  std::vector<std::int32_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::uint8_t> accepting(static_cast<std::size_t>(n), 0);
+  std::int32_t edge_count = 0;
+  for (std::int32_t s = 0; s < n; ++s) {
+    offsets[static_cast<std::size_t>(s)] = edge_count;
+    for (const fsa::Edge& e : fsa.EdgesFrom(s)) {
+      char rec[sizeof(fsa::Edge)] = {};
+      rec[0] = static_cast<char>(static_cast<std::uint8_t>(e.kind));
+      rec[1] = static_cast<char>(e.min_byte);
+      rec[2] = static_cast<char>(e.max_byte);
+      std::memcpy(rec + 4, &e.rule_ref, sizeof(e.rule_ref));
+      std::memcpy(rec + 8, &e.target, sizeof(e.target));
+      edge_bytes.append(rec, sizeof(rec));
+      ++edge_count;
+    }
+    accepting[static_cast<std::size_t>(s)] = fsa.IsAccepting(s) ? 1 : 0;
+  }
+  offsets[static_cast<std::size_t>(n)] = edge_count;
+  *edges_offset =
+      AppendAligned(buf, edge_bytes.data(), edge_bytes.size(), kSectionAlign);
+  *offsets_offset =
+      AppendAligned(buf, offsets.data(),
+                    offsets.size() * sizeof(std::int32_t), kSectionAlign);
+  *accepting_offset =
+      AppendAligned(buf, accepting.data(), accepting.size(), kSectionAlign);
+  *num_edges_out = static_cast<std::uint32_t>(edge_count);
+}
+
+// Section-relative counterpart of the reader's RangeArray: in range, aligned,
+// never aliasing the section header; zero-count arrays encode as offset 0.
+template <typename T>
+const T* Range(std::string_view bytes, std::uint64_t offset,
+               std::uint64_t count, std::uint64_t alignment, const char* what) {
+  if (count == 0) {
+    if (offset != 0) Corrupt(std::string(what) + ": nonzero offset for empty array");
+    return nullptr;
+  }
+  if (count > bytes.size() / sizeof(T)) {
+    Corrupt(std::string(what) + ": count exceeds section");
+  }
+  std::uint64_t size = count * sizeof(T);
+  if (offset < sizeof(FlatPdaHeader) || offset % alignment != 0 ||
+      offset > bytes.size() || size > bytes.size() - offset) {
+    Corrupt(std::string(what) + ": offset out of range or misaligned");
+  }
+  return reinterpret_cast<const T*>(bytes.data() + offset);
+}
+
+fsa::Fsa LoadFrozenFsa(std::string_view bytes, std::uint64_t edges_offset,
+                       std::uint32_t num_edges,
+                       std::uint64_t edge_offsets_offset,
+                       std::uint64_t accepting_offset, std::uint32_t num_states,
+                       std::int32_t start, const char* what) {
+  const auto* edges =
+      Range<fsa::Edge>(bytes, edges_offset, num_edges, 4, what);
+  const auto* offsets = Range<std::int32_t>(
+      bytes, edge_offsets_offset, std::uint64_t{num_states} + 1, 4, what);
+  const auto* accepting =
+      Range<std::uint8_t>(bytes, accepting_offset, num_states, 1, what);
+  try {
+    return fsa::Fsa::FrozenView(
+        support::ArrayRef<fsa::Edge>::View(edges, num_edges),
+        support::ArrayRef<std::int32_t>::View(
+            offsets, static_cast<std::size_t>(num_states) + 1),
+        support::ArrayRef<std::uint8_t>::View(accepting, num_states), start);
+  } catch (const CheckError& e) {
+    Corrupt(std::string(what) + ": " + e.what());
+  }
+}
+
+}  // namespace
+
+std::string BuildFlatPdaSection(const pda::CompiledGrammar& pda) {
+  std::string grammar_blob = serialize::SerializeGrammar(pda.SourceGrammar());
+  const std::int32_t num_rules = pda.NumRules();
+  const std::int32_t num_states = pda.NumNodes();
+
+  std::string buf(sizeof(FlatPdaHeader), '\0');
+  FlatPdaHeader header{};
+  header.num_states = static_cast<std::uint32_t>(num_states);
+  header.num_rules = static_cast<std::uint32_t>(num_rules);
+  header.start_state = pda.Automaton().Start();
+  header.root_rule = pda.RootRule();
+
+  header.grammar_offset = AppendAligned(&buf, grammar_blob.data(),
+                                        grammar_blob.size(), kSectionAlign);
+  header.grammar_size = grammar_blob.size();
+
+  AppendFsa(&buf, pda.Automaton(), &header.edges_offset,
+            &header.edge_offsets_offset, &header.accepting_offset,
+            &header.num_edges);
+
+  std::vector<std::int32_t> rule_starts(static_cast<std::size_t>(num_rules));
+  for (std::int32_t r = 0; r < num_rules; ++r) {
+    rule_starts[static_cast<std::size_t>(r)] = pda.RuleStartNode(r);
+  }
+  header.rule_starts_offset =
+      AppendAligned(&buf, rule_starts.data(),
+                    rule_starts.size() * sizeof(std::int32_t), kSectionAlign);
+
+  std::vector<std::int32_t> node_rule(static_cast<std::size_t>(num_states));
+  for (std::int32_t n = 0; n < num_states; ++n) {
+    node_rule[static_cast<std::size_t>(n)] = pda.NodeRule(n);
+  }
+  header.node_rule_offset =
+      AppendAligned(&buf, node_rule.data(),
+                    node_rule.size() * sizeof(std::int32_t), kSectionAlign);
+
+  if (pda.ContextAutomaton() != nullptr) {
+    const fsa::Fsa& ctx = *pda.ContextAutomaton();
+    header.has_context = 1;
+    header.ctx_num_states = static_cast<std::uint32_t>(ctx.NumStates());
+    header.ctx_start_state = ctx.Start();
+    AppendFsa(&buf, ctx, &header.ctx_edges_offset,
+              &header.ctx_edge_offsets_offset, &header.ctx_accepting_offset,
+              &header.ctx_num_edges);
+    std::vector<std::int32_t> ctx_starts(static_cast<std::size_t>(num_rules));
+    for (std::int32_t r = 0; r < num_rules; ++r) {
+      ctx_starts[static_cast<std::size_t>(r)] = pda.ContextStart(r);
+    }
+    header.context_starts_offset =
+        AppendAligned(&buf, ctx_starts.data(),
+                      ctx_starts.size() * sizeof(std::int32_t), kSectionAlign);
+  }
+
+  const pda::CompileOptions& o = pda.Options();
+  const bool flags[10] = {o.rule_inlining,
+                          o.node_merging,
+                          o.context_expansion,
+                          o.optimizer.normalize,
+                          o.optimizer.epsilon_elimination,
+                          o.optimizer.unit_rule_collapse,
+                          o.optimizer.rule_inlining,
+                          o.optimizer.atom_merging,
+                          o.optimizer.fsa_minimization,
+                          o.optimizer.dead_rule_elimination};
+  for (int i = 0; i < 10; ++i) header.opt_flags[i] = flags[i] ? 1 : 0;
+  header.opt_ints[0] = o.optimizer.inline_options.max_inlinee_atoms;
+  header.opt_ints[1] = o.optimizer.inline_options.max_result_atoms;
+  header.opt_ints[2] = o.optimizer.fsa_max_dfa_states;
+  header.opt_ints[3] = o.optimizer.fsa_max_source_atoms;
+  header.opt_ints[4] = o.optimizer.fsa_max_result_atoms;
+
+  buf.resize(AlignUp(buf.size(), kSectionAlign), '\0');
+  std::memcpy(buf.data(), &header, sizeof(header));
+  return buf;
+}
+
+std::shared_ptr<const pda::CompiledGrammar> LoadFlatPdaSection(
+    std::string_view bytes, std::shared_ptr<const void> backing,
+    bool deep_validate) {
+  if (bytes.size() < sizeof(FlatPdaHeader)) Corrupt("shorter than header");
+  FlatPdaHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+
+  const auto num_states = static_cast<std::int32_t>(header.num_states);
+  const auto num_rules = static_cast<std::int32_t>(header.num_rules);
+  if (num_states <= 0 || num_rules <= 0) Corrupt("empty automaton");
+  if (header.root_rule < 0 || header.root_rule >= num_rules) {
+    Corrupt("root rule out of range");
+  }
+
+  fsa::Fsa automaton = LoadFrozenFsa(
+      bytes, header.edges_offset, header.num_edges, header.edge_offsets_offset,
+      header.accepting_offset, header.num_states, header.start_state,
+      "main automaton");
+  if (deep_validate) {
+    for (const fsa::Edge& e : support::ArrayRef<fsa::Edge>::View(
+             Range<fsa::Edge>(bytes, header.edges_offset, header.num_edges, 4,
+                              "main automaton"),
+             header.num_edges)) {
+      if (e.kind == fsa::EdgeKind::kRuleRef &&
+          (e.rule_ref < 0 || e.rule_ref >= num_rules)) {
+        Corrupt("rule-ref edge out of range");
+      }
+    }
+  }
+
+  const auto* rule_starts_data = Range<std::int32_t>(
+      bytes, header.rule_starts_offset, header.num_rules, 4, "rule starts");
+  std::vector<std::int32_t> rule_starts(rule_starts_data,
+                                        rule_starts_data + num_rules);
+  const auto* node_rule_data = Range<std::int32_t>(
+      bytes, header.node_rule_offset, header.num_states, 4, "node-rule table");
+  std::vector<grammar::RuleId> node_rule(node_rule_data,
+                                         node_rule_data + num_states);
+  if (deep_validate) {
+    for (std::int32_t s : rule_starts) {
+      if (s < 0 || s >= num_states) Corrupt("rule start out of range");
+    }
+    for (grammar::RuleId r : node_rule) {
+      if (r < 0 || r >= num_rules) Corrupt("node rule out of range");
+    }
+  }
+
+  std::unique_ptr<fsa::Fsa> context_automaton;
+  std::vector<std::int32_t> context_starts;
+  if (header.has_context != 0) {
+    const auto ctx_states = static_cast<std::int32_t>(header.ctx_num_states);
+    if (ctx_states <= 0) Corrupt("context automaton without states");
+    context_automaton = std::make_unique<fsa::Fsa>(LoadFrozenFsa(
+        bytes, header.ctx_edges_offset, header.ctx_num_edges,
+        header.ctx_edge_offsets_offset, header.ctx_accepting_offset,
+        header.ctx_num_states, header.ctx_start_state, "context automaton"));
+    // NfaRunner simulation requires a pure byte/epsilon automaton.
+    if (deep_validate) {
+      for (const fsa::Edge& e : support::ArrayRef<fsa::Edge>::View(
+               Range<fsa::Edge>(bytes, header.ctx_edges_offset,
+                                header.ctx_num_edges, 4, "context automaton"),
+               header.ctx_num_edges)) {
+        if (e.kind == fsa::EdgeKind::kRuleRef) {
+          Corrupt("rule-ref edge in context automaton");
+        }
+      }
+    }
+    const auto* starts_data =
+        Range<std::int32_t>(bytes, header.context_starts_offset,
+                            header.num_rules, 4, "context starts");
+    context_starts.assign(starts_data, starts_data + num_rules);
+    if (deep_validate) {
+      for (std::int32_t s : context_starts) {
+        if (s < -1 || s >= ctx_states) Corrupt("context start out of range");
+      }
+    }
+  } else if (header.ctx_num_states != 0 || header.ctx_num_edges != 0 ||
+             header.ctx_edges_offset != 0 || header.context_starts_offset != 0) {
+    Corrupt("context fields set without context automaton");
+  }
+
+  const char* grammar_data = Range<char>(bytes, header.grammar_offset,
+                                         header.grammar_size, 1, "grammar blob");
+  const std::string_view grammar_blob(
+      grammar_data == nullptr ? "" : grammar_data,
+      static_cast<std::size_t>(header.grammar_size));
+  grammar::Grammar grammar;
+  std::function<grammar::Grammar()> grammar_parser;
+  if (deep_validate) {
+    try {
+      grammar = serialize::DeserializeGrammar(grammar_blob);
+    } catch (const CheckError& e) {
+      Corrupt(std::string("grammar blob rejected: ") + e.what());
+    }
+    if (grammar.NumRules() != num_rules) {
+      Corrupt("rule count disagrees with grammar");
+    }
+  } else {
+    // Trusted reopen: the AST parse (the single largest cost left on the
+    // ready path) is deferred to the first SourceGrammar() call. The lambda
+    // owns the backing so the blob view outlives any caller ordering.
+    grammar_parser = [backing, grammar_blob] {
+      (void)backing;
+      return serialize::DeserializeGrammar(grammar_blob);
+    };
+  }
+
+  pda::CompileOptions options;
+  options.rule_inlining = header.opt_flags[0] != 0;
+  options.node_merging = header.opt_flags[1] != 0;
+  options.context_expansion = header.opt_flags[2] != 0;
+  options.optimizer.normalize = header.opt_flags[3] != 0;
+  options.optimizer.epsilon_elimination = header.opt_flags[4] != 0;
+  options.optimizer.unit_rule_collapse = header.opt_flags[5] != 0;
+  options.optimizer.rule_inlining = header.opt_flags[6] != 0;
+  options.optimizer.atom_merging = header.opt_flags[7] != 0;
+  options.optimizer.fsa_minimization = header.opt_flags[8] != 0;
+  options.optimizer.dead_rule_elimination = header.opt_flags[9] != 0;
+  options.optimizer.inline_options.max_inlinee_atoms = header.opt_ints[0];
+  options.optimizer.inline_options.max_result_atoms = header.opt_ints[1];
+  options.optimizer.fsa_max_dfa_states = header.opt_ints[2];
+  options.optimizer.fsa_max_source_atoms = header.opt_ints[3];
+  options.optimizer.fsa_max_result_atoms = header.opt_ints[4];
+
+  return artifact_detail::PdaAccess::Assemble(
+      std::move(grammar), std::move(grammar_parser), options,
+      std::move(automaton), std::move(rule_starts), std::move(node_rule),
+      std::move(context_automaton), std::move(context_starts),
+      header.root_rule, std::move(backing));
+}
+
+}  // namespace xgr::artifact

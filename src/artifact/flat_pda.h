@@ -1,0 +1,29 @@
+// Flat (offset-based) encoding of a pda::CompiledGrammar for the "XGR3"
+// artifact. The two automata are stored CSR and loaded as fsa::Fsa frozen
+// views pointing straight into the backing bytes — no per-state allocations,
+// no edge parsing. See FlatPdaHeader in artifact_format.h for the layout.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "pda/compiled_grammar.h"
+
+namespace xgr::artifact {
+
+// Deterministic bytes (padding zeroed); internal offsets keep every array
+// 64-byte aligned relative to the section start.
+std::string BuildFlatPdaSection(const pda::CompiledGrammar& pda);
+
+// Validates and assembles a view-backed CompiledGrammar. `bytes` must stay
+// valid for the lifetime of the result — `backing` is parked on it as the
+// keep-alive. Structurally invalid input throws
+// StatusError(kCorruptArtifact); it never crashes. `deep_validate=false`
+// skips the O(edges + tables) per-element scans (trusted reopen, see
+// LoadOptions::deep_validate); header/bounds/alignment checks always run.
+std::shared_ptr<const pda::CompiledGrammar> LoadFlatPdaSection(
+    std::string_view bytes, std::shared_ptr<const void> backing,
+    bool deep_validate = true);
+
+}  // namespace xgr::artifact

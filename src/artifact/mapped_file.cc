@@ -1,0 +1,36 @@
+#include "artifact/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace xgr::artifact {
+
+std::shared_ptr<const MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return nullptr;
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  auto size = static_cast<std::size_t>(st.st_size);
+  void* data = nullptr;
+  if (size != 0) {
+    data = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (data == MAP_FAILED) {
+      ::close(fd);
+      return nullptr;
+    }
+  }
+  // The mapping survives the close; the fd is only needed to establish it.
+  ::close(fd);
+  return std::shared_ptr<const MappedFile>(new MappedFile(data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+}  // namespace xgr::artifact

@@ -1,0 +1,39 @@
+// Read-only shared memory mapping of a file (POSIX mmap, MAP_SHARED).
+//
+// The mapping is the machine-wide sharing primitive of the artifact layer:
+// every process that maps the same artifact file references the same
+// physical page set. A shared_ptr<const MappedFile> is stored as the
+// keep-alive (`backing_`) of any AdaptiveTokenMaskCache whose arrays view
+// the mapping, so the pages outlive every matcher that reads them.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace xgr::artifact {
+
+class MappedFile {
+ public:
+  // Maps `path` read-only. Returns nullptr if the file cannot be opened,
+  // stat-ed, or mapped (the caller decides whether that is a cache miss or
+  // an error). A zero-length file maps successfully with data() == nullptr.
+  static std::shared_ptr<const MappedFile> Open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const { return static_cast<const char*>(data_); }
+  std::size_t size() const { return size_; }
+  std::string_view bytes() const { return {data(), size_}; }
+
+ private:
+  MappedFile(void* data, std::size_t size) : data_(data), size_(size) {}
+
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace xgr::artifact

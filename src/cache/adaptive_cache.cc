@@ -277,15 +277,15 @@ std::shared_ptr<const AdaptiveTokenMaskCache> AdaptiveTokenMaskCache::Build(
     // sub-trie is common to all three kinds, so it does not enter the
     // comparison (it is still counted in MemoryBytes()).
     NodeMaskEntry& entry = cache->entries_[node_index];
-    entry.context_dependent = std::move(ctx_dependent);
-    entry.ctx_trie = tokenizer::PrefixTrieSlice::Build(*tokenizer,
-                                                       entry.context_dependent);
+    entry.ctx_trie = tokenizer::PrefixTrieSlice::Build(*tokenizer, ctx_dependent);
     std::size_t cost_accept_heavy =
-        (rejected.size() + entry.context_dependent.size()) * sizeof(std::int32_t);
+        (rejected.size() + ctx_dependent.size()) * sizeof(std::int32_t);
     std::size_t cost_reject_heavy =
-        (accepted.size() + entry.context_dependent.size()) * sizeof(std::int32_t);
+        (accepted.size() + ctx_dependent.size()) * sizeof(std::int32_t);
     std::size_t cost_bitset = static_cast<std::size_t>(vocab_size) / 8 +
-                              entry.context_dependent.size() * sizeof(std::int32_t);
+                              ctx_dependent.size() * sizeof(std::int32_t);
+    entry.context_dependent =
+        support::ArrayRef<std::int32_t>(std::move(ctx_dependent));
     if (!options.adaptive_storage) {
       entry.kind = StorageKind::kBitset;
     } else if (cost_accept_heavy <= cost_reject_heavy &&
@@ -298,17 +298,19 @@ std::shared_ptr<const AdaptiveTokenMaskCache> AdaptiveTokenMaskCache::Build(
     }
     switch (entry.kind) {
       case StorageKind::kAcceptHeavy:
-        entry.stored = std::move(rejected);
-        std::sort(entry.stored.begin(), entry.stored.end());
+        std::sort(rejected.begin(), rejected.end());
+        entry.stored = support::ArrayRef<std::int32_t>(std::move(rejected));
         break;
       case StorageKind::kRejectHeavy:
-        entry.stored = std::move(accepted);
-        std::sort(entry.stored.begin(), entry.stored.end());
+        std::sort(accepted.begin(), accepted.end());
+        entry.stored = support::ArrayRef<std::int32_t>(std::move(accepted));
         break;
-      case StorageKind::kBitset:
-        entry.accepted_bits = DynamicBitset(static_cast<std::size_t>(vocab_size));
-        for (std::int32_t id : accepted) entry.accepted_bits.Set(static_cast<std::size_t>(id));
+      case StorageKind::kBitset: {
+        DynamicBitset bits(static_cast<std::size_t>(vocab_size));
+        for (std::int32_t id : accepted) bits.Set(static_cast<std::size_t>(id));
+        entry.accepted_bits = FrozenBitset(bits);
         break;
+      }
     }
   };
 

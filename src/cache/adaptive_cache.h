@@ -35,6 +35,10 @@ namespace xgr::serialize_detail {
 struct CacheAccess;  // binary (de)serialization, src/serialize
 }  // namespace xgr::serialize_detail
 
+namespace xgr::artifact_detail {
+struct ArtifactAccess;  // flat mmap artifact IO, src/artifact
+}  // namespace xgr::artifact_detail
+
 namespace xgr::cache {
 
 enum class StorageKind : std::uint8_t {
@@ -48,16 +52,17 @@ const char* StorageKindName(StorageKind kind);
 struct NodeMaskEntry {
   StorageKind kind = StorageKind::kRejectHeavy;
   // kAcceptHeavy: rejected CI token ids; kRejectHeavy: accepted CI token ids.
-  // Sorted by id. Unused for kBitset.
-  std::vector<std::int32_t> stored;
+  // Sorted by id. Unused for kBitset. Held as owning-or-viewing ArrayRef so
+  // mmap-loaded artifacts alias file pages directly (src/artifact).
+  support::ArrayRef<std::int32_t> stored;
   // kBitset only: bit = 1 for accepted CI tokens.
-  DynamicBitset accepted_bits;
+  FrozenBitset accepted_bits;
   // Context-dependent token ids in lexicographic byte order (the order
   // ctx_trie below indexes them, maximizing prefix sharing). The merge path
   // consumes this list only through order-invariant word-level bitset batches
   // (DynamicBitset::SetBatch/ResetBatch), so no id-sorted copy is stored and
   // no per-step copy+sort happens; MemoryBytes() stays one list per entry.
-  std::vector<std::int32_t> context_dependent;
+  support::ArrayRef<std::int32_t> context_dependent;
   // Preorder-flattened sub-trie over `context_dependent` (token indices in
   // the trie refer to positions in that list). The runtime checker DFS-walks
   // this slice with subtree cut-off instead of re-walking shared prefixes
@@ -128,8 +133,13 @@ class AdaptiveTokenMaskCache {
 
   std::string StatsString() const;
 
+  // True when the entry arrays alias an mmap-ed artifact (src/artifact)
+  // instead of heap storage; `backing_` then pins the mapping alive.
+  bool IsMapped() const { return backing_ != nullptr; }
+
  private:
   friend struct xgr::serialize_detail::CacheAccess;
+  friend struct xgr::artifact_detail::ArtifactAccess;
 
   AdaptiveTokenMaskCache() = default;
 
@@ -137,6 +147,9 @@ class AdaptiveTokenMaskCache {
   std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer_;
   std::vector<NodeMaskEntry> entries_;
   CacheBuildStats stats_;
+  // Keep-alive for view-backed entries (the mmap-ed file). Null for caches
+  // built or deserialized onto the heap.
+  std::shared_ptr<const void> backing_;
 };
 
 // Classification outcome for one (node, token); exposed for tests.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <map>
 #include <mutex>
 #include <thread>
 
@@ -506,6 +507,55 @@ ContinuousResult ServingEngine::RunContinuous(
   std::int64_t step = 0;
   double clock_us = 0.0;  // simulated time; waits also burn scaled wall time
 
+  // Tenant admission state. Tenant tracking is off entirely for runs where
+  // nothing names a tenant and no policy is configured, so the single-tenant
+  // path pays no per-step map work.
+  bool track_tenants = !options_.tenant_policies.empty();
+  for (const ContinuousRequest& arrival : requests) {
+    if (!arrival.tenant.empty()) {
+      track_tenants = true;
+      break;
+    }
+  }
+  std::map<std::string, std::int64_t> policy_defer_counts;
+  std::map<std::string, double> peak_mask_cost_us;
+  auto policy_for = [&](const std::string& tenant) -> const TenantPolicy* {
+    auto it = options_.tenant_policies.find(tenant);
+    return it == options_.tenant_policies.end() ? nullptr : &it->second;
+  };
+  // True when tenant policy holds this request out of the batch for the
+  // current iteration: the tenant hit its slot cap, or it is a batch-class
+  // tenant whose active requests already hold more than their allowed share
+  // of the batch's measured mask cost (the same per-request EWMA the
+  // cost-aware shard planner consumes). The cost-share gate only fires while
+  // another tenant has active work and some cost has actually been measured,
+  // so a lone tenant never wedges itself out of an idle engine — and a
+  // policy-deferred request is by construction never the reason the batch is
+  // empty, which the empty-batch compile-wait path below relies on.
+  auto policy_defers_request = [&](const std::string& tenant,
+                                   const TenantPolicy* policy) {
+    if (policy == nullptr) return false;
+    std::int32_t slots = 0;
+    double tenant_cost = 0.0;
+    double total_cost = 0.0;
+    std::size_t other_active = 0;
+    for (const Slot& slot : active) {
+      const auto cost = static_cast<double>(slot.ar.mask_cost_ewma_us);
+      total_cost += cost;
+      if (requests[slot.index].tenant == tenant) {
+        ++slots;
+        tenant_cost += cost;
+      } else {
+        ++other_active;
+      }
+    }
+    if (policy->max_slots > 0 && slots >= policy->max_slots) return true;
+    return policy->cls == TenantClass::kBatch &&
+           policy->max_mask_cost_share > 0.0 && other_active > 0 &&
+           total_cost > 0.0 &&
+           tenant_cost / total_cost > policy->max_mask_cost_share;
+  };
+
   while (finished < requests.size()) {
     // Deadline sweep over the eligible prefix of the pending queue: a
     // request whose total deadline (or compile deadline, once compile-held)
@@ -543,13 +593,32 @@ ContinuousResult ServingEngine::RunContinuous(
     // A request whose grammar is still compiling is skipped (kDeferred:
     // it waits out-of-batch, later arrivals may overtake it) or stalls the
     // loop (kBlocking: the synchronous-front-door baseline).
+    // Two passes by tenant class — interactive tenants claim freed slots
+    // first, batch tenants get what remains — with arrival order preserved
+    // within each class. With no tenant policies configured every request is
+    // interactive-class and this is the classic single-pass loop.
     double admission_us = 0.0;
+    for (int pass = 0; pass < 2; ++pass) {
+    const TenantClass pass_class =
+        pass == 0 ? TenantClass::kInteractive : TenantClass::kBatch;
     for (auto it = pending.begin();
          it != pending.end() &&
          active.size() < static_cast<std::size_t>(max_batch_size);) {
       const std::size_t index = *it;
       const ContinuousRequest& arrival = requests[index];
       if (arrival.arrival_step > step) break;  // sorted: rest arrive later
+      const TenantPolicy* policy = policy_for(arrival.tenant);
+      const TenantClass cls =
+          policy != nullptr ? policy->cls : TenantClass::kInteractive;
+      if (cls != pass_class) {
+        ++it;  // other pass's class
+        continue;
+      }
+      if (policy_defers_request(arrival.tenant, policy)) {
+        ++policy_defer_counts[arrival.tenant];
+        ++it;  // retries next iteration; its deadline still counts down
+        continue;
+      }
       std::shared_ptr<baselines::ConstrainedDecoder> decoder =
           arrival.request.decoder;
       runtime::CompileTicket* ticket = arrival.pending_grammar.get();
@@ -620,6 +689,7 @@ ContinuousResult ServingEngine::RunContinuous(
       active.push_back(std::move(slot));
       it = pending.erase(it);
     }
+    }  // tenant-class passes
     if (active.empty()) {
       if (!pending.empty() && requests[pending.front()].arrival_step <= step) {
         // Nothing decodes and the head request only waits on its compile:
@@ -679,6 +749,20 @@ ContinuousResult ServingEngine::RunContinuous(
     clock_us += iteration_timer.ElapsedMicros();
     ++out.decode_steps;
 
+    if (track_tenants) {
+      // Record each tenant's summed measured mask cost this iteration — the
+      // exact quantity the cost-share admission gate is judged against.
+      std::map<std::string, double> step_cost;
+      for (const Slot& slot : active) {
+        step_cost[requests[slot.index].tenant] +=
+            static_cast<double>(slot.ar.mask_cost_ewma_us);
+      }
+      for (const auto& [tenant, cost] : step_cost) {
+        double& peak = peak_mask_cost_us[tenant];
+        peak = std::max(peak, cost);
+      }
+    }
+
     for (std::size_t i = 0; i < active.size();) {
       Slot& slot = active[i];
       bool had_tokens = !slot.ar.result.token_ids.empty();
@@ -717,6 +801,42 @@ ContinuousResult ServingEngine::RunContinuous(
     ++step;
   }
   out.makespan_ms = clock_us / 1000.0;
+
+  if (track_tenants) {
+    // Fold per-request outcomes plus the run's deferral/peak counters into
+    // the per-tenant usage table (std::map keeps it sorted by name).
+    std::map<std::string, TenantUsage> usage;
+    std::map<std::string, std::int64_t> ttft_samples;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      TenantUsage& u = usage[requests[i].tenant];
+      const ContinuousRequestResult& record = out.requests[i];
+      ++u.submitted;
+      if (record.status == StatusCode::kOk) {
+        ++u.completed;
+      } else {
+        ++u.dropped;
+      }
+      u.total_tokens +=
+          static_cast<std::int64_t>(record.result.token_ids.size());
+      u.mean_compile_wait_ms += record.compile_wait_ms;
+      if (record.first_token_step >= 0) {
+        u.mean_ttft_ms += record.ttft_ms;
+        ++ttft_samples[requests[i].tenant];
+      }
+    }
+    for (auto& [tenant, u] : usage) {
+      u.mean_compile_wait_ms /= static_cast<double>(u.submitted);
+      const std::int64_t samples = ttft_samples[tenant];
+      u.mean_ttft_ms = samples > 0
+                           ? u.mean_ttft_ms / static_cast<double>(samples)
+                           : 0.0;
+      auto defers = policy_defer_counts.find(tenant);
+      if (defers != policy_defer_counts.end()) u.policy_defers = defers->second;
+      auto peak = peak_mask_cost_us.find(tenant);
+      if (peak != peak_mask_cost_us.end()) u.peak_mask_cost_us = peak->second;
+    }
+    out.tenants.assign(usage.begin(), usage.end());
+  }
   return out;
 }
 

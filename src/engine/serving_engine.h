@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/constrained_decoder.h"
@@ -47,6 +49,34 @@ enum class CompileAdmission : std::uint8_t {
   // blocks on the build — how a synchronous compile front door behaves.
   // Kept for the bench comparison, not for serving.
   kBlocking,
+};
+
+// Tenant service classes for multi-tenant continuous batching: the admission
+// loop admits interactive tenants first each iteration, and batch tenants can
+// additionally be deferred when their measured mask cost crowds out everyone
+// else (see TenantPolicy::max_mask_cost_share).
+enum class TenantClass : std::uint8_t {
+  kInteractive,  // latency-sensitive; admitted first each iteration
+  kBatch,        // throughput traffic; yields to interactive under contention
+};
+
+// Per-tenant admission policy for RunContinuous. Requests name their tenant
+// (ContinuousRequest::tenant); tenants without a policy — including the empty
+// default tenant — run as uncapped interactive traffic, so the single-tenant
+// path is unchanged.
+struct TenantPolicy {
+  TenantClass cls = TenantClass::kInteractive;
+  // Maximum concurrent batch slots this tenant's requests may occupy;
+  // 0 = unlimited.
+  std::int32_t max_slots = 0;
+  // Batch-class tenants only: the maximum share of the batch's summed
+  // per-request mask-cost EWMA (the same measured-microseconds feedback the
+  // cost-aware shard planner consumes, see MaskTask) this tenant's active
+  // requests may hold before further admissions defer. Judged on the current
+  // measured share, and applied only while at least one other tenant has
+  // active work — a lone tenant can never wedge itself out of an idle
+  // engine. 0 = unlimited.
+  double max_mask_cost_share = 0.0;
 };
 
 struct EngineOptions {
@@ -83,6 +113,10 @@ struct EngineOptions {
   // StatusCode::kDeadlineExceeded instead of waiting forever on a wedged
   // or slow build. 0 = no limit. Applies to both admission modes.
   double compile_deadline_ms = 0.0;
+  // RunContinuous: per-tenant admission policies keyed by tenant name.
+  // Empty = single-tenant behavior (every request admitted in arrival
+  // order, no caps).
+  std::map<std::string, TenantPolicy> tenant_policies;
 };
 
 struct EngineRequest {
@@ -195,6 +229,9 @@ struct ContinuousRequest {
   // leaves the batch with StatusCode::kDeadlineExceeded — mid-decode it
   // keeps its partial output. 0 = none.
   double deadline_ms = 0.0;
+  // Tenant this request bills to (see EngineOptions::tenant_policies).
+  // Empty = the anonymous default tenant (uncapped, interactive class).
+  std::string tenant;
 };
 
 struct ContinuousRequestResult {
@@ -221,8 +258,28 @@ struct ContinuousRequestResult {
   std::string error;
 };
 
+// Per-tenant accounting for one RunContinuous call. `policy_defers` counts
+// iteration-level admission deferrals caused by tenant policy (slot cap or
+// mask-cost share) — compile-held skips are not policy defers.
+// `peak_mask_cost_us` is the largest summed mask-cost EWMA the tenant's
+// active requests held on any single iteration: the signal the cost-share
+// cap is judged against.
+struct TenantUsage {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;      // finished with status kOk
+  std::int64_t dropped = 0;        // deadline / grammar-failure drops
+  std::int64_t policy_defers = 0;
+  std::int64_t total_tokens = 0;
+  double mean_ttft_ms = 0.0;          // over requests that emitted a token
+  double mean_compile_wait_ms = 0.0;  // over all submitted requests
+  double peak_mask_cost_us = 0.0;
+};
+
 struct ContinuousResult {
   std::vector<ContinuousRequestResult> requests;  // in submission order
+  // Per-tenant usage, sorted by tenant name. Populated only when the run is
+  // tenant-aware (a request named a tenant or a policy was configured).
+  std::vector<std::pair<std::string, TenantUsage>> tenants;
   std::int64_t decode_steps = 0;
   std::int64_t total_tokens = 0;
   MaskGenAggregate mask_gen;

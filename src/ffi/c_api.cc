@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "artifact/artifact_reader.h"
+#include "artifact/artifact_writer.h"
 #include "baselines/tag_dispatch_decoder.h"
 #include "baselines/xgrammar_decoder.h"
 #include "cache/adaptive_cache.h"
@@ -43,6 +45,8 @@ xgr_status ToAbiStatus(xgr::StatusCode code) {
       return XGR_ERROR_CANCELLED;
     case xgr::StatusCode::kPoisoned:
       return XGR_ERROR_POISONED;
+    case xgr::StatusCode::kQuotaExceeded:
+      return XGR_ERROR_QUOTA_EXCEEDED;
     case xgr::StatusCode::kInternal:
       return XGR_ERROR;
   }
@@ -218,6 +222,35 @@ xgr_grammar* xgr_grammar_compile_builtin_json(const xgr_tokenizer* tokenizer) {
 
 void xgr_grammar_destroy(xgr_grammar* grammar) { delete grammar; }
 
+/* ----- zero-copy artifacts ------------------------------------------------ */
+
+xgr_status xgr_artifact_save(const xgr_grammar* grammar, const char* path,
+                             const char* content_key) {
+  return Guarded("xgr_artifact_save", XGR_ERROR, [&]() -> xgr_status {
+    XGR_CHECK(grammar != nullptr) << "null grammar";
+    XGR_CHECK(path != nullptr) << "null path";
+    xgr::artifact::WriteFlatArtifactFile(
+        path, *grammar->cache, content_key != nullptr ? content_key : "");
+    return XGR_OK;
+  });
+}
+
+xgr_grammar* xgr_artifact_load(const char* path,
+                               const xgr_tokenizer* tokenizer,
+                               const char* expect_content_key) {
+  return Guarded("xgr_artifact_load", static_cast<xgr_grammar*>(nullptr),
+                 [&]() -> xgr_grammar* {
+    XGR_CHECK(path != nullptr) << "null path";
+    XGR_CHECK(tokenizer != nullptr) << "null tokenizer";
+    xgr::artifact::LoadOptions options;
+    if (expect_content_key != nullptr) {
+      options.expect_content_key = expect_content_key;
+    }
+    return new xgr_grammar{
+        xgr::artifact::LoadFlatArtifactFile(path, tokenizer->info, options)};
+  });
+}
+
 /* ----- async compilation -------------------------------------------------- */
 
 xgr_compile_service* xgr_compile_service_create(const xgr_tokenizer* tokenizer,
@@ -294,6 +327,62 @@ xgr_compile_ticket* xgr_compile_service_submit_regex(
   job.source = pattern;
   return SubmitJob("xgr_compile_service_submit_regex", service,
                    std::move(job));
+}
+
+/* ----- per-tenant quotas & accounting ------------------------------------- */
+
+xgr_status xgr_compile_service_set_tenant_quota(
+    xgr_compile_service* service, const char* tenant,
+    int64_t max_concurrent_compiles, int64_t max_queued,
+    size_t max_resident_bytes) {
+  return Guarded("xgr_compile_service_set_tenant_quota", XGR_ERROR,
+                 [&]() -> xgr_status {
+    XGR_CHECK(service != nullptr) << "null compile service";
+    XGR_CHECK(tenant != nullptr) << "null tenant name";
+    xgr::runtime::TenantQuota quota;
+    quota.max_concurrent_compiles = max_concurrent_compiles;
+    quota.max_queued = max_queued;
+    quota.max_resident_bytes = max_resident_bytes;
+    service->service->SetTenantQuota(tenant, quota);
+    return XGR_OK;
+  });
+}
+
+xgr_compile_ticket* xgr_compile_service_submit_json_schema_as(
+    xgr_compile_service* service, const char* tenant,
+    const char* schema_json) {
+  if (schema_json == nullptr) {
+    SetErrorRaw("xgr_compile_service_submit_json_schema_as: null schema_json");
+    return nullptr;
+  }
+  xgr::runtime::CompileJob job;
+  job.kind = xgr::runtime::GrammarKind::kJsonSchema;
+  job.source = schema_json;
+  if (tenant != nullptr) job.tenant = tenant;
+  return SubmitJob("xgr_compile_service_submit_json_schema_as", service,
+                   std::move(job));
+}
+
+xgr_status xgr_compile_service_tenant_stats(const xgr_compile_service* service,
+                                            const char* tenant,
+                                            xgr_tenant_stats* out) {
+  return Guarded("xgr_compile_service_tenant_stats", XGR_ERROR,
+                 [&]() -> xgr_status {
+    XGR_CHECK(service != nullptr) << "null compile service";
+    XGR_CHECK(tenant != nullptr) << "null tenant name";
+    XGR_CHECK(out != nullptr) << "null output struct";
+    xgr::runtime::TenantStats stats =
+        service->service->TenantStatsFor(tenant);
+    out->submitted = stats.submitted;
+    out->registry_hits = stats.registry_hits;
+    out->compiled = stats.compiled;
+    out->quota_rejects = stats.quota_rejects;
+    out->evictions = stats.evictions;
+    out->inflight = stats.inflight;
+    out->bytes_resident = stats.bytes_resident;
+    out->compile_wait_ms = stats.compile_wait_ms;
+    return XGR_OK;
+  });
 }
 
 int32_t xgr_compile_ticket_poll(const xgr_compile_ticket* ticket) {

@@ -49,6 +49,9 @@ typedef enum xgr_status {
   /* The key is quarantined after repeated failures; rejected O(1) with the
    * cached error. Retrying before the quarantine TTL expires is pointless. */
   XGR_ERROR_POISONED = -7,
+  /* A per-tenant admission quota (concurrent compiles, queue depth, resident
+   * bytes) is exhausted. Retry after the tenant's in-flight work drains. */
+  XGR_ERROR_QUOTA_EXCEEDED = -8,
 } xgr_status;
 
 /* Copies the calling thread's last error message (NUL-terminated, possibly
@@ -126,6 +129,31 @@ xgr_grammar* xgr_grammar_compile_builtin_json(const xgr_tokenizer* tokenizer);
  * reference and remain valid; passing NULL is a no-op. */
 void xgr_grammar_destroy(xgr_grammar* grammar);
 
+/* ----- zero-copy artifacts ------------------------------------------------ */
+
+/* Serializes a compiled grammar into the flat zero-copy artifact format
+ * ("XGR3") at `path`, atomically (temp file + rename; concurrent writers of
+ * the same artifact are safe). The byte stream is deterministic: the same
+ * grammar + vocabulary always produce identical files. `content_key` is an
+ * optional identity string embedded in the header and re-checked at load
+ * time (NULL or "" = unkeyed). Returns XGR_OK, or a negative status with
+ * details via xgr_last_error(). */
+xgr_status xgr_artifact_save(const xgr_grammar* grammar, const char* path,
+                             const char* content_key);
+
+/* Memory-maps a flat artifact and returns a grammar handle whose mask
+ * tables view the mapping directly — no parse, no copy; ready time is
+ * header validation plus one checksum pass, and every process mapping the
+ * same file shares one physical page set. `tokenizer` must carry the same
+ * vocabulary the artifact was built against: a vocabulary-pin mismatch
+ * fails with XGR_ERROR_CORRUPT_ARTIFACT, as does truncation, corruption,
+ * a misaligned offset table, or (when `expect_content_key` is non-NULL and
+ * non-empty) an embedded-key mismatch. Returns NULL on error; release with
+ * xgr_grammar_destroy() (the mapping unmaps with the last reference). */
+xgr_grammar* xgr_artifact_load(const char* path,
+                               const xgr_tokenizer* tokenizer,
+                               const char* expect_content_key);
+
 /* ----- async compilation -------------------------------------------------- */
 
 /* A compile service wraps the grammar runtime (src/runtime): a thread pool
@@ -171,6 +199,49 @@ xgr_compile_ticket* xgr_compile_service_submit_json_schema(
     xgr_compile_service* service, const char* schema_json);
 xgr_compile_ticket* xgr_compile_service_submit_regex(
     xgr_compile_service* service, const char* pattern);
+
+/* ----- per-tenant quotas & accounting ------------------------------------- */
+
+/* Snapshot of one tenant's compile-service accounting (see
+ * xgr_compile_service_tenant_stats). All counters are cumulative since
+ * service creation except `inflight` and `bytes_resident`, which are
+ * instantaneous. */
+typedef struct xgr_tenant_stats {
+  int64_t submitted;       /* jobs submitted by this tenant */
+  int64_t registry_hits;   /* resolved instantly from the registry */
+  int64_t compiled;        /* builds that ran to completion for it */
+  int64_t quota_rejects;   /* submissions rejected by its quota */
+  int64_t evictions;       /* its resident artifacts evicted under budget */
+  int64_t inflight;        /* queued + running right now */
+  uint64_t bytes_resident; /* registry bytes attributed to it right now */
+  double compile_wait_ms;  /* summed submit->ready latency of its builds */
+} xgr_tenant_stats;
+
+/* Installs (or replaces) the admission quota for `tenant`. Zero for any
+ * field = unlimited on that axis. Submissions over quota fail their ticket
+ * immediately with XGR_ERROR_QUOTA_EXCEEDED — deterministic shedding, never
+ * quarantined, safe to retry once the tenant's in-flight work drains.
+ * Returns XGR_OK or a negative status (NULL service/tenant). */
+xgr_status xgr_compile_service_set_tenant_quota(xgr_compile_service* service,
+                                                const char* tenant,
+                                                int64_t max_concurrent_compiles,
+                                                int64_t max_queued,
+                                                size_t max_resident_bytes);
+
+/* Tenant-aware submission: like xgr_compile_service_submit_json_schema but
+ * bills the job to `tenant` (quota checks + per-tenant stats). The tenant
+ * name is NOT part of the content key — identical sources from different
+ * tenants still share one build and one cached artifact. NULL or "" tenant
+ * = the anonymous default tenant (never quota-checked). */
+xgr_compile_ticket* xgr_compile_service_submit_json_schema_as(
+    xgr_compile_service* service, const char* tenant, const char* schema_json);
+
+/* Copies `tenant`'s accounting snapshot into `out`. Unknown tenants (never
+ * quota'd, never submitted) report all-zero stats. Returns XGR_OK or a
+ * negative status (NULL arguments). */
+xgr_status xgr_compile_service_tenant_stats(const xgr_compile_service* service,
+                                            const char* tenant,
+                                            xgr_tenant_stats* out);
 
 /* Non-blocking status probe: 1 = ready (await will not block), 0 = still
  * compiling, -1 = failed or cancelled (message via xgr_last_error()). */

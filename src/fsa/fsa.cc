@@ -1,6 +1,7 @@
 #include "fsa/fsa.h"
 
 #include <sstream>
+#include <utility>
 
 #include "support/logging.h"
 #include "support/string_utils.h"
@@ -34,9 +35,44 @@ void Fsa::AddLiteralPath(std::int32_t from, const std::string& bytes,
 }
 
 std::size_t Fsa::TotalEdges() const {
+  if (frozen_) return flat_edges_.size();
   std::size_t total = 0;
   for (const auto& edges : edges_) total += edges.size();
   return total;
+}
+
+Fsa Fsa::FrozenView(support::ArrayRef<Edge> edges,
+                    support::ArrayRef<std::int32_t> edge_offsets,
+                    support::ArrayRef<std::uint8_t> accepting,
+                    std::int32_t start) {
+  auto num_states = static_cast<std::int32_t>(accepting.size());
+  XGR_CHECK(num_states > 0) << "frozen automaton: no states";
+  XGR_CHECK(edge_offsets.size() == accepting.size() + 1)
+      << "frozen automaton: offset table size";
+  XGR_CHECK(edge_offsets.front() == 0 &&
+            edge_offsets.back() == static_cast<std::int32_t>(edges.size()))
+      << "frozen automaton: offset table bounds";
+  for (std::size_t i = 1; i < edge_offsets.size(); ++i) {
+    XGR_CHECK(edge_offsets[i - 1] <= edge_offsets[i])
+        << "frozen automaton: offset table not monotone";
+  }
+  for (const Edge& e : edges) {
+    XGR_CHECK(static_cast<std::uint8_t>(e.kind) <=
+              static_cast<std::uint8_t>(EdgeKind::kEpsilon))
+        << "frozen automaton: unknown edge kind";
+    XGR_CHECK(e.target >= 0 && e.target < num_states)
+        << "frozen automaton: edge target out of range";
+  }
+  XGR_CHECK(start >= 0 && start < num_states)
+      << "frozen automaton: start state out of range";
+  Fsa fsa;
+  fsa.frozen_ = true;
+  fsa.num_states_ = num_states;
+  fsa.flat_edges_ = std::move(edges);
+  fsa.flat_offsets_ = std::move(edge_offsets);
+  fsa.flat_accepting_ = std::move(accepting);
+  fsa.start_ = start;
+  return fsa;
 }
 
 std::int32_t Fsa::CheckState(std::int32_t state) const {
@@ -49,9 +85,9 @@ std::string Fsa::DebugString() const {
   for (std::int32_t s = 0; s < NumStates(); ++s) {
     out << s;
     if (s == start_) out << " (start)";
-    if (accepting_[static_cast<std::size_t>(s)]) out << " (accept)";
+    if (IsAccepting(s)) out << " (accept)";
     out << ":\n";
-    for (const Edge& e : edges_[static_cast<std::size_t>(s)]) {
+    for (const Edge& e : EdgesFrom(s)) {
       switch (e.kind) {
         case EdgeKind::kByteRange:
           if (e.min_byte == e.max_byte) {

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "support/array_ref.h"
+#include "support/logging.h"
 #include "support/utf8.h"
 
 namespace xgr::fsa {
@@ -51,17 +53,29 @@ struct Edge {
 // Growable automaton. States are dense int32 ids. Multiple "root" states are
 // supported because the grammar compiler places every rule's automaton in one
 // shared state space.
+//
+// Two storage modes share the read API: the growable builder mode
+// (vector-of-vectors, every construction/optimization pass) and a frozen CSR
+// mode over borrowed storage (FrozenView — the zero-copy artifact loader
+// points it straight into an mmap'd file). Frozen automata are immutable;
+// the mutators check.
 class Fsa {
  public:
   std::int32_t AddState() {
+    XGR_DCHECK(!frozen_) << "frozen automaton is immutable";
     edges_.emplace_back();
     accepting_.push_back(false);
     return static_cast<std::int32_t>(edges_.size()) - 1;
   }
 
-  std::int32_t NumStates() const { return static_cast<std::int32_t>(edges_.size()); }
+  std::int32_t NumStates() const {
+    return frozen_ ? num_states_ : static_cast<std::int32_t>(edges_.size());
+  }
 
-  void AddEdge(std::int32_t from, Edge edge) { edges_[CheckState(from)].push_back(edge); }
+  void AddEdge(std::int32_t from, Edge edge) {
+    XGR_DCHECK(!frozen_) << "frozen automaton is immutable";
+    edges_[CheckState(from)].push_back(edge);
+  }
   void AddByteEdge(std::int32_t from, std::uint8_t lo, std::uint8_t hi, std::int32_t to) {
     AddEdge(from, Edge::ByteRange(lo, hi, to));
   }
@@ -79,22 +93,50 @@ class Fsa {
   // Adds a literal byte-string path from `from` to `to`.
   void AddLiteralPath(std::int32_t from, const std::string& bytes, std::int32_t to);
 
-  const std::vector<Edge>& EdgesFrom(std::int32_t state) const {
-    return edges_[CheckState(state)];
+  std::span<const Edge> EdgesFrom(std::int32_t state) const {
+    auto s = static_cast<std::size_t>(CheckState(state));
+    if (frozen_) {
+      auto begin = static_cast<std::size_t>(flat_offsets_[s]);
+      auto count = static_cast<std::size_t>(flat_offsets_[s + 1]) - begin;
+      return {flat_edges_.data() + begin, count};
+    }
+    return {edges_[s].data(), edges_[s].size()};
   }
   std::vector<Edge>& MutableEdgesFrom(std::int32_t state) {
+    XGR_CHECK(!frozen_) << "frozen automaton is immutable";
     return edges_[CheckState(state)];
   }
 
-  bool IsAccepting(std::int32_t state) const { return accepting_[CheckState(state)]; }
+  bool IsAccepting(std::int32_t state) const {
+    auto s = static_cast<std::size_t>(CheckState(state));
+    return frozen_ ? flat_accepting_[s] != 0 : accepting_[s];
+  }
   void SetAccepting(std::int32_t state, bool value = true) {
-    accepting_[CheckState(state)] = value;
+    XGR_CHECK(!frozen_) << "frozen automaton is immutable";
+    accepting_[static_cast<std::size_t>(CheckState(state))] = value;
   }
 
   std::int32_t Start() const { return start_; }
-  void SetStart(std::int32_t state) { start_ = CheckState(state); }
+  void SetStart(std::int32_t state) {
+    XGR_CHECK(!frozen_) << "frozen automaton is immutable";
+    start_ = CheckState(state);
+  }
 
   std::size_t TotalEdges() const;
+
+  bool IsFrozen() const { return frozen_; }
+
+  // CSR automaton over borrowed storage: `edge_offsets` (NumStates()+1
+  // entries, monotone, offsets into `edges`) and `accepting` (one byte per
+  // state). Structural safety is established here once — offset-table shape
+  // and every edge target — so readers never bounds-check again; the caller
+  // guarantees the storage outlives every copy (the artifact loader parks the
+  // mmap keep-alive on the owning CompiledGrammar). Throws CheckError on
+  // structurally invalid input.
+  static Fsa FrozenView(support::ArrayRef<Edge> edges,
+                        support::ArrayRef<std::int32_t> edge_offsets,
+                        support::ArrayRef<std::uint8_t> accepting,
+                        std::int32_t start);
 
   // Human-readable dump for debugging / golden tests.
   std::string DebugString() const;
@@ -105,6 +147,12 @@ class Fsa {
   std::vector<std::vector<Edge>> edges_;
   std::vector<bool> accepting_;
   std::int32_t start_ = 0;
+  // Frozen (CSR view) mode.
+  bool frozen_ = false;
+  std::int32_t num_states_ = 0;
+  support::ArrayRef<Edge> flat_edges_;
+  support::ArrayRef<std::int32_t> flat_offsets_;
+  support::ArrayRef<std::uint8_t> flat_accepting_;
 };
 
 // ---------------------------------------------------------------------------

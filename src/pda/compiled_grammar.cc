@@ -1,5 +1,6 @@
 #include "pda/compiled_grammar.h"
 
+#include <mutex>
 #include <sstream>
 
 #include "support/logging.h"
@@ -297,6 +298,19 @@ fsa::Fsa BuildGlobalContextAutomaton(const fsa::Fsa& automaton,
     }
   }
   return ctx;
+}
+
+const grammar::Grammar& CompiledGrammar::SourceGrammar() const {
+  if (!grammar_parser_) return grammar_;
+  // A single global mutex is enough: the parse runs at most once per loaded
+  // artifact, and callers of the AST (re-serialization, debug names, tests)
+  // are far off the decode hot path.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  if (lazy_grammar_ == nullptr) {
+    lazy_grammar_ = std::make_shared<const grammar::Grammar>(grammar_parser_());
+  }
+  return *lazy_grammar_;
 }
 
 std::string CompiledGrammar::StatsString() const {

@@ -13,6 +13,7 @@
 //   5. context expansion: expanded-suffix FSA per rule  (§3.2, Algorithm 2)
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -25,6 +26,10 @@
 namespace xgr::serialize_detail {
 struct CompiledGrammarAccess;  // binary (de)serialization, src/serialize
 }  // namespace xgr::serialize_detail
+
+namespace xgr::artifact_detail {
+struct PdaAccess;  // zero-copy flat-artifact assembly, src/artifact
+}  // namespace xgr::artifact_detail
 
 namespace xgr::pda {
 
@@ -83,7 +88,10 @@ class CompiledGrammar {
   }
 
   // The transformed grammar the automaton was built from (post optimizer).
-  const grammar::Grammar& SourceGrammar() const { return grammar_; }
+  // On trusted flat-artifact loads the AST parse is deferred to the first
+  // call (the decode path never needs it); thread-safe, may throw
+  // StatusError if the deferred blob is corrupt.
+  const grammar::Grammar& SourceGrammar() const;
   const CompileOptions& Options() const { return options_; }
   // Per-pass before/after stats from the grammar optimizer pipeline that ran
   // inside Compile. Empty on deserialized artifacts (stats are measurements,
@@ -92,17 +100,25 @@ class CompiledGrammar {
     return pass_stats_;
   }
   const std::string& RuleName(grammar::RuleId rule) const {
-    return grammar_.GetRule(rule).name;
+    return SourceGrammar().GetRule(rule).name;
   }
 
   std::string StatsString() const;
 
  private:
   friend struct xgr::serialize_detail::CompiledGrammarAccess;
+  friend struct xgr::artifact_detail::PdaAccess;
 
   CompiledGrammar() = default;
 
   grammar::Grammar grammar_;
+  // Set only by the flat-artifact loader on trusted reopens: parses the
+  // embedded grammar blob on demand (it owns whatever keeps the blob alive).
+  // When set, `grammar_` is an empty placeholder and `lazy_grammar_` caches
+  // the parse, installed with atomic shared_ptr ops (racing parsers are
+  // benign — first store wins, the loser's copy is dropped).
+  std::function<grammar::Grammar()> grammar_parser_;
+  mutable std::shared_ptr<const grammar::Grammar> lazy_grammar_;
   CompileOptions options_;
   std::vector<grammar::PassStats> pass_stats_;
   fsa::Fsa automaton_;
@@ -111,6 +127,9 @@ class CompiledGrammar {
   std::unique_ptr<fsa::Fsa> context_automaton_;
   std::vector<std::int32_t> context_starts_;
   grammar::RuleId root_rule_ = grammar::kInvalidRule;
+  // Keep-alive for frozen-view automata (the mmap'd artifact the edges point
+  // into); null on compiled/deserialized instances.
+  std::shared_ptr<const void> backing_;
 };
 
 // Algorithm 2 exactly as printed in the paper (single-rule, stop at final

@@ -49,9 +49,11 @@ struct CompileTask {
   std::uint64_t seq = 0;  // FIFO tie-break within a priority class
   double deadline_ms = 0.0;     // from the first submit's job; 0 = none
   std::uint64_t submit_ms = 0;  // service clock at Submit()
+  std::string tenant;           // the FIRST submitter's tenant (owner)
 
   // Guarded by ServiceCore::mutex.
   bool queued = false;  // in the heap and eligible to run
+  bool tenant_running = false;  // counted in the tenant's running total
   int interest = 0;     // live tickets; 0 while queued => abandon
   std::vector<CompileCallback> callbacks;
   std::string error;
@@ -74,10 +76,30 @@ struct FailureMemo {
   std::uint64_t quarantined_until_ms = 0;
 };
 
+// Per-tenant accounting. Its mutex is a LEAF in the lock order: it is taken
+// under ServiceCore::mutex (submit-path checks), under a registry shard
+// mutex (the eviction callback), and bare (stats snapshots) — and never
+// acquires any other lock itself. Held by shared_ptr so the registry's
+// eviction callback stays valid through service teardown ordering.
+struct TenantTable {
+  struct TenantState {
+    TenantQuota quota;
+    TenantStats stats;  // stats.inflight counts queued + running
+    std::int64_t running_now = 0;  // claimed by a worker, not yet resolved
+  };
+  mutable std::mutex mutex;
+  std::unordered_map<std::string, TenantState> tenants;
+  // key -> (owning tenant, accounted bytes) for currently resident,
+  // attributed artifacts. Ownership = the first tenant whose build or disk
+  // load made the key resident.
+  std::unordered_map<std::string, std::pair<std::string, std::size_t>> owners;
+};
+
 struct ServiceCore {
   std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer;
   CompileServiceOptions options;
   std::unique_ptr<GrammarRegistry> registry;
+  std::shared_ptr<TenantTable> tenant_table = std::make_shared<TenantTable>();
 
   mutable std::mutex mutex;
   bool shutdown = false;
@@ -128,6 +150,16 @@ std::vector<CompileCallback> FinalizeLocked(ServiceCore* core,
   auto it = core->inflight.find(task->key);
   if (it != core->inflight.end() && it->second == task) core->inflight.erase(it);
   if (task->queued) --core->queued_count;
+  if (task->queued || task->tenant_running) {
+    // The task was counted in its tenant's inflight when it entered the
+    // queue; this is the single exit point (leaf lock under core->mutex).
+    std::lock_guard<std::mutex> tenant_lock(core->tenant_table->mutex);
+    TenantTable::TenantState& tenant =
+        core->tenant_table->tenants[task->tenant];
+    --tenant.stats.inflight;
+    if (task->tenant_running) --tenant.running_now;
+  }
+  task->tenant_running = false;
   task->queued = false;
   task->error = std::move(error);
   task->code = code;
@@ -317,6 +349,23 @@ CompileService::CompileService(
   }
   core_->registry = std::make_unique<GrammarRegistry>(core_->tokenizer,
                                                       core_->options.registry);
+  // Eviction attribution: when the registry pushes a tenant-owned artifact
+  // out past the budget, release the bytes against that tenant. Runs under a
+  // registry shard mutex, so it may only take the tenant leaf lock.
+  core_->registry->SetEvictionCallback(
+      [table = core_->tenant_table](const std::string& key, std::size_t bytes) {
+        std::lock_guard<std::mutex> lock(table->mutex);
+        auto it = table->owners.find(key);
+        if (it == table->owners.end()) return;  // unattributed (e.g. direct
+                                                // registry use): nothing owed
+        detail::TenantTable::TenantState& state =
+            table->tenants[it->second.first];
+        state.stats.bytes_resident -=
+            std::min(state.stats.bytes_resident, it->second.second);
+        ++state.stats.evictions;
+        table->owners.erase(it);
+        (void)bytes;
+      });
   pool_ = std::make_unique<ThreadPool>(
       static_cast<std::size_t>(core_->options.num_threads));
 }
@@ -390,19 +439,32 @@ CompileTicket CompileService::Submit(CompileJob job, CompilePriority priority,
     task->seq = core_->next_seq++;
     task->deadline_ms = task->job.deadline_ms;
     task->submit_ms = detail::NowMs(*core_);
+    task->tenant = task->job.tenant;
     task->future = task->promise.get_future().share();
     task->interest = 1;
+    {
+      std::lock_guard<std::mutex> tenant_lock(core_->tenant_table->mutex);
+      ++core_->tenant_table->tenants[task->tenant].stats.submitted;
+    }
     ready = core_->registry->TryGetResident(task->key);
     if (ready != nullptr) {
       ++core_->stats.registry_hits;
+      std::lock_guard<std::mutex> tenant_lock(core_->tenant_table->mutex);
+      ++core_->tenant_table->tenants[task->tenant].stats.registry_hits;
       task->state.store(CompileState::kReady);
     } else if (QuarantineRejectLocked(task)) {
+      rejected = true;
+    } else if (QuotaRejectLocked(task)) {
       rejected = true;
     } else if (OverloadRejectLocked(task, &shed_task, &shed_callbacks)) {
       rejected = true;
     } else {
       task->queued = true;
       ++core_->queued_count;
+      {
+        std::lock_guard<std::mutex> tenant_lock(core_->tenant_table->mutex);
+        ++core_->tenant_table->tenants[task->tenant].stats.inflight;
+      }
       if (on_done) {
         task->callbacks.push_back(std::move(on_done));
         on_done = nullptr;
@@ -461,6 +523,43 @@ bool CompileService::QuarantineRejectLocked(
   return true;
 }
 
+// Requires core_->mutex. Tenant admission: rejects the task kFailed with
+// kQuotaExceeded when its tenant is over any configured limit. Deterministic
+// for the tenant's *current* load (unlike quarantine, says nothing about the
+// grammar), so the key is never poisoned and a later retry can succeed.
+bool CompileService::QuotaRejectLocked(
+    const std::shared_ptr<detail::CompileTask>& task) {
+  std::string reject;
+  {
+    std::lock_guard<std::mutex> tenant_lock(core_->tenant_table->mutex);
+    auto it = core_->tenant_table->tenants.find(task->tenant);
+    if (it == core_->tenant_table->tenants.end()) return false;
+    const TenantQuota& quota = it->second.quota;
+    TenantStats& stats = it->second.stats;
+    const std::int64_t queued_now = stats.inflight - it->second.running_now;
+    if (quota.max_concurrent_compiles > 0 &&
+        stats.inflight >= quota.max_concurrent_compiles) {
+      reject = "tenant concurrent-compile quota reached (" +
+               std::to_string(stats.inflight) + " in flight)";
+    } else if (quota.max_queued > 0 && queued_now >= quota.max_queued) {
+      reject = "tenant queue quota reached (" + std::to_string(queued_now) +
+               " queued)";
+    }
+    if (reject.empty() && quota.max_resident_bytes > 0 &&
+        stats.bytes_resident >= quota.max_resident_bytes) {
+      reject = "tenant resident-memory quota reached (" +
+               std::to_string(stats.bytes_resident) + " bytes attributed)";
+    }
+    if (reject.empty()) return false;
+    ++stats.quota_rejects;
+  }
+  ++core_->stats.quota_rejects;
+  task->error = std::move(reject);
+  task->code = StatusCode::kQuotaExceeded;
+  task->state.store(CompileState::kFailed);
+  return true;
+}
+
 // Requires core_->mutex. Backpressure at the queue door: when the queue is
 // full, either evict the worst queued build (if the arrival outranks it) or
 // reject the arrival, resolving the loser kFailed/kOverloaded. Prefetch and
@@ -511,7 +610,12 @@ void CompileService::RunOne(const std::shared_ptr<detail::ServiceCore>& core) {
           candidate->state.load() == CompileState::kPending) {
         task = std::move(candidate);
         task->queued = false;  // running: cancellation no longer applies
+        task->tenant_running = true;
         --core->queued_count;
+        {
+          std::lock_guard<std::mutex> tenant_lock(core->tenant_table->mutex);
+          ++core->tenant_table->tenants[task->tenant].running_now;
+        }
         break;
       }
       // Abandoned entries drain here without running.
@@ -562,6 +666,30 @@ void CompileService::RunOne(const std::shared_ptr<detail::ServiceCore>& core) {
     } catch (...) {
       error = "unknown compilation error";
       code = StatusCode::kInternal;
+    }
+  }
+
+  if (artifact != nullptr) {
+    // Attribute the resident bytes to the owning (first-submitter) tenant —
+    // once per key, and only while the key is actually resident (an artifact
+    // bigger than the whole budget can already be evicted again here; its
+    // eviction callback may even have fired before this attribution, so the
+    // residency check keeps the books from leaking). The residency probe
+    // takes a registry shard mutex, so it runs BEFORE the tenant leaf lock —
+    // the eviction callback holds them in shard->tenant order.
+    const bool resident = core->registry->IsResident(task->key);
+    std::lock_guard<std::mutex> tenant_lock(core->tenant_table->mutex);
+    detail::TenantTable::TenantState& tenant =
+        core->tenant_table->tenants[task->tenant];
+    ++tenant.stats.compiled;
+    tenant.stats.compile_wait_ms +=
+        static_cast<double>(detail::NowMs(*core) - task->submit_ms);
+    if (resident && core->tenant_table->owners.find(task->key) ==
+                        core->tenant_table->owners.end()) {
+      const std::size_t bytes = artifact->MemoryBytes();
+      core->tenant_table->owners.emplace(task->key,
+                                         std::make_pair(task->tenant, bytes));
+      tenant.stats.bytes_resident += bytes;
     }
   }
 
@@ -628,6 +756,34 @@ GrammarRegistry& CompileService::Registry() { return *core_->registry; }
 const std::shared_ptr<const tokenizer::TokenizerInfo>&
 CompileService::Tokenizer() const {
   return core_->tokenizer;
+}
+
+void CompileService::SetTenantQuota(const std::string& tenant,
+                                    TenantQuota quota) {
+  std::lock_guard<std::mutex> lock(core_->tenant_table->mutex);
+  core_->tenant_table->tenants[tenant].quota = quota;
+}
+
+TenantStats CompileService::TenantStatsFor(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(core_->tenant_table->mutex);
+  auto it = core_->tenant_table->tenants.find(tenant);
+  return it == core_->tenant_table->tenants.end() ? TenantStats{}
+                                                  : it->second.stats;
+}
+
+std::vector<std::pair<std::string, TenantStats>>
+CompileService::AllTenantStats() const {
+  std::vector<std::pair<std::string, TenantStats>> out;
+  {
+    std::lock_guard<std::mutex> lock(core_->tenant_table->mutex);
+    out.reserve(core_->tenant_table->tenants.size());
+    for (const auto& [name, state] : core_->tenant_table->tenants) {
+      out.emplace_back(name, state.stats);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 CompileServiceStats CompileService::Stats() const {

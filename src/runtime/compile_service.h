@@ -39,6 +39,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/adaptive_cache.h"
@@ -71,6 +72,12 @@ struct CompileJob {
   // aborts with StatusCode::kDeadlineExceeded. Not part of the content key:
   // coalesced submits share the FIRST submit's deadline.
   double deadline_ms = 0.0;
+  // Accounting identity for multi-tenant serving: quota checks, per-tenant
+  // stats, and resident-byte attribution key off this. NOT part of the
+  // content key — identical grammars from different tenants still share one
+  // build and one resident artifact (attributed to the first owner). Empty =
+  // the anonymous default tenant.
+  std::string tenant;
 };
 
 // The content key a job is coalesced and cached under (stable across
@@ -188,6 +195,33 @@ struct CompileServiceOptions {
   std::uint64_t (*now_ms_fn)() = nullptr;
 };
 
+// Per-tenant admission limits. Each limit is checked at Submit() time and 0
+// means unlimited. Rejections resolve the ticket kFailed with
+// StatusCode::kQuotaExceeded — deterministic for the tenant's current load,
+// so never quarantined and safe to retry after backoff.
+struct TenantQuota {
+  // Max builds this tenant may have in flight (queued + running) at once.
+  std::int64_t max_concurrent_compiles = 0;
+  // Max builds this tenant may have *queued* (not yet running) at once —
+  // tighter than max_concurrent_compiles when workers are plentiful.
+  std::int64_t max_queued = 0;
+  // Once the tenant's attributed resident bytes reach this, new compiles are
+  // rejected until evictions (or Clear()) bring it back under. Registry hits
+  // and coalesced joins still succeed — they add no bytes.
+  std::size_t max_resident_bytes = 0;
+};
+
+struct TenantStats {
+  std::int64_t submitted = 0;
+  std::int64_t registry_hits = 0;
+  std::int64_t compiled = 0;        // successful resolutions owned by tenant
+  std::int64_t quota_rejects = 0;
+  std::int64_t evictions = 0;       // registry evictions of tenant-owned keys
+  std::int64_t inflight = 0;        // queued + running right now
+  std::size_t bytes_resident = 0;   // currently resident attributed bytes
+  double compile_wait_ms = 0.0;     // cumulative Submit()->resolve wait
+};
+
 struct CompileServiceStats {
   std::int64_t submitted = 0;
   std::int64_t registry_hits = 0;  // resident artifact at submit time
@@ -202,6 +236,7 @@ struct CompileServiceStats {
   std::int64_t shed = 0;               // queued builds evicted under overload
   std::int64_t overload_rejects = 0;   // submits refused at the door
   std::int64_t quarantine_rejects = 0; // submits refused by the failure memo
+  std::int64_t quota_rejects = 0;      // submits refused by tenant quotas
   std::int64_t inflight = 0;  // queued+running now (leak detector: 0 at idle)
   double compile_seconds = 0.0;  // cumulative, full builds only
 };
@@ -233,9 +268,18 @@ class CompileService {
   // The vocabulary every artifact of this service is built for.
   const std::shared_ptr<const tokenizer::TokenizerInfo>& Tokenizer() const;
 
+  // Install / replace a tenant's admission limits. Takes effect on the next
+  // Submit(); in-flight builds are never retroactively rejected.
+  void SetTenantQuota(const std::string& tenant, TenantQuota quota);
+  // Snapshot of one tenant's counters (zeroes for a never-seen tenant).
+  TenantStats TenantStatsFor(const std::string& tenant) const;
+  // Every tenant that has submitted, been quota-configured, or owns bytes.
+  std::vector<std::pair<std::string, TenantStats>> AllTenantStats() const;
+
  private:
   static void RunOne(const std::shared_ptr<detail::ServiceCore>& core);
   bool QuarantineRejectLocked(const std::shared_ptr<detail::CompileTask>& task);
+  bool QuotaRejectLocked(const std::shared_ptr<detail::CompileTask>& task);
   bool OverloadRejectLocked(
       const std::shared_ptr<detail::CompileTask>& task,
       std::shared_ptr<detail::CompileTask>* shed_task,

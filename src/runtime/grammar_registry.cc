@@ -9,6 +9,10 @@
 #include <sstream>
 #include <utility>
 
+#include "artifact/artifact_format.h"
+#include "artifact/artifact_reader.h"
+#include "artifact/artifact_writer.h"
+#include "artifact/mapped_file.h"
 #include "serialize/serialize.h"
 #include "support/fault_point.h"
 #include "support/logging.h"
@@ -20,22 +24,39 @@ namespace fs = std::filesystem;
 
 namespace {
 
-// Disk-tier file wrapper around the serialize envelope: the full content key
-// is embedded and verified on load, so a (possible, FNV-1a is not collision
-// resistant) filename-hash collision can never hand a request the wrong
-// grammar's masks.
-constexpr char kDiskMagic[4] = {'X', 'G', 'R', 'K'};
+// Legacy disk-tier wrapper around the serialize-v2 envelope: magic + embedded
+// content key + payload. New files are written in the flat "XGR3" format
+// (src/artifact/); this magic is only ever *read*, so directories written by
+// older builds keep warm-starting across the format change.
+constexpr char kLegacyDiskMagic[4] = {'X', 'G', 'R', 'K'};
 
-std::string WrapWithKey(std::string_view key, const std::string& payload) {
-  std::string bytes;
-  bytes.reserve(sizeof(kDiskMagic) + sizeof(std::uint32_t) + key.size() +
-                payload.size());
-  bytes.append(kDiskMagic, sizeof(kDiskMagic));
-  auto key_len = static_cast<std::uint32_t>(key.size());
-  bytes.append(reinterpret_cast<const char*>(&key_len), sizeof(key_len));
-  bytes.append(key);
-  bytes.append(payload);
-  return bytes;
+// Unwraps a legacy "XGRK" file: validates magic + key, then hands the inner
+// envelope to the v2 heap deserializer. Returns nullptr for a *collision*
+// (valid file, different key — leave it for its true owner); throws on
+// malformed framing so the caller's corruption path deletes the file.
+Artifact LoadLegacyDiskBytes(
+    std::string_view bytes, std::string_view key,
+    const std::shared_ptr<const tokenizer::TokenizerInfo>& tokenizer) {
+  const std::size_t header = sizeof(kLegacyDiskMagic) + sizeof(std::uint32_t);
+  std::uint32_t key_len = 0;
+  if (bytes.size() >= header) {
+    std::memcpy(&key_len, bytes.data() + sizeof(kLegacyDiskMagic),
+                sizeof(key_len));
+  }
+  if (bytes.size() < header ||
+      std::memcmp(bytes.data(), kLegacyDiskMagic, sizeof(kLegacyDiskMagic)) !=
+          0 ||
+      bytes.size() - header < key_len) {
+    throw StatusError(StatusCode::kCorruptArtifact,
+                      "legacy disk artifact: malformed key wrapper");
+  }
+  if (std::string_view(bytes.data() + header, key_len) != key) {
+    return nullptr;  // filename-hash collision: not ours, not corrupt
+  }
+  // Validates the envelope, payload checksum, and vocabulary pin; throws
+  // on truncation, bit flips, or a cache built for a different tokenizer.
+  return serialize::DeserializeEngineArtifact(bytes.substr(header + key_len),
+                                              tokenizer);
 }
 
 }  // namespace
@@ -54,6 +75,18 @@ GrammarRegistry::GrammarRegistry(
     GrammarRegistryOptions options)
     : tokenizer_(std::move(tokenizer)), options_(std::move(options)) {
   XGR_CHECK(tokenizer_ != nullptr) << "registry needs a tokenizer";
+  XGR_CHECK(options_.num_shards >= 1) << "registry needs at least one shard";
+  shards_.reserve(options_.num_shards);
+  for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Ceil division: a nonzero budget must never round down to 0 (= unlimited)
+  // for any shard.
+  shard_budget_bytes_ =
+      options_.memory_budget_bytes == 0
+          ? 0
+          : (options_.memory_budget_bytes + options_.num_shards - 1) /
+                options_.num_shards;
   if (!options_.disk_dir.empty()) {
     std::error_code ec;
     fs::create_directories(options_.disk_dir, ec);
@@ -69,47 +102,75 @@ std::string GrammarRegistry::DiskPath(std::string_view key) const {
   return (fs::path(options_.disk_dir) / name).string();
 }
 
-Artifact GrammarRegistry::LookupResidentLocked(std::string_view key) {
-  auto it = resident_.find(key);
-  if (it != resident_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+void GrammarRegistry::SetEvictionCallback(EvictionCallback callback) {
+  eviction_callback_ = std::move(callback);
+}
+
+namespace {
+
+// Submit-path shard lock with contention telemetry: a failed try_lock is a
+// contended acquisition — the futex round-trip sharding exists to avoid.
+// The counters live behind the same mutex, so they're bumped post-acquire.
+std::unique_lock<std::mutex> LockCounted(std::mutex& mutex, bool* contended) {
+  std::unique_lock<std::mutex> lock(mutex, std::try_to_lock);
+  *contended = !lock.owns_lock();
+  if (*contended) lock.lock();
+  return lock;
+}
+
+}  // namespace
+
+Artifact GrammarRegistry::LookupResidentLocked(Shard& shard,
+                                               std::string_view key) {
+  auto it = shard.resident.find(key);
+  if (it != shard.resident.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
     return it->second.artifact;
   }
-  auto pit = pinned_.find(key);
-  if (pit != pinned_.end()) {
+  auto pit = shard.pinned.find(key);
+  if (pit != shard.pinned.end()) {
     if (Artifact alive = pit->second.lock()) {
-      pinned_.erase(pit);
-      ++stats_.pin_resurrections;
-      AdoptLocked(key, alive);
+      shard.pinned.erase(pit);
+      ++shard.stats.pin_resurrections;
+      AdoptLocked(shard, key, alive);
       return alive;
     }
-    pinned_.erase(pit);  // expired — fall through to miss/disk
+    shard.pinned.erase(pit);  // expired — fall through to miss/disk
   }
   return nullptr;
 }
 
 bool GrammarRegistry::IsResident(std::string_view key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return resident_.find(key) != resident_.end();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.resident.find(key) != shard.resident.end();
 }
 
 Artifact GrammarRegistry::TryGetResident(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Artifact found = LookupResidentLocked(key);
-  if (found != nullptr) ++stats_.hits;
+  Shard& shard = ShardFor(key);
+  bool contended = false;
+  auto lock = LockCounted(shard.mutex, &contended);
+  ++shard.stats.lock_acquisitions;
+  shard.stats.lock_contended += contended ? 1 : 0;
+  Artifact found = LookupResidentLocked(shard, key);
+  if (found != nullptr) ++shard.stats.hits;
   return found;
 }
 
 Artifact GrammarRegistry::Lookup(std::string_view key) {
+  Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    Artifact found = LookupResidentLocked(key);
+    bool contended = false;
+    auto lock = LockCounted(shard.mutex, &contended);
+    ++shard.stats.lock_acquisitions;
+    shard.stats.lock_contended += contended ? 1 : 0;
+    Artifact found = LookupResidentLocked(shard, key);
     if (found != nullptr) {
-      ++stats_.hits;
+      ++shard.stats.hits;
       return found;
     }
     if (options_.disk_dir.empty()) {
-      ++stats_.misses;
+      ++shard.stats.misses;
       return nullptr;
     }
   }
@@ -119,187 +180,226 @@ Artifact GrammarRegistry::Lookup(std::string_view key) {
   // and the loser's copy is discarded — every caller must receive the *one*
   // shared artifact per key (duplicates would be invisible to both the LRU
   // accounting and the pin table).
-  Artifact loaded = LoadFromDisk(key);
-  std::lock_guard<std::mutex> lock(mutex_);
-  Artifact raced = LookupResidentLocked(key);
+  Artifact loaded = LoadFromDisk(shard, key);
+  const bool mmap_backed = loaded != nullptr && loaded->IsMapped();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Artifact raced = LookupResidentLocked(shard, key);
   if (raced != nullptr) {
-    ++stats_.hits;
+    ++shard.stats.hits;
     return raced;
   }
   if (loaded == nullptr) {
-    ++stats_.misses;
+    ++shard.stats.misses;
     return nullptr;
   }
-  ++stats_.disk_hits;
-  AdoptLocked(key, loaded);
+  ++shard.stats.disk_hits;
+  if (mmap_backed) {
+    ++shard.stats.disk_mmap_hits;
+  } else {
+    ++shard.stats.disk_legacy_hits;
+  }
+  AdoptLocked(shard, key, loaded);
   return loaded;
 }
 
 void GrammarRegistry::Insert(std::string_view key, const Artifact& artifact) {
   XGR_CHECK(artifact != nullptr) << "cannot register a null artifact";
+  Shard& shard = ShardFor(key);
   if (!options_.disk_dir.empty() && options_.disk_write_through) {
-    PersistToDisk(key, artifact);
+    PersistToDisk(shard, key, artifact);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.inserts;
-  AdoptLocked(key, artifact);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.stats.inserts;
+  AdoptLocked(shard, key, artifact);
 }
 
-void GrammarRegistry::AdoptLocked(std::string_view key,
+void GrammarRegistry::AdoptLocked(Shard& shard, std::string_view key,
                                   const Artifact& artifact) {
-  auto it = resident_.find(key);
-  if (it != resident_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  auto it = shard.resident.find(key);
+  if (it != shard.resident.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
     return;
   }
-  auto pit = pinned_.find(key);
-  if (pit != pinned_.end()) pinned_.erase(pit);
-  lru_.emplace_front(key);
+  auto pit = shard.pinned.find(key);
+  if (pit != shard.pinned.end()) shard.pinned.erase(pit);
+  shard.lru.emplace_front(key);
   Entry entry;
   entry.artifact = artifact;
   entry.bytes = artifact->MemoryBytes();
-  entry.lru_it = lru_.begin();
-  stats_.memory_bytes += entry.bytes;
-  resident_.emplace(std::string(key), std::move(entry));
-  EvictPastBudgetLocked();
-  if (stats_.memory_bytes > stats_.peak_memory_bytes) {
-    stats_.peak_memory_bytes = stats_.memory_bytes;
+  entry.lru_it = shard.lru.begin();
+  shard.stats.memory_bytes += entry.bytes;
+  shard.resident.emplace(std::string(key), std::move(entry));
+  EvictPastBudgetLocked(shard);
+  if (shard.stats.memory_bytes > shard.stats.peak_memory_bytes) {
+    shard.stats.peak_memory_bytes = shard.stats.memory_bytes;
   }
 }
 
-void GrammarRegistry::EvictPastBudgetLocked() {
-  if (options_.memory_budget_bytes == 0) return;
+void GrammarRegistry::EvictPastBudgetLocked(Shard& shard) {
+  if (shard_budget_bytes_ == 0) return;
   // Sweep expired pins first: under a stream of never-repeated grammars an
   // evicted key is never looked up again, so without this the weak_ptr
   // table would grow by one node per distinct grammar ever evicted.
-  for (auto it = pinned_.begin(); it != pinned_.end();) {
-    it = it->second.expired() ? pinned_.erase(it) : std::next(it);
+  for (auto it = shard.pinned.begin(); it != shard.pinned.end();) {
+    it = it->second.expired() ? shard.pinned.erase(it) : std::next(it);
   }
   // LRU-first, including — as the final resort — the just-inserted entry:
   // an artifact bigger than the whole budget must not stay resident (its
   // caller still holds it; a later lookup resurrects it through the pin
   // table for as long as it stays live).
-  while (stats_.memory_bytes > options_.memory_budget_bytes && !lru_.empty()) {
-    const std::string& victim = lru_.back();
-    auto it = resident_.find(victim);
-    XGR_DCHECK(it != resident_.end());
-    stats_.memory_bytes -= it->second.bytes;
-    pinned_[victim] = it->second.artifact;  // weak: lives while callers do
-    resident_.erase(it);
-    lru_.pop_back();
-    ++stats_.evictions;
+  while (shard.stats.memory_bytes > shard_budget_bytes_ && !shard.lru.empty()) {
+    const std::string& victim = shard.lru.back();
+    auto it = shard.resident.find(victim);
+    XGR_DCHECK(it != shard.resident.end());
+    const std::size_t victim_bytes = it->second.bytes;
+    shard.stats.memory_bytes -= victim_bytes;
+    shard.pinned[victim] = it->second.artifact;  // weak: lives while callers do
+    if (eviction_callback_) eviction_callback_(victim, victim_bytes);
+    shard.resident.erase(it);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
   }
 }
 
 void GrammarRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  resident_.clear();
-  lru_.clear();
-  pinned_.clear();
-  stats_.memory_bytes = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->resident.clear();
+    shard->lru.clear();
+    shard->pinned.clear();
+    shard->stats.memory_bytes = 0;
+  }
 }
 
 GrammarRegistryStats GrammarRegistry::Stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  GrammarRegistryStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    const GrammarRegistryStats& s = shard->stats;
+    total.hits += s.hits;
+    total.pin_resurrections += s.pin_resurrections;
+    total.misses += s.misses;
+    total.inserts += s.inserts;
+    total.evictions += s.evictions;
+    total.disk_hits += s.disk_hits;
+    total.disk_mmap_hits += s.disk_mmap_hits;
+    total.disk_legacy_hits += s.disk_legacy_hits;
+    total.disk_writes += s.disk_writes;
+    total.disk_rejects += s.disk_rejects;
+    total.disk_retries += s.disk_retries;
+    total.disk_retry_exhausted += s.disk_retry_exhausted;
+    total.lock_acquisitions += s.lock_acquisitions;
+    total.lock_contended += s.lock_contended;
+    total.memory_bytes += s.memory_bytes;
+    total.peak_memory_bytes += s.peak_memory_bytes;
+  }
+  return total;
 }
 
 std::size_t GrammarRegistry::MemoryBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_.memory_bytes;
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->stats.memory_bytes;
+  }
+  return total;
 }
 
-Artifact GrammarRegistry::LoadFromDisk(std::string_view key) {
+Artifact GrammarRegistry::LoadFromDisk(Shard& shard, std::string_view key) {
   const std::string path = DiskPath(key);
-  std::string bytes;
+  std::shared_ptr<const artifact::MappedFile> file;
   bool file_exists = true;
-  // The read itself can fail transiently (network filesystem blip, injected
-  // fault); retry with backoff before concluding anything. A missing file is
-  // terminal (plain miss), and validation failures below are terminal by
-  // design — corruption does not heal on retry.
+  // The open/map itself can fail transiently (network filesystem blip,
+  // injected fault); retry with backoff before concluding anything. A
+  // missing file is terminal (plain miss), and validation failures below are
+  // terminal by design — corruption does not heal on retry.
   support::RetryStats retry_stats;
   const bool read_ok = support::RetryTransient(
       options_.disk_retry,
       [&] {
         // Fault site: transient read error (kFail => this attempt fails).
         if (XGR_FAULT_HIT("registry.disk.read")) return false;
-        std::ifstream in(path, std::ios::binary);
-        if (!in) {
+        std::error_code ec;
+        if (!fs::exists(path, ec)) {
           file_exists = false;
           return true;  // no file — plain miss, not a reject
         }
-        std::ostringstream buffer;
-        buffer << in.rdbuf();
-        if (in.bad()) return false;  // stream-level read failure
-        bytes = std::move(buffer).str();
-        return true;
+        file = artifact::MappedFile::Open(path);
+        return file != nullptr;
       },
       &retry_stats);
   if (retry_stats.retries > 0 || !read_ok) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats_.disk_retries += retry_stats.retries;
-    if (!read_ok) ++stats_.disk_retry_exhausted;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.stats.disk_retries += retry_stats.retries;
+    if (!read_ok) ++shard.stats.disk_retry_exhausted;
   }
   if (!read_ok) {
-    XGR_LOG_INFO << "disk tier: read of " << path
-                 << " failed after " << retry_stats.attempts
-                 << " attempts; treating as miss";
+    XGR_LOG_INFO << "disk tier: read of " << path << " failed after "
+                 << retry_stats.attempts << " attempts; treating as miss";
     return nullptr;
   }
   if (!file_exists) return nullptr;
+
+  std::string_view bytes = file->bytes();
+  std::shared_ptr<const void> backing = file;
   // Fault site: read corruption — flip a payload byte so the validation
   // pipeline below (checksum/deserialize) exercises its delete+recompile
-  // terminal path under injection.
+  // terminal path under injection. The mapping is read-only, so the flip
+  // happens on a heap copy that then backs the load attempt.
   if (XGR_FAULT_HIT("registry.disk.read_corrupt") && !bytes.empty()) {
-    bytes[bytes.size() / 2] ^= 0x40;
+    auto corrupted = std::make_shared<std::string>(bytes);
+    (*corrupted)[corrupted->size() / 2] ^= 0x40;
+    bytes = *corrupted;
+    backing = std::move(corrupted);
   }
-  // Unwrap and verify the embedded key before trusting the payload.
-  const std::size_t header = sizeof(kDiskMagic) + sizeof(std::uint32_t);
-  std::uint32_t key_len = 0;
-  if (bytes.size() >= header) {
-    std::memcpy(&key_len, bytes.data() + sizeof(kDiskMagic), sizeof(key_len));
-  }
-  if (bytes.size() < header ||
-      std::memcmp(bytes.data(), kDiskMagic, sizeof(kDiskMagic)) != 0 ||
-      bytes.size() - header < key_len) {
-    XGR_LOG_INFO << "discarding malformed disk-tier file " << path;
-    std::error_code ec;
-    fs::remove(path, ec);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.disk_rejects;
-    return nullptr;
-  }
-  if (std::string_view(bytes.data() + header, key_len) != key) {
-    // Filename-hash collision with a *different* grammar: this file is valid
-    // for its true owner, so leave it alone and report a miss for us.
-    XGR_LOG_INFO << "disk-tier filename collision at " << path
-                 << " (different content key); treating as miss";
-    return nullptr;
-  }
+
   try {
-    // Validates the envelope, payload checksum, and vocabulary pin; throws
-    // on truncation, bit flips, or a cache built for a different tokenizer.
-    return serialize::DeserializeEngineArtifact(
-        std::string_view(bytes).substr(header + key_len), tokenizer_);
+    switch (artifact::SniffArtifactFormat(bytes)) {
+      case artifact::ArtifactFormat::kFlatV3: {
+        // Collision check before the full load: a well-formed file whose
+        // embedded key differs is valid for its true owner — leave it in
+        // place and report a miss (never delete, never serve).
+        if (artifact::PeekContentKey(bytes) != key) {
+          XGR_LOG_INFO << "disk-tier filename collision at " << path
+                       << " (different content key); treating as miss";
+          return nullptr;
+        }
+        artifact::LoadOptions load_options;
+        load_options.expect_content_key = std::string(key);
+        return artifact::LoadFlatArtifactBytes(std::move(backing), bytes,
+                                               tokenizer_, load_options);
+      }
+      case artifact::ArtifactFormat::kDiskEnvelope: {
+        // Legacy v2 file from an older build: heap path (satellite fallback).
+        Artifact loaded = LoadLegacyDiskBytes(bytes, key, tokenizer_);
+        if (loaded == nullptr) {
+          XGR_LOG_INFO << "disk-tier filename collision at " << path
+                       << " (different content key); treating as miss";
+        }
+        return loaded;
+      }
+      default:
+        throw StatusError(StatusCode::kCorruptArtifact,
+                          "unrecognized disk artifact magic");
+    }
   } catch (const std::exception& error) {
     XGR_LOG_INFO << "discarding corrupt disk-tier artifact " << path << ": "
                  << error.what();
     std::error_code ec;
     fs::remove(path, ec);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.disk_rejects;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.stats.disk_rejects;
     return nullptr;
   }
 }
 
-void GrammarRegistry::PersistToDisk(std::string_view key,
+void GrammarRegistry::PersistToDisk(Shard& shard, std::string_view key,
                                     const Artifact& artifact) {
   const std::string path = DiskPath(key);
   std::error_code ec;
   if (fs::exists(path, ec)) return;  // content-addressed: identical payload
   static std::atomic<std::uint64_t> tmp_counter{0};
-  const std::string bytes =
-      WrapWithKey(key, serialize::SerializeEngineArtifact(*artifact));
+  const std::string bytes = artifact::BuildFlatArtifact(*artifact, key);
   // Every failure mode here — failed open (e.g. ENOSPC on a full volume),
   // short write caught by the flush check, failed rename — is treated as
   // transient and retried with backoff; a fresh temp file per attempt. After
@@ -343,12 +443,12 @@ void GrammarRegistry::PersistToDisk(std::string_view key,
         return true;
       },
       &retry_stats);
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.disk_retries += retry_stats.retries;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.stats.disk_retries += retry_stats.retries;
   if (write_ok) {
-    ++stats_.disk_writes;
+    ++shard.stats.disk_writes;
   } else {
-    ++stats_.disk_retry_exhausted;
+    ++shard.stats.disk_retry_exhausted;
     XGR_LOG_INFO << "disk tier: persisting " << path << " failed after "
                  << retry_stats.attempts << " attempts; artifact stays "
                  << "memory-only";

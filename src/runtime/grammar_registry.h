@@ -1,4 +1,5 @@
-// GrammarRegistry: memory-budgeted LRU over compiled engine artifacts.
+// GrammarRegistry: sharded, memory-budgeted LRU over compiled engine
+// artifacts.
 //
 // The serving regime the paper targets (§3.5) — and the agentic workloads of
 // XGrammar-2 — present a stream of *distinct, dynamically arriving* grammars.
@@ -9,17 +10,30 @@
 // (AdaptiveTokenMaskCache::MemoryBytes()), and evicted LRU-first once a
 // configured budget is exceeded.
 //
+// Sharding: at batch scale the submit path hits the registry once per
+// request, and a single mutex serializes all of them. The key space is
+// partitioned into `num_shards` independent shards (ContentHash(key) %
+// num_shards), each with its own mutex, LRU list, pin table, and stats; the
+// memory budget is split evenly across shards (ceil division, so a nonzero
+// budget never rounds to unlimited). num_shards=1 (the default) is exactly
+// the classic single-lock registry.
+//
 // Pinning: artifacts are handed out as shared_ptrs, so eviction only drops
 // the registry's own reference — a request mid-decode keeps its artifact
 // alive for as long as it needs it. Evicted-but-still-live artifacts are
 // remembered through weak_ptrs and re-adopted on the next lookup instead of
 // being recompiled ("pin resurrection").
 //
-// Disk tier (optional): artifacts round-trip through the serialize-format-v2
-// envelope into content-hash-named files. Writes go through a temp file +
-// atomic rename so concurrent processes never observe a half-written
-// artifact; loads re-validate the envelope, checksum, and vocabulary pin and
-// fall back to recompilation (deleting the bad file) on any mismatch.
+// Disk tier (optional): artifacts are persisted in the flat zero-copy "XGR3"
+// format (src/artifact/) into content-hash-named files; loading is mmap +
+// validate + view fix-up, so a warm start touches no heap for the mask
+// arrays and every process mapping the same file shares one physical page
+// set. Legacy "XGRK"-wrapped v2 envelopes (written by older builds) are
+// still recognized by magic and loaded through the heap path — the two
+// formats coexist in one directory. Writes go through a temp file + atomic
+// rename so concurrent processes never observe a half-written artifact;
+// loads re-validate checksums and the vocabulary pin and fall back to
+// recompilation (deleting the bad file) on any mismatch.
 //
 // Identity: entries are keyed by the *full* content key (the compile job's
 // kind + source text), never by its hash alone — FNV-1a is not collision
@@ -30,12 +44,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "cache/adaptive_cache.h"
 #include "support/retry_policy.h"
@@ -53,6 +69,10 @@ std::uint64_t ContentHash(std::string_view bytes);
 struct GrammarRegistryOptions {
   // Resident-artifact budget in bytes; 0 = unlimited (no eviction).
   std::size_t memory_budget_bytes = 0;
+  // Independent lock domains the key space is partitioned into. 1 (the
+  // default) preserves the classic single-mutex registry; raise it when the
+  // submit path contends (bench/artifact_io.cc measures the scaling).
+  std::size_t num_shards = 1;
   // Directory for the disk tier; empty = memory only. Created on demand.
   std::string disk_dir;
   // Write every inserted artifact through to the disk tier.
@@ -73,19 +93,36 @@ struct GrammarRegistryStats {
   std::int64_t inserts = 0;
   std::int64_t evictions = 0;
   std::int64_t disk_hits = 0;    // loaded + validated from the disk tier
+  std::int64_t disk_mmap_hits = 0;  // subset of disk_hits: zero-copy "XGR3"
+  std::int64_t disk_legacy_hits = 0;  // subset of disk_hits: "XGRK" v2 heap
   std::int64_t disk_writes = 0;  // artifacts persisted to the disk tier
   std::int64_t disk_rejects = 0;  // corrupt/mismatched files discarded
   std::int64_t disk_retries = 0;  // transient I/O failures retried
   std::int64_t disk_retry_exhausted = 0;  // ops that failed every attempt
+  // Submit-path lock telemetry: every counted acquisition of a shard mutex,
+  // and the subset where try_lock failed and the thread had to block. The
+  // contended fraction is the direct measure of what sharding buys — on a
+  // host without enough cores to run lookups truly in parallel, wall-clock
+  // throughput cannot show it, but this counter still can.
+  std::int64_t lock_acquisitions = 0;
+  std::int64_t lock_contended = 0;
   std::size_t memory_bytes = 0;   // current resident accounted bytes
   // Max resident bytes observed after any eviction pass completed — the
-  // steady-state high-water mark the budget bounds. (Mid-insert, the new
-  // artifact is transiently counted before LRU entries are pushed out.)
+  // steady-state high-water mark the budget bounds. Aggregated across
+  // shards this is the sum of per-shard high-water marks (each bounded by
+  // its slice of the budget, so the sum is still bounded by the budget).
   std::size_t peak_memory_bytes = 0;
 };
 
 class GrammarRegistry {
  public:
+  // Observer invoked (under a shard mutex) whenever a resident entry is
+  // evicted past the budget — the hook tenant accounting hangs off. Must be
+  // lock-light: it may take its own leaf lock but must never call back into
+  // the registry or acquire any lock ordered before a shard mutex.
+  using EvictionCallback =
+      std::function<void(const std::string& key, std::size_t bytes)>;
+
   // `tokenizer` is the vocabulary every artifact in this registry was built
   // for; disk-tier loads validate their vocabulary pin against it.
   GrammarRegistry(std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer,
@@ -118,9 +155,15 @@ class GrammarRegistry {
   // Drops every resident entry (disk tier untouched).
   void Clear();
 
+  // Install the eviction observer. Not thread-safe against concurrent
+  // registry traffic — call during setup, before requests flow.
+  void SetEvictionCallback(EvictionCallback callback);
+
+  // Aggregated across shards.
   GrammarRegistryStats Stats() const;
   std::size_t MemoryBytes() const;
   std::size_t MemoryBudgetBytes() const { return options_.memory_budget_bytes; }
+  std::size_t NumShards() const { return shards_.size(); }
   bool HasDiskTier() const { return !options_.disk_dir.empty(); }
 
   // The disk-tier file an artifact with this key lives at (exposed so tests
@@ -144,24 +187,35 @@ class GrammarRegistry {
   template <typename V>
   using KeyMap = std::unordered_map<std::string, V, StringHash, std::equal_to<>>;
 
-  // All *Locked helpers require mutex_ to be held.
-  Artifact LookupResidentLocked(std::string_view key);
-  void AdoptLocked(std::string_view key, const Artifact& artifact);
-  void EvictPastBudgetLocked();
+  // One independent lock domain. Everything inside is guarded by `mutex`.
+  struct Shard {
+    mutable std::mutex mutex;
+    KeyMap<Entry> resident;
+    std::list<std::string> lru;  // front = most recently used
+    // Evicted entries whose artifacts may still be alive in requests.
+    KeyMap<std::weak_ptr<const cache::AdaptiveTokenMaskCache>> pinned;
+    GrammarRegistryStats stats;
+  };
 
-  // Disk tier (no registry lock held during file IO).
-  Artifact LoadFromDisk(std::string_view key);
-  void PersistToDisk(std::string_view key, const Artifact& artifact);
+  Shard& ShardFor(std::string_view key) const {
+    return *shards_[ContentHash(key) % shards_.size()];
+  }
+
+  // All *Locked helpers require the shard's mutex to be held.
+  Artifact LookupResidentLocked(Shard& shard, std::string_view key);
+  void AdoptLocked(Shard& shard, std::string_view key, const Artifact& artifact);
+  void EvictPastBudgetLocked(Shard& shard);
+
+  // Disk tier (no shard lock held during file IO).
+  Artifact LoadFromDisk(Shard& shard, std::string_view key);
+  void PersistToDisk(Shard& shard, std::string_view key,
+                     const Artifact& artifact);
 
   std::shared_ptr<const tokenizer::TokenizerInfo> tokenizer_;
   GrammarRegistryOptions options_;
-
-  mutable std::mutex mutex_;
-  KeyMap<Entry> resident_;
-  std::list<std::string> lru_;  // front = most recently used
-  // Evicted entries whose artifacts may still be alive in requests.
-  KeyMap<std::weak_ptr<const cache::AdaptiveTokenMaskCache>> pinned_;
-  GrammarRegistryStats stats_;
+  std::size_t shard_budget_bytes_ = 0;  // per-shard slice; 0 = unlimited
+  std::vector<std::unique_ptr<Shard>> shards_;
+  EvictionCallback eviction_callback_;
 };
 
 }  // namespace xgr::runtime

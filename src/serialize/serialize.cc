@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fsa/fsa.h"
+#include "support/array_ref.h"
 #include "support/logging.h"
 
 namespace xgr::serialize {
@@ -36,7 +37,15 @@ class Writer {
     U32(static_cast<std::uint32_t>(v.size()));
     for (std::int32_t x : v) I32(x);
   }
+  void I32Vec(const support::ArrayRef<std::int32_t>& v) {
+    U32(static_cast<std::uint32_t>(v.size()));
+    for (std::int32_t x : v) I32(x);
+  }
   void U8Vec(const std::vector<std::uint8_t>& v) {
+    U32(static_cast<std::uint32_t>(v.size()));
+    for (std::uint8_t x : v) U8(x);
+  }
+  void U8Vec(const support::ArrayRef<std::uint8_t>& v) {
     U32(static_cast<std::uint32_t>(v.size()));
     for (std::uint8_t x : v) U8(x);
   }
@@ -324,12 +333,9 @@ fsa::Fsa ReadFsa(Reader* r) {
 }  // namespace
 
 std::uint64_t VocabularyHash(const tokenizer::TokenizerInfo& tokenizer) {
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  for (std::int32_t id = 0; id < tokenizer.VocabSize(); ++id) {
-    h = Fnv1a(tokenizer.TokenBytes(id), h);
-    h = Fnv1a(tokenizer.IsSpecial(id) ? "\x01" : "\x00", h);
-  }
-  return h;
+  // Precomputed at TokenizerInfo construction (same FNV-1a spec); rehashing
+  // the vocabulary here would put an O(vocab) step on every artifact load.
+  return tokenizer.ContentHash();
 }
 
 std::string SerializeGrammar(const grammar::Grammar& g) {
@@ -360,7 +366,9 @@ namespace xgr::serialize_detail {
 
 struct CompiledGrammarAccess {
   static void Write(serialize::Writer* w, const pda::CompiledGrammar& c) {
-    serialize::WriteGrammarPayload(w, c.grammar_);
+    // SourceGrammar(), not grammar_: a trusted flat load defers the AST
+    // parse, and re-serializing such an artifact must force it.
+    serialize::WriteGrammarPayload(w, c.SourceGrammar());
     w->U8(c.options_.rule_inlining ? 1 : 0);
     w->U8(c.options_.node_merging ? 1 : 0);
     w->U8(c.options_.context_expansion ? 1 : 0);
@@ -533,17 +541,22 @@ struct CacheAccess {
     using TrieAccess = tokenizer::PrefixTrieSliceAccess;
     for (cache::NodeMaskEntry& entry : cache->entries_) {
       entry.kind = static_cast<cache::StorageKind>(r->U8());
-      entry.stored = r->I32Vec();
+      entry.stored = support::ArrayRef<std::int32_t>(r->I32Vec());
       std::uint32_t bits = r->U32();
-      entry.accepted_bits = DynamicBitset(bits);
-      for (std::size_t i = 0; i < entry.accepted_bits.WordCount(); ++i) {
-        entry.accepted_bits.MutableData()[i] = r->U64();
+      DynamicBitset accepted(bits);
+      for (std::size_t i = 0; i < accepted.WordCount(); ++i) {
+        accepted.MutableData()[i] = r->U64();
       }
-      entry.context_dependent = r->I32Vec();
-      TrieAccess::EdgeBytes(entry.ctx_trie) = r->U8Vec();
-      TrieAccess::Depths(entry.ctx_trie) = r->I32Vec();
-      TrieAccess::Skips(entry.ctx_trie) = r->I32Vec();
-      TrieAccess::TokenBegins(entry.ctx_trie) = r->I32Vec();
+      entry.accepted_bits = FrozenBitset(accepted);
+      entry.context_dependent = support::ArrayRef<std::int32_t>(r->I32Vec());
+      TrieAccess::EdgeBytes(entry.ctx_trie) =
+          support::ArrayRef<std::uint8_t>(r->U8Vec());
+      TrieAccess::Depths(entry.ctx_trie) =
+          support::ArrayRef<std::int32_t>(r->I32Vec());
+      TrieAccess::Skips(entry.ctx_trie) =
+          support::ArrayRef<std::int32_t>(r->I32Vec());
+      TrieAccess::TokenBegins(entry.ctx_trie) =
+          support::ArrayRef<std::int32_t>(r->I32Vec());
       ValidateCtxTrie(entry);
     }
     cache::CacheBuildStats& stats = cache->stats_;
@@ -608,6 +621,24 @@ std::shared_ptr<const cache::AdaptiveTokenMaskCache> DeserializeEngineArtifact(
                                                    std::move(tokenizer));
   r.ExpectEnd();
   return cache;
+}
+
+std::string SerializeCompiledGrammarPayload(const pda::CompiledGrammar& compiled) {
+  Writer w;
+  serialize_detail::CompiledGrammarAccess::Write(&w, compiled);
+  return w.Take();
+}
+
+std::shared_ptr<const pda::CompiledGrammar> DeserializeCompiledGrammarPayload(
+    std::string_view bytes) {
+  Reader r(bytes);
+  auto compiled = serialize_detail::CompiledGrammarAccess::Read(&r);
+  r.ExpectEnd();
+  return compiled;
+}
+
+void ValidateCtxTrieEntry(const cache::NodeMaskEntry& entry) {
+  serialize_detail::ValidateCtxTrie(entry);
 }
 
 }  // namespace xgr::serialize

@@ -54,4 +54,17 @@ std::shared_ptr<const cache::AdaptiveTokenMaskCache> DeserializeEngineArtifact(
 // stored inside engine artifacts.
 std::uint64_t VocabularyHash(const tokenizer::TokenizerInfo& tokenizer);
 
+// Envelope-free payload forms used by the flat zero-copy artifact format
+// (src/artifact), which embeds the compiled grammar as a nested blob inside
+// its own checksummed 64-byte-aligned container.
+std::string SerializeCompiledGrammarPayload(const pda::CompiledGrammar& compiled);
+std::shared_ptr<const pda::CompiledGrammar> DeserializeCompiledGrammarPayload(
+    std::string_view bytes);
+
+// Structural validation of one cache entry's ctx sub-trie (throws CheckError).
+// Exposed for the flat-artifact loader, which views arrays in place instead
+// of copying and must reject hand-edited or bit-flipped files before the
+// runtime DFS indexes them unchecked.
+void ValidateCtxTrieEntry(const cache::NodeMaskEntry& entry);
+
 }  // namespace xgr::serialize

@@ -1,0 +1,115 @@
+// Owning-or-viewing immutable array.
+//
+// The zero-copy artifact path (src/artifact) maps flat files and hands out
+// non-owning views into the mapping; the compile path builds the same
+// structures from freshly allocated vectors. ArrayRef unifies the two: a
+// container field declared as ArrayRef<T> either owns a vector (compile
+// path) or views external memory whose lifetime is guaranteed by whoever
+// created the view (the mmap keep-alive held by AdaptiveTokenMaskCache).
+//
+// Conversions are deliberately explicit in both directions — the implicit
+// forms would make overloads and ternaries ambiguous at call sites that mix
+// ArrayRef and std::vector. Construct with ArrayRef(std::move(vec)) or
+// ArrayRef<T>::View(ptr, count); materialize with ToVector().
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace xgr::support {
+
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+
+  // Owning: takes the vector's buffer. An empty vector degenerates to the
+  // default (null view) state.
+  explicit ArrayRef(std::vector<T> values) : owned_(std::move(values)) {
+    BindToOwned();
+  }
+
+  // Non-owning view of [data, data + size). The caller guarantees the
+  // pointee outlives every copy of this ArrayRef.
+  static ArrayRef View(const T* data, std::size_t size) {
+    ArrayRef ref;
+    ref.data_ = size == 0 ? nullptr : data;
+    ref.size_ = size;
+    return ref;
+  }
+
+  ArrayRef(const ArrayRef& other) : owned_(other.owned_) { Rebind(other); }
+  ArrayRef(ArrayRef&& other) noexcept : owned_(std::move(other.owned_)) {
+    Rebind(other);
+    other.Clear();
+  }
+  ArrayRef& operator=(const ArrayRef& other) {
+    if (this != &other) {
+      owned_ = other.owned_;
+      Rebind(other);
+    }
+    return *this;
+  }
+  ArrayRef& operator=(ArrayRef&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      Rebind(other);
+      other.Clear();
+    }
+    return *this;
+  }
+
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  // True when this instance does not own its storage (mmap-backed view).
+  bool IsView() const { return size_ != 0 && owned_.empty(); }
+
+  std::vector<T> ToVector() const { return std::vector<T>(begin(), end()); }
+
+  friend bool operator==(const ArrayRef& a, const ArrayRef& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const ArrayRef& a, const std::vector<T>& b) {
+    return a.size_ == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const std::vector<T>& a, const ArrayRef& b) {
+    return b == a;
+  }
+  friend bool operator!=(const ArrayRef& a, const ArrayRef& b) { return !(a == b); }
+
+ private:
+  // Invariant: owned_ is either empty (default/view state) or is the backing
+  // buffer with data_ == owned_.data() and size_ == owned_.size().
+  void BindToOwned() {
+    data_ = owned_.empty() ? nullptr : owned_.data();
+    size_ = owned_.size();
+  }
+  void Rebind(const ArrayRef& source) {
+    if (!owned_.empty()) {
+      BindToOwned();
+    } else {
+      data_ = source.data_;
+      size_ = source.size_;
+    }
+  }
+  void Clear() {
+    owned_.clear();
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::vector<T> owned_;
+};
+
+}  // namespace xgr::support

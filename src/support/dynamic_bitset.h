@@ -11,9 +11,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/array_ref.h"
 #include "support/logging.h"
 
 namespace xgr {
+
+class FrozenBitset;
 
 class DynamicBitset {
  public:
@@ -75,6 +78,9 @@ class DynamicBitset {
   void SetBatch(const std::vector<std::int32_t>& ids) {
     SetBatch(ids.data(), ids.size());
   }
+  void SetBatch(const support::ArrayRef<std::int32_t>& ids) {
+    SetBatch(ids.data(), ids.size());
+  }
   // Resets every bit whose index appears in [ids, ids + count).
   void ResetBatch(const std::int32_t* ids, std::size_t count) {
     for (std::size_t i = 0; i < count; ++i) {
@@ -84,10 +90,16 @@ class DynamicBitset {
   void ResetBatch(const std::vector<std::int32_t>& ids) {
     ResetBatch(ids.data(), ids.size());
   }
+  void ResetBatch(const support::ArrayRef<std::int32_t>& ids) {
+    ResetBatch(ids.data(), ids.size());
+  }
   // Word-wise OR / AND with `other` (named forms of |= / &= for the merge
   // code, which reads as set algebra: accepted |= ..., rejected &= ...).
   void OrWith(const DynamicBitset& other) { *this |= other; }
   void AndWith(const DynamicBitset& other) { *this &= other; }
+  // Frozen (possibly mmap-backed) overloads; defined after FrozenBitset.
+  inline void OrWith(const FrozenBitset& other);
+  inline void CopyFrom(const FrozenBitset& other);
   // Word copy from an equal-sized bitset; never touches capacity, so it is
   // guaranteed allocation-free (unlike operator=, which may reallocate).
   void CopyFrom(const DynamicBitset& other) {
@@ -172,5 +184,75 @@ class DynamicBitset {
   std::size_t size_ = 0;
   std::vector<Word> words_;
 };
+
+// Immutable bitset over owning-or-viewing word storage. Cache entries store
+// their accepted-CI bits as a FrozenBitset so an mmap-loaded artifact can
+// alias the file pages directly (support/array_ref.h); the decode hot path
+// only ever reads it word-wise (CopyFrom / OrWith below).
+class FrozenBitset {
+ public:
+  using Word = DynamicBitset::Word;
+  static constexpr int kBitsPerWord = DynamicBitset::kBitsPerWord;
+
+  FrozenBitset() = default;
+  // Owning: snapshots `bits` (padding already cleared by DynamicBitset).
+  explicit FrozenBitset(const DynamicBitset& bits)
+      : size_(bits.Size()),
+        words_(support::ArrayRef<Word>(
+            std::vector<Word>(bits.Data(), bits.Data() + bits.WordCount()))) {}
+  // Non-owning view of `word_count` words covering `size` bits. Padding bits
+  // beyond `size` must be zero (validated by the artifact loader).
+  static FrozenBitset View(const Word* words, std::size_t word_count,
+                           std::size_t size) {
+    FrozenBitset b;
+    b.size_ = size;
+    b.words_ = support::ArrayRef<Word>::View(words, word_count);
+    return b;
+  }
+
+  std::size_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+  bool Test(std::size_t index) const {
+    XGR_DCHECK(index < size_);
+    return (words_[index / kBitsPerWord] >> (index % kBitsPerWord)) & 1u;
+  }
+
+  const Word* Data() const { return words_.data(); }
+  std::size_t WordCount() const { return words_.size(); }
+  std::size_t MemoryBytes() const { return words_.size() * sizeof(Word); }
+  bool IsView() const { return words_.IsView(); }
+
+  std::vector<std::int32_t> ToIndexList() const {
+    std::vector<std::int32_t> result;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      Word word = words_[w];
+      while (word != 0) {
+        auto bit = static_cast<std::size_t>(__builtin_ctzll(word));
+        result.push_back(static_cast<std::int32_t>(w * kBitsPerWord + bit));
+        word &= word - 1;
+      }
+    }
+    return result;
+  }
+
+  friend bool operator==(const FrozenBitset& a, const FrozenBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  support::ArrayRef<Word> words_;
+};
+
+inline void DynamicBitset::OrWith(const FrozenBitset& other) {
+  XGR_DCHECK(size_ == other.Size());
+  const Word* src = other.Data();
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= src[i];
+}
+
+inline void DynamicBitset::CopyFrom(const FrozenBitset& other) {
+  XGR_DCHECK(size_ == other.Size());
+  std::copy(other.Data(), other.Data() + other.WordCount(), words_.begin());
+}
 
 }  // namespace xgr

@@ -38,6 +38,11 @@ enum class StatusCode : std::uint8_t {
   kPoisoned = 6,
   // Anything else: transient internal failure (bad_alloc, injected fault...).
   kInternal = 7,
+  // A per-tenant admission quota (concurrent compiles, queue depth, resident
+  // bytes) is exhausted. Deterministic for the tenant's current load, not for
+  // the job: the same source succeeds once the tenant drains. Never
+  // quarantined.
+  kQuotaExceeded = 8,
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -58,6 +63,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "poisoned";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kQuotaExceeded:
+      return "quota_exceeded";
   }
   return "unknown";
 }

@@ -67,7 +67,7 @@ namespace {
 // terminals sort first, then children group by their byte at `depth`.
 struct SliceBuilder {
   const TokenizerInfo& info;
-  const std::vector<std::int32_t>& tokens;
+  const std::int32_t* tokens;
   std::vector<std::uint8_t> edge_bytes;
   std::vector<std::int32_t> depths;
   std::vector<std::int32_t> skips;
@@ -98,24 +98,25 @@ struct SliceBuilder {
 }  // namespace
 
 PrefixTrieSlice PrefixTrieSlice::Build(const TokenizerInfo& info,
-                                       const std::vector<std::int32_t>& token_ids) {
+                                       const std::int32_t* token_ids,
+                                       std::size_t num_tokens) {
 #ifndef NDEBUG
-  for (std::size_t i = 1; i < token_ids.size(); ++i) {
+  for (std::size_t i = 1; i < num_tokens; ++i) {
     XGR_DCHECK(info.TokenBytes(token_ids[i - 1]) <= info.TokenBytes(token_ids[i]))
         << "PrefixTrieSlice input must be in lexicographic byte order";
   }
 #endif
   PrefixTrieSlice slice;
-  if (token_ids.empty()) return slice;
+  if (num_tokens == 0) return slice;
   SliceBuilder builder{info, token_ids, {}, {}, {}, {}};
   // Root-terminal (empty-byte) tokens land in [0, token_begins.front()); the
   // first stored node's token_begin is their count.
-  builder.EmitChildren(0, token_ids.size(), 0);
-  builder.token_begins.push_back(static_cast<std::int32_t>(token_ids.size()));
-  slice.edge_bytes_ = std::move(builder.edge_bytes);
-  slice.depths_ = std::move(builder.depths);
-  slice.skips_ = std::move(builder.skips);
-  slice.token_begins_ = std::move(builder.token_begins);
+  builder.EmitChildren(0, num_tokens, 0);
+  builder.token_begins.push_back(static_cast<std::int32_t>(num_tokens));
+  slice.edge_bytes_ = support::ArrayRef<std::uint8_t>(std::move(builder.edge_bytes));
+  slice.depths_ = support::ArrayRef<std::int32_t>(std::move(builder.depths));
+  slice.skips_ = support::ArrayRef<std::int32_t>(std::move(builder.skips));
+  slice.token_begins_ = support::ArrayRef<std::int32_t>(std::move(builder.token_begins));
   return slice;
 }
 

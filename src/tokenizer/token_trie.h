@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "support/array_ref.h"
 #include "tokenizer/tokenizer_info.h"
 
 namespace xgr::tokenizer {
@@ -65,8 +66,10 @@ std::vector<std::int32_t> GreedyTokenize(const TokenTrie& trie,
 // Preorder-flattened byte trie over a lexicographically ordered token list
 // (see the file comment). Immutable after Build; owned by cache entries
 // (per-entry context-dependent sub-tries) and by the cache builder (one
-// vocabulary-wide instance). All state lives in four flat arrays so the
-// structure serializes as-is and MemoryBytes() is exact.
+// vocabulary-wide instance). All state lives in four flat arrays held as
+// support::ArrayRef, so the structure serializes as-is, MemoryBytes() is
+// exact, and an mmap-loaded artifact can alias file pages with no copy
+// (src/artifact).
 class PrefixTrieSlice {
  public:
   PrefixTrieSlice() = default;
@@ -76,7 +79,12 @@ class PrefixTrieSlice {
   // NodeMaskEntry::context_dependent already maintain. Token index `t`
   // throughout this class refers to a position in that input list.
   static PrefixTrieSlice Build(const TokenizerInfo& info,
-                               const std::vector<std::int32_t>& token_ids);
+                               const std::int32_t* token_ids,
+                               std::size_t num_tokens);
+  static PrefixTrieSlice Build(const TokenizerInfo& info,
+                               const std::vector<std::int32_t>& token_ids) {
+    return Build(info, token_ids.data(), token_ids.size());
+  }
 
   std::int32_t NumNodes() const { return static_cast<std::int32_t>(edge_bytes_.size()); }
   bool Empty() const { return edge_bytes_.empty(); }
@@ -126,30 +134,30 @@ class PrefixTrieSlice {
   }
 
  private:
-  friend struct PrefixTrieSliceAccess;  // serialization (src/serialize)
+  friend struct PrefixTrieSliceAccess;  // serialization (src/serialize, src/artifact)
 
-  std::vector<std::uint8_t> edge_bytes_;     // per node: incoming edge label
-  std::vector<std::int32_t> depths_;         // per node: 1-based byte depth
-  std::vector<std::int32_t> skips_;          // per node: preorder subtree end
+  support::ArrayRef<std::uint8_t> edge_bytes_;  // per node: incoming edge label
+  support::ArrayRef<std::int32_t> depths_;      // per node: 1-based byte depth
+  support::ArrayRef<std::int32_t> skips_;       // per node: preorder subtree end
   // Per node: first input-list token in the subtree, preceded by the count of
   // root-terminal (empty) tokens and followed by a total-count sentinel —
   // size NumNodes() + 1, monotone, tiling [0, NumTokens()). Empty when the
   // input list is empty.
-  std::vector<std::int32_t> token_begins_;
+  support::ArrayRef<std::int32_t> token_begins_;
 };
 
 // Serialization gateway: the only code outside PrefixTrieSlice that touches
 // the raw arrays (kept out of the public API so the flat layout can change
 // without breaking callers).
 struct PrefixTrieSliceAccess {
-  static std::vector<std::uint8_t>& EdgeBytes(PrefixTrieSlice& t) { return t.edge_bytes_; }
-  static std::vector<std::int32_t>& Depths(PrefixTrieSlice& t) { return t.depths_; }
-  static std::vector<std::int32_t>& Skips(PrefixTrieSlice& t) { return t.skips_; }
-  static std::vector<std::int32_t>& TokenBegins(PrefixTrieSlice& t) { return t.token_begins_; }
-  static const std::vector<std::uint8_t>& EdgeBytes(const PrefixTrieSlice& t) { return t.edge_bytes_; }
-  static const std::vector<std::int32_t>& Depths(const PrefixTrieSlice& t) { return t.depths_; }
-  static const std::vector<std::int32_t>& Skips(const PrefixTrieSlice& t) { return t.skips_; }
-  static const std::vector<std::int32_t>& TokenBegins(const PrefixTrieSlice& t) { return t.token_begins_; }
+  static support::ArrayRef<std::uint8_t>& EdgeBytes(PrefixTrieSlice& t) { return t.edge_bytes_; }
+  static support::ArrayRef<std::int32_t>& Depths(PrefixTrieSlice& t) { return t.depths_; }
+  static support::ArrayRef<std::int32_t>& Skips(PrefixTrieSlice& t) { return t.skips_; }
+  static support::ArrayRef<std::int32_t>& TokenBegins(PrefixTrieSlice& t) { return t.token_begins_; }
+  static const support::ArrayRef<std::uint8_t>& EdgeBytes(const PrefixTrieSlice& t) { return t.edge_bytes_; }
+  static const support::ArrayRef<std::int32_t>& Depths(const PrefixTrieSlice& t) { return t.depths_; }
+  static const support::ArrayRef<std::int32_t>& Skips(const PrefixTrieSlice& t) { return t.skips_; }
+  static const support::ArrayRef<std::int32_t>& TokenBegins(const PrefixTrieSlice& t) { return t.token_begins_; }
 };
 
 }  // namespace xgr::tokenizer

@@ -33,6 +33,21 @@ TokenizerInfo::TokenizerInfo(Vocabulary vocabulary)
     }
     bytes_after_skip_ += token.size() - static_cast<std::size_t>(prefix_lengths_[i]);
   }
+  // Must byte-for-byte match what serialize::VocabularyHash historically
+  // computed — this value is pinned inside committed artifacts.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  auto mix = [&h](const char* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= static_cast<std::uint8_t>(data[i]);
+      h *= 0x100000001B3ull;
+    }
+  };
+  for (std::int32_t id = 0; id < vocabulary_.Size(); ++id) {
+    const std::string& token = TokenBytes(id);
+    mix(token.data(), token.size());
+    mix(IsSpecial(id) ? "\x01" : "\x00", 1);
+  }
+  content_hash_ = h;
 }
 
 }  // namespace xgr::tokenizer

@@ -43,6 +43,12 @@ class TokenizerInfo {
   std::uint64_t TotalTokenBytes() const { return total_bytes_; }
   std::uint64_t BytesAfterPrefixSkip() const { return bytes_after_skip_; }
 
+  // FNV-1a over every token's bytes + special flag, in id order — the
+  // vocabulary pin embedded in serialized artifacts. Precomputed here so
+  // artifact loads compare one u64 instead of rehashing the vocabulary
+  // (O(vocab) would dominate the zero-copy mmap ready path).
+  std::uint64_t ContentHash() const { return content_hash_; }
+
  private:
   Vocabulary vocabulary_;
   std::vector<bool> is_special_;
@@ -50,6 +56,7 @@ class TokenizerInfo {
   std::vector<std::int32_t> prefix_lengths_;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t bytes_after_skip_ = 0;
+  std::uint64_t content_hash_ = 0;
 };
 
 }  // namespace xgr::tokenizer

@@ -1,0 +1,513 @@
+// Tests for the flat zero-copy artifact subsystem (src/artifact/): format
+// round trips, bit-identical masks from mmap-loaded vs freshly-compiled
+// artifacts, the full corruption matrix (truncation, bit flips, misaligned
+// offsets, vocab-pin and key mismatches, injected faults), v2/v3 version
+// skew, and the sharded registry built on top.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "artifact/artifact_format.h"
+#include "artifact/artifact_reader.h"
+#include "artifact/artifact_writer.h"
+#include "artifact/mapped_file.h"
+#include "baselines/xgrammar_decoder.h"
+#include "cache/adaptive_cache.h"
+#include "grammar/grammar.h"
+#include "grammar/json_schema.h"
+#include "pda/compiled_grammar.h"
+#include "runtime/grammar_registry.h"
+#include "serialize/serialize.h"
+#include "support/fault_point.h"
+#include "support/status.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::artifact {
+namespace {
+
+namespace fs = std::filesystem;
+namespace fault = xgr::support::fault;
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer(
+    std::uint64_t seed = 17) {
+  static std::map<std::uint64_t, std::shared_ptr<const tokenizer::TokenizerInfo>>
+      cache;
+  auto it = cache.find(seed);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(seed, std::make_shared<tokenizer::TokenizerInfo>(
+                                tokenizer::BuildSyntheticVocab({2000, seed})))
+             .first;
+  }
+  return it->second;
+}
+
+std::shared_ptr<const cache::AdaptiveTokenMaskCache> BuildCache(
+    const grammar::Grammar& g,
+    std::shared_ptr<const tokenizer::TokenizerInfo> info = TestTokenizer()) {
+  auto compiled = pda::CompiledGrammar::Compile(g);
+  return cache::AdaptiveTokenMaskCache::Build(compiled, std::move(info));
+}
+
+grammar::Grammar TestSchemaGrammar() {
+  return grammar::JsonSchemaTextToGrammar(
+      R"({"type":"object","properties":{"id":{"type":"integer"},
+          "tags":{"type":"array","items":{"type":"string"}}},
+          "required":["id"],"additionalProperties":false})");
+}
+
+// Loads flat bytes from a heap copy (keeps the backing alive via shared_ptr).
+std::shared_ptr<const cache::AdaptiveTokenMaskCache> LoadBytes(
+    std::string bytes,
+    std::shared_ptr<const tokenizer::TokenizerInfo> info = TestTokenizer(),
+    const LoadOptions& options = {}) {
+  auto backing = std::make_shared<std::string>(std::move(bytes));
+  return LoadFlatArtifactBytes(backing, *backing, std::move(info), options);
+}
+
+// Scratch dir per test, removed on destruction.
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("xgr_artifact_test_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+// --- format round trips ------------------------------------------------------
+
+TEST(FlatArtifact, RoundTripsByteLevelAndIsDeterministic) {
+  auto cache = BuildCache(grammar::BuiltinJsonGrammar());
+  std::string bytes = BuildFlatArtifact(*cache, "the-key");
+  ASSERT_EQ(bytes.size() % kSectionAlign, 0u);
+  EXPECT_EQ(SniffArtifactFormat(bytes), ArtifactFormat::kFlatV3);
+  EXPECT_EQ(PeekContentKey(bytes), "the-key");
+
+  // Independent builds of the same content are bit-identical (the disk tier
+  // compares files byte-wise under content addressing).
+  EXPECT_EQ(BuildFlatArtifact(*cache, "the-key"), bytes);
+
+  auto loaded = LoadBytes(bytes);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_TRUE(loaded->IsMapped());
+  EXPECT_FALSE(cache->IsMapped());
+  EXPECT_EQ(loaded->Stats().context_dependent, cache->Stats().context_dependent);
+  EXPECT_EQ(loaded->MemoryBytes(), cache->MemoryBytes());
+  // The v2 serializer is a complete rendering of the cache contents: a
+  // loaded artifact re-serializes to exactly the same envelope.
+  EXPECT_EQ(serialize::SerializeEngineArtifact(*loaded),
+            serialize::SerializeEngineArtifact(*cache));
+}
+
+TEST(FlatArtifact, FileRoundTripThroughMmap) {
+  TempDir dir("file_roundtrip");
+  const std::string path = dir.path + "/artifact.xgr";
+  auto cache = BuildCache(TestSchemaGrammar());
+  WriteFlatArtifactFile(path, *cache, "schema-key");
+
+  auto file = MappedFile::Open(path);
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->size() % kSectionAlign, 0u);
+
+  LoadOptions options;
+  options.expect_content_key = "schema-key";
+  auto loaded = LoadFlatArtifactFile(path, TestTokenizer(), options);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_TRUE(loaded->IsMapped());
+  EXPECT_EQ(serialize::SerializeEngineArtifact(*loaded),
+            serialize::SerializeEngineArtifact(*cache));
+}
+
+// The acceptance-criterion differential: masks from an mmap-loaded artifact
+// must be bit-identical to a freshly compiled one, token by token.
+TEST(FlatArtifact, MmapLoadedMasksAreBitIdenticalToFreshCompile) {
+  TempDir dir("differential");
+  const std::string path = dir.path + "/artifact.xgr";
+  auto info = TestTokenizer();
+  auto fresh = BuildCache(grammar::BuiltinJsonGrammar(), info);
+  WriteFlatArtifactFile(path, *fresh);
+  auto mapped = LoadFlatArtifactFile(path, info);
+  ASSERT_TRUE(mapped->IsMapped());
+
+  baselines::XGrammarDecoder fresh_decoder(fresh);
+  baselines::XGrammarDecoder mapped_decoder(mapped);
+  DynamicBitset mask_a(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset mask_b(static_cast<std::size_t>(info->VocabSize()));
+  const std::string doc = R"({"k":[1,"two",null],"m":{"x":3.5,"y":[true]}})";
+  for (char c : doc) {
+    fresh_decoder.FillNextTokenBitmask(&mask_a);
+    mapped_decoder.FillNextTokenBitmask(&mask_b);
+    ASSERT_TRUE(mask_a == mask_b) << "diverged before byte '" << c << "'";
+    ASSERT_TRUE(fresh_decoder.Matcher().AcceptByte(static_cast<std::uint8_t>(c)));
+    ASSERT_TRUE(mapped_decoder.Matcher().AcceptByte(static_cast<std::uint8_t>(c)));
+  }
+}
+
+TEST(FlatArtifact, UnkeyedArtifactSkipsKeyCheck) {
+  auto cache = BuildCache(grammar::BuiltinJsonGrammar());
+  std::string bytes = BuildFlatArtifact(*cache);
+  EXPECT_EQ(PeekContentKey(bytes), "");
+  EXPECT_NE(LoadBytes(bytes), nullptr);
+}
+
+// --- corruption matrix -------------------------------------------------------
+
+void ExpectCorrupt(const std::string& bytes, const char* what) {
+  try {
+    LoadBytes(bytes);
+    FAIL() << what << ": corrupt artifact was accepted";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.code(), StatusCode::kCorruptArtifact) << what;
+  }
+}
+
+TEST(FlatArtifactCorruption, TruncationAtEveryBoundaryRejects) {
+  auto cache = BuildCache(grammar::BuiltinJsonGrammar());
+  const std::string bytes = BuildFlatArtifact(*cache, "k");
+  for (std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{64}, std::size_t{127},
+        std::size_t{128}, bytes.size() / 2, bytes.size() - 64,
+        bytes.size() - 1}) {
+    ExpectCorrupt(bytes.substr(0, keep),
+                  ("truncated to " + std::to_string(keep)).c_str());
+  }
+  // Trailing garbage: file_size no longer matches.
+  ExpectCorrupt(bytes + std::string(64, 'x'), "trailing garbage");
+}
+
+TEST(FlatArtifactCorruption, BitFlipAnywhereRejects) {
+  auto cache = BuildCache(TestSchemaGrammar());
+  const std::string bytes = BuildFlatArtifact(*cache, "k");
+  // Flip one bit in the header, the key, the pda blob, the entry table, and
+  // deep in the data region — every region is covered by a checksum.
+  for (std::size_t pos : {std::size_t{9}, std::size_t{70}, std::size_t{200},
+                          bytes.size() / 3, bytes.size() / 2,
+                          bytes.size() - 9}) {
+    std::string flipped = bytes;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x20);
+    ExpectCorrupt(flipped, ("bit flip at " + std::to_string(pos)).c_str());
+  }
+}
+
+TEST(FlatArtifactCorruption, WrongMagicVersionAndEndiannessReject) {
+  auto cache = BuildCache(grammar::BuiltinJsonGrammar());
+  const std::string bytes = BuildFlatArtifact(*cache);
+
+  std::string wrong_magic = bytes;
+  wrong_magic[3] = '9';
+  ExpectCorrupt(wrong_magic, "wrong magic");
+
+  std::string wrong_version = bytes;
+  wrong_version[4] = 99;  // version low byte
+  ExpectCorrupt(wrong_version, "wrong version");
+
+  std::string wrong_endian = bytes;
+  wrong_endian[8] ^= 0xFF;  // endian marker low byte
+  ExpectCorrupt(wrong_endian, "wrong endianness");
+}
+
+// Misaligned offset table: patch the header field and re-seal the header
+// checksum so the *alignment* check (not the checksum) must catch it.
+TEST(FlatArtifactCorruption, MisalignedOffsetTableRejects) {
+  auto cache = BuildCache(grammar::BuiltinJsonGrammar());
+  std::string bytes = BuildFlatArtifact(*cache, "k");
+  FlatHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  header.entry_table_offset += 4;  // still in range, no longer 64-aligned
+  header.header_checksum = HeaderChecksum(header);
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  // The payload checksum does not cover the header, so the only trap left is
+  // offset validation itself.
+  ExpectCorrupt(bytes, "misaligned entry table");
+
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  header.entry_table_offset = bytes.size() + 64;  // out of range
+  header.header_checksum = HeaderChecksum(header);
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  ExpectCorrupt(bytes, "out-of-range entry table");
+}
+
+TEST(FlatArtifactCorruption, VocabularyPinRejectsWrongTokenizer) {
+  auto cache = BuildCache(grammar::BuiltinJsonGrammar(), TestTokenizer(17));
+  const std::string bytes = BuildFlatArtifact(*cache);
+  try {
+    LoadBytes(bytes, TestTokenizer(18));
+    FAIL() << "wrong tokenizer was accepted";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.code(), StatusCode::kCorruptArtifact);
+    EXPECT_NE(std::string(error.what()).find("vocabulary pin"),
+              std::string::npos);
+  }
+}
+
+TEST(FlatArtifactCorruption, ContentKeyMismatchRejects) {
+  auto cache = BuildCache(grammar::BuiltinJsonGrammar());
+  const std::string bytes = BuildFlatArtifact(*cache, "owner-key");
+  LoadOptions options;
+  options.expect_content_key = "other-key";
+  auto backing = std::make_shared<std::string>(bytes);
+  EXPECT_THROW(LoadFlatArtifactBytes(backing, *backing, TestTokenizer(), options),
+               StatusError);
+}
+
+TEST(FlatArtifactCorruption, InjectedFaultsAtEveryLoadStageClassify) {
+  TempDir dir("fault_sites");
+  const std::string path = dir.path + "/artifact.xgr";
+  auto cache = BuildCache(grammar::BuiltinJsonGrammar());
+  WriteFlatArtifactFile(path, *cache);
+  for (const char* site :
+       {"artifact.load.open", "artifact.load.validate", "artifact.load.fixup"}) {
+    fault::FaultRule rule;
+    rule.action = fault::FaultAction::kFail;
+    rule.max_fires = 1;
+    fault::ScopedFault armed(site, rule);
+    try {
+      LoadFlatArtifactFile(path, TestTokenizer());
+      FAIL() << site << ": injected fault did not surface";
+    } catch (const StatusError& error) {
+      EXPECT_EQ(error.code(), StatusCode::kCorruptArtifact) << site;
+    }
+    // Fault cleared: the same file loads fine (the injection never wrote).
+    EXPECT_NE(LoadFlatArtifactFile(path, TestTokenizer()), nullptr) << site;
+  }
+}
+
+TEST(FlatArtifactCorruption, WriteFaultSurfacesAsInternalAndLeavesNoFile) {
+  TempDir dir("write_fault");
+  const std::string path = dir.path + "/artifact.xgr";
+  auto cache = BuildCache(grammar::BuiltinJsonGrammar());
+  fault::FaultRule rule;
+  rule.action = fault::FaultAction::kFail;
+  rule.max_fires = 1;
+  fault::ScopedFault armed("artifact.write", rule);
+  try {
+    WriteFlatArtifactFile(path, *cache);
+    FAIL() << "injected write fault did not surface";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.code(), StatusCode::kInternal);
+  }
+  EXPECT_FALSE(fs::exists(path));
+  int files = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 0);  // no stray temp files
+  // Fault cleared: the write goes through.
+  WriteFlatArtifactFile(path, *cache);
+  EXPECT_TRUE(fs::exists(path));
+}
+
+// --- version skew ------------------------------------------------------------
+
+TEST(VersionSkew, LegacyV2BytesUnderFlatReaderRejectCleanly) {
+  auto cache = BuildCache(grammar::BuiltinJsonGrammar());
+  // A legacy "XGRK" disk file: magic + key length + key + v2 envelope.
+  std::string legacy;
+  legacy.append("XGRK", 4);
+  const std::string key = "legacy-key";
+  auto key_len = static_cast<std::uint32_t>(key.size());
+  legacy.append(reinterpret_cast<const char*>(&key_len), sizeof(key_len));
+  legacy.append(key);
+  legacy.append(serialize::SerializeEngineArtifact(*cache));
+
+  EXPECT_EQ(SniffArtifactFormat(legacy), ArtifactFormat::kDiskEnvelope);
+  ExpectCorrupt(legacy, "v2 bytes under flat reader");
+}
+
+TEST(VersionSkew, FlatBytesUnderV2ReaderRejectCleanly) {
+  auto cache = BuildCache(grammar::BuiltinJsonGrammar());
+  const std::string flat = BuildFlatArtifact(*cache, "k");
+  // The v2 deserializer must reject the flat magic outright — never misread.
+  EXPECT_THROW(serialize::DeserializeEngineArtifact(flat, TestTokenizer()),
+               CheckError);
+}
+
+TEST(VersionSkew, RegistryReadsLegacyV2FilesThroughTheHeapPath) {
+  TempDir dir("legacy_coexist");
+  auto info = TestTokenizer();
+  auto cache = BuildCache(grammar::BuiltinJsonGrammar(), info);
+  const std::string key = "grammar:legacy";
+
+  runtime::GrammarRegistryOptions options;
+  options.disk_dir = dir.path;
+  runtime::GrammarRegistry registry(info, options);
+
+  // Plant a legacy "XGRK" file exactly where the registry will look.
+  std::string legacy;
+  legacy.append("XGRK", 4);
+  auto key_len = static_cast<std::uint32_t>(key.size());
+  legacy.append(reinterpret_cast<const char*>(&key_len), sizeof(key_len));
+  legacy.append(key);
+  legacy.append(serialize::SerializeEngineArtifact(*cache));
+  {
+    std::ofstream out(registry.DiskPath(key), std::ios::binary);
+    out.write(legacy.data(), static_cast<std::streamsize>(legacy.size()));
+  }
+
+  runtime::Artifact loaded = registry.Lookup(key);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_FALSE(loaded->IsMapped());  // heap path, not the mapping
+  EXPECT_EQ(registry.Stats().disk_legacy_hits, 1);
+  EXPECT_EQ(registry.Stats().disk_mmap_hits, 0);
+  EXPECT_EQ(serialize::SerializeEngineArtifact(*loaded),
+            serialize::SerializeEngineArtifact(*cache));
+}
+
+TEST(VersionSkew, RegistryWritesFlatFilesAndWarmStartsOverMmap) {
+  TempDir dir("flat_warm");
+  auto info = TestTokenizer();
+  auto cache = BuildCache(TestSchemaGrammar(), info);
+  const std::string key = "grammar:flat";
+
+  runtime::GrammarRegistryOptions options;
+  options.disk_dir = dir.path;
+  {
+    runtime::GrammarRegistry writer(info, options);
+    writer.Insert(key, cache);
+  }
+  // The persisted file is flat v3 with the key embedded.
+  runtime::GrammarRegistry reader(info, options);
+  {
+    auto file = MappedFile::Open(reader.DiskPath(key));
+    ASSERT_NE(file, nullptr);
+    EXPECT_EQ(SniffArtifactFormat(file->bytes()), ArtifactFormat::kFlatV3);
+    EXPECT_EQ(PeekContentKey(file->bytes()), key);
+  }
+  runtime::Artifact loaded = reader.Lookup(key);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_TRUE(loaded->IsMapped());
+  EXPECT_EQ(reader.Stats().disk_mmap_hits, 1);
+  EXPECT_EQ(reader.Stats().disk_legacy_hits, 0);
+}
+
+// --- sharded registry --------------------------------------------------------
+
+std::shared_ptr<const cache::AdaptiveTokenMaskCache> SchemaArtifact(int i) {
+  return BuildCache(grammar::JsonSchemaTextToGrammar(
+      R"({"type":"object","properties":{"f)" + std::to_string(i) +
+      R"(":{"type":"integer"}},"required":["f)" + std::to_string(i) +
+      R"("],"additionalProperties":false})"));
+}
+
+TEST(ShardedRegistry, AggregatesStatsAcrossShards) {
+  runtime::GrammarRegistryOptions options;
+  options.num_shards = 4;
+  runtime::GrammarRegistry registry(TestTokenizer(), options);
+  EXPECT_EQ(registry.NumShards(), 4u);
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 12; ++i) {
+    keys.push_back("schema:" + std::to_string(i));
+    registry.Insert(keys.back(), SchemaArtifact(i));
+  }
+  for (const std::string& key : keys) {
+    EXPECT_NE(registry.Lookup(key), nullptr) << key;
+    EXPECT_TRUE(registry.IsResident(key)) << key;
+  }
+  runtime::GrammarRegistryStats stats = registry.Stats();
+  EXPECT_EQ(stats.inserts, 12);
+  EXPECT_EQ(stats.hits, 12);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_GT(stats.memory_bytes, 0u);
+
+  registry.Clear();
+  EXPECT_EQ(registry.MemoryBytes(), 0u);
+  for (const std::string& key : keys) EXPECT_FALSE(registry.IsResident(key));
+}
+
+TEST(ShardedRegistry, BudgetIsHonoredAcrossShards) {
+  // Budget sized for roughly two artifacts total: with 4 shards each gets a
+  // quarter, so residency stays bounded no matter which shards keys land in.
+  auto probe = SchemaArtifact(0);
+  const std::size_t one = probe->MemoryBytes();
+  runtime::GrammarRegistryOptions options;
+  options.num_shards = 4;
+  options.memory_budget_bytes = one * 2;
+  runtime::GrammarRegistry registry(TestTokenizer(), options);
+
+  for (int i = 0; i < 16; ++i) {
+    registry.Insert("schema:" + std::to_string(i), SchemaArtifact(i));
+  }
+  runtime::GrammarRegistryStats stats = registry.Stats();
+  EXPECT_LE(stats.memory_bytes, options.memory_budget_bytes + 4 * one / 2);
+  EXPECT_LE(stats.peak_memory_bytes,
+            options.memory_budget_bytes + 4 * one / 2);
+  EXPECT_GT(stats.evictions, 0);
+}
+
+TEST(ShardedRegistry, EvictionCallbackReportsKeyAndBytes) {
+  auto probe = SchemaArtifact(0);
+  runtime::GrammarRegistryOptions options;
+  options.memory_budget_bytes = probe->MemoryBytes();  // one resident at most
+  runtime::GrammarRegistry registry(TestTokenizer(), options);
+
+  std::vector<std::pair<std::string, std::size_t>> evicted;
+  registry.SetEvictionCallback(
+      [&](const std::string& key, std::size_t bytes) {
+        evicted.emplace_back(key, bytes);
+      });
+  registry.Insert("a", SchemaArtifact(1));
+  registry.Insert("b", SchemaArtifact(2));
+  ASSERT_GE(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first, "a");
+  EXPECT_GT(evicted[0].second, 0u);
+}
+
+TEST(ShardedRegistry, SingleShardMatchesClassicBehavior) {
+  runtime::GrammarRegistryOptions options;  // num_shards defaults to 1
+  runtime::GrammarRegistry registry(TestTokenizer(), options);
+  EXPECT_EQ(registry.NumShards(), 1u);
+  registry.Insert("k", SchemaArtifact(3));
+  EXPECT_NE(registry.TryGetResident("k"), nullptr);
+  EXPECT_EQ(registry.Lookup("missing"), nullptr);
+  runtime::GrammarRegistryStats stats = registry.Stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+// Degrade-to-recompile at the registry level: an injected load fault on a
+// good flat file classifies as corruption, deletes the file, and the next
+// lookup is a clean miss (the caller recompiles and re-persists).
+TEST(ShardedRegistry, InjectedLoadFaultDegradesToRecompile) {
+  TempDir dir("fault_degrade");
+  auto info = TestTokenizer();
+  const std::string key = "grammar:degrade";
+  runtime::GrammarRegistryOptions options;
+  options.disk_dir = dir.path;
+  {
+    runtime::GrammarRegistry writer(info, options);
+    writer.Insert(key, BuildCache(grammar::BuiltinJsonGrammar(), info));
+  }
+  runtime::GrammarRegistry reader(info, options);
+  {
+    fault::FaultRule rule;
+    rule.action = fault::FaultAction::kFail;
+    rule.max_fires = 1;
+    fault::ScopedFault armed("artifact.load.validate", rule);
+    EXPECT_EQ(reader.Lookup(key), nullptr);
+  }
+  EXPECT_EQ(reader.Stats().disk_rejects, 1);
+  EXPECT_FALSE(fs::exists(reader.DiskPath(key)));
+  // Recompile + reinsert heals the disk tier.
+  reader.Insert(key, BuildCache(grammar::BuiltinJsonGrammar(), info));
+  EXPECT_TRUE(fs::exists(reader.DiskPath(key)));
+}
+
+}  // namespace
+}  // namespace xgr::artifact

@@ -3,6 +3,7 @@
 // reporting (exceptions must never cross the boundary).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -433,6 +434,120 @@ TEST(CApiTagDispatch, CompositeMatcherLifecycle) {
             nullptr);
   EXPECT_FALSE(LastError().empty());
   xgr_compile_service_destroy(service2);
+}
+
+TEST(CApiArtifact, SaveLoadRoundTripWithIdenticalMasks) {
+  auto tok = SyntheticTokenizer();
+  xgr_grammar* compiled = xgr_grammar_compile_json_schema(
+      R"({"type":"object","properties":{"v":{"type":"integer"}},
+          "required":["v"],"additionalProperties":false})",
+      tok.get());
+  ASSERT_NE(compiled, nullptr);
+
+  const std::string path =
+      ::testing::TempDir() + "xgr_c_api_artifact_test.xgr3";
+  ASSERT_EQ(xgr_artifact_save(compiled, path.c_str(), "abi-key"), XGR_OK);
+
+  xgr_grammar* mapped = xgr_artifact_load(path.c_str(), tok.get(), "abi-key");
+  ASSERT_NE(mapped, nullptr);
+
+  // The mmap-loaded grammar masks bit-identically to the fresh compile.
+  xgr_matcher* a = xgr_matcher_create(compiled);
+  xgr_matcher* b = xgr_matcher_create(mapped);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  size_t words = xgr_matcher_mask_words(a);
+  std::vector<uint64_t> mask_a(words);
+  std::vector<uint64_t> mask_b(words);
+  ASSERT_EQ(xgr_matcher_fill_next_token_bitmask(a, mask_a.data(), words),
+            XGR_OK);
+  ASSERT_EQ(xgr_matcher_fill_next_token_bitmask(b, mask_b.data(), words),
+            XGR_OK);
+  EXPECT_EQ(mask_a, mask_b);
+
+  // Wrong expected key: rejected as corrupt (collision defense).
+  EXPECT_EQ(xgr_artifact_load(path.c_str(), tok.get(), "other-key"), nullptr);
+  EXPECT_EQ(xgr_last_status(), XGR_ERROR_CORRUPT_ARTIFACT);
+  // Wrong vocabulary: the pin rejects a tokenizer the artifact was not
+  // built against.
+  xgr_tokenizer* other = xgr_tokenizer_create_synthetic(2000, 99);
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(xgr_artifact_load(path.c_str(), other, nullptr), nullptr);
+  EXPECT_EQ(xgr_last_status(), XGR_ERROR_CORRUPT_ARTIFACT);
+  // Missing file: clean failure, no crash.
+  EXPECT_EQ(xgr_artifact_load((path + ".missing").c_str(), tok.get(), nullptr),
+            nullptr);
+  EXPECT_EQ(xgr_last_status(), XGR_ERROR_CORRUPT_ARTIFACT);
+
+  xgr_matcher_destroy(a);
+  xgr_matcher_destroy(b);
+  xgr_grammar_destroy(mapped);
+  xgr_grammar_destroy(compiled);
+  std::remove(path.c_str());
+}
+
+TEST(CApiCompileService, TenantQuotaRejectsAndReportsStats) {
+  auto tok = SyntheticTokenizer();
+  xgr_compile_service* service =
+      xgr_compile_service_create(tok.get(), 2, 0, nullptr);
+  ASSERT_NE(service, nullptr);
+
+  // A 1-byte resident budget: the tenant's first artifact exhausts it, so
+  // the second submission is rejected deterministically at the front door.
+  ASSERT_EQ(xgr_compile_service_set_tenant_quota(service, "acme",
+                                                 /*max_concurrent_compiles=*/0,
+                                                 /*max_queued=*/0,
+                                                 /*max_resident_bytes=*/1),
+            XGR_OK);
+
+  xgr_compile_ticket* first = xgr_compile_service_submit_json_schema_as(
+      service, "acme",
+      R"({"type":"object","properties":{"a":{"type":"integer"}},
+          "required":["a"],"additionalProperties":false})");
+  ASSERT_NE(first, nullptr);
+  int32_t status = xgr_compile_ticket_poll(first);
+  while (status == 0) status = xgr_compile_ticket_poll(first);
+  ASSERT_EQ(status, 1);
+
+  xgr_compile_ticket* second = xgr_compile_service_submit_json_schema_as(
+      service, "acme",
+      R"({"type":"object","properties":{"b":{"type":"string"}},
+          "required":["b"],"additionalProperties":false})");
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(xgr_compile_ticket_poll(second), -1);
+  EXPECT_EQ(xgr_last_status(), XGR_ERROR_QUOTA_EXCEEDED);
+  EXPECT_EQ(xgr_compile_ticket_await(second), nullptr);
+
+  xgr_tenant_stats stats;
+  ASSERT_EQ(xgr_compile_service_tenant_stats(service, "acme", &stats), XGR_OK);
+  EXPECT_EQ(stats.submitted, 2);
+  EXPECT_EQ(stats.compiled, 1);
+  EXPECT_EQ(stats.quota_rejects, 1);
+  EXPECT_GT(stats.bytes_resident, 0u);
+  EXPECT_GT(stats.compile_wait_ms, 0.0);
+  EXPECT_EQ(stats.inflight, 0);
+
+  // Unknown tenants report all-zero stats, not an error.
+  ASSERT_EQ(xgr_compile_service_tenant_stats(service, "nobody", &stats),
+            XGR_OK);
+  EXPECT_EQ(stats.submitted, 0);
+  EXPECT_EQ(stats.quota_rejects, 0);
+
+  // The default tenant is never quota-checked: the same source that was
+  // rejected for "acme" compiles fine anonymously.
+  xgr_compile_ticket* anon = xgr_compile_service_submit_json_schema(
+      service,
+      R"({"type":"object","properties":{"b":{"type":"string"}},
+          "required":["b"],"additionalProperties":false})");
+  ASSERT_NE(anon, nullptr);
+  status = xgr_compile_ticket_poll(anon);
+  while (status == 0) status = xgr_compile_ticket_poll(anon);
+  EXPECT_EQ(status, 1);
+
+  xgr_compile_ticket_destroy(first);
+  xgr_compile_ticket_destroy(second);
+  xgr_compile_ticket_destroy(anon);
+  xgr_compile_service_destroy(service);
 }
 
 }  // namespace

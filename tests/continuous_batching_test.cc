@@ -474,6 +474,140 @@ TEST(ContinuousBatching, MidDecodeDeadlineKeepsPartialOutput) {
   EXPECT_FALSE(r.result.finished_by_eos);
 }
 
+// --- tenant-aware admission (multi-tenant serving) --------------------------
+
+TEST(ContinuousBatching, InteractiveClassAdmitsBeforeBatchClass) {
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+
+  // Same arrival step, one slot, batch-class request submitted first: the
+  // interactive request must win the slot anyway.
+  std::vector<ContinuousRequest> stream;
+  stream.push_back(MakeArrival(nullptr, "[1,2,3,4,5,6]", 0));
+  stream.back().tenant = "bulk";
+  stream.push_back(MakeArrival(nullptr, "[7,8]", 0, 3));
+  stream.back().tenant = "live";
+
+  EngineOptions options = FastOptions();
+  options.tenant_policies["bulk"].cls = TenantClass::kBatch;
+  options.tenant_policies["live"].cls = TenantClass::kInteractive;
+  ServingEngine engine(options, llm);
+  ContinuousResult result = engine.RunContinuous(stream, 1);
+
+  EXPECT_EQ(result.requests[1].admitted_step, 0);
+  EXPECT_GE(result.requests[0].admitted_step, result.requests[1].finish_step);
+  EXPECT_EQ(result.requests[0].result.output_text, "[1,2,3,4,5,6]");
+  EXPECT_EQ(result.requests[1].result.output_text, "[7,8]");
+
+  // The usage table covers both tenants, sorted by name.
+  ASSERT_EQ(result.tenants.size(), 2u);
+  EXPECT_EQ(result.tenants[0].first, "bulk");
+  EXPECT_EQ(result.tenants[1].first, "live");
+  EXPECT_EQ(result.tenants[0].second.submitted, 1);
+  EXPECT_EQ(result.tenants[0].second.completed, 1);
+  EXPECT_EQ(result.tenants[1].second.completed, 1);
+  EXPECT_GT(result.tenants[0].second.total_tokens, 0);
+}
+
+TEST(ContinuousBatching, TenantSlotCapBoundsConcurrencyPerTenant) {
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+
+  // Global capacity 4, but "bulk" may hold one slot at a time: its second
+  // request waits for the first even though the batch has room.
+  std::vector<ContinuousRequest> stream;
+  stream.push_back(MakeArrival(nullptr, "[1,2,3,4,5]", 0));
+  stream.back().tenant = "bulk";
+  stream.push_back(MakeArrival(nullptr, "[6,7,8,9,10]", 0, 3));
+  stream.back().tenant = "bulk";
+  stream.push_back(MakeArrival(nullptr, "[11,12]", 0, 5));  // untenanted
+
+  EngineOptions options = FastOptions();
+  options.tenant_policies["bulk"].max_slots = 1;
+  ServingEngine engine(options, llm);
+  ContinuousResult result = engine.RunContinuous(stream, 4);
+
+  EXPECT_EQ(result.requests[0].admitted_step, 0);
+  EXPECT_GE(result.requests[1].admitted_step, result.requests[0].finish_step);
+  EXPECT_EQ(result.requests[2].admitted_step, 0);  // other tenants unaffected
+  for (const auto& r : result.requests) {
+    EXPECT_EQ(r.status, StatusCode::kOk);
+  }
+  auto bulk = std::find_if(result.tenants.begin(), result.tenants.end(),
+                           [](const auto& e) { return e.first == "bulk"; });
+  ASSERT_NE(bulk, result.tenants.end());
+  EXPECT_GT(bulk->second.policy_defers, 0);
+}
+
+TEST(ContinuousBatching, MaskHeavyBatchTenantCannotStarveInteractive) {
+  // Regression for the cost-aware admission feedback: the measured
+  // per-request mask-cost EWMA (the same signal the shard planner consumes)
+  // must flow back into admission, so a batch tenant whose requests dominate
+  // mask cost is deferred while interactive work runs — and admitted once
+  // the interactive tenant drains.
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+  auto tasks = datasets::GenerateSchemaTasks(1, 61);
+
+  DecoderFactory factory(EngineKind::kXGrammar, info);
+  factory.PrepareSchema(tasks[0].schema);
+
+  std::vector<ContinuousRequest> stream;
+  // Interactive tenant: unconstrained request decoding from step 0.
+  stream.push_back(
+      MakeArrival(nullptr, "[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]", 0));
+  stream.back().tenant = "live";
+  // Batch tenant: grammar-heavy requests. The first admits at step 0 (no
+  // measured cost yet); by the time the second arrives, the first's EWMA
+  // holds 100% of the batch's measured mask cost, over the 50% cap.
+  stream.push_back(MakeArrival(factory.NewDecoder(),
+                               tasks[0].canonical_answer.Dump(), 0, 7));
+  stream.back().tenant = "bulk";
+  stream.push_back(MakeArrival(factory.NewDecoder(),
+                               tasks[0].canonical_answer.Dump(), 2, 8));
+  stream.back().tenant = "bulk";
+
+  EngineOptions options = FastOptions();
+  options.tenant_policies["bulk"].cls = TenantClass::kBatch;
+  options.tenant_policies["bulk"].max_mask_cost_share = 0.5;
+  ServingEngine engine(options, llm);
+  ContinuousResult result = engine.RunContinuous(stream, 4);
+
+  // Everyone still completes with valid output — deferral, not starvation.
+  EXPECT_EQ(result.requests[0].result.output_text,
+            "[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]");
+  EXPECT_EQ(result.requests[1].result.output_text,
+            tasks[0].canonical_answer.Dump());
+  EXPECT_EQ(result.requests[2].result.output_text,
+            tasks[0].canonical_answer.Dump());
+
+  // The interactive request was never held back by the mask-heavy tenant.
+  EXPECT_EQ(result.requests[0].admitted_step, 0);
+  EXPECT_EQ(result.requests[0].first_token_step, 0);
+  // The second bulk request was deferred past its arrival step: it could
+  // only join once the interactive tenant drained (cost-share gate releases
+  // when no other tenant has active work).
+  EXPECT_GE(result.requests[2].admitted_step,
+            result.requests[0].finish_step);
+
+  auto bulk = std::find_if(result.tenants.begin(), result.tenants.end(),
+                           [](const auto& e) { return e.first == "bulk"; });
+  ASSERT_NE(bulk, result.tenants.end());
+  EXPECT_GT(bulk->second.policy_defers, 0);
+  EXPECT_GT(bulk->second.peak_mask_cost_us, 0.0);
+  EXPECT_EQ(bulk->second.completed, 2);
+}
+
+TEST(ContinuousBatching, UntenantedRunsLeaveUsageEmpty) {
+  auto info = TestTokenizer();
+  MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
+  ServingEngine engine(FastOptions(), llm);
+  ContinuousResult result =
+      engine.RunContinuous({MakeArrival(nullptr, "[1]", 0)}, 2);
+  EXPECT_TRUE(result.tenants.empty());
+  EXPECT_EQ(result.requests[0].status, StatusCode::kOk);
+}
+
 TEST(ContinuousBatching, RejectsDegenerateArguments) {
   auto info = TestTokenizer();
   MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});

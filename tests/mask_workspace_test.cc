@@ -154,16 +154,16 @@ void ReferenceFillNextTokenBitmask(const AdaptiveTokenMaskCache& cache,
       return;
     }
     if (entry.kind == StorageKind::kAcceptHeavy) {
-      std::vector<std::int32_t> ctx_sorted = entry.context_dependent;
+      std::vector<std::int32_t> ctx_sorted = entry.context_dependent.ToVector();
       std::sort(ctx_sorted.begin(), ctx_sorted.end());
-      std::vector<std::int32_t> rejected =
-          UnionSorted(entry.stored, DifferenceSorted(ctx_sorted, ctx_accepted));
+      std::vector<std::int32_t> rejected = UnionSorted(
+          entry.stored.ToVector(), DifferenceSorted(ctx_sorted, ctx_accepted));
       partial_rej = partial_rej.has_value() ? IntersectSorted(*partial_rej, rejected)
                                             : std::move(rejected);
     } else {
       std::vector<std::int32_t> accepted =
           entry.kind == StorageKind::kBitset ? entry.accepted_bits.ToIndexList()
-                                             : entry.stored;
+                                             : entry.stored.ToVector();
       partial_acc = UnionSorted(partial_acc, UnionSorted(accepted, ctx_accepted));
     }
   }
