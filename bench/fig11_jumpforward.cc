@@ -1,14 +1,30 @@
-// Figure 11 (Appendix B): jump-forward decoding on the JSON Schema task,
-// SGLang engine, batch 1, RTX-4090-class profile.
+// Figure 11 (Appendix B) + speculative decoding: jump-forward decoding on the
+// JSON Schema task, batch 1, RTX-4090-class profile, plus the transactional
+// multi-token verify/commit protocol driving grammar-constrained speculative
+// decoding in the same engine.
 //
 // Paper reference (ms/token): Outlines 44.2 -> 31.5 with jump-forward;
 // XGrammar 6.8 -> 5.4 with jump-forward.
 // Expected shape: jump-forward lowers TPOT for both engines (forced spans of
-// the schema cost no decode steps); XGrammar+jump-forward is the fastest.
+// the schema cost no decode steps); XGrammar+jump-forward is the fastest;
+// speculative admission multiplies tokens/step further (committed draft
+// prefix + 1 correction token + jump-forwarded spans per step) with zero
+// steady-state allocations; a single k-token VerifyTokenDraft transaction is
+// measurably cheaper than the k mask fills the sequential protocol pays.
+//
+// Emits BENCH_jumpforward.json (override with XGR_BENCH_JSON). Knobs:
+// XGR_VOCAB, XGR_BENCH_STEPS, XGR_BENCH_WARMUP, XGR_SPEC_DRAFT (draft length
+// k, default 6), XGR_SPEC_STEPS (spec-dec max_new_tokens, default 96).
+#include <algorithm>
+#include <fstream>
+
 #include "baselines/factory.h"
+#include "baselines/constrained_decoder.h"
 #include "bench/bench_common.h"
 #include "datasets/workloads.h"
 #include "engine/serving_engine.h"
+#include "json/json.h"
+#include "support/alloc_hook.h"
 
 namespace {
 
@@ -20,9 +36,23 @@ using engine::EngineOptions;
 using engine::EngineRequest;
 using engine::GrammarSchedule;
 
-double Run(EngineKind kind, bool jump_forward,
-           const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
-           const engine::MockLlm& llm, const datasets::SchemaTask& task) {
+std::uint64_t CountAllocs() {
+  return static_cast<std::uint64_t>(support::AllocHookCount());
+}
+
+// --- Section 1: jump-forward on/off, per engine ------------------------------
+
+struct JumpForwardRun {
+  double tpot_ms = 0.0;
+  std::int32_t jump_tokens = 0;
+  std::int32_t retokenized_tokens = 0;
+  std::int64_t decode_steps = 0;
+};
+
+JumpForwardRun RunJumpForward(
+    EngineKind kind, bool jump_forward,
+    const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
+    const engine::MockLlm& llm, const datasets::SchemaTask& task) {
   DecoderFactory factory(kind, info);
   factory.PrepareSchema(task.schema);
   EngineOptions options;
@@ -30,30 +60,368 @@ double Run(EngineKind kind, bool jump_forward,
   options.schedule = kind == EngineKind::kXGrammar ? GrammarSchedule::kOverlap
                                                    : GrammarSchedule::kSerial;
   options.jump_forward = jump_forward;
-  options.max_new_tokens = 48;
+  options.max_new_tokens = MaxSteps();
   engine::ServingEngine eng(options, llm);
   EngineRequest request;
   request.decoder = factory.NewDecoder();
   request.target_text = task.canonical_answer.Dump();
-  return eng.RunBatch({request}).TpotMs();
+  engine::BatchResult batch = eng.RunBatch({request});
+  JumpForwardRun run;
+  run.tpot_ms = batch.TpotMs();
+  run.jump_tokens = batch.requests[0].jump_forward_tokens;
+  run.retokenized_tokens = batch.requests[0].retokenized_tokens;
+  run.decode_steps = batch.decode_steps;
+  return run;
+}
+
+// --- Section 2: speculative admission (engine e2e) ---------------------------
+
+struct SpecRun {
+  double noise = 0.0;
+  std::int32_t draft_tokens = 0;
+  double tpot_ms = 0.0;
+  double acceptance_rate = 0.0;  // committed / drafted
+  double tokens_per_step = 0.0;  // total tokens (incl. jump-forward) / steps
+  std::int64_t drafted = 0;
+  std::int64_t committed = 0;
+  std::int64_t spec_steps = 0;
+  std::int64_t jump_tokens = 0;
+  std::int64_t total_tokens = 0;
+  std::int64_t decode_steps = 0;
+  double allocs_per_step = -1.0;  // steady-state; -1 = not measured
+};
+
+SpecRun RunSpeculative(double noise, std::int32_t draft_tokens,
+                       bool jump_forward,
+                       const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
+                       const engine::MockLlm& llm,
+                       const datasets::SchemaTask& task) {
+  DecoderFactory factory(EngineKind::kXGrammar, info);
+  factory.PrepareSchema(task.schema);
+  EngineOptions options;
+  options.profile = engine::ModelProfile::Llama31_8B_RTX4090();
+  options.schedule = GrammarSchedule::kOverlap;
+  options.jump_forward = jump_forward;
+  options.max_new_tokens = EnvInt("XGR_SPEC_STEPS", 96);
+  options.alloc_count_fn = &CountAllocs;
+  options.speculation.enabled = true;
+  options.speculation.draft_tokens = draft_tokens;
+  options.speculation.draft_noise = noise;
+  engine::ServingEngine eng(options, llm);
+  EngineRequest request;
+  request.decoder = factory.NewDecoder();
+  request.target_text = task.canonical_answer.Dump();
+  // Warm-up run: the zero-allocation guarantee (like the batch decode path)
+  // holds for steady-state decoding over warmed decoders — lazy scratch,
+  // matcher pools, and the adaptive mask cache populate on the first pass.
+  eng.RunBatch({request});
+  engine::BatchResult batch = eng.RunBatch({request});
+  const engine::RequestResult& r = batch.requests[0];
+  SpecRun run;
+  run.noise = noise;
+  run.draft_tokens = draft_tokens;
+  run.tpot_ms = batch.TpotMs();
+  run.drafted = r.drafted_tokens;
+  run.committed = r.draft_committed_tokens;
+  run.spec_steps = r.spec_steps;
+  run.jump_tokens = r.jump_forward_tokens;
+  run.total_tokens = batch.total_tokens;
+  run.decode_steps = batch.decode_steps;
+  run.acceptance_rate =
+      run.drafted > 0
+          ? static_cast<double>(run.committed) / static_cast<double>(run.drafted)
+          : 0.0;
+  run.tokens_per_step =
+      run.decode_steps > 0
+          ? static_cast<double>(run.total_tokens) /
+                static_cast<double>(run.decode_steps)
+          : 0.0;
+  if (batch.steady_allocs >= 0 && batch.steady_steps > 0) {
+    run.allocs_per_step = static_cast<double>(batch.steady_allocs) /
+                          static_cast<double>(batch.steady_steps);
+  }
+  return run;
+}
+
+// --- Section 3: verify micro (one transaction vs k sequential fills) ---------
+
+struct VerifyMicro {
+  double verify_us = 0.0;      // VerifyDraft(k) + CommitDraft(0)
+  double sequential_us = 0.0;  // k x (FillNextTokenBitmask + AcceptToken) + rollback
+  std::int64_t transactions = 0;
+  double speedup = 0.0;
+};
+
+VerifyMicro RunVerifyMicro(
+    const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
+    const datasets::SchemaTask& task, std::int32_t k) {
+  DecoderFactory factory(EngineKind::kXGrammar, info);
+  factory.PrepareSchema(task.schema);
+  const tokenizer::TokenTrie& trie = GetTrie(info);
+  std::vector<std::int32_t> tokens =
+      tokenizer::GreedyTokenize(trie, task.canonical_answer.Dump());
+  auto verify_ptr = factory.NewDecoder();
+  auto sequential_ptr = factory.NewDecoder();
+  baselines::ConstrainedDecoder& verify_decoder = *verify_ptr;
+  baselines::ConstrainedDecoder& sequential_decoder = *sequential_ptr;
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  baselines::DraftVerifyResult result;
+  StatAccumulator verify_stat;
+  StatAccumulator sequential_stat;
+
+  // One lap = walk the document; at each position run one measured
+  // transaction over the next k true tokens, abort it, then advance by one
+  // token. Warm-up laps populate the memo tables and workspaces on both
+  // decoders so the measured lap compares steady states.
+  auto lap = [&](bool measured) {
+    verify_decoder.Reset();
+    sequential_decoder.Reset();
+    for (std::size_t position = 0; position + 1 < tokens.size(); ++position) {
+      const std::int32_t chunk = static_cast<std::int32_t>(
+          std::min<std::size_t>(static_cast<std::size_t>(k),
+                                tokens.size() - position));
+      {
+        Timer timer;
+        verify_decoder.VerifyDraft(tokens.data() + position, chunk, &result,
+                                   nullptr);
+        bool ok = verify_decoder.CommitDraft(0);
+        if (measured) verify_stat.Add(timer.ElapsedMicros());
+        if (!ok || result.accepted != chunk) return false;
+      }
+      {
+        Timer timer;
+        std::int32_t accepted = 0;
+        for (std::int32_t i = 0; i < chunk; ++i) {
+          sequential_decoder.FillNextTokenBitmask(&mask);
+          if (!sequential_decoder.AcceptToken(
+                  tokens[position + static_cast<std::size_t>(i)])) {
+            break;
+          }
+          ++accepted;
+        }
+        bool ok = sequential_decoder.RollbackTokens(accepted);
+        if (measured) sequential_stat.Add(timer.ElapsedMicros());
+        if (!ok || accepted != chunk) return false;
+      }
+      if (!verify_decoder.AcceptToken(tokens[position]) ||
+          !sequential_decoder.AcceptToken(tokens[position])) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (std::int32_t warm = 0; warm < std::max(WarmupLaps(), 1); ++warm) {
+    if (!lap(false)) return {};
+  }
+  if (!lap(true)) return {};
+
+  VerifyMicro micro;
+  micro.verify_us = verify_stat.Mean();
+  micro.sequential_us = sequential_stat.Mean();
+  micro.transactions = static_cast<std::int64_t>(verify_stat.Count());
+  micro.speedup =
+      micro.verify_us > 0.0 ? micro.sequential_us / micro.verify_us : 0.0;
+  return micro;
+}
+
+// --- Section 4: verify/sequential identity audit -----------------------------
+
+struct IdentityAudit {
+  std::int64_t transactions = 0;
+  std::int64_t accepted_mismatches = 0;
+  std::int64_t mask_mismatches = 0;
+};
+
+IdentityAudit RunIdentityAudit(
+    const std::shared_ptr<const tokenizer::TokenizerInfo>& info,
+    const datasets::SchemaTask& task, std::int32_t k) {
+  DecoderFactory factory(EngineKind::kXGrammar, info);
+  factory.PrepareSchema(task.schema);
+  const tokenizer::TokenTrie& trie = GetTrie(info);
+  std::vector<std::int32_t> tokens =
+      tokenizer::GreedyTokenize(trie, task.canonical_answer.Dump());
+  auto verify_ptr = factory.NewDecoder();
+  auto oracle_ptr = factory.NewDecoder();
+  baselines::ConstrainedDecoder& verify_decoder = *verify_ptr;
+  baselines::ConstrainedDecoder& oracle = *oracle_ptr;
+  DynamicBitset verify_mask(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset oracle_mask(static_cast<std::size_t>(info->VocabSize()));
+  std::vector<std::int32_t> draft(static_cast<std::size_t>(k));
+  Rng rng(101);
+  IdentityAudit audit;
+
+  for (std::size_t position = 0; position + 1 < tokens.size(); ++position) {
+    const std::int32_t chunk = static_cast<std::int32_t>(std::min<std::size_t>(
+        static_cast<std::size_t>(k), tokens.size() - position));
+    for (std::int32_t i = 0; i < chunk; ++i) {
+      std::int32_t token = tokens[position + static_cast<std::size_t>(i)];
+      if (rng.NextBool(0.25)) {
+        token = static_cast<std::int32_t>(
+            rng.NextBounded(static_cast<std::uint64_t>(info->VocabSize())));
+      }
+      draft[static_cast<std::size_t>(i)] = token;
+    }
+    ++audit.transactions;
+    baselines::DraftVerifyResult result;
+    verify_decoder.VerifyDraft(draft.data(), chunk, &result, &verify_mask);
+    // The oracle is the exact per-token protocol the transaction replaces.
+    std::int32_t oracle_accepted = 0;
+    for (std::int32_t i = 0; i < chunk; ++i) {
+      oracle.FillNextTokenBitmask(&oracle_mask);
+      const std::int32_t token = draft[static_cast<std::size_t>(i)];
+      if (token < 0 || static_cast<std::size_t>(token) >= oracle_mask.Size() ||
+          !oracle_mask.Test(static_cast<std::size_t>(token)) ||
+          token == info->EosId() || !oracle.AcceptToken(token)) {
+        break;
+      }
+      ++oracle_accepted;
+    }
+    if (oracle_accepted == chunk) oracle.FillNextTokenBitmask(&oracle_mask);
+    if (result.accepted != oracle_accepted) ++audit.accepted_mismatches;
+    if (!(verify_mask == oracle_mask)) ++audit.mask_mismatches;
+    // Abort both transactions and advance one true token in lockstep.
+    verify_decoder.CommitDraft(0);
+    oracle.RollbackTokens(oracle_accepted);
+    verify_decoder.AcceptToken(tokens[position]);
+    oracle.AcceptToken(tokens[position]);
+  }
+  return audit;
 }
 
 }  // namespace
 
 int main() {
+  AllocCountFn() = &xgr::support::AllocHookCount;
   PrintHeader(
-      "Figure 11: jump-forward decoding, JSON Schema, batch 1 (ms/token)\n"
-      "paper: Outlines 44.2 -> 31.5 w/ JF; XGrammar 6.8 -> 5.4 w/ JF");
+      "Figure 11: jump-forward decoding + speculative verify/commit, JSON "
+      "Schema, batch 1\npaper: Outlines 44.2 -> 31.5 w/ JF; XGrammar 6.8 -> "
+      "5.4 w/ JF (ms/token)");
   auto info = GetTokenizer();
   engine::MockLlm llm(info, {.derail_probability = 0.0, .seed = 5});
   auto tasks = datasets::GenerateSchemaTasks(1, 83);
+  const datasets::SchemaTask& task = tasks[0];
+  const std::int32_t draft_k = EnvInt("XGR_SPEC_DRAFT", 6);
 
-  PrintRow({"engine", "w/o jump-forward", "w/ jump-forward"}, 24);
+  // Section 1: jump-forward on/off per engine.
+  PrintRow({"engine", "w/o jump-forward", "w/ jump-forward", "jump tokens"}, 24);
+  json::Array jf_rows;
   for (EngineKind kind : {EngineKind::kOutlines, EngineKind::kXGrammar}) {
-    PrintRow({baselines::EngineKindName(kind),
-              Fmt(Run(kind, false, info, llm, tasks[0]), 1),
-              Fmt(Run(kind, true, info, llm, tasks[0]), 1)},
+    JumpForwardRun off = RunJumpForward(kind, false, info, llm, task);
+    JumpForwardRun on = RunJumpForward(kind, true, info, llm, task);
+    PrintRow({baselines::EngineKindName(kind), Fmt(off.tpot_ms, 1),
+              Fmt(on.tpot_ms, 1), std::to_string(on.jump_tokens)},
              24);
+    json::Object row;
+    row["engine"] = baselines::EngineKindName(kind);
+    row["tpot_ms_no_jf"] = off.tpot_ms;
+    row["tpot_ms_jf"] = on.tpot_ms;
+    row["jump_tokens"] = on.jump_tokens;
+    row["retokenized_tokens"] = on.retokenized_tokens;
+    row["decode_steps_no_jf"] = off.decode_steps;
+    row["decode_steps_jf"] = on.decode_steps;
+    jf_rows.push_back(json::Value(std::move(row)));
   }
+
+  // Section 2: speculative admission, XGrammar engine, jump-forward fused.
+  std::printf("\nspeculative admission (XGrammar + jump-forward, k=%d):\n",
+              draft_k);
+  PrintRow({"draft noise", "tokens/step", "acceptance", "tpot ms",
+            "allocs/step"},
+           16);
+  json::Array spec_rows;
+  for (double noise : {0.0, 0.1, 0.2}) {
+    SpecRun run = RunSpeculative(noise, draft_k, true, info, llm, task);
+    PrintRow({Fmt(noise, 2), Fmt(run.tokens_per_step, 2),
+              Fmt(100.0 * run.acceptance_rate, 1) + "%", Fmt(run.tpot_ms, 2),
+              run.allocs_per_step < 0 ? "n/a" : Fmt(run.allocs_per_step, 2)},
+             16);
+    json::Object row;
+    row["draft_noise"] = run.noise;
+    row["draft_tokens"] = run.draft_tokens;
+    row["tpot_ms"] = run.tpot_ms;
+    row["acceptance_rate"] = run.acceptance_rate;
+    row["tokens_per_step"] = run.tokens_per_step;
+    row["drafted"] = run.drafted;
+    row["committed"] = run.committed;
+    row["spec_steps"] = run.spec_steps;
+    row["jump_tokens"] = run.jump_tokens;
+    row["total_tokens"] = run.total_tokens;
+    row["decode_steps"] = run.decode_steps;
+    row["allocs_per_step"] = run.allocs_per_step;
+    spec_rows.push_back(json::Value(std::move(row)));
+  }
+
+  // Pure-speculation allocation audit: jump-forward off isolates the
+  // verify/commit protocol (the jump-forward path itself builds strings and
+  // retokenizes, which predates and is orthogonal to drafting). Gate: zero
+  // steady-state allocations per step.
+  SpecRun alloc_audit = RunSpeculative(0.1, draft_k, false, info, llm, task);
+  std::printf(
+      "\npure-spec alloc audit (jump-forward off, noise 0.10): %.2f "
+      "allocs/step over %lld steady steps\n",
+      alloc_audit.allocs_per_step,
+      static_cast<long long>(alloc_audit.decode_steps));
+
+  // Section 3: one verify transaction vs k sequential mask fills.
+  VerifyMicro micro = RunVerifyMicro(info, task, draft_k);
+  std::printf(
+      "\nverify micro (k=%d): one transaction %.2f us vs sequential %.2f us "
+      "(%.2fx, %lld transactions)\n",
+      draft_k, micro.verify_us, micro.sequential_us, micro.speedup,
+      static_cast<long long>(micro.transactions));
+
+  // Section 4: bit-identity audit against the sequential protocol.
+  IdentityAudit audit = RunIdentityAudit(info, task, draft_k);
+  std::printf(
+      "verify identity: %lld transactions, %lld accepted mismatches, %lld "
+      "mask mismatches\n",
+      static_cast<long long>(audit.transactions),
+      static_cast<long long>(audit.accepted_mismatches),
+      static_cast<long long>(audit.mask_mismatches));
+
+  json::Object doc;
+  doc["bench"] = "fig11_jumpforward";
+  doc["vocab"] = VocabSize();
+  doc["max_steps"] = MaxSteps();
+  doc["warmup_laps"] = WarmupLaps();
+  doc["draft_tokens"] = draft_k;
+  doc["jump_forward"] = json::Value(std::move(jf_rows));
+  doc["speculative"] = json::Value(std::move(spec_rows));
+  {
+    json::Object a;
+    a["draft_noise"] = alloc_audit.noise;
+    a["draft_tokens"] = alloc_audit.draft_tokens;
+    a["acceptance_rate"] = alloc_audit.acceptance_rate;
+    a["tokens_per_step"] = alloc_audit.tokens_per_step;
+    a["allocs_per_step"] = alloc_audit.allocs_per_step;
+    a["decode_steps"] = alloc_audit.decode_steps;
+    doc["spec_alloc_audit"] = json::Value(std::move(a));
+  }
+  {
+    json::Object m;
+    m["draft_tokens"] = draft_k;
+    m["verify_us"] = micro.verify_us;
+    m["sequential_us"] = micro.sequential_us;
+    m["speedup"] = micro.speedup;
+    m["transactions"] = micro.transactions;
+    doc["verify_micro"] = json::Value(std::move(m));
+  }
+  {
+    json::Object a;
+    a["transactions"] = audit.transactions;
+    a["accepted_mismatches"] = audit.accepted_mismatches;
+    a["mask_mismatches"] = audit.mask_mismatches;
+    doc["verify_identity"] = json::Value(std::move(a));
+  }
+  const char* json_path = std::getenv("XGR_BENCH_JSON");
+  std::string path = json_path != nullptr ? json_path : "BENCH_jumpforward.json";
+  std::ofstream out(path);
+  out << json::Value(std::move(doc)).Dump(2) << "\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
   return 0;
 }

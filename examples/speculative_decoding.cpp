@@ -1,17 +1,17 @@
 // Grammar-constrained speculative decoding (§3.3's branching application,
-// SpecInfer-style): a cheap draft model proposes token chunks, the target
-// model verifies them, and the grammar state follows every speculative
-// branch through O(1) forks of the persistent execution stack instead of
-// re-parsing the context per branch.
+// SpecInfer-style) on the transactional multi-token protocol: a cheap draft
+// model proposes a k-token chunk, one VerifyDraft call walks the whole chunk
+// against the grammar in a single transaction (no per-token mask fills, no
+// forks), and CommitDraft keeps exactly the prefix the target model also
+// agrees with — the rest rolls back through the O(1) checkpoint restore of
+// the persistent execution stack.
 //
 //   $ ./build/examples/speculative_decoding
 //
-// Per round: two draft branches are forked from the trunk decoder; each
-// proposes a chunk (the draft model is noisy, so proposals contain wrong
-// tokens); verification walks each branch, accepting tokens while they agree
-// with the target model AND satisfy the grammar mask. The better branch's
-// accepted prefix is committed to the trunk; the forks are dropped. Rollback
-// never touches the trunk — branches are independent by construction.
+// Compare with the pre-protocol version of this example, which forked the
+// trunk decoder per branch and re-verified token by token with one
+// FillNextTokenBitmask per proposal: the verify/commit API is the same
+// sequential semantics, one call per round instead of k.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -44,12 +44,12 @@ int main() {
   std::printf("target document (%zu tokens): %s\n\n", target_tokens.size(),
               document.substr(0, 72).c_str());
 
-  constexpr int kChunk = 6;          // draft tokens per round
+  constexpr int kChunk = 6;            // draft tokens per round
   constexpr double kDraftNoise = 0.2;  // per-token draft error rate
   Rng rng(7);
 
   baselines::XGrammarDecoder trunk(cache);
-  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+  std::vector<std::int32_t> draft(kChunk);
 
   std::size_t position = 0;  // tokens committed so far
   std::int64_t drafted = 0;
@@ -58,42 +58,52 @@ int main() {
 
   while (position < target_tokens.size()) {
     ++rounds;
-    // Draft two speculative branches from the trunk state. Each proposes the
-    // next kChunk tokens, with noise.
-    std::size_t best_len = 0;
-    for (int branch = 0; branch < 2; ++branch) {
-      auto fork = trunk.Fork();
-      std::size_t len = 0;
-      for (int i = 0; i < kChunk && position + len < target_tokens.size(); ++i) {
-        std::int32_t true_token = target_tokens[position + len];
-        std::int32_t proposal = true_token;
-        if (rng.NextBool(kDraftNoise)) {
-          proposal = static_cast<std::int32_t>(
-              rng.NextBounded(static_cast<std::uint64_t>(info->VocabSize())));
-        }
-        ++drafted;
-        // Verification: the proposal must match the target model's choice and
-        // pass the grammar mask maintained by this branch's decoder.
-        if (proposal != true_token) break;
-        fork->FillNextTokenBitmask(&mask);
-        if (!mask.Test(static_cast<std::size_t>(proposal))) break;
-        if (!fork->AcceptToken(proposal)) break;
-        ++len;
+    // The draft model proposes the next chunk, with noise. `agree` is the
+    // prefix the target model would also emit — what a real engine learns
+    // from the verify forward pass.
+    std::int32_t chunk = 0;
+    std::int32_t agree = 0;
+    bool agreeing = true;
+    while (chunk < kChunk &&
+           position + static_cast<std::size_t>(chunk) < target_tokens.size()) {
+      std::int32_t truth = target_tokens[position + static_cast<std::size_t>(chunk)];
+      std::int32_t proposal = truth;
+      if (rng.NextBool(kDraftNoise)) {
+        proposal = static_cast<std::int32_t>(
+            rng.NextBounded(static_cast<std::uint64_t>(info->VocabSize())));
       }
-      best_len = std::max(best_len, len);
+      draft[static_cast<std::size_t>(chunk++)] = proposal;
+      ++drafted;
+      if (agreeing && proposal == truth) {
+        ++agree;
+      } else {
+        agreeing = false;
+      }
     }
-    // Commit the winning branch's accepted prefix to the trunk (plus the one
-    // "free" token a real speculative verifier gets from the target pass).
-    std::size_t commit = std::max<std::size_t>(best_len, 1);
-    commit = std::min(commit, target_tokens.size() - position);
-    for (std::size_t i = 0; i < commit; ++i) {
-      if (!trunk.AcceptToken(target_tokens[position + i])) {
+
+    // One transaction verifies the whole chunk against the grammar — the
+    // trunk advances to the grammar-accepted prefix with the transaction
+    // open. CommitDraft keeps the grammar- AND model-agreed prefix; a
+    // flipped token that happened to be grammar-legal rolls back here.
+    baselines::DraftVerifyResult verify;
+    trunk.VerifyDraft(draft.data(), chunk, &verify, nullptr);
+    std::int32_t keep = std::min(verify.accepted, agree);
+    if (!trunk.CommitDraft(keep)) {
+      std::printf("FATAL: partial commit failed\n");
+      return 1;
+    }
+    accepted += keep;
+    position += static_cast<std::size_t>(keep);
+
+    // Plus the one "free" token a real speculative verifier gets from the
+    // target pass (the correction token at the divergence point).
+    if (keep < chunk && position < target_tokens.size()) {
+      if (!trunk.AcceptToken(target_tokens[position])) {
         std::printf("FATAL: trunk rejected a target token\n");
         return 1;
       }
-      ++accepted;
+      ++position;
     }
-    position += commit;
   }
 
   bool valid = trunk.CanTerminate();

@@ -26,6 +26,10 @@ class CharTrieDecoder : public ConstrainedDecoder {
   bool AcceptToken(std::int32_t token_id) override;
   bool CanTerminate() override { return dfa_.IsAccepting(state_); }
   void Reset() override { state_ = dfa_.Start(); }
+  std::size_t MaskBits() const override {
+    return static_cast<std::size_t>(tokenizer_->VocabSize());
+  }
+  std::int32_t EosTokenId() const override { return tokenizer_->EosId(); }
   double PreprocessSeconds() const override { return preprocess_seconds_; }
 
  private:

@@ -1,0 +1,70 @@
+// Default (sequential) implementation of the transactional multi-token
+// verify/commit protocol. Every baseline inherits it unchanged: the draft is
+// verified with k mask fills + membership tests + AcceptToken — exactly the
+// per-token protocol it replaces — so the differential tests can hold native
+// overrides bit-identical to this path.
+#include "baselines/constrained_decoder.h"
+
+#include "support/logging.h"
+
+namespace xgr::baselines {
+
+void ConstrainedDecoder::VerifyDraft(const std::int32_t* draft,
+                                     std::int32_t count,
+                                     DraftVerifyResult* result,
+                                     DynamicBitset* divergence_mask) {
+  XGR_CHECK(result != nullptr);
+  XGR_CHECK(count >= 0 && (count == 0 || draft != nullptr))
+      << "bad draft span: count=" << count;
+  XGR_CHECK(open_draft_accepted_ < 0)
+      << "VerifyDraft while a draft transaction is open";
+  result->accepted = 0;
+  result->exhausted = false;
+  result->terminated = false;
+
+  DynamicBitset* mask = divergence_mask;
+  if (mask == nullptr) {
+    XGR_CHECK(MaskBits() > 0)
+        << Name() << ": VerifyDraft fallback needs MaskBits() to size scratch";
+    if (fallback_mask_.Size() != MaskBits()) {
+      fallback_mask_ = DynamicBitset(MaskBits());
+    }
+    mask = &fallback_mask_;
+  }
+
+  const std::int32_t eos = EosTokenId();
+  for (std::int32_t i = 0; i < count; ++i) {
+    const std::int32_t token = draft[i];
+    FillNextTokenBitmask(mask);
+    if (token < 0 || static_cast<std::size_t>(token) >= mask->Size() ||
+        !mask->Test(static_cast<std::size_t>(token))) {
+      break;  // divergence: `mask` already holds the divergence mask
+    }
+    if (token == eos) {
+      // EOS is legal here (its mask bit was set). Like sequential decoding,
+      // it ends the walk without advancing state or counting as accepted.
+      result->terminated = true;
+      break;
+    }
+    if (!AcceptToken(token)) break;  // defensive: mask and accept disagree
+    ++result->accepted;
+  }
+  result->exhausted = result->accepted == count;
+  open_draft_accepted_ = result->accepted;
+  if (divergence_mask != nullptr && result->accepted == count) {
+    // Loop exited without a divergence fill; expose the post-prefix mask.
+    FillNextTokenBitmask(divergence_mask);
+  }
+}
+
+bool ConstrainedDecoder::CommitDraft(std::int32_t keep) {
+  const std::int32_t accepted = open_draft_accepted_;
+  XGR_CHECK(accepted >= 0) << Name() << ": CommitDraft without VerifyDraft";
+  XGR_CHECK(keep >= 0 && keep <= accepted)
+      << "CommitDraft keep out of range: " << keep << " of " << accepted;
+  open_draft_accepted_ = -1;
+  if (keep == accepted) return true;
+  return RollbackTokens(accepted - keep);
+}
+
+}  // namespace xgr::baselines

@@ -6,6 +6,7 @@
 // identical code paths apart from the grammar backend.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -21,6 +22,13 @@ struct TagDispatchStats;  // compose/tag_dispatch.h
 }  // namespace xgr::compose
 
 namespace xgr::baselines {
+
+// Result of a k-token draft verification (see VerifyDraft below).
+struct DraftVerifyResult {
+  std::int32_t accepted = 0;  // grammar-accepted prefix length of the draft
+  bool exhausted = false;     // accepted == draft length (no divergence)
+  bool terminated = false;    // walk hit EOS at a position where EOS is legal
+};
 
 class ConstrainedDecoder {
  public:
@@ -49,9 +57,51 @@ class ConstrainedDecoder {
     return false;
   }
 
+  // --- Transactional multi-token decode protocol ---------------------------
+  //
+  // VerifyDraft walks a k-token draft in one transaction. On return the
+  // decoder has ADVANCED to the grammar-accepted prefix and the transaction
+  // is OPEN: the caller must close it with exactly one CommitDraft(keep)
+  // before any other state-mutating call (AcceptToken, Reset, another
+  // VerifyDraft, ...). When `divergence_mask` is non-null it receives the
+  // next-token bitmask at the post-prefix state — the mask sequential
+  // decoding would compute after accepting those tokens — sized like
+  // FillNextTokenBitmask's.
+  //
+  // The default implementation is the documented slow path: k mask fills +
+  // Test + AcceptToken, exactly the sequential protocol. Backends with cheap
+  // rollback (XGrammarDecoder, the tag-dispatch composite) override it with
+  // a native byte walk that fills no masks on the happy path.
+  virtual void VerifyDraft(const std::int32_t* draft, std::int32_t count,
+                           DraftVerifyResult* result,
+                           DynamicBitset* divergence_mask);
+
+  // Closes the open transaction keeping the first `keep` accepted tokens
+  // (0 <= keep <= result.accepted); the rest are rolled back. Returns false
+  // — keeping the full accepted prefix — when keep < accepted and the
+  // backend cannot roll back. CommitDraft(0) aborts the transaction.
+  virtual bool CommitDraft(std::int32_t keep);
+
+  // True when CommitDraft may keep a strict prefix of the verified draft.
+  // Engines without rollback only support keep == accepted (and keep == 0 is
+  // then best-effort via RollbackTokens, which fails for them).
+  virtual bool SupportsPartialCommit() const { return false; }
+
+  // Vocabulary width of this decoder's masks, for callers that must size a
+  // scratch bitmask without a tokenizer handle (0 when unknown).
+  virtual std::size_t MaskBits() const { return 0; }
+
+  // EOS token id for draft-walk handling (-1 when unknown).
+  virtual std::int32_t EosTokenId() const { return -1; }
+
   // Longest forced continuation from the current state ("" when unsupported
-  // or not unique). Used by jump-forward decoding.
-  virtual std::string FindJumpForwardString() { return ""; }
+  // or not unique), probing at most `max_length` bytes — same contract as
+  // matcher::GrammarMatcher::FindJumpForwardString. Used by jump-forward
+  // decoding.
+  virtual std::string FindJumpForwardString(std::int32_t max_length = 256) {
+    (void)max_length;
+    return "";
+  }
 
   // One-time preprocessing cost already paid by this decoder (grammar
   // compilation, mask cache, DFA token indexing, ...), for TTFT accounting.
@@ -69,6 +119,16 @@ class ConstrainedDecoder {
   virtual const compose::TagDispatchStats* DispatchStats() const {
     return nullptr;
   }
+
+ protected:
+  // Accepted length of the currently open draft transaction (-1 when no
+  // transaction is open). Native overrides record into this so the base
+  // CommitDraft bookkeeping stays shared.
+  std::int32_t open_draft_accepted_ = -1;
+
+ private:
+  // Scratch for the default VerifyDraft when the caller passes no mask.
+  DynamicBitset fallback_mask_;
 };
 
 }  // namespace xgr::baselines

@@ -26,6 +26,10 @@ class PdaBaselineDecoder : public ConstrainedDecoder {
   bool AcceptToken(std::int32_t token_id) override;
   bool CanTerminate() override { return matcher_.CanTerminate(); }
   void Reset() override;
+  std::size_t MaskBits() const override {
+    return static_cast<std::size_t>(tokenizer_->VocabSize());
+  }
+  std::int32_t EosTokenId() const override { return tokenizer_->EosId(); }
 
  private:
   std::string name_ = "llama.cpp-grammar";

@@ -96,11 +96,11 @@ bool RegexFsmDecoder::AcceptToken(std::int32_t token_id) {
 
 bool RegexFsmDecoder::CanTerminate() { return index_->Dfa().IsAccepting(state_); }
 
-std::string RegexFsmDecoder::FindJumpForwardString() {
+std::string RegexFsmDecoder::FindJumpForwardString(std::int32_t max_length) {
   std::string result;
   const fsa::Dfa& dfa = index_->Dfa();
   std::int32_t state = state_;
-  while (result.size() < 256) {
+  while (static_cast<std::int32_t>(result.size()) < max_length) {
     if (dfa.IsAccepting(state)) break;  // termination is an alternative
     int unique_byte = -1;
     int live = 0;

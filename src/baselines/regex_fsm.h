@@ -67,9 +67,15 @@ class RegexFsmDecoder : public ConstrainedDecoder {
   bool AcceptToken(std::int32_t token_id) override;
   bool CanTerminate() override;
   void Reset() override { state_ = index_->Dfa().Start(); }
+  std::size_t MaskBits() const override {
+    return static_cast<std::size_t>(index_->Tokenizer().VocabSize());
+  }
+  std::int32_t EosTokenId() const override {
+    return index_->Tokenizer().EosId();
+  }
   // Unique forced continuation via the DFA (SGLang implements jump-forward
   // for Outlines the same way, Yin et al. 2024).
-  std::string FindJumpForwardString() override;
+  std::string FindJumpForwardString(std::int32_t max_length = 256) override;
   double PreprocessSeconds() const override { return index_->PreprocessSeconds(); }
 
  private:

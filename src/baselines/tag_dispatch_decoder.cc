@@ -1,5 +1,7 @@
 #include "baselines/tag_dispatch_decoder.h"
 
+#include "support/logging.h"
+
 namespace xgr::baselines {
 
 bool TagDispatchDecoder::AcceptToken(std::int32_t token_id) {
@@ -7,6 +9,31 @@ bool TagDispatchDecoder::AcceptToken(std::int32_t token_id) {
   if (token_id == tokenizer.EosId()) return matcher_.CanTerminate();
   if (tokenizer.IsSpecial(token_id)) return false;
   return matcher_.AcceptBytes(tokenizer.TokenBytes(token_id));
+}
+
+void TagDispatchDecoder::VerifyDraft(const std::int32_t* draft,
+                                     std::int32_t count,
+                                     DraftVerifyResult* result,
+                                     DynamicBitset* divergence_mask) {
+  XGR_CHECK(open_draft_accepted_ < 0)
+      << "VerifyDraft while a draft transaction is open";
+  compose::TagDispatchMatcher::TokenDraftResult walk;
+  matcher_.VerifyTokenDraft(draft, count, &walk);
+  result->accepted = walk.accepted;
+  result->exhausted = walk.exhausted;
+  result->terminated = walk.terminated;
+  open_draft_accepted_ = walk.accepted;
+  if (divergence_mask != nullptr) matcher_.FillNextTokenBitmask(divergence_mask);
+}
+
+bool TagDispatchDecoder::CommitDraft(std::int32_t keep) {
+  const std::int32_t accepted = open_draft_accepted_;
+  XGR_CHECK(accepted >= 0) << name_ << ": CommitDraft without VerifyDraft";
+  XGR_CHECK(keep >= 0 && keep <= accepted)
+      << "CommitDraft keep out of range: " << keep << " of " << accepted;
+  open_draft_accepted_ = -1;
+  matcher_.CommitDraft(keep);
+  return true;
 }
 
 const compose::TagDispatchStats* TagDispatchDecoder::DispatchStats() const {

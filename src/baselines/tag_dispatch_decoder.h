@@ -26,8 +26,23 @@ class TagDispatchDecoder : public ConstrainedDecoder {
   bool AcceptToken(std::int32_t token_id) override;
   bool CanTerminate() override { return matcher_.CanTerminate(); }
   void Reset() override { matcher_.Reset(); }
-  std::string FindJumpForwardString() override {
-    return matcher_.FindJumpForwardString();
+  // Native transactional verify: the composite snapshots its thread set per
+  // token boundary, so drafts crossing free-text/segment boundaries verify
+  // with the same fork semantics as sequential dispatch and any prefix can
+  // be kept.
+  void VerifyDraft(const std::int32_t* draft, std::int32_t count,
+                   DraftVerifyResult* result,
+                   DynamicBitset* divergence_mask) override;
+  bool CommitDraft(std::int32_t keep) override;
+  bool SupportsPartialCommit() const override { return true; }
+  std::size_t MaskBits() const override {
+    return static_cast<std::size_t>(matcher_.Plan().Tokenizer().VocabSize());
+  }
+  std::int32_t EosTokenId() const override {
+    return matcher_.Plan().Tokenizer().EosId();
+  }
+  std::string FindJumpForwardString(std::int32_t max_length = 256) override {
+    return matcher_.FindJumpForwardString(max_length);
   }
   double PreprocessSeconds() const override {
     return matcher_.Plan().PreprocessSeconds();

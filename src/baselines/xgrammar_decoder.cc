@@ -1,5 +1,7 @@
 #include "baselines/xgrammar_decoder.h"
 
+#include "support/logging.h"
+
 namespace xgr::baselines {
 
 XGrammarDecoder::XGrammarDecoder(
@@ -21,6 +23,25 @@ bool XGrammarDecoder::AcceptToken(std::int32_t token_id) {
   if (!matcher_.AcceptString(tokenizer.TokenBytes(token_id))) return false;
   matcher_.PushTokenCheckpoint();
   return true;
+}
+
+void XGrammarDecoder::VerifyDraft(const std::int32_t* draft,
+                                  std::int32_t count,
+                                  DraftVerifyResult* result,
+                                  DynamicBitset* divergence_mask) {
+  XGR_CHECK(open_draft_accepted_ < 0)
+      << "VerifyDraft while a draft transaction is open";
+  matcher::GrammarMatcher::TokenDraftResult walk;
+  matcher_.VerifyTokenDraft(cache_->Tokenizer(), draft, count, &walk);
+  result->accepted = walk.accepted;
+  result->exhausted = walk.exhausted;
+  result->terminated = walk.terminated;
+  open_draft_accepted_ = walk.accepted;
+  // The matcher sits at the accepted prefix, so the mask of this state IS
+  // the divergence mask — one fill total instead of one per draft token.
+  if (divergence_mask != nullptr) {
+    generator_.FillNextTokenBitmask(&matcher_, divergence_mask);
+  }
 }
 
 bool XGrammarDecoder::RollbackTokens(std::int32_t count) {

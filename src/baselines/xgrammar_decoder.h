@@ -24,8 +24,21 @@ class XGrammarDecoder : public ConstrainedDecoder {
   bool CanTerminate() override { return matcher_.CanTerminate(); }
   void Reset() override;
   bool RollbackTokens(std::int32_t count) override;
-  std::string FindJumpForwardString() override {
-    return matcher_.FindJumpForwardString();
+  // Native transactional verify: one byte walk over the draft, no mask fills
+  // on the happy path; partial commits ride the O(1) rollback fast path (the
+  // base CommitDraft closes the transaction through RollbackTokens).
+  void VerifyDraft(const std::int32_t* draft, std::int32_t count,
+                   DraftVerifyResult* result,
+                   DynamicBitset* divergence_mask) override;
+  bool SupportsPartialCommit() const override { return true; }
+  std::size_t MaskBits() const override {
+    return static_cast<std::size_t>(cache_->Tokenizer().VocabSize());
+  }
+  std::int32_t EosTokenId() const override {
+    return cache_->Tokenizer().EosId();
+  }
+  std::string FindJumpForwardString(std::int32_t max_length = 256) override {
+    return matcher_.FindJumpForwardString(max_length);
   }
   double PreprocessSeconds() const override { return preprocess_seconds_; }
   const cache::MaskGenStats* MaskStats() const override {

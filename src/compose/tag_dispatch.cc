@@ -722,14 +722,81 @@ void TagDispatchMatcher::FillNextTokenBitmask(DynamicBitset* mask) {
   }
 }
 
-std::string TagDispatchMatcher::FindJumpForwardString() {
+std::string TagDispatchMatcher::FindJumpForwardString(std::int32_t max_length) {
   // Forced continuations exist only when a single in-tag thread is live (free
   // text admits any byte; several threads mean the parse itself is
   // ambiguous). The underlying matcher stops at terminable states — where
   // free text could resume — and trims to a UTF-8 boundary.
   if (threads_.size() != 1 || threads_[0].kind != Thread::Kind::kTag) return "";
   if (threads_[0].matcher->CanTerminate()) return "";
-  return threads_[0].matcher->FindJumpForwardString();
+  return threads_[0].matcher->FindJumpForwardString(max_length);
+}
+
+void TagDispatchMatcher::SaveDraftSnapshot(std::size_t slot) {
+  if (draft_snapshots_.size() <= slot) draft_snapshots_.resize(slot + 1);
+  DraftSnapshot& snap = draft_snapshots_[slot];
+  // Vector copy-assigns reuse capacity once the slots are warm; Thread copies
+  // are shared_ptr bumps plus trivial fields, so no allocation in steady
+  // state.
+  snap.threads = threads_;
+  snap.depths.clear();
+  for (const Thread& t : threads_) {
+    snap.depths.push_back(t.kind == Thread::Kind::kTag
+                              ? t.matcher->NumConsumedBytes()
+                              : 0);
+  }
+}
+
+void TagDispatchMatcher::VerifyTokenDraft(const std::int32_t* draft,
+                                          std::int32_t count,
+                                          TokenDraftResult* result) {
+  XGR_CHECK(result != nullptr);
+  XGR_CHECK(count >= 0 && (count == 0 || draft != nullptr))
+      << "bad draft span: count=" << count;
+  XGR_CHECK(draft_accepted_ < 0)
+      << "VerifyTokenDraft while a draft transaction is open";
+  const tokenizer::TokenizerInfo& tok = plan_->Tokenizer();
+  result->accepted = 0;
+  result->exhausted = false;
+  result->terminated = false;
+  SaveDraftSnapshot(0);
+  for (std::int32_t i = 0; i < count; ++i) {
+    const std::int32_t token = draft[i];
+    if (token == tok.EosId()) {
+      result->terminated = CanTerminate();
+      break;
+    }
+    if (token < 0 || token >= tok.VocabSize() || tok.IsSpecial(token)) break;
+    // AcceptBytes is all-or-nothing per token (threads fork/die per byte as
+    // in single-token dispatch), so a reject leaves us at the accepted
+    // prefix with snapshot bookkeeping consistent.
+    if (!AcceptBytes(tok.TokenBytes(token))) break;
+    ++result->accepted;
+    SaveDraftSnapshot(static_cast<std::size_t>(result->accepted));
+  }
+  result->exhausted = result->accepted == count;
+  draft_accepted_ = result->accepted;
+}
+
+void TagDispatchMatcher::CommitDraft(std::int32_t keep) {
+  XGR_CHECK(draft_accepted_ >= 0) << "CommitDraft without VerifyTokenDraft";
+  XGR_CHECK(keep >= 0 && keep <= draft_accepted_)
+      << "CommitDraft keep out of range: " << keep << " of " << draft_accepted_;
+  if (keep != draft_accepted_) {
+    DraftSnapshot& snap = draft_snapshots_[static_cast<std::size_t>(keep)];
+    // Swap (not copy) is safe: the transaction closes here, so this slot is
+    // dead until the next VerifyTokenDraft rewrites it.
+    threads_.swap(snap.threads);
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      if (threads_[i].kind == Thread::Kind::kTag) {
+        // A matcher that advanced past the boundary (or died mid-token later
+        // in the walk) rolls back to its recorded depth; threads born after
+        // the boundary simply are not in this snapshot.
+        threads_[i].matcher->RollbackToDepth(snap.depths[i]);
+      }
+    }
+  }
+  draft_accepted_ = -1;
 }
 
 const cache::MaskGenStats& TagDispatchMatcher::AggregatedMaskStats() const {

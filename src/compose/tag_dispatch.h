@@ -248,7 +248,29 @@ class TagDispatchMatcher {
   // Forced continuation when a single in-tag thread is active ("" otherwise;
   // free text is never forced). Trimmed to a codepoint boundary by the
   // underlying matcher.
-  std::string FindJumpForwardString();
+  std::string FindJumpForwardString(std::int32_t max_length = 256);
+
+  // --- Transactional k-token draft verification ----------------------------
+  struct TokenDraftResult {
+    std::int32_t accepted = 0;  // draft tokens accepted (prefix length)
+    bool exhausted = false;     // accepted == count: no divergence found
+    bool terminated = false;    // walk hit EOS where EOS is legal
+  };
+  // Walks a k-token draft with exactly AcceptBytes' per-token fork semantics
+  // — drafts may cross free-text/segment boundaries; threads spawn and die
+  // per byte as in single-token dispatch — while snapshotting the thread set
+  // at every accepted token boundary so any prefix can be kept. On return
+  // the matcher has advanced to the accepted prefix with the transaction
+  // OPEN: close it with CommitDraft(keep). An EOS draft token ends the walk
+  // without counting or consuming state.
+  void VerifyTokenDraft(const std::int32_t* draft, std::int32_t count,
+                        TokenDraftResult* result);
+  // Keeps the first `keep` (0 <= keep <= accepted) tokens of the open draft,
+  // restoring the thread set snapshotted at that boundary: surviving tag
+  // threads roll their (shared) matchers back to the recorded depths, and
+  // threads born later vanish with the discarded snapshots. O(snapshot size),
+  // allocation-free once snapshot slots are warm.
+  void CommitDraft(std::int32_t keep);
 
   const TagDispatchPlan& Plan() const { return *plan_; }
   const TagDispatchStats& Stats() const { return stats_; }
@@ -285,10 +307,23 @@ class TagDispatchMatcher {
   // Does `m` accept `bytes` and reach a terminable state? State restored.
   bool CanCompleteWith(matcher::GrammarMatcher* m, std::string_view bytes);
 
+  // Thread set frozen at one draft-token boundary. Matcher handles are
+  // SHARED with the live threads; `depths` records each tag thread's byte
+  // depth at the boundary so restore can RollbackToDepth (the persistent
+  // stack pool is append-only, so earlier depths stay valid while the walk
+  // advances).
+  struct DraftSnapshot {
+    std::vector<Thread> threads;
+    std::vector<std::int32_t> depths;
+  };
+  void SaveDraftSnapshot(std::size_t slot);
+
   std::shared_ptr<const TagDispatchPlan> plan_;
   std::vector<Thread> threads_;
   std::vector<Thread> scratch_threads_;  // StepByte output buffer
   std::vector<Thread> backup_threads_;   // token-level rollback
+  std::vector<DraftSnapshot> draft_snapshots_;  // [0] = pre-draft state
+  std::int32_t draft_accepted_ = -1;  // open transaction, -1 = none
   std::vector<std::unique_ptr<cache::MaskGenerator>> generators_;  // per tag
   DynamicBitset tag_mask_scratch_;
   bool token_saw_tag_ = false;  // any kTag thread live during this token

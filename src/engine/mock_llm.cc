@@ -114,6 +114,41 @@ void MockLlm::ComputeLogitsDense(RequestScript* script, SparseLogits* scratch,
   }
 }
 
+std::int32_t MockLlm::DraftTokens(const RequestScript& script,
+                                  std::int32_t max_tokens, double noise,
+                                  Rng* rng, std::int32_t* out,
+                                  std::int32_t* agreed) const {
+  std::int32_t count = 0;
+  std::int32_t agree = 0;
+  bool still_agreeing = true;
+  if (!script.diverged) {
+    // The head walks the target tail as if every proposal landed, so the
+    // post-flip tail resynchronizes to plausible continuations — flipped
+    // tokens may be grammar-legal, but model agreement ends at the first
+    // flip, which is exactly what the engine's commit rule consumes.
+    std::size_t pos = script.matched_bytes;
+    while (count < max_tokens && pos < script.target.size()) {
+      std::size_t length = 0;
+      std::int32_t truth = trie_->LongestMatch(script.target, pos, &length);
+      if (truth < 0) break;
+      std::int32_t proposal = truth;
+      if (noise > 0.0 && rng->NextBool(noise)) {
+        proposal = static_cast<std::int32_t>(
+            rng->NextBounded(static_cast<std::size_t>(tokenizer_->VocabSize())));
+      }
+      out[count++] = proposal;
+      if (still_agreeing && proposal == truth) {
+        ++agree;
+      } else {
+        still_agreeing = false;
+      }
+      pos += length;
+    }
+  }
+  if (agreed != nullptr) *agreed = agree;
+  return count;
+}
+
 void MockLlm::OnTokenSampled(RequestScript* script, std::int32_t token_id) const {
   if (token_id == tokenizer_->EosId()) return;
   const std::string& bytes = tokenizer_->TokenBytes(token_id);

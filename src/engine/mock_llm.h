@@ -72,6 +72,21 @@ class MockLlm {
   // Informs the script that `token_id` was sampled; updates alignment.
   void OnTokenSampled(RequestScript* script, std::int32_t token_id) const;
 
+  // n-gram draft head for speculative decoding: proposes up to `max_tokens`
+  // continuation tokens by greedy-tokenizing the unemitted target tail (the
+  // lookup a real n-gram/draft-model head performs), flipping each proposal
+  // to a pseudo-random vocabulary token with probability `noise`. Writes
+  // proposals to out[0..returned) and returns the count (< max_tokens when
+  // the target is nearly exhausted; 0 once the script has diverged —
+  // prose-mode steps never draft). `agreed` receives the length of the
+  // proposal prefix the target model itself would emit — the quantity the
+  // verify forward pass measures; flipped tokens may still be grammar-legal,
+  // so grammar acceptance and model agreement diverge independently.
+  // Allocation-free: one trie walk per proposed token, no buffers.
+  std::int32_t DraftTokens(const RequestScript& script, std::int32_t max_tokens,
+                           double noise, Rng* rng, std::int32_t* out,
+                           std::int32_t* agreed) const;
+
   const tokenizer::TokenizerInfo& Tokenizer() const { return *tokenizer_; }
   const tokenizer::TokenTrie& Trie() const { return *trie_; }
 

@@ -37,6 +37,14 @@ struct ActiveRequest {
   SparseLogits logits_scratch;
   std::vector<float> dense_row;
   DenseSampler dense_sampler;
+  // Speculative decoding: per-step draft buffer (sized at admission) and the
+  // step's draft/agree/commit counts. draft_len < 0 = no draft this step.
+  std::vector<std::int32_t> draft;
+  std::int32_t draft_len = -1;
+  std::int32_t draft_agreed = 0;
+  std::int32_t draft_committed = 0;
+  bool spec_step = false;  // this step ran the speculative path
+  Rng draft_rng{1};
 };
 
 // Sizes every per-request buffer the decode loop touches, so the loop
@@ -56,7 +64,65 @@ void InitActiveRequest(ActiveRequest* ar, const MockLlm& llm,
     ar->dense_row.resize(vocab_size);
     ar->dense_sampler.Prepare(vocab_size);
   }
+  if (options.speculation.enabled) {
+    ar->draft.resize(
+        static_cast<std::size_t>(std::max(options.speculation.draft_tokens, 1)));
+    ar->draft_rng = Rng(seed * 0x9E3779B9u ^ options.speculation.seed);
+  }
+  ar->draft_len = -1;
+  ar->draft_agreed = 0;
+  ar->draft_committed = 0;
+  ar->spec_step = false;
   if (ar->decoder != nullptr) ar->decoder->Reset();
+}
+
+// Gathers the step's mask work for one unfinished grammar-constrained
+// request. With speculation on, the draft head proposes here (main thread,
+// allocation-free) and the verify/commit fuses into the task the mask phase
+// executes.
+void GatherMaskTask(ActiveRequest* ar, const MockLlm& llm,
+                    const EngineOptions& options,
+                    std::vector<MaskTask>* tasks) {
+  MaskTask task{ar->decoder.get(), &ar->mask, &ar->mask_cost_ewma_us,
+                nullptr, -1, 0, nullptr};
+  ar->draft_len = -1;
+  ar->draft_committed = 0;
+  ar->spec_step = false;
+  if (options.speculation.enabled && options.speculation.draft_tokens > 0) {
+    ar->spec_step = true;
+    ar->draft_len = llm.DraftTokens(
+        ar->script, options.speculation.draft_tokens,
+        options.speculation.draft_noise, &ar->draft_rng, ar->draft.data(),
+        &ar->draft_agreed);
+    if (ar->draft_len > 0) {
+      task.draft = ar->draft.data();
+      task.draft_len = ar->draft_len;
+      task.agreed = ar->draft_agreed;
+      task.committed = &ar->draft_committed;
+    }
+  }
+  tasks->push_back(task);
+}
+
+// Runs one mask-phase unit: plain mask fill, or (speculation) the fused
+// verify → commit → fill transaction. The commit keeps the prefix on which
+// grammar and target model agree; backends without partial commit verify
+// only the model-agreed prefix so the transaction always closes cleanly.
+// Either way exactly ONE mask is filled, at the commit point.
+void ExecuteMaskTask(MaskTask* task) {
+  if (task->draft_len >= 0) {
+    baselines::DraftVerifyResult verify;
+    const std::int32_t verify_len =
+        task->decoder->SupportsPartialCommit()
+            ? task->draft_len
+            : std::min(task->draft_len, task->agreed);
+    task->decoder->VerifyDraft(task->draft, verify_len, &verify, nullptr);
+    const std::int32_t keep = std::min(verify.accepted, task->agreed);
+    bool ok = task->decoder->CommitDraft(keep);
+    XGR_CHECK(ok) << "draft commit failed";
+    *task->committed = keep;
+  }
+  task->decoder->FillNextTokenBitmask(task->mask);
 }
 
 // Decoder mask-gen counters accumulate over the decoder's lifetime; the
@@ -136,6 +202,29 @@ bool StepOneRequest(const MockLlm& llm, const EngineOptions& options,
                     ActiveRequest* ar, std::int64_t* total_tokens) {
   const tokenizer::TokenizerInfo& tokenizer = llm.Tokenizer();
   baselines::ConstrainedDecoder* decoder = ar->decoder.get();
+
+  // Speculative path: the mask phase already verified this step's draft and
+  // committed the grammar- and model-agreed prefix into the decoder; emit
+  // those tokens, then fall through to sample ONE correction token under the
+  // commit-point mask (the step's single mask fill).
+  if (ar->spec_step) {
+    ++ar->result.spec_steps;
+    ar->result.drafted_tokens += std::max(ar->draft_len, 0);
+    ar->result.draft_committed_tokens += ar->draft_committed;
+    for (std::int32_t i = 0; i < ar->draft_committed; ++i) {
+      const std::int32_t committed = ar->draft[static_cast<std::size_t>(i)];
+      llm.OnTokenSampled(&ar->script, committed);
+      ar->result.token_ids.push_back(committed);
+      ar->result.output_text += tokenizer.TokenBytes(committed);
+      ++*total_tokens;
+    }
+    if (static_cast<std::int32_t>(ar->result.token_ids.size()) >=
+        options.max_new_tokens) {
+      ar->finished = true;
+      return true;
+    }
+  }
+
   std::int32_t token;
   if (options.dense_logits) {
     // Dense path: full logits row through the fused
@@ -233,7 +322,7 @@ void RunMaskShard(void* opaque, std::size_t shard) {
   for (std::size_t k = plan.ShardBegin(shard); k < plan.ShardEnd(shard); ++k) {
     MaskTask& task = ctx->tasks[plan.Items()[k]];
     Timer timer;
-    task.decoder->FillNextTokenBitmask(task.mask);
+    ExecuteMaskTask(&task);
     auto us = static_cast<float>(timer.ElapsedMicros());
     float& ewma = *task.cost_ewma_us;
     ewma = ewma <= 0.0f ? us : 0.7f * ewma + 0.3f * us;
@@ -330,7 +419,7 @@ double ServingEngine::RunMaskTasks(bool parallel) {
   if (!parallel || mask_tasks_.size() == 1 || mask_team_.thread_count() == 1) {
     for (MaskTask& task : mask_tasks_) {
       Timer timer;
-      task.decoder->FillNextTokenBitmask(task.mask);
+      ExecuteMaskTask(&task);
       auto us = static_cast<float>(timer.ElapsedMicros());
       float& ewma = *task.cost_ewma_us;
       ewma = ewma <= 0.0f ? us : 0.7f * ewma + 0.3f * us;
@@ -410,8 +499,7 @@ BatchResult ServingEngine::RunBatch(const std::vector<EngineRequest>& requests) 
     if (options_.schedule != GrammarSchedule::kNone) {
       for (ActiveRequest& ar : active) {
         if (ar.finished || ar.decoder == nullptr) continue;
-        mask_tasks_.push_back(
-            {ar.decoder.get(), &ar.mask, &ar.mask_cost_ewma_us});
+        GatherMaskTask(&ar, llm_, options_, &mask_tasks_);
       }
     }
     // Forward pass on the persistent simulated GPU.
@@ -724,8 +812,7 @@ ContinuousResult ServingEngine::RunContinuous(
     if (options_.schedule != GrammarSchedule::kNone) {
       for (Slot& slot : active) {
         if (slot.ar.decoder == nullptr) continue;
-        mask_tasks_.push_back({slot.ar.decoder.get(), &slot.ar.mask,
-                               &slot.ar.mask_cost_ewma_us});
+        GatherMaskTask(&slot.ar, llm_, options_, &mask_tasks_);
       }
     }
     gpu_->Launch(step_us * options_.time_scale);

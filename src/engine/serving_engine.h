@@ -79,6 +79,25 @@ struct TenantPolicy {
   double max_mask_cost_share = 0.0;
 };
 
+// Speculative decoding (fig11 territory): the mock LLM's n-gram draft head
+// proposes up to `draft_tokens` continuation tokens per step; the grammar
+// verifies the whole draft in ONE VerifyDraft transaction fused into the
+// mask phase (verify → commit → one mask fill at the commit point), and the
+// engine commits the prefix on which grammar and target model agree, then
+// samples one correction token under the commit-point mask. Combined with
+// jump_forward, deterministic grammar regions commit whole spans without
+// drafting at all.
+struct SpeculationOptions {
+  bool enabled = false;
+  // Draft length k proposed per decode step.
+  std::int32_t draft_tokens = 4;
+  // Probability that the draft head proposes a wrong token at each position
+  // (models draft-head/target disagreement; 0 = oracle draft).
+  double draft_noise = 0.0;
+  // Seed for the per-request draft-noise RNG (mixed with the request seed).
+  std::uint64_t seed = 0x5eed;
+};
+
 struct EngineOptions {
   ModelProfile profile = ModelProfile::Llama31_8B_H100();
   GrammarSchedule schedule = GrammarSchedule::kOverlap;
@@ -117,6 +136,10 @@ struct EngineOptions {
   // Empty = single-tenant behavior (every request admitted in arrival
   // order, no caps).
   std::map<std::string, TenantPolicy> tenant_policies;
+  // Speculative multi-token decoding (see SpeculationOptions). Only
+  // grammar-constrained requests speculate; unconstrained requests keep the
+  // one-token-per-step path.
+  SpeculationOptions speculation;
 };
 
 struct EngineRequest {
@@ -135,6 +158,14 @@ struct RequestResult {
   // Tokens rolled back and re-accepted to keep the context canonically
   // tokenized across jump-forward boundaries.
   std::int32_t retokenized_tokens = 0;
+  // Speculative decoding accounting (zero unless EngineOptions::speculation
+  // is enabled): draft tokens proposed, draft tokens committed (grammar- AND
+  // model-agreed prefix), and decode steps that ran the speculative path.
+  // Committed draft tokens + one sampled correction token per step +
+  // jump_forward_tokens give tokens-per-step.
+  std::int32_t drafted_tokens = 0;
+  std::int32_t draft_committed_tokens = 0;
+  std::int32_t spec_steps = 0;
 };
 
 // Mask-generation counters aggregated over the grammar-constrained requests
@@ -299,10 +330,20 @@ struct ContinuousResult {
 // One unit of batch mask work: fill `mask` from `decoder`, then fold the
 // measured microseconds into the request's EWMA cost estimate (each request
 // belongs to exactly one shard per step, so the EWMA update is race-free).
+//
+// Speculation fuses draft verification into the same unit: when `draft_len`
+// >= 0, the worker runs VerifyDraft over draft[0..draft_len), commits
+// min(grammar-accepted, `agreed`) tokens, writes the kept count to
+// *committed, and only then fills `mask` — one fill per step, at the commit
+// point, instead of one per draft token.
 struct MaskTask {
   baselines::ConstrainedDecoder* decoder = nullptr;
   DynamicBitset* mask = nullptr;
   float* cost_ewma_us = nullptr;
+  const std::int32_t* draft = nullptr;
+  std::int32_t draft_len = -1;  // -1 = plain mask fill, no speculation
+  std::int32_t agreed = 0;      // model-agreed draft prefix length
+  std::int32_t* committed = nullptr;
 };
 
 class ServingEngine {

@@ -471,6 +471,40 @@ int32_t xgr_matcher_can_terminate(const xgr_matcher* matcher) {
   return matcher->decoder->CanTerminate() ? 1 : 0;
 }
 
+int32_t xgr_matcher_verify_draft(xgr_matcher* matcher, const int32_t* draft,
+                                 int32_t num_draft, uint64_t* mask_words,
+                                 size_t num_words, int32_t* terminated_out) {
+  return Guarded("xgr_matcher_verify_draft", static_cast<int32_t>(-1), [&]() -> int32_t {
+    XGR_CHECK(matcher != nullptr);
+    XGR_CHECK(num_draft >= 0 && (num_draft == 0 || draft != nullptr))
+        << "bad draft span: num_draft=" << num_draft;
+    if (mask_words != nullptr) {
+      XGR_CHECK(num_words >= xgr_matcher_mask_words(matcher))
+          << "mask buffer too small: " << num_words << " words";
+    }
+    xgr::baselines::DraftVerifyResult result;
+    if (mask_words != nullptr) {
+      auto vocab = static_cast<std::size_t>(matcher->tokenizer->VocabSize());
+      xgr::DynamicBitset mask(vocab);
+      matcher->decoder->VerifyDraft(draft, num_draft, &result, &mask);
+      static_assert(sizeof(xgr::DynamicBitset::Word) == sizeof(uint64_t));
+      std::memcpy(mask_words, mask.Data(), mask.WordCount() * sizeof(uint64_t));
+    } else {
+      matcher->decoder->VerifyDraft(draft, num_draft, &result, nullptr);
+    }
+    if (terminated_out != nullptr) *terminated_out = result.terminated ? 1 : 0;
+    return result.accepted;
+  });
+}
+
+int32_t xgr_matcher_commit_draft(xgr_matcher* matcher, int32_t keep) {
+  return Guarded("xgr_matcher_commit_draft", static_cast<int32_t>(-1), [&]() -> int32_t {
+    XGR_CHECK(matcher != nullptr);
+    XGR_CHECK(keep >= 0) << "negative keep";
+    return matcher->decoder->CommitDraft(keep) ? 1 : 0;
+  });
+}
+
 int32_t xgr_matcher_rollback_tokens(xgr_matcher* matcher, int32_t count) {
   return Guarded("xgr_matcher_rollback_tokens", static_cast<int32_t>(-1), [&]() -> int32_t {
     XGR_CHECK(matcher != nullptr);

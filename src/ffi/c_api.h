@@ -303,6 +303,39 @@ int32_t xgr_matcher_can_terminate(const xgr_matcher* matcher);
  * 0 if fewer than `count` tokens are rollback-able, -1 on error. */
 int32_t xgr_matcher_rollback_tokens(xgr_matcher* matcher, int32_t count);
 
+/* ----- transactional k-token draft verification ---------------------------
+ *
+ * xgr_matcher_verify_draft() walks the `num_draft` token ids in `draft` as
+ * one transaction and returns the length of the grammar-accepted prefix
+ * (partial accept: 0 <= returned <= num_draft), or -1 on error. On success
+ * the matcher has ADVANCED to the accepted prefix and the transaction is
+ * OPEN: the caller MUST close it with exactly one xgr_matcher_commit_draft()
+ * before any other state-mutating call on this handle. `draft` is borrowed
+ * for the duration of the call only.
+ *
+ * When `mask_words` is non-NULL (length >= xgr_matcher_mask_words(), same
+ * ownership as xgr_matcher_fill_next_token_bitmask) it receives the
+ * next-token bitmask at the post-prefix state — the divergence mask a
+ * sequential fill+accept loop would compute after the accepted tokens, at
+ * the cost of one fill instead of one per draft token. When `terminated_out`
+ * is non-NULL it receives 1 if the walk stopped at an EOS draft token while
+ * termination was legal (the EOS is NOT counted in the returned prefix and
+ * consumes no state), else 0.
+ *
+ * On error (-1) the matcher state is unchanged and no transaction is open.
+ * Works on both grammar-backed and tag-dispatch handles. */
+int32_t xgr_matcher_verify_draft(xgr_matcher* matcher, const int32_t* draft,
+                                 int32_t num_draft, uint64_t* mask_words,
+                                 size_t num_words, int32_t* terminated_out);
+
+/* Closes the open draft transaction keeping the first `keep` accepted tokens
+ * (0 <= keep <= the verify call's return value); the rest roll back via the
+ * O(1) checkpoint restore. keep == 0 aborts the whole draft. Returns 1 on
+ * success, 0 when keep < accepted on a backend without partial commit (the
+ * full accepted prefix is then kept), -1 on error (no open transaction, or
+ * keep out of range — the transaction state is unchanged in that case). */
+int32_t xgr_matcher_commit_draft(xgr_matcher* matcher, int32_t keep);
+
 /* Copies the forced continuation from the current state (Appendix B
  * jump-forward) into `buf` as a NUL-terminated string, possibly truncated.
  * Returns the full continuation length ("" = no forced continuation). */

@@ -4,6 +4,7 @@
 
 #include "support/logging.h"
 #include "support/utf8.h"
+#include "tokenizer/tokenizer_info.h"
 
 namespace xgr::matcher {
 
@@ -381,6 +382,39 @@ void GrammarMatcher::RollbackTokens(std::int32_t count) {
   std::int32_t depth = keep == 0 ? 0 : token_checkpoints_[keep - 1];
   token_checkpoints_.resize(keep);
   RollbackToDepth(depth);
+}
+
+void GrammarMatcher::VerifyTokenDraft(const tokenizer::TokenizerInfo& tokenizer,
+                                      const std::int32_t* draft,
+                                      std::int32_t count,
+                                      TokenDraftResult* result) {
+  XGR_CHECK(result != nullptr);
+  XGR_CHECK(count >= 0 && (count == 0 || draft != nullptr))
+      << "bad draft span: count=" << count;
+  result->accepted = 0;
+  result->accepted_bytes = 0;
+  result->exhausted = false;
+  result->terminated = false;
+  const std::int32_t entry_depth = NumConsumedBytes();
+  const std::int32_t vocab = tokenizer.VocabSize();
+  for (std::int32_t i = 0; i < count; ++i) {
+    const std::int32_t token = draft[i];
+    if (token == tokenizer.EosId()) {
+      // EOS stops the walk without counting or consuming state; it is only
+      // "accepted" in the sequential sense when termination is legal here.
+      result->terminated = CanTerminate();
+      break;
+    }
+    if (token < 0 || token >= vocab || tokenizer.IsSpecial(token)) break;
+    // All-or-nothing per token: a mid-token reject restores the pre-token
+    // state internally, so the matcher is left exactly at the accepted
+    // prefix — the state whose mask is the divergence mask.
+    if (!AcceptString(tokenizer.TokenBytes(token))) break;
+    PushTokenCheckpoint();
+    ++result->accepted;
+  }
+  result->accepted_bytes = NumConsumedBytes() - entry_depth;
+  result->exhausted = result->accepted == count;
 }
 
 std::string GrammarMatcher::FindJumpForwardString(std::int32_t max_length) {

@@ -16,6 +16,10 @@
 #include "pda/compiled_grammar.h"
 #include "support/flat_slice_map.h"
 
+namespace xgr::tokenizer {
+class TokenizerInfo;
+}  // namespace xgr::tokenizer
+
 namespace xgr::matcher {
 
 // Closure + byte-step primitives over the compiled automaton. Stateless with
@@ -234,6 +238,26 @@ class GrammarMatcher {
   // one byte is accepted (and termination is not an alternative), that byte
   // is appended. State is left where it was on entry.
   std::string FindJumpForwardString(std::int32_t max_length = 256);
+
+  // --- Transactional k-token draft verification (§3.3 tree decoding) -------
+  struct TokenDraftResult {
+    std::int32_t accepted = 0;        // draft tokens accepted (prefix length)
+    std::int32_t accepted_bytes = 0;  // bytes the accepted prefix consumed
+    bool exhausted = false;           // accepted == count: no divergence found
+    bool terminated = false;          // walk hit EOS where EOS is legal
+  };
+  // Walks a k-token draft in ONE call with the exact per-token semantics of
+  // sequential decoding (EOS legal iff CanTerminate(); special tokens always
+  // reject; ordinary tokens byte-accept all-or-nothing), leaving the matcher
+  // ADVANCED to the accepted prefix with one token checkpoint pushed per
+  // accepted token. The transaction stays open: keep the prefix by doing
+  // nothing, or discard the tail with RollbackTokens(accepted - keep) — the
+  // O(1) equal-depth rollback fast path, no fork and no mask fills. An EOS
+  // draft token stops the walk without being counted or consuming state,
+  // mirroring AcceptToken's EOS handling.
+  void VerifyTokenDraft(const tokenizer::TokenizerInfo& tokenizer,
+                        const std::int32_t* draft, std::int32_t count,
+                        TokenDraftResult* result);
 
  private:
   struct Snapshot {

@@ -1,0 +1,560 @@
+// Differential suite for the transactional multi-token verify/commit
+// protocol. The load-bearing property: VerifyDraft(k) + CommitDraft must be
+// BIT-IDENTICAL — accepted prefix, divergence mask, and post-state — to k
+// sequential FillNextTokenBitmask + Test + AcceptToken calls, on the raw
+// GrammarMatcher, the XGrammarDecoder, and the tag-dispatch composite
+// (including drafts that cross free-text/trigger boundaries and drafts whose
+// tokens split UTF-8 codepoints). Also covered: position-0 rejection, EOS in
+// the draft, abort/partial-commit equivalence, and zero allocations on the
+// steady-state verify path via the operator-new hook.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/tag_dispatch_decoder.h"
+#include "baselines/xgrammar_decoder.h"
+#include "cache/adaptive_cache.h"
+#include "compose/tag_dispatch.h"
+#include "datasets/workloads.h"
+#include "grammar/grammar.h"
+#include "grammar/structural_tag.h"
+#include "matcher/grammar_matcher.h"
+#include "pda/compiled_grammar.h"
+#include "runtime/compile_service.h"
+#include "support/alloc_hook.h"
+#include "support/rng.h"
+#include "tokenizer/synthetic_vocab.h"
+#include "tokenizer/token_trie.h"
+#include "tokenizer/tokenizer_info.h"
+
+namespace xgr::baselines {
+namespace {
+
+std::shared_ptr<const tokenizer::TokenizerInfo> TestTokenizer() {
+  static auto info = std::make_shared<tokenizer::TokenizerInfo>(
+      tokenizer::BuildSyntheticVocab({1600, 17}));
+  return info;
+}
+
+const tokenizer::TokenTrie& TestTrie() {
+  static tokenizer::TokenTrie trie(*TestTokenizer());
+  return trie;
+}
+
+std::shared_ptr<const cache::AdaptiveTokenMaskCache> JsonCache() {
+  static auto cache = [] {
+    auto pda = pda::CompiledGrammar::Compile(grammar::BuiltinJsonGrammar());
+    return cache::AdaptiveTokenMaskCache::Build(pda, TestTokenizer());
+  }();
+  return cache;
+}
+
+runtime::CompileService& SharedService() {
+  static runtime::CompileService service(TestTokenizer(), {});
+  return service;
+}
+
+constexpr const char* kWeatherSchema = R"({
+  "type": "object",
+  "properties": {
+    "city": {"type": "string"},
+    "unit": {"enum": ["celsius", "fahrenheit"]}
+  },
+  "required": ["city", "unit"],
+  "additionalProperties": false
+})";
+
+std::shared_ptr<TagDispatchDecoder> WeatherDispatchDecoder() {
+  compose::TagDispatchConfig config;
+  config.tags = {{"<function=get_weather>", kWeatherSchema, "</function>"}};
+  config.triggers = {"<function="};
+  auto plan = compose::TagDispatchPlan::Build(config, &SharedService());
+  return std::make_shared<TagDispatchDecoder>(plan);
+}
+
+// The sequential oracle: exactly the per-token protocol VerifyDraft
+// replaces. Leaves `decoder` advanced to the accepted prefix and `mask`
+// holding the divergence mask (the mask at the post-prefix state).
+std::int32_t SequentialVerify(ConstrainedDecoder* decoder,
+                              const std::vector<std::int32_t>& draft,
+                              DynamicBitset* mask, bool* terminated) {
+  const std::int32_t eos = decoder->EosTokenId();
+  std::int32_t accepted = 0;
+  if (terminated != nullptr) *terminated = false;
+  for (std::int32_t token : draft) {
+    decoder->FillNextTokenBitmask(mask);
+    if (token < 0 || static_cast<std::size_t>(token) >= mask->Size() ||
+        !mask->Test(static_cast<std::size_t>(token))) {
+      return accepted;
+    }
+    if (token == eos) {
+      if (terminated != nullptr) *terminated = true;
+      return accepted;
+    }
+    EXPECT_TRUE(decoder->AcceptToken(token));
+    ++accepted;
+  }
+  decoder->FillNextTokenBitmask(mask);  // post-prefix mask when exhausted
+  return accepted;
+}
+
+// Post-state probe: both decoders must produce identical masks along a
+// shared mask-guided random continuation — a strong state-identity check
+// that needs no access to internals.
+void ExpectSameContinuation(ConstrainedDecoder* a, ConstrainedDecoder* b,
+                            std::uint64_t seed, std::int32_t steps) {
+  auto info = TestTokenizer();
+  DynamicBitset mask_a(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset mask_b(static_cast<std::size_t>(info->VocabSize()));
+  Rng rng(seed);
+  for (std::int32_t step = 0; step < steps; ++step) {
+    a->FillNextTokenBitmask(&mask_a);
+    b->FillNextTokenBitmask(&mask_b);
+    ASSERT_EQ(mask_a, mask_b) << "post-state mask diverged at step " << step;
+    ASSERT_EQ(a->CanTerminate(), b->CanTerminate()) << "step " << step;
+    std::vector<std::int32_t> allowed;
+    for (std::int64_t id = mask_a.FindNext(0); id >= 0;
+         id = mask_a.FindNext(static_cast<std::size_t>(id) + 1)) {
+      allowed.push_back(static_cast<std::int32_t>(id));
+    }
+    if (allowed.empty()) break;
+    std::int32_t token =
+        allowed[static_cast<std::size_t>(rng.Next() % allowed.size())];
+    if (token == info->EosId()) break;
+    ASSERT_TRUE(a->AcceptToken(token));
+    ASSERT_TRUE(b->AcceptToken(token));
+  }
+}
+
+// Core differential: run VerifyDraft on `native` and the sequential oracle
+// on `oracle` (same construction, same already-applied prefix) over `draft`;
+// require identical accepted counts, divergence masks, termination flags,
+// and post-commit state.
+void DifferentialDraft(ConstrainedDecoder* native, ConstrainedDecoder* oracle,
+                       const std::vector<std::int32_t>& draft,
+                       std::uint64_t probe_seed) {
+  auto info = TestTokenizer();
+  DynamicBitset native_mask(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset oracle_mask(static_cast<std::size_t>(info->VocabSize()));
+
+  DraftVerifyResult result;
+  native->VerifyDraft(draft.data(), static_cast<std::int32_t>(draft.size()),
+                      &result, &native_mask);
+  bool oracle_terminated = false;
+  std::int32_t oracle_accepted =
+      SequentialVerify(oracle, draft, &oracle_mask, &oracle_terminated);
+
+  ASSERT_EQ(result.accepted, oracle_accepted);
+  ASSERT_EQ(result.terminated, oracle_terminated);
+  ASSERT_EQ(result.exhausted,
+            result.accepted == static_cast<std::int32_t>(draft.size()));
+  ASSERT_EQ(native_mask, oracle_mask) << "divergence mask mismatch";
+  ASSERT_TRUE(native->CommitDraft(result.accepted));
+  ExpectSameContinuation(native, oracle, probe_seed, 12);
+}
+
+// Builds a draft from the greedy tokenization of `text` continued from
+// `position`, flipping tokens to pseudo-random vocabulary ids with
+// probability `noise`.
+// When `agreed` is non-null it receives the length of the contiguous
+// un-flipped prefix — the tokens the "target model" also emits, which is the
+// most a correctness-preserving engine may commit.
+std::vector<std::int32_t> NoisyDraft(const std::vector<std::int32_t>& tokens,
+                                     std::size_t position, std::int32_t k,
+                                     double noise, Rng* rng,
+                                     std::int32_t* agreed = nullptr) {
+  std::vector<std::int32_t> draft;
+  bool agreeing = true;
+  if (agreed != nullptr) *agreed = 0;
+  for (std::int32_t i = 0;
+       i < k && position + static_cast<std::size_t>(i) < tokens.size(); ++i) {
+    const std::int32_t truth = tokens[position + static_cast<std::size_t>(i)];
+    std::int32_t token = truth;
+    if (noise > 0.0 && rng->NextBool(noise)) {
+      token = static_cast<std::int32_t>(rng->NextBounded(
+          static_cast<std::uint64_t>(TestTokenizer()->VocabSize())));
+    }
+    if (token != truth) agreeing = false;
+    if (agreeing && agreed != nullptr) ++*agreed;
+    draft.push_back(token);
+  }
+  return draft;
+}
+
+// --- Raw matcher layer ------------------------------------------------------
+
+TEST(MatcherDraftVerify, WalksAndRollsBackLikeSequentialAccepts) {
+  auto info = TestTokenizer();
+  matcher::GrammarMatcher native(JsonCache()->PdaShared());
+  matcher::GrammarMatcher oracle(JsonCache()->PdaShared());
+
+  const std::string doc = datasets::GenerateJsonValue(11, 4).Dump();
+  std::vector<std::int32_t> tokens = tokenizer::GreedyTokenize(TestTrie(), doc);
+  ASSERT_GE(tokens.size(), 8u);
+
+  Rng rng(5);
+  std::size_t position = 0;
+  while (position < tokens.size()) {
+    std::vector<std::int32_t> draft = NoisyDraft(tokens, position, 5, 0.3, &rng);
+    matcher::GrammarMatcher::TokenDraftResult result;
+    native.VerifyTokenDraft(*info, draft.data(),
+                            static_cast<std::int32_t>(draft.size()), &result);
+    // Oracle: AcceptToken semantics, one token at a time.
+    std::int32_t expect = 0;
+    for (std::int32_t token : draft) {
+      if (token == info->EosId() || info->IsSpecial(token)) break;
+      if (!oracle.AcceptString(info->TokenBytes(token))) break;
+      oracle.PushTokenCheckpoint();
+      ++expect;
+    }
+    ASSERT_EQ(result.accepted, expect);
+    ASSERT_EQ(native.NumConsumedBytes(), oracle.NumConsumedBytes());
+    ASSERT_EQ(native.CanTerminate(), oracle.CanTerminate());
+
+    // Roll the whole draft back on both sides, then advance one true token —
+    // the abort path every mismatched speculation takes.
+    native.RollbackTokens(result.accepted);
+    oracle.RollbackTokens(expect);
+    ASSERT_EQ(native.NumConsumedBytes(), oracle.NumConsumedBytes());
+    ASSERT_TRUE(native.AcceptString(info->TokenBytes(tokens[position])));
+    native.PushTokenCheckpoint();
+    ASSERT_TRUE(oracle.AcceptString(info->TokenBytes(tokens[position])));
+    oracle.PushTokenCheckpoint();
+    ++position;
+  }
+  EXPECT_TRUE(native.CanTerminate());
+}
+
+TEST(MatcherDraftVerify, AcceptedBytesAndExhaustedReported) {
+  auto info = TestTokenizer();
+  matcher::GrammarMatcher matcher(JsonCache()->PdaShared());
+  std::vector<std::int32_t> tokens =
+      tokenizer::GreedyTokenize(TestTrie(), "[1,2,3]");
+  matcher::GrammarMatcher::TokenDraftResult result;
+  matcher.VerifyTokenDraft(*info, tokens.data(),
+                           static_cast<std::int32_t>(tokens.size()), &result);
+  EXPECT_EQ(result.accepted, static_cast<std::int32_t>(tokens.size()));
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.accepted_bytes, 7);
+  EXPECT_FALSE(result.terminated);
+  EXPECT_TRUE(matcher.CanTerminate());
+}
+
+TEST(MatcherDraftVerify, EosInDraftStopsWithoutConsuming) {
+  auto info = TestTokenizer();
+  matcher::GrammarMatcher matcher(JsonCache()->PdaShared());
+  std::vector<std::int32_t> tokens = tokenizer::GreedyTokenize(TestTrie(), "42");
+  const std::size_t doc_tokens = tokens.size();
+  tokens.push_back(info->EosId());
+  std::vector<std::int32_t> junk = tokenizer::GreedyTokenize(TestTrie(), "junk");
+  tokens.insert(tokens.end(), junk.begin(), junk.end());
+  matcher::GrammarMatcher::TokenDraftResult result;
+  matcher.VerifyTokenDraft(*info, tokens.data(),
+                           static_cast<std::int32_t>(tokens.size()), &result);
+  EXPECT_EQ(result.accepted, static_cast<std::int32_t>(doc_tokens));
+  EXPECT_TRUE(result.terminated);   // "42" is a complete JSON document
+  EXPECT_FALSE(result.exhausted);   // EOS stopped the walk
+  EXPECT_EQ(matcher.NumConsumedBytes(), 2);  // EOS consumed nothing
+}
+
+// --- XGrammarDecoder --------------------------------------------------------
+
+TEST(DecoderDraftVerify, BitIdenticalToSequentialOnJsonDrafts) {
+  const std::string doc = datasets::GenerateJsonValue(29, 5).Dump();
+  std::vector<std::int32_t> tokens = tokenizer::GreedyTokenize(TestTrie(), doc);
+  Rng rng(17);
+  for (double noise : {0.0, 0.25, 0.6}) {
+    XGrammarDecoder native(JsonCache());
+    XGrammarDecoder oracle(JsonCache());
+    std::size_t position = 0;
+    int rounds = 0;
+    while (position + 6 < tokens.size() && rounds < 8) {
+      std::vector<std::int32_t> draft =
+          NoisyDraft(tokens, position, 6, noise, &rng);
+      DifferentialDraft(&native, &oracle, draft,
+                        /*probe_seed=*/rng.Next());
+      // DifferentialDraft committed everything accepted and then advanced
+      // both decoders along a shared continuation; resync our position by
+      // resetting for the next round.
+      native.Reset();
+      oracle.Reset();
+      position += 2;  // vary the starting offset between rounds
+      for (std::size_t i = 0; i < position; ++i) {
+        ASSERT_TRUE(native.AcceptToken(tokens[i]));
+        ASSERT_TRUE(oracle.AcceptToken(tokens[i]));
+      }
+      ++rounds;
+    }
+  }
+}
+
+TEST(DecoderDraftVerify, RejectionAtPositionZeroLeavesStateUntouched) {
+  auto info = TestTokenizer();
+  XGrammarDecoder decoder(JsonCache());
+  XGrammarDecoder untouched(JsonCache());
+  ASSERT_TRUE(decoder.AcceptToken(
+      tokenizer::GreedyTokenize(TestTrie(), "[")[0]));
+  ASSERT_TRUE(untouched.AcceptToken(
+      tokenizer::GreedyTokenize(TestTrie(), "[")[0]));
+
+  // "}" cannot follow "[" in JSON: rejected at position 0.
+  std::vector<std::int32_t> bad = tokenizer::GreedyTokenize(TestTrie(), "}");
+  DynamicBitset divergence(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset plain(static_cast<std::size_t>(info->VocabSize()));
+  DraftVerifyResult result;
+  decoder.VerifyDraft(bad.data(), static_cast<std::int32_t>(bad.size()),
+                      &result, &divergence);
+  EXPECT_EQ(result.accepted, 0);
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_FALSE(result.terminated);
+  untouched.FillNextTokenBitmask(&plain);
+  EXPECT_EQ(divergence, plain)
+      << "position-0 divergence mask must equal the plain next-token mask";
+  ASSERT_TRUE(decoder.CommitDraft(0));
+  ExpectSameContinuation(&decoder, &untouched, 99, 10);
+}
+
+TEST(DecoderDraftVerify, PartialCommitEqualsSequentialPrefix) {
+  const std::string doc = datasets::GenerateJsonValue(3, 4).Dump();
+  std::vector<std::int32_t> tokens = tokenizer::GreedyTokenize(TestTrie(), doc);
+  ASSERT_GE(tokens.size(), 6u);
+  for (std::int32_t keep = 0; keep <= 4; ++keep) {
+    XGrammarDecoder native(JsonCache());
+    XGrammarDecoder oracle(JsonCache());
+    std::vector<std::int32_t> draft(tokens.begin(), tokens.begin() + 6);
+    DraftVerifyResult result;
+    native.VerifyDraft(draft.data(), 6, &result, nullptr);
+    ASSERT_EQ(result.accepted, 6);
+    ASSERT_TRUE(native.CommitDraft(keep));
+    for (std::int32_t i = 0; i < keep; ++i) {
+      ASSERT_TRUE(oracle.AcceptToken(tokens[static_cast<std::size_t>(i)]));
+    }
+    ExpectSameContinuation(&native, &oracle, 1000 + static_cast<std::uint64_t>(keep), 8);
+  }
+}
+
+TEST(DecoderDraftVerify, MidUtf8DraftTokens) {
+  auto info = TestTokenizer();
+  // A JSON string containing multi-byte codepoints; the synthetic vocabulary
+  // contains sub-UTF8 byte tokens, so the greedy tokenization splits inside
+  // codepoints and draft boundaries land mid-codepoint.
+  const std::string doc = "\"caf\xC3\xA9 \xE2\x82\xAC 5\"";
+  std::vector<std::int32_t> tokens = tokenizer::GreedyTokenize(TestTrie(), doc);
+  ASSERT_GE(tokens.size(), 3u);
+  XGrammarDecoder native(JsonCache());
+  XGrammarDecoder oracle(JsonCache());
+  DifferentialDraft(&native, &oracle, tokens, /*probe_seed=*/7);
+  EXPECT_TRUE(native.CanTerminate());
+}
+
+TEST(DecoderDraftVerify, DefaultFallbackMatchesNativeOverride) {
+  // Drive the BASE class implementation (k mask fills + accepts) on one
+  // decoder and the native override on another: the protocol contract is
+  // that they are observationally identical.
+  const std::string doc = datasets::GenerateJsonValue(51, 4).Dump();
+  std::vector<std::int32_t> tokens = tokenizer::GreedyTokenize(TestTrie(), doc);
+  Rng rng(23);
+  XGrammarDecoder native(JsonCache());
+  XGrammarDecoder fallback(JsonCache());
+  std::vector<std::int32_t> draft = NoisyDraft(tokens, 0, 6, 0.3, &rng);
+
+  auto info = TestTokenizer();
+  DynamicBitset native_mask(static_cast<std::size_t>(info->VocabSize()));
+  DynamicBitset fallback_mask(static_cast<std::size_t>(info->VocabSize()));
+  DraftVerifyResult native_result;
+  DraftVerifyResult fallback_result;
+  native.VerifyDraft(draft.data(), static_cast<std::int32_t>(draft.size()),
+                     &native_result, &native_mask);
+  fallback.ConstrainedDecoder::VerifyDraft(
+      draft.data(), static_cast<std::int32_t>(draft.size()), &fallback_result,
+      &fallback_mask);
+  EXPECT_EQ(native_result.accepted, fallback_result.accepted);
+  EXPECT_EQ(native_result.exhausted, fallback_result.exhausted);
+  EXPECT_EQ(native_result.terminated, fallback_result.terminated);
+  EXPECT_EQ(native_mask, fallback_mask);
+  ASSERT_TRUE(native.CommitDraft(native_result.accepted));
+  ASSERT_TRUE(fallback.ConstrainedDecoder::CommitDraft(fallback_result.accepted));
+  ExpectSameContinuation(&native, &fallback, 41, 10);
+}
+
+// --- Tag-dispatch composite -------------------------------------------------
+
+TEST(CompositeDraftVerify, DraftsCrossingTriggerBoundaries) {
+  // Transcript spans free text → trigger → tag body → closer → free text;
+  // chunked drafts land across every boundary. (The schema grammar emits
+  // compact JSON, so the transcript body must not contain separator spaces.)
+  const std::string transcript =
+      "check: <function=get_weather>"
+      R"({"city":"Oslo","unit":"celsius"})"
+      "</function> done";
+  std::vector<std::int32_t> tokens =
+      tokenizer::GreedyTokenize(TestTrie(), transcript);
+  auto info = TestTokenizer();
+  Rng rng(31);
+  for (std::int32_t k : {3, 5, 8}) {
+    auto native = WeatherDispatchDecoder();
+    std::size_t position = 0;
+    while (position < tokens.size()) {
+      std::int32_t agreed = 0;
+      std::vector<std::int32_t> draft =
+          NoisyDraft(tokens, position, k, 0.2, &rng, &agreed);
+      // Fresh oracle replaying the committed true prefix: the oracle runs
+      // the k-sequential-fills protocol from the identical state, then is
+      // discarded (its post-verify state includes flipped tokens the engine
+      // would never commit).
+      auto oracle = WeatherDispatchDecoder();
+      for (std::size_t i = 0; i < position; ++i) {
+        ASSERT_TRUE(oracle->AcceptToken(tokens[i]));
+      }
+      DynamicBitset native_mask(static_cast<std::size_t>(info->VocabSize()));
+      DynamicBitset oracle_mask(static_cast<std::size_t>(info->VocabSize()));
+      DraftVerifyResult result;
+      native->VerifyDraft(draft.data(), static_cast<std::int32_t>(draft.size()),
+                          &result, &native_mask);
+      bool oracle_terminated = false;
+      std::int32_t oracle_accepted =
+          SequentialVerify(oracle.get(), draft, &oracle_mask, &oracle_terminated);
+      ASSERT_EQ(result.accepted, oracle_accepted)
+          << "at position " << position << " k=" << k;
+      ASSERT_EQ(result.terminated, oracle_terminated);
+      ASSERT_EQ(native_mask, oracle_mask)
+          << "divergence mask mismatch at position " << position << " k=" << k;
+      // Commit only the model-agreed prefix (true tokens) so the transcript
+      // alignment holds — exactly the engine's keep rule.
+      const std::int32_t keep = std::min(result.accepted, agreed);
+      ASSERT_TRUE(native->CommitDraft(keep));
+      position += static_cast<std::size_t>(keep);
+      if (keep < static_cast<std::int32_t>(draft.size()) &&
+          position < tokens.size()) {
+        ASSERT_TRUE(native->AcceptToken(tokens[position]))
+            << "correction token rejected at position " << position;
+        ++position;
+      }
+    }
+    EXPECT_TRUE(native->CanTerminate());
+  }
+}
+
+TEST(CompositeDraftVerify, PartialCommitRestoresBoundarySnapshot) {
+  // Verify a draft that enters the tag body, then keep only the free-text
+  // prefix: the restored state must continue exactly like a decoder that
+  // never saw the tag.
+  const std::string transcript = "go <function=get_weather>{\"city\":\"";
+  std::vector<std::int32_t> tokens =
+      tokenizer::GreedyTokenize(TestTrie(), transcript);
+  std::vector<std::int32_t> free_prefix =
+      tokenizer::GreedyTokenize(TestTrie(), "go ");
+  auto native = WeatherDispatchDecoder();
+  auto oracle = WeatherDispatchDecoder();
+  DraftVerifyResult result;
+  native->VerifyDraft(tokens.data(), static_cast<std::int32_t>(tokens.size()),
+                      &result, nullptr);
+  ASSERT_EQ(result.accepted, static_cast<std::int32_t>(tokens.size()));
+  const std::int32_t keep = static_cast<std::int32_t>(free_prefix.size());
+  ASSERT_TRUE(native->CommitDraft(keep));
+  for (std::int32_t token : free_prefix) {
+    ASSERT_TRUE(oracle->AcceptToken(token));
+  }
+  ExpectSameContinuation(native.get(), oracle.get(), 57, 12);
+}
+
+TEST(CompositeDraftVerify, AbortRestoresPreDraftState) {
+  const std::string transcript = "x <function=get_weather>{";
+  std::vector<std::int32_t> tokens =
+      tokenizer::GreedyTokenize(TestTrie(), transcript);
+  auto native = WeatherDispatchDecoder();
+  auto oracle = WeatherDispatchDecoder();
+  DraftVerifyResult result;
+  native->VerifyDraft(tokens.data(), static_cast<std::int32_t>(tokens.size()),
+                      &result, nullptr);
+  ASSERT_GT(result.accepted, 0);
+  ASSERT_TRUE(native->CommitDraft(0));
+  ExpectSameContinuation(native.get(), oracle.get(), 73, 12);
+}
+
+// --- Zero-allocation steady state -------------------------------------------
+
+TEST(DraftVerifyAlloc, SteadyStateVerifyCommitIsAllocationFree) {
+  auto info = TestTokenizer();
+  const std::string doc = datasets::GenerateJsonValue(77, 5).Dump();
+  std::vector<std::int32_t> tokens = tokenizer::GreedyTokenize(TestTrie(), doc);
+  ASSERT_GE(tokens.size(), 12u);
+  XGrammarDecoder decoder(JsonCache());
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+
+  auto run_pass = [&]() {
+    std::size_t position = 0;
+    DraftVerifyResult result;
+    while (position < tokens.size()) {
+      const std::int32_t k = static_cast<std::int32_t>(
+          std::min<std::size_t>(4, tokens.size() - position));
+      decoder.VerifyDraft(tokens.data() + position, k, &result, &mask);
+      // Alternate full and partial commits so both the keep-everything and
+      // the rollback paths are audited.
+      std::int32_t keep = result.accepted;
+      if (keep > 1 && position % 3 == 0) keep -= 1;
+      ASSERT_TRUE(decoder.CommitDraft(keep));
+      position += static_cast<std::size_t>(keep);
+      if (keep < k && position < tokens.size()) {
+        ASSERT_TRUE(decoder.AcceptToken(tokens[position]));
+        ++position;
+      }
+    }
+    decoder.Reset();
+  };
+
+  run_pass();  // warm: pool interning, workspace growth, checkpoint capacity
+  run_pass();
+  std::int64_t before = support::AllocHookCount();
+  run_pass();
+  std::int64_t allocs = support::AllocHookCount() - before;
+  EXPECT_EQ(allocs, 0) << "steady-state verify/commit path allocated";
+}
+
+TEST(DraftVerifyAlloc, CompositeFreeTextDraftVerifyIsAllocationFree) {
+  // Mirrors TagDispatch.FreeTextSteadyStateIsAllocationFree: the composite's
+  // zero-alloc guarantee covers free-text segments (entering a tag body
+  // spawns schema matchers, which allocate by design). The draft protocol
+  // must not add allocations on top of that guarantee: verify + partial
+  // commit + snapshot save/restore all run out of recycled buffers.
+  auto info = TestTokenizer();
+  std::vector<std::int32_t> tokens =
+      tokenizer::GreedyTokenize(TestTrie(), "the quick brown fox jumps over");
+  auto decoder = WeatherDispatchDecoder();
+  DynamicBitset mask(static_cast<std::size_t>(info->VocabSize()));
+
+  auto run_pass = [&]() {
+    std::size_t position = 0;
+    DraftVerifyResult result;
+    while (position < tokens.size()) {
+      const std::int32_t k = static_cast<std::int32_t>(
+          std::min<std::size_t>(4, tokens.size() - position));
+      decoder->VerifyDraft(tokens.data() + position, k, &result, &mask);
+      ASSERT_EQ(result.accepted, k);
+      // Alternate full and partial commits so the snapshot-restore path is
+      // audited too, not just the keep-everything fast path.
+      std::int32_t keep = result.accepted;
+      if (keep > 1 && position % 2 == 0) keep -= 1;
+      ASSERT_TRUE(decoder->CommitDraft(keep));
+      position += static_cast<std::size_t>(keep);
+      if (keep < k && position < tokens.size()) {
+        ASSERT_TRUE(decoder->AcceptToken(tokens[position]));
+        ++position;
+      }
+    }
+    decoder->Reset();
+  };
+
+  run_pass();  // warm: snapshot slots, backup buffers, checkpoint capacity
+  run_pass();
+  std::int64_t before = support::AllocHookCount();
+  run_pass();
+  std::int64_t allocs = support::AllocHookCount() - before;
+  EXPECT_EQ(allocs, 0) << "composite free-text draft verify path allocated";
+}
+
+}  // namespace
+}  // namespace xgr::baselines
